@@ -1,0 +1,12 @@
+//! Baselines the paper compares against (§8 "Algorithms"):
+//!
+//! * [`sortn`] — **SortN**, "the sorted neighborhood method of [Hernandez
+//!   and Stolfo 1998] for record matching based on MDs only";
+//! * [`quaid`] — **Quaid**, "the heuristic repairing algorithm of [Cong et
+//!   al. 2007] based on CFDs only".
+
+pub mod quaid;
+pub mod sortn;
+
+pub use quaid::quaid_repair;
+pub use sortn::{sortn_match, uniclean_matches, SortNConfig};

@@ -1,0 +1,84 @@
+//! Quaid: the CFD-only heuristic repair of Cong et al. 2007.
+//!
+//! UniClean's `hRepair` *is* an extension of this algorithm (§7); Quaid is
+//! recovered by (a) dropping every MD (no matching, no master data), and
+//! (b) forgetting fix marks, so no cell is frozen — there are no
+//! deterministic or reliable fixes to preserve. Exp-1 plots Quaid as the
+//! weakest baseline: all of its fixes are possible fixes.
+
+use uniclean_core::{h_repair, CleanConfig, FixReport};
+use uniclean_model::{FixMark, Relation};
+use uniclean_rules::RuleSet;
+
+/// Run the CFD-only heuristic repair on a copy of `d`.
+pub fn quaid_repair(d: &Relation, rules: &RuleSet, cfg: &CleanConfig) -> (Relation, FixReport) {
+    let cfd_rules = rules.without_mds();
+    // Forget marks and confidence-derived assertions: Quaid treats every
+    // cell as up for grabs, guided only by the cost model.
+    let mut work = d.clone();
+    for t in work.tuples_mut() {
+        for cell in 0..t.arity() {
+            let a = uniclean_model::AttrId::from(cell);
+            let c = t.cell_mut(a);
+            c.mark = FixMark::Untouched;
+        }
+    }
+    let report = h_repair(&mut work, None, &cfd_rules, None, cfg);
+    (work, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniclean_model::{Schema, Tuple, TupleId, Value};
+    use uniclean_rules::{parse_rules, satisfies_all};
+
+    #[test]
+    fn quaid_repairs_cfd_violations() {
+        let s = Schema::of_strings("tran", &["AC", "city"]);
+        let parsed = parse_rules("cfd phi1: tran([AC=131] -> [city=Edi])", &s, None).unwrap();
+        let rules = RuleSet::cfds_only(s.clone(), parsed.cfds);
+        let d = Relation::new(s.clone(), vec![Tuple::of_strs(&["131", "Ldn"], 0.5)]);
+        let (repaired, report) = quaid_repair(&d, &rules, &CleanConfig::default());
+        assert_eq!(repaired.tuple(TupleId(0)).value(s.attr_id_or_panic("city")), &Value::str("Edi"));
+        assert_eq!(report.len(), 1);
+        assert!(report.records().iter().all(|r| r.mark == FixMark::Possible));
+        assert!(satisfies_all(rules.cfds(), &[], &repaired, &Relation::empty(s)));
+    }
+
+    #[test]
+    fn quaid_ignores_mds_entirely() {
+        let tran = Schema::of_strings("tran", &["LN", "phn"]);
+        let card = Schema::of_strings("card", &["LN", "tel"]);
+        let parsed = parse_rules(
+            "md psi: tran[LN] = card[LN] -> tran[phn] <=> card[tel]",
+            &tran,
+            Some(&card),
+        )
+        .unwrap();
+        let rules = RuleSet::new(tran.clone(), Some(card), vec![], parsed.positive_mds, vec![]);
+        let d = Relation::new(tran, vec![Tuple::of_strs(&["Brady", "000"], 0.5)]);
+        let (repaired, report) = quaid_repair(&d, &rules, &CleanConfig::default());
+        assert!(report.is_empty(), "no CFDs → nothing to repair");
+        assert_eq!(repaired.tuple(TupleId(0)).value(uniclean_model::AttrId(1)), &Value::str("000"));
+    }
+
+    #[test]
+    fn deterministic_marks_do_not_protect_cells_from_quaid() {
+        // The same conflict where hRepair preserves a frozen cell: Quaid
+        // resolves purely by cost, ignoring the mark.
+        let s = Schema::of_strings("r", &["K", "B"]);
+        let parsed = parse_rules("cfd fd: r([K] -> [B])", &s, None).unwrap();
+        let rules = RuleSet::cfds_only(s.clone(), parsed.cfds);
+        let b = s.attr_id_or_panic("B");
+        let mut marked = Tuple::of_strs(&["k", "minority"], 0.0);
+        marked.set(b, Value::str("minority"), 0.0, FixMark::Deterministic);
+        let mut majority1 = Tuple::of_strs(&["k", "major"], 0.0);
+        majority1.set(b, Value::str("major"), 0.9, FixMark::Untouched);
+        let mut majority2 = Tuple::of_strs(&["k", "major"], 0.0);
+        majority2.set(b, Value::str("major"), 0.9, FixMark::Untouched);
+        let d = Relation::new(s, vec![marked, majority1, majority2]);
+        let (repaired, _) = quaid_repair(&d, &rules, &CleanConfig::default());
+        assert_eq!(repaired.tuple(TupleId(0)).value(b), &Value::str("major"));
+    }
+}

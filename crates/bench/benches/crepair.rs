@@ -1,0 +1,37 @@
+//! `cRepair` throughput, with and without MDs — the cost of adding
+//! matching to the deterministic phase.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use uniclean_core::{c_repair, CleanConfig, MasterIndex};
+use uniclean_datagen::{hosp_workload, GenParams};
+
+fn bench_crepair(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crepair");
+    g.sample_size(10);
+    for n in [500usize, 2000] {
+        let w = hosp_workload(&GenParams { tuples: n, master_tuples: 200, ..GenParams::default() });
+        let cfg = CleanConfig::default();
+        let idx = MasterIndex::build(w.rules.mds(), &w.master, cfg.blocking_l);
+        g.bench_with_input(BenchmarkId::new("with_mds", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut d = w.dirty.clone();
+                c_repair(black_box(&mut d), Some(&w.master), &w.rules, Some(&idx), &cfg)
+            })
+        });
+        let cfd_rules = w.rules.without_mds();
+        g.bench_with_input(BenchmarkId::new("cfds_only", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut d = w.dirty.clone();
+                c_repair(black_box(&mut d), None, &cfd_rules, None, &cfg)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_crepair
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! The §6.3 ablation: incremental maintenance of the 2-in-1 HTab+AVL
+//! structure vs rebuilding it from scratch after every cell update.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use uniclean_core::two_in_one::TwoInOne;
+use uniclean_datagen::{hosp_workload, GenParams};
+use uniclean_model::{FixMark, TupleId, Value};
+
+fn bench_structure(c: &mut Criterion) {
+    let w = hosp_workload(&GenParams { tuples: 1000, master_tuples: 200, ..GenParams::default() });
+    let city = w.dirty.schema().attr_id("City").unwrap();
+
+    let mut g = c.benchmark_group("two_in_one");
+    g.sample_size(10);
+    g.bench_function("build_1000_tuples", |bench| {
+        bench.iter(|| TwoInOne::build(black_box(&w.rules), black_box(&w.dirty)))
+    });
+
+    // 100 updates, maintained incrementally.
+    g.bench_function("incremental_100_updates", |bench| {
+        bench.iter(|| {
+            let mut d = w.dirty.clone();
+            let mut s = TwoInOne::build(&w.rules, &d);
+            for i in 0..100u32 {
+                let t = TupleId(i * 7 % d.len() as u32);
+                let old = d.tuple(t).value(city).clone();
+                d.tuple_mut(t).set(city, Value::str(format!("City{i}")), 0.0, FixMark::Reliable);
+                s.on_update(&w.rules, &d, t, city, &old);
+            }
+            s
+        })
+    });
+
+    // The same 100 updates, rebuilding after each — what §6.3 avoids.
+    g.bench_function("rebuild_100_updates", |bench| {
+        bench.iter(|| {
+            let mut d = w.dirty.clone();
+            let mut last = None;
+            for i in 0..100u32 {
+                let t = TupleId(i * 7 % d.len() as u32);
+                d.tuple_mut(t).set(city, Value::str(format!("City{i}")), 0.0, FixMark::Reliable);
+                last = Some(TwoInOne::build(&w.rules, &d));
+            }
+            last
+        })
+    });
+
+    g.bench_with_input(BenchmarkId::new("groups_below_threshold", 0.8), &0.8, |bench, bound| {
+        let s = TwoInOne::build(&w.rules, &w.dirty);
+        bench.iter(|| {
+            (0..s.len()).map(|v| s.groups_below(v, *bound).len()).sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_structure
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Cost of the §6.2 dependency-graph rule ordering — SCC, topological
+//! sort, degree-ratio — swept over the TPC-H rule-count multipliers, plus
+//! the throughput of `eRepair` itself.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use uniclean_core::{e_repair, CleanConfig, MasterIndex};
+use uniclean_datagen::{hosp_workload, tpch_workload, GenParams, TpchScale};
+use uniclean_reasoning::erepair_order;
+
+fn bench_ordering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("erepair_order_computation");
+    for mult in [1usize, 3, 5] {
+        let w = tpch_workload(
+            &GenParams { tuples: 50, master_tuples: 20, ..GenParams::default() },
+            TpchScale { sigma_multiplier: mult, gamma_multiplier: 1 },
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(55 * mult), &mult, |bench, _| {
+            bench.iter(|| erepair_order(black_box(&w.rules)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_erepair(c: &mut Criterion) {
+    let mut g = c.benchmark_group("erepair");
+    g.sample_size(10);
+    for n in [500usize, 2000] {
+        let w = hosp_workload(&GenParams { tuples: n, master_tuples: 200, ..GenParams::default() });
+        let cfg = CleanConfig::default();
+        let idx = MasterIndex::build(w.rules.mds(), &w.master, cfg.blocking_l);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut d = w.dirty.clone();
+                e_repair(black_box(&mut d), Some(&w.master), &w.rules, Some(&idx), &cfg)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_ordering, bench_erepair
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! `hRepair` throughput (the heuristic phase), and the Quaid baseline for
+//! comparison (same machinery, CFDs only, nothing frozen).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use uniclean_baselines::quaid_repair;
+use uniclean_core::{h_repair, CleanConfig, MasterIndex};
+use uniclean_datagen::{hosp_workload, GenParams};
+
+fn bench_hrepair(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hrepair");
+    g.sample_size(10);
+    for n in [500usize, 2000] {
+        let w = hosp_workload(&GenParams { tuples: n, master_tuples: 200, ..GenParams::default() });
+        let cfg = CleanConfig::default();
+        let idx = MasterIndex::build(w.rules.mds(), &w.master, cfg.blocking_l);
+        g.bench_with_input(BenchmarkId::new("full", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut d = w.dirty.clone();
+                h_repair(black_box(&mut d), Some(&w.master), &w.rules, Some(&idx), &cfg)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("quaid_baseline", n), &n, |bench, _| {
+            bench.iter(|| quaid_repair(black_box(&w.dirty), &w.rules, &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_hrepair
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! End-to-end pipeline throughput on each dataset — the per-phase numbers
+//! behind the Fig. 14 scalability curves, at bench scale.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use uniclean_core::{CleanConfig, Phase, UniClean};
+use uniclean_datagen::{dblp_workload, hosp_workload, tpch_workload, GenParams, TpchScale};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let params = GenParams { tuples: 1000, master_tuples: 300, ..GenParams::default() };
+    let workloads = vec![
+        hosp_workload(&params),
+        dblp_workload(&params),
+        tpch_workload(&params, TpchScale::default()),
+    ];
+    let cfg = CleanConfig { eta: 1.0, delta_entropy: 0.8, ..CleanConfig::default() };
+    let mut g = c.benchmark_group("pipeline_1000_tuples");
+    g.sample_size(10);
+    for w in &workloads {
+        let uni = UniClean::new(&w.rules, Some(&w.master), cfg.clone());
+        g.bench_with_input(BenchmarkId::new("full", w.name), &w.name, |bench, _| {
+            bench.iter(|| uni.clean(black_box(&w.dirty), Phase::Full))
+        });
+        g.bench_with_input(BenchmarkId::new("crepair_only", w.name), &w.name, |bench, _| {
+            bench.iter(|| uni.clean(black_box(&w.dirty), Phase::CRepair))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(4));
+    targets = bench_pipeline
+}
+criterion_main!(benches);

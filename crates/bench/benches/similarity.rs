@@ -1,0 +1,60 @@
+//! Micro-benchmarks of the similarity substrate: banded vs full
+//! Levenshtein, and generalized-suffix-tree construction/queries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use uniclean_similarity::{levenshtein, levenshtein_bounded, GeneralizedSuffixTree};
+
+fn words(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            format!(
+                "{} {} Hospital {}",
+                ["Mercy", "Grace", "Summit", "Harbor"][i % 4],
+                ["Oak", "Elm", "Pine", "Maple"][(i / 4) % 4],
+                i
+            )
+        })
+        .collect()
+}
+
+fn bench_levenshtein(c: &mut Criterion) {
+    let a = "Interaction between Record Matching and Data Repairing";
+    let b = "Interaction between Record Matching and Data Reapiring";
+    let mut g = c.benchmark_group("levenshtein");
+    g.bench_function("full_55_chars", |bench| {
+        bench.iter(|| levenshtein(black_box(a), black_box(b)))
+    });
+    g.bench_function("banded_k2_55_chars", |bench| {
+        bench.iter(|| levenshtein_bounded(black_box(a), black_box(b), 2))
+    });
+    // The banded version's early exit on dissimilar strings.
+    let z = "zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz";
+    g.bench_function("banded_k2_reject_fast", |bench| {
+        bench.iter(|| levenshtein_bounded(black_box(a), black_box(z), 2))
+    });
+    g.finish();
+}
+
+fn bench_suffix_tree(c: &mut Criterion) {
+    let corpus = words(500);
+    let mut g = c.benchmark_group("suffix_tree");
+    g.sample_size(20);
+    g.bench_function("build_500_strings", |bench| {
+        bench.iter(|| GeneralizedSuffixTree::build(black_box(&corpus)))
+    });
+    let tree = GeneralizedSuffixTree::build(&corpus);
+    g.bench_function("top_l_query", |bench| {
+        bench.iter(|| tree.top_l_by_lcs(black_box("Mercy Oak Hospitel 42"), 20, 4))
+    });
+    g.bench_function("matching_statistics", |bench| {
+        bench.iter(|| tree.matching_statistics(black_box("Mercy Oak Hospitel 42")))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_levenshtein, bench_suffix_tree
+}
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Ablations beyond the paper's figures: sensitivity of the pipeline to its
+//! thresholds, and the master-free mode of §1/§9.
+//!
+//! * `--sweep eta` — confidence threshold η: lowering η lets cRepair trust
+//!   weaker assertions (more deterministic fixes, lower precision);
+//! * `--sweep delta2` — entropy threshold δ2: raising δ2 lets eRepair
+//!   resolve more uncertain conflicts (recall up, precision down);
+//! * `--sweep master` — with master data vs self-matching vs CFDs only:
+//!   the paper's contention that "master data is desirable … but not a
+//!   must; reliable and heuristic fixes would not degrade substantially".
+//!
+//! ```text
+//! cargo run -p uniclean-bench --release --bin ablation -- [--sweep eta|delta2|master|all]
+//! ```
+
+use std::path::Path;
+
+use uniclean_bench::{dataset_workload, scaled_params, Args, DatasetKind, Figure, Series};
+use uniclean_core::{clean_without_master, CleanConfig, Phase, UniClean};
+use uniclean_datagen::Workload;
+use uniclean_metrics::repair_quality;
+
+fn workload() -> Workload {
+    dataset_workload(DatasetKind::Hosp, &scaled_params(DatasetKind::Hosp, false))
+}
+
+fn sweep_eta(w: &Workload) -> Figure {
+    let mut prec = Vec::new();
+    let mut rec = Vec::new();
+    let mut det_share = Vec::new();
+    for eta100 in [60u32, 70, 80, 90, 100] {
+        let cfg = CleanConfig { eta: eta100 as f64 / 100.0, delta_entropy: 0.8, ..CleanConfig::default() };
+        let uni = UniClean::new(&w.rules, Some(&w.master), cfg);
+        let r = uni.clean(&w.dirty, Phase::Full);
+        let q = repair_quality(&w.dirty, &r.repaired, &w.truth);
+        eprintln!("[ablation:eta] {eta100}");
+        prec.push((eta100 as f64 / 100.0, q.precision));
+        rec.push((eta100 as f64 / 100.0, q.recall));
+        let (det, _, _) = r.fix_counts();
+        let total = r.report.cells_touched().max(1);
+        det_share.push((eta100 as f64 / 100.0, det as f64 / total as f64));
+    }
+    Figure {
+        id: "ablation-eta".into(),
+        title: "Ablation: confidence threshold η (HOSP, full pipeline)".into(),
+        x_label: "eta".into(),
+        y_label: "metric".into(),
+        series: vec![
+            Series { label: "precision".into(), points: prec },
+            Series { label: "recall".into(), points: rec },
+            Series { label: "det share".into(), points: det_share },
+        ],
+    }
+}
+
+fn sweep_delta2(w: &Workload) -> Figure {
+    let mut prec = Vec::new();
+    let mut rec = Vec::new();
+    for d100 in [50u32, 65, 80, 90, 99] {
+        let cfg = CleanConfig { eta: 1.0, delta_entropy: d100 as f64 / 100.0, ..CleanConfig::default() };
+        let uni = UniClean::new(&w.rules, Some(&w.master), cfg);
+        // Measure at the c+e prefix where δ2 acts.
+        let r = uni.clean(&w.dirty, Phase::CERepair);
+        let q = repair_quality(&w.dirty, &r.repaired, &w.truth);
+        eprintln!("[ablation:delta2] {d100}");
+        prec.push((d100 as f64 / 100.0, q.precision));
+        rec.push((d100 as f64 / 100.0, q.recall));
+    }
+    Figure {
+        id: "ablation-delta2".into(),
+        title: "Ablation: entropy threshold δ2 (HOSP, cRepair+eRepair)".into(),
+        x_label: "delta2".into(),
+        y_label: "metric".into(),
+        series: vec![
+            Series { label: "precision".into(), points: prec },
+            Series { label: "recall".into(), points: rec },
+        ],
+    }
+}
+
+fn sweep_master(w: &Workload) -> Figure {
+    let cfg = CleanConfig { eta: 1.0, delta_entropy: 0.8, ..CleanConfig::default() };
+    let mut series = Vec::new();
+    // With master data (the full system).
+    {
+        let uni = UniClean::new(&w.rules, Some(&w.master), cfg.clone());
+        let r = uni.clean(&w.dirty, Phase::Full);
+        let q = repair_quality(&w.dirty, &r.repaired, &w.truth);
+        eprintln!("[ablation:master] with-master");
+        series.push(Series {
+            label: "with master".into(),
+            points: vec![(0.0, q.precision), (1.0, q.recall), (2.0, q.f1())],
+        });
+    }
+    // Master-free: the data is its own master (self-matching MDs).
+    {
+        let r = clean_without_master(&w.rules, &w.dirty, cfg.clone(), Phase::Full);
+        let q = repair_quality(&w.dirty, &r.repaired, &w.truth);
+        eprintln!("[ablation:master] self-match");
+        series.push(Series {
+            label: "self-matching".into(),
+            points: vec![(0.0, q.precision), (1.0, q.recall), (2.0, q.f1())],
+        });
+    }
+    // No MDs at all.
+    {
+        let rules = w.rules.without_mds();
+        let uni = UniClean::new(&rules, None, cfg);
+        let r = uni.clean(&w.dirty, Phase::Full);
+        let q = repair_quality(&w.dirty, &r.repaired, &w.truth);
+        eprintln!("[ablation:master] cfd-only");
+        series.push(Series {
+            label: "CFDs only".into(),
+            points: vec![(0.0, q.precision), (1.0, q.recall), (2.0, q.f1())],
+        });
+    }
+    Figure {
+        id: "ablation-master".into(),
+        title: "Ablation: master data vs self-matching vs CFDs only (HOSP; x: 0=precision 1=recall 2=F1)".into(),
+        x_label: "metric idx".into(),
+        y_label: "value".into(),
+        series,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let which = args.get_or("sweep", "all");
+    let w = workload();
+    let mut figs = Vec::new();
+    if which == "eta" || which == "all" {
+        figs.push(sweep_eta(&w));
+    }
+    if which == "delta2" || which == "all" {
+        figs.push(sweep_delta2(&w));
+    }
+    if which == "master" || which == "all" {
+        figs.push(sweep_master(&w));
+    }
+    for fig in figs {
+        fig.print();
+        fig.write_json(Path::new("experiments")).expect("write json");
+    }
+}

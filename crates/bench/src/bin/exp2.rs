@@ -1,0 +1,55 @@
+//! Exp-2 (Fig. 11): Repairing helps matching.
+//!
+//! Matched attributes (%) vs noise rate (2–10%), dup% = 40, for Uni
+//! (matches identified on the repaired data) and SortN(MD) (sorted
+//! neighborhood on the dirty data).
+//!
+//! ```text
+//! cargo run -p uniclean-bench --release --bin exp2 -- [--dataset hosp|dblp|both] [--full]
+//! ```
+
+use std::path::Path;
+
+use uniclean_bench::{
+    dataset_workload, matching_f1_sortn, matching_f1_uni, scaled_params, Args, DatasetKind,
+    Figure, Series,
+};
+use uniclean_datagen::GenParams;
+
+fn run(kind: DatasetKind, full: bool) -> Figure {
+    let base = scaled_params(kind, full);
+    let mut uni = Vec::new();
+    let mut sortn = Vec::new();
+    for noi in [2u32, 4, 6, 8, 10] {
+        let params = GenParams { noise_rate: noi as f64 / 100.0, ..base.clone() };
+        let w = dataset_workload(kind, &params);
+        eprintln!("[exp2:{}] noi={noi}%", kind.label());
+        uni.push((noi as f64, matching_f1_uni(&w)));
+        sortn.push((noi as f64, matching_f1_sortn(&w)));
+    }
+    let sub = if kind == DatasetKind::Hosp { "a" } else { "b" };
+    Figure {
+        id: format!("fig11{sub}-{}", kind.label()),
+        title: format!("Exp-2 Repairing helps matching ({})", kind.label().to_uppercase()),
+        x_label: "noise %".into(),
+        y_label: "matched attributes %".into(),
+        series: vec![
+            Series { label: "Uni".into(), points: uni },
+            Series { label: "SortN(MD)".into(), points: sortn },
+        ],
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let full = args.flag("full");
+    let kinds: Vec<DatasetKind> = match args.get_or("dataset", "both") {
+        "both" => vec![DatasetKind::Hosp, DatasetKind::Dblp],
+        name => vec![DatasetKind::parse(name).expect("dataset: hosp|dblp|both")],
+    };
+    for kind in kinds {
+        let fig = run(kind, full);
+        fig.print();
+        fig.write_json(Path::new("experiments")).expect("write json");
+    }
+}

@@ -1,0 +1,61 @@
+//! Exp-3 (Fig. 12): Accuracy of deterministic and reliable fixes.
+//!
+//! Precision and recall vs noise rate (2–10%), dup% = 40, for the phase
+//! prefixes cRepair, cRepair+eRepair and the full Uni.
+//!
+//! ```text
+//! cargo run -p uniclean-bench --release --bin exp3 -- [--dataset hosp|dblp|both] [--full]
+//! ```
+
+use std::path::Path;
+
+use uniclean_bench::{dataset_workload, repair_pr, scaled_params, Args, DatasetKind, Figure, Series};
+use uniclean_datagen::GenParams;
+use uniclean_metrics::PrecisionRecall;
+
+fn run(kind: DatasetKind, full: bool) -> (Figure, Figure) {
+    let base = scaled_params(kind, full);
+    let variants = ["crepair", "crepair+erepair", "uni"];
+    let labels = ["cRepair", "cRepair+eRepair", "Uni"];
+    let mut prec: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 3];
+    let mut rec: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 3];
+    for noi in [2u32, 4, 6, 8, 10] {
+        let params = GenParams { noise_rate: noi as f64 / 100.0, ..base.clone() };
+        let w = dataset_workload(kind, &params);
+        eprintln!("[exp3:{}] noi={noi}%", kind.label());
+        for (i, v) in variants.iter().enumerate() {
+            let pr: PrecisionRecall = repair_pr(&w, v);
+            prec[i].push((noi as f64, pr.precision));
+            rec[i].push((noi as f64, pr.recall));
+        }
+    }
+    let subs = if kind == DatasetKind::Hosp { ("a", "b") } else { ("c", "d") };
+    let mk = |sub: &str, what: &str, data: Vec<Vec<(f64, f64)>>| Figure {
+        id: format!("fig12{sub}-{}", kind.label()),
+        title: format!("Exp-3 {} of the three phases ({})", what, kind.label().to_uppercase()),
+        x_label: "noise %".into(),
+        y_label: what.to_lowercase(),
+        series: labels
+            .iter()
+            .zip(data)
+            .map(|(l, points)| Series { label: l.to_string(), points })
+            .collect(),
+    };
+    (mk(subs.0, "Precision", prec), mk(subs.1, "Recall", rec))
+}
+
+fn main() {
+    let args = Args::parse();
+    let full = args.flag("full");
+    let kinds: Vec<DatasetKind> = match args.get_or("dataset", "both") {
+        "both" => vec![DatasetKind::Hosp, DatasetKind::Dblp],
+        name => vec![DatasetKind::parse(name).expect("dataset: hosp|dblp|both")],
+    };
+    for kind in kinds {
+        let (p, r) = run(kind, full);
+        p.print();
+        r.print();
+        p.write_json(Path::new("experiments")).expect("write json");
+        r.write_json(Path::new("experiments")).expect("write json");
+    }
+}

@@ -1,0 +1,74 @@
+//! Exp-4 (Fig. 13): Impact of dup% and asr% on deterministic fixes.
+//!
+//! (a) share of deterministic fixes vs dup% ∈ {20..100} at asr% = 40;
+//! (b) share of deterministic fixes vs asr% ∈ {0..80} at dup% = 40.
+//! Both on HOSP and DBLP.
+//!
+//! ```text
+//! cargo run -p uniclean-bench --release --bin exp4 -- [--sweep dup|asr|both] [--full]
+//! ```
+
+use std::path::Path;
+
+use uniclean_bench::{dataset_workload, deterministic_share, scaled_params, Args, DatasetKind, Figure, Series};
+use uniclean_datagen::GenParams;
+
+fn sweep_dup(full: bool) -> Figure {
+    let mut series = Vec::new();
+    for kind in [DatasetKind::Hosp, DatasetKind::Dblp] {
+        let base = scaled_params(kind, full);
+        let mut pts = Vec::new();
+        for dup in [20u32, 40, 60, 80, 100] {
+            let params = GenParams { dup_rate: dup as f64 / 100.0, ..base.clone() };
+            let w = dataset_workload(kind, &params);
+            eprintln!("[exp4:dup] {} dup={dup}%", kind.label());
+            pts.push((dup as f64, deterministic_share(&w)));
+        }
+        series.push(Series { label: kind.label().to_uppercase(), points: pts });
+    }
+    Figure {
+        id: "fig13a".into(),
+        title: "Exp-4 Deterministic fixes vs duplicate rate (asr%=40)".into(),
+        x_label: "dup %".into(),
+        y_label: "deterministic fixes %".into(),
+        series,
+    }
+}
+
+fn sweep_asr(full: bool) -> Figure {
+    let mut series = Vec::new();
+    for kind in [DatasetKind::Hosp, DatasetKind::Dblp] {
+        let base = scaled_params(kind, full);
+        let mut pts = Vec::new();
+        for asr in [0u32, 20, 40, 60, 80] {
+            let params = GenParams { asserted_rate: asr as f64 / 100.0, ..base.clone() };
+            let w = dataset_workload(kind, &params);
+            eprintln!("[exp4:asr] {} asr={asr}%", kind.label());
+            pts.push((asr as f64, deterministic_share(&w)));
+        }
+        series.push(Series { label: kind.label().to_uppercase(), points: pts });
+    }
+    Figure {
+        id: "fig13b".into(),
+        title: "Exp-4 Deterministic fixes vs asserted rate (dup%=40)".into(),
+        x_label: "asr %".into(),
+        y_label: "deterministic fixes %".into(),
+        series,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let full = args.flag("full");
+    let which = args.get_or("sweep", "both");
+    if which == "dup" || which == "both" {
+        let fig = sweep_dup(full);
+        fig.print();
+        fig.write_json(Path::new("experiments")).expect("write json");
+    }
+    if which == "asr" || which == "both" {
+        let fig = sweep_asr(full);
+        fig.print();
+        fig.write_json(Path::new("experiments")).expect("write json");
+    }
+}

@@ -1,0 +1,147 @@
+//! Exp-5 (Fig. 14): Scalability.
+//!
+//! Cumulative phase times (cRepair / +eRepair / +hRepair = Uni total) while
+//! sweeping |D| (a,c,e), |Dm| (b,d,f) on HOSP/DBLP/TPCH, and |Σ| (g),
+//! |Γ| (h) on TPCH.
+//!
+//! ```text
+//! cargo run -p uniclean-bench --release --bin exp5 -- \
+//!     [--dataset hosp|dblp|tpch|all] [--sweep d|dm|sigma|gamma|all] [--full]
+//! ```
+
+use std::path::Path;
+
+use uniclean_bench::{scaled_params, Args, DatasetKind, Figure, Series};
+use uniclean_core::{Phase, UniClean};
+use uniclean_datagen::{dblp_workload, hosp_workload, tpch_workload, GenParams, TpchScale, Workload};
+
+fn build(kind: DatasetKind, params: &GenParams, scale: TpchScale) -> Workload {
+    match kind {
+        DatasetKind::Hosp => hosp_workload(params),
+        DatasetKind::Dblp => dblp_workload(params),
+        DatasetKind::Tpch => tpch_workload(params, scale),
+    }
+}
+
+/// Run the full pipeline, returning cumulative (c, c+e, c+e+h) seconds.
+fn timed(w: &Workload) -> (f64, f64, f64) {
+    let uni = UniClean::new(&w.rules, Some(&w.master), uniclean_bench::runner::experiment_config());
+    let r = uni.clean(&w.dirty, Phase::Full);
+    let [c, e, h] = r.phase_seconds;
+    (c, c + e, c + e + h)
+}
+
+fn sweep_size(kind: DatasetKind, vary_master: bool, full: bool) -> Figure {
+    let base = scaled_params(kind, full);
+    let steps: Vec<usize> = (1..=5).collect();
+    let mut s_c = Vec::new();
+    let mut s_ce = Vec::new();
+    let mut s_full = Vec::new();
+    for step in steps {
+        let params = if vary_master {
+            GenParams { master_tuples: base.master_tuples * step, ..base.clone() }
+        } else {
+            GenParams { tuples: base.tuples * step, ..base.clone() }
+        };
+        let w = build(kind, &params, TpchScale::default());
+        let x = if vary_master { params.master_tuples } else { params.tuples } as f64;
+        eprintln!(
+            "[exp5:{}:{}] |D|={} |Dm|={}",
+            kind.label(),
+            if vary_master { "dm" } else { "d" },
+            params.tuples,
+            params.master_tuples
+        );
+        let (c, ce, f) = timed(&w);
+        s_c.push((x, c));
+        s_ce.push((x, ce));
+        s_full.push((x, f));
+    }
+    let sub = match (kind, vary_master) {
+        (DatasetKind::Hosp, false) => "a",
+        (DatasetKind::Hosp, true) => "b",
+        (DatasetKind::Dblp, false) => "c",
+        (DatasetKind::Dblp, true) => "d",
+        (DatasetKind::Tpch, false) => "e",
+        (DatasetKind::Tpch, true) => "f",
+    };
+    Figure {
+        id: format!("fig14{sub}-{}", kind.label()),
+        title: format!(
+            "Exp-5 Scalability in {} ({})",
+            if vary_master { "|Dm|" } else { "|D|" },
+            kind.label().to_uppercase()
+        ),
+        x_label: if vary_master { "|Dm| tuples" } else { "|D| tuples" }.into(),
+        y_label: "seconds".into(),
+        series: vec![
+            Series { label: "cRepair".into(), points: s_c },
+            Series { label: "cRepair+eRepair".into(), points: s_ce },
+            Series { label: "Uni".into(), points: s_full },
+        ],
+    }
+}
+
+fn sweep_rules(gamma: bool, full: bool) -> Figure {
+    let base = scaled_params(DatasetKind::Tpch, full);
+    let mut s_c = Vec::new();
+    let mut s_ce = Vec::new();
+    let mut s_full = Vec::new();
+    for mult in 1..=5usize {
+        let scale = if gamma {
+            TpchScale { sigma_multiplier: 1, gamma_multiplier: mult }
+        } else {
+            TpchScale { sigma_multiplier: mult, gamma_multiplier: 1 }
+        };
+        let w = build(DatasetKind::Tpch, &base, scale);
+        let x = if gamma { 10 * mult } else { 55 * mult } as f64;
+        eprintln!("[exp5:tpch:{}] x={x}", if gamma { "gamma" } else { "sigma" });
+        let (c, ce, f) = timed(&w);
+        s_c.push((x, c));
+        s_ce.push((x, ce));
+        s_full.push((x, f));
+    }
+    Figure {
+        id: if gamma { "fig14h-tpch" } else { "fig14g-tpch" }.into(),
+        title: format!("Exp-5 Scalability in {} (TPCH)", if gamma { "|Γ|" } else { "|Σ|" }),
+        x_label: if gamma { "|Γ| (MDs)" } else { "|Σ| (CFDs)" }.into(),
+        y_label: "seconds".into(),
+        series: vec![
+            Series { label: "cRepair".into(), points: s_c },
+            Series { label: "cRepair+eRepair".into(), points: s_ce },
+            Series { label: "Uni".into(), points: s_full },
+        ],
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let full = args.flag("full");
+    let dataset = args.get_or("dataset", "all");
+    let sweep = args.get_or("sweep", "all");
+    let kinds: Vec<DatasetKind> = match dataset {
+        "all" => vec![DatasetKind::Hosp, DatasetKind::Dblp, DatasetKind::Tpch],
+        name => vec![DatasetKind::parse(name).expect("dataset: hosp|dblp|tpch|all")],
+    };
+    let mut figs: Vec<Figure> = Vec::new();
+    for kind in &kinds {
+        if sweep == "d" || sweep == "all" {
+            figs.push(sweep_size(*kind, false, full));
+        }
+        if sweep == "dm" || sweep == "all" {
+            figs.push(sweep_size(*kind, true, full));
+        }
+    }
+    if kinds.contains(&DatasetKind::Tpch) {
+        if sweep == "sigma" || sweep == "all" {
+            figs.push(sweep_rules(false, full));
+        }
+        if sweep == "gamma" || sweep == "all" {
+            figs.push(sweep_rules(true, full));
+        }
+    }
+    for fig in figs {
+        fig.print();
+        fig.write_json(Path::new("experiments")).expect("write json");
+    }
+}

@@ -1,0 +1,124 @@
+//! Figure rendering: aligned text tables on stdout plus JSON dumps under
+//! `experiments/`, from which EXPERIMENTS.md's paper-vs-measured entries
+//! are filled in.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// One plotted line.
+#[derive(Clone, Debug, Serialize)]
+pub struct Series {
+    /// Legend label (e.g. "Uni", "Quaid").
+    pub label: String,
+    /// `(x, y)` points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// One figure of the paper.
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure {
+    /// Paper figure id, e.g. "fig10a".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// X axis label.
+    pub x_label: String,
+    /// Y axis label.
+    pub y_label: String,
+    /// The plotted series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Render the figure as an aligned table (rows = x values, one column
+    /// per series), matching how the paper's plots read.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}", self.id, self.title);
+        let _ = write!(out, "{:>12}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " {:>16}", s.label);
+        }
+        let _ = writeln!(out);
+        let xs: Vec<f64> = self.series.first().map(|s| s.points.iter().map(|p| p.0).collect()).unwrap_or_default();
+        for (i, x) in xs.iter().enumerate() {
+            let _ = write!(out, "{:>12}", trim_float(*x));
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(&(_, y)) => {
+                        let _ = write!(out, " {:>16}", format!("{y:.4}"));
+                    }
+                    None => {
+                        let _ = write!(out, " {:>16}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Write the JSON dump under `dir/<id>.json`.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(path, serde_json::to_string_pretty(self).expect("figure serializes"))
+    }
+}
+
+fn trim_float(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Figure {
+        Figure {
+            id: "fig10a".into(),
+            title: "Matching helps repairing (HOSP)".into(),
+            x_label: "noise %".into(),
+            y_label: "F-measure".into(),
+            series: vec![
+                Series { label: "Uni".into(), points: vec![(2.0, 0.9), (4.0, 0.85)] },
+                Series { label: "Quaid".into(), points: vec![(2.0, 0.7), (4.0, 0.66)] },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_contains_all_series_and_points() {
+        let text = fig().render();
+        assert!(text.contains("fig10a"));
+        assert!(text.contains("Uni"));
+        assert!(text.contains("Quaid"));
+        assert!(text.contains("0.9000"));
+        assert!(text.contains("0.6600"));
+    }
+
+    #[test]
+    fn json_roundtrip_has_points() {
+        let f = fig();
+        let json = serde_json::to_value(&f).unwrap();
+        assert_eq!(json["id"], "fig10a");
+        assert_eq!(json["series"][0]["points"][1][1], 0.85);
+    }
+
+    #[test]
+    fn integer_x_values_render_without_decimals() {
+        assert_eq!(trim_float(4.0), "4");
+        assert_eq!(trim_float(2.5), "2.50");
+    }
+}

@@ -1,0 +1,352 @@
+//! An AVL tree keyed by (entropy, group id) — the ordered half of the
+//! 2-in-1 structure of §6.3.
+//!
+//! "For each ȳ with entropy H(ϕ|Y = ȳ) ≠ 0, we create a node v in T … for
+//! each node v in T, its left child vl.ǫ ≤ v.ǫ and its right child
+//! vr.ǫ ≥ v.ǫ." The tree supports O(log n) insert/remove and ordered
+//! traversal from the minimum-entropy conflict set upward, which is how
+//! `eRepair` picks the most certain conflicts first.
+//!
+//! Built from scratch (no `BTreeMap`) as the paper specifies an AVL tree;
+//! the property tests validate it against a sorted-vector oracle.
+
+use std::cmp::Ordering;
+
+/// Tree key: entropy plus a disambiguating group id.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EntropyKey {
+    /// The entropy value (finite, non-negative).
+    pub entropy: f64,
+    /// Stable identifier of the conflict set.
+    pub id: u64,
+}
+
+impl EntropyKey {
+    fn cmp_key(&self, other: &EntropyKey) -> Ordering {
+        self.entropy
+            .partial_cmp(&other.entropy)
+            .expect("entropy is never NaN")
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+struct Node {
+    key: EntropyKey,
+    height: i32,
+    left: Option<Box<Node>>,
+    right: Option<Box<Node>>,
+}
+
+impl Node {
+    fn new(key: EntropyKey) -> Box<Node> {
+        Box::new(Node { key, height: 1, left: None, right: None })
+    }
+}
+
+fn height(n: &Option<Box<Node>>) -> i32 {
+    n.as_ref().map_or(0, |x| x.height)
+}
+
+fn update(n: &mut Box<Node>) {
+    n.height = 1 + height(&n.left).max(height(&n.right));
+}
+
+fn balance_factor(n: &Node) -> i32 {
+    height(&n.left) - height(&n.right)
+}
+
+fn rotate_right(mut n: Box<Node>) -> Box<Node> {
+    let mut l = n.left.take().expect("rotate_right needs a left child");
+    n.left = l.right.take();
+    update(&mut n);
+    l.right = Some(n);
+    update(&mut l);
+    l
+}
+
+fn rotate_left(mut n: Box<Node>) -> Box<Node> {
+    let mut r = n.right.take().expect("rotate_left needs a right child");
+    n.right = r.left.take();
+    update(&mut n);
+    r.left = Some(n);
+    update(&mut r);
+    r
+}
+
+fn rebalance(mut n: Box<Node>) -> Box<Node> {
+    update(&mut n);
+    let bf = balance_factor(&n);
+    if bf > 1 {
+        if balance_factor(n.left.as_ref().expect("bf>1 implies left")) < 0 {
+            n.left = Some(rotate_left(n.left.take().expect("left")));
+        }
+        return rotate_right(n);
+    }
+    if bf < -1 {
+        if balance_factor(n.right.as_ref().expect("bf<-1 implies right")) > 0 {
+            n.right = Some(rotate_right(n.right.take().expect("right")));
+        }
+        return rotate_left(n);
+    }
+    n
+}
+
+fn insert_node(n: Option<Box<Node>>, key: EntropyKey) -> (Box<Node>, bool) {
+    match n {
+        None => (Node::new(key), true),
+        Some(mut node) => {
+            let added = match key.cmp_key(&node.key) {
+                Ordering::Less => {
+                    let (child, added) = insert_node(node.left.take(), key);
+                    node.left = Some(child);
+                    added
+                }
+                Ordering::Greater => {
+                    let (child, added) = insert_node(node.right.take(), key);
+                    node.right = Some(child);
+                    added
+                }
+                Ordering::Equal => false, // duplicate (same id & entropy)
+            };
+            (rebalance(node), added)
+        }
+    }
+}
+
+fn remove_node(n: Option<Box<Node>>, key: &EntropyKey) -> (Option<Box<Node>>, bool) {
+    match n {
+        None => (None, false),
+        Some(mut node) => match key.cmp_key(&node.key) {
+            Ordering::Less => {
+                let (child, removed) = remove_node(node.left.take(), key);
+                node.left = child;
+                (Some(rebalance(node)), removed)
+            }
+            Ordering::Greater => {
+                let (child, removed) = remove_node(node.right.take(), key);
+                node.right = child;
+                (Some(rebalance(node)), removed)
+            }
+            Ordering::Equal => match (node.left.take(), node.right.take()) {
+                (None, None) => (None, true),
+                (Some(l), None) => (Some(l), true),
+                (None, Some(r)) => (Some(r), true),
+                (Some(l), Some(r)) => {
+                    // Replace with the in-order successor (min of right).
+                    let (r, succ) = pop_min(r);
+                    node.key = succ;
+                    node.left = Some(l);
+                    node.right = r;
+                    (Some(rebalance(node)), true)
+                }
+            },
+        },
+    }
+}
+
+fn pop_min(mut n: Box<Node>) -> (Option<Box<Node>>, EntropyKey) {
+    if let Some(l) = n.left.take() {
+        let (rest, min) = pop_min(l);
+        n.left = rest;
+        (Some(rebalance(n)), min)
+    } else {
+        (n.right.take(), n.key)
+    }
+}
+
+/// The AVL tree.
+#[derive(Default)]
+pub struct AvlTree {
+    root: Option<Box<Node>>,
+    len: usize,
+}
+
+impl AvlTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        AvlTree::default()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the tree empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a key; returns false if it was already present.
+    pub fn insert(&mut self, key: EntropyKey) -> bool {
+        let (root, added) = insert_node(self.root.take(), key);
+        self.root = Some(root);
+        if added {
+            self.len += 1;
+        }
+        added
+    }
+
+    /// Remove a key; returns false if it was absent.
+    pub fn remove(&mut self, key: &EntropyKey) -> bool {
+        let (root, removed) = remove_node(self.root.take(), key);
+        self.root = root;
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// The minimum-entropy key, if any — `eRepair`'s next conflict set.
+    pub fn min(&self) -> Option<EntropyKey> {
+        let mut cur = self.root.as_ref()?;
+        while let Some(l) = cur.left.as_ref() {
+            cur = l;
+        }
+        Some(cur.key)
+    }
+
+    /// In-order traversal collecting keys with `entropy < bound`.
+    pub fn below(&self, bound: f64) -> Vec<EntropyKey> {
+        let mut out = Vec::new();
+        fn walk(n: &Option<Box<Node>>, bound: f64, out: &mut Vec<EntropyKey>) {
+            if let Some(node) = n {
+                walk(&node.left, bound, out);
+                if node.key.entropy < bound {
+                    out.push(node.key);
+                    walk(&node.right, bound, out);
+                }
+                // If this node is ≥ bound, the right subtree is all ≥ too.
+            }
+        }
+        walk(&self.root, bound, &mut out);
+        out
+    }
+
+    /// All keys in order (diagnostics/tests).
+    pub fn in_order(&self) -> Vec<EntropyKey> {
+        self.below(f64::INFINITY)
+    }
+
+    /// Verify AVL invariants (test helper): balance factors in {-1,0,1} and
+    /// in-order keys sorted.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        fn check(n: &Option<Box<Node>>) -> Result<i32, String> {
+            let Some(node) = n else { return Ok(0) };
+            let lh = check(&node.left)?;
+            let rh = check(&node.right)?;
+            if (lh - rh).abs() > 1 {
+                return Err(format!("unbalanced at id {}", node.key.id));
+            }
+            if node.height != 1 + lh.max(rh) {
+                return Err(format!("stale height at id {}", node.key.id));
+            }
+            Ok(1 + lh.max(rh))
+        }
+        check(&self.root)?;
+        let keys = self.in_order();
+        for w in keys.windows(2) {
+            if w[0].cmp_key(&w[1]) != Ordering::Less {
+                return Err("in-order keys not strictly increasing".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn k(e: f64, id: u64) -> EntropyKey {
+        EntropyKey { entropy: e, id }
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut t = AvlTree::new();
+        assert!(t.insert(k(0.5, 1)));
+        assert!(t.insert(k(0.2, 2)));
+        assert!(t.insert(k(0.8, 3)));
+        assert!(!t.insert(k(0.5, 1)), "duplicate rejected");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.min().unwrap().id, 2);
+        assert!(t.remove(&k(0.2, 2)));
+        assert!(!t.remove(&k(0.2, 2)));
+        assert_eq!(t.min().unwrap().id, 1);
+        assert_eq!(t.len(), 2);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn below_returns_prefix_under_bound() {
+        let mut t = AvlTree::new();
+        for (i, e) in [0.9, 0.1, 0.5, 0.3, 0.7].into_iter().enumerate() {
+            t.insert(k(e, i as u64));
+        }
+        let under = t.below(0.5);
+        let es: Vec<f64> = under.iter().map(|x| x.entropy).collect();
+        assert_eq!(es, vec![0.1, 0.3]);
+    }
+
+    #[test]
+    fn equal_entropies_are_distinguished_by_id() {
+        let mut t = AvlTree::new();
+        assert!(t.insert(k(0.5, 1)));
+        assert!(t.insert(k(0.5, 2)));
+        assert_eq!(t.len(), 2);
+        assert!(t.remove(&k(0.5, 1)));
+        assert_eq!(t.in_order(), vec![k(0.5, 2)]);
+    }
+
+    #[test]
+    fn sequential_inserts_stay_balanced() {
+        let mut t = AvlTree::new();
+        for i in 0..1000u64 {
+            t.insert(k(i as f64 / 1000.0, i));
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.min().unwrap().id, 0);
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let mut t = AvlTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.min(), None);
+        assert!(!t.remove(&k(0.1, 1)));
+        assert!(t.below(1.0).is_empty());
+    }
+
+    proptest! {
+        /// Random insert/remove sequences agree with a sorted-vector oracle
+        /// and keep the AVL invariants.
+        #[test]
+        fn agrees_with_oracle(ops in proptest::collection::vec((0u8..2, 0u64..40, 0u32..100), 1..200)) {
+            let mut t = AvlTree::new();
+            let mut oracle: Vec<EntropyKey> = Vec::new();
+            for (op, id, e100) in ops {
+                let key = k(e100 as f64 / 100.0, id);
+                if op == 0 {
+                    let added = t.insert(key);
+                    let oracle_has = oracle.iter().any(|x| x.cmp_key(&key) == Ordering::Equal);
+                    prop_assert_eq!(added, !oracle_has);
+                    if added { oracle.push(key); }
+                } else {
+                    let removed = t.remove(&key);
+                    let pos = oracle.iter().position(|x| x.cmp_key(&key) == Ordering::Equal);
+                    prop_assert_eq!(removed, pos.is_some());
+                    if let Some(p) = pos { oracle.remove(p); }
+                }
+                t.check_invariants().map_err(TestCaseError::fail)?;
+                prop_assert_eq!(t.len(), oracle.len());
+                oracle.sort_by(|a, b| a.cmp_key(b));
+                let got: Vec<u64> = t.in_order().iter().map(|x| x.id).collect();
+                let want: Vec<u64> = oracle.iter().map(|x| x.id).collect();
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+}

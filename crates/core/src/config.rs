@@ -1,0 +1,89 @@
+//! Tuning knobs of the UniClean pipeline.
+
+/// Thresholds and limits for the three cleaning phases.
+///
+/// Paper defaults (§8, "Experimental Setting" / "Experimental Results"): the
+/// confidence threshold was 1.0 and the entropy threshold 0.8 in the
+/// evaluation; `l ≤ 20` sufficed for blocking.
+#[derive(Clone, Debug)]
+pub struct CleanConfig {
+    /// Confidence threshold `η`: a cell is *asserted* (assumed correct) when
+    /// `cf ≥ η`; deterministic fixes only fire from fully asserted premises
+    /// (§5.1).
+    pub eta: f64,
+    /// Update threshold `δ1`: `eRepair` stops touching a cell once it has
+    /// been changed this many times ("not often changed by rules that may
+    /// not converge on its value", §6.2).
+    pub delta_update: usize,
+    /// Entropy threshold `δ2`: a variable-CFD conflict set is resolved only
+    /// when `H(ϕ|Y=ȳ) < δ2` (§6.2).
+    pub delta_entropy: f64,
+    /// Blocking constant `l` for top-`l` LCS retrieval from master data
+    /// (§5.2).
+    pub blocking_l: usize,
+    /// Safety cap on `eRepair` outer rounds (the δ1 counters already bound
+    /// the work; this guards against pathological rule sets).
+    pub max_erepair_rounds: usize,
+    /// Safety cap on `hRepair` resolution rounds (termination is guaranteed
+    /// by the ␣→const→null upgrade order, §7; this is a backstop).
+    pub max_hrepair_rounds: usize,
+    /// Master-free mode (§1/§9): the master relation is a positional
+    /// snapshot of the data itself, so MD evaluation must skip the tuple's
+    /// own master row — a stale self copy would otherwise witness against
+    /// every fresh fix. Set by [`crate::pipeline::clean_without_master`].
+    pub self_match: bool,
+}
+
+impl Default for CleanConfig {
+    fn default() -> Self {
+        CleanConfig {
+            eta: 1.0,
+            delta_update: 2,
+            delta_entropy: 0.8,
+            blocking_l: 20,
+            max_erepair_rounds: 10,
+            max_hrepair_rounds: 50,
+            self_match: false,
+        }
+    }
+}
+
+impl CleanConfig {
+    /// Validate threshold ranges; call before a run.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.eta) {
+            return Err(format!("eta must be in [0,1], got {}", self.eta));
+        }
+        if !(0.0..=1.0).contains(&self.delta_entropy) {
+            return Err(format!("delta_entropy must be in [0,1], got {}", self.delta_entropy));
+        }
+        if self.blocking_l == 0 {
+            return Err("blocking_l must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = CleanConfig::default();
+        assert_eq!(c.eta, 1.0);
+        assert_eq!(c.delta_entropy, 0.8);
+        assert!(c.blocking_l <= 20);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn out_of_range_thresholds_rejected() {
+        let c = CleanConfig { eta: 1.5, ..CleanConfig::default() };
+        assert!(c.validate().is_err());
+        let c = CleanConfig { delta_entropy: -0.1, ..CleanConfig::default() };
+        assert!(c.validate().is_err());
+        let c = CleanConfig { blocking_l: 0, ..CleanConfig::default() };
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! Information entropy for conflict resolution (§6.1).
+//!
+//! For a variable CFD `ϕ = R(Y → B, tp)` and a key `ȳ`:
+//!
+//! ```text
+//! H(ϕ | Y = ȳ) = Σ_{i=1..k}  (cnt(ȳ, bi) / |Δ(ȳ)|) · log_k (|Δ(ȳ)| / cnt(ȳ, bi))
+//! ```
+//!
+//! where `k` is the number of distinct `B` values in the conflict set
+//! `Δ(ȳ)`. The base-`k` logarithm normalizes `H` into `[0, 1]`:
+//! `H = 1` exactly on a uniform conflict (maximal uncertainty), `H = 0`
+//! when a single value remains. "When H(ϕ|Y = ȳ) is small enough, it is
+//! highly accurate to resolve the conflict by letting t\[B\] = bj for all
+//! t ∈ Δ(ȳ), where bj is the one with the highest probability."
+
+/// Entropy of a multiset given its value counts, per the paper's base-`k`
+/// definition. Zero-count entries are ignored; `k ≤ 1` yields 0.
+pub fn entropy_of_counts<I>(counts: I) -> f64
+where
+    I: IntoIterator<Item = usize>,
+{
+    let counts: Vec<usize> = counts.into_iter().filter(|&c| c > 0).collect();
+    let k = counts.len();
+    if k <= 1 {
+        return 0.0;
+    }
+    let total: usize = counts.iter().sum();
+    let total_f = total as f64;
+    let ln_k = (k as f64).ln();
+    counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / total_f;
+            p * (total_f / c as f64).ln() / ln_k
+        })
+        .sum()
+}
+
+/// The majority value index and count among `counts` (ties resolved to the
+/// first maximum). Returns `None` on empty input.
+pub fn majority_index(counts: &[usize]) -> Option<(usize, usize)> {
+    counts
+        .iter()
+        .copied()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn single_value_has_zero_entropy() {
+        assert_eq!(entropy_of_counts([5]), 0.0);
+        assert_eq!(entropy_of_counts([1]), 0.0);
+    }
+
+    #[test]
+    fn uniform_conflict_has_entropy_one() {
+        assert!(close(entropy_of_counts([3, 3]), 1.0));
+        assert!(close(entropy_of_counts([2, 2, 2, 2]), 1.0));
+    }
+
+    #[test]
+    fn example_6_2_values() {
+        // Fig. 8: Δ(ABC=(a1,b1,c1)) has E values {e1×3, e2×1} → H ≈ 0.8113.
+        let h = entropy_of_counts([3, 1]);
+        assert!(close(h, 0.8112781244591328), "got {h}");
+        // Δ(ABC=(a2,b2,c2)) has {e1×1, e2×1} → H = 1.
+        assert!(close(entropy_of_counts([1, 1]), 1.0));
+        // Δ(ABC=(a2,b2,c3)) has a single value → H = 0.
+        assert_eq!(entropy_of_counts([1]), 0.0);
+    }
+
+    #[test]
+    fn skewed_conflicts_have_low_entropy() {
+        let h = entropy_of_counts([99, 1]);
+        assert!(h < 0.1, "got {h}");
+    }
+
+    #[test]
+    fn zero_counts_are_ignored() {
+        assert!(close(entropy_of_counts([3, 0, 1, 0]), entropy_of_counts([3, 1])));
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(entropy_of_counts(std::iter::empty::<usize>()), 0.0);
+    }
+
+    #[test]
+    fn majority_picks_first_max() {
+        assert_eq!(majority_index(&[1, 5, 5]), Some((1, 5)));
+        assert_eq!(majority_index(&[]), None);
+        assert_eq!(majority_index(&[7]), Some((0, 7)));
+    }
+
+    proptest! {
+        /// H ∈ [0, 1] for any counts.
+        #[test]
+        fn entropy_in_unit_interval(counts in proptest::collection::vec(1usize..50, 1..8)) {
+            let h = entropy_of_counts(counts);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&h), "H = {h}");
+        }
+
+        /// H is invariant under permutation of the counts.
+        #[test]
+        fn entropy_is_symmetric(mut counts in proptest::collection::vec(1usize..50, 2..6)) {
+            let h1 = entropy_of_counts(counts.clone());
+            counts.reverse();
+            let h2 = entropy_of_counts(counts);
+            prop_assert!((h1 - h2).abs() < 1e-9);
+        }
+
+        /// Concentrating mass strictly below uniform keeps H < 1.
+        #[test]
+        fn non_uniform_is_below_one(base in 2usize..40, extra in 1usize..40, k in 2usize..5) {
+            let mut counts = vec![base; k];
+            counts[0] += extra;
+            let h = entropy_of_counts(counts);
+            prop_assert!(h < 1.0);
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! `eRepair`: reliable fixes from information entropy (§6, Fig 6).
+//!
+//! For attributes whose confidence is low or unavailable, evidence is drawn
+//! from the data itself: a variable-CFD conflict set `Δ(ȳ)` is resolved to
+//! its majority value when its entropy `H(ϕ|Y=ȳ)` falls below the threshold
+//! `δ2`; constant-CFD and MD violations are resolved directly. A cell is
+//! abandoned once changed `δ1` times ("no enough information to make
+//! reliable fixes"). Rules are applied in the dependency-graph order of
+//! §6.2 (SCC condensation topologically sorted, out/in-degree ratio within
+//! an SCC), repeating until no change.
+//!
+//! Deterministic fixes from `cRepair` are never overwritten, and neither
+//! are cells asserted by confidence (`cf ≥ η`) — entropy evidence must not
+//! override confidence evidence.
+
+use std::collections::HashMap;
+
+use uniclean_model::{AttrId, FixMark, Relation, TupleId, Value};
+use uniclean_reasoning::{erepair_order, RuleRef};
+use uniclean_rules::RuleSet;
+
+use crate::config::CleanConfig;
+use crate::fix::{FixRecord, FixReport};
+use crate::master_index::MasterIndex;
+use crate::two_in_one::TwoInOne;
+
+/// Run `eRepair` in place on `d`. Returns the reliable fixes applied.
+pub fn e_repair(
+    d: &mut Relation,
+    dm: Option<&Relation>,
+    rules: &RuleSet,
+    idx: Option<&MasterIndex>,
+    cfg: &CleanConfig,
+) -> FixReport {
+    assert!(
+        rules.mds().is_empty() || (dm.is_some() && idx.is_some()),
+        "rule set contains MDs: master data and a MasterIndex are required"
+    );
+    let order = erepair_order(rules);
+    let mut structure = TwoInOne::build(rules, d);
+    // Slot of each variable CFD (rules.cfds() index → TwoInOne position).
+    let mut vslot: HashMap<usize, usize> = HashMap::new();
+    {
+        let mut v = 0usize;
+        for (i, c) in rules.cfds().iter().enumerate() {
+            if c.is_variable() {
+                vslot.insert(i, v);
+                v += 1;
+            }
+        }
+    }
+
+    let mut st = EState {
+        change_count: HashMap::new(),
+        report: FixReport::new(),
+        eta: cfg.eta,
+        delta_update: cfg.delta_update,
+        self_match: cfg.self_match,
+    };
+
+    for _round in 0..cfg.max_erepair_rounds {
+        let mut changed = false;
+        for r in &order {
+            match *r {
+                RuleRef::Cfd(i) if rules.cfds()[i].is_variable() => {
+                    changed |= v_cfd_resolve(d, rules, &mut structure, vslot[&i], cfg, &mut st);
+                }
+                RuleRef::Cfd(i) => {
+                    changed |= c_cfd_resolve(d, rules, &mut structure, i, &mut st);
+                }
+                RuleRef::Md(i) => {
+                    let dm = dm.expect("MDs require master data");
+                    let idx = idx.expect("MDs require a MasterIndex");
+                    changed |= md_resolve(d, dm, rules, idx, &mut structure, i, &mut st);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    st.report
+}
+
+struct EState {
+    change_count: HashMap<(TupleId, AttrId), usize>,
+    report: FixReport,
+    eta: f64,
+    delta_update: usize,
+    self_match: bool,
+}
+
+impl EState {
+    /// May `eRepair` touch this cell at all?
+    fn touchable(&self, d: &Relation, t: TupleId, a: AttrId) -> bool {
+        let tup = d.tuple(t);
+        tup.mark(a) != FixMark::Deterministic
+            && tup.cf(a) < self.eta
+            && self.change_count.get(&(t, a)).copied().unwrap_or(0) < self.delta_update
+    }
+
+    /// Apply one reliable fix and maintain the 2-in-1 structure.
+    #[allow(clippy::too_many_arguments)]
+    fn apply(
+        &mut self,
+        d: &mut Relation,
+        structure: &mut TwoInOne,
+        rules: &RuleSet,
+        t: TupleId,
+        a: AttrId,
+        new: Value,
+        rule: &str,
+    ) {
+        let old = d.tuple(t).value(a).clone();
+        debug_assert_ne!(old, new, "apply called without a change");
+        let cf = d.tuple(t).cf(a);
+        d.tuple_mut(t).set(a, new.clone(), cf, FixMark::Reliable);
+        *self.change_count.entry((t, a)).or_insert(0) += 1;
+        self.report.push(FixRecord { tuple: t, attr: a, old: old.clone(), new, mark: FixMark::Reliable, rule: rule.into() });
+        structure.on_update(rules, d, t, a, &old);
+    }
+}
+
+/// Procedure `vCFDReslove` (Fig 6): resolve every conflict set of the
+/// variable CFD with `0 < H < δ2` to its majority value.
+fn v_cfd_resolve(
+    d: &mut Relation,
+    rules: &RuleSet,
+    structure: &mut TwoInOne,
+    v: usize,
+    cfg: &CleanConfig,
+    st: &mut EState,
+) -> bool {
+    let cfd_name = structure.rule(rules, v).name().to_string();
+    let b = structure.rule(rules, v).rhs()[0];
+    let mut changed = false;
+    for gid in structure.groups_below(v, cfg.delta_entropy) {
+        let (majority, members) = {
+            let g = structure.group(gid);
+            let Some((maj, _)) = g.majority() else { continue };
+            (maj.clone(), g.tuples.clone())
+        };
+        for t in members {
+            if d.tuple(t).value(b) != &majority && st.touchable(d, t, b) {
+                st.apply(d, structure, rules, t, b, majority.clone(), &cfd_name);
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Procedure `cCFDReslove` (Fig 6): apply the constant pattern to every
+/// matching tuple still touchable.
+fn c_cfd_resolve(
+    d: &mut Relation,
+    rules: &RuleSet,
+    structure: &mut TwoInOne,
+    i: usize,
+    st: &mut EState,
+) -> bool {
+    let cfd = &rules.cfds()[i];
+    let a = cfd.rhs()[0];
+    let want = cfd.rhs_pattern()[0].as_const().expect("constant CFD").clone();
+    let name = cfd.name().to_string();
+    let mut changed = false;
+    for t in d.ids().collect::<Vec<_>>() {
+        if cfd.lhs_matches(d.tuple(t)) && d.tuple(t).value(a) != &want && st.touchable(d, t, a) {
+            st.apply(d, structure, rules, t, a, want.clone(), &name);
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Procedure `MDReslove` (Fig 6): pull master values into matching tuples.
+fn md_resolve(
+    d: &mut Relation,
+    dm: &Relation,
+    rules: &RuleSet,
+    idx: &MasterIndex,
+    structure: &mut TwoInOne,
+    i: usize,
+    st: &mut EState,
+) -> bool {
+    let md = &rules.mds()[i];
+    let (e, f) = md.rhs()[0];
+    let name = md.name().to_string();
+    let mut changed = false;
+    for t in d.ids().collect::<Vec<_>>() {
+        if !st.touchable(d, t, e) {
+            continue;
+        }
+        // First *disagreeing* witness: an agreeing master tuple earlier in
+        // the candidate list must not mask a correction demanded by a later
+        // one (and under self-matching the tuple's own copy always agrees).
+        let exclude = st.self_match.then_some(t);
+        let Some(s) = idx
+            .matches_excluding(i, md, d.tuple(t), dm, exclude)
+            .into_iter()
+            // Under self-matching only asserted witnesses carry evidence.
+            .filter(|&s| !st.self_match || dm.tuple(s).cf(f) >= st.eta)
+            .find(|&s| dm.tuple(s).value(f) != d.tuple(t).value(e))
+        else {
+            continue;
+        };
+        let new = dm.tuple(s).value(f).clone();
+        st.apply(d, structure, rules, t, e, new, &name);
+        changed = true;
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniclean_model::{Schema, Tuple};
+    use uniclean_rules::parse_rules;
+
+    fn cfg() -> CleanConfig {
+        CleanConfig { eta: 0.8, delta_entropy: 0.9, ..CleanConfig::default() }
+    }
+
+    /// Example 6.2: only the (a1,b1,c1) group is resolved; the uniform
+    /// (a2,b2,c2) group is left alone.
+    #[test]
+    fn example_6_2_resolution() {
+        let s = Schema::of_strings("r", &["A", "B", "C", "E"]);
+        let parsed = parse_rules("cfd phi: r([A, B, C] -> [E])", &s, None).unwrap();
+        let rules = RuleSet::cfds_only(s.clone(), parsed.cfds);
+        let rows = [
+            ["a1", "b1", "c1", "e1"],
+            ["a1", "b1", "c1", "e1"],
+            ["a1", "b1", "c1", "e1"],
+            ["a1", "b1", "c1", "e2"],
+            ["a2", "b2", "c2", "e1"],
+            ["a2", "b2", "c2", "e2"],
+        ];
+        let mut d = Relation::new(s.clone(), rows.iter().map(|r| Tuple::of_strs(r, 0.0)).collect());
+        let report = e_repair(&mut d, None, &rules, None, &cfg());
+        let e = s.attr_id_or_panic("E");
+        assert_eq!(d.tuple(TupleId(3)).value(e), &Value::str("e1"));
+        assert_eq!(d.tuple(TupleId(3)).mark(e), FixMark::Reliable);
+        // The H = 1 group is untouched.
+        assert_eq!(d.tuple(TupleId(4)).value(e), &Value::str("e1"));
+        assert_eq!(d.tuple(TupleId(5)).value(e), &Value::str("e2"));
+        assert_eq!(report.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_fixes_are_preserved() {
+        let s = Schema::of_strings("r", &["K", "B"]);
+        let parsed = parse_rules("cfd fd: r([K] -> [B])", &s, None).unwrap();
+        let rules = RuleSet::cfds_only(s.clone(), parsed.cfds);
+        let b = s.attr_id_or_panic("B");
+        let mut minority = Tuple::of_strs(&["k", "special"], 0.0);
+        minority.set(b, Value::str("special"), 0.0, FixMark::Deterministic);
+        let mut d = Relation::new(
+            s,
+            vec![
+                Tuple::of_strs(&["k", "common"], 0.0),
+                Tuple::of_strs(&["k", "common"], 0.0),
+                Tuple::of_strs(&["k", "common"], 0.0),
+                minority,
+            ],
+        );
+        let report = e_repair(&mut d, None, &rules, None, &cfg());
+        assert_eq!(d.tuple(TupleId(3)).value(b), &Value::str("special"));
+        assert!(report.is_empty());
+    }
+
+    #[test]
+    fn asserted_cells_are_preserved() {
+        let s = Schema::of_strings("r", &["K", "B"]);
+        let parsed = parse_rules("cfd fd: r([K] -> [B])", &s, None).unwrap();
+        let rules = RuleSet::cfds_only(s.clone(), parsed.cfds);
+        let b = s.attr_id_or_panic("B");
+        let mut asserted = Tuple::of_strs(&["k", "special"], 0.0);
+        asserted.set(b, Value::str("special"), 1.0, FixMark::Untouched);
+        let mut d = Relation::new(
+            s,
+            vec![
+                Tuple::of_strs(&["k", "common"], 0.0),
+                Tuple::of_strs(&["k", "common"], 0.0),
+                Tuple::of_strs(&["k", "common"], 0.0),
+                asserted,
+            ],
+        );
+        e_repair(&mut d, None, &rules, None, &cfg());
+        assert_eq!(d.tuple(TupleId(3)).value(b), &Value::str("special"));
+    }
+
+    #[test]
+    fn constant_cfd_fixes_are_reliable() {
+        let s = Schema::of_strings("tran", &["AC", "city"]);
+        let parsed = parse_rules("cfd phi1: tran([AC=131] -> [city=Edi])", &s, None).unwrap();
+        let rules = RuleSet::cfds_only(s.clone(), parsed.cfds);
+        let mut d = Relation::new(s.clone(), vec![Tuple::of_strs(&["131", "Ldn"], 0.0)]);
+        let report = e_repair(&mut d, None, &rules, None, &cfg());
+        let city = s.attr_id_or_panic("city");
+        assert_eq!(d.tuple(TupleId(0)).value(city), &Value::str("Edi"));
+        assert_eq!(d.tuple(TupleId(0)).mark(city), FixMark::Reliable);
+        assert_eq!(report.len(), 1);
+    }
+
+    #[test]
+    fn md_resolution_pulls_master_values() {
+        let tran = Schema::of_strings("tran", &["LN", "phn"]);
+        let card = Schema::of_strings("card", &["LN", "tel"]);
+        let parsed = parse_rules(
+            "md psi: tran[LN] = card[LN] -> tran[phn] <=> card[tel]",
+            &tran,
+            Some(&card),
+        )
+        .unwrap();
+        let rules = RuleSet::new(tran.clone(), Some(card.clone()), vec![], parsed.positive_mds, vec![]);
+        let mut d = Relation::new(tran.clone(), vec![Tuple::of_strs(&["Brady", "000"], 0.0)]);
+        let dm = Relation::new(card, vec![Tuple::of_strs(&["Brady", "3887644"], 1.0)]);
+        let idx = MasterIndex::build(rules.mds(), &dm, 5);
+        let report = e_repair(&mut d, Some(&dm), &rules, Some(&idx), &cfg());
+        assert_eq!(d.tuple(TupleId(0)).value(tran.attr_id_or_panic("phn")), &Value::str("3887644"));
+        assert_eq!(report.len(), 1);
+    }
+
+    #[test]
+    fn delta1_stops_oscillating_rules() {
+        // Example 4.6's oscillator: the δ1 counter cuts the ping-pong off.
+        let s = Schema::of_strings("tran", &["AC", "post", "city"]);
+        let parsed = parse_rules(
+            "cfd phi1: tran([AC=131] -> [city=Edi])\n\
+             cfd phi5: tran([post=\"EH8 9AB\"] -> [city=Ldn])",
+            &s,
+            None,
+        )
+        .unwrap();
+        let rules = RuleSet::cfds_only(s.clone(), parsed.cfds);
+        let mut d = Relation::new(s, vec![Tuple::of_strs(&["131", "EH8 9AB", "x"], 0.0)]);
+        let report = e_repair(&mut d, None, &rules, None, &cfg());
+        // Each apply increments the counter; with δ1 = 2 the city cell is
+        // written at most twice.
+        assert!(report.len() <= 2, "δ1 must bound the changes, got {}", report.len());
+    }
+
+    #[test]
+    fn high_entropy_conflicts_are_left_for_hrepair() {
+        let s = Schema::of_strings("r", &["K", "B"]);
+        let parsed = parse_rules("cfd fd: r([K] -> [B])", &s, None).unwrap();
+        let rules = RuleSet::cfds_only(s.clone(), parsed.cfds);
+        let mut d = Relation::new(
+            s,
+            vec![Tuple::of_strs(&["k", "x"], 0.0), Tuple::of_strs(&["k", "y"], 0.0)],
+        );
+        let report = e_repair(&mut d, None, &rules, None, &cfg());
+        assert!(report.is_empty(), "H = 1 ≥ δ2: no reliable fix");
+    }
+
+    #[test]
+    fn resolution_cascades_across_rules() {
+        // Fixing B by majority enables the constant CFD on B to fire in the
+        // next pass of the ordered loop.
+        let s = Schema::of_strings("r", &["K", "B", "C"]);
+        let parsed = parse_rules(
+            "cfd fd: r([K] -> [B])\ncfd cc: r([B=good] -> [C=ok])",
+            &s,
+            None,
+        )
+        .unwrap();
+        let rules = RuleSet::cfds_only(s.clone(), parsed.cfds);
+        let mut d = Relation::new(
+            s.clone(),
+            vec![
+                Tuple::of_strs(&["k", "good", "ok"], 0.0),
+                Tuple::of_strs(&["k", "good", "ok"], 0.0),
+                Tuple::of_strs(&["k", "good", "ok"], 0.0),
+                Tuple::of_strs(&["k", "bad", "no"], 0.0),
+            ],
+        );
+        // Entropy of {good×3, bad×1} ≈ 0.81 < δ2 = 0.9: resolvable.
+        e_repair(&mut d, None, &rules, None, &cfg());
+        let c = s.attr_id_or_panic("C");
+        assert_eq!(d.tuple(TupleId(3)).value(c), &Value::str("ok"));
+    }
+}

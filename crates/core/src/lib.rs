@@ -1,0 +1,43 @@
+//! UniClean core — the three-phase cleaning system of the paper (§3.2).
+//!
+//! ```text
+//!           dirty D ──► cRepair ──► eRepair ──► hRepair ──► repair Dr
+//!                     confidence     entropy     heuristic
+//!                    deterministic  reliable     possible
+//!                        fixes        fixes        fixes
+//! ```
+//!
+//! * [`crepair`] — deterministic fixes from confidence analysis and master
+//!   data (§5, Figs 4–5);
+//! * [`erepair`] — reliable fixes from information entropy (§6, Fig 6),
+//!   backed by the 2-in-1 hash-table + AVL structure of §6.3
+//!   ([`two_in_one`], [`avl`]);
+//! * [`hrepair`] — possible fixes via equivalence classes and the cost
+//!   model (§7, extending Cong et al.), preserving deterministic fixes
+//!   (Corollary 7.1);
+//! * [`pipeline`] — the `UniClean` orchestrator running the three phases
+//!   and checking `Dr ⊨ Σ`, `(Dr, Dm) ⊨ Γ`;
+//! * [`master_index`] — blocked access to master data (exact hash index for
+//!   equality premises, the §5.2 LCS suffix-tree blocker for edit-distance
+//!   premises);
+//! * [`fix`] — per-cell fix records and phase statistics;
+//! * [`entropy`] — the paper's base-`k` entropy `H(ϕ | Y = ȳ)` (§6.1).
+
+pub mod avl;
+pub mod config;
+pub mod crepair;
+pub mod entropy;
+pub mod erepair;
+pub mod fix;
+pub mod hrepair;
+pub mod master_index;
+pub mod pipeline;
+pub mod two_in_one;
+
+pub use config::CleanConfig;
+pub use crepair::c_repair;
+pub use erepair::e_repair;
+pub use fix::{FixRecord, FixReport};
+pub use hrepair::h_repair;
+pub use master_index::MasterIndex;
+pub use pipeline::{clean_without_master, CleanResult, Phase, UniClean};

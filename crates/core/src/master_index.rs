@@ -1,0 +1,218 @@
+//! Blocked access to master data for MD premise evaluation (§5.2).
+//!
+//! For every MD the index picks the most selective premise conjunct and
+//! builds an access path on the corresponding master column:
+//!
+//! * an **exact hash index** for `=` premises (the common case — most MD
+//!   premises demand equality on identifying attributes);
+//! * the **top-l LCS suffix-tree blocker** for edit-distance premises
+//!   ("traditional database indices… designed for exact matching cannot be
+//!   carried over", §5.2);
+//! * a **full scan** fallback when every premise uses a predicate without a
+//!   usable bound (Jaro, q-grams).
+//!
+//! Candidates returned by any path still need full premise verification;
+//! blocking is complete for its predicate (no true match is lost), which
+//! the tests pin down.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use uniclean_model::{AttrId, Relation, Tuple, TupleId, Value};
+use uniclean_similarity::LcsBlocker;
+use uniclean_rules::Md;
+
+enum Access {
+    Exact { premise: usize, map: Arc<HashMap<Value, Vec<u32>>> },
+    Blocked { premise: usize, blocker: Arc<LcsBlocker>, k: usize },
+    Scan,
+}
+
+/// Per-MD access paths over one master relation.
+pub struct MasterIndex {
+    plans: Vec<Access>,
+    master_len: usize,
+}
+
+impl MasterIndex {
+    /// Build access paths for `mds` over `master`, with blocking constant
+    /// `l`. Indexes on the same master column are shared between MDs.
+    pub fn build(mds: &[Md], master: &Relation, l: usize) -> Self {
+        let mut exact_cache: HashMap<AttrId, Arc<HashMap<Value, Vec<u32>>>> = HashMap::new();
+        let mut blocker_cache: HashMap<AttrId, Arc<LcsBlocker>> = HashMap::new();
+        let plans = mds
+            .iter()
+            .map(|md| {
+                // Prefer an equality premise, then the tightest edit bound.
+                if let Some((i, p)) = md
+                    .premises()
+                    .iter()
+                    .enumerate()
+                    .find(|(_, p)| p.pred.is_equality())
+                {
+                    let map = exact_cache.entry(p.master_attr).or_insert_with(|| {
+                        let mut m: HashMap<Value, Vec<u32>> = HashMap::new();
+                        for (sid, s) in master.iter() {
+                            m.entry(s.value(p.master_attr).clone()).or_default().push(sid.0);
+                        }
+                        Arc::new(m)
+                    });
+                    return Access::Exact { premise: i, map: map.clone() };
+                }
+                if let Some((i, p, k)) = md
+                    .premises()
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, p)| p.pred.edit_threshold().map(|k| (i, p, k)))
+                    .min_by_key(|&(_, _, k)| k)
+                {
+                    let blocker = blocker_cache.entry(p.master_attr).or_insert_with(|| {
+                        let col: Vec<String> = master
+                            .tuples()
+                            .iter()
+                            .map(|s| s.value(p.master_attr).render().into_owned())
+                            .collect();
+                        Arc::new(LcsBlocker::build(&col, l))
+                    });
+                    return Access::Blocked { premise: i, blocker: blocker.clone(), k };
+                }
+                Access::Scan
+            })
+            .collect();
+        MasterIndex { plans, master_len: master.len() }
+    }
+
+    /// Candidate master rows for `t` under MD number `md_idx` (still to be
+    /// verified with [`Md::premise_matches`]).
+    pub fn candidates(&self, md_idx: usize, md: &Md, t: &Tuple) -> Vec<TupleId> {
+        match &self.plans[md_idx] {
+            Access::Exact { premise, map } => {
+                let v = t.value(md.premises()[*premise].attr);
+                if v.is_null() {
+                    return Vec::new();
+                }
+                map.get(v)
+                    .map(|rows| rows.iter().map(|r| TupleId(*r)).collect())
+                    .unwrap_or_default()
+            }
+            Access::Blocked { premise, blocker, k } => {
+                let v = t.value(md.premises()[*premise].attr);
+                if v.is_null() {
+                    return Vec::new();
+                }
+                blocker
+                    .candidates_within_edit(&v.render(), *k)
+                    .into_iter()
+                    .map(|r| TupleId(r as u32))
+                    .collect()
+            }
+            Access::Scan => (0..self.master_len).map(TupleId::from).collect(),
+        }
+    }
+
+    /// Master rows whose full premise matches `t` under MD `md_idx`.
+    pub fn matches(&self, md_idx: usize, md: &Md, t: &Tuple, master: &Relation) -> Vec<TupleId> {
+        self.matches_excluding(md_idx, md, t, master, None)
+    }
+
+    /// Like [`Self::matches`], skipping one master row — the tuple's own
+    /// positional copy under self-matching (master = snapshot of the data).
+    pub fn matches_excluding(
+        &self,
+        md_idx: usize,
+        md: &Md,
+        t: &Tuple,
+        master: &Relation,
+        exclude: Option<TupleId>,
+    ) -> Vec<TupleId> {
+        self.candidates(md_idx, md, t)
+            .into_iter()
+            .filter(|sid| Some(*sid) != exclude)
+            .filter(|sid| md.premise_matches(t, master.tuple(*sid)))
+            .collect()
+    }
+
+    /// Is this MD served by a blocked/exact path (diagnostics)?
+    pub fn is_indexed(&self, md_idx: usize) -> bool {
+        !matches!(self.plans[md_idx], Access::Scan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniclean_model::{Schema, Tuple};
+    use uniclean_rules::parse_rules;
+
+    fn setup(pred: &str) -> (Arc<Schema>, Arc<Schema>, Vec<Md>, Relation) {
+        let tran = Schema::of_strings("tran", &["LN", "phn"]);
+        let card = Schema::of_strings("card", &["LN", "tel"]);
+        let text = format!("md m: tran[LN] {pred} card[LN] -> tran[phn] <=> card[tel]");
+        let mds = parse_rules(&text, &tran, Some(&card)).unwrap().positive_mds;
+        let dm = Relation::new(
+            card.clone(),
+            vec![
+                Tuple::of_strs(&["Smith", "111"], 1.0),
+                Tuple::of_strs(&["Brady", "222"], 1.0),
+                Tuple::of_strs(&["Smith", "333"], 1.0),
+            ],
+        );
+        (tran, card, mds, dm)
+    }
+
+    #[test]
+    fn equality_premise_uses_exact_index() {
+        let (tran, _, mds, dm) = setup("=");
+        let idx = MasterIndex::build(&mds, &dm, 5);
+        assert!(idx.is_indexed(0));
+        let t = Tuple::of_strs(&["Smith", "999"], 0.5);
+        let mut rows = idx.matches(0, &mds[0], &t, &dm);
+        rows.sort_unstable();
+        assert_eq!(rows, vec![TupleId(0), TupleId(2)]);
+        let _ = tran;
+    }
+
+    #[test]
+    fn edit_premise_uses_blocker_and_is_complete() {
+        let (_, _, mds, dm) = setup("~lev(1)");
+        let idx = MasterIndex::build(&mds, &dm, 5);
+        assert!(idx.is_indexed(0));
+        let t = Tuple::of_strs(&["Smjth", "999"], 0.5); // one typo
+        let mut rows = idx.matches(0, &mds[0], &t, &dm);
+        rows.sort_unstable();
+        assert_eq!(rows, vec![TupleId(0), TupleId(2)]);
+    }
+
+    #[test]
+    fn unbounded_predicate_falls_back_to_scan() {
+        let (_, _, mds, dm) = setup("~jaro(0.9)");
+        let idx = MasterIndex::build(&mds, &dm, 5);
+        assert!(!idx.is_indexed(0));
+        let t = Tuple::of_strs(&["Smith", "999"], 0.5);
+        let rows = idx.matches(0, &mds[0], &t, &dm);
+        assert_eq!(rows.len(), 2, "jaro 0.9 matches both Smith rows");
+    }
+
+    #[test]
+    fn null_premise_value_yields_no_candidates() {
+        let (tran, _, mds, dm) = setup("=");
+        let idx = MasterIndex::build(&mds, &dm, 5);
+        let mut t = Tuple::of_strs(&["Smith", "999"], 0.5);
+        t.set(tran.attr_id_or_panic("LN"), Value::Null, 0.0, Default::default());
+        assert!(idx.candidates(0, &mds[0], &t).is_empty());
+    }
+
+    #[test]
+    fn scan_matches_reference_enumeration() {
+        let (_, _, mds, dm) = setup("~jaro(0.5)");
+        let idx = MasterIndex::build(&mds, &dm, 5);
+        let t = Tuple::of_strs(&["Brody", "999"], 0.5);
+        let got = idx.matches(0, &mds[0], &t, &dm);
+        let want: Vec<TupleId> = dm
+            .iter()
+            .filter(|(_, s)| mds[0].premise_matches(&t, s))
+            .map(|(sid, _)| sid)
+            .collect();
+        assert_eq!(got, want);
+    }
+}

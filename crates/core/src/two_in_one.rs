@@ -1,0 +1,439 @@
+//! The 2-in-1 structure of §6.3: a hash table per variable CFD plus an AVL
+//! tree ordered by entropy.
+//!
+//! For each variable CFD `ϕ = R(Y → B, tp)` the hash table `HTab` maps each
+//! key `ȳ ∈ π_Y(σ_{Y ≍ tp[Y]} D)` to a node carrying the entropy
+//! `H(ϕ|Y=ȳ)`, the member tuples of `Δ(ȳ)` and the per-value counts
+//! `cnt_{YB}(ȳ, b)`; the AVL tree holds a node for every key with nonzero
+//! entropy, ordered by entropy, so `eRepair` can pull the most certain
+//! conflict sets first. Both structures are maintained incrementally under
+//! cell updates: "after resolving some conflicts, the structures need to be
+//! maintained accordingly … O(|Δ(ȳ)||ΣV| + |Δ(ȳ)| log |D|) time".
+
+use std::collections::HashMap;
+
+use uniclean_model::{AttrId, Relation, TupleId, Value};
+use uniclean_rules::{Cfd, RuleSet};
+
+use crate::avl::{AvlTree, EntropyKey};
+use crate::entropy::entropy_of_counts;
+
+/// Stable identifier of a conflict set (arena index).
+pub type GroupId = u64;
+
+/// One conflict set `Δ(ȳ)` for one variable CFD.
+#[derive(Debug)]
+pub struct Group {
+    /// Position in the owner's variable-CFD list.
+    pub vcfd: usize,
+    /// The LHS key `ȳ`.
+    pub key: Vec<Value>,
+    /// Member tuples.
+    pub tuples: Vec<TupleId>,
+    /// Counts of distinct non-null B values.
+    pub counts: HashMap<Value, usize>,
+    /// Members whose B value is null (kept out of the entropy).
+    pub nulls: usize,
+    /// Cached `H(ϕ|Y=ȳ)`.
+    pub entropy: f64,
+}
+
+impl Group {
+    /// The majority value and its count (ties: lexicographically smallest
+    /// value, keeping resolution deterministic).
+    pub fn majority(&self) -> Option<(&Value, usize)> {
+        self.counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+            .map(|(v, c)| (v, *c))
+    }
+
+    fn recompute_entropy(&mut self) {
+        self.entropy = entropy_of_counts(self.counts.values().copied());
+    }
+}
+
+/// The 2-in-1 structure over every variable CFD of a rule set.
+pub struct TwoInOne {
+    /// Indices into `rules.cfds()` that are variable CFDs.
+    vcfd_rule_idx: Vec<usize>,
+    /// Cached rule shape per variable CFD.
+    lhs: Vec<Vec<AttrId>>,
+    rhs: Vec<AttrId>,
+    /// HTab per variable CFD.
+    tables: Vec<HashMap<Vec<Value>, GroupId>>,
+    /// Group arena (never shrinks; emptied groups are recycled lazily).
+    groups: Vec<Group>,
+    /// AVL per variable CFD over (entropy, group id), nonzero entropy only.
+    trees: Vec<AvlTree>,
+    /// attr → variable CFDs reading it (LHS) / writing it (RHS).
+    attr_in_lhs: Vec<Vec<usize>>,
+    attr_is_rhs: Vec<Vec<usize>>,
+}
+
+impl TwoInOne {
+    /// Build the structure for all variable CFDs in `rules` over `d`.
+    /// O(|D| log |D| |ΣV|), as in §6.3.
+    pub fn build(rules: &RuleSet, d: &Relation) -> Self {
+        let n_attrs = rules.schema().arity();
+        let mut vcfd_rule_idx = Vec::new();
+        let mut lhs = Vec::new();
+        let mut rhs = Vec::new();
+        for (i, c) in rules.cfds().iter().enumerate() {
+            if c.is_variable() {
+                vcfd_rule_idx.push(i);
+                lhs.push(c.lhs().to_vec());
+                rhs.push(c.rhs()[0]);
+            }
+        }
+        let nv = vcfd_rule_idx.len();
+        let mut attr_in_lhs = vec![Vec::new(); n_attrs];
+        let mut attr_is_rhs = vec![Vec::new(); n_attrs];
+        for (v, attrs) in lhs.iter().enumerate() {
+            for a in attrs {
+                attr_in_lhs[a.index()].push(v);
+            }
+            attr_is_rhs[rhs[v].index()].push(v);
+        }
+        let mut me = TwoInOne {
+            vcfd_rule_idx,
+            lhs,
+            rhs,
+            tables: vec![HashMap::new(); nv],
+            groups: Vec::new(),
+            trees: (0..nv).map(|_| AvlTree::new()).collect(),
+            attr_in_lhs,
+            attr_is_rhs,
+        };
+        for (tid, _) in d.iter() {
+            for v in 0..nv {
+                me.insert_member(rules, d, v, tid);
+            }
+        }
+        me
+    }
+
+    /// The variable CFD of slot `v` within `rules`.
+    pub fn rule<'r>(&self, rules: &'r RuleSet, v: usize) -> &'r Cfd {
+        &rules.cfds()[self.vcfd_rule_idx[v]]
+    }
+
+    /// Number of variable CFDs tracked.
+    pub fn len(&self) -> usize {
+        self.vcfd_rule_idx.len()
+    }
+
+    /// Is the structure empty (no variable CFDs)?
+    pub fn is_empty(&self) -> bool {
+        self.vcfd_rule_idx.is_empty()
+    }
+
+    /// A group by id.
+    pub fn group(&self, g: GroupId) -> &Group {
+        &self.groups[g as usize]
+    }
+
+    /// Conflict sets of variable CFD `v` with `0 < H < bound`, in ascending
+    /// entropy order (O(log |T|) per retrieval step via the AVL tree).
+    pub fn groups_below(&self, v: usize, bound: f64) -> Vec<GroupId> {
+        self.trees[v].below(bound).into_iter().map(|k| k.id).collect()
+    }
+
+    /// The minimum-entropy conflict set of variable CFD `v`, if any.
+    pub fn min_entropy_group(&self, v: usize) -> Option<GroupId> {
+        self.trees[v].min().map(|k| k.id)
+    }
+
+    /// Update hook: tuple `t`'s attribute `a` changed from `old` to its
+    /// current value in `d`. Rekeys `t` in every variable CFD reading `a`
+    /// and adjusts counts in every variable CFD writing `a`.
+    pub fn on_update(&mut self, rules: &RuleSet, d: &Relation, t: TupleId, a: AttrId, old: &Value) {
+        // Remove under the *old* projection, reinsert under the new one.
+        let affected: Vec<usize> = self.attr_in_lhs[a.index()]
+            .iter()
+            .chain(self.attr_is_rhs[a.index()].iter())
+            .copied()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        for v in affected {
+            self.remove_member_with(rules, d, v, t, a, old);
+            self.insert_member(rules, d, v, t);
+        }
+    }
+
+    /// Insert `t` into variable CFD `v`'s structure if its (current) LHS
+    /// matches the pattern.
+    fn insert_member(&mut self, rules: &RuleSet, d: &Relation, v: usize, t: TupleId) {
+        let cfd = &rules.cfds()[self.vcfd_rule_idx[v]];
+        let tup = d.tuple(t);
+        if !cfd.lhs_matches(tup) {
+            return;
+        }
+        let key = tup.project(&self.lhs[v]);
+        let gid = match self.tables[v].get(&key) {
+            Some(&g) => g,
+            None => {
+                let g = self.groups.len() as GroupId;
+                self.groups.push(Group {
+                    vcfd: v,
+                    key: key.clone(),
+                    tuples: Vec::new(),
+                    counts: HashMap::new(),
+                    nulls: 0,
+                    entropy: 0.0,
+                });
+                self.tables[v].insert(key, g);
+                g
+            }
+        };
+        self.detach_from_tree(v, gid);
+        let b = tup.value(self.rhs[v]).clone();
+        let grp = &mut self.groups[gid as usize];
+        grp.tuples.push(t);
+        if b.is_null() {
+            grp.nulls += 1;
+        } else {
+            *grp.counts.entry(b).or_insert(0) += 1;
+        }
+        grp.recompute_entropy();
+        self.attach_to_tree(v, gid);
+    }
+
+    /// Remove `t` from the group it occupied *before* `a` changed away from
+    /// `old`.
+    fn remove_member_with(
+        &mut self,
+        rules: &RuleSet,
+        d: &Relation,
+        v: usize,
+        t: TupleId,
+        a: AttrId,
+        old: &Value,
+    ) {
+        let cfd = &rules.cfds()[self.vcfd_rule_idx[v]];
+        let tup = d.tuple(t);
+        // Old projection/pattern check: substitute `old` at `a`.
+        let value_at = |attr: AttrId| -> Value {
+            if attr == a {
+                old.clone()
+            } else {
+                tup.value(attr).clone()
+            }
+        };
+        let matched_old = cfd
+            .lhs()
+            .iter()
+            .zip(cfd.lhs_pattern())
+            .all(|(attr, p)| p.matches(&value_at(*attr)));
+        if !matched_old {
+            return;
+        }
+        let key: Vec<Value> = self.lhs[v].iter().map(|attr| value_at(*attr)).collect();
+        let Some(&gid) = self.tables[v].get(&key) else { return };
+        self.detach_from_tree(v, gid);
+        let old_b = value_at(self.rhs[v]);
+        let grp = &mut self.groups[gid as usize];
+        if let Some(pos) = grp.tuples.iter().position(|x| *x == t) {
+            grp.tuples.swap_remove(pos);
+            if old_b.is_null() {
+                grp.nulls = grp.nulls.saturating_sub(1);
+            } else if let Some(c) = grp.counts.get_mut(&old_b) {
+                *c -= 1;
+                if *c == 0 {
+                    grp.counts.remove(&old_b);
+                }
+            }
+            grp.recompute_entropy();
+        }
+        if grp.tuples.is_empty() {
+            self.tables[v].remove(&key);
+        } else {
+            self.attach_to_tree(v, gid);
+        }
+    }
+
+    fn detach_from_tree(&mut self, v: usize, gid: GroupId) {
+        let e = self.groups[gid as usize].entropy;
+        if e > 0.0 {
+            self.trees[v].remove(&EntropyKey { entropy: e, id: gid });
+        }
+    }
+
+    fn attach_to_tree(&mut self, v: usize, gid: GroupId) {
+        let e = self.groups[gid as usize].entropy;
+        if e > 0.0 {
+            self.trees[v].insert(EntropyKey { entropy: e, id: gid });
+        }
+    }
+
+    /// Exhaustive consistency check against a fresh rebuild (test helper).
+    #[cfg(test)]
+    fn assert_consistent_with_rebuild(&self, rules: &RuleSet, d: &Relation) {
+        type GroupSummary<'a> = HashMap<&'a Vec<Value>, (usize, Vec<(&'a Value, usize)>)>;
+        let fresh = TwoInOne::build(rules, d);
+        for v in 0..self.len() {
+            let mine: GroupSummary = self.tables[v]
+                .iter()
+                .map(|(k, &g)| {
+                    let grp = &self.groups[g as usize];
+                    let mut counts: Vec<(&Value, usize)> =
+                        grp.counts.iter().map(|(v, c)| (v, *c)).collect();
+                    counts.sort();
+                    (k, (grp.tuples.len(), counts))
+                })
+                .collect();
+            let theirs: GroupSummary = fresh.tables[v]
+                .iter()
+                .map(|(k, &g)| {
+                    let grp = &fresh.groups[g as usize];
+                    let mut counts: Vec<(&Value, usize)> =
+                        grp.counts.iter().map(|(v, c)| (v, *c)).collect();
+                    counts.sort();
+                    (k, (grp.tuples.len(), counts))
+                })
+                .collect();
+            assert_eq!(mine, theirs, "vcfd {v} diverged from rebuild");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use uniclean_model::{FixMark, Schema, Tuple};
+    use uniclean_rules::parse_rules;
+
+    /// Fig. 8's relation and the FD ABC → E of Example 6.2.
+    fn fig8() -> (Arc<Schema>, RuleSet, Relation) {
+        let s = Schema::of_strings("r", &["A", "B", "C", "E", "F", "H"]);
+        let parsed = parse_rules("cfd phi: r([A, B, C] -> [E])", &s, None).unwrap();
+        let rules = RuleSet::cfds_only(s.clone(), parsed.cfds);
+        let rows = [
+            ["a1", "b1", "c1", "e1", "f1", "h1"],
+            ["a1", "b1", "c1", "e1", "f2", "h2"],
+            ["a1", "b1", "c1", "e1", "f3", "h3"],
+            ["a1", "b1", "c1", "e2", "f1", "h3"],
+            ["a2", "b2", "c2", "e1", "f2", "h4"],
+            ["a2", "b2", "c2", "e2", "f1", "h4"],
+            ["a2", "b2", "c3", "e3", "f3", "h5"],
+            ["a2", "b2", "c4", "e3", "f3", "h6"],
+        ];
+        let d = Relation::new(
+            s.clone(),
+            rows.iter().map(|r| Tuple::of_strs(r, 0.5)).collect(),
+        );
+        (s, rules, d)
+    }
+
+    #[test]
+    fn example_6_2_entropies() {
+        let (_, rules, d) = fig8();
+        let t = TwoInOne::build(&rules, &d);
+        assert_eq!(t.len(), 1);
+        // Groups: (a1,b1,c1) H≈0.81, (a2,b2,c2) H=1, (a2,b2,c3) and
+        // (a2,b2,c4) H=0.
+        let nonzero = t.groups_below(0, f64::INFINITY);
+        assert_eq!(nonzero.len(), 2);
+        let min = t.min_entropy_group(0).unwrap();
+        let g = t.group(min);
+        assert!((g.entropy - 0.8112781244591328).abs() < 1e-9);
+        assert_eq!(g.tuples.len(), 4);
+        let (maj, cnt) = g.majority().unwrap();
+        assert_eq!(maj, &Value::str("e1"));
+        assert_eq!(cnt, 3);
+    }
+
+    #[test]
+    fn groups_below_threshold_excludes_uniform_conflicts() {
+        let (_, rules, d) = fig8();
+        let t = TwoInOne::build(&rules, &d);
+        // δ2 = 0.9: only the 0.81 group qualifies; the H=1 group does not.
+        let below = t.groups_below(0, 0.9);
+        assert_eq!(below.len(), 1);
+        assert!((t.group(below[0]).entropy - 0.8112781244591328).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resolving_a_conflict_empties_the_tree_entry() {
+        let (s, rules, mut d) = fig8();
+        let mut t = TwoInOne::build(&rules, &d);
+        let e = s.attr_id_or_panic("E");
+        // Resolve the (a1,b1,c1) conflict: t4's E := e1.
+        let old = d.tuple(TupleId(3)).value(e).clone();
+        d.tuple_mut(TupleId(3)).set(e, Value::str("e1"), 0.5, FixMark::Reliable);
+        t.on_update(&rules, &d, TupleId(3), e, &old);
+        let below = t.groups_below(0, f64::INFINITY);
+        assert_eq!(below.len(), 1, "only the H=1 group remains");
+        t.assert_consistent_with_rebuild(&rules, &d);
+    }
+
+    #[test]
+    fn lhs_update_rekeys_the_tuple() {
+        let (s, rules, mut d) = fig8();
+        let mut t = TwoInOne::build(&rules, &d);
+        let c = s.attr_id_or_panic("C");
+        // Move t7 (a2,b2,c3) into the (a2,b2,c4) group: E values e3/e3 →
+        // entropy stays 0 but membership moves.
+        let old = d.tuple(TupleId(6)).value(c).clone();
+        d.tuple_mut(TupleId(6)).set(c, Value::str("c4"), 0.5, FixMark::Reliable);
+        t.on_update(&rules, &d, TupleId(6), c, &old);
+        t.assert_consistent_with_rebuild(&rules, &d);
+    }
+
+    #[test]
+    fn null_b_values_stay_out_of_entropy() {
+        let s = Schema::of_strings("r", &["K", "B"]);
+        let parsed = parse_rules("cfd fd: r([K] -> [B])", &s, None).unwrap();
+        let rules = RuleSet::cfds_only(s.clone(), parsed.cfds);
+        let b = s.attr_id_or_panic("B");
+        let mut t1 = Tuple::of_strs(&["k", "x"], 0.5);
+        t1.set(b, Value::Null, 0.0, FixMark::Untouched);
+        let d = Relation::new(s, vec![t1, Tuple::of_strs(&["k", "y"], 0.5)]);
+        let t = TwoInOne::build(&rules, &d);
+        let gid = t.tables[0].values().next().copied().unwrap();
+        let g = t.group(gid);
+        assert_eq!(g.nulls, 1);
+        assert_eq!(g.counts.len(), 1);
+        assert_eq!(g.entropy, 0.0);
+    }
+
+    #[test]
+    fn pattern_constants_filter_membership() {
+        let s = Schema::of_strings("r", &["K", "B"]);
+        let parsed = parse_rules("cfd fd: r([K=k1] -> [B])", &s, None).unwrap();
+        let rules = RuleSet::cfds_only(s.clone(), parsed.cfds);
+        let d = Relation::new(
+            s,
+            vec![Tuple::of_strs(&["k1", "x"], 0.5), Tuple::of_strs(&["k2", "y"], 0.5)],
+        );
+        let t = TwoInOne::build(&rules, &d);
+        assert_eq!(t.tables[0].len(), 1);
+        let gid = t.tables[0].values().next().copied().unwrap();
+        assert_eq!(t.group(gid).tuples, vec![TupleId(0)]);
+    }
+
+    #[test]
+    fn random_update_storm_stays_consistent() {
+        // Pseudo-random single-cell updates must keep the incremental
+        // structure identical to a rebuild.
+        let (s, rules, mut d) = fig8();
+        let mut t = TwoInOne::build(&rules, &d);
+        let attrs: Vec<AttrId> = ["A", "B", "C", "E"].iter().map(|a| s.attr_id_or_panic(a)).collect();
+        let vals = ["a1", "b1", "c1", "e1", "e2", "zz"];
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        for _ in 0..200 {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            let tid = TupleId((seed % 8) as u32);
+            let a = attrs[(seed >> 8) as usize % attrs.len()];
+            let nv = Value::str(vals[(seed >> 16) as usize % vals.len()]);
+            let old = d.tuple(tid).value(a).clone();
+            d.tuple_mut(tid).set(a, nv, 0.5, FixMark::Reliable);
+            t.on_update(&rules, &d, tid, a, &old);
+        }
+        t.assert_consistent_with_rebuild(&rules, &d);
+    }
+}

@@ -1,0 +1,193 @@
+//! Small embedded dictionaries used by the generators.
+//!
+//! Every list is deliberately modest: variety comes from combining entries
+//! with entity indices, which also keeps the identifying attributes the MD
+//! premises rely on unique by construction.
+
+/// First names for people-ish entities.
+pub const FIRST_NAMES: &[&str] = &[
+    "Mark", "Robert", "Mary", "Susan", "James", "Linda", "Max", "Sarah", "David", "Karen",
+    "Peter", "Laura", "Brian", "Nancy", "Kevin", "Diane", "Alice", "Henry", "Grace", "Oliver",
+    "Emma", "Lucas", "Sophia", "Ethan", "Chloe", "Noah", "Ava", "Liam", "Mia", "Ella",
+];
+
+/// Last names for people-ish entities.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Brady", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
+    "Wilson", "Moore", "Taylor", "Anderson", "Thomas", "Jackson", "White", "Harris", "Martin",
+    "Thompson", "Young", "Walker", "Hall", "Allen", "King", "Wright", "Scott", "Green", "Baker",
+    "Adams", "Nelson",
+];
+
+/// `(city, state, zip prefix, area code, county)` — the functional cluster
+/// behind the HOSP rules `ZIP → City/State/AreaCode` and `City → County`.
+/// Zip prefixes and cities are pairwise distinct so the dependencies hold.
+pub const CITIES: &[(&str, &str, &str, &str, &str)] = &[
+    ("Boston", "MA", "021", "617", "Suffolk"),
+    ("Chicago", "IL", "606", "312", "Cook"),
+    ("Seattle", "WA", "981", "206", "King"),
+    ("Austin", "TX", "733", "512", "Travis"),
+    ("Denver", "CO", "802", "303", "Denver"),
+    ("Portland", "OR", "972", "503", "Multnomah"),
+    ("Atlanta", "GA", "303", "404", "Fulton"),
+    ("Phoenix", "AZ", "850", "602", "Maricopa"),
+    ("Nashville", "TN", "372", "615", "Davidson"),
+    ("Baltimore", "MD", "212", "410", "Baltimore"),
+    ("Columbus", "OH", "432", "614", "Franklin"),
+    ("Madison", "WI", "537", "608", "Dane"),
+    ("Raleigh", "NC", "276", "919", "Wake"),
+    ("Omaha", "NE", "681", "402", "Douglas"),
+    ("Tucson", "AZ2", "857", "520", "Pima"),
+    ("Fresno", "CA", "937", "559", "Fresno"),
+    ("Tampa", "FL", "336", "813", "Hillsborough"),
+    ("StLouis", "MO", "631", "314", "StLouisCity"),
+    ("Newark", "NJ", "071", "973", "Essex"),
+    ("Albany", "NY", "122", "518", "AlbanyCounty"),
+];
+
+/// Street names.
+pub const STREETS: &[&str] = &[
+    "Oak St", "Wren St", "Maple Ave", "Pine Rd", "Cedar Ln", "Elm St", "Birch Way", "Willow Dr",
+    "Chestnut Blvd", "Walnut St", "Spruce Ct", "Ash Ave", "Poplar Rd", "Hawthorn Ln", "Juniper St",
+    "Magnolia Dr", "Sycamore Way", "Laurel Ct", "Holly Blvd", "Alder Pl",
+];
+
+/// Hospital name suffixes.
+pub const HOSPITAL_KINDS: &[&str] =
+    &["General Hospital", "Medical Center", "Community Hospital", "Regional Clinic", "Memorial Hospital"];
+
+/// Hospital types.
+pub const HOSPITAL_TYPES: &[&str] =
+    &["Acute Care", "Critical Access", "Childrens", "Psychiatric"];
+
+/// Hospital owners.
+pub const HOSPITAL_OWNERS: &[&str] = &[
+    "Government - State", "Voluntary non-profit", "Proprietary", "Government - Local",
+    "Physician Owned",
+];
+
+/// `(measure code, measure name, condition)` — behind
+/// `MeasureCode → MeasureName/Condition`.
+pub const MEASURES: &[(&str, &str, &str)] = &[
+    ("AMI-1", "Aspirin at Arrival", "Heart Attack"),
+    ("AMI-2", "Aspirin at Discharge", "Heart Attack"),
+    ("AMI-3", "ACEI or ARB for LVSD", "Heart Attack"),
+    ("HF-1", "Discharge Instructions", "Heart Failure"),
+    ("HF-2", "LVS Function Evaluation", "Heart Failure"),
+    ("HF-3", "ACEI or ARB for LVSD HF", "Heart Failure"),
+    ("PN-2", "Pneumococcal Vaccination", "Pneumonia"),
+    ("PN-3", "Blood Culture Timing", "Pneumonia"),
+    ("PN-5", "Initial Antibiotic Timing", "Pneumonia"),
+    ("SCIP-1", "Prophylactic Antibiotic Timing", "Surgical Care"),
+    ("SCIP-2", "Antibiotic Selection", "Surgical Care"),
+    ("SCIP-3", "Antibiotic Discontinued", "Surgical Care"),
+    ("CAC-1", "Relievers for Inpatient Asthma", "Asthma Care"),
+    ("CAC-2", "Corticosteroids for Asthma", "Asthma Care"),
+    ("OP-1", "Median Time to Fibrinolysis", "Outpatient"),
+    ("OP-2", "Fibrinolytic within 30 Minutes", "Outpatient"),
+    ("OP-4", "Aspirin on Arrival", "Outpatient"),
+    ("OP-5", "Median Time to ECG", "Outpatient"),
+    ("VTE-1", "VTE Prophylaxis", "Venous Thromboembolism"),
+    ("VTE-2", "ICU VTE Prophylaxis", "Venous Thromboembolism"),
+];
+
+/// `(journal, publisher, venue)` — behind `Journal → Publisher/Venue`.
+pub const JOURNALS: &[(&str, &str, &str)] = &[
+    ("TODS", "ACM", "ACM Transactions on Database Systems"),
+    ("VLDBJ", "Springer", "The VLDB Journal"),
+    ("TKDE", "IEEE", "IEEE Transactions on Knowledge and Data Engineering"),
+    ("SIGMOD Record", "ACM", "ACM SIGMOD Record"),
+    ("JDIQ", "ACM", "Journal of Data and Information Quality"),
+    ("Inf Syst", "Elsevier", "Information Systems"),
+    ("DKE", "Elsevier", "Data and Knowledge Engineering"),
+    ("TOIS", "ACM", "ACM Transactions on Information Systems"),
+    ("JACM", "ACM", "Journal of the ACM"),
+    ("PVLDB", "VLDB Endowment", "Proceedings of the VLDB Endowment"),
+    ("CSUR", "ACM", "ACM Computing Surveys"),
+    ("TCS", "Elsevier", "Theoretical Computer Science"),
+];
+
+/// Words for synthetic paper titles.
+pub const TITLE_ADJ: &[&str] = &[
+    "Adaptive", "Scalable", "Incremental", "Distributed", "Probabilistic", "Declarative",
+    "Efficient", "Robust", "Interactive", "Parallel", "Streaming", "Approximate",
+];
+
+/// More words for synthetic paper titles.
+pub const TITLE_NOUN: &[&str] = &[
+    "Query Processing", "Data Cleaning", "Record Matching", "Entity Resolution", "Schema Mapping",
+    "Data Repairing", "Integrity Checking", "View Maintenance", "Index Structures",
+    "Join Algorithms", "Provenance Tracking", "Constraint Discovery", "Data Integration",
+    "Duplicate Detection",
+];
+
+/// TPC-H-style market segments.
+pub const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+
+/// TPC-H-style order priorities.
+pub const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// TPC-H-style ship modes.
+pub const SHIP_MODES: &[&str] = &["AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "REG AIR"];
+
+/// `(nation, region, nation code)`.
+pub const NATIONS: &[(&str, &str, &str)] = &[
+    ("FRANCE", "EUROPE", "N06"),
+    ("GERMANY", "EUROPE", "N07"),
+    ("UNITED KINGDOM", "EUROPE", "N23"),
+    ("UNITED STATES", "AMERICA", "N24"),
+    ("CANADA", "AMERICA", "N03"),
+    ("BRAZIL", "AMERICA", "N02"),
+    ("CHINA", "ASIA", "N18"),
+    ("JAPAN", "ASIA", "N12"),
+    ("INDIA", "ASIA", "N08"),
+    ("AUSTRALIA", "OCEANIA", "N01"),
+    ("EGYPT", "AFRICA", "N04"),
+    ("KENYA", "AFRICA", "N14"),
+];
+
+/// TPC-H-style part type words.
+pub const PART_TYPES: &[&str] = &[
+    "ECONOMY ANODIZED STEEL", "STANDARD BRUSHED COPPER", "PROMO POLISHED BRASS",
+    "SMALL PLATED NICKEL", "LARGE BURNISHED TIN", "MEDIUM ANODIZED STEEL",
+];
+
+/// TPC-H-style containers.
+pub const CONTAINERS: &[&str] =
+    &["SM CASE", "LG BOX", "MED BAG", "JUMBO JAR", "WRAP PKG", "SM PACK"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn city_cluster_is_functional() {
+        // ZIP → City requires distinct zip prefixes; City → County requires
+        // distinct city names.
+        let zips: HashSet<&str> = CITIES.iter().map(|c| c.2).collect();
+        assert_eq!(zips.len(), CITIES.len(), "zip prefixes must be unique");
+        let cities: HashSet<&str> = CITIES.iter().map(|c| c.0).collect();
+        assert_eq!(cities.len(), CITIES.len(), "city names must be unique");
+    }
+
+    #[test]
+    fn measure_codes_are_unique() {
+        let codes: HashSet<&str> = MEASURES.iter().map(|m| m.0).collect();
+        assert_eq!(codes.len(), MEASURES.len());
+    }
+
+    #[test]
+    fn journals_are_unique() {
+        let names: HashSet<&str> = JOURNALS.iter().map(|j| j.0).collect();
+        assert_eq!(names.len(), JOURNALS.len());
+    }
+
+    #[test]
+    fn nations_are_functional_to_regions() {
+        let names: HashSet<&str> = NATIONS.iter().map(|n| n.0).collect();
+        assert_eq!(names.len(), NATIONS.len());
+        let codes: HashSet<&str> = NATIONS.iter().map(|n| n.2).collect();
+        assert_eq!(codes.len(), NATIONS.len());
+    }
+}

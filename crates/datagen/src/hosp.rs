@@ -1,0 +1,284 @@
+//! HOSP-like workload: hospital quality-measure records (19 attributes,
+//! 23 CFDs + 3 MDs, matching the paper's rule counts).
+//!
+//! Entities are *providers* (hospitals) crossed with *measures*. Provider
+//! attributes are functionally determined by `ProviderID`; geography follows
+//! the `ZIP → City/State/AreaCode` and `City → County` clusters; measure
+//! attributes follow `MeasureCode`; `StateAvg` is functional in
+//! `(State, MeasureCode)`. Addresses and phone numbers embed the provider
+//! index, so the MD premises (`ProviderID`, `Address`+name,
+//! `Phone`+`ZIP`) are entity-unique and the clean data satisfies `Γ`
+//! against the master relation by construction.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use uniclean_model::{Relation, Schema, Tuple, TupleId, Value};
+use uniclean_rules::{parse_rules, RuleSet};
+
+use crate::dict;
+use crate::noise::{assign_confidence, corrupt};
+use crate::spec::{GenParams, Workload};
+
+/// The 19 HOSP attributes.
+pub const HOSP_ATTRS: &[&str] = &[
+    "ProviderID", "HospitalName", "Address", "City", "State", "ZIP", "County", "Phone", "Type",
+    "Owner", "Emergency", "MeasureCode", "MeasureName", "Condition", "Score", "Sample",
+    "StateAvg", "AreaCode", "Footnote",
+];
+
+/// Build the HOSP rule text (23 CFDs + 3 MDs).
+fn rule_text() -> String {
+    let mut t = String::new();
+    // 17 variable CFDs.
+    for (i, (lhs, rhs)) in [
+        ("ZIP", "City"),
+        ("ZIP", "State"),
+        ("ZIP", "AreaCode"),
+        ("City", "County"),
+        ("ProviderID", "HospitalName"),
+        ("ProviderID", "Address"),
+        ("ProviderID", "City"),
+        ("ProviderID", "State"),
+        ("ProviderID", "ZIP"),
+        ("ProviderID", "County"),
+        ("ProviderID", "Phone"),
+        ("ProviderID", "Type"),
+        ("ProviderID", "Owner"),
+        ("Phone", "AreaCode"),
+        ("MeasureCode", "MeasureName"),
+        ("MeasureCode", "Condition"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        t.push_str(&format!("cfd h{:02}: hosp([{lhs}] -> [{rhs}])\n", i + 1));
+    }
+    t.push_str("cfd h17: hosp([State, MeasureCode] -> [StateAvg])\n");
+    // 6 constant CFDs, consistent with the dictionaries.
+    t.push_str("cfd h18: hosp([City=Boston] -> [State=MA])\n");
+    t.push_str("cfd h19: hosp([City=Chicago] -> [State=IL])\n");
+    t.push_str("cfd h20: hosp([City=Seattle] -> [State=WA])\n");
+    t.push_str("cfd h21: hosp([MeasureCode=AMI-1] -> [Condition=\"Heart Attack\"])\n");
+    t.push_str("cfd h22: hosp([MeasureCode=HF-1] -> [Condition=\"Heart Failure\"])\n");
+    t.push_str("cfd h23: hosp([MeasureCode=PN-2] -> [Condition=Pneumonia])\n");
+    // 3 MDs.
+    t.push_str(
+        "md hm1: hosp[ProviderID] = hospm[ProviderID] -> hosp[Phone] <=> hospm[Phone], hosp[HospitalName] <=> hospm[HospitalName]\n",
+    );
+    t.push_str(
+        "md hm2: hosp[HospitalName] ~lev(2) hospm[HospitalName] AND hosp[Address] = hospm[Address] AND hosp[City] = hospm[City] -> hosp[Phone] <=> hospm[Phone], hosp[ZIP] <=> hospm[ZIP]\n",
+    );
+    t.push_str(
+        "md hm3: hosp[Phone] = hospm[Phone] AND hosp[ZIP] = hospm[ZIP] -> hosp[Address] <=> hospm[Address], hosp[ProviderID] <=> hospm[ProviderID]\n",
+    );
+    t
+}
+
+/// A provider's functional attribute bundle, derived from its index.
+struct Provider {
+    id: String,
+    name: String,
+    address: String,
+    city: usize,
+    zip: String,
+    phone: String,
+    typ: &'static str,
+    owner: &'static str,
+    emergency: &'static str,
+}
+
+fn provider(i: usize) -> Provider {
+    let c = i % dict::CITIES.len();
+    let (_, _, zip_prefix, area, _) = dict::CITIES[c];
+    Provider {
+        id: format!("P{i:06}"),
+        name: format!(
+            "{} {}",
+            dict::LAST_NAMES[i % dict::LAST_NAMES.len()],
+            dict::HOSPITAL_KINDS[(i / dict::LAST_NAMES.len()) % dict::HOSPITAL_KINDS.len()]
+        ),
+        address: format!("{} {}", 100 + i, dict::STREETS[i % dict::STREETS.len()]),
+        city: c,
+        zip: format!("{}{:02}", zip_prefix, (i / dict::CITIES.len()) % 50),
+        phone: format!("{}-{:07}", area, 1_000_000 + i),
+        typ: dict::HOSPITAL_TYPES[i % dict::HOSPITAL_TYPES.len()],
+        owner: dict::HOSPITAL_OWNERS[i % dict::HOSPITAL_OWNERS.len()],
+        emergency: if i.is_multiple_of(3) { "No" } else { "Yes" },
+    }
+}
+
+/// Deterministic pseudo-hash for functional derived values.
+fn mix(a: usize, b: usize) -> usize {
+    let mut x = (a as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (b as u64).wrapping_mul(0x2545_f491_4f6c_dd1d);
+    x ^= x >> 33;
+    x as usize
+}
+
+fn state_avg(state: &str, measure_idx: usize) -> String {
+    let h = mix(state.len() + state.bytes().map(|b| b as usize).sum::<usize>(), measure_idx);
+    format!("{}.{}%", 50 + h % 50, h % 10)
+}
+
+fn row(p: &Provider, measure_idx: usize, row_salt: usize) -> Vec<Value> {
+    let (code, mname, cond) = dict::MEASURES[measure_idx % dict::MEASURES.len()];
+    let (city, state, _, area, county) = dict::CITIES[p.city];
+    let h = mix(row_salt, measure_idx);
+    vec![
+        Value::str(&p.id),
+        Value::str(&p.name),
+        Value::str(&p.address),
+        Value::str(city),
+        Value::str(state),
+        Value::str(&p.zip),
+        Value::str(county),
+        Value::str(&p.phone),
+        Value::str(p.typ),
+        Value::str(p.owner),
+        Value::str(p.emergency),
+        Value::str(code),
+        Value::str(mname),
+        Value::str(cond),
+        Value::str(format!("{}%", 40 + h % 60)),
+        Value::str(format!("{} patients", 20 + h % 480)),
+        Value::str(state_avg(state, measure_idx % dict::MEASURES.len())),
+        Value::str(area),
+        Value::str(if h.is_multiple_of(5) { "1" } else { "0" }),
+    ]
+}
+
+/// Generate the HOSP workload.
+pub fn hosp_workload(params: &GenParams) -> Workload {
+    params.validate().expect("invalid generation parameters");
+    let schema = Schema::of_strings("hosp", HOSP_ATTRS);
+    let master_schema = build_master_schema(&schema, "hospm");
+    let parsed = parse_rules(&rule_text(), &schema, Some(&master_schema)).expect("HOSP rules parse");
+    assert_eq!(parsed.cfds.len(), 23, "paper rule count");
+    assert_eq!(parsed.positive_mds.len(), 3, "paper rule count");
+    let rules = RuleSet::new(
+        schema.clone(),
+        Some(master_schema.clone()),
+        parsed.cfds,
+        parsed.positive_mds,
+        parsed.negative_mds,
+    );
+
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let m = params.master_tuples;
+    // Master: one row per master provider, measure assigned functionally.
+    let mut master = Relation::empty(master_schema);
+    for i in 0..m {
+        let p = provider(i);
+        master.push(Tuple::from_values(row(&p, i % dict::MEASURES.len(), i), 1.0));
+    }
+
+    // Truth: dup% rows from master providers, the rest from a disjoint
+    // pool. Pools are sized so each provider contributes several records
+    // (≈ ROWS_PER_ENTITY) — the within-relation redundancy variable CFDs
+    // and the entropy analysis feed on, mirroring the real HOSP data where
+    // every hospital reports ~20 measures.
+    const ROWS_PER_ENTITY: f64 = 6.0;
+    let dup_pool = ((params.tuples as f64 * params.dup_rate / ROWS_PER_ENTITY).ceil() as usize)
+        .clamp(1, m);
+    let non_master_pool =
+        ((params.tuples as f64 * (1.0 - params.dup_rate) / ROWS_PER_ENTITY).ceil() as usize).max(1);
+    let mut truth = Relation::empty(schema.clone());
+    let mut provider_of_row: Vec<Option<usize>> = Vec::with_capacity(params.tuples);
+    for r in 0..params.tuples {
+        let is_dup = rng.gen::<f64>() < params.dup_rate;
+        let pidx = if is_dup {
+            let p = rng.gen_range(0..dup_pool);
+            provider_of_row.push(Some(p));
+            p
+        } else {
+            provider_of_row.push(None);
+            m + rng.gen_range(0..non_master_pool)
+        };
+        let p = provider(pidx);
+        let measure = rng.gen_range(0..dict::MEASURES.len());
+        truth.push(Tuple::from_values(row(&p, measure, r), 0.0));
+    }
+
+    // Dirty copy: corrupt every attribute (uncovered attributes contribute
+    // unfixable errors, as in real data), then assign confidence.
+    let mut dirty = truth.clone();
+    let attrs: Vec<uniclean_model::AttrId> = schema.attr_ids().collect();
+    let errors = corrupt(&mut dirty, &attrs, params.noise_rate, &mut rng);
+    assign_confidence(&mut dirty, &truth, params.asserted_rate, &mut rng);
+
+    let true_matches: HashSet<(TupleId, TupleId)> = provider_of_row
+        .iter()
+        .enumerate()
+        .filter_map(|(r, p)| p.map(|p| (TupleId::from(r), TupleId::from(p))))
+        .collect();
+
+    Workload { name: "hosp", rules, truth, dirty, master, true_matches, errors }
+}
+
+/// Clone a schema under a new relation name (master side).
+fn build_master_schema(schema: &Arc<Schema>, name: &str) -> Arc<Schema> {
+    Arc::new(Schema::new(
+        name,
+        schema.attrs().iter().map(|a| (a.name.clone(), a.ty)),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> GenParams {
+        GenParams { tuples: 300, master_tuples: 80, ..GenParams::default() }
+    }
+
+    #[test]
+    fn workload_invariants_hold() {
+        let w = hosp_workload(&small());
+        w.check_invariants();
+        assert_eq!(w.truth.schema().arity(), 19);
+        assert!(w.rules.cfds().len() >= 23, "normalized count ≥ declared");
+        assert_eq!(w.dirty.len(), 300);
+        assert_eq!(w.master.len(), 80);
+    }
+
+    #[test]
+    fn noise_rate_reflected_in_errors() {
+        let w = hosp_workload(&GenParams { noise_rate: 0.08, ..small() });
+        let cells = w.truth.cell_count();
+        let rate = w.errors as f64 / cells as f64;
+        assert!((0.05..=0.11).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn dup_rate_reflected_in_matches() {
+        let w = hosp_workload(&GenParams { dup_rate: 0.5, ..small() });
+        let rate = w.true_matches.len() as f64 / w.dirty.len() as f64;
+        assert!((0.4..=0.6).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = hosp_workload(&small());
+        let b = hosp_workload(&small());
+        assert_eq!(a.truth.diff_cells(&b.truth), 0);
+        assert_eq!(a.dirty.diff_cells(&b.dirty), 0);
+        assert_eq!(a.true_matches, b.true_matches);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = hosp_workload(&small());
+        let b = hosp_workload(&GenParams { seed: 1234, ..small() });
+        assert!(a.dirty.diff_cells(&b.dirty) > 0);
+    }
+
+    #[test]
+    fn zero_noise_means_clean_dirty() {
+        let w = hosp_workload(&GenParams { noise_rate: 0.0, ..small() });
+        assert_eq!(w.errors, 0);
+        assert_eq!(w.truth.diff_cells(&w.dirty), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Noise injection and confidence assignment (§8 "Dirty datasets").
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use uniclean_model::{AttrId, FixMark, Relation, Value};
+
+/// Corrupt `rate` of the cells of `rel` over `attrs`, returning the number
+/// of cells actually changed. Corruption styles: single-character typo,
+/// value swap from the column's active domain, or truncation — the error
+/// classes record-matching data actually exhibits.
+pub fn corrupt(rel: &mut Relation, attrs: &[AttrId], rate: f64, rng: &mut SmallRng) -> usize {
+    let mut domains: Vec<Vec<Value>> = attrs.iter().map(|a| rel.active_domain(*a)).collect();
+    for d in &mut domains {
+        d.truncate(200); // enough variety for swaps; keeps memory flat
+    }
+    let mut errors = 0usize;
+    for i in 0..rel.len() {
+        let t = rel.tuple_mut(uniclean_model::TupleId::from(i));
+        for (k, &a) in attrs.iter().enumerate() {
+            if rng.gen::<f64>() >= rate {
+                continue;
+            }
+            let old = t.value(a).clone();
+            let new = corrupt_value(&old, &domains[k], rng);
+            if new != old {
+                t.set(a, new, t.cf(a), FixMark::Untouched);
+                errors += 1;
+            }
+        }
+    }
+    errors
+}
+
+fn corrupt_value(v: &Value, domain: &[Value], rng: &mut SmallRng) -> Value {
+    let s = v.render().into_owned();
+    match rng.gen_range(0..4u8) {
+        // Typo: substitute one character.
+        0 if !s.is_empty() => {
+            let chars: Vec<char> = s.chars().collect();
+            let pos = rng.gen_range(0..chars.len());
+            let repl = (b'a' + rng.gen_range(0..26u8)) as char;
+            let mut out: String = chars[..pos].iter().collect();
+            out.push(repl);
+            out.extend(&chars[pos + 1..]);
+            Value::str(out)
+        }
+        // Typo: insert one character.
+        1 => {
+            let chars: Vec<char> = s.chars().collect();
+            let pos = rng.gen_range(0..=chars.len());
+            let ins = (b'a' + rng.gen_range(0..26u8)) as char;
+            let mut out: String = chars[..pos].iter().collect();
+            out.push(ins);
+            out.extend(&chars[pos..]);
+            Value::str(out)
+        }
+        // Swap with another domain value.
+        2 if domain.len() > 1 => {
+            let pick = &domain[rng.gen_range(0..domain.len())];
+            if pick == v {
+                corrupt_value(v, &[], rng) // fall back to a typo
+            } else {
+                pick.clone()
+            }
+        }
+        // Truncate the tail.
+        _ if s.chars().count() > 2 => {
+            let chars: Vec<char> = s.chars().collect();
+            Value::str(chars[..chars.len() - 1].iter().collect::<String>())
+        }
+        _ => {
+            let mut out = s;
+            out.push('x');
+            Value::str(out)
+        }
+    }
+}
+
+/// Assign confidence per §8: for each attribute, a random `asr%` of tuples
+/// get `cf = 1.0`, the rest `cf = 0.0`.
+///
+/// An asserted cell must actually be correct: confidence is "placed by the
+/// user in the accuracy of the data" and the whole deterministic-fix
+/// machinery of §5 *assumes* the correctness of confidence ("we assume the
+/// correctness of master data, data cleaning rules and confidence levels
+/// when studying deterministic fixes"). A tuple drawn for assertion whose
+/// cell happens to be corrupted therefore keeps `cf = 0` — the user would
+/// not have verified a wrong value.
+pub fn assign_confidence(
+    rel: &mut Relation,
+    truth: &Relation,
+    asserted_rate: f64,
+    rng: &mut SmallRng,
+) {
+    let arity = rel.schema().arity();
+    for a in 0..arity {
+        let a = AttrId::from(a);
+        for i in 0..rel.len() {
+            let id = uniclean_model::TupleId::from(i);
+            let correct = rel.tuple(id).value(a) == truth.tuple(id).value(a);
+            let cf = if correct && rng.gen::<f64>() < asserted_rate { 1.0 } else { 0.0 };
+            let t = rel.tuple_mut(id);
+            let v = t.value(a).clone();
+            t.set(a, v, cf, FixMark::Untouched);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use uniclean_model::{Schema, Tuple, TupleId};
+
+    fn rel(n: usize) -> Relation {
+        let s = Schema::of_strings("r", &["A", "B"]);
+        Relation::new(
+            s,
+            (0..n)
+                .map(|i| Tuple::of_strs(&[&format!("alpha{i}"), &format!("beta{i}")], 0.0))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn corruption_rate_is_respected() {
+        let mut r = rel(2000);
+        let attrs: Vec<AttrId> = r.schema().attr_ids().collect();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let errors = corrupt(&mut r, &attrs, 0.10, &mut rng);
+        let cells = 2000 * 2;
+        let rate = errors as f64 / cells as f64;
+        assert!((0.07..=0.13).contains(&rate), "rate {rate} too far from 0.10");
+    }
+
+    #[test]
+    fn zero_rate_changes_nothing() {
+        let mut r = rel(100);
+        let clean = r.clone();
+        let attrs: Vec<AttrId> = r.schema().attr_ids().collect();
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert_eq!(corrupt(&mut r, &attrs, 0.0, &mut rng), 0);
+        assert_eq!(clean.diff_cells(&r), 0);
+    }
+
+    #[test]
+    fn corruption_is_reproducible() {
+        let mut a = rel(200);
+        let mut b = rel(200);
+        let attrs: Vec<AttrId> = a.schema().attr_ids().collect();
+        let mut r1 = SmallRng::seed_from_u64(99);
+        let mut r2 = SmallRng::seed_from_u64(99);
+        corrupt(&mut a, &attrs, 0.2, &mut r1);
+        corrupt(&mut b, &attrs, 0.2, &mut r2);
+        assert_eq!(a.diff_cells(&b), 0);
+    }
+
+    #[test]
+    fn corrupted_values_differ_from_originals() {
+        let mut r = rel(500);
+        let clean = r.clone();
+        let attrs: Vec<AttrId> = r.schema().attr_ids().collect();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let errors = corrupt(&mut r, &attrs, 0.5, &mut rng);
+        assert_eq!(clean.diff_cells(&r), errors);
+    }
+
+    #[test]
+    fn confidence_rate_is_respected() {
+        let truth = rel(3000);
+        let mut r = rel(3000);
+        let mut rng = SmallRng::seed_from_u64(11);
+        assign_confidence(&mut r, &truth, 0.4, &mut rng);
+        let a = AttrId(0);
+        let asserted = (0..r.len()).filter(|&i| r.tuple(TupleId::from(i)).cf(a) == 1.0).count();
+        let rate = asserted as f64 / r.len() as f64;
+        assert!((0.35..=0.45).contains(&rate), "rate {rate} too far from 0.4");
+        // Everything is either fully asserted or fully unasserted.
+        assert!((0..r.len()).all(|i| {
+            let cf = r.tuple(TupleId::from(i)).cf(a);
+            cf == 1.0 || cf == 0.0
+        }));
+    }
+
+    #[test]
+    fn corrupted_cells_are_never_asserted() {
+        let truth = rel(500);
+        let mut r = rel(500);
+        let attrs: Vec<AttrId> = r.schema().attr_ids().collect();
+        let mut rng = SmallRng::seed_from_u64(5);
+        corrupt(&mut r, &attrs, 0.3, &mut rng);
+        assign_confidence(&mut r, &truth, 0.9, &mut rng);
+        for i in 0..r.len() {
+            let id = TupleId::from(i);
+            for &a in &attrs {
+                if r.tuple(id).value(a) != truth.tuple(id).value(a) {
+                    assert_eq!(r.tuple(id).cf(a), 0.0, "corrupted cell asserted");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Generation parameters and the workload bundle.
+
+use std::collections::HashSet;
+
+use uniclean_model::{Relation, TupleId};
+use uniclean_rules::RuleSet;
+
+/// Knobs shared by all three generators, mirroring §8's parameters.
+#[derive(Clone, Debug)]
+pub struct GenParams {
+    /// `|D|` — number of (dirty) data tuples.
+    pub tuples: usize,
+    /// `|Dm|` — number of master tuples (entity count on the master side).
+    pub master_tuples: usize,
+    /// `noi%` — fraction of cells corrupted (over the corruptible
+    /// attributes).
+    pub noise_rate: f64,
+    /// `dup%` — fraction of data tuples whose entity appears in the master
+    /// data.
+    pub dup_rate: f64,
+    /// `asr%` — per attribute, the fraction of tuples whose cell gets
+    /// confidence 1.0 (the rest get 0.0).
+    pub asserted_rate: f64,
+    /// RNG seed; equal seeds reproduce the workload bit for bit.
+    pub seed: u64,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams {
+            tuples: 1000,
+            master_tuples: 300,
+            noise_rate: 0.06,
+            dup_rate: 0.4,
+            asserted_rate: 0.4,
+            seed: 42,
+        }
+    }
+}
+
+impl GenParams {
+    /// Validate ranges before generation.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("noise_rate", self.noise_rate),
+            ("dup_rate", self.dup_rate),
+            ("asserted_rate", self.asserted_rate),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be in [0,1], got {v}"));
+            }
+        }
+        if self.tuples == 0 {
+            return Err("tuples must be positive".into());
+        }
+        if self.master_tuples == 0 {
+            return Err("master_tuples must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// A complete experimental workload: rules, clean truth, dirty input,
+/// master data and the ground-truth match set.
+pub struct Workload {
+    /// Dataset label ("hosp", "dblp", "tpch").
+    pub name: &'static str,
+    /// The rule set `Θ = Σ ∪ Γ` (normalized).
+    pub rules: RuleSet,
+    /// Ground truth: the clean relation the noise was injected into.
+    pub truth: Relation,
+    /// The dirty relation handed to the cleaning algorithms (with
+    /// confidence assigned per `asr%`).
+    pub dirty: Relation,
+    /// Master data `Dm`, consistent with `Σ` and `Γ` by construction.
+    pub master: Relation,
+    /// True matches: (dirty tuple, master tuple) pairs referring to the
+    /// same entity.
+    pub true_matches: HashSet<(TupleId, TupleId)>,
+    /// Number of corrupted cells actually injected.
+    pub errors: usize,
+}
+
+impl Workload {
+    /// Sanity invariants every generator must uphold; called by generator
+    /// tests.
+    pub fn check_invariants(&self) {
+        use uniclean_rules::satisfies_all;
+        assert_eq!(self.truth.len(), self.dirty.len(), "truth/dirty must align");
+        assert!(
+            satisfies_all(self.rules.cfds(), self.rules.mds(), &self.truth, &self.master),
+            "{}: ground truth must satisfy Σ and Γ",
+            self.name
+        );
+        assert!(
+            satisfies_all(self.rules.cfds(), &[], &self.master, &self.master),
+            "{}: master data must satisfy Σ",
+            self.name
+        );
+        assert_eq!(self.errors, self.truth.diff_cells(&self.dirty), "error count must match");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_are_the_papers() {
+        let p = GenParams::default();
+        assert_eq!(p.dup_rate, 0.4);
+        assert_eq!(p.asserted_rate, 0.4);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn bad_rates_rejected() {
+        let p = GenParams { noise_rate: 1.5, ..GenParams::default() };
+        assert!(p.validate().is_err());
+        let p = GenParams { tuples: 0, ..GenParams::default() };
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,416 @@
+//! TPC-H-like workload: a denormalized join of lineitem, orders, customer,
+//! part and supplier (58 attributes, 55 CFDs + 10 MDs, matching the
+//! paper's counts), used for scalability experiments (Figs 14(e)–(h)).
+//!
+//! "TPC-H data was generated … by joining all tables together into a single
+//! table. … We manually designed 55 FDs, and controlled the number of CFDs
+//! and MDs by adding pattern to the FDs." [`TpchScale`] reproduces that
+//! control: the Σ sweep adds valid LHS-extended variants of every FD (an FD
+//! `X → A` implies `X ∪ Z → A`), the Γ sweep adds premise-extended variants
+//! of every MD — both provably hold on the generated data, so the sweeps
+//! measure cost, not noise.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use uniclean_model::{Relation, Schema, Tuple, TupleId, Value};
+use uniclean_rules::{parse_rules, RuleSet};
+
+use crate::dict;
+use crate::noise::{assign_confidence, corrupt};
+use crate::spec::{GenParams, Workload};
+
+/// The 58 attributes of the joined table.
+pub const TPCH_ATTRS: &[&str] = &[
+    // lineitem (12)
+    "LQty", "LPrice", "LDisc", "LTax", "LRFlag", "LStatus", "LShipDate", "LCommitDate",
+    "LReceiptDate", "LShipMode", "LShipInstruct", "LComment",
+    // orders (10)
+    "OKey", "OStatus", "OTotal", "ODate", "OPriority", "OClerk", "OShipPrio", "OComment",
+    "OYear", "OQuarter",
+    // customer (12)
+    "CKey", "CName", "CAddr", "CCity", "CNation", "CRegion", "CPhone", "CAcct", "CMkt",
+    "CComment", "CNationCode", "CSegCode",
+    // part (11)
+    "PKey", "PName", "PMfgr", "PBrand", "PType", "PSize", "PContainer", "PPrice", "PComment",
+    "PSizeCat", "PBrandLine",
+    // supplier (11)
+    "SKey", "SName", "SAddr", "SCity", "SNation", "SRegion", "SPhone", "SAcct", "SComment",
+    "SNationCode", "SRating",
+    // derived lineitem measures (2)
+    "LProfit", "LMargin",
+];
+
+/// Rule-scaling knobs for Figs 14(g) and 14(h).
+#[derive(Clone, Copy, Debug)]
+pub struct TpchScale {
+    /// Σ multiplier: total CFDs = 55 × this (1–5 supported).
+    pub sigma_multiplier: usize,
+    /// Γ multiplier: total MDs = 10 × this (1–5 supported).
+    pub gamma_multiplier: usize,
+}
+
+impl Default for TpchScale {
+    fn default() -> Self {
+        TpchScale { sigma_multiplier: 1, gamma_multiplier: 1 }
+    }
+}
+
+/// LHS-extension attributes for the Σ sweep: never used by any base rule.
+const SIGMA_EXTENSIONS: &[&str] = &["LShipMode", "LShipInstruct", "LComment", "LProfit"];
+/// Premise-extension attributes for the Γ sweep.
+const GAMMA_EXTENSIONS: &[&str] = &["OShipPrio", "LShipMode", "OPriority", "CMkt"];
+
+/// The 55 base FDs as (LHS list, RHS) pairs.
+fn base_fds() -> Vec<(Vec<&'static str>, &'static str)> {
+    let mut fds: Vec<(Vec<&str>, &str)> = Vec::new();
+    // Order key determines every order attribute, the customer key, and
+    // (transitively, stated directly as extra rules) customer identity.
+    for rhs in ["OStatus", "OTotal", "ODate", "OPriority", "OClerk", "OShipPrio", "OComment", "OYear", "OQuarter"] {
+        fds.push((vec!["OKey"], rhs));
+    }
+    fds.push((vec!["OKey"], "CKey"));
+    for rhs in ["CName", "CCity", "CPhone"] {
+        fds.push((vec!["OKey"], rhs));
+    }
+    for rhs in ["CName", "CAddr", "CCity", "CNation", "CRegion", "CPhone", "CAcct", "CMkt", "CComment", "CNationCode", "CSegCode"] {
+        fds.push((vec!["CKey"], rhs));
+    }
+    fds.push((vec!["CNation"], "CRegion"));
+    fds.push((vec!["CNation"], "CNationCode"));
+    fds.push((vec!["CMkt"], "CSegCode"));
+    fds.push((vec!["CCity"], "CNation"));
+    for rhs in ["PName", "PMfgr", "PBrand", "PType", "PSize", "PContainer", "PPrice", "PComment", "PSizeCat", "PBrandLine"] {
+        fds.push((vec!["PKey"], rhs));
+    }
+    fds.push((vec!["PSize"], "PSizeCat"));
+    fds.push((vec!["PBrand"], "PBrandLine"));
+    for rhs in ["SName", "SAddr", "SCity", "SNation", "SRegion", "SPhone", "SAcct", "SComment", "SNationCode", "SRating"] {
+        fds.push((vec!["SKey"], rhs));
+    }
+    fds.push((vec!["SNation"], "SRegion"));
+    fds.push((vec!["SNation"], "SNationCode"));
+    fds.push((vec!["LRFlag"], "LStatus"));
+    fds.push((vec!["ODate"], "OYear"));
+    fds.push((vec!["ODate"], "OQuarter"));
+    assert_eq!(fds.len(), 55, "paper rule count");
+    fds
+}
+
+/// The 10 base MDs as (premise attrs, conclusion attrs).
+fn base_mds() -> Vec<(Vec<&'static str>, Vec<&'static str>)> {
+    vec![
+        (vec!["OKey"], vec!["OTotal"]),
+        (vec!["OKey"], vec!["ODate"]),
+        (vec!["OClerk"], vec!["OStatus"]),
+        (vec!["CPhone"], vec!["CName"]),
+        (vec!["CName"], vec!["CAddr"]),
+        (vec!["SPhone"], vec!["SName"]),
+        (vec!["SName"], vec!["SAddr"]),
+        (vec!["PName"], vec!["PBrand"]),
+        (vec!["PName", "PMfgr"], vec!["PType"]),
+        (vec!["OKey"], vec!["OPriority"]),
+    ]
+}
+
+fn rule_text(scale: TpchScale) -> String {
+    assert!(
+        (1..=SIGMA_EXTENSIONS.len() + 1).contains(&scale.sigma_multiplier),
+        "sigma multiplier 1–{} supported",
+        SIGMA_EXTENSIONS.len() + 1
+    );
+    assert!(
+        (1..=GAMMA_EXTENSIONS.len() + 1).contains(&scale.gamma_multiplier),
+        "gamma multiplier 1–{} supported",
+        GAMMA_EXTENSIONS.len() + 1
+    );
+    let mut t = String::new();
+    let mut n = 0usize;
+    for (lhs, rhs) in base_fds() {
+        n += 1;
+        t.push_str(&format!("cfd t{n:03}: tpch([{}] -> [{rhs}])\n", lhs.join(", ")));
+        for ext in SIGMA_EXTENSIONS.iter().take(scale.sigma_multiplier - 1) {
+            n += 1;
+            t.push_str(&format!("cfd t{n:03}: tpch([{}, {ext}] -> [{rhs}])\n", lhs.join(", ")));
+        }
+    }
+    let mut m = 0usize;
+    for (premise, conclusion) in base_mds() {
+        for variant in 0..scale.gamma_multiplier {
+            m += 1;
+            let mut prem: Vec<String> = premise
+                .iter()
+                .map(|a| format!("tpch[{a}] = tpchm[{a}]"))
+                .collect();
+            if variant > 0 {
+                let ext = GAMMA_EXTENSIONS[variant - 1];
+                prem.push(format!("tpch[{ext}] = tpchm[{ext}]"));
+            }
+            let concl: Vec<String> = conclusion
+                .iter()
+                .map(|a| format!("tpch[{a}] <=> tpchm[{a}]"))
+                .collect();
+            t.push_str(&format!(
+                "md tm{m:02}: {} -> {}\n",
+                prem.join(" AND "),
+                concl.join(", ")
+            ));
+        }
+    }
+    t
+}
+
+fn mix(a: usize, b: usize) -> usize {
+    let mut x = (a as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ (b as u64 ^ 0x5bf0_3635).wrapping_mul(0x2545_f491_4f6c_dd1d);
+    x ^= x >> 31;
+    x as usize
+}
+
+/// Entity renderers — each functional in the entity index.
+mod entity {
+    use super::*;
+
+    pub fn customer(c: usize) -> [String; 12] {
+        let (nation, region, ncode) = dict::NATIONS[c % dict::NATIONS.len()];
+        let mkt_i = c % dict::SEGMENTS.len();
+        [
+            format!("C{c:06}"),
+            format!("Customer#{c:09}"),
+            format!("{} {}", 10 + c, dict::STREETS[c % dict::STREETS.len()]),
+            format!("{} City {}", nation, c % 7), // city embeds the nation
+            nation.to_string(),
+            region.to_string(),
+            format!("{}-{c:06}", 10 + c % 90),
+            format!("{}.{:02}", 100 + mix(c, 1) % 9900, mix(c, 2) % 100),
+            dict::SEGMENTS[mkt_i].to_string(),
+            format!("customer note {}", mix(c, 3) % 1000),
+            ncode.to_string(),
+            format!("SEG{mkt_i}"),
+        ]
+    }
+
+    pub fn part(p: usize) -> [String; 11] {
+        let size = 1 + p % 50;
+        let brand_a = p % 5;
+        let brand_b = p % 4;
+        [
+            format!("P{p:06}"),
+            format!("Part#{p:09}"),
+            format!("Manufacturer#{}", 1 + p % 5),
+            format!("Brand#{brand_a}{brand_b}"),
+            dict::PART_TYPES[p % dict::PART_TYPES.len()].to_string(),
+            size.to_string(),
+            dict::CONTAINERS[p % dict::CONTAINERS.len()].to_string(),
+            format!("{}.{:02}", 900 + mix(p, 5) % 1200, mix(p, 6) % 100),
+            format!("part note {}", mix(p, 7) % 1000),
+            (if size <= 15 { "SMALL" } else if size <= 35 { "MEDIUM" } else { "LARGE" }).to_string(),
+            format!("Line{brand_a}{brand_b}"),
+        ]
+    }
+
+    pub fn supplier(s: usize) -> [String; 11] {
+        let (nation, region, ncode) = dict::NATIONS[(s * 5 + 3) % dict::NATIONS.len()];
+        [
+            format!("S{s:05}"),
+            format!("Supplier#{s:09}"),
+            format!("{} {}", 500 + s, dict::STREETS[(s * 3) % dict::STREETS.len()]),
+            format!("{} Depot {}", nation, s % 5),
+            nation.to_string(),
+            region.to_string(),
+            format!("{}-{s:06}", 20 + s % 70),
+            format!("{}.{:02}", 500 + mix(s, 8) % 9000, mix(s, 9) % 100),
+            format!("supplier note {}", mix(s, 10) % 1000),
+            ncode.to_string(),
+            format!("{} stars", 1 + mix(s, 11) % 5),
+        ]
+    }
+
+    pub fn order(o: usize, n_customers: usize) -> ([String; 10], usize) {
+        let month = 1 + (o / 8) % 12;
+        let date = format!("199{}-{month:02}-{:02}", o % 8, 1 + (o / 96) % 28);
+        let fields = [
+            format!("O{o:07}"),
+            ["O", "F", "P"][o % 3].to_string(),
+            format!("{}.{:02}", 1000 + mix(o, 12) % 99000, mix(o, 13) % 100),
+            date,
+            dict::PRIORITIES[o % dict::PRIORITIES.len()].to_string(),
+            format!("Clerk#{o:09}"),
+            "0".to_string(),
+            format!("order note {}", mix(o, 14) % 1000),
+            format!("199{}", o % 8),
+            format!("Q{}", 1 + (month - 1) / 3),
+        ];
+        (fields, o % n_customers)
+    }
+}
+
+/// Assemble a full 58-attribute row for (order, part, supplier, salt).
+fn row(o: usize, p: usize, s: usize, salt: usize, n_customers: usize) -> Vec<Value> {
+    let (ord, cust_idx) = entity::order(o, n_customers);
+    let cust = entity::customer(cust_idx);
+    let part = entity::part(p);
+    let supp = entity::supplier(s);
+    let rflag_i = mix(salt, 15) % 3;
+    let rflag = ["R", "A", "N"][rflag_i];
+    let lstatus = ["F", "F", "O"][rflag_i]; // LRFlag → LStatus
+    let mut vals: Vec<Value> = Vec::with_capacity(58);
+    // lineitem (12)
+    vals.push(Value::str((1 + mix(salt, 16) % 50).to_string()));
+    vals.push(Value::str(format!("{}.{:02}", 900 + mix(salt, 17) % 90000, mix(salt, 18) % 100)));
+    vals.push(Value::str(format!("0.{:02}", mix(salt, 19) % 11)));
+    vals.push(Value::str(format!("0.{:02}", mix(salt, 20) % 9)));
+    vals.push(Value::str(rflag));
+    vals.push(Value::str(lstatus));
+    vals.push(Value::str(format!("199{}-{:02}-{:02}", salt % 8, 1 + mix(salt, 21) % 12, 1 + mix(salt, 22) % 28)));
+    vals.push(Value::str(format!("199{}-{:02}-{:02}", salt % 8, 1 + mix(salt, 23) % 12, 1 + mix(salt, 24) % 28)));
+    vals.push(Value::str(format!("199{}-{:02}-{:02}", salt % 8, 1 + mix(salt, 25) % 12, 1 + mix(salt, 26) % 28)));
+    vals.push(Value::str(dict::SHIP_MODES[mix(salt, 27) % dict::SHIP_MODES.len()]));
+    vals.push(Value::str(["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"][mix(salt, 28) % 4]));
+    vals.push(Value::str(format!("lineitem note {}", mix(salt, 29) % 1000)));
+    // orders (10)
+    vals.extend(ord.iter().map(Value::str));
+    // customer (12)
+    vals.extend(cust.iter().map(Value::str));
+    // part (11)
+    vals.extend(part.iter().map(Value::str));
+    // supplier (11)
+    vals.extend(supp.iter().map(Value::str));
+    // derived (2)
+    vals.push(Value::str(format!("{}.{:02}", mix(salt, 30) % 5000, mix(salt, 31) % 100)));
+    vals.push(Value::str(format!("0.{:02}", mix(salt, 32) % 60)));
+    assert_eq!(vals.len(), 58);
+    vals
+}
+
+/// Generate the TPC-H workload with the given rule scale.
+pub fn tpch_workload(params: &GenParams, scale: TpchScale) -> Workload {
+    params.validate().expect("invalid generation parameters");
+    let schema = Schema::of_strings("tpch", TPCH_ATTRS);
+    let master_schema: Arc<Schema> = Arc::new(Schema::new(
+        "tpchm",
+        schema.attrs().iter().map(|a| (a.name.clone(), a.ty)),
+    ));
+    let text = rule_text(scale);
+    let parsed = parse_rules(&text, &schema, Some(&master_schema)).expect("TPCH rules parse");
+    assert_eq!(parsed.cfds.len(), 55 * scale.sigma_multiplier);
+    assert_eq!(parsed.positive_mds.len(), 10 * scale.gamma_multiplier);
+    let rules = RuleSet::new(
+        schema.clone(),
+        Some(master_schema.clone()),
+        parsed.cfds,
+        parsed.positive_mds,
+        parsed.negative_mds,
+    );
+
+    let mut rng = SmallRng::seed_from_u64(params.seed ^ 0x7BC8);
+    let m = params.master_tuples;
+    let n_customers = (m / 4).max(4);
+    let n_parts = 200;
+    let n_suppliers = 50;
+
+    // Master: one row per master order.
+    let mut master = Relation::empty(master_schema);
+    for o in 0..m {
+        master.push(Tuple::from_values(
+            row(o, mix(o, 40) % n_parts, mix(o, 41) % n_suppliers, o, n_customers),
+            1.0,
+        ));
+    }
+
+    // Each order contributes several lineitems, as in real TPC-H.
+    const ROWS_PER_ENTITY: f64 = 5.0;
+    let dup_pool = ((params.tuples as f64 * params.dup_rate / ROWS_PER_ENTITY).ceil() as usize)
+        .clamp(1, m);
+    let non_master_orders =
+        ((params.tuples as f64 * (1.0 - params.dup_rate) / ROWS_PER_ENTITY).ceil() as usize).max(1);
+    let mut truth = Relation::empty(schema.clone());
+    let mut order_of_row: Vec<Option<usize>> = Vec::with_capacity(params.tuples);
+    for r in 0..params.tuples {
+        let is_dup = rng.gen::<f64>() < params.dup_rate;
+        let o = if is_dup {
+            let o = rng.gen_range(0..dup_pool);
+            order_of_row.push(Some(o));
+            o
+        } else {
+            order_of_row.push(None);
+            m + rng.gen_range(0..non_master_orders)
+        };
+        truth.push(Tuple::from_values(
+            row(o, rng.gen_range(0..n_parts), rng.gen_range(0..n_suppliers), m + r, n_customers),
+            0.0,
+        ));
+    }
+
+    let mut dirty = truth.clone();
+    let attrs: Vec<uniclean_model::AttrId> = schema.attr_ids().collect();
+    let errors = corrupt(&mut dirty, &attrs, params.noise_rate, &mut rng);
+    assign_confidence(&mut dirty, &truth, params.asserted_rate, &mut rng);
+
+    let true_matches: HashSet<(TupleId, TupleId)> = order_of_row
+        .iter()
+        .enumerate()
+        .filter_map(|(r, o)| o.map(|o| (TupleId::from(r), TupleId::from(o))))
+        .collect();
+
+    Workload { name: "tpch", rules, truth, dirty, master, true_matches, errors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> GenParams {
+        GenParams { tuples: 150, master_tuples: 60, ..GenParams::default() }
+    }
+
+    #[test]
+    fn workload_invariants_hold() {
+        let w = tpch_workload(&small(), TpchScale::default());
+        w.check_invariants();
+        assert_eq!(w.truth.schema().arity(), 58);
+        assert_eq!(w.rules.cfds().len(), 55);
+    }
+
+    #[test]
+    fn sigma_sweep_scales_rule_count_and_stays_valid() {
+        for mult in [1usize, 3, 5] {
+            let w = tpch_workload(
+                &GenParams { tuples: 80, master_tuples: 30, ..GenParams::default() },
+                TpchScale { sigma_multiplier: mult, gamma_multiplier: 1 },
+            );
+            assert_eq!(w.rules.cfds().len(), 55 * mult);
+            w.check_invariants();
+        }
+    }
+
+    #[test]
+    fn gamma_sweep_scales_md_count_and_stays_valid() {
+        for mult in [1usize, 2, 5] {
+            let w = tpch_workload(
+                &GenParams { tuples: 80, master_tuples: 30, ..GenParams::default() },
+                TpchScale { sigma_multiplier: 1, gamma_multiplier: mult },
+            );
+            // Base MDs normalize to more than 10 (multi-RHS rules split),
+            // but the declared count is 10 × mult.
+            assert!(w.rules.mds().len() >= 10 * mult);
+            w.check_invariants();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma multiplier")]
+    fn oversized_sigma_multiplier_rejected() {
+        tpch_workload(&small(), TpchScale { sigma_multiplier: 9, gamma_multiplier: 1 });
+    }
+
+    #[test]
+    fn determinism() {
+        let a = tpch_workload(&small(), TpchScale::default());
+        let b = tpch_workload(&small(), TpchScale::default());
+        assert_eq!(a.dirty.diff_cells(&b.dirty), 0);
+    }
+}

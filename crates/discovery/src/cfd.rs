@@ -1,0 +1,178 @@
+//! Constant-CFD mining.
+//!
+//! A constant CFD `([A = a] → [B = b])` is a pattern-level rule: *within
+//! the extent of `A = a`*, attribute `B` is constantly `b`. Mining is
+//! frequent-pattern style: enumerate values `a` of `A` with support at
+//! least `min_support`, and emit the rule when the extent agrees on `B`
+//! (and the rule is not subsumed by the plain FD `A → B`, which would make
+//! the pattern pointless).
+
+use std::collections::HashMap;
+
+use uniclean_model::{AttrId, Relation, Value};
+use uniclean_rules::{Cfd, PatternValue};
+
+use crate::partition::Partition;
+
+/// Mining bounds.
+#[derive(Clone, Debug)]
+pub struct ConstantCfdConfig {
+    /// Minimum number of tuples matching the LHS pattern, default 3.
+    pub min_support: usize,
+    /// Skip LHS attributes with more distinct values than this (near-key
+    /// columns generate one rule per tuple — noise, not knowledge),
+    /// default 50.
+    pub max_lhs_distinct: usize,
+}
+
+impl Default for ConstantCfdConfig {
+    fn default() -> Self {
+        ConstantCfdConfig { min_support: 3, max_lhs_distinct: 50 }
+    }
+}
+
+/// Mine constant CFDs `([A = a] → [B = b])` from `d`.
+pub fn discover_constant_cfds(d: &Relation, cfg: &ConstantCfdConfig) -> Vec<Cfd> {
+    let schema = d.schema().clone();
+    let attrs: Vec<AttrId> = schema.attr_ids().collect();
+    let mut out = Vec::new();
+    let mut n = 0usize;
+
+    // Which plain FDs A → B hold? Their constant specializations are
+    // subsumed and skipped.
+    let parts: Vec<Partition> = attrs.iter().map(|a| Partition::of_attr(d, *a)).collect();
+    let fd_holds = |a: usize, b: usize| -> bool {
+        parts[a].refines_to(&Partition::of_attrs(d, &[attrs[a], attrs[b]]))
+    };
+
+    for (ai, &a) in attrs.iter().enumerate() {
+        // Extents of each value of A.
+        let mut extents: HashMap<&Value, Vec<u32>> = HashMap::new();
+        for (tid, t) in d.iter() {
+            if !t.value(a).is_null() {
+                extents.entry(t.value(a)).or_default().push(tid.0);
+            }
+        }
+        if extents.len() > cfg.max_lhs_distinct {
+            continue;
+        }
+        let mut keyed: Vec<(&Value, Vec<u32>)> = extents.into_iter().collect();
+        keyed.sort_by(|x, y| x.0.cmp(y.0));
+        for (val, extent) in keyed {
+            if extent.len() < cfg.min_support {
+                continue;
+            }
+            for (bi, &b) in attrs.iter().enumerate() {
+                if a == b || fd_holds(ai, bi) {
+                    continue;
+                }
+                let first = d.tuple(uniclean_model::TupleId(extent[0])).value(b).clone();
+                if first.is_null() {
+                    continue;
+                }
+                let constant = extent
+                    .iter()
+                    .all(|&t| d.tuple(uniclean_model::TupleId(t)).value(b) == &first);
+                if constant {
+                    n += 1;
+                    out.push(Cfd::new(
+                        format!("ccfd{n:03}"),
+                        schema.clone(),
+                        vec![a],
+                        vec![PatternValue::Const(val.clone())],
+                        vec![b],
+                        vec![PatternValue::Const(first)],
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniclean_model::{Schema, Tuple};
+    use uniclean_rules::satisfies_cfd;
+
+    fn rel(rows: &[[&str; 3]]) -> Relation {
+        let s = Schema::of_strings("r", &["City", "State", "Other"]);
+        Relation::new(s, rows.iter().map(|r| Tuple::of_strs(r, 0.0)).collect())
+    }
+
+    #[test]
+    fn mines_city_state_pattern() {
+        // City → State does NOT hold globally (Springfield is ambiguous),
+        // but [City=Boston] → [State=MA] does.
+        let d = rel(&[
+            ["Boston", "MA", "1"],
+            ["Boston", "MA", "2"],
+            ["Boston", "MA", "3"],
+            ["Springfield", "IL", "4"],
+            ["Springfield", "MA", "5"],
+            ["Springfield", "MO", "6"],
+        ]);
+        let cfds = discover_constant_cfds(&d, &ConstantCfdConfig { min_support: 3, ..Default::default() });
+        assert!(
+            cfds.iter().any(|c| c.to_string().contains("[City=Boston] -> [State=MA]")),
+            "expected Boston rule in {cfds:?}"
+        );
+        assert!(
+            !cfds.iter().any(|c| c.to_string().contains("City=Springfield] -> [State")),
+            "ambiguous Springfield must not yield a State rule"
+        );
+        for c in &cfds {
+            assert!(satisfies_cfd(c, &d), "{c} does not hold");
+        }
+    }
+
+    #[test]
+    fn global_fd_suppresses_specializations() {
+        // City → State holds globally: no constant rules for (City, State).
+        let d = rel(&[
+            ["Boston", "MA", "1"],
+            ["Boston", "MA", "2"],
+            ["Boston", "MA", "3"],
+            ["Chicago", "IL", "4"],
+            ["Chicago", "IL", "5"],
+            ["Chicago", "IL", "6"],
+        ]);
+        let cfds = discover_constant_cfds(&d, &ConstantCfdConfig { min_support: 3, ..Default::default() });
+        assert!(
+            !cfds.iter().any(|c| c.to_string().contains("-> [State=")),
+            "FD-subsumed rules must be skipped: {cfds:?}"
+        );
+    }
+
+    #[test]
+    fn support_threshold_filters_rare_patterns() {
+        let d = rel(&[
+            ["Boston", "MA", "1"],
+            ["Boston", "MA", "2"],
+            ["Springfield", "IL", "3"],
+            ["Springfield", "MO", "4"],
+        ]);
+        let cfds = discover_constant_cfds(&d, &ConstantCfdConfig { min_support: 3, ..Default::default() });
+        assert!(cfds.is_empty(), "support 2 < 3 everywhere: {cfds:?}");
+    }
+
+    #[test]
+    fn near_key_lhs_is_skipped() {
+        let rows: Vec<[String; 3]> = (0..60)
+            .map(|i| [format!("c{i}"), "X".into(), "y".into()])
+            .collect();
+        let s = Schema::of_strings("r", &["City", "State", "Other"]);
+        let d = Relation::new(
+            s,
+            rows.iter()
+                .map(|r| Tuple::of_strs(&[r[0].as_str(), r[1].as_str(), r[2].as_str()], 0.0))
+                .collect(),
+        );
+        let cfds = discover_constant_cfds(&d, &ConstantCfdConfig { min_support: 1, max_lhs_distinct: 50 });
+        assert!(
+            !cfds.iter().any(|c| c.to_string().contains("City=")),
+            "60 distinct cities exceed the 50 cap"
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Rule discovery — the acquisition path the paper assumes (§2): "Both
+//! CFDs and MDs can be automatically discovered from data via profiling
+//! algorithms (see e.g., [Fan et al. 2011; Song and Chen 2009])."
+//!
+//! * [`partition`] — stripped partitions (position-list indexes), the
+//!   workhorse of dependency profiling: `X → A` holds iff the partition of
+//!   `X` has the same error as the partition of `X ∪ {A}`;
+//! * [`fd`] — TANE-style levelwise discovery of minimal FDs up to a bounded
+//!   LHS size, with pruning;
+//! * [`cfd`] — constant-CFD mining: frequent single-attribute patterns
+//!   whose extent agrees on another attribute yield
+//!   `([A = a] → [B = b])` rules;
+//! * [`md`] — MD suggestion: key-like FDs on a clean (master) relation
+//!   induce matching dependencies with equality premises.
+//!
+//! Discovery is run on *presumed-clean* data (master data or a vetted
+//! sample); rules mined from dirty data inherit its errors — which is
+//! exactly why the paper routes them through the §4 consistency analysis
+//! before use.
+
+pub mod cfd;
+pub mod fd;
+pub mod md;
+pub mod partition;
+
+pub use cfd::{discover_constant_cfds, ConstantCfdConfig};
+pub use fd::{discover_fds, FdConfig};
+pub use md::suggest_mds;
+pub use partition::Partition;

@@ -1,0 +1,231 @@
+//! MD suggestion from keys of the master data.
+//!
+//! Following the spirit of [Song and Chen 2009]: a minimal key `X` of the
+//! (clean) master relation identifies entities — "same `X` ⇒ same entity"
+//! is a plausible matching rule, yielding the MD
+//! `⋀_{x∈X} R[x] = Rm[x] → R[A] ⇌ Rm[A]` for the remaining attributes.
+//! Suggestion emits conservative equality premises; the caller may relax
+//! individual attributes to similarity predicates (names to `~lev(2)`
+//! etc.) before use.
+
+use std::sync::Arc;
+
+use uniclean_model::{AttrId, Relation, Schema};
+use uniclean_rules::{Cfd, Md, MdPremise};
+use uniclean_similarity::SimilarityPredicate;
+
+use crate::partition::Partition;
+
+/// Suggest MDs by finding minimal keys of `master` with at most
+/// `max_key_size` attributes and lifting each into a matching rule.
+///
+/// A key identifies the *entity*, not the row, so the identified attributes
+/// must be entity-level: the RHS of each suggested MD is restricted to
+/// attributes that some FD of `sample_fds` (mined on a clean, multi-row
+/// sample over the data schema) derives from the key — `Score`-style
+/// row-level attributes never qualify. Attributes are paired by *name*
+/// across the master and data schemas; keys containing an attribute with no
+/// same-named data-side counterpart are skipped. Returns one (multi-RHS) MD
+/// per key, to be normalized by the rule-set machinery.
+pub fn suggest_mds(
+    master: &Relation,
+    data_schema: &Arc<Schema>,
+    max_key_size: usize,
+    sample_fds: &[Cfd],
+) -> Vec<Md> {
+    let mschema = master.schema().clone();
+    let attrs: Vec<AttrId> = mschema.attr_ids().collect();
+    let mut keys: Vec<Vec<AttrId>> = Vec::new();
+
+    // Levelwise minimal-key search.
+    let mut level: Vec<Vec<AttrId>> = attrs.iter().map(|a| vec![*a]).collect();
+    for _size in 1..=max_key_size.max(1) {
+        let mut next: Vec<Vec<AttrId>> = Vec::new();
+        for cand in &level {
+            // Minimality: skip supersets of found keys.
+            if keys.iter().any(|k| k.iter().all(|a| cand.contains(a))) {
+                continue;
+            }
+            if Partition::of_attrs(master, cand).is_key() {
+                keys.push(cand.clone());
+            } else {
+                for &a in &attrs {
+                    if cand.iter().all(|x| x.0 < a.0) {
+                        let mut ext = cand.clone();
+                        ext.push(a);
+                        next.push(ext);
+                    }
+                }
+            }
+        }
+        level = next;
+        if level.is_empty() {
+            break;
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut n = 0usize;
+    for key in keys {
+        // Pair key attributes by name with the data schema.
+        let mut premises = Vec::new();
+        let mut ok = true;
+        for &ma in &key {
+            match data_schema.attr_id(mschema.attr_name(ma)) {
+                Some(da) => premises.push(MdPremise {
+                    attr: da,
+                    master_attr: ma,
+                    pred: SimilarityPredicate::Equal,
+                }),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        // Identify the attributes the key provably determines on the
+        // sample: FDs whose LHS is contained in the (data-side) key.
+        let data_key: Vec<AttrId> = premises.iter().map(|p| p.attr).collect();
+        let rhs: Vec<(AttrId, AttrId)> = attrs
+            .iter()
+            .filter(|a| !key.contains(a))
+            .filter_map(|&ma| {
+                let da = data_schema.attr_id(mschema.attr_name(ma))?;
+                let determined = sample_fds.iter().any(|f| {
+                    f.is_normalized()
+                        && f.rhs()[0] == da
+                        && f.lhs().iter().all(|x| data_key.contains(x))
+                });
+                determined.then_some((da, ma))
+            })
+            .collect();
+        if rhs.is_empty() {
+            continue;
+        }
+        n += 1;
+        out.push(Md::new(format!("md-sugg{n:02}"), data_schema.clone(), mschema.clone(), premises, rhs));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniclean_model::Tuple;
+    use uniclean_rules::satisfies_md;
+
+    fn master() -> Relation {
+        let s = Schema::of_strings("card", &["id", "name", "phone"]);
+        Relation::new(
+            s,
+            vec![
+                Tuple::of_strs(&["1", "Mark Smith", "111"], 1.0),
+                Tuple::of_strs(&["2", "Robert Brady", "222"], 1.0),
+                Tuple::of_strs(&["3", "Mark Smith", "333"], 1.0),
+            ],
+        )
+    }
+
+    /// FDs over the data schema saying every key determines the others.
+    fn all_fds(s: &Arc<Schema>) -> Vec<Cfd> {
+        use uniclean_rules::PatternValue;
+        let mut out = Vec::new();
+        for a in s.attr_ids() {
+            for b in s.attr_ids() {
+                if a != b {
+                    out.push(Cfd::new(
+                        format!("f{}{}", a.0, b.0),
+                        s.clone(),
+                        vec![a],
+                        vec![PatternValue::Wildcard],
+                        vec![b],
+                        vec![PatternValue::Wildcard],
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn unique_columns_become_match_keys() {
+        let m = master();
+        let data_schema = Schema::of_strings("tran", &["id", "name", "phone"]);
+        let mds = suggest_mds(&m, &data_schema, 1, &all_fds(&data_schema));
+        // id and phone are unique; name is not (two Mark Smiths).
+        let names: Vec<&str> = mds
+            .iter()
+            .map(|md| m.schema().attr_name(md.premises()[0].master_attr))
+            .collect();
+        assert!(names.contains(&"id"), "{names:?}");
+        assert!(names.contains(&"phone"), "{names:?}");
+        assert!(!names.contains(&"name"), "ambiguous name must not be a key: {names:?}");
+        // Each suggested MD identifies the remaining attributes.
+        for md in &mds {
+            assert_eq!(md.rhs().len(), 2);
+            assert!(md.premises()[0].pred.is_equality());
+        }
+    }
+
+    #[test]
+    fn suggested_mds_hold_on_matching_data() {
+        let m = master();
+        let data_schema = Schema::of_strings("tran", &["id", "name", "phone"]);
+        let mds = suggest_mds(&m, &data_schema, 1, &all_fds(&data_schema));
+        let d = Relation::new(
+            data_schema,
+            vec![Tuple::of_strs(&["1", "Mark Smith", "111"], 0.5)],
+        );
+        for md in &mds {
+            assert!(satisfies_md(md, &d, &m), "{}", md.name());
+        }
+    }
+
+    #[test]
+    fn composite_keys_found_at_level_two() {
+        // No single attribute is unique; (a, b) is.
+        let s = Schema::of_strings("m", &["a", "b", "c"]);
+        let m = Relation::new(
+            s,
+            vec![
+                Tuple::of_strs(&["x", "1", "p"], 1.0),
+                Tuple::of_strs(&["x", "2", "q"], 1.0),
+                Tuple::of_strs(&["y", "1", "r"], 1.0),
+                Tuple::of_strs(&["y", "2", "p"], 1.0),
+            ],
+        );
+        let data_schema = Schema::of_strings("d", &["a", "b", "c"]);
+        let fds = {
+            use uniclean_rules::PatternValue;
+            vec![Cfd::new(
+                "ab_c",
+                data_schema.clone(),
+                vec![data_schema.attr_id_or_panic("a"), data_schema.attr_id_or_panic("b")],
+                vec![PatternValue::Wildcard, PatternValue::Wildcard],
+                vec![data_schema.attr_id_or_panic("c")],
+                vec![PatternValue::Wildcard],
+            )]
+        };
+        let none = suggest_mds(&m, &data_schema, 1, &fds);
+        assert!(none.is_empty(), "no single-attribute key exists");
+        let mds = suggest_mds(&m, &data_schema, 2, &fds);
+        assert_eq!(mds.len(), 1);
+        assert_eq!(mds[0].premises().len(), 2);
+    }
+
+    #[test]
+    fn unpaired_attributes_are_skipped() {
+        let m = master();
+        let data_schema = Schema::of_strings("tran", &["name", "phone"]); // no `id`
+        let mds = suggest_mds(&m, &data_schema, 1, &all_fds(&data_schema));
+        // The id-keyed MD is skipped; the phone-keyed one survives with the
+        // pairable RHS (name).
+        assert!(mds.iter().all(|md| {
+            m.schema().attr_name(md.premises()[0].master_attr) != "id"
+        }));
+        assert!(!mds.is_empty());
+    }
+}

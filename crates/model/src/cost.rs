@@ -1,0 +1,189 @@
+//! The repair cost model of §3.1.
+//!
+//! ```text
+//! cost(Dr, D) = Σ_{t ∈ D} Σ_{A ∈ attr(R)}  t[A].cf · dis_A(t[A], t'[A]) / max(|t[A]|, |t'[A]|)
+//! ```
+//!
+//! where `t'` is the repair of `t`. "The higher the confidence of attribute
+//! `t[A]` is and the more distant `v'` is from `v`, the more costly the
+//! change is." The division by `max(|v|,|v'|)` makes longer strings with a
+//! one-character difference closer than shorter strings with a one-character
+//! difference.
+//!
+//! The distance `dis_A` is pluggable ([`repair_cost_with`]); the default
+//! ([`value_distance`]) is character-level Levenshtein on the rendered
+//! values, with `null` treated as the empty string. This module keeps a
+//! small reference DP implementation; the `uniclean-similarity` crate offers
+//! banded/thresholded variants for hot paths (cross-checked for agreement in
+//! the workspace integration tests).
+
+use crate::relation::Relation;
+use crate::value::Value;
+
+/// Reference Levenshtein distance between two rendered values.
+///
+/// `null` renders as the empty string, so replacing a value by `null` costs
+/// the full length of the value — which is why `hRepair` only reaches for
+/// nulls as a last resort.
+pub fn value_distance(a: &Value, b: &Value) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    let sa = a.render();
+    let sb = b.render();
+    levenshtein_ref(&sa, &sb) as f64
+}
+
+/// Plain two-row DP Levenshtein, the reference implementation for the cost
+/// model (O(|a|·|b|) time, O(min) space).
+fn levenshtein_ref(a: &str, b: &str) -> usize {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    if av.is_empty() {
+        return bv.len();
+    }
+    if bv.is_empty() {
+        return av.len();
+    }
+    // Keep the shorter string in the inner dimension.
+    let (short, long) = if av.len() <= bv.len() { (&av, &bv) } else { (&bv, &av) };
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, sc) in short.iter().enumerate() {
+            let sub = prev[j] + usize::from(lc != sc);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// The per-cell contribution to the cost: `cf · dis(v, v') / max(|v|, |v'|)`.
+///
+/// When both sizes are zero the values are both empty/null; any difference
+/// between them is then impossible, so the contribution is 0.
+pub fn cell_cost(cf: f64, original: &Value, repaired: &Value, dist: impl Fn(&Value, &Value) -> f64) -> f64 {
+    if original == repaired {
+        return 0.0;
+    }
+    let denom = original.size().max(repaired.size());
+    if denom == 0 {
+        return 0.0;
+    }
+    cf * dist(original, repaired) / denom as f64
+}
+
+/// `cost(Dr, D)` with a custom distance function.
+///
+/// # Panics
+/// Panics if the two relations have different schemas or lengths — a repair
+/// never adds or removes tuples.
+pub fn repair_cost_with(
+    original: &Relation,
+    repaired: &Relation,
+    dist: impl Fn(&Value, &Value) -> f64 + Copy,
+) -> f64 {
+    assert_eq!(original.schema(), repaired.schema(), "repair must preserve the schema");
+    assert_eq!(original.len(), repaired.len(), "repair must preserve the tuple count");
+    let mut total = 0.0;
+    for (t, tr) in original.tuples().iter().zip(repaired.tuples().iter()) {
+        for (c, cr) in t.cells().iter().zip(tr.cells().iter()) {
+            total += cell_cost(c.cf, &c.value, &cr.value, dist);
+        }
+    }
+    total
+}
+
+/// `cost(Dr, D)` with the default Levenshtein distance.
+pub fn repair_cost(original: &Relation, repaired: &Relation) -> f64 {
+    repair_cost_with(original, repaired, value_distance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple::Tuple;
+    use crate::TupleId;
+
+    #[test]
+    fn levenshtein_reference_cases() {
+        assert_eq!(levenshtein_ref("", ""), 0);
+        assert_eq!(levenshtein_ref("abc", ""), 3);
+        assert_eq!(levenshtein_ref("", "abc"), 3);
+        assert_eq!(levenshtein_ref("kitten", "sitting"), 3);
+        assert_eq!(levenshtein_ref("Edi", "Ldn"), 2); // E→L, d matches, i→n
+        assert_eq!(levenshtein_ref("Bob", "Robert"), 4);
+        assert_eq!(levenshtein_ref("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn identical_relations_cost_zero() {
+        let schema = Schema::of_strings("r", &["A"]);
+        let d = Relation::new(schema, vec![Tuple::of_strs(&["abc"], 1.0)]);
+        assert_eq!(repair_cost(&d, &d), 0.0);
+    }
+
+    #[test]
+    fn cost_scales_with_confidence() {
+        let schema = Schema::of_strings("r", &["A"]);
+        let lo = Relation::new(schema.clone(), vec![Tuple::of_strs(&["abcd"], 0.25)]);
+        let hi = Relation::new(schema.clone(), vec![Tuple::of_strs(&["abcd"], 1.0)]);
+        let mut rep = Relation::new(schema.clone(), vec![Tuple::of_strs(&["abcx"], 0.25)]);
+        let a = schema.attr_id("A").unwrap();
+        rep.tuple_mut(TupleId(0)).set(a, Value::str("abcx"), 1.0, Default::default());
+        // One substitution in a 4-char string: dis/max = 1/4.
+        assert!((repair_cost(&lo, &rep) - 0.25 * 0.25).abs() < 1e-12);
+        assert!((repair_cost(&hi, &rep) - 1.0 * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longer_strings_with_one_edit_are_cheaper() {
+        let schema = Schema::of_strings("r", &["A"]);
+        let short = Relation::new(schema.clone(), vec![Tuple::of_strs(&["ab"], 1.0)]);
+        let short_rep = Relation::new(schema.clone(), vec![Tuple::of_strs(&["ax"], 1.0)]);
+        let long = Relation::new(schema.clone(), vec![Tuple::of_strs(&["abcdefgh"], 1.0)]);
+        let long_rep = Relation::new(schema, vec![Tuple::of_strs(&["abcdefgx"], 1.0)]);
+        assert!(repair_cost(&long, &long_rep) < repair_cost(&short, &short_rep));
+    }
+
+    #[test]
+    fn null_repair_costs_full_length() {
+        let schema = Schema::of_strings("r", &["A"]);
+        let d = Relation::new(schema.clone(), vec![Tuple::of_strs(&["abcd"], 1.0)]);
+        let mut rep = d.clone();
+        let a = schema.attr_id("A").unwrap();
+        rep.tuple_mut(TupleId(0)).set(a, Value::Null, 0.0, Default::default());
+        // dis("abcd", "") = 4, max size = 4 → normalized 1.0.
+        assert!((repair_cost(&d, &rep) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_confidence_changes_are_free() {
+        let schema = Schema::of_strings("r", &["A"]);
+        let d = Relation::new(schema.clone(), vec![Tuple::of_strs(&["abcd"], 0.0)]);
+        let rep = Relation::new(schema, vec![Tuple::of_strs(&["zzzz"], 0.0)]);
+        assert_eq!(repair_cost(&d, &rep), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tuple count")]
+    fn length_mismatch_panics() {
+        let schema = Schema::of_strings("r", &["A"]);
+        let d = Relation::new(schema.clone(), vec![Tuple::of_strs(&["a"], 1.0)]);
+        let rep = Relation::new(schema, vec![]);
+        repair_cost(&d, &rep);
+    }
+
+    #[test]
+    fn custom_distance_is_used() {
+        let schema = Schema::of_strings("r", &["A"]);
+        let d = Relation::new(schema.clone(), vec![Tuple::of_strs(&["ab"], 1.0)]);
+        let rep = Relation::new(schema, vec![Tuple::of_strs(&["cd"], 1.0)]);
+        // Constant distance 10 over max-size 2 → 5.
+        let c = repair_cost_with(&d, &rep, |_, _| 10.0);
+        assert!((c - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,292 @@
+//! Minimal CSV import/export for relations.
+//!
+//! The generators and the benchmark harness exchange datasets as plain CSV.
+//! The dialect is deliberately small: comma separator, `"`-quoting with `""`
+//! escapes, a header row naming the attributes, and the literal `\N` for
+//! null (so empty strings and nulls stay distinguishable). Confidence and
+//! fix marks are not serialized — they are experiment state, not data.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use crate::relation::Relation;
+use crate::schema::{Schema, ValueType};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Token that encodes SQL null in CSV cells.
+const NULL_TOKEN: &str = "\\N";
+
+/// Serialize a relation to CSV (header row + one row per tuple).
+pub fn to_csv(rel: &Relation) -> String {
+    let mut out = String::new();
+    let header: Vec<&str> = rel.schema().attrs().iter().map(|a| a.name.as_str()).collect();
+    write_row(&mut out, header.iter().copied());
+    for t in rel.tuples() {
+        let row: Vec<String> = t
+            .cells()
+            .iter()
+            .map(|c| match &c.value {
+                Value::Null => NULL_TOKEN.to_string(),
+                v => v.render().into_owned(),
+            })
+            .collect();
+        write_row(&mut out, row.iter().map(|s| s.as_str()));
+    }
+    out
+}
+
+fn write_row<'a>(out: &mut String, fields: impl Iterator<Item = &'a str>) {
+    let mut first = true;
+    for f in fields {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        // `\r` must be quoted too: unquoted carriage returns are consumed
+        // by the reader's CRLF tolerance.
+        if f.contains(',') || f.contains('"') || f.contains('\n') || f.contains('\r') {
+            out.push('"');
+            for ch in f.chars() {
+                if ch == '"' {
+                    out.push('"');
+                }
+                out.push(ch);
+            }
+            out.push('"');
+        } else {
+            let _ = write!(out, "{f}");
+        }
+    }
+    out.push('\n');
+}
+
+/// Errors raised while parsing CSV into a relation.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input had no header row.
+    MissingHeader,
+    /// Row `row` (1-based, excluding the header) had `got` fields where the
+    /// header declared `want`.
+    FieldCount { row: usize, want: usize, got: usize },
+    /// A quoted field was never closed.
+    UnterminatedQuote { row: usize },
+    /// Cell could not be parsed as the declared attribute type.
+    BadValue { row: usize, attr: String, text: String },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::MissingHeader => write!(f, "csv input has no header row"),
+            CsvError::FieldCount { row, want, got } => {
+                write!(f, "csv row {row}: expected {want} fields, found {got}")
+            }
+            CsvError::UnterminatedQuote { row } => write!(f, "csv row {row}: unterminated quote"),
+            CsvError::BadValue { row, attr, text } => {
+                write!(f, "csv row {row}: `{text}` is not a valid value for attribute {attr}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parse CSV produced by [`to_csv`] back into a relation.
+///
+/// The relation name and attribute types come from the caller: CSV headers
+/// carry names only. Every cell gets confidence `default_cf`.
+pub fn from_csv(
+    name: &str,
+    types: &[ValueType],
+    input: &str,
+    default_cf: f64,
+) -> Result<Relation, CsvError> {
+    let mut rows = parse_rows(input)?;
+    if rows.is_empty() {
+        return Err(CsvError::MissingHeader);
+    }
+    let header = rows.remove(0);
+    assert_eq!(
+        header.len(),
+        types.len(),
+        "caller supplied {} types for {} header columns",
+        types.len(),
+        header.len()
+    );
+    let schema = Arc::new(Schema::new(
+        name,
+        header.iter().cloned().zip(types.iter().copied()),
+    ));
+    let mut rel = Relation::empty(schema.clone());
+    for (i, row) in rows.into_iter().enumerate() {
+        let rownum = i + 1;
+        if row.len() != schema.arity() {
+            return Err(CsvError::FieldCount { row: rownum, want: schema.arity(), got: row.len() });
+        }
+        let mut vals = Vec::with_capacity(row.len());
+        for (j, field) in row.into_iter().enumerate() {
+            let v = if field == NULL_TOKEN {
+                Value::Null
+            } else {
+                match types[j] {
+                    ValueType::Str => Value::from(field),
+                    ValueType::Int => field.parse::<i64>().map(Value::Int).map_err(|_| {
+                        CsvError::BadValue { row: rownum, attr: schema.attr_name(crate::AttrId::from(j)).to_string(), text: field.clone() }
+                    })?,
+                }
+            };
+            vals.push(v);
+        }
+        rel.push(Tuple::from_values(vals, default_cf));
+    }
+    Ok(rel)
+}
+
+/// Split CSV text into rows of unescaped fields.
+fn parse_rows(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut rows = Vec::new();
+    let mut field = String::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+    while let Some(ch) = chars.next() {
+        any = true;
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(ch),
+            }
+        } else {
+            match ch {
+                '"' => in_quotes = true,
+                ',' => {
+                    row.push(std::mem::take(&mut field));
+                }
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                '\r' => {} // tolerate CRLF
+                _ => field.push(ch),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote { row: rows.len() });
+    }
+    if any && (!field.is_empty() || !row.is_empty()) {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Relation {
+        let schema = Schema::of_strings("r", &["name", "city"]);
+        Relation::new(
+            schema,
+            vec![
+                Tuple::of_strs(&["Mark Smith", "Edi"], 0.5),
+                Tuple::of_strs(&["Brady, Robert", "Ldn"], 0.5),
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let rel = sample();
+        let csv = to_csv(&rel);
+        let back = from_csv("r", &[ValueType::Str, ValueType::Str], &csv, 0.5).unwrap();
+        assert_eq!(back.len(), 2);
+        for (a, b) in rel.tuples().iter().zip(back.tuples().iter()) {
+            assert_eq!(a.cells().iter().map(|c| &c.value).collect::<Vec<_>>(),
+                       b.cells().iter().map(|c| &c.value).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn commas_are_quoted() {
+        let csv = to_csv(&sample());
+        assert!(csv.contains("\"Brady, Robert\""));
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let schema = Schema::of_strings("r", &["A"]);
+        let rel = Relation::new(schema, vec![Tuple::of_strs(&["say \"hi\""], 0.0)]);
+        let csv = to_csv(&rel);
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+        let back = from_csv("r", &[ValueType::Str], &csv, 0.0).unwrap();
+        assert_eq!(back.tuple(crate::TupleId(0)).value(crate::AttrId(0)), &Value::str("say \"hi\""));
+    }
+
+    #[test]
+    fn null_token_roundtrips() {
+        let schema = Schema::of_strings("r", &["A"]);
+        let mut rel = Relation::new(schema, vec![Tuple::of_strs(&["x"], 0.0)]);
+        rel.tuple_mut(crate::TupleId(0)).set(crate::AttrId(0), Value::Null, 0.0, Default::default());
+        let csv = to_csv(&rel);
+        let back = from_csv("r", &[ValueType::Str], &csv, 0.0).unwrap();
+        assert!(back.tuple(crate::TupleId(0)).value(crate::AttrId(0)).is_null());
+    }
+
+    #[test]
+    fn int_columns_parse() {
+        let csv = "A,B\nx,42\ny,-7\n";
+        let rel = from_csv("r", &[ValueType::Str, ValueType::Int], csv, 0.0).unwrap();
+        assert_eq!(rel.tuple(crate::TupleId(1)).value(crate::AttrId(1)), &Value::int(-7));
+    }
+
+    #[test]
+    fn bad_int_reports_row_and_attr() {
+        let csv = "A\nnot-a-number\n";
+        let err = from_csv("r", &[ValueType::Int], csv, 0.0).unwrap_err();
+        match err {
+            CsvError::BadValue { row, ref attr, .. } => {
+                assert_eq!(row, 1);
+                assert_eq!(attr, "A");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn field_count_mismatch_is_reported() {
+        let csv = "A,B\nonly-one\n";
+        let err = from_csv("r", &[ValueType::Str, ValueType::Str], csv, 0.0).unwrap_err();
+        assert_eq!(err, CsvError::FieldCount { row: 1, want: 2, got: 1 });
+    }
+
+    #[test]
+    fn empty_input_is_missing_header() {
+        assert_eq!(from_csv("r", &[], "", 0.0).unwrap_err(), CsvError::MissingHeader);
+    }
+
+    #[test]
+    fn crlf_is_tolerated() {
+        let csv = "A,B\r\nx,y\r\n";
+        let rel = from_csv("r", &[ValueType::Str, ValueType::Str], csv, 0.0).unwrap();
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.tuple(crate::TupleId(0)).value(crate::AttrId(1)), &Value::str("y"));
+    }
+
+    #[test]
+    fn final_row_without_newline_is_kept() {
+        let csv = "A\nx\ny";
+        let rel = from_csv("r", &[ValueType::Str], csv, 0.0).unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+}

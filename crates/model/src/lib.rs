@@ -1,0 +1,29 @@
+//! Relational substrate for UniClean.
+//!
+//! This crate provides the data model shared by every other UniClean crate:
+//!
+//! * [`Schema`] — named relation schemas with typed attributes,
+//! * [`Value`] — cell values (`null`, strings, integers) with cheap clones,
+//! * [`Tuple`] / [`Cell`] — tuples whose cells carry a *confidence* `cf`
+//!   (the user's belief in the accuracy of the cell, §3.1 of the paper) and a
+//!   [`FixMark`] recording which cleaning phase last wrote the cell,
+//! * [`Relation`] — an instance of a schema (a bag of tuples),
+//! * [`cost`](mod@cost) — the repair cost model `cost(Dr, D)` of §3.1.
+//!
+//! The model is deliberately free of any cleaning logic: rules live in
+//! `uniclean-rules` and the cleaning algorithms in `uniclean-core`.
+
+pub mod cost;
+pub mod csv;
+pub mod pos;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use cost::{cell_cost, repair_cost, repair_cost_with, value_distance};
+pub use pos::{AttrId, TupleId};
+pub use relation::Relation;
+pub use schema::{AttrDef, Schema, ValueType};
+pub use tuple::{Cell, FixMark, Tuple};
+pub use value::Value;

@@ -1,0 +1,103 @@
+//! Index newtypes identifying tuples within a relation and attributes within
+//! a schema.
+//!
+//! Using newtypes instead of bare `usize` prevents the classic bug of mixing
+//! a tuple index into an attribute table (and vice versa), which matters in
+//! the cleaning algorithms where both kinds of index flow through the same
+//! queues and hash tables.
+
+use std::fmt;
+
+/// Position of a tuple inside a [`crate::Relation`].
+///
+/// Tuple ids are dense: the `i`-th tuple of a relation has id `TupleId(i)`.
+/// They stay stable across cell updates (UniClean never inserts or deletes
+/// tuples, it only modifies attribute values — §3.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TupleId(pub u32);
+
+/// Position of an attribute inside a [`crate::Schema`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub u16);
+
+impl TupleId {
+    /// The id as a `usize`, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl AttrId {
+    /// The id as a `usize`, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for TupleId {
+    #[inline]
+    fn from(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize, "tuple index overflows u32");
+        TupleId(i as u32)
+    }
+}
+
+impl From<usize> for AttrId {
+    #[inline]
+    fn from(i: usize) -> Self {
+        debug_assert!(i <= u16::MAX as usize, "attribute index overflows u16");
+        AttrId(i as u16)
+    }
+}
+
+impl fmt::Debug for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Debug for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_id_roundtrip() {
+        let t = TupleId::from(42usize);
+        assert_eq!(t.index(), 42);
+        assert_eq!(format!("{t}"), "t42");
+        assert_eq!(format!("{t:?}"), "t42");
+    }
+
+    #[test]
+    fn attr_id_roundtrip() {
+        let a = AttrId::from(7usize);
+        assert_eq!(a.index(), 7);
+        assert_eq!(format!("{a}"), "A7");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(TupleId(1) < TupleId(2));
+        assert!(AttrId(0) < AttrId(3));
+    }
+}

@@ -1,0 +1,212 @@
+//! Relations: instances of a schema.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use crate::pos::{AttrId, TupleId};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// An instance `D` of a schema `R`: an ordered bag of tuples.
+///
+/// Order is meaningful only as identity — `TupleId(i)` names the `i`-th
+/// tuple — and is stable under cleaning, which never inserts or removes
+/// tuples.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    schema: Arc<Schema>,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// An empty instance of `schema`.
+    pub fn empty(schema: Arc<Schema>) -> Self {
+        Relation { schema, tuples: Vec::new() }
+    }
+
+    /// Build an instance from tuples.
+    ///
+    /// # Panics
+    /// Panics if any tuple's arity does not match the schema.
+    pub fn new(schema: Arc<Schema>, tuples: Vec<Tuple>) -> Self {
+        for (i, t) in tuples.iter().enumerate() {
+            assert_eq!(
+                t.arity(),
+                schema.arity(),
+                "tuple {i} has arity {} but schema `{}` has arity {}",
+                t.arity(),
+                schema.name(),
+                schema.arity()
+            );
+        }
+        Relation { schema, tuples }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of tuples, `|D|`.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the instance empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Append a tuple, returning its id.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn push(&mut self, t: Tuple) -> TupleId {
+        assert_eq!(t.arity(), self.schema.arity(), "tuple arity mismatch");
+        let id = TupleId::from(self.tuples.len());
+        self.tuples.push(t);
+        id
+    }
+
+    /// Immutable access by id.
+    #[inline]
+    pub fn tuple(&self, id: TupleId) -> &Tuple {
+        &self.tuples[id.index()]
+    }
+
+    /// Mutable access by id.
+    #[inline]
+    pub fn tuple_mut(&mut self, id: TupleId) -> &mut Tuple {
+        &mut self.tuples[id.index()]
+    }
+
+    /// All tuples in id order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Mutable access to all tuples.
+    pub fn tuples_mut(&mut self) -> &mut [Tuple] {
+        &mut self.tuples
+    }
+
+    /// Iterate `(id, tuple)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &Tuple)> {
+        self.tuples.iter().enumerate().map(|(i, t)| (TupleId::from(i), t))
+    }
+
+    /// All tuple ids.
+    pub fn ids(&self) -> impl Iterator<Item = TupleId> {
+        (0..self.tuples.len()).map(TupleId::from)
+    }
+
+    /// The active domain `adom(A)` of attribute `A`: the set of distinct
+    /// values appearing in column `A`, sorted. Nulls are excluded — they
+    /// denote absence, not a domain element.
+    pub fn active_domain(&self, a: AttrId) -> Vec<Value> {
+        let set: BTreeSet<Value> = self
+            .tuples
+            .iter()
+            .map(|t| t.value(a).clone())
+            .filter(|v| !v.is_null())
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// Project the whole relation onto `attrs` (the paper's `π_attrs(D)`),
+    /// preserving duplicates and order.
+    pub fn project(&self, attrs: &[AttrId]) -> Vec<Vec<Value>> {
+        self.tuples.iter().map(|t| t.project(attrs)).collect()
+    }
+
+    /// Count cells (tuples × attributes); the `k` of §7's termination bound.
+    pub fn cell_count(&self) -> usize {
+        self.tuples.len() * self.schema.arity()
+    }
+
+    /// Total number of cells whose value differs from `other` (strict
+    /// equality, position-wise). A convenience for tests and metrics;
+    /// requires equal schemas and lengths.
+    pub fn diff_cells(&self, other: &Relation) -> usize {
+        assert_eq!(self.schema, other.schema, "diff_cells requires identical schemas");
+        assert_eq!(self.len(), other.len(), "diff_cells requires equal tuple counts");
+        let mut n = 0;
+        for (a, b) in self.tuples.iter().zip(other.tuples.iter()) {
+            for (ca, cb) in a.cells().iter().zip(b.cells().iter()) {
+                if ca.value != cb.value {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn rel() -> Relation {
+        let schema = Schema::of_strings("r", &["A", "B"]);
+        Relation::new(
+            schema,
+            vec![
+                Tuple::of_strs(&["x", "1"], 0.5),
+                Tuple::of_strs(&["y", "1"], 0.5),
+                Tuple::of_strs(&["x", "2"], 0.5),
+            ],
+        )
+    }
+
+    #[test]
+    fn active_domain_is_sorted_distinct() {
+        let r = rel();
+        let a = r.schema().attr_id("A").unwrap();
+        assert_eq!(r.active_domain(a), vec![Value::str("x"), Value::str("y")]);
+    }
+
+    #[test]
+    fn active_domain_excludes_null() {
+        let mut r = rel();
+        let a = r.schema().attr_id("A").unwrap();
+        r.tuple_mut(TupleId(0)).set(a, Value::Null, 0.0, Default::default());
+        assert_eq!(r.active_domain(a), vec![Value::str("x"), Value::str("y")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let schema = Schema::of_strings("r", &["A", "B"]);
+        Relation::new(schema, vec![Tuple::of_strs(&["only-one"], 0.5)]);
+    }
+
+    #[test]
+    fn diff_cells_counts_changed_positions() {
+        let r1 = rel();
+        let mut r2 = rel();
+        let b = r2.schema().attr_id("B").unwrap();
+        r2.tuple_mut(TupleId(2)).set(b, Value::str("9"), 1.0, Default::default());
+        assert_eq!(r1.diff_cells(&r2), 1);
+        assert_eq!(r1.diff_cells(&r1), 0);
+    }
+
+    #[test]
+    fn push_assigns_sequential_ids() {
+        let mut r = Relation::empty(Schema::of_strings("r", &["A"]));
+        let t0 = r.push(Tuple::of_strs(&["v"], 0.0));
+        let t1 = r.push(Tuple::of_strs(&["w"], 0.0));
+        assert_eq!(t0, TupleId(0));
+        assert_eq!(t1, TupleId(1));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn iter_pairs_ids_with_tuples() {
+        let r = rel();
+        let collected: Vec<_> = r.iter().map(|(id, t)| (id.index(), t.value(AttrId(0)).clone())).collect();
+        assert_eq!(collected.len(), 3);
+        assert_eq!(collected[1], (1, Value::str("y")));
+    }
+}

@@ -1,0 +1,209 @@
+//! Tuples and confidence-annotated cells.
+//!
+//! Every cell carries, besides its [`Value`]:
+//!
+//! * `cf` — the confidence placed in the accuracy of the cell (the `cf` rows
+//!   of Fig. 1(b) in the paper). Confidence drives *deterministic* fixes
+//!   (§5) and the repair cost model (§3.1).
+//! * a [`FixMark`] — which cleaning phase last wrote the cell. "At the end
+//!   of the process, fixes are marked with three distinct signs, indicating
+//!   deterministic, reliable and possible" (§3.2).
+
+use std::fmt;
+
+use crate::pos::AttrId;
+use crate::value::Value;
+
+/// Which cleaning phase produced the current value of a cell.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FixMark {
+    /// Original value, never repaired.
+    #[default]
+    Untouched,
+    /// Deterministic fix (confidence-based, `cRepair`, §5).
+    Deterministic,
+    /// Reliable fix (entropy-based, `eRepair`, §6).
+    Reliable,
+    /// Possible fix (heuristic, `hRepair`, §7).
+    Possible,
+}
+
+impl fmt::Display for FixMark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FixMark::Untouched => "-",
+            FixMark::Deterministic => "D",
+            FixMark::Reliable => "R",
+            FixMark::Possible => "P",
+        })
+    }
+}
+
+/// One attribute slot of a tuple.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cell {
+    /// Current value.
+    pub value: Value,
+    /// Confidence in `[0, 1]` placed in the accuracy of the value.
+    pub cf: f64,
+    /// Which phase last wrote the value.
+    pub mark: FixMark,
+}
+
+impl Cell {
+    /// A cell with the given value and confidence, untouched by cleaning.
+    pub fn new(value: Value, cf: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&cf), "confidence {cf} out of [0,1]");
+        Cell { value, cf, mark: FixMark::Untouched }
+    }
+
+    /// A cell with default (zero) confidence.
+    pub fn of(value: Value) -> Self {
+        Cell::new(value, 0.0)
+    }
+}
+
+/// A tuple: one cell per schema attribute, in schema order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tuple {
+    cells: Vec<Cell>,
+}
+
+impl Tuple {
+    /// Build a tuple from cells (must match the schema arity; the owning
+    /// [`crate::Relation`] checks this on insert).
+    pub fn new(cells: Vec<Cell>) -> Self {
+        Tuple { cells }
+    }
+
+    /// Build a tuple of values, all with the given uniform confidence.
+    pub fn from_values(values: impl IntoIterator<Item = Value>, cf: f64) -> Self {
+        Tuple { cells: values.into_iter().map(|v| Cell::new(v, cf)).collect() }
+    }
+
+    /// Build a tuple of string values with uniform confidence — the
+    /// dominant shape in tests and examples.
+    pub fn of_strs(values: &[&str], cf: f64) -> Self {
+        Tuple::from_values(values.iter().map(Value::str), cf)
+    }
+
+    /// Number of cells.
+    pub fn arity(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Immutable access to a cell.
+    #[inline]
+    pub fn cell(&self, a: AttrId) -> &Cell {
+        &self.cells[a.index()]
+    }
+
+    /// Mutable access to a cell.
+    #[inline]
+    pub fn cell_mut(&mut self, a: AttrId) -> &mut Cell {
+        &mut self.cells[a.index()]
+    }
+
+    /// The value at `a` — the paper's `t[A]`.
+    #[inline]
+    pub fn value(&self, a: AttrId) -> &Value {
+        &self.cells[a.index()].value
+    }
+
+    /// The confidence at `a` — the paper's `t[A].cf`.
+    #[inline]
+    pub fn cf(&self, a: AttrId) -> f64 {
+        self.cells[a.index()].cf
+    }
+
+    /// The fix mark at `a`.
+    #[inline]
+    pub fn mark(&self, a: AttrId) -> FixMark {
+        self.cells[a.index()].mark
+    }
+
+    /// All cells in schema order.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Project the tuple onto a list of attributes — the paper's `t[X]`.
+    pub fn project(&self, attrs: &[AttrId]) -> Vec<Value> {
+        attrs.iter().map(|a| self.value(*a).clone()).collect()
+    }
+
+    /// Do two tuples agree (strict equality) on every attribute of `attrs`?
+    pub fn agrees_with(&self, other: &Tuple, attrs: &[AttrId]) -> bool {
+        attrs.iter().all(|a| self.value(*a) == other.value(*a))
+    }
+
+    /// Do two tuples agree on `attrs` under SQL simple-null semantics
+    /// ([`Value::eq_nullable`])? Used once `hRepair` may have introduced
+    /// nulls (§7).
+    pub fn agrees_with_nullable(&self, other: &Tuple, attrs: &[AttrId]) -> bool {
+        attrs.iter().all(|a| self.value(*a).eq_nullable(other.value(*a)))
+    }
+
+    /// Overwrite the value at `a`, recording confidence and fix mark.
+    pub fn set(&mut self, a: AttrId, value: Value, cf: f64, mark: FixMark) {
+        let cell = &mut self.cells[a.index()];
+        cell.value = value;
+        cell.cf = cf;
+        cell.mark = mark;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: usize) -> AttrId {
+        AttrId::from(i)
+    }
+
+    #[test]
+    fn projection_matches_paper_notation() {
+        let t = Tuple::of_strs(&["Mark", "Smith", "Edi"], 0.9);
+        assert_eq!(t.project(&[a(0), a(2)]), vec![Value::str("Mark"), Value::str("Edi")]);
+    }
+
+    #[test]
+    fn agreement_is_per_attribute() {
+        let t1 = Tuple::of_strs(&["Bob", "Brady", "Edi"], 0.5);
+        let t2 = Tuple::of_strs(&["Robert", "Brady", "Edi"], 0.5);
+        assert!(t1.agrees_with(&t2, &[a(1), a(2)]));
+        assert!(!t1.agrees_with(&t2, &[a(0)]));
+    }
+
+    #[test]
+    fn nullable_agreement_lets_null_match() {
+        let mut t1 = Tuple::of_strs(&["Bob", "Brady"], 0.5);
+        let t2 = Tuple::of_strs(&["Robert", "Brady"], 0.5);
+        t1.set(a(0), Value::Null, 0.0, FixMark::Possible);
+        assert!(t1.agrees_with_nullable(&t2, &[a(0), a(1)]));
+        assert!(!t1.agrees_with(&t2, &[a(0)]));
+    }
+
+    #[test]
+    fn set_updates_value_cf_and_mark() {
+        let mut t = Tuple::of_strs(&["Ldn"], 0.5);
+        t.set(a(0), Value::str("Edi"), 0.8, FixMark::Deterministic);
+        assert_eq!(t.value(a(0)), &Value::str("Edi"));
+        assert_eq!(t.cf(a(0)), 0.8);
+        assert_eq!(t.mark(a(0)), FixMark::Deterministic);
+    }
+
+    #[test]
+    fn fix_marks_display_as_single_letters() {
+        assert_eq!(FixMark::Untouched.to_string(), "-");
+        assert_eq!(FixMark::Deterministic.to_string(), "D");
+        assert_eq!(FixMark::Reliable.to_string(), "R");
+        assert_eq!(FixMark::Possible.to_string(), "P");
+    }
+
+    #[test]
+    fn default_mark_is_untouched() {
+        let c = Cell::new(Value::str("x"), 1.0);
+        assert_eq!(c.mark, FixMark::Untouched);
+    }
+}

@@ -1,0 +1,235 @@
+//! Cell values.
+//!
+//! UniClean manipulates values from attribute domains (`dom(A)` in the
+//! paper). Three variants cover every dataset in the evaluation: free text,
+//! integers, and SQL `null` (which the heuristic phase introduces to resolve
+//! otherwise-unresolvable conflicts, §7).
+//!
+//! Strings are reference-counted so that the cleaning algorithms — which copy
+//! values between tuples, master data and pattern tuples constantly — clone
+//! in O(1).
+
+use std::borrow::Cow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single attribute value.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// SQL null. Produced only by the heuristic phase (`hRepair`) when a
+    /// conflict cannot be resolved (§7); never present in master data.
+    Null,
+    /// A string value; `Arc`-backed so clones are cheap.
+    Str(Arc<str>),
+    /// An integer value.
+    Int(i64),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Is this value `null`?
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The string slice if this is a `Str` value.
+    #[inline]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer if this is an `Int` value.
+    #[inline]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// A textual rendering used by similarity predicates; integers render in
+    /// decimal, null renders as the empty string.
+    pub fn render(&self) -> Cow<'_, str> {
+        match self {
+            Value::Null => Cow::Borrowed(""),
+            Value::Str(s) => Cow::Borrowed(s),
+            Value::Int(i) => Cow::Owned(i.to_string()),
+        }
+    }
+
+    /// `|v|` in the cost model: the size of the value (character count for
+    /// strings, digit count for integers, 0 for null).
+    pub fn size(&self) -> usize {
+        match self {
+            Value::Null => 0,
+            Value::Str(s) => s.chars().count(),
+            Value::Int(i) => {
+                // Digits plus sign.
+                let mut n = *i;
+                if n == 0 {
+                    return 1;
+                }
+                let mut d = if n < 0 { 1 } else { 0 };
+                while n != 0 {
+                    n /= 10;
+                    d += 1;
+                }
+                d
+            }
+        }
+    }
+
+    /// Equality modulo the SQL-standard simple null semantics used by the
+    /// heuristic phase (§7): `null` compares equal to anything.
+    ///
+    /// This is the semantics under which FD *agreement* (`t1[X] = t2[X]`) is
+    /// evaluated once nulls may have been introduced. Pattern matching
+    /// against rule constants must instead use strict [`PartialEq`]: a CFD
+    /// "only applies to those tuples that precisely match a pattern tuple,
+    /// which does not contain null".
+    #[inline]
+    pub fn eq_nullable(&self, other: &Value) -> bool {
+        self.is_null() || other.is_null() || self == other
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Total order used for deterministic iteration (sorting active domains,
+/// canonicalizing test output). Null < Int < Str; within a variant the
+/// natural order applies.
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Int(_), Str(_)) => Ordering::Less,
+            (Str(_), Int(_)) => Ordering::Greater,
+            (Str(a), Str(b)) => a.as_ref().cmp(b.as_ref()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Str(s) => f.write_str(s),
+            Value::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_values_compare_by_content() {
+        assert_eq!(Value::str("Edi"), Value::str("Edi"));
+        assert_ne!(Value::str("Edi"), Value::str("Ldn"));
+    }
+
+    #[test]
+    fn null_is_not_equal_to_anything_strictly() {
+        assert_ne!(Value::Null, Value::str(""));
+        assert_ne!(Value::Null, Value::int(0));
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn nullable_equality_follows_sql_simple_semantics() {
+        assert!(Value::Null.eq_nullable(&Value::str("x")));
+        assert!(Value::str("x").eq_nullable(&Value::Null));
+        assert!(Value::str("x").eq_nullable(&Value::str("x")));
+        assert!(!Value::str("x").eq_nullable(&Value::str("y")));
+    }
+
+    #[test]
+    fn size_counts_characters_and_digits() {
+        assert_eq!(Value::Null.size(), 0);
+        assert_eq!(Value::str("abc").size(), 3);
+        assert_eq!(Value::str("").size(), 0);
+        assert_eq!(Value::int(0).size(), 1);
+        assert_eq!(Value::int(1234).size(), 4);
+        assert_eq!(Value::int(-5).size(), 2);
+    }
+
+    #[test]
+    fn render_produces_comparable_text() {
+        assert_eq!(Value::str("a b").render(), "a b");
+        assert_eq!(Value::int(42).render(), "42");
+        assert_eq!(Value::Null.render(), "");
+    }
+
+    #[test]
+    fn ordering_is_total_and_variant_stratified() {
+        let mut vs = vec![
+            Value::str("b"),
+            Value::Null,
+            Value::int(3),
+            Value::str("a"),
+            Value::int(-1),
+        ];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![
+                Value::Null,
+                Value::int(-1),
+                Value::int(3),
+                Value::str("a"),
+                Value::str("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn clones_share_string_storage() {
+        let v = Value::str("shared");
+        let w = v.clone();
+        match (&v, &w) {
+            (Value::Str(a), Value::Str(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! A bounded rule-application executor ("chase") with exact cycle detection.
+//!
+//! Rule-based cleaning applies one cleaning-rule instance at a time
+//! (§3.1); the chase makes that process explicit so the termination and
+//! determinism analyses (§4.2) can observe it. One *step* is one update:
+//!
+//! * constant CFD `ϕc` on tuple `t`: `t[X] ≍ tp[X]`, `t[A] ≠ tp[A]` ⇒
+//!   `t[A] := tp[A]`;
+//! * variable CFD `ϕv` applying `t2` to `t1`: both match the pattern,
+//!   `t1[Y] = t2[Y]`, `t1[B] ≠ t2[B]`, `t2[B]` non-null ⇒ `t1[B] := t2[B]`;
+//! * MD `ψ` with master tuple `s`: premise holds, `t[E] ≠ s[F]` ⇒
+//!   `t[E] := s[F]`.
+//!
+//! Which applicable instance fires is the *strategy*; different strategies
+//! realize the nondeterminism the determinism problem quantifies over.
+//! Visited states are stored exactly (full value snapshots), so a reported
+//! cycle is a genuine non-termination witness, not a hash artefact.
+
+use std::collections::HashSet;
+
+use uniclean_model::{FixMark, Relation, TupleId, Value};
+use uniclean_rules::RuleSet;
+
+use crate::depgraph::RuleRef;
+
+/// How the chase picks the next applicable rule instance.
+#[derive(Clone, Debug)]
+pub enum ChaseStrategy {
+    /// First applicable instance in (rule index, tuple index) order.
+    FirstApplicable,
+    /// Scan rules in the given order, first applicable instance wins.
+    Ordered(Vec<RuleRef>),
+    /// Pseudo-random choice among all applicable instances, seeded for
+    /// reproducibility (xorshift; no external RNG dependency).
+    Seeded(u64),
+}
+
+/// Result of a chase run.
+#[derive(Clone, Debug)]
+pub enum ChaseOutcome {
+    /// No rule instance applies any more.
+    Fixpoint {
+        /// The final relation.
+        result: Relation,
+        /// Number of update steps taken.
+        steps: usize,
+    },
+    /// A previously seen state recurred — the run provably does not
+    /// terminate under this strategy.
+    Cycle {
+        /// Steps taken before the repeat was detected.
+        steps: usize,
+    },
+    /// The step budget ran out before a fixpoint or cycle was seen.
+    StepLimit {
+        /// The budget that was exhausted.
+        steps: usize,
+    },
+}
+
+impl ChaseOutcome {
+    /// The fixpoint relation, if the run reached one.
+    pub fn fixpoint(&self) -> Option<&Relation> {
+        match self {
+            ChaseOutcome::Fixpoint { result, .. } => Some(result),
+            _ => None,
+        }
+    }
+}
+
+/// One applicable rule instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Instance {
+    rule: RuleRef,
+    /// Tuple being written.
+    target: TupleId,
+    /// For variable CFDs the source tuple; for MDs the master tuple.
+    source: Option<TupleId>,
+}
+
+/// The chase executor.
+pub struct Chase<'a> {
+    rules: &'a RuleSet,
+    master: Option<&'a Relation>,
+    max_steps: usize,
+}
+
+impl<'a> Chase<'a> {
+    /// Build an executor. `max_steps` bounds every run (the termination
+    /// problem is PSPACE-complete, so a budget is mandatory).
+    pub fn new(rules: &'a RuleSet, master: Option<&'a Relation>, max_steps: usize) -> Self {
+        assert!(
+            rules.mds().is_empty() || master.is_some(),
+            "rule set contains MDs but no master relation was supplied"
+        );
+        Chase { rules, master, max_steps }
+    }
+
+    /// Run to fixpoint / cycle / step limit from `d` under `strategy`.
+    pub fn run(&self, d: &Relation, strategy: ChaseStrategy) -> ChaseOutcome {
+        let mut state = d.clone();
+        let mut seen: HashSet<Vec<Value>> = HashSet::new();
+        seen.insert(snapshot(&state));
+        let mut rng = match strategy {
+            ChaseStrategy::Seeded(s) => s | 1,
+            _ => 0,
+        };
+        for step in 0..self.max_steps {
+            let inst = match &strategy {
+                ChaseStrategy::FirstApplicable => self.first_applicable(&state, &self.default_order()),
+                ChaseStrategy::Ordered(order) => self.first_applicable(&state, order),
+                ChaseStrategy::Seeded(_) => {
+                    let all = self.all_applicable(&state);
+                    if all.is_empty() {
+                        None
+                    } else {
+                        // xorshift64
+                        rng ^= rng << 13;
+                        rng ^= rng >> 7;
+                        rng ^= rng << 17;
+                        Some(all[(rng as usize) % all.len()])
+                    }
+                }
+            };
+            let Some(inst) = inst else {
+                return ChaseOutcome::Fixpoint { result: state, steps: step };
+            };
+            self.apply(&mut state, inst);
+            if !seen.insert(snapshot(&state)) {
+                return ChaseOutcome::Cycle { steps: step + 1 };
+            }
+        }
+        ChaseOutcome::StepLimit { steps: self.max_steps }
+    }
+
+    fn default_order(&self) -> Vec<RuleRef> {
+        let mut order: Vec<RuleRef> = (0..self.rules.cfds().len()).map(RuleRef::Cfd).collect();
+        order.extend((0..self.rules.mds().len()).map(RuleRef::Md));
+        order
+    }
+
+    fn first_applicable(&self, d: &Relation, order: &[RuleRef]) -> Option<Instance> {
+        order.iter().find_map(|r| self.applicable_for_rule(d, *r, Some(1)).into_iter().next())
+    }
+
+    fn all_applicable(&self, d: &Relation) -> Vec<Instance> {
+        self.default_order()
+            .into_iter()
+            .flat_map(|r| self.applicable_for_rule(d, r, None))
+            .collect()
+    }
+
+    /// Applicable instances of one rule, optionally capped.
+    fn applicable_for_rule(&self, d: &Relation, r: RuleRef, cap: Option<usize>) -> Vec<Instance> {
+        let mut out = Vec::new();
+        let full = |out: &Vec<Instance>| cap.is_some_and(|c| out.len() >= c);
+        match r {
+            RuleRef::Cfd(i) => {
+                let cfd = &self.rules.cfds()[i];
+                let b = cfd.rhs()[0];
+                if cfd.is_constant() {
+                    let want = cfd.rhs_pattern()[0].as_const().expect("constant CFD");
+                    for (tid, t) in d.iter() {
+                        if cfd.lhs_matches(t) && t.value(b) != want {
+                            out.push(Instance { rule: r, target: tid, source: None });
+                            if full(&out) {
+                                return out;
+                            }
+                        }
+                    }
+                } else {
+                    for (t1, tu1) in d.iter() {
+                        if !cfd.lhs_matches(tu1) {
+                            continue;
+                        }
+                        for (t2, tu2) in d.iter() {
+                            if t1 == t2 || !cfd.lhs_matches(tu2) {
+                                continue;
+                            }
+                            if tu1.agrees_with(tu2, cfd.lhs())
+                                && !tu2.value(b).is_null()
+                                && tu1.value(b) != tu2.value(b)
+                            {
+                                out.push(Instance { rule: r, target: t1, source: Some(t2) });
+                                if full(&out) {
+                                    return out;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            RuleRef::Md(i) => {
+                let md = &self.rules.mds()[i];
+                let dm = self.master.expect("MDs require master data");
+                let (e, f) = md.rhs()[0];
+                for (tid, t) in d.iter() {
+                    for (sid, s) in dm.iter() {
+                        if md.premise_matches(t, s) && t.value(e) != s.value(f) {
+                            out.push(Instance { rule: r, target: tid, source: Some(sid) });
+                            if full(&out) {
+                                return out;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn apply(&self, d: &mut Relation, inst: Instance) {
+        match inst.rule {
+            RuleRef::Cfd(i) => {
+                let cfd = &self.rules.cfds()[i];
+                let b = cfd.rhs()[0];
+                let new = if cfd.is_constant() {
+                    cfd.rhs_pattern()[0].as_const().expect("constant CFD").clone()
+                } else {
+                    let src = inst.source.expect("variable CFD has a source tuple");
+                    d.tuple(src).value(b).clone()
+                };
+                d.tuple_mut(inst.target).set(b, new, 0.0, FixMark::Possible);
+            }
+            RuleRef::Md(i) => {
+                let md = &self.rules.mds()[i];
+                let (e, f) = md.rhs()[0];
+                let src = inst.source.expect("MD has a master tuple");
+                let new = self.master.expect("MDs require master data").tuple(src).value(f).clone();
+                d.tuple_mut(inst.target).set(e, new, 0.0, FixMark::Possible);
+            }
+        }
+    }
+}
+
+/// Exact state snapshot: the flat list of values.
+fn snapshot(d: &Relation) -> Vec<Value> {
+    d.tuples().iter().flat_map(|t| t.cells().iter().map(|c| c.value.clone())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use uniclean_model::{Schema, Tuple};
+    use uniclean_rules::parse_rules;
+
+    fn cfd_rules(schema: &Arc<Schema>, text: &str) -> RuleSet {
+        let parsed = parse_rules(text, schema, None).unwrap();
+        RuleSet::cfds_only(schema.clone(), parsed.cfds)
+    }
+
+    #[test]
+    fn constant_cfd_reaches_fixpoint() {
+        let s = Schema::of_strings("tran", &["AC", "city"]);
+        let rules = cfd_rules(&s, "cfd phi1: tran([AC=131] -> [city=Edi])");
+        let d = Relation::new(s.clone(), vec![Tuple::of_strs(&["131", "Ldn"], 0.5)]);
+        let chase = Chase::new(&rules, None, 100);
+        match chase.run(&d, ChaseStrategy::FirstApplicable) {
+            ChaseOutcome::Fixpoint { result, steps } => {
+                assert_eq!(steps, 1);
+                assert_eq!(result.tuple(TupleId(0)).value(s.attr_id_or_panic("city")), &Value::str("Edi"));
+            }
+            other => panic!("expected fixpoint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn example_4_6_oscillation_is_detected() {
+        // ϕ1: AC=131 → city=Edi and ϕ5: post=EH8 9AB → city=Ldn flip the
+        // city of t2 back and forth forever.
+        let s = Schema::of_strings("tran", &["AC", "post", "city"]);
+        let rules = cfd_rules(
+            &s,
+            "cfd phi1: tran([AC=131] -> [city=Edi])\ncfd phi5: tran([post=\"EH8 9AB\"] -> [city=Ldn])",
+        );
+        let d = Relation::new(s.clone(), vec![Tuple::of_strs(&["131", "EH8 9AB", "Edi"], 0.5)]);
+        let chase = Chase::new(&rules, None, 1000);
+        match chase.run(&d, ChaseStrategy::FirstApplicable) {
+            ChaseOutcome::Cycle { steps } => assert!(steps <= 4, "cycle found after {steps} steps"),
+            other => panic!("expected a cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn variable_cfd_propagates_to_fixpoint() {
+        let s = Schema::of_strings("r", &["K", "B"]);
+        let rules = cfd_rules(&s, "cfd fd: r([K] -> [B])");
+        let d = Relation::new(
+            s.clone(),
+            vec![
+                Tuple::of_strs(&["k", "x"], 0.5),
+                Tuple::of_strs(&["k", "y"], 0.5),
+            ],
+        );
+        let chase = Chase::new(&rules, None, 100);
+        let out = chase.run(&d, ChaseStrategy::FirstApplicable);
+        let fp = out.fixpoint().expect("fixpoint");
+        let b = s.attr_id_or_panic("B");
+        assert_eq!(fp.tuple(TupleId(0)).value(b), fp.tuple(TupleId(1)).value(b));
+    }
+
+    #[test]
+    fn md_pulls_master_values() {
+        let tran = Schema::of_strings("tran", &["LN", "phn"]);
+        let card = Schema::of_strings("card", &["LN", "tel"]);
+        let parsed = parse_rules(
+            "md psi: tran[LN] = card[LN] -> tran[phn] <=> card[tel]",
+            &tran,
+            Some(&card),
+        )
+        .unwrap();
+        let rules = RuleSet::new(tran.clone(), Some(card.clone()), vec![], parsed.positive_mds, vec![]);
+        let d = Relation::new(tran.clone(), vec![Tuple::of_strs(&["Brady", "000"], 0.5)]);
+        let dm = Relation::new(card, vec![Tuple::of_strs(&["Brady", "3887644"], 1.0)]);
+        let chase = Chase::new(&rules, Some(&dm), 10);
+        let out = chase.run(&d, ChaseStrategy::FirstApplicable);
+        let fp = out.fixpoint().expect("fixpoint");
+        assert_eq!(fp.tuple(TupleId(0)).value(tran.attr_id_or_panic("phn")), &Value::str("3887644"));
+    }
+
+    #[test]
+    fn step_limit_is_honoured() {
+        let s = Schema::of_strings("tran", &["AC", "post", "city"]);
+        let rules = cfd_rules(
+            &s,
+            "cfd phi1: tran([AC=131] -> [city=Edi])\ncfd phi5: tran([post=X] -> [city=Ldn])",
+        );
+        let d = Relation::new(s, vec![Tuple::of_strs(&["131", "X", "Edi"], 0.5)]);
+        // max_steps = 1: not enough to close the 2-cycle.
+        let chase = Chase::new(&rules, None, 1);
+        match chase.run(&d, ChaseStrategy::FirstApplicable) {
+            ChaseOutcome::StepLimit { steps } => assert_eq!(steps, 1),
+            other => panic!("expected step limit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let s = Schema::of_strings("r", &["K", "B"]);
+        let rules = cfd_rules(&s, "cfd fd: r([K] -> [B])");
+        let d = Relation::new(
+            s,
+            vec![
+                Tuple::of_strs(&["k", "x"], 0.5),
+                Tuple::of_strs(&["k", "y"], 0.5),
+                Tuple::of_strs(&["k", "z"], 0.5),
+            ],
+        );
+        let chase = Chase::new(&rules, None, 100);
+        let a = chase.run(&d, ChaseStrategy::Seeded(42));
+        let b = chase.run(&d, ChaseStrategy::Seeded(42));
+        assert_eq!(
+            snapshot(a.fixpoint().expect("fp")),
+            snapshot(b.fixpoint().expect("fp"))
+        );
+    }
+
+    #[test]
+    fn clean_data_is_a_zero_step_fixpoint() {
+        let s = Schema::of_strings("tran", &["AC", "city"]);
+        let rules = cfd_rules(&s, "cfd phi1: tran([AC=131] -> [city=Edi])");
+        let d = Relation::new(s, vec![Tuple::of_strs(&["131", "Edi"], 0.5)]);
+        let chase = Chase::new(&rules, None, 10);
+        match chase.run(&d, ChaseStrategy::FirstApplicable) {
+            ChaseOutcome::Fixpoint { steps, .. } => assert_eq!(steps, 0),
+            other => panic!("expected fixpoint, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! The rule dependency graph and the eRepair application order (§6.2).
+//!
+//! "Each rule of Σ ∪ Γ is a node, and there is an edge (u, v) if
+//! RHS(ξu) ∩ LHS(ξv) ≠ ∅ — whether ξv can be applied depends on the outcome
+//! of applying ξu, so ξu should be applied before ξv."
+//!
+//! The order is computed as the paper prescribes: (1) Tarjan SCCs, (2) the
+//! condensation is a DAG, topologically sorted, (3) within an SCC, rules are
+//! sorted by the ratio of out-degree to in-degree, descending (Example 6.1
+//! orders ϕ1 > ϕ2 > ϕ3 > ϕ4 > ψ).
+
+use std::collections::HashSet;
+
+use uniclean_model::AttrId;
+use uniclean_rules::RuleSet;
+
+/// Identifies one normalized rule inside a [`RuleSet`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RuleRef {
+    /// `ruleset.cfds()[i]`.
+    Cfd(usize),
+    /// `ruleset.mds()[i]`.
+    Md(usize),
+}
+
+/// Data-side LHS attributes of a rule (what the rule *reads*).
+fn lhs_attrs(rules: &RuleSet, r: RuleRef) -> Vec<AttrId> {
+    match r {
+        RuleRef::Cfd(i) => rules.cfds()[i].lhs().to_vec(),
+        RuleRef::Md(i) => rules.mds()[i].lhs_attrs(),
+    }
+}
+
+/// Data-side RHS attributes of a rule (what the rule *writes*).
+fn rhs_attrs(rules: &RuleSet, r: RuleRef) -> Vec<AttrId> {
+    match r {
+        RuleRef::Cfd(i) => rules.cfds()[i].rhs().to_vec(),
+        RuleRef::Md(i) => rules.mds()[i].rhs().iter().map(|(e, _)| *e).collect(),
+    }
+}
+
+/// The dependency graph over a rule set.
+#[derive(Debug)]
+pub struct DepGraph {
+    nodes: Vec<RuleRef>,
+    /// Adjacency: `edges[u]` lists node indices v with u → v.
+    edges: Vec<Vec<usize>>,
+    in_degree: Vec<usize>,
+}
+
+impl DepGraph {
+    /// Build the graph for a (normalized) rule set.
+    pub fn build(rules: &RuleSet) -> Self {
+        let mut nodes: Vec<RuleRef> = Vec::with_capacity(rules.len());
+        nodes.extend((0..rules.cfds().len()).map(RuleRef::Cfd));
+        nodes.extend((0..rules.mds().len()).map(RuleRef::Md));
+        let reads: Vec<HashSet<AttrId>> =
+            nodes.iter().map(|r| lhs_attrs(rules, *r).into_iter().collect()).collect();
+        let writes: Vec<Vec<AttrId>> = nodes.iter().map(|r| rhs_attrs(rules, *r)).collect();
+        let n = nodes.len();
+        let mut edges = vec![Vec::new(); n];
+        let mut in_degree = vec![0usize; n];
+        // Self-edges are kept: a rule whose RHS feeds its own LHS (e.g. the
+        // FN→FN standardization ϕ4) depends on itself, and Fig. 7's degree
+        // ratios count such loops.
+        for u in 0..n {
+            for v in 0..n {
+                if writes[u].iter().any(|a| reads[v].contains(a)) {
+                    edges[u].push(v);
+                    in_degree[v] += 1;
+                }
+            }
+        }
+        DepGraph { nodes, edges, in_degree }
+    }
+
+    /// The rules, in node-index order.
+    pub fn nodes(&self) -> &[RuleRef] {
+        &self.nodes
+    }
+
+    /// Outgoing edges of node `u`.
+    pub fn successors(&self, u: usize) -> &[usize] {
+        &self.edges[u]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the graph empty?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Strongly connected components via Tarjan (iterative), in reverse
+    /// topological order of the condensation (Tarjan's natural output).
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        let n = self.nodes.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut sccs: Vec<Vec<usize>> = Vec::new();
+        let mut counter = 0usize;
+        // Explicit DFS stack: (node, next-child-index).
+        for start in 0..n {
+            if index[start] != usize::MAX {
+                continue;
+            }
+            let mut dfs: Vec<(usize, usize)> = vec![(start, 0)];
+            while let Some(&mut (v, ref mut ci)) = dfs.last_mut() {
+                if *ci == 0 {
+                    index[v] = counter;
+                    low[v] = counter;
+                    counter += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if *ci < self.edges[v].len() {
+                    let w = self.edges[v][*ci];
+                    *ci += 1;
+                    if index[w] == usize::MAX {
+                        dfs.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        sccs.push(comp);
+                    }
+                    dfs.pop();
+                    if let Some(&mut (parent, _)) = dfs.last_mut() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                }
+            }
+        }
+        sccs
+    }
+
+    /// Does the graph contain any cycle (an SCC of size > 1, or a self-loop)?
+    pub fn has_cycle(&self) -> bool {
+        if self.sccs().iter().any(|c| c.len() > 1) {
+            return true;
+        }
+        (0..self.len()).any(|u| self.edges[u].contains(&u))
+    }
+
+    /// The eRepair application order: SCC condensation topologically sorted,
+    /// rules within an SCC by out/in-degree ratio descending.
+    /// Ties break by node index, keeping the order deterministic.
+    pub fn erepair_order(&self) -> Vec<RuleRef> {
+        let sccs = self.sccs();
+        // Tarjan emits SCCs in reverse topological order of the condensation
+        // (every edge goes from a later-emitted component to an earlier one),
+        // so iterate the list reversed for sources-first.
+        let mut order: Vec<RuleRef> = Vec::with_capacity(self.nodes.len());
+        for comp in sccs.iter().rev() {
+            let mut members: Vec<usize> = comp.clone();
+            members.sort_by(|&a, &b| {
+                let ra = degree_ratio(self.edges[a].len(), self.in_degree[a]);
+                let rb = degree_ratio(self.edges[b].len(), self.in_degree[b]);
+                rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            });
+            order.extend(members.into_iter().map(|i| self.nodes[i]));
+        }
+        order
+    }
+}
+
+/// Out/in-degree ratio with the convention that an isolated or source node
+/// (in-degree 0) sorts first.
+fn degree_ratio(out: usize, inn: usize) -> f64 {
+    if inn == 0 {
+        f64::INFINITY
+    } else {
+        out as f64 / inn as f64
+    }
+}
+
+/// Convenience wrapper: the application order for a rule set.
+pub fn erepair_order(rules: &RuleSet) -> Vec<RuleRef> {
+    DepGraph::build(rules).erepair_order()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniclean_model::Schema;
+    use uniclean_rules::parse_rules;
+
+    fn example_1_1_rules() -> RuleSet {
+        let tran = Schema::of_strings(
+            "tran",
+            &["FN", "LN", "St", "city", "AC", "post", "phn", "gd"],
+        );
+        let card = Schema::of_strings(
+            "card",
+            &["FN", "LN", "St", "city", "AC", "zip", "tel", "dob", "gd"],
+        );
+        let text = r#"
+            cfd phi1: tran([AC=131] -> [city=Edi])
+            cfd phi2: tran([AC=020] -> [city=Ldn])
+            cfd phi3: tran([city, phn] -> [St, AC, post])
+            cfd phi4: tran([FN=Bob] -> [FN=Robert])
+            md psi: tran[LN] = card[LN] AND tran[city] = card[city] AND tran[St] = card[St] AND tran[post] = card[zip] AND tran[FN] ~lev(4) card[FN] -> tran[FN] <=> card[FN], tran[phn] <=> card[tel]
+        "#;
+        let parsed = parse_rules(text, &tran, Some(&card)).unwrap();
+        RuleSet::new(tran, Some(card), parsed.cfds, parsed.positive_mds, parsed.negative_mds)
+    }
+
+    #[test]
+    fn example_1_1_graph_is_one_scc_after_normalization() {
+        // The paper's Fig. 7 draws the graph over the *unnormalized* rules
+        // as a single SCC; normalization splits ϕ3 and ψ but the cyclic core
+        // (city/AC/St/post/FN/phn feed each other) persists.
+        let rules = example_1_1_rules();
+        let g = DepGraph::build(&rules);
+        assert!(g.has_cycle());
+        let biggest = g.sccs().into_iter().map(|c| c.len()).max().unwrap();
+        assert!(biggest >= 4, "cyclic core expected, biggest SCC = {biggest}");
+    }
+
+    #[test]
+    fn order_covers_every_rule_exactly_once() {
+        let rules = example_1_1_rules();
+        let order = erepair_order(&rules);
+        assert_eq!(order.len(), rules.len());
+        let set: std::collections::HashSet<_> = order.iter().collect();
+        assert_eq!(set.len(), order.len());
+    }
+
+    #[test]
+    fn acyclic_rules_sort_topologically() {
+        // A → B, then B → C: the A-rule must precede the B-rule.
+        let s = Schema::of_strings("r", &["A", "B", "C"]);
+        let text = "cfd one: r([A] -> [B])\ncfd two: r([B] -> [C])";
+        let parsed = parse_rules(text, &s, None).unwrap();
+        let rules = RuleSet::cfds_only(s, parsed.cfds);
+        let g = DepGraph::build(&rules);
+        assert!(!g.has_cycle());
+        let order = g.erepair_order();
+        assert_eq!(order, vec![RuleRef::Cfd(0), RuleRef::Cfd(1)]);
+    }
+
+    #[test]
+    fn independent_rules_keep_index_order() {
+        let s = Schema::of_strings("r", &["A", "B", "C", "D"]);
+        let text = "cfd one: r([A] -> [B])\ncfd two: r([C] -> [D])";
+        let parsed = parse_rules(text, &s, None).unwrap();
+        let rules = RuleSet::cfds_only(s, parsed.cfds);
+        let order = erepair_order(&rules);
+        assert_eq!(order.len(), 2);
+        assert!(order.contains(&RuleRef::Cfd(0)) && order.contains(&RuleRef::Cfd(1)));
+    }
+
+    #[test]
+    fn two_rule_cycle_detected() {
+        let s = Schema::of_strings("r", &["A", "B"]);
+        let text = "cfd one: r([A] -> [B])\ncfd two: r([B] -> [A])";
+        let parsed = parse_rules(text, &s, None).unwrap();
+        let rules = RuleSet::cfds_only(s, parsed.cfds);
+        let g = DepGraph::build(&rules);
+        assert!(g.has_cycle());
+        assert_eq!(g.sccs().iter().filter(|c| c.len() == 2).count(), 1);
+    }
+
+    #[test]
+    fn self_loop_counts_as_cycle() {
+        // ϕ4-style standardization rule: FN appears on both sides.
+        let s = Schema::of_strings("r", &["FN"]);
+        let parsed = parse_rules("cfd std: r([FN=Bob] -> [FN=Robert])", &s, None).unwrap();
+        let rules = RuleSet::cfds_only(s, parsed.cfds);
+        assert!(DepGraph::build(&rules).has_cycle());
+    }
+
+    #[test]
+    fn empty_ruleset_is_trivial() {
+        let s = Schema::of_strings("r", &["A"]);
+        let rules = RuleSet::cfds_only(s, vec![]);
+        let g = DepGraph::build(&rules);
+        assert!(g.is_empty());
+        assert!(!g.has_cycle());
+        assert!(g.erepair_order().is_empty());
+    }
+
+    #[test]
+    fn example_6_1_ratio_ordering_within_scc() {
+        // Reconstruct Example 6.1's ratios with three mutually dependent
+        // rules: higher out/in ratio first.
+        let s = Schema::of_strings("r", &["A", "B", "C"]);
+        // a: A→B (feeds b), b: B→C (feeds c), c: C→A (feeds a).
+        let text = "cfd a: r([A] -> [B])\ncfd b: r([B] -> [C])\ncfd c: r([C] -> [A])";
+        let parsed = parse_rules(text, &s, None).unwrap();
+        let rules = RuleSet::cfds_only(s, parsed.cfds);
+        let g = DepGraph::build(&rules);
+        let order = g.erepair_order();
+        // All ratios are 1 → falls back to index order, deterministic.
+        assert_eq!(order, vec![RuleRef::Cfd(0), RuleRef::Cfd(1), RuleRef::Cfd(2)]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Determinism diagnostics (§4.2, Theorem 4.8).
+//!
+//! The determinism problem — do all terminating cleaning processes reach the
+//! same fixpoint? — is PSPACE-complete, so we provide a *refutation-capable*
+//! dynamic check: run the chase under several strategies (the eRepair
+//! dependency order, its reverse, first-applicable, and seeded random
+//! orders) and compare fixpoints. Distinct fixpoints are a definitive
+//! counterexample; agreement across all probes is evidence, not proof.
+
+use uniclean_model::{Relation, Value};
+use uniclean_rules::RuleSet;
+
+use crate::chase::{Chase, ChaseOutcome, ChaseStrategy};
+use crate::depgraph::erepair_order;
+
+/// Outcome of the multi-order probe.
+#[derive(Clone, Debug)]
+pub struct DeterminismReport {
+    /// `Some(true)` — all probed orders reached the *same* fixpoint.
+    /// `Some(false)` — two orders reached different fixpoints (definitive
+    /// non-determinism witness). `None` — some probe did not reach a
+    /// fixpoint within the step budget, so nothing can be concluded.
+    pub deterministic: Option<bool>,
+    /// Number of distinct fixpoints observed.
+    pub distinct_fixpoints: usize,
+    /// Number of probes that reached a fixpoint.
+    pub converged_probes: usize,
+    /// Total probes run.
+    pub total_probes: usize,
+}
+
+/// Probe determinism of cleaning `d` under `rules` with `seeds` extra
+/// random orders and a per-run budget of `max_steps`.
+pub fn determinism_check(
+    rules: &RuleSet,
+    master: Option<&Relation>,
+    d: &Relation,
+    max_steps: usize,
+    seeds: u64,
+) -> DeterminismReport {
+    let chase = Chase::new(rules, master, max_steps);
+    let mut strategies = vec![
+        ChaseStrategy::FirstApplicable,
+        ChaseStrategy::Ordered(erepair_order(rules)),
+        ChaseStrategy::Ordered(erepair_order(rules).into_iter().rev().collect()),
+    ];
+    strategies.extend((0..seeds).map(ChaseStrategy::Seeded));
+    let total_probes = strategies.len();
+
+    let mut fixpoints: Vec<Vec<Value>> = Vec::new();
+    let mut converged = 0usize;
+    for s in strategies {
+        if let ChaseOutcome::Fixpoint { result, .. } = chase.run(d, s) {
+            converged += 1;
+            let snap: Vec<Value> = result
+                .tuples()
+                .iter()
+                .flat_map(|t| t.cells().iter().map(|c| c.value.clone()))
+                .collect();
+            if !fixpoints.contains(&snap) {
+                fixpoints.push(snap);
+            }
+        }
+    }
+    let deterministic = if converged < total_probes {
+        if fixpoints.len() > 1 {
+            Some(false) // even partial convergence can refute
+        } else {
+            None
+        }
+    } else {
+        Some(fixpoints.len() <= 1)
+    };
+    DeterminismReport {
+        deterministic,
+        distinct_fixpoints: fixpoints.len(),
+        converged_probes: converged,
+        total_probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use uniclean_model::{Schema, Tuple};
+    use uniclean_rules::parse_rules;
+
+    fn cfd_rules(schema: &Arc<Schema>, text: &str) -> RuleSet {
+        let parsed = parse_rules(text, schema, None).unwrap();
+        RuleSet::cfds_only(schema.clone(), parsed.cfds)
+    }
+
+    #[test]
+    fn constant_rules_are_deterministic() {
+        let s = Schema::of_strings("tran", &["AC", "city"]);
+        let rules = cfd_rules(&s, "cfd a: tran([AC=131] -> [city=Edi])");
+        let d = Relation::new(s, vec![Tuple::of_strs(&["131", "Ldn"], 0.5)]);
+        let r = determinism_check(&rules, None, &d, 100, 3);
+        assert_eq!(r.deterministic, Some(true));
+        assert_eq!(r.distinct_fixpoints, 1);
+        assert_eq!(r.converged_probes, r.total_probes);
+    }
+
+    #[test]
+    fn conflicting_variable_cfd_is_nondeterministic() {
+        // Two tuples agree on K and disagree on B: either value can win
+        // depending on which direction fires first.
+        let s = Schema::of_strings("r", &["K", "B"]);
+        let rules = cfd_rules(&s, "cfd fd: r([K] -> [B])");
+        let d = Relation::new(
+            s,
+            vec![Tuple::of_strs(&["k", "x"], 0.5), Tuple::of_strs(&["k", "y"], 0.5)],
+        );
+        let r = determinism_check(&rules, None, &d, 100, 8);
+        assert_eq!(r.deterministic, Some(false));
+        assert!(r.distinct_fixpoints >= 2);
+    }
+
+    #[test]
+    fn oscillating_rules_are_inconclusive() {
+        let s = Schema::of_strings("tran", &["AC", "post", "city"]);
+        let rules = cfd_rules(
+            &s,
+            "cfd a: tran([AC=131] -> [city=Edi])\ncfd b: tran([post=Z] -> [city=Ldn])",
+        );
+        let d = Relation::new(s, vec![Tuple::of_strs(&["131", "Z", "q"], 0.5)]);
+        let r = determinism_check(&rules, None, &d, 50, 2);
+        // No probe converges (every order cycles), and all cycles look alike.
+        assert_eq!(r.deterministic, None);
+        assert_eq!(r.converged_probes, 0);
+    }
+
+    #[test]
+    fn clean_data_trivially_deterministic() {
+        let s = Schema::of_strings("tran", &["AC", "city"]);
+        let rules = cfd_rules(&s, "cfd a: tran([AC=131] -> [city=Edi])");
+        let d = Relation::new(s, vec![Tuple::of_strs(&["131", "Edi"], 0.5)]);
+        let r = determinism_check(&rules, None, &d, 10, 1);
+        assert_eq!(r.deterministic, Some(true));
+    }
+}

@@ -1,0 +1,302 @@
+//! Implication of a rule by `Σ ∪ Γ` (Theorem 4.2).
+//!
+//! `Θ ⊨ ξ` iff every instance satisfying `Θ` also satisfies `ξ`. The
+//! implication analysis "helps us find and remove redundant rules from Θ".
+//! Theorem 4.2's proof gives small models for the complement:
+//!
+//! * for a CFD `ξ = (X → A, tp)`: a counterexample of at most **two**
+//!   tuples agreeing on `X` and matching `tp[X]`;
+//! * for an MD `ξ`: a counterexample of a **single** tuple.
+//!
+//! We search those models exactly over the proof's active domains (rule
+//! constants, master values, fresh values). coNP-complete in general, fast
+//! for realistic rule sets.
+
+use std::collections::BTreeSet;
+
+use uniclean_model::{AttrId, Relation, Tuple, Value};
+use uniclean_rules::{satisfies_all, Cfd, Md, RuleSet};
+
+/// Does `Θ` (with master data `dm`) imply the CFD `ξ`?
+pub fn implies_cfd(rules: &RuleSet, dm: Option<&Relation>, xi: &Cfd) -> bool {
+    assert!(xi.is_normalized(), "implication expects a normalized CFD");
+    let domains = candidate_domains(rules, dm, Some(xi), None);
+    let schema = rules.schema();
+    let n = schema.arity();
+    let dm_or_empty = dm.cloned().unwrap_or_else(|| {
+        Relation::empty(rules.master_schema().cloned().unwrap_or_else(|| schema.clone()))
+    });
+
+    // Enumerate tuple t; tuple s copies t on X (the violation requires
+    // t[X] = s[X] ≍ tp[X]) and ranges freely elsewhere.
+    let attrs: Vec<usize> = (0..n).collect();
+    let mut t_vals = base_tuple(rules);
+    enumerate(&domains, &attrs, 0, &mut t_vals, &mut |t_vals| {
+        let t = Tuple::from_values(t_vals.to_vec(), 1.0);
+        if !xi.lhs_matches(&t) {
+            return false; // ξ's premise must fire for a violation
+        }
+        // Single-tuple violation (constant RHS): t alone.
+        if xi.is_constant() && !xi.single_tuple_ok(&t) {
+            let d = Relation::new(schema.clone(), vec![t.clone()]);
+            if satisfies_all(rules.cfds(), rules.mds(), &d, &dm_or_empty) {
+                return true;
+            }
+        }
+        // Two-tuple violation: s agrees on X, differs on A.
+        let free: Vec<usize> = (0..n).filter(|i| !xi.lhs().contains(&AttrId::from(*i))).collect();
+        let mut s_vals = t_vals.to_vec();
+        enumerate(&domains, &free, 0, &mut s_vals, &mut |s_vals| {
+            let s = Tuple::from_values(s_vals.to_vec(), 1.0);
+            let a = xi.rhs()[0];
+            let violates = match xi.rhs_pattern()[0].as_const() {
+                // Constant RHS: some tuple matching LHS disagrees with the constant.
+                Some(c) => t.value(a) != c || s.value(a) != c,
+                // Variable RHS: the pair disagrees on A.
+                None => t.value(a) != s.value(a),
+            };
+            if !violates {
+                return false;
+            }
+            let d = Relation::new(schema.clone(), vec![t.clone(), s.clone()]);
+            satisfies_all(rules.cfds(), rules.mds(), &d, &dm_or_empty)
+        })
+        .is_some()
+    })
+    .is_none()
+}
+
+/// Does `Θ` (with master data `dm`) imply the MD `ξ`?
+pub fn implies_md(rules: &RuleSet, dm: &Relation, xi: &Md) -> bool {
+    assert!(xi.is_normalized(), "implication expects a normalized MD");
+    let domains = candidate_domains(rules, Some(dm), None, Some(xi));
+    let schema = rules.schema();
+    let attrs: Vec<usize> = (0..schema.arity()).collect();
+    let mut t_vals = base_tuple(rules);
+    enumerate(&domains, &attrs, 0, &mut t_vals, &mut |t_vals| {
+        let t = Tuple::from_values(t_vals.to_vec(), 1.0);
+        let (e, f) = xi.rhs()[0];
+        let violated = dm
+            .tuples()
+            .iter()
+            .any(|s| xi.premise_matches(&t, s) && t.value(e) != s.value(f));
+        if !violated {
+            return false;
+        }
+        let d = Relation::new(schema.clone(), vec![t.clone()]);
+        satisfies_all(rules.cfds(), rules.mds(), &d, dm)
+    })
+    .is_none()
+}
+
+/// Candidate values per attribute: constants of `Σ` and of the queried rule,
+/// master values referenced by MD conclusions/premises, two fresh values
+/// (a two-tuple counterexample may need two distinct non-constants).
+fn candidate_domains(
+    rules: &RuleSet,
+    dm: Option<&Relation>,
+    xi_cfd: Option<&Cfd>,
+    xi_md: Option<&Md>,
+) -> Vec<Vec<Value>> {
+    let schema = rules.schema();
+    let n = schema.arity();
+    let mut domains: Vec<Vec<Value>> = vec![Vec::new(); n];
+    let add_cfd = |domains: &mut Vec<Vec<Value>>, c: &Cfd| {
+        for (a, p) in c.lhs().iter().zip(c.lhs_pattern()) {
+            if let Some(v) = p.as_const() {
+                push_unique(&mut domains[a.index()], v.clone());
+            }
+        }
+        for (a, p) in c.rhs().iter().zip(c.rhs_pattern()) {
+            if let Some(v) = p.as_const() {
+                push_unique(&mut domains[a.index()], v.clone());
+            }
+        }
+    };
+    for c in rules.cfds() {
+        add_cfd(&mut domains, c);
+    }
+    if let Some(xi) = xi_cfd {
+        add_cfd(&mut domains, xi);
+    }
+    if let Some(dm) = dm {
+        let add_md = |domains: &mut Vec<Vec<Value>>, m: &Md| {
+            for p in m.premises() {
+                let col: BTreeSet<Value> =
+                    dm.tuples().iter().map(|s| s.value(p.master_attr).clone()).collect();
+                for v in col {
+                    if !v.is_null() {
+                        push_unique(&mut domains[p.attr.index()], v);
+                    }
+                }
+            }
+            for &(e, f) in m.rhs() {
+                let col: BTreeSet<Value> = dm.tuples().iter().map(|s| s.value(f).clone()).collect();
+                for v in col {
+                    if !v.is_null() {
+                        push_unique(&mut domains[e.index()], v);
+                    }
+                }
+            }
+        };
+        for m in rules.mds() {
+            add_md(&mut domains, m);
+        }
+        if let Some(xi) = xi_md {
+            add_md(&mut domains, xi);
+        }
+    }
+    for (i, d) in domains.iter_mut().enumerate() {
+        let name = schema.attr_name(AttrId::from(i)).to_string();
+        d.push(Value::str(format!("\u{2294}f1\u{2294}{name}")));
+        d.push(Value::str(format!("\u{2294}f2\u{2294}{name}")));
+    }
+    domains
+}
+
+fn base_tuple(rules: &RuleSet) -> Vec<Value> {
+    (0..rules.schema().arity())
+        .map(|i| Value::str(format!("\u{2294}f1\u{2294}{}", rules.schema().attr_name(AttrId::from(i)))))
+        .collect()
+}
+
+/// Depth-first enumeration of `attrs` over `domains`; `found` returns true
+/// to stop. Returns `Some(())` if the callback accepted an assignment.
+fn enumerate(
+    domains: &[Vec<Value>],
+    attrs: &[usize],
+    depth: usize,
+    values: &mut Vec<Value>,
+    found: &mut dyn FnMut(&[Value]) -> bool,
+) -> Option<()> {
+    if depth == attrs.len() {
+        return found(values).then_some(());
+    }
+    let attr = attrs[depth];
+    let saved = values[attr].clone();
+    // Clone the candidate list to sidestep borrow conflicts; domains are tiny.
+    for cand in domains[attr].clone() {
+        values[attr] = cand;
+        if enumerate(domains, attrs, depth + 1, values, found).is_some() {
+            return Some(());
+        }
+    }
+    values[attr] = saved;
+    None
+}
+
+fn push_unique(v: &mut Vec<Value>, x: Value) {
+    if !v.contains(&x) {
+        v.push(x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use uniclean_model::Schema;
+    use uniclean_rules::parse_rules;
+
+    fn cfds(schema: &Arc<Schema>, text: &str) -> Vec<Cfd> {
+        parse_rules(text, schema, None).unwrap().cfds
+    }
+
+    #[test]
+    fn rule_implies_itself() {
+        let s = Schema::of_strings("tran", &["AC", "city"]);
+        let r = cfds(&s, "cfd a: tran([AC=131] -> [city=Edi])");
+        let rules = RuleSet::cfds_only(s, r.clone());
+        assert!(implies_cfd(&rules, None, &r[0]));
+    }
+
+    #[test]
+    fn transitivity_of_fds_is_implied() {
+        // A→B and B→C imply A→C.
+        let s = Schema::of_strings("r", &["A", "B", "C"]);
+        let r = cfds(&s, "cfd ab: r([A] -> [B])\ncfd bc: r([B] -> [C])");
+        let rules = RuleSet::cfds_only(s.clone(), r);
+        let ac = cfds(&s, "cfd ac: r([A] -> [C])").remove(0);
+        assert!(implies_cfd(&rules, None, &ac));
+    }
+
+    #[test]
+    fn unrelated_fd_is_not_implied() {
+        let s = Schema::of_strings("r", &["A", "B", "C"]);
+        let r = cfds(&s, "cfd ab: r([A] -> [B])");
+        let rules = RuleSet::cfds_only(s.clone(), r);
+        let ac = cfds(&s, "cfd ac: r([A] -> [C])").remove(0);
+        assert!(!implies_cfd(&rules, None, &ac));
+    }
+
+    #[test]
+    fn constant_specialization_is_implied() {
+        // [A] → [B] implies [A=1] → [B] (pattern specializes).
+        let s = Schema::of_strings("r", &["A", "B"]);
+        let r = cfds(&s, "cfd ab: r([A] -> [B])");
+        let rules = RuleSet::cfds_only(s.clone(), r);
+        let spec = cfds(&s, "cfd spec: r([A=1] -> [B])").remove(0);
+        assert!(implies_cfd(&rules, None, &spec));
+    }
+
+    #[test]
+    fn constant_generalization_is_not_implied() {
+        let s = Schema::of_strings("r", &["A", "B"]);
+        let r = cfds(&s, "cfd spec: r([A=1] -> [B])");
+        let rules = RuleSet::cfds_only(s.clone(), r);
+        let gen = cfds(&s, "cfd gen: r([A] -> [B])").remove(0);
+        assert!(!implies_cfd(&rules, None, &gen));
+    }
+
+    #[test]
+    fn constant_chain_implies_composed_constant() {
+        // AC=131 → city=Edi and city=Edi → country=UK imply AC=131 → country=UK.
+        let s = Schema::of_strings("r", &["AC", "city", "country"]);
+        let r = cfds(
+            &s,
+            "cfd a: r([AC=131] -> [city=Edi])\ncfd b: r([city=Edi] -> [country=UK])",
+        );
+        let rules = RuleSet::cfds_only(s.clone(), r);
+        let comp = cfds(&s, "cfd c: r([AC=131] -> [country=UK])").remove(0);
+        assert!(implies_cfd(&rules, None, &comp));
+        let wrong = cfds(&s, "cfd w: r([AC=131] -> [country=FR])").remove(0);
+        assert!(!implies_cfd(&rules, None, &wrong));
+    }
+
+    #[test]
+    fn md_implication_with_master_data() {
+        let tran = Schema::of_strings("tran", &["LN", "phn", "city"]);
+        let card = Schema::of_strings("card", &["LN", "tel", "city"]);
+        let parsed = parse_rules(
+            "md m: tran[LN] = card[LN] -> tran[phn] <=> card[tel]",
+            &tran,
+            Some(&card),
+        )
+        .unwrap();
+        let rules =
+            RuleSet::new(tran.clone(), Some(card.clone()), vec![], parsed.positive_mds.clone(), vec![]);
+        let dm = Relation::new(card.clone(), vec![Tuple::of_strs(&["Brady", "555", "Ldn"], 1.0)]);
+        // The MD implies itself.
+        assert!(implies_md(&rules, &dm, &parsed.positive_mds[0]));
+        // A *stronger* MD (premise subset → fires more often) is not implied.
+        let stronger = parse_rules(
+            "md strong: tran[LN] = card[LN] -> tran[city] <=> card[city]",
+            &tran,
+            Some(&card),
+        )
+        .unwrap()
+        .positive_mds
+        .remove(0);
+        assert!(!implies_md(&rules, &dm, &stronger));
+        // A *weaker* MD (extra premise) is implied.
+        let weaker = parse_rules(
+            "md weak: tran[LN] = card[LN] AND tran[city] = card[city] -> tran[phn] <=> card[tel]",
+            &tran,
+            Some(&card),
+        )
+        .unwrap()
+        .positive_mds
+        .remove(0);
+        assert!(implies_md(&rules, &dm, &weaker));
+    }
+}

@@ -1,0 +1,33 @@
+//! Static analyses of UniClean rule sets (§4 of the paper).
+//!
+//! The paper proves these problems intractable — consistency is NP-complete
+//! (Thm 4.1), implication coNP-complete (Thm 4.2), termination and
+//! determinism of rule-based cleaning PSPACE-complete (Thms 4.7, 4.8). This
+//! crate implements the *exact small-model characterizations from those
+//! proofs*, which are practical for realistic rule sets (tens to hundreds of
+//! rules), plus cheap static sufficient conditions used by the cleaning
+//! pipeline:
+//!
+//! * [`depgraph`] — the rule dependency graph, Tarjan SCCs and the
+//!   out/in-degree-ratio ordering of §6.2 (Example 6.1);
+//! * [`chase`] — a bounded rule-application executor with cycle detection
+//!   (the machinery behind termination/determinism diagnostics);
+//! * [`consistency`] — single-tuple small-model consistency (Thm 4.1);
+//! * [`implication`] — two-tuple small-model implication (Thm 4.2);
+//! * [`termination`] — static non-termination witnesses (Example 4.6's
+//!   oscillating constant CFDs) and bounded dynamic checks;
+//! * [`determinism`] — multi-order fixpoint comparison.
+
+pub mod chase;
+pub mod consistency;
+pub mod depgraph;
+pub mod determinism;
+pub mod implication;
+pub mod termination;
+
+pub use chase::{Chase, ChaseOutcome, ChaseStrategy};
+pub use consistency::is_consistent;
+pub use depgraph::{erepair_order, DepGraph, RuleRef};
+pub use determinism::{determinism_check, DeterminismReport};
+pub use implication::{implies_cfd, implies_md};
+pub use termination::{termination_diagnostics, TerminationReport};

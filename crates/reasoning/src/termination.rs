@@ -1,0 +1,211 @@
+//! Termination diagnostics (§4.2, Theorem 4.7).
+//!
+//! Whether a rule-based cleaning process terminates is PSPACE-complete, so
+//! no static check can be exact. This module provides:
+//!
+//! * a **sound sufficient condition** for guaranteed termination — the rule
+//!   dependency graph is acyclic *and* no two rules write the same data
+//!   attribute. Then each attribute has a single writer, writers fire in
+//!   topological order, and every cell changes at most once per upstream
+//!   stabilization, so the process is finite;
+//! * **static non-termination witnesses** of the Example 4.6 shape: two
+//!   constant CFDs that write the *same* attribute with *different*
+//!   constants and whose premises can hold simultaneously and survive each
+//!   other's write — any tuple triggering both oscillates forever;
+//! * for everything in between, the dynamic [`crate::chase`] executor
+//!   provides bounded runs with exact cycle detection.
+
+use uniclean_rules::{Cfd, RuleSet};
+
+use crate::depgraph::{DepGraph, RuleRef};
+
+/// What the static termination analysis can say about a rule set.
+#[derive(Clone, Debug)]
+pub struct TerminationReport {
+    /// Is the rule dependency graph acyclic?
+    pub dep_graph_acyclic: bool,
+    /// Pairs of normalized-CFD indices that form an Example 4.6-style
+    /// oscillator (same RHS attribute, different constants, compatible and
+    /// mutually surviving premises).
+    pub constant_conflicts: Vec<(usize, usize)>,
+    /// Pairs of rules writing the same data attribute (potential ping-pong
+    /// through variable CFDs/MDs; a warning, not a proof).
+    pub shared_rhs_pairs: Vec<(RuleRef, RuleRef)>,
+    /// True iff the sufficient condition holds: acyclic dependency graph and
+    /// single-writer attributes. Rule sets failing this may still terminate
+    /// — the problem is PSPACE-complete (Thm 4.7).
+    pub guaranteed_terminating: bool,
+}
+
+/// Run the static analysis.
+pub fn termination_diagnostics(rules: &RuleSet) -> TerminationReport {
+    let g = DepGraph::build(rules);
+    let dep_graph_acyclic = !g.has_cycle();
+
+    let mut constant_conflicts = Vec::new();
+    let cfds = rules.cfds();
+    for i in 0..cfds.len() {
+        for j in i + 1..cfds.len() {
+            if is_constant_oscillator(&cfds[i], &cfds[j]) {
+                constant_conflicts.push((i, j));
+            }
+        }
+    }
+
+    // Writers per data attribute.
+    let mut shared_rhs_pairs = Vec::new();
+    let mut writers: std::collections::HashMap<u16, Vec<RuleRef>> = std::collections::HashMap::new();
+    for (i, c) in cfds.iter().enumerate() {
+        writers.entry(c.rhs()[0].0).or_default().push(RuleRef::Cfd(i));
+    }
+    for (i, m) in rules.mds().iter().enumerate() {
+        writers.entry(m.rhs()[0].0 .0).or_default().push(RuleRef::Md(i));
+    }
+    for list in writers.values() {
+        for a in 0..list.len() {
+            for b in a + 1..list.len() {
+                shared_rhs_pairs.push((list[a], list[b]));
+            }
+        }
+    }
+    shared_rhs_pairs.sort_unstable();
+
+    let guaranteed_terminating =
+        dep_graph_acyclic && constant_conflicts.is_empty() && shared_rhs_pairs.is_empty();
+    TerminationReport { dep_graph_acyclic, constant_conflicts, shared_rhs_pairs, guaranteed_terminating }
+}
+
+/// Example 4.6 shape: ϕi and ϕj are constant CFDs on the same RHS attribute
+/// `A` with different constants, their LHS patterns can hold on one tuple
+/// simultaneously, and each premise survives the other's write to `A`.
+fn is_constant_oscillator(a: &Cfd, b: &Cfd) -> bool {
+    if !a.is_constant() || !b.is_constant() {
+        return false;
+    }
+    let attr_a = a.rhs()[0];
+    if attr_a != b.rhs()[0] {
+        return false;
+    }
+    let ca = a.rhs_pattern()[0].as_const().expect("constant CFD");
+    let cb = b.rhs_pattern()[0].as_const().expect("constant CFD");
+    if ca == cb {
+        return false;
+    }
+    // Premises jointly satisfiable: shared LHS attrs must not demand
+    // different constants.
+    for (x, px) in a.lhs().iter().zip(a.lhs_pattern()) {
+        for (y, py) in b.lhs().iter().zip(b.lhs_pattern()) {
+            if x == y {
+                if let (Some(vx), Some(vy)) = (px.as_const(), py.as_const()) {
+                    if vx != vy {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    // Each premise must survive the other's write: if A ∈ LHS(ϕi), its
+    // pattern must accept the other's constant.
+    let survives = |c: &Cfd, other_const: &uniclean_model::Value| {
+        c.lhs()
+            .iter()
+            .zip(c.lhs_pattern())
+            .filter(|(x, _)| **x == attr_a)
+            .all(|(_, p)| p.matches(other_const))
+    };
+    survives(a, cb) && survives(b, ca)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use uniclean_model::Schema;
+    use uniclean_rules::parse_rules;
+
+    fn cfd_rules(schema: &Arc<Schema>, text: &str) -> RuleSet {
+        let parsed = parse_rules(text, schema, None).unwrap();
+        RuleSet::cfds_only(schema.clone(), parsed.cfds)
+    }
+
+    #[test]
+    fn example_4_6_is_flagged() {
+        let s = Schema::of_strings("tran", &["AC", "post", "city"]);
+        let rules = cfd_rules(
+            &s,
+            "cfd phi1: tran([AC=131] -> [city=Edi])\n\
+             cfd phi5: tran([post=\"EH8 9AB\"] -> [city=Ldn])",
+        );
+        let report = termination_diagnostics(&rules);
+        assert_eq!(report.constant_conflicts, vec![(0, 1)]);
+        assert!(!report.guaranteed_terminating);
+        // The dependency graph itself is acyclic — the oscillation is not a
+        // graph cycle, which is exactly why the dedicated check exists.
+        assert!(report.dep_graph_acyclic);
+    }
+
+    #[test]
+    fn incompatible_premises_do_not_oscillate() {
+        // Both write city but their premises can never hold together.
+        let s = Schema::of_strings("tran", &["AC", "city"]);
+        let rules = cfd_rules(
+            &s,
+            "cfd a: tran([AC=131] -> [city=Edi])\ncfd b: tran([AC=020] -> [city=Ldn])",
+        );
+        let report = termination_diagnostics(&rules);
+        assert!(report.constant_conflicts.is_empty());
+        // They still share the RHS attribute, so the strong guarantee is off.
+        assert!(!report.shared_rhs_pairs.is_empty());
+    }
+
+    #[test]
+    fn premise_killed_by_write_does_not_oscillate() {
+        // b's premise includes city=Ldn; once a writes Edi, b stops firing.
+        let s = Schema::of_strings("tran", &["AC", "post", "city"]);
+        let rules = cfd_rules(
+            &s,
+            "cfd a: tran([AC=131] -> [city=Edi])\n\
+             cfd b: tran([post=Z, city=Ldn] -> [city=Ldn])",
+        );
+        let report = termination_diagnostics(&rules);
+        assert!(report.constant_conflicts.is_empty());
+    }
+
+    #[test]
+    fn single_writer_acyclic_rules_are_guaranteed() {
+        let s = Schema::of_strings("r", &["A", "B", "C"]);
+        let rules = cfd_rules(&s, "cfd ab: r([A] -> [B])\ncfd bc: r([B] -> [C])");
+        let report = termination_diagnostics(&rules);
+        assert!(report.dep_graph_acyclic);
+        assert!(report.constant_conflicts.is_empty());
+        assert!(report.shared_rhs_pairs.is_empty());
+        assert!(report.guaranteed_terminating);
+    }
+
+    #[test]
+    fn cyclic_graph_voids_the_guarantee() {
+        let s = Schema::of_strings("r", &["A", "B"]);
+        let rules = cfd_rules(&s, "cfd ab: r([A] -> [B])\ncfd ba: r([B] -> [A])");
+        let report = termination_diagnostics(&rules);
+        assert!(!report.dep_graph_acyclic);
+        assert!(!report.guaranteed_terminating);
+    }
+
+    #[test]
+    fn oscillator_also_detected_dynamically() {
+        use crate::chase::{Chase, ChaseOutcome, ChaseStrategy};
+        use uniclean_model::{Relation, Tuple};
+        let s = Schema::of_strings("tran", &["AC", "post", "city"]);
+        let rules = cfd_rules(
+            &s,
+            "cfd phi1: tran([AC=131] -> [city=Edi])\n\
+             cfd phi5: tran([post=\"EH8 9AB\"] -> [city=Ldn])",
+        );
+        // Static flags it…
+        assert!(!termination_diagnostics(&rules).guaranteed_terminating);
+        // …and the chase confirms on a concrete triggering tuple.
+        let d = Relation::new(s, vec![Tuple::of_strs(&["131", "EH8 9AB", "x"], 0.5)]);
+        let chase = Chase::new(&rules, None, 100);
+        assert!(matches!(chase.run(&d, ChaseStrategy::FirstApplicable), ChaseOutcome::Cycle { .. }));
+    }
+}

@@ -1,0 +1,271 @@
+//! Conditional functional dependencies (§2.1).
+//!
+//! A CFD `ϕ` on schema `R` is a pair `R(X → Y, tp)` where `X → Y` is a
+//! standard FD (the *embedded FD*) and `tp` is a pattern tuple over `X ∪ Y`
+//! whose slots are constants or the wildcard `_`. `D ⊨ ϕ` iff for all
+//! tuples `t1, t2 ∈ D`: if `t1[X] = t2[X] ≍ tp[X]` then
+//! `t1[Y] = t2[Y] ≍ tp[Y]`. Taking `t1 = t2` shows a *single* tuple can
+//! violate a CFD with a constant RHS (Example 2.2's `t1` violating `ϕ1`).
+
+use std::fmt;
+use std::sync::Arc;
+
+use uniclean_model::{AttrId, Schema, Tuple};
+
+use crate::pattern::PatternValue;
+
+/// A conditional functional dependency `R(X → Y, tp)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cfd {
+    name: String,
+    schema: Arc<Schema>,
+    lhs: Vec<AttrId>,
+    rhs: Vec<AttrId>,
+    lhs_pattern: Vec<PatternValue>,
+    rhs_pattern: Vec<PatternValue>,
+}
+
+impl Cfd {
+    /// Build a CFD. `name` is a diagnostic label (e.g. `"phi1"`).
+    ///
+    /// # Panics
+    /// Panics if pattern lengths disagree with attribute lists or if `lhs`
+    /// contains duplicates — rules are static configuration.
+    pub fn new(
+        name: impl Into<String>,
+        schema: Arc<Schema>,
+        lhs: Vec<AttrId>,
+        lhs_pattern: Vec<PatternValue>,
+        rhs: Vec<AttrId>,
+        rhs_pattern: Vec<PatternValue>,
+    ) -> Self {
+        assert_eq!(lhs.len(), lhs_pattern.len(), "LHS pattern length mismatch");
+        assert_eq!(rhs.len(), rhs_pattern.len(), "RHS pattern length mismatch");
+        assert!(!rhs.is_empty(), "CFD must have a right-hand side");
+        let mut seen = lhs.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), lhs.len(), "duplicate attribute in CFD LHS");
+        Cfd { name: name.into(), schema, lhs, rhs, lhs_pattern, rhs_pattern }
+    }
+
+    /// Diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema the rule is defined on.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// `LHS(ϕ)` — the `X` attributes.
+    pub fn lhs(&self) -> &[AttrId] {
+        &self.lhs
+    }
+
+    /// `RHS(ϕ)` — the `Y` attributes (singleton once normalized).
+    pub fn rhs(&self) -> &[AttrId] {
+        &self.rhs
+    }
+
+    /// Pattern over `X`.
+    pub fn lhs_pattern(&self) -> &[PatternValue] {
+        &self.lhs_pattern
+    }
+
+    /// Pattern over `Y`.
+    pub fn rhs_pattern(&self) -> &[PatternValue] {
+        &self.rhs_pattern
+    }
+
+    /// Is the CFD normalized (`|RHS| = 1`)?
+    pub fn is_normalized(&self) -> bool {
+        self.rhs.len() == 1
+    }
+
+    /// A *constant* CFD has a constant in (every slot of) its RHS pattern; a
+    /// cleaning rule derived from it overwrites `t[A]` with that constant
+    /// (§3.1 case 2). Meaningful after normalization.
+    pub fn is_constant(&self) -> bool {
+        self.rhs_pattern.iter().all(PatternValue::is_const)
+    }
+
+    /// A *variable* CFD has wildcards in its RHS pattern; its cleaning rule
+    /// copies `t2[B]` into `t1[B]` (§3.1 case 3).
+    pub fn is_variable(&self) -> bool {
+        !self.is_constant()
+    }
+
+    /// Is this CFD a plain FD (all-wildcard patterns)?
+    pub fn is_plain_fd(&self) -> bool {
+        self.lhs_pattern.iter().all(|p| !p.is_const())
+            && self.rhs_pattern.iter().all(|p| !p.is_const())
+    }
+
+    /// Does `t[X] ≍ tp[X]` hold?
+    pub fn lhs_matches(&self, t: &Tuple) -> bool {
+        self.lhs
+            .iter()
+            .zip(self.lhs_pattern.iter())
+            .all(|(a, p)| p.matches(t.value(*a)))
+    }
+
+    /// Does `t[Y] ≍ tp[Y]` hold?
+    pub fn rhs_matches(&self, t: &Tuple) -> bool {
+        self.rhs
+            .iter()
+            .zip(self.rhs_pattern.iter())
+            .all(|(a, p)| p.matches(t.value(*a)))
+    }
+
+    /// Single-tuple check: does `t` on its own satisfy the CFD?
+    /// (`t[X] ≍ tp[X]` implies `t[Y] ≍ tp[Y]`.) Complete for constant CFDs;
+    /// for variable CFDs pairs must also agree (see
+    /// [`crate::satisfaction::satisfies_cfd`]).
+    pub fn single_tuple_ok(&self, t: &Tuple) -> bool {
+        !self.lhs_matches(t) || self.rhs_matches(t)
+    }
+}
+
+impl fmt::Display for Cfd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}([", self.name, self.schema.name())?;
+        for (i, (a, p)) in self.lhs.iter().zip(self.lhs_pattern.iter()).enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            match p {
+                PatternValue::Wildcard => write!(f, "{}", self.schema.attr_name(*a))?,
+                PatternValue::Const(v) => write!(f, "{}={}", self.schema.attr_name(*a), v)?,
+            }
+        }
+        f.write_str("] -> [")?;
+        for (i, (a, p)) in self.rhs.iter().zip(self.rhs_pattern.iter()).enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            match p {
+                PatternValue::Wildcard => write!(f, "{}", self.schema.attr_name(*a))?,
+                PatternValue::Const(v) => write!(f, "{}={}", self.schema.attr_name(*a), v)?,
+            }
+        }
+        f.write_str("])")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniclean_model::Value;
+
+    fn tran() -> Arc<Schema> {
+        Schema::of_strings("tran", &["FN", "LN", "city", "AC", "phn", "St", "post"])
+    }
+
+    /// ϕ1 of Example 1.1: tran([AC = 131] → [city = Edi]).
+    fn phi1(s: &Arc<Schema>) -> Cfd {
+        Cfd::new(
+            "phi1",
+            s.clone(),
+            vec![s.attr_id_or_panic("AC")],
+            vec![PatternValue::constant("131")],
+            vec![s.attr_id_or_panic("city")],
+            vec![PatternValue::constant("Edi")],
+        )
+    }
+
+    /// ϕ3: tran([city, phn] → [St, AC, post]) — a plain FD.
+    fn phi3(s: &Arc<Schema>) -> Cfd {
+        Cfd::new(
+            "phi3",
+            s.clone(),
+            vec![s.attr_id_or_panic("city"), s.attr_id_or_panic("phn")],
+            vec![PatternValue::Wildcard, PatternValue::Wildcard],
+            vec![s.attr_id_or_panic("St"), s.attr_id_or_panic("AC"), s.attr_id_or_panic("post")],
+            vec![PatternValue::Wildcard; 3],
+        )
+    }
+
+    #[test]
+    fn classification() {
+        let s = tran();
+        assert!(phi1(&s).is_constant());
+        assert!(!phi1(&s).is_variable());
+        assert!(!phi1(&s).is_plain_fd());
+        assert!(phi3(&s).is_variable());
+        assert!(phi3(&s).is_plain_fd());
+        assert!(!phi3(&s).is_normalized());
+        assert!(phi1(&s).is_normalized());
+    }
+
+    #[test]
+    fn single_tuple_violation_of_constant_cfd() {
+        // t1 of Fig. 1(b): AC = 131 but city = Ldn — violates ϕ1 alone.
+        let s = tran();
+        let rule = phi1(&s);
+        let mut t = Tuple::of_strs(&["M.", "Smith", "Ldn", "131", "9999999", "10 Oak St", "EH8 9LE"], 0.5);
+        assert!(rule.lhs_matches(&t));
+        assert!(!rule.single_tuple_ok(&t));
+        t.set(s.attr_id_or_panic("city"), Value::str("Edi"), 0.8, Default::default());
+        assert!(rule.single_tuple_ok(&t));
+    }
+
+    #[test]
+    fn lhs_with_null_never_matches() {
+        let s = tran();
+        let rule = phi1(&s);
+        let mut t = Tuple::of_strs(&["M.", "Smith", "Ldn", "131", "9", "x", "y"], 0.5);
+        t.set(s.attr_id_or_panic("AC"), Value::Null, 0.0, Default::default());
+        assert!(!rule.lhs_matches(&t));
+        assert!(rule.single_tuple_ok(&t));
+    }
+
+    #[test]
+    fn display_mirrors_paper_syntax() {
+        let s = tran();
+        assert_eq!(phi1(&s).to_string(), "phi1: tran([AC=131] -> [city=Edi])");
+        assert_eq!(phi3(&s).to_string(), "phi3: tran([city, phn] -> [St, AC, post])");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_lhs_rejected() {
+        let s = tran();
+        let ac = s.attr_id_or_panic("AC");
+        Cfd::new(
+            "bad",
+            s.clone(),
+            vec![ac, ac],
+            vec![PatternValue::Wildcard, PatternValue::Wildcard],
+            vec![s.attr_id_or_panic("city")],
+            vec![PatternValue::Wildcard],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "right-hand side")]
+    fn empty_rhs_rejected() {
+        let s = tran();
+        Cfd::new("bad", s.clone(), vec![s.attr_id_or_panic("AC")], vec![PatternValue::Wildcard], vec![], vec![]);
+    }
+
+    #[test]
+    fn normalization_rule_fn_on_fn() {
+        // ϕ4: tran([FN = Bob] → [FN = Robert]) — LHS and RHS may share the
+        // attribute; the rule is a standardization rule.
+        let s = tran();
+        let fnid = s.attr_id_or_panic("FN");
+        let phi4 = Cfd::new(
+            "phi4",
+            s.clone(),
+            vec![fnid],
+            vec![PatternValue::constant("Bob")],
+            vec![fnid],
+            vec![PatternValue::constant("Robert")],
+        );
+        let t = Tuple::of_strs(&["Bob", "Brady", "Edi", "020", "3887834", "5 Wren St", "WC1H 9SE"], 0.5);
+        assert!(phi4.lhs_matches(&t));
+        assert!(!phi4.single_tuple_ok(&t));
+    }
+}

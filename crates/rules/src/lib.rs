@@ -1,0 +1,33 @@
+//! Data quality rules for UniClean: CFDs and MDs (§2 of the paper).
+//!
+//! * [`pattern`] — pattern values and the match operator `≍` of CFDs;
+//! * [`cfd`] — conditional functional dependencies `R(X → Y, tp)`;
+//! * [`md`] — positive matching dependencies across a data schema and a
+//!   master schema;
+//! * [`negative`] — negative MDs and their embedding into positive MDs
+//!   (Proposition 2.6);
+//! * [`normalize`] — normalization to single-attribute right-hand sides;
+//! * [`satisfaction`] — `D ⊨ Σ` and `(D, Dm) ⊨ Γ` checks;
+//! * [`violations`] — violation enumeration (the raw material of repairs);
+//! * [`parser`] — a textual rule language close to the paper's notation;
+//! * [`ruleset`] — the combined `Θ = Σ ∪ Γ` container.
+
+pub mod cfd;
+pub mod md;
+pub mod negative;
+pub mod normalize;
+pub mod parser;
+pub mod pattern;
+pub mod ruleset;
+pub mod satisfaction;
+pub mod violations;
+
+pub use cfd::Cfd;
+pub use md::{Md, MdPremise};
+pub use negative::{embed_negative_mds, NegativeMd};
+pub use normalize::{normalize_cfds, normalize_mds};
+pub use parser::{parse_rules, ParseError, ParsedRules};
+pub use pattern::PatternValue;
+pub use ruleset::RuleSet;
+pub use satisfaction::{satisfies_all, satisfies_cfd, satisfies_md};
+pub use violations::{cfd_violations, md_violations, Violation};

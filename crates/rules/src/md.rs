@@ -1,0 +1,256 @@
+//! Positive matching dependencies (§2.2).
+//!
+//! A positive MD `ψ` on `(R, Rm)` has the form
+//!
+//! ```text
+//! ⋀ j∈[1,k] (R[Aj] ≈j Rm[Bj])  →  ⋀ i∈[1,h] (R[Ei] ⇋ Rm[Fi])
+//! ```
+//!
+//! Its dynamic semantics against a dirty relation `D` and master data `Dm`:
+//! whenever `t ∈ D` and `s ∈ Dm` satisfy every premise similarity, `t[Ei]`
+//! is *changed to* `s[Fi]` — values are drawn from the clean master data.
+//! `(D, Dm) ⊨ ψ` iff no tuple of `D` can still be updated this way.
+
+use std::fmt;
+use std::sync::Arc;
+
+use uniclean_model::{AttrId, Schema, Tuple};
+use uniclean_similarity::SimilarityPredicate;
+
+/// One conjunct `R[Aj] ≈j Rm[Bj]` of an MD premise.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MdPremise {
+    /// The data-side attribute `Aj`.
+    pub attr: AttrId,
+    /// The master-side attribute `Bj`.
+    pub master_attr: AttrId,
+    /// The similarity predicate `≈j`.
+    pub pred: SimilarityPredicate,
+}
+
+/// A positive matching dependency.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Md {
+    name: String,
+    schema: Arc<Schema>,
+    master_schema: Arc<Schema>,
+    premises: Vec<MdPremise>,
+    /// The identified pairs `(Ei, Fi)`.
+    rhs: Vec<(AttrId, AttrId)>,
+}
+
+impl Md {
+    /// Build an MD. `name` is a diagnostic label (e.g. `"psi"`).
+    ///
+    /// # Panics
+    /// Panics on an empty RHS or duplicate data-side premise attributes.
+    pub fn new(
+        name: impl Into<String>,
+        schema: Arc<Schema>,
+        master_schema: Arc<Schema>,
+        premises: Vec<MdPremise>,
+        rhs: Vec<(AttrId, AttrId)>,
+    ) -> Self {
+        assert!(!rhs.is_empty(), "MD must identify at least one attribute pair");
+        Md { name: name.into(), schema, master_schema, premises, rhs }
+    }
+
+    /// Diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The data-side schema `R`.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The master-side schema `Rm`.
+    pub fn master_schema(&self) -> &Arc<Schema> {
+        &self.master_schema
+    }
+
+    /// The premise conjuncts.
+    pub fn premises(&self) -> &[MdPremise] {
+        &self.premises
+    }
+
+    /// The identified pairs `(Ei, Fi)`.
+    pub fn rhs(&self) -> &[(AttrId, AttrId)] {
+        &self.rhs
+    }
+
+    /// Is the MD normalized (`|RHS| = 1`)?
+    pub fn is_normalized(&self) -> bool {
+        self.rhs.len() == 1
+    }
+
+    /// Data-side premise attributes `A1..Ak` (the cleaning rule's premise
+    /// attributes for confidence checks).
+    pub fn lhs_attrs(&self) -> Vec<AttrId> {
+        self.premises.iter().map(|p| p.attr).collect()
+    }
+
+    /// Does the premise hold between data tuple `t` and master tuple `s`?
+    ///
+    /// Nulls never satisfy a similarity premise — matching a data tuple with
+    /// a master tuple adopts the same convention as CFD pattern matching
+    /// (§7).
+    pub fn premise_matches(&self, t: &Tuple, s: &Tuple) -> bool {
+        self.premises.iter().all(|p| {
+            let tv = t.value(p.attr);
+            let sv = s.value(p.master_attr);
+            if tv.is_null() || sv.is_null() {
+                return false;
+            }
+            p.pred.matches(&tv.render(), &sv.render())
+        })
+    }
+
+    /// Does the conclusion already hold (`t[Ei] = s[Fi]` for all `i`)?
+    pub fn rhs_identified(&self, t: &Tuple, s: &Tuple) -> bool {
+        self.rhs.iter().all(|(e, f)| t.value(*e) == s.value(*f))
+    }
+
+    /// Would applying this MD with master tuple `s` change `t`?
+    pub fn applies(&self, t: &Tuple, s: &Tuple) -> bool {
+        self.premise_matches(t, s) && !self.rhs_identified(t, s)
+    }
+}
+
+impl fmt::Display for Md {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.name)?;
+        for (i, p) in self.premises.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" AND ")?;
+            }
+            write!(
+                f,
+                "{}[{}] {} {}[{}]",
+                self.schema.name(),
+                self.schema.attr_name(p.attr),
+                p.pred,
+                self.master_schema.name(),
+                self.master_schema.attr_name(p.master_attr),
+            )?;
+        }
+        f.write_str(" -> ")?;
+        for (i, (e, fa)) in self.rhs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(
+                f,
+                "{}[{}] <=> {}[{}]",
+                self.schema.name(),
+                self.schema.attr_name(*e),
+                self.master_schema.name(),
+                self.master_schema.attr_name(*fa),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniclean_model::Value;
+
+    fn schemas() -> (Arc<Schema>, Arc<Schema>) {
+        (
+            Schema::of_strings("tran", &["FN", "LN", "city", "St", "post", "phn"]),
+            Schema::of_strings("card", &["FN", "LN", "city", "St", "zip", "tel"]),
+        )
+    }
+
+    /// ψ of Example 1.1: tran[LN, city, St, post] = card[LN, city, St, zip]
+    /// ∧ tran[FN] ≈ card[FN] → tran[FN, phn] ⇋ card[FN, tel].
+    fn psi(tran: &Arc<Schema>, card: &Arc<Schema>) -> Md {
+        let eqs = [("LN", "LN"), ("city", "city"), ("St", "St"), ("post", "zip")];
+        let mut premises: Vec<MdPremise> = eqs
+            .iter()
+            .map(|(a, b)| MdPremise {
+                attr: tran.attr_id_or_panic(a),
+                master_attr: card.attr_id_or_panic(b),
+                pred: SimilarityPredicate::Equal,
+            })
+            .collect();
+        premises.push(MdPremise {
+            attr: tran.attr_id_or_panic("FN"),
+            master_attr: card.attr_id_or_panic("FN"),
+            // "M." ≈ "Mark" needs three edits (sub + two inserts).
+            pred: SimilarityPredicate::Levenshtein { max: 3 },
+        });
+        Md::new(
+            "psi",
+            tran.clone(),
+            card.clone(),
+            premises,
+            vec![
+                (tran.attr_id_or_panic("FN"), card.attr_id_or_panic("FN")),
+                (tran.attr_id_or_panic("phn"), card.attr_id_or_panic("tel")),
+            ],
+        )
+    }
+
+    #[test]
+    fn example_2_3_premise_and_application() {
+        let (tran, card) = schemas();
+        let md = psi(&tran, &card);
+        // t1' (t1 with city already repaired to Ldn)… using the Edinburgh
+        // variant for s1: the premise holds, the conclusion does not.
+        let t1p = Tuple::of_strs(&["M.", "Smith", "Edi", "10 Oak St", "EH8 9LE", "9999999"], 0.5);
+        let s1 = Tuple::of_strs(&["Mark", "Smith", "Edi", "10 Oak St", "EH8 9LE", "3256778"], 1.0);
+        assert!(md.premise_matches(&t1p, &s1));
+        assert!(!md.rhs_identified(&t1p, &s1));
+        assert!(md.applies(&t1p, &s1));
+    }
+
+    #[test]
+    fn dissimilar_first_names_block_the_premise() {
+        let (tran, card) = schemas();
+        let md = psi(&tran, &card);
+        let t = Tuple::of_strs(&["Zebulon", "Smith", "Edi", "10 Oak St", "EH8 9LE", "1"], 0.5);
+        let s = Tuple::of_strs(&["Mark", "Smith", "Edi", "10 Oak St", "EH8 9LE", "2"], 1.0);
+        assert!(!md.premise_matches(&t, &s));
+    }
+
+    #[test]
+    fn identified_rhs_means_no_application() {
+        let (tran, card) = schemas();
+        let md = psi(&tran, &card);
+        let t = Tuple::of_strs(&["Mark", "Smith", "Edi", "10 Oak St", "EH8 9LE", "3256778"], 0.5);
+        let s = Tuple::of_strs(&["Mark", "Smith", "Edi", "10 Oak St", "EH8 9LE", "3256778"], 1.0);
+        assert!(md.premise_matches(&t, &s));
+        assert!(md.rhs_identified(&t, &s));
+        assert!(!md.applies(&t, &s));
+    }
+
+    #[test]
+    fn null_premise_values_never_match() {
+        let (tran, card) = schemas();
+        let md = psi(&tran, &card);
+        let mut t = Tuple::of_strs(&["Mark", "Smith", "Edi", "10 Oak St", "EH8 9LE", "1"], 0.5);
+        t.set(tran.attr_id_or_panic("St"), Value::Null, 0.0, Default::default());
+        let s = Tuple::of_strs(&["Mark", "Smith", "Edi", "10 Oak St", "EH8 9LE", "2"], 1.0);
+        assert!(!md.premise_matches(&t, &s));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let (tran, card) = schemas();
+        let text = psi(&tran, &card).to_string();
+        assert!(text.contains("tran[LN] = card[LN]"));
+        assert!(text.contains("tran[FN] ~lev(3) card[FN]"));
+        assert!(text.contains("tran[phn] <=> card[tel]"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attribute pair")]
+    fn empty_rhs_rejected() {
+        let (tran, card) = schemas();
+        Md::new("bad", tran, card, vec![], vec![]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Negative MDs and their embedding into positive MDs (Prop. 2.6).
+//!
+//! A negative MD `ψ⁻` states
+//!
+//! ```text
+//! ⋀ j (R[Aj] ≠ Rm[Bj])  →  ⋁ i (R[Ei] ⇎ Rm[Fi])
+//! ```
+//!
+//! — e.g. "a male and a female may not refer to the same person"
+//! (Example 2.4). Proposition 2.6 shows negative MDs never need separate
+//! treatment: given positive MDs `Γ⁺` and negative MDs `Γ⁻`, an equivalent
+//! all-positive set is obtained in O(|Γ⁺|·|Γ⁻|) time by conjoining, to each
+//! positive MD's premise, an equality premise `R[Aj] = Rm[Bj]` for every
+//! premise attribute of every negative MD (Example 2.5 adds `gd = gd` to
+//! `ψ`).
+
+use std::sync::Arc;
+
+use uniclean_model::{AttrId, Schema};
+use uniclean_similarity::SimilarityPredicate;
+
+use crate::md::{Md, MdPremise};
+
+/// A negative matching dependency.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NegativeMd {
+    name: String,
+    schema: Arc<Schema>,
+    master_schema: Arc<Schema>,
+    /// The inequality premises `(Aj, Bj)`.
+    premises: Vec<(AttrId, AttrId)>,
+    /// The disputed pairs `(Ei, Fi)`.
+    rhs: Vec<(AttrId, AttrId)>,
+}
+
+impl NegativeMd {
+    /// Build a negative MD.
+    pub fn new(
+        name: impl Into<String>,
+        schema: Arc<Schema>,
+        master_schema: Arc<Schema>,
+        premises: Vec<(AttrId, AttrId)>,
+        rhs: Vec<(AttrId, AttrId)>,
+    ) -> Self {
+        assert!(!premises.is_empty(), "negative MD needs at least one premise");
+        NegativeMd { name: name.into(), schema, master_schema, premises, rhs }
+    }
+
+    /// Diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The inequality premises.
+    pub fn premises(&self) -> &[(AttrId, AttrId)] {
+        &self.premises
+    }
+
+    /// The disputed pairs.
+    pub fn rhs(&self) -> &[(AttrId, AttrId)] {
+        &self.rhs
+    }
+}
+
+/// Prop. 2.6: embed `negatives` into `positives`, producing an equivalent
+/// all-positive set.
+///
+/// For each positive MD `ψ` and each negative MD `ψ⁻`, every premise pair
+/// `(Aj, Bj)` of `ψ⁻` is added to `ψ`'s premise as an equality conjunct
+/// (deduplicated — if `ψ` already requires equality on the pair, nothing is
+/// added). Runs in O(|Γ⁺|·|Γ⁻|) premise insertions.
+pub fn embed_negative_mds(positives: &[Md], negatives: &[NegativeMd]) -> Vec<Md> {
+    positives
+        .iter()
+        .map(|md| {
+            let mut premises = md.premises().to_vec();
+            for neg in negatives {
+                for &(a, b) in neg.premises() {
+                    let already = premises
+                        .iter()
+                        .any(|p| p.attr == a && p.master_attr == b && p.pred.is_equality());
+                    if !already {
+                        premises.push(MdPremise { attr: a, master_attr: b, pred: SimilarityPredicate::Equal });
+                    }
+                }
+            }
+            Md::new(
+                format!("{}+", md.name()),
+                md.schema().clone(),
+                md.master_schema().clone(),
+                premises,
+                md.rhs().to_vec(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniclean_model::Tuple;
+
+    fn schemas() -> (Arc<Schema>, Arc<Schema>) {
+        (
+            Schema::of_strings("tran", &["FN", "LN", "gd", "phn"]),
+            Schema::of_strings("card", &["FN", "LN", "gd", "tel"]),
+        )
+    }
+
+    fn positive(tran: &Arc<Schema>, card: &Arc<Schema>) -> Md {
+        Md::new(
+            "psi",
+            tran.clone(),
+            card.clone(),
+            vec![MdPremise {
+                attr: tran.attr_id_or_panic("LN"),
+                master_attr: card.attr_id_or_panic("LN"),
+                pred: SimilarityPredicate::Equal,
+            }],
+            vec![(tran.attr_id_or_panic("phn"), card.attr_id_or_panic("tel"))],
+        )
+    }
+
+    fn negative(tran: &Arc<Schema>, card: &Arc<Schema>) -> NegativeMd {
+        NegativeMd::new(
+            "psi-",
+            tran.clone(),
+            card.clone(),
+            vec![(tran.attr_id_or_panic("gd"), card.attr_id_or_panic("gd"))],
+            vec![(tran.attr_id_or_panic("phn"), card.attr_id_or_panic("tel"))],
+        )
+    }
+
+    #[test]
+    fn embedding_adds_equality_premise() {
+        let (tran, card) = schemas();
+        let out = embed_negative_mds(&[positive(&tran, &card)], &[negative(&tran, &card)]);
+        assert_eq!(out.len(), 1);
+        let md = &out[0];
+        assert_eq!(md.premises().len(), 2);
+        let gd = md
+            .premises()
+            .iter()
+            .find(|p| p.attr == tran.attr_id_or_panic("gd"))
+            .expect("gd premise embedded");
+        assert!(gd.pred.is_equality());
+    }
+
+    #[test]
+    fn example_2_5_semantics() {
+        // After embedding, tuples with different genders no longer match.
+        let (tran, card) = schemas();
+        let out = embed_negative_mds(&[positive(&tran, &card)], &[negative(&tran, &card)]);
+        let md = &out[0];
+        let t_male = Tuple::of_strs(&["Bob", "Brady", "Male", "111"], 0.5);
+        let s_male = Tuple::of_strs(&["Robert", "Brady", "Male", "222"], 1.0);
+        let s_female = Tuple::of_strs(&["Roberta", "Brady", "Female", "333"], 1.0);
+        assert!(md.premise_matches(&t_male, &s_male));
+        assert!(!md.premise_matches(&t_male, &s_female));
+        // The original positive MD matched both.
+        let orig = positive(&tran, &card);
+        assert!(orig.premise_matches(&t_male, &s_female));
+    }
+
+    #[test]
+    fn embedding_deduplicates_existing_premises() {
+        let (tran, card) = schemas();
+        // Positive MD that already requires gd = gd.
+        let mut md = positive(&tran, &card);
+        md = Md::new(
+            "psi2",
+            md.schema().clone(),
+            md.master_schema().clone(),
+            {
+                let mut p = md.premises().to_vec();
+                p.push(MdPremise {
+                    attr: tran.attr_id_or_panic("gd"),
+                    master_attr: card.attr_id_or_panic("gd"),
+                    pred: SimilarityPredicate::Equal,
+                });
+                p
+            },
+            md.rhs().to_vec(),
+        );
+        let out = embed_negative_mds(&[md], &[negative(&tran, &card)]);
+        assert_eq!(out[0].premises().len(), 2, "no duplicate gd premise");
+    }
+
+    #[test]
+    fn empty_negative_set_is_identity_modulo_name() {
+        let (tran, card) = schemas();
+        let orig = positive(&tran, &card);
+        let out = embed_negative_mds(std::slice::from_ref(&orig), &[]);
+        assert_eq!(out[0].premises(), orig.premises());
+        assert_eq!(out[0].rhs(), orig.rhs());
+    }
+
+    #[test]
+    fn cost_is_product_of_sizes() {
+        // Structural check on the O(|Γ+||Γ−|) construction: every positive
+        // MD gains at most Σ|premises(ψ−)| new conjuncts.
+        let (tran, card) = schemas();
+        let negs = vec![negative(&tran, &card), negative(&tran, &card)];
+        let out = embed_negative_mds(&[positive(&tran, &card)], &negs);
+        // Second copy deduplicates against the first.
+        assert_eq!(out[0].premises().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one premise")]
+    fn empty_negative_premise_rejected() {
+        let (tran, card) = schemas();
+        NegativeMd::new("bad", tran, card, vec![], vec![]);
+    }
+}

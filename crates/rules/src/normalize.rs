@@ -1,0 +1,145 @@
+//! Normalization to single-attribute right-hand sides (§2.2).
+//!
+//! "Every CFD (resp. positive MD) can be expressed as an equivalent set of
+//! normalized CFDs (resp. positive MDs), such that the cardinality of the
+//! set is bounded by the size of its RHS." The cleaning algorithms of §§5–7
+//! assume normalized rules; these helpers perform the split.
+
+use crate::cfd::Cfd;
+use crate::md::Md;
+
+/// Split a CFD into one normalized CFD per RHS attribute.
+pub fn normalize_cfd(cfd: &Cfd) -> Vec<Cfd> {
+    if cfd.is_normalized() {
+        return vec![cfd.clone()];
+    }
+    cfd.rhs()
+        .iter()
+        .zip(cfd.rhs_pattern().iter())
+        .enumerate()
+        .map(|(i, (attr, pat))| {
+            Cfd::new(
+                format!("{}#{}", cfd.name(), i + 1),
+                cfd.schema().clone(),
+                cfd.lhs().to_vec(),
+                cfd.lhs_pattern().to_vec(),
+                vec![*attr],
+                vec![pat.clone()],
+            )
+        })
+        .collect()
+}
+
+/// Normalize a whole set of CFDs.
+pub fn normalize_cfds(cfds: &[Cfd]) -> Vec<Cfd> {
+    cfds.iter().flat_map(normalize_cfd).collect()
+}
+
+/// Split an MD into one normalized MD per identified pair.
+pub fn normalize_md(md: &Md) -> Vec<Md> {
+    if md.is_normalized() {
+        return vec![md.clone()];
+    }
+    md.rhs()
+        .iter()
+        .enumerate()
+        .map(|(i, pair)| {
+            Md::new(
+                format!("{}#{}", md.name(), i + 1),
+                md.schema().clone(),
+                md.master_schema().clone(),
+                md.premises().to_vec(),
+                vec![*pair],
+            )
+        })
+        .collect()
+}
+
+/// Normalize a whole set of MDs.
+pub fn normalize_mds(mds: &[Md]) -> Vec<Md> {
+    mds.iter().flat_map(normalize_md).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::md::MdPremise;
+    use crate::pattern::PatternValue;
+    use std::sync::Arc;
+    use uniclean_model::Schema;
+    use uniclean_similarity::SimilarityPredicate;
+
+    #[test]
+    fn cfd_splits_per_rhs_attribute() {
+        let s = Schema::of_strings("tran", &["city", "phn", "St", "AC", "post"]);
+        let phi3 = Cfd::new(
+            "phi3",
+            s.clone(),
+            vec![s.attr_id_or_panic("city"), s.attr_id_or_panic("phn")],
+            vec![PatternValue::Wildcard, PatternValue::Wildcard],
+            vec![s.attr_id_or_panic("St"), s.attr_id_or_panic("AC"), s.attr_id_or_panic("post")],
+            vec![PatternValue::Wildcard; 3],
+        );
+        let norm = normalize_cfd(&phi3);
+        assert_eq!(norm.len(), 3);
+        assert!(norm.iter().all(Cfd::is_normalized));
+        assert!(norm.iter().all(|c| c.lhs() == phi3.lhs()));
+        let rhs: Vec<_> = norm.iter().map(|c| c.rhs()[0]).collect();
+        assert_eq!(rhs, phi3.rhs());
+        assert_eq!(norm[0].name(), "phi3#1");
+    }
+
+    #[test]
+    fn normalized_cfd_passes_through() {
+        let s = Schema::of_strings("tran", &["AC", "city"]);
+        let phi1 = Cfd::new(
+            "phi1",
+            s.clone(),
+            vec![s.attr_id_or_panic("AC")],
+            vec![PatternValue::constant("131")],
+            vec![s.attr_id_or_panic("city")],
+            vec![PatternValue::constant("Edi")],
+        );
+        let norm = normalize_cfd(&phi1);
+        assert_eq!(norm.len(), 1);
+        assert_eq!(norm[0].name(), "phi1");
+    }
+
+    fn multi_rhs_md() -> (Arc<Schema>, Arc<Schema>, Md) {
+        let tran = Schema::of_strings("tran", &["FN", "LN", "phn"]);
+        let card = Schema::of_strings("card", &["FN", "LN", "tel"]);
+        let md = Md::new(
+            "psi",
+            tran.clone(),
+            card.clone(),
+            vec![MdPremise {
+                attr: tran.attr_id_or_panic("LN"),
+                master_attr: card.attr_id_or_panic("LN"),
+                pred: SimilarityPredicate::Equal,
+            }],
+            vec![
+                (tran.attr_id_or_panic("FN"), card.attr_id_or_panic("FN")),
+                (tran.attr_id_or_panic("phn"), card.attr_id_or_panic("tel")),
+            ],
+        );
+        (tran, card, md)
+    }
+
+    #[test]
+    fn md_splits_per_identified_pair() {
+        let (_, _, md) = multi_rhs_md();
+        let norm = normalize_md(&md);
+        assert_eq!(norm.len(), 2);
+        assert!(norm.iter().all(Md::is_normalized));
+        assert_eq!(norm[0].premises(), md.premises());
+        assert_eq!(norm[0].rhs()[0], md.rhs()[0]);
+        assert_eq!(norm[1].rhs()[0], md.rhs()[1]);
+    }
+
+    #[test]
+    fn set_normalization_cardinality_is_rhs_bounded() {
+        let (_, _, md) = multi_rhs_md();
+        let norm = normalize_mds(&[md.clone(), md.clone()]);
+        assert_eq!(norm.len(), 4);
+    }
+}

@@ -1,0 +1,113 @@
+//! Pattern values and the match operator `≍` (§2.1).
+//!
+//! A CFD's pattern tuple `tp` assigns each attribute either a constant from
+//! its domain or the unnamed variable `_` (wildcard). The operator `≍` is
+//! defined on constants and `_`: `v1 ≍ v2` iff `v1 = v2` or one of them is
+//! `_`; e.g. `(131, Edi) ≍ (_, Edi)` but `(020, Ldn) ≭ (_, Edi)`.
+
+use std::fmt;
+
+use uniclean_model::Value;
+
+/// One slot of a pattern tuple.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PatternValue {
+    /// A constant from the attribute's domain.
+    Const(Value),
+    /// The unnamed variable `_`, matching any non-null domain value.
+    Wildcard,
+}
+
+impl PatternValue {
+    /// Convenience constructor for a string constant.
+    pub fn constant(s: impl AsRef<str>) -> Self {
+        PatternValue::Const(Value::str(s))
+    }
+
+    /// The match operator `≍` against a data value.
+    ///
+    /// Nulls never match: "CFDs only apply to those tuples that precisely
+    /// match a pattern tuple, which does not contain null" (§7). A wildcard
+    /// therefore matches every value *except* null.
+    pub fn matches(&self, v: &Value) -> bool {
+        if v.is_null() {
+            return false;
+        }
+        match self {
+            PatternValue::Wildcard => true,
+            PatternValue::Const(c) => c == v,
+        }
+    }
+
+    /// Is this slot a constant?
+    pub fn is_const(&self) -> bool {
+        matches!(self, PatternValue::Const(_))
+    }
+
+    /// The constant, if any.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            PatternValue::Const(v) => Some(v),
+            PatternValue::Wildcard => None,
+        }
+    }
+}
+
+impl fmt::Display for PatternValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternValue::Const(v) => write!(f, "{v}"),
+            PatternValue::Wildcard => f.write_str("_"),
+        }
+    }
+}
+
+/// `t[X] ≍ tp[X]` extended to whole projections: every slot must match.
+pub fn pattern_matches(pattern: &[PatternValue], values: &[&Value]) -> bool {
+    debug_assert_eq!(pattern.len(), values.len());
+    pattern.iter().zip(values.iter()).all(|(p, v)| p.matches(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_exactly() {
+        let p = PatternValue::constant("131");
+        assert!(p.matches(&Value::str("131")));
+        assert!(!p.matches(&Value::str("020")));
+    }
+
+    #[test]
+    fn wildcard_matches_any_non_null() {
+        let p = PatternValue::Wildcard;
+        assert!(p.matches(&Value::str("anything")));
+        assert!(p.matches(&Value::int(7)));
+        assert!(!p.matches(&Value::Null));
+    }
+
+    #[test]
+    fn constants_never_match_null() {
+        let p = PatternValue::constant("x");
+        assert!(!p.matches(&Value::Null));
+    }
+
+    #[test]
+    fn paper_example_tuples() {
+        // (131, Edi) ≍ (_, Edi) but (020, Ldn) ≭ (_, Edi)
+        let pattern = vec![PatternValue::Wildcard, PatternValue::constant("Edi")];
+        let v131 = Value::str("131");
+        let edi = Value::str("Edi");
+        let v020 = Value::str("020");
+        let ldn = Value::str("Ldn");
+        assert!(pattern_matches(&pattern, &[&v131, &edi]));
+        assert!(!pattern_matches(&pattern, &[&v020, &ldn]));
+    }
+
+    #[test]
+    fn display_uses_underscore_for_wildcard() {
+        assert_eq!(PatternValue::Wildcard.to_string(), "_");
+        assert_eq!(PatternValue::constant("Edi").to_string(), "Edi");
+    }
+}

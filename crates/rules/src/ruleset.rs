@@ -1,0 +1,170 @@
+//! The combined rule set `Θ = Σ ∪ Γ` handed to the cleaning pipeline.
+
+use std::sync::Arc;
+
+use uniclean_model::Schema;
+
+use crate::cfd::Cfd;
+use crate::md::Md;
+use crate::negative::{embed_negative_mds, NegativeMd};
+use crate::normalize::{normalize_cfds, normalize_mds};
+
+/// A prepared rule set: CFDs and MDs, normalized, with negative MDs already
+/// embedded (per Prop. 2.6 only positive, normalized rules need to be
+/// considered downstream).
+#[derive(Clone, Debug)]
+pub struct RuleSet {
+    schema: Arc<Schema>,
+    master_schema: Option<Arc<Schema>>,
+    cfds: Vec<Cfd>,
+    mds: Vec<Md>,
+}
+
+impl RuleSet {
+    /// Prepare a rule set: normalize every rule and embed negative MDs.
+    ///
+    /// # Panics
+    /// Panics if rules reference a different schema than the one given, or
+    /// if MDs are present without a master schema.
+    pub fn new(
+        schema: Arc<Schema>,
+        master_schema: Option<Arc<Schema>>,
+        cfds: Vec<Cfd>,
+        positive_mds: Vec<Md>,
+        negative_mds: Vec<NegativeMd>,
+    ) -> Self {
+        for c in &cfds {
+            assert_eq!(c.schema().name(), schema.name(), "CFD `{}` is on a different schema", c.name());
+        }
+        if !positive_mds.is_empty() || !negative_mds.is_empty() {
+            assert!(master_schema.is_some(), "MDs require a master schema");
+        }
+        let embedded = if negative_mds.is_empty() {
+            positive_mds
+        } else {
+            embed_negative_mds(&positive_mds, &negative_mds)
+        };
+        RuleSet {
+            schema,
+            master_schema,
+            cfds: normalize_cfds(&cfds),
+            mds: normalize_mds(&embedded),
+        }
+    }
+
+    /// A rule set with CFDs only (repairing without matching —
+    /// the paper's `Uni(CFD)` configuration).
+    pub fn cfds_only(schema: Arc<Schema>, cfds: Vec<Cfd>) -> Self {
+        RuleSet::new(schema, None, cfds, Vec::new(), Vec::new())
+    }
+
+    /// The data schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The master schema, if MDs are present.
+    pub fn master_schema(&self) -> Option<&Arc<Schema>> {
+        self.master_schema.as_ref()
+    }
+
+    /// Normalized CFDs (`Σ`).
+    pub fn cfds(&self) -> &[Cfd] {
+        &self.cfds
+    }
+
+    /// Normalized positive MDs (`Γ`), negatives embedded.
+    pub fn mds(&self) -> &[Md] {
+        &self.mds
+    }
+
+    /// Total number of normalized rules `|Θ|`.
+    pub fn len(&self) -> usize {
+        self.cfds.len() + self.mds.len()
+    }
+
+    /// Is the rule set empty?
+    pub fn is_empty(&self) -> bool {
+        self.cfds.is_empty() && self.mds.is_empty()
+    }
+
+    /// Drop all MDs — the `Uni(CFD)` ablation of the experiments.
+    pub fn without_mds(&self) -> RuleSet {
+        RuleSet {
+            schema: self.schema.clone(),
+            master_schema: None,
+            cfds: self.cfds.clone(),
+            mds: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::md::MdPremise;
+    use crate::pattern::PatternValue;
+    use uniclean_similarity::SimilarityPredicate;
+
+    #[test]
+    fn ruleset_normalizes_and_embeds() {
+        let tran = Schema::of_strings("tran", &["A", "B", "C", "gd"]);
+        let card = Schema::of_strings("card", &["A", "B", "C", "gd"]);
+        let wide_cfd = Cfd::new(
+            "c",
+            tran.clone(),
+            vec![tran.attr_id_or_panic("A")],
+            vec![PatternValue::Wildcard],
+            vec![tran.attr_id_or_panic("B"), tran.attr_id_or_panic("C")],
+            vec![PatternValue::Wildcard, PatternValue::Wildcard],
+        );
+        let md = Md::new(
+            "m",
+            tran.clone(),
+            card.clone(),
+            vec![MdPremise {
+                attr: tran.attr_id_or_panic("A"),
+                master_attr: card.attr_id_or_panic("A"),
+                pred: SimilarityPredicate::Equal,
+            }],
+            vec![
+                (tran.attr_id_or_panic("B"), card.attr_id_or_panic("B")),
+                (tran.attr_id_or_panic("C"), card.attr_id_or_panic("C")),
+            ],
+        );
+        let neg = crate::negative::NegativeMd::new(
+            "n",
+            tran.clone(),
+            card.clone(),
+            vec![(tran.attr_id_or_panic("gd"), card.attr_id_or_panic("gd"))],
+            vec![],
+        );
+        let rs = RuleSet::new(tran.clone(), Some(card), vec![wide_cfd], vec![md], vec![neg]);
+        assert_eq!(rs.cfds().len(), 2, "wide CFD split in two");
+        assert_eq!(rs.mds().len(), 2, "wide MD split in two");
+        assert!(rs.mds().iter().all(|m| m.premises().len() == 2), "gd premise embedded");
+        assert_eq!(rs.len(), 4);
+        let no_md = rs.without_mds();
+        assert_eq!(no_md.len(), 2);
+        assert!(no_md.master_schema().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "require a master schema")]
+    fn mds_without_master_schema_rejected() {
+        let tran = Schema::of_strings("tran", &["A", "B"]);
+        let card = Schema::of_strings("card", &["A", "B"]);
+        let md = Md::new(
+            "m",
+            tran.clone(),
+            card.clone(),
+            vec![MdPremise {
+                attr: tran.attr_id_or_panic("A"),
+                master_attr: card.attr_id_or_panic("A"),
+                pred: SimilarityPredicate::Equal,
+            }],
+            vec![(tran.attr_id_or_panic("B"), card.attr_id_or_panic("B"))],
+        );
+        RuleSet::new(tran, None, vec![], vec![md], vec![]);
+    }
+}

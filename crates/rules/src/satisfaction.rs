@@ -1,0 +1,109 @@
+//! Satisfaction checks: `D ⊨ Σ` and `(D, Dm) ⊨ Γ`.
+//!
+//! These are the acceptance conditions of the data cleaning problem (§3.1):
+//! a repair `Dr` must satisfy every CFD and leave no tuple updatable by any
+//! MD. Nulls follow the SQL simple semantics of §7 (they satisfy), since a
+//! finished repair may legitimately contain nulls introduced by `hRepair`.
+
+use uniclean_model::Relation;
+
+use crate::cfd::Cfd;
+use crate::md::Md;
+use crate::normalize::{normalize_cfds, normalize_mds};
+use crate::violations::{cfd_violations, md_violations};
+
+/// `D ⊨ ϕ` for a single (possibly unnormalized) CFD.
+pub fn satisfies_cfd(cfd: &Cfd, d: &Relation) -> bool {
+    cfd_violations(&normalize_cfds(std::slice::from_ref(cfd)), d, true).is_empty()
+}
+
+/// `(D, Dm) ⊨ ψ` for a single (possibly unnormalized) MD.
+pub fn satisfies_md(md: &Md, d: &Relation, dm: &Relation) -> bool {
+    md_violations(&normalize_mds(std::slice::from_ref(md)), d, dm, true).is_empty()
+}
+
+/// `D ⊨ Σ` and `(D, Dm) ⊨ Γ` together.
+pub fn satisfies_all(cfds: &[Cfd], mds: &[Md], d: &Relation, dm: &Relation) -> bool {
+    cfds.iter().all(|c| satisfies_cfd(c, d)) && mds.iter().all(|m| satisfies_md(m, d, dm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::md::MdPremise;
+    use crate::pattern::PatternValue;
+    use std::sync::Arc;
+    use uniclean_model::{Schema, Tuple};
+    use uniclean_similarity::SimilarityPredicate;
+
+    fn schema() -> Arc<Schema> {
+        Schema::of_strings("tran", &["AC", "city"])
+    }
+
+    fn phi1(s: &Arc<Schema>) -> Cfd {
+        Cfd::new(
+            "phi1",
+            s.clone(),
+            vec![s.attr_id_or_panic("AC")],
+            vec![PatternValue::constant("131")],
+            vec![s.attr_id_or_panic("city")],
+            vec![PatternValue::constant("Edi")],
+        )
+    }
+
+    #[test]
+    fn example_2_2_d_violates_phi1() {
+        let s = schema();
+        let d = Relation::new(s.clone(), vec![Tuple::of_strs(&["131", "Ldn"], 0.5)]);
+        assert!(!satisfies_cfd(&phi1(&s), &d));
+        let fixed = Relation::new(s.clone(), vec![Tuple::of_strs(&["131", "Edi"], 0.5)]);
+        assert!(satisfies_cfd(&phi1(&s), &fixed));
+    }
+
+    #[test]
+    fn unnormalized_cfd_accepted_here() {
+        let s = Schema::of_strings("r", &["A", "B", "C"]);
+        let wide = Cfd::new(
+            "wide",
+            s.clone(),
+            vec![s.attr_id_or_panic("A")],
+            vec![PatternValue::Wildcard],
+            vec![s.attr_id_or_panic("B"), s.attr_id_or_panic("C")],
+            vec![PatternValue::Wildcard, PatternValue::Wildcard],
+        );
+        let d = Relation::new(
+            s.clone(),
+            vec![Tuple::of_strs(&["x", "1", "1"], 0.5), Tuple::of_strs(&["x", "1", "2"], 0.5)],
+        );
+        assert!(!satisfies_cfd(&wide, &d));
+    }
+
+    #[test]
+    fn empty_relation_satisfies_everything() {
+        let s = schema();
+        let d = Relation::empty(s.clone());
+        assert!(satisfies_cfd(&phi1(&s), &d));
+    }
+
+    #[test]
+    fn satisfies_all_combines_both_rule_kinds() {
+        let tran = schema();
+        let card = Schema::of_strings("card", &["AC", "city"]);
+        let md = Md::new(
+            "psi",
+            tran.clone(),
+            card.clone(),
+            vec![MdPremise {
+                attr: tran.attr_id_or_panic("AC"),
+                master_attr: card.attr_id_or_panic("AC"),
+                pred: SimilarityPredicate::Equal,
+            }],
+            vec![(tran.attr_id_or_panic("city"), card.attr_id_or_panic("city"))],
+        );
+        let d = Relation::new(tran.clone(), vec![Tuple::of_strs(&["131", "Edi"], 0.5)]);
+        let dm_agree = Relation::new(card.clone(), vec![Tuple::of_strs(&["131", "Edi"], 1.0)]);
+        let dm_conflict = Relation::new(card.clone(), vec![Tuple::of_strs(&["131", "Ldn"], 1.0)]);
+        assert!(satisfies_all(&[phi1(&tran)], std::slice::from_ref(&md), &d, &dm_agree));
+        assert!(!satisfies_all(&[phi1(&tran)], &[md], &d, &dm_conflict));
+    }
+}

@@ -1,0 +1,199 @@
+//! Top-`l` LCS blocking for MD similarity checks (§5.2).
+//!
+//! "Instead of traversing the entire set of tuples in Dm, we use indices to
+//! find top-l tuples in Dm that possibly match an input string, where l is a
+//! constant determined by users. Blocking is based on the length of LCS,
+//! since two strings u and v have a Hamming/Edit distance within K only if
+//! the length of their LCS is at least max(|u|,|v|)/(K+1). … In our
+//! experimental study, we find that l ≤ 20 typically suffices."
+//!
+//! [`LcsBlocker`] indexes the distinct values of one master-data attribute
+//! with a [`GeneralizedSuffixTree`], maps each distinct value back to the
+//! master tuples carrying it, and answers "give me candidate master tuples
+//! for value `v`" in O(l·|v|²).
+
+use std::collections::HashMap;
+
+use crate::lcs::{lcs_blocking_bound, longest_common_substring_len};
+use crate::suffix_tree::GeneralizedSuffixTree;
+
+/// Blocking index over one attribute column of the master relation.
+pub struct LcsBlocker {
+    tree: GeneralizedSuffixTree,
+    /// Distinct attribute values, ids aligned with the tree's corpus.
+    values: Vec<String>,
+    /// For each distinct value, the master tuple indices carrying it.
+    owners: Vec<Vec<usize>>,
+    /// The user constant `l`.
+    l: usize,
+}
+
+impl LcsBlocker {
+    /// Build the index over `column`, where `column[i]` is master tuple
+    /// `i`'s value for the indexed attribute. `l` is the retrieval constant
+    /// (the paper found `l ≤ 20` sufficient).
+    pub fn build<S: AsRef<str>>(column: &[S], l: usize) -> Self {
+        assert!(l >= 1, "blocking constant l must be at least 1");
+        let mut ids: HashMap<&str, usize> = HashMap::new();
+        let mut values: Vec<String> = Vec::new();
+        let mut owners: Vec<Vec<usize>> = Vec::new();
+        for (row, v) in column.iter().enumerate() {
+            let v = v.as_ref();
+            let id = *ids.entry(v).or_insert_with(|| {
+                values.push(v.to_string());
+                owners.push(Vec::new());
+                values.len() - 1
+            });
+            owners[id].push(row);
+        }
+        let tree = GeneralizedSuffixTree::build(&values);
+        LcsBlocker { tree, values, owners, l }
+    }
+
+    /// Number of distinct indexed values.
+    pub fn distinct_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Candidate master-tuple indices for `query`, constrained by an edit
+    /// threshold `k`: only values whose LCS with `query` meets the blocking
+    /// bound `max(|u|,|v|)/(k+1)` survive, and only the top-`l` distinct
+    /// values are expanded. The result over-approximates the true match set
+    /// (blocking is a necessary condition) and must still be verified with
+    /// the actual similarity predicate.
+    pub fn candidates_within_edit(&self, query: &str, k: usize) -> Vec<usize> {
+        let qlen = query.chars().count();
+        let mut rows = Vec::new();
+        // Coarse bound valid against every corpus string: the bound is
+        // monotone in max(|u|,|v|) ≥ |query|.
+        let coarse = lcs_blocking_bound(qlen, 0, k);
+        for (val_id, lcs) in self.tree.top_l_by_lcs(query, self.l, coarse.max(1)) {
+            let vlen = self.values[val_id].chars().count();
+            // Exact per-value bound and the cheap length filter.
+            if vlen.abs_diff(qlen) > k {
+                continue;
+            }
+            if lcs < lcs_blocking_bound(qlen, vlen, k) {
+                continue;
+            }
+            rows.extend_from_slice(&self.owners[val_id]);
+        }
+        // A value sharing *no* character with the query has LCS 0 and is
+        // invisible to the tree — yet edit(q, v) = max(|q|,|v|) then, which
+        // is within k whenever both lengths are ≤ k. Scan those few short
+        // values directly so blocking stays complete.
+        if qlen <= k {
+            for (val_id, v) in self.values.iter().enumerate() {
+                if v.chars().count() <= k
+                    && longest_common_substring_len(query, v) == 0
+                {
+                    rows.extend_from_slice(&self.owners[val_id]);
+                }
+            }
+        }
+        rows
+    }
+
+    /// Candidate master-tuple indices for `query` without an edit bound:
+    /// the top-`l` values by LCS with at least `min_lcs` common characters.
+    /// Used for predicates (Jaro, q-grams) that do not induce an LCS bound.
+    pub fn candidates_by_lcs(&self, query: &str, min_lcs: usize) -> Vec<usize> {
+        let mut rows = Vec::new();
+        for (val_id, _) in self.tree.top_l_by_lcs(query, self.l, min_lcs.max(1)) {
+            rows.extend_from_slice(&self.owners[val_id]);
+        }
+        rows
+    }
+
+    /// The indexed value of a distinct-value id (diagnostics/tests).
+    pub fn value(&self, id: usize) -> &str {
+        &self.values[id]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit_distance::within_edit_distance;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_duplicates_map_to_all_rows() {
+        let col = ["Edi", "Ldn", "Edi", "Edi"];
+        let b = LcsBlocker::build(&col, 10);
+        assert_eq!(b.distinct_values(), 2);
+        let mut rows = b.candidates_within_edit("Edi", 0);
+        rows.sort_unstable();
+        assert_eq!(rows, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn near_matches_survive_blocking() {
+        let col = ["3256778", "3887644", "9999999"];
+        let b = LcsBlocker::build(&col, 10);
+        let rows = b.candidates_within_edit("3256878", 1); // one typo
+        assert!(rows.contains(&0), "expected row 0 in {rows:?}");
+    }
+
+    #[test]
+    fn length_filter_prunes_hopeless_values() {
+        let col = ["a", "abcdefghij"];
+        let b = LcsBlocker::build(&col, 10);
+        let rows = b.candidates_within_edit("abcdefghix", 1);
+        assert_eq!(rows, vec![1]);
+    }
+
+    #[test]
+    fn lcs_candidates_expose_top_l() {
+        let col = ["Robert Brady", "Robert Smith", "Zed Zed"];
+        let b = LcsBlocker::build(&col, 2);
+        let rows = b.candidates_by_lcs("Robert Bradey", 3);
+        assert!(rows.contains(&0));
+        assert!(!rows.contains(&2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn l_zero_rejected() {
+        LcsBlocker::build(&["x"], 0);
+    }
+
+    proptest! {
+        /// Completeness under a large enough l: every master row whose value
+        /// is within edit distance k of the query is returned. This is the
+        /// "blocking never loses a true match" guarantee the paper's bound
+        /// provides.
+        #[test]
+        fn blocking_is_complete(
+            col in proptest::collection::vec("[a-c]{1,6}", 1..8),
+            query in "[a-c]{1,6}",
+            k in 0usize..3
+        ) {
+            let b = LcsBlocker::build(&col, col.len());
+            let got = b.candidates_within_edit(&query, k);
+            for (row, v) in col.iter().enumerate() {
+                if within_edit_distance(&query, v, k) {
+                    prop_assert!(
+                        got.contains(&row),
+                        "row {row} ({v}) within {k} of {query} but pruned; got {got:?}"
+                    );
+                }
+            }
+        }
+
+        /// Soundness of the candidate count: candidates expand at most l
+        /// distinct values.
+        #[test]
+        fn candidate_values_bounded_by_l(
+            col in proptest::collection::vec("[a-c]{1,5}", 1..8),
+            query in "[a-c]{1,5}",
+            l in 1usize..4
+        ) {
+            let b = LcsBlocker::build(&col, l);
+            let got = b.candidates_by_lcs(&query, 1);
+            let distinct: std::collections::HashSet<&str> =
+                got.iter().map(|&r| col[r].as_str()).collect();
+            prop_assert!(distinct.len() <= l);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Levenshtein edit distance: full DP and the banded variant used for
+//! threshold checks.
+//!
+//! The paper defines similarity for MDs as "the minimum number of
+//! single-character insertions, deletions and substitutions needed to
+//! convert a value from v to v′" (§8), with two strings similar when the
+//! distance is within a pre-defined threshold `K`. Threshold checks dominate
+//! the matching workload, so [`levenshtein_bounded`] computes only the
+//! `2K+1`-wide diagonal band — O(K·min(|a|,|b|)) instead of O(|a|·|b|).
+
+/// Full Levenshtein distance (two-row DP).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    levenshtein_chars(&av, &bv)
+}
+
+fn levenshtein_chars(av: &[char], bv: &[char]) -> usize {
+    if av.is_empty() {
+        return bv.len();
+    }
+    if bv.is_empty() {
+        return av.len();
+    }
+    let (short, long) = if av.len() <= bv.len() { (av, bv) } else { (bv, av) };
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, sc) in short.iter().enumerate() {
+            let sub = prev[j] + usize::from(lc != sc);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Banded Levenshtein: returns `Some(d)` iff the distance `d ≤ max`, `None`
+/// otherwise (early-exits as soon as the whole band exceeds `max`).
+pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    // Cheap length filter: |len(a) - len(b)| is a lower bound.
+    if av.len().abs_diff(bv.len()) > max {
+        return None;
+    }
+    if max == 0 {
+        return (av == bv).then_some(0);
+    }
+    let (short, long) = if av.len() <= bv.len() { (&av, &bv) } else { (&bv, &av) };
+    let n = short.len();
+    // Sentinel: one past the threshold, saturating to dodge overflow.
+    let inf = max + 1;
+    let mut prev: Vec<usize> = (0..=n).map(|j| if j <= max { j } else { inf }).collect();
+    let mut cur = vec![inf; n + 1];
+    for (i, lc) in long.iter().enumerate() {
+        // Band for row i+1: columns within `max` of the diagonal.
+        let row = i + 1;
+        let lo = row.saturating_sub(max);
+        let hi = (row + max).min(n);
+        cur[lo.saturating_sub(1)] = if lo == 0 { row } else { inf };
+        if lo == 0 {
+            cur[0] = row.min(inf);
+        }
+        let mut best = inf;
+        for j in lo.max(1)..=hi {
+            let sc = short[j - 1];
+            let sub = prev[j - 1].saturating_add(usize::from(*lc != sc));
+            let del = prev[j].saturating_add(1);
+            let ins = cur[j - 1].saturating_add(1);
+            let v = sub.min(del).min(ins).min(inf);
+            cur[j] = v;
+            best = best.min(v);
+        }
+        if lo == 0 {
+            best = best.min(cur[0]);
+        }
+        if best > max {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        // Reset the cells just outside next row's band so stale values from
+        // two rows ago cannot leak in.
+        let next = row + 1;
+        let nlo = next.saturating_sub(max);
+        if nlo >= 1 {
+            cur[nlo - 1] = inf;
+        }
+        if let Some(slot) = cur.get_mut((next + max).min(n) + 1..) {
+            for s in slot.iter_mut().take(1) {
+                *s = inf;
+            }
+        }
+    }
+    let d = prev[n];
+    (d <= max).then_some(d)
+}
+
+/// Is `levenshtein(a, b) ≤ max`? The predicate form used by MDs.
+pub fn within_edit_distance(a: &str, b: &str, max: usize) -> bool {
+    levenshtein_bounded(a, b, max).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classic_cases() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("Bob", "Robert"), 4);
+        assert_eq!(levenshtein("Mark", "Max"), 2);
+        assert_eq!(levenshtein("M.", "Mark"), 3);
+    }
+
+    #[test]
+    fn unicode_is_character_level() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+        assert_eq!(levenshtein("日本語", "日本"), 1);
+    }
+
+    #[test]
+    fn bounded_agrees_when_within() {
+        assert_eq!(levenshtein_bounded("kitten", "sitting", 3), Some(3));
+        assert_eq!(levenshtein_bounded("kitten", "sitting", 5), Some(3));
+        assert_eq!(levenshtein_bounded("abc", "abc", 0), Some(0));
+    }
+
+    #[test]
+    fn bounded_rejects_when_beyond() {
+        assert_eq!(levenshtein_bounded("kitten", "sitting", 2), None);
+        assert_eq!(levenshtein_bounded("abc", "xyz", 2), None);
+        assert_eq!(levenshtein_bounded("abcdef", "a", 3), None); // length filter
+    }
+
+    #[test]
+    fn zero_threshold_is_equality() {
+        assert!(within_edit_distance("same", "same", 0));
+        assert!(!within_edit_distance("same", "sane", 0));
+    }
+
+    #[test]
+    fn threshold_boundary_is_inclusive() {
+        // distance("abc","axc") = 1
+        assert!(within_edit_distance("abc", "axc", 1));
+        assert!(!within_edit_distance("abc", "xyc", 1));
+    }
+
+    proptest! {
+        /// The banded computation must agree with the full DP for every
+        /// (string, string, threshold) combination.
+        #[test]
+        fn bounded_matches_full(a in "[a-d]{0,12}", b in "[a-d]{0,12}", max in 0usize..8) {
+            let full = levenshtein(&a, &b);
+            let banded = levenshtein_bounded(&a, &b, max);
+            if full <= max {
+                prop_assert_eq!(banded, Some(full));
+            } else {
+                prop_assert_eq!(banded, None);
+            }
+        }
+
+        /// Metric axioms: symmetry and identity.
+        #[test]
+        fn symmetric(a in "[a-e]{0,10}", b in "[a-e]{0,10}") {
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        }
+
+        #[test]
+        fn identity(a in "[a-e]{0,10}") {
+            prop_assert_eq!(levenshtein(&a, &a), 0);
+        }
+
+        /// Triangle inequality.
+        #[test]
+        fn triangle(a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}") {
+            prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        }
+
+        /// One random edit moves distance by at most 1.
+        #[test]
+        fn single_edit_changes_distance_by_at_most_one(a in "[a-d]{1,10}", idx in 0usize..10, ch_idx in 0usize..4) {
+            let mut chars: Vec<char> = a.chars().collect();
+            let i = idx % chars.len();
+            chars[i] = (b'a' + ch_idx as u8) as char;
+            let b: String = chars.iter().collect();
+            prop_assert!(levenshtein(&a, &b) <= 1);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Longest common substring (LCS) and the blocking bound of §5.2.
+//!
+//! The paper's blocking rests on this observation: "two strings u and v have
+//! a Hamming/Edit distance within K only if the length of their LCS is at
+//! least max(|u|,|v|)/(K+1)". [`lcs_blocking_bound`] computes that bound and
+//! [`longest_common_substring_len`] is the quadratic reference DP the suffix
+//! tree index is validated against.
+
+/// Length of the longest common *substring* (contiguous) of `a` and `b`.
+///
+/// Reference O(|a|·|b|) DP with O(min) space; the production path is the
+/// generalized suffix tree in [`crate::suffix_tree`].
+pub fn longest_common_substring_len(a: &str, b: &str) -> usize {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    if av.is_empty() || bv.is_empty() {
+        return 0;
+    }
+    let (short, long) = if av.len() <= bv.len() { (&av, &bv) } else { (&bv, &av) };
+    let mut prev = vec![0usize; short.len() + 1];
+    let mut cur = vec![0usize; short.len() + 1];
+    let mut best = 0;
+    for lc in long.iter() {
+        for (j, sc) in short.iter().enumerate() {
+            cur[j + 1] = if lc == sc { prev[j] + 1 } else { 0 };
+            best = best.max(cur[j + 1]);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    best
+}
+
+/// The minimum LCS length two strings must share to possibly be within edit
+/// distance `k`: `ceil((max(|u|,|v|) − k) / (k+1))`.
+///
+/// The paper states the bound as `max(|u|,|v|)/(K+1)`, but that is slightly
+/// too strong: `k` edits on the longer string leave at least `max − k`
+/// untouched characters split into at most `k+1` runs, and each untouched
+/// run is a common substring — so the guaranteed LCS is
+/// `ceil((max − k)/(k+1))`, not `ceil(max/(k+1))`
+/// (counterexample: u = "cbcacb", v = "ab", k = 4 — edit distance 4 yet
+/// LCS 1 < ceil(6/5)). We use the corrected, conservative bound; blocking
+/// with it never discards a true match, which the property tests verify.
+pub fn lcs_blocking_bound(len_u: usize, len_v: usize, k: usize) -> usize {
+    let m = len_u.max(len_v);
+    m.saturating_sub(k).div_ceil(k + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edit_distance::levenshtein;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reference_cases() {
+        assert_eq!(longest_common_substring_len("abcdef", "zcdemx"), 3); // "cde"
+        assert_eq!(longest_common_substring_len("abc", "abc"), 3);
+        assert_eq!(longest_common_substring_len("abc", "xyz"), 0);
+        assert_eq!(longest_common_substring_len("", "abc"), 0);
+        assert_eq!(longest_common_substring_len("banana", "anananas"), 5); // "anana"
+    }
+
+    #[test]
+    fn bound_examples() {
+        // 10-char strings within edit distance 1 leave ≥9 untouched chars in
+        // ≤2 runs → a 5-char common substring is guaranteed.
+        assert_eq!(lcs_blocking_bound(10, 10, 1), 5);
+        assert_eq!(lcs_blocking_bound(10, 8, 4), 2);
+        assert_eq!(lcs_blocking_bound(1, 1, 3), 0); // k ≥ max ⇒ no guarantee
+        assert_eq!(lcs_blocking_bound(0, 0, 2), 0);
+        assert_eq!(lcs_blocking_bound(6, 2, 4), 1); // the counterexample above
+    }
+
+    proptest! {
+        /// Soundness of blocking: if edit(u,v) ≤ k then
+        /// lcs(u,v) ≥ max(|u|,|v|)/(k+1). (k edits split the longer string
+        /// into at most k+1 untouched runs; the longest run is a common
+        /// substring.)
+        #[test]
+        fn blocking_bound_never_discards_true_matches(
+            u in "[a-c]{1,10}", v in "[a-c]{1,10}", k in 0usize..5
+        ) {
+            let d = levenshtein(&u, &v);
+            if d <= k {
+                let lcs = longest_common_substring_len(&u, &v);
+                let bound = lcs_blocking_bound(u.chars().count(), v.chars().count(), k);
+                prop_assert!(
+                    lcs >= bound,
+                    "edit={d} k={k} lcs={lcs} bound={bound} u={u} v={v}"
+                );
+            }
+        }
+
+        #[test]
+        fn lcs_symmetric(a in "[a-c]{0,10}", b in "[a-c]{0,10}") {
+            prop_assert_eq!(
+                longest_common_substring_len(&a, &b),
+                longest_common_substring_len(&b, &a)
+            );
+        }
+
+        #[test]
+        fn lcs_bounded_by_lengths(a in "[a-c]{0,10}", b in "[a-c]{0,10}") {
+            let l = longest_common_substring_len(&a, &b);
+            prop_assert!(l <= a.chars().count().min(b.chars().count()));
+        }
+
+        #[test]
+        fn lcs_of_self_is_length(a in "[a-c]{0,10}") {
+            prop_assert_eq!(longest_common_substring_len(&a, &a), a.chars().count());
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Similarity substrate for UniClean.
+//!
+//! Matching dependencies (MDs, §2.2 of the paper) are defined "in terms of a
+//! set Υ of similarity predicates, e.g., q-grams, Jaro distance or edit
+//! distance". This crate implements those predicates from scratch, plus the
+//! indexing machinery of §5.2 that makes MD matching feasible at scale:
+//!
+//! * [`edit_distance`] — full and banded (threshold-`K`) Levenshtein;
+//! * [`jaro`](mod@jaro) — Jaro and Jaro-Winkler similarity;
+//! * [`qgram`] — q-gram profiles and Jaccard similarity over them;
+//! * [`lcs`] — longest common substring (the blocking signal of §5.2);
+//! * [`predicate`] — the [`SimilarityPredicate`] type used inside MDs;
+//! * [`suffix_tree`] — a generalized suffix tree (Ukkonen) over a corpus of
+//!   strings, with matching statistics;
+//! * [`blocking`] — the paper's top-`l` LCS blocking index: "we generalize
+//!   suffix trees as an index for LCS … identify `l` similar values from Dm
+//!   in O(l·|v|²) time".
+
+pub mod blocking;
+pub mod edit_distance;
+pub mod jaro;
+pub mod lcs;
+pub mod predicate;
+pub mod qgram;
+pub mod suffix_tree;
+
+pub use blocking::LcsBlocker;
+pub use edit_distance::{levenshtein, levenshtein_bounded, within_edit_distance};
+pub use jaro::{jaro, jaro_winkler};
+pub use lcs::{lcs_blocking_bound, longest_common_substring_len};
+pub use predicate::SimilarityPredicate;
+pub use qgram::{qgram_jaccard, QGramProfile};
+pub use suffix_tree::GeneralizedSuffixTree;

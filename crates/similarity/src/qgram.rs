@@ -1,0 +1,167 @@
+//! q-gram profiles and Jaccard similarity over them.
+//!
+//! q-grams are the third similarity predicate family the paper names for
+//! MDs (§2.2). A string's q-gram profile is the multiset of its length-`q`
+//! character windows, with `q-1` padding sentinels on each side so that
+//! prefixes/suffixes carry weight. Similarity is Jaccard over the profiles
+//! (multiset intersection / union).
+
+use std::collections::HashMap;
+
+/// Sentinel used to pad string boundaries; outside any realistic alphabet.
+const PAD: char = '\u{1}';
+
+/// The multiset of padded q-grams of a string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QGramProfile {
+    q: usize,
+    grams: HashMap<Vec<char>, u32>,
+    total: u32,
+}
+
+impl QGramProfile {
+    /// Build the profile of `s` for window size `q` (≥ 1).
+    pub fn new(s: &str, q: usize) -> Self {
+        assert!(q >= 1, "q-gram size must be at least 1");
+        let mut padded: Vec<char> = Vec::with_capacity(s.chars().count() + 2 * (q - 1));
+        padded.extend(std::iter::repeat_n(PAD, q - 1));
+        padded.extend(s.chars());
+        padded.extend(std::iter::repeat_n(PAD, q - 1));
+        let mut grams: HashMap<Vec<char>, u32> = HashMap::new();
+        let mut total = 0;
+        if padded.len() >= q {
+            for w in padded.windows(q) {
+                *grams.entry(w.to_vec()).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+        QGramProfile { q, grams, total }
+    }
+
+    /// Window size.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Number of grams (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.total as usize
+    }
+
+    /// Is the profile empty (only possible for the empty string with q=1)?
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Multiset-intersection size with another profile.
+    pub fn intersection(&self, other: &QGramProfile) -> usize {
+        assert_eq!(self.q, other.q, "profiles must share the q value");
+        // Iterate the smaller map.
+        let (small, large) = if self.grams.len() <= other.grams.len() {
+            (&self.grams, &other.grams)
+        } else {
+            (&other.grams, &self.grams)
+        };
+        small
+            .iter()
+            .map(|(g, c)| (*c).min(large.get(g).copied().unwrap_or(0)) as usize)
+            .sum()
+    }
+
+    /// Multiset Jaccard similarity `|A ∩ B| / |A ∪ B|` in `[0, 1]`.
+    pub fn jaccard(&self, other: &QGramProfile) -> f64 {
+        let inter = self.intersection(other);
+        let union = self.len() + other.len() - inter;
+        if union == 0 {
+            // Both profiles empty ⇒ both strings empty ⇒ identical.
+            return 1.0;
+        }
+        inter as f64 / union as f64
+    }
+}
+
+/// One-shot q-gram Jaccard similarity.
+pub fn qgram_jaccard(a: &str, b: &str, q: usize) -> f64 {
+    QGramProfile::new(a, q).jaccard(&QGramProfile::new(b, q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_strings_score_one() {
+        assert_eq!(qgram_jaccard("database", "database", 2), 1.0);
+    }
+
+    #[test]
+    fn disjoint_strings_score_zero() {
+        assert_eq!(qgram_jaccard("aaa", "bbb", 2), 0.0);
+    }
+
+    #[test]
+    fn empty_vs_empty_is_one() {
+        assert_eq!(qgram_jaccard("", "", 2), 1.0);
+    }
+
+    #[test]
+    fn empty_vs_nonempty_is_zero() {
+        assert_eq!(qgram_jaccard("", "abc", 2), 0.0);
+    }
+
+    #[test]
+    fn profile_counts_multiplicity() {
+        // "aaa" with q=2 padded: #a aa aa a# → aa twice.
+        let p = QGramProfile::new("aaa", 2);
+        assert_eq!(p.len(), 4);
+        let other = QGramProfile::new("aa", 2); // #a aa a#
+        assert_eq!(p.intersection(&other), 3);
+    }
+
+    #[test]
+    fn similar_strings_score_high() {
+        let s = qgram_jaccard("Robert Brady", "Robert Bradey", 2);
+        assert!(s > 0.7, "got {s}");
+        let d = qgram_jaccard("Robert Brady", "Mark Smith", 2);
+        assert!(d < 0.2, "got {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "q-gram size")]
+    fn zero_q_rejected() {
+        QGramProfile::new("abc", 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share the q value")]
+    fn mismatched_q_rejected() {
+        QGramProfile::new("a", 2).jaccard(&QGramProfile::new("a", 3));
+    }
+
+    proptest! {
+        #[test]
+        fn jaccard_in_unit_interval(a in "[a-d]{0,12}", b in "[a-d]{0,12}", q in 1usize..4) {
+            let s = qgram_jaccard(&a, &b, q);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn jaccard_symmetric(a in "[a-d]{0,12}", b in "[a-d]{0,12}", q in 1usize..4) {
+            prop_assert_eq!(qgram_jaccard(&a, &b, q).to_bits(), qgram_jaccard(&b, &a, q).to_bits());
+        }
+
+        #[test]
+        fn jaccard_identity(a in "[a-d]{0,12}", q in 1usize..4) {
+            prop_assert_eq!(qgram_jaccard(&a, &a, q), 1.0);
+        }
+
+        #[test]
+        fn intersection_bounded_by_sizes(a in "[a-d]{0,12}", b in "[a-d]{0,12}", q in 1usize..4) {
+            let pa = QGramProfile::new(&a, q);
+            let pb = QGramProfile::new(&b, q);
+            let i = pa.intersection(&pb);
+            prop_assert!(i <= pa.len() && i <= pb.len());
+        }
+    }
+}

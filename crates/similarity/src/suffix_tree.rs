@@ -1,0 +1,559 @@
+//! Generalized suffix tree over a corpus of strings.
+//!
+//! §5.2 of the paper: "we generalize suffix trees as an index for LCS. For
+//! each attribute that needs similarity checking, a generalized suffix tree
+//! is maintained on those strings in the active domain of the attribute in
+//! Dm. … To look up a string v of length |v|, we can extract the subtree T
+//! of the suffix tree that only contains branches related to v, which
+//! contains at most |v|² nodes. We traverse T bottom-up to pick top-l
+//! similar strings in terms of the length of the LCS."
+//!
+//! Construction is Ukkonen's online algorithm — O(total corpus length) — over
+//! the concatenation of the corpus strings joined by per-string unique
+//! separator symbols (code points above the Unicode range, so they can never
+//! collide with content and never occur twice, which keeps every *internal*
+//! node's path label separator-free, i.e. a genuine substring of a single
+//! corpus string).
+//!
+//! Queries follow the paper's O(|v|²) walk: for every suffix of the query we
+//! descend from the root as far as the tree allows ([`matching
+//! statistics`](GeneralizedSuffixTree::matching_statistics)); the subtree
+//! below each deepest point names exactly the corpus strings containing that
+//! match. [`crate::blocking::LcsBlocker`] builds top-`l` retrieval on top.
+
+use std::collections::HashMap;
+
+/// First symbol value used for separators (one past the Unicode maximum).
+const SEPARATOR_BASE: u32 = 0x11_0000;
+
+/// Sentinel edge end meaning "the current end of the text" during
+/// construction; patched to the final length afterwards.
+const OPEN_END: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Node {
+    /// Incoming edge label: `text[start..end]`.
+    start: usize,
+    end: usize,
+    /// Suffix link (root for nodes without one).
+    slink: usize,
+    /// Children keyed by the first symbol of the outgoing edge.
+    next: HashMap<u32, usize>,
+    /// Length of the path label from the root to this node (filled in after
+    /// construction).
+    depth: usize,
+    /// For leaves: the corpus string whose suffix this leaf represents
+    /// (`None` for leaves whose suffix starts at a separator).
+    string_id: Option<u32>,
+}
+
+impl Node {
+    fn new(start: usize, end: usize) -> Self {
+        Node { start, end, slink: 0, next: HashMap::new(), depth: 0, string_id: None }
+    }
+}
+
+/// A location reached while matching a query against the tree: the node at
+/// or *below* the end of the match (for mid-edge matches, the edge's child).
+/// Every corpus string in this node's subtree contains the matched text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatchLoc {
+    /// Matched length for this query suffix.
+    pub len: usize,
+    /// Attribution node index (see above), if anything matched.
+    node: usize,
+}
+
+/// Generalized suffix tree over an immutable corpus.
+pub struct GeneralizedSuffixTree {
+    text: Vec<u32>,
+    nodes: Vec<Node>,
+    /// For every text position, the corpus string it belongs to (`None` on
+    /// separators).
+    pos_string: Vec<Option<u32>>,
+    corpus_len: usize,
+}
+
+impl GeneralizedSuffixTree {
+    /// Build the tree over `strings`. Order defines the string ids reported
+    /// by queries.
+    pub fn build<S: AsRef<str>>(strings: &[S]) -> Self {
+        assert!(
+            strings.len() <= (u32::MAX - SEPARATOR_BASE) as usize,
+            "corpus too large for separator space"
+        );
+        let mut text: Vec<u32> = Vec::new();
+        let mut pos_string: Vec<Option<u32>> = Vec::new();
+        for (i, s) in strings.iter().enumerate() {
+            for ch in s.as_ref().chars() {
+                text.push(ch as u32);
+                pos_string.push(Some(i as u32));
+            }
+            text.push(SEPARATOR_BASE + i as u32);
+            pos_string.push(None);
+        }
+        let mut tree = Builder::new(&text).run();
+        // Patch leaf ends, compute depths and attribute leaves to strings.
+        let text_len = text.len();
+        for node in tree.iter_mut() {
+            if node.end == OPEN_END {
+                node.end = text_len;
+            }
+        }
+        let mut gst = GeneralizedSuffixTree {
+            text,
+            nodes: tree,
+            pos_string,
+            corpus_len: strings.len(),
+        };
+        gst.compute_depths_and_ids();
+        gst
+    }
+
+    /// Number of corpus strings.
+    pub fn corpus_len(&self) -> usize {
+        self.corpus_len
+    }
+
+    /// Number of tree nodes (diagnostic; linear in the corpus size).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn compute_depths_and_ids(&mut self) {
+        // Iterative DFS from the root.
+        let mut stack = vec![0usize];
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(n) = stack.pop() {
+            order.push(n);
+            let children: Vec<usize> = self.nodes[n].next.values().copied().collect();
+            for c in children {
+                let d = self.nodes[n].depth + (self.nodes[c].end - self.nodes[c].start);
+                self.nodes[c].depth = d;
+                stack.push(c);
+            }
+        }
+        let text_len = self.text.len();
+        for i in 0..self.nodes.len() {
+            if i != 0 && self.nodes[i].next.is_empty() {
+                // Leaf: suffix starts at text_len - depth.
+                let suffix_start = text_len - self.nodes[i].depth;
+                self.nodes[i].string_id = self.pos_string[suffix_start];
+            }
+        }
+    }
+
+    /// Does the corpus contain `pat` as a substring of some string?
+    pub fn contains_substring(&self, pat: &str) -> bool {
+        let syms: Vec<u32> = pat.chars().map(|c| c as u32).collect();
+        self.walk_from_root(&syms).len == syms.len()
+    }
+
+    /// Descend from the root matching `syms` as far as possible, returning
+    /// only the deepest location (membership checks).
+    fn walk_from_root(&self, syms: &[u32]) -> MatchLoc {
+        let mut deepest = MatchLoc { len: 0, node: 0 };
+        self.walk_path(syms, |loc| deepest = loc);
+        deepest
+    }
+
+    /// Descend from the root matching `syms`, invoking `visit` for every
+    /// location on the path whose subtree attribution changes: each internal
+    /// node reached exactly (with its depth as the matched length) and, if
+    /// the match ends mid-edge, the edge's child with the full matched
+    /// length.
+    ///
+    /// Per-string semantics: a corpus string `s` contains the prefix
+    /// `syms[..len]` iff `s` lies in the subtree of a visited location with
+    /// that `len` — crediting only the deepest location would wrongly zero
+    /// out strings that share a shorter prefix of the match.
+    fn walk_path(&self, syms: &[u32], mut visit: impl FnMut(MatchLoc)) {
+        let mut node = 0usize;
+        let mut matched = 0usize;
+        loop {
+            if matched == syms.len() {
+                return;
+            }
+            let Some(&child) = self.nodes[node].next.get(&syms[matched]) else {
+                return;
+            };
+            let c = &self.nodes[child];
+            let edge = &self.text[c.start..c.end];
+            let mut k = 0usize;
+            while k < edge.len() && matched < syms.len() && edge[k] == syms[matched] {
+                k += 1;
+                matched += 1;
+            }
+            // Whether we consumed the whole edge or stopped midway, every
+            // string under `child` shares the matched prefix.
+            visit(MatchLoc { len: matched, node: child });
+            if k < edge.len() {
+                return;
+            }
+            node = child;
+        }
+    }
+
+    /// Matching statistics: for every start position `i` of `query`, the
+    /// longest prefix of `query[i..]` occurring in the corpus and the node
+    /// whose subtree holds every string containing it.
+    ///
+    /// This is the paper's O(|v|²) "extract the subtree related to v" walk.
+    pub fn matching_statistics(&self, query: &str) -> Vec<MatchLoc> {
+        let syms: Vec<u32> = query.chars().map(|c| c as u32).collect();
+        (0..syms.len()).map(|i| self.walk_from_root(&syms[i..])).collect()
+    }
+
+    /// All attribution locations across every query suffix (see
+    /// [`Self::walk_path`]); the complete O(|v|²) evidence set from which
+    /// exact per-string LCS lengths are derived.
+    fn all_locations(&self, query: &str) -> Vec<MatchLoc> {
+        let syms: Vec<u32> = query.chars().map(|c| c as u32).collect();
+        let mut locs = Vec::new();
+        for i in 0..syms.len() {
+            self.walk_path(&syms[i..], |loc| locs.push(loc));
+        }
+        locs
+    }
+
+    /// Collect the distinct corpus strings in `node`'s subtree into `out`,
+    /// honouring `seen` as a dedup set; stops early once `limit` total
+    /// strings are in `out`.
+    fn collect_strings(
+        &self,
+        node: usize,
+        seen: &mut [bool],
+        out: &mut Vec<(usize, usize)>,
+        lcs_len: usize,
+        limit: usize,
+    ) {
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            if out.len() >= limit {
+                return;
+            }
+            let nd = &self.nodes[n];
+            if nd.next.is_empty() {
+                if let Some(id) = nd.string_id {
+                    let id = id as usize;
+                    if !seen[id] {
+                        seen[id] = true;
+                        out.push((id, lcs_len));
+                    }
+                }
+            } else {
+                stack.extend(nd.next.values().copied());
+            }
+        }
+    }
+
+    /// Top-`l` corpus strings by LCS length with `query`, as
+    /// `(string_id, lcs_len)` pairs in non-increasing `lcs_len` order.
+    /// Strings whose LCS is below `min_len` are not reported.
+    ///
+    /// The result is exact: positions are processed in decreasing matched
+    /// length, so the first time a string surfaces, the current length *is*
+    /// its LCS with the query.
+    pub fn top_l_by_lcs(&self, query: &str, l: usize, min_len: usize) -> Vec<(usize, usize)> {
+        if l == 0 {
+            return Vec::new();
+        }
+        let mut stats = self.all_locations(query);
+        stats.retain(|m| m.len >= min_len.max(1));
+        stats.sort_by_key(|m| std::cmp::Reverse(m.len));
+        let mut seen = vec![false; self.corpus_len];
+        let mut out = Vec::with_capacity(l.min(self.corpus_len));
+        for m in stats {
+            if out.len() >= l {
+                break;
+            }
+            self.collect_strings(m.node, &mut seen, &mut out, m.len, l);
+        }
+        out
+    }
+
+    /// LCS length of `query` with *every* corpus string (index = string id).
+    /// Reference path used by tests and small corpora; O(|v|·corpus).
+    pub fn lcs_with_all(&self, query: &str) -> Vec<usize> {
+        let mut best = vec![0usize; self.corpus_len];
+        for m in self.all_locations(query) {
+            if m.len == 0 {
+                continue;
+            }
+            // Full DFS, updating every string in the subtree.
+            let mut stack = vec![m.node];
+            while let Some(n) = stack.pop() {
+                let nd = &self.nodes[n];
+                if nd.next.is_empty() {
+                    if let Some(id) = nd.string_id {
+                        let id = id as usize;
+                        best[id] = best[id].max(m.len);
+                    }
+                } else {
+                    stack.extend(nd.next.values().copied());
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Ukkonen construction state.
+struct Builder<'a> {
+    text: &'a [u32],
+    nodes: Vec<Node>,
+    active_node: usize,
+    active_edge: usize,
+    active_len: usize,
+    remainder: usize,
+    need_slink: usize,
+}
+
+impl<'a> Builder<'a> {
+    fn new(text: &'a [u32]) -> Self {
+        Builder {
+            text,
+            nodes: vec![Node::new(0, 0)], // root
+            active_node: 0,
+            active_edge: 0,
+            active_len: 0,
+            remainder: 0,
+            need_slink: 0,
+        }
+    }
+
+    fn edge_length(&self, node: usize, pos: usize) -> usize {
+        let n = &self.nodes[node];
+        n.end.min(pos + 1) - n.start
+    }
+
+    fn add_slink(&mut self, node: usize) {
+        if self.need_slink != 0 {
+            self.nodes[self.need_slink].slink = node;
+        }
+        self.need_slink = node;
+    }
+
+    fn extend(&mut self, pos: usize) {
+        self.need_slink = 0;
+        self.remainder += 1;
+        let c = self.text[pos];
+        while self.remainder > 0 {
+            if self.active_len == 0 {
+                self.active_edge = pos;
+            }
+            let edge_sym = self.text[self.active_edge];
+            let existing = self.nodes[self.active_node].next.get(&edge_sym).copied();
+            match existing {
+                None => {
+                    let leaf = self.new_node(pos, OPEN_END);
+                    self.nodes[self.active_node].next.insert(edge_sym, leaf);
+                    let an = self.active_node;
+                    self.add_slink(an);
+                }
+                Some(nxt) => {
+                    let el = self.edge_length(nxt, pos);
+                    if self.active_len >= el {
+                        // Walk down and retry.
+                        self.active_edge += el;
+                        self.active_len -= el;
+                        self.active_node = nxt;
+                        continue;
+                    }
+                    if self.text[self.nodes[nxt].start + self.active_len] == c {
+                        // Rule 3: the symbol is already on the edge.
+                        self.active_len += 1;
+                        let an = self.active_node;
+                        self.add_slink(an);
+                        break;
+                    }
+                    // Split the edge.
+                    let split = self.new_node(self.nodes[nxt].start, self.nodes[nxt].start + self.active_len);
+                    self.nodes[self.active_node].next.insert(edge_sym, split);
+                    let leaf = self.new_node(pos, OPEN_END);
+                    self.nodes[split].next.insert(c, leaf);
+                    self.nodes[nxt].start += self.active_len;
+                    let nxt_sym = self.text[self.nodes[nxt].start];
+                    self.nodes[split].next.insert(nxt_sym, nxt);
+                    self.add_slink(split);
+                }
+            }
+            self.remainder -= 1;
+            if self.active_node == 0 && self.active_len > 0 {
+                self.active_len -= 1;
+                self.active_edge = pos - self.remainder + 1;
+            } else {
+                self.active_node = self.nodes[self.active_node].slink;
+            }
+        }
+    }
+
+    fn new_node(&mut self, start: usize, end: usize) -> usize {
+        self.nodes.push(Node::new(start, end));
+        self.nodes.len() - 1
+    }
+
+    fn run(mut self) -> Vec<Node> {
+        for pos in 0..self.text.len() {
+            self.extend(pos);
+        }
+        self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcs::longest_common_substring_len;
+    use proptest::prelude::*;
+
+    #[test]
+    fn contains_substrings_of_every_corpus_string() {
+        let gst = GeneralizedSuffixTree::build(&["banana", "bandana"]);
+        for s in ["banana", "bandana"] {
+            let cs: Vec<char> = s.chars().collect();
+            for i in 0..cs.len() {
+                for j in i + 1..=cs.len() {
+                    let sub: String = cs[i..j].iter().collect();
+                    assert!(gst.contains_substring(&sub), "missing {sub}");
+                }
+            }
+        }
+        assert!(!gst.contains_substring("nand"));
+        assert!(!gst.contains_substring("xyz"));
+        assert!(gst.contains_substring("")); // trivially present
+    }
+
+    #[test]
+    fn lcs_with_all_matches_dp() {
+        let corpus = ["10 Oak St", "5 Wren St", "Po Box 25"];
+        let gst = GeneralizedSuffixTree::build(&corpus);
+        for q in ["10 Oak Rd", "Wren", "Box 25", "zzz", ""] {
+            let got = gst.lcs_with_all(q);
+            for (i, s) in corpus.iter().enumerate() {
+                assert_eq!(
+                    got[i],
+                    longest_common_substring_len(q, s),
+                    "query {q} vs corpus[{i}]={s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_l_returns_best_strings_first() {
+        let corpus = ["abcdefgh", "abcxxxxx", "zzzzzzzz"];
+        let gst = GeneralizedSuffixTree::build(&corpus);
+        let top = gst.top_l_by_lcs("abcdefgh", 2, 1);
+        assert_eq!(top[0], (0, 8));
+        assert_eq!(top[1], (1, 3));
+    }
+
+    #[test]
+    fn top_l_honours_min_len() {
+        let corpus = ["abcdefgh", "abxxxxxx", "zzzzzzzz"];
+        let gst = GeneralizedSuffixTree::build(&corpus);
+        let top = gst.top_l_by_lcs("abcdefgh", 3, 4);
+        assert_eq!(top, vec![(0, 8)]); // "ab" (len 2) filtered out
+    }
+
+    #[test]
+    fn top_l_zero_is_empty() {
+        let gst = GeneralizedSuffixTree::build(&["abc"]);
+        assert!(gst.top_l_by_lcs("abc", 0, 1).is_empty());
+    }
+
+    #[test]
+    fn duplicate_corpus_strings_both_reported() {
+        let gst = GeneralizedSuffixTree::build(&["same", "same"]);
+        let top = gst.top_l_by_lcs("same", 5, 1);
+        let mut ids: Vec<usize> = top.iter().map(|(i, _)| *i).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1]);
+        assert!(top.iter().all(|&(_, l)| l == 4));
+    }
+
+    #[test]
+    fn empty_corpus_strings_are_harmless() {
+        let gst = GeneralizedSuffixTree::build(&["", "abc", ""]);
+        assert!(gst.contains_substring("abc"));
+        let got = gst.lcs_with_all("abc");
+        assert_eq!(got, vec![0, 3, 0]);
+    }
+
+    #[test]
+    fn separators_never_match_content() {
+        // A match can never span two corpus strings.
+        let gst = GeneralizedSuffixTree::build(&["ab", "cd"]);
+        assert!(!gst.contains_substring("abcd"));
+        assert!(!gst.contains_substring("bc"));
+    }
+
+    #[test]
+    fn unicode_content_is_supported() {
+        let gst = GeneralizedSuffixTree::build(&["café au lait", "caffè latte"]);
+        assert!(gst.contains_substring("café"));
+        assert!(gst.contains_substring("è l"));
+        assert_eq!(gst.lcs_with_all("caf")[0], 3);
+    }
+
+    proptest! {
+        /// GST-derived LCS agrees with the quadratic DP for random corpora
+        /// and queries — the core correctness property of the index.
+        #[test]
+        fn gst_lcs_matches_dp(
+            corpus in proptest::collection::vec("[a-c]{0,8}", 1..6),
+            query in "[a-c]{0,8}"
+        ) {
+            let gst = GeneralizedSuffixTree::build(&corpus);
+            let got = gst.lcs_with_all(&query);
+            for (i, s) in corpus.iter().enumerate() {
+                prop_assert_eq!(got[i], longest_common_substring_len(&query, s));
+            }
+        }
+
+        /// Every substring of every corpus string is found; random other
+        /// strings are found iff some corpus string contains them.
+        #[test]
+        fn membership_is_exact(
+            corpus in proptest::collection::vec("[a-b]{0,6}", 1..5),
+            probe in "[a-b]{0,4}"
+        ) {
+            let gst = GeneralizedSuffixTree::build(&corpus);
+            let expected = corpus.iter().any(|s| s.contains(&probe));
+            prop_assert_eq!(gst.contains_substring(&probe), expected);
+        }
+
+        /// top_l with l = corpus size and min 1 reports exactly the strings
+        /// with non-zero LCS, each with its true LCS.
+        #[test]
+        fn top_l_is_exact_when_unbounded(
+            corpus in proptest::collection::vec("[a-c]{0,6}", 1..5),
+            query in "[a-c]{1,6}"
+        ) {
+            let gst = GeneralizedSuffixTree::build(&corpus);
+            let mut got = gst.top_l_by_lcs(&query, corpus.len(), 1);
+            got.sort_unstable();
+            let mut want: Vec<(usize, usize)> = corpus
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i, longest_common_substring_len(&query, s)))
+                .filter(|&(_, l)| l >= 1)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+
+        /// Matched lengths reported by top_l never increase along the list.
+        #[test]
+        fn top_l_lengths_are_sorted(
+            corpus in proptest::collection::vec("[a-c]{0,6}", 1..6),
+            query in "[a-c]{0,6}", l in 1usize..4
+        ) {
+            let gst = GeneralizedSuffixTree::build(&corpus);
+            let top = gst.top_l_by_lcs(&query, l, 1);
+            prop_assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+            prop_assert!(top.len() <= l);
+        }
+    }
+}

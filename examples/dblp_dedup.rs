@@ -1,0 +1,61 @@
+//! Bibliography deduplication: repairing helps matching.
+//!
+//! Generates a DBLP-like workload, then compares two ways of finding which
+//! records correspond to master entries: sorted-neighborhood matching on
+//! the dirty data (SortN) versus matching on the UniClean-repaired data —
+//! the paper's Exp-2 in miniature.
+//!
+//! ```text
+//! cargo run --release --example dblp_dedup
+//! ```
+
+use uniclean::baselines::{sortn_match, uniclean_matches, SortNConfig};
+use uniclean::core::{CleanConfig, Phase, UniClean};
+use uniclean::datagen::{dblp_workload, GenParams};
+use uniclean::metrics::matching_quality;
+
+fn main() {
+    let w = dblp_workload(&GenParams {
+        tuples: 3000,
+        master_tuples: 800,
+        noise_rate: 0.08,
+        dup_rate: 0.4,
+        asserted_rate: 0.4,
+        seed: 11,
+    });
+    println!(
+        "workload: |D| = {}, |Dm| = {}, true matches = {}",
+        w.dirty.len(),
+        w.master.len(),
+        w.true_matches.len()
+    );
+
+    // Baseline: match the dirty data directly.
+    let found = sortn_match(&w.dirty, &w.master, w.rules.mds(), SortNConfig::default());
+    let q_sortn = matching_quality(&found, &w.true_matches);
+    println!(
+        "SortN(MD) on dirty data:    precision={:.3} recall={:.3} F1={:.3}",
+        q_sortn.precision,
+        q_sortn.recall,
+        q_sortn.f1()
+    );
+
+    // UniClean: repair first, then identify matches on the repaired data.
+    let cfg = CleanConfig { eta: 1.0, delta_entropy: 0.8, ..CleanConfig::default() };
+    let uni = UniClean::new(&w.rules, Some(&w.master), cfg);
+    let r = uni.clean(&w.dirty, Phase::Full);
+    let found = uniclean_matches(&r.repaired, &w.master, w.rules.mds());
+    let q_uni = matching_quality(&found, &w.true_matches);
+    println!(
+        "Uni on repaired data:       precision={:.3} recall={:.3} F1={:.3}",
+        q_uni.precision,
+        q_uni.recall,
+        q_uni.f1()
+    );
+
+    println!(
+        "\nrepairing helps matching: ΔF1 = {:+.3}",
+        q_uni.f1() - q_sortn.f1()
+    );
+    assert!(q_uni.f1() >= q_sortn.f1(), "Exp-2's headline claim");
+}

@@ -1,0 +1,79 @@
+//! Quickstart: clean a tiny transaction relation against master data.
+//!
+//! This is the paper's running example (Example 1.1) in ~60 lines: define
+//! the schemas, write the rules in the textual rule language, run the
+//! three-phase pipeline, print the fixes.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use uniclean::core::{CleanConfig, Phase, UniClean};
+use uniclean::model::{Relation, Schema, Tuple};
+use uniclean::rules::{parse_rules, RuleSet};
+
+fn main() {
+    // Schemas: dirty transactions and clean master card data.
+    let tran = Schema::of_strings("tran", &["FN", "LN", "St", "city", "AC", "post", "phn"]);
+    let card = Schema::of_strings("card", &["FN", "LN", "St", "city", "AC", "zip", "tel"]);
+
+    // Data quality rules: CFDs for consistency, an MD for matching.
+    let rules_text = "\
+        cfd phi1: tran([AC=131] -> [city=Edi])\n\
+        cfd phi2: tran([AC=020] -> [city=Ldn])\n\
+        cfd phi3: tran([city, phn] -> [St, AC, post])\n\
+        cfd phi4: tran([FN=Bob] -> [FN=Robert])\n\
+        md  psi:  tran[LN] = card[LN] AND tran[city] = card[city] AND tran[St] = card[St] AND tran[post] = card[zip] AND tran[FN] ~lev(4) card[FN] -> tran[FN] <=> card[FN], tran[phn] <=> card[tel]";
+    let parsed = parse_rules(rules_text, &tran, Some(&card)).expect("rules parse");
+    let rules = RuleSet::new(tran.clone(), Some(card.clone()), parsed.cfds, parsed.positive_mds, vec![]);
+
+    // Master data: one verified customer.
+    let master = Relation::new(
+        card,
+        vec![Tuple::of_strs(
+            &["Mark", "Smith", "10 Oak St", "Edi", "131", "EH8 9LE", "3256778"],
+            1.0,
+        )],
+    );
+
+    // A dirty transaction: wrong city (AC says Edinburgh), wrong phone.
+    // Confidence 0.9 on most cells, 0 on the suspicious ones.
+    let mut t = Tuple::of_strs(
+        &["M.", "Smith", "10 Oak St", "Ldn", "131", "EH8 9LE", "9999999"],
+        0.9,
+    );
+    let city = tran.attr_id_or_panic("city");
+    let phn = tran.attr_id_or_panic("phn");
+    let v = t.value(city).clone();
+    t.set(city, v, 0.0, Default::default());
+    let v = t.value(phn).clone();
+    t.set(phn, v, 0.0, Default::default());
+    let dirty = Relation::new(tran.clone(), vec![t]);
+
+    // Clean: cRepair → eRepair → hRepair with η = 0.8.
+    let config = CleanConfig { eta: 0.8, ..CleanConfig::default() };
+    let uni = UniClean::new(&rules, Some(&master), config);
+    let result = uni.clean(&dirty, Phase::Full);
+
+    println!("consistent: {}", result.consistent);
+    println!("repair cost: {:.3}", result.cost);
+    for fix in result.report.records() {
+        println!(
+            "  [{}] {}.{}: {} -> {}   (rule {})",
+            fix.mark,
+            fix.tuple,
+            rules.schema().attr_name(fix.attr),
+            fix.old,
+            fix.new,
+            fix.rule
+        );
+    }
+    let repaired = result.repaired.tuple(uniclean::model::TupleId(0));
+    println!(
+        "repaired tuple: city={} phn={}",
+        repaired.value(city),
+        repaired.value(phn)
+    );
+    assert_eq!(repaired.value(city).render(), "Edi");
+    assert_eq!(repaired.value(phn).render(), "3256778");
+}

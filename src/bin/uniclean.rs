@@ -1,0 +1,471 @@
+//! The `uniclean` command-line tool.
+//!
+//! ```text
+//! uniclean clean    --data d.csv --rules r.rules [--master m.csv] [--out out.csv]
+//!                   [--table tran] [--master-table card] [--eta 1.0] [--delta2 0.8]
+//!                   [--phase c|ce|full] [--self-match] [--report]
+//! uniclean check    --data d.csv --rules r.rules [--master m.csv] …
+//! uniclean analyze  --rules r.rules --data d.csv [--master m.csv] …
+//! uniclean discover --data d.csv [--max-lhs 2] [--min-support 3]
+//! ```
+//!
+//! CSV files carry a header row naming the attributes; every column is read
+//! as text; the literal `\N` denotes null. Rule files use the textual rule
+//! language of `uniclean::rules::parse_rules` (see `--help`).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use uniclean::core::{clean_without_master, CleanConfig, Phase, UniClean};
+use uniclean::discovery::{discover_constant_cfds, discover_fds, ConstantCfdConfig, FdConfig};
+use uniclean::model::csv::{from_csv, to_csv};
+use uniclean::model::{Relation, Schema, ValueType};
+use uniclean::reasoning::{is_consistent, termination_diagnostics};
+use uniclean::rules::{cfd_violations, md_violations, parse_rules, RuleSet, Violation};
+
+const USAGE: &str = "\
+uniclean — unified record matching and data repairing (Fan et al., SIGMOD 2011)
+
+USAGE:
+    uniclean <COMMAND> [OPTIONS]
+
+COMMANDS:
+    clean      repair --data using --rules (and optionally --master)
+    check      list rule violations in --data without repairing
+    analyze    static analyses of the rule set: consistency, termination
+    discover   mine FDs and constant CFDs from --data
+
+COMMON OPTIONS:
+    --data <file.csv>          the (dirty) relation; header row names attributes
+    --rules <file.rules>       rule file (cfd/md/neg lines; see README)
+    --master <file.csv>        master relation (required when rules contain MDs,
+                               unless --self-match)
+    --table <name>             relation name used in the rule file [default: data]
+    --master-table <name>      master relation name in the rule file [default: master]
+
+CLEAN OPTIONS:
+    --out <file.csv>           write the repaired relation here (default: stdout)
+    --eta <0..1>               confidence threshold η [default: 1.0]
+    --delta2 <0..1>            entropy threshold δ2 [default: 0.8]
+    --phase <c|ce|full>        run cRepair / +eRepair / all phases [default: full]
+    --cf <0..1>                default confidence for every input cell [default: 0]
+    --self-match               master-free mode: the data is its own master
+    --report                   print every fix (mark, cell, old → new, rule)
+
+DISCOVER OPTIONS:
+    --max-lhs <n>              maximum FD LHS size [default: 2]
+    --min-support <n>          minimum pattern support for constant CFDs [default: 3]
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Tiny `--key value` / `--flag` parser (mirrors the bench harness's).
+struct Opts {
+    values: std::collections::HashMap<String, String>,
+    flags: std::collections::HashSet<String>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Opts {
+        let mut values = std::collections::HashMap::new();
+        let mut flags = std::collections::HashSet::new();
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(key) = args[i].strip_prefix("--") {
+                if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                    values.insert(key.to_string(), args[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.insert(key.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Opts { values, flags }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(|s| s.as_str())
+    }
+
+    fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.contains(key)
+    }
+
+    fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got `{v}`")),
+        }
+    }
+
+    fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got `{v}`")),
+        }
+    }
+}
+
+/// Dispatch; returns the text to print on success.
+fn run(args: &[String]) -> Result<String, String> {
+    let Some(cmd) = args.first() else {
+        return Err("no command given".into());
+    };
+    let opts = Opts::parse(&args[1..]);
+    match cmd.as_str() {
+        "clean" => cmd_clean(&opts),
+        "check" => cmd_check(&opts),
+        "analyze" => cmd_analyze(&opts),
+        "discover" => cmd_discover(&opts),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn load_relation(path: &str, table: &str, default_cf: f64) -> Result<Relation, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let header_cols = text.lines().next().map(|l| l.split(',').count()).unwrap_or(0);
+    let types = vec![ValueType::Str; header_cols];
+    from_csv(table, &types, &text, default_cf).map_err(|e| format!("{path}: {e}"))
+}
+
+struct LoadedInput {
+    rules: RuleSet,
+    data: Relation,
+    master: Option<Relation>,
+}
+
+fn load_input(opts: &Opts, default_cf: f64) -> Result<LoadedInput, String> {
+    let data_path = opts.require("data")?;
+    let rules_path = opts.require("rules")?;
+    let table = opts.get_or("table", "data");
+    let master_table = opts.get_or("master-table", "master");
+
+    let data = load_relation(data_path, table, default_cf)?;
+    let master = match opts.get("master") {
+        Some(p) => Some(load_relation(p, master_table, 1.0)?),
+        None if opts.flag("self-match") => {
+            // Self-matching: the master schema mirrors the data schema.
+            let schema: Arc<Schema> = Arc::new(Schema::new(
+                master_table,
+                data.schema().attrs().iter().map(|a| (a.name.clone(), a.ty)),
+            ));
+            Some(Relation::new(schema, data.tuples().to_vec()))
+        }
+        None => None,
+    };
+
+    let rule_text =
+        std::fs::read_to_string(rules_path).map_err(|e| format!("cannot read {rules_path}: {e}"))?;
+    let parsed = parse_rules(&rule_text, data.schema(), master.as_ref().map(|m| m.schema()))
+        .map_err(|e| e.to_string())?;
+    let rules = RuleSet::new(
+        data.schema().clone(),
+        master.as_ref().map(|m| m.schema().clone()),
+        parsed.cfds,
+        parsed.positive_mds,
+        parsed.negative_mds,
+    );
+    Ok(LoadedInput { rules, data, master })
+}
+
+fn parse_phase(s: &str) -> Result<Phase, String> {
+    match s {
+        "c" => Ok(Phase::CRepair),
+        "ce" => Ok(Phase::CERepair),
+        "full" => Ok(Phase::Full),
+        other => Err(format!("--phase expects c|ce|full, got `{other}`")),
+    }
+}
+
+fn cmd_clean(opts: &Opts) -> Result<String, String> {
+    let default_cf = opts.get_f64("cf", 0.0)?;
+    let input = load_input(opts, default_cf)?;
+    let cfg = CleanConfig {
+        eta: opts.get_f64("eta", 1.0)?,
+        delta_entropy: opts.get_f64("delta2", 0.8)?,
+        ..CleanConfig::default()
+    };
+    cfg.validate()?;
+    let phase = parse_phase(opts.get_or("phase", "full"))?;
+
+    let result = if opts.flag("self-match") {
+        clean_without_master(&input.rules, &input.data, cfg, phase)
+    } else {
+        let uni = UniClean::new(&input.rules, input.master.as_ref(), cfg);
+        uni.clean(&input.data, phase)
+    };
+
+    let mut out = String::new();
+    let (det, rel, pos) = result.fix_counts();
+    out.push_str(&format!(
+        "applied {} fixes ({det} deterministic, {rel} reliable, {pos} possible); \
+         repair cost {:.3}; consistent: {}\n",
+        result.report.len(),
+        result.cost,
+        result.consistent
+    ));
+    if opts.flag("report") {
+        for fix in result.report.records() {
+            out.push_str(&format!(
+                "  [{}] {}.{}: {} -> {}   (rule {})\n",
+                fix.mark,
+                fix.tuple,
+                input.data.schema().attr_name(fix.attr),
+                fix.old,
+                fix.new,
+                fix.rule
+            ));
+        }
+    }
+    let csv = to_csv(&result.repaired);
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+            out.push_str(&format!("repaired relation written to {path}\n"));
+        }
+        None => out.push_str(&csv),
+    }
+    Ok(out)
+}
+
+fn cmd_check(opts: &Opts) -> Result<String, String> {
+    let input = load_input(opts, 0.0)?;
+    let mut out = String::new();
+    let cv = cfd_violations(input.rules.cfds(), &input.data, false);
+    let mut by_rule: std::collections::BTreeMap<&str, usize> = Default::default();
+    for v in &cv {
+        let name = match v {
+            Violation::ConstantCfd { rule, .. } | Violation::VariableCfd { rule, .. } => {
+                input.rules.cfds()[*rule].name()
+            }
+            Violation::Md { rule, .. } => input.rules.mds()[*rule].name(),
+        };
+        *by_rule.entry(name).or_default() += 1;
+    }
+    let mut md_count = 0usize;
+    if let Some(master) = &input.master {
+        let mv = md_violations(input.rules.mds(), &input.data, master, false);
+        md_count = mv.len();
+        for v in &mv {
+            if let Violation::Md { rule, .. } = v {
+                *by_rule.entry(input.rules.mds()[*rule].name()).or_default() += 1;
+            }
+        }
+    }
+    out.push_str(&format!(
+        "{} CFD violation(s), {} MD violation(s)\n",
+        cv.len(),
+        md_count
+    ));
+    for (rule, n) in by_rule {
+        out.push_str(&format!("  {rule}: {n}\n"));
+    }
+    Ok(out)
+}
+
+fn cmd_analyze(opts: &Opts) -> Result<String, String> {
+    let input = load_input(opts, 0.0)?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "rules: {} CFDs, {} MDs (normalized)\n",
+        input.rules.cfds().len(),
+        input.rules.mds().len()
+    ));
+    let consistent = is_consistent(&input.rules.without_mds(), None);
+    out.push_str(&format!("CFD core consistent: {consistent}\n"));
+    let report = termination_diagnostics(&input.rules);
+    out.push_str(&format!(
+        "dependency graph acyclic: {}\nguaranteed terminating: {}\n",
+        report.dep_graph_acyclic, report.guaranteed_terminating
+    ));
+    if !report.constant_conflicts.is_empty() {
+        out.push_str("oscillating constant-CFD pairs (Example 4.6):\n");
+        for (i, j) in &report.constant_conflicts {
+            out.push_str(&format!(
+                "  {} <-> {}\n",
+                input.rules.cfds()[*i].name(),
+                input.rules.cfds()[*j].name()
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_discover(opts: &Opts) -> Result<String, String> {
+    let data_path = opts.require("data")?;
+    let table = opts.get_or("table", "data");
+    let data = load_relation(data_path, table, 0.0)?;
+    let max_lhs = opts.get_usize("max-lhs", 2)?;
+    let min_support = opts.get_usize("min-support", 3)?;
+    let fds = discover_fds(&data, &FdConfig { max_lhs, min_support_pairs: 2 });
+    let ccfds = discover_constant_cfds(&data, &ConstantCfdConfig { min_support, ..Default::default() });
+    let mut out = String::new();
+    out.push_str(&format!("# {} FDs, {} constant CFDs mined from {data_path}\n", fds.len(), ccfds.len()));
+    for fd in fds.iter().chain(ccfds.iter()) {
+        out.push_str(&format!("cfd {}\n", strip_name(fd)));
+    }
+    Ok(out)
+}
+
+/// Render a CFD as a rule-file line (the `Display` form already matches the
+/// parser's grammar).
+fn strip_name(cfd: &uniclean::rules::Cfd) -> String {
+    cfd.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let dir = std::env::temp_dir().join("uniclean-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{}-{name}", std::process::id()));
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn clean_repairs_a_csv_end_to_end() {
+        let data = write_temp("d.csv", "AC,city\n131,Ldn\n020,Ldn\n");
+        let rules = write_temp("r.rules", "cfd phi1: data([AC=131] -> [city=Edi])");
+        let out = run(&argv(&["clean", "--data", &data, "--rules", &rules, "--report"])).unwrap();
+        assert!(out.contains("applied 1 fixes"), "{out}");
+        assert!(out.contains("consistent: true"), "{out}");
+        assert!(out.contains("131,Edi"), "{out}");
+        assert!(out.contains("020,Ldn"), "{out}");
+        assert!(out.contains("Ldn -> Edi"), "{out}");
+    }
+
+    #[test]
+    fn clean_with_master_applies_mds() {
+        let data = write_temp("dm.csv", "LN,phn\nBrady,000\n");
+        let master = write_temp("m.csv", "LN,tel\nBrady,3887644\n");
+        let rules = write_temp(
+            "rm.rules",
+            "md psi: data[LN] = master[LN] -> data[phn] <=> master[tel]",
+        );
+        let out = run(&argv(&[
+            "clean", "--data", &data, "--rules", &rules, "--master", &master,
+        ]))
+        .unwrap();
+        assert!(out.contains("Brady,3887644"), "{out}");
+    }
+
+    #[test]
+    fn self_match_flag_builds_a_snapshot_master() {
+        let data = write_temp("ds.csv", "LN,city,AC,phn\nBrady,Ldn,020,111\nBrady,Ldn,020,999\n");
+        let rules = write_temp(
+            "rs.rules",
+            "md psi: data[LN] = master[LN] AND data[city] = master[city] -> data[phn] <=> master[phn]",
+        );
+        // With cf 1.0 everywhere both records are asserted; the heuristic
+        // tail resolves the phone conflict one way or the other.
+        let out = run(&argv(&[
+            "clean", "--data", &data, "--rules", &rules, "--self-match", "--cf", "0", "--eta", "0.8",
+        ]))
+        .unwrap();
+        assert!(out.contains("consistent: true"), "{out}");
+    }
+
+    #[test]
+    fn check_counts_violations_per_rule() {
+        let data = write_temp("dc.csv", "AC,city\n131,Ldn\n131,Ldn\n020,Edi\n");
+        let rules = write_temp(
+            "rc.rules",
+            "cfd phi1: data([AC=131] -> [city=Edi])\ncfd phi2: data([AC=020] -> [city=Ldn])",
+        );
+        let out = run(&argv(&["check", "--data", &data, "--rules", &rules])).unwrap();
+        assert!(out.contains("3 CFD violation(s)"), "{out}");
+        assert!(out.contains("phi1: 2"), "{out}");
+        assert!(out.contains("phi2: 1"), "{out}");
+    }
+
+    #[test]
+    fn analyze_flags_oscillators() {
+        let data = write_temp("da.csv", "AC,post,city\n131,X,Edi\n");
+        let rules = write_temp(
+            "ra.rules",
+            "cfd a: data([AC=131] -> [city=Edi])\ncfd b: data([post=X] -> [city=Ldn])",
+        );
+        let out = run(&argv(&["analyze", "--data", &data, "--rules", &rules])).unwrap();
+        assert!(out.contains("guaranteed terminating: false"), "{out}");
+        assert!(out.contains("a <-> b"), "{out}");
+    }
+
+    #[test]
+    fn discover_emits_parseable_rules() {
+        let data = write_temp(
+            "dd.csv",
+            "City,State\nBoston,MA\nBoston,MA\nBoston,MA\nChicago,IL\nChicago,IL\nChicago,IL\n",
+        );
+        let out = run(&argv(&["discover", "--data", &data, "--min-support", "3"])).unwrap();
+        assert!(out.contains("FDs"), "{out}");
+        // Every emitted rule line must parse back.
+        let schema = Schema::of_strings("data", &["City", "State"]);
+        let rule_lines: String = out.lines().filter(|l| l.starts_with("cfd ")).collect::<Vec<_>>().join("\n");
+        let parsed = parse_rules(&rule_lines, &schema, None).unwrap();
+        assert!(!parsed.cfds.is_empty());
+    }
+
+    #[test]
+    fn missing_options_produce_helpful_errors() {
+        let err = run(&argv(&["clean"])).unwrap_err();
+        assert!(err.contains("--data"), "{err}");
+        let err = run(&argv(&["bogus"])).unwrap_err();
+        assert!(err.contains("unknown command"), "{err}");
+        let err = run(&argv(&[])).unwrap_err();
+        assert!(err.contains("no command"), "{err}");
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&argv(&["help"])).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("discover"));
+    }
+
+    #[test]
+    fn clean_writes_output_file() {
+        let data = write_temp("do.csv", "AC,city\n131,Ldn\n");
+        let rules = write_temp("ro.rules", "cfd phi1: data([AC=131] -> [city=Edi])");
+        let out_path = write_temp("out.csv", "");
+        let out = run(&argv(&[
+            "clean", "--data", &data, "--rules", &rules, "--out", &out_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("written to"), "{out}");
+        let written = std::fs::read_to_string(&out_path).unwrap();
+        assert!(written.contains("131,Edi"), "{written}");
+    }
+}

@@ -1,0 +1,63 @@
+//! # UniClean
+//!
+//! A from-scratch Rust reproduction of **"Interaction between Record
+//! Matching and Data Repairing"** (Fan, Ma, Tang, Yu — SIGMOD 2011; extended
+//! JDIQ version), a data-cleaning system that *unifies* record matching
+//! (matching dependencies against master data) and data repairing
+//! (conditional functional dependencies) into one rule-based process.
+//!
+//! This façade crate re-exports the workspace crates under stable paths:
+//!
+//! * [`model`] — schemas, confidence-annotated tuples, relations, cost model;
+//! * [`similarity`] — similarity predicates, generalized suffix tree, top-l
+//!   LCS blocking;
+//! * [`rules`] — CFDs and (positive/negative) MDs, satisfaction, violations,
+//!   parsing;
+//! * [`reasoning`] — consistency / implication / termination / determinism
+//!   analyses (§4 of the paper);
+//! * [`core`] — the three cleaning phases (`cRepair`, `eRepair`, `hRepair`)
+//!   and the [`core::pipeline::UniClean`] orchestrator;
+//! * [`baselines`] — SortN matching and Quaid repairing, the paper's
+//!   comparators;
+//! * [`datagen`] — synthetic HOSP / DBLP / TPC-H-like workloads with noise,
+//!   duplicates and ground truth;
+//! * [`metrics`] — precision / recall / F-measure for both tasks.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use uniclean::core::{CleanConfig, Phase, UniClean};
+//! use uniclean::model::{Relation, Schema, Tuple, TupleId, Value};
+//! use uniclean::rules::{parse_rules, RuleSet};
+//!
+//! // A CFD in the paper's notation: area code 131 means Edinburgh.
+//! let tran = Schema::of_strings("tran", &["AC", "city"]);
+//! let parsed = parse_rules("cfd phi1: tran([AC=131] -> [city=Edi])", &tran, None).unwrap();
+//! let rules = RuleSet::cfds_only(tran.clone(), parsed.cfds);
+//!
+//! // One dirty tuple; clean it through all three phases.
+//! let dirty = Relation::new(tran, vec![Tuple::of_strs(&["131", "Ldn"], 0.5)]);
+//! let uni = UniClean::new(&rules, None, CleanConfig::default());
+//! let result = uni.clean(&dirty, Phase::Full);
+//!
+//! assert!(result.consistent);
+//! assert_eq!(
+//!     result.repaired.tuple(TupleId(0)).value(uniclean::model::AttrId(1)),
+//!     &Value::str("Edi"),
+//! );
+//! ```
+//!
+//! See `examples/quickstart.rs` for the paper's running example (the credit
+//! card fraud of Example 1.1) executed end to end, and the `uniclean` CLI
+//! (`src/bin/uniclean.rs`) for file-based cleaning
+//! (`uniclean clean --data d.csv --rules r.rules --master m.csv`).
+
+pub use uniclean_baselines as baselines;
+pub use uniclean_core as core;
+pub use uniclean_datagen as datagen;
+pub use uniclean_discovery as discovery;
+pub use uniclean_metrics as metrics;
+pub use uniclean_model as model;
+pub use uniclean_reasoning as reasoning;
+pub use uniclean_rules as rules;
+pub use uniclean_similarity as similarity;

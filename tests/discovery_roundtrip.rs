@@ -1,0 +1,114 @@
+//! Integration test: discovery re-finds the generators' rules.
+//!
+//! The workload generators build data whose attributes are functionally
+//! correlated exactly as their rule sets demand; running discovery on the
+//! clean data must therefore recover those dependencies (modulo
+//! minimality: an FD may surface through a smaller LHS that also holds).
+
+use uniclean::datagen::{dblp_workload, hosp_workload, GenParams};
+use uniclean::discovery::{discover_fds, suggest_mds, FdConfig};
+use uniclean::model::AttrId;
+use uniclean::rules::{satisfies_cfd, Cfd};
+
+fn params() -> GenParams {
+    GenParams { tuples: 400, master_tuples: 150, ..GenParams::default() }
+}
+
+/// Does the discovered set contain `lhs → rhs` or a sub-LHS version of it?
+fn covered(fds: &[Cfd], schema: &uniclean::model::Schema, lhs: &[&str], rhs: &str) -> bool {
+    let lhs_ids: Vec<AttrId> = lhs.iter().map(|a| schema.attr_id(a).unwrap()).collect();
+    let rhs_id = schema.attr_id(rhs).unwrap();
+    fds.iter().any(|f| {
+        f.rhs()[0] == rhs_id && f.lhs().iter().all(|a| lhs_ids.contains(a))
+    })
+}
+
+#[test]
+fn hosp_generator_fds_are_rediscovered() {
+    let w = hosp_workload(&params());
+    let fds = discover_fds(&w.truth, &FdConfig { max_lhs: 2, min_support_pairs: 2 });
+    let s = w.truth.schema();
+    // The geography and measure clusters of the HOSP rule set.
+    for (lhs, rhs) in [
+        (vec!["ZIP"], "City"),
+        (vec!["ZIP"], "State"),
+        (vec!["ZIP"], "AreaCode"),
+        (vec!["City"], "County"),
+        (vec!["MeasureCode"], "MeasureName"),
+        (vec!["MeasureCode"], "Condition"),
+        (vec!["ProviderID"], "HospitalName"),
+        (vec!["ProviderID"], "Phone"),
+        (vec!["State", "MeasureCode"], "StateAvg"),
+    ] {
+        assert!(
+            covered(&fds, s, &lhs, rhs),
+            "expected {lhs:?} -> {rhs} (or a sub-LHS) among {} discovered FDs",
+            fds.len()
+        );
+    }
+}
+
+#[test]
+fn dblp_generator_fds_are_rediscovered() {
+    let w = dblp_workload(&params());
+    let fds = discover_fds(&w.truth, &FdConfig { max_lhs: 2, min_support_pairs: 2 });
+    let s = w.truth.schema();
+    for (lhs, rhs) in [
+        (vec!["Journal"], "Publisher"),
+        (vec!["Journal"], "Venue"),
+        (vec!["Key"], "Title"),
+        (vec!["Key"], "Authors"),
+        (vec!["Journal", "Volume"], "Year"),
+    ] {
+        assert!(covered(&fds, s, &lhs, rhs), "expected {lhs:?} -> {rhs}");
+    }
+}
+
+#[test]
+fn discovered_fds_hold_on_both_truth_and_master() {
+    let w = hosp_workload(&params());
+    let fds = discover_fds(&w.truth, &FdConfig { max_lhs: 2, min_support_pairs: 2 });
+    assert!(!fds.is_empty());
+    for fd in &fds {
+        assert!(satisfies_cfd(fd, &w.truth), "{fd} fails on truth");
+    }
+}
+
+#[test]
+fn suggested_mds_vet_down_to_sound_match_keys() {
+    // Suggestion from a finite sample overfits (a column can be
+    // *accidentally* unique in 150 master rows); the §4-style vetting pass
+    // — validate candidates on a clean sample — must keep the real entity
+    // keys and may drop the accidental ones.
+    let w = hosp_workload(&params());
+    let sample_fds = discover_fds(&w.truth, &FdConfig { max_lhs: 1, min_support_pairs: 2 });
+    let suggested = suggest_mds(&w.master, w.rules.schema(), 1, &sample_fds);
+    assert!(!suggested.is_empty(), "master keys (ProviderID, Phone…) must lift to MDs");
+    let vetted: Vec<_> = suggested
+        .into_iter()
+        .filter(|md| uniclean::rules::satisfies_md(md, &w.truth, &w.master))
+        .collect();
+    assert!(!vetted.is_empty(), "vetting must keep sound keys");
+    let key_names: Vec<&str> = vetted
+        .iter()
+        .map(|md| w.master.schema().attr_name(md.premises()[0].master_attr))
+        .collect();
+    assert!(key_names.contains(&"ProviderID"), "{key_names:?}");
+    assert!(key_names.contains(&"Phone"), "{key_names:?}");
+}
+
+#[test]
+fn discovery_on_dirty_data_loses_rules() {
+    // Profiling dirty data misses dependencies the noise broke — the
+    // reason the paper routes discovery through clean samples and the
+    // consistency analysis.
+    let clean = hosp_workload(&GenParams { noise_rate: 0.0, ..params() });
+    let dirty = hosp_workload(&GenParams { noise_rate: 0.10, ..params() });
+    let cfg = FdConfig { max_lhs: 1, min_support_pairs: 2 };
+    let n_clean = discover_fds(&clean.truth, &cfg).len();
+    let n_dirty = discover_fds(&dirty.dirty, &cfg).len();
+    assert!(
+        n_dirty < n_clean,
+        "noise must break dependencies: clean {n_clean} vs dirty {n_dirty}"
+    );
+}

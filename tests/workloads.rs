@@ -1,0 +1,176 @@
+//! Integration tests over the generated workloads: end-to-end cleaning on
+//! all three datasets, quality orderings from the paper's evaluation, and
+//! the consistency guarantee of the full pipeline.
+
+use uniclean::baselines::{quaid_repair, sortn_match, uniclean_matches, SortNConfig};
+use uniclean::core::{CleanConfig, Phase, UniClean};
+use uniclean::datagen::{dblp_workload, hosp_workload, tpch_workload, GenParams, TpchScale, Workload};
+use uniclean::metrics::{matching_quality, repair_quality};
+use uniclean::model::FixMark;
+use uniclean::rules::satisfies_all;
+
+fn params() -> GenParams {
+    GenParams { tuples: 600, master_tuples: 200, noise_rate: 0.06, ..GenParams::default() }
+}
+
+fn config() -> CleanConfig {
+    CleanConfig { eta: 1.0, delta_entropy: 0.8, ..CleanConfig::default() }
+}
+
+fn all_workloads() -> Vec<Workload> {
+    vec![
+        hosp_workload(&params()),
+        dblp_workload(&params()),
+        tpch_workload(&params(), TpchScale::default()),
+    ]
+}
+
+#[test]
+fn full_pipeline_reaches_a_consistent_repair_on_every_dataset() {
+    for w in all_workloads() {
+        let uni = UniClean::new(&w.rules, Some(&w.master), config());
+        let r = uni.clean(&w.dirty, Phase::Full);
+        assert!(r.consistent, "{}: repair must satisfy Σ and Γ", w.name);
+        assert!(
+            satisfies_all(w.rules.cfds(), w.rules.mds(), &r.repaired, &w.master),
+            "{}: double-check through the rules crate",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn deterministic_fixes_are_always_correct() {
+    // The generators assert only correct cells (per §5's correctness
+    // assumptions), so cRepair's output must agree with the ground truth
+    // everywhere — the experimental Fig. 12 "precision ≈ 1" claim, exact.
+    for w in all_workloads() {
+        let uni = UniClean::new(&w.rules, Some(&w.master), config());
+        let r = uni.clean(&w.dirty, Phase::CRepair);
+        for fix in r.report.records() {
+            assert_eq!(fix.mark, FixMark::Deterministic);
+            assert_eq!(
+                &fix.new,
+                w.truth.tuple(fix.tuple).value(fix.attr),
+                "{}: deterministic fix on {}/{:?} must match the truth",
+                w.name,
+                fix.tuple,
+                fix.attr
+            );
+        }
+        assert!(!r.report.is_empty(), "{}: some deterministic fixes expected", w.name);
+    }
+}
+
+#[test]
+fn phase_quality_ordering_matches_figure_12() {
+    let w = hosp_workload(&params());
+    let uni = UniClean::new(&w.rules, Some(&w.master), config());
+    let c = uni.clean(&w.dirty, Phase::CRepair);
+    let ce = uni.clean(&w.dirty, Phase::CERepair);
+    let full = uni.clean(&w.dirty, Phase::Full);
+    let qc = repair_quality(&w.dirty, &c.repaired, &w.truth);
+    let qce = repair_quality(&w.dirty, &ce.repaired, &w.truth);
+    let qf = repair_quality(&w.dirty, &full.repaired, &w.truth);
+    // Precision decreases along the phases, recall increases.
+    assert!(qc.precision >= qce.precision - 1e-9, "{} vs {}", qc.precision, qce.precision);
+    assert!(qce.precision >= qf.precision - 1e-9, "{} vs {}", qce.precision, qf.precision);
+    assert!(qc.recall <= qce.recall + 1e-9);
+    assert!(qce.recall <= qf.recall + 1e-9);
+}
+
+#[test]
+fn uni_beats_quaid_and_unicfd_on_repairing() {
+    // Exp-1's headline orderings.
+    for w in [hosp_workload(&params()), dblp_workload(&params())] {
+        let uni = UniClean::new(&w.rules, Some(&w.master), config());
+        let full = uni.clean(&w.dirty, Phase::Full);
+        let q_uni = repair_quality(&w.dirty, &full.repaired, &w.truth).f1();
+
+        let cfd_rules = w.rules.without_mds();
+        let uni_cfd = UniClean::new(&cfd_rules, None, config());
+        let r = uni_cfd.clean(&w.dirty, Phase::Full);
+        let q_unicfd = repair_quality(&w.dirty, &r.repaired, &w.truth).f1();
+
+        let (rep, _) = quaid_repair(&w.dirty, &w.rules, &config());
+        let q_quaid = repair_quality(&w.dirty, &rep, &w.truth).f1();
+
+        assert!(q_uni > q_quaid, "{}: uni {q_uni} ≤ quaid {q_quaid}", w.name);
+        assert!(q_uni >= q_unicfd - 1e-9, "{}: uni {q_uni} < uni(cfd) {q_unicfd}", w.name);
+    }
+}
+
+#[test]
+fn uni_beats_sortn_on_matching() {
+    // Exp-2's headline ordering.
+    let w = hosp_workload(&GenParams { noise_rate: 0.08, ..params() });
+    let found = sortn_match(&w.dirty, &w.master, w.rules.mds(), SortNConfig::default());
+    let q_sortn = matching_quality(&found, &w.true_matches).f1();
+
+    let uni = UniClean::new(&w.rules, Some(&w.master), config());
+    let r = uni.clean(&w.dirty, Phase::Full);
+    let found = uniclean_matches(&r.repaired, &w.master, w.rules.mds());
+    let q_uni = matching_quality(&found, &w.true_matches).f1();
+    assert!(q_uni >= q_sortn, "uni {q_uni} < sortn {q_sortn}");
+}
+
+#[test]
+fn cleaning_is_deterministic_across_runs() {
+    let w = hosp_workload(&params());
+    let uni = UniClean::new(&w.rules, Some(&w.master), config());
+    let a = uni.clean(&w.dirty, Phase::Full);
+    let b = uni.clean(&w.dirty, Phase::Full);
+    assert_eq!(a.repaired.diff_cells(&b.repaired), 0);
+    assert_eq!(a.report.len(), b.report.len());
+}
+
+#[test]
+fn zero_noise_needs_no_fixes() {
+    let w = hosp_workload(&GenParams { noise_rate: 0.0, ..params() });
+    let uni = UniClean::new(&w.rules, Some(&w.master), config());
+    let r = uni.clean(&w.dirty, Phase::Full);
+    assert!(r.report.is_empty(), "clean data must stay untouched");
+    assert!(r.consistent);
+    assert_eq!(r.cost, 0.0);
+}
+
+#[test]
+fn tpch_rule_sweeps_still_clean_consistently() {
+    let w = tpch_workload(
+        &GenParams { tuples: 300, master_tuples: 100, ..params() },
+        TpchScale { sigma_multiplier: 3, gamma_multiplier: 2 },
+    );
+    let uni = UniClean::new(&w.rules, Some(&w.master), config());
+    let r = uni.clean(&w.dirty, Phase::Full);
+    assert!(r.consistent);
+}
+
+#[test]
+fn master_free_self_matching_stays_competitive() {
+    // §1/§9: "While master data is desirable in the process, it is not a
+    // must … reliable and heuristic fixes would not degrade substantially."
+    let w = hosp_workload(&params());
+    let with_master = {
+        let uni = UniClean::new(&w.rules, Some(&w.master), config());
+        let r = uni.clean(&w.dirty, Phase::Full);
+        repair_quality(&w.dirty, &r.repaired, &w.truth).f1()
+    };
+    let self_matching = {
+        let r = uniclean::core::clean_without_master(&w.rules, &w.dirty, config(), Phase::Full);
+        repair_quality(&w.dirty, &r.repaired, &w.truth).f1()
+    };
+    let cfd_only = {
+        let rules = w.rules.without_mds();
+        let uni = UniClean::new(&rules, None, config());
+        let r = uni.clean(&w.dirty, Phase::Full);
+        repair_quality(&w.dirty, &r.repaired, &w.truth).f1()
+    };
+    assert!(
+        self_matching > cfd_only,
+        "self-matching {self_matching} must beat CFDs-only {cfd_only}"
+    );
+    assert!(
+        self_matching > with_master - 0.15,
+        "self-matching {self_matching} must not degrade substantially vs {with_master}"
+    );
+}
