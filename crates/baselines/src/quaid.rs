@@ -40,10 +40,18 @@ mod tests {
         let rules = RuleSet::cfds_only(s.clone(), parsed.cfds);
         let d = Relation::new(s.clone(), vec![Tuple::of_strs(&["131", "Ldn"], 0.5)]);
         let (repaired, report) = quaid_repair(&d, &rules, &CleanConfig::default());
-        assert_eq!(repaired.tuple(TupleId(0)).value(s.attr_id_or_panic("city")), &Value::str("Edi"));
+        assert_eq!(
+            repaired.tuple(TupleId(0)).value(s.attr_id_or_panic("city")),
+            &Value::str("Edi")
+        );
         assert_eq!(report.len(), 1);
         assert!(report.records().iter().all(|r| r.mark == FixMark::Possible));
-        assert!(satisfies_all(rules.cfds(), &[], &repaired, &Relation::empty(s)));
+        assert!(satisfies_all(
+            rules.cfds(),
+            &[],
+            &repaired,
+            &Relation::empty(s)
+        ));
     }
 
     #[test]
@@ -56,11 +64,20 @@ mod tests {
             Some(&card),
         )
         .unwrap();
-        let rules = RuleSet::new(tran.clone(), Some(card), vec![], parsed.positive_mds, vec![]);
+        let rules = RuleSet::new(
+            tran.clone(),
+            Some(card),
+            vec![],
+            parsed.positive_mds,
+            vec![],
+        );
         let d = Relation::new(tran, vec![Tuple::of_strs(&["Brady", "000"], 0.5)]);
         let (repaired, report) = quaid_repair(&d, &rules, &CleanConfig::default());
         assert!(report.is_empty(), "no CFDs → nothing to repair");
-        assert_eq!(repaired.tuple(TupleId(0)).value(uniclean_model::AttrId(1)), &Value::str("000"));
+        assert_eq!(
+            repaired.tuple(TupleId(0)).value(uniclean_model::AttrId(1)),
+            &Value::str("000")
+        );
     }
 
     #[test]

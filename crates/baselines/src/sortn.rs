@@ -28,7 +28,11 @@ pub struct SortNConfig {
 
 impl Default for SortNConfig {
     fn default() -> Self {
-        SortNConfig { window: 7, passes: 3, prefix: 4 }
+        SortNConfig {
+            window: 7,
+            passes: 3,
+            prefix: 4,
+        }
     }
 }
 
@@ -154,7 +158,10 @@ mod tests {
                 Tuple::of_strs(&["Zzz", "Nowhere", "111"], 0.5),
             ],
         );
-        let dm = Relation::new(card, vec![Tuple::of_strs(&["Brady", "Ldn", "3887644"], 1.0)]);
+        let dm = Relation::new(
+            card,
+            vec![Tuple::of_strs(&["Brady", "Ldn", "3887644"], 1.0)],
+        );
         let matches = sortn_match(&d, &dm, &mds, SortNConfig::default());
         assert_eq!(matches, vec![(TupleId(0), TupleId(0))]);
     }
@@ -171,8 +178,20 @@ mod tests {
             tuples.push(Tuple::of_strs(&[&format!("M{i:02}"), "Ldn", "222"], 0.5));
         }
         let d = Relation::new(tran, tuples);
-        let dm = Relation::new(card, vec![Tuple::of_strs(&["Brady", "Ldn", "3887644"], 1.0)]);
-        let matches = sortn_match(&d, &dm, &mds, SortNConfig { window: 3, passes: 1, prefix: 4 });
+        let dm = Relation::new(
+            card,
+            vec![Tuple::of_strs(&["Brady", "Ldn", "3887644"], 1.0)],
+        );
+        let matches = sortn_match(
+            &d,
+            &dm,
+            &mds,
+            SortNConfig {
+                window: 3,
+                passes: 1,
+                prefix: 4,
+            },
+        );
         assert!(matches.is_empty(), "typo'd key must be missed: {matches:?}");
     }
 
@@ -192,8 +211,20 @@ mod tests {
         .unwrap()
         .positive_mds;
         let d = Relation::new(tran, vec![Tuple::of_strs(&["Xrady", "Ldn", "000"], 0.5)]);
-        let dm = Relation::new(card, vec![Tuple::of_strs(&["Brady", "Ldn", "3887644"], 1.0)]);
-        let matches = sortn_match(&d, &dm, &mds, SortNConfig { window: 4, passes: 2, prefix: 4 });
+        let dm = Relation::new(
+            card,
+            vec![Tuple::of_strs(&["Brady", "Ldn", "3887644"], 1.0)],
+        );
+        let matches = sortn_match(
+            &d,
+            &dm,
+            &mds,
+            SortNConfig {
+                window: 4,
+                passes: 2,
+                prefix: 4,
+            },
+        );
         assert_eq!(matches.len(), 1);
     }
 
@@ -215,7 +246,10 @@ mod tests {
             ],
         );
         let matches = uniclean_matches(&d, &dm, &mds);
-        assert_eq!(matches, vec![(TupleId(0), TupleId(0)), (TupleId(1), TupleId(1))]);
+        assert_eq!(
+            matches,
+            vec![(TupleId(0), TupleId(0)), (TupleId(1), TupleId(1))]
+        );
     }
 
     #[test]

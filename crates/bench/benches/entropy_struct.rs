@@ -7,7 +7,11 @@ use uniclean_datagen::{hosp_workload, GenParams};
 use uniclean_model::{FixMark, TupleId, Value};
 
 fn bench_structure(c: &mut Criterion) {
-    let w = hosp_workload(&GenParams { tuples: 1000, master_tuples: 200, ..GenParams::default() });
+    let w = hosp_workload(&GenParams {
+        tuples: 1000,
+        master_tuples: 200,
+        ..GenParams::default()
+    });
     let city = w.dirty.schema().attr_id("City").unwrap();
 
     let mut g = c.benchmark_group("two_in_one");
@@ -24,7 +28,8 @@ fn bench_structure(c: &mut Criterion) {
             for i in 0..100u32 {
                 let t = TupleId(i * 7 % d.len() as u32);
                 let old = d.tuple(t).value(city).clone();
-                d.tuple_mut(t).set(city, Value::str(format!("City{i}")), 0.0, FixMark::Reliable);
+                d.tuple_mut(t)
+                    .set(city, Value::str(format!("City{i}")), 0.0, FixMark::Reliable);
                 s.on_update(&w.rules, &d, t, city, &old);
             }
             s
@@ -38,19 +43,26 @@ fn bench_structure(c: &mut Criterion) {
             let mut last = None;
             for i in 0..100u32 {
                 let t = TupleId(i * 7 % d.len() as u32);
-                d.tuple_mut(t).set(city, Value::str(format!("City{i}")), 0.0, FixMark::Reliable);
+                d.tuple_mut(t)
+                    .set(city, Value::str(format!("City{i}")), 0.0, FixMark::Reliable);
                 last = Some(TwoInOne::build(&w.rules, &d));
             }
             last
         })
     });
 
-    g.bench_with_input(BenchmarkId::new("groups_below_threshold", 0.8), &0.8, |bench, bound| {
-        let s = TwoInOne::build(&w.rules, &w.dirty);
-        bench.iter(|| {
-            (0..s.len()).map(|v| s.groups_below(v, *bound).len()).sum::<usize>()
-        })
-    });
+    g.bench_with_input(
+        BenchmarkId::new("groups_below_threshold", 0.8),
+        &0.8,
+        |bench, bound| {
+            let s = TwoInOne::build(&w.rules, &w.dirty);
+            bench.iter(|| {
+                (0..s.len())
+                    .map(|v| s.groups_below(v, *bound).len())
+                    .sum::<usize>()
+            })
+        },
+    );
     g.finish();
 }
 

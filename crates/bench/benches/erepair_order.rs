@@ -11,8 +11,15 @@ fn bench_ordering(c: &mut Criterion) {
     let mut g = c.benchmark_group("erepair_order_computation");
     for mult in [1usize, 3, 5] {
         let w = tpch_workload(
-            &GenParams { tuples: 50, master_tuples: 20, ..GenParams::default() },
-            TpchScale { sigma_multiplier: mult, gamma_multiplier: 1 },
+            &GenParams {
+                tuples: 50,
+                master_tuples: 20,
+                ..GenParams::default()
+            },
+            TpchScale {
+                sigma_multiplier: mult,
+                gamma_multiplier: 1,
+            },
         );
         g.bench_with_input(BenchmarkId::from_parameter(55 * mult), &mult, |bench, _| {
             bench.iter(|| erepair_order(black_box(&w.rules)))
@@ -25,13 +32,23 @@ fn bench_erepair(c: &mut Criterion) {
     let mut g = c.benchmark_group("erepair");
     g.sample_size(10);
     for n in [500usize, 2000] {
-        let w = hosp_workload(&GenParams { tuples: n, master_tuples: 200, ..GenParams::default() });
+        let w = hosp_workload(&GenParams {
+            tuples: n,
+            master_tuples: 200,
+            ..GenParams::default()
+        });
         let cfg = CleanConfig::default();
         let idx = MasterIndex::build(w.rules.mds(), &w.master, cfg.blocking_l);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
             bench.iter(|| {
                 let mut d = w.dirty.clone();
-                e_repair(black_box(&mut d), Some(&w.master), &w.rules, Some(&idx), &cfg)
+                e_repair(
+                    black_box(&mut d),
+                    Some(&w.master),
+                    &w.rules,
+                    Some(&idx),
+                    &cfg,
+                )
             })
         });
     }

@@ -10,13 +10,23 @@ fn bench_hrepair(c: &mut Criterion) {
     let mut g = c.benchmark_group("hrepair");
     g.sample_size(10);
     for n in [500usize, 2000] {
-        let w = hosp_workload(&GenParams { tuples: n, master_tuples: 200, ..GenParams::default() });
+        let w = hosp_workload(&GenParams {
+            tuples: n,
+            master_tuples: 200,
+            ..GenParams::default()
+        });
         let cfg = CleanConfig::default();
         let idx = MasterIndex::build(w.rules.mds(), &w.master, cfg.blocking_l);
         g.bench_with_input(BenchmarkId::new("full", n), &n, |bench, _| {
             bench.iter(|| {
                 let mut d = w.dirty.clone();
-                h_repair(black_box(&mut d), Some(&w.master), &w.rules, Some(&idx), &cfg)
+                h_repair(
+                    black_box(&mut d),
+                    Some(&w.master),
+                    &w.rules,
+                    Some(&idx),
+                    &cfg,
+                )
             })
         });
         g.bench_with_input(BenchmarkId::new("quaid_baseline", n), &n, |bench, _| {

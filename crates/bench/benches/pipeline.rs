@@ -2,27 +2,42 @@
 //! behind the Fig. 14 scalability curves, at bench scale.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use uniclean_core::{CleanConfig, Phase, UniClean};
+use uniclean_core::{CleanConfig, Cleaner, MasterSource, Phase};
 use uniclean_datagen::{dblp_workload, hosp_workload, tpch_workload, GenParams, TpchScale};
 
 fn bench_pipeline(c: &mut Criterion) {
-    let params = GenParams { tuples: 1000, master_tuples: 300, ..GenParams::default() };
+    let params = GenParams {
+        tuples: 1000,
+        master_tuples: 300,
+        ..GenParams::default()
+    };
     let workloads = vec![
         hosp_workload(&params),
         dblp_workload(&params),
         tpch_workload(&params, TpchScale::default()),
     ];
-    let cfg = CleanConfig { eta: 1.0, delta_entropy: 0.8, ..CleanConfig::default() };
+    let cfg = CleanConfig {
+        eta: 1.0,
+        delta_entropy: 0.8,
+        ..CleanConfig::default()
+    };
     let mut g = c.benchmark_group("pipeline_1000_tuples");
     g.sample_size(10);
     for w in &workloads {
-        let uni = UniClean::new(&w.rules, Some(&w.master), cfg.clone());
+        let uni = Cleaner::builder()
+            .rules(w.rules.clone())
+            .master(MasterSource::external(w.master.clone()))
+            .config(cfg.clone())
+            .build()
+            .expect("bench session");
         g.bench_with_input(BenchmarkId::new("full", w.name), &w.name, |bench, _| {
             bench.iter(|| uni.clean(black_box(&w.dirty), Phase::Full))
         });
-        g.bench_with_input(BenchmarkId::new("crepair_only", w.name), &w.name, |bench, _| {
-            bench.iter(|| uni.clean(black_box(&w.dirty), Phase::CRepair))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("crepair_only", w.name),
+            &w.name,
+            |bench, _| bench.iter(|| uni.clean(black_box(&w.dirty), Phase::CRepair)),
+        );
     }
     g.finish();
 }

@@ -50,7 +50,9 @@ impl Args {
 
     /// Numeric lookup with a default.
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
-        self.get(key).map(|v| v.parse().expect("numeric argument")).unwrap_or(default)
+        self.get(key)
+            .map(|v| v.parse().expect("numeric argument"))
+            .unwrap_or(default)
     }
 
     /// Bare `--flag` lookup.

@@ -16,9 +16,19 @@
 use std::path::Path;
 
 use uniclean_bench::{dataset_workload, scaled_params, Args, DatasetKind, Figure, Series};
-use uniclean_core::{clean_without_master, CleanConfig, Phase, UniClean};
+use uniclean_core::{CleanConfig, Cleaner, MasterSource, Phase};
 use uniclean_datagen::Workload;
 use uniclean_metrics::repair_quality;
+
+/// A session over `w` with the given master source and config.
+fn build(w: &Workload, master: MasterSource, cfg: CleanConfig) -> Cleaner {
+    Cleaner::builder()
+        .rules(w.rules.clone())
+        .master(master)
+        .config(cfg)
+        .build()
+        .expect("ablation sessions are well-formed")
+}
 
 fn workload() -> Workload {
     dataset_workload(DatasetKind::Hosp, &scaled_params(DatasetKind::Hosp, false))
@@ -29,8 +39,12 @@ fn sweep_eta(w: &Workload) -> Figure {
     let mut rec = Vec::new();
     let mut det_share = Vec::new();
     for eta100 in [60u32, 70, 80, 90, 100] {
-        let cfg = CleanConfig { eta: eta100 as f64 / 100.0, delta_entropy: 0.8, ..CleanConfig::default() };
-        let uni = UniClean::new(&w.rules, Some(&w.master), cfg);
+        let cfg = CleanConfig {
+            eta: eta100 as f64 / 100.0,
+            delta_entropy: 0.8,
+            ..CleanConfig::default()
+        };
+        let uni = build(w, MasterSource::external(w.master.clone()), cfg);
         let r = uni.clean(&w.dirty, Phase::Full);
         let q = repair_quality(&w.dirty, &r.repaired, &w.truth);
         eprintln!("[ablation:eta] {eta100}");
@@ -46,9 +60,18 @@ fn sweep_eta(w: &Workload) -> Figure {
         x_label: "eta".into(),
         y_label: "metric".into(),
         series: vec![
-            Series { label: "precision".into(), points: prec },
-            Series { label: "recall".into(), points: rec },
-            Series { label: "det share".into(), points: det_share },
+            Series {
+                label: "precision".into(),
+                points: prec,
+            },
+            Series {
+                label: "recall".into(),
+                points: rec,
+            },
+            Series {
+                label: "det share".into(),
+                points: det_share,
+            },
         ],
     }
 }
@@ -57,8 +80,12 @@ fn sweep_delta2(w: &Workload) -> Figure {
     let mut prec = Vec::new();
     let mut rec = Vec::new();
     for d100 in [50u32, 65, 80, 90, 99] {
-        let cfg = CleanConfig { eta: 1.0, delta_entropy: d100 as f64 / 100.0, ..CleanConfig::default() };
-        let uni = UniClean::new(&w.rules, Some(&w.master), cfg);
+        let cfg = CleanConfig {
+            eta: 1.0,
+            delta_entropy: d100 as f64 / 100.0,
+            ..CleanConfig::default()
+        };
+        let uni = build(w, MasterSource::external(w.master.clone()), cfg);
         // Measure at the c+e prefix where δ2 acts.
         let r = uni.clean(&w.dirty, Phase::CERepair);
         let q = repair_quality(&w.dirty, &r.repaired, &w.truth);
@@ -72,18 +99,28 @@ fn sweep_delta2(w: &Workload) -> Figure {
         x_label: "delta2".into(),
         y_label: "metric".into(),
         series: vec![
-            Series { label: "precision".into(), points: prec },
-            Series { label: "recall".into(), points: rec },
+            Series {
+                label: "precision".into(),
+                points: prec,
+            },
+            Series {
+                label: "recall".into(),
+                points: rec,
+            },
         ],
     }
 }
 
 fn sweep_master(w: &Workload) -> Figure {
-    let cfg = CleanConfig { eta: 1.0, delta_entropy: 0.8, ..CleanConfig::default() };
+    let cfg = CleanConfig {
+        eta: 1.0,
+        delta_entropy: 0.8,
+        ..CleanConfig::default()
+    };
     let mut series = Vec::new();
     // With master data (the full system).
     {
-        let uni = UniClean::new(&w.rules, Some(&w.master), cfg.clone());
+        let uni = build(w, MasterSource::external(w.master.clone()), cfg.clone());
         let r = uni.clean(&w.dirty, Phase::Full);
         let q = repair_quality(&w.dirty, &r.repaired, &w.truth);
         eprintln!("[ablation:master] with-master");
@@ -94,7 +131,7 @@ fn sweep_master(w: &Workload) -> Figure {
     }
     // Master-free: the data is its own master (self-matching MDs).
     {
-        let r = clean_without_master(&w.rules, &w.dirty, cfg.clone(), Phase::Full);
+        let r = build(w, MasterSource::SelfSnapshot, cfg.clone()).clean(&w.dirty, Phase::Full);
         let q = repair_quality(&w.dirty, &r.repaired, &w.truth);
         eprintln!("[ablation:master] self-match");
         series.push(Series {
@@ -104,8 +141,11 @@ fn sweep_master(w: &Workload) -> Figure {
     }
     // No MDs at all.
     {
-        let rules = w.rules.without_mds();
-        let uni = UniClean::new(&rules, None, cfg);
+        let uni = Cleaner::builder()
+            .rules(w.rules.without_mds())
+            .config(cfg)
+            .build()
+            .expect("CFD-only session");
         let r = uni.clean(&w.dirty, Phase::Full);
         let q = repair_quality(&w.dirty, &r.repaired, &w.truth);
         eprintln!("[ablation:master] cfd-only");
@@ -139,6 +179,7 @@ fn main() {
     }
     for fig in figs {
         fig.print();
-        fig.write_json(Path::new("experiments")).expect("write json");
+        fig.write_json(Path::new("experiments"))
+            .expect("write json");
     }
 }

@@ -9,7 +9,9 @@
 
 use std::path::Path;
 
-use uniclean_bench::{dataset_workload, repair_f1, scaled_params, Args, DatasetKind, Figure, Series};
+use uniclean_bench::{
+    dataset_workload, repair_f1, scaled_params, Args, DatasetKind, Figure, Series,
+};
 use uniclean_datagen::GenParams;
 
 fn run(kind: DatasetKind, full: bool) -> Figure {
@@ -18,9 +20,17 @@ fn run(kind: DatasetKind, full: bool) -> Figure {
     let mut uni_cfd = Vec::new();
     let mut quaid = Vec::new();
     for noi in [2u32, 4, 6, 8, 10] {
-        let params = GenParams { noise_rate: noi as f64 / 100.0, ..base.clone() };
+        let params = GenParams {
+            noise_rate: noi as f64 / 100.0,
+            ..base.clone()
+        };
         let w = dataset_workload(kind, &params);
-        eprintln!("[exp1:{}] noi={noi}% |D|={} |Dm|={}", kind.label(), w.dirty.len(), w.master.len());
+        eprintln!(
+            "[exp1:{}] noi={noi}% |D|={} |Dm|={}",
+            kind.label(),
+            w.dirty.len(),
+            w.master.len()
+        );
         uni.push((noi as f64, repair_f1(&w, "uni")));
         uni_cfd.push((noi as f64, repair_f1(&w, "uni-cfd")));
         quaid.push((noi as f64, repair_f1(&w, "quaid")));
@@ -28,13 +38,25 @@ fn run(kind: DatasetKind, full: bool) -> Figure {
     let sub = if kind == DatasetKind::Hosp { "a" } else { "b" };
     Figure {
         id: format!("fig10{sub}-{}", kind.label()),
-        title: format!("Exp-1 Matching helps repairing ({})", kind.label().to_uppercase()),
+        title: format!(
+            "Exp-1 Matching helps repairing ({})",
+            kind.label().to_uppercase()
+        ),
         x_label: "noise %".into(),
         y_label: "F-measure".into(),
         series: vec![
-            Series { label: "Uni".into(), points: uni },
-            Series { label: "Uni(CFD)".into(), points: uni_cfd },
-            Series { label: "Quaid".into(), points: quaid },
+            Series {
+                label: "Uni".into(),
+                points: uni,
+            },
+            Series {
+                label: "Uni(CFD)".into(),
+                points: uni_cfd,
+            },
+            Series {
+                label: "Quaid".into(),
+                points: quaid,
+            },
         ],
     }
 }
@@ -49,6 +71,7 @@ fn main() {
     for kind in kinds {
         let fig = run(kind, full);
         fig.print();
-        fig.write_json(Path::new("experiments")).expect("write json");
+        fig.write_json(Path::new("experiments"))
+            .expect("write json");
     }
 }

@@ -11,8 +11,8 @@
 use std::path::Path;
 
 use uniclean_bench::{
-    dataset_workload, matching_f1_sortn, matching_f1_uni, scaled_params, Args, DatasetKind,
-    Figure, Series,
+    dataset_workload, matching_f1_sortn, matching_f1_uni, scaled_params, Args, DatasetKind, Figure,
+    Series,
 };
 use uniclean_datagen::GenParams;
 
@@ -21,7 +21,10 @@ fn run(kind: DatasetKind, full: bool) -> Figure {
     let mut uni = Vec::new();
     let mut sortn = Vec::new();
     for noi in [2u32, 4, 6, 8, 10] {
-        let params = GenParams { noise_rate: noi as f64 / 100.0, ..base.clone() };
+        let params = GenParams {
+            noise_rate: noi as f64 / 100.0,
+            ..base.clone()
+        };
         let w = dataset_workload(kind, &params);
         eprintln!("[exp2:{}] noi={noi}%", kind.label());
         uni.push((noi as f64, matching_f1_uni(&w)));
@@ -30,12 +33,21 @@ fn run(kind: DatasetKind, full: bool) -> Figure {
     let sub = if kind == DatasetKind::Hosp { "a" } else { "b" };
     Figure {
         id: format!("fig11{sub}-{}", kind.label()),
-        title: format!("Exp-2 Repairing helps matching ({})", kind.label().to_uppercase()),
+        title: format!(
+            "Exp-2 Repairing helps matching ({})",
+            kind.label().to_uppercase()
+        ),
         x_label: "noise %".into(),
         y_label: "matched attributes %".into(),
         series: vec![
-            Series { label: "Uni".into(), points: uni },
-            Series { label: "SortN(MD)".into(), points: sortn },
+            Series {
+                label: "Uni".into(),
+                points: uni,
+            },
+            Series {
+                label: "SortN(MD)".into(),
+                points: sortn,
+            },
         ],
     }
 }
@@ -50,6 +62,7 @@ fn main() {
     for kind in kinds {
         let fig = run(kind, full);
         fig.print();
-        fig.write_json(Path::new("experiments")).expect("write json");
+        fig.write_json(Path::new("experiments"))
+            .expect("write json");
     }
 }

@@ -9,7 +9,9 @@
 
 use std::path::Path;
 
-use uniclean_bench::{dataset_workload, repair_pr, scaled_params, Args, DatasetKind, Figure, Series};
+use uniclean_bench::{
+    dataset_workload, repair_pr_with, scaled_params, session, Args, DatasetKind, Figure, Series,
+};
 use uniclean_datagen::GenParams;
 use uniclean_metrics::PrecisionRecall;
 
@@ -20,25 +22,41 @@ fn run(kind: DatasetKind, full: bool) -> (Figure, Figure) {
     let mut prec: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 3];
     let mut rec: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 3];
     for noi in [2u32, 4, 6, 8, 10] {
-        let params = GenParams { noise_rate: noi as f64 / 100.0, ..base.clone() };
+        let params = GenParams {
+            noise_rate: noi as f64 / 100.0,
+            ..base.clone()
+        };
         let w = dataset_workload(kind, &params);
         eprintln!("[exp3:{}] noi={noi}%", kind.label());
+        // One session (and one master index) shared by all three variants.
+        let uni = session(&w);
         for (i, v) in variants.iter().enumerate() {
-            let pr: PrecisionRecall = repair_pr(&w, v);
+            let pr: PrecisionRecall = repair_pr_with(&uni, &w, v);
             prec[i].push((noi as f64, pr.precision));
             rec[i].push((noi as f64, pr.recall));
         }
     }
-    let subs = if kind == DatasetKind::Hosp { ("a", "b") } else { ("c", "d") };
+    let subs = if kind == DatasetKind::Hosp {
+        ("a", "b")
+    } else {
+        ("c", "d")
+    };
     let mk = |sub: &str, what: &str, data: Vec<Vec<(f64, f64)>>| Figure {
         id: format!("fig12{sub}-{}", kind.label()),
-        title: format!("Exp-3 {} of the three phases ({})", what, kind.label().to_uppercase()),
+        title: format!(
+            "Exp-3 {} of the three phases ({})",
+            what,
+            kind.label().to_uppercase()
+        ),
         x_label: "noise %".into(),
         y_label: what.to_lowercase(),
         series: labels
             .iter()
             .zip(data)
-            .map(|(l, points)| Series { label: l.to_string(), points })
+            .map(|(l, points)| Series {
+                label: l.to_string(),
+                points,
+            })
             .collect(),
     };
     (mk(subs.0, "Precision", prec), mk(subs.1, "Recall", rec))

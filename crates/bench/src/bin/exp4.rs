@@ -10,7 +10,9 @@
 
 use std::path::Path;
 
-use uniclean_bench::{dataset_workload, deterministic_share, scaled_params, Args, DatasetKind, Figure, Series};
+use uniclean_bench::{
+    dataset_workload, deterministic_share, scaled_params, Args, DatasetKind, Figure, Series,
+};
 use uniclean_datagen::GenParams;
 
 fn sweep_dup(full: bool) -> Figure {
@@ -19,12 +21,18 @@ fn sweep_dup(full: bool) -> Figure {
         let base = scaled_params(kind, full);
         let mut pts = Vec::new();
         for dup in [20u32, 40, 60, 80, 100] {
-            let params = GenParams { dup_rate: dup as f64 / 100.0, ..base.clone() };
+            let params = GenParams {
+                dup_rate: dup as f64 / 100.0,
+                ..base.clone()
+            };
             let w = dataset_workload(kind, &params);
             eprintln!("[exp4:dup] {} dup={dup}%", kind.label());
             pts.push((dup as f64, deterministic_share(&w)));
         }
-        series.push(Series { label: kind.label().to_uppercase(), points: pts });
+        series.push(Series {
+            label: kind.label().to_uppercase(),
+            points: pts,
+        });
     }
     Figure {
         id: "fig13a".into(),
@@ -41,12 +49,18 @@ fn sweep_asr(full: bool) -> Figure {
         let base = scaled_params(kind, full);
         let mut pts = Vec::new();
         for asr in [0u32, 20, 40, 60, 80] {
-            let params = GenParams { asserted_rate: asr as f64 / 100.0, ..base.clone() };
+            let params = GenParams {
+                asserted_rate: asr as f64 / 100.0,
+                ..base.clone()
+            };
             let w = dataset_workload(kind, &params);
             eprintln!("[exp4:asr] {} asr={asr}%", kind.label());
             pts.push((asr as f64, deterministic_share(&w)));
         }
-        series.push(Series { label: kind.label().to_uppercase(), points: pts });
+        series.push(Series {
+            label: kind.label().to_uppercase(),
+            points: pts,
+        });
     }
     Figure {
         id: "fig13b".into(),
@@ -64,11 +78,13 @@ fn main() {
     if which == "dup" || which == "both" {
         let fig = sweep_dup(full);
         fig.print();
-        fig.write_json(Path::new("experiments")).expect("write json");
+        fig.write_json(Path::new("experiments"))
+            .expect("write json");
     }
     if which == "asr" || which == "both" {
         let fig = sweep_asr(full);
         fig.print();
-        fig.write_json(Path::new("experiments")).expect("write json");
+        fig.write_json(Path::new("experiments"))
+            .expect("write json");
     }
 }

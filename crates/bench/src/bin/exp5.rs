@@ -11,9 +11,11 @@
 
 use std::path::Path;
 
-use uniclean_bench::{scaled_params, Args, DatasetKind, Figure, Series};
-use uniclean_core::{Phase, UniClean};
-use uniclean_datagen::{dblp_workload, hosp_workload, tpch_workload, GenParams, TpchScale, Workload};
+use uniclean_bench::{run_uni_observed, scaled_params, Args, DatasetKind, Figure, Series};
+use uniclean_core::{Phase, PhaseTimings};
+use uniclean_datagen::{
+    dblp_workload, hosp_workload, tpch_workload, GenParams, TpchScale, Workload,
+};
 
 fn build(kind: DatasetKind, params: &GenParams, scale: TpchScale) -> Workload {
     match kind {
@@ -23,11 +25,12 @@ fn build(kind: DatasetKind, params: &GenParams, scale: TpchScale) -> Workload {
     }
 }
 
-/// Run the full pipeline, returning cumulative (c, c+e, c+e+h) seconds.
+/// Run the full pipeline, returning cumulative (c, c+e, c+e+h) seconds as
+/// streamed through the [`PhaseTimings`] observer.
 fn timed(w: &Workload) -> (f64, f64, f64) {
-    let uni = UniClean::new(&w.rules, Some(&w.master), uniclean_bench::runner::experiment_config());
-    let r = uni.clean(&w.dirty, Phase::Full);
-    let [c, e, h] = r.phase_seconds;
+    let mut timings = PhaseTimings::default();
+    run_uni_observed(w, Phase::Full, &mut timings);
+    let [c, e, h] = timings.seconds();
     (c, c + e, c + e + h)
 }
 
@@ -39,12 +42,22 @@ fn sweep_size(kind: DatasetKind, vary_master: bool, full: bool) -> Figure {
     let mut s_full = Vec::new();
     for step in steps {
         let params = if vary_master {
-            GenParams { master_tuples: base.master_tuples * step, ..base.clone() }
+            GenParams {
+                master_tuples: base.master_tuples * step,
+                ..base.clone()
+            }
         } else {
-            GenParams { tuples: base.tuples * step, ..base.clone() }
+            GenParams {
+                tuples: base.tuples * step,
+                ..base.clone()
+            }
         };
         let w = build(kind, &params, TpchScale::default());
-        let x = if vary_master { params.master_tuples } else { params.tuples } as f64;
+        let x = if vary_master {
+            params.master_tuples
+        } else {
+            params.tuples
+        } as f64;
         eprintln!(
             "[exp5:{}:{}] |D|={} |Dm|={}",
             kind.label(),
@@ -72,12 +85,26 @@ fn sweep_size(kind: DatasetKind, vary_master: bool, full: bool) -> Figure {
             if vary_master { "|Dm|" } else { "|D|" },
             kind.label().to_uppercase()
         ),
-        x_label: if vary_master { "|Dm| tuples" } else { "|D| tuples" }.into(),
+        x_label: if vary_master {
+            "|Dm| tuples"
+        } else {
+            "|D| tuples"
+        }
+        .into(),
         y_label: "seconds".into(),
         series: vec![
-            Series { label: "cRepair".into(), points: s_c },
-            Series { label: "cRepair+eRepair".into(), points: s_ce },
-            Series { label: "Uni".into(), points: s_full },
+            Series {
+                label: "cRepair".into(),
+                points: s_c,
+            },
+            Series {
+                label: "cRepair+eRepair".into(),
+                points: s_ce,
+            },
+            Series {
+                label: "Uni".into(),
+                points: s_full,
+            },
         ],
     }
 }
@@ -89,13 +116,22 @@ fn sweep_rules(gamma: bool, full: bool) -> Figure {
     let mut s_full = Vec::new();
     for mult in 1..=5usize {
         let scale = if gamma {
-            TpchScale { sigma_multiplier: 1, gamma_multiplier: mult }
+            TpchScale {
+                sigma_multiplier: 1,
+                gamma_multiplier: mult,
+            }
         } else {
-            TpchScale { sigma_multiplier: mult, gamma_multiplier: 1 }
+            TpchScale {
+                sigma_multiplier: mult,
+                gamma_multiplier: 1,
+            }
         };
         let w = build(DatasetKind::Tpch, &base, scale);
         let x = if gamma { 10 * mult } else { 55 * mult } as f64;
-        eprintln!("[exp5:tpch:{}] x={x}", if gamma { "gamma" } else { "sigma" });
+        eprintln!(
+            "[exp5:tpch:{}] x={x}",
+            if gamma { "gamma" } else { "sigma" }
+        );
         let (c, ce, f) = timed(&w);
         s_c.push((x, c));
         s_ce.push((x, ce));
@@ -103,13 +139,25 @@ fn sweep_rules(gamma: bool, full: bool) -> Figure {
     }
     Figure {
         id: if gamma { "fig14h-tpch" } else { "fig14g-tpch" }.into(),
-        title: format!("Exp-5 Scalability in {} (TPCH)", if gamma { "|Γ|" } else { "|Σ|" }),
+        title: format!(
+            "Exp-5 Scalability in {} (TPCH)",
+            if gamma { "|Γ|" } else { "|Σ|" }
+        ),
         x_label: if gamma { "|Γ| (MDs)" } else { "|Σ| (CFDs)" }.into(),
         y_label: "seconds".into(),
         series: vec![
-            Series { label: "cRepair".into(), points: s_c },
-            Series { label: "cRepair+eRepair".into(), points: s_ce },
-            Series { label: "Uni".into(), points: s_full },
+            Series {
+                label: "cRepair".into(),
+                points: s_c,
+            },
+            Series {
+                label: "cRepair+eRepair".into(),
+                points: s_ce,
+            },
+            Series {
+                label: "Uni".into(),
+                points: s_full,
+            },
         ],
     }
 }
@@ -142,6 +190,7 @@ fn main() {
     }
     for fig in figs {
         fig.print();
-        fig.write_json(Path::new("experiments")).expect("write json");
+        fig.write_json(Path::new("experiments"))
+            .expect("write json");
     }
 }

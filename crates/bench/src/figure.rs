@@ -1,14 +1,13 @@
 //! Figure rendering: aligned text tables on stdout plus JSON dumps under
 //! `experiments/`, from which EXPERIMENTS.md's paper-vs-measured entries
-//! are filled in.
+//! are filled in. JSON is emitted by hand — the build is offline, so no
+//! serde — with the same shape a serde derive would produce.
 
 use std::fmt::Write as _;
 use std::path::Path;
 
-use serde::Serialize;
-
 /// One plotted line.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Series {
     /// Legend label (e.g. "Uni", "Quaid").
     pub label: String,
@@ -17,7 +16,7 @@ pub struct Series {
 }
 
 /// One figure of the paper.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Figure {
     /// Paper figure id, e.g. "fig10a".
     pub id: String,
@@ -42,7 +41,11 @@ impl Figure {
             let _ = write!(out, " {:>16}", s.label);
         }
         let _ = writeln!(out);
-        let xs: Vec<f64> = self.series.first().map(|s| s.points.iter().map(|p| p.0).collect()).unwrap_or_default();
+        let xs: Vec<f64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|p| p.0).collect())
+            .unwrap_or_default();
         for (i, x) in xs.iter().enumerate() {
             let _ = write!(out, "{:>12}", trim_float(*x));
             for s in &self.series {
@@ -65,11 +68,74 @@ impl Figure {
         println!("{}", self.render());
     }
 
+    /// The machine-readable JSON form: `{"id": …, "title": …, "x_label": …,
+    /// "y_label": …, "series": [{"label": …, "points": [[x, y], …]}, …]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"id\": {},", json_str(&self.id));
+        let _ = writeln!(out, "  \"title\": {},", json_str(&self.title));
+        let _ = writeln!(out, "  \"x_label\": {},", json_str(&self.x_label));
+        let _ = writeln!(out, "  \"y_label\": {},", json_str(&self.y_label));
+        out.push_str("  \"series\": [\n");
+        for (i, s) in self.series.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{ \"label\": {}, \"points\": [",
+                json_str(&s.label)
+            );
+            for (j, (x, y)) in s.points.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{}, {}]", json_num(*x), json_num(*y));
+            }
+            out.push_str("] }");
+            out.push_str(if i + 1 < self.series.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
     /// Write the JSON dump under `dir/<id>.json`.
     pub fn write_json(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        std::fs::write(path, serde_json::to_string_pretty(self).expect("figure serializes"))
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// JSON string literal with the escapes the control set requires.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number: finite floats as-is, non-finite as null (JSON has no NaN).
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -92,8 +158,14 @@ mod tests {
             x_label: "noise %".into(),
             y_label: "F-measure".into(),
             series: vec![
-                Series { label: "Uni".into(), points: vec![(2.0, 0.9), (4.0, 0.85)] },
-                Series { label: "Quaid".into(), points: vec![(2.0, 0.7), (4.0, 0.66)] },
+                Series {
+                    label: "Uni".into(),
+                    points: vec![(2.0, 0.9), (4.0, 0.85)],
+                },
+                Series {
+                    label: "Quaid".into(),
+                    points: vec![(2.0, 0.7), (4.0, 0.66)],
+                },
             ],
         }
     }
@@ -109,11 +181,19 @@ mod tests {
     }
 
     #[test]
-    fn json_roundtrip_has_points() {
-        let f = fig();
-        let json = serde_json::to_value(&f).unwrap();
-        assert_eq!(json["id"], "fig10a");
-        assert_eq!(json["series"][0]["points"][1][1], 0.85);
+    fn json_has_all_fields_and_points() {
+        let json = fig().to_json();
+        assert!(json.contains("\"id\": \"fig10a\""), "{json}");
+        assert!(json.contains("\"label\": \"Quaid\""), "{json}");
+        assert!(json.contains("[4, 0.85]"), "{json}");
+        assert!(json.contains("[2, 0.7]"), "{json}");
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(2.5), "2.5");
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod runner;
 pub use args::Args;
 pub use figure::{Figure, Series};
 pub use runner::{
-    dataset_workload, deterministic_share, matching_f1_sortn, matching_f1_uni, repair_f1,
-    repair_pr, scaled_params, DatasetKind,
+    dataset_workload, deterministic_share, experiment_config, matching_f1_sortn, matching_f1_uni,
+    repair_f1, repair_pr, repair_pr_with, run_uni, run_uni_observed, scaled_params, session,
+    DatasetKind,
 };

@@ -2,8 +2,10 @@
 //! numbers each figure plots.
 
 use uniclean_baselines::{quaid_repair, sortn_match, uniclean_matches, SortNConfig};
-use uniclean_core::{CleanConfig, CleanResult, Phase, UniClean};
-use uniclean_datagen::{dblp_workload, hosp_workload, tpch_workload, GenParams, TpchScale, Workload};
+use uniclean_core::{CleanConfig, CleanResult, Cleaner, MasterSource, Phase, PhaseObserver};
+use uniclean_datagen::{
+    dblp_workload, hosp_workload, tpch_workload, GenParams, TpchScale, Workload,
+};
 use uniclean_metrics::{matching_quality, repair_quality, PrecisionRecall};
 use uniclean_model::FixMark;
 
@@ -49,7 +51,11 @@ pub fn scaled_params(kind: DatasetKind, full: bool) -> GenParams {
         (DatasetKind::Tpch, false) => (1000, 300),
         (DatasetKind::Tpch, true) => (10_000, 2000),
     };
-    GenParams { tuples, master_tuples: master, ..GenParams::default() }
+    GenParams {
+        tuples,
+        master_tuples: master,
+        ..GenParams::default()
+    }
 }
 
 /// Build a workload for a dataset.
@@ -64,25 +70,52 @@ pub fn dataset_workload(kind: DatasetKind, params: &GenParams) -> Workload {
 /// The experiments' cleaning configuration: the paper set the confidence
 /// threshold to 1.0 and the entropy threshold to 0.8 (§8).
 pub fn experiment_config() -> CleanConfig {
-    CleanConfig { eta: 1.0, delta_entropy: 0.8, ..CleanConfig::default() }
+    CleanConfig {
+        eta: 1.0,
+        delta_entropy: 0.8,
+        ..CleanConfig::default()
+    }
+}
+
+/// A cleaning session over a workload's rules and master data with the
+/// experiments' configuration.
+pub fn session(w: &Workload) -> Cleaner {
+    Cleaner::builder()
+        .rules(w.rules.clone())
+        .master(MasterSource::external(w.master.clone()))
+        .config(experiment_config())
+        .build()
+        .expect("workloads build valid sessions")
 }
 
 /// Run UniClean up to `phase` on a workload.
 pub fn run_uni(w: &Workload, phase: Phase) -> CleanResult {
-    let uni = UniClean::new(&w.rules, Some(&w.master), experiment_config());
-    uni.clean(&w.dirty, phase)
+    session(w).clean(&w.dirty, phase)
 }
 
-/// Repair precision/recall of a cleaning variant on `w`.
+/// Run UniClean up to `phase` with a [`PhaseObserver`] attached (the
+/// instrumentation surface the scalability experiments consume).
+pub fn run_uni_observed(
+    w: &Workload,
+    phase: Phase,
+    observer: &mut dyn PhaseObserver,
+) -> CleanResult {
+    session(w).clean_observed(&w.dirty, phase, observer)
+}
+
+/// Repair precision/recall of a cleaning variant on `w`, building a fresh
+/// session for variants that need one. Callers evaluating several
+/// session-backed variants on the same workload should build the session
+/// once and use [`repair_pr_with`].
 pub fn repair_pr(w: &Workload, variant: &str) -> PrecisionRecall {
     match variant {
-        "uni" => {
-            let r = run_uni(w, Phase::Full);
-            repair_quality(&w.dirty, &r.repaired, &w.truth)
-        }
+        "uni" | "crepair" | "crepair+erepair" => repair_pr_with(&session(w), w, variant),
         "uni-cfd" => {
-            let rules = w.rules.without_mds();
-            let uni = UniClean::new(&rules, None, experiment_config());
+            let uni = Cleaner::builder()
+                .rules(w.rules.without_mds())
+                .config(experiment_config())
+                .build()
+                .expect("CFD-only sessions need no master");
             let r = uni.clean(&w.dirty, Phase::Full);
             repair_quality(&w.dirty, &r.repaired, &w.truth)
         }
@@ -90,16 +123,21 @@ pub fn repair_pr(w: &Workload, variant: &str) -> PrecisionRecall {
             let (repaired, _) = quaid_repair(&w.dirty, &w.rules, &experiment_config());
             repair_quality(&w.dirty, &repaired, &w.truth)
         }
-        "crepair" => {
-            let r = run_uni(w, Phase::CRepair);
-            repair_quality(&w.dirty, &r.repaired, &w.truth)
-        }
-        "crepair+erepair" => {
-            let r = run_uni(w, Phase::CERepair);
-            repair_quality(&w.dirty, &r.repaired, &w.truth)
-        }
         other => panic!("unknown repair variant `{other}`"),
     }
+}
+
+/// [`repair_pr`] for the session-backed phase-prefix variants, reusing one
+/// prebuilt [`Cleaner`] (and its master index) across variants.
+pub fn repair_pr_with(uni: &Cleaner, w: &Workload, variant: &str) -> PrecisionRecall {
+    let phase = match variant {
+        "uni" => Phase::Full,
+        "crepair" => Phase::CRepair,
+        "crepair+erepair" => Phase::CERepair,
+        other => panic!("`{other}` is not a session-backed phase variant"),
+    };
+    let r = uni.clean(&w.dirty, phase);
+    repair_quality(&w.dirty, &r.repaired, &w.truth)
 }
 
 /// Repair F-measure of a variant.
@@ -139,7 +177,14 @@ mod tests {
     use super::*;
 
     fn tiny(kind: DatasetKind) -> Workload {
-        dataset_workload(kind, &GenParams { tuples: 150, master_tuples: 50, ..GenParams::default() })
+        dataset_workload(
+            kind,
+            &GenParams {
+                tuples: 150,
+                master_tuples: 50,
+                ..GenParams::default()
+            },
+        )
     }
 
     #[test]
@@ -166,7 +211,12 @@ mod tests {
         let w = tiny(DatasetKind::Hosp);
         let c = repair_pr(&w, "crepair");
         let full = repair_pr(&w, "uni");
-        assert!(c.precision >= full.precision - 1e-9, "c {0} vs full {1}", c.precision, full.precision);
+        assert!(
+            c.precision >= full.precision - 1e-9,
+            "c {0} vs full {1}",
+            c.precision,
+            full.precision
+        );
         assert!(c.recall <= full.recall + 1e-9);
     }
 

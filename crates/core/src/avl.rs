@@ -39,7 +39,12 @@ struct Node {
 
 impl Node {
     fn new(key: EntropyKey) -> Box<Node> {
-        Box::new(Node { key, height: 1, left: None, right: None })
+        Box::new(Node {
+            key,
+            height: 1,
+            left: None,
+            right: None,
+        })
     }
 }
 

@@ -1,5 +1,7 @@
 //! Tuning knobs of the UniClean pipeline.
 
+use crate::error::ConfigError;
+
 /// Thresholds and limits for the three cleaning phases.
 ///
 /// Paper defaults (§8, "Experimental Setting" / "Experimental Results"): the
@@ -49,16 +51,25 @@ impl Default for CleanConfig {
 }
 
 impl CleanConfig {
-    /// Validate threshold ranges; call before a run.
-    pub fn validate(&self) -> Result<(), String> {
-        if !(0.0..=1.0).contains(&self.eta) {
-            return Err(format!("eta must be in [0,1], got {}", self.eta));
+    /// Validate thresholds and limits; [`crate::CleanerBuilder::build`]
+    /// runs this before any cleaning can start.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (field, value) in [("eta", self.eta), ("delta_entropy", self.delta_entropy)] {
+            if !value.is_finite() {
+                return Err(ConfigError::NonFinite { field, value });
+            }
+            if !(0.0..=1.0).contains(&value) {
+                return Err(ConfigError::OutOfRange { field, value });
+            }
         }
-        if !(0.0..=1.0).contains(&self.delta_entropy) {
-            return Err(format!("delta_entropy must be in [0,1], got {}", self.delta_entropy));
-        }
-        if self.blocking_l == 0 {
-            return Err("blocking_l must be at least 1".into());
+        for (field, value) in [
+            ("blocking_l", self.blocking_l),
+            ("max_erepair_rounds", self.max_erepair_rounds),
+            ("max_hrepair_rounds", self.max_hrepair_rounds),
+        ] {
+            if value == 0 {
+                return Err(ConfigError::ZeroLimit { field });
+            }
         }
         Ok(())
     }
@@ -79,11 +90,92 @@ mod tests {
 
     #[test]
     fn out_of_range_thresholds_rejected() {
-        let c = CleanConfig { eta: 1.5, ..CleanConfig::default() };
-        assert!(c.validate().is_err());
-        let c = CleanConfig { delta_entropy: -0.1, ..CleanConfig::default() };
-        assert!(c.validate().is_err());
-        let c = CleanConfig { blocking_l: 0, ..CleanConfig::default() };
-        assert!(c.validate().is_err());
+        let c = CleanConfig {
+            eta: 1.5,
+            ..CleanConfig::default()
+        };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::OutOfRange {
+                field: "eta",
+                value: 1.5
+            })
+        );
+        let c = CleanConfig {
+            delta_entropy: -0.1,
+            ..CleanConfig::default()
+        };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::OutOfRange {
+                field: "delta_entropy",
+                value: -0.1
+            })
+        );
+        let c = CleanConfig {
+            blocking_l: 0,
+            ..CleanConfig::default()
+        };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::ZeroLimit {
+                field: "blocking_l"
+            })
+        );
+    }
+
+    #[test]
+    fn non_finite_thresholds_rejected() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let c = CleanConfig {
+                eta: bad,
+                ..CleanConfig::default()
+            };
+            assert!(
+                matches!(
+                    c.validate(),
+                    Err(ConfigError::NonFinite { field: "eta", .. })
+                ),
+                "{bad}"
+            );
+            let c = CleanConfig {
+                delta_entropy: bad,
+                ..CleanConfig::default()
+            };
+            assert!(
+                matches!(
+                    c.validate(),
+                    Err(ConfigError::NonFinite {
+                        field: "delta_entropy",
+                        ..
+                    })
+                ),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_round_caps_rejected() {
+        let c = CleanConfig {
+            max_erepair_rounds: 0,
+            ..CleanConfig::default()
+        };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::ZeroLimit {
+                field: "max_erepair_rounds"
+            })
+        );
+        let c = CleanConfig {
+            max_hrepair_rounds: 0,
+            ..CleanConfig::default()
+        };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::ZeroLimit {
+                field: "max_hrepair_rounds"
+            })
+        );
     }
 }

@@ -20,8 +20,8 @@
 //! §5.2 — its outcome is independent of rule application order (property-
 //! tested below and in the integration suite).
 
-use std::collections::VecDeque;
 use std::collections::HashMap;
+use std::collections::VecDeque;
 
 use uniclean_model::{AttrId, FixMark, Relation, TupleId, Value};
 use uniclean_rules::RuleSet;
@@ -88,7 +88,11 @@ pub fn c_repair(
         h.push(c.is_variable().then(HashMap::new));
     }
     for m in rules.mds() {
-        assert!(!m.premises().is_empty(), "MD `{}` has an empty premise", m.name());
+        assert!(
+            !m.premises().is_empty(),
+            "MD `{}` has an empty premise",
+            m.name()
+        );
         lhs_of.push(m.lhs_attrs());
         rhs_of.push(m.rhs()[0].0);
         h.push(None);
@@ -206,7 +210,11 @@ impl<'a> State<'a> {
     ) {
         let old = d.tuple(t).value(a).clone();
         let changed = old != new;
-        let mark = if changed { FixMark::Deterministic } else { d.tuple(t).mark(a) };
+        let mark = if changed {
+            FixMark::Deterministic
+        } else {
+            d.tuple(t).mark(a)
+        };
         d.tuple_mut(t).set(a, new.clone(), self.eta, mark);
         if changed {
             self.report.push(FixRecord {
@@ -233,7 +241,11 @@ impl<'a> State<'a> {
         let name = cfd.name().to_string();
         if rhs_asserted {
             // Branch (a): t's RHS may become the unique asserted witness.
-            let group = self.h[r].as_mut().expect("variable CFD").entry(key).or_default();
+            let group = self.h[r]
+                .as_mut()
+                .expect("variable CFD")
+                .entry(key)
+                .or_default();
             if group.val.is_none() {
                 let val = d.tuple(t).value(b).clone();
                 group.val = Some(val.clone());
@@ -284,7 +296,10 @@ impl<'a> State<'a> {
             // requires t[A].cf < η).
             return;
         }
-        let want = cfd.rhs_pattern()[0].as_const().expect("constant CFD").clone();
+        let want = cfd.rhs_pattern()[0]
+            .as_const()
+            .expect("constant CFD")
+            .clone();
         let name = cfd.name().to_string();
         self.assert_cell(d, t, a, want, &name, lhs_distinct);
     }
@@ -343,7 +358,10 @@ mod tests {
     use uniclean_rules::parse_rules;
 
     fn cfg(eta: f64) -> CleanConfig {
-        CleanConfig { eta, ..CleanConfig::default() }
+        CleanConfig {
+            eta,
+            ..CleanConfig::default()
+        }
     }
 
     /// Example 5.2's scenario: tuples t1, t2 of Fig. 1(b) with ϕ1, ϕ3 and ψ.
@@ -354,25 +372,63 @@ mod tests {
                     cfd phi3: tran([city, phn] -> [St])\n\
                     md psi: tran[LN] = card[LN] AND tran[city] = card[city] AND tran[St] = card[St] AND tran[post] = card[zip] AND tran[FN] ~lev(3) card[FN] -> tran[phn] <=> card[tel]";
         let parsed = parse_rules(text, &tran, Some(&card)).unwrap();
-        let rules = RuleSet::new(tran.clone(), Some(card.clone()), parsed.cfds, parsed.positive_mds, vec![]);
+        let rules = RuleSet::new(
+            tran.clone(),
+            Some(card.clone()),
+            parsed.cfds,
+            parsed.positive_mds,
+            vec![],
+        );
 
         // t1: city should be Edi (AC=131 asserted); St/post/LN asserted;
         // phn is wrong with cf 0.
         let mut t1 = Tuple::of_strs(
-            &["M.", "Smith", "10 Oak St", "Ldn", "131", "EH8 9LE", "9999999"],
+            &[
+                "M.",
+                "Smith",
+                "10 Oak St",
+                "Ldn",
+                "131",
+                "EH8 9LE",
+                "9999999",
+            ],
             0.0,
         );
-        for (a, c) in [("FN", 0.9), ("LN", 1.0), ("St", 0.9), ("city", 0.5), ("AC", 0.9), ("post", 0.9), ("phn", 0.0)] {
+        for (a, c) in [
+            ("FN", 0.9),
+            ("LN", 1.0),
+            ("St", 0.9),
+            ("city", 0.5),
+            ("AC", 0.9),
+            ("post", 0.9),
+            ("phn", 0.0),
+        ] {
             let id = tran.attr_id_or_panic(a);
             let v = t1.value(id).clone();
             t1.set(id, v, c, FixMark::Untouched);
         }
         // t2: same person, street unknown (low confidence), city asserted.
         let mut t2 = Tuple::of_strs(
-            &["Max", "Smith", "Po Box 25", "Edi", "131", "EH8 9LE", "3256778"],
+            &[
+                "Max",
+                "Smith",
+                "Po Box 25",
+                "Edi",
+                "131",
+                "EH8 9LE",
+                "3256778",
+            ],
             0.0,
         );
-        for (a, c) in [("FN", 0.7), ("LN", 1.0), ("St", 0.5), ("city", 0.9), ("AC", 0.7), ("post", 0.9), ("phn", 0.8)] {
+        for (a, c) in [
+            ("FN", 0.7),
+            ("LN", 1.0),
+            ("St", 0.5),
+            ("city", 0.9),
+            ("AC", 0.7),
+            ("post", 0.9),
+            ("phn", 0.8),
+        ] {
             let id = tran.attr_id_or_panic(a);
             let v = t2.value(id).clone();
             t2.set(id, v, c, FixMark::Untouched);
@@ -381,7 +437,15 @@ mod tests {
         let dm = Relation::new(
             card.clone(),
             vec![Tuple::of_strs(
-                &["Mark", "Smith", "10 Oak St", "Edi", "131", "EH8 9LE", "3256778"],
+                &[
+                    "Mark",
+                    "Smith",
+                    "10 Oak St",
+                    "Edi",
+                    "131",
+                    "EH8 9LE",
+                    "3256778",
+                ],
                 1.0,
             )],
         );
@@ -417,7 +481,10 @@ mod tests {
         // Raise η beyond every premise confidence: nothing may fire.
         let report = c_repair(&mut d, Some(&dm), &rules, Some(&idx), &cfg(0.95));
         assert!(report.is_empty());
-        assert_eq!(d.tuple(TupleId(0)).value(tran.attr_id_or_panic("city")), &Value::str("Ldn"));
+        assert_eq!(
+            d.tuple(TupleId(0)).value(tran.attr_id_or_panic("city")),
+            &Value::str("Ldn")
+        );
     }
 
     #[test]
@@ -468,10 +535,7 @@ mod tests {
             t.set(b, Value::str(bv), bcf, FixMark::Untouched);
             t
         };
-        let mut d = Relation::new(
-            s.clone(),
-            vec![mk("k1", "x", 1.0), mk("k2", "y", 0.0)],
-        );
+        let mut d = Relation::new(s.clone(), vec![mk("k1", "x", 1.0), mk("k2", "y", 0.0)]);
         let report = c_repair(&mut d, None, &rules, None, &cfg(0.8));
         assert!(report.is_empty());
         assert_eq!(d.tuple(TupleId(1)).value(b), &Value::str("y"));
@@ -502,7 +566,13 @@ mod tests {
         let mut snapshots = Vec::new();
         for text in texts {
             let parsed = parse_rules(text, &tran, Some(&card)).unwrap();
-            let rules = RuleSet::new(tran.clone(), Some(card.clone()), parsed.cfds, parsed.positive_mds, vec![]);
+            let rules = RuleSet::new(
+                tran.clone(),
+                Some(card.clone()),
+                parsed.cfds,
+                parsed.positive_mds,
+                vec![],
+            );
             let idx = MasterIndex::build(rules.mds(), &dm, 10);
             let mut d = d0.clone();
             c_repair(&mut d, Some(&dm), &rules, Some(&idx), &cfg(0.8));

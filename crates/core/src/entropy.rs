@@ -86,7 +86,10 @@ mod tests {
 
     #[test]
     fn zero_counts_are_ignored() {
-        assert!(close(entropy_of_counts([3, 0, 1, 0]), entropy_of_counts([3, 1])));
+        assert!(close(
+            entropy_of_counts([3, 0, 1, 0]),
+            entropy_of_counts([3, 1])
+        ));
     }
 
     #[test]

@@ -116,7 +116,14 @@ impl EState {
         let cf = d.tuple(t).cf(a);
         d.tuple_mut(t).set(a, new.clone(), cf, FixMark::Reliable);
         *self.change_count.entry((t, a)).or_insert(0) += 1;
-        self.report.push(FixRecord { tuple: t, attr: a, old: old.clone(), new, mark: FixMark::Reliable, rule: rule.into() });
+        self.report.push(FixRecord {
+            tuple: t,
+            attr: a,
+            old: old.clone(),
+            new,
+            mark: FixMark::Reliable,
+            rule: rule.into(),
+        });
         structure.on_update(rules, d, t, a, &old);
     }
 }
@@ -137,7 +144,9 @@ fn v_cfd_resolve(
     for gid in structure.groups_below(v, cfg.delta_entropy) {
         let (majority, members) = {
             let g = structure.group(gid);
-            let Some((maj, _)) = g.majority() else { continue };
+            let Some((maj, _)) = g.majority() else {
+                continue;
+            };
             (maj.clone(), g.tuples.clone())
         };
         for t in members {
@@ -161,7 +170,10 @@ fn c_cfd_resolve(
 ) -> bool {
     let cfd = &rules.cfds()[i];
     let a = cfd.rhs()[0];
-    let want = cfd.rhs_pattern()[0].as_const().expect("constant CFD").clone();
+    let want = cfd.rhs_pattern()[0]
+        .as_const()
+        .expect("constant CFD")
+        .clone();
     let name = cfd.name().to_string();
     let mut changed = false;
     for t in d.ids().collect::<Vec<_>>() {
@@ -218,7 +230,11 @@ mod tests {
     use uniclean_rules::parse_rules;
 
     fn cfg() -> CleanConfig {
-        CleanConfig { eta: 0.8, delta_entropy: 0.9, ..CleanConfig::default() }
+        CleanConfig {
+            eta: 0.8,
+            delta_entropy: 0.9,
+            ..CleanConfig::default()
+        }
     }
 
     /// Example 6.2: only the (a1,b1,c1) group is resolved; the uniform
@@ -236,7 +252,10 @@ mod tests {
             ["a2", "b2", "c2", "e1"],
             ["a2", "b2", "c2", "e2"],
         ];
-        let mut d = Relation::new(s.clone(), rows.iter().map(|r| Tuple::of_strs(r, 0.0)).collect());
+        let mut d = Relation::new(
+            s.clone(),
+            rows.iter().map(|r| Tuple::of_strs(r, 0.0)).collect(),
+        );
         let report = e_repair(&mut d, None, &rules, None, &cfg());
         let e = s.attr_id_or_panic("E");
         assert_eq!(d.tuple(TupleId(3)).value(e), &Value::str("e1"));
@@ -313,12 +332,21 @@ mod tests {
             Some(&card),
         )
         .unwrap();
-        let rules = RuleSet::new(tran.clone(), Some(card.clone()), vec![], parsed.positive_mds, vec![]);
+        let rules = RuleSet::new(
+            tran.clone(),
+            Some(card.clone()),
+            vec![],
+            parsed.positive_mds,
+            vec![],
+        );
         let mut d = Relation::new(tran.clone(), vec![Tuple::of_strs(&["Brady", "000"], 0.0)]);
         let dm = Relation::new(card, vec![Tuple::of_strs(&["Brady", "3887644"], 1.0)]);
         let idx = MasterIndex::build(rules.mds(), &dm, 5);
         let report = e_repair(&mut d, Some(&dm), &rules, Some(&idx), &cfg());
-        assert_eq!(d.tuple(TupleId(0)).value(tran.attr_id_or_panic("phn")), &Value::str("3887644"));
+        assert_eq!(
+            d.tuple(TupleId(0)).value(tran.attr_id_or_panic("phn")),
+            &Value::str("3887644")
+        );
         assert_eq!(report.len(), 1);
     }
 
@@ -338,7 +366,11 @@ mod tests {
         let report = e_repair(&mut d, None, &rules, None, &cfg());
         // Each apply increments the counter; with δ1 = 2 the city cell is
         // written at most twice.
-        assert!(report.len() <= 2, "δ1 must bound the changes, got {}", report.len());
+        assert!(
+            report.len() <= 2,
+            "δ1 must bound the changes, got {}",
+            report.len()
+        );
     }
 
     #[test]
@@ -348,7 +380,10 @@ mod tests {
         let rules = RuleSet::cfds_only(s.clone(), parsed.cfds);
         let mut d = Relation::new(
             s,
-            vec![Tuple::of_strs(&["k", "x"], 0.0), Tuple::of_strs(&["k", "y"], 0.0)],
+            vec![
+                Tuple::of_strs(&["k", "x"], 0.0),
+                Tuple::of_strs(&["k", "y"], 0.0),
+            ],
         );
         let report = e_repair(&mut d, None, &rules, None, &cfg());
         assert!(report.is_empty(), "H = 1 ≥ δ2: no reliable fix");

@@ -202,7 +202,8 @@ pub fn h_repair(
                 } else {
                     cells.reason[cell].clone()
                 };
-                d.tuple_mut(tid).set(a, newv.clone(), t.cf(a), FixMark::Possible);
+                d.tuple_mut(tid)
+                    .set(a, newv.clone(), t.cf(a), FixMark::Possible);
                 report.push(FixRecord {
                     tuple: tid,
                     attr: a,
@@ -226,12 +227,14 @@ fn materialize(base: &Relation, cells: &Cells) -> Relation {
                 Target::Free => {}
                 Target::Const(v) => {
                     if t.value(a) != v {
-                        out.tuple_mut(tid).set(a, v.clone(), t.cf(a), FixMark::Possible);
+                        out.tuple_mut(tid)
+                            .set(a, v.clone(), t.cf(a), FixMark::Possible);
                     }
                 }
                 Target::Null => {
                     if !t.value(a).is_null() {
-                        out.tuple_mut(tid).set(a, Value::Null, 0.0, FixMark::Possible);
+                        out.tuple_mut(tid)
+                            .set(a, Value::Null, 0.0, FixMark::Possible);
                     }
                 }
             }
@@ -437,7 +440,12 @@ fn cost_pick(base: &Relation, members: &[TupleId], b: AttrId, candidates: &[Valu
             .iter()
             .map(|&t| {
                 let cellv = base.tuple(t);
-                cell_cost(cellv.cf(b).max(CF_FLOOR), cellv.value(b), cand, value_distance)
+                cell_cost(
+                    cellv.cf(b).max(CF_FLOOR),
+                    cellv.value(b),
+                    cand,
+                    value_distance,
+                )
             })
             .sum();
         if best.is_none_or(|(bc, _)| total < bc) {
@@ -455,7 +463,10 @@ mod tests {
     use uniclean_rules::{parse_rules, satisfies_all};
 
     fn cfg() -> CleanConfig {
-        CleanConfig { eta: 0.8, ..CleanConfig::default() }
+        CleanConfig {
+            eta: 0.8,
+            ..CleanConfig::default()
+        }
     }
 
     fn cfd_rules(schema: &Arc<Schema>, text: &str) -> RuleSet {
@@ -560,7 +571,13 @@ mod tests {
             Some(&card),
         )
         .unwrap();
-        let rules = RuleSet::new(tran.clone(), Some(card.clone()), vec![], parsed.positive_mds, vec![]);
+        let rules = RuleSet::new(
+            tran.clone(),
+            Some(card.clone()),
+            vec![],
+            parsed.positive_mds,
+            vec![],
+        );
         let phn = tran.attr_id_or_panic("phn");
         let mut t = Tuple::of_strs(&["Brady", "111"], 0.9);
         t.set(phn, Value::str("111"), 0.9, FixMark::Deterministic);
@@ -569,8 +586,17 @@ mod tests {
         let dm = Relation::new(card, vec![Tuple::of_strs(&["Brady", "222"], 1.0)]);
         let idx = MasterIndex::build(rules.mds(), &dm, 5);
         h_repair(&mut d, Some(&dm), &rules, Some(&idx), &cfg());
-        assert_eq!(d.tuple(TupleId(0)).value(phn), &Value::str("111"), "frozen fix preserved");
-        assert!(d.tuple(TupleId(0)).value(tran.attr_id_or_panic("LN")).is_null(), "premise detached");
+        assert_eq!(
+            d.tuple(TupleId(0)).value(phn),
+            &Value::str("111"),
+            "frozen fix preserved"
+        );
+        assert!(
+            d.tuple(TupleId(0))
+                .value(tran.attr_id_or_panic("LN"))
+                .is_null(),
+            "premise detached"
+        );
         assert!(satisfies_all(&[], rules.mds(), &d, &dm));
     }
 
@@ -584,12 +610,21 @@ mod tests {
             Some(&card),
         )
         .unwrap();
-        let rules = RuleSet::new(tran.clone(), Some(card.clone()), vec![], parsed.positive_mds, vec![]);
+        let rules = RuleSet::new(
+            tran.clone(),
+            Some(card.clone()),
+            vec![],
+            parsed.positive_mds,
+            vec![],
+        );
         let mut d = Relation::new(tran.clone(), vec![Tuple::of_strs(&["Brady", "000"], 0.5)]);
         let dm = Relation::new(card, vec![Tuple::of_strs(&["Brady", "3887644"], 1.0)]);
         let idx = MasterIndex::build(rules.mds(), &dm, 5);
         h_repair(&mut d, Some(&dm), &rules, Some(&idx), &cfg());
-        assert_eq!(d.tuple(TupleId(0)).value(tran.attr_id_or_panic("phn")), &Value::str("3887644"));
+        assert_eq!(
+            d.tuple(TupleId(0)).value(tran.attr_id_or_panic("phn")),
+            &Value::str("3887644")
+        );
         assert!(satisfies_all(&[], rules.mds(), &d, &dm));
     }
 
@@ -604,14 +639,31 @@ mod tests {
                     cfd phi3b: tran([city, phn] -> [post])\n\
                     md psi: tran[LN] = card[LN] AND tran[city] = card[city] AND tran[St] = card[St] AND tran[post] = card[zip] AND tran[FN] ~lev(3) card[FN] -> tran[phn] <=> card[tel]";
         let parsed = parse_rules(text, &tran, Some(&card)).unwrap();
-        let rules = RuleSet::new(tran.clone(), Some(card.clone()), parsed.cfds, parsed.positive_mds, vec![]);
-        let t3 = Tuple::of_strs(&["Bob", "Brady", "Ldn", "3887834", "5 Wren St", "WC1H 9SE"], 0.5);
+        let rules = RuleSet::new(
+            tran.clone(),
+            Some(card.clone()),
+            parsed.cfds,
+            parsed.positive_mds,
+            vec![],
+        );
+        let t3 = Tuple::of_strs(
+            &["Bob", "Brady", "Ldn", "3887834", "5 Wren St", "WC1H 9SE"],
+            0.5,
+        );
         let mut t4 = Tuple::of_strs(&["Robert", "Brady", "Ldn", "3887644", "", "WC1E 7HX"], 0.5);
-        t4.set(tran.attr_id_or_panic("St"), Value::Null, 0.0, FixMark::Untouched);
+        t4.set(
+            tran.attr_id_or_panic("St"),
+            Value::Null,
+            0.0,
+            FixMark::Untouched,
+        );
         let mut d = Relation::new(tran.clone(), vec![t3, t4]);
         let dm = Relation::new(
             card.clone(),
-            vec![Tuple::of_strs(&["Robert", "Brady", "Ldn", "3887644", "5 Wren St", "WC1H 9SE"], 1.0)],
+            vec![Tuple::of_strs(
+                &["Robert", "Brady", "Ldn", "3887644", "5 Wren St", "WC1H 9SE"],
+                1.0,
+            )],
         );
         let idx = MasterIndex::build(rules.mds(), &dm, 5);
         h_repair(&mut d, Some(&dm), &rules, Some(&idx), &cfg());
@@ -635,7 +687,10 @@ mod tests {
             "cfd phi1: tran([AC=131] -> [city=Edi])\n\
              cfd phi5: tran([post=\"EH8 9AB\"] -> [city=Ldn])",
         );
-        let mut d = Relation::new(s.clone(), vec![Tuple::of_strs(&["131", "EH8 9AB", "x"], 0.5)]);
+        let mut d = Relation::new(
+            s.clone(),
+            vec![Tuple::of_strs(&["131", "EH8 9AB", "x"], 0.5)],
+        );
         let report = h_repair(&mut d, None, &rules, None, &cfg());
         let city = s.attr_id_or_panic("city");
         assert!(d.tuple(TupleId(0)).value(city).is_null());

@@ -15,8 +15,12 @@
 //! * [`hrepair`] — possible fixes via equivalence classes and the cost
 //!   model (§7, extending Cong et al.), preserving deterministic fixes
 //!   (Corollary 7.1);
-//! * [`pipeline`] — the `UniClean` orchestrator running the three phases
-//!   and checking `Dr ⊨ Σ`, `(Dr, Dm) ⊨ Γ`;
+//! * [`session`] — the [`Cleaner`] session API: builder construction,
+//!   [`MasterSource`] (external / self-snapshot / none), typed
+//!   [`CleanError`]s and the [`PhaseObserver`] instrumentation hook;
+//! * [`pipeline`] — the [`Phase`] selector, [`CleanResult`] and the
+//!   deprecated pre-0.2 entry points (`UniClean`, `clean_without_master`),
+//!   now thin shims over the session;
 //! * [`master_index`] — blocked access to master data (exact hash index for
 //!   equality premises, the §5.2 LCS suffix-tree blocker for edit-distance
 //!   premises);
@@ -28,16 +32,25 @@ pub mod config;
 pub mod crepair;
 pub mod entropy;
 pub mod erepair;
+pub mod error;
 pub mod fix;
 pub mod hrepair;
 pub mod master_index;
 pub mod pipeline;
+pub mod session;
 pub mod two_in_one;
 
 pub use config::CleanConfig;
 pub use crepair::c_repair;
 pub use erepair::e_repair;
+pub use error::{CleanError, ConfigError};
 pub use fix::{FixRecord, FixReport};
 pub use hrepair::h_repair;
 pub use master_index::MasterIndex;
-pub use pipeline::{clean_without_master, CleanResult, Phase, UniClean};
+#[allow(deprecated)]
+pub use pipeline::{clean_without_master, UniClean};
+pub use pipeline::{CleanResult, Phase};
+pub use session::{
+    Cleaner, CleanerBuilder, MasterSource, NoOpObserver, PhaseKind, PhaseObserver, PhaseStats,
+    PhaseTimings,
+};

@@ -19,12 +19,19 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use uniclean_model::{AttrId, Relation, Tuple, TupleId, Value};
-use uniclean_similarity::LcsBlocker;
 use uniclean_rules::Md;
+use uniclean_similarity::LcsBlocker;
 
 enum Access {
-    Exact { premise: usize, map: Arc<HashMap<Value, Vec<u32>>> },
-    Blocked { premise: usize, blocker: Arc<LcsBlocker>, k: usize },
+    Exact {
+        premise: usize,
+        map: Arc<HashMap<Value, Vec<u32>>>,
+    },
+    Blocked {
+        premise: usize,
+        blocker: Arc<LcsBlocker>,
+        k: usize,
+    },
     Scan,
 }
 
@@ -53,11 +60,16 @@ impl MasterIndex {
                     let map = exact_cache.entry(p.master_attr).or_insert_with(|| {
                         let mut m: HashMap<Value, Vec<u32>> = HashMap::new();
                         for (sid, s) in master.iter() {
-                            m.entry(s.value(p.master_attr).clone()).or_default().push(sid.0);
+                            m.entry(s.value(p.master_attr).clone())
+                                .or_default()
+                                .push(sid.0);
                         }
                         Arc::new(m)
                     });
-                    return Access::Exact { premise: i, map: map.clone() };
+                    return Access::Exact {
+                        premise: i,
+                        map: map.clone(),
+                    };
                 }
                 if let Some((i, p, k)) = md
                     .premises()
@@ -74,12 +86,19 @@ impl MasterIndex {
                             .collect();
                         Arc::new(LcsBlocker::build(&col, l))
                     });
-                    return Access::Blocked { premise: i, blocker: blocker.clone(), k };
+                    return Access::Blocked {
+                        premise: i,
+                        blocker: blocker.clone(),
+                        k,
+                    };
                 }
                 Access::Scan
             })
             .collect();
-        MasterIndex { plans, master_len: master.len() }
+        MasterIndex {
+            plans,
+            master_len: master.len(),
+        }
     }
 
     /// Candidate master rows for `t` under MD number `md_idx` (still to be
@@ -95,7 +114,11 @@ impl MasterIndex {
                     .map(|rows| rows.iter().map(|r| TupleId(*r)).collect())
                     .unwrap_or_default()
             }
-            Access::Blocked { premise, blocker, k } => {
+            Access::Blocked {
+                premise,
+                blocker,
+                k,
+            } => {
                 let v = t.value(md.premises()[*premise].attr);
                 if v.is_null() {
                     return Vec::new();
@@ -198,7 +221,12 @@ mod tests {
         let (tran, _, mds, dm) = setup("=");
         let idx = MasterIndex::build(&mds, &dm, 5);
         let mut t = Tuple::of_strs(&["Smith", "999"], 0.5);
-        t.set(tran.attr_id_or_panic("LN"), Value::Null, 0.0, Default::default());
+        t.set(
+            tran.attr_id_or_panic("LN"),
+            Value::Null,
+            0.0,
+            Default::default(),
+        );
         assert!(idx.candidates(0, &mds[0], &t).is_empty());
     }
 

@@ -5,16 +5,21 @@
 //! The pipeline also computes the §3.1 repair cost and verifies the
 //! acceptance conditions of the data cleaning problem: `Dr ⊨ Σ` and
 //! `(Dr, Dm) ⊨ Γ` (under SQL null semantics, §7).
+//!
+//! The phase loop itself lives in [`crate::session`] behind the
+//! [`Cleaner`](crate::Cleaner) session API; this module keeps the phase
+//! selector ([`Phase`]), the run result ([`CleanResult`]) and the
+//! deprecated pre-0.2 entry points ([`UniClean`], [`clean_without_master`]),
+//! which are thin shims over the session.
 
-use uniclean_model::{repair_cost, FixMark, Relation};
-use uniclean_rules::{satisfies_all, RuleSet};
+use std::marker::PhantomData;
+
+use uniclean_model::{FixMark, Relation};
+use uniclean_rules::RuleSet;
 
 use crate::config::CleanConfig;
-use crate::crepair::c_repair;
-use crate::erepair::e_repair;
 use crate::fix::FixReport;
-use crate::hrepair::h_repair;
-use crate::master_index::MasterIndex;
+use crate::session::{Cleaner, MasterSource, PhaseStats};
 
 /// Which phases to run — the experiments evaluate each prefix (Exp-3
 /// compares `cRepair`, `cRepair+eRepair` and full `Uni`).
@@ -42,8 +47,9 @@ pub struct CleanResult {
     /// conflicts, which contradict the correctness assumptions on master
     /// data and confidence (§5.1).
     pub consistent: bool,
-    /// Wall-clock seconds spent in each executed phase (c, e, h).
-    pub phase_seconds: [f64; 3],
+    /// Per-phase timing and fix counts, in execution order. The same
+    /// records stream through [`crate::PhaseObserver`] during the run.
+    pub phases: Vec<PhaseStats>,
 }
 
 impl CleanResult {
@@ -55,133 +61,101 @@ impl CleanResult {
             self.report.count_final(FixMark::Possible),
         )
     }
+
+    /// Wall-clock seconds spent in each phase, in fixed (c, e, h) order;
+    /// phases that did not run report 0.
+    pub fn phase_seconds(&self) -> [f64; 3] {
+        crate::session::seconds_by_phase(&self.phases)
+    }
 }
 
-/// The UniClean system: rules + master data + thresholds.
+/// The pre-0.2 borrowed entry point, now a shim over [`Cleaner`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Cleaner::builder().rules(..).master(MasterSource::external(..)).build()` — \
+            it returns typed errors instead of panicking and owns its inputs"
+)]
 pub struct UniClean<'a> {
-    rules: &'a RuleSet,
-    master: Option<&'a Relation>,
-    index: Option<MasterIndex>,
-    config: CleanConfig,
+    inner: Cleaner,
+    _borrowed: PhantomData<&'a RuleSet>,
 }
 
+#[allow(deprecated)]
 impl<'a> UniClean<'a> {
     /// Prepare a cleaning run: validates the configuration and builds the
     /// master-data access paths (§5.2) once, to be shared by all phases.
+    ///
+    /// # Panics
+    /// Panics on invalid configuration or MDs without a master relation —
+    /// the reason this constructor is deprecated. [`Cleaner::builder`]
+    /// reports the same conditions as [`crate::CleanError`] values.
+    ///
+    /// Validation is stricter than pre-0.2: zero round caps
+    /// (`max_erepair_rounds` / `max_hrepair_rounds`) and an external
+    /// master whose schema differs from the rule set's master schema were
+    /// silently accepted before and are rejected now.
     pub fn new(rules: &'a RuleSet, master: Option<&'a Relation>, config: CleanConfig) -> Self {
-        config.validate().expect("invalid cleaning configuration");
-        assert!(
-            rules.mds().is_empty() || master.is_some(),
-            "rule set contains MDs but no master relation was supplied"
-        );
-        let index = master.map(|dm| MasterIndex::build(rules.mds(), dm, config.blocking_l));
-        UniClean { rules, master, index, config }
+        let master = match master {
+            Some(dm) => MasterSource::external(dm.clone()),
+            None => MasterSource::None,
+        };
+        let inner = Cleaner::builder()
+            .rules(rules.clone())
+            .master(master)
+            .config(config)
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"));
+        UniClean {
+            inner,
+            _borrowed: PhantomData,
+        }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &CleanConfig {
-        &self.config
+        self.inner.config()
     }
 
     /// Clean `d`, running phases up to and including `phase`.
     pub fn clean(&self, d: &Relation, phase: Phase) -> CleanResult {
-        let mut work = d.clone();
-        let mut report = FixReport::new();
-        let mut phase_seconds = [0.0f64; 3];
-
-        let t0 = std::time::Instant::now();
-        report.extend(c_repair(&mut work, self.master, self.rules, self.index.as_ref(), &self.config));
-        phase_seconds[0] = t0.elapsed().as_secs_f64();
-
-        if phase >= Phase::CERepair {
-            let t1 = std::time::Instant::now();
-            report.extend(e_repair(&mut work, self.master, self.rules, self.index.as_ref(), &self.config));
-            phase_seconds[1] = t1.elapsed().as_secs_f64();
-        }
-        if phase >= Phase::Full {
-            let t2 = std::time::Instant::now();
-            report.extend(h_repair(&mut work, self.master, self.rules, self.index.as_ref(), &self.config));
-            phase_seconds[2] = t2.elapsed().as_secs_f64();
-        }
-
-        let empty_master;
-        let dm = match self.master {
-            Some(m) => m,
-            None => {
-                empty_master = Relation::empty(self.rules.schema().clone());
-                &empty_master
-            }
-        };
-        let consistent = satisfies_all(self.rules.cfds(), self.rules.mds(), &work, dm);
-        let cost = repair_cost(d, &work);
-        CleanResult { repaired: work, report, cost, consistent, phase_seconds }
+        self.inner.clean(d, phase)
     }
 }
 
-/// Master-free cleaning (§1/§9): "While master data is desirable in the
-/// process, it is not a must. … our approach can be adapted by interleaving
-/// (a) record matching in a single data table with MDs and (b) data
-/// repairing with CFDs."
+/// Master-free cleaning (§1/§9), now a shim over
+/// [`MasterSource::SelfSnapshot`]: the data acts as its own master; before
+/// each phase a snapshot of the current relation is rendered into the MDs'
+/// master schema, so matches are found *within* `D` and each phase sees
+/// the previous phase's repairs.
 ///
-/// The data acts as its own master: before each phase a snapshot of the
-/// current relation is rendered into the MDs' master schema, so matches are
-/// found *within* `D` and each phase sees the previous phase's repairs.
-/// The rule set must be authored with a master schema whose attributes pair
-/// with the data schema by name (e.g. a renamed clone). Deterministic fixes
-/// lose their master-data warranty in this mode — the paper predicts (and
-/// Exp-ablation confirms) lower accuracy for them, while reliable and
-/// heuristic fixes "would not degrade substantially".
-pub fn clean_without_master(rules: &RuleSet, d: &Relation, config: CleanConfig, phase: Phase) -> CleanResult {
-    let config = CleanConfig { self_match: true, ..config };
-    config.validate().expect("invalid cleaning configuration");
-    let master_schema = rules
-        .master_schema()
-        .expect("self-matching needs MDs with a (renamed) master schema")
-        .clone();
-    assert_eq!(
-        master_schema.arity(),
-        rules.schema().arity(),
-        "self-matching master schema must mirror the data schema"
-    );
-    let snapshot = |work: &Relation| -> Relation {
-        Relation::new(master_schema.clone(), work.tuples().to_vec())
-    };
-
-    let mut work = d.clone();
-    let mut report = FixReport::new();
-    let mut phase_seconds = [0.0f64; 3];
-
-    let dm0 = snapshot(&work);
-    let idx0 = MasterIndex::build(rules.mds(), &dm0, config.blocking_l);
-    let t0 = std::time::Instant::now();
-    report.extend(c_repair(&mut work, Some(&dm0), rules, Some(&idx0), &config));
-    phase_seconds[0] = t0.elapsed().as_secs_f64();
-
-    if phase >= Phase::CERepair {
-        let dm1 = snapshot(&work);
-        let idx1 = MasterIndex::build(rules.mds(), &dm1, config.blocking_l);
-        let t1 = std::time::Instant::now();
-        report.extend(e_repair(&mut work, Some(&dm1), rules, Some(&idx1), &config));
-        phase_seconds[1] = t1.elapsed().as_secs_f64();
-    }
-    if phase >= Phase::Full {
-        let dm2 = snapshot(&work);
-        let idx2 = MasterIndex::build(rules.mds(), &dm2, config.blocking_l);
-        let t2 = std::time::Instant::now();
-        report.extend(h_repair(&mut work, Some(&dm2), rules, Some(&idx2), &config));
-        phase_seconds[2] = t2.elapsed().as_secs_f64();
-    }
-
-    // Acceptance is checked against the final self-snapshot.
-    let dm_final = snapshot(&work);
-    let consistent = satisfies_all(rules.cfds(), rules.mds(), &work, &dm_final);
-    let cost = repair_cost(d, &work);
-    CleanResult { repaired: work, report, cost, consistent, phase_seconds }
+/// # Panics
+/// Panics on invalid configuration or when the rule set lacks a mirroring
+/// master schema — the reason this function is deprecated. Use
+/// `Cleaner::builder().master(MasterSource::SelfSnapshot)` for the typed
+/// equivalent.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Cleaner::builder().rules(..).master(MasterSource::SelfSnapshot).build()`"
+)]
+pub fn clean_without_master(
+    rules: &RuleSet,
+    d: &Relation,
+    config: CleanConfig,
+    phase: Phase,
+) -> CleanResult {
+    Cleaner::builder()
+        .rules(rules.clone())
+        .master(MasterSource::SelfSnapshot)
+        .config(config)
+        .build()
+        .unwrap_or_else(|e| panic!("{e}"))
+        .clean(d, phase)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::MasterSource;
     use std::sync::Arc;
     use uniclean_model::{Schema, Tuple, TupleId, Value};
     use uniclean_rules::parse_rules;
@@ -190,21 +164,57 @@ mod tests {
     /// (Fig 1b), rules ϕ1–ϕ4 and ψ. The pipeline must discover the fraud:
     /// t3 and t4 refer to the same person.
     fn example_1_1() -> (Arc<Schema>, Arc<Schema>, RuleSet, Relation, Relation) {
-        let tran = Schema::of_strings("tran", &["FN", "LN", "St", "city", "AC", "post", "phn", "gd"]);
-        let card = Schema::of_strings("card", &["FN", "LN", "St", "city", "AC", "zip", "tel", "gd"]);
+        let tran = Schema::of_strings(
+            "tran",
+            &["FN", "LN", "St", "city", "AC", "post", "phn", "gd"],
+        );
+        let card = Schema::of_strings(
+            "card",
+            &["FN", "LN", "St", "city", "AC", "zip", "tel", "gd"],
+        );
         let text = "cfd phi1: tran([AC=131] -> [city=Edi])\n\
                     cfd phi2: tran([AC=020] -> [city=Ldn])\n\
                     cfd phi3: tran([city, phn] -> [St, AC, post])\n\
                     cfd phi4: tran([FN=Bob] -> [FN=Robert])\n\
                     md psi: tran[LN] = card[LN] AND tran[city] = card[city] AND tran[St] = card[St] AND tran[post] = card[zip] AND tran[FN] ~lev(4) card[FN] -> tran[FN] <=> card[FN], tran[phn] <=> card[tel]";
         let parsed = parse_rules(text, &tran, Some(&card)).unwrap();
-        let rules = RuleSet::new(tran.clone(), Some(card.clone()), parsed.cfds, parsed.positive_mds, parsed.negative_mds);
+        let rules = RuleSet::new(
+            tran.clone(),
+            Some(card.clone()),
+            parsed.cfds,
+            parsed.positive_mds,
+            parsed.negative_mds,
+        );
 
         let dm = Relation::new(
             card.clone(),
             vec![
-                Tuple::of_strs(&["Mark", "Smith", "10 Oak St", "Edi", "131", "EH8 9LE", "3256778", "Male"], 1.0),
-                Tuple::of_strs(&["Robert", "Brady", "5 Wren St", "Ldn", "020", "WC1H 9SE", "3887644", "Male"], 1.0),
+                Tuple::of_strs(
+                    &[
+                        "Mark",
+                        "Smith",
+                        "10 Oak St",
+                        "Edi",
+                        "131",
+                        "EH8 9LE",
+                        "3256778",
+                        "Male",
+                    ],
+                    1.0,
+                ),
+                Tuple::of_strs(
+                    &[
+                        "Robert",
+                        "Brady",
+                        "5 Wren St",
+                        "Ldn",
+                        "020",
+                        "WC1H 9SE",
+                        "3887644",
+                        "Male",
+                    ],
+                    1.0,
+                ),
             ],
         );
 
@@ -219,40 +229,96 @@ mod tests {
             t
         };
         let t1 = mk(
-            &["M.", "Smith", "10 Oak St", "Ldn", "131", "EH8 9LE", "9999999", "Male"],
+            &[
+                "M.",
+                "Smith",
+                "10 Oak St",
+                "Ldn",
+                "131",
+                "EH8 9LE",
+                "9999999",
+                "Male",
+            ],
             &[0.9, 1.0, 0.9, 0.5, 0.9, 0.9, 0.0, 0.8],
         );
         let t2 = mk(
-            &["Max", "Smith", "Po Box 25", "Edi", "131", "EH8 9AB", "3256778", "Male"],
+            &[
+                "Max",
+                "Smith",
+                "Po Box 25",
+                "Edi",
+                "131",
+                "EH8 9AB",
+                "3256778",
+                "Male",
+            ],
             &[0.7, 1.0, 0.5, 0.9, 0.7, 0.6, 0.8, 0.8],
         );
         let t3 = mk(
-            &["Bob", "Brady", "5 Wren St", "Edi", "020", "WC1H 9SE", "3887834", "Male"],
+            &[
+                "Bob",
+                "Brady",
+                "5 Wren St",
+                "Edi",
+                "020",
+                "WC1H 9SE",
+                "3887834",
+                "Male",
+            ],
             &[0.6, 1.0, 0.9, 0.2, 0.9, 0.8, 0.9, 0.8],
         );
         let t4 = mk(
-            &["Robert", "Brady", "", "Ldn", "020", "WC1E 7HX", "3887644", "Male"],
+            &[
+                "Robert", "Brady", "", "Ldn", "020", "WC1E 7HX", "3887644", "Male",
+            ],
             &[0.7, 1.0, 0.0, 0.5, 0.7, 0.3, 0.7, 0.8],
         );
         let mut t4 = t4;
-        t4.set(tran.attr_id_or_panic("St"), Value::Null, 0.0, FixMark::Untouched);
+        t4.set(
+            tran.attr_id_or_panic("St"),
+            Value::Null,
+            0.0,
+            FixMark::Untouched,
+        );
         let d = Relation::new(tran.clone(), vec![t1, t2, t3, t4]);
         (tran, card, rules, d, dm)
+    }
+
+    fn cleaner(rules: &RuleSet, dm: &Relation, eta: f64) -> Cleaner {
+        Cleaner::builder()
+            .rules(rules.clone())
+            .master(MasterSource::external(dm.clone()))
+            .config(CleanConfig {
+                eta,
+                delta_entropy: 0.8,
+                ..CleanConfig::default()
+            })
+            .build()
+            .unwrap()
     }
 
     #[test]
     fn example_1_1_end_to_end() {
         let (tran, _, rules, d, dm) = example_1_1();
-        let cfg = CleanConfig { eta: 0.8, delta_entropy: 0.8, ..CleanConfig::default() };
-        let uni = UniClean::new(&rules, Some(&dm), cfg);
+        let uni = cleaner(&rules, &dm, 0.8);
         let result = uni.clean(&d, Phase::Full);
         assert!(result.consistent, "final repair must satisfy Σ and Γ");
 
-        let get = |t: u32, a: &str| result.repaired.tuple(TupleId(t)).value(tran.attr_id_or_panic(a)).clone();
+        let get = |t: u32, a: &str| {
+            result
+                .repaired
+                .tuple(TupleId(t))
+                .value(tran.attr_id_or_panic(a))
+                .clone()
+        };
         // Steps (a)–(d) of Example 1.1 on t3/t4:
         assert_eq!(get(2, "city"), Value::str("Ldn"), "ϕ2 repairs t3[city]");
         assert_eq!(get(2, "FN"), Value::str("Robert"), "ϕ4 normalizes t3[FN]");
-        assert_eq!(get(2, "phn"), Value::str("3887644"), "ψ corrects t3[phn] from s2");
+        assert_eq!(
+            get(2, "phn"),
+            Value::str("3887644"),
+            "ψ corrects t3[phn] from s2"
+        );
         assert_eq!(get(3, "St"), Value::str("5 Wren St"), "ϕ3 enriches t4[St]");
         assert_eq!(get(3, "post"), Value::str("WC1H 9SE"), "ϕ3 fixes t4[post]");
         // t3 and t4 now agree on all identity attributes: the fraud is
@@ -268,13 +334,15 @@ mod tests {
     #[test]
     fn phases_are_cumulative() {
         let (_, _, rules, d, dm) = example_1_1();
-        let cfg = CleanConfig { eta: 0.8, ..CleanConfig::default() };
-        let uni = UniClean::new(&rules, Some(&dm), cfg);
+        let uni = cleaner(&rules, &dm, 0.8);
         let c = uni.clean(&d, Phase::CRepair);
         let ce = uni.clean(&d, Phase::CERepair);
         let full = uni.clean(&d, Phase::Full);
         assert!(c.report.len() <= ce.report.len());
         assert!(ce.report.len() <= full.report.len());
+        assert_eq!(c.phases.len(), 1);
+        assert_eq!(ce.phases.len(), 2);
+        assert_eq!(full.phases.len(), 3);
         // Deterministic fixes are identical across runs (later phases never
         // undo them).
         assert_eq!(
@@ -297,7 +365,7 @@ mod tests {
         let parsed = parse_rules("cfd phi1: tran([AC=131] -> [city=Edi])", &tran, None).unwrap();
         let rules = RuleSet::cfds_only(tran.clone(), parsed.cfds);
         let d = Relation::new(tran, vec![Tuple::of_strs(&["131", "Edi"], 1.0)]);
-        let uni = UniClean::new(&rules, None, CleanConfig::default());
+        let uni = Cleaner::builder().rules(rules).build().unwrap();
         let r = uni.clean(&d, Phase::Full);
         assert_eq!(r.cost, 0.0);
         assert!(r.report.is_empty());
@@ -305,8 +373,9 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     #[should_panic(expected = "no master relation")]
-    fn mds_without_master_rejected() {
+    fn deprecated_shim_panics_on_mds_without_master() {
         let tran = Schema::of_strings("tran", &["LN", "phn"]);
         let card = Schema::of_strings("card", &["LN", "tel"]);
         let parsed = parse_rules(
@@ -318,13 +387,42 @@ mod tests {
         let rules = RuleSet::new(tran, Some(card), vec![], parsed.positive_mds, vec![]);
         UniClean::new(&rules, None, CleanConfig::default());
     }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_cleaner_output() {
+        let (_, _, rules, d, dm) = example_1_1();
+        let cfg = CleanConfig {
+            eta: 0.8,
+            ..CleanConfig::default()
+        };
+        let old = UniClean::new(&rules, Some(&dm), cfg.clone()).clean(&d, Phase::Full);
+        let new = cleaner(&rules, &dm, 0.8).clean(&d, Phase::Full);
+        assert_eq!(old.repaired.diff_cells(&new.repaired), 0);
+        assert_eq!(old.report.len(), new.report.len());
+        assert_eq!(old.cost, new.cost);
+        assert_eq!(old.consistent, new.consistent);
+    }
 }
 
 #[cfg(test)]
 mod self_matching_tests {
     use super::*;
+    use crate::session::MasterSource;
     use uniclean_model::{FixMark, Schema, Tuple, TupleId, Value};
     use uniclean_rules::parse_rules;
+
+    fn self_cleaner(rules: &RuleSet, eta: f64) -> Cleaner {
+        Cleaner::builder()
+            .rules(rules.clone())
+            .master(MasterSource::SelfSnapshot)
+            .config(CleanConfig {
+                eta,
+                ..CleanConfig::default()
+            })
+            .build()
+            .unwrap()
+    }
 
     /// Duplicate records of one person inside D, no master data: the MD
     /// matches them against the self-snapshot and repairing still closes
@@ -336,7 +434,13 @@ mod self_matching_tests {
         let text = "cfd phi2: tran([AC=020] -> [city=Ldn])\n\
                     md psi: tran[LN] = tranm[LN] AND tran[city] = tranm[city] -> tran[phn] <=> tranm[phn]";
         let parsed = parse_rules(text, &tran, Some(&selfm)).unwrap();
-        let rules = RuleSet::new(tran.clone(), Some(selfm), parsed.cfds, parsed.positive_mds, vec![]);
+        let rules = RuleSet::new(
+            tran.clone(),
+            Some(selfm),
+            parsed.cfds,
+            parsed.positive_mds,
+            vec![],
+        );
 
         // Record A: phone verified (cf 1), city wrong. Record B: city
         // verified, phone unknown.
@@ -348,13 +452,15 @@ mod self_matching_tests {
         b.set(phn, Value::str("0000000"), 0.0, FixMark::Untouched);
         let d = Relation::new(tran.clone(), vec![a, b]);
 
-        let cfg = CleanConfig { eta: 0.8, ..CleanConfig::default() };
-        let r = clean_without_master(&rules, &d, cfg, Phase::Full);
+        let r = self_cleaner(&rules, 0.8).clean(&d, Phase::Full);
         assert!(r.consistent, "self-matching repair must satisfy Σ and Γ");
         // ϕ2 fixes A's city; the self-MD then identifies the two records
         // and B adopts A's verified phone.
         assert_eq!(r.repaired.tuple(TupleId(0)).value(city), &Value::str("Ldn"));
-        assert_eq!(r.repaired.tuple(TupleId(1)).value(phn), &Value::str("3887644"));
+        assert_eq!(
+            r.repaired.tuple(TupleId(1)).value(phn),
+            &Value::str("3887644")
+        );
     }
 
     /// A tuple must never assert itself through its own snapshot copy.
@@ -368,14 +474,59 @@ mod self_matching_tests {
             Some(&selfm),
         )
         .unwrap();
-        let rules = RuleSet::new(tran.clone(), Some(selfm), vec![], parsed.positive_mds, vec![]);
+        let rules = RuleSet::new(
+            tran.clone(),
+            Some(selfm),
+            vec![],
+            parsed.positive_mds,
+            vec![],
+        );
         let mut t = Tuple::of_strs(&["Brady", "123"], 1.0);
         let phn = tran.attr_id_or_panic("phn");
         t.set(phn, Value::str("123"), 0.0, FixMark::Untouched);
         let d = Relation::new(tran, vec![t]);
-        let cfg = CleanConfig { eta: 0.8, ..CleanConfig::default() };
-        let r = clean_without_master(&rules, &d, cfg, Phase::CRepair);
+        let r = self_cleaner(&rules, 0.8).clean(&d, Phase::CRepair);
         assert!(r.report.is_empty());
-        assert_eq!(r.repaired.tuple(TupleId(0)).cf(phn), 0.0, "no circular assertion");
+        assert_eq!(
+            r.repaired.tuple(TupleId(0)).cf(phn),
+            0.0,
+            "no circular assertion"
+        );
+    }
+
+    /// The deprecated free function and the session produce byte-identical
+    /// repairs.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_clean_without_master_matches_self_snapshot() {
+        let tran = Schema::of_strings("tran", &["LN", "city", "AC", "phn"]);
+        let selfm = Schema::of_strings("tranm", &["LN", "city", "AC", "phn"]);
+        let text = "cfd phi2: tran([AC=020] -> [city=Ldn])\n\
+                    md psi: tran[LN] = tranm[LN] AND tran[city] = tranm[city] -> tran[phn] <=> tranm[phn]";
+        let parsed = parse_rules(text, &tran, Some(&selfm)).unwrap();
+        let rules = RuleSet::new(
+            tran.clone(),
+            Some(selfm),
+            parsed.cfds,
+            parsed.positive_mds,
+            vec![],
+        );
+        let phn = tran.attr_id_or_panic("phn");
+        let mut a = Tuple::of_strs(&["Brady", "Edi", "020", "3887644"], 1.0);
+        let city = tran.attr_id_or_panic("city");
+        a.set(city, Value::str("Edi"), 0.0, FixMark::Untouched);
+        let mut b = Tuple::of_strs(&["Brady", "Ldn", "020", "0000000"], 1.0);
+        b.set(phn, Value::str("0000000"), 0.0, FixMark::Untouched);
+        let d = Relation::new(tran.clone(), vec![a, b]);
+
+        let cfg = CleanConfig {
+            eta: 0.8,
+            ..CleanConfig::default()
+        };
+        let old = clean_without_master(&rules, &d, cfg.clone(), Phase::Full);
+        let new = self_cleaner(&rules, 0.8).clean(&d, Phase::Full);
+        assert_eq!(old.repaired.diff_cells(&new.repaired), 0);
+        assert_eq!(old.report.len(), new.report.len());
+        assert_eq!(old.consistent, new.consistent);
     }
 }

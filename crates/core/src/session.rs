@@ -1,0 +1,421 @@
+//! The owned, reusable cleaning session: [`Cleaner`], built through
+//! [`Cleaner::builder`].
+//!
+//! The paper describes *one* unified process over record matching (MDs)
+//! and repairing (CFDs); this module makes the public API match. A single
+//! phase loop drives `cRepair → eRepair → hRepair` regardless of where
+//! master data comes from — an external relation (§1, Fig 1), the data
+//! itself via per-phase snapshots (§9's master-free adaptation), or
+//! nowhere (CFD-only repairing). The [`MasterSource`] enum picks the
+//! variant; the loop body is shared.
+//!
+//! Construction is fallible and typed: every misuse that used to panic
+//! (`expect`/`assert!` in `UniClean::new` and `clean_without_master`)
+//! is a [`CleanError`] from [`CleanerBuilder::build`]. A built `Cleaner`
+//! owns `Arc`s of its rules and master data, so it can live in a service
+//! and be shared across threads for many `clean` calls; the master access
+//! paths (§5.2) are built once at `build` time.
+//!
+//! Instrumentation flows through one surface: [`PhaseObserver`] receives
+//! per-phase timing and fix counts as the run progresses, and the same
+//! [`PhaseStats`] records land in [`CleanResult::phases`].
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use uniclean_model::{repair_cost, Relation};
+use uniclean_rules::{satisfies_all, RuleSet};
+
+use crate::config::CleanConfig;
+use crate::crepair::c_repair;
+use crate::erepair::e_repair;
+use crate::error::CleanError;
+use crate::fix::FixReport;
+use crate::hrepair::h_repair;
+use crate::master_index::MasterIndex;
+use crate::pipeline::{CleanResult, Phase};
+
+/// Where the master relation `Dm` comes from.
+#[derive(Clone, Debug, Default)]
+pub enum MasterSource {
+    /// An external, correct master relation (the paper's main setting,
+    /// §2.1: master data is "consistent and accurate").
+    External(Arc<Relation>),
+    /// Master-free mode (§1/§9): before each phase a snapshot of the
+    /// current repair state is rendered into the MDs' master schema, so
+    /// matches are found *within* `D` and each phase sees the previous
+    /// phase's repairs. The rule set must be authored with a master schema
+    /// that mirrors the data schema positionally (e.g. a renamed clone).
+    /// Deterministic fixes lose their master-data warranty in this mode.
+    SelfSnapshot,
+    /// No master data: CFD-only repairing (the experiments' `Uni(CFD)`).
+    /// Building a cleaner whose rules contain MDs over this source fails
+    /// with [`CleanError::MdsWithoutMaster`].
+    #[default]
+    None,
+}
+
+impl MasterSource {
+    /// Convenience constructor accepting either a `Relation` or an
+    /// `Arc<Relation>`.
+    pub fn external(dm: impl Into<Arc<Relation>>) -> Self {
+        MasterSource::External(dm.into())
+    }
+}
+
+/// One of the three cleaning phases, as reported to observers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PhaseKind {
+    /// Deterministic fixes from confidence analysis (§5).
+    CRepair,
+    /// Reliable fixes from information entropy (§6).
+    ERepair,
+    /// Possible fixes via equivalence classes and the cost model (§7).
+    HRepair,
+}
+
+impl PhaseKind {
+    /// Stable display label (`"cRepair"`, `"eRepair"`, `"hRepair"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            PhaseKind::CRepair => "cRepair",
+            PhaseKind::ERepair => "eRepair",
+            PhaseKind::HRepair => "hRepair",
+        }
+    }
+
+    /// Position in the fixed phase order (0, 1, 2).
+    pub fn index(self) -> usize {
+        match self {
+            PhaseKind::CRepair => 0,
+            PhaseKind::ERepair => 1,
+            PhaseKind::HRepair => 2,
+        }
+    }
+}
+
+/// Timing and fix-count record of one executed phase.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhaseStats {
+    /// Which phase ran.
+    pub phase: PhaseKind,
+    /// Wall-clock seconds the phase took (excluding snapshot/index
+    /// construction for [`MasterSource::SelfSnapshot`], matching how the
+    /// paper reports per-algorithm times).
+    pub seconds: f64,
+    /// Fixes the phase applied.
+    pub fixes: usize,
+}
+
+/// Streaming instrumentation hook: benches, progress bars and telemetry
+/// all consume this one surface instead of poking at hardcoded fields.
+pub trait PhaseObserver {
+    /// A phase is about to run.
+    fn on_phase_start(&mut self, _phase: PhaseKind) {}
+    /// A phase finished with the given stats.
+    fn on_phase_end(&mut self, _stats: &PhaseStats) {}
+}
+
+/// Observer that ignores everything (the default for [`Cleaner::clean`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoOpObserver;
+
+impl PhaseObserver for NoOpObserver {}
+
+/// Observer that records every phase's stats — the plain "give me the
+/// timings" consumer the bench harness uses.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseTimings {
+    /// Stats in execution order.
+    pub stats: Vec<PhaseStats>,
+}
+
+impl PhaseObserver for PhaseTimings {
+    fn on_phase_end(&mut self, stats: &PhaseStats) {
+        self.stats.push(*stats);
+    }
+}
+
+impl PhaseTimings {
+    /// Seconds per phase in fixed (c, e, h) order; phases that did not run
+    /// report 0.
+    pub fn seconds(&self) -> [f64; 3] {
+        seconds_by_phase(&self.stats)
+    }
+}
+
+/// Map phase stats into fixed (c, e, h) slots — the shared backing of
+/// [`PhaseTimings::seconds`] and [`CleanResult::phase_seconds`].
+pub(crate) fn seconds_by_phase(stats: &[PhaseStats]) -> [f64; 3] {
+    let mut out = [0.0; 3];
+    for s in stats {
+        out[s.phase.index()] = s.seconds;
+    }
+    out
+}
+
+/// An owned, reusable cleaning session: rules + master source + validated
+/// configuration, with master access paths built once.
+///
+/// ```
+/// use std::sync::Arc;
+/// use uniclean_core::{Cleaner, CleanConfig, MasterSource, Phase};
+/// use uniclean_model::{Relation, Schema, Tuple};
+/// use uniclean_rules::{parse_rules, RuleSet};
+///
+/// let tran = Schema::of_strings("tran", &["AC", "city"]);
+/// let parsed = parse_rules("cfd phi1: tran([AC=131] -> [city=Edi])", &tran, None).unwrap();
+/// let rules = RuleSet::cfds_only(tran.clone(), parsed.cfds);
+///
+/// let cleaner = Cleaner::builder()
+///     .rules(rules)
+///     .master(MasterSource::None)
+///     .config(CleanConfig::default())
+///     .build()
+///     .unwrap();
+/// let dirty = Relation::new(tran, vec![Tuple::of_strs(&["131", "Ldn"], 0.5)]);
+/// let result = cleaner.clean(&dirty, Phase::Full);
+/// assert!(result.consistent);
+/// ```
+pub struct Cleaner {
+    rules: Arc<RuleSet>,
+    master: MasterSource,
+    /// Prebuilt §5.2 access paths for [`MasterSource::External`]; the
+    /// self-snapshot mode rebuilds per phase instead.
+    index: Option<MasterIndex>,
+    config: CleanConfig,
+}
+
+impl std::fmt::Debug for Cleaner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Summaries only: a service logging `{:?}` must not dump a
+        // multi-thousand-tuple master relation.
+        let master = match &self.master {
+            MasterSource::External(dm) => {
+                format!("External({}, {} tuples)", dm.schema().name(), dm.len())
+            }
+            MasterSource::SelfSnapshot => "SelfSnapshot".to_string(),
+            MasterSource::None => "None".to_string(),
+        };
+        f.debug_struct("Cleaner")
+            .field("schema", &self.rules.schema().name())
+            .field("cfds", &self.rules.cfds().len())
+            .field("mds", &self.rules.mds().len())
+            .field("master", &master)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cleaner {
+    /// Start building a session.
+    pub fn builder() -> CleanerBuilder {
+        CleanerBuilder::default()
+    }
+
+    /// The rule set `Θ = Σ ∪ Γ`.
+    pub fn rules(&self) -> &Arc<RuleSet> {
+        &self.rules
+    }
+
+    /// The master source this session cleans against.
+    pub fn master(&self) -> &MasterSource {
+        &self.master
+    }
+
+    /// The validated configuration (with `self_match` already set to match
+    /// the master source).
+    pub fn config(&self) -> &CleanConfig {
+        &self.config
+    }
+
+    /// Clean `d`, running phases up to and including `phase`.
+    pub fn clean(&self, d: &Relation, phase: Phase) -> CleanResult {
+        self.clean_observed(d, phase, &mut NoOpObserver)
+    }
+
+    /// [`Cleaner::clean`] with a [`PhaseObserver`] receiving per-phase
+    /// timing and fix counts as the run progresses.
+    pub fn clean_observed(
+        &self,
+        d: &Relation,
+        phase: Phase,
+        observer: &mut dyn PhaseObserver,
+    ) -> CleanResult {
+        let kinds: &[PhaseKind] = match phase {
+            Phase::CRepair => &[PhaseKind::CRepair],
+            Phase::CERepair => &[PhaseKind::CRepair, PhaseKind::ERepair],
+            Phase::Full => &[PhaseKind::CRepair, PhaseKind::ERepair, PhaseKind::HRepair],
+        };
+
+        let mut work = d.clone();
+        let mut report = FixReport::new();
+        let mut phases = Vec::with_capacity(kinds.len());
+
+        for &kind in kinds {
+            // Per-phase master view. External masters reuse the access
+            // paths built at `build` time; the self-snapshot re-renders the
+            // current repair state so each phase sees the previous phase's
+            // fixes (the §9 interleaving).
+            let snapshot_storage;
+            let (dm, index): (Option<&Relation>, Option<&MasterIndex>) = match &self.master {
+                MasterSource::External(m) => (Some(m), self.index.as_ref()),
+                MasterSource::SelfSnapshot => {
+                    let snap = self.snapshot(&work);
+                    let idx = MasterIndex::build(self.rules.mds(), &snap, self.config.blocking_l);
+                    snapshot_storage = (snap, idx);
+                    (Some(&snapshot_storage.0), Some(&snapshot_storage.1))
+                }
+                MasterSource::None => (None, None),
+            };
+
+            observer.on_phase_start(kind);
+            let fixes_before = report.len();
+            let started = Instant::now();
+            let fixes = match kind {
+                PhaseKind::CRepair => c_repair(&mut work, dm, &self.rules, index, &self.config),
+                PhaseKind::ERepair => e_repair(&mut work, dm, &self.rules, index, &self.config),
+                PhaseKind::HRepair => h_repair(&mut work, dm, &self.rules, index, &self.config),
+            };
+            report.extend(fixes);
+            let stats = PhaseStats {
+                phase: kind,
+                seconds: started.elapsed().as_secs_f64(),
+                fixes: report.len() - fixes_before,
+            };
+            observer.on_phase_end(&stats);
+            phases.push(stats);
+        }
+
+        // Acceptance (§3.2): `Dr ⊨ Σ` and `(Dr, Dm) ⊨ Γ`, checked against
+        // whatever master view the final state implies.
+        let final_storage;
+        let dm_final: &Relation = match &self.master {
+            MasterSource::External(m) => m,
+            MasterSource::SelfSnapshot => {
+                final_storage = self.snapshot(&work);
+                &final_storage
+            }
+            MasterSource::None => {
+                final_storage = Relation::empty(self.rules.schema().clone());
+                &final_storage
+            }
+        };
+        let consistent = satisfies_all(self.rules.cfds(), self.rules.mds(), &work, dm_final);
+        let cost = repair_cost(d, &work);
+        CleanResult {
+            repaired: work,
+            report,
+            cost,
+            consistent,
+            phases,
+        }
+    }
+
+    /// Render the current repair state into the MDs' master schema
+    /// (self-snapshot mode only; `build` guarantees the schema exists and
+    /// mirrors the data schema).
+    fn snapshot(&self, work: &Relation) -> Relation {
+        let master_schema = self
+            .rules
+            .master_schema()
+            .expect("Cleaner::build verified the self-snapshot schema")
+            .clone();
+        Relation::new(master_schema, work.tuples().to_vec())
+    }
+}
+
+/// Configures and validates a [`Cleaner`].
+#[derive(Clone, Default)]
+pub struct CleanerBuilder {
+    rules: Option<Arc<RuleSet>>,
+    master: MasterSource,
+    config: CleanConfig,
+}
+
+impl CleanerBuilder {
+    /// The rule set to clean with (required). Accepts a `RuleSet` or a
+    /// shared `Arc<RuleSet>`.
+    pub fn rules(mut self, rules: impl Into<Arc<RuleSet>>) -> Self {
+        self.rules = Some(rules.into());
+        self
+    }
+
+    /// Where master data comes from (default: [`MasterSource::None`]).
+    pub fn master(mut self, master: MasterSource) -> Self {
+        self.master = master;
+        self
+    }
+
+    /// Thresholds and limits (default: [`CleanConfig::default`]).
+    /// `self_match` is forced on for [`MasterSource::SelfSnapshot`];
+    /// otherwise the flag is honored as given (a caller supplying its own
+    /// data snapshot as an External master keeps the self-exclusion guard).
+    pub fn config(mut self, config: CleanConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Validate everything and assemble the session.
+    ///
+    /// Errors (never panics on user input):
+    /// * [`CleanError::MissingRules`] — no rule set given;
+    /// * [`CleanError::Config`] — thresholds out of range, non-finite, or
+    ///   zero limits;
+    /// * [`CleanError::MdsWithoutMaster`] — MDs over [`MasterSource::None`];
+    /// * [`CleanError::MasterSchemaMismatch`] — external master relation
+    ///   whose schema differs from the rule set's master schema;
+    /// * [`CleanError::MissingSelfSchema`] / [`CleanError::SelfSchemaMismatch`]
+    ///   — self-snapshot without a positionally mirroring master schema.
+    pub fn build(self) -> Result<Cleaner, CleanError> {
+        let rules = self.rules.ok_or(CleanError::MissingRules)?;
+        let mut config = self.config;
+        // SelfSnapshot requires the self-exclusion guard; for the other
+        // sources the caller's flag is honored (a caller may supply its own
+        // data snapshot as an External master and still want the guard).
+        if matches!(self.master, MasterSource::SelfSnapshot) {
+            config.self_match = true;
+        }
+        config.validate()?;
+
+        match &self.master {
+            MasterSource::External(dm) => {
+                if let Some(expected) = rules.master_schema() {
+                    if expected.as_ref() != dm.schema().as_ref() {
+                        return Err(CleanError::MasterSchemaMismatch {
+                            expected: expected.to_string(),
+                            found: dm.schema().to_string(),
+                        });
+                    }
+                }
+            }
+            MasterSource::SelfSnapshot => {
+                let master_schema = rules.master_schema().ok_or(CleanError::MissingSelfSchema)?;
+                if master_schema.arity() != rules.schema().arity() {
+                    return Err(CleanError::SelfSchemaMismatch {
+                        data_arity: rules.schema().arity(),
+                        master_arity: master_schema.arity(),
+                    });
+                }
+            }
+            MasterSource::None => {
+                if !rules.mds().is_empty() {
+                    return Err(CleanError::MdsWithoutMaster);
+                }
+            }
+        }
+
+        let index = match &self.master {
+            MasterSource::External(dm) => {
+                Some(MasterIndex::build(rules.mds(), dm, config.blocking_l))
+            }
+            _ => None,
+        };
+        Ok(Cleaner {
+            rules,
+            master: self.master,
+            index,
+            config,
+        })
+    }
+}

@@ -136,7 +136,11 @@ impl TwoInOne {
     /// Conflict sets of variable CFD `v` with `0 < H < bound`, in ascending
     /// entropy order (O(log |T|) per retrieval step via the AVL tree).
     pub fn groups_below(&self, v: usize, bound: f64) -> Vec<GroupId> {
-        self.trees[v].below(bound).into_iter().map(|k| k.id).collect()
+        self.trees[v]
+            .below(bound)
+            .into_iter()
+            .map(|k| k.id)
+            .collect()
     }
 
     /// The minimum-entropy conflict set of variable CFD `v`, if any.
@@ -230,7 +234,9 @@ impl TwoInOne {
             return;
         }
         let key: Vec<Value> = self.lhs[v].iter().map(|attr| value_at(*attr)).collect();
-        let Some(&gid) = self.tables[v].get(&key) else { return };
+        let Some(&gid) = self.tables[v].get(&key) else {
+            return;
+        };
         self.detach_from_tree(v, gid);
         let old_b = value_at(self.rhs[v]);
         let grp = &mut self.groups[gid as usize];
@@ -256,14 +262,20 @@ impl TwoInOne {
     fn detach_from_tree(&mut self, v: usize, gid: GroupId) {
         let e = self.groups[gid as usize].entropy;
         if e > 0.0 {
-            self.trees[v].remove(&EntropyKey { entropy: e, id: gid });
+            self.trees[v].remove(&EntropyKey {
+                entropy: e,
+                id: gid,
+            });
         }
     }
 
     fn attach_to_tree(&mut self, v: usize, gid: GroupId) {
         let e = self.groups[gid as usize].entropy;
         if e > 0.0 {
-            self.trees[v].insert(EntropyKey { entropy: e, id: gid });
+            self.trees[v].insert(EntropyKey {
+                entropy: e,
+                id: gid,
+            });
         }
     }
 
@@ -362,7 +374,8 @@ mod tests {
         let e = s.attr_id_or_panic("E");
         // Resolve the (a1,b1,c1) conflict: t4's E := e1.
         let old = d.tuple(TupleId(3)).value(e).clone();
-        d.tuple_mut(TupleId(3)).set(e, Value::str("e1"), 0.5, FixMark::Reliable);
+        d.tuple_mut(TupleId(3))
+            .set(e, Value::str("e1"), 0.5, FixMark::Reliable);
         t.on_update(&rules, &d, TupleId(3), e, &old);
         let below = t.groups_below(0, f64::INFINITY);
         assert_eq!(below.len(), 1, "only the H=1 group remains");
@@ -377,7 +390,8 @@ mod tests {
         // Move t7 (a2,b2,c3) into the (a2,b2,c4) group: E values e3/e3 →
         // entropy stays 0 but membership moves.
         let old = d.tuple(TupleId(6)).value(c).clone();
-        d.tuple_mut(TupleId(6)).set(c, Value::str("c4"), 0.5, FixMark::Reliable);
+        d.tuple_mut(TupleId(6))
+            .set(c, Value::str("c4"), 0.5, FixMark::Reliable);
         t.on_update(&rules, &d, TupleId(6), c, &old);
         t.assert_consistent_with_rebuild(&rules, &d);
     }
@@ -406,7 +420,10 @@ mod tests {
         let rules = RuleSet::cfds_only(s.clone(), parsed.cfds);
         let d = Relation::new(
             s,
-            vec![Tuple::of_strs(&["k1", "x"], 0.5), Tuple::of_strs(&["k2", "y"], 0.5)],
+            vec![
+                Tuple::of_strs(&["k1", "x"], 0.5),
+                Tuple::of_strs(&["k2", "y"], 0.5),
+            ],
         );
         let t = TwoInOne::build(&rules, &d);
         assert_eq!(t.tables[0].len(), 1);
@@ -420,7 +437,10 @@ mod tests {
         // structure identical to a rebuild.
         let (s, rules, mut d) = fig8();
         let mut t = TwoInOne::build(&rules, &d);
-        let attrs: Vec<AttrId> = ["A", "B", "C", "E"].iter().map(|a| s.attr_id_or_panic(a)).collect();
+        let attrs: Vec<AttrId> = ["A", "B", "C", "E"]
+            .iter()
+            .map(|a| s.attr_id_or_panic(a))
+            .collect();
         let vals = ["a1", "b1", "c1", "e1", "e2", "zz"];
         let mut seed = 0x9e3779b97f4a7c15u64;
         for _ in 0..200 {

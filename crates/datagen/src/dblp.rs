@@ -22,8 +22,18 @@ use crate::spec::{GenParams, Workload};
 
 /// The 12 DBLP attributes.
 pub const DBLP_ATTRS: &[&str] = &[
-    "Key", "Title", "Authors", "Journal", "Year", "Volume", "Number", "Pages", "Publisher",
-    "Venue", "Type", "EE",
+    "Key",
+    "Title",
+    "Authors",
+    "Journal",
+    "Year",
+    "Volume",
+    "Number",
+    "Pages",
+    "Publisher",
+    "Venue",
+    "Type",
+    "EE",
 ];
 
 fn rule_text() -> String {
@@ -67,7 +77,11 @@ fn paper_row(i: usize) -> Vec<Value> {
         dict::LAST_NAMES[(i / 11) % dict::LAST_NAMES.len()]
     );
     vec![
-        Value::str(format!("journals/{}/{}", journal.to_lowercase().replace(' ', ""), i)),
+        Value::str(format!(
+            "journals/{}/{}",
+            journal.to_lowercase().replace(' ', ""),
+            i
+        )),
         Value::str(format!("{adj} {noun} for {noun2}")),
         Value::str(format!("{a1} and {a2}")),
         Value::str(journal),
@@ -90,7 +104,8 @@ pub fn dblp_workload(params: &GenParams) -> Workload {
         "dblpm",
         schema.attrs().iter().map(|a| (a.name.clone(), a.ty)),
     ));
-    let parsed = parse_rules(&rule_text(), &schema, Some(&master_schema)).expect("DBLP rules parse");
+    let parsed =
+        parse_rules(&rule_text(), &schema, Some(&master_schema)).expect("DBLP rules parse");
     assert_eq!(parsed.cfds.len(), 7, "paper rule count");
     assert_eq!(parsed.positive_mds.len(), 3, "paper rule count");
     let rules = RuleSet::new(
@@ -112,8 +127,8 @@ pub fn dblp_workload(params: &GenParams) -> Workload {
     // the same paper from different sources), feeding variable CFDs and
     // entropy with within-relation redundancy.
     const ROWS_PER_ENTITY: f64 = 6.0;
-    let dup_pool = ((params.tuples as f64 * params.dup_rate / ROWS_PER_ENTITY).ceil() as usize)
-        .clamp(1, m);
+    let dup_pool =
+        ((params.tuples as f64 * params.dup_rate / ROWS_PER_ENTITY).ceil() as usize).clamp(1, m);
     let non_master_pool =
         ((params.tuples as f64 * (1.0 - params.dup_rate) / ROWS_PER_ENTITY).ceil() as usize).max(1);
     let mut truth = Relation::empty(schema.clone());
@@ -142,7 +157,15 @@ pub fn dblp_workload(params: &GenParams) -> Workload {
         .filter_map(|(r, p)| p.map(|p| (TupleId::from(r), TupleId::from(p))))
         .collect();
 
-    Workload { name: "dblp", rules, truth, dirty, master, true_matches, errors }
+    Workload {
+        name: "dblp",
+        rules,
+        truth,
+        dirty,
+        master,
+        true_matches,
+        errors,
+    }
 }
 
 #[cfg(test)]
@@ -150,7 +173,11 @@ mod tests {
     use super::*;
 
     fn small() -> GenParams {
-        GenParams { tuples: 300, master_tuples: 80, ..GenParams::default() }
+        GenParams {
+            tuples: 300,
+            master_tuples: 80,
+            ..GenParams::default()
+        }
     }
 
     #[test]

@@ -6,9 +6,9 @@
 
 /// First names for people-ish entities.
 pub const FIRST_NAMES: &[&str] = &[
-    "Mark", "Robert", "Mary", "Susan", "James", "Linda", "Max", "Sarah", "David", "Karen",
-    "Peter", "Laura", "Brian", "Nancy", "Kevin", "Diane", "Alice", "Henry", "Grace", "Oliver",
-    "Emma", "Lucas", "Sophia", "Ethan", "Chloe", "Noah", "Ava", "Liam", "Mia", "Ella",
+    "Mark", "Robert", "Mary", "Susan", "James", "Linda", "Max", "Sarah", "David", "Karen", "Peter",
+    "Laura", "Brian", "Nancy", "Kevin", "Diane", "Alice", "Henry", "Grace", "Oliver", "Emma",
+    "Lucas", "Sophia", "Ethan", "Chloe", "Noah", "Ava", "Liam", "Mia", "Ella",
 ];
 
 /// Last names for people-ish entities.
@@ -47,22 +47,46 @@ pub const CITIES: &[(&str, &str, &str, &str, &str)] = &[
 
 /// Street names.
 pub const STREETS: &[&str] = &[
-    "Oak St", "Wren St", "Maple Ave", "Pine Rd", "Cedar Ln", "Elm St", "Birch Way", "Willow Dr",
-    "Chestnut Blvd", "Walnut St", "Spruce Ct", "Ash Ave", "Poplar Rd", "Hawthorn Ln", "Juniper St",
-    "Magnolia Dr", "Sycamore Way", "Laurel Ct", "Holly Blvd", "Alder Pl",
+    "Oak St",
+    "Wren St",
+    "Maple Ave",
+    "Pine Rd",
+    "Cedar Ln",
+    "Elm St",
+    "Birch Way",
+    "Willow Dr",
+    "Chestnut Blvd",
+    "Walnut St",
+    "Spruce Ct",
+    "Ash Ave",
+    "Poplar Rd",
+    "Hawthorn Ln",
+    "Juniper St",
+    "Magnolia Dr",
+    "Sycamore Way",
+    "Laurel Ct",
+    "Holly Blvd",
+    "Alder Pl",
 ];
 
 /// Hospital name suffixes.
-pub const HOSPITAL_KINDS: &[&str] =
-    &["General Hospital", "Medical Center", "Community Hospital", "Regional Clinic", "Memorial Hospital"];
+pub const HOSPITAL_KINDS: &[&str] = &[
+    "General Hospital",
+    "Medical Center",
+    "Community Hospital",
+    "Regional Clinic",
+    "Memorial Hospital",
+];
 
 /// Hospital types.
-pub const HOSPITAL_TYPES: &[&str] =
-    &["Acute Care", "Critical Access", "Childrens", "Psychiatric"];
+pub const HOSPITAL_TYPES: &[&str] = &["Acute Care", "Critical Access", "Childrens", "Psychiatric"];
 
 /// Hospital owners.
 pub const HOSPITAL_OWNERS: &[&str] = &[
-    "Government - State", "Voluntary non-profit", "Proprietary", "Government - Local",
+    "Government - State",
+    "Voluntary non-profit",
+    "Proprietary",
+    "Government - Local",
     "Physician Owned",
 ];
 
@@ -95,34 +119,68 @@ pub const MEASURES: &[(&str, &str, &str)] = &[
 pub const JOURNALS: &[(&str, &str, &str)] = &[
     ("TODS", "ACM", "ACM Transactions on Database Systems"),
     ("VLDBJ", "Springer", "The VLDB Journal"),
-    ("TKDE", "IEEE", "IEEE Transactions on Knowledge and Data Engineering"),
+    (
+        "TKDE",
+        "IEEE",
+        "IEEE Transactions on Knowledge and Data Engineering",
+    ),
     ("SIGMOD Record", "ACM", "ACM SIGMOD Record"),
     ("JDIQ", "ACM", "Journal of Data and Information Quality"),
     ("Inf Syst", "Elsevier", "Information Systems"),
     ("DKE", "Elsevier", "Data and Knowledge Engineering"),
     ("TOIS", "ACM", "ACM Transactions on Information Systems"),
     ("JACM", "ACM", "Journal of the ACM"),
-    ("PVLDB", "VLDB Endowment", "Proceedings of the VLDB Endowment"),
+    (
+        "PVLDB",
+        "VLDB Endowment",
+        "Proceedings of the VLDB Endowment",
+    ),
     ("CSUR", "ACM", "ACM Computing Surveys"),
     ("TCS", "Elsevier", "Theoretical Computer Science"),
 ];
 
 /// Words for synthetic paper titles.
 pub const TITLE_ADJ: &[&str] = &[
-    "Adaptive", "Scalable", "Incremental", "Distributed", "Probabilistic", "Declarative",
-    "Efficient", "Robust", "Interactive", "Parallel", "Streaming", "Approximate",
+    "Adaptive",
+    "Scalable",
+    "Incremental",
+    "Distributed",
+    "Probabilistic",
+    "Declarative",
+    "Efficient",
+    "Robust",
+    "Interactive",
+    "Parallel",
+    "Streaming",
+    "Approximate",
 ];
 
 /// More words for synthetic paper titles.
 pub const TITLE_NOUN: &[&str] = &[
-    "Query Processing", "Data Cleaning", "Record Matching", "Entity Resolution", "Schema Mapping",
-    "Data Repairing", "Integrity Checking", "View Maintenance", "Index Structures",
-    "Join Algorithms", "Provenance Tracking", "Constraint Discovery", "Data Integration",
+    "Query Processing",
+    "Data Cleaning",
+    "Record Matching",
+    "Entity Resolution",
+    "Schema Mapping",
+    "Data Repairing",
+    "Integrity Checking",
+    "View Maintenance",
+    "Index Structures",
+    "Join Algorithms",
+    "Provenance Tracking",
+    "Constraint Discovery",
+    "Data Integration",
     "Duplicate Detection",
 ];
 
 /// TPC-H-style market segments.
-pub const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+pub const SEGMENTS: &[&str] = &[
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 
 /// TPC-H-style order priorities.
 pub const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
@@ -148,13 +206,23 @@ pub const NATIONS: &[(&str, &str, &str)] = &[
 
 /// TPC-H-style part type words.
 pub const PART_TYPES: &[&str] = &[
-    "ECONOMY ANODIZED STEEL", "STANDARD BRUSHED COPPER", "PROMO POLISHED BRASS",
-    "SMALL PLATED NICKEL", "LARGE BURNISHED TIN", "MEDIUM ANODIZED STEEL",
+    "ECONOMY ANODIZED STEEL",
+    "STANDARD BRUSHED COPPER",
+    "PROMO POLISHED BRASS",
+    "SMALL PLATED NICKEL",
+    "LARGE BURNISHED TIN",
+    "MEDIUM ANODIZED STEEL",
 ];
 
 /// TPC-H-style containers.
-pub const CONTAINERS: &[&str] =
-    &["SM CASE", "LG BOX", "MED BAG", "JUMBO JAR", "WRAP PKG", "SM PACK"];
+pub const CONTAINERS: &[&str] = &[
+    "SM CASE",
+    "LG BOX",
+    "MED BAG",
+    "JUMBO JAR",
+    "WRAP PKG",
+    "SM PACK",
+];
 
 #[cfg(test)]
 mod tests {

@@ -25,9 +25,25 @@ use crate::spec::{GenParams, Workload};
 
 /// The 19 HOSP attributes.
 pub const HOSP_ATTRS: &[&str] = &[
-    "ProviderID", "HospitalName", "Address", "City", "State", "ZIP", "County", "Phone", "Type",
-    "Owner", "Emergency", "MeasureCode", "MeasureName", "Condition", "Score", "Sample",
-    "StateAvg", "AreaCode", "Footnote",
+    "ProviderID",
+    "HospitalName",
+    "Address",
+    "City",
+    "State",
+    "ZIP",
+    "County",
+    "Phone",
+    "Type",
+    "Owner",
+    "Emergency",
+    "MeasureCode",
+    "MeasureName",
+    "Condition",
+    "Score",
+    "Sample",
+    "StateAvg",
+    "AreaCode",
+    "Footnote",
 ];
 
 /// Build the HOSP rule text (23 CFDs + 3 MDs).
@@ -113,13 +129,17 @@ fn provider(i: usize) -> Provider {
 
 /// Deterministic pseudo-hash for functional derived values.
 fn mix(a: usize, b: usize) -> usize {
-    let mut x = (a as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (b as u64).wrapping_mul(0x2545_f491_4f6c_dd1d);
+    let mut x = (a as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ (b as u64).wrapping_mul(0x2545_f491_4f6c_dd1d);
     x ^= x >> 33;
     x as usize
 }
 
 fn state_avg(state: &str, measure_idx: usize) -> String {
-    let h = mix(state.len() + state.bytes().map(|b| b as usize).sum::<usize>(), measure_idx);
+    let h = mix(
+        state.len() + state.bytes().map(|b| b as usize).sum::<usize>(),
+        measure_idx,
+    );
     format!("{}.{}%", 50 + h % 50, h % 10)
 }
 
@@ -155,7 +175,8 @@ pub fn hosp_workload(params: &GenParams) -> Workload {
     params.validate().expect("invalid generation parameters");
     let schema = Schema::of_strings("hosp", HOSP_ATTRS);
     let master_schema = build_master_schema(&schema, "hospm");
-    let parsed = parse_rules(&rule_text(), &schema, Some(&master_schema)).expect("HOSP rules parse");
+    let parsed =
+        parse_rules(&rule_text(), &schema, Some(&master_schema)).expect("HOSP rules parse");
     assert_eq!(parsed.cfds.len(), 23, "paper rule count");
     assert_eq!(parsed.positive_mds.len(), 3, "paper rule count");
     let rules = RuleSet::new(
@@ -172,7 +193,10 @@ pub fn hosp_workload(params: &GenParams) -> Workload {
     let mut master = Relation::empty(master_schema);
     for i in 0..m {
         let p = provider(i);
-        master.push(Tuple::from_values(row(&p, i % dict::MEASURES.len(), i), 1.0));
+        master.push(Tuple::from_values(
+            row(&p, i % dict::MEASURES.len(), i),
+            1.0,
+        ));
     }
 
     // Truth: dup% rows from master providers, the rest from a disjoint
@@ -181,8 +205,8 @@ pub fn hosp_workload(params: &GenParams) -> Workload {
     // and the entropy analysis feed on, mirroring the real HOSP data where
     // every hospital reports ~20 measures.
     const ROWS_PER_ENTITY: f64 = 6.0;
-    let dup_pool = ((params.tuples as f64 * params.dup_rate / ROWS_PER_ENTITY).ceil() as usize)
-        .clamp(1, m);
+    let dup_pool =
+        ((params.tuples as f64 * params.dup_rate / ROWS_PER_ENTITY).ceil() as usize).clamp(1, m);
     let non_master_pool =
         ((params.tuples as f64 * (1.0 - params.dup_rate) / ROWS_PER_ENTITY).ceil() as usize).max(1);
     let mut truth = Relation::empty(schema.clone());
@@ -215,7 +239,15 @@ pub fn hosp_workload(params: &GenParams) -> Workload {
         .filter_map(|(r, p)| p.map(|p| (TupleId::from(r), TupleId::from(p))))
         .collect();
 
-    Workload { name: "hosp", rules, truth, dirty, master, true_matches, errors }
+    Workload {
+        name: "hosp",
+        rules,
+        truth,
+        dirty,
+        master,
+        true_matches,
+        errors,
+    }
 }
 
 /// Clone a schema under a new relation name (master side).
@@ -231,7 +263,11 @@ mod tests {
     use super::*;
 
     fn small() -> GenParams {
-        GenParams { tuples: 300, master_tuples: 80, ..GenParams::default() }
+        GenParams {
+            tuples: 300,
+            master_tuples: 80,
+            ..GenParams::default()
+        }
     }
 
     #[test]
@@ -246,7 +282,10 @@ mod tests {
 
     #[test]
     fn noise_rate_reflected_in_errors() {
-        let w = hosp_workload(&GenParams { noise_rate: 0.08, ..small() });
+        let w = hosp_workload(&GenParams {
+            noise_rate: 0.08,
+            ..small()
+        });
         let cells = w.truth.cell_count();
         let rate = w.errors as f64 / cells as f64;
         assert!((0.05..=0.11).contains(&rate), "rate {rate}");
@@ -254,7 +293,10 @@ mod tests {
 
     #[test]
     fn dup_rate_reflected_in_matches() {
-        let w = hosp_workload(&GenParams { dup_rate: 0.5, ..small() });
+        let w = hosp_workload(&GenParams {
+            dup_rate: 0.5,
+            ..small()
+        });
         let rate = w.true_matches.len() as f64 / w.dirty.len() as f64;
         assert!((0.4..=0.6).contains(&rate), "rate {rate}");
     }
@@ -271,13 +313,19 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = hosp_workload(&small());
-        let b = hosp_workload(&GenParams { seed: 1234, ..small() });
+        let b = hosp_workload(&GenParams {
+            seed: 1234,
+            ..small()
+        });
         assert!(a.dirty.diff_cells(&b.dirty) > 0);
     }
 
     #[test]
     fn zero_noise_means_clean_dirty() {
-        let w = hosp_workload(&GenParams { noise_rate: 0.0, ..small() });
+        let w = hosp_workload(&GenParams {
+            noise_rate: 0.0,
+            ..small()
+        });
         assert_eq!(w.errors, 0);
         assert_eq!(w.truth.diff_cells(&w.dirty), 0);
     }

@@ -99,7 +99,11 @@ pub fn assign_confidence(
         for i in 0..rel.len() {
             let id = uniclean_model::TupleId::from(i);
             let correct = rel.tuple(id).value(a) == truth.tuple(id).value(a);
-            let cf = if correct && rng.gen::<f64>() < asserted_rate { 1.0 } else { 0.0 };
+            let cf = if correct && rng.gen::<f64>() < asserted_rate {
+                1.0
+            } else {
+                0.0
+            };
             let t = rel.tuple_mut(id);
             let v = t.value(a).clone();
             t.set(a, v, cf, FixMark::Untouched);
@@ -131,7 +135,10 @@ mod tests {
         let errors = corrupt(&mut r, &attrs, 0.10, &mut rng);
         let cells = 2000 * 2;
         let rate = errors as f64 / cells as f64;
-        assert!((0.07..=0.13).contains(&rate), "rate {rate} too far from 0.10");
+        assert!(
+            (0.07..=0.13).contains(&rate),
+            "rate {rate} too far from 0.10"
+        );
     }
 
     #[test]
@@ -173,9 +180,14 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(11);
         assign_confidence(&mut r, &truth, 0.4, &mut rng);
         let a = AttrId(0);
-        let asserted = (0..r.len()).filter(|&i| r.tuple(TupleId::from(i)).cf(a) == 1.0).count();
+        let asserted = (0..r.len())
+            .filter(|&i| r.tuple(TupleId::from(i)).cf(a) == 1.0)
+            .count();
         let rate = asserted as f64 / r.len() as f64;
-        assert!((0.35..=0.45).contains(&rate), "rate {rate} too far from 0.4");
+        assert!(
+            (0.35..=0.45).contains(&rate),
+            "rate {rate} too far from 0.4"
+        );
         // Everything is either fully asserted or fully unasserted.
         assert!((0..r.len()).all(|i| {
             let cf = r.tuple(TupleId::from(i)).cf(a);

@@ -88,7 +88,12 @@ impl Workload {
         use uniclean_rules::satisfies_all;
         assert_eq!(self.truth.len(), self.dirty.len(), "truth/dirty must align");
         assert!(
-            satisfies_all(self.rules.cfds(), self.rules.mds(), &self.truth, &self.master),
+            satisfies_all(
+                self.rules.cfds(),
+                self.rules.mds(),
+                &self.truth,
+                &self.master
+            ),
             "{}: ground truth must satisfy Σ and Γ",
             self.name
         );
@@ -97,7 +102,11 @@ impl Workload {
             "{}: master data must satisfy Σ",
             self.name
         );
-        assert_eq!(self.errors, self.truth.diff_cells(&self.dirty), "error count must match");
+        assert_eq!(
+            self.errors,
+            self.truth.diff_cells(&self.dirty),
+            "error count must match"
+        );
     }
 }
 
@@ -115,9 +124,15 @@ mod tests {
 
     #[test]
     fn bad_rates_rejected() {
-        let p = GenParams { noise_rate: 1.5, ..GenParams::default() };
+        let p = GenParams {
+            noise_rate: 1.5,
+            ..GenParams::default()
+        };
         assert!(p.validate().is_err());
-        let p = GenParams { tuples: 0, ..GenParams::default() };
+        let p = GenParams {
+            tuples: 0,
+            ..GenParams::default()
+        };
         assert!(p.validate().is_err());
     }
 }

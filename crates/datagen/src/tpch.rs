@@ -26,22 +26,69 @@ use crate::spec::{GenParams, Workload};
 /// The 58 attributes of the joined table.
 pub const TPCH_ATTRS: &[&str] = &[
     // lineitem (12)
-    "LQty", "LPrice", "LDisc", "LTax", "LRFlag", "LStatus", "LShipDate", "LCommitDate",
-    "LReceiptDate", "LShipMode", "LShipInstruct", "LComment",
+    "LQty",
+    "LPrice",
+    "LDisc",
+    "LTax",
+    "LRFlag",
+    "LStatus",
+    "LShipDate",
+    "LCommitDate",
+    "LReceiptDate",
+    "LShipMode",
+    "LShipInstruct",
+    "LComment",
     // orders (10)
-    "OKey", "OStatus", "OTotal", "ODate", "OPriority", "OClerk", "OShipPrio", "OComment",
-    "OYear", "OQuarter",
+    "OKey",
+    "OStatus",
+    "OTotal",
+    "ODate",
+    "OPriority",
+    "OClerk",
+    "OShipPrio",
+    "OComment",
+    "OYear",
+    "OQuarter",
     // customer (12)
-    "CKey", "CName", "CAddr", "CCity", "CNation", "CRegion", "CPhone", "CAcct", "CMkt",
-    "CComment", "CNationCode", "CSegCode",
+    "CKey",
+    "CName",
+    "CAddr",
+    "CCity",
+    "CNation",
+    "CRegion",
+    "CPhone",
+    "CAcct",
+    "CMkt",
+    "CComment",
+    "CNationCode",
+    "CSegCode",
     // part (11)
-    "PKey", "PName", "PMfgr", "PBrand", "PType", "PSize", "PContainer", "PPrice", "PComment",
-    "PSizeCat", "PBrandLine",
+    "PKey",
+    "PName",
+    "PMfgr",
+    "PBrand",
+    "PType",
+    "PSize",
+    "PContainer",
+    "PPrice",
+    "PComment",
+    "PSizeCat",
+    "PBrandLine",
     // supplier (11)
-    "SKey", "SName", "SAddr", "SCity", "SNation", "SRegion", "SPhone", "SAcct", "SComment",
-    "SNationCode", "SRating",
+    "SKey",
+    "SName",
+    "SAddr",
+    "SCity",
+    "SNation",
+    "SRegion",
+    "SPhone",
+    "SAcct",
+    "SComment",
+    "SNationCode",
+    "SRating",
     // derived lineitem measures (2)
-    "LProfit", "LMargin",
+    "LProfit",
+    "LMargin",
 ];
 
 /// Rule-scaling knobs for Figs 14(g) and 14(h).
@@ -55,7 +102,10 @@ pub struct TpchScale {
 
 impl Default for TpchScale {
     fn default() -> Self {
-        TpchScale { sigma_multiplier: 1, gamma_multiplier: 1 }
+        TpchScale {
+            sigma_multiplier: 1,
+            gamma_multiplier: 1,
+        }
     }
 }
 
@@ -69,26 +119,70 @@ fn base_fds() -> Vec<(Vec<&'static str>, &'static str)> {
     let mut fds: Vec<(Vec<&str>, &str)> = Vec::new();
     // Order key determines every order attribute, the customer key, and
     // (transitively, stated directly as extra rules) customer identity.
-    for rhs in ["OStatus", "OTotal", "ODate", "OPriority", "OClerk", "OShipPrio", "OComment", "OYear", "OQuarter"] {
+    for rhs in [
+        "OStatus",
+        "OTotal",
+        "ODate",
+        "OPriority",
+        "OClerk",
+        "OShipPrio",
+        "OComment",
+        "OYear",
+        "OQuarter",
+    ] {
         fds.push((vec!["OKey"], rhs));
     }
     fds.push((vec!["OKey"], "CKey"));
     for rhs in ["CName", "CCity", "CPhone"] {
         fds.push((vec!["OKey"], rhs));
     }
-    for rhs in ["CName", "CAddr", "CCity", "CNation", "CRegion", "CPhone", "CAcct", "CMkt", "CComment", "CNationCode", "CSegCode"] {
+    for rhs in [
+        "CName",
+        "CAddr",
+        "CCity",
+        "CNation",
+        "CRegion",
+        "CPhone",
+        "CAcct",
+        "CMkt",
+        "CComment",
+        "CNationCode",
+        "CSegCode",
+    ] {
         fds.push((vec!["CKey"], rhs));
     }
     fds.push((vec!["CNation"], "CRegion"));
     fds.push((vec!["CNation"], "CNationCode"));
     fds.push((vec!["CMkt"], "CSegCode"));
     fds.push((vec!["CCity"], "CNation"));
-    for rhs in ["PName", "PMfgr", "PBrand", "PType", "PSize", "PContainer", "PPrice", "PComment", "PSizeCat", "PBrandLine"] {
+    for rhs in [
+        "PName",
+        "PMfgr",
+        "PBrand",
+        "PType",
+        "PSize",
+        "PContainer",
+        "PPrice",
+        "PComment",
+        "PSizeCat",
+        "PBrandLine",
+    ] {
         fds.push((vec!["PKey"], rhs));
     }
     fds.push((vec!["PSize"], "PSizeCat"));
     fds.push((vec!["PBrand"], "PBrandLine"));
-    for rhs in ["SName", "SAddr", "SCity", "SNation", "SRegion", "SPhone", "SAcct", "SComment", "SNationCode", "SRating"] {
+    for rhs in [
+        "SName",
+        "SAddr",
+        "SCity",
+        "SNation",
+        "SRegion",
+        "SPhone",
+        "SAcct",
+        "SComment",
+        "SNationCode",
+        "SRating",
+    ] {
         fds.push((vec!["SKey"], rhs));
     }
     fds.push((vec!["SNation"], "SRegion"));
@@ -131,10 +225,16 @@ fn rule_text(scale: TpchScale) -> String {
     let mut n = 0usize;
     for (lhs, rhs) in base_fds() {
         n += 1;
-        t.push_str(&format!("cfd t{n:03}: tpch([{}] -> [{rhs}])\n", lhs.join(", ")));
+        t.push_str(&format!(
+            "cfd t{n:03}: tpch([{}] -> [{rhs}])\n",
+            lhs.join(", ")
+        ));
         for ext in SIGMA_EXTENSIONS.iter().take(scale.sigma_multiplier - 1) {
             n += 1;
-            t.push_str(&format!("cfd t{n:03}: tpch([{}, {ext}] -> [{rhs}])\n", lhs.join(", ")));
+            t.push_str(&format!(
+                "cfd t{n:03}: tpch([{}, {ext}] -> [{rhs}])\n",
+                lhs.join(", ")
+            ));
         }
     }
     let mut m = 0usize;
@@ -207,7 +307,14 @@ mod entity {
             dict::CONTAINERS[p % dict::CONTAINERS.len()].to_string(),
             format!("{}.{:02}", 900 + mix(p, 5) % 1200, mix(p, 6) % 100),
             format!("part note {}", mix(p, 7) % 1000),
-            (if size <= 15 { "SMALL" } else if size <= 35 { "MEDIUM" } else { "LARGE" }).to_string(),
+            (if size <= 15 {
+                "SMALL"
+            } else if size <= 35 {
+                "MEDIUM"
+            } else {
+                "LARGE"
+            })
+            .to_string(),
             format!("Line{brand_a}{brand_b}"),
         ]
     }
@@ -217,7 +324,11 @@ mod entity {
         [
             format!("S{s:05}"),
             format!("Supplier#{s:09}"),
-            format!("{} {}", 500 + s, dict::STREETS[(s * 3) % dict::STREETS.len()]),
+            format!(
+                "{} {}",
+                500 + s,
+                dict::STREETS[(s * 3) % dict::STREETS.len()]
+            ),
             format!("{} Depot {}", nation, s % 5),
             nation.to_string(),
             region.to_string(),
@@ -260,17 +371,48 @@ fn row(o: usize, p: usize, s: usize, salt: usize, n_customers: usize) -> Vec<Val
     let mut vals: Vec<Value> = Vec::with_capacity(58);
     // lineitem (12)
     vals.push(Value::str((1 + mix(salt, 16) % 50).to_string()));
-    vals.push(Value::str(format!("{}.{:02}", 900 + mix(salt, 17) % 90000, mix(salt, 18) % 100)));
+    vals.push(Value::str(format!(
+        "{}.{:02}",
+        900 + mix(salt, 17) % 90000,
+        mix(salt, 18) % 100
+    )));
     vals.push(Value::str(format!("0.{:02}", mix(salt, 19) % 11)));
     vals.push(Value::str(format!("0.{:02}", mix(salt, 20) % 9)));
     vals.push(Value::str(rflag));
     vals.push(Value::str(lstatus));
-    vals.push(Value::str(format!("199{}-{:02}-{:02}", salt % 8, 1 + mix(salt, 21) % 12, 1 + mix(salt, 22) % 28)));
-    vals.push(Value::str(format!("199{}-{:02}-{:02}", salt % 8, 1 + mix(salt, 23) % 12, 1 + mix(salt, 24) % 28)));
-    vals.push(Value::str(format!("199{}-{:02}-{:02}", salt % 8, 1 + mix(salt, 25) % 12, 1 + mix(salt, 26) % 28)));
-    vals.push(Value::str(dict::SHIP_MODES[mix(salt, 27) % dict::SHIP_MODES.len()]));
-    vals.push(Value::str(["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"][mix(salt, 28) % 4]));
-    vals.push(Value::str(format!("lineitem note {}", mix(salt, 29) % 1000)));
+    vals.push(Value::str(format!(
+        "199{}-{:02}-{:02}",
+        salt % 8,
+        1 + mix(salt, 21) % 12,
+        1 + mix(salt, 22) % 28
+    )));
+    vals.push(Value::str(format!(
+        "199{}-{:02}-{:02}",
+        salt % 8,
+        1 + mix(salt, 23) % 12,
+        1 + mix(salt, 24) % 28
+    )));
+    vals.push(Value::str(format!(
+        "199{}-{:02}-{:02}",
+        salt % 8,
+        1 + mix(salt, 25) % 12,
+        1 + mix(salt, 26) % 28
+    )));
+    vals.push(Value::str(
+        dict::SHIP_MODES[mix(salt, 27) % dict::SHIP_MODES.len()],
+    ));
+    vals.push(Value::str(
+        [
+            "DELIVER IN PERSON",
+            "COLLECT COD",
+            "NONE",
+            "TAKE BACK RETURN",
+        ][mix(salt, 28) % 4],
+    ));
+    vals.push(Value::str(format!(
+        "lineitem note {}",
+        mix(salt, 29) % 1000
+    )));
     // orders (10)
     vals.extend(ord.iter().map(Value::str));
     // customer (12)
@@ -280,7 +422,11 @@ fn row(o: usize, p: usize, s: usize, salt: usize, n_customers: usize) -> Vec<Val
     // supplier (11)
     vals.extend(supp.iter().map(Value::str));
     // derived (2)
-    vals.push(Value::str(format!("{}.{:02}", mix(salt, 30) % 5000, mix(salt, 31) % 100)));
+    vals.push(Value::str(format!(
+        "{}.{:02}",
+        mix(salt, 30) % 5000,
+        mix(salt, 31) % 100
+    )));
     vals.push(Value::str(format!("0.{:02}", mix(salt, 32) % 60)));
     assert_eq!(vals.len(), 58);
     vals
@@ -316,15 +462,21 @@ pub fn tpch_workload(params: &GenParams, scale: TpchScale) -> Workload {
     let mut master = Relation::empty(master_schema);
     for o in 0..m {
         master.push(Tuple::from_values(
-            row(o, mix(o, 40) % n_parts, mix(o, 41) % n_suppliers, o, n_customers),
+            row(
+                o,
+                mix(o, 40) % n_parts,
+                mix(o, 41) % n_suppliers,
+                o,
+                n_customers,
+            ),
             1.0,
         ));
     }
 
     // Each order contributes several lineitems, as in real TPC-H.
     const ROWS_PER_ENTITY: f64 = 5.0;
-    let dup_pool = ((params.tuples as f64 * params.dup_rate / ROWS_PER_ENTITY).ceil() as usize)
-        .clamp(1, m);
+    let dup_pool =
+        ((params.tuples as f64 * params.dup_rate / ROWS_PER_ENTITY).ceil() as usize).clamp(1, m);
     let non_master_orders =
         ((params.tuples as f64 * (1.0 - params.dup_rate) / ROWS_PER_ENTITY).ceil() as usize).max(1);
     let mut truth = Relation::empty(schema.clone());
@@ -340,7 +492,13 @@ pub fn tpch_workload(params: &GenParams, scale: TpchScale) -> Workload {
             m + rng.gen_range(0..non_master_orders)
         };
         truth.push(Tuple::from_values(
-            row(o, rng.gen_range(0..n_parts), rng.gen_range(0..n_suppliers), m + r, n_customers),
+            row(
+                o,
+                rng.gen_range(0..n_parts),
+                rng.gen_range(0..n_suppliers),
+                m + r,
+                n_customers,
+            ),
             0.0,
         ));
     }
@@ -356,7 +514,15 @@ pub fn tpch_workload(params: &GenParams, scale: TpchScale) -> Workload {
         .filter_map(|(r, o)| o.map(|o| (TupleId::from(r), TupleId::from(o))))
         .collect();
 
-    Workload { name: "tpch", rules, truth, dirty, master, true_matches, errors }
+    Workload {
+        name: "tpch",
+        rules,
+        truth,
+        dirty,
+        master,
+        true_matches,
+        errors,
+    }
 }
 
 #[cfg(test)]
@@ -364,7 +530,11 @@ mod tests {
     use super::*;
 
     fn small() -> GenParams {
-        GenParams { tuples: 150, master_tuples: 60, ..GenParams::default() }
+        GenParams {
+            tuples: 150,
+            master_tuples: 60,
+            ..GenParams::default()
+        }
     }
 
     #[test]
@@ -379,8 +549,15 @@ mod tests {
     fn sigma_sweep_scales_rule_count_and_stays_valid() {
         for mult in [1usize, 3, 5] {
             let w = tpch_workload(
-                &GenParams { tuples: 80, master_tuples: 30, ..GenParams::default() },
-                TpchScale { sigma_multiplier: mult, gamma_multiplier: 1 },
+                &GenParams {
+                    tuples: 80,
+                    master_tuples: 30,
+                    ..GenParams::default()
+                },
+                TpchScale {
+                    sigma_multiplier: mult,
+                    gamma_multiplier: 1,
+                },
             );
             assert_eq!(w.rules.cfds().len(), 55 * mult);
             w.check_invariants();
@@ -391,8 +568,15 @@ mod tests {
     fn gamma_sweep_scales_md_count_and_stays_valid() {
         for mult in [1usize, 2, 5] {
             let w = tpch_workload(
-                &GenParams { tuples: 80, master_tuples: 30, ..GenParams::default() },
-                TpchScale { sigma_multiplier: 1, gamma_multiplier: mult },
+                &GenParams {
+                    tuples: 80,
+                    master_tuples: 30,
+                    ..GenParams::default()
+                },
+                TpchScale {
+                    sigma_multiplier: 1,
+                    gamma_multiplier: mult,
+                },
             );
             // Base MDs normalize to more than 10 (multi-RHS rules split),
             // but the declared count is 10 × mult.
@@ -404,7 +588,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "sigma multiplier")]
     fn oversized_sigma_multiplier_rejected() {
-        tpch_workload(&small(), TpchScale { sigma_multiplier: 9, gamma_multiplier: 1 });
+        tpch_workload(
+            &small(),
+            TpchScale {
+                sigma_multiplier: 9,
+                gamma_multiplier: 1,
+            },
+        );
     }
 
     #[test]

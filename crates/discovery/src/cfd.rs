@@ -27,7 +27,10 @@ pub struct ConstantCfdConfig {
 
 impl Default for ConstantCfdConfig {
     fn default() -> Self {
-        ConstantCfdConfig { min_support: 3, max_lhs_distinct: 50 }
+        ConstantCfdConfig {
+            min_support: 3,
+            max_lhs_distinct: 50,
+        }
     }
 }
 
@@ -113,13 +116,22 @@ mod tests {
             ["Springfield", "MA", "5"],
             ["Springfield", "MO", "6"],
         ]);
-        let cfds = discover_constant_cfds(&d, &ConstantCfdConfig { min_support: 3, ..Default::default() });
+        let cfds = discover_constant_cfds(
+            &d,
+            &ConstantCfdConfig {
+                min_support: 3,
+                ..Default::default()
+            },
+        );
         assert!(
-            cfds.iter().any(|c| c.to_string().contains("[City=Boston] -> [State=MA]")),
+            cfds.iter()
+                .any(|c| c.to_string().contains("[City=Boston] -> [State=MA]")),
             "expected Boston rule in {cfds:?}"
         );
         assert!(
-            !cfds.iter().any(|c| c.to_string().contains("City=Springfield] -> [State")),
+            !cfds
+                .iter()
+                .any(|c| c.to_string().contains("City=Springfield] -> [State")),
             "ambiguous Springfield must not yield a State rule"
         );
         for c in &cfds {
@@ -138,7 +150,13 @@ mod tests {
             ["Chicago", "IL", "5"],
             ["Chicago", "IL", "6"],
         ]);
-        let cfds = discover_constant_cfds(&d, &ConstantCfdConfig { min_support: 3, ..Default::default() });
+        let cfds = discover_constant_cfds(
+            &d,
+            &ConstantCfdConfig {
+                min_support: 3,
+                ..Default::default()
+            },
+        );
         assert!(
             !cfds.iter().any(|c| c.to_string().contains("-> [State=")),
             "FD-subsumed rules must be skipped: {cfds:?}"
@@ -153,7 +171,13 @@ mod tests {
             ["Springfield", "IL", "3"],
             ["Springfield", "MO", "4"],
         ]);
-        let cfds = discover_constant_cfds(&d, &ConstantCfdConfig { min_support: 3, ..Default::default() });
+        let cfds = discover_constant_cfds(
+            &d,
+            &ConstantCfdConfig {
+                min_support: 3,
+                ..Default::default()
+            },
+        );
         assert!(cfds.is_empty(), "support 2 < 3 everywhere: {cfds:?}");
     }
 
@@ -169,7 +193,13 @@ mod tests {
                 .map(|r| Tuple::of_strs(&[r[0].as_str(), r[1].as_str(), r[2].as_str()], 0.0))
                 .collect(),
         );
-        let cfds = discover_constant_cfds(&d, &ConstantCfdConfig { min_support: 1, max_lhs_distinct: 50 });
+        let cfds = discover_constant_cfds(
+            &d,
+            &ConstantCfdConfig {
+                min_support: 1,
+                max_lhs_distinct: 50,
+            },
+        );
         assert!(
             !cfds.iter().any(|c| c.to_string().contains("City=")),
             "60 distinct cities exceed the 50 cap"

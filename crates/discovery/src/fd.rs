@@ -27,7 +27,10 @@ pub struct FdConfig {
 
 impl Default for FdConfig {
     fn default() -> Self {
-        FdConfig { max_lhs: 2, min_support_pairs: 1 }
+        FdConfig {
+            max_lhs: 2,
+            min_support_pairs: 1,
+        }
     }
 }
 
@@ -99,9 +102,10 @@ pub fn discover_fds(d: &Relation, cfg: &FdConfig) -> Vec<Cfd> {
                     continue;
                 }
                 // Minimality: some subset already determines rhs?
-                if determined.get(&rhs).is_some_and(|ls| {
-                    ls.iter().any(|sub| sub.iter().all(|a| lk.contains(a)))
-                }) {
+                if determined
+                    .get(&rhs)
+                    .is_some_and(|ls| ls.iter().any(|sub| sub.iter().all(|a| lk.contains(a))))
+                {
                     continue;
                 }
                 let mut xk: Vec<u16> = lk.clone();
@@ -162,7 +166,12 @@ mod tests {
     fn discovers_single_attribute_fd() {
         // A → B holds (x↦1, y↦2), B → A does not (1 maps to x and y? no:
         // rows (x,1),(x,1),(y,2): B→A also holds. Break it with (z,1).
-        let d = rel(&[["x", "1", "p"], ["x", "1", "q"], ["y", "2", "p"], ["z", "1", "p"]]);
+        let d = rel(&[
+            ["x", "1", "p"],
+            ["x", "1", "q"],
+            ["y", "2", "p"],
+            ["z", "1", "p"],
+        ]);
         let fds = discover_fds(&d, &FdConfig::default());
         let has = |l: &str, r: &str| {
             fds.iter().any(|f| {
@@ -177,7 +186,12 @@ mod tests {
 
     #[test]
     fn discovered_fds_hold_on_input() {
-        let d = rel(&[["x", "1", "p"], ["x", "1", "q"], ["y", "2", "p"], ["y", "2", "q"]]);
+        let d = rel(&[
+            ["x", "1", "p"],
+            ["x", "1", "q"],
+            ["y", "2", "p"],
+            ["y", "2", "q"],
+        ]);
         for fd in discover_fds(&d, &FdConfig::default()) {
             assert!(satisfies_cfd(&fd, &d), "{fd} does not hold");
         }
@@ -186,8 +200,19 @@ mod tests {
     #[test]
     fn minimality_suppresses_supersets() {
         // A → C holds, so {A,B} → C must not be emitted.
-        let d = rel(&[["x", "1", "p"], ["x", "2", "p"], ["y", "1", "q"], ["y", "2", "q"]]);
-        let fds = discover_fds(&d, &FdConfig { max_lhs: 2, ..Default::default() });
+        let d = rel(&[
+            ["x", "1", "p"],
+            ["x", "2", "p"],
+            ["y", "1", "q"],
+            ["y", "2", "q"],
+        ]);
+        let fds = discover_fds(
+            &d,
+            &FdConfig {
+                max_lhs: 2,
+                ..Default::default()
+            },
+        );
         let c = d.schema().attr_id("C").unwrap();
         let to_c: Vec<usize> = fds
             .iter()
@@ -208,7 +233,13 @@ mod tests {
             ["y", "2", "s"],
             ["x", "1", "p"],
         ]);
-        let fds = discover_fds(&d, &FdConfig { max_lhs: 2, ..Default::default() });
+        let fds = discover_fds(
+            &d,
+            &FdConfig {
+                max_lhs: 2,
+                ..Default::default()
+            },
+        );
         let c = d.schema().attr_id("C").unwrap();
         assert!(
             fds.iter().any(|f| f.rhs()[0] == c && f.lhs().len() == 2),

@@ -106,7 +106,13 @@ pub fn suggest_mds(
             continue;
         }
         n += 1;
-        out.push(Md::new(format!("md-sugg{n:02}"), data_schema.clone(), mschema.clone(), premises, rhs));
+        out.push(Md::new(
+            format!("md-sugg{n:02}"),
+            data_schema.clone(),
+            mschema.clone(),
+            premises,
+            rhs,
+        ));
     }
     out
 }
@@ -162,7 +168,10 @@ mod tests {
             .collect();
         assert!(names.contains(&"id"), "{names:?}");
         assert!(names.contains(&"phone"), "{names:?}");
-        assert!(!names.contains(&"name"), "ambiguous name must not be a key: {names:?}");
+        assert!(
+            !names.contains(&"name"),
+            "ambiguous name must not be a key: {names:?}"
+        );
         // Each suggested MD identifies the remaining attributes.
         for md in &mds {
             assert_eq!(md.rhs().len(), 2);
@@ -203,7 +212,10 @@ mod tests {
             vec![Cfd::new(
                 "ab_c",
                 data_schema.clone(),
-                vec![data_schema.attr_id_or_panic("a"), data_schema.attr_id_or_panic("b")],
+                vec![
+                    data_schema.attr_id_or_panic("a"),
+                    data_schema.attr_id_or_panic("b"),
+                ],
                 vec![PatternValue::Wildcard, PatternValue::Wildcard],
                 vec![data_schema.attr_id_or_panic("c")],
                 vec![PatternValue::Wildcard],
@@ -223,9 +235,9 @@ mod tests {
         let mds = suggest_mds(&m, &data_schema, 1, &all_fds(&data_schema));
         // The id-keyed MD is skipped; the phone-keyed one survives with the
         // pairable RHS (name).
-        assert!(mds.iter().all(|md| {
-            m.schema().attr_name(md.premises()[0].master_attr) != "id"
-        }));
+        assert!(mds
+            .iter()
+            .all(|md| { m.schema().attr_name(md.premises()[0].master_attr) != "id" }));
         assert!(!mds.is_empty());
     }
 }

@@ -127,7 +127,12 @@ mod tests {
 
     #[test]
     fn single_attribute_partition() {
-        let d = rel(&[["x", "1", "p"], ["x", "2", "q"], ["y", "1", "p"], ["x", "3", "p"]]);
+        let d = rel(&[
+            ["x", "1", "p"],
+            ["x", "2", "q"],
+            ["y", "1", "p"],
+            ["x", "3", "p"],
+        ]);
         let a = d.schema().attr_id("A").unwrap();
         let p = Partition::of_attr(&d, a);
         assert_eq!(p.classes(), &[vec![0, 1, 3]]); // "y" is a stripped singleton
@@ -146,7 +151,12 @@ mod tests {
 
     #[test]
     fn product_intersects_classes() {
-        let d = rel(&[["x", "1", "p"], ["x", "1", "q"], ["x", "2", "p"], ["y", "1", "p"]]);
+        let d = rel(&[
+            ["x", "1", "p"],
+            ["x", "1", "q"],
+            ["x", "2", "p"],
+            ["y", "1", "p"],
+        ]);
         let a = d.schema().attr_id("A").unwrap();
         let b = d.schema().attr_id("B").unwrap();
         let pab = Partition::of_attrs(&d, &[a, b]);
@@ -179,7 +189,12 @@ mod tests {
 
     #[test]
     fn product_is_commutative_on_error() {
-        let d = rel(&[["x", "1", "p"], ["x", "1", "q"], ["y", "2", "p"], ["y", "1", "p"]]);
+        let d = rel(&[
+            ["x", "1", "p"],
+            ["x", "1", "q"],
+            ["y", "2", "p"],
+            ["y", "1", "p"],
+        ]);
         let a = d.schema().attr_id("A").unwrap();
         let b = d.schema().attr_id("B").unwrap();
         let ab = Partition::of_attr(&d, a).product(&Partition::of_attr(&d, b), d.len());

@@ -160,7 +160,9 @@ mod tests {
     #[test]
     fn matching_metrics() {
         let truth: HashSet<(TupleId, TupleId)> =
-            [(TupleId(0), TupleId(0)), (TupleId(1), TupleId(1))].into_iter().collect();
+            [(TupleId(0), TupleId(0)), (TupleId(1), TupleId(1))]
+                .into_iter()
+                .collect();
         let found = vec![(TupleId(0), TupleId(0)), (TupleId(2), TupleId(0))];
         let q = matching_quality(&found, &truth);
         assert_eq!(q.precision, 0.5);

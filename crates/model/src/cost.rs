@@ -46,7 +46,11 @@ fn levenshtein_ref(a: &str, b: &str) -> usize {
         return av.len();
     }
     // Keep the shorter string in the inner dimension.
-    let (short, long) = if av.len() <= bv.len() { (&av, &bv) } else { (&bv, &av) };
+    let (short, long) = if av.len() <= bv.len() {
+        (&av, &bv)
+    } else {
+        (&bv, &av)
+    };
     let mut prev: Vec<usize> = (0..=short.len()).collect();
     let mut cur = vec![0usize; short.len() + 1];
     for (i, lc) in long.iter().enumerate() {
@@ -64,7 +68,12 @@ fn levenshtein_ref(a: &str, b: &str) -> usize {
 ///
 /// When both sizes are zero the values are both empty/null; any difference
 /// between them is then impossible, so the contribution is 0.
-pub fn cell_cost(cf: f64, original: &Value, repaired: &Value, dist: impl Fn(&Value, &Value) -> f64) -> f64 {
+pub fn cell_cost(
+    cf: f64,
+    original: &Value,
+    repaired: &Value,
+    dist: impl Fn(&Value, &Value) -> f64,
+) -> f64 {
     if original == repaired {
         return 0.0;
     }
@@ -85,8 +94,16 @@ pub fn repair_cost_with(
     repaired: &Relation,
     dist: impl Fn(&Value, &Value) -> f64 + Copy,
 ) -> f64 {
-    assert_eq!(original.schema(), repaired.schema(), "repair must preserve the schema");
-    assert_eq!(original.len(), repaired.len(), "repair must preserve the tuple count");
+    assert_eq!(
+        original.schema(),
+        repaired.schema(),
+        "repair must preserve the schema"
+    );
+    assert_eq!(
+        original.len(),
+        repaired.len(),
+        "repair must preserve the tuple count"
+    );
     let mut total = 0.0;
     for (t, tr) in original.tuples().iter().zip(repaired.tuples().iter()) {
         for (c, cr) in t.cells().iter().zip(tr.cells().iter()) {
@@ -133,7 +150,8 @@ mod tests {
         let hi = Relation::new(schema.clone(), vec![Tuple::of_strs(&["abcd"], 1.0)]);
         let mut rep = Relation::new(schema.clone(), vec![Tuple::of_strs(&["abcx"], 0.25)]);
         let a = schema.attr_id("A").unwrap();
-        rep.tuple_mut(TupleId(0)).set(a, Value::str("abcx"), 1.0, Default::default());
+        rep.tuple_mut(TupleId(0))
+            .set(a, Value::str("abcx"), 1.0, Default::default());
         // One substitution in a 4-char string: dis/max = 1/4.
         assert!((repair_cost(&lo, &rep) - 0.25 * 0.25).abs() < 1e-12);
         assert!((repair_cost(&hi, &rep) - 1.0 * 0.25).abs() < 1e-12);
@@ -155,7 +173,8 @@ mod tests {
         let d = Relation::new(schema.clone(), vec![Tuple::of_strs(&["abcd"], 1.0)]);
         let mut rep = d.clone();
         let a = schema.attr_id("A").unwrap();
-        rep.tuple_mut(TupleId(0)).set(a, Value::Null, 0.0, Default::default());
+        rep.tuple_mut(TupleId(0))
+            .set(a, Value::Null, 0.0, Default::default());
         // dis("abcd", "") = 4, max size = 4 → normalized 1.0.
         assert!((repair_cost(&d, &rep) - 1.0).abs() < 1e-12);
     }

@@ -20,7 +20,12 @@ const NULL_TOKEN: &str = "\\N";
 /// Serialize a relation to CSV (header row + one row per tuple).
 pub fn to_csv(rel: &Relation) -> String {
     let mut out = String::new();
-    let header: Vec<&str> = rel.schema().attrs().iter().map(|a| a.name.as_str()).collect();
+    let header: Vec<&str> = rel
+        .schema()
+        .attrs()
+        .iter()
+        .map(|a| a.name.as_str())
+        .collect();
     write_row(&mut out, header.iter().copied());
     for t in rel.tuples() {
         let row: Vec<String> = t
@@ -72,7 +77,11 @@ pub enum CsvError {
     /// A quoted field was never closed.
     UnterminatedQuote { row: usize },
     /// Cell could not be parsed as the declared attribute type.
-    BadValue { row: usize, attr: String, text: String },
+    BadValue {
+        row: usize,
+        attr: String,
+        text: String,
+    },
 }
 
 impl std::fmt::Display for CsvError {
@@ -84,7 +93,10 @@ impl std::fmt::Display for CsvError {
             }
             CsvError::UnterminatedQuote { row } => write!(f, "csv row {row}: unterminated quote"),
             CsvError::BadValue { row, attr, text } => {
-                write!(f, "csv row {row}: `{text}` is not a valid value for attribute {attr}")
+                write!(
+                    f,
+                    "csv row {row}: `{text}` is not a valid value for attribute {attr}"
+                )
             }
         }
     }
@@ -122,20 +134,29 @@ pub fn from_csv(
     for (i, row) in rows.into_iter().enumerate() {
         let rownum = i + 1;
         if row.len() != schema.arity() {
-            return Err(CsvError::FieldCount { row: rownum, want: schema.arity(), got: row.len() });
+            return Err(CsvError::FieldCount {
+                row: rownum,
+                want: schema.arity(),
+                got: row.len(),
+            });
         }
         let mut vals = Vec::with_capacity(row.len());
         for (j, field) in row.into_iter().enumerate() {
-            let v = if field == NULL_TOKEN {
-                Value::Null
-            } else {
-                match types[j] {
-                    ValueType::Str => Value::from(field),
-                    ValueType::Int => field.parse::<i64>().map(Value::Int).map_err(|_| {
-                        CsvError::BadValue { row: rownum, attr: schema.attr_name(crate::AttrId::from(j)).to_string(), text: field.clone() }
-                    })?,
-                }
-            };
+            let v =
+                if field == NULL_TOKEN {
+                    Value::Null
+                } else {
+                    match types[j] {
+                        ValueType::Str => Value::from(field),
+                        ValueType::Int => field.parse::<i64>().map(Value::Int).map_err(|_| {
+                            CsvError::BadValue {
+                                row: rownum,
+                                attr: schema.attr_name(crate::AttrId::from(j)).to_string(),
+                                text: field.clone(),
+                            }
+                        })?,
+                    }
+                };
             vals.push(v);
         }
         rel.push(Tuple::from_values(vals, default_cf));
@@ -212,8 +233,10 @@ mod tests {
         let back = from_csv("r", &[ValueType::Str, ValueType::Str], &csv, 0.5).unwrap();
         assert_eq!(back.len(), 2);
         for (a, b) in rel.tuples().iter().zip(back.tuples().iter()) {
-            assert_eq!(a.cells().iter().map(|c| &c.value).collect::<Vec<_>>(),
-                       b.cells().iter().map(|c| &c.value).collect::<Vec<_>>());
+            assert_eq!(
+                a.cells().iter().map(|c| &c.value).collect::<Vec<_>>(),
+                b.cells().iter().map(|c| &c.value).collect::<Vec<_>>()
+            );
         }
     }
 
@@ -230,24 +253,38 @@ mod tests {
         let csv = to_csv(&rel);
         assert!(csv.contains("\"say \"\"hi\"\"\""));
         let back = from_csv("r", &[ValueType::Str], &csv, 0.0).unwrap();
-        assert_eq!(back.tuple(crate::TupleId(0)).value(crate::AttrId(0)), &Value::str("say \"hi\""));
+        assert_eq!(
+            back.tuple(crate::TupleId(0)).value(crate::AttrId(0)),
+            &Value::str("say \"hi\"")
+        );
     }
 
     #[test]
     fn null_token_roundtrips() {
         let schema = Schema::of_strings("r", &["A"]);
         let mut rel = Relation::new(schema, vec![Tuple::of_strs(&["x"], 0.0)]);
-        rel.tuple_mut(crate::TupleId(0)).set(crate::AttrId(0), Value::Null, 0.0, Default::default());
+        rel.tuple_mut(crate::TupleId(0)).set(
+            crate::AttrId(0),
+            Value::Null,
+            0.0,
+            Default::default(),
+        );
         let csv = to_csv(&rel);
         let back = from_csv("r", &[ValueType::Str], &csv, 0.0).unwrap();
-        assert!(back.tuple(crate::TupleId(0)).value(crate::AttrId(0)).is_null());
+        assert!(back
+            .tuple(crate::TupleId(0))
+            .value(crate::AttrId(0))
+            .is_null());
     }
 
     #[test]
     fn int_columns_parse() {
         let csv = "A,B\nx,42\ny,-7\n";
         let rel = from_csv("r", &[ValueType::Str, ValueType::Int], csv, 0.0).unwrap();
-        assert_eq!(rel.tuple(crate::TupleId(1)).value(crate::AttrId(1)), &Value::int(-7));
+        assert_eq!(
+            rel.tuple(crate::TupleId(1)).value(crate::AttrId(1)),
+            &Value::int(-7)
+        );
     }
 
     #[test]
@@ -267,12 +304,22 @@ mod tests {
     fn field_count_mismatch_is_reported() {
         let csv = "A,B\nonly-one\n";
         let err = from_csv("r", &[ValueType::Str, ValueType::Str], csv, 0.0).unwrap_err();
-        assert_eq!(err, CsvError::FieldCount { row: 1, want: 2, got: 1 });
+        assert_eq!(
+            err,
+            CsvError::FieldCount {
+                row: 1,
+                want: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]
     fn empty_input_is_missing_header() {
-        assert_eq!(from_csv("r", &[], "", 0.0).unwrap_err(), CsvError::MissingHeader);
+        assert_eq!(
+            from_csv("r", &[], "", 0.0).unwrap_err(),
+            CsvError::MissingHeader
+        );
     }
 
     #[test]
@@ -280,7 +327,10 @@ mod tests {
         let csv = "A,B\r\nx,y\r\n";
         let rel = from_csv("r", &[ValueType::Str, ValueType::Str], csv, 0.0).unwrap();
         assert_eq!(rel.len(), 1);
-        assert_eq!(rel.tuple(crate::TupleId(0)).value(crate::AttrId(1)), &Value::str("y"));
+        assert_eq!(
+            rel.tuple(crate::TupleId(0)).value(crate::AttrId(1)),
+            &Value::str("y")
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@ pub struct Relation {
 impl Relation {
     /// An empty instance of `schema`.
     pub fn empty(schema: Arc<Schema>) -> Self {
-        Relation { schema, tuples: Vec::new() }
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
     }
 
     /// Build an instance from tuples.
@@ -93,7 +96,10 @@ impl Relation {
 
     /// Iterate `(id, tuple)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (TupleId, &Tuple)> {
-        self.tuples.iter().enumerate().map(|(i, t)| (TupleId::from(i), t))
+        self.tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TupleId::from(i), t))
     }
 
     /// All tuple ids.
@@ -129,8 +135,15 @@ impl Relation {
     /// equality, position-wise). A convenience for tests and metrics;
     /// requires equal schemas and lengths.
     pub fn diff_cells(&self, other: &Relation) -> usize {
-        assert_eq!(self.schema, other.schema, "diff_cells requires identical schemas");
-        assert_eq!(self.len(), other.len(), "diff_cells requires equal tuple counts");
+        assert_eq!(
+            self.schema, other.schema,
+            "diff_cells requires identical schemas"
+        );
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "diff_cells requires equal tuple counts"
+        );
         let mut n = 0;
         for (a, b) in self.tuples.iter().zip(other.tuples.iter()) {
             for (ca, cb) in a.cells().iter().zip(b.cells().iter()) {
@@ -171,7 +184,8 @@ mod tests {
     fn active_domain_excludes_null() {
         let mut r = rel();
         let a = r.schema().attr_id("A").unwrap();
-        r.tuple_mut(TupleId(0)).set(a, Value::Null, 0.0, Default::default());
+        r.tuple_mut(TupleId(0))
+            .set(a, Value::Null, 0.0, Default::default());
         assert_eq!(r.active_domain(a), vec![Value::str("x"), Value::str("y")]);
     }
 
@@ -187,7 +201,8 @@ mod tests {
         let r1 = rel();
         let mut r2 = rel();
         let b = r2.schema().attr_id("B").unwrap();
-        r2.tuple_mut(TupleId(2)).set(b, Value::str("9"), 1.0, Default::default());
+        r2.tuple_mut(TupleId(2))
+            .set(b, Value::str("9"), 1.0, Default::default());
         assert_eq!(r1.diff_cells(&r2), 1);
         assert_eq!(r1.diff_cells(&r1), 0);
     }
@@ -205,7 +220,10 @@ mod tests {
     #[test]
     fn iter_pairs_ids_with_tuples() {
         let r = rel();
-        let collected: Vec<_> = r.iter().map(|(id, t)| (id.index(), t.value(AttrId(0)).clone())).collect();
+        let collected: Vec<_> = r
+            .iter()
+            .map(|(id, t)| (id.index(), t.value(AttrId(0)).clone()))
+            .collect();
         assert_eq!(collected.len(), 3);
         assert_eq!(collected[1], (1, Value::str("y")));
     }

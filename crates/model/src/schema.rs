@@ -43,7 +43,10 @@ impl Schema {
     /// Panics if two attributes share a name — schemas are static
     /// configuration, so a duplicate is a programming error, not a runtime
     /// condition.
-    pub fn new(name: impl Into<String>, attrs: impl IntoIterator<Item = (impl Into<String>, ValueType)>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        attrs: impl IntoIterator<Item = (impl Into<String>, ValueType)>,
+    ) -> Self {
         let name = name.into();
         let attrs: Vec<AttrDef> = attrs
             .into_iter()
@@ -52,9 +55,18 @@ impl Schema {
         let mut by_name = HashMap::with_capacity(attrs.len());
         for (i, a) in attrs.iter().enumerate() {
             let prev = by_name.insert(a.name.clone(), AttrId::from(i));
-            assert!(prev.is_none(), "duplicate attribute `{}` in schema `{}`", a.name, name);
+            assert!(
+                prev.is_none(),
+                "duplicate attribute `{}` in schema `{}`",
+                a.name,
+                name
+            );
         }
-        Schema { name, attrs, by_name }
+        Schema {
+            name,
+            attrs,
+            by_name,
+        }
     }
 
     /// Convenience constructor: every attribute is a string.
@@ -102,7 +114,11 @@ impl Schema {
                 "schema `{}` has no attribute `{}` (attributes: {})",
                 self.name,
                 name,
-                self.attrs.iter().map(|a| a.name.as_str()).collect::<Vec<_>>().join(", ")
+                self.attrs
+                    .iter()
+                    .map(|a| a.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             )
         })
     }

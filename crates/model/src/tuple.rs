@@ -54,7 +54,11 @@ impl Cell {
     /// A cell with the given value and confidence, untouched by cleaning.
     pub fn new(value: Value, cf: f64) -> Self {
         debug_assert!((0.0..=1.0).contains(&cf), "confidence {cf} out of [0,1]");
-        Cell { value, cf, mark: FixMark::Untouched }
+        Cell {
+            value,
+            cf,
+            mark: FixMark::Untouched,
+        }
     }
 
     /// A cell with default (zero) confidence.
@@ -78,7 +82,9 @@ impl Tuple {
 
     /// Build a tuple of values, all with the given uniform confidence.
     pub fn from_values(values: impl IntoIterator<Item = Value>, cf: f64) -> Self {
-        Tuple { cells: values.into_iter().map(|v| Cell::new(v, cf)).collect() }
+        Tuple {
+            cells: values.into_iter().map(|v| Cell::new(v, cf)).collect(),
+        }
     }
 
     /// Build a tuple of string values with uniform confidence — the
@@ -141,7 +147,9 @@ impl Tuple {
     /// ([`Value::eq_nullable`])? Used once `hRepair` may have introduced
     /// nulls (§7).
     pub fn agrees_with_nullable(&self, other: &Tuple, attrs: &[AttrId]) -> bool {
-        attrs.iter().all(|a| self.value(*a).eq_nullable(other.value(*a)))
+        attrs
+            .iter()
+            .all(|a| self.value(*a).eq_nullable(other.value(*a)))
     }
 
     /// Overwrite the value at `a`, recording confidence and fix mark.
@@ -164,7 +172,10 @@ mod tests {
     #[test]
     fn projection_matches_paper_notation() {
         let t = Tuple::of_strs(&["Mark", "Smith", "Edi"], 0.9);
-        assert_eq!(t.project(&[a(0), a(2)]), vec![Value::str("Mark"), Value::str("Edi")]);
+        assert_eq!(
+            t.project(&[a(0), a(2)]),
+            vec![Value::str("Mark"), Value::str("Edi")]
+        );
     }
 
     #[test]

@@ -93,7 +93,11 @@ impl<'a> Chase<'a> {
             rules.mds().is_empty() || master.is_some(),
             "rule set contains MDs but no master relation was supplied"
         );
-        Chase { rules, master, max_steps }
+        Chase {
+            rules,
+            master,
+            max_steps,
+        }
     }
 
     /// Run to fixpoint / cycle / step limit from `d` under `strategy`.
@@ -107,7 +111,9 @@ impl<'a> Chase<'a> {
         };
         for step in 0..self.max_steps {
             let inst = match &strategy {
-                ChaseStrategy::FirstApplicable => self.first_applicable(&state, &self.default_order()),
+                ChaseStrategy::FirstApplicable => {
+                    self.first_applicable(&state, &self.default_order())
+                }
                 ChaseStrategy::Ordered(order) => self.first_applicable(&state, order),
                 ChaseStrategy::Seeded(_) => {
                     let all = self.all_applicable(&state);
@@ -123,14 +129,19 @@ impl<'a> Chase<'a> {
                 }
             };
             let Some(inst) = inst else {
-                return ChaseOutcome::Fixpoint { result: state, steps: step };
+                return ChaseOutcome::Fixpoint {
+                    result: state,
+                    steps: step,
+                };
             };
             self.apply(&mut state, inst);
             if !seen.insert(snapshot(&state)) {
                 return ChaseOutcome::Cycle { steps: step + 1 };
             }
         }
-        ChaseOutcome::StepLimit { steps: self.max_steps }
+        ChaseOutcome::StepLimit {
+            steps: self.max_steps,
+        }
     }
 
     fn default_order(&self) -> Vec<RuleRef> {
@@ -140,7 +151,9 @@ impl<'a> Chase<'a> {
     }
 
     fn first_applicable(&self, d: &Relation, order: &[RuleRef]) -> Option<Instance> {
-        order.iter().find_map(|r| self.applicable_for_rule(d, *r, Some(1)).into_iter().next())
+        order
+            .iter()
+            .find_map(|r| self.applicable_for_rule(d, *r, Some(1)).into_iter().next())
     }
 
     fn all_applicable(&self, d: &Relation) -> Vec<Instance> {
@@ -162,7 +175,11 @@ impl<'a> Chase<'a> {
                     let want = cfd.rhs_pattern()[0].as_const().expect("constant CFD");
                     for (tid, t) in d.iter() {
                         if cfd.lhs_matches(t) && t.value(b) != want {
-                            out.push(Instance { rule: r, target: tid, source: None });
+                            out.push(Instance {
+                                rule: r,
+                                target: tid,
+                                source: None,
+                            });
                             if full(&out) {
                                 return out;
                             }
@@ -181,7 +198,11 @@ impl<'a> Chase<'a> {
                                 && !tu2.value(b).is_null()
                                 && tu1.value(b) != tu2.value(b)
                             {
-                                out.push(Instance { rule: r, target: t1, source: Some(t2) });
+                                out.push(Instance {
+                                    rule: r,
+                                    target: t1,
+                                    source: Some(t2),
+                                });
                                 if full(&out) {
                                     return out;
                                 }
@@ -197,7 +218,11 @@ impl<'a> Chase<'a> {
                 for (tid, t) in d.iter() {
                     for (sid, s) in dm.iter() {
                         if md.premise_matches(t, s) && t.value(e) != s.value(f) {
-                            out.push(Instance { rule: r, target: tid, source: Some(sid) });
+                            out.push(Instance {
+                                rule: r,
+                                target: tid,
+                                source: Some(sid),
+                            });
                             if full(&out) {
                                 return out;
                             }
@@ -215,7 +240,10 @@ impl<'a> Chase<'a> {
                 let cfd = &self.rules.cfds()[i];
                 let b = cfd.rhs()[0];
                 let new = if cfd.is_constant() {
-                    cfd.rhs_pattern()[0].as_const().expect("constant CFD").clone()
+                    cfd.rhs_pattern()[0]
+                        .as_const()
+                        .expect("constant CFD")
+                        .clone()
                 } else {
                     let src = inst.source.expect("variable CFD has a source tuple");
                     d.tuple(src).value(b).clone()
@@ -226,7 +254,12 @@ impl<'a> Chase<'a> {
                 let md = &self.rules.mds()[i];
                 let (e, f) = md.rhs()[0];
                 let src = inst.source.expect("MD has a master tuple");
-                let new = self.master.expect("MDs require master data").tuple(src).value(f).clone();
+                let new = self
+                    .master
+                    .expect("MDs require master data")
+                    .tuple(src)
+                    .value(f)
+                    .clone();
                 d.tuple_mut(inst.target).set(e, new, 0.0, FixMark::Possible);
             }
         }
@@ -235,7 +268,10 @@ impl<'a> Chase<'a> {
 
 /// Exact state snapshot: the flat list of values.
 fn snapshot(d: &Relation) -> Vec<Value> {
-    d.tuples().iter().flat_map(|t| t.cells().iter().map(|c| c.value.clone())).collect()
+    d.tuples()
+        .iter()
+        .flat_map(|t| t.cells().iter().map(|c| c.value.clone()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -259,7 +295,10 @@ mod tests {
         match chase.run(&d, ChaseStrategy::FirstApplicable) {
             ChaseOutcome::Fixpoint { result, steps } => {
                 assert_eq!(steps, 1);
-                assert_eq!(result.tuple(TupleId(0)).value(s.attr_id_or_panic("city")), &Value::str("Edi"));
+                assert_eq!(
+                    result.tuple(TupleId(0)).value(s.attr_id_or_panic("city")),
+                    &Value::str("Edi")
+                );
             }
             other => panic!("expected fixpoint, got {other:?}"),
         }
@@ -274,7 +313,10 @@ mod tests {
             &s,
             "cfd phi1: tran([AC=131] -> [city=Edi])\ncfd phi5: tran([post=\"EH8 9AB\"] -> [city=Ldn])",
         );
-        let d = Relation::new(s.clone(), vec![Tuple::of_strs(&["131", "EH8 9AB", "Edi"], 0.5)]);
+        let d = Relation::new(
+            s.clone(),
+            vec![Tuple::of_strs(&["131", "EH8 9AB", "Edi"], 0.5)],
+        );
         let chase = Chase::new(&rules, None, 1000);
         match chase.run(&d, ChaseStrategy::FirstApplicable) {
             ChaseOutcome::Cycle { steps } => assert!(steps <= 4, "cycle found after {steps} steps"),
@@ -310,13 +352,22 @@ mod tests {
             Some(&card),
         )
         .unwrap();
-        let rules = RuleSet::new(tran.clone(), Some(card.clone()), vec![], parsed.positive_mds, vec![]);
+        let rules = RuleSet::new(
+            tran.clone(),
+            Some(card.clone()),
+            vec![],
+            parsed.positive_mds,
+            vec![],
+        );
         let d = Relation::new(tran.clone(), vec![Tuple::of_strs(&["Brady", "000"], 0.5)]);
         let dm = Relation::new(card, vec![Tuple::of_strs(&["Brady", "3887644"], 1.0)]);
         let chase = Chase::new(&rules, Some(&dm), 10);
         let out = chase.run(&d, ChaseStrategy::FirstApplicable);
         let fp = out.fixpoint().expect("fixpoint");
-        assert_eq!(fp.tuple(TupleId(0)).value(tran.attr_id_or_panic("phn")), &Value::str("3887644"));
+        assert_eq!(
+            fp.tuple(TupleId(0)).value(tran.attr_id_or_panic("phn")),
+            &Value::str("3887644")
+        );
     }
 
     #[test]

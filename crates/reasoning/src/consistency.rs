@@ -227,7 +227,13 @@ mod tests {
             Some(&card),
         )
         .unwrap();
-        let rules = RuleSet::new(tran.clone(), Some(card.clone()), parsed.cfds, parsed.positive_mds, vec![]);
+        let rules = RuleSet::new(
+            tran.clone(),
+            Some(card.clone()),
+            parsed.cfds,
+            parsed.positive_mds,
+            vec![],
+        );
         let dm = Relation::new(card.clone(), vec![Tuple::of_strs(&["131", "Edi"], 1.0)]);
         assert!(is_consistent(&rules, Some(&dm)));
 
@@ -240,7 +246,13 @@ mod tests {
             Some(&card),
         )
         .unwrap();
-        let rules = RuleSet::new(tran, Some(card.clone()), parsed.cfds, parsed.positive_mds, vec![]);
+        let rules = RuleSet::new(
+            tran,
+            Some(card.clone()),
+            parsed.cfds,
+            parsed.positive_mds,
+            vec![],
+        );
         let dm = Relation::new(card, vec![Tuple::of_strs(&["131", "Edi"], 1.0)]);
         assert!(!is_consistent(&rules, Some(&dm)));
     }

@@ -54,8 +54,10 @@ impl DepGraph {
         let mut nodes: Vec<RuleRef> = Vec::with_capacity(rules.len());
         nodes.extend((0..rules.cfds().len()).map(RuleRef::Cfd));
         nodes.extend((0..rules.mds().len()).map(RuleRef::Md));
-        let reads: Vec<HashSet<AttrId>> =
-            nodes.iter().map(|r| lhs_attrs(rules, *r).into_iter().collect()).collect();
+        let reads: Vec<HashSet<AttrId>> = nodes
+            .iter()
+            .map(|r| lhs_attrs(rules, *r).into_iter().collect())
+            .collect();
         let writes: Vec<Vec<AttrId>> = nodes.iter().map(|r| rhs_attrs(rules, *r)).collect();
         let n = nodes.len();
         let mut edges = vec![Vec::new(); n];
@@ -71,7 +73,11 @@ impl DepGraph {
                 }
             }
         }
-        DepGraph { nodes, edges, in_degree }
+        DepGraph {
+            nodes,
+            edges,
+            in_degree,
+        }
     }
 
     /// The rules, in node-index order.
@@ -171,7 +177,9 @@ impl DepGraph {
             members.sort_by(|&a, &b| {
                 let ra = degree_ratio(self.edges[a].len(), self.in_degree[a]);
                 let rb = degree_ratio(self.edges[b].len(), self.in_degree[b]);
-                rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+                rb.partial_cmp(&ra)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
             });
             order.extend(members.into_iter().map(|i| self.nodes[i]));
         }
@@ -217,7 +225,13 @@ mod tests {
             md psi: tran[LN] = card[LN] AND tran[city] = card[city] AND tran[St] = card[St] AND tran[post] = card[zip] AND tran[FN] ~lev(4) card[FN] -> tran[FN] <=> card[FN], tran[phn] <=> card[tel]
         "#;
         let parsed = parse_rules(text, &tran, Some(&card)).unwrap();
-        RuleSet::new(tran, Some(card), parsed.cfds, parsed.positive_mds, parsed.negative_mds)
+        RuleSet::new(
+            tran,
+            Some(card),
+            parsed.cfds,
+            parsed.positive_mds,
+            parsed.negative_mds,
+        )
     }
 
     #[test]
@@ -229,7 +243,10 @@ mod tests {
         let g = DepGraph::build(&rules);
         assert!(g.has_cycle());
         let biggest = g.sccs().into_iter().map(|c| c.len()).max().unwrap();
-        assert!(biggest >= 4, "cyclic core expected, biggest SCC = {biggest}");
+        assert!(
+            biggest >= 4,
+            "cyclic core expected, biggest SCC = {biggest}"
+        );
     }
 
     #[test]
@@ -307,6 +324,9 @@ mod tests {
         let g = DepGraph::build(&rules);
         let order = g.erepair_order();
         // All ratios are 1 → falls back to index order, deterministic.
-        assert_eq!(order, vec![RuleRef::Cfd(0), RuleRef::Cfd(1), RuleRef::Cfd(2)]);
+        assert_eq!(
+            order,
+            vec![RuleRef::Cfd(0), RuleRef::Cfd(1), RuleRef::Cfd(2)]
+        );
     }
 }

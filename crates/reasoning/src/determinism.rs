@@ -110,7 +110,10 @@ mod tests {
         let rules = cfd_rules(&s, "cfd fd: r([K] -> [B])");
         let d = Relation::new(
             s,
-            vec![Tuple::of_strs(&["k", "x"], 0.5), Tuple::of_strs(&["k", "y"], 0.5)],
+            vec![
+                Tuple::of_strs(&["k", "x"], 0.5),
+                Tuple::of_strs(&["k", "y"], 0.5),
+            ],
         );
         let r = determinism_check(&rules, None, &d, 100, 8);
         assert_eq!(r.deterministic, Some(false));

@@ -24,7 +24,12 @@ pub fn implies_cfd(rules: &RuleSet, dm: Option<&Relation>, xi: &Cfd) -> bool {
     let schema = rules.schema();
     let n = schema.arity();
     let dm_or_empty = dm.cloned().unwrap_or_else(|| {
-        Relation::empty(rules.master_schema().cloned().unwrap_or_else(|| schema.clone()))
+        Relation::empty(
+            rules
+                .master_schema()
+                .cloned()
+                .unwrap_or_else(|| schema.clone()),
+        )
     });
 
     // Enumerate tuple t; tuple s copies t on X (the violation requires
@@ -44,7 +49,9 @@ pub fn implies_cfd(rules: &RuleSet, dm: Option<&Relation>, xi: &Cfd) -> bool {
             }
         }
         // Two-tuple violation: s agrees on X, differs on A.
-        let free: Vec<usize> = (0..n).filter(|i| !xi.lhs().contains(&AttrId::from(*i))).collect();
+        let free: Vec<usize> = (0..n)
+            .filter(|i| !xi.lhs().contains(&AttrId::from(*i)))
+            .collect();
         let mut s_vals = t_vals.to_vec();
         enumerate(&domains, &free, 0, &mut s_vals, &mut |s_vals| {
             let s = Tuple::from_values(s_vals.to_vec(), 1.0);
@@ -122,8 +129,11 @@ fn candidate_domains(
     if let Some(dm) = dm {
         let add_md = |domains: &mut Vec<Vec<Value>>, m: &Md| {
             for p in m.premises() {
-                let col: BTreeSet<Value> =
-                    dm.tuples().iter().map(|s| s.value(p.master_attr).clone()).collect();
+                let col: BTreeSet<Value> = dm
+                    .tuples()
+                    .iter()
+                    .map(|s| s.value(p.master_attr).clone())
+                    .collect();
                 for v in col {
                     if !v.is_null() {
                         push_unique(&mut domains[p.attr.index()], v);
@@ -156,7 +166,12 @@ fn candidate_domains(
 
 fn base_tuple(rules: &RuleSet) -> Vec<Value> {
     (0..rules.schema().arity())
-        .map(|i| Value::str(format!("\u{2294}f1\u{2294}{}", rules.schema().attr_name(AttrId::from(i)))))
+        .map(|i| {
+            Value::str(format!(
+                "\u{2294}f1\u{2294}{}",
+                rules.schema().attr_name(AttrId::from(i))
+            ))
+        })
         .collect()
 }
 
@@ -273,9 +288,17 @@ mod tests {
             Some(&card),
         )
         .unwrap();
-        let rules =
-            RuleSet::new(tran.clone(), Some(card.clone()), vec![], parsed.positive_mds.clone(), vec![]);
-        let dm = Relation::new(card.clone(), vec![Tuple::of_strs(&["Brady", "555", "Ldn"], 1.0)]);
+        let rules = RuleSet::new(
+            tran.clone(),
+            Some(card.clone()),
+            vec![],
+            parsed.positive_mds.clone(),
+            vec![],
+        );
+        let dm = Relation::new(
+            card.clone(),
+            vec![Tuple::of_strs(&["Brady", "555", "Ldn"], 1.0)],
+        );
         // The MD implies itself.
         assert!(implies_md(&rules, &dm, &parsed.positive_mds[0]));
         // A *stronger* MD (premise subset → fires more often) is not implied.

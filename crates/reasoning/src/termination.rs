@@ -54,12 +54,19 @@ pub fn termination_diagnostics(rules: &RuleSet) -> TerminationReport {
 
     // Writers per data attribute.
     let mut shared_rhs_pairs = Vec::new();
-    let mut writers: std::collections::HashMap<u16, Vec<RuleRef>> = std::collections::HashMap::new();
+    let mut writers: std::collections::HashMap<u16, Vec<RuleRef>> =
+        std::collections::HashMap::new();
     for (i, c) in cfds.iter().enumerate() {
-        writers.entry(c.rhs()[0].0).or_default().push(RuleRef::Cfd(i));
+        writers
+            .entry(c.rhs()[0].0)
+            .or_default()
+            .push(RuleRef::Cfd(i));
     }
     for (i, m) in rules.mds().iter().enumerate() {
-        writers.entry(m.rhs()[0].0 .0).or_default().push(RuleRef::Md(i));
+        writers
+            .entry(m.rhs()[0].0 .0)
+            .or_default()
+            .push(RuleRef::Md(i));
     }
     for list in writers.values() {
         for a in 0..list.len() {
@@ -72,7 +79,12 @@ pub fn termination_diagnostics(rules: &RuleSet) -> TerminationReport {
 
     let guaranteed_terminating =
         dep_graph_acyclic && constant_conflicts.is_empty() && shared_rhs_pairs.is_empty();
-    TerminationReport { dep_graph_acyclic, constant_conflicts, shared_rhs_pairs, guaranteed_terminating }
+    TerminationReport {
+        dep_graph_acyclic,
+        constant_conflicts,
+        shared_rhs_pairs,
+        guaranteed_terminating,
+    }
 }
 
 /// Example 4.6 shape: ϕi and ϕj are constant CFDs on the same RHS attribute
@@ -206,6 +218,9 @@ mod tests {
         // …and the chase confirms on a concrete triggering tuple.
         let d = Relation::new(s, vec![Tuple::of_strs(&["131", "EH8 9AB", "x"], 0.5)]);
         let chase = Chase::new(&rules, None, 100);
-        assert!(matches!(chase.run(&d, ChaseStrategy::FirstApplicable), ChaseOutcome::Cycle { .. }));
+        assert!(matches!(
+            chase.run(&d, ChaseStrategy::FirstApplicable),
+            ChaseOutcome::Cycle { .. }
+        ));
     }
 }

@@ -46,7 +46,14 @@ impl Cfd {
         seen.sort_unstable();
         seen.dedup();
         assert_eq!(seen.len(), lhs.len(), "duplicate attribute in CFD LHS");
-        Cfd { name: name.into(), schema, lhs, rhs, lhs_pattern, rhs_pattern }
+        Cfd {
+            name: name.into(),
+            schema,
+            lhs,
+            rhs,
+            lhs_pattern,
+            rhs_pattern,
+        }
     }
 
     /// Diagnostic name.
@@ -182,7 +189,11 @@ mod tests {
             s.clone(),
             vec![s.attr_id_or_panic("city"), s.attr_id_or_panic("phn")],
             vec![PatternValue::Wildcard, PatternValue::Wildcard],
-            vec![s.attr_id_or_panic("St"), s.attr_id_or_panic("AC"), s.attr_id_or_panic("post")],
+            vec![
+                s.attr_id_or_panic("St"),
+                s.attr_id_or_panic("AC"),
+                s.attr_id_or_panic("post"),
+            ],
             vec![PatternValue::Wildcard; 3],
         )
     }
@@ -204,10 +215,26 @@ mod tests {
         // t1 of Fig. 1(b): AC = 131 but city = Ldn — violates ϕ1 alone.
         let s = tran();
         let rule = phi1(&s);
-        let mut t = Tuple::of_strs(&["M.", "Smith", "Ldn", "131", "9999999", "10 Oak St", "EH8 9LE"], 0.5);
+        let mut t = Tuple::of_strs(
+            &[
+                "M.",
+                "Smith",
+                "Ldn",
+                "131",
+                "9999999",
+                "10 Oak St",
+                "EH8 9LE",
+            ],
+            0.5,
+        );
         assert!(rule.lhs_matches(&t));
         assert!(!rule.single_tuple_ok(&t));
-        t.set(s.attr_id_or_panic("city"), Value::str("Edi"), 0.8, Default::default());
+        t.set(
+            s.attr_id_or_panic("city"),
+            Value::str("Edi"),
+            0.8,
+            Default::default(),
+        );
         assert!(rule.single_tuple_ok(&t));
     }
 
@@ -216,7 +243,12 @@ mod tests {
         let s = tran();
         let rule = phi1(&s);
         let mut t = Tuple::of_strs(&["M.", "Smith", "Ldn", "131", "9", "x", "y"], 0.5);
-        t.set(s.attr_id_or_panic("AC"), Value::Null, 0.0, Default::default());
+        t.set(
+            s.attr_id_or_panic("AC"),
+            Value::Null,
+            0.0,
+            Default::default(),
+        );
         assert!(!rule.lhs_matches(&t));
         assert!(rule.single_tuple_ok(&t));
     }
@@ -225,7 +257,10 @@ mod tests {
     fn display_mirrors_paper_syntax() {
         let s = tran();
         assert_eq!(phi1(&s).to_string(), "phi1: tran([AC=131] -> [city=Edi])");
-        assert_eq!(phi3(&s).to_string(), "phi3: tran([city, phn] -> [St, AC, post])");
+        assert_eq!(
+            phi3(&s).to_string(),
+            "phi3: tran([city, phn] -> [St, AC, post])"
+        );
     }
 
     #[test]
@@ -247,7 +282,14 @@ mod tests {
     #[should_panic(expected = "right-hand side")]
     fn empty_rhs_rejected() {
         let s = tran();
-        Cfd::new("bad", s.clone(), vec![s.attr_id_or_panic("AC")], vec![PatternValue::Wildcard], vec![], vec![]);
+        Cfd::new(
+            "bad",
+            s.clone(),
+            vec![s.attr_id_or_panic("AC")],
+            vec![PatternValue::Wildcard],
+            vec![],
+            vec![],
+        );
     }
 
     #[test]
@@ -264,7 +306,18 @@ mod tests {
             vec![fnid],
             vec![PatternValue::constant("Robert")],
         );
-        let t = Tuple::of_strs(&["Bob", "Brady", "Edi", "020", "3887834", "5 Wren St", "WC1H 9SE"], 0.5);
+        let t = Tuple::of_strs(
+            &[
+                "Bob",
+                "Brady",
+                "Edi",
+                "020",
+                "3887834",
+                "5 Wren St",
+                "WC1H 9SE",
+            ],
+            0.5,
+        );
         assert!(phi4.lhs_matches(&t));
         assert!(!phi4.single_tuple_ok(&t));
     }

@@ -28,6 +28,6 @@ pub use negative::{embed_negative_mds, NegativeMd};
 pub use normalize::{normalize_cfds, normalize_mds};
 pub use parser::{parse_rules, ParseError, ParsedRules};
 pub use pattern::PatternValue;
-pub use ruleset::RuleSet;
+pub use ruleset::{RuleSet, RuleSetError};
 pub use satisfaction::{satisfies_all, satisfies_cfd, satisfies_md};
 pub use violations::{cfd_violations, md_violations, Violation};

@@ -51,8 +51,17 @@ impl Md {
         premises: Vec<MdPremise>,
         rhs: Vec<(AttrId, AttrId)>,
     ) -> Self {
-        assert!(!rhs.is_empty(), "MD must identify at least one attribute pair");
-        Md { name: name.into(), schema, master_schema, premises, rhs }
+        assert!(
+            !rhs.is_empty(),
+            "MD must identify at least one attribute pair"
+        );
+        Md {
+            name: name.into(),
+            schema,
+            master_schema,
+            premises,
+            rhs,
+        }
     }
 
     /// Diagnostic name.
@@ -168,7 +177,12 @@ mod tests {
     /// ψ of Example 1.1: tran[LN, city, St, post] = card[LN, city, St, zip]
     /// ∧ tran[FN] ≈ card[FN] → tran[FN, phn] ⇋ card[FN, tel].
     fn psi(tran: &Arc<Schema>, card: &Arc<Schema>) -> Md {
-        let eqs = [("LN", "LN"), ("city", "city"), ("St", "St"), ("post", "zip")];
+        let eqs = [
+            ("LN", "LN"),
+            ("city", "city"),
+            ("St", "St"),
+            ("post", "zip"),
+        ];
         let mut premises: Vec<MdPremise> = eqs
             .iter()
             .map(|(a, b)| MdPremise {
@@ -201,8 +215,14 @@ mod tests {
         let md = psi(&tran, &card);
         // t1' (t1 with city already repaired to Ldn)… using the Edinburgh
         // variant for s1: the premise holds, the conclusion does not.
-        let t1p = Tuple::of_strs(&["M.", "Smith", "Edi", "10 Oak St", "EH8 9LE", "9999999"], 0.5);
-        let s1 = Tuple::of_strs(&["Mark", "Smith", "Edi", "10 Oak St", "EH8 9LE", "3256778"], 1.0);
+        let t1p = Tuple::of_strs(
+            &["M.", "Smith", "Edi", "10 Oak St", "EH8 9LE", "9999999"],
+            0.5,
+        );
+        let s1 = Tuple::of_strs(
+            &["Mark", "Smith", "Edi", "10 Oak St", "EH8 9LE", "3256778"],
+            1.0,
+        );
         assert!(md.premise_matches(&t1p, &s1));
         assert!(!md.rhs_identified(&t1p, &s1));
         assert!(md.applies(&t1p, &s1));
@@ -212,7 +232,10 @@ mod tests {
     fn dissimilar_first_names_block_the_premise() {
         let (tran, card) = schemas();
         let md = psi(&tran, &card);
-        let t = Tuple::of_strs(&["Zebulon", "Smith", "Edi", "10 Oak St", "EH8 9LE", "1"], 0.5);
+        let t = Tuple::of_strs(
+            &["Zebulon", "Smith", "Edi", "10 Oak St", "EH8 9LE", "1"],
+            0.5,
+        );
         let s = Tuple::of_strs(&["Mark", "Smith", "Edi", "10 Oak St", "EH8 9LE", "2"], 1.0);
         assert!(!md.premise_matches(&t, &s));
     }
@@ -221,8 +244,14 @@ mod tests {
     fn identified_rhs_means_no_application() {
         let (tran, card) = schemas();
         let md = psi(&tran, &card);
-        let t = Tuple::of_strs(&["Mark", "Smith", "Edi", "10 Oak St", "EH8 9LE", "3256778"], 0.5);
-        let s = Tuple::of_strs(&["Mark", "Smith", "Edi", "10 Oak St", "EH8 9LE", "3256778"], 1.0);
+        let t = Tuple::of_strs(
+            &["Mark", "Smith", "Edi", "10 Oak St", "EH8 9LE", "3256778"],
+            0.5,
+        );
+        let s = Tuple::of_strs(
+            &["Mark", "Smith", "Edi", "10 Oak St", "EH8 9LE", "3256778"],
+            1.0,
+        );
         assert!(md.premise_matches(&t, &s));
         assert!(md.rhs_identified(&t, &s));
         assert!(!md.applies(&t, &s));
@@ -233,7 +262,12 @@ mod tests {
         let (tran, card) = schemas();
         let md = psi(&tran, &card);
         let mut t = Tuple::of_strs(&["Mark", "Smith", "Edi", "10 Oak St", "EH8 9LE", "1"], 0.5);
-        t.set(tran.attr_id_or_panic("St"), Value::Null, 0.0, Default::default());
+        t.set(
+            tran.attr_id_or_panic("St"),
+            Value::Null,
+            0.0,
+            Default::default(),
+        );
         let s = Tuple::of_strs(&["Mark", "Smith", "Edi", "10 Oak St", "EH8 9LE", "2"], 1.0);
         assert!(!md.premise_matches(&t, &s));
     }

@@ -42,8 +42,17 @@ impl NegativeMd {
         premises: Vec<(AttrId, AttrId)>,
         rhs: Vec<(AttrId, AttrId)>,
     ) -> Self {
-        assert!(!premises.is_empty(), "negative MD needs at least one premise");
-        NegativeMd { name: name.into(), schema, master_schema, premises, rhs }
+        assert!(
+            !premises.is_empty(),
+            "negative MD needs at least one premise"
+        );
+        NegativeMd {
+            name: name.into(),
+            schema,
+            master_schema,
+            premises,
+            rhs,
+        }
     }
 
     /// Diagnostic name.
@@ -80,7 +89,11 @@ pub fn embed_negative_mds(positives: &[Md], negatives: &[NegativeMd]) -> Vec<Md>
                         .iter()
                         .any(|p| p.attr == a && p.master_attr == b && p.pred.is_equality());
                     if !already {
-                        premises.push(MdPremise { attr: a, master_attr: b, pred: SimilarityPredicate::Equal });
+                        premises.push(MdPremise {
+                            attr: a,
+                            master_attr: b,
+                            pred: SimilarityPredicate::Equal,
+                        });
                     }
                 }
             }

@@ -77,7 +77,11 @@ mod tests {
             s.clone(),
             vec![s.attr_id_or_panic("city"), s.attr_id_or_panic("phn")],
             vec![PatternValue::Wildcard, PatternValue::Wildcard],
-            vec![s.attr_id_or_panic("St"), s.attr_id_or_panic("AC"), s.attr_id_or_panic("post")],
+            vec![
+                s.attr_id_or_panic("St"),
+                s.attr_id_or_panic("AC"),
+                s.attr_id_or_panic("post"),
+            ],
             vec![PatternValue::Wildcard; 3],
         );
         let norm = normalize_cfd(&phi3);

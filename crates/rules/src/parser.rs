@@ -39,7 +39,7 @@ pub struct ParsedRules {
 }
 
 /// A parse failure, with a 1-based line number and an explanation.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
     /// 1-based input line.
     pub line: usize,
@@ -69,7 +69,11 @@ pub fn parse_rules(
         if line.is_empty() {
             continue;
         }
-        let mut p = Parser { chars: line.chars().collect(), pos: 0, line: lineno };
+        let mut p = Parser {
+            chars: line.chars().collect(),
+            pos: 0,
+            line: lineno,
+        };
         let kind = p.ident().map_err(|m| p.err(m))?;
         match kind.as_str() {
             "cfd" => out.cfds.push(parse_cfd(&mut p, schema)?),
@@ -110,7 +114,10 @@ struct Parser {
 
 impl Parser {
     fn err(&self, msg: String) -> ParseError {
-        ParseError { line: self.line, msg }
+        ParseError {
+            line: self.line,
+            msg,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -220,7 +227,8 @@ impl Parser {
             self.pos += 1;
         }
         let s: String = self.chars[start..self.pos].iter().collect();
-        s.parse::<f64>().map_err(|_| format!("expected a number, found `{s}`"))
+        s.parse::<f64>()
+            .map_err(|_| format!("expected a number, found `{s}`"))
     }
 
     fn at_end(&mut self) -> bool {
@@ -236,7 +244,10 @@ fn parse_cfd(p: &mut Parser, schema: &Arc<Schema>) -> Result<Cfd, ParseError> {
         p.eat(':')?;
         let rel = p.ident()?;
         if rel != schema.name() {
-            return Err(format!("unknown relation `{rel}` (expected `{}`)", schema.name()));
+            return Err(format!(
+                "unknown relation `{rel}` (expected `{}`)",
+                schema.name()
+            ));
         }
         p.eat('(')?;
         let (lhs, lhs_pattern) = parse_attr_pattern_list(p, schema)?;
@@ -247,7 +258,14 @@ fn parse_cfd(p: &mut Parser, schema: &Arc<Schema>) -> Result<Cfd, ParseError> {
         if !p.at_end() {
             return Err(format!("unexpected trailing input at column {}", p.pos + 1));
         }
-        Ok(Cfd::new(name, schema.clone(), lhs, lhs_pattern, rhs, rhs_pattern))
+        Ok(Cfd::new(
+            name,
+            schema.clone(),
+            lhs,
+            lhs_pattern,
+            rhs,
+            rhs_pattern,
+        ))
     };
     build(p).map_err(|m| p.err(m))
 }
@@ -285,7 +303,10 @@ fn parse_qualified_attr(
 ) -> Result<uniclean_model::AttrId, String> {
     let rel = p.ident()?;
     if rel != schema.name() {
-        return Err(format!("unknown relation `{rel}` (expected `{}`)", schema.name()));
+        return Err(format!(
+            "unknown relation `{rel}` (expected `{}`)",
+            schema.name()
+        ));
     }
     p.eat('[')?;
     let attr = p.ident()?;
@@ -304,13 +325,18 @@ fn parse_similarity(p: &mut Parser) -> Result<SimilarityPredicate, String> {
     let kind = p.ident()?;
     p.eat('(')?;
     let pred = match kind.as_str() {
-        "lev" => SimilarityPredicate::Levenshtein { max: p.number()? as usize },
+        "lev" => SimilarityPredicate::Levenshtein {
+            max: p.number()? as usize,
+        },
         "jaro" => SimilarityPredicate::Jaro { min: p.number()? },
         "jw" => SimilarityPredicate::JaroWinkler { min: p.number()? },
         "qgram" => {
             let q = p.number()? as usize;
             p.eat(',')?;
-            SimilarityPredicate::QGramJaccard { q, min: p.number()? }
+            SimilarityPredicate::QGramJaccard {
+                q,
+                min: p.number()?,
+            }
         }
         other => return Err(format!("unknown similarity predicate `~{other}`")),
     };
@@ -328,7 +354,11 @@ fn parse_md(p: &mut Parser, schema: &Arc<Schema>, master: &Arc<Schema>) -> Resul
             let attr = parse_qualified_attr(p, schema)?;
             let pred = parse_similarity(p)?;
             let mattr = parse_qualified_attr(p, master)?;
-            premises.push(MdPremise { attr, master_attr: mattr, pred });
+            premises.push(MdPremise {
+                attr,
+                master_attr: mattr,
+                pred,
+            });
             // `AND` continues the premise, `->` starts the conclusion.
             if p.peek() == Some('A') {
                 p.eat_str("AND")?;
@@ -395,7 +425,13 @@ fn parse_neg(
         if !p.at_end() {
             return Err(format!("unexpected trailing input at column {}", p.pos + 1));
         }
-        Ok(NegativeMd::new(name, schema.clone(), master.clone(), premises, rhs))
+        Ok(NegativeMd::new(
+            name,
+            schema.clone(),
+            master.clone(),
+            premises,
+            rhs,
+        ))
     };
     build(p).map_err(|m| p.err(m))
 }
@@ -406,8 +442,14 @@ mod tests {
 
     fn schemas() -> (Arc<Schema>, Arc<Schema>) {
         (
-            Schema::of_strings("tran", &["FN", "LN", "city", "AC", "post", "phn", "gd", "St"]),
-            Schema::of_strings("card", &["FN", "LN", "city", "AC", "zip", "tel", "gd", "St"]),
+            Schema::of_strings(
+                "tran",
+                &["FN", "LN", "city", "AC", "post", "phn", "gd", "St"],
+            ),
+            Schema::of_strings(
+                "card",
+                &["FN", "LN", "city", "AC", "zip", "tel", "gd", "St"],
+            ),
         )
     }
 
@@ -427,7 +469,10 @@ mod tests {
         assert_eq!(rules.cfds.len(), 4);
         assert_eq!(rules.positive_mds.len(), 1);
         assert_eq!(rules.negative_mds.len(), 1);
-        assert_eq!(rules.cfds[0].to_string(), "phi1: tran([AC=131] -> [city=Edi])");
+        assert_eq!(
+            rules.cfds[0].to_string(),
+            "phi1: tran([AC=131] -> [city=Edi])"
+        );
         assert!(rules.cfds[2].is_plain_fd());
         assert_eq!(rules.positive_mds[0].premises().len(), 5);
         assert_eq!(rules.positive_mds[0].rhs().len(), 2);
@@ -455,7 +500,10 @@ mod tests {
         let rules = parse_rules(text, &tran, Some(&card)).unwrap();
         let prem = rules.positive_mds[0].premises();
         assert_eq!(prem[0].pred, SimilarityPredicate::JaroWinkler { min: 0.9 });
-        assert_eq!(prem[1].pred, SimilarityPredicate::QGramJaccard { q: 2, min: 0.5 });
+        assert_eq!(
+            prem[1].pred,
+            SimilarityPredicate::QGramJaccard { q: 2, min: 0.5 }
+        );
         assert_eq!(prem[2].pred, SimilarityPredicate::Jaro { min: 0.8 });
     }
 
@@ -477,8 +525,12 @@ mod tests {
     #[test]
     fn md_without_master_schema_rejected() {
         let (tran, _) = schemas();
-        let err = parse_rules("md m: tran[FN] = tran[FN] -> tran[FN] <=> tran[FN]", &tran, None)
-            .unwrap_err();
+        let err = parse_rules(
+            "md m: tran[FN] = tran[FN] -> tran[FN] <=> tran[FN]",
+            &tran,
+            None,
+        )
+        .unwrap_err();
         assert!(err.msg.contains("master schema"), "{}", err.msg);
     }
 
@@ -499,7 +551,8 @@ mod tests {
     #[test]
     fn hash_inside_quotes_is_content() {
         let (tran, _) = schemas();
-        let rules = parse_rules(r##"cfd c: tran([city="#1 Place"] -> [AC=1])"##, &tran, None).unwrap();
+        let rules =
+            parse_rules(r##"cfd c: tran([city="#1 Place"] -> [AC=1])"##, &tran, None).unwrap();
         assert_eq!(
             rules.cfds[0].lhs_pattern()[0],
             PatternValue::Const(Value::str("#1 Place"))

@@ -1,5 +1,6 @@
 //! The combined rule set `Θ = Σ ∪ Γ` handed to the cleaning pipeline.
 
+use std::fmt;
 use std::sync::Arc;
 
 use uniclean_model::Schema;
@@ -8,6 +9,41 @@ use crate::cfd::Cfd;
 use crate::md::Md;
 use crate::negative::{embed_negative_mds, NegativeMd};
 use crate::normalize::{normalize_cfds, normalize_mds};
+
+/// Why a [`RuleSet`] could not be assembled from parsed rules.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuleSetError {
+    /// A CFD was authored against a different relation than the data
+    /// schema handed to the rule set.
+    ForeignSchema {
+        /// Name of the offending rule.
+        rule: String,
+        /// Relation name the rule set expects.
+        expected: String,
+        /// Relation name the rule references.
+        found: String,
+    },
+    /// Positive or negative MDs were supplied without a master schema.
+    MdsWithoutMasterSchema,
+}
+
+impl fmt::Display for RuleSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleSetError::ForeignSchema {
+                rule,
+                expected,
+                found,
+            } => write!(
+                f,
+                "CFD `{rule}` is on a different schema (`{found}`, expected `{expected}`)"
+            ),
+            RuleSetError::MdsWithoutMasterSchema => write!(f, "MDs require a master schema"),
+        }
+    }
+}
+
+impl std::error::Error for RuleSetError {}
 
 /// A prepared rule set: CFDs and MDs, normalized, with negative MDs already
 /// embedded (per Prop. 2.6 only positive, normalized rules need to be
@@ -25,7 +61,8 @@ impl RuleSet {
     ///
     /// # Panics
     /// Panics if rules reference a different schema than the one given, or
-    /// if MDs are present without a master schema.
+    /// if MDs are present without a master schema. [`RuleSet::try_new`] is
+    /// the non-panicking equivalent for rules built from user input.
     pub fn new(
         schema: Arc<Schema>,
         master_schema: Option<Arc<Schema>>,
@@ -33,23 +70,42 @@ impl RuleSet {
         positive_mds: Vec<Md>,
         negative_mds: Vec<NegativeMd>,
     ) -> Self {
+        Self::try_new(schema, master_schema, cfds, positive_mds, negative_mds)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Prepare a rule set, reporting structural problems as a
+    /// [`RuleSetError`] instead of panicking.
+    pub fn try_new(
+        schema: Arc<Schema>,
+        master_schema: Option<Arc<Schema>>,
+        cfds: Vec<Cfd>,
+        positive_mds: Vec<Md>,
+        negative_mds: Vec<NegativeMd>,
+    ) -> Result<Self, RuleSetError> {
         for c in &cfds {
-            assert_eq!(c.schema().name(), schema.name(), "CFD `{}` is on a different schema", c.name());
+            if c.schema().name() != schema.name() {
+                return Err(RuleSetError::ForeignSchema {
+                    rule: c.name().to_string(),
+                    expected: schema.name().to_string(),
+                    found: c.schema().name().to_string(),
+                });
+            }
         }
-        if !positive_mds.is_empty() || !negative_mds.is_empty() {
-            assert!(master_schema.is_some(), "MDs require a master schema");
+        if (!positive_mds.is_empty() || !negative_mds.is_empty()) && master_schema.is_none() {
+            return Err(RuleSetError::MdsWithoutMasterSchema);
         }
         let embedded = if negative_mds.is_empty() {
             positive_mds
         } else {
             embed_negative_mds(&positive_mds, &negative_mds)
         };
-        RuleSet {
+        Ok(RuleSet {
             schema,
             master_schema,
             cfds: normalize_cfds(&cfds),
             mds: normalize_mds(&embedded),
-        }
+        })
     }
 
     /// A rule set with CFDs only (repairing without matching —
@@ -139,14 +195,48 @@ mod tests {
             vec![(tran.attr_id_or_panic("gd"), card.attr_id_or_panic("gd"))],
             vec![],
         );
-        let rs = RuleSet::new(tran.clone(), Some(card), vec![wide_cfd], vec![md], vec![neg]);
+        let rs = RuleSet::new(
+            tran.clone(),
+            Some(card),
+            vec![wide_cfd],
+            vec![md],
+            vec![neg],
+        );
         assert_eq!(rs.cfds().len(), 2, "wide CFD split in two");
         assert_eq!(rs.mds().len(), 2, "wide MD split in two");
-        assert!(rs.mds().iter().all(|m| m.premises().len() == 2), "gd premise embedded");
+        assert!(
+            rs.mds().iter().all(|m| m.premises().len() == 2),
+            "gd premise embedded"
+        );
         assert_eq!(rs.len(), 4);
         let no_md = rs.without_mds();
         assert_eq!(no_md.len(), 2);
         assert!(no_md.master_schema().is_none());
+    }
+
+    #[test]
+    fn try_new_reports_structural_errors() {
+        let tran = Schema::of_strings("tran", &["A", "B"]);
+        let other = Schema::of_strings("other", &["A", "B"]);
+        let foreign_cfd = Cfd::new(
+            "c",
+            other.clone(),
+            vec![other.attr_id_or_panic("A")],
+            vec![PatternValue::Wildcard],
+            vec![other.attr_id_or_panic("B")],
+            vec![PatternValue::Wildcard],
+        );
+        let err =
+            RuleSet::try_new(tran.clone(), None, vec![foreign_cfd], vec![], vec![]).unwrap_err();
+        assert_eq!(
+            err,
+            RuleSetError::ForeignSchema {
+                rule: "c".into(),
+                expected: "tran".into(),
+                found: "other".into()
+            }
+        );
+        assert!(RuleSet::try_new(tran, None, vec![], vec![], vec![]).is_ok());
     }
 
     #[test]

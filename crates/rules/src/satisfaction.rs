@@ -73,7 +73,10 @@ mod tests {
         );
         let d = Relation::new(
             s.clone(),
-            vec![Tuple::of_strs(&["x", "1", "1"], 0.5), Tuple::of_strs(&["x", "1", "2"], 0.5)],
+            vec![
+                Tuple::of_strs(&["x", "1", "1"], 0.5),
+                Tuple::of_strs(&["x", "1", "2"], 0.5),
+            ],
         );
         assert!(!satisfies_cfd(&wide, &d));
     }
@@ -103,7 +106,12 @@ mod tests {
         let d = Relation::new(tran.clone(), vec![Tuple::of_strs(&["131", "Edi"], 0.5)]);
         let dm_agree = Relation::new(card.clone(), vec![Tuple::of_strs(&["131", "Edi"], 1.0)]);
         let dm_conflict = Relation::new(card.clone(), vec![Tuple::of_strs(&["131", "Ldn"], 1.0)]);
-        assert!(satisfies_all(&[phi1(&tran)], std::slice::from_ref(&md), &d, &dm_agree));
+        assert!(satisfies_all(
+            &[phi1(&tran)],
+            std::slice::from_ref(&md),
+            &d,
+            &dm_agree
+        ));
         assert!(!satisfies_all(&[phi1(&tran)], &[md], &d, &dm_conflict));
     }
 }

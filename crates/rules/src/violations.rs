@@ -64,7 +64,11 @@ pub enum Violation {
 pub fn cfd_violations(cfds: &[Cfd], d: &Relation, null_satisfies: bool) -> Vec<Violation> {
     let mut out = Vec::new();
     for (idx, cfd) in cfds.iter().enumerate() {
-        assert!(cfd.is_normalized(), "cfd_violations requires normalized CFDs; `{}` is not", cfd.name());
+        assert!(
+            cfd.is_normalized(),
+            "cfd_violations requires normalized CFDs; `{}` is not",
+            cfd.name()
+        );
         if cfd.is_constant() {
             constant_cfd_violations(idx, cfd, d, null_satisfies, &mut out);
         } else {
@@ -88,9 +92,16 @@ fn constant_cfd_violations(
             continue;
         }
         let have = t.value(rhs);
-        let ok = if null_satisfies { have.eq_nullable(want) } else { have == want };
+        let ok = if null_satisfies {
+            have.eq_nullable(want)
+        } else {
+            have == want
+        };
         if !ok {
-            out.push(Violation::ConstantCfd { rule: idx, tuple: tid });
+            out.push(Violation::ConstantCfd {
+                rule: idx,
+                tuple: tid,
+            });
         }
     }
 }
@@ -130,7 +141,12 @@ fn variable_cfd_violations(
         let conflict = distinct.len() >= 2;
         let enrichable = !null_satisfies && nulls && !distinct.is_empty();
         if conflict || enrichable {
-            out.push(Violation::VariableCfd { rule: idx, key, tuples, values: distinct });
+            out.push(Violation::VariableCfd {
+                rule: idx,
+                key,
+                tuples,
+                values: distinct,
+            });
         }
     }
 }
@@ -139,10 +155,19 @@ fn variable_cfd_violations(
 ///
 /// This is the reference O(|D|·|Dm|) scan; the cleaning algorithms use the
 /// LCS blocking index instead (see `uniclean-core`).
-pub fn md_violations(mds: &[Md], d: &Relation, dm: &Relation, null_satisfies: bool) -> Vec<Violation> {
+pub fn md_violations(
+    mds: &[Md],
+    d: &Relation,
+    dm: &Relation,
+    null_satisfies: bool,
+) -> Vec<Violation> {
     let mut out = Vec::new();
     for (idx, md) in mds.iter().enumerate() {
-        assert!(md.is_normalized(), "md_violations requires normalized MDs; `{}` is not", md.name());
+        assert!(
+            md.is_normalized(),
+            "md_violations requires normalized MDs; `{}` is not",
+            md.name()
+        );
         let (e, f) = md.rhs()[0];
         for (tid, t) in d.iter() {
             for (sid, s) in dm.iter() {
@@ -151,9 +176,17 @@ pub fn md_violations(mds: &[Md], d: &Relation, dm: &Relation, null_satisfies: bo
                 }
                 let tv = t.value(e);
                 let sv = s.value(f);
-                let ok = if null_satisfies { tv.eq_nullable(sv) } else { tv == sv };
+                let ok = if null_satisfies {
+                    tv.eq_nullable(sv)
+                } else {
+                    tv == sv
+                };
                 if !ok {
-                    out.push(Violation::Md { rule: idx, tuple: tid, master: sid });
+                    out.push(Violation::Md {
+                        rule: idx,
+                        tuple: tid,
+                        master: sid,
+                    });
                 }
             }
         }
@@ -208,7 +241,13 @@ mod tests {
             ],
         );
         let v = cfd_violations(&[phi1(&s)], &d, false);
-        assert_eq!(v, vec![Violation::ConstantCfd { rule: 0, tuple: TupleId(0) }]);
+        assert_eq!(
+            v,
+            vec![Violation::ConstantCfd {
+                rule: 0,
+                tuple: TupleId(0)
+            }]
+        );
     }
 
     #[test]
@@ -237,7 +276,12 @@ mod tests {
     fn null_rhs_is_enrichable_but_satisfies_sql_semantics() {
         let s = schema();
         let mut t2 = Tuple::of_strs(&["131", "Edi", "555", "x"], 0.5);
-        t2.set(s.attr_id_or_panic("St"), Value::Null, 0.0, Default::default());
+        t2.set(
+            s.attr_id_or_panic("St"),
+            Value::Null,
+            0.0,
+            Default::default(),
+        );
         let d = Relation::new(
             s.clone(),
             vec![Tuple::of_strs(&["131", "Edi", "555", "10 Oak St"], 0.5), t2],
@@ -254,7 +298,12 @@ mod tests {
     fn null_in_lhs_excludes_tuple_from_groups() {
         let s = schema();
         let mut t = Tuple::of_strs(&["131", "Edi", "555", "Elsewhere"], 0.5);
-        t.set(s.attr_id_or_panic("phn"), Value::Null, 0.0, Default::default());
+        t.set(
+            s.attr_id_or_panic("phn"),
+            Value::Null,
+            0.0,
+            Default::default(),
+        );
         let d = Relation::new(
             s.clone(),
             vec![Tuple::of_strs(&["131", "Edi", "555", "10 Oak St"], 0.5), t],
@@ -289,11 +338,18 @@ mod tests {
                 Tuple::of_strs(&["131", "Edi", "777", "5 Wren St"], 0.5),
             ],
         );
-        let dm = Relation::new(card, vec![Tuple::of_strs(&["131", "Edi", "777", "10 Oak St"], 1.0)]);
+        let dm = Relation::new(
+            card,
+            vec![Tuple::of_strs(&["131", "Edi", "777", "10 Oak St"], 1.0)],
+        );
         let v = md_violations(&[md], &d, &dm, false);
         assert_eq!(
             v,
-            vec![Violation::Md { rule: 0, tuple: TupleId(0), master: TupleId(0) }]
+            vec![Violation::Md {
+                rule: 0,
+                tuple: TupleId(0),
+                master: TupleId(0)
+            }]
         );
     }
 
@@ -301,10 +357,21 @@ mod tests {
     fn md_null_rhs_enrichable_under_cleaning_semantics() {
         let (tran, card, md) = md_setup();
         let mut t = Tuple::of_strs(&["131", "Edi", "999", "10 Oak St"], 0.5);
-        t.set(tran.attr_id_or_panic("phn"), Value::Null, 0.0, Default::default());
+        t.set(
+            tran.attr_id_or_panic("phn"),
+            Value::Null,
+            0.0,
+            Default::default(),
+        );
         let d = Relation::new(tran, vec![t]);
-        let dm = Relation::new(card, vec![Tuple::of_strs(&["131", "Edi", "777", "10 Oak St"], 1.0)]);
-        assert_eq!(md_violations(std::slice::from_ref(&md), &d, &dm, false).len(), 1);
+        let dm = Relation::new(
+            card,
+            vec![Tuple::of_strs(&["131", "Edi", "777", "10 Oak St"], 1.0)],
+        );
+        assert_eq!(
+            md_violations(std::slice::from_ref(&md), &d, &dm, false).len(),
+            1
+        );
         assert!(md_violations(&[md], &d, &dm, true).is_empty());
     }
 

@@ -47,7 +47,12 @@ impl LcsBlocker {
             owners[id].push(row);
         }
         let tree = GeneralizedSuffixTree::build(&values);
-        LcsBlocker { tree, values, owners, l }
+        LcsBlocker {
+            tree,
+            values,
+            owners,
+            l,
+        }
     }
 
     /// Number of distinct indexed values.
@@ -84,9 +89,7 @@ impl LcsBlocker {
         // values directly so blocking stays complete.
         if qlen <= k {
             for (val_id, v) in self.values.iter().enumerate() {
-                if v.chars().count() <= k
-                    && longest_common_substring_len(query, v) == 0
-                {
+                if v.chars().count() <= k && longest_common_substring_len(query, v) == 0 {
                     rows.extend_from_slice(&self.owners[val_id]);
                 }
             }

@@ -22,7 +22,11 @@ fn levenshtein_chars(av: &[char], bv: &[char]) -> usize {
     if bv.is_empty() {
         return av.len();
     }
-    let (short, long) = if av.len() <= bv.len() { (av, bv) } else { (bv, av) };
+    let (short, long) = if av.len() <= bv.len() {
+        (av, bv)
+    } else {
+        (bv, av)
+    };
     let mut prev: Vec<usize> = (0..=short.len()).collect();
     let mut cur = vec![0usize; short.len() + 1];
     for (i, lc) in long.iter().enumerate() {
@@ -48,7 +52,11 @@ pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
     if max == 0 {
         return (av == bv).then_some(0);
     }
-    let (short, long) = if av.len() <= bv.len() { (&av, &bv) } else { (&bv, &av) };
+    let (short, long) = if av.len() <= bv.len() {
+        (&av, &bv)
+    } else {
+        (&bv, &av)
+    };
     let n = short.len();
     // Sentinel: one past the threshold, saturating to dodge overflow.
     let inf = max + 1;

@@ -16,7 +16,11 @@ pub fn longest_common_substring_len(a: &str, b: &str) -> usize {
     if av.is_empty() || bv.is_empty() {
         return 0;
     }
-    let (short, long) = if av.len() <= bv.len() { (&av, &bv) } else { (&bv, &av) };
+    let (short, long) = if av.len() <= bv.len() {
+        (&av, &bv)
+    } else {
+        (&bv, &av)
+    };
     let mut prev = vec![0usize; short.len() + 1];
     let mut cur = vec![0usize; short.len() + 1];
     let mut best = 0;

@@ -124,8 +124,14 @@ mod tests {
     #[test]
     fn display_renders_rule_syntax() {
         assert_eq!(SimilarityPredicate::Equal.to_string(), "=");
-        assert_eq!(SimilarityPredicate::Levenshtein { max: 3 }.to_string(), "~lev(3)");
-        assert_eq!(SimilarityPredicate::Jaro { min: 0.8 }.to_string(), "~jaro(0.8)");
+        assert_eq!(
+            SimilarityPredicate::Levenshtein { max: 3 }.to_string(),
+            "~lev(3)"
+        );
+        assert_eq!(
+            SimilarityPredicate::Jaro { min: 0.8 }.to_string(),
+            "~jaro(0.8)"
+        );
         assert_eq!(
             SimilarityPredicate::QGramJaccard { q: 2, min: 0.5 }.to_string(),
             "~qgram(2,0.5)"

@@ -49,7 +49,14 @@ struct Node {
 
 impl Node {
     fn new(start: usize, end: usize) -> Self {
-        Node { start, end, slink: 0, next: HashMap::new(), depth: 0, string_id: None }
+        Node {
+            start,
+            end,
+            slink: 0,
+            next: HashMap::new(),
+            depth: 0,
+            string_id: None,
+        }
     }
 }
 
@@ -186,7 +193,10 @@ impl GeneralizedSuffixTree {
             }
             // Whether we consumed the whole edge or stopped midway, every
             // string under `child` shares the matched prefix.
-            visit(MatchLoc { len: matched, node: child });
+            visit(MatchLoc {
+                len: matched,
+                node: child,
+            });
             if k < edge.len() {
                 return;
             }
@@ -201,7 +211,9 @@ impl GeneralizedSuffixTree {
     /// This is the paper's O(|v|²) "extract the subtree related to v" walk.
     pub fn matching_statistics(&self, query: &str) -> Vec<MatchLoc> {
         let syms: Vec<u32> = query.chars().map(|c| c as u32).collect();
-        (0..syms.len()).map(|i| self.walk_from_root(&syms[i..])).collect()
+        (0..syms.len())
+            .map(|i| self.walk_from_root(&syms[i..]))
+            .collect()
     }
 
     /// All attribution locations across every query suffix (see
@@ -368,7 +380,10 @@ impl<'a> Builder<'a> {
                         break;
                     }
                     // Split the edge.
-                    let split = self.new_node(self.nodes[nxt].start, self.nodes[nxt].start + self.active_len);
+                    let split = self.new_node(
+                        self.nodes[nxt].start,
+                        self.nodes[nxt].start + self.active_len,
+                    );
                     self.nodes[self.active_node].next.insert(edge_sym, split);
                     let leaf = self.new_node(pos, OPEN_END);
                     self.nodes[split].next.insert(c, leaf);

@@ -10,9 +10,9 @@
 //! ```
 
 use uniclean::baselines::{sortn_match, uniclean_matches, SortNConfig};
-use uniclean::core::{CleanConfig, Phase, UniClean};
 use uniclean::datagen::{dblp_workload, GenParams};
 use uniclean::metrics::matching_quality;
+use uniclean::{CleanConfig, Cleaner, MasterSource, Phase};
 
 fn main() {
     let w = dblp_workload(&GenParams {
@@ -41,8 +41,17 @@ fn main() {
     );
 
     // UniClean: repair first, then identify matches on the repaired data.
-    let cfg = CleanConfig { eta: 1.0, delta_entropy: 0.8, ..CleanConfig::default() };
-    let uni = UniClean::new(&w.rules, Some(&w.master), cfg);
+    let cfg = CleanConfig {
+        eta: 1.0,
+        delta_entropy: 0.8,
+        ..CleanConfig::default()
+    };
+    let uni = Cleaner::builder()
+        .rules(w.rules.clone())
+        .master(MasterSource::external(w.master.clone()))
+        .config(cfg)
+        .build()
+        .expect("valid session");
     let r = uni.clean(&w.dirty, Phase::Full);
     let found = uniclean_matches(&r.repaired, &w.master, w.rules.mds());
     let q_uni = matching_quality(&found, &w.true_matches);

@@ -11,7 +11,6 @@
 //! cargo run --release --example discover_rules
 //! ```
 
-use uniclean::core::{CleanConfig, Phase, UniClean};
 use uniclean::datagen::{hosp_workload, GenParams};
 use uniclean::discovery::{
     discover_constant_cfds, discover_fds, suggest_mds, ConstantCfdConfig, FdConfig,
@@ -19,6 +18,7 @@ use uniclean::discovery::{
 use uniclean::metrics::repair_quality;
 use uniclean::reasoning::is_consistent;
 use uniclean::rules::RuleSet;
+use uniclean::{CleanConfig, Cleaner, MasterSource, Phase};
 
 fn main() {
     let w = hosp_workload(&GenParams {
@@ -31,8 +31,20 @@ fn main() {
     // Profile a vetted clean sample (the ground truth stands in for it
     // here — in production this is a curated subset) for CFDs; mine the
     // master data's keys for MDs.
-    let fds = discover_fds(&w.truth, &FdConfig { max_lhs: 2, min_support_pairs: 10 });
-    let ccfds = discover_constant_cfds(&w.truth, &ConstantCfdConfig { min_support: 10, ..Default::default() });
+    let fds = discover_fds(
+        &w.truth,
+        &FdConfig {
+            max_lhs: 2,
+            min_support_pairs: 10,
+        },
+    );
+    let ccfds = discover_constant_cfds(
+        &w.truth,
+        &ConstantCfdConfig {
+            min_support: 10,
+            ..Default::default()
+        },
+    );
     // Vet suggested MDs on the clean sample: a column can be accidentally
     // unique in a small master, and an overfit match key fabricates
     // matches (§4 is exactly about catching bad rules before use).
@@ -58,18 +70,43 @@ fn main() {
     cfds.extend(ccfds.iter().cloned());
 
     // Vet the mined set before deriving cleaning rules from it (§4).
-    let mined = RuleSet::new(data_schema, Some(w.master.schema().clone()), cfds, mds, vec![]);
+    let mined = RuleSet::new(
+        data_schema,
+        Some(w.master.schema().clone()),
+        cfds,
+        mds,
+        vec![],
+    );
     let cfd_core = mined.without_mds();
-    println!("mined rule set consistent: {}", is_consistent(&cfd_core, None));
+    println!(
+        "mined rule set consistent: {}",
+        is_consistent(&cfd_core, None)
+    );
 
-    // Clean with the mined rules only.
-    let cfg = CleanConfig { eta: 1.0, delta_entropy: 0.8, ..CleanConfig::default() };
-    let uni = UniClean::new(&mined, Some(&w.master), cfg.clone());
+    // Clean with the mined rules only. Both sessions share the master
+    // relation through an `Arc` — no copies.
+    let cfg = CleanConfig {
+        eta: 1.0,
+        delta_entropy: 0.8,
+        ..CleanConfig::default()
+    };
+    let master = MasterSource::external(w.master.clone());
+    let uni = Cleaner::builder()
+        .rules(mined)
+        .master(master.clone())
+        .config(cfg.clone())
+        .build()
+        .expect("valid session");
     let r = uni.clean(&w.dirty, Phase::Full);
     let q_mined = repair_quality(&w.dirty, &r.repaired, &w.truth);
 
     // Compare with the hand-written rule set.
-    let uni_hand = UniClean::new(&w.rules, Some(&w.master), cfg);
+    let uni_hand = Cleaner::builder()
+        .rules(w.rules.clone())
+        .master(master)
+        .config(cfg)
+        .build()
+        .expect("valid session");
     let rh = uni_hand.clean(&w.dirty, Phase::Full);
     let q_hand = repair_quality(&w.dirty, &rh.repaired, &w.truth);
 

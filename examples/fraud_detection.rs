@@ -11,13 +11,19 @@
 //! cargo run --example fraud_detection
 //! ```
 
-use uniclean::core::{CleanConfig, Phase, UniClean};
 use uniclean::model::{FixMark, Relation, Schema, Tuple, TupleId, Value};
 use uniclean::rules::{parse_rules, RuleSet};
+use uniclean::{CleanConfig, Cleaner, MasterSource, Phase};
 
 fn main() {
-    let tran = Schema::of_strings("tran", &["FN", "LN", "St", "city", "AC", "post", "phn", "gd"]);
-    let card = Schema::of_strings("card", &["FN", "LN", "St", "city", "AC", "zip", "tel", "gd"]);
+    let tran = Schema::of_strings(
+        "tran",
+        &["FN", "LN", "St", "city", "AC", "post", "phn", "gd"],
+    );
+    let card = Schema::of_strings(
+        "card",
+        &["FN", "LN", "St", "city", "AC", "zip", "tel", "gd"],
+    );
     let text = "\
         cfd phi1: tran([AC=131] -> [city=Edi])\n\
         cfd phi2: tran([AC=020] -> [city=Ldn])\n\
@@ -38,8 +44,32 @@ fn main() {
     let master = Relation::new(
         card,
         vec![
-            Tuple::of_strs(&["Mark", "Smith", "10 Oak St", "Edi", "131", "EH8 9LE", "3256778", "Male"], 1.0),
-            Tuple::of_strs(&["Robert", "Brady", "5 Wren St", "Ldn", "020", "WC1H 9SE", "3887644", "Male"], 1.0),
+            Tuple::of_strs(
+                &[
+                    "Mark",
+                    "Smith",
+                    "10 Oak St",
+                    "Edi",
+                    "131",
+                    "EH8 9LE",
+                    "3256778",
+                    "Male",
+                ],
+                1.0,
+            ),
+            Tuple::of_strs(
+                &[
+                    "Robert",
+                    "Brady",
+                    "5 Wren St",
+                    "Ldn",
+                    "020",
+                    "WC1H 9SE",
+                    "3887644",
+                    "Male",
+                ],
+                1.0,
+            ),
         ],
     );
 
@@ -54,27 +84,56 @@ fn main() {
         t
     };
     let t3 = mk(
-        &["Bob", "Brady", "5 Wren St", "Edi", "020", "WC1H 9SE", "3887834", "Male"],
+        &[
+            "Bob",
+            "Brady",
+            "5 Wren St",
+            "Edi",
+            "020",
+            "WC1H 9SE",
+            "3887834",
+            "Male",
+        ],
         &[0.6, 1.0, 0.9, 0.2, 0.9, 0.8, 0.9, 0.8],
     );
     let mut t4 = mk(
-        &["Robert", "Brady", "", "Ldn", "020", "WC1E 7HX", "3887644", "Male"],
+        &[
+            "Robert", "Brady", "", "Ldn", "020", "WC1E 7HX", "3887644", "Male",
+        ],
         &[0.7, 1.0, 0.0, 0.5, 0.7, 0.3, 0.7, 0.8],
     );
-    t4.set(tran.attr_id_or_panic("St"), Value::Null, 0.0, FixMark::Untouched);
+    t4.set(
+        tran.attr_id_or_panic("St"),
+        Value::Null,
+        0.0,
+        FixMark::Untouched,
+    );
     let dirty = Relation::new(tran.clone(), vec![t3, t4]);
 
     println!("before cleaning:");
     print_pair(&dirty, &tran);
 
-    let uni = UniClean::new(&rules, Some(&master), CleanConfig { eta: 0.8, ..CleanConfig::default() });
+    let uni = Cleaner::builder()
+        .rules(rules)
+        .master(MasterSource::external(master))
+        .config(CleanConfig {
+            eta: 0.8,
+            ..CleanConfig::default()
+        })
+        .build()
+        .expect("valid session");
     let result = uni.clean(&dirty, Phase::Full);
 
     println!("\nfixes applied ({}):", result.report.len());
     for fix in result.report.records() {
         println!(
             "  [{}] {}.{}: {} -> {}   (rule {})",
-            fix.mark, fix.tuple, tran.attr_name(fix.attr), fix.old, fix.new, fix.rule
+            fix.mark,
+            fix.tuple,
+            tran.attr_name(fix.attr),
+            fix.old,
+            fix.new,
+            fix.rule
         );
     }
 
@@ -86,7 +145,10 @@ fn main() {
         .iter()
         .map(|a| tran.attr_id_or_panic(a))
         .collect();
-    let same = result.repaired.tuple(TupleId(0)).agrees_with(result.repaired.tuple(TupleId(1)), &ident);
+    let same = result
+        .repaired
+        .tuple(TupleId(0))
+        .agrees_with(result.repaired.tuple(TupleId(1)), &ident);
     println!("\nsame person across UK and USA at the same time: {same} → FRAUD");
     assert!(same, "the cleaning process must reveal the match");
 }

@@ -8,10 +8,10 @@
 //! cargo run --release --example hospital_cleaning
 //! ```
 
-use uniclean::core::{CleanConfig, Phase, UniClean};
 use uniclean::datagen::{hosp_workload, GenParams};
 use uniclean::metrics::repair_quality;
 use uniclean::model::FixMark;
+use uniclean::{CleanConfig, Cleaner, MasterSource, Phase};
 
 fn main() {
     let params = GenParams {
@@ -32,8 +32,17 @@ fn main() {
         w.errors
     );
 
-    let cfg = CleanConfig { eta: 1.0, delta_entropy: 0.8, ..CleanConfig::default() };
-    let uni = UniClean::new(&w.rules, Some(&w.master), cfg);
+    let cfg = CleanConfig {
+        eta: 1.0,
+        delta_entropy: 0.8,
+        ..CleanConfig::default()
+    };
+    let uni = Cleaner::builder()
+        .rules(w.rules.clone())
+        .master(MasterSource::external(w.master.clone()))
+        .config(cfg)
+        .build()
+        .expect("valid session");
 
     for (phase, label) in [
         (Phase::CRepair, "cRepair           "),

@@ -8,9 +8,9 @@
 //! cargo run --example quickstart
 //! ```
 
-use uniclean::core::{CleanConfig, Phase, UniClean};
 use uniclean::model::{Relation, Schema, Tuple};
 use uniclean::rules::{parse_rules, RuleSet};
+use uniclean::{CleanConfig, Cleaner, MasterSource, Phase};
 
 fn main() {
     // Schemas: dirty transactions and clean master card data.
@@ -25,13 +25,27 @@ fn main() {
         cfd phi4: tran([FN=Bob] -> [FN=Robert])\n\
         md  psi:  tran[LN] = card[LN] AND tran[city] = card[city] AND tran[St] = card[St] AND tran[post] = card[zip] AND tran[FN] ~lev(4) card[FN] -> tran[FN] <=> card[FN], tran[phn] <=> card[tel]";
     let parsed = parse_rules(rules_text, &tran, Some(&card)).expect("rules parse");
-    let rules = RuleSet::new(tran.clone(), Some(card.clone()), parsed.cfds, parsed.positive_mds, vec![]);
+    let rules = RuleSet::new(
+        tran.clone(),
+        Some(card.clone()),
+        parsed.cfds,
+        parsed.positive_mds,
+        vec![],
+    );
 
     // Master data: one verified customer.
     let master = Relation::new(
         card,
         vec![Tuple::of_strs(
-            &["Mark", "Smith", "10 Oak St", "Edi", "131", "EH8 9LE", "3256778"],
+            &[
+                "Mark",
+                "Smith",
+                "10 Oak St",
+                "Edi",
+                "131",
+                "EH8 9LE",
+                "3256778",
+            ],
             1.0,
         )],
     );
@@ -39,7 +53,15 @@ fn main() {
     // A dirty transaction: wrong city (AC says Edinburgh), wrong phone.
     // Confidence 0.9 on most cells, 0 on the suspicious ones.
     let mut t = Tuple::of_strs(
-        &["M.", "Smith", "10 Oak St", "Ldn", "131", "EH8 9LE", "9999999"],
+        &[
+            "M.",
+            "Smith",
+            "10 Oak St",
+            "Ldn",
+            "131",
+            "EH8 9LE",
+            "9999999",
+        ],
         0.9,
     );
     let city = tran.attr_id_or_panic("city");
@@ -50,10 +72,18 @@ fn main() {
     t.set(phn, v, 0.0, Default::default());
     let dirty = Relation::new(tran.clone(), vec![t]);
 
-    // Clean: cRepair → eRepair → hRepair with η = 0.8.
-    let config = CleanConfig { eta: 0.8, ..CleanConfig::default() };
-    let uni = UniClean::new(&rules, Some(&master), config);
-    let result = uni.clean(&dirty, Phase::Full);
+    // Clean: cRepair → eRepair → hRepair with η = 0.8. The session owns
+    // its rules and master data, so it can be reused across many inputs.
+    let cleaner = Cleaner::builder()
+        .rules(rules.clone())
+        .master(MasterSource::external(master))
+        .config(CleanConfig {
+            eta: 0.8,
+            ..CleanConfig::default()
+        })
+        .build()
+        .expect("valid session");
+    let result = cleaner.clean(&dirty, Phase::Full);
 
     println!("consistent: {}", result.consistent);
     println!("repair cost: {:.3}", result.cost);

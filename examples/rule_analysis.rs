@@ -15,7 +15,10 @@ use uniclean::reasoning::{
 use uniclean::rules::{parse_rules, RuleSet};
 
 fn main() {
-    let tran = Schema::of_strings("tran", &["FN", "AC", "city", "phn", "St", "post", "country"]);
+    let tran = Schema::of_strings(
+        "tran",
+        &["FN", "AC", "city", "phn", "St", "post", "country"],
+    );
     let text = "\
         cfd phi1: tran([AC=131] -> [city=Edi])\n\
         cfd phi2: tran([AC=020] -> [city=Ldn])\n\
@@ -48,7 +51,11 @@ fn main() {
 
     // The eRepair application order from the dependency graph.
     let g = DepGraph::build(&rules);
-    println!("dependency graph: {} rules, cyclic: {}", g.len(), g.has_cycle());
+    println!(
+        "dependency graph: {} rules, cyclic: {}",
+        g.len(),
+        g.has_cycle()
+    );
     let order: Vec<String> = erepair_order(&rules)
         .into_iter()
         .map(|r| match r {
@@ -68,5 +75,8 @@ fn main() {
         "with ϕ5 added: guaranteed terminating: {}, oscillating constant pairs: {:?}",
         report.guaranteed_terminating, report.constant_conflicts
     );
-    assert!(!report.constant_conflicts.is_empty(), "Example 4.6 must be flagged");
+    assert!(
+        !report.constant_conflicts.is_empty(),
+        "Example 4.6 must be flagged"
+    );
 }

@@ -16,12 +16,12 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use uniclean::core::{clean_without_master, CleanConfig, Phase, UniClean};
 use uniclean::discovery::{discover_constant_cfds, discover_fds, ConstantCfdConfig, FdConfig};
 use uniclean::model::csv::{from_csv, to_csv};
 use uniclean::model::{Relation, Schema, ValueType};
 use uniclean::reasoning::{is_consistent, termination_diagnostics};
 use uniclean::rules::{cfd_violations, md_violations, parse_rules, RuleSet, Violation};
+use uniclean::{CleanConfig, Cleaner, MasterSource, Phase};
 
 const USAGE: &str = "\
 uniclean — unified record matching and data repairing (Fan et al., SIGMOD 2011)
@@ -109,7 +109,8 @@ impl Opts {
     }
 
     fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))
     }
 
     fn flag(&self, key: &str) -> bool {
@@ -119,14 +120,18 @@ impl Opts {
     fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got `{v}`")),
         }
     }
 
     fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got `{v}`")),
         }
     }
 }
@@ -149,7 +154,11 @@ fn run(args: &[String]) -> Result<String, String> {
 
 fn load_relation(path: &str, table: &str, default_cf: f64) -> Result<Relation, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let header_cols = text.lines().next().map(|l| l.split(',').count()).unwrap_or(0);
+    let header_cols = text
+        .lines()
+        .next()
+        .map(|l| l.split(',').count())
+        .unwrap_or(0);
     let types = vec![ValueType::Str; header_cols];
     from_csv(table, &types, &text, default_cf).map_err(|e| format!("{path}: {e}"))
 }
@@ -180,18 +189,27 @@ fn load_input(opts: &Opts, default_cf: f64) -> Result<LoadedInput, String> {
         None => None,
     };
 
-    let rule_text =
-        std::fs::read_to_string(rules_path).map_err(|e| format!("cannot read {rules_path}: {e}"))?;
-    let parsed = parse_rules(&rule_text, data.schema(), master.as_ref().map(|m| m.schema()))
-        .map_err(|e| e.to_string())?;
-    let rules = RuleSet::new(
+    let rule_text = std::fs::read_to_string(rules_path)
+        .map_err(|e| format!("cannot read {rules_path}: {e}"))?;
+    let parsed = parse_rules(
+        &rule_text,
+        data.schema(),
+        master.as_ref().map(|m| m.schema()),
+    )
+    .map_err(|e| e.to_string())?;
+    let rules = RuleSet::try_new(
         data.schema().clone(),
         master.as_ref().map(|m| m.schema().clone()),
         parsed.cfds,
         parsed.positive_mds,
         parsed.negative_mds,
-    );
-    Ok(LoadedInput { rules, data, master })
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(LoadedInput {
+        rules,
+        data,
+        master,
+    })
 }
 
 fn parse_phase(s: &str) -> Result<Phase, String> {
@@ -205,21 +223,37 @@ fn parse_phase(s: &str) -> Result<Phase, String> {
 
 fn cmd_clean(opts: &Opts) -> Result<String, String> {
     let default_cf = opts.get_f64("cf", 0.0)?;
-    let input = load_input(opts, default_cf)?;
+    let LoadedInput {
+        rules,
+        data,
+        master,
+    } = load_input(opts, default_cf)?;
     let cfg = CleanConfig {
         eta: opts.get_f64("eta", 1.0)?,
         delta_entropy: opts.get_f64("delta2", 0.8)?,
         ..CleanConfig::default()
     };
-    cfg.validate()?;
     let phase = parse_phase(opts.get_or("phase", "full"))?;
 
-    let result = if opts.flag("self-match") {
-        clean_without_master(&input.rules, &input.data, cfg, phase)
+    // One builder path for all three master modes; every misuse (bad
+    // thresholds, MDs without master, schema mismatch) surfaces as a typed
+    // error rendered on stderr instead of a panic. Rules and master move
+    // into the session — no copies.
+    let master = if opts.flag("self-match") {
+        MasterSource::SelfSnapshot
     } else {
-        let uni = UniClean::new(&input.rules, input.master.as_ref(), cfg);
-        uni.clean(&input.data, phase)
+        match master {
+            Some(dm) => MasterSource::external(dm),
+            None => MasterSource::None,
+        }
     };
+    let cleaner = Cleaner::builder()
+        .rules(rules)
+        .master(master)
+        .config(cfg)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let result = cleaner.clean(&data, phase);
 
     let mut out = String::new();
     let (det, rel, pos) = result.fix_counts();
@@ -236,7 +270,7 @@ fn cmd_clean(opts: &Opts) -> Result<String, String> {
                 "  [{}] {}.{}: {} -> {}   (rule {})\n",
                 fix.mark,
                 fix.tuple,
-                input.data.schema().attr_name(fix.attr),
+                data.schema().attr_name(fix.attr),
                 fix.old,
                 fix.new,
                 fix.rule
@@ -323,10 +357,26 @@ fn cmd_discover(opts: &Opts) -> Result<String, String> {
     let data = load_relation(data_path, table, 0.0)?;
     let max_lhs = opts.get_usize("max-lhs", 2)?;
     let min_support = opts.get_usize("min-support", 3)?;
-    let fds = discover_fds(&data, &FdConfig { max_lhs, min_support_pairs: 2 });
-    let ccfds = discover_constant_cfds(&data, &ConstantCfdConfig { min_support, ..Default::default() });
+    let fds = discover_fds(
+        &data,
+        &FdConfig {
+            max_lhs,
+            min_support_pairs: 2,
+        },
+    );
+    let ccfds = discover_constant_cfds(
+        &data,
+        &ConstantCfdConfig {
+            min_support,
+            ..Default::default()
+        },
+    );
     let mut out = String::new();
-    out.push_str(&format!("# {} FDs, {} constant CFDs mined from {data_path}\n", fds.len(), ccfds.len()));
+    out.push_str(&format!(
+        "# {} FDs, {} constant CFDs mined from {data_path}\n",
+        fds.len(),
+        ccfds.len()
+    ));
     for fd in fds.iter().chain(ccfds.iter()) {
         out.push_str(&format!("cfd {}\n", strip_name(fd)));
     }
@@ -359,7 +409,10 @@ mod tests {
     fn clean_repairs_a_csv_end_to_end() {
         let data = write_temp("d.csv", "AC,city\n131,Ldn\n020,Ldn\n");
         let rules = write_temp("r.rules", "cfd phi1: data([AC=131] -> [city=Edi])");
-        let out = run(&argv(&["clean", "--data", &data, "--rules", &rules, "--report"])).unwrap();
+        let out = run(&argv(&[
+            "clean", "--data", &data, "--rules", &rules, "--report",
+        ]))
+        .unwrap();
         assert!(out.contains("applied 1 fixes"), "{out}");
         assert!(out.contains("consistent: true"), "{out}");
         assert!(out.contains("131,Edi"), "{out}");
@@ -384,7 +437,10 @@ mod tests {
 
     #[test]
     fn self_match_flag_builds_a_snapshot_master() {
-        let data = write_temp("ds.csv", "LN,city,AC,phn\nBrady,Ldn,020,111\nBrady,Ldn,020,999\n");
+        let data = write_temp(
+            "ds.csv",
+            "LN,city,AC,phn\nBrady,Ldn,020,111\nBrady,Ldn,020,999\n",
+        );
         let rules = write_temp(
             "rs.rules",
             "md psi: data[LN] = master[LN] AND data[city] = master[city] -> data[phn] <=> master[phn]",
@@ -392,7 +448,16 @@ mod tests {
         // With cf 1.0 everywhere both records are asserted; the heuristic
         // tail resolves the phone conflict one way or the other.
         let out = run(&argv(&[
-            "clean", "--data", &data, "--rules", &rules, "--self-match", "--cf", "0", "--eta", "0.8",
+            "clean",
+            "--data",
+            &data,
+            "--rules",
+            &rules,
+            "--self-match",
+            "--cf",
+            "0",
+            "--eta",
+            "0.8",
         ]))
         .unwrap();
         assert!(out.contains("consistent: true"), "{out}");
@@ -433,9 +498,33 @@ mod tests {
         assert!(out.contains("FDs"), "{out}");
         // Every emitted rule line must parse back.
         let schema = Schema::of_strings("data", &["City", "State"]);
-        let rule_lines: String = out.lines().filter(|l| l.starts_with("cfd ")).collect::<Vec<_>>().join("\n");
+        let rule_lines: String = out
+            .lines()
+            .filter(|l| l.starts_with("cfd "))
+            .collect::<Vec<_>>()
+            .join("\n");
         let parsed = parse_rules(&rule_lines, &schema, None).unwrap();
         assert!(!parsed.cfds.is_empty());
+    }
+
+    #[test]
+    fn builder_misuse_is_reported_not_panicked() {
+        // Out-of-range threshold.
+        let data = write_temp("de.csv", "AC,city\n131,Ldn\n");
+        let rules = write_temp("re.rules", "cfd phi1: data([AC=131] -> [city=Edi])");
+        let err = run(&argv(&[
+            "clean", "--data", &data, "--rules", &rules, "--eta", "2.0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("eta"), "{err}");
+        // MDs without a master relation.
+        let data = write_temp("dn.csv", "LN,phn\nBrady,000\n");
+        let rules = write_temp(
+            "rn.rules",
+            "md psi: data[LN] = master[LN] -> data[phn] <=> master[tel]",
+        );
+        let err = run(&argv(&["clean", "--data", &data, "--rules", &rules])).unwrap_err();
+        assert!(err.contains("master"), "{err}");
     }
 
     #[test]

@@ -8,8 +8,16 @@ use uniclean::model::TupleId;
 #[test]
 fn blocked_md_matches_equal_naive_scan() {
     for w in [
-        hosp_workload(&GenParams { tuples: 300, master_tuples: 120, ..GenParams::default() }),
-        dblp_workload(&GenParams { tuples: 300, master_tuples: 120, ..GenParams::default() }),
+        hosp_workload(&GenParams {
+            tuples: 300,
+            master_tuples: 120,
+            ..GenParams::default()
+        }),
+        dblp_workload(&GenParams {
+            tuples: 300,
+            master_tuples: 120,
+            ..GenParams::default()
+        }),
     ] {
         // l = |Dm| makes top-l retrieval exhaustive, isolating the bound's
         // correctness from the top-l approximation.
@@ -26,7 +34,8 @@ fn blocked_md_matches_equal_naive_scan() {
                     .collect();
                 naive.sort_unstable();
                 assert_eq!(
-                    blocked, naive,
+                    blocked,
+                    naive,
                     "{}: md {} tuple {tid} — blocked and naive disagree",
                     w.name,
                     md.name()
@@ -41,7 +50,11 @@ fn default_l_loses_no_matches_on_generated_data() {
     // With the paper's l = 20 the index is an approximation; on the
     // generated workloads (few similar master values per query) it is
     // still exhaustive.
-    let w = hosp_workload(&GenParams { tuples: 300, master_tuples: 150, ..GenParams::default() });
+    let w = hosp_workload(&GenParams {
+        tuples: 300,
+        master_tuples: 150,
+        ..GenParams::default()
+    });
     let exhaustive = MasterIndex::build(w.rules.mds(), &w.master, w.master.len());
     let default_l = MasterIndex::build(w.rules.mds(), &w.master, 20);
     for (i, md) in w.rules.mds().iter().enumerate() {

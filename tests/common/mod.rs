@@ -1,0 +1,135 @@
+//! Shared integration-test fixtures.
+
+#![allow(dead_code)] // each tests/*.rs crate uses a subset of these helpers
+
+use std::sync::Arc;
+
+use uniclean::model::{AttrId, FixMark, Relation, Schema, Tuple, Value};
+use uniclean::rules::{parse_rules, RuleSet};
+
+/// The paper's running example (Example 1.1 / Fig. 1): schemas `tran` /
+/// `card`, rules ϕ1–ϕ4, ψ and the negative MD ψ1, the four dirty
+/// transactions with their per-cell confidence rows, and the two master
+/// tuples. Returns `(tran_schema, rules, dirty, master)`.
+pub fn example_1_1() -> (Arc<Schema>, RuleSet, Relation, Relation) {
+    let tran = Schema::of_strings(
+        "tran",
+        &["FN", "LN", "St", "city", "AC", "post", "phn", "gd"],
+    );
+    let card = Schema::of_strings(
+        "card",
+        &["FN", "LN", "St", "city", "AC", "zip", "tel", "gd"],
+    );
+    let text = "\
+        cfd phi1: tran([AC=131] -> [city=Edi])\n\
+        cfd phi2: tran([AC=020] -> [city=Ldn])\n\
+        cfd phi3: tran([city, phn] -> [St, AC, post])\n\
+        cfd phi4: tran([FN=Bob] -> [FN=Robert])\n\
+        md  psi:  tran[LN] = card[LN] AND tran[city] = card[city] AND tran[St] = card[St] AND tran[post] = card[zip] AND tran[FN] ~lev(4) card[FN] -> tran[FN] <=> card[FN], tran[phn] <=> card[tel]\n\
+        neg psi1: tran[gd] != card[gd] -> tran[FN] <!> card[FN]";
+    let parsed = parse_rules(text, &tran, Some(&card)).expect("rules parse");
+    let rules = RuleSet::new(
+        tran.clone(),
+        Some(card.clone()),
+        parsed.cfds,
+        parsed.positive_mds,
+        parsed.negative_mds,
+    );
+
+    // Fig. 1(a): master data.
+    let master = Relation::new(
+        card,
+        vec![
+            Tuple::of_strs(
+                &[
+                    "Mark",
+                    "Smith",
+                    "10 Oak St",
+                    "Edi",
+                    "131",
+                    "EH8 9LE",
+                    "3256778",
+                    "Male",
+                ],
+                1.0,
+            ),
+            Tuple::of_strs(
+                &[
+                    "Robert",
+                    "Brady",
+                    "5 Wren St",
+                    "Ldn",
+                    "020",
+                    "WC1H 9SE",
+                    "3887644",
+                    "Male",
+                ],
+                1.0,
+            ),
+        ],
+    );
+
+    // Fig. 1(b): the transaction log with its per-cell confidence rows.
+    let mk = |vals: &[&str], cfs: &[f64]| {
+        let mut t = Tuple::of_strs(vals, 0.0);
+        for (i, &c) in cfs.iter().enumerate() {
+            let a = AttrId::from(i);
+            let v = t.value(a).clone();
+            t.set(a, v, c, FixMark::Untouched);
+        }
+        t
+    };
+    let t1 = mk(
+        &[
+            "M.",
+            "Smith",
+            "10 Oak St",
+            "Ldn",
+            "131",
+            "EH8 9LE",
+            "9999999",
+            "Male",
+        ],
+        &[0.9, 1.0, 0.9, 0.5, 0.9, 0.9, 0.0, 0.8],
+    );
+    let t2 = mk(
+        &[
+            "Max",
+            "Smith",
+            "Po Box 25",
+            "Edi",
+            "131",
+            "EH8 9AB",
+            "3256778",
+            "Male",
+        ],
+        &[0.7, 1.0, 0.5, 0.9, 0.7, 0.6, 0.8, 0.8],
+    );
+    let t3 = mk(
+        &[
+            "Bob",
+            "Brady",
+            "5 Wren St",
+            "Edi",
+            "020",
+            "WC1H 9SE",
+            "3887834",
+            "Male",
+        ],
+        &[0.6, 1.0, 0.9, 0.2, 0.9, 0.8, 0.9, 0.8],
+    );
+    let mut t4 = mk(
+        &[
+            "Robert", "Brady", "", "Ldn", "020", "WC1E 7HX", "3887644", "Male",
+        ],
+        &[0.7, 1.0, 0.0, 0.5, 0.7, 0.3, 0.7, 0.8],
+    );
+    t4.set(
+        tran.attr_id_or_panic("St"),
+        Value::Null,
+        0.0,
+        FixMark::Untouched,
+    );
+    let dirty = Relation::new(tran.clone(), vec![t1, t2, t3, t4]);
+    (tran, rules, dirty, master)
+}

@@ -1,10 +1,10 @@
 //! Cross-crate property tests: invariants that span crate boundaries.
 
 use proptest::prelude::*;
-use uniclean::core::{CleanConfig, Phase, UniClean};
 use uniclean::datagen::{hosp_workload, GenParams};
 use uniclean::model::{value_distance, FixMark, Value};
 use uniclean::similarity::levenshtein;
+use uniclean::{CleanConfig, Cleaner, MasterSource, Phase};
 
 proptest! {
     /// The model crate's reference distance (used by the cost model) agrees
@@ -48,7 +48,12 @@ proptest! {
             ..GenParams::default()
         };
         let w = hosp_workload(&p);
-        let uni = UniClean::new(&w.rules, Some(&w.master), CleanConfig::default());
+        let uni = Cleaner::builder()
+            .rules(w.rules.clone())
+            .master(MasterSource::external(w.master.clone()))
+            .config(CleanConfig::default())
+            .build()
+            .expect("workload session");
         let r = uni.clean(&w.dirty, Phase::Full);
         prop_assert!(r.consistent, "pipeline must reach a consistent repair");
 

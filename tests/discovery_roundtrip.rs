@@ -11,22 +11,31 @@ use uniclean::model::AttrId;
 use uniclean::rules::{satisfies_cfd, Cfd};
 
 fn params() -> GenParams {
-    GenParams { tuples: 400, master_tuples: 150, ..GenParams::default() }
+    GenParams {
+        tuples: 400,
+        master_tuples: 150,
+        ..GenParams::default()
+    }
 }
 
 /// Does the discovered set contain `lhs → rhs` or a sub-LHS version of it?
 fn covered(fds: &[Cfd], schema: &uniclean::model::Schema, lhs: &[&str], rhs: &str) -> bool {
     let lhs_ids: Vec<AttrId> = lhs.iter().map(|a| schema.attr_id(a).unwrap()).collect();
     let rhs_id = schema.attr_id(rhs).unwrap();
-    fds.iter().any(|f| {
-        f.rhs()[0] == rhs_id && f.lhs().iter().all(|a| lhs_ids.contains(a))
-    })
+    fds.iter()
+        .any(|f| f.rhs()[0] == rhs_id && f.lhs().iter().all(|a| lhs_ids.contains(a)))
 }
 
 #[test]
 fn hosp_generator_fds_are_rediscovered() {
     let w = hosp_workload(&params());
-    let fds = discover_fds(&w.truth, &FdConfig { max_lhs: 2, min_support_pairs: 2 });
+    let fds = discover_fds(
+        &w.truth,
+        &FdConfig {
+            max_lhs: 2,
+            min_support_pairs: 2,
+        },
+    );
     let s = w.truth.schema();
     // The geography and measure clusters of the HOSP rule set.
     for (lhs, rhs) in [
@@ -51,7 +60,13 @@ fn hosp_generator_fds_are_rediscovered() {
 #[test]
 fn dblp_generator_fds_are_rediscovered() {
     let w = dblp_workload(&params());
-    let fds = discover_fds(&w.truth, &FdConfig { max_lhs: 2, min_support_pairs: 2 });
+    let fds = discover_fds(
+        &w.truth,
+        &FdConfig {
+            max_lhs: 2,
+            min_support_pairs: 2,
+        },
+    );
     let s = w.truth.schema();
     for (lhs, rhs) in [
         (vec!["Journal"], "Publisher"),
@@ -67,7 +82,13 @@ fn dblp_generator_fds_are_rediscovered() {
 #[test]
 fn discovered_fds_hold_on_both_truth_and_master() {
     let w = hosp_workload(&params());
-    let fds = discover_fds(&w.truth, &FdConfig { max_lhs: 2, min_support_pairs: 2 });
+    let fds = discover_fds(
+        &w.truth,
+        &FdConfig {
+            max_lhs: 2,
+            min_support_pairs: 2,
+        },
+    );
     assert!(!fds.is_empty());
     for fd in &fds {
         assert!(satisfies_cfd(fd, &w.truth), "{fd} fails on truth");
@@ -81,9 +102,18 @@ fn suggested_mds_vet_down_to_sound_match_keys() {
     // — validate candidates on a clean sample — must keep the real entity
     // keys and may drop the accidental ones.
     let w = hosp_workload(&params());
-    let sample_fds = discover_fds(&w.truth, &FdConfig { max_lhs: 1, min_support_pairs: 2 });
+    let sample_fds = discover_fds(
+        &w.truth,
+        &FdConfig {
+            max_lhs: 1,
+            min_support_pairs: 2,
+        },
+    );
     let suggested = suggest_mds(&w.master, w.rules.schema(), 1, &sample_fds);
-    assert!(!suggested.is_empty(), "master keys (ProviderID, Phone…) must lift to MDs");
+    assert!(
+        !suggested.is_empty(),
+        "master keys (ProviderID, Phone…) must lift to MDs"
+    );
     let vetted: Vec<_> = suggested
         .into_iter()
         .filter(|md| uniclean::rules::satisfies_md(md, &w.truth, &w.master))
@@ -102,9 +132,18 @@ fn discovery_on_dirty_data_loses_rules() {
     // Profiling dirty data misses dependencies the noise broke — the
     // reason the paper routes discovery through clean samples and the
     // consistency analysis.
-    let clean = hosp_workload(&GenParams { noise_rate: 0.0, ..params() });
-    let dirty = hosp_workload(&GenParams { noise_rate: 0.10, ..params() });
-    let cfg = FdConfig { max_lhs: 1, min_support_pairs: 2 };
+    let clean = hosp_workload(&GenParams {
+        noise_rate: 0.0,
+        ..params()
+    });
+    let dirty = hosp_workload(&GenParams {
+        noise_rate: 0.10,
+        ..params()
+    });
+    let cfg = FdConfig {
+        max_lhs: 1,
+        min_support_pairs: 2,
+    };
     let n_clean = discover_fds(&clean.truth, &cfg).len();
     let n_dirty = discover_fds(&dirty.dirty, &cfg).len();
     assert!(

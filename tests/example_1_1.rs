@@ -2,66 +2,32 @@
 //! executed through the public façade crate, including rule parsing, the
 //! negative-MD embedding and CSV round-tripping of the repair.
 
-use uniclean::core::{CleanConfig, Phase, UniClean};
 use uniclean::model::csv::{from_csv, to_csv};
-use uniclean::model::{AttrId, FixMark, Relation, Schema, Tuple, TupleId, Value, ValueType};
-use uniclean::rules::{parse_rules, RuleSet};
+use uniclean::model::Relation;
+use uniclean::model::{AttrId, FixMark, TupleId, Value, ValueType};
+use uniclean::rules::RuleSet;
+use uniclean::{CleanConfig, Cleaner, MasterSource, Phase};
 
-fn setup() -> (std::sync::Arc<Schema>, RuleSet, Relation, Relation) {
-    let tran = Schema::of_strings("tran", &["FN", "LN", "St", "city", "AC", "post", "phn", "gd"]);
-    let card = Schema::of_strings("card", &["FN", "LN", "St", "city", "AC", "zip", "tel", "gd"]);
-    let text = "\
-        cfd phi1: tran([AC=131] -> [city=Edi])\n\
-        cfd phi2: tran([AC=020] -> [city=Ldn])\n\
-        cfd phi3: tran([city, phn] -> [St, AC, post])\n\
-        cfd phi4: tran([FN=Bob] -> [FN=Robert])\n\
-        md  psi:  tran[LN] = card[LN] AND tran[city] = card[city] AND tran[St] = card[St] AND tran[post] = card[zip] AND tran[FN] ~lev(4) card[FN] -> tran[FN] <=> card[FN], tran[phn] <=> card[tel]\n\
-        neg psi1: tran[gd] != card[gd] -> tran[FN] <!> card[FN]";
-    let parsed = parse_rules(text, &tran, Some(&card)).expect("rules parse");
-    let rules = RuleSet::new(tran.clone(), Some(card.clone()), parsed.cfds, parsed.positive_mds, parsed.negative_mds);
+mod common;
+use common::example_1_1 as setup;
 
-    let master = Relation::new(
-        card,
-        vec![
-            Tuple::of_strs(&["Mark", "Smith", "10 Oak St", "Edi", "131", "EH8 9LE", "3256778", "Male"], 1.0),
-            Tuple::of_strs(&["Robert", "Brady", "5 Wren St", "Ldn", "020", "WC1H 9SE", "3887644", "Male"], 1.0),
-        ],
-    );
-
-    let mk = |vals: &[&str], cfs: &[f64]| {
-        let mut t = Tuple::of_strs(vals, 0.0);
-        for (i, &c) in cfs.iter().enumerate() {
-            let a = AttrId::from(i);
-            let v = t.value(a).clone();
-            t.set(a, v, c, FixMark::Untouched);
-        }
-        t
-    };
-    let t1 = mk(
-        &["M.", "Smith", "10 Oak St", "Ldn", "131", "EH8 9LE", "9999999", "Male"],
-        &[0.9, 1.0, 0.9, 0.5, 0.9, 0.9, 0.0, 0.8],
-    );
-    let t2 = mk(
-        &["Max", "Smith", "Po Box 25", "Edi", "131", "EH8 9AB", "3256778", "Male"],
-        &[0.7, 1.0, 0.5, 0.9, 0.7, 0.6, 0.8, 0.8],
-    );
-    let t3 = mk(
-        &["Bob", "Brady", "5 Wren St", "Edi", "020", "WC1H 9SE", "3887834", "Male"],
-        &[0.6, 1.0, 0.9, 0.2, 0.9, 0.8, 0.9, 0.8],
-    );
-    let mut t4 = mk(
-        &["Robert", "Brady", "", "Ldn", "020", "WC1E 7HX", "3887644", "Male"],
-        &[0.7, 1.0, 0.0, 0.5, 0.7, 0.3, 0.7, 0.8],
-    );
-    t4.set(tran.attr_id_or_panic("St"), Value::Null, 0.0, FixMark::Untouched);
-    let dirty = Relation::new(tran.clone(), vec![t1, t2, t3, t4]);
-    (tran, rules, dirty, master)
+/// The Example 1.1 session: η = 0.8 over the Fig. 1(a) master data.
+fn example_session(rules: &RuleSet, master: &Relation) -> Cleaner {
+    Cleaner::builder()
+        .rules(rules.clone())
+        .master(MasterSource::external(master.clone()))
+        .config(CleanConfig {
+            eta: 0.8,
+            ..CleanConfig::default()
+        })
+        .build()
+        .expect("Example 1.1 session is well-formed")
 }
 
 #[test]
 fn fraud_is_detected_end_to_end() {
     let (tran, rules, dirty, master) = setup();
-    let uni = UniClean::new(&rules, Some(&master), CleanConfig { eta: 0.8, ..CleanConfig::default() });
+    let uni = example_session(&rules, &master);
     let result = uni.clean(&dirty, Phase::Full);
     assert!(result.consistent);
 
@@ -70,21 +36,30 @@ fn fraud_is_detected_end_to_end() {
         .map(|a| tran.attr_id_or_panic(a))
         .collect();
     assert!(
-        result.repaired.tuple(TupleId(2)).agrees_with(result.repaired.tuple(TupleId(3)), &ident),
+        result
+            .repaired
+            .tuple(TupleId(2))
+            .agrees_with(result.repaired.tuple(TupleId(3)), &ident),
         "t3 and t4 must be revealed as the same person"
     );
     // All three fix classes appear in this example.
     let (det, rel, pos) = result.fix_counts();
     assert!(det > 0, "deterministic fixes expected");
-    assert!(det + rel + pos >= 6, "the walk-through involves at least six fixes");
+    assert!(
+        det + rel + pos >= 6,
+        "the walk-through involves at least six fixes"
+    );
 }
 
 #[test]
 fn repair_cost_is_positive_and_bounded() {
     let (_, rules, dirty, master) = setup();
-    let uni = UniClean::new(&rules, Some(&master), CleanConfig { eta: 0.8, ..CleanConfig::default() });
+    let uni = example_session(&rules, &master);
     let result = uni.clean(&dirty, Phase::Full);
-    assert!(result.cost > 0.0, "changes were made, cost must be positive");
+    assert!(
+        result.cost > 0.0,
+        "changes were made, cost must be positive"
+    );
     // Cost is bounded by the number of cells (each normalized term ≤ 1·cf ≤ 1).
     assert!(result.cost < dirty.cell_count() as f64);
 }
@@ -92,7 +67,7 @@ fn repair_cost_is_positive_and_bounded() {
 #[test]
 fn csv_roundtrip_preserves_the_repair() {
     let (tran, rules, dirty, master) = setup();
-    let uni = UniClean::new(&rules, Some(&master), CleanConfig { eta: 0.8, ..CleanConfig::default() });
+    let uni = example_session(&rules, &master);
     let repaired = uni.clean(&dirty, Phase::Full).repaired;
     let csv = to_csv(&repaired);
     let types = vec![ValueType::Str; tran.arity()];
@@ -100,7 +75,11 @@ fn csv_roundtrip_preserves_the_repair() {
     assert_eq!(back.len(), repaired.len());
     for (id, t) in repaired.iter() {
         for a in tran.attr_ids() {
-            assert_eq!(back.tuple(id).value(a), t.value(a), "cell {id}/{a} roundtrips");
+            assert_eq!(
+                back.tuple(id).value(a),
+                t.value(a),
+                "cell {id}/{a} roundtrips"
+            );
         }
     }
 }
@@ -111,10 +90,15 @@ fn negative_md_blocks_cross_gender_identification() {
     // negative MD must prevent ψ from identifying t3 with her.
     let (tran, rules, dirty, mut master) = setup();
     let gd = master.schema().attr_id("gd").unwrap();
-    master.tuple_mut(TupleId(1)).set(gd, Value::str("Female"), 1.0, FixMark::Untouched);
-    let uni = UniClean::new(&rules, Some(&master), CleanConfig { eta: 0.8, ..CleanConfig::default() });
+    master
+        .tuple_mut(TupleId(1))
+        .set(gd, Value::str("Female"), 1.0, FixMark::Untouched);
+    let uni = example_session(&rules, &master);
     let result = uni.clean(&dirty, Phase::Full);
     let phn = tran.attr_id_or_panic("phn");
     // t3's phone is no longer corrected from the (female) master tuple.
-    assert_ne!(result.repaired.tuple(TupleId(2)).value(phn), &Value::str("3887644"));
+    assert_ne!(
+        result.repaired.tuple(TupleId(2)).value(phn),
+        &Value::str("3887644")
+    );
 }

@@ -11,7 +11,11 @@ use uniclean::reasoning::{
 use uniclean::rules::{parse_rules, RuleSet};
 
 fn small() -> GenParams {
-    GenParams { tuples: 60, master_tuples: 30, ..GenParams::default() }
+    GenParams {
+        tuples: 60,
+        master_tuples: 30,
+        ..GenParams::default()
+    }
 }
 
 #[test]
@@ -21,7 +25,11 @@ fn generated_rule_sets_are_consistent() {
     // the CFD core is the part that can be inconsistent).
     for w in [hosp_workload(&small()), dblp_workload(&small())] {
         let cfd_only = w.rules.without_mds();
-        assert!(is_consistent(&cfd_only, None), "{}: CFDs must be consistent", w.name);
+        assert!(
+            is_consistent(&cfd_only, None),
+            "{}: CFDs must be consistent",
+            w.name
+        );
     }
 }
 
@@ -69,7 +77,12 @@ fn a_normalized_fragment_is_implied_by_its_source() {
 #[test]
 fn chase_determinism_probe_on_clean_slice() {
     // Clean data is a fixpoint for every order: trivially deterministic.
-    let w = hosp_workload(&GenParams { noise_rate: 0.0, tuples: 20, master_tuples: 10, ..GenParams::default() });
+    let w = hosp_workload(&GenParams {
+        noise_rate: 0.0,
+        tuples: 20,
+        master_tuples: 10,
+        ..GenParams::default()
+    });
     let report = determinism_check(&w.rules, Some(&w.master), &w.truth, 200, 2);
     assert_eq!(report.deterministic, Some(true), "{report:?}");
 }

@@ -62,11 +62,7 @@ fn cfd_display_parses_back() {
                 cfd b: tran([city, post] -> [FN])\n\
                 cfd c: tran([FN=Bob] -> [FN=Robert])";
     let first = parse_rules(text, &s, None).unwrap();
-    let rendered: String = first
-        .cfds
-        .iter()
-        .map(|c| format!("cfd {c}\n"))
-        .collect();
+    let rendered: String = first.cfds.iter().map(|c| format!("cfd {c}\n")).collect();
     let second = parse_rules(&rendered, &s, None).unwrap();
     assert_eq!(first.cfds.len(), second.cfds.len());
     for (a, b) in first.cfds.iter().zip(second.cfds.iter()) {
@@ -81,10 +77,14 @@ fn cfd_display_parses_back() {
 fn md_display_parses_back() {
     let tran = Schema::of_strings("tran", &["LN", "FN", "phn"]);
     let card = Schema::of_strings("card", &["LN", "FN", "tel"]);
-    let text = "md psi: tran[LN] = card[LN] AND tran[FN] ~lev(2) card[FN] -> tran[phn] <=> card[tel]";
+    let text =
+        "md psi: tran[LN] = card[LN] AND tran[FN] ~lev(2) card[FN] -> tran[phn] <=> card[tel]";
     let first = parse_rules(text, &tran, Some(&card)).unwrap();
     let rendered = format!("md {}", first.positive_mds[0]);
     let second = parse_rules(&rendered, &tran, Some(&card)).unwrap();
-    assert_eq!(first.positive_mds[0].premises(), second.positive_mds[0].premises());
+    assert_eq!(
+        first.positive_mds[0].premises(),
+        second.positive_mds[0].premises()
+    );
     assert_eq!(first.positive_mds[0].rhs(), second.positive_mds[0].rhs());
 }

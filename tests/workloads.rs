@@ -3,18 +3,48 @@
 //! the consistency guarantee of the full pipeline.
 
 use uniclean::baselines::{quaid_repair, sortn_match, uniclean_matches, SortNConfig};
-use uniclean::core::{CleanConfig, Phase, UniClean};
-use uniclean::datagen::{dblp_workload, hosp_workload, tpch_workload, GenParams, TpchScale, Workload};
+use uniclean::datagen::{
+    dblp_workload, hosp_workload, tpch_workload, GenParams, TpchScale, Workload,
+};
 use uniclean::metrics::{matching_quality, repair_quality};
 use uniclean::model::FixMark;
-use uniclean::rules::satisfies_all;
+use uniclean::rules::{satisfies_all, RuleSet};
+use uniclean::{CleanConfig, Cleaner, MasterSource, Phase};
 
 fn params() -> GenParams {
-    GenParams { tuples: 600, master_tuples: 200, noise_rate: 0.06, ..GenParams::default() }
+    GenParams {
+        tuples: 600,
+        master_tuples: 200,
+        noise_rate: 0.06,
+        ..GenParams::default()
+    }
 }
 
 fn config() -> CleanConfig {
-    CleanConfig { eta: 1.0, delta_entropy: 0.8, ..CleanConfig::default() }
+    CleanConfig {
+        eta: 1.0,
+        delta_entropy: 0.8,
+        ..CleanConfig::default()
+    }
+}
+
+/// A session over a workload's rules and master data.
+fn session(w: &Workload) -> Cleaner {
+    Cleaner::builder()
+        .rules(w.rules.clone())
+        .master(MasterSource::external(w.master.clone()))
+        .config(config())
+        .build()
+        .expect("workload sessions are well-formed")
+}
+
+/// A CFD-only session (no master data).
+fn cfd_session(rules: RuleSet) -> Cleaner {
+    Cleaner::builder()
+        .rules(rules)
+        .config(config())
+        .build()
+        .expect("CFD-only session")
 }
 
 fn all_workloads() -> Vec<Workload> {
@@ -28,7 +58,7 @@ fn all_workloads() -> Vec<Workload> {
 #[test]
 fn full_pipeline_reaches_a_consistent_repair_on_every_dataset() {
     for w in all_workloads() {
-        let uni = UniClean::new(&w.rules, Some(&w.master), config());
+        let uni = session(&w);
         let r = uni.clean(&w.dirty, Phase::Full);
         assert!(r.consistent, "{}: repair must satisfy Σ and Γ", w.name);
         assert!(
@@ -45,7 +75,7 @@ fn deterministic_fixes_are_always_correct() {
     // assumptions), so cRepair's output must agree with the ground truth
     // everywhere — the experimental Fig. 12 "precision ≈ 1" claim, exact.
     for w in all_workloads() {
-        let uni = UniClean::new(&w.rules, Some(&w.master), config());
+        let uni = session(&w);
         let r = uni.clean(&w.dirty, Phase::CRepair);
         for fix in r.report.records() {
             assert_eq!(fix.mark, FixMark::Deterministic);
@@ -58,14 +88,18 @@ fn deterministic_fixes_are_always_correct() {
                 fix.attr
             );
         }
-        assert!(!r.report.is_empty(), "{}: some deterministic fixes expected", w.name);
+        assert!(
+            !r.report.is_empty(),
+            "{}: some deterministic fixes expected",
+            w.name
+        );
     }
 }
 
 #[test]
 fn phase_quality_ordering_matches_figure_12() {
     let w = hosp_workload(&params());
-    let uni = UniClean::new(&w.rules, Some(&w.master), config());
+    let uni = session(&w);
     let c = uni.clean(&w.dirty, Phase::CRepair);
     let ce = uni.clean(&w.dirty, Phase::CERepair);
     let full = uni.clean(&w.dirty, Phase::Full);
@@ -73,8 +107,18 @@ fn phase_quality_ordering_matches_figure_12() {
     let qce = repair_quality(&w.dirty, &ce.repaired, &w.truth);
     let qf = repair_quality(&w.dirty, &full.repaired, &w.truth);
     // Precision decreases along the phases, recall increases.
-    assert!(qc.precision >= qce.precision - 1e-9, "{} vs {}", qc.precision, qce.precision);
-    assert!(qce.precision >= qf.precision - 1e-9, "{} vs {}", qce.precision, qf.precision);
+    assert!(
+        qc.precision >= qce.precision - 1e-9,
+        "{} vs {}",
+        qc.precision,
+        qce.precision
+    );
+    assert!(
+        qce.precision >= qf.precision - 1e-9,
+        "{} vs {}",
+        qce.precision,
+        qf.precision
+    );
     assert!(qc.recall <= qce.recall + 1e-9);
     assert!(qce.recall <= qf.recall + 1e-9);
 }
@@ -83,12 +127,11 @@ fn phase_quality_ordering_matches_figure_12() {
 fn uni_beats_quaid_and_unicfd_on_repairing() {
     // Exp-1's headline orderings.
     for w in [hosp_workload(&params()), dblp_workload(&params())] {
-        let uni = UniClean::new(&w.rules, Some(&w.master), config());
+        let uni = session(&w);
         let full = uni.clean(&w.dirty, Phase::Full);
         let q_uni = repair_quality(&w.dirty, &full.repaired, &w.truth).f1();
 
-        let cfd_rules = w.rules.without_mds();
-        let uni_cfd = UniClean::new(&cfd_rules, None, config());
+        let uni_cfd = cfd_session(w.rules.without_mds());
         let r = uni_cfd.clean(&w.dirty, Phase::Full);
         let q_unicfd = repair_quality(&w.dirty, &r.repaired, &w.truth).f1();
 
@@ -96,18 +139,25 @@ fn uni_beats_quaid_and_unicfd_on_repairing() {
         let q_quaid = repair_quality(&w.dirty, &rep, &w.truth).f1();
 
         assert!(q_uni > q_quaid, "{}: uni {q_uni} ≤ quaid {q_quaid}", w.name);
-        assert!(q_uni >= q_unicfd - 1e-9, "{}: uni {q_uni} < uni(cfd) {q_unicfd}", w.name);
+        assert!(
+            q_uni >= q_unicfd - 1e-9,
+            "{}: uni {q_uni} < uni(cfd) {q_unicfd}",
+            w.name
+        );
     }
 }
 
 #[test]
 fn uni_beats_sortn_on_matching() {
     // Exp-2's headline ordering.
-    let w = hosp_workload(&GenParams { noise_rate: 0.08, ..params() });
+    let w = hosp_workload(&GenParams {
+        noise_rate: 0.08,
+        ..params()
+    });
     let found = sortn_match(&w.dirty, &w.master, w.rules.mds(), SortNConfig::default());
     let q_sortn = matching_quality(&found, &w.true_matches).f1();
 
-    let uni = UniClean::new(&w.rules, Some(&w.master), config());
+    let uni = session(&w);
     let r = uni.clean(&w.dirty, Phase::Full);
     let found = uniclean_matches(&r.repaired, &w.master, w.rules.mds());
     let q_uni = matching_quality(&found, &w.true_matches).f1();
@@ -117,7 +167,7 @@ fn uni_beats_sortn_on_matching() {
 #[test]
 fn cleaning_is_deterministic_across_runs() {
     let w = hosp_workload(&params());
-    let uni = UniClean::new(&w.rules, Some(&w.master), config());
+    let uni = session(&w);
     let a = uni.clean(&w.dirty, Phase::Full);
     let b = uni.clean(&w.dirty, Phase::Full);
     assert_eq!(a.repaired.diff_cells(&b.repaired), 0);
@@ -126,8 +176,11 @@ fn cleaning_is_deterministic_across_runs() {
 
 #[test]
 fn zero_noise_needs_no_fixes() {
-    let w = hosp_workload(&GenParams { noise_rate: 0.0, ..params() });
-    let uni = UniClean::new(&w.rules, Some(&w.master), config());
+    let w = hosp_workload(&GenParams {
+        noise_rate: 0.0,
+        ..params()
+    });
+    let uni = session(&w);
     let r = uni.clean(&w.dirty, Phase::Full);
     assert!(r.report.is_empty(), "clean data must stay untouched");
     assert!(r.consistent);
@@ -137,10 +190,17 @@ fn zero_noise_needs_no_fixes() {
 #[test]
 fn tpch_rule_sweeps_still_clean_consistently() {
     let w = tpch_workload(
-        &GenParams { tuples: 300, master_tuples: 100, ..params() },
-        TpchScale { sigma_multiplier: 3, gamma_multiplier: 2 },
+        &GenParams {
+            tuples: 300,
+            master_tuples: 100,
+            ..params()
+        },
+        TpchScale {
+            sigma_multiplier: 3,
+            gamma_multiplier: 2,
+        },
     );
-    let uni = UniClean::new(&w.rules, Some(&w.master), config());
+    let uni = session(&w);
     let r = uni.clean(&w.dirty, Phase::Full);
     assert!(r.consistent);
 }
@@ -151,18 +211,22 @@ fn master_free_self_matching_stays_competitive() {
     // must … reliable and heuristic fixes would not degrade substantially."
     let w = hosp_workload(&params());
     let with_master = {
-        let uni = UniClean::new(&w.rules, Some(&w.master), config());
+        let uni = session(&w);
         let r = uni.clean(&w.dirty, Phase::Full);
         repair_quality(&w.dirty, &r.repaired, &w.truth).f1()
     };
     let self_matching = {
-        let r = uniclean::core::clean_without_master(&w.rules, &w.dirty, config(), Phase::Full);
+        let uni = Cleaner::builder()
+            .rules(w.rules.clone())
+            .master(MasterSource::SelfSnapshot)
+            .config(config())
+            .build()
+            .expect("HOSP rules mirror their master schema");
+        let r = uni.clean(&w.dirty, Phase::Full);
         repair_quality(&w.dirty, &r.repaired, &w.truth).f1()
     };
     let cfd_only = {
-        let rules = w.rules.without_mds();
-        let uni = UniClean::new(&rules, None, config());
-        let r = uni.clean(&w.dirty, Phase::Full);
+        let r = cfd_session(w.rules.without_mds()).clean(&w.dirty, Phase::Full);
         repair_quality(&w.dirty, &r.repaired, &w.truth).f1()
     };
     assert!(

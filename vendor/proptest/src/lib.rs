@@ -1,0 +1,398 @@
+//! Offline stand-in for the subset of the `proptest` API this workspace
+//! uses. The container cannot reach crates.io, so the real crate is not
+//! available; this shim implements just enough — the `proptest!` macro,
+//! `prop_assert*`, `ProptestConfig::with_cases`, integer-range / regex /
+//! tuple strategies and `collection::vec` — for the seed's property tests
+//! to compile and run.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * no shrinking — a failing case panics with the generated inputs
+//!   visible in the assertion message only;
+//! * regex strategies support the dialect the tests actually use
+//!   (`[class]`, `.`, literals, each optionally followed by `{m}` /
+//!   `{m,n}`), not full regex syntax;
+//! * generation is deterministic per test name, so CI failures reproduce.
+
+use std::ops::Range;
+
+/// Number of cases to run per property.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Failure raised inside a property body (via `?` or `prop_assert*`).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// A hard failure with a reason.
+    pub fn fail(reason: impl std::fmt::Display) -> Self {
+        TestCaseError(reason.to_string())
+    }
+
+    /// Real proptest rejects and retries; the shim treats it as failure.
+    pub fn reject(reason: impl std::fmt::Display) -> Self {
+        TestCaseError(format!("rejected: {reason}"))
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic generator backing all strategies (xoshiro256**).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeded from the test name so every run explores the same cases.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let mut state = h;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "cannot sample below 0");
+        self.next_u64() % n
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+// Integer range strategies: `0usize..5`, `0u8..2`, …
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+// Regex-string strategies: `"[a-c]{1,10}"`, `".{0,12}"`, `"[ab]"`.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self)
+            .unwrap_or_else(|e| panic!("unsupported regex strategy {self:?}: {e}"));
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = atom.min_rep as u64
+                + if atom.max_rep > atom.min_rep {
+                    rng.below((atom.max_rep - atom.min_rep + 1) as u64)
+                } else {
+                    0
+                };
+            for _ in 0..n {
+                let i = rng.below(atom.chars.len() as u64) as usize;
+                out.push(atom.chars[i]);
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    chars: Vec<char>,
+    min_rep: usize,
+    max_rep: usize,
+}
+
+/// Printable ASCII (space through `~`) — what `.` generates.
+fn any_chars() -> Vec<char> {
+    (b' '..=b'~').map(char::from).collect()
+}
+
+fn parse_pattern(pat: &str) -> Result<Vec<Atom>, String> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .ok_or("unterminated character class")?
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        if lo > hi {
+                            return Err(format!("inverted range {}-{}", chars[j], chars[j + 2]));
+                        }
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                if set.is_empty() {
+                    return Err("empty character class".into());
+                }
+                i = close + 1;
+                set
+            }
+            '.' => {
+                i += 1;
+                any_chars()
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars.get(i).ok_or("dangling escape")?;
+                i += 1;
+                vec![c]
+            }
+            c if c == '{' || c == '}' || c == '*' || c == '+' || c == '?' || c == '|' => {
+                return Err(format!("unsupported regex construct `{c}`"));
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional `{m}` / `{m,n}` quantifier.
+        let (min_rep, max_rep) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .ok_or("unterminated quantifier")?
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (lo, hi) = match body.split_once(',') {
+                Some((a, b)) => (
+                    a.parse().map_err(|_| "bad quantifier")?,
+                    b.parse().map_err(|_| "bad quantifier")?,
+                ),
+                None => {
+                    let n: usize = body.parse().map_err(|_| "bad quantifier")?;
+                    (n, n)
+                }
+            };
+            i = close + 1;
+            (lo, hi)
+        } else {
+            (1, 1)
+        };
+        if min_rep > max_rep {
+            return Err(format!("quantifier {{{min_rep},{max_rep}}} is inverted"));
+        }
+        atoms.push(Atom {
+            chars: set,
+            min_rep,
+            max_rep,
+        });
+    }
+    Ok(atoms)
+}
+
+// Tuple strategies compose componentwise.
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// `vec(element, size_range)` — the only collection strategy used.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let n = self.size.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestCaseError, TestRng};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The `proptest!` block: an optional `#![proptest_config(..)]` followed by
+/// `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($p:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                $(let $p = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                if let Err(e) = __outcome {
+                    panic!("property {} failed on case {}: {}", stringify!($name), __case, e);
+                }
+            }
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_strategy_respects_class_and_bounds() {
+        let mut rng = TestRng::deterministic("regex");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-c]{1,10}", &mut rng);
+            assert!((1..=10).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_generates_printable_ascii() {
+        let mut rng = TestRng::deterministic("dot");
+        for _ in 0..100 {
+            let s = Strategy::generate(&".{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_tuples_and_vecs(
+            rows in collection::vec(("[ab]", 0u8..4), 1..6),
+            mut n in 1usize..5,
+        ) {
+            prop_assert!(!rows.is_empty() && rows.len() < 6);
+            for (s, b) in &rows {
+                prop_assert!(s == "a" || s == "b");
+                prop_assert!(*b < 4);
+            }
+            n += 1;
+            prop_assert!((2..=5).contains(&n));
+        }
+    }
+}
