@@ -1,0 +1,300 @@
+//! `perf` — phase-throughput benchmark for the parallel internals and the
+//! value-interning layer (the `BENCH_pr2.json` generator).
+//!
+//! Measures cRepair and eRepair tuples/sec on generated HOSP and DBLP
+//! workloads across worker-thread counts (1/2/4/8) and interning on/off,
+//! then writes a machine-readable JSON report. The determinism suite
+//! guarantees every configuration produces identical repairs, so the
+//! numbers compare pure wall-clock.
+//!
+//! ```text
+//! cargo run --release -p uniclean-bench --bin perf               # full run
+//! cargo run --release -p uniclean-bench --bin perf -- --smoke    # CI smoke
+//!    [--out BENCH_pr2.json] [--tuples 10000] [--master 2000] [--repeat 3]
+//! ```
+//!
+//! `--smoke` shrinks the workloads to a few hundred tuples, runs one
+//! repeat, validates the emitted JSON and exits nonzero on any failure —
+//! the CI `bench-smoke` job runs exactly this.
+
+use std::fmt::Write as _;
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+use uniclean_bench::figure::json_num;
+use uniclean_bench::{validate_json, Args};
+use uniclean_core::{CleanConfig, Cleaner, MasterSource, Phase, PhaseKind, PhaseTimings};
+use uniclean_datagen::{dblp_workload, hosp_workload, GenParams, Workload};
+
+struct RunResult {
+    threads: usize,
+    interning: bool,
+    crepair_seconds: f64,
+    erepair_seconds: f64,
+    fixes: usize,
+}
+
+struct DatasetReport {
+    name: &'static str,
+    tuples: usize,
+    master_tuples: usize,
+    runs: Vec<RunResult>,
+}
+
+fn measure(w: &Workload, threads: usize, interning: bool, repeat: usize) -> RunResult {
+    let cfg = CleanConfig {
+        eta: 1.0,
+        delta_entropy: 0.8,
+        parallelism: Some(NonZeroUsize::new(threads).expect("threads > 0")),
+        interning,
+        ..CleanConfig::default()
+    };
+    let cleaner = Cleaner::builder()
+        .rules(w.rules.clone())
+        .master(MasterSource::external(w.master.clone()))
+        .config(cfg)
+        .build()
+        .expect("workloads build valid sessions");
+    let mut best_c = f64::INFINITY;
+    let mut best_e = f64::INFINITY;
+    let mut fixes = 0;
+    for _ in 0..repeat.max(1) {
+        let mut timings = PhaseTimings::default();
+        let r = cleaner.clean_observed(&w.dirty, Phase::CERepair, &mut timings);
+        for s in &timings.stats {
+            match s.phase {
+                PhaseKind::CRepair => best_c = best_c.min(s.seconds),
+                PhaseKind::ERepair => best_e = best_e.min(s.seconds),
+                PhaseKind::HRepair => {}
+            }
+        }
+        fixes = r.report.len();
+    }
+    RunResult {
+        threads,
+        interning,
+        crepair_seconds: best_c,
+        erepair_seconds: best_e,
+        fixes,
+    }
+}
+
+fn bench_dataset(
+    name: &'static str,
+    w: &Workload,
+    thread_counts: &[usize],
+    repeat: usize,
+) -> DatasetReport {
+    let mut runs = Vec::new();
+    for &threads in thread_counts {
+        for interning in [true, false] {
+            eprintln!("  {name}: threads={threads} interning={interning}…");
+            runs.push(measure(w, threads, interning, repeat));
+        }
+    }
+    DatasetReport {
+        name,
+        tuples: w.dirty.len(),
+        master_tuples: w.master.len(),
+        runs,
+    }
+}
+
+fn tuples_per_sec(tuples: usize, seconds: f64) -> f64 {
+    if seconds > 0.0 {
+        tuples as f64 / seconds
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// A JSON number rounded to `decimals` places; non-finite values render as
+/// `null` (via [`json_num`]) instead of the invalid token `inf`/`NaN`.
+fn num(x: f64, decimals: u32) -> String {
+    let scale = 10f64.powi(decimals as i32);
+    json_num((x * scale).round() / scale)
+}
+
+/// Hand-rolled JSON (the build is offline — no serde), same shape a serde
+/// derive would produce.
+fn render_json(reports: &[DatasetReport], smoke: bool, repeat: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"pr2_parallel_interning\",");
+    let _ = writeln!(
+        out,
+        "  \"command\": \"cargo run --release -p uniclean-bench --bin perf\","
+    );
+    let _ = writeln!(
+        out,
+        "  \"available_parallelism\": {},",
+        std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+    );
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        out,
+        "  \"note\": \"thread-scaling numbers are only meaningful when available_parallelism > 1 \
+         (on one core extra workers are pure overhead); the interning comparison is \
+         measurable at any core count\","
+    );
+    let _ = writeln!(out, "  \"repeat\": {repeat},");
+    let _ = writeln!(out, "  \"phases\": [\"cRepair\", \"eRepair\"],");
+    let _ = writeln!(out, "  \"datasets\": [");
+    for (di, d) in reports.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", d.name);
+        let _ = writeln!(out, "      \"tuples\": {},", d.tuples);
+        let _ = writeln!(out, "      \"master_tuples\": {},", d.master_tuples);
+        let _ = writeln!(out, "      \"runs\": [");
+        let base_c = d
+            .runs
+            .iter()
+            .find(|r| r.threads == 1 && r.interning)
+            .map(|r| r.crepair_seconds);
+        let base_e = d
+            .runs
+            .iter()
+            .find(|r| r.threads == 1 && r.interning)
+            .map(|r| r.erepair_seconds);
+        for (ri, r) in d.runs.iter().enumerate() {
+            let _ = writeln!(out, "        {{");
+            let _ = writeln!(out, "          \"threads\": {},", r.threads);
+            let _ = writeln!(out, "          \"interning\": {},", r.interning);
+            let _ = writeln!(out, "          \"fixes\": {},", r.fixes);
+            let _ = writeln!(
+                out,
+                "          \"crepair_seconds\": {},",
+                num(r.crepair_seconds, 6)
+            );
+            let _ = writeln!(
+                out,
+                "          \"crepair_tuples_per_sec\": {},",
+                num(tuples_per_sec(d.tuples, r.crepair_seconds), 1)
+            );
+            let _ = writeln!(
+                out,
+                "          \"erepair_seconds\": {},",
+                num(r.erepair_seconds, 6)
+            );
+            let _ = writeln!(
+                out,
+                "          \"erepair_tuples_per_sec\": {},",
+                num(tuples_per_sec(d.tuples, r.erepair_seconds), 1)
+            );
+            let speed = |base: Option<f64>, mine: f64| -> f64 {
+                match base {
+                    Some(b) if mine > 0.0 => b / mine,
+                    _ => 1.0,
+                }
+            };
+            let _ = writeln!(
+                out,
+                "          \"crepair_speedup_vs_1thread_interned\": {},",
+                num(speed(base_c, r.crepair_seconds), 3)
+            );
+            let _ = writeln!(
+                out,
+                "          \"erepair_speedup_vs_1thread_interned\": {}",
+                num(speed(base_e, r.erepair_seconds), 3)
+            );
+            let comma = if ri + 1 < d.runs.len() { "," } else { "" };
+            let _ = writeln!(out, "        }}{comma}");
+        }
+        let _ = writeln!(out, "      ]");
+        let comma = if di + 1 < reports.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn render_table(reports: &[DatasetReport]) -> String {
+    let mut out = String::new();
+    for d in reports {
+        let _ = writeln!(
+            out,
+            "## {} — {} tuples, {} master",
+            d.name, d.tuples, d.master_tuples
+        );
+        let _ = writeln!(
+            out,
+            "{:>8} {:>10} {:>16} {:>16} {:>8}",
+            "threads", "interning", "cRepair tup/s", "eRepair tup/s", "fixes"
+        );
+        for r in &d.runs {
+            let _ = writeln!(
+                out,
+                "{:>8} {:>10} {:>16.0} {:>16.0} {:>8}",
+                r.threads,
+                if r.interning { "on" } else { "off" },
+                tuples_per_sec(d.tuples, r.crepair_seconds),
+                tuples_per_sec(d.tuples, r.erepair_seconds),
+                r.fixes
+            );
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("smoke");
+    let out_path = args.get_or("out", "BENCH_pr2.json").to_string();
+    let (tuples, master, repeat, thread_counts): (usize, usize, usize, Vec<usize>) = if smoke {
+        (200, 80, 1, vec![1, 2])
+    } else {
+        (
+            args.get_usize("tuples", 10_000),
+            args.get_usize("master", 2_000),
+            args.get_usize("repeat", 3),
+            vec![1, 2, 4, 8],
+        )
+    };
+
+    let started = Instant::now();
+    let params = GenParams {
+        tuples,
+        master_tuples: master,
+        ..GenParams::default()
+    };
+    eprintln!("generating workloads ({tuples} tuples, {master} master)…");
+    let hosp = hosp_workload(&params);
+    let dblp = dblp_workload(&params);
+    let reports = vec![
+        bench_dataset("hosp", &hosp, &thread_counts, repeat),
+        bench_dataset("dblp", &dblp, &thread_counts, repeat),
+    ];
+
+    let json = render_json(&reports, smoke, repeat);
+    if let Err(pos) = validate_json(&json) {
+        eprintln!("emitted JSON is malformed at byte {pos}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    // Read back and re-validate: the smoke contract is "the file on disk
+    // parses", not "the string in memory did".
+    match std::fs::read_to_string(&out_path) {
+        Ok(disk) if validate_json(&disk).is_ok() => {}
+        Ok(_) => {
+            eprintln!("{out_path} does not round-trip as valid JSON");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("cannot re-read {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    print!("{}", render_table(&reports));
+    println!(
+        "wrote {out_path} ({} datasets, {:.1}s total){}",
+        reports.len(),
+        started.elapsed().as_secs_f64(),
+        if smoke { " [smoke]" } else { "" }
+    );
+}

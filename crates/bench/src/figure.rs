@@ -110,7 +110,7 @@ impl Figure {
 }
 
 /// JSON string literal with the escapes the control set requires.
-fn json_str(s: &str) -> String {
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -131,7 +131,7 @@ fn json_str(s: &str) -> String {
 }
 
 /// JSON number: finite floats as-is, non-finite as null (JSON has no NaN).
-fn json_num(x: f64) -> String {
+pub fn json_num(x: f64) -> String {
     if x.is_finite() {
         format!("{x}")
     } else {

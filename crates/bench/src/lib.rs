@@ -11,10 +11,12 @@
 
 pub mod args;
 pub mod figure;
+pub mod json_check;
 pub mod runner;
 
 pub use args::Args;
 pub use figure::{Figure, Series};
+pub use json_check::validate_json;
 pub use runner::{
     dataset_workload, deterministic_share, experiment_config, matching_f1_sortn, matching_f1_uni,
     repair_f1, repair_pr, repair_pr_with, run_uni, run_uni_observed, scaled_params, session,

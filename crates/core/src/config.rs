@@ -1,5 +1,7 @@
 //! Tuning knobs of the UniClean pipeline.
 
+use std::num::NonZeroUsize;
+
 use crate::error::ConfigError;
 
 /// Thresholds and limits for the three cleaning phases.
@@ -34,6 +36,18 @@ pub struct CleanConfig {
     /// own master row — a stale self copy would otherwise witness against
     /// every fresh fix. Set by [`crate::pipeline::clean_without_master`].
     pub self_match: bool,
+    /// Worker threads for the parallel phase internals (MD premise
+    /// verification, 2-in-1 structure construction). `None` uses every
+    /// available core; `1` runs the phases exactly as the single-threaded
+    /// path does. Output is bit-identical for every setting — see the
+    /// chunk–merge–apply design in [`crate::parallel`].
+    pub parallelism: Option<NonZeroUsize>,
+    /// Intern cell values into dense `u32` symbols
+    /// ([`uniclean_model::ValueInterner`]) so the hottest hash keys —
+    /// 2-in-1 group projections and master-index exact lookups — hash and
+    /// compare in O(1). Purely an optimization: results are identical
+    /// either way. Off exists for benchmarking the win.
+    pub interning: bool,
 }
 
 impl Default for CleanConfig {
@@ -46,11 +60,19 @@ impl Default for CleanConfig {
             max_erepair_rounds: 10,
             max_hrepair_rounds: 50,
             self_match: false,
+            parallelism: None,
+            interning: true,
         }
     }
 }
 
 impl CleanConfig {
+    /// The worker count the phases will actually use: the
+    /// [`parallelism`](Self::parallelism) knob, or all available cores.
+    pub fn effective_parallelism(&self) -> usize {
+        crate::parallel::effective_parallelism(self.parallelism)
+    }
+
     /// Validate thresholds and limits; [`crate::CleanerBuilder::build`]
     /// runs this before any cleaning can start.
     pub fn validate(&self) -> Result<(), ConfigError> {

@@ -19,6 +19,13 @@
 //! algorithm terminates in O(|D|·|Dm|·size(Θ)) and — as the paper argues in
 //! §5.2 — its outcome is independent of rule application order (property-
 //! tested below and in the integration suite).
+//!
+//! Parallelism: MD candidate generation and premise verification — the
+//! dominant per-tuple cost — are prefilled over scoped workers into an
+//! [`MdMatchCache`] for every tuple whose premise is asserted up front;
+//! the inference fixpoint itself stays sequential and recomputes any
+//! entry a repair invalidates, so output is bit-identical at every
+//! `parallelism` setting (see [`crate::parallel`]).
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -29,6 +36,7 @@ use uniclean_rules::RuleSet;
 use crate::config::CleanConfig;
 use crate::fix::{FixRecord, FixReport};
 use crate::master_index::MasterIndex;
+use crate::md_cache::MdMatchCache;
 
 /// A variable-CFD conflict-set entry: the paper's `H(ȳ) = (list, val)`.
 #[derive(Default)]
@@ -58,6 +66,11 @@ struct State<'a> {
     pending: Vec<Vec<bool>>,
     /// P[t]: variable CFDs t waits on.
     p: Vec<Vec<bool>>,
+    /// Memoized MD witness lists (prefilled in parallel, invalidated on
+    /// premise rewrites).
+    md_cache: MdMatchCache,
+    /// All schema attributes, precomputed for the agreement check.
+    all_attrs: Vec<AttrId>,
     report: FixReport,
 }
 
@@ -120,6 +133,18 @@ pub fn c_repair(
         .collect();
 
     let n_tuples = d.len();
+    let mut md_cache = MdMatchCache::new(rules, n_tuples, cfg.self_match);
+    if let (Some(dm), Some(idx)) = (dm, idx) {
+        // Fan the expensive verification out over the workers for every
+        // tuple `MDInfer` will interrogate from the initial assertions;
+        // tuples unlocked later by the cascade are computed on demand.
+        let n_cfds = rules.cfds().len();
+        let eta = cfg.eta;
+        md_cache.prefill(rules, d, dm, idx, cfg.effective_parallelism(), |m, t| {
+            let tup = d.tuple(t);
+            tup.cf(rhs_of[n_cfds + m]) < eta && lhs_of[n_cfds + m].iter().all(|a| tup.cf(*a) >= eta)
+        });
+    }
     let mut st = State {
         rules,
         dm,
@@ -134,6 +159,8 @@ pub fn c_repair(
         queue: VecDeque::new(),
         pending: vec![vec![false; n_rules]; n_tuples],
         p: vec![vec![false; n_rules]; n_tuples],
+        md_cache,
+        all_attrs: rules.schema().attr_ids().collect(),
         report: FixReport::new(),
     };
 
@@ -216,6 +243,7 @@ impl<'a> State<'a> {
             d.tuple(t).mark(a)
         };
         d.tuple_mut(t).set(a, new.clone(), self.eta, mark);
+        self.md_cache.invalidate(t, a);
         if changed {
             self.report.push(FixRecord {
                 tuple: t,
@@ -321,28 +349,32 @@ impl<'a> State<'a> {
         }
         let dm = self.dm.expect("MDs require master data");
         let idx = self.idx.expect("MDs require a MasterIndex");
-        let exclude = self.self_match.then_some(t);
-        let mut matches = idx.matches_excluding(md_idx, md, d.tuple(t), dm, exclude);
-        if self.self_match {
+        let rules = self.rules;
+        let (self_match, eta) = (self.self_match, self.eta);
+        let witness = {
+            // Witness lists come from the memoized (possibly prefilled-in-
+            // parallel) cache; the cache already excludes the tuple's own
+            // positional copy under self-matching.
+            let all = self.md_cache.matches(md_idx, rules, d, dm, idx, t);
             // The self-snapshot is dirty, not master data: only witnesses
             // whose conclusion cell is itself asserted carry evidence.
-            matches.retain(|&s| dm.tuple(s).cf(f) >= self.eta);
-        }
-        let correcting = matches
-            .iter()
-            .find(|&&s| dm.tuple(s).value(f) != d.tuple(t).value(e));
-        let witness = match correcting {
-            Some(&s) => s,
-            None => {
-                let all_attrs: Vec<AttrId> = self.rules.schema().attr_ids().collect();
-                match matches.iter().find(|&&s| {
+            let mut usable = all
+                .iter()
+                .copied()
+                .filter(|&s| !self_match || dm.tuple(s).cf(f) >= eta);
+            let correcting = usable
+                .clone()
+                .find(|&s| dm.tuple(s).value(f) != d.tuple(t).value(e));
+            match correcting {
+                Some(s) => Some(s),
+                None => usable.find(|&s| {
                     dm.tuple(s).cells().len() != d.tuple(t).arity()
-                        || !d.tuple(t).agrees_with(dm.tuple(s), &all_attrs)
-                }) {
-                    Some(&s) => s,
-                    None => return,
-                }
+                        || !d.tuple(t).agrees_with(dm.tuple(s), &self.all_attrs)
+                }),
             }
+        };
+        let Some(witness) = witness else {
+            return;
         };
         let new = dm.tuple(witness).value(f).clone();
         let name = md.name().to_string();

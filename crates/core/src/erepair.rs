@@ -12,6 +12,12 @@
 //! Deterministic fixes from `cRepair` are never overwritten, and neither
 //! are cells asserted by confidence (`cf ≥ η`) — entropy evidence must not
 //! override confidence evidence.
+//!
+//! Parallelism: the 2-in-1 structure build and the MD premise
+//! verification — the two read-heavy stages — fan out over scoped workers
+//! ([`crate::parallel`]); the resolution loop itself stays sequential and
+//! consumes the precomputed results in tuple-id order, so output is
+//! bit-identical at every `parallelism` setting.
 
 use std::collections::HashMap;
 
@@ -22,6 +28,7 @@ use uniclean_rules::RuleSet;
 use crate::config::CleanConfig;
 use crate::fix::{FixRecord, FixReport};
 use crate::master_index::MasterIndex;
+use crate::md_cache::MdMatchCache;
 use crate::two_in_one::TwoInOne;
 
 /// Run `eRepair` in place on `d`. Returns the reliable fixes applied.
@@ -36,8 +43,9 @@ pub fn e_repair(
         rules.mds().is_empty() || (dm.is_some() && idx.is_some()),
         "rule set contains MDs: master data and a MasterIndex are required"
     );
+    let threads = cfg.effective_parallelism();
     let order = erepair_order(rules);
-    let mut structure = TwoInOne::build(rules, d);
+    let mut structure = TwoInOne::build_with(rules, d, cfg.interning, threads);
     // Slot of each variable CFD (rules.cfds() index → TwoInOne position).
     let mut vslot: HashMap<usize, usize> = HashMap::new();
     {
@@ -50,12 +58,26 @@ pub fn e_repair(
         }
     }
 
+    let mut md_cache = MdMatchCache::new(rules, d.len(), cfg.self_match);
+    if let (Some(dm), Some(idx)) = (dm, idx) {
+        // Fan the expensive premise verification out over the workers for
+        // every cell `MDReslove` may interrogate in round one; later
+        // rounds reuse the entries that repairs have not invalidated.
+        let eta = cfg.eta;
+        md_cache.prefill(rules, d, dm, idx, threads, |m, t| {
+            let (e, _) = rules.mds()[m].rhs()[0];
+            let tup = d.tuple(t);
+            tup.mark(e) != FixMark::Deterministic && tup.cf(e) < eta
+        });
+    }
+
     let mut st = EState {
         change_count: HashMap::new(),
         report: FixReport::new(),
         eta: cfg.eta,
         delta_update: cfg.delta_update,
         self_match: cfg.self_match,
+        md_cache,
     };
 
     for _round in 0..cfg.max_erepair_rounds {
@@ -88,6 +110,7 @@ struct EState {
     eta: f64,
     delta_update: usize,
     self_match: bool,
+    md_cache: MdMatchCache,
 }
 
 impl EState {
@@ -125,6 +148,7 @@ impl EState {
             rule: rule.into(),
         });
         structure.on_update(rules, d, t, a, &old);
+        self.md_cache.invalidate(t, a);
     }
 }
 
@@ -143,11 +167,10 @@ fn v_cfd_resolve(
     let mut changed = false;
     for gid in structure.groups_below(v, cfg.delta_entropy) {
         let (majority, members) = {
-            let g = structure.group(gid);
-            let Some((maj, _)) = g.majority() else {
+            let Some((maj, _)) = structure.majority(gid) else {
                 continue;
             };
-            (maj.clone(), g.tuples.clone())
+            (maj, structure.group(gid).tuples.clone())
         };
         for t in members {
             if d.tuple(t).value(b) != &majority && st.touchable(d, t, b) {
@@ -198,6 +221,7 @@ fn md_resolve(
     let md = &rules.mds()[i];
     let (e, f) = md.rhs()[0];
     let name = md.name().to_string();
+    let (self_match, eta) = (st.self_match, st.eta);
     let mut changed = false;
     for t in d.ids().collect::<Vec<_>>() {
         if !st.touchable(d, t, e) {
@@ -205,13 +229,16 @@ fn md_resolve(
         }
         // First *disagreeing* witness: an agreeing master tuple earlier in
         // the candidate list must not mask a correction demanded by a later
-        // one (and under self-matching the tuple's own copy always agrees).
-        let exclude = st.self_match.then_some(t);
-        let Some(s) = idx
-            .matches_excluding(i, md, d.tuple(t), dm, exclude)
-            .into_iter()
+        // one (and under self-matching the tuple's own copy always agrees —
+        // the cache's `exclude_self` skips it). Witness lists come from the
+        // memoized (possibly prefilled-in-parallel) cache.
+        let Some(s) = st
+            .md_cache
+            .matches(i, rules, d, dm, idx, t)
+            .iter()
+            .copied()
             // Under self-matching only asserted witnesses carry evidence.
-            .filter(|&s| !st.self_match || dm.tuple(s).cf(f) >= st.eta)
+            .filter(|&s| !self_match || dm.tuple(s).cf(f) >= eta)
             .find(|&s| dm.tuple(s).value(f) != d.tuple(t).value(e))
         else {
             continue;

@@ -180,7 +180,8 @@ pub fn h_repair(
         acted |= resolve_variable_cfds(&base, &cur, rules, &mut cells);
         if let Some(ms) = &self_schema {
             let dm_round = Relation::new(ms.clone(), cur.tuples().to_vec());
-            let idx_round = MasterIndex::build(rules.mds(), &dm_round, cfg.blocking_l);
+            let idx_round =
+                MasterIndex::build_with(rules.mds(), &dm_round, cfg.blocking_l, cfg.interning);
             acted |= resolve_mds(&cur, &dm_round, rules, &idx_round, cfg, &mut cells);
         } else if let (Some(dm), Some(idx)) = (dm, idx) {
             acted |= resolve_mds(&cur, dm, rules, idx, cfg, &mut cells);

@@ -22,8 +22,10 @@
 //!   deprecated pre-0.2 entry points (`UniClean`, `clean_without_master`),
 //!   now thin shims over the session;
 //! * [`master_index`] — blocked access to master data (exact hash index for
-//!   equality premises, the §5.2 LCS suffix-tree blocker for edit-distance
-//!   premises);
+//!   equality premises — interned to dense symbols on the fast path — and
+//!   the §5.2 LCS suffix-tree blocker for edit-distance premises);
+//! * [`parallel`] — the scoped-thread chunk–merge–apply fan-out the phases
+//!   use for their read-heavy stages, bit-identical at every thread count;
 //! * [`fix`] — per-cell fix records and phase statistics;
 //! * [`entropy`] — the paper's base-`k` entropy `H(ϕ | Y = ȳ)` (§6.1).
 
@@ -36,6 +38,8 @@ pub mod error;
 pub mod fix;
 pub mod hrepair;
 pub mod master_index;
+mod md_cache;
+pub mod parallel;
 pub mod pipeline;
 pub mod session;
 pub mod two_in_one;
@@ -47,6 +51,7 @@ pub use error::{CleanError, ConfigError};
 pub use fix::{FixRecord, FixReport};
 pub use hrepair::h_repair;
 pub use master_index::MasterIndex;
+pub use parallel::effective_parallelism;
 #[allow(deprecated)]
 pub use pipeline::{clean_without_master, UniClean};
 pub use pipeline::{CleanResult, Phase};

@@ -4,7 +4,9 @@
 //! builds an access path on the corresponding master column:
 //!
 //! * an **exact hash index** for `=` premises (the common case — most MD
-//!   premises demand equality on identifying attributes);
+//!   premises demand equality on identifying attributes), keyed by interned
+//!   [`Symbol`]s when interning is enabled so probes hash a dense `u32`
+//!   instead of string content;
 //! * the **top-l LCS suffix-tree blocker** for edit-distance premises
 //!   ("traditional database indices… designed for exact matching cannot be
 //!   carried over", §5.2);
@@ -13,19 +15,29 @@
 //!
 //! Candidates returned by any path still need full premise verification;
 //! blocking is complete for its predicate (no true match is lost), which
-//! the tests pin down.
+//! the tests pin down. The `*_into` variants append into a caller-owned
+//! buffer so the per-tuple loops of `cRepair`/`eRepair` reuse one
+//! allocation across the whole relation.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use uniclean_model::{AttrId, Relation, Tuple, TupleId, Value};
+use uniclean_model::{AttrId, FxHashMap, Relation, Symbol, Tuple, TupleId, Value, ValueInterner};
 use uniclean_rules::Md;
 use uniclean_similarity::LcsBlocker;
 
 enum Access {
+    /// Raw-value exact map (interning disabled).
     Exact {
         premise: usize,
         map: Arc<HashMap<Value, Vec<u32>>>,
+    },
+    /// Interned exact map: probe = one interner lookup + a trivial `u32`
+    /// probe. A probe value the interner has never seen cannot appear in
+    /// the master column, so `get == None` is exactly a miss.
+    ExactInterned {
+        premise: usize,
+        map: Arc<FxHashMap<Symbol, Vec<u32>>>,
     },
     Blocked {
         premise: usize,
@@ -38,14 +50,26 @@ enum Access {
 /// Per-MD access paths over one master relation.
 pub struct MasterIndex {
     plans: Vec<Access>,
+    /// Shared interner over the indexed master columns (empty when
+    /// interning is disabled or no exact path exists).
+    interner: Arc<ValueInterner>,
     master_len: usize,
 }
 
 impl MasterIndex {
-    /// Build access paths for `mds` over `master`, with blocking constant
-    /// `l`. Indexes on the same master column are shared between MDs.
+    /// Build access paths for `mds` over `master` with blocking constant
+    /// `l` and value interning enabled. Indexes on the same master column
+    /// are shared between MDs.
     pub fn build(mds: &[Md], master: &Relation, l: usize) -> Self {
+        Self::build_with(mds, master, l, true)
+    }
+
+    /// [`Self::build`] with an explicit interning switch (the benchmark
+    /// harness measures both paths; results are identical).
+    pub fn build_with(mds: &[Md], master: &Relation, l: usize, interning: bool) -> Self {
+        let mut interner = ValueInterner::new();
         let mut exact_cache: HashMap<AttrId, Arc<HashMap<Value, Vec<u32>>>> = HashMap::new();
+        let mut interned_cache: HashMap<AttrId, Arc<FxHashMap<Symbol, Vec<u32>>>> = HashMap::new();
         let mut blocker_cache: HashMap<AttrId, Arc<LcsBlocker>> = HashMap::new();
         let plans = mds
             .iter()
@@ -57,6 +81,20 @@ impl MasterIndex {
                     .enumerate()
                     .find(|(_, p)| p.pred.is_equality())
                 {
+                    if interning {
+                        let map = interned_cache.entry(p.master_attr).or_insert_with(|| {
+                            let mut m: FxHashMap<Symbol, Vec<u32>> = FxHashMap::default();
+                            for (sid, s) in master.iter() {
+                                let sym = interner.intern(s.value(p.master_attr));
+                                m.entry(sym).or_default().push(sid.0);
+                            }
+                            Arc::new(m)
+                        });
+                        return Access::ExactInterned {
+                            premise: i,
+                            map: map.clone(),
+                        };
+                    }
                     let map = exact_cache.entry(p.master_attr).or_insert_with(|| {
                         let mut m: HashMap<Value, Vec<u32>> = HashMap::new();
                         for (sid, s) in master.iter() {
@@ -97,22 +135,39 @@ impl MasterIndex {
             .collect();
         MasterIndex {
             plans,
+            interner: Arc::new(interner),
             master_len: master.len(),
         }
     }
 
-    /// Candidate master rows for `t` under MD number `md_idx` (still to be
-    /// verified with [`Md::premise_matches`]).
-    pub fn candidates(&self, md_idx: usize, md: &Md, t: &Tuple) -> Vec<TupleId> {
+    /// Visit every candidate master row for `t` under MD `md_idx` (each
+    /// still to be verified with [`Md::premise_matches`]). Allocation-free
+    /// for the indexed paths.
+    pub fn for_each_candidate(
+        &self,
+        md_idx: usize,
+        md: &Md,
+        t: &Tuple,
+        mut f: impl FnMut(TupleId),
+    ) {
         match &self.plans[md_idx] {
             Access::Exact { premise, map } => {
                 let v = t.value(md.premises()[*premise].attr);
                 if v.is_null() {
-                    return Vec::new();
+                    return;
                 }
-                map.get(v)
-                    .map(|rows| rows.iter().map(|r| TupleId(*r)).collect())
-                    .unwrap_or_default()
+                if let Some(rows) = map.get(v) {
+                    rows.iter().for_each(|r| f(TupleId(*r)));
+                }
+            }
+            Access::ExactInterned { premise, map } => {
+                let v = t.value(md.premises()[*premise].attr);
+                if v.is_null() {
+                    return;
+                }
+                if let Some(rows) = self.interner.get(v).and_then(|sym| map.get(&sym)) {
+                    rows.iter().for_each(|r| f(TupleId(*r)));
+                }
             }
             Access::Blocked {
                 premise,
@@ -121,16 +176,24 @@ impl MasterIndex {
             } => {
                 let v = t.value(md.premises()[*premise].attr);
                 if v.is_null() {
-                    return Vec::new();
+                    return;
                 }
                 blocker
                     .candidates_within_edit(&v.render(), *k)
                     .into_iter()
-                    .map(|r| TupleId(r as u32))
-                    .collect()
+                    .for_each(|r| f(TupleId(r as u32)));
             }
-            Access::Scan => (0..self.master_len).map(TupleId::from).collect(),
+            Access::Scan => (0..self.master_len).map(TupleId::from).for_each(f),
         }
+    }
+
+    /// Candidate master rows for `t` under MD number `md_idx`, as a fresh
+    /// vector. Hot loops should prefer [`Self::for_each_candidate`] or
+    /// [`Self::matches_into`], which reuse caller buffers.
+    pub fn candidates(&self, md_idx: usize, md: &Md, t: &Tuple) -> Vec<TupleId> {
+        let mut out = Vec::new();
+        self.for_each_candidate(md_idx, md, t, |sid| out.push(sid));
+        out
     }
 
     /// Master rows whose full premise matches `t` under MD `md_idx`.
@@ -148,11 +211,28 @@ impl MasterIndex {
         master: &Relation,
         exclude: Option<TupleId>,
     ) -> Vec<TupleId> {
-        self.candidates(md_idx, md, t)
-            .into_iter()
-            .filter(|sid| Some(*sid) != exclude)
-            .filter(|sid| md.premise_matches(t, master.tuple(*sid)))
-            .collect()
+        let mut out = Vec::new();
+        self.matches_into(md_idx, md, t, master, exclude, &mut out);
+        out
+    }
+
+    /// [`Self::matches_excluding`] appending into a caller-owned buffer
+    /// (cleared first), so a tuple loop reuses one allocation throughout.
+    pub fn matches_into(
+        &self,
+        md_idx: usize,
+        md: &Md,
+        t: &Tuple,
+        master: &Relation,
+        exclude: Option<TupleId>,
+        out: &mut Vec<TupleId>,
+    ) {
+        out.clear();
+        self.for_each_candidate(md_idx, md, t, |sid| {
+            if Some(sid) != exclude && md.premise_matches(t, master.tuple(sid)) {
+                out.push(sid);
+            }
+        });
     }
 
     /// Is this MD served by a blocked/exact path (diagnostics)?
@@ -193,6 +273,21 @@ mod tests {
         rows.sort_unstable();
         assert_eq!(rows, vec![TupleId(0), TupleId(2)]);
         let _ = tran;
+    }
+
+    #[test]
+    fn interned_and_raw_exact_paths_agree() {
+        let (_, _, mds, dm) = setup("=");
+        let interned = MasterIndex::build_with(&mds, &dm, 5, true);
+        let raw = MasterIndex::build_with(&mds, &dm, 5, false);
+        for name in ["Smith", "Brady", "Nobody", ""] {
+            let t = Tuple::of_strs(&[name, "999"], 0.5);
+            assert_eq!(
+                interned.matches(0, &mds[0], &t, &dm),
+                raw.matches(0, &mds[0], &t, &dm),
+                "probe {name:?}"
+            );
+        }
     }
 
     #[test]
@@ -242,5 +337,18 @@ mod tests {
             .map(|(sid, _)| sid)
             .collect();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn matches_into_reuses_the_buffer() {
+        let (_, _, mds, dm) = setup("=");
+        let idx = MasterIndex::build(&mds, &dm, 5);
+        let mut buf = Vec::new();
+        let t = Tuple::of_strs(&["Smith", "999"], 0.5);
+        idx.matches_into(0, &mds[0], &t, &dm, None, &mut buf);
+        assert_eq!(buf, vec![TupleId(0), TupleId(2)]);
+        // A second probe clears before filling; exclusion is honored.
+        idx.matches_into(0, &mds[0], &t, &dm, Some(TupleId(0)), &mut buf);
+        assert_eq!(buf, vec![TupleId(2)]);
     }
 }

@@ -1,0 +1,229 @@
+//! Memoized MD premise verification — the parallel "chunk" stage of the
+//! chunk–merge–apply design (see [`crate::parallel`]).
+//!
+//! `MasterIndex::matches_excluding` — candidate generation plus full
+//! premise verification against master data — dominates the running time
+//! of `cRepair` and `eRepair` on MD-heavy workloads, and it is a pure
+//! function of one data tuple's premise cells (master data never changes
+//! within a phase). [`MdMatchCache`] exploits both facts:
+//!
+//! * [`MdMatchCache::prefill`] computes the witness lists for every tuple
+//!   a phase is about to interrogate, fanned out over scoped workers and
+//!   merged back in tuple-id order;
+//! * [`MdMatchCache::matches`] serves the sequential engine — a cache hit
+//!   returns the precomputed list, a miss (never prefilled, or invalidated
+//!   by a repair) recomputes on the spot, exactly as the unparallelized
+//!   code would;
+//! * [`MdMatchCache::invalidate`] drops entries whose premise cells a fix
+//!   just rewrote, keeping the cache transparent: the served lists are
+//!   always equal to a direct `matches_excluding` call on the current
+//!   relation state, so results are bit-identical at every thread count.
+
+use uniclean_model::{AttrId, Relation, TupleId};
+use uniclean_rules::RuleSet;
+
+use crate::master_index::MasterIndex;
+use crate::parallel::map_chunks;
+
+/// Per-(MD, tuple) verified witness lists with premise-based invalidation.
+pub(crate) struct MdMatchCache {
+    /// `entries[md][tuple]`: `None` = not computed (or invalidated).
+    entries: Vec<Vec<Option<Box<[TupleId]>>>>,
+    /// `attr.index()` → MDs whose premise reads that attribute.
+    attr_to_mds: Vec<Vec<usize>>,
+    /// Self-matching mode: exclude the tuple's own positional master copy.
+    exclude_self: bool,
+}
+
+impl MdMatchCache {
+    pub(crate) fn new(rules: &RuleSet, n_tuples: usize, exclude_self: bool) -> Self {
+        let n_mds = rules.mds().len();
+        let n_attrs = rules.schema().arity();
+        let mut attr_to_mds = vec![Vec::new(); n_attrs];
+        for (m, md) in rules.mds().iter().enumerate() {
+            let mut attrs: Vec<AttrId> = md.premises().iter().map(|p| p.attr).collect();
+            attrs.sort_unstable();
+            attrs.dedup();
+            for a in attrs {
+                attr_to_mds[a.index()].push(m);
+            }
+        }
+        MdMatchCache {
+            entries: vec![vec![None; n_tuples]; n_mds],
+            attr_to_mds,
+            exclude_self,
+        }
+    }
+
+    #[inline]
+    fn exclude(&self, t: TupleId) -> Option<TupleId> {
+        self.exclude_self.then_some(t)
+    }
+
+    /// Fan the expensive verification out over `threads` workers for every
+    /// `(md, tuple)` pair `want` selects, merging results in tuple-id
+    /// order. Pairs not selected (or later invalidated) fall back to the
+    /// sequential recompute in [`Self::matches`].
+    pub(crate) fn prefill(
+        &mut self,
+        rules: &RuleSet,
+        d: &Relation,
+        dm: &Relation,
+        idx: &MasterIndex,
+        threads: usize,
+        want: impl Fn(usize, TupleId) -> bool + Sync,
+    ) {
+        if threads <= 1 || rules.mds().is_empty() {
+            return;
+        }
+        let exclude_self = self.exclude_self;
+        let n_mds = rules.mds().len();
+        // chunk: one worker per tuple range, producing per-tuple rows of
+        // witness lists; merge: move rows back in chunk (= tuple-id) order.
+        let chunks = map_chunks(d.len(), threads, |range| {
+            let mut buf = Vec::new();
+            let mut rows: Vec<Vec<Option<Box<[TupleId]>>>> = Vec::with_capacity(range.len());
+            for i in range {
+                let t = TupleId::from(i);
+                let mut row: Vec<Option<Box<[TupleId]>>> = vec![None; n_mds];
+                for (m, md) in rules.mds().iter().enumerate() {
+                    if !want(m, t) {
+                        continue;
+                    }
+                    idx.matches_into(m, md, d.tuple(t), dm, exclude_self.then_some(t), &mut buf);
+                    row[m] = Some(buf.as_slice().into());
+                }
+                rows.push(row);
+            }
+            rows
+        });
+        let mut i = 0;
+        for chunk in chunks {
+            for row in chunk {
+                for (m, entry) in row.into_iter().enumerate() {
+                    if entry.is_some() {
+                        self.entries[m][i] = entry;
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+
+    /// The verified witness list for `(md_idx, t)` against the current
+    /// relation state; recomputes on a miss.
+    pub(crate) fn matches(
+        &mut self,
+        md_idx: usize,
+        rules: &RuleSet,
+        d: &Relation,
+        dm: &Relation,
+        idx: &MasterIndex,
+        t: TupleId,
+    ) -> &[TupleId] {
+        let exclude = self.exclude(t);
+        let slot = &mut self.entries[md_idx][t.index()];
+        if slot.is_none() {
+            let md = &rules.mds()[md_idx];
+            let mut buf = Vec::new();
+            idx.matches_into(md_idx, md, d.tuple(t), dm, exclude, &mut buf);
+            *slot = Some(buf.into_boxed_slice());
+        }
+        slot.as_deref().expect("filled above")
+    }
+
+    /// Cell `(t, a)` was just rewritten: drop every witness list whose
+    /// premise read it.
+    pub(crate) fn invalidate(&mut self, t: TupleId, a: AttrId) {
+        for &m in &self.attr_to_mds[a.index()] {
+            self.entries[m][t.index()] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniclean_model::{Schema, Tuple, Value};
+    use uniclean_rules::parse_rules;
+
+    fn setup() -> (RuleSet, Relation, Relation, MasterIndex) {
+        let tran = Schema::of_strings("tran", &["LN", "city", "phn"]);
+        let card = Schema::of_strings("card", &["LN", "city", "tel"]);
+        let text =
+            "md m: tran[LN] = card[LN] AND tran[city] = card[city] -> tran[phn] <=> card[tel]";
+        let parsed = parse_rules(text, &tran, Some(&card)).unwrap();
+        let rules = RuleSet::new(
+            tran.clone(),
+            Some(card.clone()),
+            vec![],
+            parsed.positive_mds,
+            vec![],
+        );
+        let d = Relation::new(
+            tran,
+            vec![
+                Tuple::of_strs(&["Smith", "Edi", "000"], 0.5),
+                Tuple::of_strs(&["Brady", "Ldn", "111"], 0.5),
+                Tuple::of_strs(&["Smith", "Ldn", "222"], 0.5),
+            ],
+        );
+        let dm = Relation::new(
+            card,
+            vec![
+                Tuple::of_strs(&["Smith", "Edi", "911"], 1.0),
+                Tuple::of_strs(&["Brady", "Ldn", "922"], 1.0),
+            ],
+        );
+        let idx = MasterIndex::build(rules.mds(), &dm, 5);
+        (rules, d, dm, idx)
+    }
+
+    #[test]
+    fn lazy_matches_equal_direct_computation() {
+        let (rules, d, dm, idx) = setup();
+        let mut cache = MdMatchCache::new(&rules, d.len(), false);
+        for t in d.ids() {
+            let want = idx.matches_excluding(0, &rules.mds()[0], d.tuple(t), &dm, None);
+            let got = cache.matches(0, &rules, &d, &dm, &idx, t);
+            assert_eq!(got, want.as_slice(), "tuple {t:?}");
+        }
+    }
+
+    #[test]
+    fn prefill_matches_lazy_path() {
+        let (rules, d, dm, idx) = setup();
+        let mut eager = MdMatchCache::new(&rules, d.len(), false);
+        eager.prefill(&rules, &d, &dm, &idx, 2, |_, _| true);
+        let mut lazy = MdMatchCache::new(&rules, d.len(), false);
+        for t in d.ids() {
+            assert_eq!(
+                eager.matches(0, &rules, &d, &dm, &idx, t).to_vec(),
+                lazy.matches(0, &rules, &d, &dm, &idx, t).to_vec(),
+            );
+        }
+    }
+
+    #[test]
+    fn invalidation_tracks_premise_rewrites() {
+        let (rules, mut d, dm, idx) = setup();
+        let city = d.schema().attr_id_or_panic("city");
+        let phn = d.schema().attr_id_or_panic("phn");
+        let mut cache = MdMatchCache::new(&rules, d.len(), false);
+
+        // t2 (Smith, Ldn) matches nothing; repair city → Edi and it must
+        // match master row 0 — but only if the cache was invalidated.
+        let t = TupleId(2);
+        assert!(cache.matches(0, &rules, &d, &dm, &idx, t).is_empty());
+        d.tuple_mut(t)
+            .set(city, Value::str("Edi"), 0.5, Default::default());
+        cache.invalidate(t, city);
+        assert_eq!(cache.matches(0, &rules, &d, &dm, &idx, t), &[TupleId(0)]);
+
+        // Rewriting a non-premise attribute must keep the entry.
+        d.tuple_mut(t)
+            .set(phn, Value::str("999"), 0.5, Default::default());
+        cache.invalidate(t, phn);
+        assert_eq!(cache.matches(0, &rules, &d, &dm, &idx, t), &[TupleId(0)]);
+    }
+}

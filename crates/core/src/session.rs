@@ -262,7 +262,12 @@ impl Cleaner {
                 MasterSource::External(m) => (Some(m), self.index.as_ref()),
                 MasterSource::SelfSnapshot => {
                     let snap = self.snapshot(&work);
-                    let idx = MasterIndex::build(self.rules.mds(), &snap, self.config.blocking_l);
+                    let idx = MasterIndex::build_with(
+                        self.rules.mds(),
+                        &snap,
+                        self.config.blocking_l,
+                        self.config.interning,
+                    );
                     snapshot_storage = (snap, idx);
                     (Some(&snapshot_storage.0), Some(&snapshot_storage.1))
                 }
@@ -356,6 +361,15 @@ impl CleanerBuilder {
         self
     }
 
+    /// Worker threads for the parallel phase internals (shorthand for
+    /// setting [`CleanConfig::parallelism`] after [`Self::config`]).
+    /// `1` runs the exact single-threaded path; any setting produces
+    /// bit-identical output — see [`crate::parallel`].
+    pub fn parallelism(mut self, threads: std::num::NonZeroUsize) -> Self {
+        self.config.parallelism = Some(threads);
+        self
+    }
+
     /// Validate everything and assemble the session.
     ///
     /// Errors (never panics on user input):
@@ -406,9 +420,12 @@ impl CleanerBuilder {
         }
 
         let index = match &self.master {
-            MasterSource::External(dm) => {
-                Some(MasterIndex::build(rules.mds(), dm, config.blocking_l))
-            }
+            MasterSource::External(dm) => Some(MasterIndex::build_with(
+                rules.mds(),
+                dm,
+                config.blocking_l,
+                config.interning,
+            )),
             _ => None,
         };
         Ok(Cleaner {

@@ -9,17 +9,84 @@
 //! conflict sets first. Both structures are maintained incrementally under
 //! cell updates: "after resolving some conflicts, the structures need to be
 //! maintained accordingly … O(|Δ(ȳ)||ΣV| + |Δ(ȳ)| log |D|) time".
+//!
+//! Two hot-path optimizations on top of the paper's design:
+//!
+//! * **interned keys with a per-cell symbol cache** — every relevant cell's
+//!   value is interned to a dense [`Symbol`] once ("at relation load"), and
+//!   the symbols are cached per `(tuple, attribute)`. Group keys and
+//!   per-value counts are then vectors of `u32`s assembled from the cache
+//!   and hashed with the trivial [`FxHasher`] — steady-state table
+//!   operations never hash string content and never clone values. A cell
+//!   update re-interns exactly one value. (Toggleable via
+//!   [`crate::CleanConfig::interning`]; results are identical either way.)
+//! * **incremental entropy** — each group maintains `Σ c·ln c` under count
+//!   deltas, so the common single-count update refreshes `H` in O(1)
+//!   instead of rescanning all counts (the §6.3 `O(|Δ(ȳ)||ΣV|)` bound
+//!   allows the rescan; we just don't need it). The rebuild oracle in the
+//!   tests keeps the incremental values honest.
+//!
+//! [`TwoInOne::build_with`] additionally fans the per-tuple pattern checks
+//! and key projections out over scoped workers (the chunk stage of
+//! [`crate::parallel`]'s chunk–merge–apply design) and replays the
+//! precomputed projections in tuple-id order, so group ids — and therefore
+//! `eRepair`'s resolution order — are bit-identical to a single-threaded
+//! build.
 
 use std::collections::HashMap;
 
-use uniclean_model::{AttrId, Relation, TupleId, Value};
+use uniclean_model::{AttrId, FxHashMap, Relation, Symbol, Tuple, TupleId, Value, ValueInterner};
 use uniclean_rules::{Cfd, RuleSet};
 
 use crate::avl::{AvlTree, EntropyKey};
-use crate::entropy::entropy_of_counts;
+use crate::parallel::map_chunks;
 
 /// Stable identifier of a conflict set (arena index).
 pub type GroupId = u64;
+
+/// A group key `ȳ`: interned symbols on the fast path, owned values when
+/// interning is disabled.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum GroupKey {
+    /// Dense interned projection (trivial hash/eq, no value clones).
+    Syms(Vec<Symbol>),
+    /// Raw value projection (legacy path).
+    Raw(Vec<Value>),
+}
+
+/// A counted RHS value `b` within a group.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum BKey {
+    /// Interned.
+    Sym(Symbol),
+    /// Raw.
+    Raw(Value),
+}
+
+/// The interning half of the structure: the interner itself plus the
+/// per-cell symbol cache that makes steady-state key assembly hash-free.
+struct Interned {
+    values: ValueInterner,
+    /// `attr.index()` → column slot in each `syms` row (`usize::MAX` =
+    /// attribute not read/written by any variable CFD, untracked).
+    attr_slot: Vec<usize>,
+    /// `syms[tuple][slot]`: symbol of the tuple's *current* value at the
+    /// tracked attribute. Refreshed by `on_update` before rekeying.
+    syms: Vec<Vec<Symbol>>,
+}
+
+const UNTRACKED: usize = usize::MAX;
+
+/// `c · ln c` with the `0 ln 0 = 0` convention.
+#[inline]
+fn xlnx(c: usize) -> f64 {
+    if c <= 1 {
+        0.0 // 1·ln 1 = 0 exactly; avoids ln(0) for c = 0.
+    } else {
+        let c = c as f64;
+        c * c.ln()
+    }
+}
 
 /// One conflict set `Δ(ȳ)` for one variable CFD.
 #[derive(Debug)]
@@ -27,29 +94,60 @@ pub struct Group {
     /// Position in the owner's variable-CFD list.
     pub vcfd: usize,
     /// The LHS key `ȳ`.
-    pub key: Vec<Value>,
+    key: GroupKey,
     /// Member tuples.
     pub tuples: Vec<TupleId>,
     /// Counts of distinct non-null B values.
-    pub counts: HashMap<Value, usize>,
+    counts: FxHashMap<BKey, usize>,
     /// Members whose B value is null (kept out of the entropy).
     pub nulls: usize,
+    /// `Σ c·ln c` over `counts`, maintained incrementally.
+    sum_c_ln_c: f64,
     /// Cached `H(ϕ|Y=ȳ)`.
     pub entropy: f64,
 }
 
 impl Group {
-    /// The majority value and its count (ties: lexicographically smallest
-    /// value, keeping resolution deterministic).
-    pub fn majority(&self) -> Option<(&Value, usize)> {
-        self.counts
-            .iter()
-            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
-            .map(|(v, c)| (v, *c))
+    /// Number of distinct non-null B values in the conflict set.
+    pub fn distinct_values(&self) -> usize {
+        self.counts.len()
     }
 
-    fn recompute_entropy(&mut self) {
-        self.entropy = entropy_of_counts(self.counts.values().copied());
+    /// Apply a ±1 delta to one value count and refresh the entropy in
+    /// O(1): `H = (ln n − Σc·ln c / n) / ln k`, the closed form of §6.1's
+    /// `Σ (c/n)·log_k(n/c)`.
+    fn bump(&mut self, b: BKey, delta: isize) {
+        let c_old = self.counts.get(&b).copied().unwrap_or(0);
+        let c_new = match delta {
+            1 => c_old + 1,
+            -1 => c_old.saturating_sub(1),
+            _ => unreachable!("bump is ±1"),
+        };
+        if c_new == 0 {
+            self.counts.remove(&b);
+        } else {
+            self.counts.insert(b, c_new);
+        }
+        self.sum_c_ln_c += xlnx(c_new) - xlnx(c_old);
+        if self.counts.is_empty() {
+            // Re-anchor the accumulator so float drift cannot outlive the
+            // counts that caused it.
+            self.sum_c_ln_c = 0.0;
+        }
+        self.refresh_entropy();
+    }
+
+    fn refresh_entropy(&mut self) {
+        // `n = |Δ(ȳ)|` minus the null members — always in sync with the
+        // membership updates, which precede every `bump`.
+        let counted = self.tuples.len() - self.nulls;
+        let k = self.counts.len();
+        self.entropy = if k <= 1 || counted == 0 {
+            0.0
+        } else {
+            let n = counted as f64;
+            ((n.ln() - self.sum_c_ln_c / n) / (k as f64).ln()).max(0.0)
+        };
     }
 }
 
@@ -61,20 +159,32 @@ pub struct TwoInOne {
     lhs: Vec<Vec<AttrId>>,
     rhs: Vec<AttrId>,
     /// HTab per variable CFD.
-    tables: Vec<HashMap<Vec<Value>, GroupId>>,
+    tables: Vec<FxHashMap<GroupKey, GroupId>>,
     /// Group arena (never shrinks; emptied groups are recycled lazily).
     groups: Vec<Group>,
     /// AVL per variable CFD over (entropy, group id), nonzero entropy only.
     trees: Vec<AvlTree>,
-    /// attr → variable CFDs reading it (LHS) / writing it (RHS).
+    /// attr → variable CFDs reading it (LHS) / writing it (RHS), each list
+    /// ascending (enables the allocation-free merge in `on_update`).
     attr_in_lhs: Vec<Vec<usize>>,
     attr_is_rhs: Vec<Vec<usize>>,
+    /// `Some` = interned key mode; `None` = raw values.
+    interned: Option<Interned>,
 }
 
 impl TwoInOne {
-    /// Build the structure for all variable CFDs in `rules` over `d`.
-    /// O(|D| log |D| |ΣV|), as in §6.3.
+    /// Build the structure for all variable CFDs in `rules` over `d` with
+    /// interning on, single-threaded. O(|D| log |D| |ΣV|), as in §6.3.
     pub fn build(rules: &RuleSet, d: &Relation) -> Self {
+        Self::build_with(rules, d, true, 1)
+    }
+
+    /// [`Self::build`] with explicit interning and worker-thread knobs.
+    /// The per-tuple pattern checks and key projections fan out over
+    /// `threads` scoped workers; the merge replays them in tuple-id order,
+    /// so the resulting structure (including group-id assignment) is
+    /// bit-identical for every thread count.
+    pub fn build_with(rules: &RuleSet, d: &Relation, interning: bool, threads: usize) -> Self {
         let n_attrs = rules.schema().arity();
         let mut vcfd_rule_idx = Vec::new();
         let mut lhs = Vec::new();
@@ -95,19 +205,76 @@ impl TwoInOne {
             }
             attr_is_rhs[rhs[v].index()].push(v);
         }
+
+        // Interner seeding ("at relation load"): every value of every
+        // attribute a variable CFD reads or writes is interned exactly
+        // once, and the symbol cached per cell. Each value is hashed here
+        // and never again — all later key assembly reads the cache.
+        let interned = interning.then(|| {
+            let mut relevant: Vec<AttrId> = lhs
+                .iter()
+                .flat_map(|attrs| attrs.iter().copied())
+                .chain(rhs.iter().copied())
+                .collect();
+            relevant.sort_unstable();
+            relevant.dedup();
+            let mut attr_slot = vec![UNTRACKED; n_attrs];
+            for (slot, a) in relevant.iter().enumerate() {
+                attr_slot[a.index()] = slot;
+            }
+            let mut values = ValueInterner::new();
+            let syms: Vec<Vec<Symbol>> = d
+                .tuples()
+                .iter()
+                .map(|t| {
+                    relevant
+                        .iter()
+                        .map(|&a| values.intern(t.value(a)))
+                        .collect()
+                })
+                .collect();
+            Interned {
+                values,
+                attr_slot,
+                syms,
+            }
+        });
+
         let mut me = TwoInOne {
             vcfd_rule_idx,
             lhs,
             rhs,
-            tables: vec![HashMap::new(); nv],
+            tables: (0..nv).map(|_| HashMap::default()).collect(),
             groups: Vec::new(),
             trees: (0..nv).map(|_| AvlTree::new()).collect(),
             attr_in_lhs,
             attr_is_rhs,
+            interned,
         };
-        for (tid, _) in d.iter() {
-            for v in 0..nv {
-                me.insert_member(rules, d, v, tid);
+
+        // Chunk: project every (tuple, vcfd) pair to its group key and B
+        // value on the workers. Merge/apply: replay in tuple-id order —
+        // the exact loop a sequential build runs.
+        let projections = map_chunks(d.len(), threads, |range| {
+            let mut rows = Vec::with_capacity(range.len());
+            for i in range {
+                let t = TupleId::from(i);
+                let row: Vec<Option<(GroupKey, Option<BKey>)>> = (0..nv)
+                    .map(|v| me.project_for_insert(rules, v, t, d.tuple(t)))
+                    .collect();
+                rows.push(row);
+            }
+            rows
+        });
+        let mut tid = 0u32;
+        for chunk in projections {
+            for row in chunk {
+                for (v, proj) in row.into_iter().enumerate() {
+                    if let Some((key, b)) = proj {
+                        me.insert_projected(v, TupleId(tid), key, b);
+                    }
+                }
+                tid += 1;
             }
         }
         me
@@ -133,6 +300,42 @@ impl TwoInOne {
         &self.groups[g as usize]
     }
 
+    /// The group's LHS key `ȳ`, resolved to values.
+    pub fn group_key(&self, g: GroupId) -> Vec<Value> {
+        match &self.groups[g as usize].key {
+            GroupKey::Syms(syms) => syms.iter().map(|&s| self.resolve(s).clone()).collect(),
+            GroupKey::Raw(vals) => vals.clone(),
+        }
+    }
+
+    /// The majority B value of a group and its count (ties: the
+    /// lexicographically smallest value, keeping resolution deterministic).
+    pub fn majority(&self, g: GroupId) -> Option<(Value, usize)> {
+        let grp = &self.groups[g as usize];
+        grp.counts
+            .iter()
+            .map(|(b, &c)| (self.resolve_b(b), c))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(a.0)))
+            .map(|(v, c)| (v.clone(), c))
+    }
+
+    #[inline]
+    fn resolve(&self, s: Symbol) -> &Value {
+        self.interned
+            .as_ref()
+            .expect("symbols only exist in interned mode")
+            .values
+            .resolve(s)
+    }
+
+    #[inline]
+    fn resolve_b<'g>(&'g self, b: &'g BKey) -> &'g Value {
+        match b {
+            BKey::Sym(s) => self.resolve(*s),
+            BKey::Raw(v) => v,
+        }
+    }
+
     /// Conflict sets of variable CFD `v` with `0 < H < bound`, in ascending
     /// entropy order (O(log |T|) per retrieval step via the AVL tree).
     pub fn groups_below(&self, v: usize, bound: f64) -> Vec<GroupId> {
@@ -150,31 +353,106 @@ impl TwoInOne {
 
     /// Update hook: tuple `t`'s attribute `a` changed from `old` to its
     /// current value in `d`. Rekeys `t` in every variable CFD reading `a`
-    /// and adjusts counts in every variable CFD writing `a`.
+    /// and adjusts counts in every variable CFD writing `a`. The affected
+    /// slots come from a sorted merge of the two precomputed per-attribute
+    /// lists — no per-update allocation — and the symbol cache is
+    /// refreshed once, up front, so the rekeying hashes no value content.
     pub fn on_update(&mut self, rules: &RuleSet, d: &Relation, t: TupleId, a: AttrId, old: &Value) {
-        // Remove under the *old* projection, reinsert under the new one.
-        let affected: Vec<usize> = self.attr_in_lhs[a.index()]
-            .iter()
-            .chain(self.attr_is_rhs[a.index()].iter())
-            .copied()
-            .collect::<std::collections::BTreeSet<_>>()
-            .into_iter()
-            .collect();
-        for v in affected {
-            self.remove_member_with(rules, d, v, t, a, old);
+        // Refresh the cell's cached symbol (one intern — the only value
+        // hashing this update performs) and capture the old one.
+        let old_sym = match &mut self.interned {
+            Some(int) if int.attr_slot[a.index()] != UNTRACKED => {
+                let slot = int.attr_slot[a.index()];
+                let old_sym = int.values.get(old);
+                int.syms[t.index()][slot] = int.values.intern(d.tuple(t).value(a));
+                old_sym
+            }
+            _ => None,
+        };
+        let (mut i, mut j) = (0usize, 0usize);
+        loop {
+            let li = self.attr_in_lhs[a.index()].get(i).copied();
+            let rj = self.attr_is_rhs[a.index()].get(j).copied();
+            let v = match (li, rj) {
+                (Some(x), Some(y)) => {
+                    if x < y {
+                        i += 1;
+                        x
+                    } else if y < x {
+                        j += 1;
+                        y
+                    } else {
+                        i += 1;
+                        j += 1;
+                        x
+                    }
+                }
+                (Some(x), None) => {
+                    i += 1;
+                    x
+                }
+                (None, Some(y)) => {
+                    j += 1;
+                    y
+                }
+                (None, None) => break,
+            };
+            self.remove_member_with(rules, d, v, t, a, old, old_sym);
             self.insert_member(rules, d, v, t);
         }
     }
 
-    /// Insert `t` into variable CFD `v`'s structure if its (current) LHS
-    /// matches the pattern.
-    fn insert_member(&mut self, rules: &RuleSet, d: &Relation, v: usize, t: TupleId) {
+    /// Project `t` for insertion into variable CFD `v`: `None` when the
+    /// LHS pattern does not match, otherwise the group key and the B value
+    /// (`None` = null, kept out of the counts). Reads only the symbol
+    /// cache — safe to call from build workers, hashes nothing.
+    fn project_for_insert(
+        &self,
+        rules: &RuleSet,
+        v: usize,
+        t: TupleId,
+        tup: &Tuple,
+    ) -> Option<(GroupKey, Option<BKey>)> {
         let cfd = &rules.cfds()[self.vcfd_rule_idx[v]];
-        let tup = d.tuple(t);
         if !cfd.lhs_matches(tup) {
-            return;
+            return None;
         }
-        let key = tup.project(&self.lhs[v]);
+        let key = match &self.interned {
+            Some(int) => {
+                let row = &int.syms[t.index()];
+                GroupKey::Syms(
+                    self.lhs[v]
+                        .iter()
+                        .map(|a| row[int.attr_slot[a.index()]])
+                        .collect(),
+                )
+            }
+            None => GroupKey::Raw(tup.project(&self.lhs[v])),
+        };
+        let bval = tup.value(self.rhs[v]);
+        let b = if bval.is_null() {
+            None
+        } else {
+            Some(match &self.interned {
+                Some(int) => BKey::Sym(int.syms[t.index()][int.attr_slot[self.rhs[v].index()]]),
+                None => BKey::Raw(bval.clone()),
+            })
+        };
+        Some((key, b))
+    }
+
+    /// Insert `t` into variable CFD `v`'s structure if its (current) LHS
+    /// matches the pattern. The symbol cache must already reflect `t`'s
+    /// current values (`on_update` refreshes it first).
+    fn insert_member(&mut self, rules: &RuleSet, d: &Relation, v: usize, t: TupleId) {
+        if let Some((key, b)) = self.project_for_insert(rules, v, t, d.tuple(t)) {
+            self.insert_projected(v, t, key, b);
+        }
+    }
+
+    /// The table/arena/tree half of an insert, with the key already
+    /// projected — shared by `insert_member` and the build replay.
+    fn insert_projected(&mut self, v: usize, t: TupleId, key: GroupKey, b: Option<BKey>) {
         let gid = match self.tables[v].get(&key) {
             Some(&g) => g,
             None => {
@@ -183,8 +461,9 @@ impl TwoInOne {
                     vcfd: v,
                     key: key.clone(),
                     tuples: Vec::new(),
-                    counts: HashMap::new(),
+                    counts: FxHashMap::default(),
                     nulls: 0,
+                    sum_c_ln_c: 0.0,
                     entropy: 0.0,
                 });
                 self.tables[v].insert(key, g);
@@ -192,20 +471,19 @@ impl TwoInOne {
             }
         };
         self.detach_from_tree(v, gid);
-        let b = tup.value(self.rhs[v]).clone();
         let grp = &mut self.groups[gid as usize];
         grp.tuples.push(t);
-        if b.is_null() {
-            grp.nulls += 1;
-        } else {
-            *grp.counts.entry(b).or_insert(0) += 1;
+        match b {
+            None => grp.nulls += 1,
+            Some(b) => grp.bump(b, 1),
         }
-        grp.recompute_entropy();
         self.attach_to_tree(v, gid);
     }
 
     /// Remove `t` from the group it occupied *before* `a` changed away from
-    /// `old`.
+    /// `old` (whose cached symbol, if any, is `old_sym`; the cache itself
+    /// already holds the new value's symbol).
+    #[allow(clippy::too_many_arguments)]
     fn remove_member_with(
         &mut self,
         rules: &RuleSet,
@@ -214,43 +492,83 @@ impl TwoInOne {
         t: TupleId,
         a: AttrId,
         old: &Value,
+        old_sym: Option<Symbol>,
     ) {
         let cfd = &rules.cfds()[self.vcfd_rule_idx[v]];
         let tup = d.tuple(t);
-        // Old projection/pattern check: substitute `old` at `a`.
-        let value_at = |attr: AttrId| -> Value {
+        // Old projection/pattern check: substitute `old` at `a`. Borrowing
+        // (not cloning) — the pattern check only reads.
+        let value_at = |attr: AttrId| -> &Value {
             if attr == a {
-                old.clone()
+                old
             } else {
-                tup.value(attr).clone()
+                tup.value(attr)
             }
         };
         let matched_old = cfd
             .lhs()
             .iter()
             .zip(cfd.lhs_pattern())
-            .all(|(attr, p)| p.matches(&value_at(*attr)));
+            .all(|(attr, p)| p.matches(value_at(*attr)));
         if !matched_old {
             return;
         }
-        let key: Vec<Value> = self.lhs[v].iter().map(|attr| value_at(*attr)).collect();
+        // Key assembly from the cache, substituting the old symbol at `a`.
+        // A value the interner has never seen cannot be part of any
+        // inserted key, so the group cannot exist.
+        let key = match &self.interned {
+            Some(int) => {
+                let row = &int.syms[t.index()];
+                let mut syms = Vec::with_capacity(self.lhs[v].len());
+                for attr in &self.lhs[v] {
+                    if *attr == a {
+                        match old_sym {
+                            Some(s) => syms.push(s),
+                            None => return,
+                        }
+                    } else {
+                        syms.push(row[int.attr_slot[attr.index()]]);
+                    }
+                }
+                GroupKey::Syms(syms)
+            }
+            None => GroupKey::Raw(
+                self.lhs[v]
+                    .iter()
+                    .map(|attr| value_at(*attr).clone())
+                    .collect(),
+            ),
+        };
         let Some(&gid) = self.tables[v].get(&key) else {
             return;
         };
         self.detach_from_tree(v, gid);
-        let old_b = value_at(self.rhs[v]);
+        let b_attr = self.rhs[v];
+        let old_bval = value_at(b_attr);
+        let old_b = if old_bval.is_null() {
+            None
+        } else {
+            match &self.interned {
+                Some(int) => {
+                    if b_attr == a {
+                        old_sym.map(BKey::Sym)
+                    } else {
+                        Some(BKey::Sym(
+                            int.syms[t.index()][int.attr_slot[b_attr.index()]],
+                        ))
+                    }
+                }
+                None => Some(BKey::Raw(old_bval.clone())),
+            }
+        };
         let grp = &mut self.groups[gid as usize];
         if let Some(pos) = grp.tuples.iter().position(|x| *x == t) {
             grp.tuples.swap_remove(pos);
-            if old_b.is_null() {
-                grp.nulls = grp.nulls.saturating_sub(1);
-            } else if let Some(c) = grp.counts.get_mut(&old_b) {
-                *c -= 1;
-                if *c == 0 {
-                    grp.counts.remove(&old_b);
-                }
+            match old_b {
+                None if old_bval.is_null() => grp.nulls = grp.nulls.saturating_sub(1),
+                Some(b) if grp.counts.contains_key(&b) => grp.bump(b, -1),
+                _ => {}
             }
-            grp.recompute_entropy();
         }
         if grp.tuples.is_empty() {
             self.tables[v].remove(&key);
@@ -280,32 +598,44 @@ impl TwoInOne {
     }
 
     /// Exhaustive consistency check against a fresh rebuild (test helper).
+    /// Keys and counts are compared in resolved-value form (symbol numbering
+    /// is interner-local), and each group's incremental entropy is checked
+    /// against the from-scratch formula.
     #[cfg(test)]
     fn assert_consistent_with_rebuild(&self, rules: &RuleSet, d: &Relation) {
-        type GroupSummary<'a> = HashMap<&'a Vec<Value>, (usize, Vec<(&'a Value, usize)>)>;
+        use crate::entropy::entropy_of_counts;
+        type GroupSummary = HashMap<Vec<Value>, (usize, Vec<(Value, usize)>)>;
+        let summarize = |me: &TwoInOne, v: usize| -> GroupSummary {
+            me.tables[v]
+                .values()
+                .map(|&g| {
+                    let grp = &me.groups[g as usize];
+                    let mut counts: Vec<(Value, usize)> = grp
+                        .counts
+                        .iter()
+                        .map(|(b, &c)| (me.resolve_b(b).clone(), c))
+                        .collect();
+                    counts.sort();
+                    (me.group_key(g), (grp.tuples.len(), counts))
+                })
+                .collect()
+        };
         let fresh = TwoInOne::build(rules, d);
         for v in 0..self.len() {
-            let mine: GroupSummary = self.tables[v]
-                .iter()
-                .map(|(k, &g)| {
-                    let grp = &self.groups[g as usize];
-                    let mut counts: Vec<(&Value, usize)> =
-                        grp.counts.iter().map(|(v, c)| (v, *c)).collect();
-                    counts.sort();
-                    (k, (grp.tuples.len(), counts))
-                })
-                .collect();
-            let theirs: GroupSummary = fresh.tables[v]
-                .iter()
-                .map(|(k, &g)| {
-                    let grp = &fresh.groups[g as usize];
-                    let mut counts: Vec<(&Value, usize)> =
-                        grp.counts.iter().map(|(v, c)| (v, *c)).collect();
-                    counts.sort();
-                    (k, (grp.tuples.len(), counts))
-                })
-                .collect();
-            assert_eq!(mine, theirs, "vcfd {v} diverged from rebuild");
+            assert_eq!(
+                summarize(self, v),
+                summarize(&fresh, v),
+                "vcfd {v} diverged from rebuild"
+            );
+            for &g in self.tables[v].values() {
+                let grp = &self.groups[g as usize];
+                let oracle = entropy_of_counts(grp.counts.values().copied());
+                assert!(
+                    (grp.entropy - oracle).abs() < 1e-9,
+                    "vcfd {v} group {g}: incremental entropy {} vs oracle {oracle}",
+                    grp.entropy
+                );
+            }
         }
     }
 }
@@ -352,8 +682,8 @@ mod tests {
         let g = t.group(min);
         assert!((g.entropy - 0.8112781244591328).abs() < 1e-9);
         assert_eq!(g.tuples.len(), 4);
-        let (maj, cnt) = g.majority().unwrap();
-        assert_eq!(maj, &Value::str("e1"));
+        let (maj, cnt) = t.majority(min).unwrap();
+        assert_eq!(maj, Value::str("e1"));
         assert_eq!(cnt, 3);
     }
 
@@ -409,7 +739,7 @@ mod tests {
         let gid = t.tables[0].values().next().copied().unwrap();
         let g = t.group(gid);
         assert_eq!(g.nulls, 1);
-        assert_eq!(g.counts.len(), 1);
+        assert_eq!(g.distinct_values(), 1);
         assert_eq!(g.entropy, 0.0);
     }
 
@@ -434,26 +764,58 @@ mod tests {
     #[test]
     fn random_update_storm_stays_consistent() {
         // Pseudo-random single-cell updates must keep the incremental
-        // structure identical to a rebuild.
-        let (s, rules, mut d) = fig8();
-        let mut t = TwoInOne::build(&rules, &d);
-        let attrs: Vec<AttrId> = ["A", "B", "C", "E"]
-            .iter()
-            .map(|a| s.attr_id_or_panic(a))
-            .collect();
-        let vals = ["a1", "b1", "c1", "e1", "e2", "zz"];
-        let mut seed = 0x9e3779b97f4a7c15u64;
-        for _ in 0..200 {
-            seed ^= seed << 13;
-            seed ^= seed >> 7;
-            seed ^= seed << 17;
-            let tid = TupleId((seed % 8) as u32);
-            let a = attrs[(seed >> 8) as usize % attrs.len()];
-            let nv = Value::str(vals[(seed >> 16) as usize % vals.len()]);
-            let old = d.tuple(tid).value(a).clone();
-            d.tuple_mut(tid).set(a, nv, 0.5, FixMark::Reliable);
-            t.on_update(&rules, &d, tid, a, &old);
+        // structure identical to a rebuild — in interned and raw mode.
+        for interning in [true, false] {
+            let (s, rules, mut d) = fig8();
+            let mut t = TwoInOne::build_with(&rules, &d, interning, 1);
+            let attrs: Vec<AttrId> = ["A", "B", "C", "E"]
+                .iter()
+                .map(|a| s.attr_id_or_panic(a))
+                .collect();
+            let vals = ["a1", "b1", "c1", "e1", "e2", "zz"];
+            let mut seed = 0x9e3779b97f4a7c15u64;
+            for _ in 0..200 {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                let tid = TupleId((seed % 8) as u32);
+                let a = attrs[(seed >> 8) as usize % attrs.len()];
+                let nv = Value::str(vals[(seed >> 16) as usize % vals.len()]);
+                let old = d.tuple(tid).value(a).clone();
+                d.tuple_mut(tid).set(a, nv, 0.5, FixMark::Reliable);
+                t.on_update(&rules, &d, tid, a, &old);
+            }
+            t.assert_consistent_with_rebuild(&rules, &d);
         }
-        t.assert_consistent_with_rebuild(&rules, &d);
+    }
+
+    #[test]
+    fn parallel_and_raw_builds_match_the_interned_sequential_one() {
+        let (_, rules, d) = fig8();
+        let base = TwoInOne::build_with(&rules, &d, true, 1);
+        for (interning, threads) in [(true, 4), (false, 1), (false, 4)] {
+            let other = TwoInOne::build_with(&rules, &d, interning, threads);
+            assert_eq!(base.len(), other.len());
+            for v in 0..base.len() {
+                let mut a: Vec<(Vec<Value>, Vec<TupleId>)> = base.tables[v]
+                    .values()
+                    .map(|&g| (base.group_key(g), base.group(g).tuples.clone()))
+                    .collect();
+                let mut b: Vec<(Vec<Value>, Vec<TupleId>)> = other.tables[v]
+                    .values()
+                    .map(|&g| (other.group_key(g), other.group(g).tuples.clone()))
+                    .collect();
+                a.sort();
+                b.sort();
+                assert_eq!(a, b, "interning={interning} threads={threads}");
+                // Group-id assignment must also be identical (it orders
+                // equal-entropy AVL nodes).
+                let mut ids_a: Vec<GroupId> = base.tables[v].values().copied().collect();
+                let mut ids_b: Vec<GroupId> = other.tables[v].values().copied().collect();
+                ids_a.sort_unstable();
+                ids_b.sort_unstable();
+                assert_eq!(ids_a, ids_b);
+            }
+        }
     }
 }

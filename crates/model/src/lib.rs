@@ -8,6 +8,9 @@
 //!   (the user's belief in the accuracy of the cell, §3.1 of the paper) and a
 //!   [`FixMark`] recording which cleaning phase last wrote the cell,
 //! * [`Relation`] — an instance of a schema (a bag of tuples),
+//! * [`ValueInterner`] — dense `u32` [`Symbol`]s for values, so hot-path
+//!   hash keys (group projections, master-column indexes) hash and compare
+//!   in O(1),
 //! * [`cost`](mod@cost) — the repair cost model `cost(Dr, D)` of §3.1.
 //!
 //! The model is deliberately free of any cleaning logic: rules live in
@@ -15,6 +18,7 @@
 
 pub mod cost;
 pub mod csv;
+pub mod intern;
 pub mod pos;
 pub mod relation;
 pub mod schema;
@@ -22,6 +26,7 @@ pub mod tuple;
 pub mod value;
 
 pub use cost::{cell_cost, repair_cost, repair_cost_with, value_distance};
+pub use intern::{FxHashMap, FxHasher, Symbol, ValueInterner};
 pub use pos::{AttrId, TupleId};
 pub use relation::Relation;
 pub use schema::{AttrDef, Schema, ValueType};

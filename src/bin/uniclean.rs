@@ -3,7 +3,7 @@
 //! ```text
 //! uniclean clean    --data d.csv --rules r.rules [--master m.csv] [--out out.csv]
 //!                   [--table tran] [--master-table card] [--eta 1.0] [--delta2 0.8]
-//!                   [--phase c|ce|full] [--self-match] [--report]
+//!                   [--phase c|ce|full] [--self-match] [--threads n] [--report]
 //! uniclean check    --data d.csv --rules r.rules [--master m.csv] …
 //! uniclean analyze  --rules r.rules --data d.csv [--master m.csv] …
 //! uniclean discover --data d.csv [--max-lhs 2] [--min-support 3]
@@ -50,6 +50,9 @@ CLEAN OPTIONS:
     --phase <c|ce|full>        run cRepair / +eRepair / all phases [default: full]
     --cf <0..1>                default confidence for every input cell [default: 0]
     --self-match               master-free mode: the data is its own master
+    --threads <n>              worker threads for the phase internals
+                               [default: all cores; output is identical at any n]
+    --no-interning             disable value interning (benchmarking only)
     --report                   print every fix (mark, cell, old → new, rule)
 
 DISCOVER OPTIONS:
@@ -228,9 +231,18 @@ fn cmd_clean(opts: &Opts) -> Result<String, String> {
         data,
         master,
     } = load_input(opts, default_cf)?;
+    let parallelism = match opts.get("threads") {
+        None => None, // auto: all available cores
+        Some(v) => Some(
+            v.parse::<std::num::NonZeroUsize>()
+                .map_err(|_| format!("--threads expects a positive integer, got `{v}`"))?,
+        ),
+    };
     let cfg = CleanConfig {
         eta: opts.get_f64("eta", 1.0)?,
         delta_entropy: opts.get_f64("delta2", 0.8)?,
+        parallelism,
+        interning: !opts.flag("no-interning"),
         ..CleanConfig::default()
     };
     let phase = parse_phase(opts.get_or("phase", "full"))?;

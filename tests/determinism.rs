@@ -1,0 +1,263 @@
+//! Determinism suite for the parallel phase internals: every
+//! `parallelism` setting (and both interning modes) must produce a
+//! `CleanResult` bit-identical to the single-threaded path — same repaired
+//! cells (values, confidences, marks), same fix records in the same order,
+//! same cost and acceptance verdict. This is the contract the
+//! chunk–merge–apply design (`uniclean::core::parallel`) promises.
+
+mod common;
+
+use std::num::NonZeroUsize;
+
+use proptest::prelude::*;
+use uniclean::core::{CleanConfig, CleanResult, Cleaner, MasterSource, Phase};
+use uniclean::datagen::{hosp_workload, GenParams};
+use uniclean::model::{Value, ValueInterner};
+
+/// Full structural equality of two runs, with float fields compared by
+/// bits (a "close enough" comparison would mask order divergence).
+fn assert_identical(a: &CleanResult, b: &CleanResult, label: &str) {
+    assert_eq!(
+        a.repaired.len(),
+        b.repaired.len(),
+        "{label}: tuple count diverged"
+    );
+    for (ta, tb) in a.repaired.tuples().iter().zip(b.repaired.tuples()) {
+        for (ca, cb) in ta.cells().iter().zip(tb.cells()) {
+            assert_eq!(ca.value, cb.value, "{label}: cell value diverged");
+            assert_eq!(
+                ca.cf.to_bits(),
+                cb.cf.to_bits(),
+                "{label}: cell confidence diverged"
+            );
+            assert_eq!(ca.mark, cb.mark, "{label}: fix mark diverged");
+        }
+    }
+    assert_eq!(
+        a.report.records(),
+        b.report.records(),
+        "{label}: fix report diverged"
+    );
+    assert_eq!(
+        a.cost.to_bits(),
+        b.cost.to_bits(),
+        "{label}: repair cost diverged"
+    );
+    assert_eq!(a.consistent, b.consistent, "{label}: acceptance diverged");
+    assert_eq!(a.phases.len(), b.phases.len(), "{label}: phase count");
+    for (pa, pb) in a.phases.iter().zip(&b.phases) {
+        assert_eq!(pa.phase, pb.phase, "{label}: phase order diverged");
+        assert_eq!(pa.fixes, pb.fixes, "{label}: phase fix count diverged");
+    }
+}
+
+fn run(
+    rules: &uniclean::rules::RuleSet,
+    master: MasterSource,
+    d: &uniclean::model::Relation,
+    eta: f64,
+    threads: usize,
+    interning: bool,
+    phase: Phase,
+) -> CleanResult {
+    let cfg = CleanConfig {
+        eta,
+        parallelism: Some(NonZeroUsize::new(threads).unwrap()),
+        interning,
+        ..CleanConfig::default()
+    };
+    Cleaner::builder()
+        .rules(rules.clone())
+        .master(master)
+        .config(cfg)
+        .build()
+        .expect("valid session")
+        .clean(d, phase)
+}
+
+#[test]
+fn example_1_1_is_thread_count_invariant() {
+    let (_, rules, dirty, master) = common::example_1_1();
+    let baseline = run(
+        &rules,
+        MasterSource::external(master.clone()),
+        &dirty,
+        0.8,
+        1,
+        true,
+        Phase::Full,
+    );
+    assert!(baseline.consistent);
+    assert!(!baseline.report.is_empty());
+    for threads in [2, 4, 8] {
+        for interning in [true, false] {
+            let other = run(
+                &rules,
+                MasterSource::external(master.clone()),
+                &dirty,
+                0.8,
+                threads,
+                interning,
+                Phase::Full,
+            );
+            assert_identical(
+                &baseline,
+                &other,
+                &format!("example 1.1, threads={threads}, interning={interning}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn example_1_1_self_snapshot_is_thread_count_invariant() {
+    let (_, rules, dirty, _) = common::example_1_1();
+    let baseline = run(
+        &rules,
+        MasterSource::SelfSnapshot,
+        &dirty,
+        0.8,
+        1,
+        true,
+        Phase::Full,
+    );
+    let parallel = run(
+        &rules,
+        MasterSource::SelfSnapshot,
+        &dirty,
+        0.8,
+        4,
+        true,
+        Phase::Full,
+    );
+    assert_identical(&baseline, &parallel, "example 1.1 self-snapshot");
+}
+
+#[test]
+fn generated_hosp_1k_is_thread_count_invariant() {
+    let w = hosp_workload(&GenParams {
+        tuples: 1000,
+        master_tuples: 300,
+        ..GenParams::default()
+    });
+    // η = 1.0, the paper's experimental setting: deterministic fixes fire
+    // from fully asserted premises, eRepair resolves the rest.
+    let baseline = run(
+        &w.rules,
+        MasterSource::external(w.master.clone()),
+        &w.dirty,
+        1.0,
+        1,
+        true,
+        Phase::CERepair,
+    );
+    assert!(
+        !baseline.report.is_empty(),
+        "workload must exercise both phases"
+    );
+    for threads in [2, 4] {
+        for interning in [true, false] {
+            let other = run(
+                &w.rules,
+                MasterSource::external(w.master.clone()),
+                &w.dirty,
+                1.0,
+                threads,
+                interning,
+                Phase::CERepair,
+            );
+            assert_identical(
+                &baseline,
+                &other,
+                &format!("hosp 1k, threads={threads}, interning={interning}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn full_pipeline_on_hosp_is_thread_count_invariant() {
+    // Smaller instance so hRepair's equivalence-class machinery stays fast,
+    // but all three phases run.
+    let w = hosp_workload(&GenParams {
+        tuples: 300,
+        master_tuples: 100,
+        ..GenParams::default()
+    });
+    let baseline = run(
+        &w.rules,
+        MasterSource::external(w.master.clone()),
+        &w.dirty,
+        1.0,
+        1,
+        true,
+        Phase::Full,
+    );
+    let parallel = run(
+        &w.rules,
+        MasterSource::external(w.master.clone()),
+        &w.dirty,
+        1.0,
+        8,
+        true,
+        Phase::Full,
+    );
+    assert_identical(&baseline, &parallel, "hosp 300 full pipeline");
+}
+
+// ---------------------------------------------------------------------------
+// Interner properties (vendored proptest shim).
+// ---------------------------------------------------------------------------
+
+/// Build a `Value` from a generated discriminant + payload.
+fn value_of(kind: u8, n: i64, s: &str) -> Value {
+    match kind % 3 {
+        0 => Value::Null,
+        1 => Value::int(n),
+        _ => Value::str(s),
+    }
+}
+
+proptest! {
+    /// Round-trip: every interned value resolves back to itself, and
+    /// re-interning returns the same symbol.
+    #[test]
+    fn interner_round_trips(
+        items in proptest::collection::vec((0u8..3, -50i64..50, "[a-d]{0,6}"), 1..60)
+    ) {
+        let mut interner = ValueInterner::new();
+        let symbols: Vec<_> = items
+            .iter()
+            .map(|(k, n, s)| interner.intern(&value_of(*k, *n, s)))
+            .collect();
+        for ((k, n, s), sym) in items.iter().zip(&symbols) {
+            let v = value_of(*k, *n, s);
+            prop_assert_eq!(interner.resolve(*sym), &v);
+            prop_assert_eq!(interner.intern(&v), *sym);
+            prop_assert_eq!(interner.get(&v), Some(*sym));
+        }
+    }
+
+    /// No collisions: distinct values get distinct symbols, equal values
+    /// share one, and the symbol space stays dense.
+    #[test]
+    fn interner_is_collision_free(
+        items in proptest::collection::vec((0u8..3, -10i64..10, "[ab]{0,3}"), 1..80)
+    ) {
+        let mut interner = ValueInterner::new();
+        let mut by_value: std::collections::HashMap<Value, _> = std::collections::HashMap::new();
+        for (k, n, s) in &items {
+            let v = value_of(*k, *n, s);
+            let sym = interner.intern(&v);
+            if let Some(prev) = by_value.insert(v.clone(), sym) {
+                prop_assert_eq!(prev, sym, "equal values must share a symbol");
+            }
+        }
+        // Distinctness + density: as many symbols as distinct values, with
+        // indexes 0..len.
+        prop_assert_eq!(interner.len(), by_value.len());
+        let mut idxs: Vec<usize> = by_value.values().map(|s| s.index()).collect();
+        idxs.sort_unstable();
+        prop_assert_eq!(idxs, (0..by_value.len()).collect::<Vec<_>>());
+    }
+}
