@@ -1,16 +1,22 @@
-//! `perf` — phase-throughput benchmark for the parallel internals and the
-//! value-interning layer (the `BENCH_pr2.json` generator).
+//! `perf` — phase-throughput benchmark for the parallel internals, the
+//! value-interning layer (the `BENCH_pr2.json` generator) and the
+//! incremental `clean_delta` path (the `BENCH_pr3.json` generator).
 //!
-//! Measures cRepair and eRepair tuples/sec on generated HOSP and DBLP
-//! workloads across worker-thread counts (1/2/4/8) and interning on/off,
-//! then writes a machine-readable JSON report. The determinism suite
-//! guarantees every configuration produces identical repairs, so the
-//! numbers compare pure wall-clock.
+//! Part 1 measures cRepair and eRepair tuples/sec on generated HOSP and
+//! DBLP workloads across worker-thread counts (1/2/4/8) and interning
+//! on/off. Part 2 replays an append-only service: a 10k-tuple HOSP base
+//! absorbed through `Cleaner::begin`, then ten 1% batches through
+//! `Cleaner::clean_delta`, each timed against a from-scratch reclean of
+//! the concatenated relation — and *verified bit-identical to it* before
+//! any number is reported. Both reports are machine-readable JSON,
+//! self-validated by the `json_check` parser.
 //!
 //! ```text
 //! cargo run --release -p uniclean-bench --bin perf               # full run
 //! cargo run --release -p uniclean-bench --bin perf -- --smoke    # CI smoke
-//!    [--out BENCH_pr2.json] [--tuples 10000] [--master 2000] [--repeat 3]
+//!    [--out BENCH_pr2.json] [--delta-out BENCH_pr3.json]
+//!    [--tuples 10000] [--master 2000] [--repeat 3]
+//!    [--delta-base 10000] [--delta-batches 10] [--delta-batch 100]
 //! ```
 //!
 //! `--smoke` shrinks the workloads to a few hundred tuples, runs one
@@ -23,7 +29,7 @@ use std::time::Instant;
 
 use uniclean_bench::figure::json_num;
 use uniclean_bench::{validate_json, Args};
-use uniclean_core::{CleanConfig, Cleaner, MasterSource, Phase, PhaseKind, PhaseTimings};
+use uniclean_core::{CleanConfig, Cleaner, MasterSource, Phase, PhaseTimings};
 use uniclean_datagen::{dblp_workload, hosp_workload, GenParams, Workload};
 
 struct RunResult {
@@ -63,9 +69,9 @@ fn measure(w: &Workload, threads: usize, interning: bool, repeat: usize) -> RunR
         let r = cleaner.clean_observed(&w.dirty, Phase::CERepair, &mut timings);
         for s in &timings.stats {
             match s.phase {
-                PhaseKind::CRepair => best_c = best_c.min(s.seconds),
-                PhaseKind::ERepair => best_e = best_e.min(s.seconds),
-                PhaseKind::HRepair => {}
+                Phase::CRepair => best_c = best_c.min(s.seconds),
+                Phase::ERepair => best_e = best_e.min(s.seconds),
+                Phase::HRepair => {}
             }
         }
         fixes = r.report.len();
@@ -238,10 +244,200 @@ fn render_table(reports: &[DatasetReport]) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Part 2: the incremental `clean_delta` workload (BENCH_pr3.json).
+// ---------------------------------------------------------------------------
+
+struct DeltaStep {
+    total_tuples: usize,
+    delta_seconds: f64,
+    full_seconds: f64,
+    escalated: bool,
+}
+
+struct DeltaReport {
+    base_tuples: usize,
+    batch_tuples: usize,
+    master_tuples: usize,
+    steps: Vec<DeltaStep>,
+}
+
+impl DeltaReport {
+    fn speedups(&self) -> Vec<f64> {
+        self.steps
+            .iter()
+            .map(|s| {
+                if s.delta_seconds > 0.0 {
+                    s.full_seconds / s.delta_seconds
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .collect()
+    }
+}
+
+/// Replay an append-only HOSP service: clean `base` once, then absorb
+/// `batches` × `batch` tuples through `clean_delta`, timing each call
+/// against a from-scratch `clean` of the same concatenated relation.
+/// Every step is verified bit-identical to the reclean before timing is
+/// trusted; a divergence aborts the bench with a nonzero exit.
+fn bench_delta(base: usize, batches: usize, batch: usize, master: usize) -> DeltaReport {
+    let params = GenParams {
+        tuples: base + batches * batch,
+        master_tuples: master,
+        ..GenParams::default()
+    };
+    let w = hosp_workload(&params);
+    let cleaner = Cleaner::builder()
+        .rules(w.rules.clone())
+        .master(MasterSource::external(w.master.clone()))
+        .config(CleanConfig {
+            eta: 1.0,
+            delta_entropy: 0.8,
+            parallelism: Some(NonZeroUsize::new(1).expect("nonzero")),
+            ..CleanConfig::default()
+        })
+        .build()
+        .expect("workloads build valid sessions");
+
+    let schema = w.dirty.schema().clone();
+    let rows = w.dirty.tuples();
+    let base_rel = uniclean_model::Relation::new(schema.clone(), rows[..base].to_vec());
+    let (mut state, _) = cleaner.begin(&base_rel, Phase::Full);
+
+    let mut steps = Vec::with_capacity(batches);
+    for i in 0..batches {
+        let upto = base + (i + 1) * batch;
+        let slice = &rows[upto - batch..upto];
+        let escalations_before = state.escalations();
+
+        let started = Instant::now();
+        cleaner
+            .clean_delta(&mut state, slice)
+            .expect("batch tuples match the schema");
+        let delta_seconds = started.elapsed().as_secs_f64();
+
+        let concat = uniclean_model::Relation::new(schema.clone(), rows[..upto].to_vec());
+        let started = Instant::now();
+        let full = cleaner.clean(&concat, Phase::Full);
+        let full_seconds = started.elapsed().as_secs_f64();
+
+        // The acceptance criterion: the delta state must be bit-identical
+        // to the from-scratch reclean. A bench reporting speedups for a
+        // wrong answer would be worse than useless.
+        if full.repaired.diff_cells(state.repaired()) != 0
+            || full.consistent != state.consistent()
+            || full.cost.to_bits() != state.cost().to_bits()
+        {
+            eprintln!("clean_delta diverged from the full reclean at batch {i}");
+            std::process::exit(1);
+        }
+        steps.push(DeltaStep {
+            total_tuples: upto,
+            delta_seconds,
+            full_seconds,
+            escalated: state.escalations() > escalations_before,
+        });
+        eprintln!(
+            "  delta batch {}/{batches}: {:.4}s vs full {:.4}s ({:.1}x)",
+            i + 1,
+            delta_seconds,
+            full_seconds,
+            full_seconds / delta_seconds.max(1e-12),
+        );
+    }
+    DeltaReport {
+        base_tuples: base,
+        batch_tuples: batch,
+        master_tuples: master,
+        steps,
+    }
+}
+
+fn render_delta_json(r: &DeltaReport, smoke: bool) -> String {
+    let speedups = r.speedups();
+    let finite: Vec<f64> = speedups.iter().copied().filter(|s| s.is_finite()).collect();
+    let mean = if finite.is_empty() {
+        f64::NAN
+    } else {
+        finite.iter().sum::<f64>() / finite.len() as f64
+    };
+    let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"pr3_incremental_delta\",");
+    let _ = writeln!(
+        out,
+        "  \"command\": \"cargo run --release -p uniclean-bench --bin perf\","
+    );
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"dataset\": \"hosp\",");
+    let _ = writeln!(out, "  \"phase\": \"full\",");
+    let _ = writeln!(
+        out,
+        "  \"note\": \"each clean_delta call is verified bit-identical (cells, cost, acceptance) \
+         to a from-scratch clean of the concatenated relation before its timing is reported; \
+         escalated steps fell back to a full reclean by design\","
+    );
+    let _ = writeln!(out, "  \"base_tuples\": {},", r.base_tuples);
+    let _ = writeln!(out, "  \"batch_tuples\": {},", r.batch_tuples);
+    let _ = writeln!(out, "  \"batches\": {},", r.steps.len());
+    let _ = writeln!(out, "  \"master_tuples\": {},", r.master_tuples);
+    let _ = writeln!(out, "  \"steps\": [");
+    for (i, (s, sp)) in r.steps.iter().zip(&speedups).enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"batch\": {},", i + 1);
+        let _ = writeln!(out, "      \"total_tuples\": {},", s.total_tuples);
+        let _ = writeln!(out, "      \"delta_seconds\": {},", num(s.delta_seconds, 6));
+        let _ = writeln!(
+            out,
+            "      \"full_reclean_seconds\": {},",
+            num(s.full_seconds, 6)
+        );
+        let _ = writeln!(out, "      \"speedup\": {},", num(*sp, 2));
+        let _ = writeln!(out, "      \"escalated\": {},", s.escalated);
+        let _ = writeln!(out, "      \"bit_identical\": true");
+        let comma = if i + 1 < r.steps.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"mean_speedup\": {},", num(mean, 2));
+    let _ = writeln!(out, "  \"min_speedup\": {}", num(min, 2));
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Validate, write, re-read and re-validate one JSON report file.
+fn write_validated(path: &str, json: &str) {
+    if let Err(pos) = validate_json(json) {
+        eprintln!("emitted JSON is malformed at byte {pos}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    // Read back and re-validate: the smoke contract is "the file on disk
+    // parses", not "the string in memory did".
+    match std::fs::read_to_string(path) {
+        Ok(disk) if validate_json(&disk).is_ok() => {}
+        Ok(_) => {
+            eprintln!("{path} does not round-trip as valid JSON");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("cannot re-read {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = Args::parse();
     let smoke = args.flag("smoke");
     let out_path = args.get_or("out", "BENCH_pr2.json").to_string();
+    let delta_out_path = args.get_or("delta-out", "BENCH_pr3.json").to_string();
     let (tuples, master, repeat, thread_counts): (usize, usize, usize, Vec<usize>) = if smoke {
         (200, 80, 1, vec![1, 2])
     } else {
@@ -250,6 +446,15 @@ fn main() {
             args.get_usize("master", 2_000),
             args.get_usize("repeat", 3),
             vec![1, 2, 4, 8],
+        )
+    };
+    let (delta_base, delta_batches, delta_batch) = if smoke {
+        (240, 3, 20)
+    } else {
+        (
+            args.get_usize("delta-base", 10_000),
+            args.get_usize("delta-batches", 10),
+            args.get_usize("delta-batch", 100),
         )
     };
 
@@ -268,31 +473,30 @@ fn main() {
     ];
 
     let json = render_json(&reports, smoke, repeat);
-    if let Err(pos) = validate_json(&json) {
-        eprintln!("emitted JSON is malformed at byte {pos}");
-        std::process::exit(1);
-    }
-    if let Err(e) = std::fs::write(&out_path, &json) {
-        eprintln!("cannot write {out_path}: {e}");
-        std::process::exit(1);
-    }
-    // Read back and re-validate: the smoke contract is "the file on disk
-    // parses", not "the string in memory did".
-    match std::fs::read_to_string(&out_path) {
-        Ok(disk) if validate_json(&disk).is_ok() => {}
-        Ok(_) => {
-            eprintln!("{out_path} does not round-trip as valid JSON");
-            std::process::exit(1);
-        }
-        Err(e) => {
-            eprintln!("cannot re-read {out_path}: {e}");
-            std::process::exit(1);
-        }
-    }
+    write_validated(&out_path, &json);
+
+    eprintln!("delta workload ({delta_base} base + {delta_batches} x {delta_batch} batches)…");
+    let delta = bench_delta(delta_base, delta_batches, delta_batch, master);
+    let delta_json = render_delta_json(&delta, smoke);
+    write_validated(&delta_out_path, &delta_json);
 
     print!("{}", render_table(&reports));
+    let speedups = delta.speedups();
     println!(
-        "wrote {out_path} ({} datasets, {:.1}s total){}",
+        "## delta — {} base + {} x {} batches: mean speedup {:.1}x, min {:.1}x",
+        delta.base_tuples,
+        delta.steps.len(),
+        delta.batch_tuples,
+        speedups
+            .iter()
+            .copied()
+            .filter(|s| s.is_finite())
+            .sum::<f64>()
+            / speedups.len().max(1) as f64,
+        speedups.iter().copied().fold(f64::INFINITY, f64::min),
+    );
+    println!(
+        "wrote {out_path} + {delta_out_path} ({} datasets, {:.1}s total){}",
         reports.len(),
         started.elapsed().as_secs_f64(),
         if smoke { " [smoke]" } else { "" }

@@ -30,6 +30,7 @@ impl EntropyKey {
     }
 }
 
+#[derive(Clone)]
 struct Node {
     key: EntropyKey,
     height: i32,
@@ -160,7 +161,7 @@ fn pop_min(mut n: Box<Node>) -> (Option<Box<Node>>, EntropyKey) {
 }
 
 /// The AVL tree.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct AvlTree {
     root: Option<Box<Node>>,
     len: usize,

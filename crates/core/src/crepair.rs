@@ -45,32 +45,155 @@ struct VGroup {
     val: Option<Value>,
 }
 
-struct State<'a> {
-    rules: &'a RuleSet,
-    dm: Option<&'a Relation>,
-    idx: Option<&'a MasterIndex>,
-    eta: f64,
-    self_match: bool,
+/// The persistable half of the `cRepair` machine: the hash tables,
+/// counters and wait sets of Fig 4, plus the memoized MD witness cache.
+///
+/// A full run builds one, seeds every tuple and drains the queue. The
+/// incremental path ([`crate::RepairState`]) keeps the fixpoint alive
+/// between calls: appending a batch seeds *only the new tuples* and
+/// continues the same fixpoint — valid because `cRepair` is a monotone
+/// write-once inference whose outcome is independent of rule application
+/// order (§5.2). The [`CGuard`] watches for the two situations where a
+/// continuation could diverge from a from-scratch run and must escalate:
+/// a write landing on a previously-settled tuple, and conflicting
+/// asserted evidence racing for one cell.
+pub(crate) struct CFixpoint {
     /// LHS attribute list per rule (CFDs then MDs).
     lhs_of: Vec<Vec<AttrId>>,
     /// RHS (data-side) attribute per rule.
     rhs_of: Vec<AttrId>,
     /// attr → rules with that attr in their LHS.
     attr_to_rules: Vec<Vec<usize>>,
+    /// Distinct LHS attribute count per rule (premise-complete threshold).
+    lhs_distinct: Vec<u32>,
     /// Variable-CFD hash tables, indexed by rule id (None for others).
     h: Vec<Option<HashMap<Vec<Value>, VGroup>>>,
     /// count[t][ξ].
     count: Vec<Vec<u32>>,
-    /// Queue of (tuple, rule) with pending flags.
-    queue: VecDeque<(TupleId, usize)>,
-    pending: Vec<Vec<bool>>,
     /// P[t]: variable CFDs t waits on.
     p: Vec<Vec<bool>>,
     /// Memoized MD witness lists (prefilled in parallel, invalidated on
-    /// premise rewrites).
+    /// premise rewrites). Entries track the evolving relation, which only
+    /// ever moves forward, so they stay valid across continuations.
     md_cache: MdMatchCache,
     /// All schema attributes, precomputed for the agreement check.
     all_attrs: Vec<AttrId>,
+    /// Number of CFD rules (MD rule ids start here).
+    n_cfds: usize,
+    /// Tuples the fixpoint currently covers.
+    n_tuples: usize,
+}
+
+impl CFixpoint {
+    pub(crate) fn new(rules: &RuleSet, n_tuples: usize, self_match: bool) -> Self {
+        let n_rules = rules.len();
+        let n_attrs = rules.schema().arity();
+        let mut lhs_of = Vec::with_capacity(n_rules);
+        let mut rhs_of = Vec::with_capacity(n_rules);
+        let mut h: Vec<Option<HashMap<Vec<Value>, VGroup>>> = Vec::with_capacity(n_rules);
+        for c in rules.cfds() {
+            assert!(!c.lhs().is_empty(), "CFD `{}` has an empty LHS", c.name());
+            lhs_of.push(c.lhs().to_vec());
+            rhs_of.push(c.rhs()[0]);
+            h.push(c.is_variable().then(HashMap::new));
+        }
+        for m in rules.mds() {
+            assert!(
+                !m.premises().is_empty(),
+                "MD `{}` has an empty premise",
+                m.name()
+            );
+            lhs_of.push(m.lhs_attrs());
+            rhs_of.push(m.rhs()[0].0);
+            h.push(None);
+        }
+        let mut attr_to_rules = vec![Vec::new(); n_attrs];
+        for (r, attrs) in lhs_of.iter().enumerate() {
+            // An attribute may appear once per rule LHS (guaranteed for
+            // CFDs; MD premises may repeat an attribute with different
+            // predicates — count each attr once).
+            let mut seen = attrs.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            for a in seen {
+                attr_to_rules[a.index()].push(r);
+            }
+        }
+        let lhs_distinct: Vec<u32> = lhs_of
+            .iter()
+            .map(|attrs| {
+                let mut s = attrs.clone();
+                s.sort_unstable();
+                s.dedup();
+                s.len() as u32
+            })
+            .collect();
+        CFixpoint {
+            lhs_of,
+            rhs_of,
+            attr_to_rules,
+            lhs_distinct,
+            h,
+            count: vec![vec![0; n_rules]; n_tuples],
+            p: vec![vec![false; n_rules]; n_tuples],
+            md_cache: MdMatchCache::new(rules, n_tuples, self_match),
+            all_attrs: rules.schema().attr_ids().collect(),
+            n_cfds: rules.cfds().len(),
+            n_tuples,
+        }
+    }
+
+    /// Extend the per-tuple state for `n_new` appended tuples.
+    pub(crate) fn grow(&mut self, n_new: usize) {
+        let n_rules = self.lhs_of.len();
+        for _ in 0..n_new {
+            self.count.push(vec![0; n_rules]);
+            self.p.push(vec![false; n_rules]);
+        }
+        self.md_cache.grow(n_new);
+        self.n_tuples += n_new;
+    }
+}
+
+/// Divergence watch for fixpoint continuations (`None` on full runs).
+pub(crate) struct CGuard {
+    /// Tuples below this id are settled: a write to any of them means the
+    /// batch's cascade reached previously-settled repairs. Such writes are
+    /// *kept* — a continuation is a legal application order, so they equal
+    /// the from-scratch outcome — but the caller must refresh any
+    /// structure pinned to the old post-`cRepair` state.
+    pub settled: usize,
+    /// Number of writes that landed on settled tuples.
+    pub settled_writes: usize,
+    /// Conflicting asserted evidence was observed racing for one cell —
+    /// the one situation where `cRepair`'s outcome is order-dependent, so
+    /// a continuation order may not reproduce the from-scratch order.
+    /// The caller must escalate to a full reclean.
+    pub hazard: bool,
+}
+
+impl CGuard {
+    pub(crate) fn new(settled: usize) -> Self {
+        CGuard {
+            settled,
+            settled_writes: 0,
+            hazard: false,
+        }
+    }
+}
+
+struct State<'a> {
+    rules: &'a RuleSet,
+    dm: Option<&'a Relation>,
+    idx: Option<&'a MasterIndex>,
+    eta: f64,
+    self_match: bool,
+    fx: &'a mut CFixpoint,
+    /// Queue of (tuple, rule) with pending flags (transient: empty at
+    /// fixpoint, so not part of the persisted state).
+    queue: VecDeque<(TupleId, usize)>,
+    pending: Vec<Vec<bool>>,
+    guard: Option<&'a mut CGuard>,
     report: FixReport,
 }
 
@@ -85,91 +208,77 @@ pub fn c_repair(
     idx: Option<&MasterIndex>,
     cfg: &CleanConfig,
 ) -> FixReport {
+    let mut fx = CFixpoint::new(rules, d.len(), cfg.self_match);
+    c_run(d, dm, rules, idx, cfg, &mut fx, 0, None)
+}
+
+/// The engine behind [`c_repair`]: seed tuples `seed_from..` into `fx` and
+/// drain the inference queue. With `seed_from == 0` over a fresh
+/// [`CFixpoint`] this is a full run; with the persisted fixpoint of a
+/// previous run it *continues* that fixpoint over an appended batch.
+#[allow(clippy::too_many_arguments)] // the paper's full parameter set, one slot each
+pub(crate) fn c_run(
+    d: &mut Relation,
+    dm: Option<&Relation>,
+    rules: &RuleSet,
+    idx: Option<&MasterIndex>,
+    cfg: &CleanConfig,
+    fx: &mut CFixpoint,
+    seed_from: usize,
+    guard: Option<&mut CGuard>,
+) -> FixReport {
     assert!(
         rules.mds().is_empty() || (dm.is_some() && idx.is_some()),
         "rule set contains MDs: master data and a MasterIndex are required"
     );
-    let n_rules = rules.len();
-    let n_attrs = rules.schema().arity();
-    let mut lhs_of = Vec::with_capacity(n_rules);
-    let mut rhs_of = Vec::with_capacity(n_rules);
-    let mut h: Vec<Option<HashMap<Vec<Value>, VGroup>>> = Vec::with_capacity(n_rules);
-    for c in rules.cfds() {
-        assert!(!c.lhs().is_empty(), "CFD `{}` has an empty LHS", c.name());
-        lhs_of.push(c.lhs().to_vec());
-        rhs_of.push(c.rhs()[0]);
-        h.push(c.is_variable().then(HashMap::new));
-    }
-    for m in rules.mds() {
-        assert!(
-            !m.premises().is_empty(),
-            "MD `{}` has an empty premise",
-            m.name()
-        );
-        lhs_of.push(m.lhs_attrs());
-        rhs_of.push(m.rhs()[0].0);
-        h.push(None);
-    }
-    let mut attr_to_rules = vec![Vec::new(); n_attrs];
-    for (r, attrs) in lhs_of.iter().enumerate() {
-        // An attribute may appear once per rule LHS (guaranteed for CFDs;
-        // MD premises may repeat an attribute with different predicates —
-        // count each attr once).
-        let mut seen = attrs.clone();
-        seen.sort_unstable();
-        seen.dedup();
-        for a in seen {
-            attr_to_rules[a.index()].push(r);
-        }
-    }
-    let lhs_distinct: Vec<u32> = lhs_of
-        .iter()
-        .map(|attrs| {
-            let mut s = attrs.clone();
-            s.sort_unstable();
-            s.dedup();
-            s.len() as u32
-        })
-        .collect();
-
-    let n_tuples = d.len();
-    let mut md_cache = MdMatchCache::new(rules, n_tuples, cfg.self_match);
+    assert_eq!(
+        fx.n_tuples,
+        d.len(),
+        "fixpoint state must cover the relation"
+    );
     if let (Some(dm), Some(idx)) = (dm, idx) {
         // Fan the expensive verification out over the workers for every
-        // tuple `MDInfer` will interrogate from the initial assertions;
-        // tuples unlocked later by the cascade are computed on demand.
-        let n_cfds = rules.cfds().len();
+        // seeded tuple `MDInfer` will interrogate from the initial
+        // assertions; tuples unlocked later by the cascade are computed on
+        // demand.
+        let n_cfds = fx.n_cfds;
         let eta = cfg.eta;
-        md_cache.prefill(rules, d, dm, idx, cfg.effective_parallelism(), |m, t| {
-            let tup = d.tuple(t);
-            tup.cf(rhs_of[n_cfds + m]) < eta && lhs_of[n_cfds + m].iter().all(|a| tup.cf(*a) >= eta)
-        });
+        let (lhs_of, rhs_of) = (&fx.lhs_of, &fx.rhs_of);
+        fx.md_cache.prefill_range(
+            rules,
+            d,
+            dm,
+            idx,
+            cfg.effective_parallelism(),
+            seed_from..d.len(),
+            |m, t| {
+                let tup = d.tuple(t);
+                tup.cf(rhs_of[n_cfds + m]) < eta
+                    && lhs_of[n_cfds + m].iter().all(|a| tup.cf(*a) >= eta)
+            },
+        );
     }
+    let n_rules = rules.len();
     let mut st = State {
         rules,
         dm,
         idx,
         eta: cfg.eta,
         self_match: cfg.self_match,
-        lhs_of,
-        rhs_of,
-        attr_to_rules,
-        h,
-        count: vec![vec![0; n_rules]; n_tuples],
+        fx,
         queue: VecDeque::new(),
-        pending: vec![vec![false; n_rules]; n_tuples],
-        p: vec![vec![false; n_rules]; n_tuples],
-        md_cache,
-        all_attrs: rules.schema().attr_ids().collect(),
+        pending: vec![vec![false; n_rules]; d.len()],
+        guard,
         report: FixReport::new(),
     };
 
     // Initialization (Fig 4, lines 2–6): seed counters from the cells that
     // are asserted up front.
-    for t in d.ids() {
+    for i in seed_from..d.len() {
+        let t = TupleId::from(i);
         for a in rules.schema().attr_ids() {
             if d.tuple(t).cf(a) >= st.eta {
-                st.on_asserted(d, t, a, &lhs_distinct);
+                st.on_asserted(d, t, a);
             }
         }
     }
@@ -179,34 +288,40 @@ pub fn c_repair(
         st.pending[t.index()][r] = false;
         if r < rules.cfds().len() {
             if rules.cfds()[r].is_variable() {
-                st.v_cfd_infer(d, t, r, &lhs_distinct);
+                st.v_cfd_infer(d, t, r);
             } else {
-                st.c_cfd_infer(d, t, r, &lhs_distinct);
+                st.c_cfd_infer(d, t, r);
             }
         } else {
-            st.md_infer(d, t, r, &lhs_distinct);
+            st.md_infer(d, t, r);
         }
     }
-    st.report
+    let report = st.report;
+    // This cache tracks the forward-only fixpoint relation: entries stay
+    // current via invalidation-on-write and the state never rewinds, so
+    // the volatile journal is dead weight that must not accumulate across
+    // a long-lived session's continuations.
+    fx.md_cache.forget_volatile();
+    report
 }
 
 impl<'a> State<'a> {
     /// Procedure `update(t, A)` of Fig 5: `t[A]` has just become asserted.
-    fn on_asserted(&mut self, d: &Relation, t: TupleId, a: AttrId, lhs_distinct: &[u32]) {
-        let rule_ids: Vec<usize> = self.attr_to_rules[a.index()].clone();
+    fn on_asserted(&mut self, d: &Relation, t: TupleId, a: AttrId) {
+        let rule_ids: Vec<usize> = self.fx.attr_to_rules[a.index()].clone();
         for r in rule_ids {
-            self.count[t.index()][r] += 1;
-            if self.count[t.index()][r] == lhs_distinct[r] {
+            self.fx.count[t.index()][r] += 1;
+            if self.fx.count[t.index()][r] == self.fx.lhs_distinct[r] {
                 self.push(t, r);
             }
         }
         // Variable CFDs t waits on whose RHS is A: the newly asserted value
         // may become the group witness.
-        for r in 0..self.rhs_of.len() {
-            if self.p[t.index()][r] && self.rhs_of[r] == a {
-                self.p[t.index()][r] = false;
-                let key = d.tuple(t).project(&self.lhs_of[r]);
-                let val_is_nil = self.h[r]
+        for r in 0..self.fx.rhs_of.len() {
+            if self.fx.p[t.index()][r] && self.fx.rhs_of[r] == a {
+                self.fx.p[t.index()][r] = false;
+                let key = d.tuple(t).project(&self.fx.lhs_of[r]);
+                let val_is_nil = self.fx.h[r]
                     .as_ref()
                     .and_then(|h| h.get(&key))
                     .is_none_or(|g| g.val.is_none());
@@ -233,8 +348,12 @@ impl<'a> State<'a> {
         a: AttrId,
         new: Value,
         rule_name: &str,
-        lhs_distinct: &[u32],
     ) {
+        if let Some(g) = self.guard.as_deref_mut() {
+            if t.index() < g.settled {
+                g.settled_writes += 1;
+            }
+        }
         let old = d.tuple(t).value(a).clone();
         let changed = old != new;
         let mark = if changed {
@@ -243,7 +362,7 @@ impl<'a> State<'a> {
             d.tuple(t).mark(a)
         };
         d.tuple_mut(t).set(a, new.clone(), self.eta, mark);
-        self.md_cache.invalidate(t, a);
+        self.fx.md_cache.invalidate(t, a);
         if changed {
             self.report.push(FixRecord {
                 tuple: t,
@@ -254,74 +373,100 @@ impl<'a> State<'a> {
                 rule: rule_name.to_string(),
             });
         }
-        self.on_asserted(d, t, a, lhs_distinct);
+        self.on_asserted(d, t, a);
+    }
+
+    /// Conflicting asserted evidence was observed for one cell: a
+    /// continuation cannot promise the from-scratch winner, so the guard
+    /// (when present) demands escalation.
+    fn flag_hazard(&mut self) {
+        if let Some(g) = self.guard.as_deref_mut() {
+            g.hazard = true;
+        }
     }
 
     /// Procedure `vCFDInfer` (Fig 5).
-    fn v_cfd_infer(&mut self, d: &mut Relation, t: TupleId, r: usize, lhs_distinct: &[u32]) {
+    fn v_cfd_infer(&mut self, d: &mut Relation, t: TupleId, r: usize) {
         let cfd = &self.rules.cfds()[r];
         if !cfd.lhs_matches(d.tuple(t)) {
             return;
         }
-        let b = self.rhs_of[r];
-        let key = d.tuple(t).project(&self.lhs_of[r]);
+        let b = self.fx.rhs_of[r];
+        let key = d.tuple(t).project(&self.fx.lhs_of[r]);
         let rhs_asserted = d.tuple(t).cf(b) >= self.eta;
         let name = cfd.name().to_string();
         if rhs_asserted {
             // Branch (a): t's RHS may become the unique asserted witness.
-            let group = self.h[r]
+            let val = d.tuple(t).value(b).clone();
+            let group = self.fx.h[r]
                 .as_mut()
                 .expect("variable CFD")
                 .entry(key)
                 .or_default();
+            let mut waiters = Vec::new();
+            let mut conflict = false;
             if group.val.is_none() {
-                let val = d.tuple(t).value(b).clone();
                 group.val = Some(val.clone());
-                let waiters = std::mem::take(&mut group.list);
-                for w in waiters {
-                    if d.tuple(w).cf(b) < self.eta {
-                        self.assert_cell(d, w, b, val.clone(), &name, lhs_distinct);
-                    }
+                waiters = std::mem::take(&mut group.list);
+            } else if group.val.as_ref() != Some(&val) {
+                // A second asserted witness with a *different* value means
+                // the asserted evidence contradicts itself; the paper
+                // assumes this cannot happen ("Notably, there exist no two
+                // t1, t2 in Δ(ȳ) such that t1[B] ≠ t2[B] … if the
+                // confidence placed by users is correct"). We keep the
+                // first witness — and, on a continuation, escalate: which
+                // witness is "first" is then order-dependent.
+                conflict = true;
+            }
+            if conflict {
+                self.flag_hazard();
+            }
+            for w in waiters {
+                if d.tuple(w).cf(b) < self.eta {
+                    self.assert_cell(d, w, b, val.clone(), &name);
                 }
             }
-            // A second asserted witness with a *different* value would mean
-            // the user-provided confidences contradict each other; the paper
-            // assumes this cannot happen ("Notably, there exist no two t1,
-            // t2 in Δ(ȳ) such that t1[B] ≠ t2[B] … if the confidence placed
-            // by users is correct"). We keep the first witness.
         } else {
-            let val = self.h[r]
+            let val = self.fx.h[r]
                 .as_ref()
                 .expect("variable CFD")
                 .get(&key)
                 .and_then(|g| g.val.clone());
             match val {
-                Some(v) => self.assert_cell(d, t, b, v, &name, lhs_distinct),
+                Some(v) => self.assert_cell(d, t, b, v, &name),
                 None => {
                     // Branch (c): wait for a witness.
-                    self.h[r]
+                    self.fx.h[r]
                         .as_mut()
                         .expect("variable CFD")
-                        .entry(d.tuple(t).project(&self.lhs_of[r]))
+                        .entry(d.tuple(t).project(&self.fx.lhs_of[r]))
                         .or_default()
                         .list
                         .push(t);
-                    self.p[t.index()][r] = true;
+                    self.fx.p[t.index()][r] = true;
                 }
             }
         }
     }
 
     /// Procedure `cCFDInfer` (Fig 5).
-    fn c_cfd_infer(&mut self, d: &mut Relation, t: TupleId, r: usize, lhs_distinct: &[u32]) {
+    fn c_cfd_infer(&mut self, d: &mut Relation, t: TupleId, r: usize) {
         let cfd = &self.rules.cfds()[r];
         if !cfd.lhs_matches(d.tuple(t)) {
             return;
         }
-        let a = self.rhs_of[r];
+        let a = self.fx.rhs_of[r];
         if d.tuple(t).cf(a) >= self.eta {
             // Deterministic fixes never overwrite asserted cells (§5.1
-            // requires t[A].cf < η).
+            // requires t[A].cf < η). On a continuation, a *rule-written*
+            // cell holding a different constant is racing evidence: in a
+            // from-scratch interleaving this rule might have fired first.
+            if self.guard.is_some()
+                && d.tuple(t).mark(a) == FixMark::Deterministic
+                && d.tuple(t).value(a) != cfd.rhs_pattern()[0].as_const().expect("constant CFD")
+            {
+                self.flag_hazard();
+            }
             return;
         }
         let want = cfd.rhs_pattern()[0]
@@ -329,7 +474,7 @@ impl<'a> State<'a> {
             .expect("constant CFD")
             .clone();
         let name = cfd.name().to_string();
-        self.assert_cell(d, t, a, want, &name, lhs_distinct);
+        self.assert_cell(d, t, a, want, &name);
     }
 
     /// Procedure `MDInfer` (Fig 5).
@@ -340,22 +485,35 @@ impl<'a> State<'a> {
     /// identical tuple carries no independent evidence, which also makes
     /// self-matching (master = the data itself, §1/§9) sound: a tuple can
     /// never confirm or correct through its own copy.
-    fn md_infer(&mut self, d: &mut Relation, t: TupleId, r: usize, lhs_distinct: &[u32]) {
+    fn md_infer(&mut self, d: &mut Relation, t: TupleId, r: usize) {
         let md_idx = r - self.rules.cfds().len();
         let md = &self.rules.mds()[md_idx];
         let (e, f) = md.rhs()[0];
-        if d.tuple(t).cf(e) >= self.eta {
-            return;
-        }
         let dm = self.dm.expect("MDs require master data");
         let idx = self.idx.expect("MDs require a MasterIndex");
         let rules = self.rules;
         let (self_match, eta) = (self.self_match, self.eta);
+        if d.tuple(t).cf(e) >= self.eta {
+            // On a continuation, a rule-written conclusion contradicted by
+            // a usable witness is racing evidence (see `c_cfd_infer`).
+            if self.guard.is_some() && d.tuple(t).mark(e) == FixMark::Deterministic {
+                let all = self.fx.md_cache.matches(md_idx, rules, d, dm, idx, t);
+                let disagree = all
+                    .iter()
+                    .copied()
+                    .filter(|&s| !self_match || dm.tuple(s).cf(f) >= eta)
+                    .any(|s| dm.tuple(s).value(f) != d.tuple(t).value(e));
+                if disagree {
+                    self.flag_hazard();
+                }
+            }
+            return;
+        }
         let witness = {
             // Witness lists come from the memoized (possibly prefilled-in-
             // parallel) cache; the cache already excludes the tuple's own
             // positional copy under self-matching.
-            let all = self.md_cache.matches(md_idx, rules, d, dm, idx, t);
+            let all = self.fx.md_cache.matches(md_idx, rules, d, dm, idx, t);
             // The self-snapshot is dirty, not master data: only witnesses
             // whose conclusion cell is itself asserted carry evidence.
             let mut usable = all
@@ -369,7 +527,7 @@ impl<'a> State<'a> {
                 Some(s) => Some(s),
                 None => usable.find(|&s| {
                     dm.tuple(s).cells().len() != d.tuple(t).arity()
-                        || !d.tuple(t).agrees_with(dm.tuple(s), &self.all_attrs)
+                        || !d.tuple(t).agrees_with(dm.tuple(s), &self.fx.all_attrs)
                 }),
             }
         };
@@ -378,7 +536,7 @@ impl<'a> State<'a> {
         };
         let new = dm.tuple(witness).value(f).clone();
         let name = md.name().to_string();
-        self.assert_cell(d, t, e, new, &name, lhs_distinct);
+        self.assert_cell(d, t, e, new, &name);
     }
 }
 

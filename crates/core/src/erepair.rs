@@ -39,13 +39,32 @@ pub fn e_repair(
     idx: Option<&MasterIndex>,
     cfg: &CleanConfig,
 ) -> FixReport {
+    let mut structure = TwoInOne::build_with(rules, d, cfg.interning, cfg.effective_parallelism());
+    let mut md_cache = MdMatchCache::new(rules, d.len(), cfg.self_match);
+    e_run(d, dm, rules, idx, cfg, &mut structure, &mut md_cache)
+}
+
+/// The engine behind [`e_repair`], with the 2-in-1 structure and the MD
+/// witness cache supplied by the caller. A fresh build plus an empty cache
+/// reproduces [`e_repair`] exactly; the incremental path hands in a clone
+/// of its persistent post-`cRepair` structure (maintained by insert-time
+/// deltas) and its warm cross-call cache instead — both provably
+/// transparent, so the resolution sequence is bit-identical either way.
+pub(crate) fn e_run(
+    d: &mut Relation,
+    dm: Option<&Relation>,
+    rules: &RuleSet,
+    idx: Option<&MasterIndex>,
+    cfg: &CleanConfig,
+    structure: &mut TwoInOne,
+    md_cache: &mut MdMatchCache,
+) -> FixReport {
     assert!(
         rules.mds().is_empty() || (dm.is_some() && idx.is_some()),
         "rule set contains MDs: master data and a MasterIndex are required"
     );
     let threads = cfg.effective_parallelism();
     let order = erepair_order(rules);
-    let mut structure = TwoInOne::build_with(rules, d, cfg.interning, threads);
     // Slot of each variable CFD (rules.cfds() index → TwoInOne position).
     let mut vslot: HashMap<usize, usize> = HashMap::new();
     {
@@ -58,11 +77,11 @@ pub fn e_repair(
         }
     }
 
-    let mut md_cache = MdMatchCache::new(rules, d.len(), cfg.self_match);
     if let (Some(dm), Some(idx)) = (dm, idx) {
         // Fan the expensive premise verification out over the workers for
         // every cell `MDReslove` may interrogate in round one; later
-        // rounds reuse the entries that repairs have not invalidated.
+        // rounds reuse the entries that repairs have not invalidated, and
+        // entries already warm in a cross-call cache are skipped.
         let eta = cfg.eta;
         md_cache.prefill(rules, d, dm, idx, threads, |m, t| {
             let (e, _) = rules.mds()[m].rhs()[0];
@@ -85,15 +104,15 @@ pub fn e_repair(
         for r in &order {
             match *r {
                 RuleRef::Cfd(i) if rules.cfds()[i].is_variable() => {
-                    changed |= v_cfd_resolve(d, rules, &mut structure, vslot[&i], cfg, &mut st);
+                    changed |= v_cfd_resolve(d, rules, structure, vslot[&i], cfg, &mut st);
                 }
                 RuleRef::Cfd(i) => {
-                    changed |= c_cfd_resolve(d, rules, &mut structure, i, &mut st);
+                    changed |= c_cfd_resolve(d, rules, structure, i, &mut st);
                 }
                 RuleRef::Md(i) => {
                     let dm = dm.expect("MDs require master data");
                     let idx = idx.expect("MDs require a MasterIndex");
-                    changed |= md_resolve(d, dm, rules, idx, &mut structure, i, &mut st);
+                    changed |= md_resolve(d, dm, rules, idx, structure, i, &mut st);
                 }
             }
         }
@@ -104,16 +123,16 @@ pub fn e_repair(
     st.report
 }
 
-struct EState {
+struct EState<'a> {
     change_count: HashMap<(TupleId, AttrId), usize>,
     report: FixReport,
     eta: f64,
     delta_update: usize,
     self_match: bool,
-    md_cache: MdMatchCache,
+    md_cache: &'a mut MdMatchCache,
 }
 
-impl EState {
+impl EState<'_> {
     /// May `eRepair` touch this cell at all?
     fn touchable(&self, d: &Relation, t: TupleId, a: AttrId) -> bool {
         let tup = d.tuple(t);
@@ -160,7 +179,7 @@ fn v_cfd_resolve(
     structure: &mut TwoInOne,
     v: usize,
     cfg: &CleanConfig,
-    st: &mut EState,
+    st: &mut EState<'_>,
 ) -> bool {
     let cfd_name = structure.rule(rules, v).name().to_string();
     let b = structure.rule(rules, v).rhs()[0];
@@ -189,7 +208,7 @@ fn c_cfd_resolve(
     rules: &RuleSet,
     structure: &mut TwoInOne,
     i: usize,
-    st: &mut EState,
+    st: &mut EState<'_>,
 ) -> bool {
     let cfd = &rules.cfds()[i];
     let a = cfd.rhs()[0];
@@ -216,7 +235,7 @@ fn md_resolve(
     idx: &MasterIndex,
     structure: &mut TwoInOne,
     i: usize,
-    st: &mut EState,
+    st: &mut EState<'_>,
 ) -> bool {
     let md = &rules.mds()[i];
     let (e, f) = md.rhs()[0];

@@ -86,6 +86,17 @@ pub enum CleanError {
     Parse(ParseError),
     /// Rules were inconsistent with each other or their schemas.
     Rules(RuleSetError),
+    /// A [`crate::RepairState`] was handed to a [`crate::Cleaner`] other
+    /// than the one that created it (`clean_delta` relies on the state's
+    /// structures matching the session's rules, master and config).
+    ForeignState,
+    /// A `clean_delta` batch tuple does not fit the data schema.
+    BatchArityMismatch {
+        /// Arity of the data schema.
+        expected: usize,
+        /// Arity of the offending batch tuple.
+        found: usize,
+    },
 }
 
 impl fmt::Display for CleanError {
@@ -112,6 +123,15 @@ impl fmt::Display for CleanError {
             ),
             CleanError::Parse(e) => write!(f, "{e}"),
             CleanError::Rules(e) => write!(f, "{e}"),
+            CleanError::ForeignState => write!(
+                f,
+                "repair state belongs to a different Cleaner session; \
+                 pass it back to the cleaner that created it"
+            ),
+            CleanError::BatchArityMismatch { expected, found } => write!(
+                f,
+                "batch tuple arity {found} does not match the data schema arity {expected}"
+            ),
         }
     }
 }

@@ -28,6 +28,14 @@
 //! constants of a violating set, the one minimizing the total
 //! confidence-weighted normalized edit distance from the members' original
 //! values wins; a frozen value, when present, always wins.
+//!
+//! Parallelism: each round's read-only scans over the round-start snapshot
+//! — the per-tuple LHS projections that build the equivalence classes and
+//! the per-(tuple, MD) witness verification — fan out over scoped workers
+//! ([`crate::parallel`]'s chunk–merge–apply design) and merge in tuple-id
+//! order; the upgrade loop itself stays sequential, so output is
+//! bit-identical at every `parallelism` setting (pinned by
+//! `tests/determinism.rs`).
 
 use std::collections::HashMap;
 
@@ -37,6 +45,7 @@ use uniclean_rules::RuleSet;
 use crate::config::CleanConfig;
 use crate::fix::{FixRecord, FixReport};
 use crate::master_index::MasterIndex;
+use crate::parallel::map_chunks;
 
 /// Target of a cell.
 #[derive(Clone, Debug, PartialEq)]
@@ -173,18 +182,19 @@ pub fn h_repair(
             .clone()
     });
 
+    let threads = cfg.effective_parallelism();
     for _round in 0..cfg.max_hrepair_rounds {
         let cur = materialize(&base, &cells);
         let mut acted = false;
         acted |= resolve_constant_cfds(&base, &cur, rules, &mut cells);
-        acted |= resolve_variable_cfds(&base, &cur, rules, &mut cells);
+        acted |= resolve_variable_cfds(&base, &cur, rules, &mut cells, threads);
         if let Some(ms) = &self_schema {
             let dm_round = Relation::new(ms.clone(), cur.tuples().to_vec());
             let idx_round =
                 MasterIndex::build_with(rules.mds(), &dm_round, cfg.blocking_l, cfg.interning);
-            acted |= resolve_mds(&cur, &dm_round, rules, &idx_round, cfg, &mut cells);
+            acted |= resolve_mds(&cur, &dm_round, rules, &idx_round, cfg, &mut cells, threads);
         } else if let (Some(dm), Some(idx)) = (dm, idx) {
-            acted |= resolve_mds(&cur, dm, rules, idx, cfg, &mut cells);
+            acted |= resolve_mds(&cur, dm, rules, idx, cfg, &mut cells, threads);
         }
         if !acted {
             break;
@@ -279,17 +289,45 @@ fn resolve_variable_cfds(
     cur: &Relation,
     rules: &RuleSet,
     cells: &mut Cells,
+    threads: usize,
 ) -> bool {
-    let mut acted = false;
-    for cfd in rules.cfds().iter().filter(|c| c.is_variable()) {
-        let b = cfd.rhs()[0];
-        // Group by the current LHS projection (pattern-matching tuples only).
-        let mut groups: HashMap<Vec<Value>, Vec<TupleId>> = HashMap::new();
-        for (tid, t) in cur.iter() {
-            if cfd.lhs_matches(t) {
-                groups.entry(t.project(cfd.lhs())).or_default().push(tid);
+    let vcfds: Vec<&uniclean_rules::Cfd> =
+        rules.cfds().iter().filter(|c| c.is_variable()).collect();
+    if vcfds.is_empty() {
+        return false;
+    }
+    // Chunk: project every (tuple, vcfd) pair against the round-start
+    // snapshot `cur` on the workers (the pattern checks and projections are
+    // the scan's cost). Merge in tuple-id order; the resolution below then
+    // sees exactly the groups a sequential scan would have built.
+    let projections = map_chunks(cur.len(), threads, |range| {
+        range
+            .map(|i| {
+                let t = cur.tuple(TupleId::from(i));
+                vcfds
+                    .iter()
+                    .map(|cfd| cfd.lhs_matches(t).then(|| t.project(cfd.lhs())))
+                    .collect::<Vec<Option<Vec<Value>>>>()
+            })
+            .collect::<Vec<_>>()
+    });
+    let mut per_cfd_groups: Vec<HashMap<Vec<Value>, Vec<TupleId>>> =
+        vec![HashMap::new(); vcfds.len()];
+    let mut tid = 0u32;
+    for chunk in projections {
+        for row in chunk {
+            for (v, key) in row.into_iter().enumerate() {
+                if let Some(key) = key {
+                    per_cfd_groups[v].entry(key).or_default().push(TupleId(tid));
+                }
             }
+            tid += 1;
         }
+    }
+
+    let mut acted = false;
+    for (cfd, groups) in vcfds.into_iter().zip(per_cfd_groups) {
+        let b = cfd.rhs()[0];
         let mut keyed: Vec<(Vec<Value>, Vec<TupleId>)> = groups.into_iter().collect();
         keyed.sort();
         for (_, members) in keyed {
@@ -359,15 +397,37 @@ fn resolve_mds(
     idx: &MasterIndex,
     cfg: &CleanConfig,
     cells: &mut Cells,
+    threads: usize,
 ) -> bool {
+    if rules.mds().is_empty() {
+        return false;
+    }
+    // Chunk: verified witness lists per (tuple, MD) against the round-start
+    // snapshot — candidate generation plus premise verification is the
+    // dominant per-tuple cost of this resolution. Merge in tuple-id order;
+    // the sequential upgrade loop below consumes them unchanged.
+    let n_mds = rules.mds().len();
+    let witness_rows = map_chunks(cur.len(), threads, |range| {
+        range
+            .map(|i| {
+                let tid = TupleId::from(i);
+                let t = cur.tuple(tid);
+                let exclude = cfg.self_match.then_some(tid);
+                (0..n_mds)
+                    .map(|m| idx.matches_excluding(m, &rules.mds()[m], t, dm, exclude))
+                    .collect::<Vec<Vec<TupleId>>>()
+            })
+            .collect::<Vec<_>>()
+    });
+    let witnesses: Vec<Vec<Vec<TupleId>>> = witness_rows.into_iter().flatten().collect();
+
     let mut acted = false;
     for (i, md) in rules.mds().iter().enumerate() {
         let (e, f) = md.rhs()[0];
         let premise_attrs: Vec<AttrId> = md.premises().iter().map(|p| p.attr).collect();
         for (tid, t) in cur.iter() {
             let have = t.value(e);
-            let exclude = cfg.self_match.then_some(tid);
-            for sid in idx.matches_excluding(i, md, t, dm, exclude) {
+            for &sid in &witnesses[tid.index()][i] {
                 // A witness may only demand change of a cell that is at
                 // most as confident as itself (§3.1: changing confident
                 // cells is costly). Real master data carries cf = 1 and

@@ -17,10 +17,18 @@
 //!   (Corollary 7.1);
 //! * [`session`] — the [`Cleaner`] session API: builder construction,
 //!   [`MasterSource`] (external / self-snapshot / none), typed
-//!   [`CleanError`]s and the [`PhaseObserver`] instrumentation hook;
-//! * [`pipeline`] — the [`Phase`] selector, [`CleanResult`] and the
-//!   deprecated pre-0.2 entry points (`UniClean`, `clean_without_master`),
-//!   now thin shims over the session;
+//!   [`CleanError`]s, the [`PhaseObserver`] instrumentation hook, and the
+//!   persistent [`PreparedCleaner`] (rules/index/config built once per
+//!   session, shared by every call);
+//! * [`incremental`] — incremental cleaning: the per-relation
+//!   [`RepairState`] and [`Cleaner::clean_delta`], which absorb appended
+//!   batches by continuing the persisted `cRepair` fixpoint and reusing
+//!   the warm structures, bit-identical to a from-scratch reclean;
+//! * [`phase`] — the one [`Phase`] type (phase identity and pipeline
+//!   prefix selector, consolidated in 0.4);
+//! * [`pipeline`] — [`CleanResult`] and the deprecated pre-0.2 entry
+//!   points (`UniClean`, `clean_without_master`), now thin shims over the
+//!   session;
 //! * [`master_index`] — blocked access to master data (exact hash index for
 //!   equality premises — interned to dense symbols on the fast path — and
 //!   the §5.2 LCS suffix-tree blocker for edit-distance premises);
@@ -37,9 +45,11 @@ pub mod erepair;
 pub mod error;
 pub mod fix;
 pub mod hrepair;
+pub mod incremental;
 pub mod master_index;
 mod md_cache;
 pub mod parallel;
+pub mod phase;
 pub mod pipeline;
 pub mod session;
 pub mod two_in_one;
@@ -50,12 +60,16 @@ pub use erepair::e_repair;
 pub use error::{CleanError, ConfigError};
 pub use fix::{FixRecord, FixReport};
 pub use hrepair::h_repair;
+pub use incremental::RepairState;
 pub use master_index::MasterIndex;
 pub use parallel::effective_parallelism;
+pub use phase::Phase;
+#[allow(deprecated)]
+pub use phase::PhaseKind;
+pub use pipeline::CleanResult;
 #[allow(deprecated)]
 pub use pipeline::{clean_without_master, UniClean};
-pub use pipeline::{CleanResult, Phase};
 pub use session::{
-    Cleaner, CleanerBuilder, MasterSource, NoOpObserver, PhaseKind, PhaseObserver, PhaseStats,
-    PhaseTimings,
+    Cleaner, CleanerBuilder, MasterSource, NoOpObserver, PhaseObserver, PhaseStats, PhaseTimings,
+    PreparedCleaner,
 };

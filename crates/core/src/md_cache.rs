@@ -26,6 +26,14 @@ use crate::master_index::MasterIndex;
 use crate::parallel::map_chunks;
 
 /// Per-(MD, tuple) verified witness lists with premise-based invalidation.
+///
+/// A cache can outlive one phase run: [`RepairState`](crate::RepairState)
+/// keeps the `eRepair` cache warm across `clean_delta` calls, where every
+/// run restarts from the same post-`cRepair` relation. Entries computed
+/// *before* any write are valid for that base state and survive; entries
+/// recomputed *after* a write reflect a mid-run state, so they are tracked
+/// as volatile and dropped by [`MdMatchCache::begin_run`] before the next
+/// run replays the same fixes.
 pub(crate) struct MdMatchCache {
     /// `entries[md][tuple]`: `None` = not computed (or invalidated).
     entries: Vec<Vec<Option<Box<[TupleId]>>>>,
@@ -33,6 +41,9 @@ pub(crate) struct MdMatchCache {
     attr_to_mds: Vec<Vec<usize>>,
     /// Self-matching mode: exclude the tuple's own positional master copy.
     exclude_self: bool,
+    /// `(md, tuple)` slots invalidated since the last `begin_run`; refills
+    /// of these reflect mid-run states, not the run's base state.
+    volatile: Vec<(usize, TupleId)>,
 }
 
 impl MdMatchCache {
@@ -52,7 +63,34 @@ impl MdMatchCache {
             entries: vec![vec![None; n_tuples]; n_mds],
             attr_to_mds,
             exclude_self,
+            volatile: Vec::new(),
         }
+    }
+
+    /// Extend the cache with empty slots for `n_new` appended tuples.
+    pub(crate) fn grow(&mut self, n_new: usize) {
+        for per_md in &mut self.entries {
+            per_md.extend(std::iter::repeat_with(|| None).take(n_new));
+        }
+    }
+
+    /// Start a fresh run from the cache's base state: drop every entry
+    /// whose slot was invalidated (and possibly refilled at a mid-run
+    /// state) since the previous `begin_run`. Entries never invalidated
+    /// still describe the base state and stay warm.
+    pub(crate) fn begin_run(&mut self) {
+        for (m, t) in self.volatile.drain(..) {
+            self.entries[m][t.index()] = None;
+        }
+    }
+
+    /// Discard the volatile journal *without* dropping entries — for
+    /// caches that track a forward-only relation (the `cRepair` fixpoint's
+    /// cache): every entry is kept current by invalidation-on-write, the
+    /// state never rewinds, so the journal serves no purpose and must not
+    /// accumulate across a long-lived session.
+    pub(crate) fn forget_volatile(&mut self) {
+        self.volatile.clear();
     }
 
     #[inline]
@@ -73,21 +111,41 @@ impl MdMatchCache {
         threads: usize,
         want: impl Fn(usize, TupleId) -> bool + Sync,
     ) {
+        self.prefill_range(rules, d, dm, idx, threads, 0..d.len(), want);
+    }
+
+    /// [`Self::prefill`] restricted to the tuple-id range `span` — the
+    /// incremental path only prefills the appended batch.
+    #[allow(clippy::too_many_arguments)] // prefill's parameter set plus the span
+    pub(crate) fn prefill_range(
+        &mut self,
+        rules: &RuleSet,
+        d: &Relation,
+        dm: &Relation,
+        idx: &MasterIndex,
+        threads: usize,
+        span: std::ops::Range<usize>,
+        want: impl Fn(usize, TupleId) -> bool + Sync,
+    ) {
         if threads <= 1 || rules.mds().is_empty() {
             return;
         }
         let exclude_self = self.exclude_self;
         let n_mds = rules.mds().len();
+        let base = span.start;
         // chunk: one worker per tuple range, producing per-tuple rows of
         // witness lists; merge: move rows back in chunk (= tuple-id) order.
-        let chunks = map_chunks(d.len(), threads, |range| {
+        // Slots already warm (a cross-call cache) are skipped — their
+        // entries equal what this recomputation would produce.
+        let entries = &self.entries;
+        let chunks = map_chunks(span.len(), threads, |range| {
             let mut buf = Vec::new();
             let mut rows: Vec<Vec<Option<Box<[TupleId]>>>> = Vec::with_capacity(range.len());
             for i in range {
-                let t = TupleId::from(i);
+                let t = TupleId::from(base + i);
                 let mut row: Vec<Option<Box<[TupleId]>>> = vec![None; n_mds];
                 for (m, md) in rules.mds().iter().enumerate() {
-                    if !want(m, t) {
+                    if entries[m][t.index()].is_some() || !want(m, t) {
                         continue;
                     }
                     idx.matches_into(m, md, d.tuple(t), dm, exclude_self.then_some(t), &mut buf);
@@ -97,7 +155,7 @@ impl MdMatchCache {
             }
             rows
         });
-        let mut i = 0;
+        let mut i = base;
         for chunk in chunks {
             for row in chunk {
                 for (m, entry) in row.into_iter().enumerate() {
@@ -137,6 +195,7 @@ impl MdMatchCache {
     pub(crate) fn invalidate(&mut self, t: TupleId, a: AttrId) {
         for &m in &self.attr_to_mds[a.index()] {
             self.entries[m][t.index()] = None;
+            self.volatile.push((m, t));
         }
     }
 }

@@ -1,0 +1,102 @@
+//! The one phase type of the pipeline.
+//!
+//! Before 0.4 the crate carried two parallel enums: `pipeline::Phase`
+//! (`CRepair` / `CERepair` / `Full` — "run the phases up to here") and
+//! `session::PhaseKind` (`CRepair` / `ERepair` / `HRepair` — "which phase
+//! is this"), plus hand-written index/label tables mapping between them.
+//! They were the same three phases wearing two hats. [`Phase`] merges
+//! them: a value names one phase of the fixed `cRepair → eRepair →
+//! hRepair` order, and — used as a selector — means "run every phase up to
+//! and including this one". The selector spellings [`Phase::CERepair`] and
+//! [`Phase::Full`] remain available as associated constants, so value and
+//! comparison call sites (`cleaner.clean(&d, Phase::Full)`,
+//! `phase == Phase::Full`) compile unchanged, and the old name survives as
+//! the deprecated [`PhaseKind`] alias. Two caveats for migrators:
+//! exhaustive `match`es over the old selector must switch to the variant
+//! names (associated-constant patterns do not count toward exhaustiveness),
+//! and `{:?}` prints the variant name (`Phase::Full` debugs as
+//! `"HRepair"`).
+
+/// One of the three cleaning phases — and, as a selector, the prefix of
+/// the pipeline ending at that phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Deterministic fixes from confidence analysis (§5). As a selector:
+    /// run `cRepair` only.
+    CRepair,
+    /// Reliable fixes from information entropy (§6). As a selector: run
+    /// `cRepair` then `eRepair`.
+    ERepair,
+    /// Possible fixes via equivalence classes and the cost model (§7). As
+    /// a selector: run all three phases.
+    HRepair,
+}
+
+impl Phase {
+    /// Selector spelling for "deterministic + reliable fixes"
+    /// (`cRepair` + `eRepair`) — the same value as [`Phase::ERepair`].
+    #[allow(non_upper_case_globals)] // keeps the pre-0.4 variant spelling
+    pub const CERepair: Phase = Phase::ERepair;
+    /// Selector spelling for the full pipeline — the same value as
+    /// [`Phase::HRepair`].
+    #[allow(non_upper_case_globals)] // keeps the pre-0.4 variant spelling
+    pub const Full: Phase = Phase::HRepair;
+
+    /// All phases in execution order.
+    pub const ALL: [Phase; 3] = [Phase::CRepair, Phase::ERepair, Phase::HRepair];
+
+    /// Stable display label (`"cRepair"`, `"eRepair"`, `"hRepair"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::CRepair => "cRepair",
+            Phase::ERepair => "eRepair",
+            Phase::HRepair => "hRepair",
+        }
+    }
+
+    /// Position in the fixed phase order (0, 1, 2).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The pipeline prefix this selector denotes: every phase up to and
+    /// including `self`, in execution order.
+    pub fn through(self) -> &'static [Phase] {
+        &Phase::ALL[..=self.index()]
+    }
+}
+
+/// The pre-0.4 name for a phase identity; [`Phase`] now plays both roles.
+#[deprecated(
+    since = "0.4.0",
+    note = "`PhaseKind` and `Phase` were consolidated into one type; use `Phase`"
+)]
+pub type PhaseKind = Phase;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selector_constants_alias_the_variants() {
+        assert_eq!(Phase::CERepair, Phase::ERepair);
+        assert_eq!(Phase::Full, Phase::HRepair);
+    }
+
+    #[test]
+    fn through_yields_prefixes() {
+        assert_eq!(Phase::CRepair.through(), &[Phase::CRepair]);
+        assert_eq!(Phase::CERepair.through(), &[Phase::CRepair, Phase::ERepair]);
+        assert_eq!(Phase::Full.through(), &Phase::ALL);
+    }
+
+    #[test]
+    fn labels_and_indexes_are_stable() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert_eq!(Phase::CRepair.label(), "cRepair");
+        assert_eq!(Phase::ERepair.label(), "eRepair");
+        assert_eq!(Phase::HRepair.label(), "hRepair");
+    }
+}

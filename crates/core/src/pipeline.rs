@@ -21,17 +21,9 @@ use crate::config::CleanConfig;
 use crate::fix::FixReport;
 use crate::session::{Cleaner, MasterSource, PhaseStats};
 
-/// Which phases to run — the experiments evaluate each prefix (Exp-3
-/// compares `cRepair`, `cRepair+eRepair` and full `Uni`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-pub enum Phase {
-    /// Deterministic fixes only.
-    CRepair,
-    /// Deterministic + reliable fixes.
-    CERepair,
-    /// All three phases (the full system).
-    Full,
-}
+// The phase selector historically lived here; it is now one type with the
+// phase identity (see `crate::phase`) and re-exported from both paths.
+pub use crate::phase::Phase;
 
 /// Result of a cleaning run.
 #[derive(Clone, Debug)]

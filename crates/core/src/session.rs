@@ -1,5 +1,5 @@
 //! The owned, reusable cleaning session: [`Cleaner`], built through
-//! [`Cleaner::builder`].
+//! [`Cleaner::builder`], backed by a persistent [`PreparedCleaner`].
 //!
 //! The paper describes *one* unified process over record matching (MDs)
 //! and repairing (CFDs); this module makes the public API match. A single
@@ -9,12 +9,24 @@
 //! nowhere (CFD-only repairing). The [`MasterSource`] enum picks the
 //! variant; the loop body is shared.
 //!
+//! The engine is layered in two:
+//!
+//! * [`PreparedCleaner`] — everything that depends only on the rules,
+//!   the master data and the configuration: normalized rules, the §5.2
+//!   master access paths ([`MasterIndex`]), and the interner seed. Built
+//!   **once** per session by [`CleanerBuilder::build`] and shared
+//!   (`Arc`) by every call — a service pays rule/index preparation once,
+//!   not per request.
+//! * [`RepairState`](crate::RepairState) — everything that depends on one
+//!   relation: the working data, the `cRepair` fixpoint, the 2-in-1
+//!   structures and warm caches. Created by [`Cleaner::begin`] and evolved
+//!   in place by [`Cleaner::clean_delta`] as batches arrive.
+//!
 //! Construction is fallible and typed: every misuse that used to panic
 //! (`expect`/`assert!` in `UniClean::new` and `clean_without_master`)
 //! is a [`CleanError`] from [`CleanerBuilder::build`]. A built `Cleaner`
 //! owns `Arc`s of its rules and master data, so it can live in a service
-//! and be shared across threads for many `clean` calls; the master access
-//! paths (§5.2) are built once at `build` time.
+//! and be shared across threads for many `clean` calls.
 //!
 //! Instrumentation flows through one surface: [`PhaseObserver`] receives
 //! per-phase timing and fix counts as the run progresses, and the same
@@ -23,17 +35,21 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use uniclean_model::{repair_cost, Relation};
+use uniclean_model::{repair_cost, Relation, ValueInterner};
 use uniclean_rules::{satisfies_all, RuleSet};
 
 use crate::config::CleanConfig;
-use crate::crepair::c_repair;
-use crate::erepair::e_repair;
+use crate::crepair::{c_run, CFixpoint};
+use crate::erepair::e_run;
 use crate::error::CleanError;
 use crate::fix::FixReport;
 use crate::hrepair::h_repair;
+use crate::incremental::StateCapture;
 use crate::master_index::MasterIndex;
-use crate::pipeline::{CleanResult, Phase};
+use crate::md_cache::MdMatchCache;
+use crate::phase::Phase;
+use crate::pipeline::CleanResult;
+use crate::two_in_one::TwoInOne;
 
 /// Where the master relation `Dm` comes from.
 #[derive(Clone, Debug, Default)]
@@ -63,42 +79,11 @@ impl MasterSource {
     }
 }
 
-/// One of the three cleaning phases, as reported to observers.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum PhaseKind {
-    /// Deterministic fixes from confidence analysis (§5).
-    CRepair,
-    /// Reliable fixes from information entropy (§6).
-    ERepair,
-    /// Possible fixes via equivalence classes and the cost model (§7).
-    HRepair,
-}
-
-impl PhaseKind {
-    /// Stable display label (`"cRepair"`, `"eRepair"`, `"hRepair"`).
-    pub fn label(self) -> &'static str {
-        match self {
-            PhaseKind::CRepair => "cRepair",
-            PhaseKind::ERepair => "eRepair",
-            PhaseKind::HRepair => "hRepair",
-        }
-    }
-
-    /// Position in the fixed phase order (0, 1, 2).
-    pub fn index(self) -> usize {
-        match self {
-            PhaseKind::CRepair => 0,
-            PhaseKind::ERepair => 1,
-            PhaseKind::HRepair => 2,
-        }
-    }
-}
-
 /// Timing and fix-count record of one executed phase.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PhaseStats {
     /// Which phase ran.
-    pub phase: PhaseKind,
+    pub phase: Phase,
     /// Wall-clock seconds the phase took (excluding snapshot/index
     /// construction for [`MasterSource::SelfSnapshot`], matching how the
     /// paper reports per-algorithm times).
@@ -111,7 +96,7 @@ pub struct PhaseStats {
 /// all consume this one surface instead of poking at hardcoded fields.
 pub trait PhaseObserver {
     /// A phase is about to run.
-    fn on_phase_start(&mut self, _phase: PhaseKind) {}
+    fn on_phase_start(&mut self, _phase: Phase) {}
     /// A phase finished with the given stats.
     fn on_phase_end(&mut self, _stats: &PhaseStats) {}
 }
@@ -154,8 +139,171 @@ pub(crate) fn seconds_by_phase(stats: &[PhaseStats]) -> [f64; 3] {
     out
 }
 
-/// An owned, reusable cleaning session: rules + master source + validated
-/// configuration, with master access paths built once.
+/// The immutable, per-session half of the engine: normalized rules, master
+/// source, validated configuration, prebuilt §5.2 master access paths and
+/// the interner seed. Constructed **once** by [`CleanerBuilder::build`]
+/// and reused — unchanged — by every [`Cleaner::clean`],
+/// [`Cleaner::begin`] and [`Cleaner::clean_delta`] call.
+pub struct PreparedCleaner {
+    rules: Arc<RuleSet>,
+    master: MasterSource,
+    /// Prebuilt §5.2 access paths for [`MasterSource::External`]; the
+    /// self-snapshot mode rebuilds per phase instead.
+    index: Option<MasterIndex>,
+    config: CleanConfig,
+    /// Interner pre-seeded with every rule-pattern constant; 2-in-1 builds
+    /// start from a clone so constants are never re-hashed per call.
+    /// Seeding only renumbers symbols — results are identical either way.
+    interner_seed: ValueInterner,
+}
+
+impl PreparedCleaner {
+    /// The rule set `Θ = Σ ∪ Γ`.
+    pub fn rules(&self) -> &Arc<RuleSet> {
+        &self.rules
+    }
+
+    /// The master source this session cleans against.
+    pub fn master(&self) -> &MasterSource {
+        &self.master
+    }
+
+    /// The prebuilt master access paths ([`MasterSource::External`] only).
+    pub fn master_index(&self) -> Option<&MasterIndex> {
+        self.index.as_ref()
+    }
+
+    /// The validated configuration (with `self_match` already set to match
+    /// the master source).
+    pub fn config(&self) -> &CleanConfig {
+        &self.config
+    }
+
+    /// The interner seed shared by every call's 2-in-1 build.
+    pub fn interner_seed(&self) -> &ValueInterner {
+        &self.interner_seed
+    }
+
+    /// The `(Dm, index)` pair phases see under [`MasterSource::External`]
+    /// and [`MasterSource::None`] (the per-phase self-snapshot is handled
+    /// by the phase loop itself).
+    pub(crate) fn external_view(&self) -> (Option<&Relation>, Option<&MasterIndex>) {
+        match &self.master {
+            MasterSource::External(m) => (Some(m), self.index.as_ref()),
+            _ => (None, None),
+        }
+    }
+
+    /// Render the current repair state into the MDs' master schema
+    /// (self-snapshot mode only; `build` guarantees the schema exists and
+    /// mirrors the data schema).
+    pub(crate) fn snapshot(&self, work: &Relation) -> Relation {
+        let master_schema = self
+            .rules
+            .master_schema()
+            .expect("Cleaner::build verified the self-snapshot schema")
+            .clone();
+        Relation::new(master_schema, work.tuples().to_vec())
+    }
+
+    /// The master view the §3.2 acceptance check runs against, given the
+    /// final repair state. Returns a borrow for external masters and an
+    /// owned snapshot (stored in `storage`) otherwise.
+    pub(crate) fn acceptance_master<'a>(
+        &'a self,
+        work: &Relation,
+        storage: &'a mut Option<Relation>,
+    ) -> &'a Relation {
+        match &self.master {
+            MasterSource::External(m) => m,
+            MasterSource::SelfSnapshot => storage.insert(self.snapshot(work)),
+            MasterSource::None => storage.insert(Relation::empty(self.rules.schema().clone())),
+        }
+    }
+}
+
+/// The shared phase loop: run the pipeline prefix on `work`, streaming
+/// stats to `observer`. With `capture`, the per-relation structures a
+/// [`RepairState`](crate::RepairState) persists are stashed as the run
+/// passes through them — the captured run is bit-identical to an
+/// uncaptured one (capturing only clones).
+pub(crate) fn run_phases(
+    prepared: &PreparedCleaner,
+    work: &mut Relation,
+    phase: Phase,
+    observer: &mut dyn PhaseObserver,
+    mut capture: Option<&mut StateCapture>,
+) -> (FixReport, Vec<PhaseStats>) {
+    let rules = &prepared.rules;
+    let cfg = &prepared.config;
+    let mut report = FixReport::new();
+    let mut phases = Vec::with_capacity(phase.through().len());
+
+    for &kind in phase.through() {
+        // Per-phase master view. External masters reuse the access
+        // paths built at `build` time; the self-snapshot re-renders the
+        // current repair state so each phase sees the previous phase's
+        // fixes (the §9 interleaving).
+        let snapshot_storage;
+        let (dm, index): (Option<&Relation>, Option<&MasterIndex>) = match &prepared.master {
+            MasterSource::External(m) => (Some(m), prepared.index.as_ref()),
+            MasterSource::SelfSnapshot => {
+                let snap = prepared.snapshot(work);
+                let idx =
+                    MasterIndex::build_with(rules.mds(), &snap, cfg.blocking_l, cfg.interning);
+                snapshot_storage = (snap, idx);
+                (Some(&snapshot_storage.0), Some(&snapshot_storage.1))
+            }
+            MasterSource::None => (None, None),
+        };
+
+        observer.on_phase_start(kind);
+        let fixes_before = report.len();
+        let started = Instant::now();
+        let fixes = match kind {
+            Phase::CRepair => {
+                let mut fx = CFixpoint::new(rules, work.len(), cfg.self_match);
+                let rep = c_run(work, dm, rules, index, cfg, &mut fx, 0, None);
+                if let Some(cap) = capture.as_deref_mut() {
+                    cap.cfix = Some(fx);
+                    cap.post_c = Some(work.clone());
+                }
+                rep
+            }
+            Phase::ERepair => {
+                let mut structure = TwoInOne::build_seeded(
+                    rules,
+                    work,
+                    cfg.interning,
+                    cfg.effective_parallelism(),
+                    Some(&prepared.interner_seed),
+                );
+                let mut cache = MdMatchCache::new(rules, work.len(), cfg.self_match);
+                if let Some(cap) = capture.as_deref_mut() {
+                    cap.two = Some(structure.clone());
+                }
+                let rep = e_run(work, dm, rules, index, cfg, &mut structure, &mut cache);
+                if let Some(cap) = capture.as_deref_mut() {
+                    cap.e_cache = Some(cache);
+                }
+                rep
+            }
+            Phase::HRepair => h_repair(work, dm, rules, index, cfg),
+        };
+        report.extend(fixes);
+        let stats = PhaseStats {
+            phase: kind,
+            seconds: started.elapsed().as_secs_f64(),
+            fixes: report.len() - fixes_before,
+        };
+        observer.on_phase_end(&stats);
+        phases.push(stats);
+    }
+    (report, phases)
+}
+
+/// An owned, reusable cleaning session: a shared [`PreparedCleaner`]
+/// behind an `Arc`, cheap to clone across threads.
 ///
 /// ```
 /// use std::sync::Arc;
@@ -178,19 +326,15 @@ pub(crate) fn seconds_by_phase(stats: &[PhaseStats]) -> [f64; 3] {
 /// assert!(result.consistent);
 /// ```
 pub struct Cleaner {
-    rules: Arc<RuleSet>,
-    master: MasterSource,
-    /// Prebuilt §5.2 access paths for [`MasterSource::External`]; the
-    /// self-snapshot mode rebuilds per phase instead.
-    index: Option<MasterIndex>,
-    config: CleanConfig,
+    prepared: Arc<PreparedCleaner>,
 }
 
 impl std::fmt::Debug for Cleaner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Summaries only: a service logging `{:?}` must not dump a
         // multi-thousand-tuple master relation.
-        let master = match &self.master {
+        let prepared = &self.prepared;
+        let master = match &prepared.master {
             MasterSource::External(dm) => {
                 format!("External({}, {} tuples)", dm.schema().name(), dm.len())
             }
@@ -198,11 +342,11 @@ impl std::fmt::Debug for Cleaner {
             MasterSource::None => "None".to_string(),
         };
         f.debug_struct("Cleaner")
-            .field("schema", &self.rules.schema().name())
-            .field("cfds", &self.rules.cfds().len())
-            .field("mds", &self.rules.mds().len())
+            .field("schema", &prepared.rules.schema().name())
+            .field("cfds", &prepared.rules.cfds().len())
+            .field("mds", &prepared.rules.mds().len())
             .field("master", &master)
-            .field("config", &self.config)
+            .field("config", &prepared.config)
             .finish_non_exhaustive()
     }
 }
@@ -213,20 +357,25 @@ impl Cleaner {
         CleanerBuilder::default()
     }
 
+    /// The persistent, per-session half of the engine.
+    pub fn prepared(&self) -> &Arc<PreparedCleaner> {
+        &self.prepared
+    }
+
     /// The rule set `Θ = Σ ∪ Γ`.
     pub fn rules(&self) -> &Arc<RuleSet> {
-        &self.rules
+        &self.prepared.rules
     }
 
     /// The master source this session cleans against.
     pub fn master(&self) -> &MasterSource {
-        &self.master
+        &self.prepared.master
     }
 
     /// The validated configuration (with `self_match` already set to match
     /// the master source).
     pub fn config(&self) -> &CleanConfig {
-        &self.config
+        &self.prepared.config
     }
 
     /// Clean `d`, running phases up to and including `phase`.
@@ -242,71 +391,15 @@ impl Cleaner {
         phase: Phase,
         observer: &mut dyn PhaseObserver,
     ) -> CleanResult {
-        let kinds: &[PhaseKind] = match phase {
-            Phase::CRepair => &[PhaseKind::CRepair],
-            Phase::CERepair => &[PhaseKind::CRepair, PhaseKind::ERepair],
-            Phase::Full => &[PhaseKind::CRepair, PhaseKind::ERepair, PhaseKind::HRepair],
-        };
-
         let mut work = d.clone();
-        let mut report = FixReport::new();
-        let mut phases = Vec::with_capacity(kinds.len());
-
-        for &kind in kinds {
-            // Per-phase master view. External masters reuse the access
-            // paths built at `build` time; the self-snapshot re-renders the
-            // current repair state so each phase sees the previous phase's
-            // fixes (the §9 interleaving).
-            let snapshot_storage;
-            let (dm, index): (Option<&Relation>, Option<&MasterIndex>) = match &self.master {
-                MasterSource::External(m) => (Some(m), self.index.as_ref()),
-                MasterSource::SelfSnapshot => {
-                    let snap = self.snapshot(&work);
-                    let idx = MasterIndex::build_with(
-                        self.rules.mds(),
-                        &snap,
-                        self.config.blocking_l,
-                        self.config.interning,
-                    );
-                    snapshot_storage = (snap, idx);
-                    (Some(&snapshot_storage.0), Some(&snapshot_storage.1))
-                }
-                MasterSource::None => (None, None),
-            };
-
-            observer.on_phase_start(kind);
-            let fixes_before = report.len();
-            let started = Instant::now();
-            let fixes = match kind {
-                PhaseKind::CRepair => c_repair(&mut work, dm, &self.rules, index, &self.config),
-                PhaseKind::ERepair => e_repair(&mut work, dm, &self.rules, index, &self.config),
-                PhaseKind::HRepair => h_repair(&mut work, dm, &self.rules, index, &self.config),
-            };
-            report.extend(fixes);
-            let stats = PhaseStats {
-                phase: kind,
-                seconds: started.elapsed().as_secs_f64(),
-                fixes: report.len() - fixes_before,
-            };
-            observer.on_phase_end(&stats);
-            phases.push(stats);
-        }
+        let (report, phases) = run_phases(&self.prepared, &mut work, phase, observer, None);
 
         // Acceptance (§3.2): `Dr ⊨ Σ` and `(Dr, Dm) ⊨ Γ`, checked against
         // whatever master view the final state implies.
-        let final_storage;
-        let dm_final: &Relation = match &self.master {
-            MasterSource::External(m) => m,
-            MasterSource::SelfSnapshot => {
-                final_storage = self.snapshot(&work);
-                &final_storage
-            }
-            MasterSource::None => {
-                final_storage = Relation::empty(self.rules.schema().clone());
-                &final_storage
-            }
-        };
-        let consistent = satisfies_all(self.rules.cfds(), self.rules.mds(), &work, dm_final);
+        let rules = &self.prepared.rules;
+        let mut storage = None;
+        let dm_final = self.prepared.acceptance_master(&work, &mut storage);
+        let consistent = satisfies_all(rules.cfds(), rules.mds(), &work, dm_final);
         let cost = repair_cost(d, &work);
         CleanResult {
             repaired: work,
@@ -315,18 +408,6 @@ impl Cleaner {
             consistent,
             phases,
         }
-    }
-
-    /// Render the current repair state into the MDs' master schema
-    /// (self-snapshot mode only; `build` guarantees the schema exists and
-    /// mirrors the data schema).
-    fn snapshot(&self, work: &Relation) -> Relation {
-        let master_schema = self
-            .rules
-            .master_schema()
-            .expect("Cleaner::build verified the self-snapshot schema")
-            .clone();
-        Relation::new(master_schema, work.tuples().to_vec())
     }
 }
 
@@ -428,11 +509,24 @@ impl CleanerBuilder {
             )),
             _ => None,
         };
+        // Seed the shared interner with every rule-pattern constant — the
+        // values every call's key assembly is guaranteed to meet.
+        let mut interner_seed = ValueInterner::new();
+        for cfd in rules.cfds() {
+            for p in cfd.lhs_pattern().iter().chain(cfd.rhs_pattern()) {
+                if let Some(v) = p.as_const() {
+                    interner_seed.intern(v);
+                }
+            }
+        }
         Ok(Cleaner {
-            rules,
-            master: self.master,
-            index,
-            config,
+            prepared: Arc::new(PreparedCleaner {
+                rules,
+                master: self.master,
+                index,
+                config,
+                interner_seed,
+            }),
         })
     }
 }

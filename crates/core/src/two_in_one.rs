@@ -65,6 +65,7 @@ pub enum BKey {
 
 /// The interning half of the structure: the interner itself plus the
 /// per-cell symbol cache that makes steady-state key assembly hash-free.
+#[derive(Clone)]
 struct Interned {
     values: ValueInterner,
     /// `attr.index()` → column slot in each `syms` row (`usize::MAX` =
@@ -89,7 +90,7 @@ fn xlnx(c: usize) -> f64 {
 }
 
 /// One conflict set `Δ(ȳ)` for one variable CFD.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Group {
     /// Position in the owner's variable-CFD list.
     pub vcfd: usize,
@@ -152,6 +153,12 @@ impl Group {
 }
 
 /// The 2-in-1 structure over every variable CFD of a rule set.
+///
+/// The structure is `Clone` so a session can keep a *persistent* copy
+/// pinned to the post-`cRepair` state and hand each `eRepair` run a cheap
+/// working clone — cloning copies hash buckets and tree nodes without
+/// re-hashing a single value, unlike a rebuild.
+#[derive(Clone)]
 pub struct TwoInOne {
     /// Indices into `rules.cfds()` that are variable CFDs.
     vcfd_rule_idx: Vec<usize>,
@@ -185,6 +192,19 @@ impl TwoInOne {
     /// so the resulting structure (including group-id assignment) is
     /// bit-identical for every thread count.
     pub fn build_with(rules: &RuleSet, d: &Relation, interning: bool, threads: usize) -> Self {
+        Self::build_seeded(rules, d, interning, threads, None)
+    }
+
+    /// [`Self::build_with`] starting from a pre-warmed [`ValueInterner`]
+    /// (e.g. the session-level interner seeded with rule constants). Seeding
+    /// only renumbers symbols — results are identical with any seed.
+    pub fn build_seeded(
+        rules: &RuleSet,
+        d: &Relation,
+        interning: bool,
+        threads: usize,
+        seed: Option<&ValueInterner>,
+    ) -> Self {
         let n_attrs = rules.schema().arity();
         let mut vcfd_rule_idx = Vec::new();
         let mut lhs = Vec::new();
@@ -222,7 +242,7 @@ impl TwoInOne {
             for (slot, a) in relevant.iter().enumerate() {
                 attr_slot[a.index()] = slot;
             }
-            let mut values = ValueInterner::new();
+            let mut values = seed.cloned().unwrap_or_default();
             let syms: Vec<Vec<Symbol>> = d
                 .tuples()
                 .iter()
@@ -278,6 +298,47 @@ impl TwoInOne {
             }
         }
         me
+    }
+
+    /// Append tuples `from..d.len()` to the structure with insert-time
+    /// group and entropy deltas — no rebuild, no re-hashing of existing
+    /// members. The result (group membership, group-id assignment, interner
+    /// numbering) is bit-identical to a from-scratch [`Self::build_with`]
+    /// over the whole of `d`, because a build is exactly this insertion
+    /// replay in tuple-id order: symbols are assigned tuple-major and new
+    /// group ids at first key occurrence, and existing groups only ever
+    /// gain members. This is the `clean_delta` hot path.
+    pub fn insert_tuples(&mut self, rules: &RuleSet, d: &Relation, from: usize) {
+        // Mirror the build's interner seeding for the new rows: every
+        // relevant attribute's value is interned once, tuple-major.
+        if let Some(int) = &mut self.interned {
+            let relevant: Vec<AttrId> = int
+                .attr_slot
+                .iter()
+                .enumerate()
+                .filter(|(_, &slot)| slot != UNTRACKED)
+                .map(|(a, _)| AttrId::from(a))
+                .collect();
+            // `attr_slot` maps each relevant attribute to its dense slot;
+            // rows must be pushed in slot order.
+            let mut by_slot = relevant;
+            by_slot.sort_by_key(|a| int.attr_slot[a.index()]);
+            for t in &d.tuples()[from..] {
+                int.syms.push(
+                    by_slot
+                        .iter()
+                        .map(|&a| int.values.intern(t.value(a)))
+                        .collect(),
+                );
+            }
+        }
+        let nv = self.vcfd_rule_idx.len();
+        for i in from..d.len() {
+            let t = TupleId::from(i);
+            for v in 0..nv {
+                self.insert_member(rules, d, v, t);
+            }
+        }
     }
 
     /// The variable CFD of slot `v` within `rules`.
@@ -787,6 +848,65 @@ mod tests {
             }
             t.assert_consistent_with_rebuild(&rules, &d);
         }
+    }
+
+    #[test]
+    fn insert_tuples_matches_a_fresh_build_bit_for_bit() {
+        // Build over a prefix, insert the rest incrementally: group ids,
+        // membership, counts and entropies must equal a from-scratch build
+        // — in interned and raw mode.
+        let (s, rules, d) = fig8();
+        for interning in [true, false] {
+            for split in [0usize, 3, 5, 8] {
+                let prefix = Relation::new(s.clone(), d.tuples()[..split].to_vec());
+                let mut inc = TwoInOne::build_with(&rules, &prefix, interning, 1);
+                inc.insert_tuples(&rules, &d, split);
+                let fresh = TwoInOne::build_with(&rules, &d, interning, 1);
+                assert_eq!(inc.len(), fresh.len());
+                for v in 0..inc.len() {
+                    let dump = |t: &TwoInOne| -> Vec<(Vec<Value>, GroupId, Vec<TupleId>, f64)> {
+                        let mut out: Vec<_> = t.tables[v]
+                            .values()
+                            .map(|&g| {
+                                (
+                                    t.group_key(g),
+                                    g,
+                                    t.group(g).tuples.clone(),
+                                    t.group(g).entropy,
+                                )
+                            })
+                            .collect();
+                        out.sort_by(|a, b| a.0.cmp(&b.0));
+                        out
+                    };
+                    assert_eq!(
+                        dump(&inc),
+                        dump(&fresh),
+                        "interning={interning} split={split} vcfd={v}"
+                    );
+                }
+                inc.assert_consistent_with_rebuild(&rules, &d);
+            }
+        }
+    }
+
+    #[test]
+    fn cloned_structure_evolves_like_the_original() {
+        let (s, rules, mut d) = fig8();
+        let base = TwoInOne::build(&rules, &d);
+        let mut a = base.clone();
+        let mut b = TwoInOne::build(&rules, &d);
+        let e = s.attr_id_or_panic("E");
+        let old = d.tuple(TupleId(3)).value(e).clone();
+        d.tuple_mut(TupleId(3))
+            .set(e, Value::str("e1"), 0.5, FixMark::Reliable);
+        a.on_update(&rules, &d, TupleId(3), e, &old);
+        b.on_update(&rules, &d, TupleId(3), e, &old);
+        assert_eq!(
+            a.groups_below(0, f64::INFINITY),
+            b.groups_below(0, f64::INFINITY)
+        );
+        a.assert_consistent_with_rebuild(&rules, &d);
     }
 
     #[test]

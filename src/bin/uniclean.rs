@@ -21,7 +21,7 @@ use uniclean::model::csv::{from_csv, to_csv};
 use uniclean::model::{Relation, Schema, ValueType};
 use uniclean::reasoning::{is_consistent, termination_diagnostics};
 use uniclean::rules::{cfd_violations, md_violations, parse_rules, RuleSet, Violation};
-use uniclean::{CleanConfig, Cleaner, MasterSource, Phase};
+use uniclean::{CleanConfig, CleanResult, Cleaner, MasterSource, Phase};
 
 const USAGE: &str = "\
 uniclean — unified record matching and data repairing (Fan et al., SIGMOD 2011)
@@ -53,6 +53,10 @@ CLEAN OPTIONS:
     --threads <n>              worker threads for the phase internals
                                [default: all cores; output is identical at any n]
     --no-interning             disable value interning (benchmarking only)
+    --delta <b1.csv,b2.csv>    incremental mode: clean --data once, then absorb
+                               each batch CSV via clean_delta (same header row);
+                               the output is the repaired concatenated relation,
+                               bit-identical to recleaning it from scratch
     --report                   print every fix (mark, cell, old → new, rule)
 
 DISCOVER OPTIONS:
@@ -265,9 +269,81 @@ fn cmd_clean(opts: &Opts) -> Result<String, String> {
         .config(cfg)
         .build()
         .map_err(|e| e.to_string())?;
-    let result = cleaner.clean(&data, phase);
 
     let mut out = String::new();
+    let result = match opts.get("delta") {
+        None => cleaner.clean(&data, phase),
+        Some(batches) => {
+            // Incremental mode: clean the base once, then absorb each
+            // batch through the persistent RepairState.
+            let (mut state, first) = cleaner.begin(&data, phase);
+            out.push_str(&format!(
+                "base: {} tuples, {} fixes, consistent: {}\n",
+                data.len(),
+                first.report.len(),
+                first.consistent
+            ));
+            for path in batches.split(',').filter(|p| !p.is_empty()) {
+                let batch = load_relation(path, opts.get_or("table", "data"), default_cf)?;
+                // The library API takes schema-less tuples; the CLI holds
+                // both headers, so a reordered or renamed batch header must
+                // fail here instead of silently feeding swapped columns.
+                let (want, got) = (data.schema(), batch.schema());
+                if want
+                    .attrs()
+                    .iter()
+                    .map(|a| &a.name)
+                    .ne(got.attrs().iter().map(|a| &a.name))
+                {
+                    return Err(format!(
+                        "{path}: batch header ({}) does not match the data header ({})",
+                        got.attrs()
+                            .iter()
+                            .map(|a| a.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(","),
+                        want.attrs()
+                            .iter()
+                            .map(|a| a.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(","),
+                    ));
+                }
+                let escalations_before = state.escalations();
+                let started = std::time::Instant::now();
+                let r = cleaner
+                    .clean_delta(&mut state, batch.tuples())
+                    .map_err(|e| format!("{path}: {e}"))?;
+                out.push_str(&format!(
+                    "delta {path}: +{} tuples, {} fixes, consistent: {}{} ({:.3}s)\n",
+                    batch.len(),
+                    r.report.len(),
+                    r.consistent,
+                    if state.escalations() > escalations_before {
+                        " [escalated to full reclean]"
+                    } else {
+                        ""
+                    },
+                    started.elapsed().as_secs_f64(),
+                ));
+            }
+            // The session log re-records eRepair/hRepair fixes re-derived
+            // on every delta call; summarize (and --report) each cell's
+            // final fix once so the counts are not inflated.
+            let mut report = uniclean::core::FixReport::new();
+            for rec in state.log().final_states() {
+                report.push(rec.clone());
+            }
+            CleanResult {
+                repaired: state.repaired().clone(),
+                report,
+                cost: state.cost(),
+                consistent: state.consistent(),
+                phases: Vec::new(),
+            }
+        }
+    };
+
     let (det, rel, pos) = result.fix_counts();
     out.push_str(&format!(
         "applied {} fixes ({det} deterministic, {rel} reliable, {pos} possible); \
@@ -430,6 +506,46 @@ mod tests {
         assert!(out.contains("131,Edi"), "{out}");
         assert!(out.contains("020,Ldn"), "{out}");
         assert!(out.contains("Ldn -> Edi"), "{out}");
+    }
+
+    #[test]
+    fn clean_delta_mode_absorbs_batches() {
+        let data = write_temp("dd0.csv", "AC,city\n131,Ldn\n020,Ldn\n");
+        let b1 = write_temp("dd1.csv", "AC,city\n131,Lds\n");
+        let b2 = write_temp("dd2.csv", "AC,city\n020,Edi\n");
+        let rules = write_temp(
+            "rdd.rules",
+            "cfd phi1: data([AC=131] -> [city=Edi])\ncfd phi2: data([AC=020] -> [city=Ldn])",
+        );
+        let out = run(&argv(&[
+            "clean",
+            "--data",
+            &data,
+            "--rules",
+            &rules,
+            "--delta",
+            &format!("{b1},{b2}"),
+        ]))
+        .unwrap();
+        assert!(out.contains("base: 2 tuples"), "{out}");
+        assert!(out.contains(&format!("delta {b1}: +1 tuples")), "{out}");
+        assert!(out.contains(&format!("delta {b2}: +1 tuples")), "{out}");
+        // The final CSV carries all four repaired tuples, batches included.
+        assert_eq!(out.matches("131,Edi").count(), 2, "{out}");
+        assert_eq!(out.matches("020,Ldn").count(), 2, "{out}");
+        assert!(out.contains("consistent: true"), "{out}");
+    }
+
+    #[test]
+    fn clean_delta_rejects_mismatched_batch_headers() {
+        let data = write_temp("dh0.csv", "AC,city\n131,Ldn\n");
+        let bad = write_temp("dh1.csv", "city,AC\nLdn,131\n");
+        let rules = write_temp("rdh.rules", "cfd phi1: data([AC=131] -> [city=Edi])");
+        let err = run(&argv(&[
+            "clean", "--data", &data, "--rules", &rules, "--delta", &bad,
+        ]))
+        .unwrap_err();
+        assert!(err.contains("does not match the data header"), "{err}");
     }
 
     #[test]

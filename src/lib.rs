@@ -111,7 +111,9 @@ pub use uniclean_similarity as similarity;
 
 // The session API is the front door — re-export it at the crate root so
 // `use uniclean::{Cleaner, MasterSource, Phase}` is all a caller needs.
+#[allow(deprecated)]
+pub use uniclean_core::PhaseKind;
 pub use uniclean_core::{
     CleanConfig, CleanError, CleanResult, Cleaner, CleanerBuilder, ConfigError, MasterSource,
-    NoOpObserver, Phase, PhaseKind, PhaseObserver, PhaseStats, PhaseTimings,
+    NoOpObserver, Phase, PhaseObserver, PhaseStats, PhaseTimings, PreparedCleaner, RepairState,
 };

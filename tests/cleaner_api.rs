@@ -11,8 +11,8 @@ use uniclean::rules::{parse_rules, RuleSet};
 mod common;
 use common::example_1_1;
 use uniclean::{
-    CleanConfig, CleanError, Cleaner, ConfigError, MasterSource, Phase, PhaseKind, PhaseObserver,
-    PhaseStats, PhaseTimings,
+    CleanConfig, CleanError, Cleaner, ConfigError, MasterSource, Phase, PhaseObserver, PhaseStats,
+    PhaseTimings,
 };
 
 /// A tiny MD-only rule set over `tran`/`card`.
@@ -341,7 +341,7 @@ fn observer_streams_the_same_stats_the_result_records() {
     assert_eq!(timings.stats, result.phases);
     assert_eq!(
         timings.stats.iter().map(|s| s.phase).collect::<Vec<_>>(),
-        vec![PhaseKind::CRepair, PhaseKind::ERepair, PhaseKind::HRepair]
+        vec![Phase::CRepair, Phase::ERepair, Phase::HRepair]
     );
     assert_eq!(
         timings.stats.iter().map(|s| s.fixes).sum::<usize>(),
@@ -359,7 +359,7 @@ fn custom_observers_see_start_and_end_in_order() {
     #[derive(Default)]
     struct Log(Vec<String>);
     impl PhaseObserver for Log {
-        fn on_phase_start(&mut self, phase: PhaseKind) {
+        fn on_phase_start(&mut self, phase: Phase) {
             self.0.push(format!("start {}", phase.label()));
         }
         fn on_phase_end(&mut self, stats: &PhaseStats) {

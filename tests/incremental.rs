@@ -1,0 +1,348 @@
+//! Incremental-cleaning equivalence suite: `Cleaner::begin` + repeated
+//! `Cleaner::clean_delta` must leave the state bit-identical — cell
+//! values, confidences, marks, plus cost and acceptance — to a
+//! from-scratch `Cleaner::clean` over the concatenated relation, across
+//! parallelism {1, 4} × interning {on, off}, on both the fast
+//! (continuation) path and the escalation path.
+
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use uniclean::core::{
+    CleanConfig, CleanError, CleanResult, Cleaner, MasterSource, Phase, RepairState,
+};
+use uniclean::model::{FixMark, Relation, Schema, Tuple, Value};
+use uniclean::rules::{parse_rules, RuleSet};
+
+/// Three interacting rules over a 3-attribute schema: a variable FD, a
+/// constant CFD and an MD — enough to exercise every phase, witness
+/// waiting, and cross-rule cascades between settled and batch tuples.
+fn scenario_rules() -> (Arc<Schema>, RuleSet, Relation) {
+    let r = Schema::of_strings("r", &["K", "A", "B"]);
+    let rm = Schema::of_strings("rm", &["K", "B"]);
+    let text = "cfd fd: r([K] -> [A])\n\
+                cfd cc: r([A=a1] -> [B=b1])\n\
+                md m: r[K] = rm[K] -> r[B] <=> rm[B]";
+    let parsed = parse_rules(text, &r, Some(&rm)).unwrap();
+    let rules = RuleSet::new(
+        r.clone(),
+        Some(rm.clone()),
+        parsed.cfds,
+        parsed.positive_mds,
+        parsed.negative_mds,
+    );
+    let master = Relation::new(
+        rm,
+        vec![
+            Tuple::of_strs(&["k0", "b1"], 1.0),
+            Tuple::of_strs(&["k1", "b2"], 1.0),
+        ],
+    );
+    (r, rules, master)
+}
+
+/// Decode one generated row `(k, a, b, cf_bits)` into a tuple with mixed
+/// per-cell confidences (0, 0.5 or 1 per cell — below/at/above η = 0.8).
+fn decode(row: &(u8, u8, u8, u8), schema: &Arc<Schema>) -> Tuple {
+    let (k, a, b, bits) = *row;
+    let cf = |sel: u8| [0.0, 0.5, 1.0][(sel % 3) as usize];
+    let mut t = Tuple::of_strs(
+        &[
+            &format!("k{}", k % 3),
+            &format!("a{}", a % 3),
+            &format!("b{}", b % 4),
+        ],
+        0.0,
+    );
+    for (i, c) in [cf(bits), cf(bits / 3), cf(bits / 9)]
+        .into_iter()
+        .enumerate()
+    {
+        let attr = schema.attr_ids().nth(i).unwrap();
+        let v = t.value(attr).clone();
+        t.set(attr, v, c, FixMark::Untouched);
+    }
+    t
+}
+
+fn cleaner(rules: &RuleSet, master: &Relation, threads: usize, interning: bool) -> Cleaner {
+    Cleaner::builder()
+        .rules(rules.clone())
+        .master(MasterSource::external(master.clone()))
+        .config(CleanConfig {
+            eta: 0.8,
+            delta_entropy: 0.9,
+            parallelism: Some(NonZeroUsize::new(threads).unwrap()),
+            interning,
+            ..CleanConfig::default()
+        })
+        .build()
+        .unwrap()
+}
+
+/// Bitwise equality of the incremental state against a from-scratch run.
+fn assert_matches(reference: &CleanResult, state: &RepairState, label: &str) {
+    assert_eq!(
+        reference.repaired.len(),
+        state.repaired().len(),
+        "{label}: tuple count"
+    );
+    for (i, (ra, rb)) in reference
+        .repaired
+        .tuples()
+        .iter()
+        .zip(state.repaired().tuples())
+        .enumerate()
+    {
+        for (ca, cb) in ra.cells().iter().zip(rb.cells()) {
+            assert_eq!(ca.value, cb.value, "{label}: tuple {i} value diverged");
+            assert_eq!(
+                ca.cf.to_bits(),
+                cb.cf.to_bits(),
+                "{label}: tuple {i} confidence diverged"
+            );
+            assert_eq!(ca.mark, cb.mark, "{label}: tuple {i} mark diverged");
+        }
+    }
+    assert_eq!(
+        reference.consistent,
+        state.consistent(),
+        "{label}: acceptance diverged"
+    );
+    assert_eq!(
+        reference.cost.to_bits(),
+        state.cost().to_bits(),
+        "{label}: cost diverged"
+    );
+}
+
+fn concat(schema: &Arc<Schema>, parts: &[&[Tuple]]) -> Relation {
+    Relation::new(
+        schema.clone(),
+        parts.iter().flat_map(|p| p.iter().cloned()).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// full-clean(D ∪ batches) ≡ clean + repeated clean_delta, across
+    /// parallelism {1, 4} × interning {on, off} × phase {CE, Full}.
+    #[test]
+    fn delta_equals_full_reclean(
+        base in proptest::collection::vec((0u8..3, 0u8..3, 0u8..4, 0u8..27), 1..7),
+        batch1 in proptest::collection::vec((0u8..3, 0u8..3, 0u8..4, 0u8..27), 0..4),
+        batch2 in proptest::collection::vec((0u8..3, 0u8..3, 0u8..4, 0u8..27), 0..4),
+    ) {
+        let (schema, rules, master) = scenario_rules();
+        let d0: Vec<Tuple> = base.iter().map(|r| decode(r, &schema)).collect();
+        let b1: Vec<Tuple> = batch1.iter().map(|r| decode(r, &schema)).collect();
+        let b2: Vec<Tuple> = batch2.iter().map(|r| decode(r, &schema)).collect();
+
+        for phase in [Phase::CERepair, Phase::Full] {
+            for threads in [1usize, 4] {
+                for interning in [true, false] {
+                    let label = format!("phase={phase:?} threads={threads} interning={interning}");
+                    let uni = cleaner(&rules, &master, threads, interning);
+
+                    let (mut state, first) =
+                        uni.begin(&Relation::new(schema.clone(), d0.clone()), phase);
+                    // begin() must agree with a plain clean() of the base.
+                    let base_ref = uni.clean(&Relation::new(schema.clone(), d0.clone()), phase);
+                    assert_matches(&base_ref, &state, &format!("{label} [begin]"));
+                    prop_assert_eq!(first.repaired.len(), d0.len());
+
+                    uni.clean_delta(&mut state, &b1).unwrap();
+                    let ref1 = uni.clean(&concat(&schema, &[&d0, &b1]), phase);
+                    assert_matches(&ref1, &state, &format!("{label} [delta 1]"));
+
+                    uni.clean_delta(&mut state, &b2).unwrap();
+                    let ref2 = uni.clean(&concat(&schema, &[&d0, &b1, &b2]), phase);
+                    assert_matches(&ref2, &state, &format!("{label} [delta 2]"));
+                }
+            }
+        }
+    }
+}
+
+/// A batch whose tuples share nothing with the settled ones rides the
+/// fast (continuation) path — no escalation.
+#[test]
+fn disjoint_batch_stays_on_the_fast_path() {
+    let (schema, rules, master) = scenario_rules();
+    let uni = cleaner(&rules, &master, 1, true);
+    let base = Relation::new(
+        schema.clone(),
+        vec![
+            decode(&(0, 0, 0, 26), &schema),
+            decode(&(0, 0, 1, 0), &schema),
+        ],
+    );
+    let (mut state, _) = uni.begin(&base, Phase::Full);
+    // k2 never appears in the base or master: no shared groups, no MD hit.
+    let batch = vec![decode(&(2, 1, 2, 13), &schema)];
+    let r = uni.clean_delta(&mut state, &batch).unwrap();
+    assert_eq!(state.escalations(), 0, "disjoint batch must not escalate");
+    assert_eq!(r.repaired.len(), 3);
+    let reference = uni.clean(&concat(&schema, &[base.tuples(), &batch]), Phase::Full);
+    assert_matches(&reference, &state, "disjoint batch");
+}
+
+/// A batch tuple that brings the asserted witness a settled tuple was
+/// waiting for rewrites settled data. The continuation keeps the write
+/// (it is a legal application order of the §5.2-order-independent
+/// fixpoint), refreshes the pinned structures, and stays off the full
+/// reclean path — while still matching the from-scratch result exactly.
+#[test]
+fn settled_write_is_kept_without_escalation() {
+    let (schema, rules, master) = scenario_rules();
+    let uni = cleaner(&rules, &master, 1, true);
+    // Settled tuple: K=k2 asserted, A unasserted → waits on the FD group
+    // for an asserted witness (k2 misses the master, so the MD is quiet).
+    let a = schema.attr_id_or_panic("A");
+    let k = schema.attr_id_or_panic("K");
+    let mut waiter = Tuple::of_strs(&["k2", "a0", "b3"], 0.0);
+    waiter.set(k, Value::str("k2"), 1.0, FixMark::Untouched);
+    let base = Relation::new(schema.clone(), vec![waiter]);
+    let (mut state, _) = uni.begin(&base, Phase::Full);
+    assert_eq!(state.escalations(), 0);
+
+    // Batch: same key, fully asserted A=a2 → becomes the group witness and
+    // rewrites the settled tuple's A.
+    let mut witness = Tuple::of_strs(&["k2", "a2", "b3"], 0.0);
+    witness.set(k, Value::str("k2"), 1.0, FixMark::Untouched);
+    witness.set(a, Value::str("a2"), 1.0, FixMark::Untouched);
+    let batch = vec![witness];
+    uni.clean_delta(&mut state, &batch).unwrap();
+    assert_eq!(
+        state.escalations(),
+        0,
+        "a settled write alone must not escalate"
+    );
+    assert_eq!(
+        state.repaired().tuple(uniclean::model::TupleId(0)).value(a),
+        &Value::str("a2"),
+        "the deterministic fix reached the settled tuple"
+    );
+    let reference = uni.clean(&concat(&schema, &[base.tuples(), &batch]), Phase::Full);
+    assert_matches(&reference, &state, "settled-write batch");
+}
+
+/// Conflicting asserted witnesses in one conflict set — the one
+/// order-dependent situation in `cRepair` — must escalate to a full
+/// reclean, which resolves the race with the from-scratch order.
+#[test]
+fn conflicting_asserted_evidence_escalates() {
+    let (schema, rules, master) = scenario_rules();
+    let uni = cleaner(&rules, &master, 1, true);
+    let a = schema.attr_id_or_panic("A");
+    let k = schema.attr_id_or_panic("K");
+    let asserted = |av: &str| {
+        let mut t = Tuple::of_strs(&["k2", av, "b3"], 0.0);
+        t.set(k, Value::str("k2"), 1.0, FixMark::Untouched);
+        t.set(a, Value::str(av), 1.0, FixMark::Untouched);
+        t
+    };
+    // Base: an asserted witness A=a0 for group k2.
+    let base = Relation::new(schema.clone(), vec![asserted("a0")]);
+    let (mut state, _) = uni.begin(&base, Phase::Full);
+    // Batch: a *different* asserted witness A=a2 for the same group.
+    let batch = vec![asserted("a2")];
+    uni.clean_delta(&mut state, &batch).unwrap();
+    assert_eq!(state.escalations(), 1, "conflicting evidence must escalate");
+    let reference = uni.clean(&concat(&schema, &[base.tuples(), &batch]), Phase::Full);
+    assert_matches(&reference, &state, "hazard batch");
+}
+
+/// Self-snapshot sessions keep working through clean_delta (every call is
+/// a documented escalation — nothing prepared can be pinned when the
+/// master view is the evolving data itself).
+#[test]
+fn self_snapshot_deltas_escalate_but_stay_correct() {
+    let tran = Schema::of_strings("tran", &["LN", "city", "AC", "phn"]);
+    let selfm = Schema::of_strings("tranm", &["LN", "city", "AC", "phn"]);
+    let text = "cfd phi2: tran([AC=020] -> [city=Ldn])\n\
+                md psi: tran[LN] = tranm[LN] AND tran[city] = tranm[city] -> tran[phn] <=> tranm[phn]";
+    let parsed = parse_rules(text, &tran, Some(&selfm)).unwrap();
+    let rules = RuleSet::new(
+        tran.clone(),
+        Some(selfm),
+        parsed.cfds,
+        parsed.positive_mds,
+        vec![],
+    );
+    let uni = Cleaner::builder()
+        .rules(rules)
+        .master(MasterSource::SelfSnapshot)
+        .config(CleanConfig {
+            eta: 0.8,
+            ..CleanConfig::default()
+        })
+        .build()
+        .unwrap();
+    let phn = tran.attr_id_or_panic("phn");
+    let city = tran.attr_id_or_panic("city");
+    let mut a = Tuple::of_strs(&["Brady", "Edi", "020", "3887644"], 1.0);
+    a.set(city, Value::str("Edi"), 0.0, FixMark::Untouched);
+    let base = Relation::new(tran.clone(), vec![a]);
+    let (mut state, _) = uni.begin(&base, Phase::Full);
+
+    let mut b = Tuple::of_strs(&["Brady", "Ldn", "020", "0000000"], 1.0);
+    b.set(phn, Value::str("0000000"), 0.0, FixMark::Untouched);
+    let batch = vec![b];
+    uni.clean_delta(&mut state, &batch).unwrap();
+    assert_eq!(state.escalations(), 1, "self-snapshot always recleans");
+    let reference = uni.clean(&concat(&tran, &[base.tuples(), &batch]), Phase::Full);
+    assert_matches(&reference, &state, "self-snapshot delta");
+}
+
+/// Misuse surfaces as typed errors, not panics.
+#[test]
+fn delta_misuse_is_typed() {
+    let (schema, rules, master) = scenario_rules();
+    let uni = cleaner(&rules, &master, 1, true);
+    let other = cleaner(&rules, &master, 1, true);
+    let base = Relation::new(schema.clone(), vec![decode(&(0, 0, 0, 26), &schema)]);
+    let (mut state, _) = uni.begin(&base, Phase::Full);
+
+    // State handed to a different cleaner.
+    let err = other.clean_delta(&mut state, &[]).unwrap_err();
+    assert_eq!(err, CleanError::ForeignState);
+
+    // Batch tuple of the wrong arity.
+    let err = uni
+        .clean_delta(&mut state, &[Tuple::of_strs(&["k0", "a0"], 0.0)])
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        CleanError::BatchArityMismatch {
+            expected: 3,
+            found: 2
+        }
+    ));
+
+    // An empty batch is a no-op that still reports a consistent result.
+    let r = uni.clean_delta(&mut state, &[]).unwrap();
+    assert_eq!(r.repaired.len(), 1);
+    let reference = uni.clean(&base, Phase::Full);
+    assert_matches(&reference, &state, "empty batch");
+}
+
+/// The per-call log accumulates and the state counts its delta calls.
+#[test]
+fn state_bookkeeping_tracks_calls() {
+    let (schema, rules, master) = scenario_rules();
+    let uni = cleaner(&rules, &master, 1, true);
+    let base = Relation::new(schema.clone(), vec![decode(&(0, 1, 2, 26), &schema)]);
+    let (mut state, first) = uni.begin(&base, Phase::CERepair);
+    let logged_after_begin = state.log().len();
+    assert_eq!(logged_after_begin, first.report.len());
+
+    let batch = vec![decode(&(1, 0, 0, 26), &schema)];
+    let r = uni.clean_delta(&mut state, &batch).unwrap();
+    assert_eq!(state.deltas() + state.escalations(), 1);
+    assert_eq!(state.log().len(), logged_after_begin + r.report.len());
+    assert_eq!(state.phase(), Phase::CERepair);
+    assert_eq!(state.len(), 2);
+}
