@@ -16,11 +16,10 @@ pub fn quaid_repair(d: &Relation, rules: &RuleSet, cfg: &CleanConfig) -> (Relati
     // Forget marks and confidence-derived assertions: Quaid treats every
     // cell as up for grabs, guided only by the cost model.
     let mut work = d.clone();
-    for t in work.tuples_mut() {
+    for id in work.ids().collect::<Vec<_>>() {
+        let mut t = work.tuple_mut(id);
         for cell in 0..t.arity() {
-            let a = uniclean_model::AttrId::from(cell);
-            let c = t.cell_mut(a);
-            c.mark = FixMark::Untouched;
+            t.set_mark(uniclean_model::AttrId::from(cell), FixMark::Untouched);
         }
     }
     let report = h_repair(&mut work, None, &cfd_rules, None, cfg);

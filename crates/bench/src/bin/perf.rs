@@ -1,6 +1,7 @@
 //! `perf` — phase-throughput benchmark for the parallel internals, the
-//! value-interning layer (the `BENCH_pr2.json` generator) and the
-//! incremental `clean_delta` path (the `BENCH_pr3.json` generator).
+//! value-interning layer (the `BENCH_pr2.json` generator), the
+//! incremental `clean_delta` path (the `BENCH_pr3.json` generator), and
+//! the columnar storage layer (the `BENCH_pr4.json` generator).
 //!
 //! Part 1 measures cRepair and eRepair tuples/sec on generated HOSP and
 //! DBLP workloads across worker-thread counts (1/2/4/8) and interning
@@ -8,13 +9,19 @@
 //! absorbed through `Cleaner::begin`, then ten 1% batches through
 //! `Cleaner::clean_delta`, each timed against a from-scratch reclean of
 //! the concatenated relation — and *verified bit-identical to it* before
-//! any number is reported. Both reports are machine-readable JSON,
-//! self-validated by the `json_check` parser.
+//! any number is reported. Part 3 compares the columnar, symbol-native
+//! store against the row-major `Vec<Tuple>` representation it replaced:
+//! resident heap bytes for the same HOSP instance and cell-scan
+//! throughput (null sweep + value-equality sweep), with the scan answers
+//! cross-checked between representations before timing is trusted. All
+//! reports are machine-readable JSON, self-validated by the `json_check`
+//! parser.
 //!
 //! ```text
 //! cargo run --release -p uniclean-bench --bin perf               # full run
 //! cargo run --release -p uniclean-bench --bin perf -- --smoke    # CI smoke
 //!    [--out BENCH_pr2.json] [--delta-out BENCH_pr3.json]
+//!    [--storage-out BENCH_pr4.json]
 //!    [--tuples 10000] [--master 2000] [--repeat 3]
 //!    [--delta-base 10000] [--delta-batches 10] [--delta-batch 100]
 //! ```
@@ -302,7 +309,7 @@ fn bench_delta(base: usize, batches: usize, batch: usize, master: usize) -> Delt
         .expect("workloads build valid sessions");
 
     let schema = w.dirty.schema().clone();
-    let rows = w.dirty.tuples();
+    let rows = w.dirty.to_tuples();
     let base_rel = uniclean_model::Relation::new(schema.clone(), rows[..base].to_vec());
     let (mut state, _) = cleaner.begin(&base_rel, Phase::Full);
 
@@ -408,6 +415,230 @@ fn render_delta_json(r: &DeltaReport, smoke: bool) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Part 3: the columnar storage layer (BENCH_pr4.json).
+// ---------------------------------------------------------------------------
+
+struct ScanResult {
+    name: &'static str,
+    /// Both representations must agree on the scan's answer.
+    answer: usize,
+    columnar_seconds: f64,
+    row_seconds: f64,
+}
+
+struct StorageReport {
+    tuples: usize,
+    arity: usize,
+    cells: usize,
+    distinct_values: usize,
+    columnar_bytes: usize,
+    row_major_bytes: usize,
+    scans: Vec<ScanResult>,
+    /// cRepair/eRepair seconds on this instance (threads=1, interning on)
+    /// — the regression reference against the committed BENCH_pr2.json.
+    crepair_seconds: f64,
+    erepair_seconds: f64,
+}
+
+/// Estimated resident heap of the replaced row-major representation:
+/// one `Vec<Cell>` per tuple plus one owned string payload per `Str`
+/// cell *occurrence* — the historical ingest (`from_csv`, the
+/// generators) allocated per cell, it never shared payloads across rows.
+fn row_major_bytes(rows: &[uniclean_model::Tuple]) -> usize {
+    use uniclean_model::{Cell, Value};
+    let mut total = 0usize;
+    for t in rows {
+        total += std::mem::size_of::<Vec<Cell>>() + t.arity() * std::mem::size_of::<Cell>();
+        for c in t.cells() {
+            if let Value::Str(s) = &c.value {
+                // Arc<str> payload: two refcount words + the bytes.
+                total += 16 + s.len();
+            }
+        }
+    }
+    total
+}
+
+/// Best-of-`repeat` wall time of `f`, which must return the scan answer.
+fn time_scan(repeat: usize, mut f: impl FnMut() -> usize) -> (usize, f64) {
+    let mut best = f64::INFINITY;
+    let mut answer = 0;
+    for _ in 0..repeat.max(1) {
+        let started = Instant::now();
+        answer = f();
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    (answer, best)
+}
+
+/// Compare the columnar store against the row-major representation on the
+/// same instance: heap footprint and full-relation cell scans.
+fn bench_storage(w: &Workload, repeat: usize) -> StorageReport {
+    use uniclean_model::{AttrId, Value};
+    let rel = &w.dirty;
+    let rows = rel.to_tuples();
+    let arity = rel.schema().arity();
+    let attrs: Vec<AttrId> = rel.schema().attr_ids().collect();
+
+    let mut scans = Vec::new();
+
+    // Scan 1: null sweep — count null cells across the relation. The
+    // columnar side compares each symbol column against the null symbol;
+    // the row side walks tuples and asks the value.
+    let (col_nulls, col_s) = time_scan(repeat, || {
+        let null = rel.null_sym();
+        attrs
+            .iter()
+            .map(|&a| rel.col_syms(a).iter().filter(|&&s| s == null).count())
+            .sum()
+    });
+    let (row_nulls, row_s) = time_scan(repeat, || {
+        rows.iter()
+            .map(|t| {
+                (0..arity)
+                    .filter(|&i| t.value(AttrId::from(i)).is_null())
+                    .count()
+            })
+            .sum()
+    });
+    assert_eq!(col_nulls, row_nulls, "null sweep disagreed across layouts");
+    scans.push(ScanResult {
+        name: "null_sweep",
+        answer: col_nulls,
+        columnar_seconds: col_s,
+        row_seconds: row_s,
+    });
+
+    // Scan 2: value-equality sweep — for every distinct value of the
+    // first column (a realistic probe mix), count its occurrences across
+    // all columns. Columnar: one interner lookup, then symbol compares.
+    // Row: value compares (string content on the hot path).
+    let probes: Vec<Value> = rel.active_domain(attrs[0]).into_iter().take(16).collect();
+    let (col_hits, col_s) = time_scan(repeat, || {
+        probes
+            .iter()
+            .map(|p| match rel.interner().get(p) {
+                None => 0,
+                Some(sym) => attrs
+                    .iter()
+                    .map(|&a| rel.col_syms(a).iter().filter(|&&s| s == sym).count())
+                    .sum(),
+            })
+            .sum()
+    });
+    let (row_hits, row_s) = time_scan(repeat, || {
+        probes
+            .iter()
+            .map(|p| {
+                rows.iter()
+                    .map(|t| {
+                        (0..arity)
+                            .filter(|&i| t.value(AttrId::from(i)) == p)
+                            .count()
+                    })
+                    .sum::<usize>()
+            })
+            .sum()
+    });
+    assert_eq!(
+        col_hits, row_hits,
+        "equality sweep disagreed across layouts"
+    );
+    scans.push(ScanResult {
+        name: "equality_sweep",
+        answer: col_hits,
+        columnar_seconds: col_s,
+        row_seconds: row_s,
+    });
+
+    // Phase-throughput reference on the same instance (threads=1,
+    // interning on) so a regression against BENCH_pr2.json is visible
+    // from this report alone.
+    let phase = measure(w, 1, true, repeat);
+
+    StorageReport {
+        tuples: rel.len(),
+        arity,
+        cells: rel.cell_count(),
+        distinct_values: rel.interner().len(),
+        columnar_bytes: rel.heap_bytes(),
+        row_major_bytes: row_major_bytes(&rows),
+        scans,
+        crepair_seconds: phase.crepair_seconds,
+        erepair_seconds: phase.erepair_seconds,
+    }
+}
+
+fn render_storage_json(r: &StorageReport, smoke: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"pr4_columnar_storage\",");
+    let _ = writeln!(
+        out,
+        "  \"command\": \"cargo run --release -p uniclean-bench --bin perf\","
+    );
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"dataset\": \"hosp\",");
+    let _ = writeln!(
+        out,
+        "  \"note\": \"row_major_bytes reconstructs the replaced Vec<Tuple> layout (one Cell per \
+         slot, one owned string payload per Str cell occurrence); columnar_bytes is the live \
+         store (symbol/cf/mark columns + interner). Scan answers are cross-checked between \
+         layouts before timings are reported. crepair/erepair seconds are the threads=1 \
+         interning=on reference for regression checks against BENCH_pr2.json.\","
+    );
+    let _ = writeln!(out, "  \"tuples\": {},", r.tuples);
+    let _ = writeln!(out, "  \"arity\": {},", r.arity);
+    let _ = writeln!(out, "  \"cells\": {},", r.cells);
+    let _ = writeln!(out, "  \"distinct_values\": {},", r.distinct_values);
+    let _ = writeln!(out, "  \"columnar_bytes\": {},", r.columnar_bytes);
+    let _ = writeln!(out, "  \"row_major_bytes\": {},", r.row_major_bytes);
+    let _ = writeln!(
+        out,
+        "  \"memory_ratio_row_over_columnar\": {},",
+        num(
+            r.row_major_bytes as f64 / (r.columnar_bytes.max(1)) as f64,
+            3
+        )
+    );
+    let _ = writeln!(out, "  \"scans\": [");
+    for (i, s) in r.scans.iter().enumerate() {
+        let cps = |secs: f64| tuples_per_sec(r.cells, secs);
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", s.name);
+        let _ = writeln!(out, "      \"answer\": {},", s.answer);
+        let _ = writeln!(
+            out,
+            "      \"columnar_seconds\": {},",
+            num(s.columnar_seconds, 6)
+        );
+        let _ = writeln!(out, "      \"row_seconds\": {},", num(s.row_seconds, 6));
+        let _ = writeln!(
+            out,
+            "      \"columnar_cells_per_sec\": {},",
+            num(cps(s.columnar_seconds), 1)
+        );
+        let _ = writeln!(
+            out,
+            "      \"row_cells_per_sec\": {},",
+            num(cps(s.row_seconds), 1)
+        );
+        let _ = writeln!(
+            out,
+            "      \"speedup_columnar_vs_row\": {}",
+            num(s.row_seconds / s.columnar_seconds.max(1e-12), 3)
+        );
+        let comma = if i + 1 < r.scans.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"crepair_seconds\": {},", num(r.crepair_seconds, 6));
+    let _ = writeln!(out, "  \"erepair_seconds\": {}", num(r.erepair_seconds, 6));
+    let _ = writeln!(out, "}}");
+    out
+}
+
 /// Validate, write, re-read and re-validate one JSON report file.
 fn write_validated(path: &str, json: &str) {
     if let Err(pos) = validate_json(json) {
@@ -436,8 +667,12 @@ fn write_validated(path: &str, json: &str) {
 fn main() {
     let args = Args::parse();
     let smoke = args.flag("smoke");
+    // `--storage-only`: emit just BENCH_pr4.json (the storage comparison),
+    // skipping the slower thread-matrix and delta replays.
+    let storage_only = args.flag("storage-only");
     let out_path = args.get_or("out", "BENCH_pr2.json").to_string();
     let delta_out_path = args.get_or("delta-out", "BENCH_pr3.json").to_string();
+    let storage_out_path = args.get_or("storage-out", "BENCH_pr4.json").to_string();
     let (tuples, master, repeat, thread_counts): (usize, usize, usize, Vec<usize>) = if smoke {
         (200, 80, 1, vec![1, 2])
     } else {
@@ -466,6 +701,25 @@ fn main() {
     };
     eprintln!("generating workloads ({tuples} tuples, {master} master)…");
     let hosp = hosp_workload(&params);
+
+    if storage_only {
+        eprintln!("storage workload (columnar vs row-major, {tuples} tuples)…");
+        let storage = bench_storage(&hosp, repeat);
+        write_validated(&storage_out_path, &render_storage_json(&storage, smoke));
+        println!(
+            "## storage — {} cells: columnar {} B vs row-major {} B ({:.2}x)",
+            storage.cells,
+            storage.columnar_bytes,
+            storage.row_major_bytes,
+            storage.row_major_bytes as f64 / storage.columnar_bytes.max(1) as f64,
+        );
+        println!(
+            "wrote {storage_out_path} ({:.1}s)",
+            started.elapsed().as_secs_f64()
+        );
+        return;
+    }
+
     let dblp = dblp_workload(&params);
     let reports = vec![
         bench_dataset("hosp", &hosp, &thread_counts, repeat),
@@ -474,6 +728,10 @@ fn main() {
 
     let json = render_json(&reports, smoke, repeat);
     write_validated(&out_path, &json);
+
+    eprintln!("storage workload (columnar vs row-major, {tuples} tuples)…");
+    let storage = bench_storage(&hosp, repeat);
+    write_validated(&storage_out_path, &render_storage_json(&storage, smoke));
 
     eprintln!("delta workload ({delta_base} base + {delta_batches} x {delta_batch} batches)…");
     let delta = bench_delta(delta_base, delta_batches, delta_batch, master);
@@ -496,7 +754,24 @@ fn main() {
         speedups.iter().copied().fold(f64::INFINITY, f64::min),
     );
     println!(
-        "wrote {out_path} + {delta_out_path} ({} datasets, {:.1}s total){}",
+        "## storage — {} cells: columnar {} B vs row-major {} B ({:.2}x), scans {}",
+        storage.cells,
+        storage.columnar_bytes,
+        storage.row_major_bytes,
+        storage.row_major_bytes as f64 / storage.columnar_bytes.max(1) as f64,
+        storage
+            .scans
+            .iter()
+            .map(|s| format!(
+                "{} {:.2}x",
+                s.name,
+                s.row_seconds / s.columnar_seconds.max(1e-12)
+            ))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    println!(
+        "wrote {out_path} + {storage_out_path} + {delta_out_path} ({} datasets, {:.1}s total){}",
         reports.len(),
         started.elapsed().as_secs_f64(),
         if smoke { " [smoke]" } else { "" }

@@ -27,16 +27,16 @@
 //! entry a repair invalidates, so output is bit-identical at every
 //! `parallelism` setting (see [`crate::parallel`]).
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
-use uniclean_model::{AttrId, FixMark, Relation, TupleId, Value};
+use uniclean_model::{AttrId, FixMark, FxHashMap, Relation, Symbol, TupleId, Value};
 use uniclean_rules::RuleSet;
 
 use crate::config::CleanConfig;
 use crate::fix::{FixRecord, FixReport};
 use crate::master_index::MasterIndex;
 use crate::md_cache::MdMatchCache;
+use crate::pattern_syms::{ensure_rule_constants, CfdPatternSyms};
 
 /// A variable-CFD conflict-set entry: the paper's `H(ȳ) = (list, val)`.
 #[derive(Default)]
@@ -67,7 +67,9 @@ pub(crate) struct CFixpoint {
     /// Distinct LHS attribute count per rule (premise-complete threshold).
     lhs_distinct: Vec<u32>,
     /// Variable-CFD hash tables, indexed by rule id (None for others).
-    h: Vec<Option<HashMap<Vec<Value>, VGroup>>>,
+    /// Keys are LHS projections in the relation's own symbols — valid
+    /// across continuations because the store's interner is append-only.
+    h: Vec<Option<FxHashMap<Vec<Symbol>, VGroup>>>,
     /// count[t][ξ].
     count: Vec<Vec<u32>>,
     /// P[t]: variable CFDs t waits on.
@@ -90,12 +92,12 @@ impl CFixpoint {
         let n_attrs = rules.schema().arity();
         let mut lhs_of = Vec::with_capacity(n_rules);
         let mut rhs_of = Vec::with_capacity(n_rules);
-        let mut h: Vec<Option<HashMap<Vec<Value>, VGroup>>> = Vec::with_capacity(n_rules);
+        let mut h: Vec<Option<FxHashMap<Vec<Symbol>, VGroup>>> = Vec::with_capacity(n_rules);
         for c in rules.cfds() {
             assert!(!c.lhs().is_empty(), "CFD `{}` has an empty LHS", c.name());
             lhs_of.push(c.lhs().to_vec());
             rhs_of.push(c.rhs()[0]);
-            h.push(c.is_variable().then(HashMap::new));
+            h.push(c.is_variable().then(FxHashMap::default));
         }
         for m in rules.mds() {
             assert!(
@@ -188,6 +190,9 @@ struct State<'a> {
     idx: Option<&'a MasterIndex>,
     eta: f64,
     self_match: bool,
+    /// CFD LHS patterns compiled to the relation's symbols (transient:
+    /// recompiled per run, valid for the run's relation lineage).
+    pats: CfdPatternSyms,
     fx: &'a mut CFixpoint,
     /// Queue of (tuple, rule) with pending flags (transient: empty at
     /// fixpoint, so not part of the persisted state).
@@ -236,6 +241,11 @@ pub(crate) fn c_run(
         d.len(),
         "fixpoint state must cover the relation"
     );
+    // Give every rule constant a stable symbol in the relation's interner,
+    // then compile the pattern slots once: the per-tuple checks below are
+    // pure symbol compares.
+    ensure_rule_constants(d, rules);
+    let pats = CfdPatternSyms::compile(rules, d);
     if let (Some(dm), Some(idx)) = (dm, idx) {
         // Fan the expensive verification out over the workers for every
         // seeded tuple `MDInfer` will interrogate from the initial
@@ -265,6 +275,7 @@ pub(crate) fn c_run(
         idx,
         eta: cfg.eta,
         self_match: cfg.self_match,
+        pats,
         fx,
         queue: VecDeque::new(),
         pending: vec![vec![false; n_rules]; d.len()],
@@ -273,11 +284,11 @@ pub(crate) fn c_run(
     };
 
     // Initialization (Fig 4, lines 2–6): seed counters from the cells that
-    // are asserted up front.
+    // are asserted up front. Reads the contiguous confidence columns.
     for i in seed_from..d.len() {
         let t = TupleId::from(i);
         for a in rules.schema().attr_ids() {
-            if d.tuple(t).cf(a) >= st.eta {
+            if d.cf(t, a) >= st.eta {
                 st.on_asserted(d, t, a);
             }
         }
@@ -320,7 +331,7 @@ impl<'a> State<'a> {
         for r in 0..self.fx.rhs_of.len() {
             if self.fx.p[t.index()][r] && self.fx.rhs_of[r] == a {
                 self.fx.p[t.index()][r] = false;
-                let key = d.tuple(t).project(&self.fx.lhs_of[r]);
+                let key = d.tuple(t).project_syms(&self.fx.lhs_of[r]);
                 let val_is_nil = self.fx.h[r]
                     .as_ref()
                     .and_then(|h| h.get(&key))
@@ -388,11 +399,11 @@ impl<'a> State<'a> {
     /// Procedure `vCFDInfer` (Fig 5).
     fn v_cfd_infer(&mut self, d: &mut Relation, t: TupleId, r: usize) {
         let cfd = &self.rules.cfds()[r];
-        if !cfd.lhs_matches(d.tuple(t)) {
+        if !self.pats.lhs_matches_attrs(r, &self.fx.lhs_of[r], d, t) {
             return;
         }
         let b = self.fx.rhs_of[r];
-        let key = d.tuple(t).project(&self.fx.lhs_of[r]);
+        let key = d.tuple(t).project_syms(&self.fx.lhs_of[r]);
         let rhs_asserted = d.tuple(t).cf(b) >= self.eta;
         let name = cfd.name().to_string();
         if rhs_asserted {
@@ -439,7 +450,7 @@ impl<'a> State<'a> {
                     self.fx.h[r]
                         .as_mut()
                         .expect("variable CFD")
-                        .entry(d.tuple(t).project(&self.fx.lhs_of[r]))
+                        .entry(d.tuple(t).project_syms(&self.fx.lhs_of[r]))
                         .or_default()
                         .list
                         .push(t);
@@ -452,7 +463,7 @@ impl<'a> State<'a> {
     /// Procedure `cCFDInfer` (Fig 5).
     fn c_cfd_infer(&mut self, d: &mut Relation, t: TupleId, r: usize) {
         let cfd = &self.rules.cfds()[r];
-        if !cfd.lhs_matches(d.tuple(t)) {
+        if !self.pats.lhs_matches_attrs(r, &self.fx.lhs_of[r], d, t) {
             return;
         }
         let a = self.fx.rhs_of[r];
@@ -526,7 +537,7 @@ impl<'a> State<'a> {
             match correcting {
                 Some(s) => Some(s),
                 None => usable.find(|&s| {
-                    dm.tuple(s).cells().len() != d.tuple(t).arity()
+                    dm.tuple(s).arity() != d.tuple(t).arity()
                         || !d.tuple(t).agrees_with(dm.tuple(s), &self.fx.all_attrs)
                 }),
             }
@@ -767,9 +778,8 @@ mod tests {
             let mut d = d0.clone();
             c_repair(&mut d, Some(&dm), &rules, Some(&idx), &cfg(0.8));
             let snap: Vec<Value> = d
-                .tuples()
-                .iter()
-                .flat_map(|t| t.cells().iter().map(|c| c.value.clone()))
+                .rows()
+                .flat_map(|t| t.cells().map(|c| c.value.clone()))
                 .collect();
             snapshots.push(snap);
         }

@@ -29,6 +29,7 @@ use crate::config::CleanConfig;
 use crate::fix::{FixRecord, FixReport};
 use crate::master_index::MasterIndex;
 use crate::md_cache::MdMatchCache;
+use crate::pattern_syms::{ensure_rule_constants, CfdPatternSyms};
 use crate::two_in_one::TwoInOne;
 
 /// Run `eRepair` in place on `d`. Returns the reliable fixes applied.
@@ -63,6 +64,10 @@ pub(crate) fn e_run(
         rules.mds().is_empty() || (dm.is_some() && idx.is_some()),
         "rule set contains MDs: master data and a MasterIndex are required"
     );
+    // Stable symbols for rule constants, then compile the CFD patterns
+    // once — the per-round scans below match patterns by symbol compare.
+    ensure_rule_constants(d, rules);
+    let pats = CfdPatternSyms::compile(rules, d);
     let threads = cfg.effective_parallelism();
     let order = erepair_order(rules);
     // Slot of each variable CFD (rules.cfds() index → TwoInOne position).
@@ -107,7 +112,7 @@ pub(crate) fn e_run(
                     changed |= v_cfd_resolve(d, rules, structure, vslot[&i], cfg, &mut st);
                 }
                 RuleRef::Cfd(i) => {
-                    changed |= c_cfd_resolve(d, rules, structure, i, &mut st);
+                    changed |= c_cfd_resolve(d, rules, structure, i, &pats, &mut st);
                 }
                 RuleRef::Md(i) => {
                     let dm = dm.expect("MDs require master data");
@@ -186,7 +191,7 @@ fn v_cfd_resolve(
     let mut changed = false;
     for gid in structure.groups_below(v, cfg.delta_entropy) {
         let (majority, members) = {
-            let Some((maj, _)) = structure.majority(gid) else {
+            let Some((maj, _)) = structure.majority(d, gid) else {
                 continue;
             };
             (maj, structure.group(gid).tuples.clone())
@@ -202,12 +207,14 @@ fn v_cfd_resolve(
 }
 
 /// Procedure `cCFDReslove` (Fig 6): apply the constant pattern to every
-/// matching tuple still touchable.
+/// matching tuple still touchable. The scan matches the LHS pattern by
+/// compiled symbols and pre-screens the RHS by symbol too.
 fn c_cfd_resolve(
     d: &mut Relation,
     rules: &RuleSet,
     structure: &mut TwoInOne,
     i: usize,
+    pats: &CfdPatternSyms,
     st: &mut EState<'_>,
 ) -> bool {
     let cfd = &rules.cfds()[i];
@@ -217,9 +224,13 @@ fn c_cfd_resolve(
         .expect("constant CFD")
         .clone();
     let name = cfd.name().to_string();
+    let lhs = cfd.lhs().to_vec();
     let mut changed = false;
     for t in d.ids().collect::<Vec<_>>() {
-        if cfd.lhs_matches(d.tuple(t)) && d.tuple(t).value(a) != &want && st.touchable(d, t, a) {
+        if pats.lhs_matches_attrs(i, &lhs, d, t)
+            && d.tuple(t).value(a) != &want
+            && st.touchable(d, t, a)
+        {
             st.apply(d, structure, rules, t, a, want.clone(), &name);
             changed = true;
         }

@@ -8,6 +8,7 @@
 
 use std::fmt;
 
+use uniclean_model::ModelError;
 use uniclean_rules::{ParseError, RuleSetError};
 
 /// An invalid [`crate::CleanConfig`] field.
@@ -97,6 +98,12 @@ pub enum CleanError {
         /// Arity of the offending batch tuple.
         found: usize,
     },
+    /// A model-layer construction invariant failed — a row's arity did
+    /// not match its schema, or a confidence left `[0, 1]`. Raised by the
+    /// typed relation/cell constructors (`Relation::try_new`,
+    /// `Relation::try_push_row`, `Cell::try_new`) and surfaced here so
+    /// session-level code can bubble ingest failures as one error type.
+    Model(ModelError),
 }
 
 impl fmt::Display for CleanError {
@@ -132,6 +139,7 @@ impl fmt::Display for CleanError {
                 f,
                 "batch tuple arity {found} does not match the data schema arity {expected}"
             ),
+            CleanError::Model(e) => write!(f, "invalid relation data: {e}"),
         }
     }
 }
@@ -142,6 +150,7 @@ impl std::error::Error for CleanError {
             CleanError::Config(e) => Some(e),
             CleanError::Parse(e) => Some(e),
             CleanError::Rules(e) => Some(e),
+            CleanError::Model(e) => Some(e),
             _ => None,
         }
     }
@@ -162,6 +171,12 @@ impl From<ParseError> for CleanError {
 impl From<RuleSetError> for CleanError {
     fn from(e: RuleSetError) -> Self {
         CleanError::Rules(e)
+    }
+}
+
+impl From<ModelError> for CleanError {
+    fn from(e: ModelError) -> Self {
+        CleanError::Model(e)
     }
 }
 
@@ -201,5 +216,8 @@ mod tests {
         });
         assert!(e.source().unwrap().to_string().contains("eta"));
         assert!(CleanError::MissingRules.source().is_none());
+        let e = CleanError::from(ModelError::ConfidenceOutOfRange { cf: 2.0 });
+        assert!(e.to_string().contains("invalid relation data"));
+        assert!(e.source().unwrap().to_string().contains('2'));
     }
 }

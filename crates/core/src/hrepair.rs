@@ -46,6 +46,7 @@ use crate::config::CleanConfig;
 use crate::fix::{FixRecord, FixReport};
 use crate::master_index::MasterIndex;
 use crate::parallel::map_chunks;
+use crate::pattern_syms::{ensure_rule_constants, CfdPatternSyms};
 
 /// Target of a cell.
 #[derive(Clone, Debug, PartialEq)]
@@ -169,8 +170,13 @@ pub fn h_repair(
         rules.mds().is_empty() || (dm.is_some() && idx.is_some()),
         "rule set contains MDs: master data and a MasterIndex are required"
     );
+    // Stable symbols for rule constants before cloning the base: every
+    // per-round snapshot shares the lineage, so one pattern compilation
+    // serves all rounds.
+    ensure_rule_constants(d, rules);
     let base = d.clone();
     let mut cells = Cells::new(&base);
+    let pats = CfdPatternSyms::compile(rules, &base);
 
     // Under self-matching the "master" must track the current assignment:
     // resolving against a phase-start snapshot lets two records swap values
@@ -186,10 +192,10 @@ pub fn h_repair(
     for _round in 0..cfg.max_hrepair_rounds {
         let cur = materialize(&base, &cells);
         let mut acted = false;
-        acted |= resolve_constant_cfds(&base, &cur, rules, &mut cells);
-        acted |= resolve_variable_cfds(&base, &cur, rules, &mut cells, threads);
+        acted |= resolve_constant_cfds(&base, &cur, rules, &pats, &mut cells);
+        acted |= resolve_variable_cfds(&base, &cur, rules, &pats, &mut cells, threads);
         if let Some(ms) = &self_schema {
-            let dm_round = Relation::new(ms.clone(), cur.tuples().to_vec());
+            let dm_round = Relation::with_schema(ms.clone(), &cur);
             let idx_round =
                 MasterIndex::build_with(rules.mds(), &dm_round, cfg.blocking_l, cfg.interning);
             acted |= resolve_mds(&cur, &dm_round, rules, &idx_round, cfg, &mut cells, threads);
@@ -258,14 +264,20 @@ fn resolve_constant_cfds(
     base: &Relation,
     cur: &Relation,
     rules: &RuleSet,
+    pats: &CfdPatternSyms,
     cells: &mut Cells,
 ) -> bool {
     let mut acted = false;
-    for cfd in rules.cfds().iter().filter(|c| c.is_constant()) {
+    for (i, cfd) in rules
+        .cfds()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.is_constant())
+    {
         let a = cfd.rhs()[0];
         let want = cfd.rhs_pattern()[0].as_const().expect("constant CFD");
         for (tid, t) in cur.iter() {
-            if !cfd.lhs_matches(t) {
+            if !pats.lhs_matches_attrs(i, cfd.lhs(), cur, tid) {
                 continue;
             }
             let have = t.value(a);
@@ -288,25 +300,36 @@ fn resolve_variable_cfds(
     base: &Relation,
     cur: &Relation,
     rules: &RuleSet,
+    pats: &CfdPatternSyms,
     cells: &mut Cells,
     threads: usize,
 ) -> bool {
-    let vcfds: Vec<&uniclean_rules::Cfd> =
-        rules.cfds().iter().filter(|c| c.is_variable()).collect();
+    let vcfds: Vec<(usize, &uniclean_rules::Cfd)> = rules
+        .cfds()
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.is_variable())
+        .collect();
     if vcfds.is_empty() {
         return false;
     }
     // Chunk: project every (tuple, vcfd) pair against the round-start
-    // snapshot `cur` on the workers (the pattern checks and projections are
-    // the scan's cost). Merge in tuple-id order; the resolution below then
-    // sees exactly the groups a sequential scan would have built.
+    // snapshot `cur` on the workers (pattern checks are symbol compares;
+    // the group keys stay resolved values because the winner choice below
+    // sorts keys by value order). Merge in tuple-id order; the resolution
+    // below then sees exactly the groups a sequential scan would have
+    // built.
     let projections = map_chunks(cur.len(), threads, |range| {
         range
             .map(|i| {
-                let t = cur.tuple(TupleId::from(i));
+                let tid = TupleId::from(i);
+                let t = cur.tuple(tid);
                 vcfds
                     .iter()
-                    .map(|cfd| cfd.lhs_matches(t).then(|| t.project(cfd.lhs())))
+                    .map(|(ri, cfd)| {
+                        pats.lhs_matches_attrs(*ri, cfd.lhs(), cur, tid)
+                            .then(|| t.project(cfd.lhs()))
+                    })
                     .collect::<Vec<Option<Vec<Value>>>>()
             })
             .collect::<Vec<_>>()
@@ -326,7 +349,7 @@ fn resolve_variable_cfds(
     }
 
     let mut acted = false;
-    for (cfd, groups) in vcfds.into_iter().zip(per_cfd_groups) {
+    for ((_, cfd), groups) in vcfds.into_iter().zip(per_cfd_groups) {
         let b = cfd.rhs()[0];
         let mut keyed: Vec<(Vec<Value>, Vec<TupleId>)> = groups.into_iter().collect();
         keyed.sort();

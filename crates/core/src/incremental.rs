@@ -53,7 +53,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use uniclean_model::{repair_cost, FxHashMap, Relation, Tuple, TupleId, Value};
+use uniclean_model::{repair_cost, FxHashMap, Relation, Row, Tuple, TupleId, Value};
 use uniclean_rules::RuleSet;
 
 use crate::crepair::{c_run, CFixpoint, CGuard};
@@ -225,7 +225,9 @@ impl Cleaner {
     ///
     /// Errors: [`CleanError::ForeignState`] when `state` was produced by a
     /// different [`Cleaner`]; [`CleanError::BatchArityMismatch`] when a
-    /// batch tuple does not fit the data schema.
+    /// batch tuple does not fit the data schema;
+    /// [`CleanError::Model`] when a batch cell carries a confidence
+    /// outside `[0, 1]` (validated in release builds too).
     ///
     /// ```
     /// use uniclean_core::{Cleaner, Phase};
@@ -250,8 +252,7 @@ impl Cleaner {
     /// assert_eq!(state.len(), 3);
     /// assert!(state
     ///     .repaired()
-    ///     .tuples()
-    ///     .iter()
+    ///     .rows()
     ///     .all(|t| t.value(s.attr_id_or_panic("city")) == &uniclean_model::Value::str("Edi")));
     /// ```
     pub fn clean_delta(
@@ -269,6 +270,12 @@ impl Cleaner {
                 expected: arity,
                 found: t.arity(),
             });
+        }
+        // Ingest validation in release builds too: a confidence outside
+        // [0, 1] would skew the η-threshold seeding and the cost model
+        // silently (`Cell::new` only debug-asserts the range).
+        for t in batch {
+            t.validate_cf()?;
         }
 
         let settled = state.base.len();
@@ -332,12 +339,11 @@ impl Cleaner {
                 // deltas cannot express without perturbing group-id order,
                 // so rebuild it; witness-cache entries are dropped only for
                 // the cells the cascade actually touched.
-                *two = TwoInOne::build_seeded(
+                *two = TwoInOne::build_with(
                     &rules,
                     &state.post_c,
                     cfg.interning,
                     cfg.effective_parallelism(),
-                    Some(prepared.interner_seed()),
                 );
                 for rec in report.records() {
                     cache.invalidate(rec.tuple, rec.attr);
@@ -576,7 +582,6 @@ impl ConsistencyIndex {
             let (a, b) = (prev.tuple(TupleId::from(i)), new.tuple(TupleId::from(i)));
             let changed = a
                 .cells()
-                .iter()
                 .zip(b.cells())
                 .any(|(ca, cb)| ca.value != cb.value);
             if changed {
@@ -634,7 +639,7 @@ impl ConsistencyIndex {
     }
 
     /// Add (`delta = 1`) or remove (`-1`) one tuple's CFD contributions.
-    fn apply_cfds(&mut self, rules: &RuleSet, t: &Tuple, delta: isize) {
+    fn apply_cfds<'t>(&mut self, rules: &RuleSet, t: impl Row<'t>, delta: isize) {
         let (mut ci, mut vi) = (0usize, 0usize);
         for cfd in rules.cfds() {
             if cfd.is_constant() {
@@ -704,10 +709,15 @@ impl ConsistencyIndex {
 /// (equality before similarity), so a master tuple that fails an equality
 /// premise never pays for an edit-distance computation. The conjunction's
 /// value is unchanged.
-fn md_tuple_ok(rules: &RuleSet, premise_orders: &[Vec<usize>], t: &Tuple, dm: &Relation) -> bool {
+fn md_tuple_ok<'t>(
+    rules: &RuleSet,
+    premise_orders: &[Vec<usize>],
+    t: impl Row<'t>,
+    dm: &Relation,
+) -> bool {
     rules.mds().iter().zip(premise_orders).all(|(md, order)| {
         let (e, f) = md.rhs()[0];
-        dm.tuples().iter().all(|s| {
+        dm.rows().all(|s| {
             let matched = order.iter().all(|&i| {
                 let p = &md.premises()[i];
                 let tv = t.value(p.attr);

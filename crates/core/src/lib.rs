@@ -49,6 +49,7 @@ pub mod incremental;
 pub mod master_index;
 mod md_cache;
 pub mod parallel;
+mod pattern_syms;
 pub mod phase;
 pub mod pipeline;
 pub mod session;

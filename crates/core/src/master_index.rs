@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use uniclean_model::{AttrId, FxHashMap, Relation, Symbol, Tuple, TupleId, Value, ValueInterner};
+use uniclean_model::{AttrId, FxHashMap, Relation, Row, Symbol, TupleId, Value, ValueInterner};
 use uniclean_rules::Md;
 use uniclean_similarity::LcsBlocker;
 
@@ -32,9 +32,13 @@ enum Access {
         premise: usize,
         map: Arc<HashMap<Value, Vec<u32>>>,
     },
-    /// Interned exact map: probe = one interner lookup + a trivial `u32`
-    /// probe. A probe value the interner has never seen cannot appear in
-    /// the master column, so `get == None` is exactly a miss.
+    /// Interned exact map, keyed by the **master store's own symbols** —
+    /// building it reads the symbol column straight out of the columnar
+    /// store, hashing no value content at all. A probe resolves the data
+    /// value through the shared interner snapshot once (one lookup + a
+    /// trivial `u32` probe); a probe value the interner has never seen
+    /// cannot appear in the master column, so `get == None` is exactly a
+    /// miss.
     ExactInterned {
         premise: usize,
         map: Arc<FxHashMap<Symbol, Vec<u32>>>,
@@ -67,7 +71,7 @@ impl MasterIndex {
     /// [`Self::build`] with an explicit interning switch (the benchmark
     /// harness measures both paths; results are identical).
     pub fn build_with(mds: &[Md], master: &Relation, l: usize, interning: bool) -> Self {
-        let mut interner = ValueInterner::new();
+        let mut used_interned = false;
         let mut exact_cache: HashMap<AttrId, Arc<HashMap<Value, Vec<u32>>>> = HashMap::new();
         let mut interned_cache: HashMap<AttrId, Arc<FxHashMap<Symbol, Vec<u32>>>> = HashMap::new();
         let mut blocker_cache: HashMap<AttrId, Arc<LcsBlocker>> = HashMap::new();
@@ -82,11 +86,14 @@ impl MasterIndex {
                     .find(|(_, p)| p.pred.is_equality())
                 {
                     if interning {
+                        used_interned = true;
                         let map = interned_cache.entry(p.master_attr).or_insert_with(|| {
+                            // The master column is already interned by its
+                            // store: key the rows by those symbols, no
+                            // value hashing at all.
                             let mut m: FxHashMap<Symbol, Vec<u32>> = FxHashMap::default();
-                            for (sid, s) in master.iter() {
-                                let sym = interner.intern(s.value(p.master_attr));
-                                m.entry(sym).or_default().push(sid.0);
+                            for (row, &sym) in master.col_syms(p.master_attr).iter().enumerate() {
+                                m.entry(sym).or_default().push(row as u32);
                             }
                             Arc::new(m)
                         });
@@ -118,8 +125,7 @@ impl MasterIndex {
                 {
                     let blocker = blocker_cache.entry(p.master_attr).or_insert_with(|| {
                         let col: Vec<String> = master
-                            .tuples()
-                            .iter()
+                            .rows()
                             .map(|s| s.value(p.master_attr).render().into_owned())
                             .collect();
                         Arc::new(LcsBlocker::build(&col, l))
@@ -133,6 +139,13 @@ impl MasterIndex {
                 Access::Scan
             })
             .collect();
+        // Symbols in the interned maps are the master store's; probes
+        // resolve through a snapshot of its (append-only) interner.
+        let interner = if used_interned {
+            master.interner().clone()
+        } else {
+            ValueInterner::new()
+        };
         MasterIndex {
             plans,
             interner: Arc::new(interner),
@@ -142,12 +155,13 @@ impl MasterIndex {
 
     /// Visit every candidate master row for `t` under MD `md_idx` (each
     /// still to be verified with [`Md::premise_matches`]). Allocation-free
-    /// for the indexed paths.
-    pub fn for_each_candidate(
+    /// for the indexed paths. `t` is any [`Row`] — a stored [`uniclean_model::TupleRef`]
+    /// probes without materializing anything.
+    pub fn for_each_candidate<'t>(
         &self,
         md_idx: usize,
         md: &Md,
-        t: &Tuple,
+        t: impl Row<'t>,
         mut f: impl FnMut(TupleId),
     ) {
         match &self.plans[md_idx] {
@@ -190,24 +204,30 @@ impl MasterIndex {
     /// Candidate master rows for `t` under MD number `md_idx`, as a fresh
     /// vector. Hot loops should prefer [`Self::for_each_candidate`] or
     /// [`Self::matches_into`], which reuse caller buffers.
-    pub fn candidates(&self, md_idx: usize, md: &Md, t: &Tuple) -> Vec<TupleId> {
+    pub fn candidates<'t>(&self, md_idx: usize, md: &Md, t: impl Row<'t>) -> Vec<TupleId> {
         let mut out = Vec::new();
         self.for_each_candidate(md_idx, md, t, |sid| out.push(sid));
         out
     }
 
     /// Master rows whose full premise matches `t` under MD `md_idx`.
-    pub fn matches(&self, md_idx: usize, md: &Md, t: &Tuple, master: &Relation) -> Vec<TupleId> {
+    pub fn matches<'t>(
+        &self,
+        md_idx: usize,
+        md: &Md,
+        t: impl Row<'t>,
+        master: &Relation,
+    ) -> Vec<TupleId> {
         self.matches_excluding(md_idx, md, t, master, None)
     }
 
     /// Like [`Self::matches`], skipping one master row — the tuple's own
     /// positional copy under self-matching (master = snapshot of the data).
-    pub fn matches_excluding(
+    pub fn matches_excluding<'t>(
         &self,
         md_idx: usize,
         md: &Md,
-        t: &Tuple,
+        t: impl Row<'t>,
         master: &Relation,
         exclude: Option<TupleId>,
     ) -> Vec<TupleId> {
@@ -218,11 +238,11 @@ impl MasterIndex {
 
     /// [`Self::matches_excluding`] appending into a caller-owned buffer
     /// (cleared first), so a tuple loop reuses one allocation throughout.
-    pub fn matches_into(
+    pub fn matches_into<'t>(
         &self,
         md_idx: usize,
         md: &Md,
-        t: &Tuple,
+        t: impl Row<'t>,
         master: &Relation,
         exclude: Option<TupleId>,
         out: &mut Vec<TupleId>,

@@ -1,0 +1,149 @@
+//! Symbol-compiled CFD pattern matching.
+//!
+//! A CFD pattern slot is a constant or a wildcard. Against the columnar
+//! store, both compare as symbols: a wildcard matches any non-null symbol,
+//! a constant matches exactly one symbol — the one the relation's interner
+//! issued for that constant. [`CfdPatternSyms`] resolves every pattern
+//! constant once per (rule set, relation lineage); the per-tuple check
+//! then reads the tuple's symbol column and compares `u32`s, never value
+//! content.
+//!
+//! **Lineage.** Compiled symbols are only meaningful against the relation
+//! they were compiled for and relations *derived* from it (clones,
+//! incremental extensions) — the interner is append-only, so a symbol
+//! never re-resolves. A constant absent from the interner at compile time
+//! is kept in fallback form and re-probed live on each use (one interner
+//! lookup); the engine avoids this path by interning every rule constant
+//! at phase entry ([`ensure_rule_constants`]).
+
+use uniclean_model::{AttrId, Relation, Symbol, TupleId, Value};
+use uniclean_rules::{PatternValue, RuleSet};
+
+/// One compiled pattern slot.
+#[derive(Clone, Debug)]
+enum Slot {
+    /// Wildcard `_`: matches any non-null symbol.
+    Wildcard,
+    /// Constant with its interned symbol (`None` = not interned at
+    /// compile time; re-probed live).
+    Const(Value, Option<Symbol>),
+}
+
+/// Compiled LHS patterns for a list of CFDs against one relation lineage.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct CfdPatternSyms {
+    /// `lhs[cfd][slot]`, aligned with each CFD's `lhs()`/`lhs_pattern()`.
+    lhs: Vec<Vec<Slot>>,
+}
+
+impl CfdPatternSyms {
+    /// Compile the LHS patterns of every CFD in `rules` against `d`'s
+    /// interner (read-only: constants the interner has not seen stay in
+    /// fallback form).
+    pub(crate) fn compile(rules: &RuleSet, d: &Relation) -> Self {
+        let lhs = rules
+            .cfds()
+            .iter()
+            .map(|cfd| {
+                cfd.lhs_pattern()
+                    .iter()
+                    .map(|p| match p {
+                        PatternValue::Wildcard => Slot::Wildcard,
+                        PatternValue::Const(v) => Slot::Const(v.clone(), d.interner().get(v)),
+                    })
+                    .collect()
+            })
+            .collect();
+        CfdPatternSyms { lhs }
+    }
+
+    /// Does `d.tuple(t)[X] ≍ tp[X]` hold for CFD `idx`? Pure symbol
+    /// compares on the compiled path; `attrs` is the rule's `lhs()` (the
+    /// callers all have it cached).
+    #[inline]
+    pub(crate) fn lhs_matches_attrs(
+        &self,
+        idx: usize,
+        attrs: &[AttrId],
+        d: &Relation,
+        t: TupleId,
+    ) -> bool {
+        let null = d.null_sym();
+        attrs
+            .iter()
+            .zip(self.lhs[idx].iter())
+            .all(|(a, slot)| match slot {
+                Slot::Wildcard => d.sym(t, *a) != null,
+                Slot::Const(_, Some(cs)) => d.sym(t, *a) == *cs,
+                Slot::Const(v, None) => match d.interner().get(v) {
+                    Some(cs) => d.sym(t, *a) == cs,
+                    // A value the interner has never seen cannot be stored
+                    // in any cell of `d`.
+                    None => false,
+                },
+            })
+    }
+}
+
+/// Intern every CFD pattern constant into `d`'s interner, so pattern
+/// compilation resolves every constant to a symbol. Idempotent and cheap
+/// (rule constants are few); called at phase entry.
+pub(crate) fn ensure_rule_constants(d: &mut Relation, rules: &RuleSet) {
+    for cfd in rules.cfds() {
+        for p in cfd.lhs_pattern().iter().chain(cfd.rhs_pattern()) {
+            if let Some(v) = p.as_const() {
+                d.ensure_interned(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniclean_model::{Schema, Tuple};
+    use uniclean_rules::parse_rules;
+
+    #[test]
+    fn compiled_matching_agrees_with_value_matching() {
+        let s = Schema::of_strings("r", &["A", "B"]);
+        let parsed =
+            parse_rules("cfd c: r([A=x] -> [B=y])\ncfd f: r([A] -> [B])", &s, None).unwrap();
+        let rules = uniclean_rules::RuleSet::cfds_only(s.clone(), parsed.cfds);
+        let mut d = Relation::new(
+            s,
+            vec![
+                Tuple::of_strs(&["x", "1"], 0.5),
+                Tuple::of_strs(&["z", "2"], 0.5),
+            ],
+        );
+        d.tuple_mut(TupleId(1))
+            .set(AttrId(0), Value::Null, 0.0, Default::default());
+        ensure_rule_constants(&mut d, &rules);
+        let pats = CfdPatternSyms::compile(&rules, &d);
+        for (i, cfd) in rules.cfds().iter().enumerate() {
+            for t in d.ids() {
+                assert_eq!(
+                    pats.lhs_matches_attrs(i, cfd.lhs(), &d, t),
+                    cfd.lhs_matches(d.tuple(t)),
+                    "cfd {i} tuple {t:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uninterned_constant_is_probed_live() {
+        let s = Schema::of_strings("r", &["A", "B"]);
+        let parsed = parse_rules("cfd c: r([A=zz] -> [B=y])", &s, None).unwrap();
+        let rules = uniclean_rules::RuleSet::cfds_only(s.clone(), parsed.cfds);
+        let mut d = Relation::new(s, vec![Tuple::of_strs(&["x", "1"], 0.5)]);
+        // Compile while "zz" is unknown to the interner.
+        let pats = CfdPatternSyms::compile(&rules, &d);
+        assert!(!pats.lhs_matches_attrs(0, rules.cfds()[0].lhs(), &d, TupleId(0)));
+        // A later write introduces the constant; the live probe must see it.
+        d.tuple_mut(TupleId(0))
+            .set(AttrId(0), Value::str("zz"), 0.5, Default::default());
+        assert!(pats.lhs_matches_attrs(0, rules.cfds()[0].lhs(), &d, TupleId(0)));
+    }
+}

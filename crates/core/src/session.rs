@@ -13,7 +13,7 @@
 //!
 //! * [`PreparedCleaner`] — everything that depends only on the rules,
 //!   the master data and the configuration: normalized rules, the §5.2
-//!   master access paths ([`MasterIndex`]), and the interner seed. Built
+//!   master access paths ([`MasterIndex`]). Built
 //!   **once** per session by [`CleanerBuilder::build`] and shared
 //!   (`Arc`) by every call — a service pays rule/index preparation once,
 //!   not per request.
@@ -35,7 +35,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use uniclean_model::{repair_cost, Relation, ValueInterner};
+use uniclean_model::{repair_cost, Relation};
 use uniclean_rules::{satisfies_all, RuleSet};
 
 use crate::config::CleanConfig;
@@ -140,10 +140,10 @@ pub(crate) fn seconds_by_phase(stats: &[PhaseStats]) -> [f64; 3] {
 }
 
 /// The immutable, per-session half of the engine: normalized rules, master
-/// source, validated configuration, prebuilt §5.2 master access paths and
-/// the interner seed. Constructed **once** by [`CleanerBuilder::build`]
-/// and reused — unchanged — by every [`Cleaner::clean`],
-/// [`Cleaner::begin`] and [`Cleaner::clean_delta`] call.
+/// source, validated configuration and prebuilt §5.2 master access paths.
+/// Constructed **once** by [`CleanerBuilder::build`] and reused —
+/// unchanged — by every [`Cleaner::clean`], [`Cleaner::begin`] and
+/// [`Cleaner::clean_delta`] call.
 pub struct PreparedCleaner {
     rules: Arc<RuleSet>,
     master: MasterSource,
@@ -151,10 +151,6 @@ pub struct PreparedCleaner {
     /// self-snapshot mode rebuilds per phase instead.
     index: Option<MasterIndex>,
     config: CleanConfig,
-    /// Interner pre-seeded with every rule-pattern constant; 2-in-1 builds
-    /// start from a clone so constants are never re-hashed per call.
-    /// Seeding only renumbers symbols — results are identical either way.
-    interner_seed: ValueInterner,
 }
 
 impl PreparedCleaner {
@@ -179,11 +175,6 @@ impl PreparedCleaner {
         &self.config
     }
 
-    /// The interner seed shared by every call's 2-in-1 build.
-    pub fn interner_seed(&self) -> &ValueInterner {
-        &self.interner_seed
-    }
-
     /// The `(Dm, index)` pair phases see under [`MasterSource::External`]
     /// and [`MasterSource::None`] (the per-phase self-snapshot is handled
     /// by the phase loop itself).
@@ -196,14 +187,15 @@ impl PreparedCleaner {
 
     /// Render the current repair state into the MDs' master schema
     /// (self-snapshot mode only; `build` guarantees the schema exists and
-    /// mirrors the data schema).
+    /// mirrors the data schema). A columnar-store clone — no row tuples
+    /// are materialized.
     pub(crate) fn snapshot(&self, work: &Relation) -> Relation {
         let master_schema = self
             .rules
             .master_schema()
             .expect("Cleaner::build verified the self-snapshot schema")
             .clone();
-        Relation::new(master_schema, work.tuples().to_vec())
+        Relation::with_schema(master_schema, work)
     }
 
     /// The master view the §3.2 acceptance check runs against, given the
@@ -271,13 +263,8 @@ pub(crate) fn run_phases(
                 rep
             }
             Phase::ERepair => {
-                let mut structure = TwoInOne::build_seeded(
-                    rules,
-                    work,
-                    cfg.interning,
-                    cfg.effective_parallelism(),
-                    Some(&prepared.interner_seed),
-                );
+                let mut structure =
+                    TwoInOne::build_with(rules, work, cfg.interning, cfg.effective_parallelism());
                 let mut cache = MdMatchCache::new(rules, work.len(), cfg.self_match);
                 if let Some(cap) = capture.as_deref_mut() {
                     cap.two = Some(structure.clone());
@@ -509,23 +496,12 @@ impl CleanerBuilder {
             )),
             _ => None,
         };
-        // Seed the shared interner with every rule-pattern constant — the
-        // values every call's key assembly is guaranteed to meet.
-        let mut interner_seed = ValueInterner::new();
-        for cfd in rules.cfds() {
-            for p in cfd.lhs_pattern().iter().chain(cfd.rhs_pattern()) {
-                if let Some(v) = p.as_const() {
-                    interner_seed.intern(v);
-                }
-            }
-        }
         Ok(Cleaner {
             prepared: Arc::new(PreparedCleaner {
                 rules,
                 master: self.master,
                 index,
                 config,
-                interner_seed,
             }),
         })
     }

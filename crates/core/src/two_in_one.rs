@@ -10,24 +10,30 @@
 //! cell updates: "after resolving some conflicts, the structures need to be
 //! maintained accordingly … O(|Δ(ȳ)||ΣV| + |Δ(ȳ)| log |D|) time".
 //!
-//! Two hot-path optimizations on top of the paper's design:
+//! Storage-native keys: the columnar [`Relation`] already interns every
+//! cell, so group keys are projections of the store's own symbol columns
+//! (`Vec<Symbol>` hashed with the trivial [`FxHasher`]) and per-value
+//! counts are keyed by the cell's [`Symbol`] directly. The structure keeps
+//! **no value cache of its own** — PR 2's per-cell symbol cache and private
+//! interner are gone; a cell update needs no re-interning here because the
+//! store interned the new value when it was written. Pattern matching on
+//! the scan paths compares compiled pattern symbols
+//! ([`crate::pattern_syms::CfdPatternSyms`]).
 //!
-//! * **interned keys with a per-cell symbol cache** — every relevant cell's
-//!   value is interned to a dense [`Symbol`] once ("at relation load"), and
-//!   the symbols are cached per `(tuple, attribute)`. Group keys and
-//!   per-value counts are then vectors of `u32`s assembled from the cache
-//!   and hashed with the trivial [`FxHasher`] — steady-state table
-//!   operations never hash string content and never clone values. A cell
-//!   update re-interns exactly one value. (Toggleable via
-//!   [`crate::CleanConfig::interning`]; results are identical either way.)
-//! * **incremental entropy** — each group maintains `Σ c·ln c` under count
-//!   deltas, so the common single-count update refreshes `H` in O(1)
-//!   instead of rescanning all counts (the §6.3 `O(|Δ(ȳ)||ΣV|)` bound
-//!   allows the rescan; we just don't need it). The rebuild oracle in the
-//!   tests keeps the incremental values honest.
+//! Symbols are only meaningful against the relation (lineage) the
+//! structure was built over; [`TwoInOne::group_key`]/[`TwoInOne::majority`]
+//! take the relation to resolve them. The engine always evolves one
+//! lineage in place (clones extend the same append-only interner), which
+//! is what lets a session pin a *persistent* clone to the post-`cRepair`
+//! state and extend it by [`TwoInOne::insert_tuples`] deltas.
 //!
-//! [`TwoInOne::build_with`] additionally fans the per-tuple pattern checks
-//! and key projections out over scoped workers (the chunk stage of
+//! **Incremental entropy** (kept from PR 2): each group maintains
+//! `Σ c·ln c` under count deltas, so the common single-count update
+//! refreshes `H` in O(1). The rebuild oracle in the tests keeps the
+//! incremental values honest.
+//!
+//! [`TwoInOne::build_with`] fans the per-tuple pattern checks and key
+//! projections out over scoped workers (the chunk stage of
 //! [`crate::parallel`]'s chunk–merge–apply design) and replays the
 //! precomputed projections in tuple-id order, so group ids — and therefore
 //! `eRepair`'s resolution order — are bit-identical to a single-threaded
@@ -35,48 +41,18 @@
 
 use std::collections::HashMap;
 
-use uniclean_model::{AttrId, FxHashMap, Relation, Symbol, Tuple, TupleId, Value, ValueInterner};
+use uniclean_model::{AttrId, FxHashMap, Relation, Symbol, TupleId, Value};
 use uniclean_rules::{Cfd, RuleSet};
 
 use crate::avl::{AvlTree, EntropyKey};
 use crate::parallel::map_chunks;
+use crate::pattern_syms::CfdPatternSyms;
 
 /// Stable identifier of a conflict set (arena index).
 pub type GroupId = u64;
 
-/// A group key `ȳ`: interned symbols on the fast path, owned values when
-/// interning is disabled.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
-pub enum GroupKey {
-    /// Dense interned projection (trivial hash/eq, no value clones).
-    Syms(Vec<Symbol>),
-    /// Raw value projection (legacy path).
-    Raw(Vec<Value>),
-}
-
-/// A counted RHS value `b` within a group.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
-pub enum BKey {
-    /// Interned.
-    Sym(Symbol),
-    /// Raw.
-    Raw(Value),
-}
-
-/// The interning half of the structure: the interner itself plus the
-/// per-cell symbol cache that makes steady-state key assembly hash-free.
-#[derive(Clone)]
-struct Interned {
-    values: ValueInterner,
-    /// `attr.index()` → column slot in each `syms` row (`usize::MAX` =
-    /// attribute not read/written by any variable CFD, untracked).
-    attr_slot: Vec<usize>,
-    /// `syms[tuple][slot]`: symbol of the tuple's *current* value at the
-    /// tracked attribute. Refreshed by `on_update` before rekeying.
-    syms: Vec<Vec<Symbol>>,
-}
-
-const UNTRACKED: usize = usize::MAX;
+/// A group key `ȳ`: the store's symbols for the projected LHS values.
+pub type GroupKey = Vec<Symbol>;
 
 /// `c · ln c` with the `0 ln 0 = 0` convention.
 #[inline]
@@ -94,12 +70,12 @@ fn xlnx(c: usize) -> f64 {
 pub struct Group {
     /// Position in the owner's variable-CFD list.
     pub vcfd: usize,
-    /// The LHS key `ȳ`.
+    /// The LHS key `ȳ` (store symbols).
     key: GroupKey,
     /// Member tuples.
     pub tuples: Vec<TupleId>,
-    /// Counts of distinct non-null B values.
-    counts: FxHashMap<BKey, usize>,
+    /// Counts of distinct non-null B values, keyed by store symbol.
+    counts: FxHashMap<Symbol, usize>,
     /// Members whose B value is null (kept out of the entropy).
     pub nulls: usize,
     /// `Σ c·ln c` over `counts`, maintained incrementally.
@@ -117,7 +93,7 @@ impl Group {
     /// Apply a ±1 delta to one value count and refresh the entropy in
     /// O(1): `H = (ln n − Σc·ln c / n) / ln k`, the closed form of §6.1's
     /// `Σ (c/n)·log_k(n/c)`.
-    fn bump(&mut self, b: BKey, delta: isize) {
+    fn bump(&mut self, b: Symbol, delta: isize) {
         let c_old = self.counts.get(&b).copied().unwrap_or(0);
         let c_new = match delta {
             1 => c_old + 1,
@@ -165,6 +141,9 @@ pub struct TwoInOne {
     /// Cached rule shape per variable CFD.
     lhs: Vec<Vec<AttrId>>,
     rhs: Vec<AttrId>,
+    /// LHS patterns compiled to symbols against the build relation's
+    /// lineage (indexed by *rule* id, as compiled).
+    pats: CfdPatternSyms,
     /// HTab per variable CFD.
     tables: Vec<FxHashMap<GroupKey, GroupId>>,
     /// Group arena (never shrinks; emptied groups are recycled lazily).
@@ -175,13 +154,11 @@ pub struct TwoInOne {
     /// ascending (enables the allocation-free merge in `on_update`).
     attr_in_lhs: Vec<Vec<usize>>,
     attr_is_rhs: Vec<Vec<usize>>,
-    /// `Some` = interned key mode; `None` = raw values.
-    interned: Option<Interned>,
 }
 
 impl TwoInOne {
-    /// Build the structure for all variable CFDs in `rules` over `d` with
-    /// interning on, single-threaded. O(|D| log |D| |ΣV|), as in §6.3.
+    /// Build the structure for all variable CFDs in `rules` over `d`,
+    /// single-threaded. O(|D| log |D| |ΣV|), as in §6.3.
     pub fn build(rules: &RuleSet, d: &Relation) -> Self {
         Self::build_with(rules, d, true, 1)
     }
@@ -190,21 +167,11 @@ impl TwoInOne {
     /// The per-tuple pattern checks and key projections fan out over
     /// `threads` scoped workers; the merge replays them in tuple-id order,
     /// so the resulting structure (including group-id assignment) is
-    /// bit-identical for every thread count.
+    /// bit-identical for every thread count. `interning` is accepted for
+    /// configuration symmetry but no longer changes anything here: the
+    /// columnar store is symbol-native, so keys are always symbols.
     pub fn build_with(rules: &RuleSet, d: &Relation, interning: bool, threads: usize) -> Self {
-        Self::build_seeded(rules, d, interning, threads, None)
-    }
-
-    /// [`Self::build_with`] starting from a pre-warmed [`ValueInterner`]
-    /// (e.g. the session-level interner seeded with rule constants). Seeding
-    /// only renumbers symbols — results are identical with any seed.
-    pub fn build_seeded(
-        rules: &RuleSet,
-        d: &Relation,
-        interning: bool,
-        threads: usize,
-        seed: Option<&ValueInterner>,
-    ) -> Self {
+        let _ = interning;
         let n_attrs = rules.schema().arity();
         let mut vcfd_rule_idx = Vec::new();
         let mut lhs = Vec::new();
@@ -226,62 +193,28 @@ impl TwoInOne {
             attr_is_rhs[rhs[v].index()].push(v);
         }
 
-        // Interner seeding ("at relation load"): every value of every
-        // attribute a variable CFD reads or writes is interned exactly
-        // once, and the symbol cached per cell. Each value is hashed here
-        // and never again — all later key assembly reads the cache.
-        let interned = interning.then(|| {
-            let mut relevant: Vec<AttrId> = lhs
-                .iter()
-                .flat_map(|attrs| attrs.iter().copied())
-                .chain(rhs.iter().copied())
-                .collect();
-            relevant.sort_unstable();
-            relevant.dedup();
-            let mut attr_slot = vec![UNTRACKED; n_attrs];
-            for (slot, a) in relevant.iter().enumerate() {
-                attr_slot[a.index()] = slot;
-            }
-            let mut values = seed.cloned().unwrap_or_default();
-            let syms: Vec<Vec<Symbol>> = d
-                .tuples()
-                .iter()
-                .map(|t| {
-                    relevant
-                        .iter()
-                        .map(|&a| values.intern(t.value(a)))
-                        .collect()
-                })
-                .collect();
-            Interned {
-                values,
-                attr_slot,
-                syms,
-            }
-        });
-
         let mut me = TwoInOne {
             vcfd_rule_idx,
             lhs,
             rhs,
+            pats: CfdPatternSyms::compile(rules, d),
             tables: (0..nv).map(|_| HashMap::default()).collect(),
             groups: Vec::new(),
             trees: (0..nv).map(|_| AvlTree::new()).collect(),
             attr_in_lhs,
             attr_is_rhs,
-            interned,
         };
 
         // Chunk: project every (tuple, vcfd) pair to its group key and B
-        // value on the workers. Merge/apply: replay in tuple-id order —
-        // the exact loop a sequential build runs.
+        // symbol on the workers — pure reads of the symbol columns. Merge/
+        // apply: replay in tuple-id order — the exact loop a sequential
+        // build runs.
         let projections = map_chunks(d.len(), threads, |range| {
             let mut rows = Vec::with_capacity(range.len());
             for i in range {
                 let t = TupleId::from(i);
-                let row: Vec<Option<(GroupKey, Option<BKey>)>> = (0..nv)
-                    .map(|v| me.project_for_insert(rules, v, t, d.tuple(t)))
-                    .collect();
+                let row: Vec<Option<(GroupKey, Option<Symbol>)>> =
+                    (0..nv).map(|v| me.project_for_insert(d, v, t)).collect();
                 rows.push(row);
             }
             rows
@@ -302,41 +235,20 @@ impl TwoInOne {
 
     /// Append tuples `from..d.len()` to the structure with insert-time
     /// group and entropy deltas — no rebuild, no re-hashing of existing
-    /// members. The result (group membership, group-id assignment, interner
-    /// numbering) is bit-identical to a from-scratch [`Self::build_with`]
-    /// over the whole of `d`, because a build is exactly this insertion
-    /// replay in tuple-id order: symbols are assigned tuple-major and new
-    /// group ids at first key occurrence, and existing groups only ever
-    /// gain members. This is the `clean_delta` hot path.
+    /// members. The result (group membership, group-id assignment) is
+    /// bit-identical to a from-scratch [`Self::build_with`] over the whole
+    /// of `d`, because a build is exactly this insertion replay in
+    /// tuple-id order: new group ids are assigned at first key occurrence
+    /// and existing groups only ever gain members. This is the
+    /// `clean_delta` hot path. `d` must be the build relation's lineage
+    /// (the store interned the new rows on push).
     pub fn insert_tuples(&mut self, rules: &RuleSet, d: &Relation, from: usize) {
-        // Mirror the build's interner seeding for the new rows: every
-        // relevant attribute's value is interned once, tuple-major.
-        if let Some(int) = &mut self.interned {
-            let relevant: Vec<AttrId> = int
-                .attr_slot
-                .iter()
-                .enumerate()
-                .filter(|(_, &slot)| slot != UNTRACKED)
-                .map(|(a, _)| AttrId::from(a))
-                .collect();
-            // `attr_slot` maps each relevant attribute to its dense slot;
-            // rows must be pushed in slot order.
-            let mut by_slot = relevant;
-            by_slot.sort_by_key(|a| int.attr_slot[a.index()]);
-            for t in &d.tuples()[from..] {
-                int.syms.push(
-                    by_slot
-                        .iter()
-                        .map(|&a| int.values.intern(t.value(a)))
-                        .collect(),
-                );
-            }
-        }
+        let _ = rules;
         let nv = self.vcfd_rule_idx.len();
         for i in from..d.len() {
             let t = TupleId::from(i);
             for v in 0..nv {
-                self.insert_member(rules, d, v, t);
+                self.insert_member(d, v, t);
             }
         }
     }
@@ -361,40 +273,25 @@ impl TwoInOne {
         &self.groups[g as usize]
     }
 
-    /// The group's LHS key `ȳ`, resolved to values.
-    pub fn group_key(&self, g: GroupId) -> Vec<Value> {
-        match &self.groups[g as usize].key {
-            GroupKey::Syms(syms) => syms.iter().map(|&s| self.resolve(s).clone()).collect(),
-            GroupKey::Raw(vals) => vals.clone(),
-        }
+    /// The group's LHS key `ȳ`, resolved to values through `d`'s interner
+    /// (`d` must be the build lineage).
+    pub fn group_key(&self, d: &Relation, g: GroupId) -> Vec<Value> {
+        self.groups[g as usize]
+            .key
+            .iter()
+            .map(|&s| d.interner().resolve(s).clone())
+            .collect()
     }
 
     /// The majority B value of a group and its count (ties: the
     /// lexicographically smallest value, keeping resolution deterministic).
-    pub fn majority(&self, g: GroupId) -> Option<(Value, usize)> {
+    pub fn majority(&self, d: &Relation, g: GroupId) -> Option<(Value, usize)> {
         let grp = &self.groups[g as usize];
         grp.counts
             .iter()
-            .map(|(b, &c)| (self.resolve_b(b), c))
+            .map(|(&b, &c)| (d.interner().resolve(b), c))
             .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(a.0)))
             .map(|(v, c)| (v.clone(), c))
-    }
-
-    #[inline]
-    fn resolve(&self, s: Symbol) -> &Value {
-        self.interned
-            .as_ref()
-            .expect("symbols only exist in interned mode")
-            .values
-            .resolve(s)
-    }
-
-    #[inline]
-    fn resolve_b<'g>(&'g self, b: &'g BKey) -> &'g Value {
-        match b {
-            BKey::Sym(s) => self.resolve(*s),
-            BKey::Raw(v) => v,
-        }
     }
 
     /// Conflict sets of variable CFD `v` with `0 < H < bound`, in ascending
@@ -413,23 +310,15 @@ impl TwoInOne {
     }
 
     /// Update hook: tuple `t`'s attribute `a` changed from `old` to its
-    /// current value in `d`. Rekeys `t` in every variable CFD reading `a`
-    /// and adjusts counts in every variable CFD writing `a`. The affected
-    /// slots come from a sorted merge of the two precomputed per-attribute
-    /// lists — no per-update allocation — and the symbol cache is
-    /// refreshed once, up front, so the rekeying hashes no value content.
+    /// current value in `d` (the store has already interned the new
+    /// value — this hook re-interns nothing). Rekeys `t` in every variable
+    /// CFD reading `a` and adjusts counts in every variable CFD writing
+    /// `a`. The affected slots come from a sorted merge of the two
+    /// precomputed per-attribute lists — no per-update allocation.
     pub fn on_update(&mut self, rules: &RuleSet, d: &Relation, t: TupleId, a: AttrId, old: &Value) {
-        // Refresh the cell's cached symbol (one intern — the only value
-        // hashing this update performs) and capture the old one.
-        let old_sym = match &mut self.interned {
-            Some(int) if int.attr_slot[a.index()] != UNTRACKED => {
-                let slot = int.attr_slot[a.index()];
-                let old_sym = int.values.get(old);
-                int.syms[t.index()][slot] = int.values.intern(d.tuple(t).value(a));
-                old_sym
-            }
-            _ => None,
-        };
+        // The old value was stored in the relation before the write, so
+        // its symbol exists; `None` can only mean a foreign relation.
+        let old_sym = d.interner().get(old);
         let (mut i, mut j) = (0usize, 0usize);
         loop {
             let li = self.attr_in_lhs[a.index()].get(i).copied();
@@ -459,61 +348,41 @@ impl TwoInOne {
                 (None, None) => break,
             };
             self.remove_member_with(rules, d, v, t, a, old, old_sym);
-            self.insert_member(rules, d, v, t);
+            self.insert_member(d, v, t);
         }
     }
 
     /// Project `t` for insertion into variable CFD `v`: `None` when the
-    /// LHS pattern does not match, otherwise the group key and the B value
-    /// (`None` = null, kept out of the counts). Reads only the symbol
-    /// cache — safe to call from build workers, hashes nothing.
+    /// LHS pattern does not match, otherwise the group key and the B
+    /// symbol (`None` = null, kept out of the counts). Reads only the
+    /// symbol columns — safe to call from build workers, hashes nothing.
     fn project_for_insert(
         &self,
-        rules: &RuleSet,
+        d: &Relation,
         v: usize,
         t: TupleId,
-        tup: &Tuple,
-    ) -> Option<(GroupKey, Option<BKey>)> {
-        let cfd = &rules.cfds()[self.vcfd_rule_idx[v]];
-        if !cfd.lhs_matches(tup) {
+    ) -> Option<(GroupKey, Option<Symbol>)> {
+        let rule_idx = self.vcfd_rule_idx[v];
+        if !self.pats.lhs_matches_attrs(rule_idx, &self.lhs[v], d, t) {
             return None;
         }
-        let key = match &self.interned {
-            Some(int) => {
-                let row = &int.syms[t.index()];
-                GroupKey::Syms(
-                    self.lhs[v]
-                        .iter()
-                        .map(|a| row[int.attr_slot[a.index()]])
-                        .collect(),
-                )
-            }
-            None => GroupKey::Raw(tup.project(&self.lhs[v])),
-        };
-        let bval = tup.value(self.rhs[v]);
-        let b = if bval.is_null() {
-            None
-        } else {
-            Some(match &self.interned {
-                Some(int) => BKey::Sym(int.syms[t.index()][int.attr_slot[self.rhs[v].index()]]),
-                None => BKey::Raw(bval.clone()),
-            })
-        };
+        let key: GroupKey = self.lhs[v].iter().map(|a| d.sym(t, *a)).collect();
+        let b_sym = d.sym(t, self.rhs[v]);
+        let b = (b_sym != d.null_sym()).then_some(b_sym);
         Some((key, b))
     }
 
     /// Insert `t` into variable CFD `v`'s structure if its (current) LHS
-    /// matches the pattern. The symbol cache must already reflect `t`'s
-    /// current values (`on_update` refreshes it first).
-    fn insert_member(&mut self, rules: &RuleSet, d: &Relation, v: usize, t: TupleId) {
-        if let Some((key, b)) = self.project_for_insert(rules, v, t, d.tuple(t)) {
+    /// matches the pattern.
+    fn insert_member(&mut self, d: &Relation, v: usize, t: TupleId) {
+        if let Some((key, b)) = self.project_for_insert(d, v, t) {
             self.insert_projected(v, t, key, b);
         }
     }
 
     /// The table/arena/tree half of an insert, with the key already
     /// projected — shared by `insert_member` and the build replay.
-    fn insert_projected(&mut self, v: usize, t: TupleId, key: GroupKey, b: Option<BKey>) {
+    fn insert_projected(&mut self, v: usize, t: TupleId, key: GroupKey, b: Option<Symbol>) {
         let gid = match self.tables[v].get(&key) {
             Some(&g) => g,
             None => {
@@ -542,8 +411,8 @@ impl TwoInOne {
     }
 
     /// Remove `t` from the group it occupied *before* `a` changed away from
-    /// `old` (whose cached symbol, if any, is `old_sym`; the cache itself
-    /// already holds the new value's symbol).
+    /// `old` (whose symbol, if interned, is `old_sym`; the store already
+    /// holds the new value's symbol).
     #[allow(clippy::too_many_arguments)]
     fn remove_member_with(
         &mut self,
@@ -558,7 +427,8 @@ impl TwoInOne {
         let cfd = &rules.cfds()[self.vcfd_rule_idx[v]];
         let tup = d.tuple(t);
         // Old projection/pattern check: substitute `old` at `a`. Borrowing
-        // (not cloning) — the pattern check only reads.
+        // (not cloning) — the pattern check only reads. This is the cold
+        // per-update path; the hot scans use the compiled symbols.
         let value_at = |attr: AttrId| -> &Value {
             if attr == a {
                 old
@@ -574,32 +444,20 @@ impl TwoInOne {
         if !matched_old {
             return;
         }
-        // Key assembly from the cache, substituting the old symbol at `a`.
-        // A value the interner has never seen cannot be part of any
-        // inserted key, so the group cannot exist.
-        let key = match &self.interned {
-            Some(int) => {
-                let row = &int.syms[t.index()];
-                let mut syms = Vec::with_capacity(self.lhs[v].len());
-                for attr in &self.lhs[v] {
-                    if *attr == a {
-                        match old_sym {
-                            Some(s) => syms.push(s),
-                            None => return,
-                        }
-                    } else {
-                        syms.push(row[int.attr_slot[attr.index()]]);
-                    }
+        // Key assembly from the symbol columns, substituting the old
+        // symbol at `a`. A value the interner has never seen cannot be
+        // part of any inserted key, so the group cannot exist.
+        let mut key: GroupKey = Vec::with_capacity(self.lhs[v].len());
+        for attr in &self.lhs[v] {
+            if *attr == a {
+                match old_sym {
+                    Some(s) => key.push(s),
+                    None => return,
                 }
-                GroupKey::Syms(syms)
+            } else {
+                key.push(d.sym(t, *attr));
             }
-            None => GroupKey::Raw(
-                self.lhs[v]
-                    .iter()
-                    .map(|attr| value_at(*attr).clone())
-                    .collect(),
-            ),
-        };
+        }
         let Some(&gid) = self.tables[v].get(&key) else {
             return;
         };
@@ -608,19 +466,10 @@ impl TwoInOne {
         let old_bval = value_at(b_attr);
         let old_b = if old_bval.is_null() {
             None
+        } else if b_attr == a {
+            old_sym
         } else {
-            match &self.interned {
-                Some(int) => {
-                    if b_attr == a {
-                        old_sym.map(BKey::Sym)
-                    } else {
-                        Some(BKey::Sym(
-                            int.syms[t.index()][int.attr_slot[b_attr.index()]],
-                        ))
-                    }
-                }
-                None => Some(BKey::Raw(old_bval.clone())),
-            }
+            Some(d.sym(t, b_attr))
         };
         let grp = &mut self.groups[gid as usize];
         if let Some(pos) = grp.tuples.iter().position(|x| *x == t) {
@@ -659,9 +508,9 @@ impl TwoInOne {
     }
 
     /// Exhaustive consistency check against a fresh rebuild (test helper).
-    /// Keys and counts are compared in resolved-value form (symbol numbering
-    /// is interner-local), and each group's incremental entropy is checked
-    /// against the from-scratch formula.
+    /// Keys and counts are compared in resolved-value form, and each
+    /// group's incremental entropy is checked against the from-scratch
+    /// formula.
     #[cfg(test)]
     fn assert_consistent_with_rebuild(&self, rules: &RuleSet, d: &Relation) {
         use crate::entropy::entropy_of_counts;
@@ -674,10 +523,10 @@ impl TwoInOne {
                     let mut counts: Vec<(Value, usize)> = grp
                         .counts
                         .iter()
-                        .map(|(b, &c)| (me.resolve_b(b).clone(), c))
+                        .map(|(&b, &c)| (d.interner().resolve(b).clone(), c))
                         .collect();
                     counts.sort();
-                    (me.group_key(g), (grp.tuples.len(), counts))
+                    (me.group_key(d, g), (grp.tuples.len(), counts))
                 })
                 .collect()
         };
@@ -743,7 +592,7 @@ mod tests {
         let g = t.group(min);
         assert!((g.entropy - 0.8112781244591328).abs() < 1e-9);
         assert_eq!(g.tuples.len(), 4);
-        let (maj, cnt) = t.majority(min).unwrap();
+        let (maj, cnt) = t.majority(&d, min).unwrap();
         assert_eq!(maj, Value::str("e1"));
         assert_eq!(cnt, 3);
     }
@@ -825,10 +674,10 @@ mod tests {
     #[test]
     fn random_update_storm_stays_consistent() {
         // Pseudo-random single-cell updates must keep the incremental
-        // structure identical to a rebuild — in interned and raw mode.
-        for interning in [true, false] {
+        // structure identical to a rebuild.
+        for threads in [1usize, 4] {
             let (s, rules, mut d) = fig8();
-            let mut t = TwoInOne::build_with(&rules, &d, interning, 1);
+            let mut t = TwoInOne::build_with(&rules, &d, true, threads);
             let attrs: Vec<AttrId> = ["A", "B", "C", "E"]
                 .iter()
                 .map(|a| s.attr_id_or_panic(a))
@@ -853,40 +702,39 @@ mod tests {
     #[test]
     fn insert_tuples_matches_a_fresh_build_bit_for_bit() {
         // Build over a prefix, insert the rest incrementally: group ids,
-        // membership, counts and entropies must equal a from-scratch build
-        // — in interned and raw mode.
+        // membership, counts and entropies must equal a from-scratch build.
+        // The prefix relation is extended in place (same store lineage),
+        // exactly as `clean_delta` extends `post_c`.
         let (s, rules, d) = fig8();
-        for interning in [true, false] {
-            for split in [0usize, 3, 5, 8] {
-                let prefix = Relation::new(s.clone(), d.tuples()[..split].to_vec());
-                let mut inc = TwoInOne::build_with(&rules, &prefix, interning, 1);
-                inc.insert_tuples(&rules, &d, split);
-                let fresh = TwoInOne::build_with(&rules, &d, interning, 1);
-                assert_eq!(inc.len(), fresh.len());
-                for v in 0..inc.len() {
-                    let dump = |t: &TwoInOne| -> Vec<(Vec<Value>, GroupId, Vec<TupleId>, f64)> {
-                        let mut out: Vec<_> = t.tables[v]
-                            .values()
-                            .map(|&g| {
-                                (
-                                    t.group_key(g),
-                                    g,
-                                    t.group(g).tuples.clone(),
-                                    t.group(g).entropy,
-                                )
-                            })
-                            .collect();
-                        out.sort_by(|a, b| a.0.cmp(&b.0));
-                        out
-                    };
-                    assert_eq!(
-                        dump(&inc),
-                        dump(&fresh),
-                        "interning={interning} split={split} vcfd={v}"
-                    );
-                }
-                inc.assert_consistent_with_rebuild(&rules, &d);
+        for split in [0usize, 3, 5, 8] {
+            let all = d.to_tuples();
+            let mut grown = Relation::new(s.clone(), all[..split].to_vec());
+            let mut inc = TwoInOne::build_with(&rules, &grown, true, 1);
+            for t in &all[split..] {
+                grown.push(t.clone());
             }
+            inc.insert_tuples(&rules, &grown, split);
+            let fresh = TwoInOne::build_with(&rules, &grown, true, 1);
+            assert_eq!(inc.len(), fresh.len());
+            for v in 0..inc.len() {
+                let dump = |t: &TwoInOne| -> Vec<(Vec<Value>, GroupId, Vec<TupleId>, f64)> {
+                    let mut out: Vec<_> = t.tables[v]
+                        .values()
+                        .map(|&g| {
+                            (
+                                t.group_key(&grown, g),
+                                g,
+                                t.group(g).tuples.clone(),
+                                t.group(g).entropy,
+                            )
+                        })
+                        .collect();
+                    out.sort_by(|a, b| a.0.cmp(&b.0));
+                    out
+                };
+                assert_eq!(dump(&inc), dump(&fresh), "split={split} vcfd={v}");
+            }
+            inc.assert_consistent_with_rebuild(&rules, &grown);
         }
     }
 
@@ -910,24 +758,24 @@ mod tests {
     }
 
     #[test]
-    fn parallel_and_raw_builds_match_the_interned_sequential_one() {
+    fn parallel_builds_match_the_sequential_one() {
         let (_, rules, d) = fig8();
         let base = TwoInOne::build_with(&rules, &d, true, 1);
-        for (interning, threads) in [(true, 4), (false, 1), (false, 4)] {
-            let other = TwoInOne::build_with(&rules, &d, interning, threads);
+        for threads in [2usize, 4] {
+            let other = TwoInOne::build_with(&rules, &d, true, threads);
             assert_eq!(base.len(), other.len());
             for v in 0..base.len() {
                 let mut a: Vec<(Vec<Value>, Vec<TupleId>)> = base.tables[v]
                     .values()
-                    .map(|&g| (base.group_key(g), base.group(g).tuples.clone()))
+                    .map(|&g| (base.group_key(&d, g), base.group(g).tuples.clone()))
                     .collect();
                 let mut b: Vec<(Vec<Value>, Vec<TupleId>)> = other.tables[v]
                     .values()
-                    .map(|&g| (other.group_key(g), other.group(g).tuples.clone()))
+                    .map(|&g| (other.group_key(&d, g), other.group(g).tuples.clone()))
                     .collect();
                 a.sort();
                 b.sort();
-                assert_eq!(a, b, "interning={interning} threads={threads}");
+                assert_eq!(a, b, "threads={threads}");
                 // Group-id assignment must also be identical (it orders
                 // equal-entropy AVL nodes).
                 let mut ids_a: Vec<GroupId> = base.tables[v].values().copied().collect();

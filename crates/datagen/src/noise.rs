@@ -16,7 +16,7 @@ pub fn corrupt(rel: &mut Relation, attrs: &[AttrId], rate: f64, rng: &mut SmallR
     }
     let mut errors = 0usize;
     for i in 0..rel.len() {
-        let t = rel.tuple_mut(uniclean_model::TupleId::from(i));
+        let mut t = rel.tuple_mut(uniclean_model::TupleId::from(i));
         for (k, &a) in attrs.iter().enumerate() {
             if rng.gen::<f64>() >= rate {
                 continue;
@@ -104,7 +104,7 @@ pub fn assign_confidence(
             } else {
                 0.0
             };
-            let t = rel.tuple_mut(id);
+            let mut t = rel.tuple_mut(id);
             let v = t.value(a).clone();
             t.set(a, v, cf, FixMark::Untouched);
         }

@@ -104,10 +104,12 @@ pub fn repair_cost_with(
         repaired.len(),
         "repair must preserve the tuple count"
     );
+    // Row-major accumulation, matching the §3.1 double sum exactly —
+    // float addition is order-sensitive and the engine pins costs by bits.
     let mut total = 0.0;
-    for (t, tr) in original.tuples().iter().zip(repaired.tuples().iter()) {
-        for (c, cr) in t.cells().iter().zip(tr.cells().iter()) {
-            total += cell_cost(c.cf, &c.value, &cr.value, dist);
+    for (t, tr) in original.rows().zip(repaired.rows()) {
+        for a in original.schema().attr_ids() {
+            total += cell_cost(t.cf(a), t.value(a), tr.value(a), dist);
         }
     }
     total

@@ -9,9 +9,9 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
+use crate::error::ModelError;
 use crate::relation::Relation;
 use crate::schema::{Schema, ValueType};
-use crate::tuple::Tuple;
 use crate::value::Value;
 
 /// Token that encodes SQL null in CSV cells.
@@ -27,11 +27,10 @@ pub fn to_csv(rel: &Relation) -> String {
         .map(|a| a.name.as_str())
         .collect();
     write_row(&mut out, header.iter().copied());
-    for t in rel.tuples() {
+    for t in rel.rows() {
         let row: Vec<String> = t
             .cells()
-            .iter()
-            .map(|c| match &c.value {
+            .map(|c| match c.value {
                 Value::Null => NULL_TOKEN.to_string(),
                 v => v.render().into_owned(),
             })
@@ -67,7 +66,7 @@ fn write_row<'a>(out: &mut String, fields: impl Iterator<Item = &'a str>) {
 }
 
 /// Errors raised while parsing CSV into a relation.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, PartialEq)]
 pub enum CsvError {
     /// The input had no header row.
     MissingHeader,
@@ -82,6 +81,9 @@ pub enum CsvError {
         attr: String,
         text: String,
     },
+    /// The caller-supplied default confidence (or a parsed row) violated a
+    /// model invariant — out-of-range confidence, arity drift.
+    Model(ModelError),
 }
 
 impl std::fmt::Display for CsvError {
@@ -98,22 +100,39 @@ impl std::fmt::Display for CsvError {
                     "csv row {row}: `{text}` is not a valid value for attribute {attr}"
                 )
             }
+            CsvError::Model(e) => write!(f, "csv ingest: {e}"),
         }
     }
 }
 
 impl std::error::Error for CsvError {}
 
+impl From<ModelError> for CsvError {
+    fn from(e: ModelError) -> Self {
+        CsvError::Model(e)
+    }
+}
+
 /// Parse CSV produced by [`to_csv`] back into a relation.
 ///
 /// The relation name and attribute types come from the caller: CSV headers
-/// carry names only. Every cell gets confidence `default_cf`.
+/// carry names only. Every cell gets confidence `default_cf`, validated to
+/// `[0, 1]` ([`CsvError::Model`] otherwise — a typed error in release
+/// builds too, not a debug assertion).
+///
+/// Rows stream straight into the relation's columnar store
+/// ([`Relation::try_push_row`]); no row tuples are materialized.
 pub fn from_csv(
     name: &str,
     types: &[ValueType],
     input: &str,
     default_cf: f64,
 ) -> Result<Relation, CsvError> {
+    if !(0.0..=1.0).contains(&default_cf) {
+        return Err(CsvError::Model(ModelError::ConfidenceOutOfRange {
+            cf: default_cf,
+        }));
+    }
     let mut rows = parse_rows(input)?;
     if rows.is_empty() {
         return Err(CsvError::MissingHeader);
@@ -159,7 +178,7 @@ pub fn from_csv(
                 };
             vals.push(v);
         }
-        rel.push(Tuple::from_values(vals, default_cf));
+        rel.try_push_row(vals, default_cf)?;
     }
     Ok(rel)
 }
@@ -214,6 +233,7 @@ fn parse_rows(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tuple::Tuple;
 
     fn sample() -> Relation {
         let schema = Schema::of_strings("r", &["name", "city"]);
@@ -232,12 +252,7 @@ mod tests {
         let csv = to_csv(&rel);
         let back = from_csv("r", &[ValueType::Str, ValueType::Str], &csv, 0.5).unwrap();
         assert_eq!(back.len(), 2);
-        for (a, b) in rel.tuples().iter().zip(back.tuples().iter()) {
-            assert_eq!(
-                a.cells().iter().map(|c| &c.value).collect::<Vec<_>>(),
-                b.cells().iter().map(|c| &c.value).collect::<Vec<_>>()
-            );
-        }
+        assert_eq!(rel.diff_cells(&back), 0);
     }
 
     #[test]

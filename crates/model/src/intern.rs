@@ -116,12 +116,14 @@ impl ValueInterner {
     }
 
     /// An interner pre-populated with every cell value of `r`, in row-major
-    /// first-encounter order — the "at relation load" entry point.
+    /// first-encounter order — the "at relation load" entry point. (The
+    /// relation already owns an interner; this builds an independent one,
+    /// e.g. to seed another store.)
     pub fn from_relation(r: &Relation) -> Self {
         let mut me = ValueInterner::new();
-        for t in r.tuples() {
-            for c in t.cells() {
-                me.intern(&c.value);
+        for t in r.rows() {
+            for a in 0..t.arity() {
+                me.intern(t.value(crate::AttrId::from(a)));
             }
         }
         me
@@ -163,6 +165,30 @@ impl ValueInterner {
     /// Is the interner empty?
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
+    }
+
+    /// All interned values in symbol order (`values()[s.index()]` is the
+    /// value behind symbol `s`).
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Approximate heap footprint in bytes: the value table plus the map
+    /// (estimated at key + symbol + two words of bucket overhead per
+    /// entry) plus owned string payloads.
+    pub fn heap_bytes(&self) -> usize {
+        let value_size = std::mem::size_of::<Value>();
+        let string_payload: usize = self
+            .values
+            .iter()
+            .map(|v| match v {
+                Value::Str(s) => s.len(),
+                _ => 0,
+            })
+            .sum();
+        self.values.capacity() * value_size
+            + self.map.capacity() * (value_size + std::mem::size_of::<Symbol>() + 16)
+            + string_payload
     }
 }
 

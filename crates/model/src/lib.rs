@@ -7,10 +7,14 @@
 //! * [`Tuple`] / [`Cell`] — tuples whose cells carry a *confidence* `cf`
 //!   (the user's belief in the accuracy of the cell, §3.1 of the paper) and a
 //!   [`FixMark`] recording which cleaning phase last wrote the cell,
-//! * [`Relation`] — an instance of a schema (a bag of tuples),
+//! * [`Relation`] — an instance of a schema, stored **columnar**: one
+//!   interned [`Symbol`] column per attribute plus parallel confidence and
+//!   mark columns inside a [`ColumnStore`], accessed through the
+//!   lightweight [`TupleRef`]/[`TupleMut`]/[`CellRef`] views and the
+//!   [`Row`] abstraction,
 //! * [`ValueInterner`] — dense `u32` [`Symbol`]s for values, so hot-path
 //!   hash keys (group projections, master-column indexes) hash and compare
-//!   in O(1),
+//!   in O(1); every relation owns one,
 //! * [`cost`](mod@cost) — the repair cost model `cost(Dr, D)` of §3.1.
 //!
 //! The model is deliberately free of any cleaning logic: rules live in
@@ -18,17 +22,21 @@
 
 pub mod cost;
 pub mod csv;
+pub mod error;
 pub mod intern;
 pub mod pos;
 pub mod relation;
 pub mod schema;
+pub mod store;
 pub mod tuple;
 pub mod value;
 
 pub use cost::{cell_cost, repair_cost, repair_cost_with, value_distance};
+pub use error::ModelError;
 pub use intern::{FxHashMap, FxHasher, Symbol, ValueInterner};
 pub use pos::{AttrId, TupleId};
 pub use relation::Relation;
 pub use schema::{AttrDef, Schema, ValueType};
+pub use store::{CellRef, ColumnStore, Row, TupleMut, TupleRef};
 pub use tuple::{Cell, FixMark, Tuple};
 pub use value::Value;

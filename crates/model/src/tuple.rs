@@ -11,6 +11,7 @@
 
 use std::fmt;
 
+use crate::error::ModelError;
 use crate::pos::AttrId;
 use crate::value::Value;
 
@@ -59,6 +60,23 @@ impl Cell {
             cf,
             mark: FixMark::Untouched,
         }
+    }
+
+    /// [`Cell::new`] with the confidence range enforced in release builds
+    /// too: out-of-range (or NaN) confidence is a typed [`ModelError`],
+    /// not a debug-only assertion — for producers building cells from
+    /// untrusted input. The relation-side ingest paths validate
+    /// equivalently: CSV via `Relation::try_push_row`, session batches via
+    /// [`Tuple::validate_cf`].
+    pub fn try_new(value: Value, cf: f64) -> Result<Self, ModelError> {
+        if !(0.0..=1.0).contains(&cf) {
+            return Err(ModelError::ConfidenceOutOfRange { cf });
+        }
+        Ok(Cell {
+            value,
+            cf,
+            mark: FixMark::Untouched,
+        })
     }
 
     /// A cell with default (zero) confidence.
@@ -131,6 +149,23 @@ impl Tuple {
     /// All cells in schema order.
     pub fn cells(&self) -> &[Cell] {
         &self.cells
+    }
+
+    /// Consume the tuple, yielding its cells (the columnar store's intake).
+    pub fn into_cells(self) -> Vec<Cell> {
+        self.cells
+    }
+
+    /// Check every cell's confidence against `[0, 1]` — the release-build
+    /// ingest validation for row literals that bypassed [`Cell::try_new`]
+    /// (e.g. built with [`Cell::new`], whose check is debug-only).
+    pub fn validate_cf(&self) -> Result<(), ModelError> {
+        for c in &self.cells {
+            if !(0.0..=1.0).contains(&c.cf) {
+                return Err(ModelError::ConfidenceOutOfRange { cf: c.cf });
+            }
+        }
+        Ok(())
     }
 
     /// Project the tuple onto a list of attributes — the paper's `t[X]`.

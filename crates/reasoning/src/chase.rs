@@ -268,9 +268,8 @@ impl<'a> Chase<'a> {
 
 /// Exact state snapshot: the flat list of values.
 fn snapshot(d: &Relation) -> Vec<Value> {
-    d.tuples()
-        .iter()
-        .flat_map(|t| t.cells().iter().map(|c| c.value.clone()))
+    d.rows()
+        .flat_map(|t| t.cells().map(|c| c.value.clone()))
         .collect()
 }
 

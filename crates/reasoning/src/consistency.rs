@@ -55,7 +55,7 @@ pub fn consistency_witness(rules: &RuleSet, dm: Option<&Relation>) -> Option<Tup
     if let Some(dm) = dm {
         for md in rules.mds() {
             let (e, f) = md.rhs()[0];
-            let col: BTreeSet<Value> = dm.tuples().iter().map(|s| s.value(f).clone()).collect();
+            let col: BTreeSet<Value> = dm.rows().map(|s| s.value(f).clone()).collect();
             for v in col {
                 if !v.is_null() {
                     push_unique(&mut domains[e.index()], v);
@@ -124,7 +124,7 @@ fn search(
         if let Some(dm) = dm {
             for md in rules.mds() {
                 let (e, f) = md.rhs()[0];
-                for s in dm.tuples() {
+                for s in dm.rows() {
                     if md.premise_matches(&t, s) && t.value(e) != s.value(f) {
                         return false;
                     }

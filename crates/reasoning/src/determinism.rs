@@ -53,9 +53,8 @@ pub fn determinism_check(
         if let ChaseOutcome::Fixpoint { result, .. } = chase.run(d, s) {
             converged += 1;
             let snap: Vec<Value> = result
-                .tuples()
-                .iter()
-                .flat_map(|t| t.cells().iter().map(|c| c.value.clone()))
+                .rows()
+                .flat_map(|t| t.cells().map(|c| c.value.clone()))
                 .collect();
             if !fixpoints.contains(&snap) {
                 fixpoints.push(snap);

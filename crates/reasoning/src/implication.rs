@@ -84,8 +84,7 @@ pub fn implies_md(rules: &RuleSet, dm: &Relation, xi: &Md) -> bool {
         let t = Tuple::from_values(t_vals.to_vec(), 1.0);
         let (e, f) = xi.rhs()[0];
         let violated = dm
-            .tuples()
-            .iter()
+            .rows()
             .any(|s| xi.premise_matches(&t, s) && t.value(e) != s.value(f));
         if !violated {
             return false;
@@ -129,11 +128,8 @@ fn candidate_domains(
     if let Some(dm) = dm {
         let add_md = |domains: &mut Vec<Vec<Value>>, m: &Md| {
             for p in m.premises() {
-                let col: BTreeSet<Value> = dm
-                    .tuples()
-                    .iter()
-                    .map(|s| s.value(p.master_attr).clone())
-                    .collect();
+                let col: BTreeSet<Value> =
+                    dm.rows().map(|s| s.value(p.master_attr).clone()).collect();
                 for v in col {
                     if !v.is_null() {
                         push_unique(&mut domains[p.attr.index()], v);
@@ -141,7 +137,7 @@ fn candidate_domains(
                 }
             }
             for &(e, f) in m.rhs() {
-                let col: BTreeSet<Value> = dm.tuples().iter().map(|s| s.value(f).clone()).collect();
+                let col: BTreeSet<Value> = dm.rows().map(|s| s.value(f).clone()).collect();
                 for v in col {
                     if !v.is_null() {
                         push_unique(&mut domains[e.index()], v);

@@ -10,7 +10,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use uniclean_model::{AttrId, Schema, Tuple};
+use uniclean_model::{AttrId, Row, Schema};
 
 use crate::pattern::PatternValue;
 
@@ -110,8 +110,9 @@ impl Cfd {
             && self.rhs_pattern.iter().all(|p| !p.is_const())
     }
 
-    /// Does `t[X] ≍ tp[X]` hold?
-    pub fn lhs_matches(&self, t: &Tuple) -> bool {
+    /// Does `t[X] ≍ tp[X]` hold? Generic over [`Row`]: works on stored
+    /// rows ([`uniclean_model::TupleRef`]) and borrowed row literals alike.
+    pub fn lhs_matches<'t>(&self, t: impl Row<'t>) -> bool {
         self.lhs
             .iter()
             .zip(self.lhs_pattern.iter())
@@ -119,7 +120,7 @@ impl Cfd {
     }
 
     /// Does `t[Y] ≍ tp[Y]` hold?
-    pub fn rhs_matches(&self, t: &Tuple) -> bool {
+    pub fn rhs_matches<'t>(&self, t: impl Row<'t>) -> bool {
         self.rhs
             .iter()
             .zip(self.rhs_pattern.iter())
@@ -130,7 +131,7 @@ impl Cfd {
     /// (`t[X] ≍ tp[X]` implies `t[Y] ≍ tp[Y]`.) Complete for constant CFDs;
     /// for variable CFDs pairs must also agree (see
     /// [`crate::satisfaction::satisfies_cfd`]).
-    pub fn single_tuple_ok(&self, t: &Tuple) -> bool {
+    pub fn single_tuple_ok<'t>(&self, t: impl Row<'t>) -> bool {
         !self.lhs_matches(t) || self.rhs_matches(t)
     }
 }
@@ -164,7 +165,7 @@ impl fmt::Display for Cfd {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uniclean_model::Value;
+    use uniclean_model::{Tuple, Value};
 
     fn tran() -> Arc<Schema> {
         Schema::of_strings("tran", &["FN", "LN", "city", "AC", "phn", "St", "post"])

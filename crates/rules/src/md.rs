@@ -14,7 +14,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use uniclean_model::{AttrId, Schema, Tuple};
+use uniclean_model::{AttrId, Row, Schema};
 use uniclean_similarity::SimilarityPredicate;
 
 /// One conjunct `R[Aj] ≈j Rm[Bj]` of an MD premise.
@@ -101,11 +101,14 @@ impl Md {
     }
 
     /// Does the premise hold between data tuple `t` and master tuple `s`?
+    /// Generic over [`Row`]: the data side is usually a stored
+    /// [`uniclean_model::TupleRef`], the master side a row of another
+    /// relation — no tuple materialization either way.
     ///
     /// Nulls never satisfy a similarity premise — matching a data tuple with
     /// a master tuple adopts the same convention as CFD pattern matching
     /// (§7).
-    pub fn premise_matches(&self, t: &Tuple, s: &Tuple) -> bool {
+    pub fn premise_matches<'t, 's>(&self, t: impl Row<'t>, s: impl Row<'s>) -> bool {
         self.premises.iter().all(|p| {
             let tv = t.value(p.attr);
             let sv = s.value(p.master_attr);
@@ -117,12 +120,12 @@ impl Md {
     }
 
     /// Does the conclusion already hold (`t[Ei] = s[Fi]` for all `i`)?
-    pub fn rhs_identified(&self, t: &Tuple, s: &Tuple) -> bool {
+    pub fn rhs_identified<'t, 's>(&self, t: impl Row<'t>, s: impl Row<'s>) -> bool {
         self.rhs.iter().all(|(e, f)| t.value(*e) == s.value(*f))
     }
 
     /// Would applying this MD with master tuple `s` change `t`?
-    pub fn applies(&self, t: &Tuple, s: &Tuple) -> bool {
+    pub fn applies<'t, 's>(&self, t: impl Row<'t>, s: impl Row<'s>) -> bool {
         self.premise_matches(t, s) && !self.rhs_identified(t, s)
     }
 }
@@ -165,7 +168,7 @@ impl fmt::Display for Md {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uniclean_model::Value;
+    use uniclean_model::{Tuple, Value};
 
     fn schemas() -> (Arc<Schema>, Arc<Schema>) {
         (

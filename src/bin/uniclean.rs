@@ -191,7 +191,7 @@ fn load_input(opts: &Opts, default_cf: f64) -> Result<LoadedInput, String> {
                 master_table,
                 data.schema().attrs().iter().map(|a| (a.name.clone(), a.ty)),
             ));
-            Some(Relation::new(schema, data.tuples().to_vec()))
+            Some(Relation::with_schema(schema, &data))
         }
         None => None,
     };
@@ -312,7 +312,7 @@ fn cmd_clean(opts: &Opts) -> Result<String, String> {
                 let escalations_before = state.escalations();
                 let started = std::time::Instant::now();
                 let r = cleaner
-                    .clean_delta(&mut state, batch.tuples())
+                    .clean_delta(&mut state, &batch.to_tuples())
                     .map_err(|e| format!("{path}: {e}"))?;
                 out.push_str(&format!(
                     "delta {path}: +{} tuples, {} fixes, consistent: {}{} ({:.3}s)\n",

@@ -1,0 +1,170 @@
+//! Columnar-store equivalence proptests.
+//!
+//! The columnar [`Relation`] must behave exactly like the row-major
+//! `Vec<Tuple>` representation it replaced. The property: build a
+//! relation from arbitrary row literals, drive an arbitrary mutation
+//! script through the [`TupleMut`] views *and* through a plain
+//! `Vec<Tuple>` shadow, then extract (`to_tuples`, per-cell views,
+//! columns) and assert full equivalence — values, symbols' resolutions,
+//! confidences (by bits) and fix marks.
+
+use proptest::prelude::*;
+use uniclean::model::{AttrId, Cell, FixMark, Relation, Schema, Tuple, TupleId, Value};
+
+/// Decode a generated cell: discriminant picks null/int/str payload.
+fn value_of(kind: u8, n: i64, s: &str) -> Value {
+    match kind % 3 {
+        0 => Value::Null,
+        1 => Value::int(n),
+        _ => Value::str(s),
+    }
+}
+
+fn mark_of(m: u8) -> FixMark {
+    match m % 4 {
+        0 => FixMark::Untouched,
+        1 => FixMark::Deterministic,
+        2 => FixMark::Reliable,
+        _ => FixMark::Possible,
+    }
+}
+
+type GenCell = (u8, i64, String, u8);
+
+fn cell_of(c: &GenCell) -> Cell {
+    let mut cell = Cell::new(value_of(c.0, c.1, &c.2), (c.3 % 11) as f64 / 10.0);
+    cell.mark = mark_of(c.3);
+    cell
+}
+
+const ARITY: usize = 3;
+
+proptest! {
+    /// build → view → mutate → extract: the columnar store and a
+    /// row-major shadow stay cell-for-cell identical.
+    #[test]
+    fn store_round_trips_against_row_shadow(
+        rows in proptest::collection::vec(
+            proptest::collection::vec((0u8..3, -9i64..9, "[a-c]{0,4}", 0u8..12), ARITY..ARITY + 1),
+            1..12,
+        ),
+        edits in proptest::collection::vec(
+            (0usize..12, 0usize..ARITY, (0u8..3, -9i64..9, "[a-d]{0,4}", 0u8..12)),
+            0..24,
+        ),
+    ) {
+        let schema = Schema::of_strings("r", &["A", "B", "C"]);
+        let tuples: Vec<Tuple> = rows
+            .iter()
+            .map(|r| Tuple::new(r.iter().map(cell_of).collect()))
+            .collect();
+
+        // Columnar store under test; Vec<Tuple> as the row-major oracle.
+        let mut rel = Relation::new(schema.clone(), tuples.clone());
+        let mut shadow = tuples;
+
+        // Mutation script through the TupleMut views and the shadow alike.
+        for (t, a, c) in &edits {
+            let t = t % shadow.len();
+            let attr = AttrId::from(*a);
+            let cell = cell_of(c);
+            rel.tuple_mut(TupleId::from(t))
+                .set(attr, cell.value.clone(), cell.cf, cell.mark);
+            shadow[t].set(attr, cell.value, cell.cf, cell.mark);
+        }
+
+        // Extraction 1: per-cell views.
+        prop_assert_eq!(rel.len(), shadow.len());
+        for (i, want) in shadow.iter().enumerate() {
+            let got = rel.tuple(TupleId::from(i));
+            prop_assert_eq!(got.arity(), want.arity());
+            for a in 0..ARITY {
+                let attr = AttrId::from(a);
+                prop_assert_eq!(got.value(attr), want.value(attr), "cell ({i},{a}) value");
+                prop_assert_eq!(
+                    got.cf(attr).to_bits(),
+                    want.cf(attr).to_bits(),
+                    "cell ({i},{a}) confidence"
+                );
+                prop_assert_eq!(got.mark(attr), want.mark(attr), "cell ({i},{a}) mark");
+                // The symbol column resolves to the same value, and null
+                // detection by symbol agrees with the value.
+                prop_assert_eq!(
+                    rel.interner().resolve(got.sym(attr)),
+                    want.value(attr)
+                );
+                prop_assert_eq!(got.is_null(attr), want.value(attr).is_null());
+            }
+        }
+
+        // Extraction 2: materialized tuples equal the shadow exactly.
+        let extracted = rel.to_tuples();
+        prop_assert_eq!(&extracted, &shadow);
+
+        // Extraction 3: a relation rebuilt from the extraction is
+        // cell-identical (fresh interner, same content).
+        let rebuilt = Relation::new(schema, extracted);
+        prop_assert_eq!(rel.diff_cells(&rebuilt), 0);
+
+        // Symbol invariant: within one store, two cells share a symbol
+        // iff their values are equal.
+        for a in 0..ARITY {
+            let attr = AttrId::from(a);
+            let col = rel.col_syms(attr);
+            for i in 0..rel.len() {
+                for j in 0..rel.len() {
+                    prop_assert_eq!(
+                        col[i] == col[j],
+                        shadow[i].value(attr) == shadow[j].value(attr),
+                        "symbol/value equality mismatch at column {} rows {}/{}",
+                        a, i, j
+                    );
+                }
+            }
+        }
+    }
+
+    /// Projections and agreement checks on views match the row oracle.
+    #[test]
+    fn view_operations_match_row_operations(
+        rows in proptest::collection::vec(
+            proptest::collection::vec((0u8..3, -4i64..4, "[ab]{0,2}", 0u8..12), ARITY..ARITY + 1),
+            2..8,
+        ),
+    ) {
+        let schema = Schema::of_strings("r", &["A", "B", "C"]);
+        let tuples: Vec<Tuple> = rows
+            .iter()
+            .map(|r| Tuple::new(r.iter().map(cell_of).collect()))
+            .collect();
+        let rel = Relation::new(schema, tuples.clone());
+        let attrs = [AttrId(0), AttrId(2)];
+        for i in 0..tuples.len() {
+            let view = rel.tuple(TupleId::from(i));
+            prop_assert_eq!(view.project(&attrs), tuples[i].project(&attrs));
+            for j in 0..tuples.len() {
+                let other = rel.tuple(TupleId::from(j));
+                prop_assert_eq!(
+                    view.agrees_with(other, &attrs),
+                    tuples[i].agrees_with(&tuples[j], &attrs)
+                );
+                prop_assert_eq!(
+                    view.agrees_with_nullable(other, &attrs),
+                    tuples[i].agrees_with_nullable(&tuples[j], &attrs)
+                );
+            }
+        }
+        // Active domains agree with a row-major recomputation.
+        for a in 0..ARITY {
+            let attr = AttrId::from(a);
+            let mut want: Vec<Value> = tuples
+                .iter()
+                .map(|t| t.value(attr).clone())
+                .filter(|v| !v.is_null())
+                .collect();
+            want.sort();
+            want.dedup();
+            prop_assert_eq!(rel.active_domain(attr), want);
+        }
+    }
+}

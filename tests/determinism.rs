@@ -22,8 +22,8 @@ fn assert_identical(a: &CleanResult, b: &CleanResult, label: &str) {
         b.repaired.len(),
         "{label}: tuple count diverged"
     );
-    for (ta, tb) in a.repaired.tuples().iter().zip(b.repaired.tuples()) {
-        for (ca, cb) in ta.cells().iter().zip(tb.cells()) {
+    for (ta, tb) in a.repaired.rows().zip(b.repaired.rows()) {
+        for (ca, cb) in ta.cells().zip(tb.cells()) {
             assert_eq!(ca.value, cb.value, "{label}: cell value diverged");
             assert_eq!(
                 ca.cf.to_bits(),

@@ -90,12 +90,11 @@ fn assert_matches(reference: &CleanResult, state: &RepairState, label: &str) {
     );
     for (i, (ra, rb)) in reference
         .repaired
-        .tuples()
-        .iter()
-        .zip(state.repaired().tuples())
+        .rows()
+        .zip(state.repaired().rows())
         .enumerate()
     {
-        for (ca, cb) in ra.cells().iter().zip(rb.cells()) {
+        for (ca, cb) in ra.cells().zip(rb.cells()) {
             assert_eq!(ca.value, cb.value, "{label}: tuple {i} value diverged");
             assert_eq!(
                 ca.cf.to_bits(),
@@ -185,7 +184,7 @@ fn disjoint_batch_stays_on_the_fast_path() {
     let r = uni.clean_delta(&mut state, &batch).unwrap();
     assert_eq!(state.escalations(), 0, "disjoint batch must not escalate");
     assert_eq!(r.repaired.len(), 3);
-    let reference = uni.clean(&concat(&schema, &[base.tuples(), &batch]), Phase::Full);
+    let reference = uni.clean(&concat(&schema, &[&base.to_tuples(), &batch]), Phase::Full);
     assert_matches(&reference, &state, "disjoint batch");
 }
 
@@ -225,7 +224,7 @@ fn settled_write_is_kept_without_escalation() {
         &Value::str("a2"),
         "the deterministic fix reached the settled tuple"
     );
-    let reference = uni.clean(&concat(&schema, &[base.tuples(), &batch]), Phase::Full);
+    let reference = uni.clean(&concat(&schema, &[&base.to_tuples(), &batch]), Phase::Full);
     assert_matches(&reference, &state, "settled-write batch");
 }
 
@@ -251,7 +250,7 @@ fn conflicting_asserted_evidence_escalates() {
     let batch = vec![asserted("a2")];
     uni.clean_delta(&mut state, &batch).unwrap();
     assert_eq!(state.escalations(), 1, "conflicting evidence must escalate");
-    let reference = uni.clean(&concat(&schema, &[base.tuples(), &batch]), Phase::Full);
+    let reference = uni.clean(&concat(&schema, &[&base.to_tuples(), &batch]), Phase::Full);
     assert_matches(&reference, &state, "hazard batch");
 }
 
@@ -293,7 +292,7 @@ fn self_snapshot_deltas_escalate_but_stay_correct() {
     let batch = vec![b];
     uni.clean_delta(&mut state, &batch).unwrap();
     assert_eq!(state.escalations(), 1, "self-snapshot always recleans");
-    let reference = uni.clean(&concat(&tran, &[base.tuples(), &batch]), Phase::Full);
+    let reference = uni.clean(&concat(&tran, &[&base.to_tuples(), &batch]), Phase::Full);
     assert_matches(&reference, &state, "self-snapshot delta");
 }
 
@@ -321,6 +320,26 @@ fn delta_misuse_is_typed() {
             found: 2
         }
     ));
+
+    // Batch cell with an out-of-range confidence: a typed model error in
+    // release builds too (`Cell::new` only debug-asserts the range, so the
+    // bad cell is assembled field-by-field here).
+    let bad = Tuple::new(
+        ["k0", "a0", "b0"]
+            .iter()
+            .map(|v| uniclean::model::Cell {
+                value: Value::str(v),
+                cf: 1.5,
+                mark: FixMark::Untouched,
+            })
+            .collect(),
+    );
+    let err = uni.clean_delta(&mut state, &[bad]).unwrap_err();
+    assert!(matches!(
+        err,
+        CleanError::Model(uniclean::model::ModelError::ConfidenceOutOfRange { .. })
+    ));
+    assert_eq!(state.len(), 1, "rejected batch must not grow the state");
 
     // An empty batch is a no-op that still reports a consistent result.
     let r = uni.clean_delta(&mut state, &[]).unwrap();

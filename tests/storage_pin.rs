@@ -1,0 +1,190 @@
+//! Storage-refactor equivalence pins.
+//!
+//! The columnar store migration promises **bit-identical** `clean()` and
+//! `begin`/`clean_delta` outputs. These golden fingerprints were captured
+//! from the row-major implementation immediately before the migration; the
+//! columnar engine must reproduce them exactly, at every parallelism ×
+//! interning setting. A fingerprint covers every cell (value, confidence
+//! bits, fix mark), every fix record, the §3.1 cost bits, the acceptance
+//! verdict and the per-phase fix counts — nothing observable is left out.
+
+mod common;
+
+use std::num::NonZeroUsize;
+
+use uniclean::core::{CleanConfig, CleanResult, Cleaner, MasterSource, Phase};
+use uniclean::datagen::{hosp_workload, GenParams};
+use uniclean::model::{FixMark, Relation, Value};
+
+/// FNV-1a over a canonical byte rendering of a value.
+fn hash_value(h: &mut u64, v: &Value) {
+    match v {
+        Value::Null => hash_bytes(h, &[0]),
+        Value::Str(s) => {
+            hash_bytes(h, &[1]);
+            hash_bytes(h, s.as_bytes());
+        }
+        Value::Int(i) => {
+            hash_bytes(h, &[2]);
+            hash_bytes(h, &i.to_le_bytes());
+        }
+    }
+}
+
+fn hash_bytes(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100000001b3);
+    }
+}
+
+fn mark_byte(m: FixMark) -> u8 {
+    match m {
+        FixMark::Untouched => 0,
+        FixMark::Deterministic => 1,
+        FixMark::Reliable => 2,
+        FixMark::Possible => 3,
+    }
+}
+
+/// Fingerprint of the observable repair state: cells, cost, verdict.
+fn fingerprint_relation(h: &mut u64, r: &Relation) {
+    for (_, t) in r.iter() {
+        for a in r.schema().attr_ids() {
+            hash_value(h, t.value(a));
+            hash_bytes(h, &t.cf(a).to_bits().to_le_bytes());
+            hash_bytes(h, &[mark_byte(t.mark(a))]);
+        }
+    }
+}
+
+fn fingerprint(result: &CleanResult) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    fingerprint_relation(&mut h, &result.repaired);
+    for rec in result.report.records() {
+        hash_bytes(&mut h, &(rec.tuple.index() as u64).to_le_bytes());
+        hash_bytes(&mut h, &(rec.attr.index() as u64).to_le_bytes());
+        hash_value(&mut h, &rec.old);
+        hash_value(&mut h, &rec.new);
+        hash_bytes(&mut h, &[mark_byte(rec.mark)]);
+        hash_bytes(&mut h, rec.rule.as_bytes());
+    }
+    hash_bytes(&mut h, &result.cost.to_bits().to_le_bytes());
+    hash_bytes(&mut h, &[result.consistent as u8]);
+    for p in &result.phases {
+        hash_bytes(&mut h, &(p.fixes as u64).to_le_bytes());
+    }
+    h
+}
+
+fn cleaner(
+    rules: &uniclean::rules::RuleSet,
+    master: MasterSource,
+    eta: f64,
+    threads: usize,
+    interning: bool,
+) -> Cleaner {
+    Cleaner::builder()
+        .rules(rules.clone())
+        .master(master)
+        .config(CleanConfig {
+            eta,
+            parallelism: Some(NonZeroUsize::new(threads).unwrap()),
+            interning,
+            ..CleanConfig::default()
+        })
+        .build()
+        .expect("valid session")
+}
+
+/// Golden fingerprints captured from the row-major engine (pre-refactor).
+const EXAMPLE_1_1_FULL: u64 = 0x3770b36c980bd956;
+const HOSP_1K_CE: u64 = 0x2d559265e550714c;
+const HOSP_1K_DELTA: u64 = 0x10a0077225d3f17f;
+
+#[test]
+fn example_1_1_clean_matches_row_major_engine() {
+    let (_, rules, dirty, master) = common::example_1_1();
+    for threads in [1usize, 4] {
+        for interning in [true, false] {
+            let uni = cleaner(
+                &rules,
+                MasterSource::external(master.clone()),
+                0.8,
+                threads,
+                interning,
+            );
+            let fp = fingerprint(&uni.clean(&dirty, Phase::Full));
+            assert_eq!(
+                fp, EXAMPLE_1_1_FULL,
+                "example 1.1: threads={threads} interning={interning} fp={fp:#018x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hosp_1k_clean_matches_row_major_engine() {
+    let w = hosp_workload(&GenParams {
+        tuples: 1000,
+        master_tuples: 300,
+        ..GenParams::default()
+    });
+    for threads in [1usize, 4] {
+        for interning in [true, false] {
+            let uni = cleaner(
+                &w.rules,
+                MasterSource::external(w.master.clone()),
+                1.0,
+                threads,
+                interning,
+            );
+            let fp = fingerprint(&uni.clean(&w.dirty, Phase::CERepair));
+            assert_eq!(
+                fp, HOSP_1K_CE,
+                "hosp 1k: threads={threads} interning={interning} fp={fp:#018x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hosp_1k_begin_plus_delta_matches_row_major_engine() {
+    let w = hosp_workload(&GenParams {
+        tuples: 1000,
+        master_tuples: 300,
+        ..GenParams::default()
+    });
+    let rows = rows_of(&w.dirty);
+    let prefix = Relation::new(w.dirty.schema().clone(), rows[..800].to_vec());
+    for threads in [1usize, 4] {
+        for interning in [true, false] {
+            let uni = cleaner(
+                &w.rules,
+                MasterSource::external(w.master.clone()),
+                1.0,
+                threads,
+                interning,
+            );
+            let (mut state, _) = uni.begin(&prefix, Phase::CERepair);
+            let result = uni
+                .clean_delta(&mut state, &rows[800..])
+                .expect("delta accepted");
+            let mut h: u64 = 0xcbf29ce484222325;
+            fingerprint_relation(&mut h, state.repaired());
+            hash_bytes(&mut h, &state.cost().to_bits().to_le_bytes());
+            hash_bytes(&mut h, &[state.consistent() as u8]);
+            hash_bytes(&mut h, &(result.report.len() as u64).to_le_bytes());
+            assert_eq!(
+                h, HOSP_1K_DELTA,
+                "hosp 1k delta: threads={threads} interning={interning} fp={h:#018x}"
+            );
+        }
+    }
+}
+
+/// Materialize a relation's rows as owned tuples (portable across the
+/// row-major and columnar representations).
+fn rows_of(r: &Relation) -> Vec<uniclean::model::Tuple> {
+    r.to_tuples()
+}
