@@ -1,7 +1,8 @@
 //! `perf` — phase-throughput benchmark for the parallel internals, the
 //! value-interning layer (the `BENCH_pr2.json` generator), the
-//! incremental `clean_delta` path (the `BENCH_pr3.json` generator), and
-//! the columnar storage layer (the `BENCH_pr4.json` generator).
+//! incremental `clean_delta` path (the `BENCH_pr3.json` generator), the
+//! columnar storage layer (the `BENCH_pr4.json` generator), and the
+//! master-index access-path planner (the `BENCH_pr5.json` generator).
 //!
 //! Part 1 measures cRepair and eRepair tuples/sec on generated HOSP and
 //! DBLP workloads across worker-thread counts (1/2/4/8) and interning
@@ -21,7 +22,7 @@
 //! cargo run --release -p uniclean-bench --bin perf               # full run
 //! cargo run --release -p uniclean-bench --bin perf -- --smoke    # CI smoke
 //!    [--out BENCH_pr2.json] [--delta-out BENCH_pr3.json]
-//!    [--storage-out BENCH_pr4.json]
+//!    [--storage-out BENCH_pr4.json] [--sim-out BENCH_pr5.json]
 //!    [--tuples 10000] [--master 2000] [--repeat 3]
 //!    [--delta-base 10000] [--delta-batches 10] [--delta-batch 100]
 //! ```
@@ -639,6 +640,246 @@ fn render_storage_json(r: &StorageReport, smoke: bool) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Part 4: the access-path planner on a similarity-heavy workload
+// (BENCH_pr5.json).
+// ---------------------------------------------------------------------------
+
+struct SimMdResult {
+    name: String,
+    plan: String,
+    /// Candidates examined across the probe sample.
+    scan_candidates: u64,
+    indexed_candidates: u64,
+    /// Verified matches found (identical on both paths by construction).
+    matches: u64,
+}
+
+struct SimReport {
+    tuples: usize,
+    master_tuples: usize,
+    probe_sample: usize,
+    mds: Vec<SimMdResult>,
+    scan_seconds: f64,
+    indexed_seconds: f64,
+    /// clean() outputs across parallelism {1,4} × interning {on,off} are
+    /// bit-identical to the (1, on) baseline.
+    bit_identical_matrix: bool,
+}
+
+/// Measure MD candidate generation on the similarity-heavy DBLP variant:
+/// the naive full-master scan vs. the planner's blocked paths, answers
+/// cross-checked tuple-by-tuple *before* any timing is reported, plus a
+/// bit-identity sweep of full cleaning runs across the parallelism ×
+/// interning matrix.
+fn bench_similarity(tuples: usize, master: usize, sample: usize, repeat: usize) -> SimReport {
+    use uniclean_core::{MasterIndex, ProbeScratch};
+    use uniclean_model::TupleId;
+
+    let params = GenParams {
+        tuples,
+        master_tuples: master,
+        ..GenParams::default()
+    };
+    let w = uniclean_datagen::dblp_similarity_workload(&params);
+    let mds = w.rules.mds();
+    let idx = MasterIndex::build(mds, &w.master, 20);
+    let sample = sample.min(w.dirty.len());
+
+    // Answers first: for every sampled tuple × MD the indexed path must
+    // find exactly the matches the scan finds, while we tally candidates.
+    let mut results: Vec<SimMdResult> = mds
+        .iter()
+        .enumerate()
+        .map(|(i, md)| SimMdResult {
+            name: md.name().to_string(),
+            plan: idx.describe_plan(i, md),
+            scan_candidates: 0,
+            indexed_candidates: 0,
+            matches: 0,
+        })
+        .collect();
+    let mut scratch = ProbeScratch::new();
+    for (i, md) in mds.iter().enumerate() {
+        assert!(
+            idx.is_indexed(i),
+            "similarity workload MD {} fell back to scan",
+            md.name()
+        );
+        for row in 0..sample {
+            let t = w.dirty.tuple(TupleId::from(row));
+            let scan_matches: Vec<TupleId> = w
+                .master
+                .iter()
+                .filter(|(_, s)| md.premise_matches(t, s))
+                .map(|(sid, _)| sid)
+                .collect();
+            let mut indexed_matches = Vec::new();
+            let mut cands = 0u64;
+            idx.for_each_candidate(i, md, t, &mut scratch, |sid| {
+                cands += 1;
+                if md.premise_matches(t, w.master.tuple(sid)) {
+                    indexed_matches.push(sid);
+                }
+            });
+            if indexed_matches != scan_matches {
+                eprintln!(
+                    "access path diverged from the scan: md {} tuple {row}",
+                    md.name()
+                );
+                std::process::exit(1);
+            }
+            results[i].scan_candidates += w.master.len() as u64;
+            results[i].indexed_candidates += cands;
+            results[i].matches += scan_matches.len() as u64;
+        }
+    }
+
+    // Wall clock, best of `repeat`, same probe sample and verification
+    // work on both sides.
+    let mut scan_seconds = f64::INFINITY;
+    let mut indexed_seconds = f64::INFINITY;
+    for _ in 0..repeat.max(1) {
+        let started = Instant::now();
+        let mut found = 0usize;
+        for md in mds.iter() {
+            for row in 0..sample {
+                let t = w.dirty.tuple(TupleId::from(row));
+                found += w
+                    .master
+                    .iter()
+                    .filter(|(_, s)| md.premise_matches(t, s))
+                    .count();
+            }
+        }
+        scan_seconds = scan_seconds.min(started.elapsed().as_secs_f64());
+        std::hint::black_box(found);
+
+        let started = Instant::now();
+        let mut found = 0usize;
+        for (i, md) in mds.iter().enumerate() {
+            for row in 0..sample {
+                let t = w.dirty.tuple(TupleId::from(row));
+                idx.for_each_candidate(i, md, t, &mut scratch, |sid| {
+                    if md.premise_matches(t, w.master.tuple(sid)) {
+                        found += 1;
+                    }
+                });
+            }
+        }
+        indexed_seconds = indexed_seconds.min(started.elapsed().as_secs_f64());
+        std::hint::black_box(found);
+    }
+
+    // Full cleaning runs must stay bit-identical across the parallelism ×
+    // interning matrix on this workload too.
+    let clean_with = |threads: usize, interning: bool| {
+        let cleaner = Cleaner::builder()
+            .rules(w.rules.clone())
+            .master(MasterSource::external(w.master.clone()))
+            .config(CleanConfig {
+                parallelism: Some(NonZeroUsize::new(threads).expect("threads > 0")),
+                interning,
+                ..CleanConfig::default()
+            })
+            .build()
+            .expect("similarity workload builds a valid session");
+        cleaner.clean(&w.dirty, Phase::Full)
+    };
+    let baseline = clean_with(1, true);
+    let mut bit_identical = true;
+    for (threads, interning) in [(1, false), (4, true), (4, false)] {
+        let r = clean_with(threads, interning);
+        if r.repaired.diff_cells(&baseline.repaired) != 0
+            || r.consistent != baseline.consistent
+            || r.cost.to_bits() != baseline.cost.to_bits()
+        {
+            eprintln!("cleaning diverged at threads={threads} interning={interning}");
+            bit_identical = false;
+        }
+    }
+    if !bit_identical {
+        std::process::exit(1);
+    }
+
+    SimReport {
+        tuples: w.dirty.len(),
+        master_tuples: w.master.len(),
+        probe_sample: sample,
+        mds: results,
+        scan_seconds,
+        indexed_seconds,
+        bit_identical_matrix: bit_identical,
+    }
+}
+
+fn render_sim_json(r: &SimReport, smoke: bool) -> String {
+    let total_scan: u64 = r.mds.iter().map(|m| m.scan_candidates).sum();
+    let total_indexed: u64 = r.mds.iter().map(|m| m.indexed_candidates).sum();
+    let reduction = total_scan as f64 / (total_indexed.max(1)) as f64;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"pr5_access_paths\",");
+    let _ = writeln!(
+        out,
+        "  \"command\": \"cargo run --release -p uniclean-bench --bin perf\","
+    );
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"dataset\": \"dblp-sim\",");
+    let _ = writeln!(
+        out,
+        "  \"note\": \"similarity-heavy DBLP variant (~qgram/~jaro/~jw/~lev MD premises, no \
+         entity-unique equalities). Per sampled probe, the indexed path's verified matches are \
+         asserted equal to the full-master scan before candidates or timings are reported; the \
+         cleaning matrix rows are full Phase::Full runs compared bit-for-bit against the \
+         threads=1 interning=on baseline.\","
+    );
+    let _ = writeln!(out, "  \"tuples\": {},", r.tuples);
+    let _ = writeln!(out, "  \"master_tuples\": {},", r.master_tuples);
+    let _ = writeln!(out, "  \"probe_sample\": {},", r.probe_sample);
+    let _ = writeln!(out, "  \"mds\": [");
+    for (i, m) in r.mds.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", m.name);
+        let _ = writeln!(out, "      \"plan\": \"{}\",", m.plan.replace('"', "'"));
+        let _ = writeln!(out, "      \"scan_candidates\": {},", m.scan_candidates);
+        let _ = writeln!(
+            out,
+            "      \"indexed_candidates\": {},",
+            m.indexed_candidates
+        );
+        let _ = writeln!(
+            out,
+            "      \"candidate_reduction\": {},",
+            num(
+                m.scan_candidates as f64 / (m.indexed_candidates.max(1)) as f64,
+                2
+            )
+        );
+        let _ = writeln!(out, "      \"verified_matches\": {}", m.matches);
+        let comma = if i + 1 < r.mds.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"total_scan_candidates\": {total_scan},");
+    let _ = writeln!(out, "  \"total_indexed_candidates\": {total_indexed},");
+    let _ = writeln!(out, "  \"candidate_reduction\": {},", num(reduction, 2));
+    let _ = writeln!(out, "  \"scan_seconds\": {},", num(r.scan_seconds, 6));
+    let _ = writeln!(out, "  \"indexed_seconds\": {},", num(r.indexed_seconds, 6));
+    let _ = writeln!(
+        out,
+        "  \"wall_clock_speedup\": {},",
+        num(r.scan_seconds / r.indexed_seconds.max(1e-12), 2)
+    );
+    let _ = writeln!(
+        out,
+        "  \"bit_identical_across_parallelism_and_interning\": {}",
+        r.bit_identical_matrix
+    );
+    let _ = writeln!(out, "}}");
+    out
+}
+
 /// Validate, write, re-read and re-validate one JSON report file.
 fn write_validated(path: &str, json: &str) {
     if let Err(pos) = validate_json(json) {
@@ -673,6 +914,7 @@ fn main() {
     let out_path = args.get_or("out", "BENCH_pr2.json").to_string();
     let delta_out_path = args.get_or("delta-out", "BENCH_pr3.json").to_string();
     let storage_out_path = args.get_or("storage-out", "BENCH_pr4.json").to_string();
+    let sim_out_path = args.get_or("sim-out", "BENCH_pr5.json").to_string();
     let (tuples, master, repeat, thread_counts): (usize, usize, usize, Vec<usize>) = if smoke {
         (200, 80, 1, vec![1, 2])
     } else {
@@ -733,6 +975,18 @@ fn main() {
     let storage = bench_storage(&hosp, repeat);
     write_validated(&storage_out_path, &render_storage_json(&storage, smoke));
 
+    let (sim_tuples, sim_master, sim_sample) = if smoke {
+        (200, 80, 60)
+    } else {
+        (4_000, 2_000, 800)
+    };
+    eprintln!(
+        "similarity workload (access paths, {sim_tuples} tuples, {sim_master} master, \
+         {sim_sample} probes)…"
+    );
+    let sim = bench_similarity(sim_tuples, sim_master, sim_sample, repeat);
+    write_validated(&sim_out_path, &render_sim_json(&sim, smoke));
+
     eprintln!("delta workload ({delta_base} base + {delta_batches} x {delta_batch} batches)…");
     let delta = bench_delta(delta_base, delta_batches, delta_batch, master);
     let delta_json = render_delta_json(&delta, smoke);
@@ -770,8 +1024,23 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", "),
     );
+    let sim_scan: u64 = sim.mds.iter().map(|m| m.scan_candidates).sum();
+    let sim_idx: u64 = sim.mds.iter().map(|m| m.indexed_candidates).sum();
     println!(
-        "wrote {out_path} + {storage_out_path} + {delta_out_path} ({} datasets, {:.1}s total){}",
+        "## access paths — {} probes x {} mds: candidates {} -> {} ({:.1}x fewer), \
+         wall clock {:.3}s -> {:.3}s ({:.1}x)",
+        sim.probe_sample,
+        sim.mds.len(),
+        sim_scan,
+        sim_idx,
+        sim_scan as f64 / sim_idx.max(1) as f64,
+        sim.scan_seconds,
+        sim.indexed_seconds,
+        sim.scan_seconds / sim.indexed_seconds.max(1e-12),
+    );
+    println!(
+        "wrote {out_path} + {storage_out_path} + {sim_out_path} + {delta_out_path} \
+         ({} datasets, {:.1}s total){}",
         reports.len(),
         started.elapsed().as_secs_f64(),
         if smoke { " [smoke]" } else { "" }

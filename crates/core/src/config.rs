@@ -23,7 +23,9 @@ pub struct CleanConfig {
     /// when `H(ϕ|Y=ȳ) < δ2` (§6.2).
     pub delta_entropy: f64,
     /// Blocking constant `l` for top-`l` LCS retrieval from master data
-    /// (§5.2).
+    /// (§5.2). Only edit-distance access paths truncate to `l`; the
+    /// q-gram/Jaro count filters of the access-path planner are exact and
+    /// ignore it.
     pub blocking_l: usize,
     /// Safety cap on `eRepair` outer rounds (the δ1 counters already bound
     /// the work; this guards against pathological rule sets).

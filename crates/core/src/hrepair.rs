@@ -44,7 +44,7 @@ use uniclean_rules::RuleSet;
 
 use crate::config::CleanConfig;
 use crate::fix::{FixRecord, FixReport};
-use crate::master_index::MasterIndex;
+use crate::master_index::{MasterIndex, ProbeScratch};
 use crate::parallel::map_chunks;
 use crate::pattern_syms::{ensure_rule_constants, CfdPatternSyms};
 
@@ -196,8 +196,13 @@ pub fn h_repair(
         acted |= resolve_variable_cfds(&base, &cur, rules, &pats, &mut cells, threads);
         if let Some(ms) = &self_schema {
             let dm_round = Relation::with_schema(ms.clone(), &cur);
-            let idx_round =
-                MasterIndex::build_with(rules.mds(), &dm_round, cfg.blocking_l, cfg.interning);
+            let idx_round = MasterIndex::build_parallel(
+                rules.mds(),
+                &dm_round,
+                cfg.blocking_l,
+                cfg.interning,
+                threads,
+            );
             acted |= resolve_mds(&cur, &dm_round, rules, &idx_round, cfg, &mut cells, threads);
         } else if let (Some(dm), Some(idx)) = (dm, idx) {
             acted |= resolve_mds(&cur, dm, rules, idx, cfg, &mut cells, threads);
@@ -431,13 +436,28 @@ fn resolve_mds(
     // the sequential upgrade loop below consumes them unchanged.
     let n_mds = rules.mds().len();
     let witness_rows = map_chunks(cur.len(), threads, |range| {
+        // One probe scratch per worker: buffers and the symbol-keyed
+        // profile cache amortize across the whole chunk.
+        let mut scratch = ProbeScratch::new();
         range
             .map(|i| {
                 let tid = TupleId::from(i);
                 let t = cur.tuple(tid);
                 let exclude = cfg.self_match.then_some(tid);
                 (0..n_mds)
-                    .map(|m| idx.matches_excluding(m, &rules.mds()[m], t, dm, exclude))
+                    .map(|m| {
+                        let mut out = Vec::new();
+                        idx.matches_into(
+                            m,
+                            &rules.mds()[m],
+                            t,
+                            dm,
+                            exclude,
+                            &mut scratch,
+                            &mut out,
+                        );
+                        out
+                    })
                     .collect::<Vec<Vec<TupleId>>>()
             })
             .collect::<Vec<_>>()

@@ -62,7 +62,7 @@ pub use error::{CleanError, ConfigError};
 pub use fix::{FixRecord, FixReport};
 pub use hrepair::h_repair;
 pub use incremental::RepairState;
-pub use master_index::MasterIndex;
+pub use master_index::{IndexPolicy, MasterIndex, ProbeScratch};
 pub use parallel::effective_parallelism;
 pub use phase::Phase;
 #[allow(deprecated)]

@@ -1,32 +1,128 @@
-//! Blocked access to master data for MD premise evaluation (§5.2).
+//! Blocked access to master data for MD premise evaluation (§5.2) — a
+//! cost-based, predicate-complete access-path planner.
 //!
-//! For every MD the index picks the most selective premise conjunct and
-//! builds an access path on the corresponding master column:
+//! §5.2 is explicit that matching dominates cleaning cost and that
+//! "traditional database indices… designed for exact matching cannot be
+//! carried over" to similarity predicates. For every MD the planner
+//! therefore chooses from a family of access paths covering *every*
+//! predicate the paper names, so the O(|D|·|Dm|) full-scan fallback
+//! survives only for MDs with nothing to index (no premise conjuncts):
 //!
-//! * an **exact hash index** for `=` premises (the common case — most MD
-//!   premises demand equality on identifying attributes), keyed by interned
-//!   [`Symbol`]s when interning is enabled so probes hash a dense `u32`
-//!   instead of string content;
-//! * the **top-l LCS suffix-tree blocker** for edit-distance premises
-//!   ("traditional database indices… designed for exact matching cannot be
-//!   carried over", §5.2);
-//! * a **full scan** fallback when every premise uses a predicate without a
-//!   usable bound (Jaro, q-grams).
+//! * a **composite hash key** over *all* strict-equality conjuncts — one
+//!   probe replaces the old probe-one-equality-then-verify-the-rest;
+//! * an **exact hash index** for a lone `=` conjunct, keyed by interned
+//!   [`Symbol`]s when interning is enabled;
+//! * the **top-`l` LCS suffix-tree blocker** for edit-distance conjuncts;
+//! * a **count-filtered q-gram inverted index**
+//!   ([`uniclean_similarity::QGramIndex`]) for `~qgram`, and its 1-gram
+//!   variant as a conservative common-character/length-ratio prefilter for
+//!   `~jaro`/`~jw`;
+//! * **candidate-list intersection** of the two most selective indexable
+//!   conjuncts when the primary path alone is expected to leave many
+//!   candidates — selectivity is estimated from per-column distinct-count
+//!   statistics gathered at build time.
 //!
 //! Candidates returned by any path still need full premise verification;
-//! blocking is complete for its predicate (no true match is lost), which
-//! the tests pin down. The `*_into` variants append into a caller-owned
-//! buffer so the per-tuple loops of `cRepair`/`eRepair` reuse one
-//! allocation across the whole relation.
+//! every path is *match-preserving*: plans built from complete filters
+//! (exact, composite, q-gram, Jaro) never lose a true match, and plans for
+//! edit-distance conjuncts keep the paper's top-`l` LCS retrieval as their
+//! base so verified matches are exactly what the previous engine produced
+//! — candidates may shrink, matches may not change. Candidate order is
+//! ascending master-row order on every path, so downstream witness
+//! selection is deterministic and plan-independent.
+//!
+//! Probing is allocation-free at steady state: callers hold a
+//! [`ProbeScratch`] (overlap accumulators, candidate buffers, and a
+//! symbol-keyed cache of q-gram profiles — probe values repeat heavily
+//! now that relations intern everything) and the `*_into` entry points
+//! append into caller-owned buffers. Index construction fans out over
+//! [`crate::parallel`]: each per-attribute artifact (hash map, suffix
+//! tree, inverted lists) builds on its own worker.
+//!
+//! External master data is immutable for the life of a session, so one
+//! build at [`crate::Cleaner`] construction serves every `clean` /
+//! `clean_delta` call; only the self-snapshot mode (master = the data
+//! itself) re-plans, once per phase/round, because there the master moves
+//! with the repairs.
+//!
+//! # Examples
+//!
+//! ```
+//! use uniclean_core::{MasterIndex, ProbeScratch};
+//! use uniclean_model::{Relation, Schema, Tuple};
+//! use uniclean_rules::parse_rules;
+//!
+//! let tran = Schema::of_strings("tran", &["LN", "phn"]);
+//! let card = Schema::of_strings("card", &["LN", "tel"]);
+//! let mds = parse_rules(
+//!     "md m: tran[LN] ~qgram(2,0.6) card[LN] -> tran[phn] <=> card[tel]",
+//!     &tran,
+//!     Some(&card),
+//! )
+//! .unwrap()
+//! .positive_mds;
+//! let dm = Relation::new(
+//!     card,
+//!     vec![
+//!         Tuple::of_strs(&["Smith", "111"], 1.0),
+//!         Tuple::of_strs(&["Brady", "222"], 1.0),
+//!     ],
+//! );
+//! let idx = MasterIndex::build(&mds, &dm, 20);
+//! assert!(idx.is_indexed(0), "q-grams no longer fall back to a scan");
+//!
+//! let mut scratch = ProbeScratch::new();
+//! let mut witnesses = Vec::new();
+//! let probe = Tuple::of_strs(&["Smith", "999"], 0.5);
+//! idx.matches_into(0, &mds[0], &probe, &dm, None, &mut scratch, &mut witnesses);
+//! assert_eq!(witnesses.len(), 1);
+//! ```
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use uniclean_model::{AttrId, FxHashMap, Relation, Row, Symbol, TupleId, Value, ValueInterner};
+use uniclean_model::{
+    AttrId, FxHashMap, FxHasher, Relation, Row, Symbol, TupleId, Value, ValueInterner,
+};
 use uniclean_rules::Md;
-use uniclean_similarity::LcsBlocker;
+use uniclean_similarity::{LcsBlocker, QGramIndex, QGramProfile, QGramScratch};
 
-enum Access {
+use crate::parallel::map_each;
+
+/// Estimated candidates per probe above which the planner adds a second
+/// selective conjunct as an intersection filter: below this, verifying the
+/// primary path's candidates outright is cheaper than a second index
+/// probe.
+const DEFAULT_INTERSECT_ABOVE: f64 = 64.0;
+
+/// Cost-model factors: expected candidate inflation of each similarity
+/// path relative to an exact probe on the same column (the LCS blocker
+/// additionally expands up to `l` distinct values). The Jaro bound is the
+/// loosest of the filters, the q-gram count filter the tightest.
+const QGRAM_COST_FACTOR: f64 = 4.0;
+const JARO_COST_FACTOR: f64 = 8.0;
+
+/// Planner tuning knobs (see [`MasterIndex::build_with_policy`]). The
+/// default matches production behavior; tests force intersection plans by
+/// zeroing `intersect_above`.
+#[derive(Clone, Copy, Debug)]
+pub struct IndexPolicy {
+    /// Expected primary-path candidate count above which a second
+    /// selective conjunct is intersected in.
+    pub intersect_above: f64,
+}
+
+impl Default for IndexPolicy {
+    fn default() -> Self {
+        IndexPolicy {
+            intersect_above: DEFAULT_INTERSECT_ABOVE,
+        }
+    }
+}
+
+/// One single-conjunct access path.
+enum Path {
     /// Raw-value exact map (interning disabled).
     Exact {
         premise: usize,
@@ -35,29 +131,376 @@ enum Access {
     /// Interned exact map, keyed by the **master store's own symbols** —
     /// building it reads the symbol column straight out of the columnar
     /// store, hashing no value content at all. A probe resolves the data
-    /// value through the shared interner snapshot once (one lookup + a
-    /// trivial `u32` probe); a probe value the interner has never seen
-    /// cannot appear in the master column, so `get == None` is exactly a
-    /// miss.
+    /// value through the shared interner snapshot once; a probe value the
+    /// interner has never seen cannot appear in the master column, so
+    /// `get == None` is exactly a miss.
     ExactInterned {
         premise: usize,
         map: Arc<FxHashMap<Symbol, Vec<u32>>>,
     },
+    /// Top-`l` LCS retrieval under the edit bound `k` (§5.2).
     Blocked {
         premise: usize,
         blocker: Arc<LcsBlocker>,
         k: usize,
     },
-    Scan,
+    /// Count-filtered q-gram inverted lists for `~qgram(q, min)`.
+    QGramCount {
+        premise: usize,
+        q: usize,
+        min: f64,
+        index: Arc<QGramIndex>,
+    },
+    /// 1-gram common-character prefilter for `~jaro`/`~jw`, probed with
+    /// the predicate's conservative Jaro floor.
+    JaroFilter {
+        premise: usize,
+        min_jaro: f64,
+        index: Arc<QGramIndex>,
+    },
+}
+
+/// The per-MD plan.
+enum Plan {
+    Single(Path),
+    /// One hash probe over *all* equality conjuncts at once. The map key
+    /// is a 64-bit hash of the premise-ordered master symbols (or raw
+    /// values with interning off); hash collisions only ever add
+    /// candidates, which verification removes.
+    Composite {
+        premises: Arc<[usize]>,
+        map: Arc<FxHashMap<u64, Vec<u32>>>,
+        hash_syms: bool,
+    },
+    /// Sorted-list intersection of the two most selective conjunct paths.
+    Intersect {
+        primary: Path,
+        secondary: Path,
+    },
+    /// Full enumeration — only for MDs with nothing to index.
+    Scan {
+        reason: &'static str,
+    },
+}
+
+/// Reusable probe-side state: candidate buffers, the q-gram overlap
+/// accumulator, and a symbol-keyed cache of q-gram profiles.
+///
+/// One scratch serves any number of probes against **one relation state**
+/// — the profile cache keys on the probed row's interned symbols, which
+/// identify values only within a single relation (append-only interners
+/// keep them stable across incremental extension). Callers probing a
+/// different relation, or re-running from a rewound state, must use a
+/// fresh scratch or [`ProbeScratch::reset`].
+#[derive(Default)]
+pub struct ProbeScratch {
+    qgram: QGramScratch,
+    rows_a: Vec<u32>,
+    rows_b: Vec<u32>,
+    /// Staging for the blocker's `usize` rows.
+    rows_wide: Vec<usize>,
+    /// `(probe symbol, q)` → profile; hit rates are high because probe
+    /// values repeat heavily across tuples.
+    profiles: FxHashMap<(u32, u32), QGramProfile>,
+}
+
+impl ProbeScratch {
+    /// A fresh scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        ProbeScratch::default()
+    }
+
+    /// Drop cached probe profiles (keep buffer capacity). Call when the
+    /// relation whose rows are being probed changes identity.
+    pub fn reset(&mut self) {
+        self.profiles.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Planning (pure, no index construction).
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum PathSpec {
+    Exact { premise: usize },
+    Blocked { premise: usize, k: usize },
+    QGramCount { premise: usize, q: usize, min: f64 },
+    JaroFilter { premise: usize, min_jaro: f64 },
+}
+
+#[derive(Clone, Debug)]
+enum PlanSpec {
+    Single(PathSpec),
+    Composite {
+        premises: Vec<usize>,
+    },
+    Intersect {
+        primary: PathSpec,
+        secondary: PathSpec,
+    },
+    Scan {
+        reason: &'static str,
+    },
+}
+
+/// A costed conjunct: estimated candidates per probe, premise index, the
+/// path that would serve it, and whether that path is *complete* (never
+/// loses a true match) at its threshold.
+struct Costed {
+    cost: f64,
+    premise: usize,
+    spec: PathSpec,
+    complete: bool,
+    /// A degenerate threshold (qgram min ≤ 0, Jaro floor ≤ 1/3) keeps
+    /// every row — complete, but useless as an intersection filter.
+    degenerate: bool,
+}
+
+fn cost_conjunct(
+    md: &Md,
+    premise: usize,
+    rows: usize,
+    l: usize,
+    stats: &HashMap<AttrId, usize>,
+) -> Costed {
+    let p = &md.premises()[premise];
+    let distinct = stats.get(&p.master_attr).copied().unwrap_or(1).max(1);
+    let per_value = rows as f64 / distinct as f64;
+    if p.pred.is_equality() {
+        return Costed {
+            cost: per_value,
+            premise,
+            spec: PathSpec::Exact { premise },
+            complete: true,
+            degenerate: false,
+        };
+    }
+    if let Some(k) = p.pred.edit_threshold() {
+        // Top-l expands at most min(l, distinct) values — and is the
+        // paper's sanctioned approximation, not a complete filter.
+        return Costed {
+            cost: per_value * l.min(distinct) as f64,
+            premise,
+            spec: PathSpec::Blocked { premise, k },
+            complete: false,
+            degenerate: false,
+        };
+    }
+    if let Some((q, min)) = p.pred.qgram_params() {
+        let degenerate = min <= 0.0;
+        let cost = if degenerate {
+            rows as f64 // keeps every row
+        } else {
+            per_value * QGRAM_COST_FACTOR
+        };
+        return Costed {
+            cost,
+            premise,
+            spec: PathSpec::QGramCount { premise, q, min },
+            complete: true,
+            degenerate,
+        };
+    }
+    let min_jaro = p
+        .pred
+        .jaro_floor()
+        .expect("every similarity predicate family is costed");
+    let degenerate = 3.0 * min_jaro - 1.0 <= 0.0;
+    let cost = if degenerate {
+        rows as f64
+    } else {
+        per_value * JARO_COST_FACTOR
+    };
+    Costed {
+        cost,
+        premise,
+        spec: PathSpec::JaroFilter { premise, min_jaro },
+        complete: true,
+        degenerate,
+    }
+}
+
+/// Choose the access plan for one MD. Match preservation shapes the
+/// choice: when an equality exists the base path stays complete; when only
+/// an edit-distance bound exists the base keeps the paper's top-`l` LCS
+/// retrieval (so its approximation, if any, is unchanged); complete
+/// similarity filters may then *intersect* in, which can only shrink
+/// candidates, never verified matches.
+fn plan_md(
+    md: &Md,
+    rows: usize,
+    l: usize,
+    stats: &HashMap<AttrId, usize>,
+    policy: IndexPolicy,
+) -> PlanSpec {
+    let premises = md.premises();
+    if premises.is_empty() {
+        return PlanSpec::Scan {
+            reason: "MD has no premise conjuncts to index",
+        };
+    }
+    let eqs: Vec<usize> = md.equality_premise_indices().collect();
+    if eqs.len() >= 2 {
+        // All equalities collapse into one composite probe; its expected
+        // selectivity is at worst that of the best single equality.
+        return PlanSpec::Composite { premises: eqs };
+    }
+    let costed: Vec<Costed> = (0..premises.len())
+        .map(|i| cost_conjunct(md, i, rows, l, stats))
+        .collect();
+    // Base path: the lone equality, else the tightest edit bound (the
+    // previous engine's choice, preserved for match identity), else the
+    // cheapest complete similarity filter.
+    let base = if let Some(&eq) = eqs.first() {
+        &costed[eq]
+    } else if let Some(b) = costed
+        .iter()
+        .filter(|c| matches!(c.spec, PathSpec::Blocked { .. }))
+        .min_by(|a, b| {
+            let (PathSpec::Blocked { k: ka, .. }, PathSpec::Blocked { k: kb, .. }) =
+                (&a.spec, &b.spec)
+            else {
+                unreachable!("filtered to Blocked")
+            };
+            ka.cmp(kb).then(a.premise.cmp(&b.premise))
+        })
+    {
+        b
+    } else {
+        costed
+            .iter()
+            .min_by(|a, b| {
+                a.cost
+                    .partial_cmp(&b.cost)
+                    .expect("finite costs")
+                    .then(a.premise.cmp(&b.premise))
+            })
+            .expect("premises is non-empty")
+    };
+    // Secondary filter: the most selective *complete* conjunct other than
+    // the base, if the base is expected to leave enough candidates for a
+    // second probe to pay for itself. (Approximate paths never filter — an
+    // intersection of two approximations could lose matches the base
+    // alone would have kept.)
+    let secondary = costed
+        .iter()
+        .filter(|c| c.premise != base.premise && c.complete && !c.degenerate)
+        .min_by(|a, b| {
+            a.cost
+                .partial_cmp(&b.cost)
+                .expect("finite costs")
+                .then(a.premise.cmp(&b.premise))
+        });
+    match secondary {
+        Some(s) if base.cost > policy.intersect_above => PlanSpec::Intersect {
+            primary: base.spec.clone(),
+            secondary: s.spec.clone(),
+        },
+        _ => PlanSpec::Single(base.spec.clone()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Artifact construction (the parallel stage).
+// ---------------------------------------------------------------------------
+
+/// A deduplicated unit of index construction; every distinct key builds
+/// once, on its own worker when parallelism allows.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum ArtifactKey {
+    Exact(AttrId),
+    Blocker(AttrId),
+    QGram(AttrId, usize),
+    /// Master attributes of all equality conjuncts, premise order.
+    Composite(Vec<AttrId>),
+}
+
+enum Artifact {
+    ExactRaw(Arc<HashMap<Value, Vec<u32>>>),
+    ExactSym(Arc<FxHashMap<Symbol, Vec<u32>>>),
+    Blocker(Arc<LcsBlocker>),
+    QGram(Arc<QGramIndex>),
+    Composite(Arc<FxHashMap<u64, Vec<u32>>>),
+}
+
+fn build_artifact(key: &ArtifactKey, master: &Relation, l: usize, interning: bool) -> Artifact {
+    let interner = master.interner();
+    match key {
+        ArtifactKey::Exact(attr) => {
+            if interning {
+                // The master column is already interned by its store: key
+                // the rows by those symbols, no value hashing at all.
+                let mut m: FxHashMap<Symbol, Vec<u32>> = FxHashMap::default();
+                for (row, &sym) in master.col_syms(*attr).iter().enumerate() {
+                    m.entry(sym).or_default().push(row as u32);
+                }
+                Artifact::ExactSym(Arc::new(m))
+            } else {
+                let mut m: HashMap<Value, Vec<u32>> = HashMap::new();
+                for (row, &sym) in master.col_syms(*attr).iter().enumerate() {
+                    m.entry(interner.resolve(sym).clone())
+                        .or_default()
+                        .push(row as u32);
+                }
+                Artifact::ExactRaw(Arc::new(m))
+            }
+        }
+        ArtifactKey::Blocker(attr) => {
+            // Stream rendered values straight off the symbol column —
+            // only distinct values are ever copied to owned storage.
+            let col = master
+                .col_syms(*attr)
+                .iter()
+                .map(|&sym| interner.resolve(sym).render());
+            Artifact::Blocker(Arc::new(LcsBlocker::build_from(col, l)))
+        }
+        ArtifactKey::QGram(attr, q) => {
+            let null = master.null_sym();
+            // Null cells never satisfy a similarity premise — skip them.
+            let col = master
+                .col_syms(*attr)
+                .iter()
+                .enumerate()
+                .filter(|&(_, &sym)| sym != null)
+                .map(|(row, &sym)| (row as u32, interner.resolve(sym).render()));
+            Artifact::QGram(Arc::new(QGramIndex::build(col, master.len(), *q)))
+        }
+        ArtifactKey::Composite(attrs) => {
+            let null = master.null_sym();
+            let cols: Vec<&[Symbol]> = attrs.iter().map(|&a| master.col_syms(a)).collect();
+            let mut map: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+            'rows: for row in 0..master.len() {
+                let mut h = FxHasher::default();
+                for col in &cols {
+                    let sym = col[row];
+                    if sym == null {
+                        // A null conjunct value can never satisfy the
+                        // premise; the row is unreachable through this plan.
+                        continue 'rows;
+                    }
+                    if interning {
+                        h.write_u32(sym.0);
+                    } else {
+                        interner.resolve(sym).hash(&mut h);
+                    }
+                }
+                map.entry(h.finish()).or_default().push(row as u32);
+            }
+            Artifact::Composite(Arc::new(map))
+        }
+    }
 }
 
 /// Per-MD access paths over one master relation.
 pub struct MasterIndex {
-    plans: Vec<Access>,
+    plans: Vec<Plan>,
     /// Shared interner over the indexed master columns (empty when
-    /// interning is disabled or no exact path exists).
+    /// interning is disabled or no symbol-keyed path exists).
     interner: Arc<ValueInterner>,
     master_len: usize,
+    /// The blocking constant (diagnostics).
+    l: usize,
 }
 
 impl MasterIndex {
@@ -71,72 +514,169 @@ impl MasterIndex {
     /// [`Self::build`] with an explicit interning switch (the benchmark
     /// harness measures both paths; results are identical).
     pub fn build_with(mds: &[Md], master: &Relation, l: usize, interning: bool) -> Self {
-        let mut used_interned = false;
-        let mut exact_cache: HashMap<AttrId, Arc<HashMap<Value, Vec<u32>>>> = HashMap::new();
-        let mut interned_cache: HashMap<AttrId, Arc<FxHashMap<Symbol, Vec<u32>>>> = HashMap::new();
-        let mut blocker_cache: HashMap<AttrId, Arc<LcsBlocker>> = HashMap::new();
-        let plans = mds
+        Self::build_parallel(mds, master, l, interning, 1)
+    }
+
+    /// [`Self::build_with`] fanning index construction out over
+    /// `threads` scoped workers (one per distinct per-attribute
+    /// artifact). The built index is identical at every thread count.
+    pub fn build_parallel(
+        mds: &[Md],
+        master: &Relation,
+        l: usize,
+        interning: bool,
+        threads: usize,
+    ) -> Self {
+        Self::build_with_policy(mds, master, l, interning, threads, IndexPolicy::default())
+    }
+
+    /// Fully parameterized build — the planner entry point. `policy`
+    /// tunes plan selection (tests force intersection plans with
+    /// `intersect_above: 0.0`); all plans remain match-preserving under
+    /// any policy.
+    pub fn build_with_policy(
+        mds: &[Md],
+        master: &Relation,
+        l: usize,
+        interning: bool,
+        threads: usize,
+        policy: IndexPolicy,
+    ) -> Self {
+        // Distinct-count statistics for every premise master column — the
+        // planner's selectivity estimates.
+        let mut stat_attrs: Vec<AttrId> = mds
             .iter()
-            .map(|md| {
-                // Prefer an equality premise, then the tightest edit bound.
-                if let Some((i, p)) = md
-                    .premises()
-                    .iter()
-                    .enumerate()
-                    .find(|(_, p)| p.pred.is_equality())
-                {
-                    if interning {
-                        used_interned = true;
-                        let map = interned_cache.entry(p.master_attr).or_insert_with(|| {
-                            // The master column is already interned by its
-                            // store: key the rows by those symbols, no
-                            // value hashing at all.
-                            let mut m: FxHashMap<Symbol, Vec<u32>> = FxHashMap::default();
-                            for (row, &sym) in master.col_syms(p.master_attr).iter().enumerate() {
-                                m.entry(sym).or_default().push(row as u32);
-                            }
-                            Arc::new(m)
-                        });
-                        return Access::ExactInterned {
-                            premise: i,
-                            map: map.clone(),
-                        };
+            .flat_map(|md| md.premises().iter().map(|p| p.master_attr))
+            .collect();
+        stat_attrs.sort_unstable();
+        stat_attrs.dedup();
+        let counts = map_each(stat_attrs.len(), threads, |i| {
+            let mut syms: Vec<Symbol> = master.col_syms(stat_attrs[i]).to_vec();
+            syms.sort_unstable();
+            syms.dedup();
+            syms.len()
+        });
+        let stats: HashMap<AttrId, usize> = stat_attrs.iter().copied().zip(counts).collect();
+
+        // Plan every MD (pure), then build each distinct artifact once —
+        // in parallel, one worker per artifact.
+        let specs: Vec<PlanSpec> = mds
+            .iter()
+            .map(|md| plan_md(md, master.len(), l, &stats, policy))
+            .collect();
+        let mut keys: Vec<ArtifactKey> = Vec::new();
+        let mut key_ids: HashMap<ArtifactKey, usize> = HashMap::new();
+        let mut want = |key: ArtifactKey| {
+            key_ids.entry(key.clone()).or_insert_with(|| {
+                keys.push(key);
+                keys.len() - 1
+            });
+        };
+        let path_key = |md: &Md, spec: &PathSpec| match spec {
+            PathSpec::Exact { premise } => ArtifactKey::Exact(md.premises()[*premise].master_attr),
+            PathSpec::Blocked { premise, .. } => {
+                ArtifactKey::Blocker(md.premises()[*premise].master_attr)
+            }
+            PathSpec::QGramCount { premise, q, .. } => {
+                ArtifactKey::QGram(md.premises()[*premise].master_attr, *q)
+            }
+            PathSpec::JaroFilter { premise, .. } => {
+                ArtifactKey::QGram(md.premises()[*premise].master_attr, 1)
+            }
+        };
+        for (md, spec) in mds.iter().zip(&specs) {
+            match spec {
+                PlanSpec::Single(p) => want(path_key(md, p)),
+                PlanSpec::Composite { premises } => want(ArtifactKey::Composite(
+                    premises
+                        .iter()
+                        .map(|&i| md.premises()[i].master_attr)
+                        .collect(),
+                )),
+                PlanSpec::Intersect { primary, secondary } => {
+                    want(path_key(md, primary));
+                    want(path_key(md, secondary));
+                }
+                PlanSpec::Scan { .. } => {}
+            }
+        }
+        let artifacts = map_each(keys.len(), threads, |i| {
+            build_artifact(&keys[i], master, l, interning)
+        });
+
+        // Assemble the runtime plans.
+        let resolve_path = |md: &Md, spec: &PathSpec| -> Path {
+            let id = key_ids[&path_key(md, spec)];
+            match (spec, &artifacts[id]) {
+                (PathSpec::Exact { premise }, Artifact::ExactSym(map)) => Path::ExactInterned {
+                    premise: *premise,
+                    map: map.clone(),
+                },
+                (PathSpec::Exact { premise }, Artifact::ExactRaw(map)) => Path::Exact {
+                    premise: *premise,
+                    map: map.clone(),
+                },
+                (PathSpec::Blocked { premise, k }, Artifact::Blocker(blocker)) => Path::Blocked {
+                    premise: *premise,
+                    blocker: blocker.clone(),
+                    k: *k,
+                },
+                (PathSpec::QGramCount { premise, q, min }, Artifact::QGram(index)) => {
+                    Path::QGramCount {
+                        premise: *premise,
+                        q: *q,
+                        min: *min,
+                        index: index.clone(),
                     }
-                    let map = exact_cache.entry(p.master_attr).or_insert_with(|| {
-                        let mut m: HashMap<Value, Vec<u32>> = HashMap::new();
-                        for (sid, s) in master.iter() {
-                            m.entry(s.value(p.master_attr).clone())
-                                .or_default()
-                                .push(sid.0);
-                        }
-                        Arc::new(m)
-                    });
-                    return Access::Exact {
-                        premise: i,
+                }
+                (PathSpec::JaroFilter { premise, min_jaro }, Artifact::QGram(index)) => {
+                    Path::JaroFilter {
+                        premise: *premise,
+                        min_jaro: *min_jaro,
+                        index: index.clone(),
+                    }
+                }
+                _ => unreachable!("artifact kind matches its key"),
+            }
+        };
+        let mut used_interned = false;
+        let plans: Vec<Plan> = mds
+            .iter()
+            .zip(&specs)
+            .map(|(md, spec)| match spec {
+                PlanSpec::Single(p) => {
+                    let path = resolve_path(md, p);
+                    used_interned |= matches!(path, Path::ExactInterned { .. });
+                    Plan::Single(path)
+                }
+                PlanSpec::Composite { premises } => {
+                    let key = ArtifactKey::Composite(
+                        premises
+                            .iter()
+                            .map(|&i| md.premises()[i].master_attr)
+                            .collect(),
+                    );
+                    let Artifact::Composite(map) = &artifacts[key_ids[&key]] else {
+                        unreachable!("artifact kind matches its key")
+                    };
+                    used_interned |= interning;
+                    Plan::Composite {
+                        premises: premises.clone().into(),
                         map: map.clone(),
-                    };
+                        hash_syms: interning,
+                    }
                 }
-                if let Some((i, p, k)) = md
-                    .premises()
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, p)| p.pred.edit_threshold().map(|k| (i, p, k)))
-                    .min_by_key(|&(_, _, k)| k)
-                {
-                    let blocker = blocker_cache.entry(p.master_attr).or_insert_with(|| {
-                        let col: Vec<String> = master
-                            .rows()
-                            .map(|s| s.value(p.master_attr).render().into_owned())
-                            .collect();
-                        Arc::new(LcsBlocker::build(&col, l))
-                    });
-                    return Access::Blocked {
-                        premise: i,
-                        blocker: blocker.clone(),
-                        k,
-                    };
+                PlanSpec::Intersect { primary, secondary } => {
+                    let a = resolve_path(md, primary);
+                    let b = resolve_path(md, secondary);
+                    used_interned |= matches!(a, Path::ExactInterned { .. })
+                        || matches!(b, Path::ExactInterned { .. });
+                    Plan::Intersect {
+                        primary: a,
+                        secondary: b,
+                    }
                 }
-                Access::Scan
+                PlanSpec::Scan { reason } => Plan::Scan { reason },
             })
             .collect();
         // Symbols in the interned maps are the master store's; probes
@@ -150,40 +690,43 @@ impl MasterIndex {
             plans,
             interner: Arc::new(interner),
             master_len: master.len(),
+            l,
         }
     }
 
-    /// Visit every candidate master row for `t` under MD `md_idx` (each
-    /// still to be verified with [`Md::premise_matches`]). Allocation-free
-    /// for the indexed paths. `t` is any [`Row`] — a stored [`uniclean_model::TupleRef`]
-    /// probes without materializing anything.
-    pub fn for_each_candidate<'t>(
+    /// Append the candidates of one single-conjunct path (unordered,
+    /// unique rows; empty on a null probe value).
+    #[allow(clippy::too_many_arguments)] // one probe's full scratch context
+    fn collect_path<'t>(
         &self,
-        md_idx: usize,
+        path: &Path,
         md: &Md,
         t: impl Row<'t>,
-        mut f: impl FnMut(TupleId),
+        qgram: &mut QGramScratch,
+        wide: &mut Vec<usize>,
+        profiles: &mut FxHashMap<(u32, u32), QGramProfile>,
+        out: &mut Vec<u32>,
     ) {
-        match &self.plans[md_idx] {
-            Access::Exact { premise, map } => {
+        match path {
+            Path::Exact { premise, map } => {
                 let v = t.value(md.premises()[*premise].attr);
                 if v.is_null() {
                     return;
                 }
                 if let Some(rows) = map.get(v) {
-                    rows.iter().for_each(|r| f(TupleId(*r)));
+                    out.extend_from_slice(rows);
                 }
             }
-            Access::ExactInterned { premise, map } => {
+            Path::ExactInterned { premise, map } => {
                 let v = t.value(md.premises()[*premise].attr);
                 if v.is_null() {
                     return;
                 }
                 if let Some(rows) = self.interner.get(v).and_then(|sym| map.get(&sym)) {
-                    rows.iter().for_each(|r| f(TupleId(*r)));
+                    out.extend_from_slice(rows);
                 }
             }
-            Access::Blocked {
+            Path::Blocked {
                 premise,
                 blocker,
                 k,
@@ -192,25 +735,156 @@ impl MasterIndex {
                 if v.is_null() {
                     return;
                 }
-                blocker
-                    .candidates_within_edit(&v.render(), *k)
-                    .into_iter()
-                    .for_each(|r| f(TupleId(r as u32)));
+                // The blocker's usize rows narrow to the engine's u32
+                // tuple ids through a reused staging buffer.
+                wide.clear();
+                blocker.candidates_within_edit_into(&v.render(), *k, wide);
+                out.extend(wide.iter().map(|&r| r as u32));
             }
-            Access::Scan => (0..self.master_len).map(TupleId::from).for_each(f),
+            Path::QGramCount {
+                premise,
+                q,
+                min,
+                index,
+            } => {
+                let attr = md.premises()[*premise].attr;
+                let v = t.value(attr);
+                if v.is_null() {
+                    return;
+                }
+                // Symbol-keyed probe cache: equal symbols ⇒ equal values
+                // within the probed relation, so the profile is reusable.
+                let mut owned = None;
+                let profile: &QGramProfile = match t.sym(attr) {
+                    Some(sym) => profiles
+                        .entry((sym.0, *q as u32))
+                        .or_insert_with(|| QGramProfile::new(&v.render(), *q)),
+                    None => owned.insert(QGramProfile::new(&v.render(), *q)),
+                };
+                index.candidates_jaccard_into(profile, *min, qgram, out);
+            }
+            Path::JaroFilter {
+                premise,
+                min_jaro,
+                index,
+            } => {
+                let attr = md.premises()[*premise].attr;
+                let v = t.value(attr);
+                if v.is_null() {
+                    return;
+                }
+                let mut owned = None;
+                let profile: &QGramProfile = match t.sym(attr) {
+                    Some(sym) => profiles
+                        .entry((sym.0, 1))
+                        .or_insert_with(|| QGramProfile::new(&v.render(), 1)),
+                    None => owned.insert(QGramProfile::new(&v.render(), 1)),
+                };
+                index.candidates_jaro_into(profile, *min_jaro, qgram, out);
+            }
+        }
+    }
+
+    /// Visit every candidate master row for `t` under MD `md_idx`, in
+    /// ascending row order (each still to be verified with
+    /// [`Md::premise_matches`]). Allocation-free at steady state: buffers
+    /// and the probe-profile cache live in the caller's [`ProbeScratch`].
+    /// `t` is any [`Row`] — a stored [`uniclean_model::TupleRef`] probes
+    /// without materializing anything and feeds the symbol-keyed cache.
+    pub fn for_each_candidate<'t>(
+        &self,
+        md_idx: usize,
+        md: &Md,
+        t: impl Row<'t>,
+        scratch: &mut ProbeScratch,
+        mut f: impl FnMut(TupleId),
+    ) {
+        let ProbeScratch {
+            qgram,
+            rows_a,
+            rows_b,
+            rows_wide,
+            profiles,
+        } = scratch;
+        match &self.plans[md_idx] {
+            Plan::Scan { .. } => (0..self.master_len).map(TupleId::from).for_each(f),
+            Plan::Single(path @ (Path::Exact { .. } | Path::ExactInterned { .. })) => {
+                // Exact buckets are already ascending and unique: emit
+                // straight off the map.
+                rows_a.clear();
+                self.collect_path(path, md, t, qgram, rows_wide, profiles, rows_a);
+                rows_a.iter().for_each(|&r| f(TupleId(r)));
+            }
+            Plan::Single(path) => {
+                rows_a.clear();
+                self.collect_path(path, md, t, qgram, rows_wide, profiles, rows_a);
+                rows_a.sort_unstable();
+                rows_a.iter().for_each(|&r| f(TupleId(r)));
+            }
+            Plan::Composite {
+                premises,
+                map,
+                hash_syms,
+            } => {
+                let mut h = FxHasher::default();
+                for &pi in premises.iter() {
+                    let v = t.value(md.premises()[pi].attr);
+                    if v.is_null() {
+                        return;
+                    }
+                    if *hash_syms {
+                        match self.interner.get(v) {
+                            Some(sym) => h.write_u32(sym.0),
+                            // Never interned by the master ⇒ not in any
+                            // master cell ⇒ the conjunct cannot hold.
+                            None => return,
+                        }
+                    } else {
+                        v.hash(&mut h);
+                    }
+                }
+                if let Some(rows) = map.get(&h.finish()) {
+                    rows.iter().for_each(|&r| f(TupleId(r)));
+                }
+            }
+            Plan::Intersect { primary, secondary } => {
+                rows_a.clear();
+                self.collect_path(primary, md, t, qgram, rows_wide, profiles, rows_a);
+                if rows_a.is_empty() {
+                    return;
+                }
+                rows_b.clear();
+                self.collect_path(secondary, md, t, qgram, rows_wide, profiles, rows_b);
+                rows_a.sort_unstable();
+                rows_b.sort_unstable();
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < rows_a.len() && j < rows_b.len() {
+                    match rows_a[i].cmp(&rows_b[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            f(TupleId(rows_a[i]));
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+            }
         }
     }
 
     /// Candidate master rows for `t` under MD number `md_idx`, as a fresh
-    /// vector. Hot loops should prefer [`Self::for_each_candidate`] or
-    /// [`Self::matches_into`], which reuse caller buffers.
+    /// vector.
+    #[deprecated(note = "use for_each_candidate with a caller-owned ProbeScratch")]
     pub fn candidates<'t>(&self, md_idx: usize, md: &Md, t: impl Row<'t>) -> Vec<TupleId> {
+        let mut scratch = ProbeScratch::new();
         let mut out = Vec::new();
-        self.for_each_candidate(md_idx, md, t, |sid| out.push(sid));
+        self.for_each_candidate(md_idx, md, t, &mut scratch, |sid| out.push(sid));
         out
     }
 
     /// Master rows whose full premise matches `t` under MD `md_idx`.
+    #[deprecated(note = "use matches_into with a caller-owned ProbeScratch and buffer")]
     pub fn matches<'t>(
         &self,
         md_idx: usize,
@@ -218,11 +892,15 @@ impl MasterIndex {
         t: impl Row<'t>,
         master: &Relation,
     ) -> Vec<TupleId> {
-        self.matches_excluding(md_idx, md, t, master, None)
+        let mut scratch = ProbeScratch::new();
+        let mut out = Vec::new();
+        self.matches_into(md_idx, md, t, master, None, &mut scratch, &mut out);
+        out
     }
 
     /// Like [`Self::matches`], skipping one master row — the tuple's own
     /// positional copy under self-matching (master = snapshot of the data).
+    #[deprecated(note = "use matches_into with a caller-owned ProbeScratch and buffer")]
     pub fn matches_excluding<'t>(
         &self,
         md_idx: usize,
@@ -231,13 +909,35 @@ impl MasterIndex {
         master: &Relation,
         exclude: Option<TupleId>,
     ) -> Vec<TupleId> {
+        let mut scratch = ProbeScratch::new();
         let mut out = Vec::new();
-        self.matches_into(md_idx, md, t, master, exclude, &mut out);
+        self.matches_into(md_idx, md, t, master, exclude, &mut scratch, &mut out);
         out
     }
 
-    /// [`Self::matches_excluding`] appending into a caller-owned buffer
-    /// (cleared first), so a tuple loop reuses one allocation throughout.
+    /// Verified premise matches appended into a caller-owned buffer
+    /// (cleared first), ascending row order, so a tuple loop reuses one
+    /// allocation (and one probe cache) throughout.
+    ///
+    /// ```
+    /// # use uniclean_core::{MasterIndex, ProbeScratch};
+    /// # use uniclean_model::{Relation, Schema, Tuple};
+    /// # use uniclean_rules::parse_rules;
+    /// # let tran = Schema::of_strings("tran", &["LN", "phn"]);
+    /// # let card = Schema::of_strings("card", &["LN", "tel"]);
+    /// # let mds = parse_rules(
+    /// #     "md m: tran[LN] = card[LN] -> tran[phn] <=> card[tel]",
+    /// #     &tran, Some(&card)).unwrap().positive_mds;
+    /// # let dm = Relation::new(card, vec![Tuple::of_strs(&["Smith", "1"], 1.0)]);
+    /// let idx = MasterIndex::build(&mds, &dm, 20);
+    /// let mut scratch = ProbeScratch::new();
+    /// let mut buf = Vec::new();
+    /// for (tid, t) in dm.iter() {
+    ///     idx.matches_into(0, &mds[0], t, &dm, None, &mut scratch, &mut buf);
+    ///     assert!(buf.contains(&tid), "reflexive predicates match their own value");
+    /// }
+    /// ```
+    #[allow(clippy::too_many_arguments)] // the probe's full context
     pub fn matches_into<'t>(
         &self,
         md_idx: usize,
@@ -245,19 +945,80 @@ impl MasterIndex {
         t: impl Row<'t>,
         master: &Relation,
         exclude: Option<TupleId>,
+        scratch: &mut ProbeScratch,
         out: &mut Vec<TupleId>,
     ) {
         out.clear();
-        self.for_each_candidate(md_idx, md, t, |sid| {
+        let mut sink = std::mem::take(out);
+        self.for_each_candidate(md_idx, md, t, scratch, |sid| {
             if Some(sid) != exclude && md.premise_matches(t, master.tuple(sid)) {
-                out.push(sid);
+                sink.push(sid);
             }
         });
+        *out = sink;
     }
 
-    /// Is this MD served by a blocked/exact path (diagnostics)?
+    /// Is this MD served by an indexed access path? Since the q-gram and
+    /// Jaro filters landed this is `true` for every MD with at least one
+    /// premise conjunct — see [`Self::scan_reason`] for the residual scan
+    /// cases.
     pub fn is_indexed(&self, md_idx: usize) -> bool {
-        !matches!(self.plans[md_idx], Access::Scan)
+        !matches!(self.plans[md_idx], Plan::Scan { .. })
+    }
+
+    /// Why MD `md_idx` fell back to a full scan, or `None` when it is
+    /// indexed.
+    pub fn scan_reason(&self, md_idx: usize) -> Option<&'static str> {
+        match &self.plans[md_idx] {
+            Plan::Scan { reason } => Some(reason),
+            _ => None,
+        }
+    }
+
+    /// Human-readable description of the chosen plan (CLI `--explain-plans`
+    /// and test diagnostics). `md` must be the same MD the index was built
+    /// from at position `md_idx`.
+    pub fn describe_plan(&self, md_idx: usize, md: &Md) -> String {
+        let attr = |premise: usize| {
+            md.master_schema()
+                .attr_name(md.premises()[premise].master_attr)
+                .to_string()
+        };
+        let path = |p: &Path| match p {
+            Path::Exact { premise, .. } => format!("exact-eq({})", attr(*premise)),
+            Path::ExactInterned { premise, .. } => format!("exact-eq[sym]({})", attr(*premise)),
+            Path::Blocked { premise, k, .. } => {
+                format!("lcs-top{}({}, k={k})", self.l, attr(*premise))
+            }
+            Path::QGramCount {
+                premise, q, min, ..
+            } => {
+                format!("qgram-count({}, q={q}, min={min})", attr(*premise))
+            }
+            Path::JaroFilter {
+                premise, min_jaro, ..
+            } => format!("jaro-1gram({}, floor={min_jaro:.3})", attr(*premise)),
+        };
+        match &self.plans[md_idx] {
+            Plan::Single(p) => path(p),
+            Plan::Composite {
+                premises,
+                hash_syms,
+                ..
+            } => format!(
+                "composite-eq{}({})",
+                if *hash_syms { "[sym]" } else { "" },
+                premises
+                    .iter()
+                    .map(|&i| attr(i))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            Plan::Intersect { primary, secondary } => {
+                format!("intersect({} ∩ {})", path(primary), path(secondary))
+            }
+            Plan::Scan { reason } => format!("scan ({reason})"),
+        }
     }
 }
 
@@ -283,15 +1044,31 @@ mod tests {
         (tran, card, mds, dm)
     }
 
+    fn probe_matches(idx: &MasterIndex, md: &Md, t: &Tuple, dm: &Relation) -> Vec<TupleId> {
+        let mut scratch = ProbeScratch::new();
+        let mut out = Vec::new();
+        idx.matches_into(0, md, t, dm, None, &mut scratch, &mut out);
+        out
+    }
+
+    fn reference_matches(md: &Md, t: &Tuple, dm: &Relation) -> Vec<TupleId> {
+        dm.iter()
+            .filter(|(_, s)| md.premise_matches(t, s))
+            .map(|(sid, _)| sid)
+            .collect()
+    }
+
     #[test]
     fn equality_premise_uses_exact_index() {
         let (tran, _, mds, dm) = setup("=");
         let idx = MasterIndex::build(&mds, &dm, 5);
         assert!(idx.is_indexed(0));
+        assert!(idx.describe_plan(0, &mds[0]).starts_with("exact-eq"));
         let t = Tuple::of_strs(&["Smith", "999"], 0.5);
-        let mut rows = idx.matches(0, &mds[0], &t, &dm);
-        rows.sort_unstable();
-        assert_eq!(rows, vec![TupleId(0), TupleId(2)]);
+        assert_eq!(
+            probe_matches(&idx, &mds[0], &t, &dm),
+            vec![TupleId(0), TupleId(2)]
+        );
         let _ = tran;
     }
 
@@ -303,8 +1080,8 @@ mod tests {
         for name in ["Smith", "Brady", "Nobody", ""] {
             let t = Tuple::of_strs(&[name, "999"], 0.5);
             assert_eq!(
-                interned.matches(0, &mds[0], &t, &dm),
-                raw.matches(0, &mds[0], &t, &dm),
+                probe_matches(&interned, &mds[0], &t, &dm),
+                probe_matches(&raw, &mds[0], &t, &dm),
                 "probe {name:?}"
             );
         }
@@ -315,20 +1092,109 @@ mod tests {
         let (_, _, mds, dm) = setup("~lev(1)");
         let idx = MasterIndex::build(&mds, &dm, 5);
         assert!(idx.is_indexed(0));
+        assert!(idx.describe_plan(0, &mds[0]).starts_with("lcs-top"));
         let t = Tuple::of_strs(&["Smjth", "999"], 0.5); // one typo
-        let mut rows = idx.matches(0, &mds[0], &t, &dm);
-        rows.sort_unstable();
-        assert_eq!(rows, vec![TupleId(0), TupleId(2)]);
+        assert_eq!(
+            probe_matches(&idx, &mds[0], &t, &dm),
+            vec![TupleId(0), TupleId(2)]
+        );
     }
 
     #[test]
-    fn unbounded_predicate_falls_back_to_scan() {
-        let (_, _, mds, dm) = setup("~jaro(0.9)");
-        let idx = MasterIndex::build(&mds, &dm, 5);
-        assert!(!idx.is_indexed(0));
-        let t = Tuple::of_strs(&["Smith", "999"], 0.5);
-        let rows = idx.matches(0, &mds[0], &t, &dm);
-        assert_eq!(rows.len(), 2, "jaro 0.9 matches both Smith rows");
+    fn jaro_and_qgram_premises_are_indexed_now() {
+        // Previously these degraded to Access::Scan; the q-gram filters
+        // serve them with bounded candidate generation and identical
+        // matches.
+        for pred in ["~jaro(0.9)", "~jw(0.9)", "~qgram(2,0.5)"] {
+            let (_, _, mds, dm) = setup(pred);
+            let idx = MasterIndex::build(&mds, &dm, 5);
+            assert!(idx.is_indexed(0), "{pred} should be indexed");
+            assert_eq!(idx.scan_reason(0), None);
+            for name in ["Smith", "Smjth", "Brady", "Zzz", ""] {
+                let t = Tuple::of_strs(&[name, "999"], 0.5);
+                assert_eq!(
+                    probe_matches(&idx, &mds[0], &t, &dm),
+                    reference_matches(&mds[0], &t, &dm),
+                    "{pred} probe {name:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_equality_premises_use_one_composite_probe() {
+        let tran = Schema::of_strings("tran", &["LN", "city", "phn"]);
+        let card = Schema::of_strings("card", &["LN", "city", "tel"]);
+        let text =
+            "md m: tran[LN] = card[LN] AND tran[city] = card[city] -> tran[phn] <=> card[tel]";
+        let mds = parse_rules(text, &tran, Some(&card)).unwrap().positive_mds;
+        let dm = Relation::new(
+            card,
+            vec![
+                Tuple::of_strs(&["Smith", "Edi", "111"], 1.0),
+                Tuple::of_strs(&["Smith", "Ldn", "222"], 1.0),
+                Tuple::of_strs(&["Brady", "Edi", "333"], 1.0),
+            ],
+        );
+        for interning in [true, false] {
+            let idx = MasterIndex::build_with(&mds, &dm, 5, interning);
+            assert!(idx.describe_plan(0, &mds[0]).starts_with("composite-eq"));
+            let t = Tuple::of_strs(&["Smith", "Edi", "999"], 0.5);
+            // One probe pins both conjuncts: only the (Smith, Edi) row is
+            // even a candidate, where the old single-equality path would
+            // have surfaced both Smith rows.
+            let mut scratch = ProbeScratch::new();
+            let mut cands = Vec::new();
+            idx.for_each_candidate(0, &mds[0], &t, &mut scratch, |sid| cands.push(sid));
+            assert_eq!(cands, vec![TupleId(0)]);
+            assert_eq!(probe_matches(&idx, &mds[0], &t, &dm), vec![TupleId(0)]);
+        }
+    }
+
+    #[test]
+    fn forced_intersection_plan_preserves_matches() {
+        let tran = Schema::of_strings("tran", &["LN", "FN", "phn"]);
+        let card = Schema::of_strings("card", &["LN", "FN", "tel"]);
+        let text = "md m: tran[LN] = card[LN] AND tran[FN] ~qgram(2,0.5) card[FN] \
+                    -> tran[phn] <=> card[tel]";
+        let mds = parse_rules(text, &tran, Some(&card)).unwrap().positive_mds;
+        let dm = Relation::new(
+            card,
+            vec![
+                Tuple::of_strs(&["Smith", "Mark", "111"], 1.0),
+                Tuple::of_strs(&["Smith", "Robert", "222"], 1.0),
+                Tuple::of_strs(&["Brady", "Mark", "333"], 1.0),
+            ],
+        );
+        let plain = MasterIndex::build(&mds, &dm, 5);
+        let forced = MasterIndex::build_with_policy(
+            &mds,
+            &dm,
+            5,
+            true,
+            1,
+            IndexPolicy {
+                intersect_above: 0.0,
+            },
+        );
+        assert!(forced.describe_plan(0, &mds[0]).starts_with("intersect("));
+        for (ln, fn_) in [
+            ("Smith", "Marc"),
+            ("Smith", "Zed"),
+            ("Brady", "Mark"),
+            ("X", "Y"),
+        ] {
+            let t = Tuple::of_strs(&[ln, fn_, "9"], 0.5);
+            assert_eq!(
+                probe_matches(&forced, &mds[0], &t, &dm),
+                probe_matches(&plain, &mds[0], &t, &dm),
+                "probe ({ln}, {fn_})"
+            );
+            assert_eq!(
+                probe_matches(&forced, &mds[0], &t, &dm),
+                reference_matches(&mds[0], &t, &dm),
+            );
+        }
     }
 
     #[test]
@@ -342,33 +1208,91 @@ mod tests {
             0.0,
             Default::default(),
         );
-        assert!(idx.candidates(0, &mds[0], &t).is_empty());
+        let mut scratch = ProbeScratch::new();
+        let mut cands = Vec::new();
+        idx.for_each_candidate(0, &mds[0], &t, &mut scratch, |sid| cands.push(sid));
+        assert!(cands.is_empty());
     }
 
     #[test]
-    fn scan_matches_reference_enumeration() {
+    fn degenerate_jaro_threshold_matches_reference_enumeration() {
         let (_, _, mds, dm) = setup("~jaro(0.5)");
         let idx = MasterIndex::build(&mds, &dm, 5);
+        assert!(idx.is_indexed(0));
         let t = Tuple::of_strs(&["Brody", "999"], 0.5);
-        let got = idx.matches(0, &mds[0], &t, &dm);
-        let want: Vec<TupleId> = dm
-            .iter()
-            .filter(|(_, s)| mds[0].premise_matches(&t, s))
-            .map(|(sid, _)| sid)
-            .collect();
-        assert_eq!(got, want);
+        assert_eq!(
+            probe_matches(&idx, &mds[0], &t, &dm),
+            reference_matches(&mds[0], &t, &dm),
+        );
     }
 
     #[test]
     fn matches_into_reuses_the_buffer() {
         let (_, _, mds, dm) = setup("=");
         let idx = MasterIndex::build(&mds, &dm, 5);
+        let mut scratch = ProbeScratch::new();
         let mut buf = Vec::new();
         let t = Tuple::of_strs(&["Smith", "999"], 0.5);
-        idx.matches_into(0, &mds[0], &t, &dm, None, &mut buf);
+        idx.matches_into(0, &mds[0], &t, &dm, None, &mut scratch, &mut buf);
         assert_eq!(buf, vec![TupleId(0), TupleId(2)]);
         // A second probe clears before filling; exclusion is honored.
-        idx.matches_into(0, &mds[0], &t, &dm, Some(TupleId(0)), &mut buf);
+        idx.matches_into(
+            0,
+            &mds[0],
+            &t,
+            &dm,
+            Some(TupleId(0)),
+            &mut scratch,
+            &mut buf,
+        );
         assert_eq!(buf, vec![TupleId(2)]);
+    }
+
+    #[test]
+    fn parallel_build_produces_identical_plans() {
+        let tran = Schema::of_strings("tran", &["LN", "FN", "phn"]);
+        let card = Schema::of_strings("card", &["LN", "FN", "tel"]);
+        let text = "md a: tran[LN] = card[LN] AND tran[FN] = card[FN] -> tran[phn] <=> card[tel]\n\
+                    md b: tran[FN] ~lev(1) card[FN] -> tran[phn] <=> card[tel]\n\
+                    md c: tran[LN] ~qgram(2,0.6) card[LN] -> tran[phn] <=> card[tel]";
+        let mds = parse_rules(text, &tran, Some(&card)).unwrap().positive_mds;
+        let dm = Relation::new(
+            card,
+            vec![
+                Tuple::of_strs(&["Smith", "Mark", "111"], 1.0),
+                Tuple::of_strs(&["Brady", "Rob", "222"], 1.0),
+            ],
+        );
+        let seq = MasterIndex::build_parallel(&mds, &dm, 5, true, 1);
+        let par = MasterIndex::build_parallel(&mds, &dm, 5, true, 4);
+        for (i, md) in mds.iter().enumerate() {
+            assert_eq!(seq.describe_plan(i, md), par.describe_plan(i, md));
+            for name in ["Smith", "Smoth", "Brady"] {
+                let t = Tuple::of_strs(&[name, "Mark", "9"], 0.5);
+                let mut sa = ProbeScratch::new();
+                let mut sb = ProbeScratch::new();
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                seq.matches_into(i, md, &t, &dm, None, &mut sa, &mut a);
+                par.matches_into(i, md, &t, &dm, None, &mut sb, &mut b);
+                assert_eq!(a, b, "md {i} probe {name:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_conveniences_still_agree() {
+        let (_, _, mds, dm) = setup("=");
+        let idx = MasterIndex::build(&mds, &dm, 5);
+        let t = Tuple::of_strs(&["Smith", "999"], 0.5);
+        assert_eq!(
+            idx.matches(0, &mds[0], &t, &dm),
+            probe_matches(&idx, &mds[0], &t, &dm)
+        );
+        assert_eq!(
+            idx.matches_excluding(0, &mds[0], &t, &dm, Some(TupleId(0))),
+            vec![TupleId(2)]
+        );
+        assert_eq!(idx.candidates(0, &mds[0], &t).len(), 2);
     }
 }

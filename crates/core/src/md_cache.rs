@@ -22,7 +22,7 @@
 use uniclean_model::{AttrId, Relation, TupleId};
 use uniclean_rules::RuleSet;
 
-use crate::master_index::MasterIndex;
+use crate::master_index::{MasterIndex, ProbeScratch};
 use crate::parallel::map_chunks;
 
 /// Per-(MD, tuple) verified witness lists with premise-based invalidation.
@@ -44,6 +44,10 @@ pub(crate) struct MdMatchCache {
     /// `(md, tuple)` slots invalidated since the last `begin_run`; refills
     /// of these reflect mid-run states, not the run's base state.
     volatile: Vec<(usize, TupleId)>,
+    /// Probe-side buffers and symbol-keyed profile cache for the
+    /// sequential recompute path; cleared on [`Self::begin_run`] because a
+    /// rewound run may re-intern different values behind the same symbols.
+    scratch: ProbeScratch,
 }
 
 impl MdMatchCache {
@@ -64,6 +68,7 @@ impl MdMatchCache {
             attr_to_mds,
             exclude_self,
             volatile: Vec::new(),
+            scratch: ProbeScratch::new(),
         }
     }
 
@@ -82,6 +87,10 @@ impl MdMatchCache {
         for (m, t) in self.volatile.drain(..) {
             self.entries[m][t.index()] = None;
         }
+        // A fresh run restarts from the base relation state; symbols
+        // interned mid-run by the previous replay may differ, so the
+        // symbol-keyed probe cache must not carry over.
+        self.scratch.reset();
     }
 
     /// Discard the volatile journal *without* dropping entries — for
@@ -139,6 +148,7 @@ impl MdMatchCache {
         // entries equal what this recomputation would produce.
         let entries = &self.entries;
         let chunks = map_chunks(span.len(), threads, |range| {
+            let mut scratch = ProbeScratch::new();
             let mut buf = Vec::new();
             let mut rows: Vec<Vec<Option<Box<[TupleId]>>>> = Vec::with_capacity(range.len());
             for i in range {
@@ -148,7 +158,15 @@ impl MdMatchCache {
                     if entries[m][t.index()].is_some() || !want(m, t) {
                         continue;
                     }
-                    idx.matches_into(m, md, d.tuple(t), dm, exclude_self.then_some(t), &mut buf);
+                    idx.matches_into(
+                        m,
+                        md,
+                        d.tuple(t),
+                        dm,
+                        exclude_self.then_some(t),
+                        &mut scratch,
+                        &mut buf,
+                    );
                     row[m] = Some(buf.as_slice().into());
                 }
                 rows.push(row);
@@ -184,7 +202,15 @@ impl MdMatchCache {
         if slot.is_none() {
             let md = &rules.mds()[md_idx];
             let mut buf = Vec::new();
-            idx.matches_into(md_idx, md, d.tuple(t), dm, exclude, &mut buf);
+            idx.matches_into(
+                md_idx,
+                md,
+                d.tuple(t),
+                dm,
+                exclude,
+                &mut self.scratch,
+                &mut buf,
+            );
             *slot = Some(buf.into_boxed_slice());
         }
         slot.as_deref().expect("filled above")
@@ -242,8 +268,18 @@ mod tests {
     fn lazy_matches_equal_direct_computation() {
         let (rules, d, dm, idx) = setup();
         let mut cache = MdMatchCache::new(&rules, d.len(), false);
+        let mut scratch = crate::master_index::ProbeScratch::new();
+        let mut want = Vec::new();
         for t in d.ids() {
-            let want = idx.matches_excluding(0, &rules.mds()[0], d.tuple(t), &dm, None);
+            idx.matches_into(
+                0,
+                &rules.mds()[0],
+                d.tuple(t),
+                &dm,
+                None,
+                &mut scratch,
+                &mut want,
+            );
             let got = cache.matches(0, &rules, &d, &dm, &idx, t);
             assert_eq!(got, want.as_slice(), "tuple {t:?}");
         }

@@ -91,9 +91,59 @@ where
     })
 }
 
+/// Run `f` once per index `0..n` across up to `threads` scoped workers
+/// and return results **in index order**. Unlike [`map_chunks`] there is
+/// no minimum batch size: this is for a *small* number of *individually
+/// expensive* jobs (e.g. building the per-attribute access-path indexes
+/// of the master index), where even two items are worth two workers.
+/// Indices are dealt round-robin so early long jobs don't serialize the
+/// tail.
+pub(crate) fn map_each<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = threads.clamp(1, n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let f = &f;
+                scope.spawn(move || {
+                    (w..n)
+                        .step_by(workers)
+                        .map(|i| (i, f(i)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("index-build worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index covered"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn map_each_preserves_index_order() {
+        for threads in [1usize, 2, 3, 8] {
+            let out = map_each(5, threads, |i| i * 10);
+            assert_eq!(out, vec![0, 10, 20, 30, 40], "threads={threads}");
+        }
+        assert!(map_each(0, 4, |i| i).is_empty());
+    }
 
     #[test]
     fn chunks_cover_exactly_once_in_order() {

@@ -241,8 +241,13 @@ pub(crate) fn run_phases(
             MasterSource::External(m) => (Some(m), prepared.index.as_ref()),
             MasterSource::SelfSnapshot => {
                 let snap = prepared.snapshot(work);
-                let idx =
-                    MasterIndex::build_with(rules.mds(), &snap, cfg.blocking_l, cfg.interning);
+                let idx = MasterIndex::build_parallel(
+                    rules.mds(),
+                    &snap,
+                    cfg.blocking_l,
+                    cfg.interning,
+                    cfg.effective_parallelism(),
+                );
                 snapshot_storage = (snap, idx);
                 (Some(&snapshot_storage.0), Some(&snapshot_storage.1))
             }
@@ -488,11 +493,12 @@ impl CleanerBuilder {
         }
 
         let index = match &self.master {
-            MasterSource::External(dm) => Some(MasterIndex::build_with(
+            MasterSource::External(dm) => Some(MasterIndex::build_parallel(
                 rules.mds(),
                 dm,
                 config.blocking_l,
                 config.interning,
+                config.effective_parallelism(),
             )),
             _ => None,
         };

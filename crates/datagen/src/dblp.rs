@@ -57,6 +57,23 @@ fn rule_text() -> String {
     t
 }
 
+/// Rules for the similarity-heavy variant: every MD premise leads with a
+/// `~jaro`/`~jw`/`~qgram`/`~lev` conjunct (no entity-unique equality), so
+/// MD matching exercises exactly the predicate families that used to
+/// degrade to a full master scan. Used by the access-path benchmark.
+fn similarity_rule_text() -> String {
+    let mut t = String::new();
+    t.push_str("cfd d4: dblp([Journal] -> [Publisher])\n");
+    t.push_str("cfd d5: dblp([Journal] -> [Venue])\n");
+    t.push_str("md sv1: dblp[Title] ~qgram(3,0.55) dblpm[Title] -> dblp[Key] <=> dblpm[Key]\n");
+    t.push_str("md sv2: dblp[Authors] ~jaro(0.88) dblpm[Authors] -> dblp[EE] <=> dblpm[EE]\n");
+    t.push_str(
+        "md sv3: dblp[Title] ~jw(0.9) dblpm[Title] AND dblp[Authors] ~qgram(2,0.5) dblpm[Authors] -> dblp[Journal] <=> dblpm[Journal]\n",
+    );
+    t.push_str("md sv4: dblp[Title] ~lev(2) dblpm[Title] -> dblp[Pages] <=> dblpm[Pages]\n");
+    t
+}
+
 /// A paper's attribute bundle, functional in its index.
 fn paper_row(i: usize) -> Vec<Value> {
     let j = i % dict::JOURNALS.len();
@@ -98,16 +115,36 @@ fn paper_row(i: usize) -> Vec<Value> {
 
 /// Generate the DBLP workload.
 pub fn dblp_workload(params: &GenParams) -> Workload {
+    dblp_workload_with_rules(params, "dblp", &rule_text(), Some((7, 3)))
+}
+
+/// The similarity-heavy DBLP variant: same records and noise process, but
+/// MDs whose premises are led by `~qgram`/`~jaro`/`~jw`/`~lev` conjuncts
+/// instead of entity-unique equalities. This is the workload where the
+/// engine previously fell back to O(|D|·|Dm|) scans for candidate
+/// generation; the `perf` benchmark measures the access-path planner on
+/// it (`BENCH_pr5.json`).
+pub fn dblp_similarity_workload(params: &GenParams) -> Workload {
+    dblp_workload_with_rules(params, "dblp-sim", &similarity_rule_text(), None)
+}
+
+fn dblp_workload_with_rules(
+    params: &GenParams,
+    name: &'static str,
+    rules_text: &str,
+    expect_counts: Option<(usize, usize)>,
+) -> Workload {
     params.validate().expect("invalid generation parameters");
     let schema = Schema::of_strings("dblp", DBLP_ATTRS);
     let master_schema: Arc<Schema> = Arc::new(Schema::new(
         "dblpm",
         schema.attrs().iter().map(|a| (a.name.clone(), a.ty)),
     ));
-    let parsed =
-        parse_rules(&rule_text(), &schema, Some(&master_schema)).expect("DBLP rules parse");
-    assert_eq!(parsed.cfds.len(), 7, "paper rule count");
-    assert_eq!(parsed.positive_mds.len(), 3, "paper rule count");
+    let parsed = parse_rules(rules_text, &schema, Some(&master_schema)).expect("DBLP rules parse");
+    if let Some((cfds, mds)) = expect_counts {
+        assert_eq!(parsed.cfds.len(), cfds, "paper rule count");
+        assert_eq!(parsed.positive_mds.len(), mds, "paper rule count");
+    }
     let rules = RuleSet::new(
         schema.clone(),
         Some(master_schema.clone()),
@@ -158,7 +195,7 @@ pub fn dblp_workload(params: &GenParams) -> Workload {
         .collect();
 
     Workload {
-        name: "dblp",
+        name,
         rules,
         truth,
         dirty,

@@ -27,7 +27,7 @@ pub mod noise;
 pub mod spec;
 pub mod tpch;
 
-pub use dblp::dblp_workload;
+pub use dblp::{dblp_similarity_workload, dblp_workload};
 pub use hosp::hosp_workload;
 pub use spec::{GenParams, Workload};
 pub use tpch::{tpch_workload, TpchScale};

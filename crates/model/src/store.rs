@@ -430,6 +430,16 @@ pub trait Row<'a>: Copy {
     /// The value at `a`.
     fn value(self, a: AttrId) -> &'a Value;
 
+    /// The interned symbol at `a` for store-backed rows, `None` for
+    /// detached rows. Symbols are relative to the *owning relation's*
+    /// interner; probe-side caches key on them because equal symbols
+    /// guarantee equal values within one relation.
+    #[inline]
+    fn sym(self, a: AttrId) -> Option<Symbol> {
+        let _ = a;
+        None
+    }
+
     /// Project onto `attrs` (the paper's `t[X]`).
     fn project(self, attrs: &[AttrId]) -> Vec<Value> {
         attrs.iter().map(|a| self.value(*a).clone()).collect()
@@ -458,6 +468,11 @@ impl<'a> Row<'a> for TupleRef<'a> {
     fn value(self, a: AttrId) -> &'a Value {
         TupleRef::value(self, a)
     }
+
+    #[inline]
+    fn sym(self, a: AttrId) -> Option<Symbol> {
+        Some(TupleRef::sym(self, a))
+    }
 }
 
 impl<'a> Row<'a> for &'a Tuple {
@@ -481,6 +496,11 @@ impl<'a, R: Row<'a>> Row<'a> for &R {
     #[inline]
     fn value(self, a: AttrId) -> &'a Value {
         (*self).value(a)
+    }
+
+    #[inline]
+    fn sym(self, a: AttrId) -> Option<Symbol> {
+        (*self).sym(a)
     }
 }
 

@@ -100,6 +100,18 @@ impl Md {
         self.premises.iter().map(|p| p.attr).collect()
     }
 
+    /// Indices of the strict-equality conjuncts, in premise order — the
+    /// access-path planner keys its composite hash index on exactly these
+    /// (and the §3.1 confidence rule singles them out too).
+    pub fn equality_premise_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.premises
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.pred.is_equality())
+            .map(|(i, _)| i)
+    }
+
+
     /// Does the premise hold between data tuple `t` and master tuple `s`?
     /// Generic over [`Row`]: the data side is usually a stored
     /// [`uniclean_model::TupleRef`], the master side a row of another

@@ -12,7 +12,9 @@
 //! master tuples carrying it, and answers "give me candidate master tuples
 //! for value `v`" in O(l·|v|²).
 
+use std::borrow::Cow;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::lcs::{lcs_blocking_bound, longest_common_substring_len};
 use crate::suffix_tree::GeneralizedSuffixTree;
@@ -20,8 +22,10 @@ use crate::suffix_tree::GeneralizedSuffixTree;
 /// Blocking index over one attribute column of the master relation.
 pub struct LcsBlocker {
     tree: GeneralizedSuffixTree,
-    /// Distinct attribute values, ids aligned with the tree's corpus.
-    values: Vec<String>,
+    /// Distinct attribute values, ids aligned with the tree's corpus
+    /// (`Arc<str>` shared with the dedup map — one allocation per
+    /// distinct value, none per row).
+    values: Vec<Arc<str>>,
     /// For each distinct value, the master tuple indices carrying it.
     owners: Vec<Vec<usize>>,
     /// The user constant `l`.
@@ -33,17 +37,32 @@ impl LcsBlocker {
     /// `i`'s value for the indexed attribute. `l` is the retrieval constant
     /// (the paper found `l ≤ 20` sufficient).
     pub fn build<S: AsRef<str>>(column: &[S], l: usize) -> Self {
+        Self::build_from(column.iter().map(|v| Cow::Borrowed(v.as_ref())), l)
+    }
+
+    /// [`Self::build`] from a borrowing iterator — the master-index path
+    /// streams `Cow` renderings straight out of the columnar store, so
+    /// only *distinct* values are ever copied to owned storage.
+    pub fn build_from<'a, I>(column: I, l: usize) -> Self
+    where
+        I: IntoIterator<Item = Cow<'a, str>>,
+    {
         assert!(l >= 1, "blocking constant l must be at least 1");
-        let mut ids: HashMap<&str, usize> = HashMap::new();
-        let mut values: Vec<String> = Vec::new();
+        let mut ids: HashMap<Arc<str>, usize> = HashMap::new();
+        let mut values: Vec<Arc<str>> = Vec::new();
         let mut owners: Vec<Vec<usize>> = Vec::new();
-        for (row, v) in column.iter().enumerate() {
-            let v = v.as_ref();
-            let id = *ids.entry(v).or_insert_with(|| {
-                values.push(v.to_string());
-                owners.push(Vec::new());
-                values.len() - 1
-            });
+        for (row, v) in column.into_iter().enumerate() {
+            let id = match ids.get(v.as_ref()) {
+                Some(&id) => id,
+                None => {
+                    let owned: Arc<str> = Arc::from(v.as_ref());
+                    let id = values.len();
+                    values.push(owned.clone());
+                    owners.push(Vec::new());
+                    ids.insert(owned, id);
+                    id
+                }
+            };
             owners[id].push(row);
         }
         let tree = GeneralizedSuffixTree::build(&values);
@@ -67,8 +86,16 @@ impl LcsBlocker {
     /// (blocking is a necessary condition) and must still be verified with
     /// the actual similarity predicate.
     pub fn candidates_within_edit(&self, query: &str, k: usize) -> Vec<usize> {
-        let qlen = query.chars().count();
         let mut rows = Vec::new();
+        self.candidates_within_edit_into(query, k, &mut rows);
+        rows
+    }
+
+    /// [`Self::candidates_within_edit`] appending into a caller-owned
+    /// buffer — the master index's probe loops reuse one allocation
+    /// across a whole relation.
+    pub fn candidates_within_edit_into(&self, query: &str, k: usize, out: &mut Vec<usize>) {
+        let qlen = query.chars().count();
         // Coarse bound valid against every corpus string: the bound is
         // monotone in max(|u|,|v|) ≥ |query|.
         let coarse = lcs_blocking_bound(qlen, 0, k);
@@ -81,7 +108,7 @@ impl LcsBlocker {
             if lcs < lcs_blocking_bound(qlen, vlen, k) {
                 continue;
             }
-            rows.extend_from_slice(&self.owners[val_id]);
+            out.extend_from_slice(&self.owners[val_id]);
         }
         // A value sharing *no* character with the query has LCS 0 and is
         // invisible to the tree — yet edit(q, v) = max(|q|,|v|) then, which
@@ -90,11 +117,10 @@ impl LcsBlocker {
         if qlen <= k {
             for (val_id, v) in self.values.iter().enumerate() {
                 if v.chars().count() <= k && longest_common_substring_len(query, v) == 0 {
-                    rows.extend_from_slice(&self.owners[val_id]);
+                    out.extend_from_slice(&self.owners[val_id]);
                 }
             }
         }
-        rows
     }
 
     /// Candidate master-tuple indices for `query` without an edit bound:

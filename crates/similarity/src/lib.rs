@@ -14,7 +14,10 @@
 //!   strings, with matching statistics;
 //! * [`blocking`] — the paper's top-`l` LCS blocking index: "we generalize
 //!   suffix trees as an index for LCS … identify `l` similar values from Dm
-//!   in O(l·|v|²) time".
+//!   in O(l·|v|²) time";
+//! * [`qgram_index`] — a count-filtered q-gram inverted index giving the
+//!   `~qgram`/`~jaro`/`~jw` families bounded candidate generation too, so
+//!   no predicate the paper names needs a full master scan.
 
 pub mod blocking;
 pub mod edit_distance;
@@ -22,6 +25,7 @@ pub mod jaro;
 pub mod lcs;
 pub mod predicate;
 pub mod qgram;
+pub mod qgram_index;
 pub mod suffix_tree;
 
 pub use blocking::LcsBlocker;
@@ -30,4 +34,8 @@ pub use jaro::{jaro, jaro_winkler};
 pub use lcs::{lcs_blocking_bound, longest_common_substring_len};
 pub use predicate::SimilarityPredicate;
 pub use qgram::{qgram_jaccard, QGramProfile};
+pub use qgram_index::{
+    jaro_length_window, jaro_overlap_bound, qgram_length_window, qgram_overlap_bound, QGramIndex,
+    QGramScratch,
+};
 pub use suffix_tree::GeneralizedSuffixTree;

@@ -69,6 +69,27 @@ impl SimilarityPredicate {
             _ => None,
         }
     }
+
+    /// `(q, min)` for q-gram predicates — the parameters of the
+    /// count-filtered inverted index ([`crate::qgram_index`]).
+    pub fn qgram_params(&self) -> Option<(usize, f64)> {
+        match self {
+            SimilarityPredicate::QGramJaccard { q, min } => Some((*q, *min)),
+            _ => None,
+        }
+    }
+
+    /// The conservative Jaro-similarity floor this predicate implies, for
+    /// the 1-gram prefilter: `~jaro(s)` floors at `s` itself, `~jw(s)` at
+    /// `(s − 0.4)/0.6` (the Winkler prefix boost is capped at `4 · 0.1`,
+    /// so `jw ≤ 0.6·jaro + 0.4`). `None` for non-Jaro predicates.
+    pub fn jaro_floor(&self) -> Option<f64> {
+        match self {
+            SimilarityPredicate::Jaro { min } => Some(*min),
+            SimilarityPredicate::JaroWinkler { min } => Some((*min - 0.4) / 0.6),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SimilarityPredicate {

@@ -5,17 +5,38 @@
 //! character windows, with `q-1` padding sentinels on each side so that
 //! prefixes/suffixes carry weight. Similarity is Jaccard over the profiles
 //! (multiset intersection / union).
-
-use std::collections::HashMap;
+//!
+//! Profiles are stored as a **sorted run-length vector of 64-bit gram
+//! hashes** rather than a `HashMap<Vec<char>, u32>`: intersection becomes
+//! a cache-friendly sorted merge with zero per-gram allocation, and the
+//! same hashes feed the inverted lists of [`crate::qgram_index`]. Two
+//! distinct grams colliding on a 64-bit hash would overestimate overlap;
+//! at 2⁻⁶⁴ per pair this never occurs on real vocabularies, and for the
+//! blocking index an overestimate is conservative (extra candidates, never
+//! a lost match).
 
 /// Sentinel used to pad string boundaries; outside any realistic alphabet.
 const PAD: char = '\u{1}';
 
-/// The multiset of padded q-grams of a string.
+/// FNV-1a over the code points of one length-`q` window. All grams of a
+/// profile share one length, so no prefix ambiguity enters the hash.
+#[inline]
+fn hash_gram(w: &[char]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &c in w {
+        h ^= c as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The multiset of padded q-grams of a string, as sorted `(hash, count)`
+/// runs.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QGramProfile {
     q: usize,
-    grams: HashMap<Vec<char>, u32>,
+    /// Sorted by hash; counts are multiplicities.
+    grams: Vec<(u64, u32)>,
     total: u32,
 }
 
@@ -23,16 +44,22 @@ impl QGramProfile {
     /// Build the profile of `s` for window size `q` (≥ 1).
     pub fn new(s: &str, q: usize) -> Self {
         assert!(q >= 1, "q-gram size must be at least 1");
-        let mut padded: Vec<char> = Vec::with_capacity(s.chars().count() + 2 * (q - 1));
+        let mut padded: Vec<char> = Vec::with_capacity(s.len() + 2 * (q - 1));
         padded.extend(std::iter::repeat_n(PAD, q - 1));
         padded.extend(s.chars());
         padded.extend(std::iter::repeat_n(PAD, q - 1));
-        let mut grams: HashMap<Vec<char>, u32> = HashMap::new();
-        let mut total = 0;
-        if padded.len() >= q {
-            for w in padded.windows(q) {
-                *grams.entry(w.to_vec()).or_insert(0) += 1;
-                total += 1;
+        let mut hashes: Vec<u64> = if padded.len() >= q {
+            padded.windows(q).map(hash_gram).collect()
+        } else {
+            Vec::new()
+        };
+        let total = hashes.len() as u32;
+        hashes.sort_unstable();
+        let mut grams: Vec<(u64, u32)> = Vec::new();
+        for h in hashes {
+            match grams.last_mut() {
+                Some((g, c)) if *g == h => *c += 1,
+                _ => grams.push((h, 1)),
             }
         }
         QGramProfile { q, grams, total }
@@ -53,19 +80,30 @@ impl QGramProfile {
         self.total == 0
     }
 
-    /// Multiset-intersection size with another profile.
+    /// The sorted `(gram hash, multiplicity)` runs — the inverted index of
+    /// [`crate::qgram_index`] builds its posting lists from these.
+    pub fn grams(&self) -> &[(u64, u32)] {
+        &self.grams
+    }
+
+    /// Multiset-intersection size with another profile (sorted merge,
+    /// allocation-free).
     pub fn intersection(&self, other: &QGramProfile) -> usize {
         assert_eq!(self.q, other.q, "profiles must share the q value");
-        // Iterate the smaller map.
-        let (small, large) = if self.grams.len() <= other.grams.len() {
-            (&self.grams, &other.grams)
-        } else {
-            (&other.grams, &self.grams)
-        };
-        small
-            .iter()
-            .map(|(g, c)| (*c).min(large.get(g).copied().unwrap_or(0)) as usize)
-            .sum()
+        let (a, b) = (&self.grams, &other.grams);
+        let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += a[i].1.min(b[j].1) as usize;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        inter
     }
 
     /// Multiset Jaccard similarity `|A ∩ B| / |A ∪ B|` in `[0, 1]`.
@@ -120,6 +158,16 @@ mod tests {
     }
 
     #[test]
+    fn grams_are_sorted_runs() {
+        let p = QGramProfile::new("banana", 2);
+        assert!(p.grams().windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(
+            p.grams().iter().map(|&(_, c)| c as usize).sum::<usize>(),
+            p.len()
+        );
+    }
+
+    #[test]
     fn similar_strings_score_high() {
         let s = qgram_jaccard("Robert Brady", "Robert Bradey", 2);
         assert!(s > 0.7, "got {s}");
@@ -162,6 +210,22 @@ mod tests {
             let pb = QGramProfile::new(&b, q);
             let i = pa.intersection(&pb);
             prop_assert!(i <= pa.len() && i <= pb.len());
+        }
+
+        /// The char-multiset overlap (q=1 profile intersection) upper-bounds
+        /// the number of Jaro matching characters — the invariant the Jaro
+        /// prefilter of the q-gram index rests on.
+        #[test]
+        fn one_gram_overlap_bounds_jaro_matches(a in "[a-d]{0,10}", b in "[a-d]{0,10}") {
+            let overlap = QGramProfile::new(&a, 1).intersection(&QGramProfile::new(&b, 1));
+            let j = crate::jaro::jaro(&a, &b);
+            let (la, lb) = (a.chars().count(), b.chars().count());
+            if la > 0 && lb > 0 {
+                // j ≤ (m/la + m/lb + 1)/3 with m ≤ overlap.
+                let m = overlap as f64;
+                let ceiling = (m / la as f64 + m / lb as f64 + 1.0) / 3.0;
+                prop_assert!(j <= ceiling + 1e-9, "jaro {j} exceeds overlap ceiling {ceiling}");
+            }
         }
     }
 }

@@ -1,0 +1,500 @@
+//! Count-filtered q-gram inverted index — bounded candidate generation for
+//! the `~qgram`, `~jaro` and `~jw` predicate families.
+//!
+//! §5.2 of the paper observes that "traditional database indices …
+//! designed for exact matching cannot be carried over" to similarity
+//! predicates; the LCS blocker covers edit distance, but q-gram Jaccard
+//! and Jaro previously degraded to a full master scan. This index closes
+//! that gap with the classic *count filtering* discipline: per-attribute
+//! inverted lists map each gram hash to the distinct master values
+//! containing it; a probe accumulates per-value multiset overlap and keeps
+//! only values whose overlap meets a predicate-specific lower bound.
+//!
+//! # The count-filter math
+//!
+//! **q-gram Jaccard.** With `I = |A ∩ B|` (multiset) and profile sizes
+//! `|a|, |b|`, `J = I / (|a| + |b| − I)`. So
+//! `J ≥ min  ⟺  I ≥ min/(1+min) · (|a| + |b|)` — the overlap bound
+//! [`qgram_overlap_bound`]. Since also `I ≤ min(|a|, |b|)`, candidate
+//! profile sizes are confined to `[min·|a|, |a|/min]`
+//! ([`qgram_length_window`]).
+//!
+//! **Jaro.** Jaro's `m` matching characters are an injective equality
+//! matching, so `m` never exceeds the 1-gram (character multiset) overlap.
+//! From `jaro = (m/|a| + m/|b| + (m−t)/m)/3 ≤ (m/|a| + m/|b| + 1)/3`,
+//! `jaro ≥ j` forces `m ≥ (3j−1)·|a||b|/(|a|+|b|)`
+//! ([`jaro_overlap_bound`]) and, when `3j−2 > 0`, lengths within
+//! `[(3j−2)·|a|, |a|/(3j−2)]` ([`jaro_length_window`]). Jaro-Winkler
+//! probes reuse this with the conservative floor `j ≥ (min − 0.4)/0.6`
+//! (prefix boost capped at `4 · 0.1`).
+//!
+//! Both filters are *complete*: every master row whose value can satisfy
+//! the predicate survives (degenerate thresholds — `min = 0`, `j ≤ 1/3` —
+//! keep every row). Candidates still require full predicate verification.
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::qgram::QGramProfile;
+
+/// Slack protecting the conservative direction of the float bounds: a
+/// rounding error may only ever *admit* one extra candidate, never prune a
+/// true match.
+const EPS: f64 = 1e-9;
+
+/// Minimum multiset q-gram overlap required for Jaccard ≥ `min`:
+/// `⌈min/(1+min) · (la + lb)⌉` (conservatively rounded). `la`/`lb` are
+/// profile sizes with multiplicity. `min ≤ 0` imposes no bound.
+pub fn qgram_overlap_bound(la: usize, lb: usize, min: f64) -> usize {
+    if min <= 0.0 {
+        return 0;
+    }
+    let x = min / (1.0 + min) * (la + lb) as f64;
+    (x - EPS).ceil().max(0.0) as usize
+}
+
+/// Inclusive window of candidate profile sizes for Jaccard ≥ `min`
+/// against a probe of size `la`: `[⌈min·la⌉, ⌊la/min⌋]`. With `min ≤ 0`
+/// every size qualifies.
+pub fn qgram_length_window(la: usize, min: f64) -> (usize, usize) {
+    if min <= 0.0 {
+        return (0, usize::MAX);
+    }
+    let lo = (min * la as f64 - EPS).ceil().max(0.0) as usize;
+    let hi = (la as f64 / min + EPS).floor() as usize;
+    (lo, hi)
+}
+
+/// Minimum character-multiset overlap for Jaro ≥ `min_jaro`:
+/// `⌈(3j−1)·la·lb/(la+lb)⌉`, at least 1 for non-empty strings. `j ≤ 1/3`
+/// (or an empty side) imposes no bound.
+pub fn jaro_overlap_bound(la: usize, lb: usize, min_jaro: f64) -> usize {
+    let need = 3.0 * min_jaro - 1.0;
+    if need <= 0.0 || la == 0 || lb == 0 {
+        return 0;
+    }
+    let x = need * la as f64 * lb as f64 / (la + lb) as f64;
+    ((x - EPS).ceil().max(0.0) as usize).max(1)
+}
+
+/// Inclusive window of candidate lengths for Jaro ≥ `min_jaro` against a
+/// probe of `la` characters: `[(3j−2)·la, la/(3j−2)]` when `3j−2 > 0`
+/// (`m ≤ min(la, lb)` forces the length ratio), otherwise unbounded.
+pub fn jaro_length_window(la: usize, min_jaro: f64) -> (usize, usize) {
+    let need = 3.0 * min_jaro - 2.0;
+    if need <= 0.0 || la == 0 {
+        return (0, usize::MAX);
+    }
+    let lo = (need * la as f64 - EPS).ceil().max(0.0) as usize;
+    let hi = (la as f64 / need + EPS).floor() as usize;
+    (lo, hi)
+}
+
+/// Pass-through hasher for the posting map: gram hashes are already
+/// FNV-mixed 64-bit values, re-hashing them buys nothing.
+#[derive(Clone, Copy, Debug, Default)]
+struct PremixedHasher(u64);
+
+impl Hasher for PremixedHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u64 keys reach this map; mix bytes defensively anyway.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+type GramMap<V> = HashMap<u64, V, BuildHasherDefault<PremixedHasher>>;
+
+/// Reusable probe-side buffers for [`QGramIndex`] lookups: a per-distinct-
+/// value overlap accumulator plus the list of values touched by the
+/// current probe. One scratch serves any number of sequential probes with
+/// zero steady-state allocation.
+#[derive(Debug, Default)]
+pub struct QGramScratch {
+    /// Accumulated overlap per distinct value id; reset to 0 via `touched`
+    /// after every probe.
+    counts: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+impl QGramScratch {
+    /// A fresh scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        QGramScratch::default()
+    }
+}
+
+/// Inverted q-gram index over one master-data attribute column.
+///
+/// Rows are deduplicated by rendered value; posting lists and owner lists
+/// store `u32` row ids (the engine's `TupleId` width). Null cells must be
+/// skipped by the caller — a null never satisfies a similarity premise.
+pub struct QGramIndex {
+    q: usize,
+    /// gram hash → `(distinct value id, multiplicity in that value)`.
+    postings: GramMap<Vec<(u32, u32)>>,
+    /// distinct value id → master rows carrying it (ascending).
+    owners: Vec<Vec<u32>>,
+    /// distinct value id → profile size (grams with multiplicity).
+    lens: Vec<u32>,
+    /// Value ids with an empty profile (empty string at q = 1).
+    empty_values: Vec<u32>,
+    /// Total master rows (for the degenerate all-rows answer).
+    rows: usize,
+}
+
+impl QGramIndex {
+    /// Build over `(row, rendered value)` pairs — typically a columnar
+    /// scan that borrows straight out of the store and skips nulls.
+    /// `rows` is the total master size (degenerate probes answer "all
+    /// rows" even when some were skipped... they are then pruned by
+    /// verification, so including them is the conservative choice).
+    pub fn build<'a, I>(column: I, rows: usize, q: usize) -> Self
+    where
+        I: IntoIterator<Item = (u32, Cow<'a, str>)>,
+    {
+        assert!(q >= 1, "q-gram size must be at least 1");
+        let mut ids: HashMap<Box<str>, u32> = HashMap::new();
+        let mut postings: GramMap<Vec<(u32, u32)>> = GramMap::default();
+        let mut owners: Vec<Vec<u32>> = Vec::new();
+        let mut lens: Vec<u32> = Vec::new();
+        let mut empty_values: Vec<u32> = Vec::new();
+        for (row, v) in column {
+            let id = match ids.get(v.as_ref()) {
+                Some(&id) => id,
+                None => {
+                    let id = owners.len() as u32;
+                    let profile = QGramProfile::new(&v, q);
+                    lens.push(profile.len() as u32);
+                    if profile.is_empty() {
+                        empty_values.push(id);
+                    }
+                    for &(g, c) in profile.grams() {
+                        postings.entry(g).or_default().push((id, c));
+                    }
+                    ids.insert(Box::from(v.as_ref()), id);
+                    owners.push(Vec::new());
+                    id
+                }
+            };
+            owners[id as usize].push(row);
+        }
+        QGramIndex {
+            q,
+            postings,
+            owners,
+            lens,
+            empty_values,
+            rows,
+        }
+    }
+
+    /// Window size the index was built with.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Number of distinct indexed values.
+    pub fn distinct_values(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Total master rows the index answers for.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Accumulate per-value overlap with `probe`, confined to values whose
+    /// profile size lies in `[lo, hi]`.
+    fn accumulate(&self, probe: &QGramProfile, lo: usize, hi: usize, scratch: &mut QGramScratch) {
+        if scratch.counts.len() < self.owners.len() {
+            scratch.counts.resize(self.owners.len(), 0);
+        }
+        for &(g, pc) in probe.grams() {
+            let Some(list) = self.postings.get(&g) else {
+                continue;
+            };
+            for &(vid, mc) in list {
+                let lb = self.lens[vid as usize] as usize;
+                if lb < lo || lb > hi {
+                    continue;
+                }
+                let c = &mut scratch.counts[vid as usize];
+                if *c == 0 {
+                    scratch.touched.push(vid);
+                }
+                *c += pc.min(mc);
+            }
+        }
+    }
+
+    /// Drain the touched set, appending the owner rows of every value
+    /// whose accumulated overlap passes `keep`.
+    fn emit(
+        &self,
+        scratch: &mut QGramScratch,
+        out: &mut Vec<u32>,
+        keep: impl Fn(usize, usize) -> bool,
+    ) {
+        for vid in scratch.touched.drain(..) {
+            let overlap = std::mem::take(&mut scratch.counts[vid as usize]) as usize;
+            if keep(overlap, self.lens[vid as usize] as usize) {
+                out.extend_from_slice(&self.owners[vid as usize]);
+            }
+        }
+    }
+
+    /// Append every master row that can satisfy multiset-Jaccard ≥ `min`
+    /// with `probe` (a complete superset of the true match set; order
+    /// unspecified, rows unique). `probe.q()` must equal the index's `q`.
+    pub fn candidates_jaccard_into(
+        &self,
+        probe: &QGramProfile,
+        min: f64,
+        scratch: &mut QGramScratch,
+        out: &mut Vec<u32>,
+    ) {
+        assert_eq!(probe.q(), self.q, "probe profile must share the index q");
+        if min <= 0.0 {
+            // Degenerate threshold: every pair scores ≥ 0.
+            out.extend(0..self.rows as u32);
+            return;
+        }
+        if probe.is_empty() {
+            // J(∅, B) is 0 unless B is empty too (then 1).
+            for &vid in &self.empty_values {
+                out.extend_from_slice(&self.owners[vid as usize]);
+            }
+            return;
+        }
+        let la = probe.len();
+        let (lo, hi) = qgram_length_window(la, min);
+        self.accumulate(probe, lo, hi, scratch);
+        self.emit(scratch, out, |overlap, lb| {
+            overlap >= qgram_overlap_bound(la, lb, min)
+        });
+    }
+
+    /// Append every master row that can satisfy Jaro ≥ `min_jaro` with the
+    /// probe's 1-gram profile (complete superset; order unspecified, rows
+    /// unique). The index must have been built with `q = 1`; Jaro-Winkler
+    /// callers pass their derived Jaro floor.
+    pub fn candidates_jaro_into(
+        &self,
+        probe: &QGramProfile,
+        min_jaro: f64,
+        scratch: &mut QGramScratch,
+        out: &mut Vec<u32>,
+    ) {
+        assert_eq!(self.q, 1, "the Jaro prefilter runs on a 1-gram index");
+        assert_eq!(probe.q(), 1, "probe profile must be 1-gram");
+        if 3.0 * min_jaro - 1.0 <= 0.0 {
+            // No usable bound (jaro ≥ 1/3 is satisfiable with a single
+            // shared character in the worst case — and trivially for
+            // min ≤ 0); stay complete by keeping everything.
+            out.extend(0..self.rows as u32);
+            return;
+        }
+        if probe.is_empty() {
+            // jaro("", v) is 1 for empty v, else 0.
+            for &vid in &self.empty_values {
+                out.extend_from_slice(&self.owners[vid as usize]);
+            }
+            return;
+        }
+        let la = probe.len();
+        let (lo, hi) = jaro_length_window(la, min_jaro);
+        self.accumulate(probe, lo, hi, scratch);
+        self.emit(scratch, out, |overlap, lb| {
+            overlap >= jaro_overlap_bound(la, lb, min_jaro)
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jaro::{jaro, jaro_winkler};
+    use crate::qgram::qgram_jaccard;
+    use proptest::prelude::*;
+
+    fn index(col: &[&str], q: usize) -> QGramIndex {
+        QGramIndex::build(
+            col.iter()
+                .enumerate()
+                .map(|(i, s)| (i as u32, Cow::Borrowed(*s))),
+            col.len(),
+            q,
+        )
+    }
+
+    fn jaccard_candidates(idx: &QGramIndex, probe: &str, min: f64) -> Vec<u32> {
+        let mut scratch = QGramScratch::new();
+        let mut out = Vec::new();
+        idx.candidates_jaccard_into(
+            &QGramProfile::new(probe, idx.q()),
+            min,
+            &mut scratch,
+            &mut out,
+        );
+        out.sort_unstable();
+        out
+    }
+
+    fn jaro_candidates(idx: &QGramIndex, probe: &str, min: f64) -> Vec<u32> {
+        let mut scratch = QGramScratch::new();
+        let mut out = Vec::new();
+        idx.candidates_jaro_into(&QGramProfile::new(probe, 1), min, &mut scratch, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn exact_value_is_always_a_candidate() {
+        let idx = index(&["Robert Brady", "Mark Smith", "Robert Brady"], 2);
+        let got = jaccard_candidates(&idx, "Robert Brady", 0.9);
+        assert_eq!(got, vec![0, 2]);
+    }
+
+    #[test]
+    fn dissimilar_values_are_pruned() {
+        let idx = index(&["Robert Brady", "Mark Smith"], 2);
+        let got = jaccard_candidates(&idx, "Robert Bradey", 0.5);
+        assert_eq!(got, vec![0], "only the near-duplicate survives");
+    }
+
+    #[test]
+    fn degenerate_min_zero_keeps_every_row() {
+        let idx = index(&["a", "b", "c"], 2);
+        assert_eq!(jaccard_candidates(&idx, "zzz", 0.0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn min_one_requires_identical_profiles() {
+        let idx = index(&["abc", "abd", "abc"], 2);
+        assert_eq!(jaccard_candidates(&idx, "abc", 1.0), vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_probe_matches_only_empty_values() {
+        let idx = index(&["", "abc", ""], 1);
+        assert_eq!(jaccard_candidates(&idx, "", 0.5), vec![0, 2]);
+        assert_eq!(jaro_candidates(&idx, "", 0.9), vec![0, 2]);
+    }
+
+    #[test]
+    fn overlap_bound_boundary_values() {
+        // min = 0: no bound at any sizes.
+        assert_eq!(qgram_overlap_bound(7, 3, 0.0), 0);
+        // min = 1: full overlap of equal-size profiles — exact equality.
+        assert_eq!(qgram_overlap_bound(5, 5, 1.0), 5);
+        // min = 1 with unequal sizes can never be met (bound exceeds the
+        // smaller profile) — the length window already excludes them.
+        assert!(qgram_overlap_bound(5, 7, 1.0) > 5);
+        assert_eq!(qgram_length_window(5, 1.0), (5, 5));
+        // The standard T = ⌈min/(1+min)(la+lb)⌉ shape.
+        assert_eq!(qgram_overlap_bound(10, 10, 0.5), 7);
+    }
+
+    #[test]
+    fn jaro_bound_boundary_values() {
+        // j ≤ 1/3 gives no bound; above it at least one shared char.
+        assert_eq!(jaro_overlap_bound(4, 4, 1.0 / 3.0), 0);
+        assert_eq!(jaro_overlap_bound(1, 9, 0.4), 1);
+        // Identical 4-char strings at j = 1 need all 4 chars shared.
+        assert_eq!(jaro_overlap_bound(4, 4, 1.0), 4);
+        // Empty side: no bound (handled by the empty-probe path).
+        assert_eq!(jaro_overlap_bound(0, 4, 0.9), 0);
+    }
+
+    #[test]
+    fn jaro_degenerate_threshold_keeps_every_row() {
+        let idx = index(&["abc", "xyz"], 1);
+        assert_eq!(jaro_candidates(&idx, "abc", 0.3), vec![0, 1]);
+    }
+
+    proptest! {
+        /// Completeness: every row whose value satisfies the predicate is
+        /// a candidate — the invariant the master index's plans rest on.
+        #[test]
+        fn jaccard_filter_is_complete(
+            col in proptest::collection::vec("[a-c]{0,6}", 1..10),
+            probe in "[a-c]{0,6}",
+            q in 1usize..4,
+            min_pct in 0usize..101
+        ) {
+            let min = min_pct as f64 / 100.0;
+            let refs: Vec<&str> = col.iter().map(String::as_str).collect();
+            let idx = index(&refs, q);
+            let got = jaccard_candidates(&idx, &probe, min);
+            for (row, v) in col.iter().enumerate() {
+                if qgram_jaccard(&probe, v, q) >= min {
+                    prop_assert!(
+                        got.contains(&(row as u32)),
+                        "row {row} ({v:?}) matches {probe:?} at {min} but was pruned"
+                    );
+                }
+            }
+        }
+
+        /// Same completeness for the Jaro and Jaro-Winkler prefilter (jw
+        /// probes with the derived floor (min − 0.4)/0.6).
+        #[test]
+        fn jaro_filter_is_complete(
+            col in proptest::collection::vec("[a-c]{0,6}", 1..10),
+            probe in "[a-c]{0,6}",
+            min_pct in 0usize..101
+        ) {
+            let min = min_pct as f64 / 100.0;
+            let refs: Vec<&str> = col.iter().map(String::as_str).collect();
+            let idx = index(&refs, 1);
+            let got = jaro_candidates(&idx, &probe, min);
+            for (row, v) in col.iter().enumerate() {
+                if jaro(&probe, v) >= min {
+                    prop_assert!(
+                        got.contains(&(row as u32)),
+                        "row {row} ({v:?}) jaro-matches {probe:?} at {min} but was pruned"
+                    );
+                }
+            }
+            let jw_floor = (min - 0.4) / 0.6;
+            let got_jw = jaro_candidates(&idx, &probe, jw_floor);
+            for (row, v) in col.iter().enumerate() {
+                if jaro_winkler(&probe, v) >= min {
+                    prop_assert!(
+                        got_jw.contains(&(row as u32)),
+                        "row {row} ({v:?}) jw-matches {probe:?} at {min} but was pruned"
+                    );
+                }
+            }
+        }
+
+        /// Candidates are unique row ids within range.
+        #[test]
+        fn candidates_are_unique_and_in_range(
+            col in proptest::collection::vec("[a-c]{0,5}", 1..8),
+            probe in "[a-c]{0,5}",
+            min_pct in 0usize..101
+        ) {
+            let refs: Vec<&str> = col.iter().map(String::as_str).collect();
+            let idx = index(&refs, 2);
+            let got = jaccard_candidates(&idx, &probe, min_pct as f64 / 100.0);
+            let mut dedup = got.clone();
+            dedup.dedup();
+            prop_assert_eq!(&got, &dedup, "duplicates in candidate list");
+            prop_assert!(got.iter().all(|&r| (r as usize) < col.len()));
+        }
+    }
+}

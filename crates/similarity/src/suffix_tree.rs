@@ -21,7 +21,7 @@
 //! below each deepest point names exactly the corpus strings containing that
 //! match. [`crate::blocking::LcsBlocker`] builds top-`l` retrieval on top.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// First symbol value used for separators (one past the Unicode maximum).
 const SEPARATOR_BASE: u32 = 0x11_0000;
@@ -37,8 +37,13 @@ struct Node {
     end: usize,
     /// Suffix link (root for nodes without one).
     slink: usize,
-    /// Children keyed by the first symbol of the outgoing edge.
-    next: HashMap<u32, usize>,
+    /// Children keyed by the first symbol of the outgoing edge. Ordered
+    /// (`BTreeMap`) so every traversal — in particular the top-`l` DFS
+    /// that breaks LCS ties — visits children in a canonical,
+    /// process-independent order; a `HashMap` here made tie-breaking
+    /// depend on `RandomState`, which leaked nondeterminism into blocked
+    /// MD candidate lists whenever more than `l` values tied.
+    next: BTreeMap<u32, usize>,
     /// Length of the path label from the root to this node (filled in after
     /// construction).
     depth: usize,
@@ -53,7 +58,7 @@ impl Node {
             start,
             end,
             slink: 0,
-            next: HashMap::new(),
+            next: BTreeMap::new(),
             depth: 0,
             string_id: None,
         }
@@ -486,6 +491,24 @@ mod tests {
         ids.sort_unstable();
         assert_eq!(ids, vec![0, 1]);
         assert!(top.iter().all(|&(_, l)| l == 4));
+    }
+
+    #[test]
+    fn top_l_tie_breaking_is_deterministic_across_instances() {
+        // More tied values than l: which ties fill the top-l slots must
+        // be a pure function of the corpus, not of per-instance hash
+        // state (child maps are ordered — a RandomState HashMap here once
+        // leaked run-to-run nondeterminism into blocked MD candidates).
+        let corpus: Vec<String> = (0..40).map(|i| format!("prefix{:02}", i)).collect();
+        let a = GeneralizedSuffixTree::build(&corpus);
+        let b = GeneralizedSuffixTree::build(&corpus);
+        for q in ["prefix99", "prefix", "pre"] {
+            assert_eq!(
+                a.top_l_by_lcs(q, 5, 1),
+                b.top_l_by_lcs(q, 5, 1),
+                "query {q}"
+            );
+        }
     }
 
     #[test]

@@ -58,6 +58,9 @@ CLEAN OPTIONS:
                                the output is the repaired concatenated relation,
                                bit-identical to recleaning it from scratch
     --report                   print every fix (mark, cell, old → new, rule)
+    --explain-plans            print the master-index access path chosen for
+                               each MD (exact / composite / LCS / q-gram /
+                               Jaro / intersection) before cleaning
 
 DISCOVER OPTIONS:
     --max-lhs <n>              maximum FD LHS size [default: 2]
@@ -271,6 +274,21 @@ fn cmd_clean(opts: &Opts) -> Result<String, String> {
         .map_err(|e| e.to_string())?;
 
     let mut out = String::new();
+    if opts.flag("explain-plans") {
+        let prepared = cleaner.prepared();
+        match prepared.master_index() {
+            Some(idx) => {
+                out.push_str("access paths:\n");
+                for (i, md) in prepared.rules().mds().iter().enumerate() {
+                    out.push_str(&format!("  {}: {}\n", md.name(), idx.describe_plan(i, md)));
+                }
+            }
+            None => out.push_str(
+                "access paths: none prebuilt (self-snapshot mode re-plans per phase, \
+                 and CFD-only rule sets need no master index)\n",
+            ),
+        }
+    }
     let result = match opts.get("delta") {
         None => cleaner.clean(&data, phase),
         Some(batches) => {

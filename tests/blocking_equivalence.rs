@@ -1,7 +1,7 @@
 //! Integration test: the §5.2 blocked master access is *equivalent* to the
 //! naive O(|D|·|Dm|) scan — blocking accelerates, never changes results.
 
-use uniclean::core::MasterIndex;
+use uniclean::core::{MasterIndex, ProbeScratch};
 use uniclean::datagen::{dblp_workload, hosp_workload, GenParams};
 use uniclean::model::TupleId;
 
@@ -22,17 +22,17 @@ fn blocked_md_matches_equal_naive_scan() {
         // l = |Dm| makes top-l retrieval exhaustive, isolating the bound's
         // correctness from the top-l approximation.
         let idx = MasterIndex::build(w.rules.mds(), &w.master, w.master.len().max(1));
+        let mut scratch = ProbeScratch::new();
+        let mut blocked = Vec::new();
         for (i, md) in w.rules.mds().iter().enumerate() {
             for (tid, t) in w.dirty.iter() {
-                let mut blocked = idx.matches(i, md, t, &w.master);
-                blocked.sort_unstable();
-                let mut naive: Vec<TupleId> = w
+                idx.matches_into(i, md, t, &w.master, None, &mut scratch, &mut blocked);
+                let naive: Vec<TupleId> = w
                     .master
                     .iter()
                     .filter(|(_, s)| md.premise_matches(t, s))
                     .map(|(sid, _)| sid)
                     .collect();
-                naive.sort_unstable();
                 assert_eq!(
                     blocked,
                     naive,
@@ -57,13 +57,42 @@ fn default_l_loses_no_matches_on_generated_data() {
     });
     let exhaustive = MasterIndex::build(w.rules.mds(), &w.master, w.master.len());
     let default_l = MasterIndex::build(w.rules.mds(), &w.master, 20);
+    let (mut sa, mut sb) = (ProbeScratch::new(), ProbeScratch::new());
+    let (mut a, mut b) = (Vec::new(), Vec::new());
     for (i, md) in w.rules.mds().iter().enumerate() {
         for (_, t) in w.dirty.iter() {
-            let mut a = exhaustive.matches(i, md, t, &w.master);
-            let mut b = default_l.matches(i, md, t, &w.master);
-            a.sort_unstable();
-            b.sort_unstable();
+            exhaustive.matches_into(i, md, t, &w.master, None, &mut sa, &mut a);
+            default_l.matches_into(i, md, t, &w.master, None, &mut sb, &mut b);
             assert_eq!(a, b, "md {}", md.name());
+        }
+    }
+}
+
+#[test]
+fn every_generated_md_is_indexed() {
+    // The acceptance bar of the access-path planner: no Scan plan for any
+    // MD whose premises use the paper's predicate families.
+    for w in [
+        hosp_workload(&GenParams {
+            tuples: 50,
+            master_tuples: 30,
+            ..GenParams::default()
+        }),
+        dblp_workload(&GenParams {
+            tuples: 50,
+            master_tuples: 30,
+            ..GenParams::default()
+        }),
+    ] {
+        let idx = MasterIndex::build(w.rules.mds(), &w.master, 20);
+        for (i, md) in w.rules.mds().iter().enumerate() {
+            assert!(
+                idx.is_indexed(i),
+                "{}: md {} fell back to scan ({})",
+                w.name,
+                md.name(),
+                idx.scan_reason(i).unwrap_or("?")
+            );
         }
     }
 }
