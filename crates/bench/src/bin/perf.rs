@@ -39,6 +39,7 @@ use uniclean_bench::figure::json_num;
 use uniclean_bench::{validate_json, Args};
 use uniclean_core::{CleanConfig, Cleaner, MasterSource, Phase, PhaseTimings};
 use uniclean_datagen::{dblp_workload, hosp_workload, GenParams, Workload};
+use uniclean_model::json::Json;
 
 struct RunResult {
     threads: usize,
@@ -880,6 +881,418 @@ fn render_sim_json(r: &SimReport, smoke: bool) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Part 5: the serving daemon (BENCH_pr6.json).
+// ---------------------------------------------------------------------------
+
+/// One shard-count configuration of the serving workload.
+struct ServeRun {
+    shards: usize,
+    relations: usize,
+    base_tuples: usize,
+    batch_tuples: usize,
+    batches: usize,
+    ingest_seconds: f64,
+    check_queries: usize,
+    check_seconds: f64,
+    busy_rejections: u64,
+    all_consistent: bool,
+    /// Enqueue-time depth histogram, merged across shards (label, count).
+    depth_histogram: Vec<(&'static str, u64)>,
+}
+
+struct ServeReport {
+    runs: Vec<ServeRun>,
+}
+
+/// A minimal line-oriented protocol client for driving the daemon.
+struct ServeClient {
+    writer: std::net::TcpStream,
+    reader: std::io::BufReader<std::net::TcpStream>,
+}
+
+impl ServeClient {
+    fn connect(addr: std::net::SocketAddr) -> ServeClient {
+        let writer = std::net::TcpStream::connect(addr).expect("connect to daemon");
+        let reader = std::io::BufReader::new(writer.try_clone().expect("clone stream"));
+        ServeClient { writer, reader }
+    }
+
+    fn rpc(&mut self, req: &Json) -> Json {
+        use std::io::{BufRead, Write};
+        self.writer
+            .write_all(format!("{req}\n").as_bytes())
+            .expect("write request");
+        self.writer.flush().expect("flush request");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read response");
+        let resp = Json::parse(&line).expect("response parses");
+        if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+            eprintln!("serving request failed: {resp}");
+            std::process::exit(1);
+        }
+        resp
+    }
+}
+
+fn jobj(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Render a rule set back into the parser grammar (the `Display` forms
+/// round-trip; HOSP carries no negative MDs). Datagen names rules like
+/// `hm1#1`, but `#` starts a comment in the grammar — remap rule names to
+/// identifier-safe characters before shipping them over the wire.
+fn rules_as_text(rules: &uniclean_rules::RuleSet) -> String {
+    fn ident_safe(line: String) -> String {
+        match line.split_once(':') {
+            Some((name, rest)) => {
+                let name: String = name
+                    .chars()
+                    .map(|c| {
+                        if c.is_alphanumeric() || matches!(c, '_' | '-' | '.') {
+                            c
+                        } else {
+                            '_'
+                        }
+                    })
+                    .collect();
+                format!("{name}:{rest}")
+            }
+            None => line,
+        }
+    }
+    let mut t = String::new();
+    for cfd in rules.cfds() {
+        let _ = writeln!(t, "cfd {}", ident_safe(cfd.to_string()));
+    }
+    for md in rules.mds() {
+        let _ = writeln!(t, "md {}", ident_safe(md.to_string()));
+    }
+    t
+}
+
+/// A relation's cells as wire rows: `[value, cf]` pairs, so the served
+/// tenant sees exactly the workload's confidences.
+fn rows_as_json(rows: &[uniclean_model::Tuple]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|t| {
+                Json::Arr(
+                    t.cells()
+                        .iter()
+                        .map(|c| {
+                            Json::Arr(vec![
+                                uniclean_model::json::value_to_json(&c.value),
+                                Json::Num(c.cf),
+                            ])
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Drive one daemon configuration: `relations` tenants served over TCP,
+/// each streaming a base then `batches` timed 1% batches from its own
+/// client thread, then answering timed `check` queries — wall-clocked
+/// across all clients with barriers.
+fn bench_serving_run(
+    w: &Workload,
+    names: &[String],
+    shards: usize,
+    base: usize,
+    batches: usize,
+    batch: usize,
+    checks_per_relation: usize,
+) -> ServeRun {
+    use std::sync::{Arc, Barrier};
+    let daemon = uniclean_server::Daemon::bind(uniclean_server::DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards,
+        queue_bound: 64,
+    })
+    .expect("bind ephemeral port");
+    let addr = daemon.local_addr();
+    let daemon_thread = std::thread::spawn(move || daemon.run());
+
+    let rules_text = rules_as_text(&w.rules);
+    let master_attrs: Vec<String> = w
+        .master
+        .schema()
+        .attrs()
+        .iter()
+        .map(|a| a.name.clone())
+        .collect();
+    let data_attrs: Vec<String> = w
+        .dirty
+        .schema()
+        .attrs()
+        .iter()
+        .map(|a| a.name.clone())
+        .collect();
+    let master_rows = rows_as_json(&w.master.to_tuples());
+    let all_rows = Arc::new(w.dirty.to_tuples());
+    let total = base + batches * batch;
+    assert!(all_rows.len() >= total, "workload too small for the plan");
+
+    // Barriers bracket the two timed windows; the main thread is the
+    // (relations + 1)-th participant and holds the wall clock.
+    let barrier = Arc::new(Barrier::new(names.len() + 1));
+    let mut clients = Vec::new();
+    for name in names {
+        let name = name.clone();
+        let barrier = barrier.clone();
+        let all_rows = all_rows.clone();
+        let open = jobj(vec![
+            ("op", Json::str("open")),
+            ("relation", Json::str(&name)),
+            ("table", Json::str(w.dirty.schema().name())),
+            (
+                "attrs",
+                Json::Arr(data_attrs.iter().map(|a| Json::str(a.as_str())).collect()),
+            ),
+            ("rules", Json::str(&rules_text)),
+            (
+                "master",
+                jobj(vec![
+                    ("table", Json::str(w.master.schema().name())),
+                    (
+                        "attrs",
+                        Json::Arr(master_attrs.iter().map(|a| Json::str(a.as_str())).collect()),
+                    ),
+                    ("rows", master_rows.clone()),
+                ]),
+            ),
+            ("phase", Json::str("full")),
+            ("threads", Json::Num(1.0)),
+        ]);
+        clients.push(std::thread::spawn(move || {
+            let mut c = ServeClient::connect(addr);
+            c.rpc(&open);
+            // Untimed: stream the base in 1000-tuple chunks.
+            for chunk in all_rows[..base].chunks(1000) {
+                c.rpc(&jobj(vec![
+                    ("op", Json::str("ingest")),
+                    ("relation", Json::str(&name)),
+                    ("rows", rows_as_json(chunk)),
+                ]));
+            }
+            barrier.wait();
+            // Timed window 1: the streamed 1% batches.
+            for i in 0..batches {
+                let slice = &all_rows[base + i * batch..base + (i + 1) * batch];
+                c.rpc(&jobj(vec![
+                    ("op", Json::str("ingest")),
+                    ("relation", Json::str(&name)),
+                    ("rows", rows_as_json(slice)),
+                ]));
+            }
+            barrier.wait();
+            barrier.wait();
+            // Timed window 2: online acceptance queries.
+            for q in 0..checks_per_relation {
+                c.rpc(&jobj(vec![
+                    ("op", Json::str("check")),
+                    ("relation", Json::str(&name)),
+                    ("tuple", Json::Num((q % (base + batches * batch)) as f64)),
+                ]));
+            }
+            barrier.wait();
+            // Relation-level verdict for the report.
+            let check = c.rpc(&jobj(vec![
+                ("op", Json::str("check")),
+                ("relation", Json::str(&name)),
+            ]));
+            check.get("consistent").and_then(Json::as_bool) == Some(true)
+        }));
+    }
+
+    barrier.wait();
+    let started = Instant::now();
+    barrier.wait();
+    let ingest_seconds = started.elapsed().as_secs_f64();
+    barrier.wait();
+    let started = Instant::now();
+    barrier.wait();
+    let check_seconds = started.elapsed().as_secs_f64();
+
+    let all_consistent = clients
+        .into_iter()
+        .all(|c| c.join().expect("client thread panicked"));
+
+    // Shard counters, then a graceful shutdown.
+    let mut c = ServeClient::connect(addr);
+    let stats = c.rpc(&jobj(vec![("op", Json::str("stats"))]));
+    let mut busy = 0u64;
+    const LABELS: [&str; 8] = ["0", "1", "2", "3", "4-7", "8-15", "16-31", "32+"];
+    let mut hist: Vec<(&'static str, u64)> = LABELS.iter().map(|l| (*l, 0u64)).collect();
+    for shard in stats.get("shards").and_then(Json::as_arr).unwrap_or(&[]) {
+        busy += shard
+            .get("busy_rejections")
+            .and_then(Json::as_usize)
+            .unwrap_or(0) as u64;
+        if let Some(h) = shard.get("depth_histogram") {
+            for (label, count) in hist.iter_mut() {
+                *count += h.get(label).and_then(Json::as_usize).unwrap_or(0) as u64;
+            }
+        }
+    }
+    c.rpc(&jobj(vec![("op", Json::str("shutdown"))]));
+    drop(c);
+    daemon_thread
+        .join()
+        .expect("daemon thread panicked")
+        .expect("daemon exited with an error");
+
+    ServeRun {
+        shards,
+        relations: names.len(),
+        base_tuples: base,
+        batch_tuples: batch,
+        batches,
+        ingest_seconds,
+        check_queries: checks_per_relation * names.len(),
+        check_seconds,
+        busy_rejections: busy,
+        all_consistent,
+        depth_histogram: hist,
+    }
+}
+
+/// The serving workload across shard counts: a fixed set of relations
+/// (names chosen to cover all shards at the widest configuration) served
+/// by one daemon per shard count.
+fn bench_serving(
+    shard_counts: &[usize],
+    relations: usize,
+    base: usize,
+    batches: usize,
+    batch: usize,
+    checks_per_relation: usize,
+    master_tuples: usize,
+) -> ServeReport {
+    let params = GenParams {
+        tuples: base + batches * batch,
+        master_tuples,
+        ..GenParams::default()
+    };
+    let w = hosp_workload(&params);
+    // Pick relation names landing on distinct shards at the widest shard
+    // count, so the spread is real when the pool is widest.
+    let widest = shard_counts.iter().copied().max().unwrap_or(1);
+    let mut names: Vec<String> = Vec::new();
+    let mut covered = vec![false; widest];
+    for i in 0.. {
+        if names.len() == relations {
+            break;
+        }
+        let cand = format!("hosp{i}");
+        let s = uniclean_server::shard_for(&cand, widest);
+        if !covered[s] || covered.iter().all(|c| *c) {
+            covered[s] = true;
+            names.push(cand);
+        }
+    }
+    let mut runs = Vec::new();
+    for &shards in shard_counts {
+        eprintln!(
+            "  serving: shards={shards} relations={relations} base={base} \
+             batches={batches}x{batch} checks={checks_per_relation}…"
+        );
+        runs.push(bench_serving_run(
+            &w,
+            &names,
+            shards,
+            base,
+            batches,
+            batch,
+            checks_per_relation,
+        ));
+    }
+    ServeReport { runs }
+}
+
+fn render_serve_json(r: &ServeReport, smoke: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"pr6_serving_daemon\",");
+    let _ = writeln!(
+        out,
+        "  \"command\": \"cargo run --release -p uniclean-bench --bin perf\","
+    );
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"dataset\": \"hosp\",");
+    let _ = writeln!(
+        out,
+        "  \"note\": \"a fixed set of tenants streams an untimed base then timed 1% batches \
+         into one daemon per shard count, over real TCP; checks are online acceptance reads. \
+         Every tenant runs engine threads=1 so shard spread is the only parallelism knob; on \
+         a 1-core container wall-clock gains across shard counts are expected to be flat.\","
+    );
+    let _ = writeln!(out, "  \"runs\": [");
+    for (i, run) in r.runs.iter().enumerate() {
+        let batches_total = run.batches * run.relations;
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"shards\": {},", run.shards);
+        let _ = writeln!(out, "      \"relations\": {},", run.relations);
+        let _ = writeln!(
+            out,
+            "      \"base_tuples_per_relation\": {},",
+            run.base_tuples
+        );
+        let _ = writeln!(out, "      \"batch_tuples\": {},", run.batch_tuples);
+        let _ = writeln!(out, "      \"batches_per_relation\": {},", run.batches);
+        let _ = writeln!(
+            out,
+            "      \"ingest_seconds\": {},",
+            num(run.ingest_seconds, 6)
+        );
+        let _ = writeln!(
+            out,
+            "      \"ingest_batches_per_sec\": {},",
+            num(batches_total as f64 / run.ingest_seconds.max(1e-12), 2)
+        );
+        let _ = writeln!(
+            out,
+            "      \"ingest_tuples_per_sec\": {},",
+            num(
+                (batches_total * run.batch_tuples) as f64 / run.ingest_seconds.max(1e-12),
+                1
+            )
+        );
+        let _ = writeln!(out, "      \"check_queries\": {},", run.check_queries);
+        let _ = writeln!(
+            out,
+            "      \"check_seconds\": {},",
+            num(run.check_seconds, 6)
+        );
+        let _ = writeln!(
+            out,
+            "      \"check_queries_per_sec\": {},",
+            num(run.check_queries as f64 / run.check_seconds.max(1e-12), 1)
+        );
+        let _ = writeln!(out, "      \"busy_rejections\": {},", run.busy_rejections);
+        let _ = writeln!(out, "      \"all_consistent\": {},", run.all_consistent);
+        let _ = writeln!(out, "      \"queue_depth_histogram\": {{");
+        for (j, (label, count)) in run.depth_histogram.iter().enumerate() {
+            let comma = if j + 1 < run.depth_histogram.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "        \"{label}\": {count}{comma}");
+        }
+        let _ = writeln!(out, "      }}");
+        let comma = if i + 1 < r.runs.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
 /// Validate, write, re-read and re-validate one JSON report file.
 fn write_validated(path: &str, json: &str) {
     if let Err(pos) = validate_json(json) {
@@ -915,6 +1328,7 @@ fn main() {
     let delta_out_path = args.get_or("delta-out", "BENCH_pr3.json").to_string();
     let storage_out_path = args.get_or("storage-out", "BENCH_pr4.json").to_string();
     let sim_out_path = args.get_or("sim-out", "BENCH_pr5.json").to_string();
+    let serve_out_path = args.get_or("serve-out", "BENCH_pr6.json").to_string();
     let (tuples, master, repeat, thread_counts): (usize, usize, usize, Vec<usize>) = if smoke {
         (200, 80, 1, vec![1, 2])
     } else {
@@ -992,6 +1406,34 @@ fn main() {
     let delta_json = render_delta_json(&delta, smoke);
     write_validated(&delta_out_path, &delta_json);
 
+    let (serve_shards, serve_relations, serve_base, serve_batches, serve_batch, serve_checks) =
+        if smoke {
+            (vec![1usize, 2], 2usize, 150usize, 3usize, 20usize, 60usize)
+        } else {
+            (
+                vec![1usize, 2, 4],
+                4usize,
+                args.get_usize("serve-base", 10_000),
+                args.get_usize("serve-batches", 10),
+                args.get_usize("serve-batch", 100),
+                args.get_usize("serve-checks", 2_000),
+            )
+        };
+    eprintln!(
+        "serving workload ({serve_relations} relations x ({serve_base} base + \
+         {serve_batches} x {serve_batch} batches), shards {serve_shards:?})…"
+    );
+    let serve = bench_serving(
+        &serve_shards,
+        serve_relations,
+        serve_base,
+        serve_batches,
+        serve_batch,
+        serve_checks,
+        master,
+    );
+    write_validated(&serve_out_path, &render_serve_json(&serve, smoke));
+
     print!("{}", render_table(&reports));
     let speedups = delta.speedups();
     println!(
@@ -1038,9 +1480,27 @@ fn main() {
         sim.indexed_seconds,
         sim.scan_seconds / sim.indexed_seconds.max(1e-12),
     );
+    for run in &serve.runs {
+        let batches_total = run.batches * run.relations;
+        println!(
+            "## serving — {} shards x {} relations: {} batches in {:.3}s ({:.1} batches/s, \
+             {:.0} tuples/s), {} checks in {:.3}s ({:.0} q/s), busy {} , all_consistent {}",
+            run.shards,
+            run.relations,
+            batches_total,
+            run.ingest_seconds,
+            batches_total as f64 / run.ingest_seconds.max(1e-12),
+            (batches_total * run.batch_tuples) as f64 / run.ingest_seconds.max(1e-12),
+            run.check_queries,
+            run.check_seconds,
+            run.check_queries as f64 / run.check_seconds.max(1e-12),
+            run.busy_rejections,
+            run.all_consistent,
+        );
+    }
     println!(
         "wrote {out_path} + {storage_out_path} + {sim_out_path} + {delta_out_path} \
-         ({} datasets, {:.1}s total){}",
+         + {serve_out_path} ({} datasets, {:.1}s total){}",
         reports.len(),
         started.elapsed().as_secs_f64(),
         if smoke { " [smoke]" } else { "" }

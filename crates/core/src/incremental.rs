@@ -54,7 +54,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use uniclean_model::{repair_cost, FxHashMap, Relation, Row, Tuple, TupleId, Value};
-use uniclean_rules::RuleSet;
+use uniclean_rules::{Md, RuleSet};
 
 use crate::crepair::{c_run, CFixpoint, CGuard};
 use crate::erepair::e_run;
@@ -65,7 +65,7 @@ use crate::md_cache::MdMatchCache;
 use crate::phase::Phase;
 use crate::pipeline::CleanResult;
 use crate::session::{
-    run_phases, Cleaner, MasterSource, NoOpObserver, PhaseStats, PreparedCleaner,
+    run_phases, Cleaner, MasterSource, NoOpObserver, PhaseObserver, PhaseStats, PreparedCleaner,
 };
 use crate::two_in_one::TwoInOne;
 
@@ -163,6 +163,136 @@ impl RepairState {
     pub fn deltas(&self) -> usize {
         self.deltas
     }
+
+    /// Is tuple `tid` of the current repair accepted — does it violate no
+    /// CFD and no MD? The per-tuple slice of [`RepairState::consistent`]:
+    /// the relation-level verdict holds exactly when every tuple is
+    /// accepted. Served from the maintained acceptance index, **without
+    /// running a phase**: the CFD half reads the live group counters, the
+    /// MD half reads the materialized per-tuple verdicts when present and
+    /// falls back to one targeted master scan for this tuple otherwise.
+    ///
+    /// A tuple in a variable-CFD group holding two distinct non-null RHS
+    /// values is rejected along with the whole group — group violations
+    /// are attributed to every member, since repairing any of them could
+    /// resolve the clash.
+    ///
+    /// Panics if `tid` is out of range (callers serving untrusted ids
+    /// should bound-check against [`RepairState::len`] first).
+    ///
+    /// ```
+    /// use uniclean_core::{Cleaner, Phase};
+    /// use uniclean_model::{Relation, Schema, Tuple, TupleId};
+    /// use uniclean_rules::{parse_rules, RuleSet};
+    ///
+    /// let s = Schema::of_strings("tran", &["AC", "city"]);
+    /// let parsed = parse_rules("cfd phi1: tran([AC=131] -> [city=Edi])", &s, None).unwrap();
+    /// let rules = RuleSet::cfds_only(s.clone(), parsed.cfds);
+    /// let cleaner = Cleaner::builder().rules(rules).build().unwrap();
+    ///
+    /// // cRepair alone cannot touch this low-confidence cell, so the
+    /// // violation survives into the repair — and the index reports it.
+    /// let d = Relation::new(s, vec![Tuple::of_strs(&["131", "Ldn"], 0.0)]);
+    /// let (state, result) = cleaner.begin(&d, Phase::CRepair);
+    /// assert!(!result.consistent);
+    /// assert!(!state.is_accepted(TupleId(0)));
+    /// assert_eq!(state.violations(TupleId(0))[0].rule, "phi1");
+    /// ```
+    pub fn is_accepted(&self, tid: TupleId) -> bool {
+        let rules = self.prepared.rules();
+        let t = self.repaired.tuple(tid);
+        if !self.cons.tuple_cfd_ok(rules, t) {
+            return false;
+        }
+        if rules.mds().is_empty() {
+            return true;
+        }
+        if let Some(ok) = self.cons.tuple_md_ok_cached(tid) {
+            return ok;
+        }
+        let mut storage = None;
+        let dm = self
+            .prepared
+            .acceptance_master(&self.repaired, &mut storage);
+        md_tuple_ok(rules, self.cons.premise_orders(), t, dm)
+    }
+
+    /// The rules rejecting tuple `tid` of the current repair — empty
+    /// exactly when [`RepairState::is_accepted`] holds. Like
+    /// `is_accepted`, answered online from the acceptance index plus (for
+    /// MDs) one targeted scan of the master view for this tuple; no phase
+    /// runs. Rules appear in declaration order, CFDs before MDs.
+    ///
+    /// ```
+    /// use uniclean_core::{Cleaner, Phase, ViolationKind};
+    /// use uniclean_model::{Relation, Schema, Tuple, TupleId};
+    /// use uniclean_rules::{parse_rules, RuleSet};
+    ///
+    /// let s = Schema::of_strings("tran", &["AC", "city"]);
+    /// let parsed = parse_rules("cfd phi1: tran([AC] -> [city])", &s, None).unwrap();
+    /// let rules = RuleSet::cfds_only(s.clone(), parsed.cfds);
+    /// let cleaner = Cleaner::builder().rules(rules).build().unwrap();
+    ///
+    /// // Two equally-confident witnesses for one area code: cRepair
+    /// // cannot decide, so both group members stay in violation.
+    /// let d = Relation::new(
+    ///     s,
+    ///     vec![
+    ///         Tuple::of_strs(&["131", "Edi"], 0.0),
+    ///         Tuple::of_strs(&["131", "Ldn"], 0.0),
+    ///     ],
+    /// );
+    /// let (state, _) = cleaner.begin(&d, Phase::CRepair);
+    /// let v = state.violations(TupleId(1));
+    /// assert_eq!(v.len(), 1);
+    /// assert_eq!(v[0].rule, "phi1");
+    /// assert_eq!(v[0].kind, ViolationKind::VariableCfd);
+    /// ```
+    pub fn violations(&self, tid: TupleId) -> Vec<TupleViolation> {
+        let rules = self.prepared.rules();
+        let t = self.repaired.tuple(tid);
+        let mut out = self.cons.tuple_cfd_violations(rules, t);
+        if !rules.mds().is_empty() {
+            let mut storage = None;
+            let dm = self
+                .prepared
+                .acceptance_master(&self.repaired, &mut storage);
+            for (md, order) in rules.mds().iter().zip(self.cons.premise_orders()) {
+                if !md_single_ok(md, order, t, dm) {
+                    out.push(TupleViolation {
+                        rule: md.name().to_string(),
+                        kind: ViolationKind::Md,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Which rule family rejected a tuple (see [`RepairState::violations`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// A constant CFD: the tuple matches the LHS pattern but not the RHS
+    /// constant.
+    ConstantCfd,
+    /// A variable CFD: the tuple's LHS group holds two or more distinct
+    /// non-null RHS values (the violation is attributed to every group
+    /// member).
+    VariableCfd,
+    /// An MD: some master tuple matches every premise but disagrees on
+    /// the RHS attribute.
+    Md,
+}
+
+/// One rule rejecting one tuple, as reported by
+/// [`RepairState::violations`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TupleViolation {
+    /// Name of the violated rule (as written in the rule text).
+    pub rule: String,
+    /// Which rule family it belongs to.
+    pub kind: ViolationKind,
 }
 
 impl std::fmt::Debug for RepairState {
@@ -203,7 +333,58 @@ impl Cleaner {
     /// assert!(next.consistent);
     /// ```
     pub fn begin(&self, d: &Relation, phase: Phase) -> (RepairState, CleanResult) {
-        full_clean(self.prepared().clone(), d.clone(), phase, 0, 0)
+        self.begin_observed(d, phase, &mut NoOpObserver)
+    }
+
+    /// [`Cleaner::begin`] with a [`PhaseObserver`] receiving per-phase
+    /// timing and fix counts as the initial clean progresses.
+    pub fn begin_observed(
+        &self,
+        d: &Relation,
+        phase: Phase,
+        observer: &mut dyn PhaseObserver,
+    ) -> (RepairState, CleanResult) {
+        full_clean(self.prepared().clone(), d.clone(), phase, 0, 0, observer)
+    }
+
+    /// A [`RepairState`] over **zero tuples** — the serving shape, where a
+    /// relation is registered first and fed purely by
+    /// [`Cleaner::clean_delta`] batches. Equivalent to
+    /// [`Cleaner::begin`] on an empty relation of the session's data
+    /// schema; the pinned contract (`tests/incremental.rs`) is that
+    /// `begin_empty` + `clean_delta(batch)` leaves the state bit-identical
+    /// to `begin(batch)`.
+    ///
+    /// ```
+    /// use uniclean_core::{Cleaner, Phase};
+    /// use uniclean_model::{Relation, Schema, Tuple};
+    /// use uniclean_rules::{parse_rules, RuleSet};
+    ///
+    /// let s = Schema::of_strings("tran", &["AC", "city"]);
+    /// let parsed = parse_rules("cfd phi1: tran([AC=131] -> [city=Edi])", &s, None).unwrap();
+    /// let rules = RuleSet::cfds_only(s.clone(), parsed.cfds);
+    /// let cleaner = Cleaner::builder().rules(rules).build().unwrap();
+    ///
+    /// let mut state = cleaner.begin_empty(Phase::Full);
+    /// assert!(state.is_empty());
+    /// assert!(state.consistent());
+    ///
+    /// let batch = vec![Tuple::of_strs(&["131", "Ldn"], 0.5)];
+    /// let result = cleaner.clean_delta(&mut state, &batch).unwrap();
+    /// assert!(result.consistent);
+    /// assert_eq!(state.len(), 1);
+    /// ```
+    pub fn begin_empty(&self, phase: Phase) -> RepairState {
+        let base = Relation::empty(self.prepared().rules().schema().clone());
+        full_clean(
+            self.prepared().clone(),
+            base,
+            phase,
+            0,
+            0,
+            &mut NoOpObserver,
+        )
+        .0
     }
 
     /// Absorb a batch of appended tuples into `state` incrementally.
@@ -260,6 +441,22 @@ impl Cleaner {
         state: &mut RepairState,
         batch: &[Tuple],
     ) -> Result<CleanResult, CleanError> {
+        self.clean_delta_observed(state, batch, &mut NoOpObserver)
+    }
+
+    /// [`Cleaner::clean_delta`] with a [`PhaseObserver`] receiving
+    /// per-phase timing and fix counts as the delta call progresses — the
+    /// same hook [`Cleaner::clean_observed`] offers for one-shot cleans,
+    /// so a long-lived service can meter its incremental path through the
+    /// one instrumentation surface. A call that escalates reports the
+    /// reclean's phases; the aborted `cRepair` continuation attempt then
+    /// appears as an `on_phase_start` without a matching end.
+    pub fn clean_delta_observed(
+        &self,
+        state: &mut RepairState,
+        batch: &[Tuple],
+        observer: &mut dyn PhaseObserver,
+    ) -> Result<CleanResult, CleanError> {
         if !Arc::ptr_eq(&state.prepared, self.prepared()) {
             return Err(CleanError::ForeignState);
         }
@@ -285,7 +482,7 @@ impl Cleaner {
 
         // No reusable structures (self-snapshot master): full reclean.
         if state.cfix.is_none() {
-            return Ok(escalate(state));
+            return Ok(escalate(state, observer));
         }
 
         let rules = prepared.rules().clone();
@@ -300,6 +497,7 @@ impl Cleaner {
         fx.grow(batch.len());
         let mut guard = CGuard::new(settled);
         let (dm, index) = prepared.external_view();
+        observer.on_phase_start(Phase::CRepair);
         let started = Instant::now();
         let c_report = c_run(
             &mut state.post_c,
@@ -312,13 +510,15 @@ impl Cleaner {
             Some(&mut guard),
         );
         if guard.hazard {
-            return Ok(escalate(state));
+            return Ok(escalate(state, observer));
         }
-        phases.push(PhaseStats {
+        let stats = PhaseStats {
             phase: Phase::CRepair,
             seconds: started.elapsed().as_secs_f64(),
             fixes: c_report.len(),
-        });
+        };
+        observer.on_phase_end(&stats);
+        phases.push(stats);
 
         let mut report = c_report;
         let mut work;
@@ -353,23 +553,29 @@ impl Cleaner {
             }
             let mut structure = two.clone();
             work = state.post_c.clone();
+            observer.on_phase_start(Phase::ERepair);
             let started = Instant::now();
             let e_report = e_run(&mut work, dm, &rules, index, &cfg, &mut structure, cache);
-            phases.push(PhaseStats {
+            let stats = PhaseStats {
                 phase: Phase::ERepair,
                 seconds: started.elapsed().as_secs_f64(),
                 fixes: e_report.len(),
-            });
+            };
+            observer.on_phase_end(&stats);
+            phases.push(stats);
             report.extend(e_report);
 
             if state.phase >= Phase::HRepair {
+                observer.on_phase_start(Phase::HRepair);
                 let started = Instant::now();
                 let h_report = h_repair(&mut work, dm, &rules, index, &cfg);
-                phases.push(PhaseStats {
+                let stats = PhaseStats {
                     phase: Phase::HRepair,
                     seconds: started.elapsed().as_secs_f64(),
                     fixes: h_report.len(),
-                });
+                };
+                observer.on_phase_end(&stats);
+                phases.push(stats);
                 report.extend(h_report);
             }
         } else {
@@ -406,6 +612,7 @@ fn full_clean(
     phase: Phase,
     escalations: usize,
     deltas: usize,
+    observer: &mut dyn PhaseObserver,
 ) -> (RepairState, CleanResult) {
     let mut work = base.clone();
     // Self-snapshot masters re-render per phase; nothing per-relation can
@@ -416,7 +623,7 @@ fn full_clean(
         &prepared,
         &mut work,
         phase,
-        &mut NoOpObserver,
+        observer,
         capturable.then_some(&mut capture),
     );
 
@@ -456,7 +663,7 @@ fn full_clean(
 
 /// Fall back to a from-scratch clean of the concatenated relation,
 /// replacing every persistent structure.
-fn escalate(state: &mut RepairState) -> CleanResult {
+fn escalate(state: &mut RepairState, observer: &mut dyn PhaseObserver) -> CleanResult {
     let prepared = state.prepared.clone();
     let base = std::mem::replace(
         &mut state.base,
@@ -468,6 +675,7 @@ fn escalate(state: &mut RepairState) -> CleanResult {
         state.phase,
         state.escalations + 1,
         state.deltas + 1,
+        observer,
     );
     // The session-wide log keeps its history; append this reclean's fixes.
     let mut log = std::mem::take(&mut state.log);
@@ -562,6 +770,62 @@ impl ConsistencyIndex {
     /// `(Dr, Dm) ⊨ Γ`.
     pub(crate) fn consistent(&self) -> bool {
         self.consistent
+    }
+
+    /// Per-MD premise evaluation orders (cheapest-first), for callers
+    /// running targeted [`md_tuple_ok`]/[`md_single_ok`] probes.
+    pub(crate) fn premise_orders(&self) -> &[Vec<usize>] {
+        &self.premise_orders
+    }
+
+    /// The per-tuple MD verdict, if the lazily-built table has been
+    /// materialized (`None` means the CFD half never held, so MD verdicts
+    /// were never needed — compute a targeted probe instead).
+    pub(crate) fn tuple_md_ok_cached(&self, tid: TupleId) -> Option<bool> {
+        self.md_ok.as_ref().map(|ok| ok[tid.index()])
+    }
+
+    /// Does `t` violate no CFD? Constant CFDs are checked directly against
+    /// the tuple; variable CFDs read the maintained group table (a tuple in
+    /// a violating group is rejected with the whole group).
+    pub(crate) fn tuple_cfd_ok<'t>(&self, rules: &RuleSet, t: impl Row<'t>) -> bool {
+        self.tuple_cfd_violations(rules, t).is_empty()
+    }
+
+    /// The CFDs rejecting `t`, in declaration order.
+    pub(crate) fn tuple_cfd_violations<'t>(
+        &self,
+        rules: &RuleSet,
+        t: impl Row<'t>,
+    ) -> Vec<TupleViolation> {
+        let mut out = Vec::new();
+        let mut vi = 0usize;
+        for cfd in rules.cfds() {
+            if cfd.is_constant() {
+                if cfd.lhs_matches(t) {
+                    let want = cfd.rhs_pattern()[0].as_const().expect("constant CFD");
+                    if !t.value(cfd.rhs()[0]).eq_nullable(want) {
+                        out.push(TupleViolation {
+                            rule: cfd.name().to_string(),
+                            kind: ViolationKind::ConstantCfd,
+                        });
+                    }
+                }
+            } else {
+                let slot = vi;
+                vi += 1;
+                if cfd.lhs_matches(t) {
+                    let key = t.project(cfd.lhs());
+                    if self.vgroups[slot].get(&key).is_some_and(|g| g.bad()) {
+                        out.push(TupleViolation {
+                            rule: cfd.name().to_string(),
+                            kind: ViolationKind::VariableCfd,
+                        });
+                    }
+                }
+            }
+        }
+        out
     }
 
     fn cfds_ok(&self) -> bool {
@@ -715,16 +979,24 @@ fn md_tuple_ok<'t>(
     t: impl Row<'t>,
     dm: &Relation,
 ) -> bool {
-    rules.mds().iter().zip(premise_orders).all(|(md, order)| {
-        let (e, f) = md.rhs()[0];
-        dm.rows().all(|s| {
-            let matched = order.iter().all(|&i| {
-                let p = &md.premises()[i];
-                let tv = t.value(p.attr);
-                let sv = s.value(p.master_attr);
-                !tv.is_null() && !sv.is_null() && p.pred.matches(&tv.render(), &sv.render())
-            });
-            !matched || t.value(e).eq_nullable(s.value(f))
-        })
+    rules
+        .mds()
+        .iter()
+        .zip(premise_orders)
+        .all(|(md, order)| md_single_ok(md, order, t, dm))
+}
+
+/// The single-MD slice of [`md_tuple_ok`], for per-rule violation
+/// reporting ([`RepairState::violations`]).
+fn md_single_ok<'t>(md: &Md, order: &[usize], t: impl Row<'t>, dm: &Relation) -> bool {
+    let (e, f) = md.rhs()[0];
+    dm.rows().all(|s| {
+        let matched = order.iter().all(|&i| {
+            let p = &md.premises()[i];
+            let tv = t.value(p.attr);
+            let sv = s.value(p.master_attr);
+            !tv.is_null() && !sv.is_null() && p.pred.matches(&tv.render(), &sv.render())
+        });
+        !matched || t.value(e).eq_nullable(s.value(f))
     })
 }

@@ -61,12 +61,10 @@ pub use erepair::e_repair;
 pub use error::{CleanError, ConfigError};
 pub use fix::{FixRecord, FixReport};
 pub use hrepair::h_repair;
-pub use incremental::RepairState;
+pub use incremental::{RepairState, TupleViolation, ViolationKind};
 pub use master_index::{IndexPolicy, MasterIndex, ProbeScratch};
 pub use parallel::effective_parallelism;
 pub use phase::Phase;
-#[allow(deprecated)]
-pub use phase::PhaseKind;
 pub use pipeline::CleanResult;
 #[allow(deprecated)]
 pub use pipeline::{clean_without_master, UniClean};

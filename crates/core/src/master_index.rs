@@ -873,48 +873,6 @@ impl MasterIndex {
         }
     }
 
-    /// Candidate master rows for `t` under MD number `md_idx`, as a fresh
-    /// vector.
-    #[deprecated(note = "use for_each_candidate with a caller-owned ProbeScratch")]
-    pub fn candidates<'t>(&self, md_idx: usize, md: &Md, t: impl Row<'t>) -> Vec<TupleId> {
-        let mut scratch = ProbeScratch::new();
-        let mut out = Vec::new();
-        self.for_each_candidate(md_idx, md, t, &mut scratch, |sid| out.push(sid));
-        out
-    }
-
-    /// Master rows whose full premise matches `t` under MD `md_idx`.
-    #[deprecated(note = "use matches_into with a caller-owned ProbeScratch and buffer")]
-    pub fn matches<'t>(
-        &self,
-        md_idx: usize,
-        md: &Md,
-        t: impl Row<'t>,
-        master: &Relation,
-    ) -> Vec<TupleId> {
-        let mut scratch = ProbeScratch::new();
-        let mut out = Vec::new();
-        self.matches_into(md_idx, md, t, master, None, &mut scratch, &mut out);
-        out
-    }
-
-    /// Like [`Self::matches`], skipping one master row — the tuple's own
-    /// positional copy under self-matching (master = snapshot of the data).
-    #[deprecated(note = "use matches_into with a caller-owned ProbeScratch and buffer")]
-    pub fn matches_excluding<'t>(
-        &self,
-        md_idx: usize,
-        md: &Md,
-        t: impl Row<'t>,
-        master: &Relation,
-        exclude: Option<TupleId>,
-    ) -> Vec<TupleId> {
-        let mut scratch = ProbeScratch::new();
-        let mut out = Vec::new();
-        self.matches_into(md_idx, md, t, master, exclude, &mut scratch, &mut out);
-        out
-    }
-
     /// Verified premise matches appended into a caller-owned buffer
     /// (cleared first), ascending row order, so a tuple loop reuses one
     /// allocation (and one probe cache) throughout.
@@ -1277,22 +1235,5 @@ mod tests {
                 assert_eq!(a, b, "md {i} probe {name:?}");
             }
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_conveniences_still_agree() {
-        let (_, _, mds, dm) = setup("=");
-        let idx = MasterIndex::build(&mds, &dm, 5);
-        let t = Tuple::of_strs(&["Smith", "999"], 0.5);
-        assert_eq!(
-            idx.matches(0, &mds[0], &t, &dm),
-            probe_matches(&idx, &mds[0], &t, &dm)
-        );
-        assert_eq!(
-            idx.matches_excluding(0, &mds[0], &t, &dm, Some(TupleId(0))),
-            vec![TupleId(2)]
-        );
-        assert_eq!(idx.candidates(0, &mds[0], &t).len(), 2);
     }
 }

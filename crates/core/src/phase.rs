@@ -10,8 +10,9 @@
 //! and including this one". The selector spellings [`Phase::CERepair`] and
 //! [`Phase::Full`] remain available as associated constants, so value and
 //! comparison call sites (`cleaner.clean(&d, Phase::Full)`,
-//! `phase == Phase::Full`) compile unchanged, and the old name survives as
-//! the deprecated [`PhaseKind`] alias. Two caveats for migrators:
+//! `phase == Phase::Full`) compile unchanged. (The deprecated `PhaseKind`
+//! alias that bridged the 0.4 migration was removed in 0.6 — spell it
+//! [`Phase`].) Two caveats for migrators:
 //! exhaustive `match`es over the old selector must switch to the variant
 //! names (associated-constant patterns do not count toward exhaustiveness),
 //! and `{:?}` prints the variant name (`Phase::Full` debugs as
@@ -65,13 +66,6 @@ impl Phase {
         &Phase::ALL[..=self.index()]
     }
 }
-
-/// The pre-0.4 name for a phase identity; [`Phase`] now plays both roles.
-#[deprecated(
-    since = "0.4.0",
-    note = "`PhaseKind` and `Phase` were consolidated into one type; use `Phase`"
-)]
-pub type PhaseKind = Phase;
 
 #[cfg(test)]
 mod tests {

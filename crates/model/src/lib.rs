@@ -15,7 +15,9 @@
 //! * [`ValueInterner`] — dense `u32` [`Symbol`]s for values, so hot-path
 //!   hash keys (group projections, master-column indexes) hash and compare
 //!   in O(1); every relation owns one,
-//! * [`cost`](mod@cost) — the repair cost model `cost(Dr, D)` of §3.1.
+//! * [`cost`](mod@cost) — the repair cost model `cost(Dr, D)` of §3.1,
+//! * [`json`](mod@json) — hand-rolled [`Json`] values (no external deps)
+//!   and the tuple/batch wire codecs the serving layer speaks.
 //!
 //! The model is deliberately free of any cleaning logic: rules live in
 //! `uniclean-rules` and the cleaning algorithms in `uniclean-core`.
@@ -24,6 +26,7 @@ pub mod cost;
 pub mod csv;
 pub mod error;
 pub mod intern;
+pub mod json;
 pub mod pos;
 pub mod relation;
 pub mod schema;
@@ -34,6 +37,7 @@ pub mod value;
 pub use cost::{cell_cost, repair_cost, repair_cost_with, value_distance};
 pub use error::ModelError;
 pub use intern::{FxHashMap, FxHasher, Symbol, ValueInterner};
+pub use json::{Json, JsonError};
 pub use pos::{AttrId, TupleId};
 pub use relation::Relation;
 pub use schema::{AttrDef, Schema, ValueType};

@@ -10,7 +10,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use uniclean_model::{AttrId, Row, Schema};
+use uniclean_model::{AttrId, Row, Schema, Value};
 
 use crate::pattern::PatternValue;
 
@@ -136,6 +136,23 @@ impl Cfd {
     }
 }
 
+/// Render a pattern constant in the parser's grammar: bare when the token
+/// survives the lexer as-is, double-quoted when it contains whitespace, a
+/// separator (`,`, `]`, `)`), or a `#` (which would otherwise start a
+/// comment). Constants containing `"` itself cannot round-trip — the
+/// grammar has no escape sequence — and are emitted bare.
+fn grammar_constant(v: &Value) -> String {
+    let s = v.to_string();
+    let needs_quotes = s.is_empty()
+        || s.chars()
+            .any(|c| c.is_whitespace() || matches!(c, ',' | ']' | ')' | '#'));
+    if needs_quotes && !s.contains('"') {
+        format!("\"{s}\"")
+    } else {
+        s
+    }
+}
+
 impl fmt::Display for Cfd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}: {}([", self.name, self.schema.name())?;
@@ -145,7 +162,9 @@ impl fmt::Display for Cfd {
             }
             match p {
                 PatternValue::Wildcard => write!(f, "{}", self.schema.attr_name(*a))?,
-                PatternValue::Const(v) => write!(f, "{}={}", self.schema.attr_name(*a), v)?,
+                PatternValue::Const(v) => {
+                    write!(f, "{}={}", self.schema.attr_name(*a), grammar_constant(v))?
+                }
             }
         }
         f.write_str("] -> [")?;
@@ -155,7 +174,9 @@ impl fmt::Display for Cfd {
             }
             match p {
                 PatternValue::Wildcard => write!(f, "{}", self.schema.attr_name(*a))?,
-                PatternValue::Const(v) => write!(f, "{}={}", self.schema.attr_name(*a), v)?,
+                PatternValue::Const(v) => {
+                    write!(f, "{}={}", self.schema.attr_name(*a), grammar_constant(v))?
+                }
             }
         }
         f.write_str("])")

@@ -111,7 +111,6 @@ impl Md {
             .map(|(i, _)| i)
     }
 
-
     /// Does the premise hold between data tuple `t` and master tuple `s`?
     /// Generic over [`Row`]: the data side is usually a stored
     /// [`uniclean_model::TupleRef`], the master side a row of another

@@ -494,6 +494,19 @@ mod tests {
     }
 
     #[test]
+    fn display_round_trips_constants_needing_quotes() {
+        let (tran, _) = schemas();
+        // Spaces, commas and `#` in constants must re-quote on Display so
+        // `cfd {cfd}` re-parses to the same rule.
+        let text = r#"cfd c: tran([city="New York, NY", AC=212] -> [St="Main St #4"])"#;
+        let rules = parse_rules(text, &tran, None).unwrap();
+        let rendered = format!("cfd {}", rules.cfds[0]);
+        let reparsed = parse_rules(&rendered, &tran, None)
+            .unwrap_or_else(|e| panic!("`{rendered}` does not re-parse: {e}"));
+        assert_eq!(reparsed.cfds[0], rules.cfds[0]);
+    }
+
+    #[test]
     fn similarity_predicate_variants_parse() {
         let (tran, card) = schemas();
         let text = "md m: tran[FN] ~jw(0.9) card[FN] AND tran[LN] ~qgram(2,0.5) card[LN] AND tran[city] ~jaro(0.8) card[city] -> tran[phn] <=> card[tel]";

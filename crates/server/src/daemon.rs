@@ -1,0 +1,419 @@
+//! The daemon: TCP accept loop, connection threads, request dispatch,
+//! and graceful shutdown.
+//!
+//! Connection threads parse request lines and answer reads (`check`,
+//! `dump`, `stats`) directly under tenant read locks — online, no phase
+//! runs and no queueing. Mutations (`ingest`, `close`) are decoded on the
+//! connection thread, then submitted to the owning shard's bounded queue;
+//! a full queue answers `busy` immediately with the observed depth.
+//! `shutdown` flips the accept flag, wakes the listener, and the run loop
+//! drops the shard senders so every worker drains its queue and exits
+//! before the process returns.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+use uniclean_model::json::{batch_from_json, relation_to_json};
+use uniclean_model::Json;
+
+use crate::protocol::{error, error_with, json_error, ok, parse_request, Request};
+use crate::registry::{Registry, Tenant};
+use crate::shard::{spawn_workers, Job};
+use crate::stats::ShardStats;
+
+/// How to bind and size a [`Daemon`].
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Listen address, e.g. `127.0.0.1:7401`. Port 0 asks the OS for an
+    /// ephemeral port (read it back via [`Daemon::local_addr`]).
+    pub addr: String,
+    /// Worker-pool size; relations map to workers by
+    /// [`crate::shard_for`].
+    pub shards: usize,
+    /// Per-shard ingest queue bound; a full queue answers `busy`.
+    pub queue_bound: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            addr: "127.0.0.1:7401".to_string(),
+            shards: 4,
+            queue_bound: 64,
+        }
+    }
+}
+
+/// State shared by the accept loop, connection threads and shard workers.
+struct Shared {
+    registry: Arc<Registry>,
+    /// `None` once shutdown begins: dropping the senders is what lets the
+    /// workers drain and exit.
+    senders: RwLock<Option<Vec<SyncSender<Job>>>>,
+    shard_stats: Vec<Arc<ShardStats>>,
+    queue_bound: usize,
+    shutdown: AtomicBool,
+    local: SocketAddr,
+}
+
+/// A bound, not-yet-running daemon.
+pub struct Daemon {
+    listener: TcpListener,
+    config: DaemonConfig,
+    local: SocketAddr,
+}
+
+impl Daemon {
+    /// Bind the listen socket (so callers learn the ephemeral port before
+    /// the serve loop starts).
+    pub fn bind(config: DaemonConfig) -> std::io::Result<Daemon> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local = listener.local_addr()?;
+        Ok(Daemon {
+            listener,
+            config,
+            local,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Serve until a client sends `shutdown`. Drains every shard queue
+    /// and joins every thread before returning.
+    pub fn run(self) -> std::io::Result<()> {
+        let shards = self.config.shards.max(1);
+        let (senders, shard_stats, workers) = spawn_workers(shards, self.config.queue_bound.max(1));
+        let shared = Arc::new(Shared {
+            registry: Arc::new(Registry::new(shards)),
+            senders: RwLock::new(Some(senders)),
+            shard_stats,
+            queue_bound: self.config.queue_bound.max(1),
+            shutdown: AtomicBool::new(false),
+            local: self.local,
+        });
+        let mut connections = Vec::new();
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let (stream, _) = match self.listener.accept() {
+                Ok(conn) => conn,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            // A shutdown request self-connects to unblock this accept.
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let shared = shared.clone();
+            connections.push(
+                std::thread::Builder::new()
+                    .name("uniclean-conn".to_string())
+                    .spawn(move || serve_connection(stream, shared))?,
+            );
+        }
+        for c in connections {
+            let _ = c.join();
+        }
+        // Dropping the senders closes every queue; workers finish what is
+        // already enqueued, then exit.
+        *shared.senders.write().unwrap() = None;
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// Per-connection loop: read request lines, write response lines.
+fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
+    // A finite read timeout lets the loop notice shutdown even while a
+    // client sits idle holding the connection open.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Retry timeouts without discarding partial bytes: `read_line`
+        // appends, so a line split across timeouts still assembles.
+        let n = loop {
+            match reader.read_line(&mut line) {
+                Ok(n) => break n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        };
+        if n == 0 {
+            return; // EOF: client closed.
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = dispatch(&line, &shared);
+        let mut out = response.render();
+        out.push('\n');
+        if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+/// One request line → one response object.
+fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    match request {
+        Request::Open(spec) => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return error("shutting_down", "daemon is shutting down");
+            }
+            match shared.registry.open(&spec) {
+                Ok(tenant) => ok(vec![
+                    ("relation", Json::str(&tenant.name)),
+                    ("shard", Json::Num(tenant.shard as f64)),
+                    ("arity", Json::Num(spec.attrs.len() as f64)),
+                    ("phase", Json::str(phase_wire_name(spec.phase))),
+                ]),
+                Err(resp) => resp,
+            }
+        }
+        Request::Ingest { relation, rows } => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return error("shutting_down", "daemon is shutting down");
+            }
+            let tenant = match shared.registry.get(&relation) {
+                Ok(t) => t,
+                Err(resp) => return resp,
+            };
+            let arity = tenant.cleaner.rules().schema().arity();
+            let rows = match batch_from_json(&rows, arity, tenant.default_cf) {
+                Ok(rows) => rows,
+                Err(e) => return json_error("bad_batch", &e),
+            };
+            submit(shared, tenant.shard, |reply| Job::Ingest {
+                tenant: tenant.clone(),
+                rows,
+                reply,
+            })
+        }
+        Request::Check { relation, tuple } => {
+            let tenant = match shared.registry.get(&relation) {
+                Ok(t) => t,
+                Err(resp) => return resp,
+            };
+            let entry = tenant.entry.read().unwrap();
+            match tuple {
+                None => ok(vec![
+                    ("relation", Json::str(&relation)),
+                    ("consistent", Json::Bool(entry.state.consistent())),
+                    ("tuples", Json::Num(entry.state.len() as f64)),
+                    ("deltas", Json::Num(entry.state.deltas() as f64)),
+                    ("escalations", Json::Num(entry.state.escalations() as f64)),
+                ]),
+                Some(tid) => {
+                    if tid >= entry.state.len() {
+                        return error_with(
+                            "bad_tuple",
+                            format!(
+                                "tuple {tid} out of range (relation has {} tuples)",
+                                entry.state.len()
+                            ),
+                            vec![("tuples", Json::Num(entry.state.len() as f64))],
+                        );
+                    }
+                    let violations = entry
+                        .state
+                        .violations(tid.into())
+                        .into_iter()
+                        .map(|v| {
+                            Json::Obj(vec![
+                                ("rule".to_string(), Json::str(v.rule)),
+                                (
+                                    "kind".to_string(),
+                                    Json::str(match v.kind {
+                                        uniclean_core::ViolationKind::ConstantCfd => "constant_cfd",
+                                        uniclean_core::ViolationKind::VariableCfd => "variable_cfd",
+                                        uniclean_core::ViolationKind::Md => "md",
+                                    }),
+                                ),
+                            ])
+                        })
+                        .collect::<Vec<_>>();
+                    ok(vec![
+                        ("relation", Json::str(&relation)),
+                        ("tuple", Json::Num(tid as f64)),
+                        ("accepted", Json::Bool(violations.is_empty())),
+                        ("violations", Json::Arr(violations)),
+                    ])
+                }
+            }
+        }
+        Request::Dump { relation } => {
+            let tenant = match shared.registry.get(&relation) {
+                Ok(t) => t,
+                Err(resp) => return resp,
+            };
+            let entry = tenant.entry.read().unwrap();
+            ok(vec![
+                ("relation", Json::str(&relation)),
+                ("tuples", Json::Num(entry.state.len() as f64)),
+                ("cost", Json::Num(entry.state.cost())),
+                ("rows", relation_to_json(entry.state.repaired())),
+            ])
+        }
+        Request::Stats { relation } => stats_response(shared, relation.as_deref()),
+        Request::Close { relation } => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return error("shutting_down", "daemon is shutting down");
+            }
+            let tenant = match shared.registry.get(&relation) {
+                Ok(t) => t,
+                Err(resp) => return resp,
+            };
+            let registry = shared.registry.clone();
+            submit(shared, tenant.shard, |reply| Job::Close {
+                registry,
+                name: relation,
+                reply,
+            })
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // Unblock the accept loop so `run` can proceed to drain.
+            let _ = TcpStream::connect(shared.local);
+            ok(vec![("shutting_down", Json::Bool(true))])
+        }
+    }
+}
+
+/// The wire selector for a phase prefix (inverse of `open`'s parsing).
+fn phase_wire_name(phase: uniclean_core::Phase) -> &'static str {
+    match phase {
+        uniclean_core::Phase::CRepair => "c",
+        uniclean_core::Phase::ERepair => "ce",
+        uniclean_core::Phase::HRepair => "full",
+    }
+}
+
+/// Submit a job to a shard queue; `busy` if the queue is full, waits for
+/// the worker's reply otherwise.
+fn submit(shared: &Arc<Shared>, shard: usize, make: impl FnOnce(SyncSender<Json>) -> Job) -> Json {
+    let (reply_tx, reply_rx) = sync_channel::<Json>(1);
+    {
+        let guard = shared.senders.read().unwrap();
+        let Some(senders) = guard.as_ref() else {
+            return error("shutting_down", "daemon is shutting down");
+        };
+        let stats = &shared.shard_stats[shard];
+        // Count the submission before try_send so a concurrent worker
+        // completing a job can't drive the counter below zero.
+        let depth = stats.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        match senders[shard].try_send(make(reply_tx)) {
+            Ok(()) => stats.record_enqueue(depth),
+            Err(TrySendError::Full(_)) => {
+                stats.depth.fetch_sub(1, Ordering::Relaxed);
+                stats.record_busy();
+                return error_with(
+                    "busy",
+                    format!("shard {shard} queue is full"),
+                    vec![
+                        ("shard", Json::Num(shard as f64)),
+                        ("queue_depth", Json::Num((depth - 1) as f64)),
+                        ("queue_bound", Json::Num(shared.queue_bound as f64)),
+                    ],
+                );
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                stats.depth.fetch_sub(1, Ordering::Relaxed);
+                return error("shutting_down", "daemon is shutting down");
+            }
+        }
+    }
+    // Sender guard dropped: shutdown can proceed while we wait.
+    match reply_rx.recv() {
+        Ok(resp) => resp,
+        Err(_) => error("internal", "shard worker exited before replying"),
+    }
+}
+
+/// The `stats` verb: shard queue counters plus per-relation serving
+/// stats, optionally narrowed to one relation.
+fn stats_response(shared: &Arc<Shared>, relation: Option<&str>) -> Json {
+    let tenants = match relation {
+        None => shared.registry.snapshot(),
+        Some(name) => match shared.registry.get(name) {
+            Ok(t) => vec![t],
+            Err(resp) => return resp,
+        },
+    };
+    let relations = tenants.iter().map(relation_stats).collect::<Vec<_>>();
+    let shards = shared
+        .shard_stats
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s.to_json(i, shared.queue_bound))
+        .collect::<Vec<_>>();
+    ok(vec![
+        ("shards", Json::Arr(shards)),
+        ("relations", Json::Arr(relations)),
+    ])
+}
+
+fn relation_stats(tenant: &Arc<Tenant>) -> Json {
+    // `stats` must stay online: a tenant mid-ingest holds its entry lock
+    // for the whole `clean_delta`, so don't wait on it — report the
+    // relation as busy and let the shard counters carry the liveness.
+    let Ok(entry) = tenant.entry.try_read() else {
+        return Json::Obj(vec![
+            ("relation".to_string(), Json::str(&tenant.name)),
+            ("shard".to_string(), Json::Num(tenant.shard as f64)),
+            ("busy".to_string(), Json::Bool(true)),
+        ]);
+    };
+    let phase_seconds = entry
+        .stats
+        .phase_seconds
+        .iter()
+        .map(|&s| Json::Num(s))
+        .collect();
+    Json::Obj(vec![
+        ("relation".to_string(), Json::str(&tenant.name)),
+        ("shard".to_string(), Json::Num(tenant.shard as f64)),
+        ("tuples".to_string(), Json::Num(entry.state.len() as f64)),
+        (
+            "consistent".to_string(),
+            Json::Bool(entry.state.consistent()),
+        ),
+        ("deltas".to_string(), Json::Num(entry.state.deltas() as f64)),
+        (
+            "escalations".to_string(),
+            Json::Num(entry.state.escalations() as f64),
+        ),
+        ("batches".to_string(), Json::Num(entry.stats.batches as f64)),
+        (
+            "tuples_ingested".to_string(),
+            Json::Num(entry.stats.tuples_ingested as f64),
+        ),
+        ("fixes".to_string(), Json::Num(entry.stats.fixes as f64)),
+        ("cost".to_string(), Json::Num(entry.state.cost())),
+        ("phase_seconds".to_string(), Json::Arr(phase_seconds)),
+    ])
+}

@@ -1,0 +1,67 @@
+//! Cleaning-as-a-service: a long-lived daemon hosting many named
+//! relations (tenants) over the incremental engine.
+//!
+//! The paper's unified matching+repairing process is batch-oriented; this
+//! crate composes the pieces the engine already provides into the serving
+//! shape the ROADMAP targets:
+//!
+//! * each **tenant** binds a session ([`uniclean_core::Cleaner`], whose
+//!   `Arc<PreparedCleaner>` holds rules, master index and config built
+//!   once at `open`) to a live [`uniclean_core::RepairState`] fed purely
+//!   by `ingest` batches through `clean_delta`;
+//! * tenants are **sharded** across a fixed worker pool by
+//!   `hash(relation) % shards` ([`shard_for`]): all mutations for one
+//!   relation are serialized on its owning shard's queue, while distinct
+//!   relations clean in parallel;
+//! * **reads are online**: `check` answers per-tuple/per-relation
+//!   acceptance from the maintained [`uniclean_core::RepairState`]
+//!   acceptance index ([`uniclean_core::RepairState::is_accepted`] /
+//!   [`uniclean_core::RepairState::violations`]) without running a phase,
+//!   and `stats` reports queue depths and
+//!   [`uniclean_core::PhaseObserver`]-derived phase timings;
+//! * **backpressure is explicit**: per-shard ingest queues are bounded
+//!   (`std::sync::mpsc::sync_channel`), and a full queue answers `busy`
+//!   with the observed depth instead of buffering without bound;
+//!   graceful shutdown stops accepting, then drains every queue.
+//!
+//! The wire protocol is line-delimited JSON over TCP — one request
+//! object per line, one response object per line, speaking the
+//! [`uniclean_model::json`] codecs. See [`protocol`] for the verb
+//! grammar and the README "Serving" section for examples.
+
+pub mod daemon;
+pub mod protocol;
+pub mod registry;
+pub mod shard;
+pub mod stats;
+
+pub use daemon::{Daemon, DaemonConfig};
+pub use protocol::{OpenSpec, Request};
+
+/// The shard owning a relation: `hash(relation) % shards`, with the
+/// workspace's deterministic [`uniclean_model::FxHasher`] — stable across
+/// processes and runs, so clients and tests can predict placement.
+pub fn shard_for(relation: &str, shards: usize) -> usize {
+    use std::hash::Hasher;
+    let mut h = uniclean_model::FxHasher::default();
+    h.write(relation.as_bytes());
+    (h.finish() % shards.max(1) as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_placement_is_deterministic_and_in_range() {
+        for shards in [1, 2, 4, 7] {
+            for name in ["hosp", "dblp", "tran", "a", ""] {
+                let s = shard_for(name, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_for(name, shards), "stable for {name}");
+            }
+        }
+        // One shard owns everything.
+        assert_eq!(shard_for("anything", 1), 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Tenants and the relation registry.
+//!
+//! A [`Tenant`] is one hosted relation: the immutable session half (a
+//! [`Cleaner`], whose `Arc<PreparedCleaner>` carries rules, master index
+//! and config, built once at `open`) plus the mutable half (a live
+//! [`RepairState`] and serving counters) behind an `RwLock`. Reads
+//! (`check`, `dump`, `stats`) take the read lock on connection threads;
+//! the owning shard worker takes the write lock for ingests, so a
+//! relation's mutations are doubly serialized — by its shard queue and by
+//! the lock.
+
+use std::collections::HashMap;
+use std::num::NonZeroUsize;
+use std::sync::{Arc, RwLock};
+
+use uniclean_core::{CleanConfig, Cleaner, MasterSource, RepairState};
+use uniclean_model::json::batch_from_json;
+use uniclean_model::{Json, Relation, Schema};
+use uniclean_rules::{parse_rules, RuleSet};
+
+use crate::protocol::{clean_error, error, json_error, OpenSpec};
+use crate::shard_for;
+use crate::stats::RelationStats;
+
+/// The mutable half of a tenant, guarded by [`Tenant::entry`].
+pub(crate) struct TenantEntry {
+    /// The live incremental state all ingests flow through.
+    pub(crate) state: RepairState,
+    /// Per-relation serving counters.
+    pub(crate) stats: RelationStats,
+}
+
+/// One hosted relation.
+pub(crate) struct Tenant {
+    /// Registry key and wire handle.
+    pub(crate) name: String,
+    /// Owning shard (`shard_for(name, shards)`).
+    pub(crate) shard: usize,
+    /// The immutable session: rules + master index + config, Arc-shared.
+    pub(crate) cleaner: Cleaner,
+    /// Confidence for ingested cells that arrive without an explicit `cf`.
+    pub(crate) default_cf: f64,
+    /// Live state + counters.
+    pub(crate) entry: RwLock<TenantEntry>,
+}
+
+impl Tenant {
+    /// Build a tenant from an `open` spec: schema → rules → master →
+    /// cleaner → empty initial state. `Err` carries the ready-to-send
+    /// error response.
+    pub(crate) fn open(spec: &OpenSpec, shards: usize) -> Result<Tenant, Json> {
+        let schema = Schema::of_strings(
+            &spec.table,
+            &spec.attrs.iter().map(String::as_str).collect::<Vec<_>>(),
+        );
+        let (master_schema, master_source) = match &spec.master {
+            None => (None, MasterSource::None),
+            Some(m) => {
+                let ms = Schema::of_strings(
+                    &m.table,
+                    &m.attrs.iter().map(String::as_str).collect::<Vec<_>>(),
+                );
+                let source = match &m.rows {
+                    // No rows ⇒ match against a snapshot of the data itself.
+                    None => MasterSource::SelfSnapshot,
+                    Some(rows) => {
+                        // Master data is correct by assumption: cells sent
+                        // without an explicit cf default to full confidence.
+                        let tuples = batch_from_json(rows, ms.arity(), 1.0)
+                            .map_err(|e| json_error("bad_request", &e))?;
+                        let mut rel = Relation::empty(ms.clone());
+                        for t in tuples {
+                            rel.push(t);
+                        }
+                        MasterSource::External(Arc::new(rel))
+                    }
+                };
+                (Some(ms), source)
+            }
+        };
+        let parsed = parse_rules(&spec.rules, &schema, master_schema.as_ref())
+            .map_err(|e| error("rule_parse", e.to_string()))?;
+        let rules = RuleSet::try_new(
+            schema,
+            master_schema,
+            parsed.cfds,
+            parsed.positive_mds,
+            parsed.negative_mds,
+        )
+        .map_err(|e| error("bad_rules", e.to_string()))?;
+        let mut config = CleanConfig::default();
+        if let Some(eta) = spec.eta {
+            config.eta = eta;
+        }
+        if let Some(d2) = spec.delta_entropy {
+            config.delta_entropy = d2;
+        }
+        if let Some(threads) = spec.threads {
+            config.parallelism = NonZeroUsize::new(threads);
+        }
+        let cleaner = Cleaner::builder()
+            .rules(rules)
+            .master(master_source)
+            .config(config)
+            .build()
+            .map_err(|e| clean_error(&e))?;
+        let state = cleaner.begin_empty(spec.phase);
+        Ok(Tenant {
+            name: spec.relation.clone(),
+            shard: shard_for(&spec.relation, shards),
+            cleaner,
+            default_cf: spec.default_cf,
+            entry: RwLock::new(TenantEntry {
+                state,
+                stats: RelationStats::default(),
+            }),
+        })
+    }
+}
+
+/// The daemon's relation table.
+pub(crate) struct Registry {
+    tenants: RwLock<HashMap<String, Arc<Tenant>>>,
+    shards: usize,
+}
+
+impl Registry {
+    pub(crate) fn new(shards: usize) -> Registry {
+        Registry {
+            tenants: RwLock::new(HashMap::new()),
+            shards,
+        }
+    }
+
+    /// Open a new tenant. `Err` carries the ready-to-send error response
+    /// (`relation_exists` if the name is taken).
+    pub(crate) fn open(&self, spec: &OpenSpec) -> Result<Arc<Tenant>, Json> {
+        // Build outside the map lock: opens of distinct relations only
+        // contend on the brief insert below.
+        let tenant = Arc::new(Tenant::open(spec, self.shards)?);
+        let mut map = self.tenants.write().unwrap();
+        if map.contains_key(&spec.relation) {
+            return Err(error(
+                "relation_exists",
+                format!("relation {:?} is already open", spec.relation),
+            ));
+        }
+        map.insert(spec.relation.clone(), tenant.clone());
+        Ok(tenant)
+    }
+
+    pub(crate) fn get(&self, name: &str) -> Result<Arc<Tenant>, Json> {
+        self.tenants
+            .read()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| error("unknown_relation", format!("no open relation {name:?}")))
+    }
+
+    pub(crate) fn remove(&self, name: &str) -> Result<Arc<Tenant>, Json> {
+        self.tenants
+            .write()
+            .unwrap()
+            .remove(name)
+            .ok_or_else(|| error("unknown_relation", format!("no open relation {name:?}")))
+    }
+
+    /// All tenants, sorted by name (deterministic `stats` output).
+    pub(crate) fn snapshot(&self) -> Vec<Arc<Tenant>> {
+        let mut all: Vec<_> = self.tenants.read().unwrap().values().cloned().collect();
+        all.sort_by(|a, b| a.name.cmp(&b.name));
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniclean_core::Phase;
+
+    fn spec(relation: &str, rules: &str) -> OpenSpec {
+        OpenSpec {
+            relation: relation.to_string(),
+            table: "data".to_string(),
+            attrs: vec!["AC".to_string(), "city".to_string()],
+            rules: rules.to_string(),
+            master: None,
+            phase: Phase::Full,
+            default_cf: 0.5,
+            eta: None,
+            delta_entropy: None,
+            threads: None,
+        }
+    }
+
+    #[test]
+    fn open_builds_an_empty_consistent_tenant() {
+        let reg = Registry::new(4);
+        let t = reg
+            .open(&spec("tran", "cfd phi1: data([AC=131] -> [city=Edi])"))
+            .unwrap();
+        assert_eq!(t.shard, shard_for("tran", 4));
+        let entry = t.entry.read().unwrap();
+        assert_eq!(entry.state.len(), 0);
+        assert!(entry.state.consistent());
+    }
+
+    #[test]
+    fn open_surfaces_structured_errors() {
+        let reg = Registry::new(2);
+        let code = |spec: &OpenSpec| match reg.open(spec) {
+            Err(resp) => resp.get("code").and_then(Json::as_str).unwrap().to_string(),
+            Ok(_) => panic!("open unexpectedly succeeded"),
+        };
+        assert_eq!(code(&spec("bad", "cfd oops(")), "rule_parse");
+        // MDs without any master spec: rejected at parse (no master schema
+        // to resolve the rule against).
+        assert_eq!(
+            code(&spec("md", "md m1: data[city] ~ data[city] => data[city]")),
+            "rule_parse"
+        );
+        reg.open(&spec("dup", "cfd phi1: data([AC=131] -> [city=Edi])"))
+            .unwrap();
+        assert_eq!(
+            code(&spec("dup", "cfd phi1: data([AC=131] -> [city=Edi])")),
+            "relation_exists"
+        );
+        match reg.get("nope") {
+            Err(resp) => assert_eq!(
+                resp.get("code").and_then(Json::as_str),
+                Some("unknown_relation")
+            ),
+            Ok(_) => panic!("get of unknown relation succeeded"),
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Shard worker pool: bounded per-shard job queues and the workers that
+//! drain them.
+//!
+//! Every mutation of a relation (ingest, close) is routed to the shard
+//! owning it ([`crate::shard_for`]), so one relation's mutations apply in
+//! submission order while distinct relations on distinct shards clean in
+//! parallel. Queues are `sync_channel`-bounded; the submit path (in
+//! [`crate::daemon`]) answers `busy` instead of blocking when a queue is
+//! full. Dropping all senders is the shutdown signal: each worker drains
+//! what is already queued, then exits.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use uniclean_model::{Json, Tuple};
+
+use crate::protocol::{clean_error, ok};
+use crate::registry::{Registry, Tenant};
+use crate::stats::{PhaseAccum, ShardStats};
+
+/// One unit of serialized per-relation work. Replies travel back over a
+/// rendezvous channel to the submitting connection thread.
+pub(crate) enum Job {
+    /// Apply a decoded batch through `clean_delta`.
+    Ingest {
+        tenant: Arc<Tenant>,
+        rows: Vec<Tuple>,
+        reply: SyncSender<Json>,
+    },
+    /// Drop a relation — routed through its shard so the close lands
+    /// *after* every ingest already queued for it.
+    Close {
+        registry: Arc<Registry>,
+        name: String,
+        reply: SyncSender<Json>,
+    },
+}
+
+/// What [`spawn_workers`] hands back: one job sender and one stats block
+/// per shard, plus the worker handles the daemon joins on shutdown.
+pub(crate) type WorkerPool = (
+    Vec<SyncSender<Job>>,
+    Vec<Arc<ShardStats>>,
+    Vec<JoinHandle<()>>,
+);
+
+/// Spawn `shards` workers with queues bounded at `queue_bound`.
+pub(crate) fn spawn_workers(shards: usize, queue_bound: usize) -> WorkerPool {
+    let mut senders = Vec::with_capacity(shards);
+    let mut stats = Vec::with_capacity(shards);
+    let mut handles = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let (tx, rx) = sync_channel::<Job>(queue_bound);
+        let shard_stats = Arc::new(ShardStats::default());
+        senders.push(tx);
+        stats.push(shard_stats.clone());
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("uniclean-shard-{shard}"))
+                .spawn(move || worker(rx, shard_stats))
+                .expect("spawn shard worker"),
+        );
+    }
+    (senders, stats, handles)
+}
+
+/// Worker loop: drain the queue until every sender is dropped.
+fn worker(rx: Receiver<Job>, stats: Arc<ShardStats>) {
+    while let Ok(job) = rx.recv() {
+        let (reply, response) = match job {
+            Job::Ingest {
+                tenant,
+                rows,
+                reply,
+            } => {
+                let response = apply_ingest(&tenant, rows);
+                (reply, response)
+            }
+            Job::Close {
+                registry,
+                name,
+                reply,
+            } => {
+                let response = match registry.remove(&name) {
+                    Ok(tenant) => {
+                        let entry = tenant.entry.read().unwrap();
+                        ok(vec![
+                            ("relation", Json::str(&name)),
+                            ("tuples", Json::Num(entry.state.len() as f64)),
+                            ("batches", Json::Num(entry.stats.batches as f64)),
+                        ])
+                    }
+                    Err(e) => e,
+                };
+                (reply, response)
+            }
+        };
+        stats.record_done();
+        // The submitter may have hung up (connection dropped); the job's
+        // effect stands either way.
+        let _ = reply.send(response);
+    }
+}
+
+/// Apply one batch to a tenant under its entry write lock.
+fn apply_ingest(tenant: &Arc<Tenant>, rows: Vec<Tuple>) -> Json {
+    let mut entry = tenant.entry.write().unwrap();
+    let offset = entry.state.len();
+    let escalations_before = entry.state.escalations();
+    let mut accum = PhaseAccum::default();
+    let result = tenant
+        .cleaner
+        .clean_delta_observed(&mut entry.state, &rows, &mut accum);
+    match result {
+        Ok(res) => {
+            let (d, r, p) = res.fix_counts();
+            entry.stats.batches += 1;
+            entry.stats.tuples_ingested += rows.len() as u64;
+            entry.stats.fixes += (d + r + p) as u64;
+            for (slot, s) in entry.stats.phase_seconds.iter_mut().zip(accum.seconds) {
+                *slot += s;
+            }
+            ok(vec![
+                ("relation", Json::str(&tenant.name)),
+                ("offset", Json::Num(offset as f64)),
+                ("ingested", Json::Num(rows.len() as f64)),
+                ("total", Json::Num(entry.state.len() as f64)),
+                ("fixes", Json::Num((d + r + p) as f64)),
+                ("consistent", Json::Bool(res.consistent)),
+                (
+                    "escalated",
+                    Json::Bool(entry.state.escalations() > escalations_before),
+                ),
+                ("cost", Json::Num(entry.state.cost())),
+            ])
+        }
+        Err(e) => clean_error(&e),
+    }
+}

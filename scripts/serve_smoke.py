@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""CI smoke test for `uniclean serve`.
+
+Connects to a running daemon, walks the full verb set (open, ingest x3,
+check, stats, dump, close, shutdown) and asserts every reply. Exits
+nonzero on any protocol violation; the workflow then `wait`s on the
+daemon to assert a clean exit code.
+
+Usage: serve_smoke.py [host] [port]
+"""
+
+import json
+import socket
+import sys
+import time
+
+
+def connect(host, port, attempts=50):
+    """The daemon may still be binding when we start; retry briefly."""
+    for i in range(attempts):
+        try:
+            return socket.create_connection((host, port), timeout=10)
+        except OSError:
+            if i + 1 == attempts:
+                raise
+            time.sleep(0.2)
+
+
+def main():
+    host = sys.argv[1] if len(sys.argv) > 1 else "127.0.0.1"
+    port = int(sys.argv[2]) if len(sys.argv) > 2 else 7401
+
+    sock = connect(host, port)
+    rd = sock.makefile("r", encoding="utf-8")
+    wr = sock.makefile("w", encoding="utf-8")
+
+    def rpc(req, want_ok=True):
+        wr.write(json.dumps(req) + "\n")
+        wr.flush()
+        line = rd.readline()
+        assert line, f"daemon closed the connection after {req!r}"
+        resp = json.loads(line)
+        if want_ok:
+            assert resp.get("ok") is True, f"{req['op']}: {resp}"
+        return resp
+
+    resp = rpc(
+        {
+            "op": "open",
+            "relation": "smoke",
+            "table": "data",
+            "attrs": ["K", "A", "B"],
+            "rules": "cfd fd: data([K] -> [A])\n"
+            "cfd cc: data([A=a1] -> [B=b1])\n"
+            "md m: data[K] = m[K] -> data[B] <=> m[B]",
+            "master": {
+                "table": "m",
+                "attrs": ["K", "B"],
+                "rows": [["k0", "b1"], ["k1", "b2"]],
+            },
+            "phase": "full",
+        }
+    )
+    assert resp["relation"] == "smoke", resp
+
+    total = 0
+    for batch in (
+        [["k0", "a1", "b9"], ["k1", "a2", "b2"]],
+        [["k0", "a1", "b1"]],
+        [["k2", "a3", "b3"], ["k2", "a4", "b3"], ["k1", "a2", "b2"]],
+    ):
+        resp = rpc({"op": "ingest", "relation": "smoke", "rows": batch})
+        assert resp["ingested"] == len(batch), resp
+        total += len(batch)
+        assert resp["total"] == total, resp
+
+    resp = rpc({"op": "check", "relation": "smoke"})
+    assert resp["tuples"] == total, resp
+    resp = rpc({"op": "check", "relation": "smoke", "tuple": 0})
+    assert "accepted" in resp and "violations" in resp, resp
+
+    resp = rpc({"op": "stats"})
+    assert len(resp["shards"]) == 2, resp
+    rel = resp["relations"][0]
+    assert rel["relation"] == "smoke" and rel["batches"] == 3, rel
+
+    resp = rpc({"op": "dump", "relation": "smoke"})
+    assert len(resp["rows"]) == total, resp
+
+    resp = rpc({"op": "nonsense"}, want_ok=False)
+    assert resp["code"] == "unknown_op", resp
+
+    rpc({"op": "close", "relation": "smoke"})
+    resp = rpc({"op": "shutdown"})
+    assert resp.get("shutting_down") is True, resp
+
+    sock.close()
+    print("serve smoke: all verbs answered correctly")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,7 @@
 //! uniclean check    --data d.csv --rules r.rules [--master m.csv] …
 //! uniclean analyze  --rules r.rules --data d.csv [--master m.csv] …
 //! uniclean discover --data d.csv [--max-lhs 2] [--min-support 3]
+//! uniclean serve    [--addr 127.0.0.1:7401] [--shards 4] [--queue 64]
 //! ```
 //!
 //! CSV files carry a header row naming the attributes; every column is read
@@ -34,6 +35,7 @@ COMMANDS:
     check      list rule violations in --data without repairing
     analyze    static analyses of the rule set: consistency, termination
     discover   mine FDs and constant CFDs from --data
+    serve      run the cleaning daemon (line-delimited JSON over TCP)
 
 COMMON OPTIONS:
     --data <file.csv>          the (dirty) relation; header row names attributes
@@ -65,6 +67,18 @@ CLEAN OPTIONS:
 DISCOVER OPTIONS:
     --max-lhs <n>              maximum FD LHS size [default: 2]
     --min-support <n>          minimum pattern support for constant CFDs [default: 3]
+
+SERVE OPTIONS:
+    --addr <host:port>         listen address [default: 127.0.0.1:7401]; port 0
+                               picks an ephemeral port (printed at startup)
+    --shards <n>               worker shards; relations are placed by
+                               hash(relation) % shards [default: 4]
+    --queue <n>                per-shard ingest queue bound; a full queue
+                               answers busy instead of buffering [default: 64]
+
+    The protocol is one JSON request per line, one JSON response per line
+    (ops: open, ingest, check, dump, stats, close, shutdown); see the
+    README \"Serving\" section for the schema.
 ";
 
 fn main() -> ExitCode {
@@ -157,6 +171,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "check" => cmd_check(&opts),
         "analyze" => cmd_analyze(&opts),
         "discover" => cmd_discover(&opts),
+        "serve" => cmd_serve(&opts),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command `{other}`")),
     }
@@ -487,6 +502,30 @@ fn cmd_discover(opts: &Opts) -> Result<String, String> {
         out.push_str(&format!("cfd {}\n", strip_name(fd)));
     }
     Ok(out)
+}
+
+fn cmd_serve(opts: &Opts) -> Result<String, String> {
+    let config = uniclean::server::DaemonConfig {
+        addr: opts.get_or("addr", "127.0.0.1:7401").to_string(),
+        shards: opts.get_usize("shards", 4)?,
+        queue_bound: opts.get_usize("queue", 64)?,
+    };
+    if config.shards == 0 || config.queue_bound == 0 {
+        return Err("--shards and --queue must be positive".into());
+    }
+    let daemon = uniclean::server::Daemon::bind(config.clone())
+        .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+    // Announce before blocking so scripts can await readiness on stdout.
+    println!(
+        "uniclean serve: listening on {} ({} shards, queue bound {})",
+        daemon.local_addr(),
+        config.shards,
+        config.queue_bound
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    daemon.run().map_err(|e| format!("serve failed: {e}"))?;
+    Ok("uniclean serve: shut down cleanly\n".to_string())
 }
 
 /// Render a CFD as a rule-file line (the `Display` form already matches the

@@ -88,6 +88,9 @@
 //!   analyses (§4 of the paper);
 //! * [`core`] — the three cleaning phases (`cRepair`, `eRepair`, `hRepair`)
 //!   and the [`Cleaner`] session;
+//! * [`server`] — cleaning-as-a-service: a sharded daemon hosting named
+//!   relations with streaming ingest and online violation queries over
+//!   line-delimited JSON/TCP (`uniclean serve`);
 //! * [`baselines`] — SortN matching and Quaid repairing, the paper's
 //!   comparators;
 //! * [`datagen`] — synthetic HOSP / DBLP / TPC-H-like workloads with noise,
@@ -107,13 +110,13 @@ pub use uniclean_metrics as metrics;
 pub use uniclean_model as model;
 pub use uniclean_reasoning as reasoning;
 pub use uniclean_rules as rules;
+pub use uniclean_server as server;
 pub use uniclean_similarity as similarity;
 
 // The session API is the front door — re-export it at the crate root so
 // `use uniclean::{Cleaner, MasterSource, Phase}` is all a caller needs.
-#[allow(deprecated)]
-pub use uniclean_core::PhaseKind;
 pub use uniclean_core::{
     CleanConfig, CleanError, CleanResult, Cleaner, CleanerBuilder, ConfigError, MasterSource,
     NoOpObserver, Phase, PhaseObserver, PhaseStats, PhaseTimings, PreparedCleaner, RepairState,
+    TupleViolation, ViolationKind,
 };

@@ -365,3 +365,49 @@ fn state_bookkeeping_tracks_calls() {
     assert_eq!(state.phase(), Phase::CERepair);
     assert_eq!(state.len(), 2);
 }
+
+/// `begin_empty` + one `clean_delta` of the whole relation is
+/// bit-identical to `begin` of that relation directly — the contract the
+/// serving daemon's cold-start path (open, then stream everything in)
+/// rests on.
+#[test]
+fn begin_empty_then_delta_equals_begin() {
+    let (schema, rules, master) = scenario_rules();
+    let rows: Vec<Tuple> = [
+        (0, 0, 0, 26),
+        (0, 1, 2, 13),
+        (1, 2, 3, 0),
+        (2, 0, 1, 7),
+        (0, 0, 2, 22),
+    ]
+    .iter()
+    .map(|r| decode(r, &schema))
+    .collect();
+    for phase in [Phase::CERepair, Phase::Full] {
+        for threads in [1usize, 4] {
+            let label = format!("phase={phase:?} threads={threads}");
+            let uni = cleaner(&rules, &master, threads, true);
+
+            let mut streamed = uni.begin_empty(phase);
+            assert_eq!(streamed.len(), 0, "{label}: empty start");
+            assert!(streamed.consistent(), "{label}: empty is consistent");
+            uni.clean_delta(&mut streamed, &rows).unwrap();
+
+            let (direct, reference) =
+                uni.begin(&Relation::new(schema.clone(), rows.clone()), phase);
+            assert_matches(&reference, &streamed, &format!("{label} [vs begin]"));
+            assert_eq!(
+                direct.cost().to_bits(),
+                streamed.cost().to_bits(),
+                "{label}: state cost"
+            );
+
+            // Batch-at-a-time streaming lands on the same fixpoint too.
+            let mut chunked = uni.begin_empty(phase);
+            for chunk in rows.chunks(2) {
+                uni.clean_delta(&mut chunked, chunk).unwrap();
+            }
+            assert_matches(&reference, &chunked, &format!("{label} [chunked]"));
+        }
+    }
+}
