@@ -1012,6 +1012,7 @@ fn bench_serving_run(
         addr: "127.0.0.1:0".to_string(),
         shards,
         queue_bound: 64,
+        ..Default::default()
     })
     .expect("bind ephemeral port");
     let addr = daemon.local_addr();
@@ -1293,6 +1294,298 @@ fn render_serve_json(r: &ServeReport, smoke: bool) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Part 6: durability overhead and recovery cost (BENCH_pr7.json).
+// ---------------------------------------------------------------------------
+
+/// One timed ingest stream under one durability mode.
+struct DurRun {
+    mode: &'static str,
+    batches: usize,
+    batch_tuples: usize,
+    seconds: f64,
+}
+
+/// One timed restart on a WAL of a given size.
+struct RecoveryRun {
+    wal_batches: usize,
+    wal_tuples: usize,
+    wal_bytes: u64,
+    /// Recovery's own wall clock, from the daemon's `ping` report.
+    recovery_seconds: f64,
+    /// Bind → first successful `ping`, as a client sees it.
+    restart_wall_seconds: f64,
+}
+
+struct DurabilityReport {
+    ingest: Vec<DurRun>,
+    snapshot: Vec<DurRun>,
+    recovery: Vec<RecoveryRun>,
+}
+
+/// The `open` request Part 5's clients build, reusable for one tenant.
+fn serve_open_request(w: &Workload, name: &str) -> Json {
+    let master_attrs: Vec<String> = w
+        .master
+        .schema()
+        .attrs()
+        .iter()
+        .map(|a| a.name.clone())
+        .collect();
+    let data_attrs: Vec<String> = w
+        .dirty
+        .schema()
+        .attrs()
+        .iter()
+        .map(|a| a.name.clone())
+        .collect();
+    jobj(vec![
+        ("op", Json::str("open")),
+        ("relation", Json::str(name)),
+        ("table", Json::str(w.dirty.schema().name())),
+        (
+            "attrs",
+            Json::Arr(data_attrs.iter().map(|a| Json::str(a.as_str())).collect()),
+        ),
+        ("rules", Json::str(rules_as_text(&w.rules))),
+        (
+            "master",
+            jobj(vec![
+                ("table", Json::str(w.master.schema().name())),
+                (
+                    "attrs",
+                    Json::Arr(master_attrs.iter().map(|a| Json::str(a.as_str())).collect()),
+                ),
+                ("rows", rows_as_json(&w.master.to_tuples())),
+            ]),
+        ),
+        ("phase", Json::str("full")),
+        ("threads", Json::Num(1.0)),
+    ])
+}
+
+fn boot_daemon(
+    data_dir: Option<&std::path::Path>,
+    snapshot_every: u64,
+    fsync: bool,
+) -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let daemon = uniclean_server::Daemon::bind(uniclean_server::DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards: 1,
+        queue_bound: 64,
+        data_dir: data_dir.map(|p| p.to_path_buf()),
+        snapshot_every,
+        fsync,
+        ..Default::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = daemon.local_addr();
+    (addr, std::thread::spawn(move || daemon.run()))
+}
+
+/// Durability modes over one tenant: in-memory vs WAL (fsync off/on),
+/// snapshot compaction cadence, and recovery wall-clock per WAL size.
+fn bench_durability(
+    w: &Workload,
+    batches: usize,
+    batch: usize,
+    wal_sizes: &[usize],
+) -> DurabilityReport {
+    let root = std::env::temp_dir().join(format!("uniclean-bench-dur-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("create bench scratch dir");
+    let rows = w.dirty.to_tuples();
+    let need = batches * batch.max(1);
+    assert!(rows.len() >= need, "workload too small for the plan");
+
+    let stream = |c: &mut ServeClient, count: usize| {
+        for i in 0..count {
+            c.rpc(&jobj(vec![
+                ("op", Json::str("ingest")),
+                ("relation", Json::str("dur0")),
+                ("rows", rows_as_json(&rows[i * batch..(i + 1) * batch])),
+            ]));
+        }
+    };
+    let shutdown = |mut c: ServeClient, handle: std::thread::JoinHandle<std::io::Result<()>>| {
+        c.rpc(&jobj(vec![("op", Json::str("shutdown"))]));
+        drop(c);
+        handle
+            .join()
+            .expect("daemon thread panicked")
+            .expect("daemon exited with an error");
+    };
+    let run_mode = |mode: &'static str,
+                    dir: Option<std::path::PathBuf>,
+                    fsync: bool,
+                    snapshot_every: u64|
+     -> DurRun {
+        if let Some(d) = &dir {
+            let _ = std::fs::remove_dir_all(d);
+        }
+        eprintln!("  durability: mode={mode} batches={batches}x{batch}…");
+        let (addr, handle) = boot_daemon(dir.as_deref(), snapshot_every, fsync);
+        let mut c = ServeClient::connect(addr);
+        c.rpc(&serve_open_request(w, "dur0"));
+        let started = Instant::now();
+        stream(&mut c, batches);
+        let seconds = started.elapsed().as_secs_f64();
+        shutdown(c, handle);
+        DurRun {
+            mode,
+            batches,
+            batch_tuples: batch,
+            seconds,
+        }
+    };
+
+    let ingest = vec![
+        run_mode("memory", None, true, 0),
+        run_mode("wal_nofsync", Some(root.join("nofsync")), false, 0),
+        run_mode("wal_fsync", Some(root.join("fsync")), true, 0),
+    ];
+    let snapshot = vec![
+        run_mode(
+            "wal_fsync_snapshot_never",
+            Some(root.join("snap-never")),
+            true,
+            0,
+        ),
+        run_mode(
+            "wal_fsync_snapshot_every_batch",
+            Some(root.join("snap-every")),
+            true,
+            1,
+        ),
+    ];
+
+    let mut recovery = Vec::new();
+    for &k in wal_sizes {
+        assert!(
+            rows.len() >= k * batch,
+            "workload too small for WAL size {k}"
+        );
+        let dir = root.join(format!("recover-{k}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Build the WAL (fsync off: build speed is not what's measured).
+        let (addr, handle) = boot_daemon(Some(&dir), 0, false);
+        let mut c = ServeClient::connect(addr);
+        c.rpc(&serve_open_request(w, "dur0"));
+        stream(&mut c, k);
+        shutdown(c, handle);
+        let wal_bytes = std::fs::metadata(
+            dir.join(uniclean_server::tenant_dir_name("dur0"))
+                .join("wal.log"),
+        )
+        .map(|m| m.len())
+        .unwrap_or(0);
+
+        eprintln!("  durability: recovery of {k} batches ({wal_bytes} WAL bytes)…");
+        let started = Instant::now();
+        let (addr, handle) = boot_daemon(Some(&dir), 0, false);
+        let mut c = ServeClient::connect(addr);
+        let ping = c.rpc(&jobj(vec![("op", Json::str("ping"))]));
+        let restart_wall_seconds = started.elapsed().as_secs_f64();
+        let recovery_seconds = ping
+            .get("recovery")
+            .and_then(|r| r.get("seconds"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        shutdown(c, handle);
+        recovery.push(RecoveryRun {
+            wal_batches: k,
+            wal_tuples: k * batch,
+            wal_bytes,
+            recovery_seconds,
+            restart_wall_seconds,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    DurabilityReport {
+        ingest,
+        snapshot,
+        recovery,
+    }
+}
+
+fn render_durability_json(r: &DurabilityReport, smoke: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"pr7_durability\",");
+    let _ = writeln!(
+        out,
+        "  \"command\": \"cargo run --release -p uniclean-bench --bin perf\","
+    );
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"dataset\": \"hosp\",");
+    let _ = writeln!(
+        out,
+        "  \"note\": \"one tenant streams identical batches under each durability mode \
+         (in-memory, WAL without fsync, WAL with fsync-before-ack), then under snapshot \
+         compaction cadences, over real TCP with engine threads=1; recovery restarts a \
+         daemon on cold WALs of increasing size and reports both the recovery scan's own \
+         wall clock and bind-to-first-ping as a client sees it.\","
+    );
+    let memory_seconds = r
+        .ingest
+        .iter()
+        .find(|m| m.mode == "memory")
+        .map(|m| m.seconds)
+        .unwrap_or(0.0);
+    let section = |out: &mut String, name: &str, runs: &[DurRun], last: bool| {
+        let _ = writeln!(out, "  \"{name}\": [");
+        for (i, m) in runs.iter().enumerate() {
+            let tuples = (m.batches * m.batch_tuples) as f64;
+            let _ = writeln!(out, "    {{");
+            let _ = writeln!(out, "      \"mode\": \"{}\",", m.mode);
+            let _ = writeln!(out, "      \"batches\": {},", m.batches);
+            let _ = writeln!(out, "      \"batch_tuples\": {},", m.batch_tuples);
+            let _ = writeln!(out, "      \"seconds\": {},", num(m.seconds, 6));
+            let _ = writeln!(
+                out,
+                "      \"tuples_per_sec\": {},",
+                num(tuples / m.seconds.max(1e-12), 1)
+            );
+            let _ = writeln!(
+                out,
+                "      \"slowdown_vs_memory\": {}",
+                num(m.seconds / memory_seconds.max(1e-12), 3)
+            );
+            let comma = if i + 1 < runs.len() { "," } else { "" };
+            let _ = writeln!(out, "    }}{comma}");
+        }
+        let comma = if last { "" } else { "," };
+        let _ = writeln!(out, "  ]{comma}");
+    };
+    section(&mut out, "ingest_modes", &r.ingest, false);
+    section(&mut out, "snapshot_compaction", &r.snapshot, false);
+    let _ = writeln!(out, "  \"recovery\": [");
+    for (i, rec) in r.recovery.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"wal_batches\": {},", rec.wal_batches);
+        let _ = writeln!(out, "      \"wal_tuples\": {},", rec.wal_tuples);
+        let _ = writeln!(out, "      \"wal_bytes\": {},", rec.wal_bytes);
+        let _ = writeln!(
+            out,
+            "      \"recovery_seconds\": {},",
+            num(rec.recovery_seconds, 6)
+        );
+        let _ = writeln!(
+            out,
+            "      \"restart_wall_seconds\": {}",
+            num(rec.restart_wall_seconds, 6)
+        );
+        let comma = if i + 1 < r.recovery.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
 /// Validate, write, re-read and re-validate one JSON report file.
 fn write_validated(path: &str, json: &str) {
     if let Err(pos) = validate_json(json) {
@@ -1329,6 +1622,7 @@ fn main() {
     let storage_out_path = args.get_or("storage-out", "BENCH_pr4.json").to_string();
     let sim_out_path = args.get_or("sim-out", "BENCH_pr5.json").to_string();
     let serve_out_path = args.get_or("serve-out", "BENCH_pr6.json").to_string();
+    let durability_out_path = args.get_or("durability-out", "BENCH_pr7.json").to_string();
     let (tuples, master, repeat, thread_counts): (usize, usize, usize, Vec<usize>) = if smoke {
         (200, 80, 1, vec![1, 2])
     } else {
@@ -1434,6 +1728,25 @@ fn main() {
     );
     write_validated(&serve_out_path, &render_serve_json(&serve, smoke));
 
+    let (dur_batches, dur_batch, dur_wal_sizes): (usize, usize, Vec<usize>) = if smoke {
+        (3, 40, vec![2, 4])
+    } else {
+        (
+            args.get_usize("dur-batches", 20),
+            args.get_usize("dur-batch", 100),
+            vec![5, 20, 80],
+        )
+    };
+    eprintln!(
+        "durability workload ({dur_batches} x {dur_batch} batches per mode, \
+         recovery WALs {dur_wal_sizes:?})…"
+    );
+    let durability = bench_durability(&hosp, dur_batches, dur_batch, &dur_wal_sizes);
+    write_validated(
+        &durability_out_path,
+        &render_durability_json(&durability, smoke),
+    );
+
     print!("{}", render_table(&reports));
     let speedups = delta.speedups();
     println!(
@@ -1498,9 +1811,28 @@ fn main() {
             run.all_consistent,
         );
     }
+    let fsync_run = durability.ingest.iter().find(|m| m.mode == "wal_fsync");
+    let memory_run = durability.ingest.iter().find(|m| m.mode == "memory");
+    if let (Some(f), Some(m)) = (fsync_run, memory_run) {
+        println!(
+            "## durability — {} x {} batches: fsync WAL {:.3}s vs memory {:.3}s \
+             ({:.2}x), recovery {}",
+            f.batches,
+            f.batch_tuples,
+            f.seconds,
+            m.seconds,
+            f.seconds / m.seconds.max(1e-12),
+            durability
+                .recovery
+                .iter()
+                .map(|r| format!("{} tuples {:.3}s", r.wal_tuples, r.recovery_seconds))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+    }
     println!(
         "wrote {out_path} + {storage_out_path} + {sim_out_path} + {delta_out_path} \
-         + {serve_out_path} ({} datasets, {:.1}s total){}",
+         + {serve_out_path} + {durability_out_path} ({} datasets, {:.1}s total){}",
         reports.len(),
         started.elapsed().as_secs_f64(),
         if smoke { " [smoke]" } else { "" }

@@ -544,6 +544,27 @@ pub fn batch_from_json(
         .collect()
 }
 
+/// A decoded [`Tuple`] back to the ingest wire shape, every cell as an
+/// explicit `[value, cf]` pair — the exact inverse of [`tuple_from_json`]
+/// regardless of the `default_cf` in force when the batch re-decodes.
+/// This is what the serving WAL records: replaying a logged batch through
+/// [`batch_from_json`] reconstructs the original tuples bit-identically
+/// (confidences survive via the shortest round-trip `f64` rendering).
+pub fn tuple_to_ingest_json(t: &Tuple) -> Json {
+    Json::Arr(
+        t.cells()
+            .iter()
+            .map(|c| Json::Arr(vec![value_to_json(&c.value), Json::Num(c.cf)]))
+            .collect(),
+    )
+}
+
+/// A decoded batch back to the ingest wire shape (see
+/// [`tuple_to_ingest_json`]).
+pub fn batch_to_ingest_json(rows: &[Tuple]) -> Json {
+    Json::Arr(rows.iter().map(tuple_to_ingest_json).collect())
+}
+
 /// One stored row as a wire row of `[value, cf, "mark"]` triples — the
 /// dump codec, carrying everything the bit-identity contract pins
 /// (values, exact confidences via shortest round-trip `f64` rendering,

@@ -25,6 +25,7 @@
 pub mod cost;
 pub mod csv;
 pub mod error;
+pub mod frame;
 pub mod intern;
 pub mod json;
 pub mod pos;

@@ -1,29 +1,48 @@
 //! The daemon: TCP accept loop, connection threads, request dispatch,
-//! and graceful shutdown.
+//! recovery at startup, and graceful shutdown.
 //!
 //! Connection threads parse request lines and answer reads (`check`,
-//! `dump`, `stats`) directly under tenant read locks — online, no phase
-//! runs and no queueing. Mutations (`ingest`, `close`) are decoded on the
-//! connection thread, then submitted to the owning shard's bounded queue;
-//! a full queue answers `busy` immediately with the observed depth.
-//! `shutdown` flips the accept flag, wakes the listener, and the run loop
-//! drops the shard senders so every worker drains its queue and exits
-//! before the process returns.
+//! `dump`, `stats`, `ping`) directly under tenant read locks — online, no
+//! phase runs and no queueing. Mutations (`ingest`, `close`) are decoded
+//! on the connection thread, then submitted to the owning shard's bounded
+//! queue; a full queue answers `busy` immediately with the observed
+//! depth. `shutdown` flips the accept flag, wakes the listener, and the
+//! run loop drops the shard senders so every worker drains its queue and
+//! exits before the process returns.
+//!
+//! With `data_dir` set the daemon is durable: [`Daemon::run`] first
+//! recovers every tenant from disk ([`crate::recovery`]), and every
+//! acknowledged `open`/`ingest` is WAL-logged (and fsync'd, unless
+//! `--no-fsync`) before its ack is written to the socket.
+//!
+//! Hostile or broken clients are contained: request lines are read with
+//! a hard byte bound (no unbounded buffering), sockets carry read and
+//! write timeouts, a mid-dispatch panic answers a structured
+//! `internal_panic` error instead of killing the connection thread, and
+//! a panicking ingest poisons only its tenant (see [`crate::shard`]).
 
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::{Arc, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use uniclean_model::json::{batch_from_json, relation_to_json};
 use uniclean_model::Json;
 
 use crate::protocol::{error, error_with, json_error, ok, parse_request, Request};
-use crate::registry::{Registry, Tenant};
+use crate::recovery::{recover_root, RecoveryReport};
+use crate::registry::{DurabilityCfg, Registry, Tenant};
 use crate::shard::{spawn_workers, Job};
 use crate::stats::ShardStats;
+
+/// How long a blocked response write may stall before the connection is
+/// dropped — a client that stops reading can't pin a connection thread
+/// (and the response buffers behind it) forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// How to bind and size a [`Daemon`].
 #[derive(Clone, Debug)]
@@ -36,6 +55,21 @@ pub struct DaemonConfig {
     pub shards: usize,
     /// Per-shard ingest queue bound; a full queue answers `busy`.
     pub queue_bound: usize,
+    /// Root data directory for durability: WALs, snapshots, recovery.
+    /// `None` serves purely in memory (the pre-durability behavior).
+    pub data_dir: Option<PathBuf>,
+    /// Snapshot + compact a tenant's WAL every this many logged batches
+    /// (0 disables compaction).
+    pub snapshot_every: u64,
+    /// fsync WAL appends before acks and snapshot files before renames.
+    /// Turning this off (`--no-fsync`) trades crash durability for
+    /// throughput: an OS crash can lose acknowledged batches, a plain
+    /// process crash cannot.
+    pub fsync: bool,
+    /// Longest request line accepted, in bytes; beyond it the client gets
+    /// a structured `line_too_long` error and the connection closes
+    /// (framing is unrecoverable mid-line).
+    pub max_line_bytes: usize,
 }
 
 impl Default for DaemonConfig {
@@ -44,6 +78,10 @@ impl Default for DaemonConfig {
             addr: "127.0.0.1:7401".to_string(),
             shards: 4,
             queue_bound: 64,
+            data_dir: None,
+            snapshot_every: 64,
+            fsync: true,
+            max_line_bytes: 64 << 20,
         }
     }
 }
@@ -58,6 +96,12 @@ struct Shared {
     queue_bound: usize,
     shutdown: AtomicBool,
     local: SocketAddr,
+    started: Instant,
+    /// What startup recovery did (durable daemons only).
+    recovery: Option<RecoveryReport>,
+    /// Durability knobs; `None` for a memory-only daemon.
+    durable: Option<Arc<DurabilityCfg>>,
+    max_line_bytes: usize,
 }
 
 /// A bound, not-yet-running daemon.
@@ -85,18 +129,45 @@ impl Daemon {
         self.local
     }
 
-    /// Serve until a client sends `shutdown`. Drains every shard queue
-    /// and joins every thread before returning.
+    /// Serve until a client sends `shutdown`. Recovers durable tenants
+    /// first (when `data_dir` is set), then accepts; drains every shard
+    /// queue and joins every thread before returning.
     pub fn run(self) -> std::io::Result<()> {
+        crate::faults::init_from_env();
         let shards = self.config.shards.max(1);
-        let (senders, shard_stats, workers) = spawn_workers(shards, self.config.queue_bound.max(1));
+        let registry = Arc::new(Registry::new(shards));
+        let durable = match &self.config.data_dir {
+            None => None,
+            Some(root) => {
+                std::fs::create_dir_all(root)?;
+                Some(Arc::new(DurabilityCfg {
+                    root: root.clone(),
+                    snapshot_every: self.config.snapshot_every,
+                    fsync: self.config.fsync,
+                }))
+            }
+        };
+        let recovery = match &durable {
+            None => None,
+            Some(cfg) => {
+                let (tenants, report) = recover_root(cfg, shards)?;
+                registry.adopt(tenants);
+                Some(report)
+            }
+        };
+        let (senders, shard_stats, workers) =
+            spawn_workers(shards, self.config.queue_bound.max(1), durable.clone());
         let shared = Arc::new(Shared {
-            registry: Arc::new(Registry::new(shards)),
+            registry,
             senders: RwLock::new(Some(senders)),
             shard_stats,
             queue_bound: self.config.queue_bound.max(1),
             shutdown: AtomicBool::new(false),
             local: self.local,
+            started: Instant::now(),
+            recovery,
+            durable,
+            max_line_bytes: self.config.max_line_bytes.max(1024),
         });
         let mut connections = Vec::new();
         loop {
@@ -132,43 +203,157 @@ impl Daemon {
     }
 }
 
+/// What one bounded line read produced.
+enum LineRead {
+    /// A complete line sits in the buffer (without its newline).
+    Line,
+    /// Clean end of stream with nothing buffered.
+    Eof,
+    /// The line exceeded the byte bound; the offending bytes up to and
+    /// including the newline-or-chunk-end were discarded.
+    TooLong,
+    /// Socket error or shutdown — drop the connection.
+    Disconnected,
+}
+
+/// Read one `\n`-terminated line into `buf` with a hard byte bound —
+/// unlike `read_line`, a client streaming an endless line can never
+/// buffer more than `max` bytes (plus one `BufReader` chunk) here.
+/// Timeouts are retried so a line split across them still assembles;
+/// shutdown during a timeout drops the connection.
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    max: usize,
+    shutdown: &AtomicBool,
+) -> LineRead {
+    loop {
+        enum Step {
+            Consume(usize),
+            Line(usize),
+            TooLong(usize),
+            Eof,
+            Retry,
+            Dead,
+        }
+        let step = match reader.fill_buf() {
+            Ok([]) => Step::Eof,
+            Ok(chunk) => match chunk.iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    if buf.len() + nl > max {
+                        Step::TooLong(nl + 1)
+                    } else {
+                        buf.extend_from_slice(&chunk[..nl]);
+                        Step::Line(nl + 1)
+                    }
+                }
+                None => {
+                    let n = chunk.len();
+                    if buf.len() + n > max {
+                        Step::TooLong(n)
+                    } else {
+                        buf.extend_from_slice(chunk);
+                        Step::Consume(n)
+                    }
+                }
+            },
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shutdown.load(Ordering::SeqCst) {
+                    Step::Dead
+                } else {
+                    Step::Retry
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => Step::Retry,
+            Err(_) => Step::Dead,
+        };
+        match step {
+            Step::Consume(n) => reader.consume(n),
+            Step::Line(n) => {
+                reader.consume(n);
+                return LineRead::Line;
+            }
+            Step::TooLong(n) => {
+                reader.consume(n);
+                return LineRead::TooLong;
+            }
+            // EOF with a partial line still buffered: hand it up once
+            // (the next read sees a bare EOF).
+            Step::Eof => {
+                return if buf.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Line
+                }
+            }
+            Step::Retry => {}
+            Step::Dead => return LineRead::Disconnected,
+        }
+    }
+}
+
 /// Per-connection loop: read request lines, write response lines.
 fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
     // A finite read timeout lets the loop notice shutdown even while a
-    // client sits idle holding the connection open.
+    // client sits idle holding the connection open; the write timeout
+    // bounds how long a non-reading client can pin this thread.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        // Retry timeouts without discarding partial bytes: `read_line`
-        // appends, so a line split across timeouts still assembles.
-        let n = loop {
-            match reader.read_line(&mut line) {
-                Ok(n) => break n,
-                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                    if shared.shutdown.load(Ordering::SeqCst) {
-                        return;
-                    }
-                }
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(_) => return,
-            }
-        };
-        if n == 0 {
-            return; // EOF: client closed.
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = dispatch(&line, &shared);
+    let mut write_response = move |response: Json| -> bool {
         let mut out = response.render();
         out.push('\n');
-        if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
+        writer.write_all(out.as_bytes()).is_ok() && writer.flush().is_ok()
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        line.clear();
+        match read_line_bounded(
+            &mut reader,
+            &mut line,
+            shared.max_line_bytes,
+            &shared.shutdown,
+        ) {
+            LineRead::Eof | LineRead::Disconnected => return,
+            LineRead::TooLong => {
+                // Framing is lost mid-line; answer, then drop the
+                // connection rather than guess where the next line starts.
+                let _ = write_response(error_with(
+                    "line_too_long",
+                    format!(
+                        "request line exceeds the {}-byte bound",
+                        shared.max_line_bytes
+                    ),
+                    vec![("max_line_bytes", Json::Num(shared.max_line_bytes as f64))],
+                ));
+                return;
+            }
+            LineRead::Line => {}
+        }
+        let Ok(text) = std::str::from_utf8(&line) else {
+            if !write_response(error("malformed", "request line is not valid UTF-8")) {
+                return;
+            }
+            continue;
+        };
+        if text.trim().is_empty() {
+            continue;
+        }
+        // A dispatch panic (a bug, not a protocol error) answers a
+        // structured error on this connection instead of killing the
+        // thread; tenant-level damage is handled by poisoning.
+        let response = match catch_unwind(AssertUnwindSafe(|| dispatch(text, &shared))) {
+            Ok(r) => r,
+            Err(_) => error(
+                "internal_panic",
+                "request handling panicked; the daemon is still serving",
+            ),
+        };
+        if !write_response(response) {
             return;
         }
     }
@@ -185,12 +370,27 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
             if shared.shutdown.load(Ordering::SeqCst) {
                 return error("shutting_down", "daemon is shutting down");
             }
-            match shared.registry.open(&spec) {
+            // Durable opens store the request document itself as the WAL
+            // open record; it parsed once already, so re-parsing is
+            // infallible.
+            let doc;
+            let open_doc = match &shared.durable {
+                None => None,
+                Some(cfg) => {
+                    doc = match Json::parse(line) {
+                        Ok(d) => d,
+                        Err(_) => return error("internal", "open request failed to re-parse"),
+                    };
+                    Some((&doc, cfg.as_ref()))
+                }
+            };
+            match shared.registry.open(&spec, open_doc) {
                 Ok(tenant) => ok(vec![
                     ("relation", Json::str(&tenant.name)),
                     ("shard", Json::Num(tenant.shard as f64)),
                     ("arity", Json::Num(spec.attrs.len() as f64)),
                     ("phase", Json::str(phase_wire_name(spec.phase))),
+                    ("durable", Json::Bool(shared.durable.is_some())),
                 ]),
                 Err(resp) => resp,
             }
@@ -203,6 +403,9 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
                 Ok(t) => t,
                 Err(resp) => return resp,
             };
+            if tenant.is_poisoned() {
+                return tenant.poisoned_error();
+            }
             let arity = tenant.cleaner.rules().schema().arity();
             let rows = match batch_from_json(&rows, arity, tenant.default_cf) {
                 Ok(rows) => rows,
@@ -219,7 +422,10 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
                 Ok(t) => t,
                 Err(resp) => return resp,
             };
-            let entry = tenant.entry.read().unwrap();
+            if tenant.is_poisoned() {
+                return tenant.poisoned_error();
+            }
+            let entry = tenant.entry_read();
             match tuple {
                 None => ok(vec![
                     ("relation", Json::str(&relation)),
@@ -271,7 +477,10 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
                 Ok(t) => t,
                 Err(resp) => return resp,
             };
-            let entry = tenant.entry.read().unwrap();
+            if tenant.is_poisoned() {
+                return tenant.poisoned_error();
+            }
+            let entry = tenant.entry_read();
             ok(vec![
                 ("relation", Json::str(&relation)),
                 ("tuples", Json::Num(entry.state.len() as f64)),
@@ -280,10 +489,31 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
             ])
         }
         Request::Stats { relation } => stats_response(shared, relation.as_deref()),
+        Request::Ping => {
+            let recovery = match &shared.recovery {
+                Some(r) => r.to_json(),
+                None => Json::Null,
+            };
+            ok(vec![
+                (
+                    "uptime_seconds",
+                    Json::Num(shared.started.elapsed().as_secs_f64()),
+                ),
+                ("relations", Json::Num(shared.registry.count() as f64)),
+                ("shards", Json::Num(shared.shard_stats.len() as f64)),
+                ("durable", Json::Bool(shared.durable.is_some())),
+                (
+                    "shutting_down",
+                    Json::Bool(shared.shutdown.load(Ordering::SeqCst)),
+                ),
+                ("recovery", recovery),
+            ])
+        }
         Request::Close { relation } => {
             if shared.shutdown.load(Ordering::SeqCst) {
                 return error("shutting_down", "daemon is shutting down");
             }
+            // Poisoned tenants may still close — that's the cleanup path.
             let tenant = match shared.registry.get(&relation) {
                 Ok(t) => t,
                 Err(resp) => return resp,
@@ -296,7 +526,11 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
             })
         }
         Request::Shutdown => {
-            shared.shutdown.store(true, Ordering::SeqCst);
+            // swap, not store: exactly one caller wins; the rest get a
+            // structured error instead of a duplicate drain.
+            if shared.shutdown.swap(true, Ordering::SeqCst) {
+                return error("shutting_down", "daemon is already shutting down");
+            }
             // Unblock the accept loop so `run` can proceed to drain.
             let _ = TcpStream::connect(shared.local);
             ok(vec![("shutting_down", Json::Bool(true))])
@@ -378,6 +612,15 @@ fn stats_response(shared: &Arc<Shared>, relation: Option<&str>) -> Json {
 }
 
 fn relation_stats(tenant: &Arc<Tenant>) -> Json {
+    // A poisoned tenant reports just its poisoning — its state is the
+    // pre-failure remnant, not something to publish numbers from.
+    if tenant.is_poisoned() {
+        return Json::Obj(vec![
+            ("relation".to_string(), Json::str(&tenant.name)),
+            ("shard".to_string(), Json::Num(tenant.shard as f64)),
+            ("poisoned".to_string(), Json::Bool(true)),
+        ]);
+    }
     // `stats` must stay online: a tenant mid-ingest holds its entry lock
     // for the whole `clean_delta`, so don't wait on it — report the
     // relation as busy and let the shard counters carry the liveness.

@@ -1,0 +1,180 @@
+//! Failpoint-style fault injection, compiled in only under the
+//! `failpoints` cargo feature.
+//!
+//! Durability code is riddled with narrow windows — after the frame
+//! header is written but before the payload, after the fsync but before
+//! the ack — that real crashes hit rarely and non-deterministically.
+//! Each window is named by a [`hit`] call; with the feature enabled a
+//! test (or the `UNICLEAN_FAILPOINTS` environment variable, for
+//! spawned-process tests) arms a named point with an action:
+//!
+//! * `kill` — `std::process::abort()`: a SIGKILL-equivalent crash, no
+//!   destructors, no flushes;
+//! * `panic` — unwind from the hit site (exercises `catch_unwind`
+//!   tenant poisoning);
+//! * `error` — return `io::Error` from the hit site (exercises the
+//!   transient-failure retry paths).
+//!
+//! `UNICLEAN_FAILPOINTS` grammar: `name=action` entries separated by
+//! `;`, with an optional `@N` suffix firing on the Nth hit (1-based,
+//! default 1). Every armed point is one-shot: it disarms when it fires.
+//! Without the feature, every function here is an inlined no-op.
+//!
+//! Points wired in this crate: `wal.pre_frame`, `wal.mid_frame`,
+//! `wal.pre_fsync`, `wal.post_fsync` (all inside
+//! [`crate::wal::WalWriter::append`]), `ingest.apply`,
+//! `ingest.post_ack` (shard worker), `snapshot.mid_write`,
+//! `snapshot.pre_rename`, `snapshot.pre_wal_rewrite` (compaction).
+
+/// What an armed failpoint does when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// `std::process::abort()` — crash without unwinding or flushing.
+    Kill,
+    /// Panic from the hit site.
+    Panic,
+    /// Return an `io::Error` from the hit site.
+    Error,
+}
+
+#[cfg(feature = "failpoints")]
+mod imp {
+    use super::FaultAction;
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock, PoisonError};
+
+    struct Armed {
+        action: FaultAction,
+        /// Hits remaining before firing; fires when this reaches zero.
+        countdown: u64,
+    }
+
+    fn table() -> &'static Mutex<HashMap<String, Armed>> {
+        static TABLE: OnceLock<Mutex<HashMap<String, Armed>>> = OnceLock::new();
+        TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    /// Arm `name` to fire on its `at_hit`-th hit (1-based).
+    pub fn arm(name: &str, action: FaultAction, at_hit: u64) {
+        table()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(
+                name.to_string(),
+                Armed {
+                    action,
+                    countdown: at_hit.max(1),
+                },
+            );
+    }
+
+    /// Disarm everything.
+    pub fn clear() {
+        table()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+
+    /// Arm failpoints from `UNICLEAN_FAILPOINTS`
+    /// (`name=action[@N];name=action…`). Unparseable entries are ignored
+    /// rather than trusted: a fault-injection harness that arms nothing
+    /// fails its assertions loudly anyway.
+    pub fn init_from_env() {
+        let Ok(spec) = std::env::var("UNICLEAN_FAILPOINTS") else {
+            return;
+        };
+        for entry in spec.split(';').filter(|e| !e.trim().is_empty()) {
+            let Some((name, rhs)) = entry.split_once('=') else {
+                continue;
+            };
+            let (action, at_hit) = match rhs.split_once('@') {
+                Some((a, n)) => (a, n.parse::<u64>().unwrap_or(1)),
+                None => (rhs, 1),
+            };
+            let action = match action.trim() {
+                "kill" => FaultAction::Kill,
+                "panic" => FaultAction::Panic,
+                "error" => FaultAction::Error,
+                _ => continue,
+            };
+            arm(name.trim(), action, at_hit);
+        }
+    }
+
+    /// A named hit site. Fires (and disarms) the armed action once the
+    /// hit count is reached; otherwise a no-op returning `Ok`.
+    pub fn hit(name: &str) -> std::io::Result<()> {
+        let action = {
+            let mut map = table().lock().unwrap_or_else(PoisonError::into_inner);
+            match map.get_mut(name) {
+                None => return Ok(()),
+                Some(armed) => {
+                    armed.countdown -= 1;
+                    if armed.countdown > 0 {
+                        return Ok(());
+                    }
+                    let action = armed.action;
+                    map.remove(name);
+                    action
+                }
+            }
+        };
+        match action {
+            FaultAction::Kill => std::process::abort(),
+            FaultAction::Panic => panic!("failpoint {name:?} fired"),
+            FaultAction::Error => Err(std::io::Error::other(format!(
+                "failpoint {name:?} injected an error"
+            ))),
+        }
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+mod imp {
+    use super::FaultAction;
+
+    /// No-op without the `failpoints` feature.
+    #[inline(always)]
+    pub fn arm(_name: &str, _action: FaultAction, _at_hit: u64) {}
+
+    /// No-op without the `failpoints` feature.
+    #[inline(always)]
+    pub fn clear() {}
+
+    /// No-op without the `failpoints` feature.
+    #[inline(always)]
+    pub fn init_from_env() {}
+
+    /// No-op without the `failpoints` feature.
+    #[inline(always)]
+    pub fn hit(_name: &str) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+pub use imp::{arm, clear, hit, init_from_env};
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+
+    // Failpoint state is process-global; keep every case in one test so
+    // plain `cargo test --features failpoints` can't interleave them.
+    #[test]
+    fn arming_counting_and_error_injection() {
+        clear();
+        assert!(hit("unarmed.point").is_ok());
+
+        arm("p.error", FaultAction::Error, 2);
+        assert!(hit("p.error").is_ok(), "first hit under the count");
+        let e = hit("p.error").expect_err("second hit fires");
+        assert!(e.to_string().contains("p.error"));
+        assert!(hit("p.error").is_ok(), "one-shot: disarmed after firing");
+
+        arm("p.panic", FaultAction::Panic, 1);
+        let caught = std::panic::catch_unwind(|| hit("p.panic"));
+        assert!(caught.is_err());
+        clear();
+    }
+}

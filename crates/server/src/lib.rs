@@ -28,15 +28,53 @@
 //! object per line, one response object per line, speaking the
 //! [`uniclean_model::json`] codecs. See [`protocol`] for the verb
 //! grammar and the README "Serving" section for examples.
+//!
+//! With a data directory the daemon is **durable**: every acknowledged
+//! `open`/`ingest` is appended to a per-tenant write-ahead log
+//! ([`wal`], framed and checksummed by [`uniclean_model::frame`]) and
+//! fsync'd before the ack reaches the wire; periodic [`snapshot`]s
+//! compact the log; startup [`recovery`] replays the longest valid WAL
+//! prefix on top of the newest loadable snapshot, truncating torn tails
+//! and quarantining unrecoverable tenant directories. Replay correctness
+//! rests on the §5.2 order-independence property: re-feeding the logged
+//! batches through `clean_delta` reproduces the pre-crash state
+//! bit-identically. Fault injection for crash tests lives in [`faults`]
+//! (cfg-gated behind the `failpoints` feature).
 
 pub mod daemon;
+pub mod faults;
 pub mod protocol;
+pub mod recovery;
 pub mod registry;
 pub mod shard;
+pub mod snapshot;
 pub mod stats;
+pub mod wal;
 
 pub use daemon::{Daemon, DaemonConfig};
 pub use protocol::{OpenSpec, Request};
+pub use recovery::RecoveryReport;
+
+/// The on-disk directory name for a tenant, a conservative percent
+/// encoding of the relation name: ASCII alphanumerics plus `-` and `_`
+/// pass through, every other byte becomes `%XX` (uppercase hex). The
+/// empty name maps to `"%"`. Injective, never empty, never contains `.`
+/// or a path separator — recovery relies on all three (dotted names in
+/// the data root are skipped as non-tenant entries, e.g. quarantined
+/// `*.corrupt-N` directories).
+pub fn tenant_dir_name(name: &str) -> String {
+    if name.is_empty() {
+        return "%".to_string();
+    }
+    let mut out = String::with_capacity(name.len());
+    for &b in name.as_bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' => out.push(b as char),
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
 
 /// The shard owning a relation: `hash(relation) % shards`, with the
 /// workspace's deterministic [`uniclean_model::FxHasher`] — stable across
@@ -63,5 +101,25 @@ mod tests {
         }
         // One shard owns everything.
         assert_eq!(shard_for("anything", 1), 0);
+    }
+
+    #[test]
+    fn tenant_dir_names_are_safe_and_injective() {
+        assert_eq!(tenant_dir_name("hosp"), "hosp");
+        assert_eq!(tenant_dir_name("a-b_C9"), "a-b_C9");
+        assert_eq!(tenant_dir_name(""), "%");
+        assert_eq!(tenant_dir_name("a.b"), "a%2Eb");
+        assert_eq!(tenant_dir_name("a/b"), "a%2Fb");
+        assert_eq!(tenant_dir_name(".."), "%2E%2E");
+        assert_eq!(tenant_dir_name("é"), "%C3%A9");
+        // Distinct names never collide on disk.
+        let names = ["a.b", "a%2Eb", "a/b", "a\\b", "", "%", ".", ".."];
+        let encoded: Vec<String> = names.iter().map(|n| tenant_dir_name(n)).collect();
+        for (i, e) in encoded.iter().enumerate() {
+            assert!(!e.contains('.') && !e.contains('/') && !e.contains('\\'));
+            for (j, f) in encoded.iter().enumerate() {
+                assert_eq!(i == j, e == f, "{:?} vs {:?}", names[i], names[j]);
+            }
+        }
     }
 }

@@ -15,8 +15,9 @@
 //! | `check` | per-relation or per-tuple acceptance, online (no phase runs) |
 //! | `dump` | the repaired relation as `[value, cf, "mark"]` cell triples |
 //! | `stats` | per-shard queue counters + per-relation serving stats |
-//! | `close` | drop a relation (serialized after its pending ingests) |
-//! | `shutdown` | stop accepting, drain every shard queue, exit |
+//! | `ping` (alias `health`) | liveness: uptime, tenant/shard counts, recovery report — never mutates, answers even mid-shutdown |
+//! | `close` | drop a relation (serialized after its pending ingests); idempotent — a second close answers `already_closed` |
+//! | `shutdown` | stop accepting, drain every shard queue, exit; idempotent — a second shutdown answers `shutting_down` |
 
 use uniclean_core::{CleanError, Phase};
 use uniclean_model::{Json, JsonError};
@@ -52,6 +53,8 @@ pub enum Request {
         /// Optional relation filter.
         relation: Option<String>,
     },
+    /// Liveness probe: uptime, tenant/shard counts, recovery status.
+    Ping,
     /// Drop a relation.
     Close {
         /// Target relation.
@@ -140,6 +143,7 @@ pub fn parse_request(line: &str) -> Result<Request, Json> {
             };
             Ok(Request::Stats { relation })
         }
+        "ping" | "health" => Ok(Request::Ping),
         "close" => Ok(Request::Close {
             relation: need_relation(&doc)?,
         }),
@@ -155,7 +159,11 @@ fn need_relation(doc: &Json) -> Result<String, Json> {
         .ok_or_else(|| error("bad_request", "request needs a string \"relation\""))
 }
 
-fn parse_open(doc: &Json) -> Result<OpenSpec, Json> {
+/// Parse an `open` request document into its spec. Also the decoder for
+/// the `open` documents the WAL and snapshots store, which is why it is
+/// crate-visible: recovery rebuilds sessions through the same path the
+/// wire uses.
+pub(crate) fn parse_open(doc: &Json) -> Result<OpenSpec, Json> {
     let relation = need_relation(doc)?;
     let table = match doc.get("table") {
         None => "data".to_string(),
@@ -375,6 +383,14 @@ mod tests {
         assert!(matches!(
             parse_request(r#"{"op":"shutdown"}"#).unwrap(),
             Request::Shutdown
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"ping"}"#).unwrap(),
+            Request::Ping
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"health"}"#).unwrap(),
+            Request::Ping
         ));
     }
 

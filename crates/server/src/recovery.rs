@@ -1,0 +1,356 @@
+//! Startup recovery: rebuild every tenant from its snapshot + WAL.
+//!
+//! For each subdirectory of the data root, in name order:
+//!
+//! 1. delete scratch files a crash may have left (`snapshot.json.tmp`,
+//!    `wal.log.new`);
+//! 2. read the WAL ([`crate::wal::read_wal`]), noting where its valid
+//!    prefix ends;
+//! 3. load snapshot candidates ([`crate::snapshot::load_snapshots`]):
+//!    current, then `.prev`, then "no snapshot" as the final fallback;
+//! 4. rebuild the session from the stored `open` request document, then
+//!    for each candidate: replay its `base_rows` through one
+//!    `clean_delta`, **cross-check** the result against the stored
+//!    repaired relation and cost byte-for-byte, and replay the WAL
+//!    records with `seq > snapshot.seq` batch-by-batch (identical batch
+//!    boundaries ⇒ identical per-batch counters). First candidate to
+//!    survive wins;
+//! 5. physically truncate the WAL's torn tail and reopen it for append.
+//!
+//! §5.2 order-independence is what makes step 4 exact: any grouping of
+//! the same acknowledged rows yields bit-identical cells, confidences,
+//! marks, acceptance verdicts and cost — so a snapshot's one-shot base
+//! replay plus per-batch suffix replay reconstructs the pre-crash state,
+//! and the cross-check catches a snapshot that lies. (Engine-internal
+//! odometers like `deltas()` are grouping-dependent and deliberately
+//! outside the contract.)
+//!
+//! A directory that defeats every candidate is **quarantined** — renamed
+//! to `<dir>.corrupt-<n>` with a stderr warning — rather than deleted or
+//! allowed to wedge startup; the remaining tenants still come up.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use uniclean_core::RepairState;
+use uniclean_model::json::{batch_from_json, relation_to_json};
+use uniclean_model::Json;
+
+use crate::protocol::parse_open;
+use crate::registry::{DurabilityCfg, Durable, Tenant};
+use crate::snapshot::{load_snapshots, SnapshotDoc, SNAP_TMP};
+use crate::stats::{PhaseAccum, RelationStats};
+use crate::tenant_dir_name;
+use crate::wal::{open_record, read_wal, WalContents, WalWriter, WAL_FILE, WAL_REWRITE_TMP};
+
+/// What startup recovery did — reported by the `ping` verb.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Tenants successfully rebuilt.
+    pub relations: usize,
+    /// WAL batch records replayed (beyond snapshot coverage).
+    pub batches_replayed: u64,
+    /// Tuples those batches carried.
+    pub tuples_replayed: u64,
+    /// Snapshots that passed their cross-check and seeded a tenant.
+    pub snapshots_used: usize,
+    /// WALs whose invalid tail was truncated.
+    pub torn_tails: usize,
+    /// Directories renamed aside as unrecoverable.
+    pub quarantined: Vec<String>,
+    /// Wall-clock seconds the whole scan took.
+    pub seconds: f64,
+}
+
+impl RecoveryReport {
+    /// The `recovery` member of the `ping` response.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("relations".to_string(), Json::Num(self.relations as f64)),
+            (
+                "batches_replayed".to_string(),
+                Json::Num(self.batches_replayed as f64),
+            ),
+            (
+                "tuples_replayed".to_string(),
+                Json::Num(self.tuples_replayed as f64),
+            ),
+            (
+                "snapshots_used".to_string(),
+                Json::Num(self.snapshots_used as f64),
+            ),
+            ("torn_tails".to_string(), Json::Num(self.torn_tails as f64)),
+            (
+                "quarantined".to_string(),
+                Json::Arr(self.quarantined.iter().map(Json::str).collect()),
+            ),
+            ("seconds".to_string(), Json::Num(self.seconds)),
+        ])
+    }
+}
+
+/// Scan the data root and rebuild every recoverable tenant.
+pub(crate) fn recover_root(
+    cfg: &DurabilityCfg,
+    shards: usize,
+) -> std::io::Result<(Vec<Arc<Tenant>>, RecoveryReport)> {
+    let started = Instant::now();
+    let mut report = RecoveryReport::default();
+    let mut tenants = Vec::new();
+    let mut dirs: Vec<_> = std::fs::read_dir(&cfg.root)?
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_type().map(|t| t.is_dir()).unwrap_or(false))
+        .map(|e| e.path())
+        .collect();
+    dirs.sort();
+    for dir in dirs {
+        let dir_name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        // Tenant directory names escape `.` (see [`tenant_dir_name`]), so
+        // a dotted name is foreign — most likely an earlier quarantine.
+        if dir_name.contains('.') {
+            continue;
+        }
+        match recover_tenant(&dir, &dir_name, cfg, shards, &mut report) {
+            Ok(tenant) => {
+                report.relations += 1;
+                tenants.push(tenant);
+            }
+            Err(reason) => {
+                quarantine(&dir, &dir_name, &reason, &mut report);
+            }
+        }
+    }
+    report.seconds = started.elapsed().as_secs_f64();
+    Ok((tenants, report))
+}
+
+/// Rebuild one tenant directory; `Err` carries the human reason it is
+/// unrecoverable (→ quarantine).
+fn recover_tenant(
+    dir: &Path,
+    dir_name: &str,
+    cfg: &DurabilityCfg,
+    shards: usize,
+    report: &mut RecoveryReport,
+) -> Result<Arc<Tenant>, String> {
+    for scratch in [SNAP_TMP, WAL_REWRITE_TMP] {
+        let _ = std::fs::remove_file(dir.join(scratch));
+    }
+    let wal_path = dir.join(WAL_FILE);
+    let wal = read_wal(&wal_path).map_err(|e| format!("WAL unreadable: {e}"))?;
+    let snaps = load_snapshots(dir);
+    let open_doc = snaps
+        .first()
+        .map(|s| s.open.clone())
+        .or_else(|| wal.open.clone())
+        .ok_or("no usable open record in snapshot or WAL")?;
+    let spec =
+        parse_open(&open_doc).map_err(|e| format!("stored open spec rejected: {}", e.render()))?;
+    if tenant_dir_name(&spec.relation) != dir_name {
+        return Err(format!(
+            "directory name does not match stored relation {:?}",
+            spec.relation
+        ));
+    }
+    let tenant = Tenant::open(&spec, shards)
+        .map_err(|e| format!("session rebuild failed: {}", e.render()))?;
+
+    let mut outcome = None;
+    for candidate in snaps.iter().map(Some).chain(std::iter::once(None)) {
+        match replay_candidate(&tenant, candidate, &wal) {
+            Ok(r) => {
+                outcome = Some(r);
+                break;
+            }
+            Err(why) => {
+                eprintln!(
+                    "uniclean serve: recovering {:?}: {} rejected: {why}",
+                    spec.relation,
+                    match candidate {
+                        Some(s) => format!("snapshot at seq {}", s.seq),
+                        None => "bare WAL replay".to_string(),
+                    }
+                );
+            }
+        }
+    }
+    let replayed = outcome.ok_or("every snapshot candidate and the bare WAL replay failed")?;
+
+    // Repair the log file itself: drop the torn tail so future appends
+    // extend the valid prefix, and rebuild the whole file if even the
+    // open record was lost (a valid snapshot carries it).
+    let wal_writer = if wal.open.is_some() {
+        let file_len = std::fs::metadata(&wal_path).map(|m| m.len()).unwrap_or(0);
+        if file_len > wal.valid_len {
+            report.torn_tails += 1;
+            let f = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&wal_path)
+                .map_err(|e| format!("cannot truncate torn WAL tail: {e}"))?;
+            f.set_len(wal.valid_len)
+                .and_then(|_| f.sync_data())
+                .map_err(|e| format!("cannot truncate torn WAL tail: {e}"))?;
+        }
+        WalWriter::open_append(&wal_path, cfg.fsync)
+            .map_err(|e| format!("cannot reopen WAL: {e}"))?
+    } else {
+        if std::fs::metadata(&wal_path)
+            .map(|m| m.len() > 0)
+            .unwrap_or(false)
+        {
+            report.torn_tails += 1;
+        }
+        let mut w = WalWriter::create(&wal_path, cfg.fsync)
+            .map_err(|e| format!("cannot rebuild WAL: {e}"))?;
+        w.append(&open_record(&open_doc))
+            .map_err(|e| format!("cannot rebuild WAL: {e}"))?;
+        w
+    };
+
+    report.batches_replayed += replayed.batches;
+    report.tuples_replayed += replayed.tuples;
+    report.snapshots_used += replayed.used_snapshot as usize;
+    tenant.replace_entry(replayed.state, replayed.stats);
+    *tenant.durable_lock() = Some(Durable {
+        wal: wal_writer,
+        dir: dir.to_path_buf(),
+        open_doc,
+        seq: replayed.seq,
+        since_snapshot: replayed.batches,
+        base_rows: replayed.base_rows,
+    });
+    Ok(Arc::new(tenant))
+}
+
+/// A successful replay: the rebuilt state plus everything the tenant's
+/// [`Durable`] handle needs.
+struct Replayed {
+    state: RepairState,
+    stats: RelationStats,
+    base_rows: Vec<Json>,
+    seq: u64,
+    /// WAL batches replayed beyond snapshot coverage.
+    batches: u64,
+    tuples: u64,
+    used_snapshot: bool,
+}
+
+fn replay_candidate(
+    tenant: &Tenant,
+    snap: Option<&SnapshotDoc>,
+    wal: &WalContents,
+) -> Result<Replayed, String> {
+    let arity = tenant.cleaner.rules().schema().arity();
+    let entry = tenant.entry_read();
+    let mut state = tenant.cleaner.begin_empty(entry.state.phase());
+    drop(entry);
+    let mut stats = RelationStats::default();
+    let mut base_rows: Vec<Json> = Vec::new();
+    let mut seq = 0u64;
+
+    if let Some(s) = snap {
+        let rows = batch_from_json(&s.base_rows, arity, tenant.default_cf)
+            .map_err(|e| format!("snapshot base rows undecodable: {e}"))?;
+        if !rows.is_empty() {
+            tenant
+                .cleaner
+                .clean_delta(&mut state, &rows)
+                .map_err(|e| format!("snapshot base replay failed: {e}"))?;
+        }
+        // The cross-check: replay must land exactly on the repaired
+        // relation the snapshot recorded — cells, confidences, marks and
+        // cost, byte-for-byte over the deterministic JSON rendering.
+        let replayed = relation_to_json(state.repaired()).render();
+        if replayed != s.repaired.render() {
+            return Err("base replay does not match stored repaired relation".to_string());
+        }
+        if state.cost().to_bits() != s.cost.to_bits() {
+            return Err(format!(
+                "base replay cost {} does not match stored cost {}",
+                state.cost(),
+                s.cost
+            ));
+        }
+        stats.batches = s.batches;
+        stats.tuples_ingested = s.tuples_ingested;
+        stats.fixes = s.fixes;
+        stats.phase_seconds = s.phase_seconds;
+        base_rows = s
+            .base_rows
+            .as_arr()
+            .ok_or("snapshot base rows are not an array")?
+            .to_vec();
+        seq = s.seq;
+    }
+
+    let mut batches = 0u64;
+    let mut tuples = 0u64;
+    for (bseq, rows_json) in &wal.batches {
+        if *bseq <= seq {
+            continue; // covered by the snapshot
+        }
+        let rows = batch_from_json(rows_json, arity, tenant.default_cf)
+            .map_err(|e| format!("WAL batch {bseq} undecodable: {e}"))?;
+        let mut accum = PhaseAccum::default();
+        let res = tenant
+            .cleaner
+            .clean_delta_observed(&mut state, &rows, &mut accum)
+            .map_err(|e| format!("WAL batch {bseq} replay failed: {e}"))?;
+        let (d, r, p) = res.fix_counts();
+        stats.batches += 1;
+        stats.tuples_ingested += rows.len() as u64;
+        stats.fixes += (d + r + p) as u64;
+        for (slot, s) in stats.phase_seconds.iter_mut().zip(accum.seconds) {
+            *slot += s;
+        }
+        base_rows.extend_from_slice(
+            rows_json
+                .as_arr()
+                .ok_or_else(|| format!("WAL batch {bseq} rows are not an array"))?,
+        );
+        seq = *bseq;
+        batches += 1;
+        tuples += rows.len() as u64;
+    }
+
+    Ok(Replayed {
+        state,
+        stats,
+        base_rows,
+        seq,
+        batches,
+        tuples,
+        used_snapshot: snap.is_some(),
+    })
+}
+
+/// Rename an unrecoverable directory aside as `<dir>.corrupt-<n>`.
+fn quarantine(dir: &Path, dir_name: &str, reason: &str, report: &mut RecoveryReport) {
+    let parent = dir.parent().unwrap_or(Path::new("."));
+    let target = (0..)
+        .map(|n| parent.join(format!("{dir_name}.corrupt-{n}")))
+        .find(|p| !p.exists())
+        .unwrap();
+    match std::fs::rename(dir, &target) {
+        Ok(()) => {
+            eprintln!(
+                "uniclean serve: quarantined unrecoverable tenant directory {dir_name:?} \
+                 as {:?}: {reason}",
+                target.file_name().and_then(|n| n.to_str()).unwrap_or("?")
+            );
+            report.quarantined.push(dir_name.to_string());
+        }
+        Err(e) => {
+            eprintln!(
+                "uniclean serve: cannot quarantine unrecoverable tenant directory \
+                 {dir_name:?} ({reason}): {e}; skipping it"
+            );
+            report.quarantined.push(dir_name.to_string());
+        }
+    }
+}

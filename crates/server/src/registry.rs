@@ -8,10 +8,21 @@
 //! the owning shard worker takes the write lock for ingests, so a
 //! relation's mutations are doubly serialized — by its shard queue and by
 //! the lock.
+//!
+//! Two robustness surfaces live here. A tenant can be **poisoned**: a
+//! panic inside its ingest (caught at the shard worker) or a WAL failure
+//! flips a sticky flag, after which every verb on that relation answers a
+//! structured `poisoned` error while other tenants keep serving — and
+//! entry-lock accesses go through poison-tolerant helpers so a lock left
+//! poisoned by the unwind can't cascade panics into connection threads.
+//! A tenant can also carry a [`Durable`] handle — its WAL writer plus
+//! compaction bookkeeping — when the daemon runs with `--data-dir`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::num::NonZeroUsize;
-use std::sync::{Arc, RwLock};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use uniclean_core::{CleanConfig, Cleaner, MasterSource, RepairState};
 use uniclean_model::json::batch_from_json;
@@ -19,8 +30,47 @@ use uniclean_model::{Json, Relation, Schema};
 use uniclean_rules::{parse_rules, RuleSet};
 
 use crate::protocol::{clean_error, error, json_error, OpenSpec};
-use crate::shard_for;
+use crate::snapshot::sync_dir;
 use crate::stats::RelationStats;
+use crate::wal::{open_record, WalWriter, WAL_FILE};
+use crate::{shard_for, tenant_dir_name};
+
+/// How the daemon persists tenants; `DaemonConfig::data_dir == None`
+/// means no [`Durable`] handles are ever attached and everything below
+/// is memory-only.
+#[derive(Clone, Debug)]
+pub(crate) struct DurabilityCfg {
+    /// Root data directory; one subdirectory per tenant
+    /// ([`tenant_dir_name`]).
+    pub(crate) root: PathBuf,
+    /// Snapshot + compact a tenant's WAL every this many logged batches
+    /// (0 disables compaction; the WAL just grows).
+    pub(crate) snapshot_every: u64,
+    /// fsync WAL frames before acks and snapshot files before renames.
+    pub(crate) fsync: bool,
+}
+
+/// A durable tenant's on-disk half: the open WAL writer plus the
+/// bookkeeping compaction needs. Guarded by [`Tenant::durable`]; only
+/// the owning shard worker (and startup recovery, before the tenant is
+/// shared) touches it.
+pub(crate) struct Durable {
+    /// Append handle on `<dir>/wal.log`.
+    pub(crate) wal: WalWriter,
+    /// This tenant's directory under the data root.
+    pub(crate) dir: PathBuf,
+    /// The original `open` request document (frame 0 of every WAL
+    /// generation, and the `open` member of every snapshot).
+    pub(crate) open_doc: Json,
+    /// Sequence number of the last logged batch.
+    pub(crate) seq: u64,
+    /// Batches logged since the last snapshot — compaction triggers when
+    /// this reaches `snapshot_every`.
+    pub(crate) since_snapshot: u64,
+    /// Cumulative acknowledged input rows in ingest wire shape — what
+    /// the next snapshot stores as its `base_rows`.
+    pub(crate) base_rows: Vec<Json>,
+}
 
 /// The mutable half of a tenant, guarded by [`Tenant::entry`].
 pub(crate) struct TenantEntry {
@@ -42,6 +92,11 @@ pub(crate) struct Tenant {
     pub(crate) default_cf: f64,
     /// Live state + counters.
     pub(crate) entry: RwLock<TenantEntry>,
+    /// Sticky failure flag: set after a caught ingest panic or a WAL
+    /// error; every verb answers `poisoned` once set.
+    pub(crate) poisoned: AtomicBool,
+    /// Durability handle (`None` for a memory-only daemon).
+    pub(crate) durable: Mutex<Option<Durable>>,
 }
 
 impl Tenant {
@@ -114,13 +169,69 @@ impl Tenant {
                 state,
                 stats: RelationStats::default(),
             }),
+            poisoned: AtomicBool::new(false),
+            durable: Mutex::new(None),
         })
+    }
+
+    /// Entry read lock, tolerant of a poisoning unwind (the sticky
+    /// [`Tenant::is_poisoned`] flag is the real fence; the lock data is
+    /// still sound for reporting).
+    pub(crate) fn entry_read(&self) -> RwLockReadGuard<'_, TenantEntry> {
+        self.entry.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Entry write lock, tolerant of a poisoning unwind.
+    pub(crate) fn entry_write(&self) -> RwLockWriteGuard<'_, TenantEntry> {
+        self.entry.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The durable handle (always `Some` guard; the option inside is
+    /// `None` for memory-only tenants).
+    pub(crate) fn durable_lock(&self) -> MutexGuard<'_, Option<Durable>> {
+        self.durable.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Flip the sticky failure flag.
+    pub(crate) fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+    }
+
+    /// The structured error every verb answers once the tenant is
+    /// poisoned.
+    pub(crate) fn poisoned_error(&self) -> Json {
+        crate::protocol::error_with(
+            "poisoned",
+            format!(
+                "relation {:?} is poisoned (a previous ingest panicked or its WAL failed); \
+                 close it and re-open (durable state recovers on daemon restart)",
+                self.name
+            ),
+            vec![("relation", Json::str(&self.name))],
+        )
+    }
+
+    /// Replace the live state + counters (startup recovery, before the
+    /// tenant is shared).
+    pub(crate) fn replace_entry(&self, state: RepairState, stats: RelationStats) {
+        *self.entry_write() = TenantEntry { state, stats };
     }
 }
 
 /// The daemon's relation table.
 pub(crate) struct Registry {
     tenants: RwLock<HashMap<String, Arc<Tenant>>>,
+    /// Names that were explicitly closed (and not since re-opened):
+    /// a second `close` answers `already_closed` instead of
+    /// `unknown_relation`.
+    closed: Mutex<HashSet<String>>,
+    /// Serializes durable opens so two racing opens of one name can't
+    /// both create the tenant directory.
+    open_gate: Mutex<()>,
     shards: usize,
 }
 
@@ -128,24 +239,52 @@ impl Registry {
     pub(crate) fn new(shards: usize) -> Registry {
         Registry {
             tenants: RwLock::new(HashMap::new()),
+            closed: Mutex::new(HashSet::new()),
+            open_gate: Mutex::new(()),
             shards,
         }
     }
 
-    /// Open a new tenant. `Err` carries the ready-to-send error response
+    /// Open a new tenant. For a durable daemon (`durability` set),
+    /// `open_doc` is the original request document; the tenant directory
+    /// and WAL (with its `open` record) are created and fsync'd
+    /// **before** the tenant becomes visible, so an acknowledged `open`
+    /// survives a crash. `Err` carries the ready-to-send error response
     /// (`relation_exists` if the name is taken).
-    pub(crate) fn open(&self, spec: &OpenSpec) -> Result<Arc<Tenant>, Json> {
-        // Build outside the map lock: opens of distinct relations only
-        // contend on the brief insert below.
-        let tenant = Arc::new(Tenant::open(spec, self.shards)?);
-        let mut map = self.tenants.write().unwrap();
-        if map.contains_key(&spec.relation) {
+    pub(crate) fn open(
+        &self,
+        spec: &OpenSpec,
+        open_doc: Option<(&Json, &DurabilityCfg)>,
+    ) -> Result<Arc<Tenant>, Json> {
+        let _gate = self
+            .open_gate
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if self.tenants.read().unwrap().contains_key(&spec.relation) {
             return Err(error(
                 "relation_exists",
                 format!("relation {:?} is already open", spec.relation),
             ));
         }
+        // Build outside the map lock: opens of distinct relations only
+        // contend on the open gate and the brief insert below.
+        let tenant = Tenant::open(spec, self.shards)?;
+        if let Some((doc, cfg)) = open_doc {
+            let durable = create_tenant_storage(&spec.relation, doc, cfg).map_err(|e| {
+                error(
+                    "io",
+                    format!("cannot create durable storage for {:?}: {e}", spec.relation),
+                )
+            })?;
+            *tenant.durable_lock() = Some(durable);
+        }
+        let tenant = Arc::new(tenant);
+        let mut map = self.tenants.write().unwrap();
         map.insert(spec.relation.clone(), tenant.clone());
+        self.closed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&spec.relation);
         Ok(tenant)
     }
 
@@ -155,15 +294,53 @@ impl Registry {
             .unwrap()
             .get(name)
             .cloned()
-            .ok_or_else(|| error("unknown_relation", format!("no open relation {name:?}")))
+            .ok_or_else(|| self.absent_error(name))
     }
 
     pub(crate) fn remove(&self, name: &str) -> Result<Arc<Tenant>, Json> {
-        self.tenants
-            .write()
-            .unwrap()
-            .remove(name)
-            .ok_or_else(|| error("unknown_relation", format!("no open relation {name:?}")))
+        let removed = self.tenants.write().unwrap().remove(name);
+        match removed {
+            Some(t) => {
+                self.closed
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(name.to_string());
+                Ok(t)
+            }
+            None => Err(self.absent_error(name)),
+        }
+    }
+
+    /// The error for an absent relation: `already_closed` if it was
+    /// explicitly closed, `unknown_relation` otherwise.
+    pub(crate) fn absent_error(&self, name: &str) -> Json {
+        if self
+            .closed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .contains(name)
+        {
+            error(
+                "already_closed",
+                format!("relation {name:?} is already closed"),
+            )
+        } else {
+            error("unknown_relation", format!("no open relation {name:?}"))
+        }
+    }
+
+    /// Install recovered tenants at startup (before the listener runs, so
+    /// no contention and no duplicate risk).
+    pub(crate) fn adopt(&self, tenants: Vec<Arc<Tenant>>) {
+        let mut map = self.tenants.write().unwrap();
+        for t in tenants {
+            map.insert(t.name.clone(), t);
+        }
+    }
+
+    /// How many relations are open.
+    pub(crate) fn count(&self) -> usize {
+        self.tenants.read().unwrap().len()
     }
 
     /// All tenants, sorted by name (deterministic `stats` output).
@@ -172,6 +349,37 @@ impl Registry {
         all.sort_by(|a, b| a.name.cmp(&b.name));
         all
     }
+}
+
+/// Create a fresh tenant directory + WAL with its `open` record, fsync'd
+/// through to the data root so a post-ack crash finds it.
+fn create_tenant_storage(
+    name: &str,
+    open_doc: &Json,
+    cfg: &DurabilityCfg,
+) -> std::io::Result<Durable> {
+    let dir = cfg.root.join(tenant_dir_name(name));
+    // A leftover directory here means the name is not in the registry
+    // (checked under the open gate) — a quarantine remnant or a partial
+    // create; either way this open owns the name now.
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir)?;
+    }
+    std::fs::create_dir_all(&dir)?;
+    let mut wal = WalWriter::create(&dir.join(WAL_FILE), cfg.fsync)?;
+    wal.append(&open_record(open_doc))?;
+    if cfg.fsync {
+        sync_dir(&dir)?;
+        sync_dir(&cfg.root)?;
+    }
+    Ok(Durable {
+        wal,
+        dir,
+        open_doc: open_doc.clone(),
+        seq: 0,
+        since_snapshot: 0,
+        base_rows: Vec::new(),
+    })
 }
 
 #[cfg(test)]
@@ -198,10 +406,15 @@ mod tests {
     fn open_builds_an_empty_consistent_tenant() {
         let reg = Registry::new(4);
         let t = reg
-            .open(&spec("tran", "cfd phi1: data([AC=131] -> [city=Edi])"))
+            .open(
+                &spec("tran", "cfd phi1: data([AC=131] -> [city=Edi])"),
+                None,
+            )
             .unwrap();
         assert_eq!(t.shard, shard_for("tran", 4));
-        let entry = t.entry.read().unwrap();
+        assert!(!t.is_poisoned());
+        assert!(t.durable_lock().is_none());
+        let entry = t.entry_read();
         assert_eq!(entry.state.len(), 0);
         assert!(entry.state.consistent());
     }
@@ -209,7 +422,7 @@ mod tests {
     #[test]
     fn open_surfaces_structured_errors() {
         let reg = Registry::new(2);
-        let code = |spec: &OpenSpec| match reg.open(spec) {
+        let code = |spec: &OpenSpec| match reg.open(spec, None) {
             Err(resp) => resp.get("code").and_then(Json::as_str).unwrap().to_string(),
             Ok(_) => panic!("open unexpectedly succeeded"),
         };
@@ -220,7 +433,7 @@ mod tests {
             code(&spec("md", "md m1: data[city] ~ data[city] => data[city]")),
             "rule_parse"
         );
-        reg.open(&spec("dup", "cfd phi1: data([AC=131] -> [city=Edi])"))
+        reg.open(&spec("dup", "cfd phi1: data([AC=131] -> [city=Edi])"), None)
             .unwrap();
         assert_eq!(
             code(&spec("dup", "cfd phi1: data([AC=131] -> [city=Edi])")),
@@ -233,5 +446,41 @@ mod tests {
             ),
             Ok(_) => panic!("get of unknown relation succeeded"),
         }
+    }
+
+    #[test]
+    fn close_tombstones_answer_already_closed_until_reopen() {
+        let reg = Registry::new(2);
+        let rules = "cfd phi1: data([AC=131] -> [city=Edi])";
+        reg.open(&spec("t", rules), None).unwrap();
+        reg.remove("t").unwrap();
+        let code = |r: Result<Arc<Tenant>, Json>| {
+            let err = match r {
+                Ok(_) => panic!("expected a structured error"),
+                Err(e) => e,
+            };
+            err.get("code").and_then(Json::as_str).unwrap().to_string()
+        };
+        assert_eq!(code(reg.remove("t")), "already_closed");
+        assert_eq!(code(reg.get("t")), "already_closed");
+        // Re-opening clears the tombstone.
+        reg.open(&spec("t", rules), None).unwrap();
+        assert!(reg.get("t").is_ok());
+        reg.remove("t").unwrap();
+        assert_eq!(code(reg.remove("t")), "already_closed");
+    }
+
+    #[test]
+    fn poisoning_is_sticky_and_structured() {
+        let reg = Registry::new(1);
+        let t = reg
+            .open(&spec("p", "cfd phi1: data([AC=131] -> [city=Edi])"), None)
+            .unwrap();
+        assert!(!t.is_poisoned());
+        t.poison();
+        assert!(t.is_poisoned());
+        let resp = t.poisoned_error();
+        assert_eq!(resp.get("code").and_then(Json::as_str), Some("poisoned"));
+        assert_eq!(resp.get("relation").and_then(Json::as_str), Some("p"));
     }
 }

@@ -1,0 +1,295 @@
+//! The per-tenant write-ahead log.
+//!
+//! One `wal.log` per tenant directory, holding
+//! [`uniclean_model::frame`]-encoded JSON records:
+//!
+//! * frame 0 — `{"kind":"open","spec":{…}}`: the original `open` request
+//!   document, so recovery can rebuild the session (rules, master,
+//!   config) exactly;
+//! * frames 1.. — `{"kind":"batch","seq":N,"rows":[…]}`: one record per
+//!   **accepted** ingest batch, rows in the ingest wire shape with every
+//!   cell as an explicit `[value, cf]` pair
+//!   ([`uniclean_model::json::batch_to_ingest_json`]), so replay is
+//!   byte-exact regardless of the tenant's `default_cf`.
+//!
+//! The ordering guarantee the daemon gives: a batch record is written
+//! and fsync'd **before** the wire ack leaves the process. An
+//! acknowledged batch therefore survives any crash; a batch that died
+//! mid-append is at worst a torn tail, which recovery truncates (it was
+//! never acknowledged, so discarding it is correct). §5.2
+//! order-independence makes replaying the surviving records through
+//! `clean_delta` reconstruct the exact pre-crash state.
+//!
+//! Sequence numbers tie the WAL to snapshots: a snapshot covering
+//! sequence `S` lets recovery skip every record with `seq <= S`, so
+//! crash points between "snapshot written" and "WAL rewritten" stay
+//! consistent (records are skipped, not double-applied).
+
+use std::fs::{File, OpenOptions};
+use std::io::{ErrorKind, Read, Write};
+use std::path::Path;
+
+use uniclean_model::frame::{encode_frame, FrameScan};
+use uniclean_model::Json;
+
+use crate::faults;
+
+/// The WAL file name inside a tenant directory.
+pub const WAL_FILE: &str = "wal.log";
+/// Scratch name a compaction rewrite builds before renaming over
+/// [`WAL_FILE`]. A leftover one is pre-rename garbage; recovery deletes
+/// it.
+pub const WAL_REWRITE_TMP: &str = "wal.log.new";
+
+/// An open, append-only WAL handle.
+pub struct WalWriter {
+    file: File,
+    fsync: bool,
+}
+
+impl WalWriter {
+    /// Create (truncate) a WAL at `path`.
+    pub fn create(path: &Path, fsync: bool) -> std::io::Result<WalWriter> {
+        let file = File::create(path)?;
+        Ok(WalWriter { file, fsync })
+    }
+
+    /// Open an existing WAL for appending.
+    pub fn open_append(path: &Path, fsync: bool) -> std::io::Result<WalWriter> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(WalWriter { file, fsync })
+    }
+
+    /// Append one record and (unless `--no-fsync`) flush it to stable
+    /// storage. On `Err` the frame may be half-written — the caller must
+    /// treat the log as append-closed (the daemon poisons the tenant);
+    /// recovery truncates the torn frame.
+    pub fn append(&mut self, record: &Json) -> std::io::Result<()> {
+        let payload = record.render().into_bytes();
+        let mut buf = Vec::with_capacity(payload.len() + 16);
+        encode_frame(&payload, &mut buf);
+        faults::hit("wal.pre_frame")?;
+        // Two writes so the `wal.mid_frame` failpoint can crash with the
+        // frame provably half-durable — the torn-tail case.
+        let half = buf.len() / 2;
+        self.file.write_all(&buf[..half])?;
+        faults::hit("wal.mid_frame")?;
+        self.file.write_all(&buf[half..])?;
+        faults::hit("wal.pre_fsync")?;
+        if self.fsync {
+            self.file.sync_data()?;
+        }
+        faults::hit("wal.post_fsync")?;
+        Ok(())
+    }
+
+    /// Flush file metadata too (used after a rewrite's rename).
+    pub fn sync_all(&self) -> std::io::Result<()> {
+        self.file.sync_all()
+    }
+}
+
+/// The `open` record for frame 0. `spec` is the original `open` request
+/// document, stored verbatim.
+pub fn open_record(spec: &Json) -> Json {
+    Json::Obj(vec![
+        ("kind".to_string(), Json::str("open")),
+        ("spec".to_string(), spec.clone()),
+    ])
+}
+
+/// A `batch` record: `seq` strictly increasing per tenant, `rows` in the
+/// ingest wire shape with explicit confidences.
+pub fn batch_record(seq: u64, rows: Json) -> Json {
+    Json::Obj(vec![
+        ("kind".to_string(), Json::str("batch")),
+        ("seq".to_string(), Json::Num(seq as f64)),
+        ("rows".to_string(), rows),
+    ])
+}
+
+/// What a scan of a WAL file recovered.
+pub struct WalContents {
+    /// The `open` spec document from frame 0, if present and valid.
+    pub open: Option<Json>,
+    /// `(seq, rows)` for every valid batch record, in log order.
+    pub batches: Vec<(u64, Json)>,
+    /// Byte length of the valid prefix — what the file should be
+    /// truncated to if `torn`.
+    pub valid_len: u64,
+    /// Whether anything invalid (torn frame, bad record shape, seq
+    /// regression) followed the valid prefix.
+    pub torn: bool,
+}
+
+/// Read and validate a WAL file. A missing file reads as empty. Frames
+/// must checksum, parse as JSON, and follow the record grammar (one
+/// leading `open`, then `batch` records with strictly increasing `seq`);
+/// the first violation ends the valid prefix — everything after it is
+/// torn tail.
+pub fn read_wal(path: &Path) -> std::io::Result<WalContents> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    let mut contents = WalContents {
+        open: None,
+        batches: Vec::new(),
+        valid_len: 0,
+        torn: false,
+    };
+    let mut scan = FrameScan::new(&bytes);
+    let mut last_seq: Option<u64> = None;
+    loop {
+        let frame_start = scan.valid_len();
+        let Some(payload) = scan.next_frame() else {
+            contents.valid_len = scan.valid_len() as u64;
+            contents.torn = scan.torn().is_some();
+            return Ok(contents);
+        };
+        let ok = parse_record(payload, &mut contents, &mut last_seq);
+        if !ok {
+            // Checksummed but ungrammatical: same treatment as a torn
+            // frame — the prefix before it is the log.
+            contents.valid_len = frame_start as u64;
+            contents.torn = true;
+            return Ok(contents);
+        }
+    }
+}
+
+/// Apply one frame payload to `contents`; `false` if it breaks the
+/// record grammar.
+fn parse_record(payload: &[u8], contents: &mut WalContents, last_seq: &mut Option<u64>) -> bool {
+    let Ok(text) = std::str::from_utf8(payload) else {
+        return false;
+    };
+    let Ok(doc) = Json::parse(text) else {
+        return false;
+    };
+    match doc.get("kind").and_then(Json::as_str) {
+        Some("open") => {
+            if contents.open.is_some() {
+                return false; // only frame 0 may be an open record
+            }
+            match doc.get("spec") {
+                Some(spec) => {
+                    contents.open = Some(spec.clone());
+                    true
+                }
+                None => false,
+            }
+        }
+        Some("batch") => {
+            if contents.open.is_none() {
+                return false; // batches only after the open record
+            }
+            let Some(seq) = doc.get("seq").and_then(Json::as_usize) else {
+                return false;
+            };
+            let seq = seq as u64;
+            if last_seq.is_some_and(|prev| seq <= prev) {
+                return false;
+            }
+            let Some(rows) = doc.get("rows") else {
+                return false;
+            };
+            *last_seq = Some(seq);
+            contents.batches.push((seq, rows.clone()));
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("uniclean-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn spec() -> Json {
+        Json::parse(r#"{"op":"open","relation":"t","attrs":["a"],"rules":""}"#).unwrap()
+    }
+
+    fn rows(tag: i64) -> Json {
+        Json::Arr(vec![Json::Arr(vec![Json::Arr(vec![
+            Json::Num(tag as f64),
+            Json::Num(0.5),
+        ])])])
+    }
+
+    #[test]
+    fn append_read_round_trip_and_missing_file() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join(WAL_FILE);
+        let empty = read_wal(&path).unwrap();
+        assert!(empty.open.is_none() && empty.batches.is_empty() && !empty.torn);
+
+        let mut w = WalWriter::create(&path, true).unwrap();
+        w.append(&open_record(&spec())).unwrap();
+        w.append(&batch_record(1, rows(1))).unwrap();
+        w.append(&batch_record(2, rows(2))).unwrap();
+        drop(w);
+
+        let contents = read_wal(&path).unwrap();
+        assert_eq!(contents.open.unwrap().render(), spec().render());
+        assert_eq!(contents.batches.len(), 2);
+        assert_eq!(contents.batches[0].0, 1);
+        assert_eq!(contents.batches[1].1.render(), rows(2).render());
+        assert!(!contents.torn);
+        assert_eq!(
+            contents.valid_len,
+            std::fs::metadata(&path).unwrap().len(),
+            "clean log: every byte is valid prefix"
+        );
+
+        // Reopen-append continues the log.
+        let mut w = WalWriter::open_append(&path, false).unwrap();
+        w.append(&batch_record(3, rows(3))).unwrap();
+        drop(w);
+        assert_eq!(read_wal(&path).unwrap().batches.len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_and_grammar_violations_end_the_prefix() {
+        let dir = tmpdir("torn");
+        let path = dir.join(WAL_FILE);
+        let mut w = WalWriter::create(&path, false).unwrap();
+        w.append(&open_record(&spec())).unwrap();
+        w.append(&batch_record(1, rows(1))).unwrap();
+        drop(w);
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+
+        // A half-written frame is a torn tail; the prefix survives.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[7u8; 9]);
+        std::fs::write(&path, &bytes).unwrap();
+        let contents = read_wal(&path).unwrap();
+        assert!(contents.torn);
+        assert_eq!(contents.valid_len, clean_len);
+        assert_eq!(contents.batches.len(), 1);
+
+        // A checksummed frame with a seq regression is just as torn.
+        std::fs::write(&path, &bytes[..clean_len as usize]).unwrap();
+        let mut w = WalWriter::open_append(&path, false).unwrap();
+        w.append(&batch_record(1, rows(9))).unwrap(); // seq does not advance
+        drop(w);
+        let contents = read_wal(&path).unwrap();
+        assert!(contents.torn);
+        assert_eq!(contents.valid_len, clean_len);
+        assert_eq!(contents.batches.len(), 1);
+        assert_eq!(contents.batches[0].1.render(), rows(1).render());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

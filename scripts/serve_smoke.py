@@ -90,7 +90,19 @@ def main():
     resp = rpc({"op": "nonsense"}, want_ok=False)
     assert resp["code"] == "unknown_op", resp
 
+    resp = rpc({"op": "ping"})
+    assert resp["uptime_seconds"] >= 0, resp
+    assert resp["relations"] == 1 and resp["shards"] == 2, resp
+    assert resp["shutting_down"] is False, resp
+
     rpc({"op": "close", "relation": "smoke"})
+    # Close is idempotent and distinguishable from a name that never
+    # existed.
+    resp = rpc({"op": "close", "relation": "smoke"}, want_ok=False)
+    assert resp["code"] == "already_closed", resp
+    resp = rpc({"op": "close", "relation": "never"}, want_ok=False)
+    assert resp["code"] == "unknown_relation", resp
+
     resp = rpc({"op": "shutdown"})
     assert resp.get("shutting_down") is True, resp
 

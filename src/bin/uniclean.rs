@@ -8,6 +8,7 @@
 //! uniclean analyze  --rules r.rules --data d.csv [--master m.csv] …
 //! uniclean discover --data d.csv [--max-lhs 2] [--min-support 3]
 //! uniclean serve    [--addr 127.0.0.1:7401] [--shards 4] [--queue 64]
+//!                   [--data-dir dir] [--snapshot-every 64] [--no-fsync]
 //! ```
 //!
 //! CSV files carry a header row naming the attributes; every column is read
@@ -75,10 +76,19 @@ SERVE OPTIONS:
                                hash(relation) % shards [default: 4]
     --queue <n>                per-shard ingest queue bound; a full queue
                                answers busy instead of buffering [default: 64]
+    --data-dir <dir>           durable mode: per-tenant write-ahead logs and
+                               snapshots under this directory; on startup the
+                               daemon recovers every tenant found there
+    --snapshot-every <n>       snapshot + compact a tenant's WAL every n
+                               logged batches; 0 disables compaction
+                               [default: 64]
+    --no-fsync                 skip fsync on WAL appends and snapshots
+                               (faster; an OS crash may lose acked batches)
+    --max-line-bytes <n>       longest accepted request line [default: 64 MiB]
 
     The protocol is one JSON request per line, one JSON response per line
-    (ops: open, ingest, check, dump, stats, close, shutdown); see the
-    README \"Serving\" section for the schema.
+    (ops: open, ingest, check, dump, stats, ping, close, shutdown); see the
+    README \"Serving\" and \"Durability & recovery\" sections for the schema.
 ";
 
 fn main() -> ExitCode {
@@ -505,10 +515,15 @@ fn cmd_discover(opts: &Opts) -> Result<String, String> {
 }
 
 fn cmd_serve(opts: &Opts) -> Result<String, String> {
+    let defaults = uniclean::server::DaemonConfig::default();
     let config = uniclean::server::DaemonConfig {
         addr: opts.get_or("addr", "127.0.0.1:7401").to_string(),
         shards: opts.get_usize("shards", 4)?,
         queue_bound: opts.get_usize("queue", 64)?,
+        data_dir: opts.get("data-dir").map(std::path::PathBuf::from),
+        snapshot_every: opts.get_usize("snapshot-every", defaults.snapshot_every as usize)? as u64,
+        fsync: !opts.flag("no-fsync"),
+        max_line_bytes: opts.get_usize("max-line-bytes", defaults.max_line_bytes)?,
     };
     if config.shards == 0 || config.queue_bound == 0 {
         return Err("--shards and --queue must be positive".into());
@@ -516,8 +531,17 @@ fn cmd_serve(opts: &Opts) -> Result<String, String> {
     let daemon = uniclean::server::Daemon::bind(config.clone())
         .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
     // Announce before blocking so scripts can await readiness on stdout.
+    let durability = match &config.data_dir {
+        Some(dir) => format!(
+            ", durable at {} (snapshot every {}, fsync {})",
+            dir.display(),
+            config.snapshot_every,
+            if config.fsync { "on" } else { "off" }
+        ),
+        None => ", in-memory".to_string(),
+    };
     println!(
-        "uniclean serve: listening on {} ({} shards, queue bound {})",
+        "uniclean serve: listening on {} ({} shards, queue bound {}{durability})",
         daemon.local_addr(),
         config.shards,
         config.queue_bound

@@ -167,12 +167,21 @@ fn start_daemon(
     std::net::SocketAddr,
     std::thread::JoinHandle<std::io::Result<()>>,
 ) {
-    let daemon = Daemon::bind(DaemonConfig {
+    start_daemon_with(DaemonConfig {
         addr: "127.0.0.1:0".to_string(),
         shards,
         queue_bound,
+        ..DaemonConfig::default()
     })
-    .expect("bind ephemeral port");
+}
+
+fn start_daemon_with(
+    config: DaemonConfig,
+) -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let daemon = Daemon::bind(config).expect("bind ephemeral port");
     let addr = daemon.local_addr();
     let handle = std::thread::spawn(move || daemon.run());
     (addr, handle)
@@ -303,8 +312,27 @@ fn scripted_session_lifecycle() {
     ]));
     assert_ok(&close);
     assert_eq!(close.get("tuples").and_then(Json::as_usize), Some(6));
+    // A closed name answers `already_closed` (idempotent close) — it is
+    // distinguishable from a name that never existed...
     let r = c.rpc(&ingest_request("tran", &[["k0", "a1", "b1"]]));
-    assert_code(&r, "unknown_relation");
+    assert_code(&r, "already_closed");
+    assert_code(
+        &c.rpc(&obj(vec![
+            ("op", Json::str("close")),
+            ("relation", Json::str("tran")),
+        ])),
+        "already_closed",
+    );
+    assert_code(
+        &c.rpc(&obj(vec![
+            ("op", Json::str("close")),
+            ("relation", Json::str("never-opened")),
+        ])),
+        "unknown_relation",
+    );
+    // ...and reopening the name lifts the tombstone.
+    assert_ok(&c.rpc(&open_request("tran", 1)));
+    assert_ok(&c.rpc(&ingest_request("tran", &[["k0", "a1", "b1"]])));
 
     assert_ok(&c.rpc(&obj(vec![("op", Json::str("shutdown"))])));
     drop(c);
@@ -666,5 +694,87 @@ fn relations_shard_independently() {
 
     assert_ok(&c.rpc(&obj(vec![("op", Json::str("shutdown"))])));
     drop(c);
+    handle.join().unwrap().unwrap();
+}
+
+/// `ping` (and its `health` alias) answer liveness without touching any
+/// tenant: uptime, relation/shard counts, durability and shutdown state.
+#[test]
+fn ping_reports_health() {
+    let (addr, handle) = start_daemon(2, 16);
+    let mut c = Client::connect(addr);
+    assert_ok(&c.rpc(&open_request("tran", 1)));
+
+    for op in ["ping", "health"] {
+        let r = c.rpc(&obj(vec![("op", Json::str(op))]));
+        assert_ok(&r);
+        assert!(
+            r.get("uptime_seconds").and_then(Json::as_f64).unwrap() >= 0.0,
+            "{r}"
+        );
+        assert_eq!(r.get("relations").and_then(Json::as_usize), Some(1));
+        assert_eq!(r.get("shards").and_then(Json::as_usize), Some(2));
+        assert_eq!(r.get("durable").and_then(Json::as_bool), Some(false));
+        assert_eq!(r.get("shutting_down").and_then(Json::as_bool), Some(false));
+        // Memory-only daemon: no recovery ran.
+        assert_eq!(r.get("recovery"), Some(&Json::Null));
+    }
+
+    assert_ok(&c.rpc(&obj(vec![("op", Json::str("shutdown"))])));
+    drop(c);
+    handle.join().unwrap().unwrap();
+}
+
+/// Exactly one shutdown wins; a second request (pipelined in the same
+/// segment, so the connection is still being read) answers a structured
+/// `shutting_down` error instead of a duplicate drain.
+#[test]
+fn shutdown_is_idempotent() {
+    let (addr, handle) = start_daemon(1, 8);
+    let mut c = Client::connect(addr);
+    // One write puts both lines in the reader's buffer together, so the
+    // second is dispatched before shutdown tears the connection down.
+    c.writer
+        .write_all(b"{\"op\":\"shutdown\"}\n{\"op\":\"shutdown\"}\n")
+        .unwrap();
+    c.writer.flush().unwrap();
+    assert_ok(&c.read_response());
+    assert_code(&c.read_response(), "shutting_down");
+    drop(c);
+    handle.join().unwrap().unwrap();
+}
+
+/// A request line over the configured byte bound answers a structured
+/// `line_too_long` error and drops the connection (framing is lost), with
+/// bounded memory and the daemon still serving.
+#[test]
+fn oversized_lines_are_rejected_with_bounded_memory() {
+    let (addr, handle) = start_daemon_with(DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards: 1,
+        queue_bound: 8,
+        max_line_bytes: 4096,
+        ..DaemonConfig::default()
+    });
+    let mut c = Client::connect(addr);
+    let huge = format!(
+        "{{\"op\":\"ingest\",\"relation\":\"tran\",\"rows\":[{}]}}",
+        "1,".repeat(8192)
+    );
+    let r = c.raw(&huge);
+    assert_code(&r, "line_too_long");
+    assert_eq!(r.get("max_line_bytes").and_then(Json::as_usize), Some(4096));
+    // The connection is closed after the error (EOF, or a reset if the
+    // daemon dropped the socket with our excess bytes still unread)...
+    let mut line = String::new();
+    match c.reader.read_line(&mut line) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("expected a closed connection, read {n} more bytes"),
+    }
+    // ...but the daemon still serves new connections.
+    let mut c2 = Client::connect(addr);
+    assert_ok(&c2.rpc(&obj(vec![("op", Json::str("ping"))])));
+    assert_ok(&c2.rpc(&obj(vec![("op", Json::str("shutdown"))])));
+    drop((c, c2));
     handle.join().unwrap().unwrap();
 }
