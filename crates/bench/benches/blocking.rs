@@ -1,10 +1,18 @@
-//! The §5.2 headline ablation: top-l LCS suffix-tree blocking vs the naive
-//! O(|D|·|Dm|) scan for MD candidate retrieval. The paper reports the
-//! unblocked variant taking hours where the blocked one takes minutes;
-//! here the factor shows up per query.
+//! The §5.2 headline ablation: the complete q-gram count filter vs the
+//! naive O(|D|·|Dm|) scan for `~lev` MD candidate retrieval. The paper
+//! reports the unindexed variant taking hours where the indexed one takes
+//! minutes; here the factor shows up per query — and unlike the old top-l
+//! LCS blocker, the count filter is exact (no candidate a verifier would
+//! accept is ever pruned).
+
+use std::borrow::Cow;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use uniclean_similarity::{within_edit_distance, LcsBlocker};
+use uniclean_similarity::{
+    within_edit_distance_with, EditScratch, ProfileScratch, QGramIndex, QGramProfile, QGramScratch,
+};
+
+const Q: usize = 2;
 
 fn master_column(n: usize) -> Vec<String> {
     (0..n)
@@ -19,27 +27,47 @@ fn master_column(n: usize) -> Vec<String> {
         .collect()
 }
 
+fn build_index(column: &[String]) -> QGramIndex {
+    QGramIndex::build(
+        column
+            .iter()
+            .enumerate()
+            .map(|(row, v)| (row as u32, Cow::Borrowed(v.as_str()))),
+        column.len(),
+        Q,
+    )
+}
+
 fn bench_blocking(c: &mut Criterion) {
     let mut g = c.benchmark_group("md_candidate_retrieval");
     g.sample_size(20);
     for n in [500usize, 2000] {
         let column = master_column(n);
         let query = column[n / 2].replace("Center", "Cente").to_string();
-        let blocker = LcsBlocker::build(&column, 20);
-        g.bench_with_input(BenchmarkId::new("blocked_top_l", n), &n, |bench, _| {
+        let index = build_index(&column);
+        let mut profiles = ProfileScratch::new();
+        let probe = QGramProfile::new_with(&query, Q, &mut profiles);
+        g.bench_with_input(BenchmarkId::new("lev_count_filter", n), &n, |bench, _| {
+            let mut qgram = QGramScratch::new();
+            let mut edit = EditScratch::new();
+            let mut cands = Vec::new();
             bench.iter(|| {
-                let cands = blocker.candidates_within_edit(black_box(&query), 2);
+                cands.clear();
+                index.candidates_lev_into(black_box(&probe), 2, &mut qgram, &mut cands);
                 cands
-                    .into_iter()
-                    .filter(|&row| within_edit_distance(&query, &column[row], 2))
+                    .iter()
+                    .filter(|&&row| {
+                        within_edit_distance_with(&query, &column[row as usize], 2, &mut edit)
+                    })
                     .count()
             })
         });
         g.bench_with_input(BenchmarkId::new("naive_scan", n), &n, |bench, _| {
+            let mut edit = EditScratch::new();
             bench.iter(|| {
                 column
                     .iter()
-                    .filter(|v| within_edit_distance(black_box(&query), v, 2))
+                    .filter(|v| within_edit_distance_with(black_box(&query), v, 2, &mut edit))
                     .count()
             })
         });
@@ -47,13 +75,13 @@ fn bench_blocking(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_blocker_build(c: &mut Criterion) {
-    let mut g = c.benchmark_group("blocker_build");
+fn bench_index_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qgram_index_build");
     g.sample_size(10);
     for n in [500usize, 2000] {
         let column = master_column(n);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| LcsBlocker::build(black_box(&column), 20))
+            bench.iter(|| build_index(black_box(&column)))
         });
     }
     g.finish();
@@ -62,6 +90,6 @@ fn bench_blocker_build(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_blocking, bench_blocker_build
+    targets = bench_blocking, bench_index_build
 }
 criterion_main!(benches);

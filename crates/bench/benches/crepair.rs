@@ -15,7 +15,7 @@ fn bench_crepair(c: &mut Criterion) {
             ..GenParams::default()
         });
         let cfg = CleanConfig::default();
-        let idx = MasterIndex::build(w.rules.mds(), &w.master, cfg.blocking_l);
+        let idx = MasterIndex::build(w.rules.mds(), &w.master);
         g.bench_with_input(BenchmarkId::new("with_mds", n), &n, |bench, _| {
             bench.iter(|| {
                 let mut d = w.dirty.clone();

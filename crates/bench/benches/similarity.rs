@@ -1,53 +1,69 @@
-//! Micro-benchmarks of the similarity substrate: banded vs full
-//! Levenshtein, and generalized-suffix-tree construction/queries.
+//! Micro-benchmarks of the similarity substrate: the Myers bit-vector
+//! Levenshtein kernel vs the scalar DPs it replaced (full two-row and
+//! banded), plus the reusable-pattern probe loop that the master index
+//! runs per cached master value.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use uniclean_similarity::{levenshtein, levenshtein_bounded, GeneralizedSuffixTree};
-
-fn words(n: usize) -> Vec<String> {
-    (0..n)
-        .map(|i| {
-            format!(
-                "{} {} Hospital {}",
-                ["Mercy", "Grace", "Summit", "Harbor"][i % 4],
-                ["Oak", "Elm", "Pine", "Maple"][(i / 4) % 4],
-                i
-            )
-        })
-        .collect()
-}
+use uniclean_similarity::edit_distance::reference;
+use uniclean_similarity::{levenshtein_bounded_with, EditScratch, MyersPattern};
 
 fn bench_levenshtein(c: &mut Criterion) {
     let a = "Interaction between Record Matching and Data Repairing";
     let b = "Interaction between Record Matching and Data Reapiring";
     let mut g = c.benchmark_group("levenshtein");
-    g.bench_function("full_55_chars", |bench| {
-        bench.iter(|| levenshtein(black_box(a), black_box(b)))
+    let mut scratch = EditScratch::new();
+    g.bench_function("myers_k2_55_chars", |bench| {
+        bench.iter(|| levenshtein_bounded_with(black_box(a), black_box(b), 2, &mut scratch))
     });
-    g.bench_function("banded_k2_55_chars", |bench| {
-        bench.iter(|| levenshtein_bounded(black_box(a), black_box(b), 2))
+    g.bench_function("banded_dp_k2_55_chars", |bench| {
+        bench.iter(|| reference::levenshtein_bounded_dp(black_box(a), black_box(b), 2))
     });
-    // The banded version's early exit on dissimilar strings.
+    g.bench_function("full_dp_55_chars", |bench| {
+        bench.iter(|| reference::levenshtein_dp(black_box(a), black_box(b)))
+    });
+    // Early exit on dissimilar strings: Ukkonen cutoff vs the band check.
     let z = "zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz";
-    g.bench_function("banded_k2_reject_fast", |bench| {
-        bench.iter(|| levenshtein_bounded(black_box(a), black_box(z), 2))
+    g.bench_function("myers_k2_reject_fast", |bench| {
+        bench.iter(|| levenshtein_bounded_with(black_box(a), black_box(z), 2, &mut scratch))
+    });
+    g.bench_function("banded_dp_k2_reject_fast", |bench| {
+        bench.iter(|| reference::levenshtein_bounded_dp(black_box(a), black_box(z), 2))
     });
     g.finish();
 }
 
-fn bench_suffix_tree(c: &mut Criterion) {
-    let corpus = words(500);
-    let mut g = c.benchmark_group("suffix_tree");
-    g.sample_size(20);
-    g.bench_function("build_500_strings", |bench| {
-        bench.iter(|| GeneralizedSuffixTree::build(black_box(&corpus)))
+fn bench_myers_pattern_reuse(c: &mut Criterion) {
+    // The master-index probe loop: one pattern, many candidate texts. The
+    // Peq bitmaps amortize across every probe of the same master value.
+    let pattern = "Mercy Oak Medical Center 4217";
+    let texts: Vec<String> = (0..64)
+        .map(|i| format!("Mercy Oak Medical Cente {}", i * 67))
+        .collect();
+    let mut g = c.benchmark_group("myers_pattern_reuse");
+    g.bench_function("prebuilt_64_probes", |bench| {
+        let pat = MyersPattern::new(pattern);
+        let mut scratch = EditScratch::new();
+        bench.iter(|| {
+            texts
+                .iter()
+                .filter(|t| {
+                    pat.distance_bounded(black_box(t), 2, &mut scratch)
+                        .is_some()
+                })
+                .count()
+        })
     });
-    let tree = GeneralizedSuffixTree::build(&corpus);
-    g.bench_function("top_l_query", |bench| {
-        bench.iter(|| tree.top_l_by_lcs(black_box("Mercy Oak Hospitel 42"), 20, 4))
-    });
-    g.bench_function("matching_statistics", |bench| {
-        bench.iter(|| tree.matching_statistics(black_box("Mercy Oak Hospitel 42")))
+    g.bench_function("rebuilt_64_probes", |bench| {
+        let mut scratch = EditScratch::new();
+        bench.iter(|| {
+            texts
+                .iter()
+                .filter(|t| {
+                    let pat = MyersPattern::new(black_box(pattern));
+                    pat.distance_bounded(t, 2, &mut scratch).is_some()
+                })
+                .count()
+        })
     });
     g.finish();
 }
@@ -55,6 +71,6 @@ fn bench_suffix_tree(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_levenshtein, bench_suffix_tree
+    targets = bench_levenshtein, bench_myers_pattern_reuse
 }
 criterion_main!(benches);

@@ -1,8 +1,11 @@
 //! `perf` — phase-throughput benchmark for the parallel internals, the
 //! value-interning layer (the `BENCH_pr2.json` generator), the
 //! incremental `clean_delta` path (the `BENCH_pr3.json` generator), the
-//! columnar storage layer (the `BENCH_pr4.json` generator), and the
-//! master-index access-path planner (the `BENCH_pr5.json` generator).
+//! columnar storage layer (the `BENCH_pr4.json` generator), the
+//! master-index access-path planner (the `BENCH_pr5.json` generator),
+//! and the bit-parallel similarity kernels (the `BENCH_pr8.json`
+//! generator: Myers vs the scalar DPs it replaced, plus a like-for-like
+//! re-run of the PR5 probe workload).
 //!
 //! Part 1 measures cRepair and eRepair tuples/sec on generated HOSP and
 //! DBLP workloads across worker-thread counts (1/2/4/8) and interning
@@ -23,9 +26,14 @@
 //! cargo run --release -p uniclean-bench --bin perf -- --smoke    # CI smoke
 //!    [--out BENCH_pr2.json] [--delta-out BENCH_pr3.json]
 //!    [--storage-out BENCH_pr4.json] [--sim-out BENCH_pr5.json]
+//!    [--kernels-out BENCH_pr8.json] [--kernels-only] [--sim-only]
 //!    [--tuples 10000] [--master 2000] [--repeat 3]
 //!    [--delta-base 10000] [--delta-batches 10] [--delta-batch 100]
 //! ```
+//!
+//! `--kernels-only` emits just `BENCH_pr8.json` (the edit-distance kernel
+//! microbench plus the PR5 probe-workload re-run), skipping everything
+//! else.
 //!
 //! `--smoke` shrinks the workloads to a few hundred tuples, runs one
 //! repeat, validates the emitted JSON and exits nonzero on any failure —
@@ -684,7 +692,7 @@ fn bench_similarity(tuples: usize, master: usize, sample: usize, repeat: usize) 
     };
     let w = uniclean_datagen::dblp_similarity_workload(&params);
     let mds = w.rules.mds();
-    let idx = MasterIndex::build(mds, &w.master, 20);
+    let idx = MasterIndex::build(mds, &w.master);
     let sample = sample.min(w.dirty.len());
 
     // Answers first: for every sampled tuple × MD the indexed path must
@@ -701,6 +709,7 @@ fn bench_similarity(tuples: usize, master: usize, sample: usize, repeat: usize) 
         })
         .collect();
     let mut scratch = ProbeScratch::new();
+    let mut verified = Vec::new();
     for (i, md) in mds.iter().enumerate() {
         assert!(
             idx.is_indexed(i),
@@ -730,14 +739,27 @@ fn bench_similarity(tuples: usize, master: usize, sample: usize, repeat: usize) 
                 );
                 std::process::exit(1);
             }
+            // The production entry point (cached Myers patterns + q-gram
+            // profiles) must agree with the scalar kernels probe-by-probe.
+            idx.matches_into(i, md, t, &w.master, None, &mut scratch, &mut verified);
+            if verified != scan_matches {
+                eprintln!(
+                    "matches_into diverged from the scan: md {} tuple {row}",
+                    md.name()
+                );
+                std::process::exit(1);
+            }
             results[i].scan_candidates += w.master.len() as u64;
             results[i].indexed_candidates += cands;
             results[i].matches += scan_matches.len() as u64;
         }
     }
 
-    // Wall clock, best of `repeat`, same probe sample and verification
-    // work on both sides.
+    // Wall clock, best of `repeat`, same probe sample on both sides. The
+    // scan side is the no-index baseline (scalar `premise_matches` against
+    // every master row); the indexed side is the engine's production entry
+    // point, `matches_into` (candidate generation + verification on the
+    // scratch-cached kernels) — asserted bit-identical to the scan above.
     let mut scan_seconds = f64::INFINITY;
     let mut indexed_seconds = f64::INFINITY;
     for _ in 0..repeat.max(1) {
@@ -761,11 +783,8 @@ fn bench_similarity(tuples: usize, master: usize, sample: usize, repeat: usize) 
         for (i, md) in mds.iter().enumerate() {
             for row in 0..sample {
                 let t = w.dirty.tuple(TupleId::from(row));
-                idx.for_each_candidate(i, md, t, &mut scratch, |sid| {
-                    if md.premise_matches(t, w.master.tuple(sid)) {
-                        found += 1;
-                    }
-                });
+                idx.matches_into(i, md, t, &w.master, None, &mut scratch, &mut verified);
+                found += verified.len();
             }
         }
         indexed_seconds = indexed_seconds.min(started.elapsed().as_secs_f64());
@@ -1586,6 +1605,273 @@ fn render_durability_json(r: &DurabilityReport, smoke: bool) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Part 7: the bit-parallel similarity kernels (BENCH_pr8.json).
+// ---------------------------------------------------------------------------
+
+/// The committed BENCH_pr5.json probe-workload wall clock (indexed path,
+/// this container, pre-Myers banded-DP kernels + top-l LCS access path).
+/// PR8 re-runs the identical workload so the kernel win is like-for-like.
+const PR5_COMMITTED_INDEXED_SECONDS: f64 = 0.225341;
+
+/// One (length, threshold) shape of the edit-distance microbench.
+struct KernelCase {
+    name: &'static str,
+    chars: usize,
+    k: usize,
+    pairs: usize,
+    /// How many pairs were within `k` (identical for all three kernels —
+    /// asserted before timing).
+    accepted: usize,
+    myers_seconds: f64,
+    banded_dp_seconds: f64,
+    full_dp_seconds: f64,
+}
+
+/// Deterministic string pairs: a random base of `len` chars and a partner
+/// `i % (k+3)` edits away, so both the accept and the reject path are hot.
+/// No RNG crate — a fixed-seed splitmix-style generator keeps every run
+/// (and every kernel under test) on identical inputs.
+fn kernel_pairs(len: usize, k: usize, n: usize, unicode: bool) -> Vec<(String, String)> {
+    let alphabet: Vec<char> = if unicode {
+        "abcdefgéüλжД中рñ ".chars().collect()
+    } else {
+        "abcdefghijklmnopqrstuvwxyz 0123456789".chars().collect()
+    };
+    let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ (len as u64) << 32 ^ k as u64;
+    let mut next = move |m: usize| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as usize) % m.max(1)
+    };
+    let mut pairs = Vec::with_capacity(n);
+    for i in 0..n {
+        let a: Vec<char> = (0..len).map(|_| alphabet[next(alphabet.len())]).collect();
+        let mut b = a.clone();
+        for _ in 0..i % (k + 3) {
+            match next(3) {
+                0 if !b.is_empty() => {
+                    let p = next(b.len());
+                    b[p] = alphabet[next(alphabet.len())];
+                }
+                1 => {
+                    let p = next(b.len() + 1);
+                    b.insert(p, alphabet[next(alphabet.len())]);
+                }
+                _ if !b.is_empty() => {
+                    let p = next(b.len());
+                    b.remove(p);
+                }
+                _ => {}
+            }
+        }
+        pairs.push((a.into_iter().collect(), b.into_iter().collect()));
+    }
+    pairs
+}
+
+/// Myers bit-vector vs the scalar DPs it replaced, same inputs, answers
+/// asserted identical pair-by-pair before any timing is reported.
+fn bench_kernels(repeat: usize, smoke: bool) -> Vec<KernelCase> {
+    use uniclean_similarity::edit_distance::reference;
+    use uniclean_similarity::{levenshtein_bounded_with, EditScratch};
+
+    let n = if smoke { 64 } else { 512 };
+    // Lengths cover the single-word fast path (≤64), the 55-char title
+    // shape the similarity workload probes, a multi-block pattern, and a
+    // non-ASCII alphabet (the binary-search Peq path).
+    let specs: &[(&'static str, usize, usize, bool)] = &[
+        ("ascii_12_k1", 12, 1, false),
+        ("ascii_30_k2", 30, 2, false),
+        ("ascii_55_k2", 55, 2, false),
+        ("ascii_120_k3", 120, 3, false),
+        ("unicode_30_k2", 30, 2, true),
+    ];
+    let mut cases = Vec::new();
+    for &(name, len, k, unicode) in specs {
+        let pairs = kernel_pairs(len, k, n, unicode);
+        let mut scratch = EditScratch::new();
+
+        // Parity before speed: all three kernels must agree on every pair.
+        let mut accepted = 0usize;
+        for (a, b) in &pairs {
+            let myers = levenshtein_bounded_with(a, b, k, &mut scratch);
+            let banded = reference::levenshtein_bounded_dp(a, b, k);
+            if myers != banded {
+                eprintln!("kernel mismatch [{name}]: myers {myers:?} vs banded {banded:?} on ({a:?}, {b:?})");
+                std::process::exit(1);
+            }
+            if let Some(d) = myers {
+                let full = reference::levenshtein_dp(a, b);
+                if d != full {
+                    eprintln!(
+                        "kernel mismatch [{name}]: myers {d} vs full DP {full} on ({a:?}, {b:?})"
+                    );
+                    std::process::exit(1);
+                }
+                accepted += 1;
+            }
+        }
+
+        let time = |f: &mut dyn FnMut() -> usize| -> f64 {
+            let mut best = f64::INFINITY;
+            for _ in 0..repeat.max(1) {
+                let started = Instant::now();
+                let hits = f();
+                best = best.min(started.elapsed().as_secs_f64());
+                assert_eq!(hits, accepted, "kernel disagreed during timing [{name}]");
+            }
+            best
+        };
+        eprintln!("  kernels: {name} ({n} pairs)…");
+        let myers_seconds = time(&mut || {
+            pairs
+                .iter()
+                .filter(|(a, b)| levenshtein_bounded_with(a, b, k, &mut scratch).is_some())
+                .count()
+        });
+        let banded_dp_seconds = time(&mut || {
+            pairs
+                .iter()
+                .filter(|(a, b)| reference::levenshtein_bounded_dp(a, b, k).is_some())
+                .count()
+        });
+        let full_dp_seconds = time(&mut || {
+            pairs
+                .iter()
+                .filter(|(a, b)| reference::levenshtein_dp(a, b) <= k)
+                .count()
+        });
+        cases.push(KernelCase {
+            name,
+            chars: len,
+            k,
+            pairs: n,
+            accepted,
+            myers_seconds,
+            banded_dp_seconds,
+            full_dp_seconds,
+        });
+    }
+    cases
+}
+
+fn render_kernels_json(cases: &[KernelCase], sim: &SimReport, smoke: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"pr8_bitparallel_kernels\",");
+    let _ = writeln!(
+        out,
+        "  \"command\": \"cargo run --release -p uniclean-bench --bin perf -- --kernels-only\","
+    );
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        out,
+        "  \"note\": \"kernel_cases time the Myers bit-vector kernel against the banded and \
+         full scalar DPs it replaced on identical deterministic pair sets, answers asserted \
+         equal pair-by-pair before timing. probe_workload re-runs the BENCH_pr5 similarity \
+         probe workload (same generator, sizes and probe-by-probe scan-equality assertion) on \
+         the new lev-count access path; speedup_vs_committed_pr5 compares its indexed wall \
+         clock against the committed pre-kernel BENCH_pr5.json number from this same \
+         single-core container (thread scaling plays no part in either run).\","
+    );
+    let _ = writeln!(out, "  \"kernel_cases\": [");
+    for (i, c) in cases.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", c.name);
+        let _ = writeln!(out, "      \"chars\": {},", c.chars);
+        let _ = writeln!(out, "      \"k\": {},", c.k);
+        let _ = writeln!(out, "      \"pairs\": {},", c.pairs);
+        let _ = writeln!(out, "      \"accepted\": {},", c.accepted);
+        let _ = writeln!(out, "      \"myers_seconds\": {},", num(c.myers_seconds, 6));
+        let _ = writeln!(
+            out,
+            "      \"banded_dp_seconds\": {},",
+            num(c.banded_dp_seconds, 6)
+        );
+        let _ = writeln!(
+            out,
+            "      \"full_dp_seconds\": {},",
+            num(c.full_dp_seconds, 6)
+        );
+        let _ = writeln!(
+            out,
+            "      \"myers_vs_banded_dp\": {},",
+            num(c.banded_dp_seconds / c.myers_seconds.max(1e-12), 2)
+        );
+        let _ = writeln!(
+            out,
+            "      \"myers_vs_full_dp\": {},",
+            num(c.full_dp_seconds / c.myers_seconds.max(1e-12), 2)
+        );
+        let _ = writeln!(out, "      \"agreement_checked\": true");
+        let comma = if i + 1 < cases.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    let _ = writeln!(out, "  ],");
+    let total_scan: u64 = sim.mds.iter().map(|m| m.scan_candidates).sum();
+    let total_indexed: u64 = sim.mds.iter().map(|m| m.indexed_candidates).sum();
+    let _ = writeln!(out, "  \"probe_workload\": {{");
+    let _ = writeln!(out, "    \"dataset\": \"dblp-sim\",");
+    let _ = writeln!(out, "    \"tuples\": {},", sim.tuples);
+    let _ = writeln!(out, "    \"master_tuples\": {},", sim.master_tuples);
+    let _ = writeln!(out, "    \"probe_sample\": {},", sim.probe_sample);
+    let _ = writeln!(out, "    \"plans\": [");
+    for (i, m) in sim.mds.iter().enumerate() {
+        let comma = if i + 1 < sim.mds.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{\"name\": \"{}\", \"plan\": \"{}\", \"indexed_candidates\": {}, \
+             \"verified_matches\": {}}}{comma}",
+            m.name,
+            m.plan.replace('"', "'"),
+            m.indexed_candidates,
+            m.matches
+        );
+    }
+    let _ = writeln!(out, "    ],");
+    let _ = writeln!(out, "    \"total_scan_candidates\": {total_scan},");
+    let _ = writeln!(out, "    \"total_indexed_candidates\": {total_indexed},");
+    let _ = writeln!(out, "    \"scan_seconds\": {},", num(sim.scan_seconds, 6));
+    let _ = writeln!(
+        out,
+        "    \"indexed_seconds\": {},",
+        num(sim.indexed_seconds, 6)
+    );
+    let _ = writeln!(
+        out,
+        "    \"wall_clock_speedup\": {},",
+        num(sim.scan_seconds / sim.indexed_seconds.max(1e-12), 2)
+    );
+    let _ = writeln!(out, "    \"scan_equality_asserted\": true,");
+    let _ = writeln!(
+        out,
+        "    \"bit_identical_across_parallelism_and_interning\": {}",
+        sim.bit_identical_matrix
+    );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(
+        out,
+        "  \"committed_pr5_indexed_seconds\": {},",
+        num(PR5_COMMITTED_INDEXED_SECONDS, 6)
+    );
+    // A smoke run probes a toy workload; the cross-commit comparison only
+    // holds at the full PR5 sizes, so render null instead of a fiction.
+    let vs_committed = if smoke {
+        f64::NAN
+    } else {
+        PR5_COMMITTED_INDEXED_SECONDS / sim.indexed_seconds.max(1e-12)
+    };
+    let _ = writeln!(
+        out,
+        "  \"speedup_vs_committed_pr5\": {}",
+        num(vs_committed, 2)
+    );
+    let _ = writeln!(out, "}}");
+    out
+}
+
 /// Validate, write, re-read and re-validate one JSON report file.
 fn write_validated(path: &str, json: &str) {
     if let Err(pos) = validate_json(json) {
@@ -1615,14 +1901,19 @@ fn main() {
     let args = Args::parse();
     let smoke = args.flag("smoke");
     // `--storage-only`: emit just BENCH_pr4.json (the storage comparison),
-    // skipping the slower thread-matrix and delta replays.
+    // skipping the slower thread-matrix and delta replays. `--kernels-only`
+    // likewise emits just BENCH_pr8.json, and `--sim-only` just
+    // BENCH_pr5.json.
     let storage_only = args.flag("storage-only");
+    let kernels_only = args.flag("kernels-only");
+    let sim_only = args.flag("sim-only");
     let out_path = args.get_or("out", "BENCH_pr2.json").to_string();
     let delta_out_path = args.get_or("delta-out", "BENCH_pr3.json").to_string();
     let storage_out_path = args.get_or("storage-out", "BENCH_pr4.json").to_string();
     let sim_out_path = args.get_or("sim-out", "BENCH_pr5.json").to_string();
     let serve_out_path = args.get_or("serve-out", "BENCH_pr6.json").to_string();
     let durability_out_path = args.get_or("durability-out", "BENCH_pr7.json").to_string();
+    let kernels_out_path = args.get_or("kernels-out", "BENCH_pr8.json").to_string();
     let (tuples, master, repeat, thread_counts): (usize, usize, usize, Vec<usize>) = if smoke {
         (200, 80, 1, vec![1, 2])
     } else {
@@ -1644,6 +1935,68 @@ fn main() {
     };
 
     let started = Instant::now();
+    let (sim_tuples, sim_master, sim_sample) = if smoke {
+        (200, 80, 60)
+    } else {
+        (4_000, 2_000, 800)
+    };
+
+    if kernels_only {
+        let cases = bench_kernels(repeat, smoke);
+        eprintln!(
+            "similarity workload (access paths, {sim_tuples} tuples, {sim_master} master, \
+             {sim_sample} probes)…"
+        );
+        let sim = bench_similarity(sim_tuples, sim_master, sim_sample, repeat);
+        write_validated(&kernels_out_path, &render_kernels_json(&cases, &sim, smoke));
+        for c in &cases {
+            println!(
+                "## kernels — {}: myers {:.6}s vs banded DP {:.6}s ({:.1}x) vs full DP {:.6}s ({:.1}x)",
+                c.name,
+                c.myers_seconds,
+                c.banded_dp_seconds,
+                c.banded_dp_seconds / c.myers_seconds.max(1e-12),
+                c.full_dp_seconds,
+                c.full_dp_seconds / c.myers_seconds.max(1e-12),
+            );
+        }
+        println!(
+            "## probe workload — {:.3}s scan vs {:.3}s indexed ({:.1}x); committed pr5 indexed \
+             {:.6}s -> {:.1}x vs committed",
+            sim.scan_seconds,
+            sim.indexed_seconds,
+            sim.scan_seconds / sim.indexed_seconds.max(1e-12),
+            PR5_COMMITTED_INDEXED_SECONDS,
+            PR5_COMMITTED_INDEXED_SECONDS / sim.indexed_seconds.max(1e-12),
+        );
+        println!(
+            "wrote {kernels_out_path} ({:.1}s){}",
+            started.elapsed().as_secs_f64(),
+            if smoke { " [smoke]" } else { "" }
+        );
+        return;
+    }
+
+    if sim_only {
+        eprintln!(
+            "similarity workload (access paths, {sim_tuples} tuples, {sim_master} master, \
+             {sim_sample} probes)…"
+        );
+        let sim = bench_similarity(sim_tuples, sim_master, sim_sample, repeat);
+        write_validated(&sim_out_path, &render_sim_json(&sim, smoke));
+        println!(
+            "## access paths — {:.3}s scan vs {:.3}s indexed ({:.1}x)",
+            sim.scan_seconds,
+            sim.indexed_seconds,
+            sim.scan_seconds / sim.indexed_seconds.max(1e-12),
+        );
+        println!(
+            "wrote {sim_out_path} ({:.1}s)",
+            started.elapsed().as_secs_f64()
+        );
+        return;
+    }
+
     let params = GenParams {
         tuples,
         master_tuples: master,
@@ -1683,17 +2036,18 @@ fn main() {
     let storage = bench_storage(&hosp, repeat);
     write_validated(&storage_out_path, &render_storage_json(&storage, smoke));
 
-    let (sim_tuples, sim_master, sim_sample) = if smoke {
-        (200, 80, 60)
-    } else {
-        (4_000, 2_000, 800)
-    };
     eprintln!(
         "similarity workload (access paths, {sim_tuples} tuples, {sim_master} master, \
          {sim_sample} probes)…"
     );
     let sim = bench_similarity(sim_tuples, sim_master, sim_sample, repeat);
     write_validated(&sim_out_path, &render_sim_json(&sim, smoke));
+
+    let kernel_cases = bench_kernels(repeat, smoke);
+    write_validated(
+        &kernels_out_path,
+        &render_kernels_json(&kernel_cases, &sim, smoke),
+    );
 
     eprintln!("delta workload ({delta_base} base + {delta_batches} x {delta_batch} batches)…");
     let delta = bench_delta(delta_base, delta_batches, delta_batch, master);
@@ -1793,6 +2147,17 @@ fn main() {
         sim.indexed_seconds,
         sim.scan_seconds / sim.indexed_seconds.max(1e-12),
     );
+    for c in &kernel_cases {
+        println!(
+            "## kernels — {}: myers {:.6}s vs banded DP {:.6}s ({:.1}x) vs full DP {:.6}s ({:.1}x)",
+            c.name,
+            c.myers_seconds,
+            c.banded_dp_seconds,
+            c.banded_dp_seconds / c.myers_seconds.max(1e-12),
+            c.full_dp_seconds,
+            c.full_dp_seconds / c.myers_seconds.max(1e-12),
+        );
+    }
     for run in &serve.runs {
         let batches_total = run.batches * run.relations;
         println!(
@@ -1831,8 +2196,8 @@ fn main() {
         );
     }
     println!(
-        "wrote {out_path} + {storage_out_path} + {sim_out_path} + {delta_out_path} \
-         + {serve_out_path} + {durability_out_path} ({} datasets, {:.1}s total){}",
+        "wrote {out_path} + {storage_out_path} + {sim_out_path} + {kernels_out_path} \
+         + {delta_out_path} + {serve_out_path} + {durability_out_path} ({} datasets, {:.1}s total){}",
         reports.len(),
         started.elapsed().as_secs_f64(),
         if smoke { " [smoke]" } else { "" }

@@ -8,7 +8,9 @@ use crate::error::ConfigError;
 ///
 /// Paper defaults (§8, "Experimental Setting" / "Experimental Results"): the
 /// confidence threshold was 1.0 and the entropy threshold 0.8 in the
-/// evaluation; `l ≤ 20` sufficed for blocking.
+/// evaluation. (The paper's blocking constant `l` is gone: edit-distance
+/// premises are now served by a complete q-gram count filter with no
+/// truncation knob.)
 #[derive(Clone, Debug)]
 pub struct CleanConfig {
     /// Confidence threshold `η`: a cell is *asserted* (assumed correct) when
@@ -22,11 +24,6 @@ pub struct CleanConfig {
     /// Entropy threshold `δ2`: a variable-CFD conflict set is resolved only
     /// when `H(ϕ|Y=ȳ) < δ2` (§6.2).
     pub delta_entropy: f64,
-    /// Blocking constant `l` for top-`l` LCS retrieval from master data
-    /// (§5.2). Only edit-distance access paths truncate to `l`; the
-    /// q-gram/Jaro count filters of the access-path planner are exact and
-    /// ignore it.
-    pub blocking_l: usize,
     /// Safety cap on `eRepair` outer rounds (the δ1 counters already bound
     /// the work; this guards against pathological rule sets).
     pub max_erepair_rounds: usize,
@@ -58,7 +55,6 @@ impl Default for CleanConfig {
             eta: 1.0,
             delta_update: 2,
             delta_entropy: 0.8,
-            blocking_l: 20,
             max_erepair_rounds: 10,
             max_hrepair_rounds: 50,
             self_match: false,
@@ -87,7 +83,6 @@ impl CleanConfig {
             }
         }
         for (field, value) in [
-            ("blocking_l", self.blocking_l),
             ("max_erepair_rounds", self.max_erepair_rounds),
             ("max_hrepair_rounds", self.max_hrepair_rounds),
         ] {
@@ -108,7 +103,6 @@ mod tests {
         let c = CleanConfig::default();
         assert_eq!(c.eta, 1.0);
         assert_eq!(c.delta_entropy, 0.8);
-        assert!(c.blocking_l <= 20);
         assert!(c.validate().is_ok());
     }
 
@@ -134,16 +128,6 @@ mod tests {
             Err(ConfigError::OutOfRange {
                 field: "delta_entropy",
                 value: -0.1
-            })
-        );
-        let c = CleanConfig {
-            blocking_l: 0,
-            ..CleanConfig::default()
-        };
-        assert_eq!(
-            c.validate(),
-            Err(ConfigError::ZeroLimit {
-                field: "blocking_l"
             })
         );
     }

@@ -656,7 +656,7 @@ mod tests {
     #[test]
     fn example_5_2_cascade() {
         let (tran, _, rules, mut d, dm) = example_setup();
-        let idx = MasterIndex::build(rules.mds(), &dm, 10);
+        let idx = MasterIndex::build(rules.mds(), &dm);
         let report = c_repair(&mut d, Some(&dm), &rules, Some(&idx), &cfg(0.8));
 
         let city = tran.attr_id_or_panic("city");
@@ -678,7 +678,7 @@ mod tests {
     #[test]
     fn unasserted_premises_block_fixes() {
         let (tran, _, rules, mut d, dm) = example_setup();
-        let idx = MasterIndex::build(rules.mds(), &dm, 10);
+        let idx = MasterIndex::build(rules.mds(), &dm);
         // Raise η beyond every premise confidence: nothing may fire.
         let report = c_repair(&mut d, Some(&dm), &rules, Some(&idx), &cfg(0.95));
         assert!(report.is_empty());
@@ -774,7 +774,7 @@ mod tests {
                 parsed.positive_mds,
                 vec![],
             );
-            let idx = MasterIndex::build(rules.mds(), &dm, 10);
+            let idx = MasterIndex::build(rules.mds(), &dm);
             let mut d = d0.clone();
             c_repair(&mut d, Some(&dm), &rules, Some(&idx), &cfg(0.8));
             let snap: Vec<Value> = d

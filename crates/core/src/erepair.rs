@@ -398,7 +398,7 @@ mod tests {
         );
         let mut d = Relation::new(tran.clone(), vec![Tuple::of_strs(&["Brady", "000"], 0.0)]);
         let dm = Relation::new(card, vec![Tuple::of_strs(&["Brady", "3887644"], 1.0)]);
-        let idx = MasterIndex::build(rules.mds(), &dm, 5);
+        let idx = MasterIndex::build(rules.mds(), &dm);
         let report = e_repair(&mut d, Some(&dm), &rules, Some(&idx), &cfg());
         assert_eq!(
             d.tuple(TupleId(0)).value(tran.attr_id_or_panic("phn")),

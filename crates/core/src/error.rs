@@ -28,8 +28,8 @@ pub enum ConfigError {
         /// The offending value.
         value: f64,
     },
-    /// A count that must be at least 1 is 0 (`blocking_l`,
-    /// `max_erepair_rounds`, `max_hrepair_rounds`).
+    /// A count that must be at least 1 is 0 (`max_erepair_rounds`,
+    /// `max_hrepair_rounds`).
     ZeroLimit {
         /// Field name.
         field: &'static str,
@@ -201,7 +201,7 @@ mod tests {
         .to_string()
         .contains("mirror the data schema"));
         assert!(CleanError::Config(ConfigError::ZeroLimit {
-            field: "blocking_l"
+            field: "max_erepair_rounds"
         })
         .to_string()
         .contains("invalid cleaning configuration"));

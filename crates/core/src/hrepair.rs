@@ -196,13 +196,8 @@ pub fn h_repair(
         acted |= resolve_variable_cfds(&base, &cur, rules, &pats, &mut cells, threads);
         if let Some(ms) = &self_schema {
             let dm_round = Relation::with_schema(ms.clone(), &cur);
-            let idx_round = MasterIndex::build_parallel(
-                rules.mds(),
-                &dm_round,
-                cfg.blocking_l,
-                cfg.interning,
-                threads,
-            );
+            let idx_round =
+                MasterIndex::build_parallel(rules.mds(), &dm_round, cfg.interning, threads);
             acted |= resolve_mds(&cur, &dm_round, rules, &idx_round, cfg, &mut cells, threads);
         } else if let (Some(dm), Some(idx)) = (dm, idx) {
             acted |= resolve_mds(&cur, dm, rules, idx, cfg, &mut cells, threads);
@@ -688,7 +683,7 @@ mod tests {
         let mut d = Relation::new(tran.clone(), vec![t]);
         // Master disagrees with the frozen phone.
         let dm = Relation::new(card, vec![Tuple::of_strs(&["Brady", "222"], 1.0)]);
-        let idx = MasterIndex::build(rules.mds(), &dm, 5);
+        let idx = MasterIndex::build(rules.mds(), &dm);
         h_repair(&mut d, Some(&dm), &rules, Some(&idx), &cfg());
         assert_eq!(
             d.tuple(TupleId(0)).value(phn),
@@ -723,7 +718,7 @@ mod tests {
         );
         let mut d = Relation::new(tran.clone(), vec![Tuple::of_strs(&["Brady", "000"], 0.5)]);
         let dm = Relation::new(card, vec![Tuple::of_strs(&["Brady", "3887644"], 1.0)]);
-        let idx = MasterIndex::build(rules.mds(), &dm, 5);
+        let idx = MasterIndex::build(rules.mds(), &dm);
         h_repair(&mut d, Some(&dm), &rules, Some(&idx), &cfg());
         assert_eq!(
             d.tuple(TupleId(0)).value(tran.attr_id_or_panic("phn")),
@@ -769,7 +764,7 @@ mod tests {
                 1.0,
             )],
         );
-        let idx = MasterIndex::build(rules.mds(), &dm, 5);
+        let idx = MasterIndex::build(rules.mds(), &dm);
         h_repair(&mut d, Some(&dm), &rules, Some(&idx), &cfg());
         let fnid = tran.attr_id_or_panic("FN");
         let phn = tran.attr_id_or_panic("phn");

@@ -1,4 +1,4 @@
-//! Blocked access to master data for MD premise evaluation (§5.2) — a
+//! Indexed access to master data for MD premise evaluation (§5.2) — a
 //! cost-based, predicate-complete access-path planner.
 //!
 //! §5.2 is explicit that matching dominates cleaning cost and that
@@ -12,32 +12,41 @@
 //!   probe replaces the old probe-one-equality-then-verify-the-rest;
 //! * an **exact hash index** for a lone `=` conjunct, keyed by interned
 //!   [`Symbol`]s when interning is enabled;
-//! * the **top-`l` LCS suffix-tree blocker** for edit-distance conjuncts;
 //! * a **count-filtered q-gram inverted index**
-//!   ([`uniclean_similarity::QGramIndex`]) for `~qgram`, and its 1-gram
+//!   ([`uniclean_similarity::QGramIndex`]) for `~qgram`; its 1-gram
 //!   variant as a conservative common-character/length-ratio prefilter for
-//!   `~jaro`/`~jw`;
+//!   `~jaro`/`~jw`; and its 2-gram variant under the *complete* padded-gram
+//!   count bound ([`uniclean_similarity::lev_count_bound`]) for `~lev` —
+//!   within edit distance `k`, padded profiles share at least
+//!   `max(|u|,|v|) + q − 1 − k·q` grams, so the same inverted lists serve
+//!   edit-distance conjuncts without the old top-`l` LCS approximation;
 //! * **candidate-list intersection** of the two most selective indexable
 //!   conjuncts when the primary path alone is expected to leave many
 //!   candidates — selectivity is estimated from per-column distinct-count
 //!   statistics gathered at build time.
 //!
-//! Candidates returned by any path still need full premise verification;
-//! every path is *match-preserving*: plans built from complete filters
-//! (exact, composite, q-gram, Jaro) never lose a true match, and plans for
-//! edit-distance conjuncts keep the paper's top-`l` LCS retrieval as their
-//! base so verified matches are exactly what the previous engine produced
-//! — candidates may shrink, matches may not change. Candidate order is
-//! ascending master-row order on every path, so downstream witness
-//! selection is deterministic and plan-independent.
+//! Candidates returned by any path still need full premise verification,
+//! but every path is now a *complete* filter: no plan can lose a true
+//! match, for any predicate family, so candidate generation may shrink
+//! the verified set's superset but never the verified set itself.
+//! Candidate order is ascending master-row order on every path, so
+//! downstream witness selection is deterministic and plan-independent.
 //!
 //! Probing is allocation-free at steady state: callers hold a
-//! [`ProbeScratch`] (overlap accumulators, candidate buffers, and a
-//! symbol-keyed cache of q-gram profiles — probe values repeat heavily
-//! now that relations intern everything) and the `*_into` entry points
-//! append into caller-owned buffers. Index construction fans out over
-//! [`crate::parallel`]: each per-attribute artifact (hash map, suffix
-//! tree, inverted lists) builds on its own worker.
+//! [`ProbeScratch`] (overlap accumulators, candidate buffers, and the
+//! [`MatchScratch`] kernel caches — Myers pattern bitmaps and q-gram
+//! profiles keyed by interned symbol, shared between candidate generation
+//! and premise verification) and the `*_into` entry points append into
+//! caller-owned buffers. Symbol-keyed caches are epoch-guarded: every
+//! build stamps a globally unique epoch, and probing re-keys the scratch
+//! to it first, so a scratch can roam across index rebuilds without ever
+//! serving stale entries.
+//!
+//! Index construction fans out over [`crate::parallel`]: each distinct
+//! per-attribute artifact (hash map, inverted lists) builds on its own
+//! worker, and q-gram artifacts batch-hash the column — each distinct
+//! interned value is profiled exactly once, in parallel, and the inverted
+//! lists assemble from those parts.
 //!
 //! External master data is immutable for the life of a session, so one
 //! build at [`crate::Cleaner`] construction serves every `clean` /
@@ -68,7 +77,7 @@
 //!         Tuple::of_strs(&["Brady", "222"], 1.0),
 //!     ],
 //! );
-//! let idx = MasterIndex::build(&mds, &dm, 20);
+//! let idx = MasterIndex::build(&mds, &dm);
 //! assert!(idx.is_indexed(0), "q-grams no longer fall back to a scan");
 //!
 //! let mut scratch = ProbeScratch::new();
@@ -80,15 +89,16 @@
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use uniclean_model::{
     AttrId, FxHashMap, FxHasher, Relation, Row, Symbol, TupleId, Value, ValueInterner,
 };
-use uniclean_rules::Md;
-use uniclean_similarity::{LcsBlocker, QGramIndex, QGramProfile, QGramScratch};
+use uniclean_rules::{MatchScratch, Md};
+use uniclean_similarity::{ProfileScratch, QGramIndex, QGramProfile, QGramScratch};
 
-use crate::parallel::map_each;
+use crate::parallel::{map_chunks, map_each};
 
 /// Estimated candidates per probe above which the planner adds a second
 /// selective conjunct as an intersection filter: below this, verifying the
@@ -97,11 +107,25 @@ use crate::parallel::map_each;
 const DEFAULT_INTERSECT_ABOVE: f64 = 64.0;
 
 /// Cost-model factors: expected candidate inflation of each similarity
-/// path relative to an exact probe on the same column (the LCS blocker
-/// additionally expands up to `l` distinct values). The Jaro bound is the
-/// loosest of the filters, the q-gram count filter the tightest.
+/// path relative to an exact probe on the same column. The Jaro bound is
+/// the loosest of the filters, the q-gram count filter the tightest; the
+/// edit-distance count bound loosens with `k` (each edit forgives `q`
+/// grams of overlap).
 const QGRAM_COST_FACTOR: f64 = 4.0;
 const JARO_COST_FACTOR: f64 = 8.0;
+const LEV_COST_FACTOR: f64 = 4.0;
+
+/// Window size of the shared inverted index serving `~lev` conjuncts. Two
+/// is the sweet spot for the count bound `max(|u|,|v|) + q − 1 − k·q`:
+/// q = 1 makes the bound immune to character order (weak filtering),
+/// q ≥ 3 forgives too many grams per edit. MDs mixing `~lev` and
+/// `~qgram(2, …)` on one attribute share a single artifact.
+const LEV_QGRAM_Q: usize = 2;
+
+/// Monotone source of build epochs: every [`MasterIndex`] gets a globally
+/// unique stamp, and [`MatchScratch`] caches re-key themselves to it on
+/// first contact (dropping entries filled under any other symbol space).
+static BUILD_EPOCH: AtomicU64 = AtomicU64::new(1);
 
 /// Planner tuning knobs (see [`MasterIndex::build_with_policy`]). The
 /// default matches production behavior; tests force intersection plans by
@@ -138,11 +162,12 @@ enum Path {
         premise: usize,
         map: Arc<FxHashMap<Symbol, Vec<u32>>>,
     },
-    /// Top-`l` LCS retrieval under the edit bound `k` (§5.2).
-    Blocked {
+    /// Complete count-filtered retrieval under the edit bound `k`, over
+    /// the shared [`LEV_QGRAM_Q`]-gram inverted lists.
+    LevCount {
         premise: usize,
-        blocker: Arc<LcsBlocker>,
         k: usize,
+        index: Arc<QGramIndex>,
     },
     /// Count-filtered q-gram inverted lists for `~qgram(q, min)`.
     QGramCount {
@@ -184,24 +209,36 @@ enum Plan {
 }
 
 /// Reusable probe-side state: candidate buffers, the q-gram overlap
-/// accumulator, and a symbol-keyed cache of q-gram profiles.
+/// accumulator, and the [`MatchScratch`] kernel caches (Myers pattern
+/// bitmaps, symbol-keyed q-gram profiles) shared between candidate
+/// generation and premise verification.
 ///
-/// One scratch serves any number of probes against **one relation state**
-/// — the profile cache keys on the probed row's interned symbols, which
-/// identify values only within a single relation (append-only interners
-/// keep them stable across incremental extension). Callers probing a
-/// different relation, or re-running from a rewound state, must use a
-/// fresh scratch or [`ProbeScratch::reset`].
+/// One scratch serves any number of probes, against any number of master
+/// indexes — master-side caches are epoch-guarded by the index build.
+/// Probe-side profile caches key on the probed row's interned symbols,
+/// which identify values only within a single relation (append-only
+/// interners keep them stable across incremental extension). Callers
+/// probing a *different data relation*, or re-running from a rewound
+/// state, must use a fresh scratch or [`ProbeScratch::reset`].
 #[derive(Default)]
 pub struct ProbeScratch {
     qgram: QGramScratch,
     rows_a: Vec<u32>,
     rows_b: Vec<u32>,
-    /// Staging for the blocker's `usize` rows.
-    rows_wide: Vec<usize>,
-    /// `(probe symbol, q)` → profile; hit rates are high because probe
-    /// values repeat heavily across tuples.
-    profiles: FxHashMap<(u32, u32), QGramProfile>,
+    /// Staging for verified-match collection (two-phase probing).
+    cand: Vec<TupleId>,
+    /// Staging for candidate computation on cache misses.
+    rows_out: Vec<u32>,
+    /// Kernel caches and per-call buffers for premise evaluation.
+    matching: MatchScratch,
+    /// Candidate lists keyed by `(MD index, premise-symbol hash)`:
+    /// candidate generation is a pure function of the probed *values*, so
+    /// distinct tuples sharing them (and re-probes of the same tuple
+    /// across fixpoint rounds) replay the list instead of re-walking
+    /// posting lists. Epoch-guarded like the kernel caches.
+    cand_cache: FxHashMap<(u32, u64), Vec<u32>>,
+    /// The symbol-space generation `cand_cache` was filled under.
+    cand_epoch: u64,
 }
 
 impl ProbeScratch {
@@ -210,10 +247,12 @@ impl ProbeScratch {
         ProbeScratch::default()
     }
 
-    /// Drop cached probe profiles (keep buffer capacity). Call when the
-    /// relation whose rows are being probed changes identity.
+    /// Drop every symbol-keyed cache (keep buffer capacity). Call when the
+    /// relation whose rows are being probed changes identity — the
+    /// master-side epoch guard cannot see probe-side changes.
     pub fn reset(&mut self) {
-        self.profiles.clear();
+        self.matching.reset();
+        self.cand_cache.clear();
     }
 }
 
@@ -224,7 +263,7 @@ impl ProbeScratch {
 #[derive(Clone, Debug)]
 enum PathSpec {
     Exact { premise: usize },
-    Blocked { premise: usize, k: usize },
+    LevCount { premise: usize, k: usize },
     QGramCount { premise: usize, q: usize, min: f64 },
     JaroFilter { premise: usize, min_jaro: f64 },
 }
@@ -244,26 +283,20 @@ enum PlanSpec {
     },
 }
 
-/// A costed conjunct: estimated candidates per probe, premise index, the
-/// path that would serve it, and whether that path is *complete* (never
-/// loses a true match) at its threshold.
+/// A costed conjunct: estimated candidates per probe, premise index, and
+/// the path that would serve it. Every path is complete (never loses a
+/// true match); `degenerate` flags thresholds that keep every row —
+/// still complete, but useless as an intersection filter.
 struct Costed {
     cost: f64,
     premise: usize,
     spec: PathSpec,
-    complete: bool,
     /// A degenerate threshold (qgram min ≤ 0, Jaro floor ≤ 1/3) keeps
-    /// every row — complete, but useless as an intersection filter.
+    /// every row.
     degenerate: bool,
 }
 
-fn cost_conjunct(
-    md: &Md,
-    premise: usize,
-    rows: usize,
-    l: usize,
-    stats: &HashMap<AttrId, usize>,
-) -> Costed {
+fn cost_conjunct(md: &Md, premise: usize, rows: usize, stats: &HashMap<AttrId, usize>) -> Costed {
     let p = &md.premises()[premise];
     let distinct = stats.get(&p.master_attr).copied().unwrap_or(1).max(1);
     let per_value = rows as f64 / distinct as f64;
@@ -272,18 +305,16 @@ fn cost_conjunct(
             cost: per_value,
             premise,
             spec: PathSpec::Exact { premise },
-            complete: true,
             degenerate: false,
         };
     }
     if let Some(k) = p.pred.edit_threshold() {
-        // Top-l expands at most min(l, distinct) values — and is the
-        // paper's sanctioned approximation, not a complete filter.
+        // The count bound forgives q grams per edit, so expected
+        // candidates widen linearly with k.
         return Costed {
-            cost: per_value * l.min(distinct) as f64,
+            cost: per_value * LEV_COST_FACTOR * (k + 1) as f64,
             premise,
-            spec: PathSpec::Blocked { premise, k },
-            complete: false,
+            spec: PathSpec::LevCount { premise, k },
             degenerate: false,
         };
     }
@@ -298,7 +329,6 @@ fn cost_conjunct(
             cost,
             premise,
             spec: PathSpec::QGramCount { premise, q, min },
-            complete: true,
             degenerate,
         };
     }
@@ -316,24 +346,18 @@ fn cost_conjunct(
         cost,
         premise,
         spec: PathSpec::JaroFilter { premise, min_jaro },
-        complete: true,
         degenerate,
     }
 }
 
-/// Choose the access plan for one MD. Match preservation shapes the
-/// choice: when an equality exists the base path stays complete; when only
-/// an edit-distance bound exists the base keeps the paper's top-`l` LCS
-/// retrieval (so its approximation, if any, is unchanged); complete
-/// similarity filters may then *intersect* in, which can only shrink
-/// candidates, never verified matches.
-fn plan_md(
-    md: &Md,
-    rows: usize,
-    l: usize,
-    stats: &HashMap<AttrId, usize>,
-    policy: IndexPolicy,
-) -> PlanSpec {
+/// Choose the access plan for one MD. Every candidate path is complete,
+/// so the choice is purely cost: a lone equality probe when one exists
+/// (always the tightest), otherwise the cheapest similarity filter; a
+/// second selective conjunct intersects in when the base is expected to
+/// leave enough candidates for a second probe to pay for itself —
+/// intersection of complete filters is complete, so candidates can only
+/// shrink, never verified matches.
+fn plan_md(md: &Md, rows: usize, stats: &HashMap<AttrId, usize>, policy: IndexPolicy) -> PlanSpec {
     let premises = md.premises();
     if premises.is_empty() {
         return PlanSpec::Scan {
@@ -347,26 +371,11 @@ fn plan_md(
         return PlanSpec::Composite { premises: eqs };
     }
     let costed: Vec<Costed> = (0..premises.len())
-        .map(|i| cost_conjunct(md, i, rows, l, stats))
+        .map(|i| cost_conjunct(md, i, rows, stats))
         .collect();
-    // Base path: the lone equality, else the tightest edit bound (the
-    // previous engine's choice, preserved for match identity), else the
-    // cheapest complete similarity filter.
+    // Base path: the lone equality, else the cheapest filter.
     let base = if let Some(&eq) = eqs.first() {
         &costed[eq]
-    } else if let Some(b) = costed
-        .iter()
-        .filter(|c| matches!(c.spec, PathSpec::Blocked { .. }))
-        .min_by(|a, b| {
-            let (PathSpec::Blocked { k: ka, .. }, PathSpec::Blocked { k: kb, .. }) =
-                (&a.spec, &b.spec)
-            else {
-                unreachable!("filtered to Blocked")
-            };
-            ka.cmp(kb).then(a.premise.cmp(&b.premise))
-        })
-    {
-        b
     } else {
         costed
             .iter()
@@ -378,14 +387,12 @@ fn plan_md(
             })
             .expect("premises is non-empty")
     };
-    // Secondary filter: the most selective *complete* conjunct other than
-    // the base, if the base is expected to leave enough candidates for a
-    // second probe to pay for itself. (Approximate paths never filter — an
-    // intersection of two approximations could lose matches the base
-    // alone would have kept.)
+    // Secondary filter: the most selective conjunct other than the base,
+    // if the base is expected to leave enough candidates for a second
+    // probe to pay for itself.
     let secondary = costed
         .iter()
-        .filter(|c| c.premise != base.premise && c.complete && !c.degenerate)
+        .filter(|c| c.premise != base.premise && !c.degenerate)
         .min_by(|a, b| {
             a.cost
                 .partial_cmp(&b.cost)
@@ -406,11 +413,12 @@ fn plan_md(
 // ---------------------------------------------------------------------------
 
 /// A deduplicated unit of index construction; every distinct key builds
-/// once, on its own worker when parallelism allows.
+/// once, on its own worker when parallelism allows. `~lev` and
+/// `~qgram(2, …)` conjuncts on one attribute share one `QGram(attr, 2)`
+/// artifact.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 enum ArtifactKey {
     Exact(AttrId),
-    Blocker(AttrId),
     QGram(AttrId, usize),
     /// Master attributes of all equality conjuncts, premise order.
     Composite(Vec<AttrId>),
@@ -419,12 +427,16 @@ enum ArtifactKey {
 enum Artifact {
     ExactRaw(Arc<HashMap<Value, Vec<u32>>>),
     ExactSym(Arc<FxHashMap<Symbol, Vec<u32>>>),
-    Blocker(Arc<LcsBlocker>),
     QGram(Arc<QGramIndex>),
     Composite(Arc<FxHashMap<u64, Vec<u32>>>),
 }
 
-fn build_artifact(key: &ArtifactKey, master: &Relation, l: usize, interning: bool) -> Artifact {
+fn build_artifact(
+    key: &ArtifactKey,
+    master: &Relation,
+    interning: bool,
+    threads: usize,
+) -> Artifact {
     let interner = master.interner();
     match key {
         ArtifactKey::Exact(attr) => {
@@ -446,25 +458,51 @@ fn build_artifact(key: &ArtifactKey, master: &Relation, l: usize, interning: boo
                 Artifact::ExactRaw(Arc::new(m))
             }
         }
-        ArtifactKey::Blocker(attr) => {
-            // Stream rendered values straight off the symbol column —
-            // only distinct values are ever copied to owned storage.
-            let col = master
-                .col_syms(*attr)
-                .iter()
-                .map(|&sym| interner.resolve(sym).render());
-            Artifact::Blocker(Arc::new(LcsBlocker::build_from(col, l)))
-        }
         ArtifactKey::QGram(attr, q) => {
+            // Batched build: one pass over the symbol column collects the
+            // owner rows of every distinct non-null symbol (dense
+            // first-appearance ids — the same order `QGramIndex::build`
+            // assigns), then each distinct value is rendered and hashed
+            // exactly once, fanned out over workers with per-chunk
+            // scratch reuse.
             let null = master.null_sym();
-            // Null cells never satisfy a similarity premise — skip them.
-            let col = master
-                .col_syms(*attr)
-                .iter()
-                .enumerate()
-                .filter(|&(_, &sym)| sym != null)
-                .map(|(row, &sym)| (row as u32, interner.resolve(sym).render()));
-            Artifact::QGram(Arc::new(QGramIndex::build(col, master.len(), *q)))
+            let mut sym_to_vid: Vec<u32> = vec![u32::MAX; interner.len()];
+            let mut syms: Vec<Symbol> = Vec::new();
+            let mut owners: Vec<Vec<u32>> = Vec::new();
+            for (row, &sym) in master.col_syms(*attr).iter().enumerate() {
+                if sym == null {
+                    // Null cells never satisfy a similarity premise.
+                    continue;
+                }
+                let slot = &mut sym_to_vid[sym.index()];
+                if *slot == u32::MAX {
+                    *slot = syms.len() as u32;
+                    syms.push(sym);
+                    owners.push(Vec::new());
+                }
+                owners[*slot as usize].push(row as u32);
+            }
+            let profiles: Vec<QGramProfile> = map_chunks(syms.len(), threads, |range| {
+                let mut scratch = ProfileScratch::new();
+                range
+                    .map(|i| {
+                        QGramProfile::new_with(
+                            &interner.resolve(syms[i]).render(),
+                            *q,
+                            &mut scratch,
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+            Artifact::QGram(Arc::new(QGramIndex::from_parts(
+                profiles,
+                owners,
+                master.len(),
+                *q,
+            )))
         }
         ArtifactKey::Composite(attrs) => {
             let null = master.null_sym();
@@ -499,35 +537,28 @@ pub struct MasterIndex {
     /// interning is disabled or no symbol-keyed path exists).
     interner: Arc<ValueInterner>,
     master_len: usize,
-    /// The blocking constant (diagnostics).
-    l: usize,
+    /// Globally unique build stamp guarding symbol-keyed scratch caches.
+    epoch: u64,
 }
 
 impl MasterIndex {
-    /// Build access paths for `mds` over `master` with blocking constant
-    /// `l` and value interning enabled. Indexes on the same master column
-    /// are shared between MDs.
-    pub fn build(mds: &[Md], master: &Relation, l: usize) -> Self {
-        Self::build_with(mds, master, l, true)
+    /// Build access paths for `mds` over `master` with value interning
+    /// enabled. Indexes on the same master column are shared between MDs.
+    pub fn build(mds: &[Md], master: &Relation) -> Self {
+        Self::build_with(mds, master, true)
     }
 
     /// [`Self::build`] with an explicit interning switch (the benchmark
     /// harness measures both paths; results are identical).
-    pub fn build_with(mds: &[Md], master: &Relation, l: usize, interning: bool) -> Self {
-        Self::build_parallel(mds, master, l, interning, 1)
+    pub fn build_with(mds: &[Md], master: &Relation, interning: bool) -> Self {
+        Self::build_parallel(mds, master, interning, 1)
     }
 
     /// [`Self::build_with`] fanning index construction out over
     /// `threads` scoped workers (one per distinct per-attribute
     /// artifact). The built index is identical at every thread count.
-    pub fn build_parallel(
-        mds: &[Md],
-        master: &Relation,
-        l: usize,
-        interning: bool,
-        threads: usize,
-    ) -> Self {
-        Self::build_with_policy(mds, master, l, interning, threads, IndexPolicy::default())
+    pub fn build_parallel(mds: &[Md], master: &Relation, interning: bool, threads: usize) -> Self {
+        Self::build_with_policy(mds, master, interning, threads, IndexPolicy::default())
     }
 
     /// Fully parameterized build — the planner entry point. `policy`
@@ -537,7 +568,6 @@ impl MasterIndex {
     pub fn build_with_policy(
         mds: &[Md],
         master: &Relation,
-        l: usize,
         interning: bool,
         threads: usize,
         policy: IndexPolicy,
@@ -562,7 +592,7 @@ impl MasterIndex {
         // in parallel, one worker per artifact.
         let specs: Vec<PlanSpec> = mds
             .iter()
-            .map(|md| plan_md(md, master.len(), l, &stats, policy))
+            .map(|md| plan_md(md, master.len(), &stats, policy))
             .collect();
         let mut keys: Vec<ArtifactKey> = Vec::new();
         let mut key_ids: HashMap<ArtifactKey, usize> = HashMap::new();
@@ -574,8 +604,8 @@ impl MasterIndex {
         };
         let path_key = |md: &Md, spec: &PathSpec| match spec {
             PathSpec::Exact { premise } => ArtifactKey::Exact(md.premises()[*premise].master_attr),
-            PathSpec::Blocked { premise, .. } => {
-                ArtifactKey::Blocker(md.premises()[*premise].master_attr)
+            PathSpec::LevCount { premise, .. } => {
+                ArtifactKey::QGram(md.premises()[*premise].master_attr, LEV_QGRAM_Q)
             }
             PathSpec::QGramCount { premise, q, .. } => {
                 ArtifactKey::QGram(md.premises()[*premise].master_attr, *q)
@@ -600,8 +630,11 @@ impl MasterIndex {
                 PlanSpec::Scan { .. } => {}
             }
         }
+        // Each artifact gets its own worker; the batched q-gram builds
+        // split the residual thread budget between them.
+        let inner_threads = (threads / keys.len().max(1)).max(1);
         let artifacts = map_each(keys.len(), threads, |i| {
-            build_artifact(&keys[i], master, l, interning)
+            build_artifact(&keys[i], master, interning, inner_threads)
         });
 
         // Assemble the runtime plans.
@@ -616,10 +649,10 @@ impl MasterIndex {
                     premise: *premise,
                     map: map.clone(),
                 },
-                (PathSpec::Blocked { premise, k }, Artifact::Blocker(blocker)) => Path::Blocked {
+                (PathSpec::LevCount { premise, k }, Artifact::QGram(index)) => Path::LevCount {
                     premise: *premise,
-                    blocker: blocker.clone(),
                     k: *k,
+                    index: index.clone(),
                 },
                 (PathSpec::QGramCount { premise, q, min }, Artifact::QGram(index)) => {
                     Path::QGramCount {
@@ -690,21 +723,19 @@ impl MasterIndex {
             plans,
             interner: Arc::new(interner),
             master_len: master.len(),
-            l,
+            epoch: BUILD_EPOCH.fetch_add(1, Ordering::Relaxed),
         }
     }
 
     /// Append the candidates of one single-conjunct path (unordered,
     /// unique rows; empty on a null probe value).
-    #[allow(clippy::too_many_arguments)] // one probe's full scratch context
     fn collect_path<'t>(
         &self,
         path: &Path,
         md: &Md,
         t: impl Row<'t>,
         qgram: &mut QGramScratch,
-        wide: &mut Vec<usize>,
-        profiles: &mut FxHashMap<(u32, u32), QGramProfile>,
+        matching: &mut MatchScratch,
         out: &mut Vec<u32>,
     ) {
         match path {
@@ -726,20 +757,20 @@ impl MasterIndex {
                     out.extend_from_slice(rows);
                 }
             }
-            Path::Blocked {
-                premise,
-                blocker,
-                k,
-            } => {
-                let v = t.value(md.premises()[*premise].attr);
+            Path::LevCount { premise, k, index } => {
+                let attr = md.premises()[*premise].attr;
+                let v = t.value(attr);
                 if v.is_null() {
                     return;
                 }
-                // The blocker's usize rows narrow to the engine's u32
-                // tuple ids through a reused staging buffer.
-                wide.clear();
-                blocker.candidates_within_edit_into(&v.render(), *k, wide);
-                out.extend(wide.iter().map(|&r| r as u32));
+                // The probe profile comes from the same symbol-keyed cache
+                // premise verification uses — built once per distinct
+                // probe value.
+                let profile = match t.sym(attr) {
+                    Some(sym) => matching.probe_profile_cached(sym.0, LEV_QGRAM_Q, &v.render()),
+                    None => matching.probe_profile_owned(LEV_QGRAM_Q, &v.render()),
+                };
+                index.candidates_lev_into(profile, *k, qgram, out);
             }
             Path::QGramCount {
                 premise,
@@ -752,14 +783,9 @@ impl MasterIndex {
                 if v.is_null() {
                     return;
                 }
-                // Symbol-keyed probe cache: equal symbols ⇒ equal values
-                // within the probed relation, so the profile is reusable.
-                let mut owned = None;
-                let profile: &QGramProfile = match t.sym(attr) {
-                    Some(sym) => profiles
-                        .entry((sym.0, *q as u32))
-                        .or_insert_with(|| QGramProfile::new(&v.render(), *q)),
-                    None => owned.insert(QGramProfile::new(&v.render(), *q)),
+                let profile = match t.sym(attr) {
+                    Some(sym) => matching.probe_profile_cached(sym.0, *q, &v.render()),
+                    None => matching.probe_profile_owned(*q, &v.render()),
                 };
                 index.candidates_jaccard_into(profile, *min, qgram, out);
             }
@@ -773,12 +799,9 @@ impl MasterIndex {
                 if v.is_null() {
                     return;
                 }
-                let mut owned = None;
-                let profile: &QGramProfile = match t.sym(attr) {
-                    Some(sym) => profiles
-                        .entry((sym.0, 1))
-                        .or_insert_with(|| QGramProfile::new(&v.render(), 1)),
-                    None => owned.insert(QGramProfile::new(&v.render(), 1)),
+                let profile = match t.sym(attr) {
+                    Some(sym) => matching.probe_profile_cached(sym.0, 1, &v.render()),
+                    None => matching.probe_profile_owned(1, &v.render()),
                 };
                 index.candidates_jaro_into(profile, *min_jaro, qgram, out);
             }
@@ -799,27 +822,79 @@ impl MasterIndex {
         scratch: &mut ProbeScratch,
         mut f: impl FnMut(TupleId),
     ) {
+        scratch.matching.sync_epoch(self.epoch);
+        if scratch.cand_epoch != self.epoch {
+            scratch.cand_cache.clear();
+            scratch.cand_epoch = self.epoch;
+        }
+        if let Plan::Scan { .. } = &self.plans[md_idx] {
+            // Trivial enumeration — nothing worth caching.
+            (0..self.master_len).map(TupleId::from).for_each(f);
+            return;
+        }
+        // Candidates are a pure function of the probed premise values, so
+        // store-backed rows replay by symbol. Detached (symbol-less) rows
+        // bypass the cache.
+        let key = {
+            let mut h = FxHasher::default();
+            let mut keyed = true;
+            for p in md.premises() {
+                match t.sym(p.attr) {
+                    Some(sym) => h.write_u32(sym.0),
+                    None => {
+                        keyed = false;
+                        break;
+                    }
+                }
+            }
+            keyed.then(|| (md_idx as u32, h.finish()))
+        };
+        if let Some(k) = key {
+            if let Some(rows) = scratch.cand_cache.get(&k) {
+                rows.iter().for_each(|&r| f(TupleId(r)));
+                return;
+            }
+        }
+        let mut rows = std::mem::take(&mut scratch.rows_out);
+        rows.clear();
+        self.compute_candidates(md_idx, md, t, scratch, &mut rows);
+        rows.iter().for_each(|&r| f(TupleId(r)));
+        match key {
+            Some(k) => {
+                scratch.cand_cache.insert(k, rows);
+            }
+            None => scratch.rows_out = rows,
+        }
+    }
+
+    /// Compute the candidate rows of a non-`Scan` plan into `out`
+    /// (ascending, unique) — the cache-miss path of
+    /// [`Self::for_each_candidate`].
+    fn compute_candidates<'t>(
+        &self,
+        md_idx: usize,
+        md: &Md,
+        t: impl Row<'t>,
+        scratch: &mut ProbeScratch,
+        out: &mut Vec<u32>,
+    ) {
         let ProbeScratch {
             qgram,
             rows_a,
             rows_b,
-            rows_wide,
-            profiles,
+            matching,
+            ..
         } = scratch;
         match &self.plans[md_idx] {
-            Plan::Scan { .. } => (0..self.master_len).map(TupleId::from).for_each(f),
+            Plan::Scan { .. } => unreachable!("scan plans never reach candidate computation"),
             Plan::Single(path @ (Path::Exact { .. } | Path::ExactInterned { .. })) => {
                 // Exact buckets are already ascending and unique: emit
                 // straight off the map.
-                rows_a.clear();
-                self.collect_path(path, md, t, qgram, rows_wide, profiles, rows_a);
-                rows_a.iter().for_each(|&r| f(TupleId(r)));
+                self.collect_path(path, md, t, qgram, matching, out);
             }
             Plan::Single(path) => {
-                rows_a.clear();
-                self.collect_path(path, md, t, qgram, rows_wide, profiles, rows_a);
-                rows_a.sort_unstable();
-                rows_a.iter().for_each(|&r| f(TupleId(r)));
+                self.collect_path(path, md, t, qgram, matching, out);
+                out.sort_unstable();
             }
             Plan::Composite {
                 premises,
@@ -844,17 +919,17 @@ impl MasterIndex {
                     }
                 }
                 if let Some(rows) = map.get(&h.finish()) {
-                    rows.iter().for_each(|&r| f(TupleId(r)));
+                    out.extend_from_slice(rows);
                 }
             }
             Plan::Intersect { primary, secondary } => {
                 rows_a.clear();
-                self.collect_path(primary, md, t, qgram, rows_wide, profiles, rows_a);
+                self.collect_path(primary, md, t, qgram, matching, rows_a);
                 if rows_a.is_empty() {
                     return;
                 }
                 rows_b.clear();
-                self.collect_path(secondary, md, t, qgram, rows_wide, profiles, rows_b);
+                self.collect_path(secondary, md, t, qgram, matching, rows_b);
                 rows_a.sort_unstable();
                 rows_b.sort_unstable();
                 let (mut i, mut j) = (0usize, 0usize);
@@ -863,7 +938,7 @@ impl MasterIndex {
                         std::cmp::Ordering::Less => i += 1,
                         std::cmp::Ordering::Greater => j += 1,
                         std::cmp::Ordering::Equal => {
-                            f(TupleId(rows_a[i]));
+                            out.push(rows_a[i]);
                             i += 1;
                             j += 1;
                         }
@@ -875,7 +950,10 @@ impl MasterIndex {
 
     /// Verified premise matches appended into a caller-owned buffer
     /// (cleared first), ascending row order, so a tuple loop reuses one
-    /// allocation (and one probe cache) throughout.
+    /// allocation (and one probe cache) throughout. Verification runs
+    /// through [`Md::premise_matches_with`] on the scratch's kernel caches
+    /// — bit-identical answers to [`Md::premise_matches`], with Myers
+    /// pattern bitmaps and q-gram profiles reused across probes.
     ///
     /// ```
     /// # use uniclean_core::{MasterIndex, ProbeScratch};
@@ -887,7 +965,7 @@ impl MasterIndex {
     /// #     "md m: tran[LN] = card[LN] -> tran[phn] <=> card[tel]",
     /// #     &tran, Some(&card)).unwrap().positive_mds;
     /// # let dm = Relation::new(card, vec![Tuple::of_strs(&["Smith", "1"], 1.0)]);
-    /// let idx = MasterIndex::build(&mds, &dm, 20);
+    /// let idx = MasterIndex::build(&mds, &dm);
     /// let mut scratch = ProbeScratch::new();
     /// let mut buf = Vec::new();
     /// for (tid, t) in dm.iter() {
@@ -907,17 +985,24 @@ impl MasterIndex {
         out: &mut Vec<TupleId>,
     ) {
         out.clear();
-        let mut sink = std::mem::take(out);
-        self.for_each_candidate(md_idx, md, t, scratch, |sid| {
-            if Some(sid) != exclude && md.premise_matches(t, master.tuple(sid)) {
-                sink.push(sid);
+        // Two phases so candidate generation (which borrows the whole
+        // scratch) hands over to verification (which borrows its kernel
+        // caches): collect, then verify.
+        let mut cand = std::mem::take(&mut scratch.cand);
+        cand.clear();
+        self.for_each_candidate(md_idx, md, t, scratch, |sid| cand.push(sid));
+        for &sid in &cand {
+            if Some(sid) != exclude
+                && md.premise_matches_with(t, master.tuple(sid), &mut scratch.matching)
+            {
+                out.push(sid);
             }
-        });
-        *out = sink;
+        }
+        scratch.cand = cand;
     }
 
-    /// Is this MD served by an indexed access path? Since the q-gram and
-    /// Jaro filters landed this is `true` for every MD with at least one
+    /// Is this MD served by an indexed access path? Since the similarity
+    /// filters landed this is `true` for every MD with at least one
     /// premise conjunct — see [`Self::scan_reason`] for the residual scan
     /// cases.
     pub fn is_indexed(&self, md_idx: usize) -> bool {
@@ -945,8 +1030,8 @@ impl MasterIndex {
         let path = |p: &Path| match p {
             Path::Exact { premise, .. } => format!("exact-eq({})", attr(*premise)),
             Path::ExactInterned { premise, .. } => format!("exact-eq[sym]({})", attr(*premise)),
-            Path::Blocked { premise, k, .. } => {
-                format!("lcs-top{}({}, k={k})", self.l, attr(*premise))
+            Path::LevCount { premise, k, .. } => {
+                format!("lev-count({}, q={LEV_QGRAM_Q}, k={k})", attr(*premise))
             }
             Path::QGramCount {
                 premise, q, min, ..
@@ -1019,7 +1104,7 @@ mod tests {
     #[test]
     fn equality_premise_uses_exact_index() {
         let (tran, _, mds, dm) = setup("=");
-        let idx = MasterIndex::build(&mds, &dm, 5);
+        let idx = MasterIndex::build(&mds, &dm);
         assert!(idx.is_indexed(0));
         assert!(idx.describe_plan(0, &mds[0]).starts_with("exact-eq"));
         let t = Tuple::of_strs(&["Smith", "999"], 0.5);
@@ -1033,8 +1118,8 @@ mod tests {
     #[test]
     fn interned_and_raw_exact_paths_agree() {
         let (_, _, mds, dm) = setup("=");
-        let interned = MasterIndex::build_with(&mds, &dm, 5, true);
-        let raw = MasterIndex::build_with(&mds, &dm, 5, false);
+        let interned = MasterIndex::build_with(&mds, &dm, true);
+        let raw = MasterIndex::build_with(&mds, &dm, false);
         for name in ["Smith", "Brady", "Nobody", ""] {
             let t = Tuple::of_strs(&[name, "999"], 0.5);
             assert_eq!(
@@ -1046,16 +1131,26 @@ mod tests {
     }
 
     #[test]
-    fn edit_premise_uses_blocker_and_is_complete() {
+    fn edit_premise_uses_count_filter_and_is_complete() {
         let (_, _, mds, dm) = setup("~lev(1)");
-        let idx = MasterIndex::build(&mds, &dm, 5);
+        let idx = MasterIndex::build(&mds, &dm);
         assert!(idx.is_indexed(0));
-        assert!(idx.describe_plan(0, &mds[0]).starts_with("lcs-top"));
+        assert!(idx.describe_plan(0, &mds[0]).starts_with("lev-count"));
         let t = Tuple::of_strs(&["Smjth", "999"], 0.5); // one typo
         assert_eq!(
             probe_matches(&idx, &mds[0], &t, &dm),
             vec![TupleId(0), TupleId(2)]
         );
+        // Complete against the reference scan on every probe shape,
+        // including the short strings that hit the degenerate branch.
+        for name in ["Smith", "Smyth", "S", "", "Smithsonian", "Brody"] {
+            let t = Tuple::of_strs(&[name, "999"], 0.5);
+            assert_eq!(
+                probe_matches(&idx, &mds[0], &t, &dm),
+                reference_matches(&mds[0], &t, &dm),
+                "probe {name:?}"
+            );
+        }
     }
 
     #[test]
@@ -1065,7 +1160,7 @@ mod tests {
         // matches.
         for pred in ["~jaro(0.9)", "~jw(0.9)", "~qgram(2,0.5)"] {
             let (_, _, mds, dm) = setup(pred);
-            let idx = MasterIndex::build(&mds, &dm, 5);
+            let idx = MasterIndex::build(&mds, &dm);
             assert!(idx.is_indexed(0), "{pred} should be indexed");
             assert_eq!(idx.scan_reason(0), None);
             for name in ["Smith", "Smjth", "Brady", "Zzz", ""] {
@@ -1095,7 +1190,7 @@ mod tests {
             ],
         );
         for interning in [true, false] {
-            let idx = MasterIndex::build_with(&mds, &dm, 5, interning);
+            let idx = MasterIndex::build_with(&mds, &dm, interning);
             assert!(idx.describe_plan(0, &mds[0]).starts_with("composite-eq"));
             let t = Tuple::of_strs(&["Smith", "Edi", "999"], 0.5);
             // One probe pins both conjuncts: only the (Smith, Edi) row is
@@ -1124,11 +1219,10 @@ mod tests {
                 Tuple::of_strs(&["Brady", "Mark", "333"], 1.0),
             ],
         );
-        let plain = MasterIndex::build(&mds, &dm, 5);
+        let plain = MasterIndex::build(&mds, &dm);
         let forced = MasterIndex::build_with_policy(
             &mds,
             &dm,
-            5,
             true,
             1,
             IndexPolicy {
@@ -1156,9 +1250,46 @@ mod tests {
     }
 
     #[test]
+    fn forced_intersection_with_lev_secondary_preserves_matches() {
+        // The lev count filter is complete, so since this PR it may serve
+        // as an intersection secondary; matches must be scan-identical.
+        let tran = Schema::of_strings("tran", &["LN", "FN", "phn"]);
+        let card = Schema::of_strings("card", &["LN", "FN", "tel"]);
+        let text = "md m: tran[LN] ~qgram(2,0.5) card[LN] AND tran[FN] ~lev(1) card[FN] \
+                    -> tran[phn] <=> card[tel]";
+        let mds = parse_rules(text, &tran, Some(&card)).unwrap().positive_mds;
+        let dm = Relation::new(
+            card,
+            vec![
+                Tuple::of_strs(&["Smith", "Mark", "111"], 1.0),
+                Tuple::of_strs(&["Smyth", "Marc", "222"], 1.0),
+                Tuple::of_strs(&["Brady", "Mark", "333"], 1.0),
+            ],
+        );
+        let forced = MasterIndex::build_with_policy(
+            &mds,
+            &dm,
+            true,
+            1,
+            IndexPolicy {
+                intersect_above: 0.0,
+            },
+        );
+        assert!(forced.describe_plan(0, &mds[0]).starts_with("intersect("));
+        for (ln, fn_) in [("Smith", "Mark"), ("Smyth", "Marx"), ("Smith", "Zed")] {
+            let t = Tuple::of_strs(&[ln, fn_, "9"], 0.5);
+            assert_eq!(
+                probe_matches(&forced, &mds[0], &t, &dm),
+                reference_matches(&mds[0], &t, &dm),
+                "probe ({ln}, {fn_})"
+            );
+        }
+    }
+
+    #[test]
     fn null_premise_value_yields_no_candidates() {
         let (tran, _, mds, dm) = setup("=");
-        let idx = MasterIndex::build(&mds, &dm, 5);
+        let idx = MasterIndex::build(&mds, &dm);
         let mut t = Tuple::of_strs(&["Smith", "999"], 0.5);
         t.set(
             tran.attr_id_or_panic("LN"),
@@ -1175,7 +1306,7 @@ mod tests {
     #[test]
     fn degenerate_jaro_threshold_matches_reference_enumeration() {
         let (_, _, mds, dm) = setup("~jaro(0.5)");
-        let idx = MasterIndex::build(&mds, &dm, 5);
+        let idx = MasterIndex::build(&mds, &dm);
         assert!(idx.is_indexed(0));
         let t = Tuple::of_strs(&["Brody", "999"], 0.5);
         assert_eq!(
@@ -1187,7 +1318,7 @@ mod tests {
     #[test]
     fn matches_into_reuses_the_buffer() {
         let (_, _, mds, dm) = setup("=");
-        let idx = MasterIndex::build(&mds, &dm, 5);
+        let idx = MasterIndex::build(&mds, &dm);
         let mut scratch = ProbeScratch::new();
         let mut buf = Vec::new();
         let t = Tuple::of_strs(&["Smith", "999"], 0.5);
@@ -1207,6 +1338,43 @@ mod tests {
     }
 
     #[test]
+    fn one_scratch_roams_across_index_rebuilds() {
+        // The epoch guard must invalidate symbol-keyed kernel caches when
+        // the same scratch probes indexes built over different relations
+        // (whose interners can assign the same symbols to different
+        // values).
+        let tran = Schema::of_strings("tran", &["LN", "phn"]);
+        let card = Schema::of_strings("card", &["LN", "tel"]);
+        let text = "md m: tran[LN] ~lev(1) card[LN] -> tran[phn] <=> card[tel]";
+        let mds = parse_rules(text, &tran, Some(&card)).unwrap().positive_mds;
+        let dm1 = Relation::new(
+            card.clone(),
+            vec![
+                Tuple::of_strs(&["Smith", "111"], 1.0),
+                Tuple::of_strs(&["Brady", "222"], 1.0),
+            ],
+        );
+        let dm2 = Relation::new(
+            card.clone(),
+            vec![
+                Tuple::of_strs(&["Brody", "111"], 1.0),
+                Tuple::of_strs(&["Smith", "222"], 1.0),
+            ],
+        );
+        let idx1 = MasterIndex::build(&mds, &dm1);
+        let idx2 = MasterIndex::build(&mds, &dm2);
+        let mut scratch = ProbeScratch::new();
+        let mut out = Vec::new();
+        for name in ["Smith", "Smyth", "Brody", "Brady"] {
+            let t = Tuple::of_strs(&[name, "9"], 0.5);
+            idx1.matches_into(0, &mds[0], &t, &dm1, None, &mut scratch, &mut out);
+            assert_eq!(out, reference_matches(&mds[0], &t, &dm1), "dm1 {name:?}");
+            idx2.matches_into(0, &mds[0], &t, &dm2, None, &mut scratch, &mut out);
+            assert_eq!(out, reference_matches(&mds[0], &t, &dm2), "dm2 {name:?}");
+        }
+    }
+
+    #[test]
     fn parallel_build_produces_identical_plans() {
         let tran = Schema::of_strings("tran", &["LN", "FN", "phn"]);
         let card = Schema::of_strings("card", &["LN", "FN", "tel"]);
@@ -1221,8 +1389,8 @@ mod tests {
                 Tuple::of_strs(&["Brady", "Rob", "222"], 1.0),
             ],
         );
-        let seq = MasterIndex::build_parallel(&mds, &dm, 5, true, 1);
-        let par = MasterIndex::build_parallel(&mds, &dm, 5, true, 4);
+        let seq = MasterIndex::build_parallel(&mds, &dm, true, 1);
+        let par = MasterIndex::build_parallel(&mds, &dm, true, 4);
         for (i, md) in mds.iter().enumerate() {
             assert_eq!(seq.describe_plan(i, md), par.describe_plan(i, md));
             for name in ["Smith", "Smoth", "Brady"] {

@@ -260,7 +260,7 @@ mod tests {
                 Tuple::of_strs(&["Brady", "Ldn", "922"], 1.0),
             ],
         );
-        let idx = MasterIndex::build(rules.mds(), &dm, 5);
+        let idx = MasterIndex::build(rules.mds(), &dm);
         (rules, d, dm, idx)
     }
 

@@ -244,7 +244,6 @@ pub(crate) fn run_phases(
                 let idx = MasterIndex::build_parallel(
                     rules.mds(),
                     &snap,
-                    cfg.blocking_l,
                     cfg.interning,
                     cfg.effective_parallelism(),
                 );
@@ -496,7 +495,6 @@ impl CleanerBuilder {
             MasterSource::External(dm) => Some(MasterIndex::build_parallel(
                 rules.mds(),
                 dm,
-                config.blocking_l,
                 config.interning,
                 config.effective_parallelism(),
             )),

@@ -23,7 +23,7 @@ pub mod satisfaction;
 pub mod violations;
 
 pub use cfd::Cfd;
-pub use md::{Md, MdPremise};
+pub use md::{MatchScratch, Md, MdPremise};
 pub use negative::{embed_negative_mds, NegativeMd};
 pub use normalize::{normalize_cfds, normalize_mds};
 pub use parser::{parse_rules, ParseError, ParsedRules};

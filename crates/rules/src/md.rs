@@ -14,8 +14,129 @@
 use std::fmt;
 use std::sync::Arc;
 
-use uniclean_model::{AttrId, Row, Schema};
-use uniclean_similarity::SimilarityPredicate;
+use uniclean_model::{AttrId, FxHashMap, FxHasher, Row, Schema};
+use uniclean_similarity::{MyersPattern, QGramProfile, SimScratch, SimilarityPredicate};
+
+/// Caller-owned buffers and symbol-keyed kernel caches for MD premise
+/// evaluation. One per probing thread, embedded in the engine's
+/// `ProbeScratch`; [`Md::premise_matches_with`] uses it to evaluate
+/// premises with zero steady-state allocation *and* to reuse expensive
+/// per-value precomputations across probes:
+///
+/// * Myers `Peq` pattern bitmaps keyed by the master-side [`Symbol`] — a
+///   master value probed a thousand times builds its bitmaps once;
+/// * padded q-gram profiles keyed by `(Symbol, q)` for both sides.
+///
+/// Symbols are only meaningful relative to one interner, so the caches are
+/// epoch-guarded: the master index stamps every scratch it probes with its
+/// build epoch via [`MatchScratch::sync_epoch`], and a stale scratch drops
+/// all symbol-keyed state before reuse. Detached rows (no symbols) simply
+/// bypass the caches.
+///
+/// [`Symbol`]: uniclean_model::Symbol
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    /// Per-call similarity buffers (Myers blocks, Jaro match arrays,
+    /// profile padding/hash buffers).
+    sim: SimScratch,
+    /// Myers pattern bitmaps keyed by master-side symbol.
+    myers: FxHashMap<u32, MyersPattern>,
+    /// Padded q-gram profiles keyed by `(probe-side symbol, q)`.
+    probe_profiles: FxHashMap<(u32, u32), QGramProfile>,
+    /// Padded q-gram profiles keyed by `(master-side symbol, q)`.
+    master_profiles: FxHashMap<(u32, u32), QGramProfile>,
+    /// Un-cached profile slots for symbol-less rows.
+    pa: QGramProfile,
+    pb: QGramProfile,
+    /// Memoized similarity-conjunct verdicts keyed by `(probe symbol,
+    /// master symbol, conjunct identity)`: every predicate is a pure
+    /// function of its two values, so distinct tuple pairs sharing them
+    /// (ubiquitous in dirty data) answer without re-running a kernel.
+    pairs: FxHashMap<(u32, u32, u64), bool>,
+    /// The symbol-space generation the caches were filled under.
+    epoch: u64,
+}
+
+impl MatchScratch {
+    /// Fresh scratch with empty buffers and caches.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-key the symbol caches to `epoch`: a no-op when unchanged, a full
+    /// cache drop when the caller's symbol space (master index build)
+    /// differs from the one the caches were filled under.
+    pub fn sync_epoch(&mut self, epoch: u64) {
+        if self.epoch != epoch {
+            self.epoch = epoch;
+            self.reset();
+        }
+    }
+
+    /// Drop every symbol-keyed cache unconditionally (buffer capacity is
+    /// kept). The epoch guard only tracks the *master* symbol space; call
+    /// this when the probe-side relation changes identity, which the epoch
+    /// cannot see.
+    pub fn reset(&mut self) {
+        self.myers.clear();
+        self.probe_profiles.clear();
+        self.master_profiles.clear();
+        self.pairs.clear();
+    }
+
+    /// The cached padded q-gram profile of the probe-side value `value`
+    /// under window size `q`, keyed by the probe row's symbol. Candidate
+    /// generation in the master index shares this cache with premise
+    /// verification.
+    pub fn probe_profile_cached(&mut self, sym: u32, q: usize, value: &str) -> &QGramProfile {
+        let MatchScratch {
+            sim,
+            probe_profiles,
+            ..
+        } = self;
+        probe_profiles
+            .entry((sym, q as u32))
+            .or_insert_with(|| QGramProfile::new_with(value, q, &mut sim.profile))
+    }
+
+    /// An un-cached profile for a symbol-less probe value, built into a
+    /// reusable slot.
+    pub fn probe_profile_owned(&mut self, q: usize, value: &str) -> &QGramProfile {
+        self.pa.rebuild(value, q, &mut self.sim.profile);
+        &self.pa
+    }
+}
+
+/// Stable hash identifying a premise conjunct (attributes + predicate
+/// parameters) — the third component of the pair-memo key, so one scratch
+/// can serve every MD of a rule set without cross-talk.
+fn premise_identity(p: &MdPremise) -> u64 {
+    use std::hash::Hasher;
+    let mut h = FxHasher::default();
+    h.write_u16(p.attr.0);
+    h.write_u16(p.master_attr.0);
+    match &p.pred {
+        SimilarityPredicate::Equal => h.write_u8(0),
+        SimilarityPredicate::Levenshtein { max } => {
+            h.write_u8(1);
+            h.write_usize(*max);
+        }
+        SimilarityPredicate::Jaro { min } => {
+            h.write_u8(2);
+            h.write_u64(min.to_bits());
+        }
+        SimilarityPredicate::JaroWinkler { min } => {
+            h.write_u8(3);
+            h.write_u64(min.to_bits());
+        }
+        SimilarityPredicate::QGramJaccard { q, min } => {
+            h.write_u8(4);
+            h.write_usize(*q);
+            h.write_u64(min.to_bits());
+        }
+    }
+    h.finish()
+}
 
 /// One conjunct `R[Aj] ≈j Rm[Bj]` of an MD premise.
 #[derive(Clone, Debug, PartialEq)]
@@ -128,6 +249,130 @@ impl Md {
             }
             p.pred.matches(&tv.render(), &sv.render())
         })
+    }
+
+    /// [`Md::premise_matches`] with caller-owned scratch: identical answers
+    /// (bit for bit — the tests pin this), zero steady-state allocation,
+    /// and symbol-keyed reuse of Myers pattern bitmaps and q-gram profiles
+    /// across probes. This is the probe hot path of the master index.
+    pub fn premise_matches_with<'t, 's>(
+        &self,
+        t: impl Row<'t>,
+        s: impl Row<'s>,
+        scratch: &mut MatchScratch,
+    ) -> bool {
+        // A premise is a pure conjunction, so evaluation order cannot
+        // change the answer — only how fast a non-match is rejected.
+        // Equality, the cached q-gram merge, and the cached Myers kernel
+        // all answer in well under a microsecond; Jaro/Jaro-Winkler run an
+        // O(|a|·|b|) matching pass per pair. Check the cheap conjuncts
+        // first so most candidates never reach a Jaro computation.
+        let is_jaro = |p: &&MdPremise| {
+            matches!(
+                p.pred,
+                SimilarityPredicate::Jaro { .. } | SimilarityPredicate::JaroWinkler { .. }
+            )
+        };
+        self.premises
+            .iter()
+            .filter(|p| !is_jaro(p))
+            .all(|p| self.premise_holds_with(p, t, s, scratch))
+            && self
+                .premises
+                .iter()
+                .filter(is_jaro)
+                .all(|p| self.premise_holds_with(p, t, s, scratch))
+    }
+
+    /// One conjunct of [`Md::premise_matches_with`], on the scratch's
+    /// kernel caches: pair-memoized for store-backed rows, then kernel
+    /// dispatch on a miss.
+    fn premise_holds_with<'t, 's>(
+        &self,
+        p: &MdPremise,
+        t: impl Row<'t>,
+        s: impl Row<'s>,
+        scratch: &mut MatchScratch,
+    ) -> bool {
+        if matches!(p.pred, SimilarityPredicate::Equal) {
+            // Equality is cheaper than a memo lookup.
+            return self.premise_eval(p, t, s, scratch);
+        }
+        match (t.sym(p.attr), s.sym(p.master_attr)) {
+            (Some(ts), Some(ss)) => {
+                let key = (ts.0, ss.0, premise_identity(p));
+                if let Some(&verdict) = scratch.pairs.get(&key) {
+                    return verdict;
+                }
+                let verdict = self.premise_eval(p, t, s, scratch);
+                scratch.pairs.insert(key, verdict);
+                verdict
+            }
+            _ => self.premise_eval(p, t, s, scratch),
+        }
+    }
+
+    /// Kernel dispatch for one similarity conjunct (the memo-miss path of
+    /// [`Md::premise_holds_with`]).
+    fn premise_eval<'t, 's>(
+        &self,
+        p: &MdPremise,
+        t: impl Row<'t>,
+        s: impl Row<'s>,
+        scratch: &mut MatchScratch,
+    ) -> bool {
+        let tv = t.value(p.attr);
+        let sv = s.value(p.master_attr);
+        if tv.is_null() || sv.is_null() {
+            return false;
+        }
+        let a = tv.render();
+        let b = sv.render();
+        match &p.pred {
+            SimilarityPredicate::Levenshtein { max } => {
+                let MatchScratch { sim, myers, .. } = scratch;
+                match s.sym(p.master_attr) {
+                    Some(sym) => {
+                        // Master values repeat across probes: build the
+                        // pattern bitmaps once per distinct symbol.
+                        let pat = myers.entry(sym.0).or_insert_with(|| MyersPattern::new(&b));
+                        pat.distance_bounded(&a, *max, &mut sim.edit).is_some()
+                    }
+                    None => p.pred.matches_with(&a, &b, sim),
+                }
+            }
+            SimilarityPredicate::QGramJaccard { q, min } => {
+                let MatchScratch {
+                    sim,
+                    probe_profiles,
+                    master_profiles,
+                    pa,
+                    pb,
+                    ..
+                } = scratch;
+                let qq = *q as u32;
+                let mp: &QGramProfile = match s.sym(p.master_attr) {
+                    Some(sym) => master_profiles
+                        .entry((sym.0, qq))
+                        .or_insert_with(|| QGramProfile::new_with(&b, *q, &mut sim.profile)),
+                    None => {
+                        pb.rebuild(&b, *q, &mut sim.profile);
+                        pb
+                    }
+                };
+                let pp: &QGramProfile = match t.sym(p.attr) {
+                    Some(sym) => probe_profiles
+                        .entry((sym.0, qq))
+                        .or_insert_with(|| QGramProfile::new_with(&a, *q, &mut sim.profile)),
+                    None => {
+                        pa.rebuild(&a, *q, &mut sim.profile);
+                        pa
+                    }
+                };
+                pp.jaccard(mp) >= *min
+            }
+            _ => p.pred.matches_with(&a, &b, &mut scratch.sim),
+        }
     }
 
     /// Does the conclusion already hold (`t[Ei] = s[Fi]` for all `i`)?
@@ -300,5 +545,27 @@ mod tests {
     fn empty_rhs_rejected() {
         let (tran, card) = schemas();
         Md::new("bad", tran, card, vec![], vec![]);
+    }
+
+    #[test]
+    fn scratch_evaluation_agrees_with_plain() {
+        let (tran, card) = schemas();
+        let md = psi(&tran, &card);
+        let mut scratch = MatchScratch::new();
+        let rows = [
+            ["M.", "Smith", "Edi", "10 Oak St", "EH8 9LE", "1"],
+            ["Mark", "Smith", "Edi", "10 Oak St", "EH8 9LE", "2"],
+            ["Zebulon", "Smith", "Edi", "10 Oak St", "EH8 9LE", "3"],
+            ["Mark", "Smyth", "Edi", "10 Oak St", "EH8 9LE", "4"],
+        ];
+        let tuples: Vec<Tuple> = rows.iter().map(|r| Tuple::of_strs(r, 1.0)).collect();
+        for t in &tuples {
+            for s in &tuples {
+                assert_eq!(
+                    md.premise_matches_with(t, s, &mut scratch),
+                    md.premise_matches(t, s),
+                );
+            }
+        }
     }
 }

@@ -1,113 +1,512 @@
-//! Levenshtein edit distance: full DP and the banded variant used for
-//! threshold checks.
+//! Levenshtein edit distance: bit-parallel Myers kernel with an Ukkonen
+//! cutoff, plus the reference DP implementations it is parity-tested against.
 //!
 //! The paper defines similarity for MDs as "the minimum number of
 //! single-character insertions, deletions and substitutions needed to
 //! convert a value from v to v′" (§8), with two strings similar when the
 //! distance is within a pre-defined threshold `K`. Threshold checks dominate
-//! the matching workload, so [`levenshtein_bounded`] computes only the
-//! `2K+1`-wide diagonal band — O(K·min(|a|,|b|)) instead of O(|a|·|b|).
+//! the matching workload, so the production kernel is Myers' bit-vector
+//! algorithm: one DP *column* per text character, all pattern rows advanced
+//! at once as carry-propagating word operations — O(⌈m/64⌉·n) words instead
+//! of O(m·n) cells. Threshold checks add the Ukkonen cutoff: after column
+//! `j` the final distance is at least `score − (n − j)`, so a probe that can
+//! no longer finish within `K` exits early.
+//!
+//! Three entry tiers, fastest first:
+//!
+//! 1. ASCII strings with the shorter side ≤ 64 chars take a zero-allocation
+//!    single-word path with a stack `Peq` table ([`levenshtein_bounded`]).
+//! 2. [`EditScratch`] callers reuse pattern bitmaps and block vectors across
+//!    calls ([`levenshtein_bounded_with`]).
+//! 3. [`MyersPattern`] lets a caller build the pattern bitmaps once per
+//!    master value and stream many probe texts against it — the shape the
+//!    `MatchScratch` symbol cache in `uniclean-rules` exploits.
+//!
+//! The pre-existing two-row and banded DPs survive in [`reference`] as the
+//! oracle for the differential proptests and the benchmark baseline.
 
-/// Full Levenshtein distance (two-row DP).
-pub fn levenshtein(a: &str, b: &str) -> usize {
-    let av: Vec<char> = a.chars().collect();
-    let bv: Vec<char> = b.chars().collect();
-    levenshtein_chars(&av, &bv)
+/// Pattern bitmaps (`Peq`) for Myers' algorithm, reusable across texts.
+///
+/// The pattern occupies `⌈m/64⌉` 64-bit blocks; bit `i` of `Peq[c]` is set
+/// when pattern character `i` equals `c`. ASCII patterns use a dense
+/// 128-row table indexed by byte; others a sorted `(char, slot)` map with a
+/// shared all-zero row for characters absent from the pattern.
+#[derive(Debug, Clone, Default)]
+pub struct MyersPattern {
+    /// Pattern length in characters.
+    m: usize,
+    /// Number of 64-bit blocks covering the pattern (≥ 1 when `m > 0`).
+    blocks: usize,
+    /// Dense ASCII table (`128 * blocks`) or per-distinct-char rows.
+    peq: Vec<u64>,
+    /// Sorted distinct pattern chars; row `i` lives at `peq[i*blocks..]`.
+    /// Empty for ASCII patterns (the dense table is used instead).
+    chars: Vec<char>,
+    /// All-zero row returned for characters the pattern never contains.
+    zeros: Vec<u64>,
 }
 
-fn levenshtein_chars(av: &[char], bv: &[char]) -> usize {
-    if av.is_empty() {
-        return bv.len();
+impl MyersPattern {
+    /// Build the bitmaps for `pattern`.
+    pub fn new(pattern: &str) -> Self {
+        let mut p = Self::default();
+        p.build(pattern);
+        p
     }
-    if bv.is_empty() {
-        return av.len();
-    }
-    let (short, long) = if av.len() <= bv.len() {
-        (av, bv)
-    } else {
-        (bv, av)
-    };
-    let mut prev: Vec<usize> = (0..=short.len()).collect();
-    let mut cur = vec![0usize; short.len() + 1];
-    for (i, lc) in long.iter().enumerate() {
-        cur[0] = i + 1;
-        for (j, sc) in short.iter().enumerate() {
-            let sub = prev[j] + usize::from(lc != sc);
-            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
-        }
-        std::mem::swap(&mut prev, &mut cur);
-    }
-    prev[short.len()]
-}
 
-/// Banded Levenshtein: returns `Some(d)` iff the distance `d ≤ max`, `None`
-/// otherwise (early-exits as soon as the whole band exceeds `max`).
-pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
-    let av: Vec<char> = a.chars().collect();
-    let bv: Vec<char> = b.chars().collect();
-    // Cheap length filter: |len(a) - len(b)| is a lower bound.
-    if av.len().abs_diff(bv.len()) > max {
-        return None;
+    /// Rebuild in place for a new pattern, reusing the allocations.
+    pub fn build(&mut self, pattern: &str) {
+        self.peq.clear();
+        self.chars.clear();
+        if pattern.is_ascii() {
+            self.m = pattern.len();
+            self.blocks = self.m.div_ceil(64).max(1);
+            self.peq.resize(128 * self.blocks, 0);
+            for (i, &b) in pattern.as_bytes().iter().enumerate() {
+                self.peq[b as usize * self.blocks + i / 64] |= 1u64 << (i % 64);
+            }
+        } else {
+            self.chars.extend(pattern.chars());
+            self.m = self.chars.len();
+            self.blocks = self.m.div_ceil(64).max(1);
+            self.chars.sort_unstable();
+            self.chars.dedup();
+            self.peq.resize(self.chars.len() * self.blocks, 0);
+            for (i, c) in pattern.chars().enumerate() {
+                let slot = self.chars.binary_search(&c).expect("char interned above");
+                self.peq[slot * self.blocks + i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        self.zeros.clear();
+        self.zeros.resize(self.blocks, 0);
     }
-    if max == 0 {
-        return (av == bv).then_some(0);
+
+    /// Pattern length in characters.
+    pub fn len(&self) -> usize {
+        self.m
     }
-    let (short, long) = if av.len() <= bv.len() {
-        (&av, &bv)
-    } else {
-        (&bv, &av)
-    };
-    let n = short.len();
-    // Sentinel: one past the threshold, saturating to dodge overflow.
-    let inf = max + 1;
-    let mut prev: Vec<usize> = (0..=n).map(|j| if j <= max { j } else { inf }).collect();
-    let mut cur = vec![inf; n + 1];
-    for (i, lc) in long.iter().enumerate() {
-        // Band for row i+1: columns within `max` of the diagonal.
-        let row = i + 1;
-        let lo = row.saturating_sub(max);
-        let hi = (row + max).min(n);
-        cur[lo.saturating_sub(1)] = if lo == 0 { row } else { inf };
-        if lo == 0 {
-            cur[0] = row.min(inf);
-        }
-        let mut best = inf;
-        for j in lo.max(1)..=hi {
-            let sc = short[j - 1];
-            let sub = prev[j - 1].saturating_add(usize::from(*lc != sc));
-            let del = prev[j].saturating_add(1);
-            let ins = cur[j - 1].saturating_add(1);
-            let v = sub.min(del).min(ins).min(inf);
-            cur[j] = v;
-            best = best.min(v);
-        }
-        if lo == 0 {
-            best = best.min(cur[0]);
-        }
-        if best > max {
-            return None;
-        }
-        std::mem::swap(&mut prev, &mut cur);
-        // Reset the cells just outside next row's band so stale values from
-        // two rows ago cannot leak in.
-        let next = row + 1;
-        let nlo = next.saturating_sub(max);
-        if nlo >= 1 {
-            cur[nlo - 1] = inf;
-        }
-        if let Some(slot) = cur.get_mut((next + max).min(n) + 1..) {
-            for s in slot.iter_mut().take(1) {
-                *s = inf;
+
+    /// Is the pattern the empty string?
+    pub fn is_empty(&self) -> bool {
+        self.m == 0
+    }
+
+    #[inline]
+    fn row_ascii(&self, byte: u8) -> &[u64] {
+        let at = byte as usize * self.blocks;
+        &self.peq[at..at + self.blocks]
+    }
+
+    #[inline]
+    fn row_char(&self, c: char) -> &[u64] {
+        if self.chars.is_empty() {
+            // ASCII table: non-ASCII text chars never match the pattern.
+            if (c as u32) < 128 {
+                self.row_ascii(c as u8)
+            } else {
+                &self.zeros
+            }
+        } else {
+            match self.chars.binary_search(&c) {
+                Ok(slot) => {
+                    let at = slot * self.blocks;
+                    &self.peq[at..at + self.blocks]
+                }
+                Err(_) => &self.zeros,
             }
         }
     }
-    let d = prev[n];
-    (d <= max).then_some(d)
+
+    /// `Some(d)` iff the edit distance between the pattern and `text` is
+    /// `d ≤ max`. Block-based Myers with the Ukkonen cutoff; `scratch`
+    /// provides the per-call `Pv`/`Mv` block vectors (its own pattern slot
+    /// is untouched, so a cached `MyersPattern` can be probed while the
+    /// scratch is borrowed).
+    pub fn distance_bounded(
+        &self,
+        text: &str,
+        max: usize,
+        scratch: &mut EditScratch,
+    ) -> Option<usize> {
+        let n = if text.is_ascii() {
+            text.len()
+        } else {
+            text.chars().count()
+        };
+        if self.m.abs_diff(n) > max {
+            return None;
+        }
+        if self.m == 0 {
+            return Some(n); // n ≤ max by the length filter
+        }
+        if n == 0 {
+            return Some(self.m);
+        }
+        // Cap the cutoff threshold so `max + remaining` cannot overflow.
+        let max = max.min(self.m + n);
+        if self.blocks == 1 {
+            self.distance_single_word(text, n, max)
+        } else {
+            self.distance_blocks(text, n, max, &mut scratch.pv, &mut scratch.mv)
+        }
+    }
+
+    /// Single-word Myers (`m ≤ 64`): the whole column fits one u64.
+    fn distance_single_word(&self, text: &str, n: usize, max: usize) -> Option<usize> {
+        let last = 1u64 << (self.m - 1);
+        let mut pv = !0u64;
+        let mut mv = 0u64;
+        let mut score = self.m;
+        let mut j = 0usize;
+        let mut step = |eq: u64| -> bool {
+            let xv = eq | mv;
+            let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+            let mut ph = mv | !(xh | pv);
+            let mut mh = pv & xh;
+            if ph & last != 0 {
+                score += 1;
+            } else if mh & last != 0 {
+                score -= 1;
+            }
+            ph = (ph << 1) | 1;
+            mh <<= 1;
+            pv = mh | !(xv | ph);
+            mv = ph & xv;
+            j += 1;
+            score > max + (n - j) // Ukkonen: cannot finish within max
+        };
+        if text.is_ascii() && self.chars.is_empty() {
+            for &b in text.as_bytes() {
+                if step(self.row_ascii(b)[0]) {
+                    return None;
+                }
+            }
+        } else {
+            for c in text.chars() {
+                if step(self.row_char(c)[0]) {
+                    return None;
+                }
+            }
+        }
+        (score <= max).then_some(score)
+    }
+
+    /// Block-based Myers (`m > 64`): carries chain block-to-block through
+    /// the horizontal delta `hin ∈ {-1, 0, +1}`; the score is tracked at
+    /// bit `(m−1) mod 64` of the last block. Garbage above that bit is
+    /// harmless: additions and shifts only propagate carries upward.
+    fn distance_blocks(
+        &self,
+        text: &str,
+        n: usize,
+        max: usize,
+        pv: &mut Vec<u64>,
+        mv: &mut Vec<u64>,
+    ) -> Option<usize> {
+        let blocks = self.blocks;
+        let last_block = blocks - 1;
+        let last = 1u64 << ((self.m - 1) % 64);
+        pv.clear();
+        pv.resize(blocks, !0u64);
+        mv.clear();
+        mv.resize(blocks, 0);
+        let mut score = self.m;
+        let mut j = 0usize;
+        let mut column = |row: &[u64]| -> bool {
+            let mut hin: i32 = 1; // boundary row: D[0][j] − D[0][j−1] = +1
+            for b in 0..blocks {
+                let mut eq = row[b];
+                let pvb = pv[b];
+                let mvb = mv[b];
+                let xv = eq | mvb;
+                if hin < 0 {
+                    eq |= 1;
+                }
+                let xh = (((eq & pvb).wrapping_add(pvb)) ^ pvb) | eq;
+                let mut ph = mvb | !(xh | pvb);
+                let mut mh = pvb & xh;
+                if b == last_block {
+                    if ph & last != 0 {
+                        score += 1;
+                    } else if mh & last != 0 {
+                        score -= 1;
+                    }
+                }
+                let hout = ((ph >> 63) & 1) as i32 - ((mh >> 63) & 1) as i32;
+                ph <<= 1;
+                mh <<= 1;
+                if hin > 0 {
+                    ph |= 1;
+                } else if hin < 0 {
+                    mh |= 1;
+                }
+                pv[b] = mh | !(xv | ph);
+                mv[b] = ph & xv;
+                hin = hout;
+            }
+            j += 1;
+            score > max + (n - j)
+        };
+        if text.is_ascii() && self.chars.is_empty() {
+            for &b in text.as_bytes() {
+                if column(self.row_ascii(b)) {
+                    return None;
+                }
+            }
+        } else {
+            for c in text.chars() {
+                if column(self.row_char(c)) {
+                    return None;
+                }
+            }
+        }
+        (score <= max).then_some(score)
+    }
+}
+
+/// Reusable buffers for the Myers kernels: a transient pattern slot plus the
+/// `Pv`/`Mv` block vectors of the long-pattern path. One per probe thread;
+/// embedded in the engine's `ProbeScratch`.
+#[derive(Debug, Default)]
+pub struct EditScratch {
+    pattern: MyersPattern,
+    pv: Vec<u64>,
+    mv: Vec<u64>,
+}
+
+impl EditScratch {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Zero-allocation single-word Myers for ASCII pattern/text with `m ≤ 64`:
+/// the `Peq` table lives on the stack.
+fn myers_ascii_small(pat: &[u8], text: &[u8], max: usize) -> Option<usize> {
+    debug_assert!(!pat.is_empty() && pat.len() <= 64);
+    let m = pat.len();
+    let n = text.len();
+    let max = max.min(m + n);
+    let mut peq = [0u64; 128];
+    for (i, &c) in pat.iter().enumerate() {
+        peq[c as usize] |= 1u64 << i;
+    }
+    let last = 1u64 << (m - 1);
+    let mut pv = !0u64;
+    let mut mv = 0u64;
+    let mut score = m;
+    for (j, &c) in text.iter().enumerate() {
+        let eq = peq[c as usize];
+        let xv = eq | mv;
+        let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+        let mut ph = mv | !(xh | pv);
+        let mut mh = pv & xh;
+        if ph & last != 0 {
+            score += 1;
+        } else if mh & last != 0 {
+            score -= 1;
+        }
+        ph = (ph << 1) | 1;
+        mh <<= 1;
+        pv = mh | !(xv | ph);
+        mv = ph & xv;
+        if score > max + (n - j - 1) {
+            return None;
+        }
+    }
+    (score <= max).then_some(score)
+}
+
+#[inline]
+fn bounded_impl(a: &str, b: &str, max: usize, scratch: Option<&mut EditScratch>) -> Option<usize> {
+    // Pattern = shorter string: fewest blocks, widest Ukkonen band.
+    let (pat, text) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if pat.is_empty() {
+        let n = if text.is_ascii() {
+            text.len()
+        } else {
+            text.chars().count()
+        };
+        return (n <= max).then_some(n);
+    }
+    if pat.is_ascii() && text.is_ascii() {
+        if text.len() - pat.len() > max {
+            return None;
+        }
+        if pat.len() <= 64 {
+            return myers_ascii_small(pat.as_bytes(), text.as_bytes(), max);
+        }
+    }
+    match scratch {
+        Some(s) => {
+            // Split-borrow: rebuild the scratch pattern, then run it with
+            // the scratch's own block vectors.
+            let EditScratch { pattern, pv, mv } = s;
+            pattern.build(pat);
+            let n = if text.is_ascii() {
+                text.len()
+            } else {
+                text.chars().count()
+            };
+            if pattern.m.abs_diff(n) > max {
+                return None;
+            }
+            if n == 0 {
+                return Some(pattern.m);
+            }
+            let max = max.min(pattern.m + n);
+            if pattern.blocks == 1 {
+                pattern.distance_single_word(text, n, max)
+            } else {
+                pattern.distance_blocks(text, n, max, pv, mv)
+            }
+        }
+        None => {
+            let mut local = EditScratch::new();
+            bounded_impl(a, b, max, Some(&mut local))
+        }
+    }
+}
+
+/// Full Levenshtein distance.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    // An unbounded probe is a bounded probe whose threshold cannot trip.
+    levenshtein_bounded(a, b, a.len() + b.len()).expect("distance ≤ len(a)+len(b)")
+}
+
+/// Full Levenshtein distance, reusing `scratch` buffers.
+pub fn levenshtein_with(a: &str, b: &str, scratch: &mut EditScratch) -> usize {
+    bounded_impl(a, b, a.len() + b.len(), Some(scratch)).expect("distance ≤ len(a)+len(b)")
+}
+
+/// Threshold Levenshtein: `Some(d)` iff the distance `d ≤ max`, `None`
+/// otherwise. Myers bit-vector kernel with the Ukkonen early exit.
+pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
+    bounded_impl(a, b, max, None)
+}
+
+/// [`levenshtein_bounded`] reusing `scratch` buffers (no allocation for any
+/// input shape once the scratch is warm).
+pub fn levenshtein_bounded_with(
+    a: &str,
+    b: &str,
+    max: usize,
+    scratch: &mut EditScratch,
+) -> Option<usize> {
+    bounded_impl(a, b, max, Some(scratch))
 }
 
 /// Is `levenshtein(a, b) ≤ max`? The predicate form used by MDs.
 pub fn within_edit_distance(a: &str, b: &str, max: usize) -> bool {
     levenshtein_bounded(a, b, max).is_some()
+}
+
+/// [`within_edit_distance`] reusing `scratch` buffers.
+pub fn within_edit_distance_with(a: &str, b: &str, max: usize, scratch: &mut EditScratch) -> bool {
+    levenshtein_bounded_with(a, b, max, scratch).is_some()
+}
+
+/// The scalar DP implementations the bit-parallel kernels replaced, kept as
+/// the oracle for differential tests and the benchmark baseline.
+pub mod reference {
+    /// Full Levenshtein distance (two-row DP).
+    pub fn levenshtein_dp(a: &str, b: &str) -> usize {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        levenshtein_chars(&av, &bv)
+    }
+
+    fn levenshtein_chars(av: &[char], bv: &[char]) -> usize {
+        if av.is_empty() {
+            return bv.len();
+        }
+        if bv.is_empty() {
+            return av.len();
+        }
+        let (short, long) = if av.len() <= bv.len() {
+            (av, bv)
+        } else {
+            (bv, av)
+        };
+        let mut prev: Vec<usize> = (0..=short.len()).collect();
+        let mut cur = vec![0usize; short.len() + 1];
+        for (i, lc) in long.iter().enumerate() {
+            cur[0] = i + 1;
+            for (j, sc) in short.iter().enumerate() {
+                let sub = prev[j] + usize::from(lc != sc);
+                cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[short.len()]
+    }
+
+    /// Banded Levenshtein: returns `Some(d)` iff the distance `d ≤ max`,
+    /// `None` otherwise (early-exits as soon as the whole band exceeds
+    /// `max`). O(K·min(|a|,|b|)) — the pre-Myers production kernel.
+    pub fn levenshtein_bounded_dp(a: &str, b: &str, max: usize) -> Option<usize> {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        // Cheap length filter: |len(a) - len(b)| is a lower bound.
+        if av.len().abs_diff(bv.len()) > max {
+            return None;
+        }
+        if max == 0 {
+            return (av == bv).then_some(0);
+        }
+        let (short, long) = if av.len() <= bv.len() {
+            (&av, &bv)
+        } else {
+            (&bv, &av)
+        };
+        let n = short.len();
+        // Sentinel: one past the threshold, saturating to dodge overflow.
+        let inf = max + 1;
+        let mut prev: Vec<usize> = (0..=n).map(|j| if j <= max { j } else { inf }).collect();
+        let mut cur = vec![inf; n + 1];
+        for (i, lc) in long.iter().enumerate() {
+            // Band for row i+1: columns within `max` of the diagonal.
+            let row = i + 1;
+            let lo = row.saturating_sub(max);
+            let hi = (row + max).min(n);
+            cur[lo.saturating_sub(1)] = if lo == 0 { row } else { inf };
+            if lo == 0 {
+                cur[0] = row.min(inf);
+            }
+            let mut best = inf;
+            for j in lo.max(1)..=hi {
+                let sc = short[j - 1];
+                let sub = prev[j - 1].saturating_add(usize::from(*lc != sc));
+                let del = prev[j].saturating_add(1);
+                let ins = cur[j - 1].saturating_add(1);
+                let v = sub.min(del).min(ins).min(inf);
+                cur[j] = v;
+                best = best.min(v);
+            }
+            if lo == 0 {
+                best = best.min(cur[0]);
+            }
+            if best > max {
+                return None;
+            }
+            std::mem::swap(&mut prev, &mut cur);
+            // Reset the cells just outside next row's band so stale values
+            // from two rows ago cannot leak in.
+            let next = row + 1;
+            let nlo = next.saturating_sub(max);
+            if nlo >= 1 {
+                cur[nlo - 1] = inf;
+            }
+            if let Some(slot) = cur.get_mut((next + max).min(n) + 1..) {
+                for s in slot.iter_mut().take(1) {
+                    *s = inf;
+                }
+            }
+        }
+        let d = prev[n];
+        (d <= max).then_some(d)
+    }
 }
 
 #[cfg(test)]
@@ -158,17 +557,101 @@ mod tests {
         assert!(!within_edit_distance("abc", "xyc", 1));
     }
 
+    #[test]
+    fn long_patterns_cross_block_boundaries() {
+        // m > 64 exercises the multi-block carry chain.
+        let a = "x".repeat(150);
+        let mut b = a.clone();
+        b.replace_range(70..71, "y"); // one substitution near the block seam
+        assert_eq!(levenshtein(&a, &b), 1);
+        assert_eq!(levenshtein_bounded(&a, &b, 1), Some(1));
+        let c = format!("{}{}", "z".repeat(5), &a[5..]);
+        assert_eq!(levenshtein(&a, &c), 5);
+        assert_eq!(levenshtein_bounded(&a, &c, 4), None);
+    }
+
+    #[test]
+    fn pattern_reuse_matches_one_shot() {
+        let pat = MyersPattern::new("Synthesis");
+        let mut scratch = EditScratch::new();
+        for text in ["Synthesis", "Synthessi", "Sunthesis!", "", "Syn"] {
+            for k in 0..5 {
+                assert_eq!(
+                    pat.distance_bounded(text, k, &mut scratch),
+                    levenshtein_bounded("Synthesis", text, k),
+                    "text={text:?} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        assert_eq!(levenshtein_bounded("", "", 0), Some(0));
+        assert_eq!(levenshtein_bounded("", "ab", 1), None); // |u|−|v| > k
+        assert_eq!(levenshtein_bounded("", "ab", 2), Some(2));
+        assert_eq!(levenshtein_bounded("日本語", "日本", 1), Some(1));
+        assert_eq!(levenshtein_bounded("日本語", "nihongo", 3), None);
+    }
+
     proptest! {
-        /// The banded computation must agree with the full DP for every
-        /// (string, string, threshold) combination.
+        /// Myers must agree with both reference DPs for every
+        /// (string, string, threshold) combination — ASCII inputs.
         #[test]
-        fn bounded_matches_full(a in "[a-d]{0,12}", b in "[a-d]{0,12}", max in 0usize..8) {
-            let full = levenshtein(&a, &b);
-            let banded = levenshtein_bounded(&a, &b, max);
+        fn myers_matches_reference_ascii(a in "[a-d]{0,12}", b in "[a-d]{0,12}", max in 0usize..8) {
+            let full = reference::levenshtein_dp(&a, &b);
+            let banded = reference::levenshtein_bounded_dp(&a, &b, max);
+            prop_assert_eq!(levenshtein(&a, &b), full);
+            prop_assert_eq!(levenshtein_bounded(&a, &b, max), banded);
             if full <= max {
-                prop_assert_eq!(banded, Some(full));
+                prop_assert_eq!(levenshtein_bounded(&a, &b, max), Some(full));
             } else {
-                prop_assert_eq!(banded, None);
+                prop_assert_eq!(levenshtein_bounded(&a, &b, max), None);
+            }
+        }
+
+        /// Same agreement over arbitrary Unicode (exercises the char
+        /// fallback path and mixed ASCII/non-ASCII sides).
+        #[test]
+        fn myers_matches_reference_unicode(a in "[abé日λ]{0,10}", b in "[abé日λ]{0,10}", max in 0usize..5) {
+            let full = reference::levenshtein_dp(&a, &b);
+            prop_assert_eq!(levenshtein(&a, &b), full);
+            prop_assert_eq!(
+                levenshtein_bounded(&a, &b, max),
+                reference::levenshtein_bounded_dp(&a, &b, max)
+            );
+        }
+
+        /// Long strings exercise the multi-block path; parity with the DP.
+        #[test]
+        fn myers_matches_reference_long(a in "[ab]{60,90}", b in "[ab]{60,90}", max in 0usize..6) {
+            prop_assert_eq!(
+                levenshtein_bounded(&a, &b, max),
+                reference::levenshtein_bounded_dp(&a, &b, max)
+            );
+            prop_assert_eq!(levenshtein(&a, &b), reference::levenshtein_dp(&a, &b));
+        }
+
+        /// The cached-pattern entry point agrees with the one-shot kernel.
+        #[test]
+        fn cached_pattern_matches_one_shot(a in "[abé日λ]{0,12}", b in "[abé日λ]{0,12}", max in 0usize..5) {
+            let pat = MyersPattern::new(&a);
+            let mut scratch = EditScratch::new();
+            prop_assert_eq!(
+                pat.distance_bounded(&b, max, &mut scratch),
+                reference::levenshtein_bounded_dp(&a, &b, max)
+            );
+        }
+
+        /// Scratch reuse across heterogeneous calls never corrupts results.
+        #[test]
+        fn scratch_reuse_is_sound(pairs in proptest::collection::vec(("[abé日λ]{0,10}", "[abé日λ]{0,10}", 0usize..5), 1..8)) {
+            let mut scratch = EditScratch::new();
+            for (a, b, max) in &pairs {
+                prop_assert_eq!(
+                    levenshtein_bounded_with(a, b, *max, &mut scratch),
+                    reference::levenshtein_bounded_dp(a, b, *max)
+                );
             }
         }
 
@@ -179,7 +662,7 @@ mod tests {
         }
 
         #[test]
-        fn identity(a in "[a-e]{0,10}") {
+        fn identity(a in "[abé日λ]{0,10}") {
             prop_assert_eq!(levenshtein(&a, &a), 0);
         }
 

@@ -6,11 +6,34 @@
 //! score in `[0, 1]` (1 = identical). Jaro-Winkler boosts the score for
 //! strings sharing a common prefix, which suits person/venue names — the
 //! attributes MDs typically compare.
+//!
+//! The kernel is generic over the symbol slice: ASCII inputs run directly on
+//! the byte slices (no decode, no copy) while anything else decodes into
+//! reusable char buffers. [`JaroScratch`] owns every buffer, so probe loops
+//! pay zero allocation per call; the scratch-free entry points allocate one
+//! small scratch internally.
 
-/// Jaro similarity in `[0, 1]`.
-pub fn jaro(a: &str, b: &str) -> f64 {
-    let av: Vec<char> = a.chars().collect();
-    let bv: Vec<char> = b.chars().collect();
+/// Reusable buffers for the Jaro kernels. One per probe thread.
+#[derive(Debug, Default, Clone)]
+pub struct JaroScratch {
+    a_chars: Vec<char>,
+    b_chars: Vec<char>,
+    /// Which positions of `b` have been claimed by a match.
+    taken: Vec<bool>,
+    /// Indices into `a` of its matched characters, in `a` order.
+    matched_a: Vec<u32>,
+}
+
+impl JaroScratch {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The Jaro kernel over two symbol slices. Identical arithmetic on the byte
+/// and char paths, so the score is bit-for-bit independent of the route.
+fn jaro_core<T: PartialEq + Copy>(av: &[T], bv: &[T], scratch: &mut JaroScratch) -> f64 {
     if av.is_empty() && bv.is_empty() {
         return 1.0;
     }
@@ -18,44 +41,68 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     let window = (av.len().max(bv.len()) / 2).saturating_sub(1);
-    let mut b_taken = vec![false; bv.len()];
-    let mut matches_a: Vec<char> = Vec::new();
+    let taken = &mut scratch.taken;
+    taken.clear();
+    taken.resize(bv.len(), false);
+    let matched_a = &mut scratch.matched_a;
+    matched_a.clear();
     for (i, ca) in av.iter().enumerate() {
-        let lo = i.saturating_sub(window);
         let hi = (i + window + 1).min(bv.len());
-        for j in lo..hi {
-            if !b_taken[j] && bv[j] == *ca {
-                b_taken[j] = true;
-                matches_a.push(*ca);
+        let lo = i.saturating_sub(window).min(hi);
+        for (j, slot) in taken[lo..hi].iter_mut().enumerate() {
+            if !*slot && bv[lo + j] == *ca {
+                *slot = true;
+                matched_a.push(i as u32);
                 break;
             }
         }
     }
-    let m = matches_a.len();
+    let m = matched_a.len();
     if m == 0 {
         return 0.0;
     }
-    // Matched characters of b, in b order.
-    let matches_b: Vec<char> = bv
-        .iter()
-        .zip(b_taken.iter())
-        .filter_map(|(c, taken)| taken.then_some(*c))
-        .collect();
-    let transpositions = matches_a
-        .iter()
-        .zip(matches_b.iter())
-        .filter(|(x, y)| x != y)
-        .count()
-        / 2;
+    // Walk matched characters of b in b order against matched a in a order.
+    let mut transpositions = 0usize;
+    let mut bj = taken.iter().enumerate().filter_map(|(j, t)| t.then_some(j));
+    for &ia in matched_a.iter() {
+        let j = bj.next().expect("as many matches in b as in a");
+        if av[ia as usize] != bv[j] {
+            transpositions += 1;
+        }
+    }
+    let transpositions = transpositions / 2;
     let m = m as f64;
     let t = transpositions as f64;
     (m / av.len() as f64 + m / bv.len() as f64 + (m - t) / m) / 3.0
 }
 
-/// Jaro-Winkler similarity with the standard prefix scale `p = 0.1` and
-/// prefix cap 4.
-pub fn jaro_winkler(a: &str, b: &str) -> f64 {
-    let j = jaro(a, b);
+/// Jaro similarity in `[0, 1]`, reusing `scratch` buffers.
+pub fn jaro_with(a: &str, b: &str, scratch: &mut JaroScratch) -> f64 {
+    if a.is_ascii() && b.is_ascii() {
+        return jaro_core(a.as_bytes(), b.as_bytes(), scratch);
+    }
+    let JaroScratch {
+        a_chars, b_chars, ..
+    } = scratch;
+    a_chars.clear();
+    a_chars.extend(a.chars());
+    b_chars.clear();
+    b_chars.extend(b.chars());
+    let (av, bv) = (std::mem::take(a_chars), std::mem::take(b_chars));
+    let score = jaro_core(&av, &bv, scratch);
+    scratch.a_chars = av;
+    scratch.b_chars = bv;
+    score
+}
+
+/// Jaro similarity in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    jaro_with(a, b, &mut JaroScratch::new())
+}
+
+/// [`jaro_winkler`] reusing `scratch` buffers.
+pub fn jaro_winkler_with(a: &str, b: &str, scratch: &mut JaroScratch) -> f64 {
+    let j = jaro_with(a, b, scratch);
     let prefix = a
         .chars()
         .zip(b.chars())
@@ -63,6 +110,12 @@ pub fn jaro_winkler(a: &str, b: &str) -> f64 {
         .take_while(|(x, y)| x == y)
         .count() as f64;
     j + prefix * 0.1 * (1.0 - j)
+}
+
+/// Jaro-Winkler similarity with the standard prefix scale `p = 0.1` and
+/// prefix cap 4.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    jaro_winkler_with(a, b, &mut JaroScratch::new())
 }
 
 #[cfg(test)]
@@ -116,6 +169,12 @@ mod tests {
         assert!(jaro_winkler("Mark", "Max") > 0.7);
     }
 
+    #[test]
+    fn unicode_falls_back_to_chars() {
+        assert!(close(jaro("café", "café"), 1.0));
+        assert!(jaro("café", "cafe") > 0.8);
+    }
+
     proptest! {
         #[test]
         fn bounded_zero_one(a in "[a-e]{0,10}", b in "[a-e]{0,10}") {
@@ -138,6 +197,21 @@ mod tests {
         #[test]
         fn winkler_dominates_jaro(a in "[a-e]{0,10}", b in "[a-e]{0,10}") {
             prop_assert!(jaro_winkler(&a, &b) + 1e-12 >= jaro(&a, &b));
+        }
+
+        /// Byte path (ASCII) and char path (forced through the decode
+        /// branch) score bit-identically, and a dirty reused scratch never
+        /// changes a result.
+        #[test]
+        fn byte_and_char_paths_agree(a in "[a-e]{0,10}", b in "[a-e]{0,10}") {
+            let mut scratch = JaroScratch::new();
+            let _ = jaro_with("dirté", "scratché", &mut scratch); // dirty it
+            let byte = jaro_with(&a, &b, &mut scratch);
+            let av: Vec<char> = a.chars().collect();
+            let bv: Vec<char> = b.chars().collect();
+            let chars = jaro_core(&av, &bv, &mut scratch);
+            prop_assert_eq!(byte.to_bits(), chars.to_bits());
+            prop_assert_eq!(byte.to_bits(), jaro(&a, &b).to_bits());
         }
     }
 }

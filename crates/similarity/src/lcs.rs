@@ -2,36 +2,78 @@
 //!
 //! The paper's blocking rests on this observation: "two strings u and v have
 //! a Hamming/Edit distance within K only if the length of their LCS is at
-//! least max(|u|,|v|)/(K+1)". [`lcs_blocking_bound`] computes that bound and
-//! [`longest_common_substring_len`] is the quadratic reference DP the suffix
-//! tree index is validated against.
+//! least max(|u|,|v|)/(K+1)". [`lcs_blocking_bound`] computes that bound.
+//! The top-`l` LCS suffix-tree retrieval built on it is retired: `~lev`
+//! candidate generation now goes through the *complete* q-gram count bound
+//! of [`crate::qgram_index`], so the LCS routines here survive as analysis
+//! utilities and test oracles, not as a production access path.
 
-/// Length of the longest common *substring* (contiguous) of `a` and `b`.
-///
-/// Reference O(|a|·|b|) DP with O(min) space; the production path is the
-/// generalized suffix tree in [`crate::suffix_tree`].
-pub fn longest_common_substring_len(a: &str, b: &str) -> usize {
-    let av: Vec<char> = a.chars().collect();
-    let bv: Vec<char> = b.chars().collect();
+/// Reusable buffers for [`longest_common_substring_len_with`].
+#[derive(Debug, Default, Clone)]
+pub struct LcsScratch {
+    a_chars: Vec<char>,
+    b_chars: Vec<char>,
+    prev: Vec<usize>,
+    cur: Vec<usize>,
+}
+
+impl LcsScratch {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// O(|a|·|b|) two-row DP over symbol slices.
+fn lcs_core<T: PartialEq + Copy>(av: &[T], bv: &[T], scratch: &mut LcsScratch) -> usize {
     if av.is_empty() || bv.is_empty() {
         return 0;
     }
     let (short, long) = if av.len() <= bv.len() {
-        (&av, &bv)
+        (av, bv)
     } else {
-        (&bv, &av)
+        (bv, av)
     };
-    let mut prev = vec![0usize; short.len() + 1];
-    let mut cur = vec![0usize; short.len() + 1];
+    let prev = &mut scratch.prev;
+    prev.clear();
+    prev.resize(short.len() + 1, 0);
+    let cur = &mut scratch.cur;
+    cur.clear();
+    cur.resize(short.len() + 1, 0);
     let mut best = 0;
     for lc in long.iter() {
         for (j, sc) in short.iter().enumerate() {
             cur[j + 1] = if lc == sc { prev[j] + 1 } else { 0 };
             best = best.max(cur[j + 1]);
         }
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(prev, cur);
     }
     best
+}
+
+/// Length of the longest common *substring* (contiguous) of `a` and `b`,
+/// reusing `scratch` buffers. ASCII inputs run directly on the byte slices.
+pub fn longest_common_substring_len_with(a: &str, b: &str, scratch: &mut LcsScratch) -> usize {
+    if a.is_ascii() && b.is_ascii() {
+        return lcs_core(a.as_bytes(), b.as_bytes(), scratch);
+    }
+    let LcsScratch {
+        a_chars, b_chars, ..
+    } = scratch;
+    a_chars.clear();
+    a_chars.extend(a.chars());
+    b_chars.clear();
+    b_chars.extend(b.chars());
+    let (av, bv) = (std::mem::take(a_chars), std::mem::take(b_chars));
+    let best = lcs_core(&av, &bv, scratch);
+    scratch.a_chars = av;
+    scratch.b_chars = bv;
+    best
+}
+
+/// Length of the longest common *substring* (contiguous) of `a` and `b`.
+pub fn longest_common_substring_len(a: &str, b: &str) -> usize {
+    longest_common_substring_len_with(a, b, &mut LcsScratch::new())
 }
 
 /// The minimum LCS length two strings must share to possibly be within edit
@@ -63,6 +105,11 @@ mod tests {
         assert_eq!(longest_common_substring_len("abc", "xyz"), 0);
         assert_eq!(longest_common_substring_len("", "abc"), 0);
         assert_eq!(longest_common_substring_len("banana", "anananas"), 5); // "anana"
+    }
+
+    #[test]
+    fn unicode_falls_back_to_chars() {
+        assert_eq!(longest_common_substring_len("caférot", "férocité"), 4); // "féro"
     }
 
     #[test]
@@ -113,6 +160,18 @@ mod tests {
         #[test]
         fn lcs_of_self_is_length(a in "[a-c]{0,10}") {
             prop_assert_eq!(longest_common_substring_len(&a, &a), a.chars().count());
+        }
+
+        /// Scratch reuse across heterogeneous calls never corrupts results.
+        #[test]
+        fn scratch_reuse_is_sound(pairs in proptest::collection::vec(("[abé]{0,8}", "[abé]{0,8}"), 1..6)) {
+            let mut scratch = LcsScratch::new();
+            for (a, b) in &pairs {
+                prop_assert_eq!(
+                    longest_common_substring_len_with(a, b, &mut scratch),
+                    longest_common_substring_len(a, b)
+                );
+            }
         }
     }
 }

@@ -2,40 +2,43 @@
 //!
 //! Matching dependencies (MDs, §2.2 of the paper) are defined "in terms of a
 //! set Υ of similarity predicates, e.g., q-grams, Jaro distance or edit
-//! distance". This crate implements those predicates from scratch, plus the
-//! indexing machinery of §5.2 that makes MD matching feasible at scale:
+//! distance". This crate implements those predicates from scratch as
+//! bit-parallel, allocation-free kernels, plus the indexing machinery that
+//! makes MD matching feasible at scale:
 //!
-//! * [`edit_distance`] — full and banded (threshold-`K`) Levenshtein;
-//! * [`jaro`](mod@jaro) — Jaro and Jaro-Winkler similarity;
-//! * [`qgram`] — q-gram profiles and Jaccard similarity over them;
-//! * [`lcs`] — longest common substring (the blocking signal of §5.2);
-//! * [`predicate`] — the [`SimilarityPredicate`] type used inside MDs;
-//! * [`suffix_tree`] — a generalized suffix tree (Ukkonen) over a corpus of
-//!   strings, with matching statistics;
-//! * [`blocking`] — the paper's top-`l` LCS blocking index: "we generalize
-//!   suffix trees as an index for LCS … identify `l` similar values from Dm
-//!   in O(l·|v|²) time";
+//! * [`edit_distance`] — Myers bit-vector Levenshtein (single-word and
+//!   block-based, Ukkonen cutoff, reusable [`MyersPattern`] bitmaps) with
+//!   the scalar DPs preserved as a parity oracle;
+//! * [`jaro`](mod@jaro) — Jaro and Jaro-Winkler similarity (byte-slice fast
+//!   path, [`JaroScratch`] buffer reuse);
+//! * [`qgram`] — q-gram profiles and Jaccard similarity over them
+//!   ([`ProfileScratch`] buffer reuse, byte-window hashing for ASCII);
+//! * [`lcs`] — longest common substring and the §5.2 blocking bound, kept
+//!   as analysis utilities (the top-`l` LCS production path is retired);
+//! * [`predicate`] — the [`SimilarityPredicate`] type used inside MDs and
+//!   the caller-owned [`SimScratch`];
 //! * [`qgram_index`] — a count-filtered q-gram inverted index giving the
-//!   `~qgram`/`~jaro`/`~jw` families bounded candidate generation too, so
-//!   no predicate the paper names needs a full master scan.
+//!   `~qgram`/`~jaro`/`~jw` *and* `~lev` families complete, bounded
+//!   candidate generation ([`lev_count_bound`]: within edit `k`, padded
+//!   profiles share ≥ `max(|u|,|v|) + q − 1 − k·q` grams), so no predicate
+//!   the paper names needs a full master scan — or an approximation.
 
-pub mod blocking;
 pub mod edit_distance;
 pub mod jaro;
 pub mod lcs;
 pub mod predicate;
 pub mod qgram;
 pub mod qgram_index;
-pub mod suffix_tree;
 
-pub use blocking::LcsBlocker;
-pub use edit_distance::{levenshtein, levenshtein_bounded, within_edit_distance};
-pub use jaro::{jaro, jaro_winkler};
-pub use lcs::{lcs_blocking_bound, longest_common_substring_len};
-pub use predicate::SimilarityPredicate;
-pub use qgram::{qgram_jaccard, QGramProfile};
-pub use qgram_index::{
-    jaro_length_window, jaro_overlap_bound, qgram_length_window, qgram_overlap_bound, QGramIndex,
-    QGramScratch,
+pub use edit_distance::{
+    levenshtein, levenshtein_bounded, levenshtein_bounded_with, levenshtein_with,
+    within_edit_distance, within_edit_distance_with, EditScratch, MyersPattern,
 };
-pub use suffix_tree::GeneralizedSuffixTree;
+pub use jaro::{jaro, jaro_winkler, jaro_winkler_with, jaro_with, JaroScratch};
+pub use lcs::{lcs_blocking_bound, longest_common_substring_len, LcsScratch};
+pub use predicate::{SimScratch, SimilarityPredicate};
+pub use qgram::{qgram_jaccard, ProfileScratch, QGramProfile};
+pub use qgram_index::{
+    jaro_length_window, jaro_overlap_bound, lev_count_bound, lev_length_window,
+    qgram_length_window, qgram_overlap_bound, QGramIndex, QGramScratch,
+};

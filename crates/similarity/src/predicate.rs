@@ -8,9 +8,32 @@
 
 use std::fmt;
 
-use crate::edit_distance::within_edit_distance;
-use crate::jaro::{jaro, jaro_winkler};
-use crate::qgram::qgram_jaccard;
+use crate::edit_distance::{within_edit_distance, within_edit_distance_with, EditScratch};
+use crate::jaro::{jaro, jaro_winkler, jaro_winkler_with, jaro_with, JaroScratch};
+use crate::qgram::{qgram_jaccard, ProfileScratch, QGramProfile};
+
+/// Every per-call buffer a similarity-predicate evaluation can need, owned
+/// by the caller so the probe hot path allocates nothing. The engine embeds
+/// one (inside its `ProbeScratch`) per probing thread.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    /// Myers pattern/block buffers for `~lev`.
+    pub edit: EditScratch,
+    /// Match/transposition buffers for `~jaro`/`~jw`.
+    pub jaro: JaroScratch,
+    /// Padded-string and hash buffers for `~qgram` profile builds.
+    pub profile: ProfileScratch,
+    /// Reusable probe/master profile slots for `~qgram` evaluation.
+    pa: QGramProfile,
+    pb: QGramProfile,
+}
+
+impl SimScratch {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// A similarity predicate usable in an MD premise.
 #[derive(Clone, Debug, PartialEq)]
@@ -50,6 +73,30 @@ impl SimilarityPredicate {
             SimilarityPredicate::Jaro { min } => jaro(a, b) >= *min,
             SimilarityPredicate::JaroWinkler { min } => jaro_winkler(a, b) >= *min,
             SimilarityPredicate::QGramJaccard { q, min } => qgram_jaccard(a, b, *q) >= *min,
+        }
+    }
+
+    /// [`SimilarityPredicate::matches`] reusing `scratch` buffers — the
+    /// allocation-free form the probe hot path uses. Answers are identical
+    /// to [`SimilarityPredicate::matches`] bit for bit.
+    pub fn matches_with(&self, a: &str, b: &str, scratch: &mut SimScratch) -> bool {
+        match self {
+            SimilarityPredicate::Equal => a == b,
+            SimilarityPredicate::Levenshtein { max } => {
+                within_edit_distance_with(a, b, *max, &mut scratch.edit)
+            }
+            SimilarityPredicate::Jaro { min } => jaro_with(a, b, &mut scratch.jaro) >= *min,
+            SimilarityPredicate::JaroWinkler { min } => {
+                jaro_winkler_with(a, b, &mut scratch.jaro) >= *min
+            }
+            SimilarityPredicate::QGramJaccard { q, min } => {
+                let SimScratch {
+                    profile, pa, pb, ..
+                } = scratch;
+                pa.rebuild(a, *q, profile);
+                pb.rebuild(b, *q, profile);
+                pa.jaccard(pb) >= *min
+            }
         }
     }
 
@@ -160,6 +207,27 @@ mod tests {
     }
 
     proptest! {
+        /// The scratch-reusing evaluation agrees with the allocating one
+        /// for every predicate family, including across reused scratches.
+        #[test]
+        fn matches_with_agrees_with_matches(a in "[abé ]{0,10}", b in "[abé ]{0,10}") {
+            let mut scratch = SimScratch::new();
+            for p in [
+                SimilarityPredicate::Equal,
+                SimilarityPredicate::Levenshtein { max: 2 },
+                SimilarityPredicate::Jaro { min: 0.7 },
+                SimilarityPredicate::JaroWinkler { min: 0.7 },
+                SimilarityPredicate::QGramJaccard { q: 2, min: 0.4 },
+                SimilarityPredicate::QGramJaccard { q: 3, min: 0.6 },
+            ] {
+                prop_assert_eq!(
+                    p.matches_with(&a, &b, &mut scratch),
+                    p.matches(&a, &b),
+                    "{} diverged on ({:?}, {:?})", p, &a, &b
+                );
+            }
+        }
+
         /// Every predicate is reflexive (needed so re-applying a rule to an
         /// already-fixed tuple is a no-op rather than a change).
         #[test]

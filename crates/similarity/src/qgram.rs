@@ -30,9 +30,38 @@ fn hash_gram(w: &[char]) -> u64 {
     h
 }
 
+/// Byte-window variant of [`hash_gram`]. For ASCII text the byte value *is*
+/// the code point (and [`PAD`] is byte `0x01`), so this produces bit-for-bit
+/// the same hashes as the char path — profiles built on either path compare.
+#[inline]
+fn hash_gram_bytes(w: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in w {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Reusable buffers for profile construction: the padded string and the raw
+/// window hashes before they are sorted into runs. One per probe thread.
+#[derive(Debug, Default, Clone)]
+pub struct ProfileScratch {
+    chars: Vec<char>,
+    bytes: Vec<u8>,
+    hashes: Vec<u64>,
+}
+
+impl ProfileScratch {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The multiset of padded q-grams of a string, as sorted `(hash, count)`
 /// runs.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct QGramProfile {
     q: usize,
     /// Sorted by hash; counts are multiplicities.
@@ -43,31 +72,70 @@ pub struct QGramProfile {
 impl QGramProfile {
     /// Build the profile of `s` for window size `q` (≥ 1).
     pub fn new(s: &str, q: usize) -> Self {
-        assert!(q >= 1, "q-gram size must be at least 1");
-        let mut padded: Vec<char> = Vec::with_capacity(s.len() + 2 * (q - 1));
-        padded.extend(std::iter::repeat_n(PAD, q - 1));
-        padded.extend(s.chars());
-        padded.extend(std::iter::repeat_n(PAD, q - 1));
-        let mut hashes: Vec<u64> = if padded.len() >= q {
-            padded.windows(q).map(hash_gram).collect()
-        } else {
-            Vec::new()
+        Self::new_with(s, q, &mut ProfileScratch::new())
+    }
+
+    /// [`QGramProfile::new`] reusing `scratch` buffers for the padded string
+    /// and unsorted hashes (the profile's own run vector is still allocated;
+    /// use [`QGramProfile::rebuild`] to recycle that too).
+    pub fn new_with(s: &str, q: usize, scratch: &mut ProfileScratch) -> Self {
+        let mut p = QGramProfile {
+            q,
+            grams: Vec::new(),
+            total: 0,
         };
-        let total = hashes.len() as u32;
-        hashes.sort_unstable();
-        let mut grams: Vec<(u64, u32)> = Vec::new();
-        for h in hashes {
-            match grams.last_mut() {
-                Some((g, c)) if *g == h => *c += 1,
-                _ => grams.push((h, 1)),
+        p.rebuild(s, q, scratch);
+        p
+    }
+
+    /// Rebuild this profile in place for a new string, reusing every buffer.
+    /// ASCII strings are hashed as byte windows (identical hashes — for
+    /// ASCII the byte value is the code point); others fall back to chars.
+    pub fn rebuild(&mut self, s: &str, q: usize, scratch: &mut ProfileScratch) {
+        assert!(q >= 1, "q-gram size must be at least 1");
+        self.q = q;
+        self.grams.clear();
+        let hashes = &mut scratch.hashes;
+        hashes.clear();
+        if s.is_ascii() {
+            let padded = &mut scratch.bytes;
+            padded.clear();
+            padded.resize(q - 1, PAD as u8);
+            padded.extend_from_slice(s.as_bytes());
+            padded.resize(padded.len() + q - 1, PAD as u8);
+            if padded.len() >= q {
+                hashes.extend(padded.windows(q).map(hash_gram_bytes));
+            }
+        } else {
+            let padded = &mut scratch.chars;
+            padded.clear();
+            padded.resize(q - 1, PAD);
+            padded.extend(s.chars());
+            padded.resize(padded.len() + q - 1, PAD);
+            if padded.len() >= q {
+                hashes.extend(padded.windows(q).map(hash_gram));
             }
         }
-        QGramProfile { q, grams, total }
+        self.total = hashes.len() as u32;
+        hashes.sort_unstable();
+        for &h in hashes.iter() {
+            match self.grams.last_mut() {
+                Some((g, c)) if *g == h => *c += 1,
+                _ => self.grams.push((h, 1)),
+            }
+        }
     }
 
     /// Window size.
     pub fn q(&self) -> usize {
         self.q
+    }
+
+    /// Character length of the profiled string: a padded profile of a
+    /// length-`n` string has exactly `n + q − 1` windows (`q − 1` for the
+    /// empty string, whose `n` is 0).
+    pub fn char_len(&self) -> usize {
+        (self.total as usize).saturating_sub(self.q - 1)
     }
 
     /// Number of grams (with multiplicity).
@@ -187,7 +255,39 @@ mod tests {
         QGramProfile::new("a", 2).jaccard(&QGramProfile::new("a", 3));
     }
 
+    #[test]
+    fn byte_and_char_gram_hashes_agree_on_ascii() {
+        let w = ['\u{1}', 'a', 'Z', '~'];
+        let b: Vec<u8> = w.iter().map(|&c| c as u8).collect();
+        for q in 1..=4 {
+            assert_eq!(hash_gram(&w[..q]), hash_gram_bytes(&b[..q]));
+        }
+    }
+
+    #[test]
+    fn char_len_recovers_string_length() {
+        for q in 1..4 {
+            for s in ["", "a", "banana", "日本語"] {
+                assert_eq!(
+                    QGramProfile::new(s, q).char_len(),
+                    s.chars().count(),
+                    "s={s:?} q={q}"
+                );
+            }
+        }
+    }
+
     proptest! {
+        /// The ASCII byte path and the char path hash identically, and a
+        /// dirty reused scratch never leaks state between builds.
+        #[test]
+        fn rebuild_matches_fresh_build(a in "[a-d]{0,12}", b in "[abé日]{0,12}", q in 1usize..4) {
+            let mut scratch = ProfileScratch::new();
+            let mut p = QGramProfile::new_with(&a, q, &mut scratch); // dirty the scratch
+            p.rebuild(&b, q, &mut scratch);
+            prop_assert_eq!(p, QGramProfile::new(&b, q));
+        }
+
         #[test]
         fn jaccard_in_unit_interval(a in "[a-d]{0,12}", b in "[a-d]{0,12}", q in 1usize..4) {
             let s = qgram_jaccard(&a, &b, q);

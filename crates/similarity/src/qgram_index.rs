@@ -28,9 +28,22 @@
 //! probes reuse this with the conservative floor `j ≥ (min − 0.4)/0.6`
 //! (prefix boost capped at `4 · 0.1`).
 //!
-//! Both filters are *complete*: every master row whose value can satisfy
-//! the predicate survives (degenerate thresholds — `min = 0`, `j ≤ 1/3` —
-//! keep every row). Candidates still require full predicate verification.
+//! **Edit distance.** A padded profile of a length-`n` string has exactly
+//! `n + q − 1` windows, and one single-character edit touches at most `q`
+//! of them (the windows covering the edited position). So if
+//! `lev(u, v) ≤ k`, the padded profiles share at least
+//! `max(|u|,|v|) + q − 1 − k·q` grams (multiset) — [`lev_count_bound`].
+//! Combined with the `|lb − la| ≤ k` length filter this gives `~lev` a
+//! *complete* inverted-list access path ([`QGramIndex::candidates_lev_into`]),
+//! which retired the paper's top-`l` LCS suffix-tree retrieval: top-`l` was
+//! an approximation (it could miss the `l+1`-th true match), the count
+//! bound never misses. PAD collisions between probe and master padding only
+//! ever overcount shared grams — conservative in the complete direction.
+//!
+//! All three filters are *complete*: every master row whose value can
+//! satisfy the predicate survives (degenerate thresholds — `min = 0`,
+//! `j ≤ 1/3`, `k·q ≥ la + q − 1` — fall back to length-window or full
+//! enumeration). Candidates still require full predicate verification.
 
 use std::borrow::Cow;
 use std::collections::HashMap;
@@ -91,6 +104,21 @@ pub fn jaro_length_window(la: usize, min_jaro: f64) -> (usize, usize) {
     (lo, hi)
 }
 
+/// Minimum shared *padded* grams (multiset) required for edit distance
+/// ≤ `k` between strings of `la` and `lb` **characters**:
+/// `max(la, lb) + q − 1 − k·q` (0 when the subtraction underflows — no
+/// usable bound). Each single-character edit destroys at most `q` of the
+/// longer string's `max + q − 1` padded windows.
+pub fn lev_count_bound(la: usize, lb: usize, q: usize, k: usize) -> usize {
+    (la.max(lb) + q - 1).saturating_sub(k * q)
+}
+
+/// Inclusive window of candidate **character** lengths for edit distance
+/// ≤ `k` against a probe of `la` characters: `[la − k, la + k]`.
+pub fn lev_length_window(la: usize, k: usize) -> (usize, usize) {
+    (la.saturating_sub(k), la + k)
+}
+
 /// Pass-through hasher for the posting map: gram hashes are already
 /// FNV-mixed 64-bit values, re-hashing them buys nothing.
 #[derive(Clone, Copy, Debug, Default)]
@@ -127,6 +155,9 @@ pub struct QGramScratch {
     /// after every probe.
     counts: Vec<u32>,
     touched: Vec<u32>,
+    /// Probe grams ranked by posting length for the skip-walk: `(posting
+    /// length, position in the probe profile)`.
+    ranked: Vec<(u32, u32)>,
 }
 
 impl QGramScratch {
@@ -149,6 +180,12 @@ pub struct QGramIndex {
     owners: Vec<Vec<u32>>,
     /// distinct value id → profile size (grams with multiplicity).
     lens: Vec<u32>,
+    /// Flattened per-value profiles (sorted `(hash, mult)` runs,
+    /// `gram_off`-delimited): the exact-overlap confirmation of the
+    /// skip-walk probe discipline merges against these.
+    gram_flat: Vec<(u64, u32)>,
+    /// distinct value id → start of its run in `gram_flat` (+ end sentinel).
+    gram_off: Vec<u32>,
     /// Value ids with an empty profile (empty string at q = 1).
     empty_values: Vec<u32>,
     /// Total master rows (for the degenerate all-rows answer).
@@ -170,6 +207,8 @@ impl QGramIndex {
         let mut postings: GramMap<Vec<(u32, u32)>> = GramMap::default();
         let mut owners: Vec<Vec<u32>> = Vec::new();
         let mut lens: Vec<u32> = Vec::new();
+        let mut gram_flat: Vec<(u64, u32)> = Vec::new();
+        let mut gram_off: Vec<u32> = vec![0];
         let mut empty_values: Vec<u32> = Vec::new();
         for (row, v) in column {
             let id = match ids.get(v.as_ref()) {
@@ -184,6 +223,8 @@ impl QGramIndex {
                     for &(g, c) in profile.grams() {
                         postings.entry(g).or_default().push((id, c));
                     }
+                    gram_flat.extend_from_slice(profile.grams());
+                    gram_off.push(gram_flat.len() as u32);
                     ids.insert(Box::from(v.as_ref()), id);
                     owners.push(Vec::new());
                     id
@@ -196,6 +237,51 @@ impl QGramIndex {
             postings,
             owners,
             lens,
+            gram_flat,
+            gram_off,
+            empty_values,
+            rows,
+        }
+    }
+
+    /// Assemble an index from pre-built per-distinct-value parts — the
+    /// entry point of the batched column-at-once builder, which hashes each
+    /// distinct interned value exactly once (in parallel) and hands the
+    /// profiles here. `owners[id]` lists the master rows carrying distinct
+    /// value `id` (ascending); `profiles[id]` is that value's profile.
+    /// Equivalent to [`QGramIndex::build`] over the expanded column.
+    pub fn from_parts(
+        profiles: Vec<QGramProfile>,
+        owners: Vec<Vec<u32>>,
+        rows: usize,
+        q: usize,
+    ) -> Self {
+        assert_eq!(profiles.len(), owners.len(), "one profile per value");
+        let mut postings: GramMap<Vec<(u32, u32)>> = GramMap::default();
+        let mut lens: Vec<u32> = Vec::with_capacity(profiles.len());
+        let mut gram_flat: Vec<(u64, u32)> = Vec::new();
+        let mut gram_off: Vec<u32> = Vec::with_capacity(profiles.len() + 1);
+        gram_off.push(0);
+        let mut empty_values: Vec<u32> = Vec::new();
+        for (id, profile) in profiles.iter().enumerate() {
+            assert_eq!(profile.q(), q, "profile q must match the index q");
+            lens.push(profile.len() as u32);
+            if profile.is_empty() {
+                empty_values.push(id as u32);
+            }
+            for &(g, c) in profile.grams() {
+                postings.entry(g).or_default().push((id as u32, c));
+            }
+            gram_flat.extend_from_slice(profile.grams());
+            gram_off.push(gram_flat.len() as u32);
+        }
+        QGramIndex {
+            q,
+            postings,
+            owners,
+            lens,
+            gram_flat,
+            gram_off,
             empty_values,
             rows,
         }
@@ -216,41 +302,134 @@ impl QGramIndex {
         self.rows
     }
 
-    /// Accumulate per-value overlap with `probe`, confined to values whose
+    /// Walk one posting list, accumulating overlap for values whose
     /// profile size lies in `[lo, hi]`.
-    fn accumulate(&self, probe: &QGramProfile, lo: usize, hi: usize, scratch: &mut QGramScratch) {
-        if scratch.counts.len() < self.owners.len() {
-            scratch.counts.resize(self.owners.len(), 0);
-        }
-        for &(g, pc) in probe.grams() {
-            let Some(list) = self.postings.get(&g) else {
+    #[inline]
+    fn walk_posting(
+        &self,
+        list: &[(u32, u32)],
+        pc: u32,
+        lo: usize,
+        hi: usize,
+        scratch: &mut QGramScratch,
+    ) {
+        for &(vid, mc) in list {
+            let lb = self.lens[vid as usize] as usize;
+            if lb < lo || lb > hi {
                 continue;
-            };
-            for &(vid, mc) in list {
-                let lb = self.lens[vid as usize] as usize;
-                if lb < lo || lb > hi {
-                    continue;
-                }
-                let c = &mut scratch.counts[vid as usize];
-                if *c == 0 {
-                    scratch.touched.push(vid);
-                }
-                *c += pc.min(mc);
             }
+            let c = &mut scratch.counts[vid as usize];
+            if *c == 0 {
+                scratch.touched.push(vid);
+            }
+            *c += pc.min(mc);
         }
     }
 
+    /// Accumulate per-value overlap with `probe`, confined to values whose
+    /// profile size lies in `[lo, hi]` — skipping up to `budget` probe-gram
+    /// mass worth of the *longest* posting lists (prefix filtering).
+    /// Returns the skipped mass `S`. Any value with true overlap
+    /// `≥ budget + 1` still lands in the touched set (its overlap outside
+    /// the skipped grams is ≥ 1), with an exact accumulated count when
+    /// `S = 0` and a partial count `≥ overlap − S` otherwise.
+    fn accumulate(
+        &self,
+        probe: &QGramProfile,
+        lo: usize,
+        hi: usize,
+        budget: usize,
+        scratch: &mut QGramScratch,
+    ) -> usize {
+        if scratch.counts.len() < self.owners.len() {
+            scratch.counts.resize(self.owners.len(), 0);
+        }
+        if budget == 0 {
+            for &(g, pc) in probe.grams() {
+                if let Some(list) = self.postings.get(&g) {
+                    self.walk_posting(list, pc, lo, hi, scratch);
+                }
+            }
+            return 0;
+        }
+        // Rank the probe's grams by posting length (descending, position
+        // as the deterministic tie-break) and spend the skip budget on the
+        // most common grams first — these dominate the walk and carry the
+        // least signal. Short lists are cheap to walk; skipping them would
+        // waste bound tightness, so leave them in.
+        const SKIP_MIN_POSTING: usize = 64;
+        let grams = probe.grams();
+        scratch.ranked.clear();
+        for (pos, &(g, _)) in grams.iter().enumerate() {
+            let plen = self.postings.get(&g).map_or(0, |l| l.len());
+            scratch.ranked.push((plen as u32, pos as u32));
+        }
+        scratch
+            .ranked
+            .sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let mut ranked = std::mem::take(&mut scratch.ranked);
+        let mut budget_left = budget;
+        let mut skipped = 0usize;
+        for &(plen, pos) in &ranked {
+            let (g, pc) = grams[pos as usize];
+            let mass = pc as usize;
+            if plen as usize >= SKIP_MIN_POSTING && mass <= budget_left {
+                budget_left -= mass;
+                skipped += mass;
+                continue;
+            }
+            if let Some(list) = self.postings.get(&g) {
+                self.walk_posting(list, pc, lo, hi, scratch);
+            }
+        }
+        ranked.clear();
+        scratch.ranked = ranked;
+        skipped
+    }
+
+    /// Exact multiset overlap between `probe` and distinct value `vid`
+    /// (sorted-run merge over the flattened profile).
+    fn exact_overlap(&self, probe: &QGramProfile, vid: u32) -> usize {
+        let s = self.gram_off[vid as usize] as usize;
+        let e = self.gram_off[vid as usize + 1] as usize;
+        let b = &self.gram_flat[s..e];
+        let a = probe.grams();
+        let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += (a[i].1.min(b[j].1)) as usize;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        inter
+    }
+
     /// Drain the touched set, appending the owner rows of every value
-    /// whose accumulated overlap passes `keep`.
+    /// whose overlap meets `bound(profile size)`. With `skipped > 0` the
+    /// accumulated counts are partial lower bounds: a value is kept when
+    /// its partial count already meets the bound, pruned when even
+    /// `partial + skipped` cannot, and exact-merged otherwise — the emitted
+    /// set is identical to a full (skipless) accumulation.
     fn emit(
         &self,
+        probe: &QGramProfile,
+        skipped: usize,
         scratch: &mut QGramScratch,
         out: &mut Vec<u32>,
-        keep: impl Fn(usize, usize) -> bool,
+        bound: impl Fn(usize) -> usize,
     ) {
         for vid in scratch.touched.drain(..) {
-            let overlap = std::mem::take(&mut scratch.counts[vid as usize]) as usize;
-            if keep(overlap, self.lens[vid as usize] as usize) {
+            let partial = std::mem::take(&mut scratch.counts[vid as usize]) as usize;
+            let need = bound(self.lens[vid as usize] as usize);
+            if partial + skipped < need {
+                continue;
+            }
+            if partial >= need || self.exact_overlap(probe, vid) >= need {
                 out.extend_from_slice(&self.owners[vid as usize]);
             }
         }
@@ -281,9 +460,63 @@ impl QGramIndex {
         }
         let la = probe.len();
         let (lo, hi) = qgram_length_window(la, min);
-        self.accumulate(probe, lo, hi, scratch);
-        self.emit(scratch, out, |overlap, lb| {
-            overlap >= qgram_overlap_bound(la, lb, min)
+        // The overlap bound grows with the candidate's size, so its
+        // minimum over the length window sits at `lo`. Completeness allows
+        // skipping up to `bound − 1` probe-gram mass; spending only half
+        // keeps the partial-count prefilter selective enough that the
+        // exact-merge confirmation stays rare.
+        let budget = qgram_overlap_bound(la, lo, min) / 2;
+        let skipped = self.accumulate(probe, lo, hi, budget, scratch);
+        self.emit(probe, skipped, scratch, out, |lb| {
+            qgram_overlap_bound(la, lb, min)
+        });
+    }
+
+    /// Append every master row whose value can be within edit distance `k`
+    /// of the probe (a complete superset of the true match set; order
+    /// unspecified, rows unique). `probe.q()` must equal the index's `q`.
+    ///
+    /// Non-degenerate probes (`la + q − 1 > k·q`) use count filtering: a
+    /// candidate of `lb` characters must share at least
+    /// [`lev_count_bound`]`(la, lb, q, k)` ≥ 1 padded grams, so walking the
+    /// probe's posting lists reaches every one. Degenerate probes (short
+    /// strings where the bound can vanish inside the `±k` length window)
+    /// fall back to enumerating every value in the window — still bounded
+    /// by length, never by gram overlap.
+    pub fn candidates_lev_into(
+        &self,
+        probe: &QGramProfile,
+        k: usize,
+        scratch: &mut QGramScratch,
+        out: &mut Vec<u32>,
+    ) {
+        assert_eq!(probe.q(), self.q, "probe profile must share the index q");
+        let q = self.q;
+        let la = probe.char_len();
+        let (lo_chars, hi_chars) = lev_length_window(la, k);
+        // Profile size of an `n`-char padded profile is `n + q − 1`.
+        let lo = lo_chars + q - 1;
+        let hi = hi_chars + q - 1;
+        if la + q - 1 <= k * q {
+            // Degenerate: some in-window length has a vanishing gram bound
+            // (e.g. an empty master within k deletions shares no grams).
+            // Keep every value in the length window.
+            for (vid, owners) in self.owners.iter().enumerate() {
+                let lb = self.lens[vid] as usize;
+                if lb >= lo && lb <= hi {
+                    out.extend_from_slice(owners);
+                }
+            }
+            return;
+        }
+        // `lev_count_bound` is `max(la, lb) + q − 1 − k·q`, minimized when
+        // the candidate is no longer than the probe: `la + q − 1 − k·q`
+        // (≥ 1 past the degenerate guard above). Half of it is spent as
+        // skip budget — see `candidates_jaccard_into` for the tradeoff.
+        let budget = (la + q - 1 - k * q) / 2;
+        let skipped = self.accumulate(probe, lo, hi, budget, scratch);
+        self.emit(probe, skipped, scratch, out, |lb_profile| {
+            lev_count_bound(la, lb_profile - (q - 1), q, k)
         });
     }
 
@@ -316,9 +549,13 @@ impl QGramIndex {
         }
         let la = probe.len();
         let (lo, hi) = jaro_length_window(la, min_jaro);
-        self.accumulate(probe, lo, hi, scratch);
-        self.emit(scratch, out, |overlap, lb| {
-            overlap >= jaro_overlap_bound(la, lb, min_jaro)
+        // `jaro_overlap_bound` grows with `lb`, so the window floor gives
+        // the minimal requirement (0 on an unbounded window — no skips).
+        // Half of it is spent as skip budget — see `candidates_jaccard_into`.
+        let budget = jaro_overlap_bound(la, lo, min_jaro) / 2;
+        let skipped = self.accumulate(probe, lo, hi, budget, scratch);
+        self.emit(probe, skipped, scratch, out, |lb| {
+            jaro_overlap_bound(la, lb, min_jaro)
         });
     }
 }
@@ -359,6 +596,95 @@ mod tests {
         idx.candidates_jaro_into(&QGramProfile::new(probe, 1), min, &mut scratch, &mut out);
         out.sort_unstable();
         out
+    }
+
+    fn lev_candidates(idx: &QGramIndex, probe: &str, k: usize) -> Vec<u32> {
+        let mut scratch = QGramScratch::new();
+        let mut out = Vec::new();
+        idx.candidates_lev_into(
+            &QGramProfile::new(probe, idx.q()),
+            k,
+            &mut scratch,
+            &mut out,
+        );
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn lev_bound_examples() {
+        // "abc" vs itself, q=2: 4 padded grams, k=0 → all 4 shared.
+        assert_eq!(lev_count_bound(3, 3, 2, 0), 4);
+        // One edit destroys ≤ 2 bigrams.
+        assert_eq!(lev_count_bound(3, 3, 2, 1), 2);
+        // Underflow → no bound.
+        assert_eq!(lev_count_bound(2, 1, 2, 2), 0);
+        assert_eq!(lev_length_window(5, 2), (3, 7));
+        assert_eq!(lev_length_window(1, 3), (0, 4));
+    }
+
+    #[test]
+    fn lev_prunes_by_length_and_overlap() {
+        let idx = index(&["Smith", "Smyth", "Brady", "Smithsonian"], 2);
+        // k=1: "Smyth" in, "Brady" shares a length but few grams,
+        // "Smithsonian" is length-pruned.
+        assert_eq!(lev_candidates(&idx, "Smith", 1), vec![0, 1]);
+    }
+
+    #[test]
+    fn lev_exact_value_is_always_a_candidate() {
+        let idx = index(&["Robert", "Mark", "Robert"], 3);
+        for k in 0..4 {
+            let got = lev_candidates(&idx, "Robert", k);
+            assert!(got.contains(&0) && got.contains(&2), "k={k}: {got:?}");
+        }
+    }
+
+    #[test]
+    fn lev_degenerate_short_probe_enumerates_length_window() {
+        // la=1, q=2, k=1: 1+1 ≤ 2 → the degenerate path; empty masters are
+        // within one deletion yet share zero grams.
+        let idx = index(&["", "a", "xy", "abc"], 2);
+        assert_eq!(lev_candidates(&idx, "a", 1), vec![0, 1, 2]);
+        // Empty probe, k=1: only lengths ≤ 1 survive.
+        assert_eq!(lev_candidates(&idx, "", 1), vec![0, 1]);
+    }
+
+    #[test]
+    fn from_parts_equals_build() {
+        let col = ["Smith", "Smyth", "", "Smith", "Brady"];
+        let built = index(&col, 2);
+        // Dedup in first-appearance order, as the batched builder does.
+        let mut values: Vec<&str> = Vec::new();
+        let mut owners: Vec<Vec<u32>> = Vec::new();
+        for (row, v) in col.iter().enumerate() {
+            match values.iter().position(|x| x == v) {
+                Some(id) => owners[id].push(row as u32),
+                None => {
+                    values.push(v);
+                    owners.push(vec![row as u32]);
+                }
+            }
+        }
+        let profiles: Vec<QGramProfile> = values.iter().map(|v| QGramProfile::new(v, 2)).collect();
+        let assembled = QGramIndex::from_parts(profiles, owners, col.len(), 2);
+        for probe in ["Smith", "Smit", "", "zzz"] {
+            for k in 0..3 {
+                assert_eq!(
+                    lev_candidates(&built, probe, k),
+                    lev_candidates(&assembled, probe, k),
+                    "probe={probe:?} k={k}"
+                );
+            }
+            let mut s1 = QGramScratch::new();
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            let p = QGramProfile::new(probe, 2);
+            built.candidates_jaccard_into(&p, 0.4, &mut s1, &mut a);
+            assembled.candidates_jaccard_into(&p, 0.4, &mut s1, &mut b);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "jaccard probe={probe:?}");
+        }
     }
 
     #[test]
@@ -476,6 +802,29 @@ mod tests {
                     prop_assert!(
                         got_jw.contains(&(row as u32)),
                         "row {row} ({v:?}) jw-matches {probe:?} at {min} but was pruned"
+                    );
+                }
+            }
+        }
+
+        /// Completeness of the lev count bound: every row within edit
+        /// distance k is a candidate, for every q and k — including the
+        /// degenerate short-probe/empty-string shapes and non-ASCII values.
+        #[test]
+        fn lev_filter_is_complete(
+            col in proptest::collection::vec("[abé]{0,6}", 1..10),
+            probe in "[abé]{0,6}",
+            q in 1usize..4,
+            k in 0usize..5
+        ) {
+            let refs: Vec<&str> = col.iter().map(String::as_str).collect();
+            let idx = index(&refs, q);
+            let got = lev_candidates(&idx, &probe, k);
+            for (row, v) in col.iter().enumerate() {
+                if crate::edit_distance::within_edit_distance(&probe, v, k) {
+                    prop_assert!(
+                        got.contains(&(row as u32)),
+                        "row {row} ({v:?}) is within edit {k} of {probe:?} but was pruned (q={q})"
                     );
                 }
             }

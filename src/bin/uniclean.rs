@@ -62,8 +62,8 @@ CLEAN OPTIONS:
                                bit-identical to recleaning it from scratch
     --report                   print every fix (mark, cell, old → new, rule)
     --explain-plans            print the master-index access path chosen for
-                               each MD (exact / composite / LCS / q-gram /
-                               Jaro / intersection) before cleaning
+                               each MD (exact / composite / q-gram count /
+                               lev count / Jaro / intersection) before cleaning
 
 DISCOVER OPTIONS:
     --max-lhs <n>              maximum FD LHS size [default: 2]

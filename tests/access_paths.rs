@@ -1,13 +1,14 @@
 //! Access-path completeness harness: for arbitrary relations × every
-//! predicate family × every plan shape (exact, composite, LCS-blocked,
+//! predicate family × every plan shape (exact, composite, lev-count,
 //! q-gram count filter, Jaro prefilter, intersection), the candidate set
 //! is a **superset** of the reference full-scan match set and
 //! `matches_into` output is **identical** to it — blocking may shrink
 //! candidates, never verified matches.
 //!
-//! The LCS blocker is built with `l = |Dm|` here so its top-`l` retrieval
-//! is exhaustive; the q-gram/Jaro filters and the exact/composite paths
-//! are complete at any setting.
+//! Every path is complete by construction (there is no top-`l`
+//! truncation knob anymore): `~lev` runs through the padded q-gram count
+//! bound, `~qgram`/`~jaro`/`~jw` through their count/1-gram filters, and
+//! equality through hash lookups.
 
 use std::sync::Arc;
 
@@ -29,6 +30,7 @@ fn family_mds(tran: &Arc<Schema>, card: &Arc<Schema>) -> Vec<Md> {
         md exact: tran[A] = card[A] -> tran[X] <=> card[X]\n\
         md composite: tran[A] = card[A] AND tran[B] = card[B] -> tran[X] <=> card[X]\n\
         md lev: tran[A] ~lev(1) card[A] -> tran[X] <=> card[X]\n\
+        md lev2: tran[B] ~lev(2) card[B] -> tran[X] <=> card[X]\n\
         md qgram: tran[A] ~qgram(2,0.5) card[A] -> tran[X] <=> card[X]\n\
         md jaro: tran[A] ~jaro(0.8) card[A] -> tran[X] <=> card[X]\n\
         md jw: tran[A] ~jw(0.85) card[A] -> tran[X] <=> card[X]\n\
@@ -70,15 +72,13 @@ proptest! {
         let (tran, card) = schemas();
         let mds = family_mds(&tran, &card);
         let dm = relation(&card, &master_rows, 1.0);
-        // Exhaustive l isolates filter correctness from top-l truncation.
-        let l = dm.len().max(1);
         let policies = [
             ("default", IndexPolicy::default()),
             ("intersect-always", IndexPolicy { intersect_above: 0.0 }),
         ];
         for interning in [true, false] {
             for (policy_name, policy) in policies {
-                let idx = MasterIndex::build_with_policy(&mds, &dm, l, interning, 1, policy);
+                let idx = MasterIndex::build_with_policy(&mds, &dm, interning, 1, policy);
                 let mut scratch = ProbeScratch::new();
                 let mut verified = Vec::new();
                 for (i, md) in mds.iter().enumerate() {
@@ -123,7 +123,7 @@ proptest! {
         let (tran, card) = schemas();
         let mds = family_mds(&tran, &card);
         let dm = relation(&card, &master_rows, 1.0);
-        let idx = MasterIndex::build(&mds, &dm, dm.len().max(1));
+        let idx = MasterIndex::build(&mds, &dm);
         let mut scratch = ProbeScratch::new();
         let mut buf = Vec::new();
         for (i, md) in mds.iter().enumerate() {
@@ -150,7 +150,7 @@ fn planner_decision_table() {
         .map(|i| (format!("v{i}"), format!("w{}", i % 5)))
         .collect();
     let dm = relation(&card, &rows, 1.0);
-    let idx = MasterIndex::build(&mds, &dm, 20);
+    let idx = MasterIndex::build(&mds, &dm);
     let plan = |name: &str| {
         let (i, md) = mds
             .iter()
@@ -165,7 +165,8 @@ fn planner_decision_table() {
         "{}",
         plan("composite")
     );
-    assert!(plan("lev").starts_with("lcs-top"), "{}", plan("lev"));
+    assert!(plan("lev").starts_with("lev-count"), "{}", plan("lev"));
+    assert!(plan("lev2").starts_with("lev-count"), "{}", plan("lev2"));
     assert!(
         plan("qgram").starts_with("qgram-count"),
         "{}",
@@ -202,12 +203,10 @@ fn forced_intersection_equals_default_on_correlated_data() {
         .map(|i| (format!("a{}", i % 7), format!("b{}", i % 3)))
         .collect();
     let dm = relation(&card, &rows, 1.0);
-    let l = dm.len();
-    let default = MasterIndex::build(&mds, &dm, l);
+    let default = MasterIndex::build(&mds, &dm);
     let forced = MasterIndex::build_with_policy(
         &mds,
         &dm,
-        l,
         true,
         2,
         IndexPolicy {

@@ -1,5 +1,8 @@
-//! Integration test: the §5.2 blocked master access is *equivalent* to the
-//! naive O(|D|·|Dm|) scan — blocking accelerates, never changes results.
+//! Integration test: the §5.2 indexed master access is *equivalent* to the
+//! naive O(|D|·|Dm|) scan — the count filters accelerate, never change
+//! results. There is no truncation knob left to hold exhaustive: every
+//! access path (exact hash, lev-count, q-gram count, Jaro 1-gram) is
+//! complete by construction.
 
 use uniclean::core::{MasterIndex, ProbeScratch};
 use uniclean::datagen::{dblp_workload, hosp_workload, GenParams};
@@ -19,9 +22,7 @@ fn blocked_md_matches_equal_naive_scan() {
             ..GenParams::default()
         }),
     ] {
-        // l = |Dm| makes top-l retrieval exhaustive, isolating the bound's
-        // correctness from the top-l approximation.
-        let idx = MasterIndex::build(w.rules.mds(), &w.master, w.master.len().max(1));
+        let idx = MasterIndex::build(w.rules.mds(), &w.master);
         let mut scratch = ProbeScratch::new();
         let mut blocked = Vec::new();
         for (i, md) in w.rules.mds().iter().enumerate() {
@@ -46,23 +47,23 @@ fn blocked_md_matches_equal_naive_scan() {
 }
 
 #[test]
-fn default_l_loses_no_matches_on_generated_data() {
-    // With the paper's l = 20 the index is an approximation; on the
-    // generated workloads (few similar master values per query) it is
-    // still exhaustive.
+fn parallel_build_equals_sequential_on_generated_data() {
+    // The batched multi-threaded artifact build must produce an index that
+    // answers every probe identically to the single-threaded build — same
+    // verified matches, same order.
     let w = hosp_workload(&GenParams {
         tuples: 300,
         master_tuples: 150,
         ..GenParams::default()
     });
-    let exhaustive = MasterIndex::build(w.rules.mds(), &w.master, w.master.len());
-    let default_l = MasterIndex::build(w.rules.mds(), &w.master, 20);
+    let sequential = MasterIndex::build(w.rules.mds(), &w.master);
+    let parallel = MasterIndex::build_parallel(w.rules.mds(), &w.master, true, 4);
     let (mut sa, mut sb) = (ProbeScratch::new(), ProbeScratch::new());
     let (mut a, mut b) = (Vec::new(), Vec::new());
     for (i, md) in w.rules.mds().iter().enumerate() {
         for (_, t) in w.dirty.iter() {
-            exhaustive.matches_into(i, md, t, &w.master, None, &mut sa, &mut a);
-            default_l.matches_into(i, md, t, &w.master, None, &mut sb, &mut b);
+            sequential.matches_into(i, md, t, &w.master, None, &mut sa, &mut a);
+            parallel.matches_into(i, md, t, &w.master, None, &mut sb, &mut b);
             assert_eq!(a, b, "md {}", md.name());
         }
     }
@@ -84,7 +85,7 @@ fn every_generated_md_is_indexed() {
             ..GenParams::default()
         }),
     ] {
-        let idx = MasterIndex::build(w.rules.mds(), &w.master, 20);
+        let idx = MasterIndex::build(w.rules.mds(), &w.master);
         for (i, md) in w.rules.mds().iter().enumerate() {
             assert!(
                 idx.is_indexed(i),

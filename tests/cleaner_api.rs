@@ -87,11 +87,11 @@ fn invalid_config_is_a_typed_error() {
         ),
         (
             CleanConfig {
-                blocking_l: 0,
+                max_hrepair_rounds: 0,
                 ..CleanConfig::default()
             },
             CleanError::Config(ConfigError::ZeroLimit {
-                field: "blocking_l",
+                field: "max_hrepair_rounds",
             }),
         ),
     ] {
