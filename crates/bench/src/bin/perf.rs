@@ -3,9 +3,12 @@
 //! incremental `clean_delta` path (the `BENCH_pr3.json` generator), the
 //! columnar storage layer (the `BENCH_pr4.json` generator), the
 //! master-index access-path planner (the `BENCH_pr5.json` generator),
-//! and the bit-parallel similarity kernels (the `BENCH_pr8.json`
+//! the bit-parallel similarity kernels (the `BENCH_pr8.json`
 //! generator: Myers vs the scalar DPs it replaced, plus a like-for-like
-//! re-run of the PR5 probe workload).
+//! re-run of the PR5 probe workload), and the runtime-dispatched SIMD
+//! engine (the `BENCH_pr9.json` generator: vectorized gram hashing vs
+//! the batched scalar kernel, plus the column-at-a-time Myers driver vs
+//! per-value dispatch).
 //!
 //! Part 1 measures cRepair and eRepair tuples/sec on generated HOSP and
 //! DBLP workloads across worker-thread counts (1/2/4/8) and interning
@@ -27,13 +30,15 @@
 //!    [--out BENCH_pr2.json] [--delta-out BENCH_pr3.json]
 //!    [--storage-out BENCH_pr4.json] [--sim-out BENCH_pr5.json]
 //!    [--kernels-out BENCH_pr8.json] [--kernels-only] [--sim-only]
+//!    [--simd-out BENCH_pr9.json] [--simd-only]
 //!    [--tuples 10000] [--master 2000] [--repeat 3]
 //!    [--delta-base 10000] [--delta-batches 10] [--delta-batch 100]
 //! ```
 //!
 //! `--kernels-only` emits just `BENCH_pr8.json` (the edit-distance kernel
 //! microbench plus the PR5 probe-workload re-run), skipping everything
-//! else.
+//! else; `--simd-only` likewise emits just `BENCH_pr9.json` (the SIMD
+//! dispatch comparison).
 //!
 //! `--smoke` shrinks the workloads to a few hundred tuples, runs one
 //! repeat, validates the emitted JSON and exits nonzero on any failure —
@@ -1872,6 +1877,353 @@ fn render_kernels_json(cases: &[KernelCase], sim: &SimReport, smoke: bool) -> St
     out
 }
 
+// ---------------------------------------------------------------------------
+// Part 8: runtime-dispatched SIMD — vectorized gram hashing and the
+// column-at-a-time Myers driver (BENCH_pr9.json).
+// ---------------------------------------------------------------------------
+
+struct SimdReport {
+    /// `DispatchInfo` under auto dispatch and under the forced-scalar kill
+    /// switch — the latter proves the fallback row below really ran scalar.
+    dispatch_auto: String,
+    dispatch_forced: String,
+    /// Gram hashing: every distinct master value of the 10k-DBLP Title and
+    /// Authors columns, padded exactly as `QGramProfile::rebuild` pads.
+    hash_values: usize,
+    hash_bytes: u64,
+    hash_q: usize,
+    /// Production dispatcher under the forced-scalar override (the PR 8
+    /// batched scalar kernel) vs under auto dispatch, hashes asserted
+    /// equal window-by-window.
+    hash_scalar_seconds: f64,
+    hash_simd_seconds: f64,
+    /// Whole `MasterIndex::build` on the same 10k master, both engines.
+    index_build_scalar_seconds: f64,
+    index_build_simd_seconds: f64,
+    /// Columnar `~lev` driver on the BENCH_pr5 probe workload's Title
+    /// column: per-value dispatch (master-compiled cached pattern +
+    /// `distance_bounded` per pair) vs one probe-compiled pattern swept
+    /// over the whole distinct column, verdicts asserted equal
+    /// value-by-value.
+    lev_probes: usize,
+    lev_texts: usize,
+    lev_k: usize,
+    lev_pairs: u64,
+    lev_hits: u64,
+    per_value_seconds: f64,
+    columnar_seconds: f64,
+}
+
+/// Distinct rendered (ASCII) values of one attribute column, sorted for
+/// deterministic iteration order.
+fn distinct_column(rel: &uniclean_model::Relation, attr: &str) -> Vec<String> {
+    let attr = rel.schema().attr_id_or_panic(attr);
+    let mut seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for (_, s) in rel.iter() {
+        let v = s.value(attr);
+        if !v.is_null() {
+            seen.insert(v.render().into_owned());
+        }
+    }
+    seen.into_iter().collect()
+}
+
+/// SIMD dispatch benches: (a) the vectorized FNV gram-hash lanes against
+/// the batched scalar kernel over a 10k-DBLP index-build's hashing stage,
+/// (b) the column-at-a-time Myers driver against per-value dispatch on the
+/// BENCH_pr5 probe workload — both through the production dispatcher, both
+/// with answers asserted equal before any timing is reported.
+fn bench_simd(repeat: usize, smoke: bool) -> SimdReport {
+    use uniclean_core::MasterIndex;
+    use uniclean_model::{FxHashMap, TupleId};
+    use uniclean_similarity::simd::{self, hash_gram_windows, hash_gram_windows_scalar};
+    use uniclean_similarity::{ColumnVerdicts, EditScratch, MyersPattern};
+
+    let dispatch_auto = simd::dispatch_info().to_string();
+    simd::set_forced_scalar(Some(true));
+    let dispatch_forced = simd::dispatch_info().to_string();
+    simd::set_forced_scalar(None);
+
+    // -- Gram hashing: 10k DBLP index-build hashing stage. -----------------
+    let (hash_tuples, hash_master) = if smoke { (60, 300) } else { (1_000, 10_000) };
+    let w = uniclean_datagen::dblp_similarity_workload(&GenParams {
+        tuples: hash_tuples,
+        master_tuples: hash_master,
+        ..GenParams::default()
+    });
+    let q = 2usize; // LEV_QGRAM_Q — the shared `~lev`/`~qgram(2, …)` artifact.
+    let mut padded: Vec<Vec<u8>> = Vec::new();
+    for attr in ["Title", "Authors"] {
+        for v in distinct_column(&w.master, attr) {
+            if !v.is_ascii() {
+                continue;
+            }
+            // Pad exactly as `QGramProfile::rebuild` pads ASCII strings.
+            let mut buf = vec![0x1Fu8; q - 1];
+            buf.extend_from_slice(v.as_bytes());
+            buf.resize(buf.len() + q - 1, 0x1Fu8);
+            padded.push(buf);
+        }
+    }
+    let hash_values = padded.len();
+    let hash_bytes: u64 = padded.iter().map(|p| p.len() as u64).sum();
+
+    // Parity first: the dispatched kernel must reproduce the scalar hashes
+    // bit-for-bit on every window of every value.
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for p in &padded {
+        a.clear();
+        b.clear();
+        hash_gram_windows(p, q, &mut a);
+        hash_gram_windows_scalar(p, q, &mut b);
+        if a != b {
+            eprintln!("gram-hash kernels disagreed on {p:?}");
+            std::process::exit(1);
+        }
+    }
+
+    // One corpus pass is sub-millisecond, below timer/frequency noise —
+    // each sample times a block of passes and reports the per-pass time,
+    // and the two engines alternate samples so clock drift on a shared
+    // host cannot skew the ratio.
+    let hash_passes = if smoke { 4 } else { 24 };
+    let hash_sample = |forced: bool| -> f64 {
+        simd::set_forced_scalar(Some(forced));
+        let mut out = Vec::new();
+        let started = Instant::now();
+        let mut acc = 0u64;
+        for _ in 0..hash_passes {
+            for p in &padded {
+                out.clear();
+                hash_gram_windows(p, q, &mut out);
+                acc ^= out.last().copied().unwrap_or(0);
+            }
+        }
+        std::hint::black_box(acc);
+        let elapsed = started.elapsed().as_secs_f64() / hash_passes as f64;
+        simd::set_forced_scalar(None);
+        elapsed
+    };
+    eprintln!("  simd: gram hashing ({hash_values} distinct values, {hash_bytes} bytes)…");
+    let mut hash_scalar_seconds = f64::INFINITY;
+    let mut hash_simd_seconds = f64::INFINITY;
+    for _ in 0..repeat.max(1) {
+        hash_scalar_seconds = hash_scalar_seconds.min(hash_sample(true));
+        hash_simd_seconds = hash_simd_seconds.min(hash_sample(false));
+    }
+
+    let build_sample = |forced: bool| -> f64 {
+        simd::set_forced_scalar(Some(forced));
+        let started = Instant::now();
+        std::hint::black_box(MasterIndex::build(w.rules.mds(), &w.master));
+        let elapsed = started.elapsed().as_secs_f64();
+        simd::set_forced_scalar(None);
+        elapsed
+    };
+    eprintln!("  simd: full index build ({hash_master} master tuples)…");
+    let mut index_build_scalar_seconds = f64::INFINITY;
+    let mut index_build_simd_seconds = f64::INFINITY;
+    for _ in 0..repeat.max(1) {
+        index_build_scalar_seconds = index_build_scalar_seconds.min(build_sample(true));
+        index_build_simd_seconds = index_build_simd_seconds.min(build_sample(false));
+    }
+
+    // -- Columnar Myers driver: BENCH_pr5 probe workload. ------------------
+    let (lev_tuples, lev_master, sample) = if smoke {
+        (200, 80, 60)
+    } else {
+        (4_000, 2_000, 800)
+    };
+    let w = uniclean_datagen::dblp_similarity_workload(&GenParams {
+        tuples: lev_tuples,
+        master_tuples: lev_master,
+        ..GenParams::default()
+    });
+    let lev_k = 2usize; // sv4: Title ~lev(2) — the workload's `~lev` conjunct.
+    let texts = distinct_column(&w.master, "Title");
+    let title = w.dirty.schema().attr_id_or_panic("Title");
+    let sample = sample.min(w.dirty.len());
+    let probes: Vec<String> = (0..sample)
+        .map(|row| {
+            w.dirty
+                .tuple(TupleId::from(row))
+                .value(title)
+                .render()
+                .into_owned()
+        })
+        .collect();
+
+    // Parity first: the columnar sweep's verdict bitmap must equal the
+    // per-value kernel's accept/reject, probe × value.
+    let mut edit = EditScratch::new();
+    let mut verdicts = ColumnVerdicts::new();
+    let mut lev_hits = 0u64;
+    for p in &probes {
+        let pat = MyersPattern::new(p);
+        pat.distance_column(texts.iter(), lev_k, &mut edit, &mut verdicts);
+        for (i, t) in texts.iter().enumerate() {
+            let per_value = MyersPattern::new(t)
+                .distance_bounded(p, lev_k, &mut edit)
+                .is_some();
+            if per_value != verdicts.get(i) {
+                eprintln!("columnar verdict diverged on probe {p:?} vs text {t:?}");
+                std::process::exit(1);
+            }
+        }
+        lev_hits += verdicts.count_ones() as u64;
+    }
+
+    // Per-value dispatch, exactly as the pre-columnar probe path ran it: a
+    // pattern cache keyed by master value (warm after the first probe) and
+    // one `distance_bounded` call per pair.
+    let mut per_value_seconds = f64::INFINITY;
+    let mut columnar_seconds = f64::INFINITY;
+    eprintln!(
+        "  simd: columnar ~lev driver ({} probes x {} distinct values)…",
+        probes.len(),
+        texts.len()
+    );
+    for _ in 0..repeat.max(1) {
+        let mut pats: FxHashMap<u32, MyersPattern> = FxHashMap::default();
+        let started = Instant::now();
+        let mut found = 0u64;
+        for p in &probes {
+            for (i, t) in texts.iter().enumerate() {
+                let pat = pats.entry(i as u32).or_insert_with(|| MyersPattern::new(t));
+                if pat.distance_bounded(p, lev_k, &mut edit).is_some() {
+                    found += 1;
+                }
+            }
+        }
+        per_value_seconds = per_value_seconds.min(started.elapsed().as_secs_f64());
+        assert_eq!(found, lev_hits, "per-value kernel disagreed during timing");
+
+        let mut pat = MyersPattern::default();
+        let started = Instant::now();
+        let mut found = 0u64;
+        for p in &probes {
+            pat.build(p);
+            pat.distance_column(texts.iter(), lev_k, &mut edit, &mut verdicts);
+            found += verdicts.count_ones() as u64;
+        }
+        columnar_seconds = columnar_seconds.min(started.elapsed().as_secs_f64());
+        assert_eq!(found, lev_hits, "columnar driver disagreed during timing");
+    }
+
+    SimdReport {
+        dispatch_auto,
+        dispatch_forced,
+        hash_values,
+        hash_bytes,
+        hash_q: q,
+        hash_scalar_seconds,
+        hash_simd_seconds,
+        index_build_scalar_seconds,
+        index_build_simd_seconds,
+        lev_probes: probes.len(),
+        lev_texts: texts.len(),
+        lev_k,
+        lev_pairs: (probes.len() * texts.len()) as u64,
+        lev_hits,
+        per_value_seconds,
+        columnar_seconds,
+    }
+}
+
+fn render_simd_json(r: &SimdReport, smoke: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"pr9_simd_dispatch\",");
+    let _ = writeln!(
+        out,
+        "  \"command\": \"cargo run --release -p uniclean-bench --bin perf -- --simd-only\","
+    );
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(
+        out,
+        "  \"note\": \"gram_hashing times the production dispatcher over the padded distinct \
+         master values of a 10k-DBLP index build, once under the forced-scalar override (the \
+         PR 8 batched scalar kernel) and once auto-dispatched, hashes asserted bit-identical \
+         window-by-window first; index_build times the whole MasterIndex::build both ways. \
+         columnar_lev times one probe-compiled Myers pattern swept over the BENCH_pr5 \
+         workload's distinct Title column against the per-value dispatch it replaced \
+         (master-compiled cached pattern + distance_bounded per pair), verdicts asserted \
+         equal value-by-value before timing. forced_scalar dispatch names the fallback row's \
+         engine.\","
+    );
+    let _ = writeln!(out, "  \"dispatch\": {{");
+    let _ = writeln!(out, "    \"auto\": \"{}\",", r.dispatch_auto);
+    let _ = writeln!(out, "    \"forced_scalar\": \"{}\"", r.dispatch_forced);
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"gram_hashing\": {{");
+    let _ = writeln!(out, "    \"distinct_values\": {},", r.hash_values);
+    let _ = writeln!(out, "    \"padded_bytes\": {},", r.hash_bytes);
+    let _ = writeln!(out, "    \"q\": {},", r.hash_q);
+    let _ = writeln!(
+        out,
+        "    \"scalar_seconds\": {},",
+        num(r.hash_scalar_seconds, 6)
+    );
+    let _ = writeln!(
+        out,
+        "    \"simd_seconds\": {},",
+        num(r.hash_simd_seconds, 6)
+    );
+    let _ = writeln!(
+        out,
+        "    \"speedup\": {},",
+        num(r.hash_scalar_seconds / r.hash_simd_seconds.max(1e-12), 2)
+    );
+    let _ = writeln!(out, "    \"hashes_bit_identical\": true");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"index_build\": {{");
+    let _ = writeln!(
+        out,
+        "    \"scalar_seconds\": {},",
+        num(r.index_build_scalar_seconds, 6)
+    );
+    let _ = writeln!(
+        out,
+        "    \"simd_seconds\": {},",
+        num(r.index_build_simd_seconds, 6)
+    );
+    let _ = writeln!(
+        out,
+        "    \"speedup\": {}",
+        num(
+            r.index_build_scalar_seconds / r.index_build_simd_seconds.max(1e-12),
+            2
+        )
+    );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"columnar_lev\": {{");
+    let _ = writeln!(out, "    \"probes\": {},", r.lev_probes);
+    let _ = writeln!(out, "    \"distinct_values\": {},", r.lev_texts);
+    let _ = writeln!(out, "    \"k\": {},", r.lev_k);
+    let _ = writeln!(out, "    \"pairs\": {},", r.lev_pairs);
+    let _ = writeln!(out, "    \"within_k\": {},", r.lev_hits);
+    let _ = writeln!(
+        out,
+        "    \"per_value_seconds\": {},",
+        num(r.per_value_seconds, 6)
+    );
+    let _ = writeln!(
+        out,
+        "    \"columnar_seconds\": {},",
+        num(r.columnar_seconds, 6)
+    );
+    let _ = writeln!(
+        out,
+        "    \"speedup\": {},",
+        num(r.per_value_seconds / r.columnar_seconds.max(1e-12), 2)
+    );
+    let _ = writeln!(out, "    \"verdicts_equal_value_by_value\": true");
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
 /// Validate, write, re-read and re-validate one JSON report file.
 fn write_validated(path: &str, json: &str) {
     if let Err(pos) = validate_json(json) {
@@ -1907,6 +2259,7 @@ fn main() {
     let storage_only = args.flag("storage-only");
     let kernels_only = args.flag("kernels-only");
     let sim_only = args.flag("sim-only");
+    let simd_only = args.flag("simd-only");
     let out_path = args.get_or("out", "BENCH_pr2.json").to_string();
     let delta_out_path = args.get_or("delta-out", "BENCH_pr3.json").to_string();
     let storage_out_path = args.get_or("storage-out", "BENCH_pr4.json").to_string();
@@ -1914,6 +2267,7 @@ fn main() {
     let serve_out_path = args.get_or("serve-out", "BENCH_pr6.json").to_string();
     let durability_out_path = args.get_or("durability-out", "BENCH_pr7.json").to_string();
     let kernels_out_path = args.get_or("kernels-out", "BENCH_pr8.json").to_string();
+    let simd_out_path = args.get_or("simd-out", "BENCH_pr9.json").to_string();
     let (tuples, master, repeat, thread_counts): (usize, usize, usize, Vec<usize>) = if smoke {
         (200, 80, 1, vec![1, 2])
     } else {
@@ -1940,6 +2294,32 @@ fn main() {
     } else {
         (4_000, 2_000, 800)
     };
+
+    if simd_only {
+        let simd = bench_simd(repeat, smoke);
+        write_validated(&simd_out_path, &render_simd_json(&simd, smoke));
+        println!(
+            "## simd — gram hashing: scalar {:.6}s vs simd {:.6}s ({:.1}x); index build {:.1}x; \
+             columnar ~lev: per-value {:.6}s vs columnar {:.6}s ({:.1}x)",
+            simd.hash_scalar_seconds,
+            simd.hash_simd_seconds,
+            simd.hash_scalar_seconds / simd.hash_simd_seconds.max(1e-12),
+            simd.index_build_scalar_seconds / simd.index_build_simd_seconds.max(1e-12),
+            simd.per_value_seconds,
+            simd.columnar_seconds,
+            simd.per_value_seconds / simd.columnar_seconds.max(1e-12),
+        );
+        println!(
+            "## dispatch: {} | forced: {}",
+            simd.dispatch_auto, simd.dispatch_forced
+        );
+        println!(
+            "wrote {simd_out_path} ({:.1}s){}",
+            started.elapsed().as_secs_f64(),
+            if smoke { " [smoke]" } else { "" }
+        );
+        return;
+    }
 
     if kernels_only {
         let cases = bench_kernels(repeat, smoke);
@@ -2048,6 +2428,9 @@ fn main() {
         &kernels_out_path,
         &render_kernels_json(&kernel_cases, &sim, smoke),
     );
+
+    let simd = bench_simd(repeat, smoke);
+    write_validated(&simd_out_path, &render_simd_json(&simd, smoke));
 
     eprintln!("delta workload ({delta_base} base + {delta_batches} x {delta_batch} batches)…");
     let delta = bench_delta(delta_base, delta_batches, delta_batch, master);
@@ -2197,7 +2580,8 @@ fn main() {
     }
     println!(
         "wrote {out_path} + {storage_out_path} + {sim_out_path} + {kernels_out_path} \
-         + {delta_out_path} + {serve_out_path} + {durability_out_path} ({} datasets, {:.1}s total){}",
+         + {simd_out_path} + {delta_out_path} + {serve_out_path} + {durability_out_path} \
+         ({} datasets, {:.1}s total){}",
         reports.len(),
         started.elapsed().as_secs_f64(),
         if smoke { " [smoke]" } else { "" }

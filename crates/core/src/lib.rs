@@ -55,6 +55,11 @@ pub mod pipeline;
 pub mod session;
 pub mod two_in_one;
 
+/// Re-export of the similarity crate, so downstream layers (server, CLI)
+/// can reach kernel dispatch introspection ([`similarity::simd`]) without a
+/// direct dependency.
+pub use uniclean_similarity as similarity;
+
 pub use config::CleanConfig;
 pub use crepair::c_repair;
 pub use erepair::e_repair;

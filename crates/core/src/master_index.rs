@@ -96,7 +96,7 @@ use uniclean_model::{
     AttrId, FxHashMap, FxHasher, Relation, Row, Symbol, TupleId, Value, ValueInterner,
 };
 use uniclean_rules::{MatchScratch, Md};
-use uniclean_similarity::{ProfileScratch, QGramIndex, QGramProfile, QGramScratch};
+use uniclean_similarity::{simd, ProfilePool, QGramIndex, QGramScratch};
 
 use crate::parallel::{map_chunks, map_each};
 
@@ -163,11 +163,16 @@ enum Path {
         map: Arc<FxHashMap<Symbol, Vec<u32>>>,
     },
     /// Complete count-filtered retrieval under the edit bound `k`, over
-    /// the shared [`LEV_QGRAM_Q`]-gram inverted lists.
+    /// the shared [`LEV_QGRAM_Q`]-gram inverted lists. When accelerated
+    /// kernels are active the count-filtered *distinct values* are
+    /// confirmed column-at-a-time through one probe-compiled Myers
+    /// pattern (`col` is the vid → value sidecar) before expanding to
+    /// rows; the scalar fallback expands unconfirmed candidates directly.
     LevCount {
         premise: usize,
         k: usize,
         index: Arc<QGramIndex>,
+        col: Arc<VidColumn>,
     },
     /// Count-filtered q-gram inverted lists for `~qgram(q, min)`.
     QGramCount {
@@ -427,8 +432,18 @@ enum ArtifactKey {
 enum Artifact {
     ExactRaw(Arc<HashMap<Value, Vec<u32>>>),
     ExactSym(Arc<FxHashMap<Symbol, Vec<u32>>>),
-    QGram(Arc<QGramIndex>),
+    QGram(Arc<QGramIndex>, Arc<VidColumn>),
     Composite(Arc<FxHashMap<u64, Vec<u32>>>),
+}
+
+/// Distinct-value sidecar of a q-gram artifact: for each dense value id
+/// the master store symbol (memo seeding) and the rendered text (columnar
+/// Myers sweeps), both in vid order. Built once alongside the index, so
+/// probes never re-render a master value.
+#[derive(Debug)]
+pub(crate) struct VidColumn {
+    syms: Vec<Symbol>,
+    texts: Vec<Box<str>>,
 }
 
 fn build_artifact(
@@ -482,27 +497,30 @@ fn build_artifact(
                 }
                 owners[*slot as usize].push(row as u32);
             }
-            let profiles: Vec<QGramProfile> = map_chunks(syms.len(), threads, |range| {
-                let mut scratch = ProfileScratch::new();
-                range
-                    .map(|i| {
-                        QGramProfile::new_with(
-                            &interner.resolve(syms[i]).render(),
-                            *q,
-                            &mut scratch,
-                        )
-                    })
-                    .collect::<Vec<_>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect();
-            Artifact::QGram(Arc::new(QGramIndex::from_parts(
-                profiles,
+            // Each worker checks a profile arena out of the process-wide
+            // pool (hashing scratch + retired profile vectors), so
+            // repeated index rebuilds stop allocating per chunk; the
+            // borrowing `from_parts` only copies the gram runs out, and
+            // the arenas return to the pool when the guards drop. The
+            // rendered texts are kept as the columnar-sweep sidecar.
+            let parts = map_chunks(syms.len(), threads, |range| {
+                let mut arena = ProfilePool::global().checkout();
+                let mut texts: Vec<Box<str>> = Vec::with_capacity(range.len());
+                for i in range {
+                    let s = interner.resolve(syms[i]).render();
+                    arena.push(&s, *q);
+                    texts.push(s.into_owned().into_boxed_str());
+                }
+                (arena, texts)
+            });
+            let index = QGramIndex::from_parts(
+                parts.iter().flat_map(|(arena, _)| arena.profiles()),
                 owners,
                 master.len(),
                 *q,
-            )))
+            );
+            let texts: Vec<Box<str>> = parts.into_iter().flat_map(|(_, texts)| texts).collect();
+            Artifact::QGram(Arc::new(index), Arc::new(VidColumn { syms, texts }))
         }
         ArtifactKey::Composite(attrs) => {
             let null = master.null_sym();
@@ -649,12 +667,15 @@ impl MasterIndex {
                     premise: *premise,
                     map: map.clone(),
                 },
-                (PathSpec::LevCount { premise, k }, Artifact::QGram(index)) => Path::LevCount {
-                    premise: *premise,
-                    k: *k,
-                    index: index.clone(),
-                },
-                (PathSpec::QGramCount { premise, q, min }, Artifact::QGram(index)) => {
+                (PathSpec::LevCount { premise, k }, Artifact::QGram(index, col)) => {
+                    Path::LevCount {
+                        premise: *premise,
+                        k: *k,
+                        index: index.clone(),
+                        col: col.clone(),
+                    }
+                }
+                (PathSpec::QGramCount { premise, q, min }, Artifact::QGram(index, _)) => {
                     Path::QGramCount {
                         premise: *premise,
                         q: *q,
@@ -662,7 +683,7 @@ impl MasterIndex {
                         index: index.clone(),
                     }
                 }
-                (PathSpec::JaroFilter { premise, min_jaro }, Artifact::QGram(index)) => {
+                (PathSpec::JaroFilter { premise, min_jaro }, Artifact::QGram(index, _)) => {
                     Path::JaroFilter {
                         premise: *premise,
                         min_jaro: *min_jaro,
@@ -757,20 +778,61 @@ impl MasterIndex {
                     out.extend_from_slice(rows);
                 }
             }
-            Path::LevCount { premise, k, index } => {
-                let attr = md.premises()[*premise].attr;
-                let v = t.value(attr);
+            Path::LevCount {
+                premise,
+                k,
+                index,
+                col,
+            } => {
+                let p = &md.premises()[*premise];
+                let v = t.value(p.attr);
                 if v.is_null() {
                     return;
                 }
-                // The probe profile comes from the same symbol-keyed cache
-                // premise verification uses — built once per distinct
-                // probe value.
-                let profile = match t.sym(attr) {
-                    Some(sym) => matching.probe_profile_cached(sym.0, LEV_QGRAM_Q, &v.render()),
-                    None => matching.probe_profile_owned(LEV_QGRAM_Q, &v.render()),
-                };
-                index.candidates_lev_into(profile, *k, qgram, out);
+                let rendered = v.render();
+                let probe_sym = t.sym(p.attr);
+                if simd::accelerated() {
+                    // Column-at-a-time confirm: count-filter down to
+                    // candidate *distinct values*, sweep them through one
+                    // probe-compiled Myers pattern, and expand only the
+                    // confirmed values to their owner rows. The sweep
+                    // seeds the pair-verdict memo, so full premise
+                    // verification replays these answers for free.
+                    let mut vids = qgram.take_vids();
+                    vids.clear();
+                    {
+                        // The probe profile comes from the same
+                        // symbol-keyed cache premise verification uses —
+                        // built once per distinct probe value.
+                        let profile = match probe_sym {
+                            Some(sym) => {
+                                matching.probe_profile_cached(sym.0, LEV_QGRAM_Q, &rendered)
+                            }
+                            None => matching.probe_profile_owned(LEV_QGRAM_Q, &rendered),
+                        };
+                        index.lev_candidate_values_into(profile, *k, qgram, &mut vids);
+                    }
+                    let verdicts = matching.lev_sweep_column(
+                        probe_sym.map(|s| s.0),
+                        &rendered,
+                        *k,
+                        p.pair_key(),
+                        vids.iter().map(|&vid| {
+                            let vid = vid as usize;
+                            (Some(col.syms[vid].0), &*col.texts[vid])
+                        }),
+                    );
+                    for i in verdicts.iter_ones() {
+                        out.extend_from_slice(index.owners(vids[i]));
+                    }
+                    qgram.restore_vids(vids);
+                } else {
+                    let profile = match probe_sym {
+                        Some(sym) => matching.probe_profile_cached(sym.0, LEV_QGRAM_Q, &rendered),
+                        None => matching.probe_profile_owned(LEV_QGRAM_Q, &rendered),
+                    };
+                    index.candidates_lev_into(profile, *k, qgram, out);
+                }
             }
             Path::QGramCount {
                 premise,

@@ -48,6 +48,10 @@ pub(crate) struct MdMatchCache {
     /// sequential recompute path; cleared on [`Self::begin_run`] because a
     /// rewound run may re-intern different values behind the same symbols.
     scratch: ProbeScratch,
+    /// Reusable witness buffer for the sequential miss path — recomputes
+    /// happen per invalidated cell, so a per-miss `Vec` allocation adds up
+    /// on repair-heavy runs.
+    miss_buf: Vec<TupleId>,
 }
 
 impl MdMatchCache {
@@ -69,6 +73,7 @@ impl MdMatchCache {
             exclude_self,
             volatile: Vec::new(),
             scratch: ProbeScratch::new(),
+            miss_buf: Vec::new(),
         }
     }
 
@@ -201,7 +206,7 @@ impl MdMatchCache {
         let slot = &mut self.entries[md_idx][t.index()];
         if slot.is_none() {
             let md = &rules.mds()[md_idx];
-            let mut buf = Vec::new();
+            self.miss_buf.clear();
             idx.matches_into(
                 md_idx,
                 md,
@@ -209,9 +214,9 @@ impl MdMatchCache {
                 dm,
                 exclude,
                 &mut self.scratch,
-                &mut buf,
+                &mut self.miss_buf,
             );
-            *slot = Some(buf.into_boxed_slice());
+            *slot = Some(self.miss_buf.as_slice().into());
         }
         slot.as_deref().expect("filled above")
     }

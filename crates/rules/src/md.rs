@@ -15,7 +15,9 @@ use std::fmt;
 use std::sync::Arc;
 
 use uniclean_model::{AttrId, FxHashMap, FxHasher, Row, Schema};
-use uniclean_similarity::{MyersPattern, QGramProfile, SimScratch, SimilarityPredicate};
+use uniclean_similarity::{
+    ColumnVerdicts, MyersPattern, QGramProfile, SimScratch, SimilarityPredicate,
+};
 
 /// Caller-owned buffers and symbol-keyed kernel caches for MD premise
 /// evaluation. One per probing thread, embedded in the engine's
@@ -41,6 +43,16 @@ pub struct MatchScratch {
     sim: SimScratch,
     /// Myers pattern bitmaps keyed by master-side symbol.
     myers: FxHashMap<u32, MyersPattern>,
+    /// Myers pattern bitmaps keyed by *probe*-side symbol — the
+    /// column-at-a-time driver compiles the probe value once and sweeps
+    /// whole master columns through it.
+    probe_patterns: FxHashMap<u32, MyersPattern>,
+    /// Un-cached pattern slot for symbol-less probe values.
+    probe_pat: MyersPattern,
+    /// Verdict bitmap of the last columnar sweep.
+    column: ColumnVerdicts,
+    /// Master-side symbols of the last columnar sweep, for memo seeding.
+    seed_syms: Vec<Option<u32>>,
     /// Padded q-gram profiles keyed by `(probe-side symbol, q)`.
     probe_profiles: FxHashMap<(u32, u32), QGramProfile>,
     /// Padded q-gram profiles keyed by `(master-side symbol, q)`.
@@ -79,9 +91,70 @@ impl MatchScratch {
     /// cannot see.
     pub fn reset(&mut self) {
         self.myers.clear();
+        self.probe_patterns.clear();
         self.probe_profiles.clear();
         self.master_profiles.clear();
         self.pairs.clear();
+    }
+
+    /// Column-at-a-time `~lev` verification: compile (or reuse, keyed by
+    /// `probe_sym`) the probe value's Myers pattern and sweep every
+    /// `(master symbol, rendered master value)` item through it in one
+    /// pass — [`MyersPattern::distance_column`] — instead of dispatching a
+    /// per-master-value pattern per pair. Returns the verdict bitmap (bit
+    /// `i` ⟺ `lev(probe, items[i]) ≤ max`).
+    ///
+    /// Every swept pair additionally seeds the pair-verdict memo under
+    /// `conjunct` (see [`MdPremise::pair_key`]), so the subsequent
+    /// [`Md::premise_matches_with`] verification replays the columnar
+    /// verdict instead of re-running a kernel. Levenshtein is symmetric,
+    /// so the flipped pattern direction (probe-compiled here vs.
+    /// master-compiled in the per-value path) cannot change any verdict —
+    /// the differential tests pin this.
+    pub fn lev_sweep_column<I, T>(
+        &mut self,
+        probe_sym: Option<u32>,
+        probe_value: &str,
+        max: usize,
+        conjunct: u64,
+        items: I,
+    ) -> &ColumnVerdicts
+    where
+        I: IntoIterator<Item = (Option<u32>, T)>,
+        T: AsRef<str>,
+    {
+        let MatchScratch {
+            sim,
+            probe_patterns,
+            probe_pat,
+            pairs,
+            column,
+            seed_syms,
+            ..
+        } = self;
+        let pat: &MyersPattern = match probe_sym {
+            Some(sym) => probe_patterns
+                .entry(sym)
+                .or_insert_with(|| MyersPattern::new(probe_value)),
+            None => {
+                probe_pat.build(probe_value);
+                probe_pat
+            }
+        };
+        seed_syms.clear();
+        let texts = items.into_iter().map(|(sym, text)| {
+            seed_syms.push(sym);
+            text
+        });
+        pat.distance_column(texts, max, &mut sim.edit, column);
+        if let Some(ps) = probe_sym {
+            for (i, ms) in seed_syms.iter().enumerate() {
+                if let Some(ms) = ms {
+                    pairs.insert((ps, *ms, conjunct), column.get(i));
+                }
+            }
+        }
+        column
     }
 
     /// The cached padded q-gram profile of the probe-side value `value`
@@ -147,6 +220,16 @@ pub struct MdPremise {
     pub master_attr: AttrId,
     /// The similarity predicate `≈j`.
     pub pred: SimilarityPredicate,
+}
+
+impl MdPremise {
+    /// Stable identity of this conjunct — the third component of the
+    /// pair-verdict memo key. Access paths that pre-verify pairs in bulk
+    /// ([`MatchScratch::lev_sweep_column`]) pass this so the seeded
+    /// verdicts are found again during full premise verification.
+    pub fn pair_key(&self) -> u64 {
+        premise_identity(self)
+    }
 }
 
 /// A positive matching dependency.

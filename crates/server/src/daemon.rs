@@ -506,6 +506,10 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
                     "shutting_down",
                     Json::Bool(shared.shutdown.load(Ordering::SeqCst)),
                 ),
+                (
+                    "kernels",
+                    Json::str(uniclean_core::similarity::simd::dispatch_info().to_string()),
+                ),
                 ("recovery", recovery),
             ])
         }

@@ -262,6 +262,329 @@ impl MyersPattern {
         }
         (score <= max).then_some(score)
     }
+
+    /// Column-at-a-time threshold sweep: probe this one compiled pattern
+    /// against an entire column of texts, emitting one verdict bit per text
+    /// into `out` — bit `i` is set iff `lev(pattern, texts[i]) ≤ max`.
+    ///
+    /// This is the driver behind the engine's `~lev` verification: the
+    /// probe value is compiled **once** and every distinct master value the
+    /// count filter admits streams through it, instead of compiling (or
+    /// cache-probing) a `MyersPattern` per master value and re-dispatching
+    /// per pair. The per-text work is exactly [`Self::distance_bounded`]
+    /// with its entry branches hoisted out of the loop:
+    ///
+    /// - the length window `|m − n| ≤ max` prefilters each text before any
+    ///   column is computed (the count filter already bounds lengths, so
+    ///   this mostly catches the window edges);
+    /// - the single-word vs. block dispatch and the ASCII-pattern check are
+    ///   resolved once for the whole column;
+    /// - `scratch` provides the block vectors, so the sweep allocates
+    ///   nothing beyond the verdict bitmap's words;
+    /// - when the pattern is ASCII with `m ≤ 64` and AVX2 is active
+    ///   ([`crate::simd::active_level`]), ASCII texts are swept **four per
+    ///   vector register**: the scalar Myers recurrence is latency-bound on
+    ///   its serial word operations, so running four independent texts
+    ///   through one carry chain recovers most of that dead issue width.
+    ///
+    /// Verdicts are **bit-identical** to calling [`Self::distance_bounded`]
+    /// per text (`is_some()`), at any dispatch level — the per-value path
+    /// stays available as the differential oracle and the
+    /// `UNICLEAN_FORCE_SCALAR` fallback. (The lane kernel keeps the exact
+    /// per-lane Ukkonen cutoff and snapshots each lane's score the step its
+    /// text ends, so even the early exits agree with the scalar kernel.)
+    pub fn distance_column<I>(
+        &self,
+        texts: I,
+        max: usize,
+        scratch: &mut EditScratch,
+        out: &mut ColumnVerdicts,
+    ) where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        out.clear();
+        let single = self.blocks == 1;
+        #[cfg(target_arch = "x86_64")]
+        let lanes = single
+            && self.chars.is_empty()
+            && self.m > 0
+            && crate::simd::active_level() == crate::simd::SimdLevel::Avx2;
+        #[cfg(not(target_arch = "x86_64"))]
+        let lanes = false;
+        // Lane staging area: verdict slot + the text waiting to be swept.
+        let mut buf: [Option<(usize, I::Item)>; LANE_BUF] = std::array::from_fn(|_| None);
+        let mut buffered = 0usize;
+        for t in texts {
+            let text = t.as_ref();
+            let n = if text.is_ascii() {
+                text.len()
+            } else {
+                text.chars().count()
+            };
+            if self.m.abs_diff(n) > max {
+                out.push(false);
+                continue;
+            }
+            if self.m == 0 || n == 0 {
+                // The length filter already bounded the nonzero side by max.
+                out.push(true);
+                continue;
+            }
+            if lanes && text.is_ascii() {
+                // Reserve the verdict bit now (sweeps fill it later), so
+                // bitmap order still matches text order.
+                buf[buffered] = Some((out.len(), t));
+                buffered += 1;
+                out.push(false);
+                if buffered == LANE_BUF {
+                    self.flush_lanes(&mut buf, &mut buffered, max, out);
+                }
+                continue;
+            }
+            let cap = max.min(self.m + n);
+            let hit = if single {
+                self.distance_single_word(text, n, cap).is_some()
+            } else {
+                self.distance_blocks(text, n, cap, &mut scratch.pv, &mut scratch.mv)
+                    .is_some()
+            };
+            out.push(hit);
+        }
+        self.flush_lanes(&mut buf, &mut buffered, max, out);
+    }
+
+    /// Drain the lane staging area: a full house goes through the AVX2
+    /// sweep, a partial tail through the scalar single-word kernel.
+    fn flush_lanes<T: AsRef<str>>(
+        &self,
+        buf: &mut [Option<(usize, T)>; LANE_BUF],
+        buffered: &mut usize,
+        max: usize,
+        out: &mut ColumnVerdicts,
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if *buffered == LANE_BUF {
+            let texts: [&[u8]; LANE_BUF] = std::array::from_fn(|i| {
+                buf[i]
+                    .as_ref()
+                    .expect("full lanes staged")
+                    .1
+                    .as_ref()
+                    .as_bytes()
+            });
+            // SAFETY: `distance_column` only stages lanes after
+            // `active_level()` confirmed AVX2 support on this CPU.
+            let verdicts = unsafe { lanes::sweep_avx2(&self.peq, self.m, max, texts) };
+            for (slot, hit) in buf.iter_mut().zip(verdicts) {
+                let (idx, _) = slot.take().expect("staged lane");
+                out.set(idx, hit);
+            }
+            *buffered = 0;
+            return;
+        }
+        for slot in buf.iter_mut().take(*buffered) {
+            let (idx, t) = slot.take().expect("staged lane");
+            let text = t.as_ref();
+            let n = text.len();
+            let cap = max.min(self.m + n);
+            out.set(idx, self.distance_single_word(text, n, cap).is_some());
+        }
+        *buffered = 0;
+    }
+}
+
+/// Lane staging capacity for [`MyersPattern::distance_column`] — the AVX2
+/// sweep's lane count on x86-64, a dormant buffer elsewhere.
+#[cfg(target_arch = "x86_64")]
+const LANE_BUF: usize = lanes::LANES;
+#[cfg(not(target_arch = "x86_64"))]
+const LANE_BUF: usize = 8;
+
+#[cfg(target_arch = "x86_64")]
+mod lanes {
+    use std::arch::x86_64::*;
+
+    /// How many texts one [`sweep_avx2`] call processes.
+    pub(super) const LANES: usize = 8;
+
+    /// Eight-lane single-word Myers: one compiled ASCII pattern (dense
+    /// `peq` table, `1 ≤ m ≤ 64`) swept against eight ASCII texts
+    /// simultaneously — two 256-bit register groups of four u64 lanes, each
+    /// lane holding one text's `Pv`/`Mv` column state. The scalar recurrence
+    /// is latency-bound on its serial word operations, so the two groups'
+    /// independent carry chains overlap in the pipeline. Returns
+    /// `verdict[i]` ⇔ `MyersPattern::distance_single_word(texts[i], …)`
+    /// would return `Some`.
+    ///
+    /// Exactness notes, matching the scalar kernel:
+    /// - `Ph`/`Mh` bits are disjoint, so the scalar `if/else if` score
+    ///   update equals the unconditional `+bit(Ph) − bit(Mh)` done here;
+    /// - each lane's score is snapshotted on the step its text ends; later
+    ///   steps (running on `Eq = 0` until the longest lane finishes) cannot
+    ///   perturb a finished lane's verdict;
+    /// - the Ukkonen cutoff (`score + j > cap + n`) latches per lane into a
+    ///   `dead` mask, checked every other step to keep the hot loop lean —
+    ///   sound at any cadence, because the cutoff condition is a lower
+    ///   bound on the final score: a lane it would kill that runs to its
+    ///   end instead still finishes with `score > cap`, the same verdict.
+    ///   The sweep exits once every lane is dead or finished.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sweep_avx2(
+        peq: &[u64],
+        m: usize,
+        max: usize,
+        texts: [&[u8]; LANES],
+    ) -> [bool; LANES] {
+        debug_assert!((1..=64).contains(&m) && peq.len() == 128);
+        let lens: [i64; LANES] = std::array::from_fn(|i| texts[i].len() as i64);
+        let caps: [i64; LANES] = std::array::from_fn(|i| max.min(m + texts[i].len()) as i64);
+        let bases: [i64; LANES] = std::array::from_fn(|i| caps[i] + lens[i]);
+        let max_n = texts.iter().map(|t| t.len()).max().expect("8 lanes");
+
+        let load = |a: &[i64]| _mm256_loadu_si256(a.as_ptr() as *const __m256i);
+        let len_v = [load(&lens[..4]), load(&lens[4..])];
+        let base_v = [load(&bases[..4]), load(&bases[4..])];
+        let ones = _mm256_set1_epi64x(-1);
+        let one = _mm256_set1_epi64x(1);
+        let last = _mm256_set1_epi64x((1u64 << (m - 1)) as i64);
+        let last_shift = _mm_cvtsi32_si128((m - 1) as i32);
+        let zero = _mm256_setzero_si256();
+        let mut pv = [ones; 2];
+        let mut mv = [zero; 2];
+        let mut score = [_mm256_set1_epi64x(m as i64); 2];
+        let mut fin = [zero; 2];
+        let mut dead = [zero; 2];
+        let mut j_v = zero;
+
+        for j in 0..max_n {
+            // Finished lanes read Eq = 0; their state churns harmlessly
+            // because their score is already snapshotted in `fin`.
+            let eqs: [i64; LANES] =
+                std::array::from_fn(|i| texts[i].get(j).map_or(0, |&b| peq[b as usize]) as i64);
+            let j0_v = j_v;
+            j_v = _mm256_add_epi64(j_v, one); // j_v is now j+1
+            for g in 0..2 {
+                let eq = load(&eqs[g * 4..g * 4 + 4]);
+                let xv = _mm256_or_si256(eq, mv[g]);
+                let xh = _mm256_or_si256(
+                    _mm256_xor_si256(_mm256_add_epi64(_mm256_and_si256(eq, pv[g]), pv[g]), pv[g]),
+                    eq,
+                );
+                let mut ph =
+                    _mm256_or_si256(mv[g], _mm256_andnot_si256(_mm256_or_si256(xh, pv[g]), ones));
+                let mut mh = _mm256_and_si256(pv[g], xh);
+                let inc = _mm256_srl_epi64(_mm256_and_si256(ph, last), last_shift);
+                let dec = _mm256_srl_epi64(_mm256_and_si256(mh, last), last_shift);
+                score[g] = _mm256_sub_epi64(_mm256_add_epi64(score[g], inc), dec);
+                ph = _mm256_or_si256(_mm256_slli_epi64(ph, 1), one);
+                mh = _mm256_slli_epi64(mh, 1);
+                pv[g] = _mm256_or_si256(mh, _mm256_andnot_si256(_mm256_or_si256(xv, ph), ones));
+                mv[g] = _mm256_and_si256(ph, xv);
+                let ended = _mm256_cmpeq_epi64(len_v[g], j_v);
+                fin[g] = _mm256_blendv_epi8(fin[g], score[g], ended);
+            }
+            if j % 2 == 1 {
+                let mut alive = zero;
+                for g in 0..2 {
+                    // `real`: did this step consume an actual char (j < n)?
+                    let real = _mm256_cmpgt_epi64(len_v[g], j0_v);
+                    let cut = _mm256_cmpgt_epi64(_mm256_add_epi64(score[g], j_v), base_v[g]);
+                    dead[g] = _mm256_or_si256(dead[g], _mm256_and_si256(cut, real));
+                    let pending = _mm256_cmpgt_epi64(len_v[g], j_v);
+                    alive = _mm256_or_si256(alive, _mm256_andnot_si256(dead[g], pending));
+                }
+                if _mm256_testz_si256(alive, alive) != 0 {
+                    break;
+                }
+            }
+        }
+        let mut fins = [0i64; LANES];
+        let mut deads = [0i64; LANES];
+        for g in 0..2 {
+            _mm256_storeu_si256(fins.as_mut_ptr().add(g * 4) as *mut __m256i, fin[g]);
+            _mm256_storeu_si256(deads.as_mut_ptr().add(g * 4) as *mut __m256i, dead[g]);
+        }
+        std::array::from_fn(|i| deads[i] == 0 && fins[i] <= caps[i])
+    }
+}
+
+/// Verdict bitmap emitted by [`MyersPattern::distance_column`]: one bit per
+/// swept text, packed 64 to a word. Reusable across sweeps.
+#[derive(Debug, Default, Clone)]
+pub struct ColumnVerdicts {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl ColumnVerdicts {
+    /// Fresh empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Remove all verdicts, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.bits.clear();
+        self.len = 0;
+    }
+
+    /// Append one verdict.
+    #[inline]
+    pub fn push(&mut self, hit: bool) {
+        if self.len.is_multiple_of(64) {
+            self.bits.push(0);
+        }
+        if hit {
+            *self.bits.last_mut().expect("word pushed above") |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Overwrite verdict `i` (must already have been pushed).
+    #[inline]
+    pub fn set(&mut self, i: usize, hit: bool) {
+        assert!(i < self.len, "verdict index {i} out of range {}", self.len);
+        let word = &mut self.bits[i / 64];
+        if hit {
+            *word |= 1u64 << (i % 64);
+        } else {
+            *word &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// Verdict for text `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "verdict index {i} out of range {}", self.len);
+        self.bits[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of verdicts.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the bitmap empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of positive verdicts.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Indices of the positive verdicts, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter().enumerate().flat_map(|(w, &word)| {
+            std::iter::successors((word != 0).then_some(word), |&x| {
+                let rest = x & (x - 1);
+                (rest != 0).then_some(rest)
+            })
+            .map(move |x| w * 64 + x.trailing_zeros() as usize)
+        })
+    }
 }
 
 /// Reusable buffers for the Myers kernels: a transient pattern slot plus the
@@ -586,6 +909,77 @@ mod tests {
     }
 
     #[test]
+    fn column_sweep_crosses_word_boundaries() {
+        // Pattern lengths at the single-word/block seam (63/64/65) swept
+        // over texts straddling the same boundary plus degenerate shapes.
+        let mut scratch = EditScratch::new();
+        let mut verdicts = ColumnVerdicts::new();
+        for plen in [0usize, 1, 63, 64, 65, 130] {
+            let pattern: String = (0..plen).map(|i| (b'a' + (i % 3) as u8) as char).collect();
+            let pat = MyersPattern::new(&pattern);
+            let texts: Vec<String> = [0usize, 1, 62, 63, 64, 65, 66, 129, 131]
+                .iter()
+                .map(|&n| (0..n).map(|i| (b'a' + (i % 4) as u8) as char).collect())
+                .collect();
+            for max in [0usize, 1, 2, 5, 70] {
+                pat.distance_column(texts.iter(), max, &mut scratch, &mut verdicts);
+                assert_eq!(verdicts.len(), texts.len());
+                for (i, t) in texts.iter().enumerate() {
+                    assert_eq!(
+                        verdicts.get(i),
+                        pat.distance_bounded(t, max, &mut scratch).is_some(),
+                        "plen={plen} max={max} text_len={}",
+                        t.len()
+                    );
+                }
+                let ones: Vec<usize> = verdicts.iter_ones().collect();
+                assert_eq!(ones.len(), verdicts.count_ones());
+                assert!(ones.iter().all(|&i| verdicts.get(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn lane_sweep_matches_scalar_across_batch_seams() {
+        // ASCII single-word patterns route eligible texts through the
+        // 4-lane AVX2 sweep (where supported). Exercise every batching
+        // seam: column lengths 0..=9 (remainders 1–3), texts interleaved
+        // with non-ASCII (scalar path) and length-filtered entries, lane
+        // texts of unequal lengths dying at different steps, and both
+        // forced dispatch settings pinned against `distance_bounded`.
+        use crate::simd::set_forced_scalar;
+        let mut scratch = EditScratch::new();
+        let mut verdicts = ColumnVerdicts::new();
+        let pattern = "interaction between record matching and data repairing";
+        let pat = MyersPattern::new(pattern);
+        let texts: Vec<String> = (0..9)
+            .map(|i| match i % 4 {
+                0 => pattern.replacen('a', "x", i / 2), // near misses
+                1 => format!("{pattern}{}", "y".repeat(i)),
+                2 => "caf\u{e9} r\u{e9}cord matching".to_string(), // non-ASCII
+                _ => pattern.chars().rev().collect(),              // far miss, same length
+            })
+            .collect();
+        for take in 0..=texts.len() {
+            for max in [0usize, 1, 2, 3, 8] {
+                for forced in [Some(false), Some(true)] {
+                    set_forced_scalar(forced);
+                    pat.distance_column(texts.iter().take(take), max, &mut scratch, &mut verdicts);
+                    set_forced_scalar(None);
+                    assert_eq!(verdicts.len(), take);
+                    for (i, t) in texts.iter().take(take).enumerate() {
+                        assert_eq!(
+                            verdicts.get(i),
+                            pat.distance_bounded(t, max, &mut scratch).is_some(),
+                            "take={take} max={max} forced={forced:?} text={i}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn degenerate_shapes() {
         assert_eq!(levenshtein_bounded("", "", 0), Some(0));
         assert_eq!(levenshtein_bounded("", "ab", 1), None); // |u|−|v| > k
@@ -630,6 +1024,50 @@ mod tests {
                 reference::levenshtein_bounded_dp(&a, &b, max)
             );
             prop_assert_eq!(levenshtein(&a, &b), reference::levenshtein_dp(&a, &b));
+        }
+
+        /// The column sweep's verdict bitmap equals per-text
+        /// `distance_bounded` probes — the reference DP transitively — over
+        /// random ASCII/non-ASCII columns.
+        #[test]
+        fn column_sweep_matches_per_value(
+            pattern in "[abé日λ]{0,12}",
+            texts in proptest::collection::vec("[abé日λ]{0,12}", 0..12),
+            max in 0usize..5,
+        ) {
+            let pat = MyersPattern::new(&pattern);
+            let mut scratch = EditScratch::new();
+            let mut verdicts = ColumnVerdicts::new();
+            pat.distance_column(texts.iter(), max, &mut scratch, &mut verdicts);
+            prop_assert_eq!(verdicts.len(), texts.len());
+            for (i, t) in texts.iter().enumerate() {
+                prop_assert_eq!(
+                    verdicts.get(i),
+                    reference::levenshtein_bounded_dp(&pattern, t, max).is_some(),
+                    "text {}", i
+                );
+            }
+        }
+
+        /// ASCII columns long enough to engage the 4-lane sweep (and its
+        /// per-lane Ukkonen cutoffs) agree with the reference DP.
+        #[test]
+        fn lane_sweep_matches_reference_ascii(
+            pattern in "[a-d]{1,60}",
+            texts in proptest::collection::vec("[a-d]{0,64}", 1..11),
+            max in 0usize..7,
+        ) {
+            let pat = MyersPattern::new(&pattern);
+            let mut scratch = EditScratch::new();
+            let mut verdicts = ColumnVerdicts::new();
+            pat.distance_column(texts.iter(), max, &mut scratch, &mut verdicts);
+            for (i, t) in texts.iter().enumerate() {
+                prop_assert_eq!(
+                    verdicts.get(i),
+                    reference::levenshtein_bounded_dp(&pattern, t, max).is_some(),
+                    "text {}", i
+                );
+            }
         }
 
         /// The cached-pattern entry point agrees with the one-shot kernel.

@@ -12,6 +12,15 @@
 //! reusable char buffers. [`JaroScratch`] owns every buffer, so probe loops
 //! pay zero allocation per call; the scratch-free entry points allocate one
 //! small scratch internally.
+//!
+//! ASCII pairs whose second string fits 64 characters take a bitset fast
+//! path (gated on [`crate::simd::accelerated`]): per-character position
+//! masks replace the per-character flag scan, so claiming the first
+//! unclaimed match inside the window is one `and`/`trailing_zeros` instead
+//! of a loop. The greedy claim order — and therefore `m`, `t` and the final
+//! f64 expression — is exactly the scalar kernel's, so scores stay
+//! bit-for-bit identical and the flag-scan survives as the differential
+//! oracle behind `UNICLEAN_FORCE_SCALAR`.
 
 /// Reusable buffers for the Jaro kernels. One per probe thread.
 #[derive(Debug, Default, Clone)]
@@ -76,10 +85,61 @@ fn jaro_core<T: PartialEq + Copy>(av: &[T], bv: &[T], scratch: &mut JaroScratch)
     (m / av.len() as f64 + m / bv.len() as f64 + (m - t) / m) / 3.0
 }
 
+/// Bitset Jaro for ASCII inputs with `bv.len() <= 64`: positions of `b` are
+/// tracked as one u64 (`taken`) and each byte's occurrence set as a
+/// precomputed mask, so the window scan of the scalar kernel collapses to
+/// `pos[ca] & !taken & window` + `trailing_zeros`. Claim order matches the
+/// scalar kernel's greedy first-unclaimed-match exactly; every count and the
+/// final expression are identical, so the score is bit-for-bit the same.
+fn jaro_bitset_ascii(av: &[u8], bv: &[u8], scratch: &mut JaroScratch) -> f64 {
+    debug_assert!(!av.is_empty() && !bv.is_empty() && bv.len() <= 64);
+    let window = (av.len().max(bv.len()) / 2).saturating_sub(1);
+    let mut pos = [0u64; 128];
+    for (j, &cb) in bv.iter().enumerate() {
+        pos[cb as usize] |= 1u64 << j;
+    }
+    let mut taken = 0u64;
+    let matched_a = &mut scratch.matched_a;
+    matched_a.clear();
+    for (i, &ca) in av.iter().enumerate() {
+        let hi = (i + window + 1).min(bv.len());
+        let lo = i.saturating_sub(window).min(hi);
+        // Bits lo..hi of b still unclaimed and equal to ca.
+        let hi_mask = if hi >= 64 { !0u64 } else { (1u64 << hi) - 1 };
+        let lo_mask = if lo >= 64 { !0u64 } else { (1u64 << lo) - 1 };
+        let avail = pos[ca as usize] & !taken & hi_mask & !lo_mask;
+        if avail != 0 {
+            taken |= avail & avail.wrapping_neg(); // lowest set bit: first match
+            matched_a.push(i as u32);
+        }
+    }
+    let m = matched_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let mut transpositions = 0usize;
+    let mut rest = taken;
+    for &ia in matched_a.iter() {
+        let j = rest.trailing_zeros() as usize;
+        rest &= rest - 1;
+        if av[ia as usize] != bv[j] {
+            transpositions += 1;
+        }
+    }
+    let transpositions = transpositions / 2;
+    let m = m as f64;
+    let t = transpositions as f64;
+    (m / av.len() as f64 + m / bv.len() as f64 + (m - t) / m) / 3.0
+}
+
 /// Jaro similarity in `[0, 1]`, reusing `scratch` buffers.
 pub fn jaro_with(a: &str, b: &str, scratch: &mut JaroScratch) -> f64 {
     if a.is_ascii() && b.is_ascii() {
-        return jaro_core(a.as_bytes(), b.as_bytes(), scratch);
+        let (av, bv) = (a.as_bytes(), b.as_bytes());
+        if !av.is_empty() && !bv.is_empty() && bv.len() <= 64 && crate::simd::accelerated() {
+            return jaro_bitset_ascii(av, bv, scratch);
+        }
+        return jaro_core(av, bv, scratch);
     }
     let JaroScratch {
         a_chars, b_chars, ..
@@ -170,6 +230,20 @@ mod tests {
     }
 
     #[test]
+    fn bitset_capacity_boundaries() {
+        // 63/64 chars ride the bitset; 65 must fall back — all three agree
+        // with the scalar kernel through the dispatched entry point.
+        let mut scratch = JaroScratch::new();
+        for blen in [1usize, 63, 64, 65] {
+            let a: String = (0..70).map(|i| (b'a' + (i % 5) as u8) as char).collect();
+            let b: String = (0..blen).map(|i| (b'a' + (i % 4) as u8) as char).collect();
+            let dispatched = jaro_with(&a, &b, &mut scratch);
+            let scalar = jaro_core(a.as_bytes(), b.as_bytes(), &mut scratch);
+            assert_eq!(dispatched.to_bits(), scalar.to_bits(), "blen={blen}");
+        }
+    }
+
+    #[test]
     fn unicode_falls_back_to_chars() {
         assert!(close(jaro("café", "café"), 1.0));
         assert!(jaro("café", "cafe") > 0.8);
@@ -197,6 +271,26 @@ mod tests {
         #[test]
         fn winkler_dominates_jaro(a in "[a-e]{0,10}", b in "[a-e]{0,10}") {
             prop_assert!(jaro_winkler(&a, &b) + 1e-12 >= jaro(&a, &b));
+        }
+
+        /// The u64-bitset matcher scores bit-identically to the scalar
+        /// flag-scan kernel on dense low-alphabet strings (many repeats and
+        /// transpositions) right up to the 64-char capacity boundary.
+        #[test]
+        fn bitset_matches_flag_scan(a in "[a-e]{1,70}", b in "[a-e]{1,64}") {
+            let mut scratch = JaroScratch::new();
+            let bitset = jaro_bitset_ascii(a.as_bytes(), b.as_bytes(), &mut scratch);
+            let scalar = jaro_core(a.as_bytes(), b.as_bytes(), &mut scratch);
+            prop_assert_eq!(bitset.to_bits(), scalar.to_bits());
+        }
+
+        /// Same pin over the full ASCII range (spaces, punctuation, case).
+        #[test]
+        fn bitset_matches_flag_scan_full_ascii(a in "[ -~]{1,70}", b in "[ -~]{1,64}") {
+            let mut scratch = JaroScratch::new();
+            let bitset = jaro_bitset_ascii(a.as_bytes(), b.as_bytes(), &mut scratch);
+            let scalar = jaro_core(a.as_bytes(), b.as_bytes(), &mut scratch);
+            prop_assert_eq!(bitset.to_bits(), scalar.to_bits());
         }
 
         /// Byte path (ASCII) and char path (forced through the decode

@@ -7,14 +7,17 @@
 //! makes MD matching feasible at scale:
 //!
 //! * [`edit_distance`] — Myers bit-vector Levenshtein (single-word and
-//!   block-based, Ukkonen cutoff, reusable [`MyersPattern`] bitmaps) with
-//!   the scalar DPs preserved as a parity oracle;
+//!   block-based, Ukkonen cutoff, reusable [`MyersPattern`] bitmaps, the
+//!   column-at-a-time [`MyersPattern::distance_column`] sweep) with the
+//!   scalar DPs preserved as a parity oracle;
 //! * [`jaro`](mod@jaro) — Jaro and Jaro-Winkler similarity (byte-slice fast
-//!   path, [`JaroScratch`] buffer reuse);
+//!   path, u64-bitset window matcher, [`JaroScratch`] buffer reuse);
 //! * [`qgram`] — q-gram profiles and Jaccard similarity over them
-//!   ([`ProfileScratch`] buffer reuse, byte-window hashing for ASCII);
-//! * [`lcs`] — longest common substring and the §5.2 blocking bound, kept
-//!   as analysis utilities (the top-`l` LCS production path is retired);
+//!   ([`ProfileScratch`] buffer reuse, SIMD byte-window hashing for ASCII,
+//!   the [`ProfilePool`] arena behind the batched index build);
+//! * [`simd`] — runtime kernel dispatch: CPU feature detection, the
+//!   `UNICLEAN_FORCE_SCALAR` kill switch, and the vectorized FNV window
+//!   hashers (every level bit-identical to the scalar engine);
 //! * [`predicate`] — the [`SimilarityPredicate`] type used inside MDs and
 //!   the caller-owned [`SimScratch`];
 //! * [`qgram_index`] — a count-filtered q-gram inverted index giving the
@@ -25,20 +28,20 @@
 
 pub mod edit_distance;
 pub mod jaro;
-pub mod lcs;
 pub mod predicate;
 pub mod qgram;
 pub mod qgram_index;
+pub mod simd;
 
 pub use edit_distance::{
     levenshtein, levenshtein_bounded, levenshtein_bounded_with, levenshtein_with,
-    within_edit_distance, within_edit_distance_with, EditScratch, MyersPattern,
+    within_edit_distance, within_edit_distance_with, ColumnVerdicts, EditScratch, MyersPattern,
 };
 pub use jaro::{jaro, jaro_winkler, jaro_winkler_with, jaro_with, JaroScratch};
-pub use lcs::{lcs_blocking_bound, longest_common_substring_len, LcsScratch};
 pub use predicate::{SimScratch, SimilarityPredicate};
-pub use qgram::{qgram_jaccard, ProfileScratch, QGramProfile};
+pub use qgram::{qgram_jaccard, ProfileArena, ProfilePool, ProfileScratch, QGramProfile};
 pub use qgram_index::{
     jaro_length_window, jaro_overlap_bound, lev_count_bound, lev_length_window,
     qgram_length_window, qgram_overlap_bound, QGramIndex, QGramScratch,
 };
+pub use simd::{DispatchInfo, SimdLevel};

@@ -14,6 +14,11 @@
 //! at 2⁻⁶⁴ per pair this never occurs on real vocabularies, and for the
 //! blocking index an overestimate is conservative (extra candidates, never
 //! a lost match).
+//!
+//! ASCII window hashing dispatches through [`crate::simd`] — multiple FNV
+//! lanes per vector on AVX2/SSE4.2, bit-identical to the scalar chain — and
+//! the batched index build recycles whole profile vectors through
+//! [`ProfilePool`] instead of allocating per chunk.
 
 /// Sentinel used to pad string boundaries; outside any realistic alphabet.
 const PAD: char = '\u{1}';
@@ -34,7 +39,7 @@ fn hash_gram(w: &[char]) -> u64 {
 /// the code point (and [`PAD`] is byte `0x01`), so this produces bit-for-bit
 /// the same hashes as the char path — profiles built on either path compare.
 #[inline]
-fn hash_gram_bytes(w: &[u8]) -> u64 {
+pub(crate) fn hash_gram_bytes(w: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in w {
         h ^= b as u64;
@@ -104,7 +109,7 @@ impl QGramProfile {
             padded.extend_from_slice(s.as_bytes());
             padded.resize(padded.len() + q - 1, PAD as u8);
             if padded.len() >= q {
-                hashes.extend(padded.windows(q).map(hash_gram_bytes));
+                crate::simd::hash_gram_windows(padded, q, hashes);
             }
         } else {
             let padded = &mut scratch.chars;
@@ -191,6 +196,123 @@ pub fn qgram_jaccard(a: &str, b: &str, q: usize) -> f64 {
     QGramProfile::new(a, q).jaccard(&QGramProfile::new(b, q))
 }
 
+/// A reusable profile-build arena: one [`ProfileScratch`] plus a vector of
+/// [`QGramProfile`]s whose per-profile run allocations are retained across
+/// batches (profiles are rebuilt in place, never dropped). Checked out of
+/// the global [`ProfilePool`] by each worker of the batched index build.
+#[derive(Debug, Default)]
+pub struct ProfileArena {
+    scratch: ProfileScratch,
+    profiles: Vec<QGramProfile>,
+    /// Logical length of the current batch; `profiles[len..]` are warm
+    /// spares kept for their capacity.
+    len: usize,
+}
+
+impl ProfileArena {
+    /// Start a new batch, keeping every profile allocation for reuse.
+    pub fn begin(&mut self) {
+        self.len = 0;
+    }
+
+    /// Append the profile of `s` to the current batch, rebuilding a retired
+    /// profile in place when one is available.
+    pub fn push(&mut self, s: &str, q: usize) {
+        if self.len < self.profiles.len() {
+            self.profiles[self.len].rebuild(s, q, &mut self.scratch);
+        } else {
+            self.profiles
+                .push(QGramProfile::new_with(s, q, &mut self.scratch));
+        }
+        self.len += 1;
+    }
+
+    /// The profiles of the current batch, in push order.
+    pub fn profiles(&self) -> &[QGramProfile] {
+        &self.profiles[..self.len]
+    }
+}
+
+/// Process-wide bounded pool of [`ProfileArena`]s. The batched `from_parts`
+/// index build previously allocated a fresh profile vector (and every
+/// per-profile run vector inside it) per worker chunk per rebuild; rounds
+/// of self-matching rebuild the master index every round, so those arenas
+/// are now recycled here instead.
+#[derive(Debug, Default)]
+pub struct ProfilePool {
+    arenas: std::sync::Mutex<Vec<ProfileArena>>,
+}
+
+/// Arenas retained by the pool at most; checkouts beyond this are built
+/// fresh and dropped on return. Bounds worst-case idle memory while
+/// covering any realistic worker count.
+const MAX_POOLED_ARENAS: usize = 32;
+
+impl ProfilePool {
+    /// The process-wide pool.
+    pub fn global() -> &'static ProfilePool {
+        static POOL: std::sync::OnceLock<ProfilePool> = std::sync::OnceLock::new();
+        POOL.get_or_init(ProfilePool::default)
+    }
+
+    /// Check out an arena (recycled if one is pooled, fresh otherwise),
+    /// ready for a new batch. Returned to the pool when the guard drops.
+    pub fn checkout(&'static self) -> PooledArena {
+        let mut arena = self
+            .arenas
+            .lock()
+            .expect("profile pool lock")
+            .pop()
+            .unwrap_or_default();
+        arena.begin();
+        PooledArena {
+            pool: self,
+            arena: Some(arena),
+        }
+    }
+
+    fn give_back(&self, arena: ProfileArena) {
+        let mut arenas = self.arenas.lock().expect("profile pool lock");
+        if arenas.len() < MAX_POOLED_ARENAS {
+            arenas.push(arena);
+        }
+    }
+
+    /// Number of arenas currently idle in the pool (test/bench observability).
+    pub fn idle(&self) -> usize {
+        self.arenas.lock().expect("profile pool lock").len()
+    }
+}
+
+/// Checkout guard for a pooled [`ProfileArena`]; derefs to the arena and
+/// returns it to the pool on drop.
+#[derive(Debug)]
+pub struct PooledArena {
+    pool: &'static ProfilePool,
+    arena: Option<ProfileArena>,
+}
+
+impl std::ops::Deref for PooledArena {
+    type Target = ProfileArena;
+    fn deref(&self) -> &ProfileArena {
+        self.arena.as_ref().expect("arena present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledArena {
+    fn deref_mut(&mut self) -> &mut ProfileArena {
+        self.arena.as_mut().expect("arena present until drop")
+    }
+}
+
+impl Drop for PooledArena {
+    fn drop(&mut self) {
+        if let Some(arena) = self.arena.take() {
+            self.pool.give_back(arena);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +397,35 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn arena_rebuilds_profiles_in_place() {
+        let mut arena = ProfileArena::default();
+        arena.begin();
+        for s in ["banana", "bandana", ""] {
+            arena.push(s, 2);
+        }
+        assert_eq!(arena.profiles().len(), 3);
+        assert_eq!(arena.profiles()[1], QGramProfile::new("bandana", 2));
+        // A second, shorter batch truncates logically but keeps capacity.
+        arena.begin();
+        arena.push("cab", 3);
+        assert_eq!(arena.profiles().len(), 1);
+        assert_eq!(arena.profiles()[0], QGramProfile::new("cab", 3));
+    }
+
+    #[test]
+    fn pool_recycles_arenas() {
+        let pool = ProfilePool::global();
+        {
+            let mut arena = pool.checkout();
+            arena.push("warm", 2);
+        }
+        let idle = pool.idle();
+        assert!(idle >= 1, "returned arena should be pooled, idle={idle}");
+        let arena = pool.checkout();
+        assert_eq!(arena.profiles().len(), 0, "checkout starts a fresh batch");
     }
 
     proptest! {

@@ -158,12 +158,28 @@ pub struct QGramScratch {
     /// Probe grams ranked by posting length for the skip-walk: `(posting
     /// length, position in the probe profile)`.
     ranked: Vec<(u32, u32)>,
+    /// Distinct-value candidates of the current probe (columnar `~lev`
+    /// sweeps consume these before owner expansion).
+    vids: Vec<u32>,
 }
 
 impl QGramScratch {
     /// A fresh scratch (buffers grow on first use).
     pub fn new() -> Self {
         QGramScratch::default()
+    }
+
+    /// Detach the reusable value-id buffer, e.g. to hold one probe's
+    /// [`QGramIndex::lev_candidate_values_into`] output across further
+    /// scratch use. Hand it back with [`QGramScratch::restore_vids`] so
+    /// the capacity keeps recycling.
+    pub fn take_vids(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.vids)
+    }
+
+    /// Return a buffer detached by [`QGramScratch::take_vids`].
+    pub fn restore_vids(&mut self, vids: Vec<u32>) {
+        self.vids = vids;
     }
 }
 
@@ -246,24 +262,26 @@ impl QGramIndex {
 
     /// Assemble an index from pre-built per-distinct-value parts — the
     /// entry point of the batched column-at-once builder, which hashes each
-    /// distinct interned value exactly once (in parallel) and hands the
-    /// profiles here. `owners[id]` lists the master rows carrying distinct
-    /// value `id` (ascending); `profiles[id]` is that value's profile.
-    /// Equivalent to [`QGramIndex::build`] over the expanded column.
-    pub fn from_parts(
-        profiles: Vec<QGramProfile>,
-        owners: Vec<Vec<u32>>,
-        rows: usize,
-        q: usize,
-    ) -> Self {
-        assert_eq!(profiles.len(), owners.len(), "one profile per value");
+    /// distinct interned value exactly once (in parallel, into pooled
+    /// [`crate::qgram::ProfileArena`]s) and hands the profiles here.
+    /// `owners[id]` lists the master rows carrying distinct value `id`
+    /// (ascending); the `id`-th yielded profile is that value's profile —
+    /// only *borrowed*: the index copies the gram runs into its postings
+    /// and flattened profiles, so the arenas keep their allocations for the
+    /// next rebuild. Equivalent to [`QGramIndex::build`] over the expanded
+    /// column.
+    pub fn from_parts<'a, I>(profiles: I, owners: Vec<Vec<u32>>, rows: usize, q: usize) -> Self
+    where
+        I: IntoIterator<Item = &'a QGramProfile>,
+    {
         let mut postings: GramMap<Vec<(u32, u32)>> = GramMap::default();
-        let mut lens: Vec<u32> = Vec::with_capacity(profiles.len());
+        let mut lens: Vec<u32> = Vec::with_capacity(owners.len());
         let mut gram_flat: Vec<(u64, u32)> = Vec::new();
-        let mut gram_off: Vec<u32> = Vec::with_capacity(profiles.len() + 1);
+        let mut gram_off: Vec<u32> = Vec::with_capacity(owners.len() + 1);
         gram_off.push(0);
         let mut empty_values: Vec<u32> = Vec::new();
-        for (id, profile) in profiles.iter().enumerate() {
+        let mut count = 0usize;
+        for (id, profile) in profiles.into_iter().enumerate() {
             assert_eq!(profile.q(), q, "profile q must match the index q");
             lens.push(profile.len() as u32);
             if profile.is_empty() {
@@ -274,7 +292,9 @@ impl QGramIndex {
             }
             gram_flat.extend_from_slice(profile.grams());
             gram_off.push(gram_flat.len() as u32);
+            count += 1;
         }
+        assert_eq!(count, owners.len(), "one profile per value");
         QGramIndex {
             q,
             postings,
@@ -300,6 +320,12 @@ impl QGramIndex {
     /// Total master rows the index answers for.
     pub fn rows(&self) -> usize {
         self.rows
+    }
+
+    /// Master rows carrying distinct value `vid` (ascending) — expands the
+    /// vids emitted by [`QGramIndex::lev_candidate_values_into`].
+    pub fn owners(&self, vid: u32) -> &[u32] {
+        &self.owners[vid as usize]
     }
 
     /// Walk one posting list, accumulating overlap for values whose
@@ -435,6 +461,30 @@ impl QGramIndex {
         }
     }
 
+    /// [`Self::emit`] at distinct-value granularity: drains the touched set
+    /// into value ids instead of expanding owner rows. Same skip-budget
+    /// discipline (partial-accept / prune / exact-merge confirmation of the
+    /// uncertain band), identical surviving value set.
+    fn emit_values(
+        &self,
+        probe: &QGramProfile,
+        skipped: usize,
+        scratch: &mut QGramScratch,
+        out: &mut Vec<u32>,
+        bound: impl Fn(usize) -> usize,
+    ) {
+        for vid in scratch.touched.drain(..) {
+            let partial = std::mem::take(&mut scratch.counts[vid as usize]) as usize;
+            let need = bound(self.lens[vid as usize] as usize);
+            if partial + skipped < need {
+                continue;
+            }
+            if partial >= need || self.exact_overlap(probe, vid) >= need {
+                out.push(vid);
+            }
+        }
+    }
+
     /// Append every master row that can satisfy multiset-Jaccard ≥ `min`
     /// with `probe` (a complete superset of the true match set; order
     /// unspecified, rows unique). `probe.q()` must equal the index's `q`.
@@ -490,6 +540,28 @@ impl QGramIndex {
         scratch: &mut QGramScratch,
         out: &mut Vec<u32>,
     ) {
+        let mut vids = std::mem::take(&mut scratch.vids);
+        vids.clear();
+        self.lev_candidate_values_into(probe, k, scratch, &mut vids);
+        for &vid in &vids {
+            out.extend_from_slice(&self.owners[vid as usize]);
+        }
+        scratch.vids = vids;
+    }
+
+    /// The distinct-value form of [`QGramIndex::candidates_lev_into`]:
+    /// append every distinct value id whose value can be within edit
+    /// distance `k` of the probe (ascending, unique). The column-at-a-time
+    /// Myers driver sweeps one compiled probe pattern over these values —
+    /// each distinct value is verified once, however many rows carry it —
+    /// and then expands survivors through [`QGramIndex::owners`].
+    pub fn lev_candidate_values_into(
+        &self,
+        probe: &QGramProfile,
+        k: usize,
+        scratch: &mut QGramScratch,
+        out: &mut Vec<u32>,
+    ) {
         assert_eq!(probe.q(), self.q, "probe profile must share the index q");
         let q = self.q;
         let la = probe.char_len();
@@ -497,14 +569,15 @@ impl QGramIndex {
         // Profile size of an `n`-char padded profile is `n + q − 1`.
         let lo = lo_chars + q - 1;
         let hi = hi_chars + q - 1;
+        let start = out.len();
         if la + q - 1 <= k * q {
             // Degenerate: some in-window length has a vanishing gram bound
             // (e.g. an empty master within k deletions shares no grams).
             // Keep every value in the length window.
-            for (vid, owners) in self.owners.iter().enumerate() {
+            for vid in 0..self.owners.len() {
                 let lb = self.lens[vid] as usize;
                 if lb >= lo && lb <= hi {
-                    out.extend_from_slice(owners);
+                    out.push(vid as u32);
                 }
             }
             return;
@@ -515,9 +588,10 @@ impl QGramIndex {
         // skip budget — see `candidates_jaccard_into` for the tradeoff.
         let budget = (la + q - 1 - k * q) / 2;
         let skipped = self.accumulate(probe, lo, hi, budget, scratch);
-        self.emit(probe, skipped, scratch, out, |lb_profile| {
+        self.emit_values(probe, skipped, scratch, out, |lb_profile| {
             lev_count_bound(la, lb_profile - (q - 1), q, k)
         });
+        out[start..].sort_unstable();
     }
 
     /// Append every master row that can satisfy Jaro ≥ `min_jaro` with the
@@ -667,7 +741,7 @@ mod tests {
             }
         }
         let profiles: Vec<QGramProfile> = values.iter().map(|v| QGramProfile::new(v, 2)).collect();
-        let assembled = QGramIndex::from_parts(profiles, owners, col.len(), 2);
+        let assembled = QGramIndex::from_parts(profiles.iter(), owners, col.len(), 2);
         for probe in ["Smith", "Smit", "", "zzz"] {
             for k in 0..3 {
                 assert_eq!(
@@ -684,6 +758,30 @@ mod tests {
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "jaccard probe={probe:?}");
+        }
+    }
+
+    #[test]
+    fn lev_value_candidates_expand_to_row_candidates() {
+        let idx = index(&["Smith", "Smyth", "Smith", "Brady", ""], 2);
+        let mut scratch = QGramScratch::new();
+        for probe in ["Smith", "Smit", "", "zzz"] {
+            for k in 0..3 {
+                let p = QGramProfile::new(probe, 2);
+                let mut vids = Vec::new();
+                idx.lev_candidate_values_into(&p, k, &mut scratch, &mut vids);
+                assert!(vids.windows(2).all(|w| w[0] < w[1]), "sorted unique vids");
+                let mut expanded: Vec<u32> = vids
+                    .iter()
+                    .flat_map(|&v| idx.owners(v).iter().copied())
+                    .collect();
+                expanded.sort_unstable();
+                assert_eq!(
+                    expanded,
+                    lev_candidates(&idx, probe, k),
+                    "probe={probe:?} k={k}"
+                );
+            }
         }
     }
 

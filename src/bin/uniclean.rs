@@ -61,9 +61,12 @@ CLEAN OPTIONS:
                                the output is the repaired concatenated relation,
                                bit-identical to recleaning it from scratch
     --report                   print every fix (mark, cell, old → new, rule)
-    --explain-plans            print the master-index access path chosen for
-                               each MD (exact / composite / q-gram count /
-                               lev count / Jaro / intersection) before cleaning
+    --explain-plans            print the active similarity kernel dispatch
+                               (SIMD level, Jaro matcher, ~lev driver; see
+                               UNICLEAN_FORCE_SCALAR) and the master-index
+                               access path chosen for each MD (exact /
+                               composite / q-gram count / lev count / Jaro /
+                               intersection) before cleaning
 
 DISCOVER OPTIONS:
     --max-lhs <n>              maximum FD LHS size [default: 2]
@@ -301,6 +304,10 @@ fn cmd_clean(opts: &Opts) -> Result<String, String> {
     let mut out = String::new();
     if opts.flag("explain-plans") {
         let prepared = cleaner.prepared();
+        out.push_str(&format!(
+            "similarity kernels: {}\n",
+            uniclean::similarity::simd::dispatch_info()
+        ));
         match prepared.master_index() {
             Some(idx) => {
                 out.push_str("access paths:\n");
@@ -670,6 +677,36 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("consistent: true"), "{out}");
+    }
+
+    #[test]
+    fn explain_plans_prints_kernel_dispatch_and_access_paths() {
+        let data = write_temp("dp.csv", "LN,phn\nBrady,000\n");
+        let master = write_temp("mp.csv", "LN,tel\nBrady,3887644\n");
+        let rules = write_temp(
+            "rp.rules",
+            "md psi: data[LN] ~lev(1) master[LN] -> data[phn] <=> master[tel]",
+        );
+        let out = run(&argv(&[
+            "clean",
+            "--data",
+            &data,
+            "--rules",
+            &rules,
+            "--master",
+            &master,
+            "--explain-plans",
+        ]))
+        .unwrap();
+        // The dispatch line names every kernel choice plus the detected
+        // SIMD level, whatever this machine happens to support.
+        assert!(out.contains("similarity kernels: gram-hash="), "{out}");
+        assert!(
+            out.contains("jaro=") && out.contains("lev-driver="),
+            "{out}"
+        );
+        assert!(out.contains("access paths:"), "{out}");
+        assert!(out.contains("lev-count"), "{out}");
     }
 
     #[test]

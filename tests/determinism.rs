@@ -205,6 +205,66 @@ fn full_pipeline_on_hosp_is_thread_count_invariant() {
     assert_identical(&baseline, &parallel, "hosp 300 full pipeline");
 }
 
+/// The SIMD dispatch (q-gram hash lanes, bitset Jaro, columnar `~lev`
+/// driver) must be a pure performance knob: a forced-scalar run is
+/// bit-identical to the auto-dispatched run over the full cleaning matrix —
+/// every thread count × interning mode — on a workload exercising every
+/// similarity predicate family. This is the same contract
+/// `UNICLEAN_FORCE_SCALAR=1` relies on (the CI feature matrix re-runs the
+/// suites under it); here the override is flipped programmatically so one
+/// process pins both engines against each other.
+///
+/// The override is process-global, which is safe precisely because of the
+/// property under test: any concurrently running test sees either engine,
+/// and both produce the same bits.
+#[test]
+fn forced_scalar_dispatch_is_bit_identical() {
+    use uniclean::datagen::dblp_similarity_workload;
+    use uniclean::similarity::simd::set_forced_scalar;
+
+    let w = dblp_similarity_workload(&GenParams {
+        tuples: 300,
+        master_tuples: 120,
+        ..GenParams::default()
+    });
+    for threads in [1, 4] {
+        for interning in [true, false] {
+            set_forced_scalar(Some(false));
+            let auto = run(
+                &w.rules,
+                MasterSource::external(w.master.clone()),
+                &w.dirty,
+                1.0,
+                threads,
+                interning,
+                Phase::CERepair,
+            );
+            set_forced_scalar(Some(true));
+            let scalar = run(
+                &w.rules,
+                MasterSource::external(w.master.clone()),
+                &w.dirty,
+                1.0,
+                threads,
+                interning,
+                Phase::CERepair,
+            );
+            set_forced_scalar(None);
+            assert!(
+                !auto.report.is_empty(),
+                "workload must actually exercise the kernels"
+            );
+            assert_identical(
+                &auto,
+                &scalar,
+                &format!(
+                    "dblp similarity, scalar vs auto, threads={threads}, interning={interning}"
+                ),
+            );
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Interner properties (vendored proptest shim).
 // ---------------------------------------------------------------------------

@@ -716,6 +716,13 @@ fn ping_reports_health() {
         assert_eq!(r.get("shards").and_then(Json::as_usize), Some(2));
         assert_eq!(r.get("durable").and_then(Json::as_bool), Some(false));
         assert_eq!(r.get("shutting_down").and_then(Json::as_bool), Some(false));
+        // The similarity kernel dispatch line, for fleet-wide visibility of
+        // which SIMD level each box actually runs.
+        let kernels = r.get("kernels").and_then(Json::as_str).unwrap();
+        assert!(
+            kernels.contains("gram-hash=") && kernels.contains("lev-driver="),
+            "{kernels}"
+        );
         // Memory-only daemon: no recovery ran.
         assert_eq!(r.get("recovery"), Some(&Json::Null));
     }
