@@ -1611,6 +1611,342 @@ fn render_durability_json(r: &DurabilityReport, smoke: bool) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Part 6b: the replication tax (BENCH_pr10.json).
+// ---------------------------------------------------------------------------
+
+/// The same fsync'd ingest stream with and without a standby tailing it.
+struct ReplIngest {
+    batches: usize,
+    batch_tuples: usize,
+    solo_seconds: f64,
+    standby_seconds: f64,
+    /// Replica lag on the primary, sampled every 25ms during the timed
+    /// standby ingest (frames behind the primary's WAL tip).
+    lag_samples: usize,
+    lag_max_frames: u64,
+    lag_mean_frames: f64,
+    lag_max_bytes: u64,
+    /// Last primary ack → standby fully caught up (lag 0, all acked).
+    drain_seconds: f64,
+}
+
+/// One failover: a fresh standby bootstraps a WAL of `wal_batches`
+/// batches, catches up, and is promoted after the primary goes away.
+struct FailoverRun {
+    wal_batches: usize,
+    wal_tuples: usize,
+    wal_bytes: u64,
+    /// Standby boot → replica fully caught up (bootstrap + tail).
+    catch_up_seconds: f64,
+    /// The `promote` RPC's own wall clock (drains the apply queue).
+    promote_seconds: f64,
+}
+
+struct ReplReport {
+    ingest: ReplIngest,
+    failover: Vec<FailoverRun>,
+}
+
+fn boot_standby(
+    data_dir: &std::path::Path,
+    primary: std::net::SocketAddr,
+) -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let daemon = uniclean_server::Daemon::bind(uniclean_server::DaemonConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards: 1,
+        queue_bound: 64,
+        data_dir: Some(data_dir.to_path_buf()),
+        snapshot_every: 0,
+        fsync: false,
+        replicate_from: Some(primary.to_string()),
+        ..Default::default()
+    })
+    .expect("bind standby port");
+    let addr = daemon.local_addr();
+    (addr, std::thread::spawn(move || daemon.run()))
+}
+
+/// Read `relations[0].replication.{lag_frames, lag_bytes, acked_seq}`
+/// from a primary's `stats`; `None` until the standby first acks.
+fn primary_lag(c: &mut ServeClient) -> Option<(u64, u64, u64)> {
+    let stats = c.rpc(&jobj(vec![("op", Json::str("stats"))]));
+    let relations = stats.get("relations").and_then(Json::as_arr)?;
+    let repl = relations.first()?.get("replication")?;
+    Some((
+        repl.get("lag_frames").and_then(Json::as_u64)?,
+        repl.get("lag_bytes").and_then(Json::as_u64)?,
+        repl.get("acked_seq").and_then(Json::as_u64)?,
+    ))
+}
+
+/// Poll a node's `stats` until its one relation exists and has applied
+/// WAL frames through `want` (a just-bootstrapped relation reports no
+/// `repl_seq` until the first batch frame lands — that reads as 0).
+fn wait_repl_seq(addr: std::net::SocketAddr, want: u64) {
+    let mut c = ServeClient::connect(addr);
+    let deadline = Instant::now() + std::time::Duration::from_secs(120);
+    loop {
+        let stats = c.rpc(&jobj(vec![("op", Json::str("stats"))]));
+        let seq = stats
+            .get("relations")
+            .and_then(Json::as_arr)
+            .and_then(|r| r.first())
+            .map(|r| r.get("repl_seq").and_then(Json::as_u64).unwrap_or(0));
+        if matches!(seq, Some(s) if s >= want) {
+            return;
+        }
+        if Instant::now() > deadline {
+            eprintln!("standby never reached seq {want} (at {seq:?})");
+            std::process::exit(1);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+/// Price the standby: identical fsync'd ingest streams with and without
+/// a replica attached, plus failover wall-clock across WAL sizes.
+fn bench_replication(
+    w: &Workload,
+    batches: usize,
+    batch: usize,
+    wal_sizes: &[usize],
+) -> ReplReport {
+    let root = std::env::temp_dir().join(format!("uniclean-bench-repl-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("create bench scratch dir");
+    let rows = w.dirty.to_tuples();
+    let max_batches = batches.max(wal_sizes.iter().copied().max().unwrap_or(0));
+    assert!(
+        rows.len() >= max_batches * batch.max(1),
+        "workload too small for the plan"
+    );
+
+    let stream = |c: &mut ServeClient, count: usize| {
+        for i in 0..count {
+            c.rpc(&jobj(vec![
+                ("op", Json::str("ingest")),
+                ("relation", Json::str("repl0")),
+                ("rows", rows_as_json(&rows[i * batch..(i + 1) * batch])),
+            ]));
+        }
+    };
+    let shutdown = |mut c: ServeClient, handle: std::thread::JoinHandle<std::io::Result<()>>| {
+        c.rpc(&jobj(vec![("op", Json::str("shutdown"))]));
+        drop(c);
+        handle
+            .join()
+            .expect("daemon thread panicked")
+            .expect("daemon exited with an error");
+    };
+
+    // Solo baseline: WAL + fsync, nobody tailing.
+    eprintln!("  replication: solo ingest {batches}x{batch}…");
+    let dir = root.join("solo");
+    let (addr, handle) = boot_daemon(Some(&dir), 0, true);
+    let mut c = ServeClient::connect(addr);
+    c.rpc(&serve_open_request(w, "repl0"));
+    let started = Instant::now();
+    stream(&mut c, batches);
+    let solo_seconds = started.elapsed().as_secs_f64();
+    shutdown(c, handle);
+
+    // Same stream with a standby attached; a sampler thread reads the
+    // primary's per-tenant lag while the ingest clock runs.
+    eprintln!("  replication: ingest {batches}x{batch} with a standby tailing…");
+    let pdir = root.join("primary");
+    let (paddr, phandle) = boot_daemon(Some(&pdir), 0, true);
+    let mut c = ServeClient::connect(paddr);
+    c.rpc(&serve_open_request(w, "repl0"));
+    let (saddr, shandle) = boot_standby(&root.join("standby"), paddr);
+    wait_repl_seq(saddr, 0); // open frame applied — the tail is live
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let sampler = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut c = ServeClient::connect(paddr);
+            let mut samples: Vec<(u64, u64)> = Vec::new();
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                if let Some((frames, bytes, _)) = primary_lag(&mut c) {
+                    samples.push((frames, bytes));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            samples
+        })
+    };
+    let started = Instant::now();
+    stream(&mut c, batches);
+    let standby_seconds = started.elapsed().as_secs_f64();
+    // Drain: the primary has acked everything; clock the replica to zero.
+    let drain_started = Instant::now();
+    let drain_deadline = drain_started + std::time::Duration::from_secs(120);
+    loop {
+        if let Some((frames, _, acked)) = primary_lag(&mut c) {
+            if frames == 0 && acked == batches as u64 {
+                break;
+            }
+        }
+        if Instant::now() > drain_deadline {
+            eprintln!("standby never drained to zero lag");
+            std::process::exit(1);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let drain_seconds = drain_started.elapsed().as_secs_f64();
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let samples = sampler.join().expect("sampler thread panicked");
+    shutdown(ServeClient::connect(saddr), shandle);
+    shutdown(c, phandle);
+    let lag_max_frames = samples.iter().map(|&(f, _)| f).max().unwrap_or(0);
+    let lag_max_bytes = samples.iter().map(|&(_, b)| b).max().unwrap_or(0);
+    let lag_mean_frames = if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().map(|&(f, _)| f as f64).sum::<f64>() / samples.len() as f64
+    };
+    let ingest = ReplIngest {
+        batches,
+        batch_tuples: batch,
+        solo_seconds,
+        standby_seconds,
+        lag_samples: samples.len(),
+        lag_max_frames,
+        lag_mean_frames,
+        lag_max_bytes,
+        drain_seconds,
+    };
+
+    // Failover: per WAL size, a cold standby bootstraps the whole log,
+    // catches up, loses its primary, and is promoted.
+    let mut failover = Vec::new();
+    for &k in wal_sizes {
+        let pdir = root.join(format!("fo-primary-{k}"));
+        let (paddr, phandle) = boot_daemon(Some(&pdir), 0, false);
+        let mut c = ServeClient::connect(paddr);
+        c.rpc(&serve_open_request(w, "repl0"));
+        stream(&mut c, k);
+        let wal_bytes = std::fs::metadata(
+            pdir.join(uniclean_server::tenant_dir_name("repl0"))
+                .join("wal.log"),
+        )
+        .map(|m| m.len())
+        .unwrap_or(0);
+
+        eprintln!("  replication: failover after {k} batches ({wal_bytes} WAL bytes)…");
+        let started = Instant::now();
+        let (saddr, shandle) = boot_standby(&root.join(format!("fo-standby-{k}")), paddr);
+        wait_repl_seq(saddr, k as u64);
+        let catch_up_seconds = started.elapsed().as_secs_f64();
+        shutdown(c, phandle);
+        let mut sc = ServeClient::connect(saddr);
+        let started = Instant::now();
+        sc.rpc(&jobj(vec![("op", Json::str("promote"))]));
+        let promote_seconds = started.elapsed().as_secs_f64();
+        let ping = sc.rpc(&jobj(vec![("op", Json::str("ping"))]));
+        if ping.get("role").and_then(Json::as_str) != Some("primary") {
+            eprintln!("promoted standby does not report role=primary: {ping}");
+            std::process::exit(1);
+        }
+        shutdown(sc, shandle);
+        failover.push(FailoverRun {
+            wal_batches: k,
+            wal_tuples: k * batch,
+            wal_bytes,
+            catch_up_seconds,
+            promote_seconds,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    ReplReport { ingest, failover }
+}
+
+fn render_replication_json(r: &ReplReport, smoke: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"pr10_replication\",");
+    let _ = writeln!(
+        out,
+        "  \"command\": \"cargo run --release -p uniclean-bench --bin perf\","
+    );
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"dataset\": \"hosp\",");
+    let _ = writeln!(
+        out,
+        "  \"note\": \"replication tax: the same fsync'd ingest stream is clocked solo and \
+         with an asynchronous standby tailing the WAL over TCP; lag is the primary's \
+         per-tenant frames-behind figure sampled every 25ms while the clock runs. Failover \
+         boots a cold standby against an existing WAL, waits for full catch-up, then \
+         promotes it after the primary is gone.\","
+    );
+    let i = &r.ingest;
+    let _ = writeln!(out, "  \"ingest\": {{");
+    let _ = writeln!(out, "    \"batches\": {},", i.batches);
+    let _ = writeln!(out, "    \"batch_tuples\": {},", i.batch_tuples);
+    let _ = writeln!(out, "    \"solo_seconds\": {},", num(i.solo_seconds, 6));
+    let _ = writeln!(
+        out,
+        "    \"standby_seconds\": {},",
+        num(i.standby_seconds, 6)
+    );
+    let _ = writeln!(
+        out,
+        "    \"standby_overhead_x\": {},",
+        num(i.standby_seconds / i.solo_seconds.max(1e-12), 4)
+    );
+    let _ = writeln!(
+        out,
+        "    \"solo_tuples_per_sec\": {},",
+        num(
+            (i.batches * i.batch_tuples) as f64 / i.solo_seconds.max(1e-12),
+            1
+        )
+    );
+    let _ = writeln!(
+        out,
+        "    \"standby_tuples_per_sec\": {},",
+        num(
+            (i.batches * i.batch_tuples) as f64 / i.standby_seconds.max(1e-12),
+            1
+        )
+    );
+    let _ = writeln!(out, "    \"lag_samples\": {},", i.lag_samples);
+    let _ = writeln!(out, "    \"lag_max_frames\": {},", i.lag_max_frames);
+    let _ = writeln!(
+        out,
+        "    \"lag_mean_frames\": {},",
+        num(i.lag_mean_frames, 3)
+    );
+    let _ = writeln!(out, "    \"lag_max_bytes\": {},", i.lag_max_bytes);
+    let _ = writeln!(out, "    \"drain_seconds\": {}", num(i.drain_seconds, 6));
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"failover\": [");
+    for (j, f) in r.failover.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"wal_batches\": {},", f.wal_batches);
+        let _ = writeln!(out, "      \"wal_tuples\": {},", f.wal_tuples);
+        let _ = writeln!(out, "      \"wal_bytes\": {},", f.wal_bytes);
+        let _ = writeln!(
+            out,
+            "      \"catch_up_seconds\": {},",
+            num(f.catch_up_seconds, 6)
+        );
+        let _ = writeln!(
+            out,
+            "      \"promote_seconds\": {}",
+            num(f.promote_seconds, 6)
+        );
+        let comma = if j + 1 < r.failover.len() { "," } else { "" };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Part 7: the bit-parallel similarity kernels (BENCH_pr8.json).
 // ---------------------------------------------------------------------------
 
@@ -2260,6 +2596,7 @@ fn main() {
     let kernels_only = args.flag("kernels-only");
     let sim_only = args.flag("sim-only");
     let simd_only = args.flag("simd-only");
+    let replication_only = args.flag("replication-only");
     let out_path = args.get_or("out", "BENCH_pr2.json").to_string();
     let delta_out_path = args.get_or("delta-out", "BENCH_pr3.json").to_string();
     let storage_out_path = args.get_or("storage-out", "BENCH_pr4.json").to_string();
@@ -2268,6 +2605,9 @@ fn main() {
     let durability_out_path = args.get_or("durability-out", "BENCH_pr7.json").to_string();
     let kernels_out_path = args.get_or("kernels-out", "BENCH_pr8.json").to_string();
     let simd_out_path = args.get_or("simd-out", "BENCH_pr9.json").to_string();
+    let replication_out_path = args
+        .get_or("replication-out", "BENCH_pr10.json")
+        .to_string();
     let (tuples, master, repeat, thread_counts): (usize, usize, usize, Vec<usize>) = if smoke {
         (200, 80, 1, vec![1, 2])
     } else {
@@ -2315,6 +2655,61 @@ fn main() {
         );
         println!(
             "wrote {simd_out_path} ({:.1}s){}",
+            started.elapsed().as_secs_f64(),
+            if smoke { " [smoke]" } else { "" }
+        );
+        return;
+    }
+
+    let (repl_batches, repl_batch, repl_wal_sizes): (usize, usize, Vec<usize>) = if smoke {
+        (3, 40, vec![2, 4])
+    } else {
+        (
+            args.get_usize("repl-batches", 20),
+            args.get_usize("repl-batch", 100),
+            vec![5, 20, 80],
+        )
+    };
+
+    if replication_only {
+        let need = repl_batches.max(repl_wal_sizes.iter().copied().max().unwrap_or(0)) * repl_batch;
+        let params = GenParams {
+            tuples: need,
+            master_tuples: if smoke { 80 } else { 2_000 },
+            ..GenParams::default()
+        };
+        let w = hosp_workload(&params);
+        eprintln!(
+            "replication workload ({repl_batches} x {repl_batch} batches, \
+             failover WALs {repl_wal_sizes:?})…"
+        );
+        let repl = bench_replication(&w, repl_batches, repl_batch, &repl_wal_sizes);
+        write_validated(
+            &replication_out_path,
+            &render_replication_json(&repl, smoke),
+        );
+        println!(
+            "## replication — {} x {} batches: solo {:.3}s vs with standby {:.3}s ({:.2}x), \
+             lag max {} frames / mean {:.1}, drain {:.3}s; failover {}",
+            repl.ingest.batches,
+            repl.ingest.batch_tuples,
+            repl.ingest.solo_seconds,
+            repl.ingest.standby_seconds,
+            repl.ingest.standby_seconds / repl.ingest.solo_seconds.max(1e-12),
+            repl.ingest.lag_max_frames,
+            repl.ingest.lag_mean_frames,
+            repl.ingest.drain_seconds,
+            repl.failover
+                .iter()
+                .map(|f| format!(
+                    "{}B catch-up {:.3}s + promote {:.3}s",
+                    f.wal_bytes, f.catch_up_seconds, f.promote_seconds
+                ))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        println!(
+            "wrote {replication_out_path} ({:.1}s){}",
             started.elapsed().as_secs_f64(),
             if smoke { " [smoke]" } else { "" }
         );
@@ -2484,6 +2879,16 @@ fn main() {
         &render_durability_json(&durability, smoke),
     );
 
+    eprintln!(
+        "replication workload ({repl_batches} x {repl_batch} batches, \
+         failover WALs {repl_wal_sizes:?})…"
+    );
+    let replication = bench_replication(&hosp, repl_batches, repl_batch, &repl_wal_sizes);
+    write_validated(
+        &replication_out_path,
+        &render_replication_json(&replication, smoke),
+    );
+
     print!("{}", render_table(&reports));
     let speedups = delta.speedups();
     println!(
@@ -2579,9 +2984,29 @@ fn main() {
         );
     }
     println!(
+        "## replication — {} x {} batches: solo {:.3}s vs with standby {:.3}s ({:.2}x), \
+         lag max {} frames, drain {:.3}s; failover {}",
+        replication.ingest.batches,
+        replication.ingest.batch_tuples,
+        replication.ingest.solo_seconds,
+        replication.ingest.standby_seconds,
+        replication.ingest.standby_seconds / replication.ingest.solo_seconds.max(1e-12),
+        replication.ingest.lag_max_frames,
+        replication.ingest.drain_seconds,
+        replication
+            .failover
+            .iter()
+            .map(|f| format!(
+                "{}B catch-up {:.3}s + promote {:.3}s",
+                f.wal_bytes, f.catch_up_seconds, f.promote_seconds
+            ))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    println!(
         "wrote {out_path} + {storage_out_path} + {sim_out_path} + {kernels_out_path} \
          + {simd_out_path} + {delta_out_path} + {serve_out_path} + {durability_out_path} \
-         ({} datasets, {:.1}s total){}",
+         + {replication_out_path} ({} datasets, {:.1}s total){}",
         reports.len(),
         started.elapsed().as_secs_f64(),
         if smoke { " [smoke]" } else { "" }

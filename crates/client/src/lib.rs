@@ -1,0 +1,680 @@
+//! Fault-tolerant client for the `uniclean serve` line-JSON protocol.
+//!
+//! The daemon's wire contract is one JSON object per line, request →
+//! response. This crate wraps it with the failure handling a caller
+//! should not have to re-derive:
+//!
+//! * **deadlines everywhere** — connects use `connect_timeout` per
+//!   resolved address, reads and writes carry `io_timeout`, so a dead
+//!   peer costs bounded time, never a hang;
+//! * **bounded retries with jittered exponential backoff** — transient
+//!   failures (connection refused, mid-request disconnects, `busy`
+//!   backpressure, `shutting_down`) are retried up to `max_retries`
+//!   times, sleeping a deterministic half-to-full jittered exponential
+//!   delay between attempts ([`Backoff`]);
+//! * **versioned handshake** — every connection opens with
+//!   `hello {proto_version}`; the server answers its own version and
+//!   role. Unknown response fields are ignored, and a pre-versioning
+//!   server (answering `unknown_op`) is accepted at protocol 1, so old
+//!   and new speak freely in both directions;
+//! * **failover** — when a standby address is configured, connection
+//!   loss or a `standby` refusal flips the active target, so a client
+//!   rides through a primary death and standby promotion without caller
+//!   involvement;
+//! * **exactly-once ingest** — [`Client::ingest`] stamps each batch with
+//!   a per-relation monotonic sequence number which the daemon records
+//!   in its WAL. A retry after an ambiguous failure (the request may or
+//!   may not have been applied before the connection died) re-sends the
+//!   *same* number; the daemon deduplicates, answering `deduped:true`
+//!   instead of applying twice. Sequence numbers are seeded from the
+//!   server's `last_client_seq` so a fresh client continues where the
+//!   previous writer stopped. The scope is one logical writer per
+//!   relation — concurrent writers sharing a relation must share a
+//!   sequence, or dedup will eat their batches.
+//!
+//! After failover the client re-sends its in-flight batch with
+//! [`Client::ingest_with_seq`]; if the batch had already replicated to
+//! the promoted standby the daemon acknowledges it as a duplicate,
+//! otherwise it applies — either way it lands exactly once.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use uniclean_model::Json;
+
+/// The protocol version this client speaks (sent in `hello`).
+pub const PROTO_VERSION: u64 = 2;
+
+/// Everything a [`Client`] needs to know about its targets and patience.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Primary daemon address (`host:port`).
+    pub primary: String,
+    /// Optional standby address — the failover target.
+    pub standby: Option<String>,
+    /// Deadline for each TCP connect attempt.
+    pub connect_timeout: Duration,
+    /// Read/write deadline on an established connection.
+    pub io_timeout: Duration,
+    /// Retry attempts per request beyond the first (0 = fail fast).
+    pub max_retries: u32,
+    /// First backoff delay; doubles per retry up to `backoff_cap`.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Jitter seed — same seed, same delays (deterministic tests).
+    pub seed: u64,
+    /// Version to announce in `hello` (defaults to [`PROTO_VERSION`]).
+    pub proto_version: u64,
+}
+
+impl ClientConfig {
+    /// Defaults tuned for a local daemon: 2s connects, 10s io, 8 retries
+    /// backing off 20ms → 2s.
+    pub fn new(primary: impl Into<String>) -> ClientConfig {
+        ClientConfig {
+            primary: primary.into(),
+            standby: None,
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(10),
+            max_retries: 8,
+            backoff_base: Duration::from_millis(20),
+            backoff_cap: Duration::from_secs(2),
+            seed: 0x9e37_79b9_7f4a_7c15,
+            proto_version: PROTO_VERSION,
+        }
+    }
+
+    /// Set the failover target.
+    pub fn with_standby(mut self, standby: impl Into<String>) -> ClientConfig {
+        self.standby = Some(standby.into());
+        self
+    }
+}
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write).
+    Io(std::io::Error),
+    /// The peer spoke, but not the protocol (unparseable line, closed
+    /// mid-response).
+    Protocol(String),
+    /// A structured, non-retryable server error (`code` is
+    /// machine-matchable: `unknown_relation`, `bad_batch`, …).
+    Server {
+        /// Machine-matchable error code.
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+    /// Every attempt failed with a retryable error; `last` describes the
+    /// final one.
+    RetriesExhausted {
+        /// Attempts made (first try + retries).
+        attempts: u32,
+        /// Description of the last failure.
+        last: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last failure: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// Response codes worth retrying: transient server states, not caller
+/// mistakes. `standby` is retryable because the peer may be promoted
+/// between attempts (and retrying flips to the other target anyway).
+fn retryable_code(code: &str) -> bool {
+    matches!(code, "busy" | "shutting_down" | "standby" | "retry")
+}
+
+// ---------------------------------------------------------------------------
+// Backoff
+// ---------------------------------------------------------------------------
+
+/// Deterministic jittered exponential backoff: attempt `n` sleeps a
+/// uniform value in `[cap/2, cap]` of `base·2ⁿ` (clamped to the ceiling),
+/// driven by a splitmix64 stream from the seed — reproducible in tests,
+/// decorrelated between clients with different seeds.
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    state: u64,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A fresh schedule (attempt counter at zero).
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Backoff {
+        Backoff {
+            base_ms: (base.as_millis() as u64).max(1),
+            cap_ms: (cap.as_millis() as u64).max(1),
+            state: seed,
+            attempt: 0,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64: tiny, full-period, no dependency.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The next delay; advances the attempt counter.
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << self.attempt.min(20))
+            .min(self.cap_ms);
+        self.attempt += 1;
+        let half = (exp / 2).max(1);
+        let jitter = self.next_u64() % (exp - half + 1);
+        Duration::from_millis(half + jitter)
+    }
+
+    /// Attempts taken so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conn: one connection, with deadlines and the hello handshake
+// ---------------------------------------------------------------------------
+
+/// What the server announced in its `hello` response.
+#[derive(Clone, Debug)]
+pub struct ServerInfo {
+    /// The server's protocol version.
+    pub proto_version: u64,
+    /// The oldest client version it still accepts.
+    pub min_proto: u64,
+    /// `"primary"` or `"standby"` (`"unknown"` from pre-versioning
+    /// servers).
+    pub role: String,
+}
+
+/// One live connection: deadline-bounded socket + response reader.
+#[derive(Debug)]
+pub struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// Handshake result, once [`Conn::handshake`] ran.
+    pub server: Option<ServerInfo>,
+}
+
+impl Conn {
+    /// Resolve `addr` and connect with a per-address deadline; read and
+    /// write deadlines are installed on the socket before returning.
+    pub fn connect(
+        addr: &str,
+        connect_timeout: Duration,
+        io_timeout: Duration,
+    ) -> std::io::Result<Conn> {
+        let mut last = std::io::Error::other(format!("no addresses resolved for {addr:?}"));
+        for sa in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&sa, connect_timeout) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(io_timeout))?;
+                    stream.set_write_timeout(Some(io_timeout))?;
+                    let writer = stream.try_clone()?;
+                    return Ok(Conn {
+                        reader: BufReader::new(stream),
+                        writer,
+                        server: None,
+                    });
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    /// Send `hello {proto_version}` and record what the server answered.
+    /// A server that predates versioning answers `unknown_op`; that is
+    /// a successful handshake at protocol 1, not an error — forward
+    /// compatibility cuts both ways.
+    pub fn handshake(&mut self, proto_version: u64) -> Result<ServerInfo, ClientError> {
+        let req = Json::Obj(vec![
+            ("op".to_string(), Json::str("hello")),
+            ("proto_version".to_string(), Json::Num(proto_version as f64)),
+        ]);
+        let resp = self.request(&req)?;
+        let info = if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+            ServerInfo {
+                proto_version: resp
+                    .get("proto_version")
+                    .and_then(Json::as_usize)
+                    .unwrap_or(1) as u64,
+                min_proto: resp.get("min_proto").and_then(Json::as_usize).unwrap_or(1) as u64,
+                role: resp
+                    .get("role")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+            }
+        } else if resp.get("code").and_then(Json::as_str) == Some("unknown_op") {
+            ServerInfo {
+                proto_version: 1,
+                min_proto: 1,
+                role: "unknown".to_string(),
+            }
+        } else {
+            return Err(server_error(&resp));
+        };
+        self.server = Some(info.clone());
+        Ok(info)
+    }
+
+    /// One request line out, one response line in. Any socket failure is
+    /// [`ClientError::Io`]; a closed or unparseable response is
+    /// [`ClientError::Protocol`] — both mean the connection is dead.
+    pub fn request(&mut self, req: &Json) -> Result<Json, ClientError> {
+        let mut line = req.render();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut resp = String::new();
+        let n = self.reader.read_line(&mut resp)?;
+        if n == 0 {
+            return Err(ClientError::Protocol(
+                "connection closed before a response arrived".to_string(),
+            ));
+        }
+        if !resp.ends_with('\n') {
+            return Err(ClientError::Protocol(
+                "connection closed mid-response".to_string(),
+            ));
+        }
+        Json::parse(resp.trim_end())
+            .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}")))
+    }
+}
+
+fn server_error(resp: &Json) -> ClientError {
+    ClientError::Server {
+        code: resp
+            .get("code")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string(),
+        message: resp
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("unspecified server error")
+            .to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client: retries, failover, exactly-once ingest
+// ---------------------------------------------------------------------------
+
+/// Counters a caller (or a test) can read after the fact.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientStats {
+    /// Attempts beyond the first, across all requests.
+    pub retries: u64,
+    /// Active-target flips (primary ↔ standby).
+    pub failovers: u64,
+    /// Ingest acks the server answered as duplicates (`deduped:true`).
+    pub dedup_acks: u64,
+}
+
+/// The fault-tolerant client. One instance is one logical writer: it
+/// owns the per-relation ingest sequence numbers that make retries
+/// exactly-once.
+pub struct Client {
+    cfg: ClientConfig,
+    /// Established connection and which target it is to.
+    conn: Option<(usize, Conn)>,
+    /// Active target index into `[primary, standby]`.
+    active: usize,
+    /// Highest sequence number sent per relation.
+    seqs: HashMap<String, u64>,
+    /// Failure-handling counters.
+    pub stats: ClientStats,
+}
+
+impl Client {
+    /// A client that connects lazily on the first request.
+    pub fn new(cfg: ClientConfig) -> Client {
+        Client {
+            cfg,
+            conn: None,
+            active: 0,
+            seqs: HashMap::new(),
+            stats: ClientStats::default(),
+        }
+    }
+
+    fn target_addr(&self, idx: usize) -> &str {
+        match idx {
+            0 => &self.cfg.primary,
+            _ => self.cfg.standby.as_deref().unwrap_or(&self.cfg.primary),
+        }
+    }
+
+    /// Flip the active target (no-op without a standby) and drop the
+    /// current connection.
+    fn flip(&mut self) {
+        self.conn = None;
+        if self.cfg.standby.is_some() {
+            self.active ^= 1;
+            self.stats.failovers += 1;
+        }
+    }
+
+    fn ensure_conn(&mut self) -> Result<&mut Conn, ClientError> {
+        if self.conn.as_ref().map(|(idx, _)| *idx) != Some(self.active) {
+            self.conn = None;
+        }
+        if self.conn.is_none() {
+            let addr = self.target_addr(self.active).to_string();
+            let mut conn = Conn::connect(&addr, self.cfg.connect_timeout, self.cfg.io_timeout)?;
+            conn.handshake(self.cfg.proto_version)?;
+            self.conn = Some((self.active, conn));
+        }
+        Ok(&mut self.conn.as_mut().expect("connection just ensured").1)
+    }
+
+    /// Send `req`, retrying transient failures with backoff and flipping
+    /// to the standby on connection loss or a `standby` refusal. Only
+    /// send requests that are safe to repeat — `ingest` is, because of
+    /// its sequence number.
+    pub fn request_retried(&mut self, req: &Json) -> Result<Json, ClientError> {
+        let mut backoff = Backoff::new(self.cfg.backoff_base, self.cfg.backoff_cap, self.cfg.seed);
+        let mut last = String::new();
+        for attempt in 0..=self.cfg.max_retries {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                std::thread::sleep(backoff.next_delay());
+            }
+            let conn = match self.ensure_conn() {
+                Ok(c) => c,
+                Err(e) => {
+                    last = e.to_string();
+                    self.flip();
+                    continue;
+                }
+            };
+            match conn.request(req) {
+                Ok(resp) => {
+                    if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+                        return Ok(resp);
+                    }
+                    let code = resp
+                        .get("code")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown")
+                        .to_string();
+                    if code == "standby" {
+                        // Talking to an unpromoted standby: try the other
+                        // node, come back if it stays down.
+                        last = format!("peer is a standby ({})", self.target_addr(self.active));
+                        self.flip();
+                        continue;
+                    }
+                    if retryable_code(&code) {
+                        last = format!("server answered {code}");
+                        continue;
+                    }
+                    return Err(server_error(&resp));
+                }
+                Err(e) => {
+                    // Io or protocol garbage: the connection is dead and
+                    // the request outcome unknown; reconnect (elsewhere
+                    // if a standby is configured).
+                    last = e.to_string();
+                    self.flip();
+                }
+            }
+        }
+        Err(ClientError::RetriesExhausted {
+            attempts: self.cfg.max_retries + 1,
+            last,
+        })
+    }
+
+    /// The next sequence number for `relation`, seeding from the
+    /// server's `last_client_seq` on first use so a fresh client never
+    /// collides with (or gets deduped against) an earlier writer.
+    fn next_seq(&mut self, relation: &str) -> Result<u64, ClientError> {
+        if let Some(&s) = self.seqs.get(relation) {
+            return Ok(s + 1);
+        }
+        let seed = match self.check(relation) {
+            Ok(resp) => resp
+                .get("last_client_seq")
+                .and_then(Json::as_usize)
+                .unwrap_or(0) as u64,
+            Err(ClientError::Server { code, .. })
+                if code == "unknown_relation" || code == "already_closed" =>
+            {
+                0
+            }
+            Err(e) => return Err(e),
+        };
+        Ok(seed + 1)
+    }
+
+    /// Ingest a batch exactly once, retrying through disconnects, `busy`
+    /// and failover. `rows` is the wire shape (`[[cell, ...], ...]`).
+    pub fn ingest(&mut self, relation: &str, rows: Json) -> Result<Json, ClientError> {
+        let seq = self.next_seq(relation)?;
+        self.ingest_with_seq(relation, rows, seq)
+    }
+
+    /// [`Client::ingest`] with an explicit sequence number — for
+    /// re-sending an in-flight batch after failover (same number ⇒ the
+    /// server applies or dedups, never doubles).
+    pub fn ingest_with_seq(
+        &mut self,
+        relation: &str,
+        rows: Json,
+        seq: u64,
+    ) -> Result<Json, ClientError> {
+        let req = Json::Obj(vec![
+            ("op".to_string(), Json::str("ingest")),
+            ("relation".to_string(), Json::str(relation)),
+            ("rows".to_string(), rows),
+            ("seq".to_string(), Json::Num(seq as f64)),
+        ]);
+        let resp = self.request_retried(&req)?;
+        if resp.get("deduped").and_then(Json::as_bool) == Some(true) {
+            self.stats.dedup_acks += 1;
+        }
+        let prev = self.seqs.get(relation).copied().unwrap_or(0);
+        self.seqs.insert(relation.to_string(), prev.max(seq));
+        Ok(resp)
+    }
+
+    /// Ensure `relation` is open with the given spec (the full `open`
+    /// request document minus `op`). Retried; a `relation_exists` answer
+    /// reports success with `already_open:true` — an earlier attempt (or
+    /// writer) won the race, which is the state this call wanted.
+    pub fn open(&mut self, mut spec: Json) -> Result<Json, ClientError> {
+        if let Json::Obj(pairs) = &mut spec {
+            pairs.retain(|(k, _)| k != "op");
+            pairs.insert(0, ("op".to_string(), Json::str("open")));
+        }
+        match self.request_retried(&spec) {
+            Ok(resp) => Ok(resp),
+            Err(ClientError::Server { code, .. }) if code == "relation_exists" => {
+                Ok(Json::Obj(vec![
+                    ("ok".to_string(), Json::Bool(true)),
+                    ("already_open".to_string(), Json::Bool(true)),
+                ]))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Relation-level `check`.
+    pub fn check(&mut self, relation: &str) -> Result<Json, ClientError> {
+        self.request_retried(&Json::Obj(vec![
+            ("op".to_string(), Json::str("check")),
+            ("relation".to_string(), Json::str(relation)),
+        ]))
+    }
+
+    /// `dump` the repaired relation.
+    pub fn dump(&mut self, relation: &str) -> Result<Json, ClientError> {
+        self.request_retried(&Json::Obj(vec![
+            ("op".to_string(), Json::str("dump")),
+            ("relation".to_string(), Json::str(relation)),
+        ]))
+    }
+
+    /// Daemon `stats` (optionally narrowed to one relation).
+    pub fn stats_verb(&mut self, relation: Option<&str>) -> Result<Json, ClientError> {
+        let mut pairs = vec![("op".to_string(), Json::str("stats"))];
+        if let Some(r) = relation {
+            pairs.push(("relation".to_string(), Json::str(r)));
+        }
+        self.request_retried(&Json::Obj(pairs))
+    }
+
+    /// Liveness probe against the active target.
+    pub fn ping(&mut self) -> Result<Json, ClientError> {
+        self.request_retried(&Json::Obj(vec![("op".to_string(), Json::str("ping"))]))
+    }
+
+    /// Close a relation.
+    pub fn close(&mut self, relation: &str) -> Result<Json, ClientError> {
+        self.request_retried(&Json::Obj(vec![
+            ("op".to_string(), Json::str("close")),
+            ("relation".to_string(), Json::str(relation)),
+        ]))
+    }
+
+    /// Promote the configured standby to primary: connects to the
+    /// standby address directly (not the active target) and retries
+    /// through transient failures while it drains its apply queue.
+    pub fn promote_standby(&mut self) -> Result<Json, ClientError> {
+        let addr = self
+            .cfg
+            .standby
+            .clone()
+            .ok_or_else(|| ClientError::Protocol("no standby configured".to_string()))?;
+        let req = Json::Obj(vec![("op".to_string(), Json::str("promote"))]);
+        let mut backoff = Backoff::new(self.cfg.backoff_base, self.cfg.backoff_cap, self.cfg.seed);
+        let mut last = String::new();
+        for attempt in 0..=self.cfg.max_retries {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                std::thread::sleep(backoff.next_delay());
+            }
+            let outcome = Conn::connect(&addr, self.cfg.connect_timeout, self.cfg.io_timeout)
+                .map_err(ClientError::from)
+                .and_then(|mut conn| {
+                    conn.handshake(self.cfg.proto_version)?;
+                    conn.request(&req)
+                });
+            match outcome {
+                Ok(resp) if resp.get("ok").and_then(Json::as_bool) == Some(true) => {
+                    // Future requests should prefer the promoted node.
+                    self.conn = None;
+                    self.active = 1;
+                    return Ok(resp);
+                }
+                Ok(resp) => {
+                    let code = resp.get("code").and_then(Json::as_str).unwrap_or("unknown");
+                    if !retryable_code(code) {
+                        return Err(server_error(&resp));
+                    }
+                    last = format!("server answered {code}");
+                }
+                Err(e) => last = e.to_string(),
+            }
+        }
+        Err(ClientError::RetriesExhausted {
+            attempts: self.cfg.max_retries + 1,
+            last,
+        })
+    }
+
+    /// What the last handshake learned about the active server.
+    pub fn server_info(&self) -> Option<&ServerInfo> {
+        self.conn.as_ref().and_then(|(_, c)| c.server.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_growing() {
+        let schedule = |seed: u64| -> Vec<u64> {
+            let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(500), seed);
+            (0..8).map(|_| b.next_delay().as_millis() as u64).collect()
+        };
+        let a = schedule(7);
+        assert_eq!(a, schedule(7), "same seed, same delays");
+        assert_ne!(a, schedule(8), "different seeds decorrelate");
+        // Every delay sits in [cap/2 of the exponential step, the step].
+        for (i, &d) in a.iter().enumerate() {
+            let step = (10u64 << i).min(500);
+            assert!(
+                d >= step / 2 && d <= step,
+                "attempt {i}: {d} vs step {step}"
+            );
+        }
+        // The ceiling holds forever.
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(500), 1);
+        for _ in 0..40 {
+            assert!(b.next_delay() <= Duration::from_millis(500));
+        }
+    }
+
+    #[test]
+    fn connect_failure_is_bounded_and_typed() {
+        // A port nothing listens on: refused (or timed out) quickly.
+        let err = Conn::connect(
+            "127.0.0.1:1",
+            Duration::from_millis(200),
+            Duration::from_millis(200),
+        )
+        .expect_err("nothing listens on port 1");
+        let _ = err.kind(); // any io::Error is the right shape
+    }
+
+    #[test]
+    fn retries_exhaust_against_a_dead_primary() {
+        let mut cfg = ClientConfig::new("127.0.0.1:1");
+        cfg.max_retries = 2;
+        cfg.connect_timeout = Duration::from_millis(50);
+        cfg.backoff_base = Duration::from_millis(1);
+        cfg.backoff_cap = Duration::from_millis(2);
+        let mut client = Client::new(cfg);
+        match client.ping() {
+            Err(ClientError::RetriesExhausted { attempts, .. }) => assert_eq!(attempts, 3),
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+        assert_eq!(client.stats.retries, 2);
+    }
+}

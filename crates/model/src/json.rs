@@ -176,6 +176,18 @@ impl Json {
         }
     }
 
+    /// The number as a non-negative 64-bit integer, if integral and
+    /// exactly representable (JSON numbers are doubles, so anything past
+    /// 2^53 is out regardless).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= (1u64 << 53) as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
     /// The boolean if this is a boolean.
     pub fn as_bool(&self) -> Option<bool> {
         match self {

@@ -21,21 +21,26 @@
 //! `internal_panic` error instead of killing the connection thread, and
 //! a panicking ingest poisons only its tenant (see [`crate::shard`]).
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use uniclean_model::json::{batch_from_json, relation_to_json};
 use uniclean_model::Json;
 
-use crate::protocol::{error, error_with, json_error, ok, parse_request, Request};
+use crate::protocol::{
+    error, error_with, json_error, ok, parse_request, Request, MIN_PROTO_VERSION, PROTO_VERSION,
+};
 use crate::recovery::{recover_root, RecoveryReport};
 use crate::registry::{DurabilityCfg, Registry, Tenant};
+use crate::replication::{self, ReplicaInfo, StandbyStatus};
 use crate::shard::{spawn_workers, Job};
 use crate::stats::ShardStats;
 
@@ -70,6 +75,10 @@ pub struct DaemonConfig {
     /// a structured `line_too_long` error and the connection closes
     /// (framing is unrecoverable mid-line).
     pub max_line_bytes: usize,
+    /// Start as a standby replicating from this primary address
+    /// ([`crate::replication`]). Mutating verbs answer `standby` until a
+    /// `promote` flips the node to serving.
+    pub replicate_from: Option<String>,
 }
 
 impl Default for DaemonConfig {
@@ -82,26 +91,40 @@ impl Default for DaemonConfig {
             snapshot_every: 64,
             fsync: true,
             max_line_bytes: 64 << 20,
+            replicate_from: None,
         }
     }
 }
 
-/// State shared by the accept loop, connection threads and shard workers.
-struct Shared {
-    registry: Arc<Registry>,
+/// State shared by the accept loop, connection threads, shard workers
+/// and (on a standby) the replication puller.
+pub(crate) struct Shared {
+    pub(crate) registry: Arc<Registry>,
     /// `None` once shutdown begins: dropping the senders is what lets the
     /// workers drain and exit.
-    senders: RwLock<Option<Vec<SyncSender<Job>>>>,
-    shard_stats: Vec<Arc<ShardStats>>,
-    queue_bound: usize,
-    shutdown: AtomicBool,
-    local: SocketAddr,
-    started: Instant,
+    pub(crate) senders: RwLock<Option<Vec<SyncSender<Job>>>>,
+    pub(crate) shard_stats: Vec<Arc<ShardStats>>,
+    pub(crate) queue_bound: usize,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) local: SocketAddr,
+    pub(crate) started: Instant,
     /// What startup recovery did (durable daemons only).
-    recovery: Option<RecoveryReport>,
+    pub(crate) recovery: Option<RecoveryReport>,
     /// Durability knobs; `None` for a memory-only daemon.
-    durable: Option<Arc<DurabilityCfg>>,
-    max_line_bytes: usize,
+    pub(crate) durable: Option<Arc<DurabilityCfg>>,
+    pub(crate) max_line_bytes: usize,
+    /// `true` while this node is a tailing standby; `promote` clears it.
+    pub(crate) standby: AtomicBool,
+    /// The primary a standby replicates from (named in `standby` errors).
+    pub(crate) primary_addr: Option<String>,
+    /// Primary side: per-relation replica feedback from `repl_ack`.
+    pub(crate) replicas: Mutex<HashMap<String, ReplicaInfo>>,
+    /// Asks the puller to stop (promotion or shutdown).
+    pub(crate) repl_stop: AtomicBool,
+    /// The puller thread, joined by `promote`/shutdown.
+    pub(crate) repl_handle: Mutex<Option<JoinHandle<()>>>,
+    /// Standby-side replication counters for `ping`.
+    pub(crate) repl_status: Mutex<StandbyStatus>,
 }
 
 /// A bound, not-yet-running daemon.
@@ -168,7 +191,23 @@ impl Daemon {
             recovery,
             durable,
             max_line_bytes: self.config.max_line_bytes.max(1024),
+            standby: AtomicBool::new(self.config.replicate_from.is_some()),
+            primary_addr: self.config.replicate_from.clone(),
+            replicas: Mutex::new(HashMap::new()),
+            repl_stop: AtomicBool::new(false),
+            repl_handle: Mutex::new(None),
+            repl_status: Mutex::new(StandbyStatus::default()),
         });
+        if let Some(primary) = self.config.replicate_from.clone() {
+            let puller_shared = shared.clone();
+            let handle = std::thread::Builder::new()
+                .name("uniclean-repl".to_string())
+                .spawn(move || replication::run_puller(puller_shared, primary))?;
+            *shared
+                .repl_handle
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = Some(handle);
+        }
         let mut connections = Vec::new();
         loop {
             if shared.shutdown.load(Ordering::SeqCst) {
@@ -193,6 +232,9 @@ impl Daemon {
         for c in connections {
             let _ = c.join();
         }
+        // A still-running puller submits to the shard queues — stop and
+        // join it before the queues close.
+        replication::stop_puller(&shared);
         // Dropping the senders closes every queue; workers finish what is
         // already enqueued, then exit.
         *shared.senders.write().unwrap() = None;
@@ -303,10 +345,13 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
         Ok(w) => w,
         Err(_) => return,
     };
-    let mut write_response = move |response: Json| -> bool {
+    fn send(writer: &mut TcpStream, bytes: &[u8]) -> bool {
+        writer.write_all(bytes).is_ok() && writer.flush().is_ok()
+    }
+    let write_response = |writer: &mut TcpStream, response: Json| -> bool {
         let mut out = response.render();
         out.push('\n');
-        writer.write_all(out.as_bytes()).is_ok() && writer.flush().is_ok()
+        send(writer, out.as_bytes())
     };
     let mut reader = BufReader::new(stream);
     let mut line: Vec<u8> = Vec::new();
@@ -322,20 +367,26 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
             LineRead::TooLong => {
                 // Framing is lost mid-line; answer, then drop the
                 // connection rather than guess where the next line starts.
-                let _ = write_response(error_with(
-                    "line_too_long",
-                    format!(
-                        "request line exceeds the {}-byte bound",
-                        shared.max_line_bytes
+                let _ = write_response(
+                    &mut writer,
+                    error_with(
+                        "line_too_long",
+                        format!(
+                            "request line exceeds the {}-byte bound",
+                            shared.max_line_bytes
+                        ),
+                        vec![("max_line_bytes", Json::Num(shared.max_line_bytes as f64))],
                     ),
-                    vec![("max_line_bytes", Json::Num(shared.max_line_bytes as f64))],
-                ));
+                );
                 return;
             }
             LineRead::Line => {}
         }
         let Ok(text) = std::str::from_utf8(&line) else {
-            if !write_response(error("malformed", "request line is not valid UTF-8")) {
+            if !write_response(
+                &mut writer,
+                error("malformed", "request line is not valid UTF-8"),
+            ) {
                 return;
             }
             continue;
@@ -346,25 +397,94 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
         // A dispatch panic (a bug, not a protocol error) answers a
         // structured error on this connection instead of killing the
         // thread; tenant-level damage is handled by poisoning.
-        let response = match catch_unwind(AssertUnwindSafe(|| dispatch(text, &shared))) {
+        let outcome = match catch_unwind(AssertUnwindSafe(|| dispatch(text, &shared))) {
             Ok(r) => r,
-            Err(_) => error(
+            Err(_) => Outcome::Reply(error(
                 "internal_panic",
                 "request handling panicked; the daemon is still serving",
-            ),
+            )),
         };
-        if !write_response(response) {
-            return;
+        match outcome {
+            Outcome::Reply(response) => {
+                if !write_response(&mut writer, response) {
+                    return;
+                }
+            }
+            // A fault-injected mid-stream disconnect: flush whatever
+            // partial bytes the failpoint decided on, then drop the
+            // connection without a trailing newline.
+            Outcome::CloseAfter(partial) => {
+                let _ = send(&mut writer, partial.as_bytes());
+                return;
+            }
         }
     }
 }
 
-/// One request line → one response object.
-fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
+/// What a dispatched request does to the connection: the normal case is
+/// one JSON reply line; fault injection can instead emit a byte prefix
+/// and hang up mid-frame (exercising replica-side torn-reply handling).
+pub(crate) enum Outcome {
+    Reply(Json),
+    CloseAfter(String),
+}
+
+/// One request line → one connection outcome. Replication fetches go
+/// through their own path because their failpoints can sever the
+/// connection; everything else replies exactly one line.
+fn dispatch(line: &str, shared: &Arc<Shared>) -> Outcome {
     let request = match parse_request(line) {
         Ok(r) => r,
-        Err(resp) => return resp,
+        Err(resp) => return Outcome::Reply(resp),
     };
+    if let Request::ReplFetch {
+        relation,
+        after,
+        max_frames,
+    } = request
+    {
+        // Refusing fetches during shutdown makes the tailing standby
+        // back off, which gives this connection the quiet window the
+        // read loop needs to notice the flag and exit.
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Outcome::Reply(error("shutting_down", "daemon is shutting down"));
+        }
+        return replication::handle_fetch(shared, &relation, after, max_frames);
+    }
+    Outcome::Reply(dispatch_request(request, line, shared))
+}
+
+/// Every verb except `repl_fetch`: one request → one reply object.
+fn dispatch_request(request: Request, line: &str, shared: &Arc<Shared>) -> Json {
+    // Like mutations, the replication stream (and handshakes/promotion)
+    // stops at shutdown — a standby that kept polling would keep this
+    // node's connection threads busy forever.
+    if shared.shutdown.load(Ordering::SeqCst)
+        && matches!(
+            request,
+            Request::Hello { .. } | Request::Promote | Request::ReplList | Request::ReplAck { .. }
+        )
+    {
+        return error("shutting_down", "daemon is shutting down");
+    }
+    // A standby is read-only: queries and replication verbs work, but
+    // mutations must go to the primary (the puller is the only writer).
+    if shared.standby.load(Ordering::SeqCst)
+        && matches!(
+            request,
+            Request::Open(_) | Request::Ingest { .. } | Request::Close { .. }
+        )
+    {
+        let mut extra = Vec::new();
+        if let Some(primary) = &shared.primary_addr {
+            extra.push(("primary", Json::str(primary)));
+        }
+        return error_with(
+            "standby",
+            "this node is a read-only standby; write to the primary",
+            extra,
+        );
+    }
     match request {
         Request::Open(spec) => {
             if shared.shutdown.load(Ordering::SeqCst) {
@@ -395,7 +515,11 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
                 Err(resp) => resp,
             }
         }
-        Request::Ingest { relation, rows } => {
+        Request::Ingest {
+            relation,
+            rows,
+            seq,
+        } => {
             if shared.shutdown.load(Ordering::SeqCst) {
                 return error("shutting_down", "daemon is shutting down");
             }
@@ -414,6 +538,8 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
             submit(shared, tenant.shard, |reply| Job::Ingest {
                 tenant: tenant.clone(),
                 rows,
+                client_seq: seq,
+                repl_seq: None,
                 reply,
             })
         }
@@ -427,13 +553,21 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
             }
             let entry = tenant.entry_read();
             match tuple {
-                None => ok(vec![
-                    ("relation", Json::str(&relation)),
-                    ("consistent", Json::Bool(entry.state.consistent())),
-                    ("tuples", Json::Num(entry.state.len() as f64)),
-                    ("deltas", Json::Num(entry.state.deltas() as f64)),
-                    ("escalations", Json::Num(entry.state.escalations() as f64)),
-                ]),
+                None => {
+                    let mut fields = vec![
+                        ("relation", Json::str(&relation)),
+                        ("consistent", Json::Bool(entry.state.consistent())),
+                        ("tuples", Json::Num(entry.state.len() as f64)),
+                        ("deltas", Json::Num(entry.state.deltas() as f64)),
+                        ("escalations", Json::Num(entry.state.escalations() as f64)),
+                    ];
+                    // Clients seed their exactly-once sequence from this
+                    // after a reconnect.
+                    if let Some(cs) = entry.last_client_seq {
+                        fields.push(("last_client_seq", Json::Num(cs as f64)));
+                    }
+                    ok(fields)
+                }
                 Some(tid) => {
                     if tid >= entry.state.len() {
                         return error_with(
@@ -494,11 +628,36 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
                 Some(r) => r.to_json(),
                 None => Json::Null,
             };
+            let standby = shared.standby.load(Ordering::SeqCst);
+            // Replication health: a standby reports its puller's view of
+            // the stream; a primary reports how many replicas are acking.
+            let replication = if standby {
+                shared
+                    .repl_status
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .to_json(shared.primary_addr.as_deref())
+            } else {
+                let replicas = shared
+                    .replicas
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .len();
+                Json::Obj(vec![
+                    ("role".to_string(), Json::str("primary")),
+                    ("tenants_acked".to_string(), Json::Num(replicas as f64)),
+                ])
+            };
             ok(vec![
                 (
                     "uptime_seconds",
                     Json::Num(shared.started.elapsed().as_secs_f64()),
                 ),
+                (
+                    "role",
+                    Json::str(if standby { "standby" } else { "primary" }),
+                ),
+                ("proto_version", Json::Num(PROTO_VERSION as f64)),
                 ("relations", Json::Num(shared.registry.count() as f64)),
                 ("shards", Json::Num(shared.shard_stats.len() as f64)),
                 ("durable", Json::Bool(shared.durable.is_some())),
@@ -511,8 +670,38 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
                     Json::str(uniclean_core::similarity::simd::dispatch_info().to_string()),
                 ),
                 ("recovery", recovery),
+                ("replication", replication),
             ])
         }
+        Request::Hello { proto_version } => {
+            // Absent version means a pre-versioning (v1) client; anything
+            // the client sends that we don't know is simply ignored, and
+            // a client newer than us still speaks our older dialect.
+            let theirs = proto_version.unwrap_or(MIN_PROTO_VERSION);
+            if theirs < MIN_PROTO_VERSION {
+                return error_with(
+                    "proto_too_old",
+                    format!("client speaks protocol {theirs}; this daemon needs at least {MIN_PROTO_VERSION}"),
+                    vec![("min_proto", Json::Num(MIN_PROTO_VERSION as f64))],
+                );
+            }
+            ok(vec![
+                ("proto_version", Json::Num(PROTO_VERSION as f64)),
+                ("min_proto", Json::Num(MIN_PROTO_VERSION as f64)),
+                (
+                    "role",
+                    Json::str(if shared.standby.load(Ordering::SeqCst) {
+                        "standby"
+                    } else {
+                        "primary"
+                    }),
+                ),
+            ])
+        }
+        Request::Promote => replication::promote(shared),
+        Request::ReplList => replication::handle_list(shared),
+        Request::ReplFetch { .. } => unreachable!("repl_fetch is intercepted in dispatch"),
+        Request::ReplAck { relation, seq } => replication::handle_ack(shared, &relation, seq),
         Request::Close { relation } => {
             if shared.shutdown.load(Ordering::SeqCst) {
                 return error("shutting_down", "daemon is shutting down");
@@ -535,6 +724,9 @@ fn dispatch(line: &str, shared: &Arc<Shared>) -> Json {
             if shared.shutdown.swap(true, Ordering::SeqCst) {
                 return error("shutting_down", "daemon is already shutting down");
             }
+            // Ask the puller to stop now so it isn't mid-backoff when
+            // `run` joins it (the join itself happens in `run`).
+            shared.repl_stop.store(true, Ordering::SeqCst);
             // Unblock the accept loop so `run` can proceed to drain.
             let _ = TcpStream::connect(shared.local);
             ok(vec![("shutting_down", Json::Bool(true))])
@@ -553,7 +745,11 @@ fn phase_wire_name(phase: uniclean_core::Phase) -> &'static str {
 
 /// Submit a job to a shard queue; `busy` if the queue is full, waits for
 /// the worker's reply otherwise.
-fn submit(shared: &Arc<Shared>, shard: usize, make: impl FnOnce(SyncSender<Json>) -> Job) -> Json {
+pub(crate) fn submit(
+    shared: &Arc<Shared>,
+    shard: usize,
+    make: impl FnOnce(SyncSender<Json>) -> Job,
+) -> Json {
     let (reply_tx, reply_rx) = sync_channel::<Json>(1);
     {
         let guard = shared.senders.read().unwrap();
@@ -602,7 +798,10 @@ fn stats_response(shared: &Arc<Shared>, relation: Option<&str>) -> Json {
             Err(resp) => return resp,
         },
     };
-    let relations = tenants.iter().map(relation_stats).collect::<Vec<_>>();
+    let relations = tenants
+        .iter()
+        .map(|t| relation_stats(shared, t))
+        .collect::<Vec<_>>();
     let shards = shared
         .shard_stats
         .iter()
@@ -615,7 +814,7 @@ fn stats_response(shared: &Arc<Shared>, relation: Option<&str>) -> Json {
     ])
 }
 
-fn relation_stats(tenant: &Arc<Tenant>) -> Json {
+fn relation_stats(shared: &Arc<Shared>, tenant: &Arc<Tenant>) -> Json {
     // A poisoned tenant reports just its poisoning — its state is the
     // pre-failure remnant, not something to publish numbers from.
     if tenant.is_poisoned() {
@@ -641,7 +840,9 @@ fn relation_stats(tenant: &Arc<Tenant>) -> Json {
         .iter()
         .map(|&s| Json::Num(s))
         .collect();
-    Json::Obj(vec![
+    let last_client_seq = entry.last_client_seq;
+    let repl_seq = entry.repl_seq;
+    let mut fields = vec![
         ("relation".to_string(), Json::str(&tenant.name)),
         ("shard".to_string(), Json::Num(tenant.shard as f64)),
         ("tuples".to_string(), Json::Num(entry.state.len() as f64)),
@@ -662,5 +863,17 @@ fn relation_stats(tenant: &Arc<Tenant>) -> Json {
         ("fixes".to_string(), Json::Num(entry.stats.fixes as f64)),
         ("cost".to_string(), Json::Num(entry.state.cost())),
         ("phase_seconds".to_string(), Json::Arr(phase_seconds)),
-    ])
+    ];
+    drop(entry);
+    if let Some(cs) = last_client_seq {
+        fields.push(("last_client_seq".to_string(), Json::Num(cs as f64)));
+    }
+    if let Some(rs) = repl_seq {
+        fields.push(("repl_seq".to_string(), Json::Num(rs as f64)));
+    }
+    // Per-tenant replica health, present only once a replica has acked.
+    if let Some(repl) = replication::relation_replication_json(shared, tenant) {
+        fields.push(("replication".to_string(), repl));
+    }
+    Json::Obj(fields)
 }

@@ -46,6 +46,7 @@ pub mod faults;
 pub mod protocol;
 pub mod recovery;
 pub mod registry;
+pub mod replication;
 pub mod shard;
 pub mod snapshot;
 pub mod stats;

@@ -18,9 +18,28 @@
 //! | `ping` (alias `health`) | liveness: uptime, tenant/shard counts, recovery report — never mutates, answers even mid-shutdown |
 //! | `close` | drop a relation (serialized after its pending ingests); idempotent — a second close answers `already_closed` |
 //! | `shutdown` | stop accepting, drain every shard queue, exit; idempotent — a second shutdown answers `shutting_down` |
+//! | `hello` | protocol negotiation: client sends its `proto_version`, server answers its own version range and role |
+//! | `promote` | flip a standby into a serving primary after draining its apply queue |
+//! | `repl_list` / `repl_fetch` / `repl_ack` | the standby-side pull replication verbs ([`crate::replication`]) |
+//!
+//! Forward compatibility: every parser here reads fields by name and
+//! ignores unknown members, so newer clients can decorate requests with
+//! extra keys without breaking older servers; `hello` makes the version
+//! skew explicit.
 
 use uniclean_core::{CleanError, Phase};
 use uniclean_model::{Json, JsonError};
+
+/// The protocol version this build speaks. Version history:
+///
+/// * 1 — the PR 7 serving verbs (`open` … `shutdown`).
+/// * 2 — adds `hello`, exactly-once ingest `seq`, replication
+///   (`repl_list`/`repl_fetch`/`repl_ack`) and `promote`.
+pub const PROTO_VERSION: u64 = 2;
+
+/// The oldest client protocol version this build still serves. Version-1
+/// clients (which never send `hello`) keep working unchanged.
+pub const MIN_PROTO_VERSION: u64 = 1;
 
 /// A parsed request line.
 #[derive(Debug)]
@@ -34,6 +53,10 @@ pub enum Request {
         relation: String,
         /// The `"rows"` payload, decoded per-tenant later.
         rows: Json,
+        /// Optional client-supplied monotonic sequence number. The WAL
+        /// records it and replay/retry deduplicates on it, which is what
+        /// makes retried ingests exactly-once.
+        seq: Option<u64>,
     },
     /// Acceptance query; `tuple` picks one tuple, `None` asks for the
     /// relation-level verdict.
@@ -62,6 +85,34 @@ pub enum Request {
     },
     /// Graceful daemon shutdown.
     Shutdown,
+    /// Protocol negotiation. Absent `proto_version` means a pre-`hello`
+    /// version-1 client.
+    Hello {
+        /// The client's claimed protocol version.
+        proto_version: Option<u64>,
+    },
+    /// Flip a standby into a serving primary (drains the apply queue
+    /// first). Answers `not_standby` on a primary.
+    Promote,
+    /// Replication: enumerate durable tenants with their WAL positions.
+    ReplList,
+    /// Replication: fetch WAL frames (or a snapshot) for one tenant.
+    ReplFetch {
+        /// Target relation.
+        relation: String,
+        /// Return frames with WAL seq strictly greater than this.
+        after: u64,
+        /// Cap on frames per response (batching knob).
+        max_frames: usize,
+    },
+    /// Replication: the standby reports its applied offset (doubles as a
+    /// heartbeat).
+    ReplAck {
+        /// Target relation.
+        relation: String,
+        /// Highest primary WAL seq the standby has durably applied.
+        seq: u64,
+    },
 }
 
 /// Everything `open` needs to build a tenant.
@@ -116,6 +167,7 @@ pub fn parse_request(line: &str) -> Result<Request, Json> {
                 .get("rows")
                 .cloned()
                 .ok_or_else(|| error("bad_request", "ingest needs \"rows\""))?,
+            seq: opt_u64(&doc, "seq")?,
         }),
         "check" => {
             let tuple = match doc.get("tuple") {
@@ -148,6 +200,26 @@ pub fn parse_request(line: &str) -> Result<Request, Json> {
             relation: need_relation(&doc)?,
         }),
         "shutdown" => Ok(Request::Shutdown),
+        "hello" => Ok(Request::Hello {
+            proto_version: opt_u64(&doc, "proto_version")?,
+        }),
+        "promote" => Ok(Request::Promote),
+        "repl_list" => Ok(Request::ReplList),
+        "repl_fetch" => Ok(Request::ReplFetch {
+            relation: need_relation(&doc)?,
+            after: opt_u64(&doc, "after")?.unwrap_or(0),
+            max_frames: match doc.get("max_frames") {
+                None => crate::replication::DEFAULT_FETCH_FRAMES,
+                Some(v) => v.as_usize().filter(|&n| n >= 1).ok_or_else(|| {
+                    error("bad_request", "\"max_frames\" must be a positive integer")
+                })?,
+            },
+        }),
+        "repl_ack" => Ok(Request::ReplAck {
+            relation: need_relation(&doc)?,
+            seq: opt_u64(&doc, "seq")?
+                .ok_or_else(|| error("bad_request", "repl_ack needs an integer \"seq\""))?,
+        }),
         other => Err(error("unknown_op", format!("unknown op {other:?}"))),
     }
 }
@@ -157,6 +229,19 @@ fn need_relation(doc: &Json) -> Result<String, Json> {
         .and_then(Json::as_str)
         .map(str::to_string)
         .ok_or_else(|| error("bad_request", "request needs a string \"relation\""))
+}
+
+/// An optional non-negative integer field (`None` when absent).
+fn opt_u64(doc: &Json, key: &str) -> Result<Option<u64>, Json> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            error(
+                "bad_request",
+                format!("\"{key}\" must be a non-negative integer"),
+            )
+        }),
+    }
 }
 
 /// Parse an `open` request document into its spec. Also the decoder for
@@ -392,6 +477,79 @@ mod tests {
             parse_request(r#"{"op":"health"}"#).unwrap(),
             Request::Ping
         ));
+        assert!(matches!(
+            parse_request(r#"{"op":"ingest","relation":"r","rows":[],"seq":9}"#).unwrap(),
+            Request::Ingest { seq: Some(9), .. }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"hello","proto_version":2}"#).unwrap(),
+            Request::Hello {
+                proto_version: Some(2)
+            }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"hello"}"#).unwrap(),
+            Request::Hello {
+                proto_version: None
+            }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"promote"}"#).unwrap(),
+            Request::Promote
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"repl_list"}"#).unwrap(),
+            Request::ReplList
+        ));
+        match parse_request(r#"{"op":"repl_fetch","relation":"r","after":7,"max_frames":3}"#)
+            .unwrap()
+        {
+            Request::ReplFetch {
+                relation,
+                after,
+                max_frames,
+            } => {
+                assert_eq!(relation, "r");
+                assert_eq!(after, 7);
+                assert_eq!(max_frames, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_request(r#"{"op":"repl_fetch","relation":"r"}"#).unwrap(),
+            Request::ReplFetch {
+                after: 0,
+                max_frames: crate::replication::DEFAULT_FETCH_FRAMES,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"repl_ack","relation":"r","seq":12}"#).unwrap(),
+            Request::ReplAck { seq: 12, .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored_everywhere() {
+        // Forward compatibility: a future client may decorate any request
+        // with members this build has never heard of.
+        assert!(matches!(
+            parse_request(r#"{"op":"ping","tracing_id":"abc","nested":{"x":[1,2]}}"#).unwrap(),
+            Request::Ping
+        ));
+        assert!(matches!(
+            parse_request(
+                r#"{"op":"ingest","relation":"r","rows":[],"compression":"zstd","hint":9}"#
+            )
+            .unwrap(),
+            Request::Ingest { seq: None, .. }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"hello","proto_version":99,"features":["tls"]}"#).unwrap(),
+            Request::Hello {
+                proto_version: Some(99)
+            }
+        ));
     }
 
     #[test]
@@ -422,6 +580,19 @@ mod tests {
         );
         assert_eq!(
             code(r#"{"op":"open","relation":"r","attrs":["a"],"rules":"","default_cf":1.5}"#),
+            "bad_request"
+        );
+        assert_eq!(
+            code(r#"{"op":"ingest","relation":"r","rows":[],"seq":-1}"#),
+            "bad_request"
+        );
+        assert_eq!(code(r#"{"op":"repl_ack","relation":"r"}"#), "bad_request");
+        assert_eq!(
+            code(r#"{"op":"repl_fetch","relation":"r","max_frames":0}"#),
+            "bad_request"
+        );
+        assert_eq!(
+            code(r#"{"op":"hello","proto_version":"two"}"#),
             "bad_request"
         );
     }

@@ -209,13 +209,24 @@ fn recover_tenant(
             .map_err(|e| format!("cannot rebuild WAL: {e}"))?;
         w.append(&open_record(&open_doc))
             .map_err(|e| format!("cannot rebuild WAL: {e}"))?;
+        if cfg.fsync {
+            // The rebuilt file is a fresh directory entry; without the
+            // directory fsync a power loss can lose the file itself even
+            // though its contents were synced.
+            crate::snapshot::sync_dir(dir).map_err(|e| format!("cannot sync tenant dir: {e}"))?;
+        }
         w
     };
 
     report.batches_replayed += replayed.batches;
     report.tuples_replayed += replayed.tuples;
     report.snapshots_used += replayed.used_snapshot as usize;
-    tenant.replace_entry(replayed.state, replayed.stats);
+    tenant.replace_entry(
+        replayed.state,
+        replayed.stats,
+        replayed.last_client_seq,
+        replayed.repl_seq,
+    );
     *tenant.durable_lock() = Some(Durable {
         wal: wal_writer,
         dir: dir.to_path_buf(),
@@ -229,18 +240,26 @@ fn recover_tenant(
 
 /// A successful replay: the rebuilt state plus everything the tenant's
 /// [`Durable`] handle needs.
-struct Replayed {
-    state: RepairState,
-    stats: RelationStats,
-    base_rows: Vec<Json>,
-    seq: u64,
+pub(crate) struct Replayed {
+    pub(crate) state: RepairState,
+    pub(crate) stats: RelationStats,
+    pub(crate) base_rows: Vec<Json>,
+    pub(crate) seq: u64,
     /// WAL batches replayed beyond snapshot coverage.
-    batches: u64,
-    tuples: u64,
-    used_snapshot: bool,
+    pub(crate) batches: u64,
+    pub(crate) tuples: u64,
+    pub(crate) used_snapshot: bool,
+    /// Highest client exactly-once sequence covered by the replay.
+    pub(crate) last_client_seq: Option<u64>,
+    /// Highest mirrored primary sequence covered by the replay.
+    pub(crate) repl_seq: Option<u64>,
 }
 
-fn replay_candidate(
+/// Replay one snapshot candidate (or the bare WAL) onto a fresh state,
+/// cross-checking the snapshot's stored repaired relation byte-for-byte.
+/// Also the apply path for a standby bootstrapping from a streamed
+/// snapshot ([`crate::replication`]), which passes an empty WAL.
+pub(crate) fn replay_candidate(
     tenant: &Tenant,
     snap: Option<&SnapshotDoc>,
     wal: &WalContents,
@@ -252,6 +271,8 @@ fn replay_candidate(
     let mut stats = RelationStats::default();
     let mut base_rows: Vec<Json> = Vec::new();
     let mut seq = 0u64;
+    let mut last_client_seq: Option<u64> = None;
+    let mut repl_seq: Option<u64> = None;
 
     if let Some(s) = snap {
         let rows = batch_from_json(&s.base_rows, arity, tenant.default_cf)
@@ -286,15 +307,18 @@ fn replay_candidate(
             .ok_or("snapshot base rows are not an array")?
             .to_vec();
         seq = s.seq;
+        last_client_seq = s.last_client_seq;
+        repl_seq = s.repl_seq;
     }
 
     let mut batches = 0u64;
     let mut tuples = 0u64;
-    for (bseq, rows_json) in &wal.batches {
-        if *bseq <= seq {
+    for batch in &wal.batches {
+        let bseq = batch.seq;
+        if bseq <= seq {
             continue; // covered by the snapshot
         }
-        let rows = batch_from_json(rows_json, arity, tenant.default_cf)
+        let rows = batch_from_json(&batch.rows, arity, tenant.default_cf)
             .map_err(|e| format!("WAL batch {bseq} undecodable: {e}"))?;
         let mut accum = PhaseAccum::default();
         let res = tenant
@@ -309,11 +333,18 @@ fn replay_candidate(
             *slot += s;
         }
         base_rows.extend_from_slice(
-            rows_json
+            batch
+                .rows
                 .as_arr()
                 .ok_or_else(|| format!("WAL batch {bseq} rows are not an array"))?,
         );
-        seq = *bseq;
+        seq = bseq;
+        if batch.client_seq.is_some() {
+            last_client_seq = last_client_seq.max(batch.client_seq);
+        }
+        if batch.repl_seq.is_some() {
+            repl_seq = repl_seq.max(batch.repl_seq);
+        }
         batches += 1;
         tuples += rows.len() as u64;
     }
@@ -326,6 +357,8 @@ fn replay_candidate(
         batches,
         tuples,
         used_snapshot: snap.is_some(),
+        last_client_seq,
+        repl_seq,
     })
 }
 
@@ -338,6 +371,10 @@ fn quarantine(dir: &Path, dir_name: &str, reason: &str, report: &mut RecoveryRep
         .unwrap();
     match std::fs::rename(dir, &target) {
         Ok(()) => {
+            // Best-effort parent fsync: a power loss right here must not
+            // undo the quarantine and wedge the next startup on the same
+            // corrupt directory.
+            let _ = crate::snapshot::sync_dir(parent);
             eprintln!(
                 "uniclean serve: quarantined unrecoverable tenant directory {dir_name:?} \
                  as {:?}: {reason}",

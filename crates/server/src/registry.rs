@@ -78,6 +78,14 @@ pub(crate) struct TenantEntry {
     pub(crate) state: RepairState,
     /// Per-relation serving counters.
     pub(crate) stats: RelationStats,
+    /// Highest client-supplied exactly-once sequence number applied; an
+    /// incoming `ingest` at or below it is acknowledged as a duplicate
+    /// without re-applying.
+    pub(crate) last_client_seq: Option<u64>,
+    /// Primary WAL sequence this state mirrors, when this node is (or
+    /// was, pre-promotion) a tailing standby. The replication puller
+    /// resumes fetching after this.
+    pub(crate) repl_seq: Option<u64>,
 }
 
 /// One hosted relation.
@@ -168,6 +176,8 @@ impl Tenant {
             entry: RwLock::new(TenantEntry {
                 state,
                 stats: RelationStats::default(),
+                last_client_seq: None,
+                repl_seq: None,
             }),
             poisoned: AtomicBool::new(false),
             durable: Mutex::new(None),
@@ -215,10 +225,21 @@ impl Tenant {
         )
     }
 
-    /// Replace the live state + counters (startup recovery, before the
-    /// tenant is shared).
-    pub(crate) fn replace_entry(&self, state: RepairState, stats: RelationStats) {
-        *self.entry_write() = TenantEntry { state, stats };
+    /// Replace the live state + counters (startup recovery and standby
+    /// bootstrap, before the tenant is shared).
+    pub(crate) fn replace_entry(
+        &self,
+        state: RepairState,
+        stats: RelationStats,
+        last_client_seq: Option<u64>,
+        repl_seq: Option<u64>,
+    ) {
+        *self.entry_write() = TenantEntry {
+            state,
+            stats,
+            last_client_seq,
+            repl_seq,
+        };
     }
 }
 
@@ -329,11 +350,14 @@ impl Registry {
         }
     }
 
-    /// Install recovered tenants at startup (before the listener runs, so
-    /// no contention and no duplicate risk).
+    /// Install recovered (or replication-bootstrapped) tenants. Clears
+    /// any close-tombstone for the adopted names: an adopted tenant is
+    /// open again by definition.
     pub(crate) fn adopt(&self, tenants: Vec<Arc<Tenant>>) {
         let mut map = self.tenants.write().unwrap();
+        let mut closed = self.closed.lock().unwrap_or_else(PoisonError::into_inner);
         for t in tenants {
+            closed.remove(&t.name);
             map.insert(t.name.clone(), t);
         }
     }
@@ -352,8 +376,10 @@ impl Registry {
 }
 
 /// Create a fresh tenant directory + WAL with its `open` record, fsync'd
-/// through to the data root so a post-ack crash finds it.
-fn create_tenant_storage(
+/// through to the data root so a post-ack crash finds it. Also the
+/// storage path for a standby bootstrapping a tenant from a streamed
+/// snapshot ([`crate::replication`]).
+pub(crate) fn create_tenant_storage(
     name: &str,
     open_doc: &Json,
     cfg: &DurabilityCfg,

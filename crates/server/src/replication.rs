@@ -1,0 +1,969 @@
+//! Asynchronous WAL streaming replication: a standby daemon tails a
+//! primary's per-tenant WALs and stays promotable.
+//!
+//! The design is **pull-based** over the existing line-JSON protocol —
+//! no new transport, no push channel state on the primary:
+//!
+//! * the standby (`serve --replicate-from <addr>`) runs one **puller**
+//!   thread. Each round it sends `repl_list` (durable tenants with their
+//!   WAL position `seq` and compaction `floor`), then per tenant
+//!   `repl_fetch` until caught up, then `repl_ack` (which doubles as the
+//!   heartbeat the primary's `stats` ages);
+//! * `repl_fetch` streams **raw checksummed WAL frames**, hex-encoded,
+//!   exactly as they sit in the primary's log. The FNV checksum each
+//!   frame already carries therefore protects the bytes end-to-end:
+//!   network corruption or truncation is caught by the same validation
+//!   recovery uses, and the damaged fetch is simply retried;
+//! * when a fetch asks for history the primary has compacted away
+//!   (`after < floor`), the response switches to `mode:"snapshot"` and
+//!   carries the snapshot file — itself exactly one frame — from which
+//!   the standby bootstraps via the recovery replay path (cross-check
+//!   included), then tails the WAL from the snapshot's seq;
+//! * applied frames flow through the standby's **own** shard queues and
+//!   WAL, stamped with `repl_seq` markers (the primary seq each batch
+//!   mirrors), so a standby restart resumes tailing exactly where it
+//!   stopped and re-streamed frames dedup instead of double-applying;
+//! * `promote` stops the puller, drains its in-flight applies (the
+//!   puller submits synchronously, so joining it *is* the drain), and
+//!   flips the node to serving. Until then every mutating verb answers
+//!   a structured `standby` error naming the primary.
+//!
+//! Exactly-once composition: the WAL records the original client's
+//! `client_seq` alongside each batch, the standby's WAL preserves both
+//! markers, and [`crate::shard`]'s dedup checks them — so a client that
+//! re-sends its in-flight batch after failover gets `deduped:true` if
+//! the batch had replicated before the primary died, and a fresh apply
+//! if it had not. Either way the promoted node's state is bit-identical
+//! to an uninterrupted run (§5.2 order-independence).
+
+use std::collections::HashSet;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use uniclean_client::{Backoff, Conn};
+use uniclean_model::frame::{encode_frame, scan_frames, FRAME_HEADER_LEN};
+use uniclean_model::json::batch_from_json;
+use uniclean_model::Json;
+
+use crate::daemon::{submit, Outcome, Shared};
+use crate::faults::{self, NetFault};
+use crate::protocol::{error, ok, parse_open, PROTO_VERSION};
+use crate::recovery::replay_candidate;
+use crate::registry::{create_tenant_storage, Tenant};
+use crate::shard::Job;
+use crate::snapshot::{write_snapshot, SnapshotDoc, SNAP_FILE};
+use crate::wal::{WalContents, WAL_FILE};
+
+/// Frames per `repl_fetch` response when the request does not say.
+pub const DEFAULT_FETCH_FRAMES: usize = 64;
+
+/// Puller connect deadline against the primary.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+/// Puller per-request io deadline (also bounds an injected `delay`).
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+/// Idle poll between rounds when the standby is caught up.
+const IDLE_POLL: Duration = Duration::from_millis(25);
+/// Retry pause when a shard queue answers `busy`.
+const BUSY_RETRY: Duration = Duration::from_millis(5);
+
+// ---------------------------------------------------------------------------
+// Primary side: repl_list / repl_fetch / repl_ack handlers
+// ---------------------------------------------------------------------------
+
+/// What the primary knows about one tenant's replica (fed by `repl_ack`).
+pub(crate) struct ReplicaInfo {
+    /// Highest primary WAL seq the standby reported applied.
+    pub(crate) acked_seq: u64,
+    /// When that report arrived (heartbeat recency).
+    pub(crate) last_ack: Instant,
+}
+
+/// The `repl_list` verb: every durable tenant with its WAL position.
+/// `floor` is the oldest seq still fetchable from the WAL — anything
+/// older was compacted into the snapshot, so a standby behind the floor
+/// must re-bootstrap.
+pub(crate) fn handle_list(shared: &Arc<Shared>) -> Json {
+    let mut tenants = Vec::new();
+    for t in shared.registry.snapshot() {
+        let guard = t.durable_lock();
+        let Some(d) = guard.as_ref() else {
+            continue; // memory-only tenants have no log to stream
+        };
+        tenants.push(Json::Obj(vec![
+            ("relation".to_string(), Json::str(&t.name)),
+            ("seq".to_string(), Json::Num(d.seq as f64)),
+            (
+                "floor".to_string(),
+                Json::Num((d.seq - d.since_snapshot) as f64),
+            ),
+            ("poisoned".to_string(), Json::Bool(t.is_poisoned())),
+        ]));
+    }
+    ok(vec![("tenants", Json::Arr(tenants))])
+}
+
+/// The `repl_fetch` verb, with its two failpoints: `repl.fetch` (process
+/// faults: kill, or an injected error the standby retries) and
+/// `repl.fetch.net` (network faults mangling the reply in flight).
+pub(crate) fn handle_fetch(
+    shared: &Arc<Shared>,
+    relation: &str,
+    after: u64,
+    max_frames: usize,
+) -> Outcome {
+    if let Err(e) = faults::hit("repl.fetch") {
+        return Outcome::Reply(error("retry", format!("injected fetch fault: {e}")));
+    }
+    let resp = fetch_response(shared, relation, after, max_frames);
+    match faults::net_hit("repl.fetch.net") {
+        None => Outcome::Reply(resp),
+        Some(NetFault::Delay) => {
+            std::thread::sleep(Duration::from_millis(100));
+            Outcome::Reply(resp)
+        }
+        Some(NetFault::Disconnect) => {
+            // Half a rendered reply, then the connection closes — the
+            // classic mid-stream disconnect.
+            let mut line = resp.render();
+            line.truncate(line.len() / 2);
+            Outcome::CloseAfter(line)
+        }
+        Some(NetFault::Corrupt) => Outcome::Reply(mangle(resp, Mangle::Corrupt)),
+        Some(NetFault::Truncate) => Outcome::Reply(mangle(resp, Mangle::Truncate)),
+        Some(NetFault::Duplicate) => Outcome::Reply(mangle(resp, Mangle::Duplicate)),
+    }
+}
+
+fn fetch_response(shared: &Arc<Shared>, relation: &str, after: u64, max_frames: usize) -> Json {
+    let tenant = match shared.registry.get(relation) {
+        Ok(t) => t,
+        Err(resp) => return resp,
+    };
+    // The durable lock serializes against the owning shard's appends and
+    // compaction renames, so the file reads below see a consistent log.
+    let guard = tenant.durable_lock();
+    let Some(d) = guard.as_ref() else {
+        return error(
+            "not_durable",
+            format!("relation {relation:?} has no WAL to replicate (memory-only daemon)"),
+        );
+    };
+    let floor = d.seq - d.since_snapshot;
+    if after < floor {
+        // The history below `floor` lives only in the snapshot now.
+        let bytes = match std::fs::read(d.dir.join(SNAP_FILE)) {
+            Ok(b) => b,
+            Err(e) => return error("io", format!("snapshot unreadable: {e}")),
+        };
+        return ok(vec![
+            ("relation", Json::str(relation)),
+            ("mode", Json::str("snapshot")),
+            ("seq", Json::Num(d.seq as f64)),
+            ("floor", Json::Num(floor as f64)),
+            ("data", Json::str(hex_encode(&bytes))),
+        ]);
+    }
+    let bytes = match std::fs::read(d.dir.join(WAL_FILE)) {
+        Ok(b) => b,
+        Err(e) => return error("io", format!("WAL unreadable: {e}")),
+    };
+    let (payloads, _torn) = scan_frames(&bytes);
+    let mut frames = Vec::new();
+    for p in payloads {
+        let Some(doc) = std::str::from_utf8(p)
+            .ok()
+            .and_then(|t| Json::parse(t).ok())
+        else {
+            break; // ungrammatical tail: stop at the valid prefix
+        };
+        let include = match doc.get("kind").and_then(Json::as_str) {
+            // The open frame only matters to a standby starting from zero.
+            Some("open") => after == 0,
+            Some("batch") => doc
+                .get("seq")
+                .and_then(Json::as_u64)
+                .is_some_and(|s| s > after),
+            _ => false,
+        };
+        if include {
+            // Re-encoding the payload reproduces the frame bytes exactly
+            // (the header is a pure function of the payload), so the
+            // standby re-validates the same checksum the log carries.
+            let mut raw = Vec::with_capacity(p.len() + FRAME_HEADER_LEN);
+            encode_frame(p, &mut raw);
+            frames.push(Json::Str(hex_encode(&raw)));
+            if frames.len() >= max_frames {
+                break;
+            }
+        }
+    }
+    ok(vec![
+        ("relation", Json::str(relation)),
+        ("mode", Json::str("wal")),
+        ("seq", Json::Num(d.seq as f64)),
+        ("floor", Json::Num(floor as f64)),
+        ("frames", Json::Arr(frames)),
+    ])
+}
+
+/// The `repl_ack` verb: record the replica's applied offset + heartbeat.
+pub(crate) fn handle_ack(shared: &Arc<Shared>, relation: &str, seq: u64) -> Json {
+    if let Err(e) = faults::hit("repl.ack") {
+        return error("retry", format!("injected ack fault: {e}"));
+    }
+    let mut map = shared
+        .replicas
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    let info = map.entry(relation.to_string()).or_insert(ReplicaInfo {
+        acked_seq: 0,
+        last_ack: Instant::now(),
+    });
+    info.acked_seq = info.acked_seq.max(seq);
+    info.last_ack = Instant::now();
+    ok(vec![
+        ("relation", Json::str(relation)),
+        ("acked_seq", Json::Num(info.acked_seq as f64)),
+    ])
+}
+
+/// The `replication` member of a primary's per-relation `stats` block:
+/// the replica's acked offset, its lag in frames and bytes, and how
+/// stale its heartbeat is. `None` when no replica ever acked this
+/// relation. Lag bytes come from an on-demand WAL scan under `try_lock`
+/// so `stats` stays online even mid-append.
+pub(crate) fn relation_replication_json(
+    shared: &Arc<Shared>,
+    tenant: &Arc<Tenant>,
+) -> Option<Json> {
+    let (acked_seq, age) = {
+        let map = shared
+            .replicas
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let info = map.get(&tenant.name)?;
+        (info.acked_seq, info.last_ack.elapsed().as_secs_f64())
+    };
+    let mut pairs = vec![
+        ("acked_seq".to_string(), Json::Num(acked_seq as f64)),
+        ("heartbeat_age_seconds".to_string(), Json::Num(age)),
+    ];
+    if let Ok(guard) = tenant.durable.try_lock() {
+        if let Some(d) = guard.as_ref() {
+            pairs.push((
+                "lag_frames".to_string(),
+                Json::Num(d.seq.saturating_sub(acked_seq) as f64),
+            ));
+            if let Some(bytes) = wal_lag_bytes(&d.dir.join(WAL_FILE), acked_seq) {
+                pairs.push(("lag_bytes".to_string(), Json::Num(bytes as f64)));
+            }
+        }
+    }
+    Some(Json::Obj(pairs))
+}
+
+/// On-disk bytes of WAL frames with `seq > acked` — the replica's lag in
+/// bytes, without holding anything in memory between calls.
+fn wal_lag_bytes(wal_path: &std::path::Path, acked: u64) -> Option<u64> {
+    let bytes = std::fs::read(wal_path).ok()?;
+    let (payloads, _torn) = scan_frames(&bytes);
+    let mut lag = 0u64;
+    for p in payloads {
+        let doc = Json::parse(std::str::from_utf8(p).ok()?).ok()?;
+        if doc.get("kind").and_then(Json::as_str) == Some("batch")
+            && doc.get("seq").and_then(Json::as_u64)? > acked
+        {
+            lag += (p.len() + FRAME_HEADER_LEN) as u64;
+        }
+    }
+    Some(lag)
+}
+
+// ---------------------------------------------------------------------------
+// Promotion
+// ---------------------------------------------------------------------------
+
+/// The `promote` verb: stop the puller, drain its in-flight applies
+/// (joining the puller thread is the drain — it submits synchronously),
+/// then flip the node to serving.
+pub(crate) fn promote(shared: &Arc<Shared>) -> Json {
+    if !shared.standby.load(Ordering::SeqCst) {
+        return error("not_standby", "this node is already a primary");
+    }
+    stop_puller(shared);
+    shared.standby.store(false, Ordering::SeqCst);
+    ok(vec![
+        ("role", Json::str("primary")),
+        ("promoted", Json::Bool(true)),
+        ("relations", Json::Num(shared.registry.count() as f64)),
+    ])
+}
+
+/// Signal the puller to stop and join it (idempotent; also the shutdown
+/// path for a standby daemon).
+pub(crate) fn stop_puller(shared: &Arc<Shared>) {
+    shared.repl_stop.store(true, Ordering::SeqCst);
+    let handle = shared
+        .repl_handle
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take();
+    if let Some(h) = handle {
+        let _ = h.join();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Standby side: the puller
+// ---------------------------------------------------------------------------
+
+/// Counters the `ping`/`stats` verbs report for a (current or former)
+/// standby.
+#[derive(Default)]
+pub(crate) struct StandbyStatus {
+    /// Whether the last round reached the primary.
+    pub(crate) connected: bool,
+    /// Completed pull rounds.
+    pub(crate) rounds: u64,
+    /// Batch frames applied (dedup-skipped frames not counted).
+    pub(crate) frames_applied: u64,
+    /// Tenants bootstrapped (from a snapshot or an open frame).
+    pub(crate) bootstraps: u64,
+    /// Failed rounds + damaged-stream retries.
+    pub(crate) retries: u64,
+    /// Human text of the last failure, if any.
+    pub(crate) last_error: Option<String>,
+}
+
+impl StandbyStatus {
+    pub(crate) fn to_json(&self, primary: Option<&str>) -> Json {
+        let mut pairs = vec![
+            ("role".to_string(), Json::str("standby")),
+            ("connected".to_string(), Json::Bool(self.connected)),
+            ("rounds".to_string(), Json::Num(self.rounds as f64)),
+            (
+                "frames_applied".to_string(),
+                Json::Num(self.frames_applied as f64),
+            ),
+            ("bootstraps".to_string(), Json::Num(self.bootstraps as f64)),
+            ("retries".to_string(), Json::Num(self.retries as f64)),
+        ];
+        if let Some(p) = primary {
+            pairs.insert(1, ("primary".to_string(), Json::str(p)));
+        }
+        if let Some(e) = &self.last_error {
+            pairs.push(("last_error".to_string(), Json::str(e)));
+        }
+        Json::Obj(pairs)
+    }
+}
+
+fn status(shared: &Arc<Shared>) -> MutexGuard<'_, StandbyStatus> {
+    shared
+        .repl_status
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+fn should_stop(shared: &Arc<Shared>) -> bool {
+    shared.repl_stop.load(Ordering::SeqCst) || shared.shutdown.load(Ordering::SeqCst)
+}
+
+/// Sleep up to `total`, but wake early if promotion or shutdown asks the
+/// puller to stop — a promote must never wait out a 2s backoff.
+fn sleep_checking_stop(shared: &Arc<Shared>, total: Duration) {
+    let deadline = Instant::now() + total;
+    while !should_stop(shared) && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The standby's puller loop: connect → round (list, per-tenant sync,
+/// ack) → repeat, with jittered exponential backoff on failure.
+pub(crate) fn run_puller(shared: Arc<Shared>, primary: String) {
+    let mut conn: Option<Conn> = None;
+    let fresh_backoff = || {
+        Backoff::new(
+            Duration::from_millis(50),
+            Duration::from_secs(2),
+            0x7e57_ab1e,
+        )
+    };
+    let mut backoff = fresh_backoff();
+    while !should_stop(&shared) {
+        match round(&shared, &primary, &mut conn) {
+            Ok(applied) => {
+                {
+                    let mut st = status(&shared);
+                    st.connected = true;
+                    st.rounds += 1;
+                    st.frames_applied += applied;
+                    if applied > 0 {
+                        st.last_error = None;
+                    }
+                }
+                backoff = fresh_backoff();
+                if applied == 0 {
+                    sleep_checking_stop(&shared, IDLE_POLL);
+                }
+            }
+            Err(e) => {
+                {
+                    let mut st = status(&shared);
+                    st.connected = false;
+                    st.retries += 1;
+                    st.last_error = Some(e);
+                }
+                conn = None; // reconnect from scratch
+                sleep_checking_stop(&shared, backoff.next_delay());
+            }
+        }
+    }
+    status(&shared).connected = false;
+}
+
+/// One pull round. Returns how many batch frames were applied.
+fn round(shared: &Arc<Shared>, primary: &str, conn: &mut Option<Conn>) -> Result<u64, String> {
+    if conn.is_none() {
+        let mut c = Conn::connect(primary, CONNECT_TIMEOUT, IO_TIMEOUT)
+            .map_err(|e| format!("connect {primary}: {e}"))?;
+        c.handshake(PROTO_VERSION)
+            .map_err(|e| format!("handshake with {primary}: {e}"))?;
+        *conn = Some(c);
+    }
+    let c = conn.as_mut().expect("connection just established");
+    let listed = request_ok(
+        c,
+        &Json::Obj(vec![("op".to_string(), Json::str("repl_list"))]),
+    )?;
+    let tenants = listed
+        .get("tenants")
+        .and_then(Json::as_arr)
+        .ok_or("repl_list reply carries no tenants array")?
+        .to_vec();
+    let mut applied = 0u64;
+    let mut listed_names: HashSet<String> = HashSet::new();
+    for t in &tenants {
+        if should_stop(shared) {
+            return Ok(applied);
+        }
+        let Some(name) = t.get("relation").and_then(Json::as_str) else {
+            return Err("repl_list entry without a relation".to_string());
+        };
+        listed_names.insert(name.to_string());
+        if t.get("poisoned").and_then(Json::as_bool) == Some(true) {
+            continue; // a poisoned primary tenant's log may end torn; skip
+        }
+        let seq = t.get("seq").and_then(Json::as_u64).unwrap_or(0);
+        let floor = t.get("floor").and_then(Json::as_u64).unwrap_or(0);
+        applied += sync_tenant(shared, c, name, seq, floor)?;
+    }
+    // Tenants the primary no longer lists were closed there — close the
+    // local copy too (through its shard, after any pending applies).
+    for t in shared.registry.snapshot() {
+        if !listed_names.contains(&t.name) {
+            let registry = shared.registry.clone();
+            let name = t.name.clone();
+            let _ = submit(shared, t.shard, |reply| Job::Close {
+                registry,
+                name,
+                reply,
+            });
+        }
+    }
+    Ok(applied)
+}
+
+fn request_ok(c: &mut Conn, req: &Json) -> Result<Json, String> {
+    let resp = c.request(req).map_err(|e| e.to_string())?;
+    if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+        Ok(resp)
+    } else {
+        Err(format!("primary answered {}", resp.render()))
+    }
+}
+
+fn fetch(c: &mut Conn, relation: &str, after: u64) -> Result<Json, String> {
+    request_ok(
+        c,
+        &Json::Obj(vec![
+            ("op".to_string(), Json::str("repl_fetch")),
+            ("relation".to_string(), Json::str(relation)),
+            ("after".to_string(), Json::Num(after as f64)),
+            (
+                "max_frames".to_string(),
+                Json::Num(DEFAULT_FETCH_FRAMES as f64),
+            ),
+        ]),
+    )
+}
+
+/// Bring one tenant up to the primary's `seq`: bootstrap if absent or
+/// compacted past (`< floor`), then tail WAL frames, then ack. The ack
+/// goes out every round even when already caught up — it is also the
+/// heartbeat.
+fn sync_tenant(
+    shared: &Arc<Shared>,
+    c: &mut Conn,
+    name: &str,
+    primary_seq: u64,
+    floor: u64,
+) -> Result<u64, String> {
+    let mut applied = 0u64;
+    let mut local = shared.registry.get(name).ok().map(|t| {
+        let seq = t.entry_read().repl_seq.unwrap_or(0);
+        (t, seq)
+    });
+    if let Some((_, local_seq)) = &local {
+        if *local_seq < floor {
+            // The primary compacted away history we still need: this copy
+            // can't catch up frame-by-frame. Drop it and re-bootstrap.
+            drop_local(shared, name);
+            local = None;
+        }
+    }
+    let (tenant, mut local_seq) = match local {
+        Some(ts) => ts,
+        None => {
+            let (tenant, seq, n) = bootstrap(shared, c, name)?;
+            status(shared).bootstraps += 1;
+            applied += n;
+            (tenant, seq)
+        }
+    };
+    while local_seq < primary_seq && !should_stop(shared) {
+        let resp = fetch(c, name, local_seq)?;
+        match resp.get("mode").and_then(Json::as_str) {
+            Some("wal") => {
+                let n = apply_frames(shared, &tenant, &resp, &mut local_seq)?;
+                applied += n;
+                if n == 0 {
+                    break; // damaged stream or empty reply: retry next round
+                }
+            }
+            // The primary compacted underneath this loop; the next
+            // round's floor check rebuilds from the new snapshot.
+            Some("snapshot") => break,
+            _ => return Err("repl_fetch reply without a mode".to_string()),
+        }
+    }
+    request_ok(
+        c,
+        &Json::Obj(vec![
+            ("op".to_string(), Json::str("repl_ack")),
+            ("relation".to_string(), Json::str(name)),
+            ("seq".to_string(), Json::Num(local_seq as f64)),
+        ]),
+    )?;
+    Ok(applied)
+}
+
+/// Remove a stale local tenant (registry + directory) through its shard,
+/// so the close lands after any in-flight applies.
+fn drop_local(shared: &Arc<Shared>, name: &str) {
+    if let Ok(t) = shared.registry.get(name) {
+        let registry = shared.registry.clone();
+        let name = name.to_string();
+        let _ = submit(shared, t.shard, |reply| Job::Close {
+            registry,
+            name,
+            reply,
+        });
+    }
+}
+
+/// First fetch for an unknown tenant: either a snapshot (bootstrap via
+/// the recovery replay path) or the WAL from frame zero (whose first
+/// frame is the open record). Returns the adopted tenant, its mirrored
+/// seq, and how many batch frames the call already applied.
+fn bootstrap(
+    shared: &Arc<Shared>,
+    c: &mut Conn,
+    name: &str,
+) -> Result<(Arc<Tenant>, u64, u64), String> {
+    let resp = fetch(c, name, 0)?;
+    match resp.get("mode").and_then(Json::as_str) {
+        Some("snapshot") => {
+            let data = resp
+                .get("data")
+                .and_then(Json::as_str)
+                .ok_or("snapshot reply without data")?;
+            let bytes = hex_decode(data).ok_or("snapshot stream is not valid hex")?;
+            let (frames, torn) = scan_frames(&bytes);
+            if frames.len() != 1 || torn.is_some() {
+                return Err("snapshot stream damaged (checksum mismatch)".to_string());
+            }
+            let doc_json = std::str::from_utf8(frames[0])
+                .ok()
+                .and_then(|t| Json::parse(t).ok())
+                .ok_or("snapshot payload is not JSON")?;
+            let mut doc = SnapshotDoc::from_json(&doc_json)
+                .ok_or("snapshot payload is not a version-1 snapshot")?;
+            // Locally, this state mirrors the primary at the snapshot's
+            // seq — record that so restarts resume tailing from there.
+            doc.repl_seq = Some(doc.seq);
+            let tenant = bootstrap_from_snapshot(shared, name, &doc)?;
+            Ok((tenant, doc.seq, 0))
+        }
+        Some("wal") => {
+            // Frame 0 of a from-zero fetch is the open record.
+            let frames = resp
+                .get("frames")
+                .and_then(Json::as_arr)
+                .ok_or("wal reply without frames")?;
+            let first = frames
+                .first()
+                .and_then(Json::as_str)
+                .ok_or("tenant has no open frame to bootstrap from")?;
+            let bytes = hex_decode(first).ok_or("open frame is not valid hex")?;
+            let (payloads, torn) = scan_frames(&bytes);
+            if payloads.len() != 1 || torn.is_some() {
+                return Err("open frame damaged (checksum mismatch)".to_string());
+            }
+            let record = std::str::from_utf8(payloads[0])
+                .ok()
+                .and_then(|t| Json::parse(t).ok())
+                .ok_or("open frame payload is not JSON")?;
+            let spec_doc = record
+                .get("spec")
+                .ok_or("first WAL frame is not an open record")?;
+            let spec = parse_open(spec_doc)
+                .map_err(|e| format!("primary open spec rejected: {}", e.render()))?;
+            if spec.relation != name {
+                return Err(format!(
+                    "open spec names {:?}, expected {name:?}",
+                    spec.relation
+                ));
+            }
+            let tenant = Tenant::open(&spec, shared.shard_stats.len())
+                .map_err(|e| format!("session rebuild failed: {}", e.render()))?;
+            if let Some(cfg) = &shared.durable {
+                let durable = create_tenant_storage(name, spec_doc, cfg)
+                    .map_err(|e| format!("cannot create standby storage: {e}"))?;
+                *tenant.durable_lock() = Some(durable);
+            }
+            let tenant = Arc::new(tenant);
+            shared.registry.adopt(vec![tenant.clone()]);
+            let mut local_seq = 0u64;
+            let n = apply_frames(shared, &tenant, &resp, &mut local_seq)?;
+            Ok((tenant, local_seq, n))
+        }
+        _ => Err("repl_fetch reply without a mode".to_string()),
+    }
+}
+
+/// Build a tenant from a streamed snapshot: replay through the recovery
+/// path (cross-check included), persist the snapshot as the standby's
+/// own (so a standby restart recovers without re-streaming), then adopt.
+/// Adoption happens after the replay — readers never see a
+/// half-bootstrapped tenant.
+fn bootstrap_from_snapshot(
+    shared: &Arc<Shared>,
+    name: &str,
+    doc: &SnapshotDoc,
+) -> Result<Arc<Tenant>, String> {
+    let spec = parse_open(&doc.open)
+        .map_err(|e| format!("snapshot open spec rejected: {}", e.render()))?;
+    if spec.relation != name {
+        return Err(format!(
+            "snapshot names {:?}, expected {name:?}",
+            spec.relation
+        ));
+    }
+    let tenant = Tenant::open(&spec, shared.shard_stats.len())
+        .map_err(|e| format!("session rebuild failed: {}", e.render()))?;
+    let empty = WalContents {
+        open: None,
+        batches: Vec::new(),
+        valid_len: 0,
+        torn: false,
+    };
+    let replayed = replay_candidate(&tenant, Some(doc), &empty)?;
+    tenant.replace_entry(
+        replayed.state,
+        replayed.stats,
+        replayed.last_client_seq,
+        replayed.repl_seq,
+    );
+    if let Some(cfg) = &shared.durable {
+        let mut d = create_tenant_storage(name, &doc.open, cfg)
+            .map_err(|e| format!("cannot create standby storage: {e}"))?;
+        write_snapshot(&d.dir, doc, cfg.fsync)
+            .map_err(|e| format!("cannot persist bootstrap snapshot: {e}"))?;
+        // Local WAL seqs continue from the snapshot's coverage, exactly
+        // as they would after a primary-style compaction.
+        d.seq = doc.seq;
+        d.since_snapshot = 0;
+        d.base_rows = doc
+            .base_rows
+            .as_arr()
+            .ok_or("snapshot base rows are not an array")?
+            .to_vec();
+        *tenant.durable_lock() = Some(d);
+    }
+    let tenant = Arc::new(tenant);
+    shared.registry.adopt(vec![tenant.clone()]);
+    Ok(tenant)
+}
+
+/// Decode and apply the batch frames of one `wal`-mode reply, advancing
+/// `local_seq`. Stops (without error) at the first damaged frame — the
+/// checksum validation here is what turns injected corruption and
+/// truncation into a clean retry instead of divergence. Frames at or
+/// below `local_seq` (duplicates) are skipped.
+fn apply_frames(
+    shared: &Arc<Shared>,
+    tenant: &Arc<Tenant>,
+    resp: &Json,
+    local_seq: &mut u64,
+) -> Result<u64, String> {
+    let frames = resp
+        .get("frames")
+        .and_then(Json::as_arr)
+        .ok_or("wal reply without frames")?;
+    let arity = tenant.cleaner.rules().schema().arity();
+    let mut applied = 0u64;
+    let damaged = |what: &str, shared: &Arc<Shared>| {
+        let mut st = status(shared);
+        st.retries += 1;
+        st.last_error = Some(format!("damaged replication stream: {what}"));
+    };
+    for f in frames {
+        if should_stop(shared) {
+            return Ok(applied);
+        }
+        let Some(bytes) = f.as_str().and_then(hex_decode) else {
+            damaged("frame is not valid hex", shared);
+            break;
+        };
+        let (payloads, torn) = scan_frames(&bytes);
+        if payloads.len() != 1 || torn.is_some() {
+            damaged("frame checksum mismatch", shared);
+            break;
+        }
+        let Some(doc) = std::str::from_utf8(payloads[0])
+            .ok()
+            .and_then(|t| Json::parse(t).ok())
+        else {
+            damaged("frame payload is not JSON", shared);
+            break;
+        };
+        match doc.get("kind").and_then(Json::as_str) {
+            Some("open") => continue, // bootstrap already consumed it
+            Some("batch") => {
+                let Some(seq) = doc.get("seq").and_then(Json::as_u64) else {
+                    damaged("batch record without seq", shared);
+                    break;
+                };
+                if seq <= *local_seq {
+                    continue; // duplicated delivery: already applied
+                }
+                let Some(rows_json) = doc.get("rows") else {
+                    damaged("batch record without rows", shared);
+                    break;
+                };
+                let rows = batch_from_json(rows_json, arity, tenant.default_cf)
+                    .map_err(|e| format!("replicated batch {seq} undecodable: {e}"))?;
+                let client_seq = doc.get("client_seq").and_then(Json::as_u64);
+                loop {
+                    if should_stop(shared) {
+                        return Ok(applied);
+                    }
+                    let resp = submit(shared, tenant.shard, |reply| Job::Ingest {
+                        tenant: tenant.clone(),
+                        rows: rows.clone(),
+                        client_seq,
+                        repl_seq: Some(seq),
+                        reply,
+                    });
+                    if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+                        break;
+                    }
+                    match resp.get("code").and_then(Json::as_str) {
+                        Some("busy") => std::thread::sleep(BUSY_RETRY),
+                        _ => {
+                            return Err(format!(
+                                "applying replicated batch {seq} failed: {}",
+                                resp.render()
+                            ))
+                        }
+                    }
+                }
+                *local_seq = seq;
+                applied += 1;
+            }
+            _ => {
+                damaged("frame is neither open nor batch", shared);
+                break;
+            }
+        }
+    }
+    Ok(applied)
+}
+
+// ---------------------------------------------------------------------------
+// Hex codec + reply mangling (net faults)
+// ---------------------------------------------------------------------------
+
+/// Lowercase hex encoding (frames are binary; the wire is line JSON).
+pub(crate) fn hex_encode(bytes: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(HEX[(b >> 4) as usize] as char);
+        out.push(HEX[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Inverse of [`hex_encode`]; `None` on odd length or a non-hex digit.
+pub(crate) fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let nibble = |c: u8| -> Option<u8> {
+        match c {
+            b'0'..=b'9' => Some(c - b'0'),
+            b'a'..=b'f' => Some(c - b'a' + 10),
+            b'A'..=b'F' => Some(c - b'A' + 10),
+            _ => None,
+        }
+    };
+    let b = s.as_bytes();
+    let mut out = Vec::with_capacity(b.len() / 2);
+    for pair in b.chunks_exact(2) {
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Some(out)
+}
+
+enum Mangle {
+    /// Flip one hex digit mid-payload (checksum must catch it).
+    Corrupt,
+    /// Keep only the first (even-length) half of the payload.
+    Truncate,
+    /// Deliver the payload twice (dedup must absorb it).
+    Duplicate,
+}
+
+/// Damage a fetch reply the way a hostile network would, operating on
+/// the hex payloads (`frames` entries or the snapshot `data`).
+fn mangle(resp: Json, how: Mangle) -> Json {
+    let Json::Obj(mut pairs) = resp else {
+        return resp;
+    };
+    for (key, value) in pairs.iter_mut() {
+        match (key.as_str(), &mut *value) {
+            ("frames", Json::Arr(frames)) => {
+                match how {
+                    Mangle::Duplicate => {
+                        let copy = frames.clone();
+                        frames.extend(copy);
+                    }
+                    Mangle::Corrupt | Mangle::Truncate => {
+                        if let Some(Json::Str(s)) = frames.first_mut() {
+                            *s = mangle_hex(s, &how);
+                        }
+                    }
+                }
+                break;
+            }
+            ("data", Json::Str(s)) => {
+                match how {
+                    Mangle::Duplicate => {
+                        let copy = s.clone();
+                        s.push_str(&copy);
+                    }
+                    Mangle::Corrupt | Mangle::Truncate => *s = mangle_hex(s, &how),
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+    Json::Obj(pairs)
+}
+
+fn mangle_hex(s: &str, how: &Mangle) -> String {
+    match how {
+        Mangle::Truncate => {
+            let keep = (s.len() / 2) & !1;
+            s[..keep].to_string()
+        }
+        _ => {
+            // Corrupt: flip a digit past the header so the checksum, not
+            // the length field, is what catches it.
+            let mut b = s.as_bytes().to_vec();
+            let idx = (FRAME_HEADER_LEN * 2).min(b.len().saturating_sub(1));
+            if let Some(c) = b.get_mut(idx) {
+                *c = if *c == b'0' { b'1' } else { b'0' };
+            }
+            String::from_utf8(b).unwrap_or_default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_codec_round_trips_and_rejects_garbage() {
+        for bytes in [
+            vec![],
+            vec![0u8],
+            vec![0xde, 0xad, 0xbe, 0xef],
+            (0..=255u8).collect(),
+        ] {
+            let enc = hex_encode(&bytes);
+            assert_eq!(hex_decode(&enc).as_deref(), Some(bytes.as_slice()));
+        }
+        assert_eq!(hex_decode("abc"), None, "odd length");
+        assert_eq!(hex_decode("zz"), None, "non-hex digit");
+        assert_eq!(hex_decode("ABCDEF"), Some(vec![0xab, 0xcd, 0xef]));
+    }
+
+    #[test]
+    fn mangled_frames_fail_the_checksum_but_duplicates_still_verify() {
+        let payload = br#"{"kind":"batch","seq":3,"rows":[]}"#;
+        let mut raw = Vec::new();
+        encode_frame(payload, &mut raw);
+        let reply = |frames: Vec<Json>| {
+            Json::Obj(vec![
+                ("mode".to_string(), Json::str("wal")),
+                ("frames".to_string(), Json::Arr(frames)),
+            ])
+        };
+        let clean = reply(vec![Json::Str(hex_encode(&raw))]);
+
+        let first_frame = |r: &Json| -> Option<Vec<u8>> {
+            hex_decode(r.get("frames")?.as_arr()?.first()?.as_str()?)
+        };
+
+        let corrupted = mangle(clean.clone(), Mangle::Corrupt);
+        let bytes = first_frame(&corrupted).unwrap();
+        let (frames, torn) = scan_frames(&bytes);
+        assert!(
+            frames.is_empty() || torn.is_some(),
+            "corruption must not verify"
+        );
+
+        let truncated = mangle(clean.clone(), Mangle::Truncate);
+        let bytes = first_frame(&truncated).unwrap();
+        let (frames, torn) = scan_frames(&bytes);
+        assert!(
+            frames.is_empty() || torn.is_some(),
+            "truncation must not verify"
+        );
+
+        let duplicated = mangle(clean.clone(), Mangle::Duplicate);
+        let frames = duplicated.get("frames").and_then(Json::as_arr).unwrap();
+        assert_eq!(frames.len(), 2, "duplication doubles delivery");
+        let bytes = hex_decode(frames[1].as_str().unwrap()).unwrap();
+        let (payloads, torn) = scan_frames(&bytes);
+        assert_eq!(payloads.len(), 1);
+        assert!(torn.is_none(), "a duplicated frame still verifies");
+        assert_eq!(payloads[0], payload);
+    }
+}

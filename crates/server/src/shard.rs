@@ -48,6 +48,11 @@ pub(crate) enum Job {
     Ingest {
         tenant: Arc<Tenant>,
         rows: Vec<Tuple>,
+        /// Client-supplied exactly-once sequence number (dedup key).
+        client_seq: Option<u64>,
+        /// Primary WAL sequence, when the submitter is the replication
+        /// puller mirroring a primary's log.
+        repl_seq: Option<u64>,
         reply: SyncSender<Json>,
     },
     /// Drop a relation — routed through its shard so the close lands
@@ -101,9 +106,12 @@ fn worker(rx: Receiver<Job>, stats: Arc<ShardStats>, durability: Option<Arc<Dura
             Job::Ingest {
                 tenant,
                 rows,
+                client_seq,
+                repl_seq,
                 reply,
             } => {
-                let response = process_ingest(&tenant, &rows, durability.as_deref());
+                let response =
+                    process_ingest(&tenant, &rows, client_seq, repl_seq, durability.as_deref());
                 (reply, response)
             }
             Job::Close {
@@ -131,6 +139,8 @@ fn worker(rx: Receiver<Job>, stats: Arc<ShardStats>, durability: Option<Arc<Dura
 pub(crate) fn process_ingest(
     tenant: &Arc<Tenant>,
     rows: &[Tuple],
+    client_seq: Option<u64>,
+    repl_seq: Option<u64>,
     durability: Option<&DurabilityCfg>,
 ) -> Json {
     if tenant.is_poisoned() {
@@ -140,7 +150,9 @@ pub(crate) fn process_ingest(
     // worker thread owns no state that the unwind can corrupt beyond the
     // tenant's own entry (whose lock poisoning the entry_* helpers
     // tolerate), so the tenant-level sticky flag is the real fence.
-    let response = match catch_unwind(AssertUnwindSafe(|| apply_ingest(tenant, rows))) {
+    let response = match catch_unwind(AssertUnwindSafe(|| {
+        apply_ingest(tenant, rows, client_seq, repl_seq)
+    })) {
         Ok(resp) => resp,
         Err(_) => {
             tenant.poison();
@@ -150,7 +162,10 @@ pub(crate) fn process_ingest(
     if response.get("ok").and_then(Json::as_bool) != Some(true) {
         return response; // engine rejected the batch: nothing to log
     }
-    if let Err(e) = log_accepted_batch(tenant, rows, durability) {
+    if response.get("deduped").and_then(Json::as_bool) == Some(true) {
+        return response; // a retry of an applied batch: already logged
+    }
+    if let Err(e) = log_accepted_batch(tenant, rows, client_seq, repl_seq, durability) {
         // The frame may be half-written; never append again, and never
         // ack a batch whose durability is unknown.
         tenant.poison();
@@ -166,12 +181,32 @@ pub(crate) fn process_ingest(
     response
 }
 
-/// Apply one batch to a tenant under its entry write lock.
-fn apply_ingest(tenant: &Arc<Tenant>, rows: &[Tuple]) -> Json {
+/// Apply one batch to a tenant under its entry write lock. Duplicate
+/// deliveries — a client retry re-sending its sequence number, or a
+/// replication round re-streaming frames after a network fault — are
+/// acknowledged without re-applying: the sequence checks below are what
+/// turns at-least-once delivery into exactly-once application.
+fn apply_ingest(
+    tenant: &Arc<Tenant>,
+    rows: &[Tuple],
+    client_seq: Option<u64>,
+    repl_seq: Option<u64>,
+) -> Json {
     if let Err(e) = faults::hit("ingest.apply") {
         return error("fault_injected", e.to_string());
     }
     let mut entry = tenant.entry_write();
+    let duplicate = matches!((repl_seq, entry.repl_seq), (Some(rs), Some(prev)) if rs <= prev)
+        || matches!((client_seq, entry.last_client_seq), (Some(cs), Some(prev)) if cs <= prev);
+    if duplicate {
+        return ok(vec![
+            ("relation", Json::str(&tenant.name)),
+            ("deduped", Json::Bool(true)),
+            ("total", Json::Num(entry.state.len() as f64)),
+            ("consistent", Json::Bool(entry.state.consistent())),
+            ("cost", Json::Num(entry.state.cost())),
+        ]);
+    }
     let offset = entry.state.len();
     let escalations_before = entry.state.escalations();
     let mut accum = PhaseAccum::default();
@@ -186,6 +221,12 @@ fn apply_ingest(tenant: &Arc<Tenant>, rows: &[Tuple]) -> Json {
             entry.stats.fixes += (d + r + p) as u64;
             for (slot, s) in entry.stats.phase_seconds.iter_mut().zip(accum.seconds) {
                 *slot += s;
+            }
+            if client_seq.is_some() {
+                entry.last_client_seq = entry.last_client_seq.max(client_seq);
+            }
+            if repl_seq.is_some() {
+                entry.repl_seq = entry.repl_seq.max(repl_seq);
             }
             ok(vec![
                 ("relation", Json::str(&tenant.name)),
@@ -210,6 +251,8 @@ fn apply_ingest(tenant: &Arc<Tenant>, rows: &[Tuple]) -> Json {
 fn log_accepted_batch(
     tenant: &Arc<Tenant>,
     rows: &[Tuple],
+    client_seq: Option<u64>,
+    repl_seq: Option<u64>,
     durability: Option<&DurabilityCfg>,
 ) -> std::io::Result<()> {
     let mut guard = tenant.durable_lock();
@@ -218,7 +261,12 @@ fn log_accepted_batch(
     };
     let rows_json = batch_to_ingest_json(rows);
     d.seq += 1;
-    d.wal.append(&wal::batch_record(d.seq, rows_json.clone()))?;
+    d.wal.append(&wal::batch_record(
+        d.seq,
+        rows_json.clone(),
+        client_seq,
+        repl_seq,
+    ))?;
     d.since_snapshot += 1;
     if let Json::Arr(rows_vec) = rows_json {
         d.base_rows.extend(rows_vec);
@@ -257,6 +305,8 @@ fn compact(tenant: &Arc<Tenant>, d: &mut Durable, cfg: &DurabilityCfg) -> std::i
             phase_seconds: entry.stats.phase_seconds,
             repaired: relation_to_json(entry.state.repaired()),
             cost: entry.state.cost(),
+            last_client_seq: entry.last_client_seq,
+            repl_seq: entry.repl_seq,
         }
     };
     write_snapshot(&d.dir, &doc, cfg.fsync)?;
@@ -294,6 +344,10 @@ fn close_tenant(registry: &Arc<Registry>, name: &str) -> Json {
                         "uniclean serve: cannot remove closed tenant directory {:?}: {e}",
                         dir
                     );
+                } else if let Some(root) = dir.parent() {
+                    // Make the unlink itself durable: without the parent
+                    // fsync a power loss can resurrect the closed tenant.
+                    let _ = crate::snapshot::sync_dir(root);
                 }
             }
             ok(vec![
@@ -352,16 +406,51 @@ mod tests {
         victim.poison();
 
         // The poisoned tenant answers structured errors, lock intact.
-        let resp = process_ingest(&victim, &batch(), None);
+        let resp = process_ingest(&victim, &batch(), None, None, None);
         assert_eq!(resp.get("code").and_then(Json::as_str), Some("poisoned"));
         // Its entry lock was poisoned by the unwind, but the tolerant
         // accessors still read it (for `close` bookkeeping).
         assert_eq!(victim.entry_read().state.len(), 0);
 
         // The healthy tenant on the same worker logic keeps serving.
-        let resp = process_ingest(&healthy, &batch(), None);
+        let resp = process_ingest(&healthy, &batch(), None, None, None);
         assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(resp.get("fixes").and_then(Json::as_usize), Some(1));
+    }
+
+    #[test]
+    fn client_and_replica_sequence_dedup_is_exactly_once() {
+        let t = tenant();
+        let resp = process_ingest(&t, &batch(), Some(5), None, None);
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(resp.get("deduped").is_none());
+        let applied = t.entry_read().state.len();
+
+        // The same and any earlier client sequence are acknowledged
+        // without re-applying.
+        for dup_seq in [5, 3] {
+            let resp = process_ingest(&t, &batch(), Some(dup_seq), None, None);
+            assert_eq!(resp.get("deduped").and_then(Json::as_bool), Some(true));
+            assert_eq!(resp.get("total").and_then(Json::as_usize), Some(applied));
+            assert_eq!(t.entry_read().state.len(), applied);
+        }
+        assert_eq!(
+            t.entry_read().stats.batches,
+            1,
+            "one application, one count"
+        );
+
+        // A later sequence applies normally.
+        let resp = process_ingest(&t, &batch(), Some(6), None, None);
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(resp.get("deduped").is_none());
+        assert!(t.entry_read().state.len() > applied);
+
+        // Replica sequences dedup independently (re-streamed frames).
+        let resp = process_ingest(&t, &batch(), None, Some(2), None);
+        assert!(resp.get("deduped").is_none());
+        let resp = process_ingest(&t, &batch(), None, Some(2), None);
+        assert_eq!(resp.get("deduped").and_then(Json::as_bool), Some(true));
     }
 
     #[test]
@@ -369,7 +458,7 @@ mod tests {
         let t = tenant();
         // Arity mismatch: engine rejects, counters untouched.
         let bad = batch_from_json(&Json::parse(r#"[["131"]]"#).unwrap(), 1, 0.5).unwrap();
-        let resp = process_ingest(&t, &bad, None);
+        let resp = process_ingest(&t, &bad, None, None, None);
         assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
         assert_eq!(t.entry_read().stats.batches, 0);
         assert!(!t.is_poisoned(), "an engine error is not poisoning");

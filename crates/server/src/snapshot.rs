@@ -67,11 +67,17 @@ pub struct SnapshotDoc {
     pub repaired: Json,
     /// Repair cost at `seq` — second half of the cross-check.
     pub cost: f64,
+    /// Highest client-supplied exactly-once sequence number covered, if
+    /// any batch carried one (absent key in old snapshots ⇒ `None`).
+    pub last_client_seq: Option<u64>,
+    /// Primary WAL sequence this state mirrors, when the writer is (or
+    /// was) a tailing standby.
+    pub repl_seq: Option<u64>,
 }
 
 impl SnapshotDoc {
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut doc = Json::Obj(vec![
             ("version".to_string(), Json::Num(1.0)),
             ("seq".to_string(), Json::Num(self.seq as f64)),
             ("open".to_string(), self.open.clone()),
@@ -88,10 +94,22 @@ impl SnapshotDoc {
             ),
             ("repaired".to_string(), self.repaired.clone()),
             ("cost".to_string(), Json::Num(self.cost)),
-        ])
+        ]);
+        // Optional markers are written as absent keys, not nulls, so a
+        // pre-replication reader sees exactly the version-1 shape it knows.
+        let Json::Obj(pairs) = &mut doc else {
+            unreachable!("snapshot doc is an object")
+        };
+        if let Some(cs) = self.last_client_seq {
+            pairs.push(("last_client_seq".to_string(), Json::Num(cs as f64)));
+        }
+        if let Some(rs) = self.repl_seq {
+            pairs.push(("repl_seq".to_string(), Json::Num(rs as f64)));
+        }
+        doc
     }
 
-    fn from_json(doc: &Json) -> Option<SnapshotDoc> {
+    pub(crate) fn from_json(doc: &Json) -> Option<SnapshotDoc> {
         if doc.get("version").and_then(Json::as_usize) != Some(1) {
             return None;
         }
@@ -113,6 +131,14 @@ impl SnapshotDoc {
             phase_seconds,
             repaired: doc.get("repaired")?.clone(),
             cost: doc.get("cost").and_then(Json::as_f64)?,
+            last_client_seq: doc
+                .get("last_client_seq")
+                .and_then(Json::as_usize)
+                .map(|v| v as u64),
+            repl_seq: doc
+                .get("repl_seq")
+                .and_then(Json::as_usize)
+                .map(|v| v as u64),
         })
     }
 }
@@ -231,6 +257,8 @@ mod tests {
             phase_seconds: [0.5, 0.0, 0.125],
             repaired: Json::Arr(vec![]),
             cost: 2.5,
+            last_client_seq: Some(7 * seq),
+            repl_seq: None,
         }
     }
 
@@ -243,6 +271,8 @@ mod tests {
         assert_eq!(loaded[0].seq, 4);
         assert_eq!(loaded[0].base_rows.render(), doc(4).base_rows.render());
         assert_eq!(loaded[0].phase_seconds, [0.5, 0.0, 0.125]);
+        assert_eq!(loaded[0].last_client_seq, Some(28));
+        assert_eq!(loaded[0].repl_seq, None);
 
         // Second write rotates the first to .prev; both load, newest first.
         write_snapshot(&dir, &doc(9), false).unwrap();

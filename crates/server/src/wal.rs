@@ -99,21 +99,47 @@ pub fn open_record(spec: &Json) -> Json {
 }
 
 /// A `batch` record: `seq` strictly increasing per tenant, `rows` in the
-/// ingest wire shape with explicit confidences.
-pub fn batch_record(seq: u64, rows: Json) -> Json {
-    Json::Obj(vec![
+/// ingest wire shape with explicit confidences. Two optional markers ride
+/// along (absent keys, not nulls, so pre-replication logs parse
+/// unchanged): `client_seq` is the client-supplied exactly-once sequence
+/// number the dedup check compares retries against, and `repl_seq` is the
+/// primary's WAL sequence this batch mirrors when the writer is a tailing
+/// standby — recovery restores both so dedup and replication resume
+/// exactly where they stopped.
+pub fn batch_record(seq: u64, rows: Json, client_seq: Option<u64>, repl_seq: Option<u64>) -> Json {
+    let mut pairs = vec![
         ("kind".to_string(), Json::str("batch")),
         ("seq".to_string(), Json::Num(seq as f64)),
-        ("rows".to_string(), rows),
-    ])
+    ];
+    if let Some(cs) = client_seq {
+        pairs.push(("client_seq".to_string(), Json::Num(cs as f64)));
+    }
+    if let Some(rs) = repl_seq {
+        pairs.push(("repl_seq".to_string(), Json::Num(rs as f64)));
+    }
+    pairs.push(("rows".to_string(), rows));
+    Json::Obj(pairs)
+}
+
+/// One recovered `batch` record.
+pub struct WalBatch {
+    /// This log's sequence number (strictly increasing).
+    pub seq: u64,
+    /// Rows in the ingest wire shape.
+    pub rows: Json,
+    /// Client-supplied exactly-once sequence number, if the batch
+    /// carried one.
+    pub client_seq: Option<u64>,
+    /// Primary sequence mirrored by a standby's log, if any.
+    pub repl_seq: Option<u64>,
 }
 
 /// What a scan of a WAL file recovered.
 pub struct WalContents {
     /// The `open` spec document from frame 0, if present and valid.
     pub open: Option<Json>,
-    /// `(seq, rows)` for every valid batch record, in log order.
-    pub batches: Vec<(u64, Json)>,
+    /// Every valid batch record, in log order.
+    pub batches: Vec<WalBatch>,
     /// Byte length of the valid prefix — what the file should be
     /// truncated to if `torn`.
     pub valid_len: u64,
@@ -198,8 +224,21 @@ fn parse_record(payload: &[u8], contents: &mut WalContents, last_seq: &mut Optio
             let Some(rows) = doc.get("rows") else {
                 return false;
             };
+            let client_seq = doc
+                .get("client_seq")
+                .and_then(Json::as_usize)
+                .map(|v| v as u64);
+            let repl_seq = doc
+                .get("repl_seq")
+                .and_then(Json::as_usize)
+                .map(|v| v as u64);
             *last_seq = Some(seq);
-            contents.batches.push((seq, rows.clone()));
+            contents.batches.push(WalBatch {
+                seq,
+                rows: rows.clone(),
+                client_seq,
+                repl_seq,
+            });
             true
         }
         _ => false,
@@ -237,15 +276,19 @@ mod tests {
 
         let mut w = WalWriter::create(&path, true).unwrap();
         w.append(&open_record(&spec())).unwrap();
-        w.append(&batch_record(1, rows(1))).unwrap();
-        w.append(&batch_record(2, rows(2))).unwrap();
+        w.append(&batch_record(1, rows(1), Some(41), None)).unwrap();
+        w.append(&batch_record(2, rows(2), None, Some(9))).unwrap();
         drop(w);
 
         let contents = read_wal(&path).unwrap();
         assert_eq!(contents.open.unwrap().render(), spec().render());
         assert_eq!(contents.batches.len(), 2);
-        assert_eq!(contents.batches[0].0, 1);
-        assert_eq!(contents.batches[1].1.render(), rows(2).render());
+        assert_eq!(contents.batches[0].seq, 1);
+        assert_eq!(contents.batches[0].client_seq, Some(41));
+        assert_eq!(contents.batches[0].repl_seq, None);
+        assert_eq!(contents.batches[1].rows.render(), rows(2).render());
+        assert_eq!(contents.batches[1].client_seq, None);
+        assert_eq!(contents.batches[1].repl_seq, Some(9));
         assert!(!contents.torn);
         assert_eq!(
             contents.valid_len,
@@ -255,7 +298,7 @@ mod tests {
 
         // Reopen-append continues the log.
         let mut w = WalWriter::open_append(&path, false).unwrap();
-        w.append(&batch_record(3, rows(3))).unwrap();
+        w.append(&batch_record(3, rows(3), None, None)).unwrap();
         drop(w);
         assert_eq!(read_wal(&path).unwrap().batches.len(), 3);
         let _ = std::fs::remove_dir_all(&dir);
@@ -267,7 +310,7 @@ mod tests {
         let path = dir.join(WAL_FILE);
         let mut w = WalWriter::create(&path, false).unwrap();
         w.append(&open_record(&spec())).unwrap();
-        w.append(&batch_record(1, rows(1))).unwrap();
+        w.append(&batch_record(1, rows(1), None, None)).unwrap();
         drop(w);
         let clean_len = std::fs::metadata(&path).unwrap().len();
 
@@ -283,13 +326,13 @@ mod tests {
         // A checksummed frame with a seq regression is just as torn.
         std::fs::write(&path, &bytes[..clean_len as usize]).unwrap();
         let mut w = WalWriter::open_append(&path, false).unwrap();
-        w.append(&batch_record(1, rows(9))).unwrap(); // seq does not advance
+        w.append(&batch_record(1, rows(9), None, None)).unwrap(); // seq does not advance
         drop(w);
         let contents = read_wal(&path).unwrap();
         assert!(contents.torn);
         assert_eq!(contents.valid_len, clean_len);
         assert_eq!(contents.batches.len(), 1);
-        assert_eq!(contents.batches[0].1.render(), rows(1).render());
+        assert_eq!(contents.batches[0].rows.render(), rows(1).render());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

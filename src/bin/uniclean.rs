@@ -37,6 +37,7 @@ COMMANDS:
     analyze    static analyses of the rule set: consistency, termination
     discover   mine FDs and constant CFDs from --data
     serve      run the cleaning daemon (line-delimited JSON over TCP)
+    promote    flip a standby daemon to serving (see --replicate-from)
 
 COMMON OPTIONS:
     --data <file.csv>          the (dirty) relation; header row names attributes
@@ -88,10 +89,19 @@ SERVE OPTIONS:
     --no-fsync                 skip fsync on WAL appends and snapshots
                                (faster; an OS crash may lose acked batches)
     --max-line-bytes <n>       longest accepted request line [default: 64 MiB]
+    --replicate-from <addr>    start as a read-only standby streaming the WAL
+                               of the primary at <addr>; requires --data-dir;
+                               mutations answer `standby` until promoted
+
+PROMOTE OPTIONS:
+    --addr <host:port>         the standby daemon to promote; it stops
+                               replicating, drains its apply queue, and
+                               starts accepting writes
 
     The protocol is one JSON request per line, one JSON response per line
-    (ops: open, ingest, check, dump, stats, ping, close, shutdown); see the
-    README \"Serving\" and \"Durability & recovery\" sections for the schema.
+    (ops: open, ingest, check, dump, stats, ping, close, shutdown, hello,
+    promote, repl_list, repl_fetch, repl_ack); see the README \"Serving\",
+    \"Durability & recovery\" and \"Replication & failover\" sections.
 ";
 
 fn main() -> ExitCode {
@@ -185,6 +195,7 @@ fn run(args: &[String]) -> Result<String, String> {
         "analyze" => cmd_analyze(&opts),
         "discover" => cmd_discover(&opts),
         "serve" => cmd_serve(&opts),
+        "promote" => cmd_promote(&opts),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command `{other}`")),
     }
@@ -531,6 +542,7 @@ fn cmd_serve(opts: &Opts) -> Result<String, String> {
         snapshot_every: opts.get_usize("snapshot-every", defaults.snapshot_every as usize)? as u64,
         fsync: !opts.flag("no-fsync"),
         max_line_bytes: opts.get_usize("max-line-bytes", defaults.max_line_bytes)?,
+        replicate_from: opts.get("replicate-from").map(str::to_string),
     };
     if config.shards == 0 || config.queue_bound == 0 {
         return Err("--shards and --queue must be positive".into());
@@ -547,8 +559,12 @@ fn cmd_serve(opts: &Opts) -> Result<String, String> {
         ),
         None => ", in-memory".to_string(),
     };
+    let role = match &config.replicate_from {
+        Some(primary) => format!(", standby of {primary}"),
+        None => String::new(),
+    };
     println!(
-        "uniclean serve: listening on {} ({} shards, queue bound {}{durability})",
+        "uniclean serve: listening on {} ({} shards, queue bound {}{durability}{role})",
         daemon.local_addr(),
         config.shards,
         config.queue_bound
@@ -557,6 +573,24 @@ fn cmd_serve(opts: &Opts) -> Result<String, String> {
     let _ = std::io::stdout().flush();
     daemon.run().map_err(|e| format!("serve failed: {e}"))?;
     Ok("uniclean serve: shut down cleanly\n".to_string())
+}
+
+fn cmd_promote(opts: &Opts) -> Result<String, String> {
+    let addr = opts.require("addr")?;
+    // `promote_standby` targets the configured standby address, which is
+    // exactly the node named on the command line.
+    let mut client =
+        uniclean::client::Client::new(uniclean::client::ClientConfig::new(addr).with_standby(addr));
+    let resp = client
+        .promote_standby()
+        .map_err(|e| format!("promote failed: {e}"))?;
+    let relations = resp
+        .get("relations")
+        .and_then(uniclean::model::Json::as_u64)
+        .unwrap_or(0);
+    Ok(format!(
+        "uniclean promote: {addr} is now the primary ({relations} relations)\n"
+    ))
 }
 
 /// Render a CFD as a rule-file line (the `Display` form already matches the

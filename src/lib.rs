@@ -103,6 +103,7 @@
 //! (`uniclean clean --data d.csv --rules r.rules --master m.csv`).
 
 pub use uniclean_baselines as baselines;
+pub use uniclean_client as client;
 pub use uniclean_core as core;
 pub use uniclean_datagen as datagen;
 pub use uniclean_discovery as discovery;
